@@ -1,0 +1,112 @@
+// Ablation — how the learning rate drives the size of the second-order
+// term that Algorithm #2 drops (DESIGN.md design-choice ablation).
+//
+// The truncation error |φ − φ̂| / |φ| scales with α_t · ||H|| · epochs; the
+// paper's ≤5% figure (Table II) lives at the small-α end of this sweep.
+// Also reports each variant's agreement with the true leave-one-out value
+// under the paper's removal semantics (drop the participant's update, keep
+// the 1/n normalization).
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_writer.h"
+#include "core/digfl_hfl.h"
+#include "metrics/correlation.h"
+
+using namespace digfl;
+using namespace digfl::bench;
+
+namespace {
+
+// Aggregation weights implementing the paper's removal model.
+class RemoveOnePolicy : public AggregationPolicy {
+ public:
+  explicit RemoveOnePolicy(size_t removed) : removed_(removed) {}
+  Result<std::vector<double>> Weights(size_t, const Vec&, double,
+                                      const std::vector<Vec>& deltas,
+                                      const HflServer&) override {
+    std::vector<double> weights(deltas.size(),
+                                1.0 / static_cast<double>(deltas.size()));
+    weights[removed_] = 0.0;
+    return weights;
+  }
+
+ private:
+  size_t removed_;
+};
+
+double Sum(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  TableWriter table({"learning_rate", "trunc_error", "PCC_trunc_vs_LOO",
+                     "PCC_full_vs_LOO"});
+
+  for (double lr : {0.3, 0.1, 0.05, 0.02, 0.01}) {
+    HflExperimentOptions options;
+    options.num_participants = 5;
+    options.num_mislabeled = 1;
+    options.num_noniid = 1;
+    options.epochs = 12;
+    options.learning_rate = lr;
+    options.sample_fraction = 0.005;
+    HflExperiment experiment =
+        MakeHflExperiment(PaperDatasetId::kMnist, options);
+    HflServer server(*experiment.model, experiment.validation);
+
+    auto truncated =
+        Unwrap(EvaluateHflContributions(*experiment.model,
+                                        experiment.participants, server,
+                                        experiment.log),
+               "truncated");
+    DigFlHflOptions full_options;
+    full_options.mode = HflEvaluatorMode::kInteractive;
+    auto full = Unwrap(
+        EvaluateHflContributions(*experiment.model, experiment.participants,
+                                 server, experiment.log, full_options),
+        "full");
+
+    // Ground truth under the derivation's removal model: retrain with the
+    // participant's update dropped but the 1/n aggregation kept.
+    const double full_loss =
+        Unwrap(server.ValidationLoss(experiment.log.final_params),
+               "final loss");
+    std::vector<double> loo(options.num_participants);
+    for (size_t z = 0; z < options.num_participants; ++z) {
+      RemoveOnePolicy policy(z);
+      auto log = Unwrap(RunFedSgd(*experiment.model, experiment.participants,
+                                  server, experiment.init,
+                                  experiment.train_config, &policy),
+                        "removal training");
+      loo[z] =
+          Unwrap(server.ValidationLoss(log.final_params), "loss") - full_loss;
+    }
+
+    const double trunc_error =
+        std::abs(Sum(full.total) - Sum(truncated.total)) /
+        std::abs(Sum(full.total));
+    UnwrapStatus(
+        table.AddRow(
+            {TableWriter::FormatDouble(lr, 2),
+             TableWriter::FormatDouble(trunc_error * 100, 1) + "%",
+             TableWriter::FormatDouble(
+                 Unwrap(PearsonCorrelation(truncated.total, loo), "pcc"), 3),
+             TableWriter::FormatDouble(
+                 Unwrap(PearsonCorrelation(full.total, loo), "pcc"), 3)}),
+        "row");
+  }
+
+  std::printf("=== Ablation: second-order term vs learning rate ===\n");
+  table.Print(std::cout);
+  UnwrapStatus(table.WriteCsv("ablation_second_order.csv"), "csv");
+  std::printf("\nwrote ablation_second_order.csv\n");
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Shared experiment assembly for the benchmark harnesses.
+//
+// Every harness reproduces one table/figure of the paper (see DESIGN.md §4)
+// at laptop scale. DIGFL_BENCH_SCALE (default 1.0) multiplies sample counts
+// for users who want to push closer to the paper's sizes.
+
+#ifndef DIGFL_BENCH_BENCH_COMMON_H_
+#define DIGFL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "data/corruption.h"
+#include "data/paper_datasets.h"
+#include "data/partition.h"
+#include "hfl/fed_sgd.h"
+#include "nn/linear_regression.h"
+#include "nn/logistic_regression.h"
+#include "nn/mlp.h"
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+namespace bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("DIGFL_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+// Aborts the harness on unexpected internal errors; benches have no caller
+// to propagate a Status to.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void UnwrapStatus(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+// ---------------------------------------------------------------- HFL.
+
+struct HflExperiment {
+  PaperDatasetSpec spec;
+  std::unique_ptr<Mlp> model;
+  Dataset validation;
+  std::vector<HflParticipant> participants;
+  Vec init;
+  FedSgdConfig train_config;
+  HflTrainingLog log;
+};
+
+struct HflExperimentOptions {
+  size_t num_participants = 5;
+  size_t num_mislabeled = 0;     // shards 1..num_mislabeled get label noise
+  size_t num_noniid = 0;         // last shards get single-class data
+  double mislabel_fraction = 0.5;
+  double sample_fraction = 0.01; // of the Table I size, times BenchScale()
+  size_t epochs = 15;
+  double learning_rate = 0.3;
+  // >1 creates FedAvg-style client drift, which is what makes non-IID
+  // shards genuinely harmful (with one full-batch step the mean of shard
+  // gradients equals the centralized gradient regardless of skew).
+  size_t local_steps = 1;
+  size_t hidden_units = 16;
+  uint64_t seed = 7;
+};
+
+// Builds + federatedly trains one HFL experiment on a paper dataset.
+inline HflExperiment MakeHflExperiment(PaperDatasetId id,
+                                       const HflExperimentOptions& options) {
+  HflExperiment experiment;
+  PaperDatasetOptions data_options;
+  data_options.sample_fraction = options.sample_fraction * BenchScale();
+  data_options.seed = options.seed;
+  experiment.spec = Unwrap(MakePaperDataset(id, data_options), "dataset");
+
+  Rng rng(options.seed + 1);
+  auto split =
+      Unwrap(SplitHoldout(experiment.spec.data, 0.1, rng), "holdout split");
+  experiment.validation = split.second;
+
+  NonIidPartitionConfig partition;
+  partition.num_parts = options.num_participants;
+  partition.num_iid_parts = options.num_participants - options.num_noniid;
+  partition.classes_per_biased_part = 1;
+  auto shards = Unwrap(PartitionNonIid(split.first, partition, rng),
+                       "non-IID partition");
+  for (size_t k = 0; k < options.num_mislabeled; ++k) {
+    const size_t victim = 1 + k;  // participant 0 stays clean
+    shards[victim] = Unwrap(
+        MislabelFraction(shards[victim], options.mislabel_fraction, rng),
+        "mislabeling");
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    experiment.participants.emplace_back(i, shards[i]);
+  }
+
+  experiment.model = std::make_unique<Mlp>(std::vector<size_t>{
+      experiment.spec.data.num_features(), options.hidden_units,
+      static_cast<size_t>(experiment.spec.data.num_classes)});
+  Rng init_rng(options.seed + 2);
+  experiment.init =
+      Unwrap(experiment.model->InitParams(init_rng), "model init");
+  experiment.train_config.epochs = options.epochs;
+  experiment.train_config.learning_rate = options.learning_rate;
+  experiment.train_config.local_steps = options.local_steps;
+
+  HflServer server(*experiment.model, experiment.validation);
+  experiment.log = Unwrap(
+      RunFedSgd(*experiment.model, experiment.participants, server,
+                experiment.init, experiment.train_config),
+      "FedSGD training");
+  return experiment;
+}
+
+// ---------------------------------------------------------------- VFL.
+
+struct VflExperiment {
+  PaperDatasetSpec spec;
+  std::unique_ptr<Model> model;
+  VflBlockModel blocks =
+      VflBlockModel::Create({FeatureBlock{0, 1}}, 1).value();  // replaced
+  Dataset train;
+  Dataset validation;
+  VflTrainConfig train_config;
+  VflTrainingLog log;
+};
+
+struct VflExperimentOptions {
+  // 0 = use the paper's participant count (Table III).
+  size_t num_participants = 0;
+  double sample_fraction = 1.0;  // tabular sets are small; cap below applies
+  size_t max_samples = 2000;
+  size_t epochs = 25;
+  double learning_rate = 0.0;  // 0 = model-specific default
+  uint64_t seed = 11;
+};
+
+inline VflExperiment MakeVflExperiment(PaperDatasetId id,
+                                       const VflExperimentOptions& options) {
+  VflExperiment experiment;
+  PaperDatasetOptions data_options;
+  data_options.sample_fraction = options.sample_fraction * BenchScale();
+  data_options.seed = options.seed;
+  experiment.spec = Unwrap(MakePaperDataset(id, data_options), "dataset");
+  Dataset pool = experiment.spec.data;
+  if (pool.size() > options.max_samples) {
+    Rng cap_rng(options.seed + 3);
+    std::vector<size_t> keep = cap_rng.Permutation(pool.size());
+    keep.resize(options.max_samples);
+    pool = Unwrap(pool.Subset(keep), "sample cap");
+  }
+
+  Rng rng(options.seed + 1);
+  auto split = Unwrap(SplitHoldout(pool, 0.1, rng), "holdout split");
+  experiment.train = split.first;
+  experiment.validation = split.second;
+
+  const size_t n = options.num_participants > 0
+                       ? options.num_participants
+                       : experiment.spec.paper_num_participants;
+  experiment.blocks = Unwrap(
+      VflBlockModel::Create(
+          Unwrap(SplitFeatureBlocks(pool.num_features(), n), "blocks"),
+          pool.num_features()),
+      "block model");
+
+  double lr = options.learning_rate;
+  if (experiment.spec.model == PaperModel::kVflLinReg) {
+    experiment.model =
+        std::make_unique<LinearRegression>(pool.num_features());
+    if (lr == 0.0) lr = 0.05;
+  } else {
+    experiment.model =
+        std::make_unique<LogisticRegression>(pool.num_features());
+    if (lr == 0.0) lr = 0.3;
+  }
+  experiment.train_config.epochs = options.epochs;
+  experiment.train_config.learning_rate = lr;
+  experiment.log = Unwrap(
+      RunVflTraining(*experiment.model, experiment.blocks, experiment.train,
+                     experiment.validation, experiment.train_config),
+      "VFL training");
+  return experiment;
+}
+
+}  // namespace bench
+}  // namespace digfl
+
+#endif  // DIGFL_BENCH_BENCH_COMMON_H_

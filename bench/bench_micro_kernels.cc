@@ -1,0 +1,203 @@
+// Microbenchmarks (google-benchmark) for the computational kernels behind
+// DIG-FL: vector ops, model gradients/HVPs, the exact-Shapley combination
+// step, and the Paillier primitives that dominate the encrypted VFL path.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/shapley.h"
+#include "crypto/montgomery.h"
+#include "crypto/paillier.h"
+#include "data/synthetic.h"
+#include "nn/mlp.h"
+#include "nn/softmax_regression.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+namespace {
+
+Vec RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Vec v(n);
+  for (double& x : v) x = rng.Gaussian();
+  return v;
+}
+
+void BM_VecDot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Vec a = RandomVec(n, 1), b = RandomVec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::Dot(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VecDot)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_VecAxpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Vec x = RandomVec(n, 3);
+  Vec y = RandomVec(n, 4);
+  for (auto _ : state) {
+    vec::Axpy(0.5, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VecAxpy)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+Dataset BenchDataset(size_t samples, size_t features, int classes) {
+  GaussianClassificationConfig config;
+  config.num_samples = samples;
+  config.num_features = features;
+  config.num_classes = classes;
+  config.seed = 5;
+  return MakeGaussianClassification(config).value();
+}
+
+void BM_MlpGradient(benchmark::State& state) {
+  const size_t samples = static_cast<size_t>(state.range(0));
+  const Dataset data = BenchDataset(samples, 32, 10);
+  Mlp model({32, 16, 10});
+  Rng rng(7);
+  const Vec params = model.InitParams(rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Gradient(params, data));
+  }
+  state.SetItemsProcessed(state.iterations() * samples);
+}
+BENCHMARK(BM_MlpGradient)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_MlpExactHvp(benchmark::State& state) {
+  const size_t samples = static_cast<size_t>(state.range(0));
+  const Dataset data = BenchDataset(samples, 32, 10);
+  Mlp model({32, 16, 10});
+  Rng rng(9);
+  const Vec params = model.InitParams(rng).value();
+  const Vec direction = RandomVec(model.NumParams(), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Hvp(params, data, direction));
+  }
+  state.SetItemsProcessed(state.iterations() * samples);
+}
+BENCHMARK(BM_MlpExactHvp)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_SoftmaxGradient(benchmark::State& state) {
+  const size_t samples = static_cast<size_t>(state.range(0));
+  const Dataset data = BenchDataset(samples, 32, 10);
+  SoftmaxRegression model(32, 10);
+  const Vec params = RandomVec(model.NumParams(), 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Gradient(params, data));
+  }
+  state.SetItemsProcessed(state.iterations() * samples);
+}
+BENCHMARK(BM_SoftmaxGradient)->Arg(512)->Arg(2048);
+
+void BM_ExactShapleyCombination(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(15);
+  std::vector<double> utilities(size_t{1} << n);
+  for (double& u : utilities) u = rng.Uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShapleyFromUtilities(n, utilities));
+  }
+}
+BENCHMARK(BM_ExactShapleyCombination)->Arg(5)->Arg(10)->Arg(15)->Arg(20);
+
+// -------------------------------------------------------------- crypto.
+
+struct PaillierFixture {
+  PaillierKeyPair keys;
+  Rng rng{31};
+  PaillierFixture(size_t bits) {
+    keys = Paillier::GenerateKeyPair(bits, rng).value();
+  }
+};
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  PaillierFixture fixture(static_cast<size_t>(state.range(0)));
+  const BigInt m(123456789ULL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Paillier::Encrypt(fixture.keys.public_key, m, fixture.rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  PaillierFixture fixture(static_cast<size_t>(state.range(0)));
+  const auto c =
+      Paillier::Encrypt(fixture.keys.public_key, BigInt(987654321ULL),
+                        fixture.rng)
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Paillier::Decrypt(fixture.keys.public_key,
+                                               fixture.keys.private_key, c));
+  }
+}
+BENCHMARK(BM_PaillierDecrypt)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_PaillierHomomorphicAdd(benchmark::State& state) {
+  PaillierFixture fixture(static_cast<size_t>(state.range(0)));
+  const auto a = Paillier::Encrypt(fixture.keys.public_key, BigInt(1),
+                                   fixture.rng)
+                     .value();
+  const auto b = Paillier::Encrypt(fixture.keys.public_key, BigInt(2),
+                                   fixture.rng)
+                     .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Paillier::Add(fixture.keys.public_key, a, b));
+  }
+}
+BENCHMARK(BM_PaillierHomomorphicAdd)->Arg(256)->Arg(512);
+
+void BM_BigIntModExp(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  Rng rng(37);
+  const BigInt modulus = BigInt::RandomBits(bits, rng) + BigInt(3);
+  const BigInt base = BigInt::RandomBelow(modulus, rng);
+  const BigInt exponent = BigInt::RandomBits(bits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::ModExp(base, exponent, modulus));
+  }
+}
+BENCHMARK(BM_BigIntModExp)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_MontgomeryModExp(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  Rng rng(37);
+  BigInt modulus = BigInt::RandomBits(bits, rng) + BigInt(3);
+  if (modulus.IsEven()) modulus = modulus + BigInt(1);
+  const BigInt base = BigInt::RandomBelow(modulus, rng);
+  const BigInt exponent = BigInt::RandomBits(bits, rng);
+  auto context = MontgomeryContext::Create(modulus).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(context.ModExp(base, exponent));
+  }
+}
+BENCHMARK(BM_MontgomeryModExp)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_DivisionModExp(benchmark::State& state) {
+  // The pre-Montgomery path: schoolbook multiply + Algorithm-D reduction.
+  const size_t bits = static_cast<size_t>(state.range(0));
+  Rng rng(37);
+  BigInt modulus = BigInt::RandomBits(bits, rng) + BigInt(3);
+  if (modulus.IsEven()) modulus = modulus + BigInt(1);
+  const BigInt base = BigInt::RandomBelow(modulus, rng);
+  const BigInt exponent = BigInt::RandomBits(bits, rng);
+  for (auto _ : state) {
+    BigInt result(1);
+    BigInt b = base % modulus;
+    for (size_t i = 0; i < exponent.BitLength(); ++i) {
+      if (exponent.Bit(i)) result = (result * b) % modulus;
+      b = (b * b) % modulus;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DivisionModExp)->Arg(256)->Arg(512)->Arg(1024);
+
+}  // namespace
+}  // namespace digfl
+
+BENCHMARK_MAIN();

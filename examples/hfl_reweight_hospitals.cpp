@@ -1,0 +1,91 @@
+// HFL scenario: eight hospitals train a shared diagnostic classifier.
+// Five of them have unreliable labeling pipelines (70% label noise). The
+// example contrasts plain FedSGD with the DIG-FL reweight mechanism
+// (Sec. II-F): per-epoch contributions identify the noisy sites and the
+// server downweights them, recovering most of the lost accuracy — the
+// paper's Fig. 7 story as an API walkthrough.
+
+#include <cstdio>
+
+#include "core/digfl_hfl.h"
+#include "core/reweight.h"
+#include "data/corruption.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "nn/mlp.h"
+
+using namespace digfl;
+
+int main() {
+  // Patient cohort: 20 biomarker features, 3 diagnostic classes.
+  GaussianClassificationConfig data_config;
+  data_config.num_samples = 4000;
+  data_config.num_features = 20;
+  data_config.num_classes = 3;
+  data_config.class_separation = 1.6;
+  data_config.noise_stddev = 1.1;
+  data_config.seed = 99;
+  auto pool = MakeGaussianClassification(data_config);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "data: %s\n", pool.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(100);
+  auto split = SplitHoldout(*pool, 0.08, rng);
+
+  // Eight hospitals; sites 3..7 have label-noise problems.
+  const size_t kHospitals = 8;
+  auto shards = PartitionIid(split->first, kHospitals, rng);
+  for (size_t site = 3; site < kHospitals; ++site) {
+    (*shards)[site] = *MislabelFraction((*shards)[site], 0.7, rng);
+  }
+  std::vector<HflParticipant> hospitals;
+  for (size_t i = 0; i < kHospitals; ++i) {
+    hospitals.emplace_back(i, (*shards)[i]);
+  }
+
+  Mlp model({20, 14, 3});
+  HflServer server(model, split->second);
+  Rng init_rng(101);
+  const Vec init = *model.InitParams(init_rng);
+  FedSgdConfig config;
+  config.epochs = 60;
+  config.learning_rate = 0.3;
+
+  // --- Plain FedSGD: the noisy majority drags the model down. ---
+  auto baseline = RunFedSgd(model, hospitals, server, init, config);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "train: %s\n", baseline.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- DIG-FL reweighting: per-epoch contributions gate aggregation. ---
+  DigFlHflReweightPolicy reweight;
+  auto reweighted = RunFedSgd(model, hospitals, server, init, config,
+                              &reweight);
+
+  std::printf("validation accuracy with 5 of 8 hospitals at 70%% label "
+              "noise:\n");
+  std::printf("  FedSGD           : %.3f\n",
+              baseline->validation_accuracy.back());
+  std::printf("  DIG-FL reweighted: %.3f\n",
+              reweighted->validation_accuracy.back());
+
+  std::printf("\nconvergence (every 10 epochs):\n  epoch   FedSGD   reweighted\n");
+  for (size_t t = 9; t < config.epochs; t += 10) {
+    std::printf("  %5zu   %.3f    %.3f\n", t + 1,
+                baseline->validation_accuracy[t],
+                reweighted->validation_accuracy[t]);
+  }
+
+  // --- Which sites did the server learn to distrust? ---
+  auto contributions =
+      EvaluateHflContributions(model, hospitals, server, *reweighted);
+  std::printf("\naccumulated DIG-FL contribution per hospital "
+              "(sites 3-7 are noisy):\n");
+  for (size_t i = 0; i < kHospitals; ++i) {
+    std::printf("  hospital %zu: %+.5f %s\n", i, contributions->total[i],
+                i >= 3 ? "(noisy labels)" : "");
+  }
+  return 0;
+}

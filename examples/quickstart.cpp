@@ -1,0 +1,90 @@
+// Quickstart: evaluate participant contributions in a horizontal FL system
+// with DIG-FL and compare against the exact (2^n-retraining) Shapley value.
+//
+// Five participants train an MLP classifier; participant 3 holds 50%
+// mislabeled data and participant 4 holds non-IID data. DIG-FL recovers the
+// ranking from the training log alone — no retraining.
+
+#include <cstdio>
+
+#include "baselines/exact_shapley.h"
+#include "core/digfl_hfl.h"
+#include "data/corruption.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/correlation.h"
+#include "nn/mlp.h"
+
+using namespace digfl;
+
+int main() {
+  Rng rng(42);
+
+  // 1. A synthetic 4-class classification task; 10% becomes the server's
+  //    validation set D^v.
+  GaussianClassificationConfig data_config;
+  data_config.num_samples = 1500;
+  data_config.num_features = 16;
+  data_config.num_classes = 4;
+  data_config.class_separation = 1.4;
+  data_config.noise_stddev = 1.2;
+  data_config.seed = 7;
+  auto pool = MakeGaussianClassification(data_config);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "data: %s\n", pool.status().ToString().c_str());
+    return 1;
+  }
+  auto split = SplitHoldout(*pool, 0.1, rng);
+  const Dataset& train = split->first;
+  const Dataset& validation = split->second;
+
+  // 2. Five participants: 0-2 clean IID, 3 mislabeled, 4 non-IID.
+  NonIidPartitionConfig partition_config;
+  partition_config.num_parts = 5;
+  partition_config.num_iid_parts = 4;  // participant 4 gets a biased shard
+  partition_config.classes_per_biased_part = 1;
+  auto shards = PartitionNonIid(train, partition_config, rng);
+  auto corrupted = MislabelFraction((*shards)[3], 0.5, rng);
+  (*shards)[3] = *corrupted;
+
+  std::vector<HflParticipant> participants;
+  for (size_t i = 0; i < shards->size(); ++i) {
+    participants.emplace_back(i, (*shards)[i]);
+  }
+
+  // 3. Federated training (FedSGD) with full log recording.
+  Mlp model({16, 12, 4});
+  HflServer server(model, validation);
+  auto init = model.InitParams(rng);
+  FedSgdConfig train_config;
+  train_config.epochs = 25;
+  train_config.learning_rate = 0.3;
+  auto log = RunFedSgd(model, participants, server, *init, train_config);
+  if (!log.ok()) {
+    std::fprintf(stderr, "train: %s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("final validation accuracy: %.3f\n",
+              log->validation_accuracy.back());
+
+  // 4. DIG-FL (Algorithm #2): contributions from the training log only.
+  auto digfl = EvaluateHflContributions(model, participants, server, *log);
+  std::printf("\nDIG-FL estimated Shapley values (%.4fs, 0 retrainings):\n",
+              digfl->wall_seconds);
+  for (size_t i = 0; i < digfl->total.size(); ++i) {
+    std::printf("  participant %zu: %+.5f\n", i, digfl->total[i]);
+  }
+
+  // 5. Ground truth: exact Shapley via 2^5 = 32 retrainings.
+  HflUtilityOracle oracle(model, participants, server, *init, train_config);
+  auto exact = ComputeExactShapley(oracle);
+  std::printf("\nactual Shapley values (%.2fs, %zu retrainings):\n",
+              exact->wall_seconds, exact->retrainings);
+  for (size_t i = 0; i < exact->total.size(); ++i) {
+    std::printf("  participant %zu: %+.5f\n", i, exact->total[i]);
+  }
+
+  auto pcc = PearsonCorrelation(digfl->total, exact->total);
+  std::printf("\nPearson correlation (DIG-FL vs actual): %.3f\n", *pcc);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// VFL scenario: a bank, a telecom and an e-commerce platform jointly train
+// a credit-default model over vertically partitioned features of the same
+// customers. The bank holds the labels. Contributions are evaluated with
+// DIG-FL (Eq. 27) so the consortium can split fees by feature value, and
+// the same pipeline is run once more under the Paillier-encrypted protocol
+// of the paper's Sec. IV-B to show the numbers survive encryption.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/digfl_vfl.h"
+#include "data/synthetic.h"
+#include "metrics/correlation.h"
+#include "nn/linear_regression.h"
+#include "vfl/encrypted_protocol.h"
+#include "vfl/plain_trainer.h"
+
+using namespace digfl;
+
+int main() {
+  // Customer records: 12 features in three blocks of 4.
+  //   bank      [0, 4):  strong predictors (balances, repayment history)
+  //   telecom   [4, 8):  medium predictors (tenure, usage stability)
+  //   ecommerce [8, 12): weak predictors (browsing categories)
+  SyntheticRegressionConfig data_config;
+  data_config.num_samples = 600;
+  data_config.num_features = 12;
+  data_config.noise_stddev = 0.2;
+  data_config.feature_scales = DecayingFeatureScales(12, 3, 0.45);
+  data_config.seed = 2024;
+  auto pool = MakeSyntheticRegression(data_config);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "data: %s\n", pool.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(1);
+  auto split = SplitHoldout(*pool, 0.15, rng);
+
+  const char* names[] = {"bank", "telecom", "ecommerce"};
+  auto blocks = VflBlockModel::Create(*SplitFeatureBlocks(12, 3), 12);
+
+  // --- Plaintext VFL training with full logging. ---
+  LinearRegression model(12);
+  VflTrainConfig train_config;
+  train_config.epochs = 60;
+  train_config.learning_rate = 0.04;
+  auto log = RunVflTraining(model, *blocks, split->first, split->second,
+                            train_config);
+  if (!log.ok()) {
+    std::fprintf(stderr, "train: %s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("validation MSE: %.4f -> %.4f over %zu epochs\n",
+              log->validation_loss.front(), log->validation_loss.back(),
+              log->num_epochs());
+
+  // --- DIG-FL contributions from the log (no retraining). ---
+  auto contributions = EvaluateVflContributions(model, *blocks, split->first,
+                                                split->second, *log);
+  std::printf("\nDIG-FL contribution of each data provider:\n");
+  double total = 0.0;
+  for (double phi : contributions->total) total += phi;
+  for (size_t i = 0; i < 3; ++i) {
+    std::printf("  %-10s phi = %+.5f  (%.1f%% of total)\n", names[i],
+                contributions->total[i],
+                100.0 * contributions->total[i] / total);
+  }
+
+  // --- The same consortium under Paillier encryption. ---
+  EncryptedVflConfig encrypted_config;
+  encrypted_config.epochs = 3;  // a few rounds suffice to demonstrate parity
+  encrypted_config.learning_rate = 0.04;
+  encrypted_config.key_bits = 256;
+  auto encrypted = RunEncryptedVflLinReg(split->first, split->second, *blocks,
+                                         encrypted_config);
+  if (!encrypted.ok()) {
+    std::fprintf(stderr, "encrypted: %s\n",
+                 encrypted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nencrypted protocol (256-bit Paillier, %zu epochs):\n",
+              encrypted_config.epochs);
+  std::printf("  ciphertext traffic: %.2f MB\n",
+              encrypted->comm.TotalMegabytes());
+  std::printf("  per-epoch contributions at the trusted third party:\n");
+  for (size_t t = 0; t < encrypted->per_epoch_contributions.size(); ++t) {
+    std::printf("    epoch %zu:", t + 1);
+    for (size_t i = 0; i < 3; ++i) {
+      std::printf("  %s %+.5f", names[i],
+                  encrypted->per_epoch_contributions[t][i]);
+    }
+    std::printf("\n");
+  }
+
+  // Parity check: epoch-1 encrypted contributions vs the plaintext log.
+  double max_gap = 0.0;
+  for (size_t i = 0; i < 3; ++i) {
+    max_gap = std::max(max_gap,
+                       std::abs(encrypted->per_epoch_contributions[0][i] -
+                                contributions->per_epoch[0][i]));
+  }
+  std::printf("\nmax |encrypted - plaintext| epoch-1 contribution gap: %.2e\n",
+              max_gap);
+  return 0;
+}

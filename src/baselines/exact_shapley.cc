@@ -1,0 +1,74 @@
+#include "baselines/exact_shapley.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace digfl {
+namespace {
+
+ContributionReport FinishReport(UtilityOracle& oracle, Vec shapley,
+                                double wall_seconds) {
+  ContributionReport report;
+  report.total.assign(shapley.begin(), shapley.end());
+  report.wall_seconds = wall_seconds;
+  report.retrainings = oracle.retrain_count();
+  report.extra_comm.Record("retraining:total", oracle.retrain_comm_bytes());
+  return report;
+}
+
+}  // namespace
+
+Result<ContributionReport> ComputeExactShapley(UtilityOracle& oracle) {
+  Timer timer;
+  DIGFL_ASSIGN_OR_RETURN(
+      Vec shapley, ExactShapley(oracle.num_participants(), oracle.AsFn()));
+  return FinishReport(oracle, std::move(shapley), timer.ElapsedSeconds());
+}
+
+Result<ContributionReport> ComputeExactShapleyParallel(UtilityOracle& oracle,
+                                                       size_t num_threads) {
+  const size_t n = oracle.num_participants();
+  if (n == 0 || n > 25) {
+    return Status::InvalidArgument("participant count out of range");
+  }
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  Timer timer;
+  const size_t total = size_t{1} << n;
+  std::vector<double> utilities(total, 0.0);
+  std::atomic<uint32_t> next_mask{1};  // mask 0 is V(∅) = 0
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      const uint32_t mask = next_mask.fetch_add(1);
+      if (mask >= total || failed.load()) return;
+      std::vector<bool> coalition(n, false);
+      for (size_t i = 0; i < n; ++i) coalition[i] = (mask >> i) & 1u;
+      auto utility = oracle.Utility(coalition);
+      if (!utility.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = utility.status();
+        return;
+      }
+      utilities[mask] = *utility;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  const size_t worker_count = std::min(num_threads, total);
+  threads.reserve(worker_count);
+  for (size_t t = 0; t < worker_count; ++t) threads.emplace_back(worker);
+  for (std::thread& thread : threads) thread.join();
+  if (failed.load()) return first_error;
+
+  DIGFL_ASSIGN_OR_RETURN(Vec shapley, ShapleyFromUtilities(n, utilities));
+  return FinishReport(oracle, std::move(shapley), timer.ElapsedSeconds());
+}
+
+}  // namespace digfl

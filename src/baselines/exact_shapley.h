@@ -1,0 +1,25 @@
+// Exact ("actual") Shapley values by exhaustive 2^n retraining — the ground
+// truth the paper scores every estimator against (Figs. 3-5, Tables III-V).
+
+#ifndef DIGFL_BASELINES_EXACT_SHAPLEY_H_
+#define DIGFL_BASELINES_EXACT_SHAPLEY_H_
+
+#include "baselines/retrain_oracle.h"
+#include "core/contribution.h"
+
+namespace digfl {
+
+// Enumerates all 2^n coalitions through the oracle. The report carries the
+// oracle's cost counters (retrainings, wall time, simulated traffic).
+Result<ContributionReport> ComputeExactShapley(UtilityOracle& oracle);
+
+// Same result, with the 2^n retrainings spread across `num_threads` worker
+// threads (coalitions are independent; the oracle is thread-safe).
+// num_threads == 0 uses the hardware concurrency. Wall time drops nearly
+// linearly; the report's retrain_seconds stays the summed CPU cost.
+Result<ContributionReport> ComputeExactShapleyParallel(UtilityOracle& oracle,
+                                                       size_t num_threads = 0);
+
+}  // namespace digfl
+
+#endif  // DIGFL_BASELINES_EXACT_SHAPLEY_H_

@@ -1,0 +1,29 @@
+// Group-Testing Shapley (Jia et al., AISTATS 2019).
+//
+// Samples coalitions from the group-testing distribution, estimates all
+// pairwise Shapley differences
+//   Δ_{ij} = φ_i − φ_j ≈ (Z/T) Σ_t V(S_t) (β_{ti} − β_{tj}),
+// then recovers φ from the differences and the efficiency constraint
+// Σ φ_i = V(N):  φ_i = (V(N) + Σ_j Δ_{ij}) / n.
+// The paper's comparison runs it with n (log n)² sampled coalitions.
+
+#ifndef DIGFL_BASELINES_GT_SHAPLEY_H_
+#define DIGFL_BASELINES_GT_SHAPLEY_H_
+
+#include "baselines/retrain_oracle.h"
+#include "core/contribution.h"
+
+namespace digfl {
+
+struct GtOptions {
+  // 0 = the paper's default, ceil(n (log n)²), floored at 3n.
+  size_t num_samples = 0;
+  uint64_t seed = 17;
+};
+
+Result<ContributionReport> ComputeGtShapley(UtilityOracle& oracle,
+                                            const GtOptions& options = {});
+
+}  // namespace digfl
+
+#endif  // DIGFL_BASELINES_GT_SHAPLEY_H_

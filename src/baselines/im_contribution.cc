@@ -1,0 +1,39 @@
+#include "baselines/im_contribution.h"
+
+#include "common/timer.h"
+
+namespace digfl {
+
+Result<ContributionReport> ComputeImContribution(const HflTrainingLog& log,
+                                                 const Vec& init_params) {
+  if (log.epochs.empty()) {
+    return Status::InvalidArgument("empty training log");
+  }
+  const size_t n = log.num_participants();
+
+  Timer timer;
+  // Direction the global model travelled, as a descent direction:
+  // u = θ_0 − θ_τ (local updates δ point along descent too).
+  Vec direction = vec::Sub(init_params, log.final_params);
+  const double norm = vec::Norm2(direction);
+  if (norm == 0.0) {
+    return Status::FailedPrecondition("model did not move; IM undefined");
+  }
+  vec::Scale(1.0 / norm, direction);
+
+  ContributionReport report;
+  report.total.assign(n, 0.0);
+  report.per_epoch.reserve(log.epochs.size());
+  for (const HflEpochRecord& record : log.epochs) {
+    std::vector<double> phi(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      phi[i] = vec::Dot(record.deltas[i], direction);
+      report.total[i] += phi[i];
+    }
+    report.per_epoch.push_back(std::move(phi));
+  }
+  report.wall_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace digfl

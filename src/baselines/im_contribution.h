@@ -1,0 +1,23 @@
+// IM: gradient-projection contribution (Zhang, Wu & Pan, WWW 2021).
+//
+// A non-Shapley heuristic the paper compares against: each participant's
+// local updates are projected onto the overall direction the global model
+// actually travelled, u = θ_0 − θ_τ:
+//   φ_i^IM = Σ_t <δ_{t,i}, u> / ||u||.
+// Cheap (no retraining, no validation data), but it lacks the Shapley
+// axioms, which shows up as the low PCC in Table IV.
+
+#ifndef DIGFL_BASELINES_IM_CONTRIBUTION_H_
+#define DIGFL_BASELINES_IM_CONTRIBUTION_H_
+
+#include "core/contribution.h"
+#include "hfl/fed_sgd.h"
+
+namespace digfl {
+
+Result<ContributionReport> ComputeImContribution(const HflTrainingLog& log,
+                                                 const Vec& init_params);
+
+}  // namespace digfl
+
+#endif  // DIGFL_BASELINES_IM_CONTRIBUTION_H_

@@ -1,0 +1,34 @@
+// Reconstruction-based Shapley for HFL (Song, Tong & Wei, IEEE Big Data
+// 2019): no retraining, but exponentially many *model reconstructions* per
+// round from the cached local updates.
+//
+// MR (multi-round): at epoch t, coalition S's model is reconstructed as
+//   θ_t(S) = θ_{t-1} − (1/|S|) Σ_{i∈S} δ_{t,i}
+// with per-epoch utility U_t(S) = loss^v(θ_{t-1}) − loss^v(θ_t(S)); the
+// per-epoch Shapley values are computed exactly over these 2^n utilities
+// and summed across rounds.
+//
+// OR (one-round): a single reconstruction at the end,
+//   θ(S) = θ_0 − Σ_t (1/|S|) Σ_{i∈S} δ_{t,i},
+// scored once against loss^v(θ_0).
+
+#ifndef DIGFL_BASELINES_MR_SHAPLEY_H_
+#define DIGFL_BASELINES_MR_SHAPLEY_H_
+
+#include "core/contribution.h"
+#include "hfl/fed_sgd.h"
+
+namespace digfl {
+
+// Multi-round reconstruction; returns per-epoch values and totals.
+Result<ContributionReport> ComputeMrShapley(const HflServer& server,
+                                            const HflTrainingLog& log);
+
+// One-round reconstruction; totals only.
+Result<ContributionReport> ComputeOrShapley(const HflServer& server,
+                                            const HflTrainingLog& log,
+                                            const Vec& init_params);
+
+}  // namespace digfl
+
+#endif  // DIGFL_BASELINES_MR_SHAPLEY_H_

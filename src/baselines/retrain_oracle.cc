@@ -1,0 +1,83 @@
+#include "baselines/retrain_oracle.h"
+
+#include "common/timer.h"
+
+namespace digfl {
+namespace {
+
+uint64_t CoalitionMask(const std::vector<bool>& coalition) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < coalition.size(); ++i) {
+    if (coalition[i]) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+}  // namespace
+
+Result<double> UtilityOracle::Utility(const std::vector<bool>& coalition) {
+  if (coalition.size() != num_participants()) {
+    return Status::InvalidArgument("coalition size mismatch");
+  }
+  const uint64_t mask = CoalitionMask(coalition);
+  if (mask == 0) return 0.0;  // V(∅) = 0
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(mask);
+    if (it != cache_.end()) return it->second;
+  }
+
+  // Retrain outside the lock so distinct coalitions run concurrently. Two
+  // threads racing on the same mask would redundantly (but harmlessly)
+  // retrain; callers partition masks so this does not occur in practice.
+  Timer timer;
+  DIGFL_ASSIGN_OR_RETURN(TrainingOutcome outcome, Retrain(coalition));
+  std::lock_guard<std::mutex> lock(mutex_);
+  NoteRetrain(timer.ElapsedSeconds(), outcome.comm_bytes);
+  cache_.emplace(mask, outcome.utility);
+  return outcome.utility;
+}
+
+UtilityFn UtilityOracle::AsFn() {
+  return [this](const std::vector<bool>& coalition) -> Result<double> {
+    return Utility(coalition);
+  };
+}
+
+Result<UtilityOracle::TrainingOutcome> HflUtilityOracle::Retrain(
+    const std::vector<bool>& coalition) {
+  std::vector<HflParticipant> subset;
+  for (size_t i = 0; i < participants_.size(); ++i) {
+    if (coalition[i]) subset.push_back(participants_[i]);
+  }
+  DIGFL_ASSIGN_OR_RETURN(
+      HflTrainingLog log,
+      RunFedSgd(*model_, subset, server_, init_params_, config_));
+  DIGFL_ASSIGN_OR_RETURN(const double initial_loss,
+                         server_.ValidationLoss(init_params_));
+  DIGFL_ASSIGN_OR_RETURN(const double final_loss,
+                         server_.ValidationLoss(log.final_params));
+  TrainingOutcome outcome;
+  outcome.utility = initial_loss - final_loss;  // Eq. 2
+  outcome.comm_bytes = log.comm.TotalBytes();
+  return outcome;
+}
+
+Result<UtilityOracle::TrainingOutcome> VflUtilityOracle::Retrain(
+    const std::vector<bool>& coalition) {
+  DIGFL_ASSIGN_OR_RETURN(
+      VflTrainingLog log,
+      RunVflTraining(*model_, blocks_, train_, validation_, config_,
+                     &coalition));
+  const Vec zero = vec::Zeros(model_->NumParams());
+  DIGFL_ASSIGN_OR_RETURN(const double initial_loss,
+                         model_->Loss(zero, validation_));
+  DIGFL_ASSIGN_OR_RETURN(const double final_loss,
+                         model_->Loss(log.final_params, validation_));
+  TrainingOutcome outcome;
+  outcome.utility = initial_loss - final_loss;
+  outcome.comm_bytes = log.comm.TotalBytes();
+  return outcome;
+}
+
+}  // namespace digfl

@@ -1,0 +1,123 @@
+// Coalition utility oracles backed by leave-subset-out retraining.
+//
+// Every Shapley method that the paper compares against (exact 2^n, TMC,
+// GT) is defined over the utility
+//   V(S) = loss^v(θ(∅)) − loss^v(θ_τ(S))            (Eq. 2)
+// where θ_τ(S) is the model retrained from scratch by coalition S. These
+// oracles own that retraining, cache results per coalition bitmask, and
+// meter its cost (count, wall time, simulated traffic) so the benchmark
+// harnesses can report the paper's T_Actual columns.
+
+#ifndef DIGFL_BASELINES_RETRAIN_ORACLE_H_
+#define DIGFL_BASELINES_RETRAIN_ORACLE_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "core/shapley.h"
+#include "hfl/fed_sgd.h"
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+
+class UtilityOracle {
+ public:
+  virtual ~UtilityOracle() = default;
+
+  virtual size_t num_participants() const = 0;
+
+  // Cached V(S). V(∅) = 0 by definition. Thread-safe: concurrent callers
+  // on distinct coalitions retrain in parallel (models, datasets and the
+  // FL trainers are stateless/const with respect to the oracle), while the
+  // cache and cost counters are mutex-guarded.
+  Result<double> Utility(const std::vector<bool>& coalition);
+
+  // A UtilityFn view for core/shapley.h.
+  UtilityFn AsFn();
+
+  size_t retrain_count() const { return retrain_count_; }
+  double retrain_seconds() const { return retrain_seconds_; }
+  uint64_t retrain_comm_bytes() const { return retrain_comm_bytes_; }
+
+ protected:
+  struct TrainingOutcome {
+    double utility = 0.0;
+    uint64_t comm_bytes = 0;
+  };
+  virtual Result<TrainingOutcome> Retrain(
+      const std::vector<bool>& coalition) = 0;
+
+  void NoteRetrain(double seconds, uint64_t bytes) {
+    ++retrain_count_;
+    retrain_seconds_ += seconds;
+    retrain_comm_bytes_ += bytes;
+  }
+
+ private:
+  std::mutex mutex_;  // guards cache_ and the cost counters
+  std::map<uint64_t, double> cache_;
+  size_t retrain_count_ = 0;
+  double retrain_seconds_ = 0.0;
+  uint64_t retrain_comm_bytes_ = 0;
+};
+
+// HFL: V(S) from FedSGD restricted to the participants in S.
+class HflUtilityOracle : public UtilityOracle {
+ public:
+  HflUtilityOracle(const Model& model,
+                   const std::vector<HflParticipant>& participants,
+                   HflServer& server, Vec init_params, FedSgdConfig config)
+      : model_(model.Clone()),
+        participants_(participants),
+        server_(server),
+        init_params_(std::move(init_params)),
+        config_(std::move(config)) {
+    config_.record_log = false;
+  }
+
+  size_t num_participants() const override { return participants_.size(); }
+
+ protected:
+  Result<TrainingOutcome> Retrain(const std::vector<bool>& coalition) override;
+
+ private:
+  std::unique_ptr<Model> model_;
+  const std::vector<HflParticipant>& participants_;
+  HflServer& server_;
+  Vec init_params_;
+  FedSgdConfig config_;
+};
+
+// VFL: V(S) from block-masked training (Lemma 2 coalition semantics).
+class VflUtilityOracle : public UtilityOracle {
+ public:
+  VflUtilityOracle(const Model& model, const VflBlockModel& blocks,
+                   Dataset train, Dataset validation, VflTrainConfig config)
+      : model_(model.Clone()),
+        blocks_(blocks),
+        train_(std::move(train)),
+        validation_(std::move(validation)),
+        config_(std::move(config)) {
+    config_.record_log = false;
+  }
+
+  size_t num_participants() const override {
+    return blocks_.num_participants();
+  }
+
+ protected:
+  Result<TrainingOutcome> Retrain(const std::vector<bool>& coalition) override;
+
+ private:
+  std::unique_ptr<Model> model_;
+  VflBlockModel blocks_;
+  Dataset train_;
+  Dataset validation_;
+  VflTrainConfig config_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_BASELINES_RETRAIN_ORACLE_H_

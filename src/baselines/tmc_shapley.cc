@@ -1,0 +1,58 @@
+#include "baselines/tmc_shapley.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace digfl {
+
+Result<ContributionReport> ComputeTmcShapley(UtilityOracle& oracle,
+                                             const TmcOptions& options) {
+  const size_t n = oracle.num_participants();
+  if (n == 0) return Status::InvalidArgument("no participants");
+  size_t permutations = options.num_permutations;
+  if (permutations == 0) {
+    permutations = static_cast<size_t>(
+        std::ceil(static_cast<double>(n * n) *
+                  std::max(1.0, std::log(static_cast<double>(n)))));
+  }
+
+  Timer timer;
+  Rng rng(options.seed);
+  DIGFL_ASSIGN_OR_RETURN(const double full_utility,
+                         oracle.Utility(std::vector<bool>(n, true)));
+  const double tolerance =
+      options.truncation_tolerance * std::abs(full_utility);
+
+  std::vector<double> totals(n, 0.0);
+  for (size_t round = 0; round < permutations; ++round) {
+    const std::vector<size_t> order = rng.Permutation(n);
+    std::vector<bool> coalition(n, false);
+    double previous = 0.0;  // V(∅)
+    for (size_t step = 0; step < n; ++step) {
+      const size_t member = order[step];
+      // Truncation: once the prefix utility is ~V(N), remaining marginals
+      // are noise — skip their retrainings entirely.
+      if (std::abs(full_utility - previous) < tolerance) {
+        break;  // contributes 0 for all remaining members this round
+      }
+      coalition[member] = true;
+      DIGFL_ASSIGN_OR_RETURN(const double current, oracle.Utility(coalition));
+      totals[member] += current - previous;
+      previous = current;
+    }
+  }
+
+  ContributionReport report;
+  report.total.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    report.total[i] = totals[i] / static_cast<double>(permutations);
+  }
+  report.wall_seconds = timer.ElapsedSeconds();
+  report.retrainings = oracle.retrain_count();
+  report.extra_comm.Record("retraining:total", oracle.retrain_comm_bytes());
+  return report;
+}
+
+}  // namespace digfl

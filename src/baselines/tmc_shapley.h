@@ -1,0 +1,28 @@
+// Truncated Monte Carlo Shapley (Ghorbani & Zou, ICML 2019), adapted to FL
+// participants: sample permutations, walk each prefix through the
+// retraining oracle, truncate once the running utility is within tolerance
+// of the grand-coalition utility. The paper's comparison (Sec. V-D) runs it
+// with n² log n permutations.
+
+#ifndef DIGFL_BASELINES_TMC_SHAPLEY_H_
+#define DIGFL_BASELINES_TMC_SHAPLEY_H_
+
+#include "baselines/retrain_oracle.h"
+#include "core/contribution.h"
+
+namespace digfl {
+
+struct TmcOptions {
+  // 0 = the paper's default, ceil(n² log n).
+  size_t num_permutations = 0;
+  // Truncate when |V(N) − V(prefix)| < tolerance · |V(N)|.
+  double truncation_tolerance = 0.05;
+  uint64_t seed = 13;
+};
+
+Result<ContributionReport> ComputeTmcShapley(UtilityOracle& oracle,
+                                             const TmcOptions& options = {});
+
+}  // namespace digfl
+
+#endif  // DIGFL_BASELINES_TMC_SHAPLEY_H_

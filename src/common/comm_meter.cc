@@ -1,0 +1,15 @@
+#include "common/comm_meter.h"
+
+namespace digfl {
+
+void CommMeter::Record(const std::string& channel, uint64_t bytes) {
+  total_bytes_ += bytes;
+  by_channel_[channel] += bytes;
+}
+
+void CommMeter::Reset() {
+  total_bytes_ = 0;
+  by_channel_.clear();
+}
+
+}  // namespace digfl

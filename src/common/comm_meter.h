@@ -1,0 +1,48 @@
+// CommMeter: accounting of simulated network traffic.
+//
+// The paper reports communication cost as the number of bytes exchanged
+// between the server/third party and the participants. All simulated
+// message sends in the HFL/VFL substrates record their payload size here so
+// the benchmark harnesses can report the same metric.
+
+#ifndef DIGFL_COMMON_COMM_METER_H_
+#define DIGFL_COMMON_COMM_METER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <map>
+
+namespace digfl {
+
+class CommMeter {
+ public:
+  // Records `bytes` of traffic under a human-readable channel label,
+  // e.g. "participant->server:local_model".
+  void Record(const std::string& channel, uint64_t bytes);
+
+  // Convenience: payload of `count` doubles.
+  void RecordDoubles(const std::string& channel, uint64_t count) {
+    Record(channel, count * sizeof(double));
+  }
+
+  uint64_t TotalBytes() const { return total_bytes_; }
+  double TotalMegabytes() const {
+    return static_cast<double>(total_bytes_) / (1024.0 * 1024.0);
+  }
+
+  // Per-channel breakdown, keyed by label.
+  const std::map<std::string, uint64_t>& ByChannel() const {
+    return by_channel_;
+  }
+
+  void Reset();
+
+ private:
+  uint64_t total_bytes_ = 0;
+  std::map<std::string, uint64_t> by_channel_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_COMMON_COMM_METER_H_

@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace digfl {
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+// Basename of a path, for compact log prefixes.
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace digfl

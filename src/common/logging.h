@@ -1,0 +1,52 @@
+// Minimal leveled logger for library diagnostics.
+//
+// Usage:
+//   DIGFL_LOG(INFO) << "epoch " << t << " loss " << loss;
+//
+// The default threshold is kWarning so library code stays quiet in tests;
+// benches and examples raise it to kInfo. kFatal messages abort the process
+// after printing (used by DIGFL_CHECK for internal invariants).
+
+#ifndef DIGFL_COMMON_LOGGING_H_
+#define DIGFL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace digfl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Global log threshold; messages below it are dropped (kFatal cannot be
+// suppressed).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace digfl
+
+#define DIGFL_LOG(severity)                                               \
+  ::digfl::internal::LogMessage(::digfl::LogLevel::k##severity, __FILE__, \
+                                __LINE__)                                 \
+      .stream()
+
+// Fatal assertion for internal invariants (programming errors, not user
+// input; user input is validated with Status). Aborts when violated.
+#define DIGFL_CHECK(condition) \
+  if (!(condition)) DIGFL_LOG(Fatal) << "Check failed: " #condition " "
+
+#endif  // DIGFL_COMMON_LOGGING_H_

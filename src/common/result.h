@@ -1,0 +1,90 @@
+// Result<T>: value-or-Status, the companion of status.h.
+//
+// A Result<T> holds either a T or a non-OK Status. Accessing the value of a
+// failed Result aborts (programming error), mirroring arrow::Result /
+// absl::StatusOr semantics.
+
+#ifndef DIGFL_COMMON_RESULT_H_
+#define DIGFL_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace digfl {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit from a value: `return some_t;`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  // Implicit from a non-OK status: `return Status::InvalidArgument(...);`
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::cerr << "Result<T> constructed from OK Status without a value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Accessed value of failed Result: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace digfl
+
+// DIGFL_ASSIGN_OR_RETURN(lhs, rexpr): evaluates `rexpr` (a Result<T>); on
+// error returns the Status, otherwise move-assigns the value into `lhs`.
+#define DIGFL_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  DIGFL_ASSIGN_OR_RETURN_IMPL_(                                     \
+      DIGFL_STATUS_MACROS_CONCAT_(_digfl_result, __LINE__), lhs, rexpr)
+
+#define DIGFL_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).value()
+
+#define DIGFL_STATUS_MACROS_CONCAT_(x, y) DIGFL_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define DIGFL_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // DIGFL_COMMON_RESULT_H_

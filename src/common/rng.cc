@@ -1,0 +1,54 @@
+#include "common/rng.h"
+
+namespace digfl {
+namespace {
+
+// SplitMix64 finalizer; used to decorrelate fork seeds.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  std::uniform_int_distribution<uint64_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+uint64_t Rng::NextBits() { return engine_(); }
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  Shuffle(perm);
+  return perm;
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  return Rng(Mix(seed_ ^ Mix(stream_id + 1)));
+}
+
+}  // namespace digfl

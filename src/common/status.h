@@ -1,0 +1,98 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Follows the Arrow/RocksDB idiom: every fallible operation in the library
+// returns a Status (or a Result<T>, see result.h) instead of throwing.
+// Statuses are cheap to copy in the OK case (no allocation) and carry a
+// code + message otherwise.
+
+#ifndef DIGFL_COMMON_STATUS_H_
+#define DIGFL_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace digfl {
+
+// Error taxonomy, deliberately small. Mirrors the subset of Arrow/absl codes
+// this library actually needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+// Human-readable name of a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so that Status copies are cheap; OK carries no allocation at all.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace digfl
+
+// Propagates a non-OK Status to the caller.
+#define DIGFL_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::digfl::Status _digfl_status = (expr);        \
+    if (!_digfl_status.ok()) return _digfl_status; \
+  } while (false)
+
+#endif  // DIGFL_COMMON_STATUS_H_

@@ -1,0 +1,46 @@
+// TableWriter: aligned-column console tables and CSV export.
+//
+// The benchmark harnesses use TableWriter to print rows shaped like the
+// paper's Tables II-V and to persist the same rows as CSV next to the
+// binary for plotting.
+
+#ifndef DIGFL_COMMON_TABLE_WRITER_H_
+#define DIGFL_COMMON_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace digfl {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  // Adds a row; pads/truncates to the header width mismatch is a caller bug
+  // and is rejected.
+  Status AddRow(std::vector<std::string> row);
+
+  // Convenience for mixed numeric/string rows.
+  static std::string FormatDouble(double value, int precision = 4);
+  static std::string FormatScientific(double value, int precision = 2);
+
+  // Renders an aligned ASCII table with a separator under the header.
+  void Print(std::ostream& os) const;
+
+  // Writes RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_COMMON_TABLE_WRITER_H_

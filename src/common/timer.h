@@ -1,0 +1,57 @@
+// Wall-clock timing utilities used by the benchmark harnesses to report
+// computation cost (the paper's T_DIG-FL / T_Actual columns).
+
+#ifndef DIGFL_COMMON_TIMER_H_
+#define DIGFL_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace digfl {
+
+// Simple wall-clock stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates elapsed time across multiple timed regions.
+class CumulativeTimer {
+ public:
+  // RAII guard; adds the guarded region's duration on destruction.
+  class Scope {
+   public:
+    explicit Scope(CumulativeTimer* owner) : owner_(owner) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { owner_->total_seconds_ += timer_.ElapsedSeconds(); }
+
+   private:
+    CumulativeTimer* owner_;
+    Timer timer_;
+  };
+
+  Scope Measure() { return Scope(this); }
+  double TotalSeconds() const { return total_seconds_; }
+  void Reset() { total_seconds_ = 0.0; }
+
+ private:
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_COMMON_TIMER_H_

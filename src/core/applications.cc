@@ -1,0 +1,73 @@
+#include "core/applications.h"
+
+#include <algorithm>
+
+namespace digfl {
+
+Result<SelectionResult> SelectParticipantsUnderBudget(
+    const std::vector<double>& contributions, const std::vector<double>& costs,
+    double budget) {
+  if (contributions.empty()) {
+    return Status::InvalidArgument("no participants");
+  }
+  if (contributions.size() != costs.size()) {
+    return Status::InvalidArgument("contributions/costs size mismatch");
+  }
+  if (budget < 0) return Status::InvalidArgument("negative budget");
+  for (double cost : costs) {
+    if (cost < 0) return Status::InvalidArgument("negative cost");
+  }
+
+  // Only positively contributing participants are candidates.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < contributions.size(); ++i) {
+    if (contributions[i] > 0) candidates.push_back(i);
+  }
+  if (candidates.size() > 24) {
+    return Status::InvalidArgument(
+        "exact selection supports at most 24 positive-value participants");
+  }
+
+  SelectionResult best;
+  const uint32_t total_masks = uint32_t{1} << candidates.size();
+  for (uint32_t mask = 0; mask < total_masks; ++mask) {
+    double cost = 0.0, value = 0.0;
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      if ((mask >> k) & 1u) {
+        cost += costs[candidates[k]];
+        value += contributions[candidates[k]];
+      }
+    }
+    if (cost > budget) continue;
+    // Prefer higher value; break ties toward cheaper coalitions.
+    if (value > best.total_contribution ||
+        (value == best.total_contribution && cost < best.total_cost)) {
+      best.total_contribution = value;
+      best.total_cost = cost;
+      best.selected.clear();
+      for (size_t k = 0; k < candidates.size(); ++k) {
+        if ((mask >> k) & 1u) best.selected.push_back(candidates[k]);
+      }
+    }
+  }
+  std::sort(best.selected.begin(), best.selected.end());
+  return best;
+}
+
+Result<std::vector<double>> AllocateRewards(
+    const std::vector<double>& contributions, double reward_pool) {
+  if (contributions.empty()) {
+    return Status::InvalidArgument("no participants");
+  }
+  if (reward_pool < 0) return Status::InvalidArgument("negative reward pool");
+  std::vector<double> payments(contributions.size(), 0.0);
+  double denominator = 0.0;
+  for (double phi : contributions) denominator += std::max(phi, 0.0);
+  if (denominator <= 0.0) return payments;  // nothing earned a reward
+  for (size_t i = 0; i < contributions.size(); ++i) {
+    payments[i] = reward_pool * std::max(contributions[i], 0.0) / denominator;
+  }
+  return payments;
+}
+
+}  // namespace digfl

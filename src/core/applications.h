@@ -1,0 +1,38 @@
+// Downstream applications of DIG-FL contributions, as enumerated in the
+// paper's introduction and Sec. II-B: optimal participant selection under a
+// budget constraint and fair contribution-based reward allocation.
+
+#ifndef DIGFL_CORE_APPLICATIONS_H_
+#define DIGFL_CORE_APPLICATIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace digfl {
+
+struct SelectionResult {
+  std::vector<size_t> selected;   // participant indices, ascending
+  double total_cost = 0.0;
+  double total_contribution = 0.0;
+};
+
+// Picks the subset of participants maximizing summed contribution subject
+// to Σ cost <= budget (participants with non-positive contribution are
+// never worth paying for and are excluded up front). Exact search: n <= 24.
+Result<SelectionResult> SelectParticipantsUnderBudget(
+    const std::vector<double>& contributions, const std::vector<double>& costs,
+    double budget);
+
+// Splits `reward_pool` across participants proportionally to their
+// rectified contributions max(φ_i, 0) — the payment analogue of the
+// reweighting rule (Eq. 17). Guarantees: payments are non-negative, sum to
+// `reward_pool` (0 when every contribution is non-positive), and preserve
+// the contribution ordering.
+Result<std::vector<double>> AllocateRewards(
+    const std::vector<double>& contributions, double reward_pool);
+
+}  // namespace digfl
+
+#endif  // DIGFL_CORE_APPLICATIONS_H_

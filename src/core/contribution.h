@@ -1,0 +1,31 @@
+// ContributionReport: the common output shape of every contribution
+// evaluator in the repo (DIG-FL itself and all baselines).
+
+#ifndef DIGFL_CORE_CONTRIBUTION_H_
+#define DIGFL_CORE_CONTRIBUTION_H_
+
+#include <vector>
+
+#include "common/comm_meter.h"
+
+namespace digfl {
+
+struct ContributionReport {
+  // per_epoch[t][i]: participant i's contribution at epoch t. Estimators
+  // that only produce totals leave this empty.
+  std::vector<std::vector<double>> per_epoch;
+  // total[i]: participant i's (estimated) Shapley value over training.
+  std::vector<double> total;
+  // Traffic beyond what the plain FL protocol already sends (zero for
+  // DIG-FL Algorithm #2 — its level-2 privacy claim in code form).
+  CommMeter extra_comm;
+  // Wall-clock cost of the evaluator itself, excluding the FL training it
+  // piggybacks on.
+  double wall_seconds = 0.0;
+  // Number of full model (re)trainings the method consumed (0 for DIG-FL).
+  size_t retrainings = 0;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_CORE_CONTRIBUTION_H_

@@ -1,0 +1,85 @@
+#include "core/digfl_hfl.h"
+
+#include "common/timer.h"
+
+namespace digfl {
+
+Result<ContributionReport> EvaluateHflContributions(
+    const Model& model, const std::vector<HflParticipant>& participants,
+    const HflServer& server, const HflTrainingLog& log,
+    const DigFlHflOptions& options) {
+  if (log.epochs.empty()) {
+    return Status::InvalidArgument("empty training log (record_log off?)");
+  }
+  const size_t n = log.num_participants();
+  const size_t p = model.NumParams();
+  if (options.mode == HflEvaluatorMode::kInteractive &&
+      participants.size() != n) {
+    return Status::InvalidArgument(
+        "interactive mode needs the participants that produced the log");
+  }
+
+  Timer timer;
+  ContributionReport report;
+  report.total.assign(n, 0.0);
+  report.per_epoch.reserve(log.epochs.size());
+
+  // Σ_{j<=t} ΔG_j^{-i}, maintained per participant (interactive mode only).
+  std::vector<Vec> accumulated_change;
+  if (options.mode == HflEvaluatorMode::kInteractive) {
+    accumulated_change.assign(n, vec::Zeros(p));
+  }
+
+  for (const HflEpochRecord& record : log.epochs) {
+    if (record.deltas.size() != n) {
+      return Status::InvalidArgument("ragged training log");
+    }
+    DIGFL_ASSIGN_OR_RETURN(Vec v,
+                           server.ValidationGradient(record.params_before));
+
+    std::vector<double> phi(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      // First-order term of Eq. 19: (1/n) v · δ_{t,i}.
+      phi[i] = vec::Dot(v, record.deltas[i]) / static_cast<double>(n);
+
+      if (options.mode == HflEvaluatorMode::kInteractive) {
+        // Second-order term Ω_t^{-i}: Hessian-vector product on the
+        // accumulated gradient change (zero at the first epoch).
+        Vec omega = vec::Zeros(p);
+        if (vec::SquaredNorm2(accumulated_change[i]) > 0.0) {
+          if (options.average_hvp_across_participants) {
+            for (size_t j = 0; j < n; ++j) {
+              DIGFL_ASSIGN_OR_RETURN(
+                  Vec local,
+                  participants[j].ComputeLocalHvp(model, record.params_before,
+                                                  accumulated_change[i]));
+              vec::Axpy(1.0 / static_cast<double>(n), local, omega);
+            }
+            report.extra_comm.RecordDoubles("participant->server:hvp", n * p);
+          } else {
+            DIGFL_ASSIGN_OR_RETURN(
+                omega,
+                participants[i].ComputeLocalHvp(model, record.params_before,
+                                                accumulated_change[i]));
+            report.extra_comm.RecordDoubles("participant->server:hvp", p);
+          }
+        }
+        // φ_{t,i} = −v·ΔG_t^{-i} with the Algorithm-1 recursion
+        //   ΔG_t^{-i} = −(1/n) δ_{t,i} − α_t Ω_t^{-i}.
+        // (The paper's Lemma 1 prints the Ω sign as "+", contradicting its
+        // own Eq. 6 derivation and Algorithm 1 line 8; we follow the
+        // derivation, which also matches the VFL Lemma 2 convention.)
+        phi[i] += record.learning_rate * vec::Dot(v, omega);
+        vec::Axpy(-1.0 / static_cast<double>(n), record.deltas[i],
+                  accumulated_change[i]);
+        vec::Axpy(-record.learning_rate, omega, accumulated_change[i]);
+      }
+      report.total[i] += phi[i];
+    }
+    report.per_epoch.push_back(std::move(phi));
+  }
+  report.wall_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace digfl

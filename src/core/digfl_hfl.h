@@ -1,0 +1,56 @@
+// DIG-FL for horizontal federated learning (paper Sec. III).
+//
+// Both algorithms consume the FedSGD training log; neither retrains.
+//
+// Algorithm #2 (resource-saving, level-2 privacy):
+//   φ̂_{t,i} = (1/n) ∇loss^v(θ_{t-1}) · δ_{t,i}
+// — server-only, no participant involvement, zero extra communication.
+//
+// Algorithm #1 (interactive, level-1 privacy) keeps the second-order term
+// of Eq. 19: each participant i uploads the local Hessian-vector product
+//   Ω_t^{-i} = Ĥ_i(θ_{t-1}) · Σ_{j<t} ΔG_j^{-i}
+// (an unbiased stochastic estimate of the global-Hessian product), and the
+// server tracks the gradient-change recursion of Lemma 1:
+//   ΔG_t^{-i} = −(1/n) δ_{t,i} + α_t Ω_t^{-i},
+//   φ_{t,i}  = (1/n) v_t·δ_{t,i} − α_t v_t·Ω_t^{-i},  v_t = ∇loss^v(θ_{t-1}).
+
+#ifndef DIGFL_CORE_DIGFL_HFL_H_
+#define DIGFL_CORE_DIGFL_HFL_H_
+
+#include <vector>
+
+#include "core/contribution.h"
+#include "common/result.h"
+#include "hfl/fed_sgd.h"
+
+namespace digfl {
+
+enum class HflEvaluatorMode {
+  kResourceSaving,  // Algorithm #2
+  kInteractive,     // Algorithm #1 (second-order via participant HVPs)
+};
+
+struct DigFlHflOptions {
+  HflEvaluatorMode mode = HflEvaluatorMode::kResourceSaving;
+  // Interactive mode only: when true (default) every participant computes
+  // the HVP for each removal vector and the server averages them — the
+  // unbiased estimator of the *global* Hessian product described in the
+  // paper's Sec. III-A text (n HVP uploads per participant per epoch).
+  // When false, participant i reports only Ĥ_i · Σ ΔG^{-i}, the literal
+  // Algorithm 1 line 6-7 (one upload per participant per epoch, cheaper,
+  // slightly biased).
+  bool average_hvp_across_participants = true;
+};
+
+// Evaluates every participant's per-epoch and total contribution from the
+// training log. `participants` is only touched in kInteractive mode (they
+// compute local HVPs, exactly as in Algorithm 1); pass the same vector that
+// produced `log`.
+Result<ContributionReport> EvaluateHflContributions(
+    const Model& model, const std::vector<HflParticipant>& participants,
+    const HflServer& server, const HflTrainingLog& log,
+    const DigFlHflOptions& options = {});
+
+}  // namespace digfl
+
+#endif  // DIGFL_CORE_DIGFL_HFL_H_

@@ -1,0 +1,60 @@
+#include "core/digfl_vfl.h"
+
+#include "common/timer.h"
+
+namespace digfl {
+
+Result<ContributionReport> EvaluateVflContributions(
+    const Model& model, const VflBlockModel& blocks, const Dataset& train,
+    const Dataset& validation, const VflTrainingLog& log,
+    const DigFlVflOptions& options) {
+  if (log.epochs.empty()) {
+    return Status::InvalidArgument("empty training log (record_log off?)");
+  }
+  if (blocks.num_params() != model.NumParams()) {
+    return Status::InvalidArgument("block structure does not match model");
+  }
+  const size_t n = blocks.num_participants();
+
+  Timer timer;
+  ContributionReport report;
+  report.total.assign(n, 0.0);
+  report.per_epoch.reserve(log.epochs.size());
+
+  std::vector<Vec> accumulated_change;
+  if (options.include_second_order) {
+    accumulated_change.assign(n, vec::Zeros(model.NumParams()));
+  }
+
+  for (const VflEpochRecord& record : log.epochs) {
+    DIGFL_ASSIGN_OR_RETURN(Vec v,
+                           model.Gradient(record.params_before, validation));
+    std::vector<double> phi(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      // Eq. 27: block-restricted inner product.
+      phi[i] = blocks.BlockDot(i, v, record.scaled_gradient);
+
+      if (options.include_second_order) {
+        Vec omega = vec::Zeros(model.NumParams());
+        if (vec::SquaredNorm2(accumulated_change[i]) > 0.0) {
+          DIGFL_ASSIGN_OR_RETURN(
+              Vec hvp,
+              model.Hvp(record.params_before, train, accumulated_change[i]));
+          omega = blocks.DropBlock(i, hvp);  // diag(v_i) H (Σ ΔG)
+        }
+        // Eq. 26: φ = v·(keep-block G_t) + α_t v·Ω.
+        phi[i] += record.learning_rate * vec::Dot(v, omega);
+        // Lemma 2 recursion: ΔG_t^{-i} = −(E−diag(v_i)) G_t − α_t Ω_t^{-i}.
+        vec::Axpy(-1.0, blocks.KeepBlock(i, record.scaled_gradient),
+                  accumulated_change[i]);
+        vec::Axpy(-record.learning_rate, omega, accumulated_change[i]);
+      }
+      report.total[i] += phi[i];
+    }
+    report.per_epoch.push_back(std::move(phi));
+  }
+  report.wall_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace digfl

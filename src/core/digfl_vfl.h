@@ -1,0 +1,40 @@
+// DIG-FL for vertical federated learning (paper Sec. IV).
+//
+// Truncated estimator (Eq. 27, the deployable one — computable under
+// encryption, see vfl/encrypted_protocol.h):
+//   φ̂_{t,i} = ∇loss^v(θ_{t-1}) · (E − diag(v_i)) G_t
+//           = <validation gradient, G_t> restricted to block i.
+//
+// Full estimator (Eq. 26, simulation-only — the Hessian of the distributed
+// model is not computable in a real VFL deployment; we expose it to
+// reproduce the paper's "error of ignoring the second term" experiments):
+//   Ω_t^{-i}  = diag(v_i) H(θ_{t-1}) Σ_{j<t} ΔG_j^{-i}
+//   ΔG_t^{-i} = −(E − diag(v_i)) G_t − α_t Ω_t^{-i}        (Lemma 2)
+//   φ_{t,i}   = −∇loss^v(θ_{t-1}) · ΔG_t^{-i}.
+
+#ifndef DIGFL_CORE_DIGFL_VFL_H_
+#define DIGFL_CORE_DIGFL_VFL_H_
+
+#include "core/contribution.h"
+#include "common/result.h"
+#include "nn/model.h"
+#include "vfl/block_model.h"
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+
+struct DigFlVflOptions {
+  // true = Eq. 26 (adds the Hessian correction); false = Eq. 27.
+  bool include_second_order = false;
+};
+
+// Evaluates contributions from a VFL training log. `train` is only needed
+// by the second-order path (Hessian-vector products of the training loss).
+Result<ContributionReport> EvaluateVflContributions(
+    const Model& model, const VflBlockModel& blocks, const Dataset& train,
+    const Dataset& validation, const VflTrainingLog& log,
+    const DigFlVflOptions& options = {});
+
+}  // namespace digfl
+
+#endif  // DIGFL_CORE_DIGFL_VFL_H_

@@ -1,0 +1,48 @@
+#include "core/group_contribution.h"
+
+#include <set>
+
+namespace digfl {
+namespace {
+
+Status CheckGroup(const ContributionReport& report,
+                  const std::vector<size_t>& group) {
+  if (group.empty()) return Status::InvalidArgument("empty group");
+  std::set<size_t> seen;
+  for (size_t index : group) {
+    if (index >= report.total.size()) {
+      return Status::OutOfRange("participant index " + std::to_string(index) +
+                                " out of range");
+    }
+    if (!seen.insert(index).second) {
+      return Status::InvalidArgument("duplicate participant index " +
+                                     std::to_string(index));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> GroupContribution(const ContributionReport& report,
+                                 const std::vector<size_t>& group) {
+  DIGFL_RETURN_IF_ERROR(CheckGroup(report, group));
+  double sum = 0.0;
+  for (size_t index : group) sum += report.total[index];
+  return sum;
+}
+
+Result<std::vector<double>> GroupPerEpochContribution(
+    const ContributionReport& report, const std::vector<size_t>& group) {
+  DIGFL_RETURN_IF_ERROR(CheckGroup(report, group));
+  std::vector<double> trace;
+  trace.reserve(report.per_epoch.size());
+  for (const std::vector<double>& epoch : report.per_epoch) {
+    double sum = 0.0;
+    for (size_t index : group) sum += epoch[index];
+    trace.push_back(sum);
+  }
+  return trace;
+}
+
+}  // namespace digfl

@@ -1,0 +1,30 @@
+// Group contributions via Lemma 3's additivity.
+//
+// The lemma that makes DIG-FL linear — ΔV^{-S} = Σ_{i∈S} ΔV^{-i} — also
+// means the estimated contribution of any *set* of participants is just the
+// sum of its members' values. These helpers expose that: scoring
+// consortiums, org-level billing, or "what do the mislabeled sites cost us
+// in total" queries, straight off a ContributionReport.
+
+#ifndef DIGFL_CORE_GROUP_CONTRIBUTION_H_
+#define DIGFL_CORE_GROUP_CONTRIBUTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/contribution.h"
+
+namespace digfl {
+
+// Σ_{i ∈ group} total[i]; indices must be unique and in range.
+Result<double> GroupContribution(const ContributionReport& report,
+                                 const std::vector<size_t>& group);
+
+// Per-epoch trace of the group's contribution (empty when the report has
+// no per-epoch data).
+Result<std::vector<double>> GroupPerEpochContribution(
+    const ContributionReport& report, const std::vector<size_t>& group);
+
+}  // namespace digfl
+
+#endif  // DIGFL_CORE_GROUP_CONTRIBUTION_H_

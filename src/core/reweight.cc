@@ -1,0 +1,52 @@
+#include "core/reweight.h"
+
+#include <algorithm>
+
+namespace digfl {
+
+Result<std::vector<double>> RectifiedNormalizedWeights(
+    const std::vector<double>& contributions) {
+  if (contributions.empty()) {
+    return Status::InvalidArgument("no contributions");
+  }
+  std::vector<double> weights(contributions.size());
+  double denom = 0.0;
+  for (size_t i = 0; i < contributions.size(); ++i) {
+    weights[i] = std::max(contributions[i], 0.0);
+    denom += weights[i];
+  }
+  if (denom <= 0.0) {
+    // Every participant looked harmful this epoch; fall back to FedSGD
+    // rather than freezing the model.
+    std::fill(weights.begin(), weights.end(),
+              1.0 / static_cast<double>(weights.size()));
+    return weights;
+  }
+  for (double& w : weights) w /= denom;
+  return weights;
+}
+
+Result<std::vector<double>> DigFlHflReweightPolicy::Weights(
+    size_t /*epoch*/, const Vec& params_before, double /*learning_rate*/,
+    const std::vector<Vec>& deltas, const HflServer& server) {
+  DIGFL_ASSIGN_OR_RETURN(Vec v, server.ValidationGradient(params_before));
+  std::vector<double> phi(deltas.size());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    // Algorithm #2 per-epoch contribution: (1/n) v · δ_{t,i}.
+    phi[i] = vec::Dot(v, deltas[i]) / static_cast<double>(deltas.size());
+  }
+  return RectifiedNormalizedWeights(phi);
+}
+
+Result<std::vector<double>> DigFlVflReweightPolicy::Weights(
+    size_t /*epoch*/, const Vec& params_before, double /*learning_rate*/,
+    const Vec& scaled_gradient) {
+  DIGFL_ASSIGN_OR_RETURN(Vec v, model_->Gradient(params_before, validation_));
+  std::vector<double> phi(blocks_.num_participants());
+  for (size_t i = 0; i < phi.size(); ++i) {
+    phi[i] = blocks_.BlockDot(i, v, scaled_gradient);  // Eq. 27
+  }
+  return RectifiedNormalizedWeights(phi);
+}
+
+}  // namespace digfl

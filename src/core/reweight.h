@@ -1,0 +1,59 @@
+// DIG-FL based participant reweighting (paper Sec. II-F / III-C / IV-D).
+//
+// Per epoch the server computes DIG-FL per-epoch contributions and rectifies
+// them into aggregation weights (Eq. 17):
+//   ω_{t,i} = max(φ_{t,i}, 0) / Σ_j max(φ_{t,j}, 0),
+// then aggregates G̃_t = Σ ω_{t,i} δ_{t,i} (HFL, Eq. 21) or scales gradient
+// blocks (VFL, Eq. 31). When every contribution is non-positive the policy
+// falls back to uniform weights (the update would otherwise vanish).
+
+#ifndef DIGFL_CORE_REWEIGHT_H_
+#define DIGFL_CORE_REWEIGHT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hfl/fed_sgd.h"
+#include "nn/model.h"
+#include "vfl/block_model.h"
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+
+// Eq. 17 applied to a raw contribution vector.
+Result<std::vector<double>> RectifiedNormalizedWeights(
+    const std::vector<double>& contributions);
+
+// HFL aggregation policy: per-epoch Algorithm-#2 contributions → Eq. 17
+// weights. Plugs into RunFedSgd.
+class DigFlHflReweightPolicy : public AggregationPolicy {
+ public:
+  Result<std::vector<double>> Weights(size_t epoch, const Vec& params_before,
+                                      double learning_rate,
+                                      const std::vector<Vec>& deltas,
+                                      const HflServer& server) override;
+};
+
+// VFL aggregation policy: per-epoch Eq. 27 contributions → Eq. 17 block
+// weights. Plugs into RunVflTraining.
+class DigFlVflReweightPolicy : public VflAggregationPolicy {
+ public:
+  DigFlVflReweightPolicy(const Model& model, const VflBlockModel& blocks,
+                         Dataset validation)
+      : model_(model.Clone()),
+        blocks_(blocks),
+        validation_(std::move(validation)) {}
+
+  Result<std::vector<double>> Weights(size_t epoch, const Vec& params_before,
+                                      double learning_rate,
+                                      const Vec& scaled_gradient) override;
+
+ private:
+  std::unique_ptr<Model> model_;
+  VflBlockModel blocks_;
+  Dataset validation_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_CORE_REWEIGHT_H_

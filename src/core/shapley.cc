@@ -1,0 +1,75 @@
+#include "core/shapley.h"
+
+namespace digfl {
+namespace {
+
+constexpr size_t kMaxParticipants = 25;
+
+std::vector<bool> MaskToCoalition(size_t n, uint32_t mask) {
+  std::vector<bool> coalition(n, false);
+  for (size_t i = 0; i < n; ++i) coalition[i] = (mask >> i) & 1u;
+  return coalition;
+}
+
+}  // namespace
+
+Result<Vec> ShapleyFromUtilities(size_t n,
+                                 const std::vector<double>& utilities) {
+  if (n == 0 || n > kMaxParticipants) {
+    return Status::InvalidArgument("participant count out of range");
+  }
+  const size_t total = size_t{1} << n;
+  if (utilities.size() != total) {
+    return Status::InvalidArgument("need exactly 2^n utilities");
+  }
+  // weight[s] = s! (n-s-1)! / n! computed incrementally to avoid factorial
+  // overflow: weight[0] = 1/n; weight[s] = weight[s-1] * s / (n-s).
+  std::vector<double> weight(n);
+  weight[0] = 1.0 / static_cast<double>(n);
+  for (size_t s = 1; s < n; ++s) {
+    weight[s] = weight[s - 1] * static_cast<double>(s) /
+                static_cast<double>(n - s);
+  }
+
+  Vec shapley(n, 0.0);
+  for (uint32_t mask = 0; mask < total; ++mask) {
+    const size_t size = static_cast<size_t>(__builtin_popcount(mask));
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) continue;
+      const uint32_t with_i = mask | (1u << i);
+      shapley[i] += weight[size] * (utilities[with_i] - utilities[mask]);
+    }
+  }
+  return shapley;
+}
+
+Result<Vec> ExactShapley(size_t n, const UtilityFn& utility) {
+  if (n == 0 || n > kMaxParticipants) {
+    return Status::InvalidArgument("participant count out of range");
+  }
+  const size_t total = size_t{1} << n;
+  std::vector<double> utilities(total, 0.0);
+  for (uint32_t mask = 0; mask < total; ++mask) {
+    DIGFL_ASSIGN_OR_RETURN(utilities[mask],
+                           utility(MaskToCoalition(n, mask)));
+  }
+  return ShapleyFromUtilities(n, utilities);
+}
+
+Result<Vec> LeaveOneOut(size_t n, const UtilityFn& utility) {
+  if (n == 0 || n > kMaxParticipants) {
+    return Status::InvalidArgument("participant count out of range");
+  }
+  DIGFL_ASSIGN_OR_RETURN(const double full,
+                         utility(std::vector<bool>(n, true)));
+  Vec values(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<bool> coalition(n, true);
+    coalition[i] = false;
+    DIGFL_ASSIGN_OR_RETURN(const double without, utility(coalition));
+    values[i] = full - without;
+  }
+  return values;
+}
+
+}  // namespace digfl

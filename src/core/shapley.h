@@ -1,0 +1,40 @@
+// Exact Shapley value computation over a coalition-utility oracle.
+//
+//   φ_i(V) = Σ_{S ⊆ N\{i}}  |S|! (n−|S|−1)! / n!  · (V(S ∪ {i}) − V(S))
+//
+// The oracle is called once per coalition (2^n calls, cached by bitmask);
+// everything expensive — leave-subset-out retraining — lives behind the
+// UtilityFn. This is the ground truth every estimator in the repo is scored
+// against, and also the engine of the MR/OR baselines (whose per-round
+// utilities are cheap to evaluate).
+
+#ifndef DIGFL_CORE_SHAPLEY_H_
+#define DIGFL_CORE_SHAPLEY_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+
+// V(S): coalition utility. `coalition[i]` tells whether participant i is in.
+using UtilityFn =
+    std::function<Result<double>(const std::vector<bool>& coalition)>;
+
+// Full 2^n enumeration. n must be <= 25 (guard against runaway cost).
+Result<Vec> ExactShapley(size_t n, const UtilityFn& utility);
+
+// Same combination step over pre-computed utilities, indexed by coalition
+// bitmask (bit i set = participant i present). utilities.size() must be 2^n.
+Result<Vec> ShapleyFromUtilities(size_t n,
+                                 const std::vector<double>& utilities);
+
+// Leave-one-out values: V(N) − V(N \ {i}) for every i; a cheaper
+// (n+1-utility-call) diagnostic used in tests and examples.
+Result<Vec> LeaveOneOut(size_t n, const UtilityFn& utility);
+
+}  // namespace digfl
+
+#endif  // DIGFL_CORE_SHAPLEY_H_

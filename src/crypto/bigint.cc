@@ -1,0 +1,474 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "crypto/montgomery.h"
+
+namespace digfl {
+namespace {
+
+constexpr uint64_t kLimbBase = 1ULL << 32;
+
+}  // namespace
+
+BigInt::BigInt(uint64_t value) {
+  if (value == 0) return;
+  limbs_.push_back(static_cast<uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<uint32_t>(value >> 32));
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::FromLimbs(std::vector<uint32_t> limbs) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.Normalize();
+  return out;
+}
+
+std::strong_ordering BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() <=> b.limbs_.size();
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  size_t bits = (limbs_.size() - 1) * 32;
+  uint32_t top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::Bit(size_t index) const {
+  const size_t limb = index / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (index % 32)) & 1u;
+}
+
+uint64_t BigInt::ToUint64() const {
+  uint64_t value = 0;
+  if (!limbs_.empty()) value = limbs_[0];
+  if (limbs_.size() > 1) value |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return value;
+}
+
+size_t BigInt::ByteLength() const {
+  const size_t bits = BitLength();
+  return bits == 0 ? 1 : (bits + 7) / 8;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  const size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  DIGFL_CHECK(*this >= other) << "unsigned BigInt subtraction underflow";
+  BigInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) diff -= other.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (IsZero() || other.IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t a = limbs_[i];
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + a * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator<<(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigInt out = *this;
+    return out;
+  }
+  const size_t limb_shift = bits / 32;
+  const size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t shifted = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(shifted);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(shifted >> 32);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator>>(size_t bits) const {
+  const size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  const size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t cur = static_cast<uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      cur |= static_cast<uint64_t>(limbs_[i + limb_shift + 1])
+             << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(cur);
+  }
+  out.Normalize();
+  return out;
+}
+
+void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
+                    BigInt* quotient, BigInt* remainder) {
+  DIGFL_CHECK(!divisor.IsZero()) << "BigInt division by zero";
+  if (dividend < divisor) {
+    if (quotient) *quotient = BigInt();
+    if (remainder) *remainder = dividend;
+    return;
+  }
+  // Single-limb divisor: simple schoolbook.
+  if (divisor.limbs_.size() == 1) {
+    const uint64_t d = divisor.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(dividend.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = dividend.limbs_.size(); i-- > 0;) {
+      const uint64_t cur = (rem << 32) | dividend.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Normalize();
+    if (quotient) *quotient = std::move(q);
+    if (remainder) *remainder = BigInt(rem);
+    return;
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb >= 2^31.
+  size_t shift = 0;
+  uint32_t top = divisor.limbs_.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  const BigInt u = dividend << shift;
+  const BigInt v = divisor << shift;
+  const size_t n = v.limbs_.size();
+  const size_t m = u.limbs_.size() - n;
+
+  std::vector<uint32_t> un(u.limbs_);
+  un.resize(u.limbs_.size() + 1, 0);  // extra high limb
+  const std::vector<uint32_t>& vn = v.limbs_;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = (un[j+n]*B + un[j+n-1]) / vn[n-1].
+    const uint64_t numerator =
+        (static_cast<uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    uint64_t q_hat = numerator / vn[n - 1];
+    uint64_t r_hat = numerator % vn[n - 1];
+    while (q_hat >= kLimbBase ||
+           q_hat * vn[n - 2] > ((r_hat << 32) | un[j + n - 2])) {
+      --q_hat;
+      r_hat += vn[n - 1];
+      if (r_hat >= kLimbBase) break;
+    }
+    // Multiply and subtract: un[j..j+n] -= q_hat * vn.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t product = q_hat * vn[i] + carry;
+      carry = product >> 32;
+      int64_t diff = static_cast<int64_t>(un[i + j]) -
+                     static_cast<int64_t>(product & 0xffffffffu) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      un[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(un[j + n]) -
+                   static_cast<int64_t>(carry) - borrow;
+    if (diff < 0) {
+      // q_hat was one too large: add back.
+      diff += static_cast<int64_t>(kLimbBase);
+      un[j + n] = static_cast<uint32_t>(diff);
+      --q_hat;
+      uint64_t carry2 = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t sum =
+            static_cast<uint64_t>(un[i + j]) + vn[i] + carry2;
+        un[i + j] = static_cast<uint32_t>(sum);
+        carry2 = sum >> 32;
+      }
+      un[j + n] = static_cast<uint32_t>(un[j + n] + carry2);
+    } else {
+      un[j + n] = static_cast<uint32_t>(diff);
+    }
+    q.limbs_[j] = static_cast<uint32_t>(q_hat);
+  }
+  q.Normalize();
+
+  if (remainder) {
+    BigInt r;
+    r.limbs_.assign(un.begin(), un.begin() + n);
+    r.Normalize();
+    *remainder = r >> shift;
+  }
+  if (quotient) *quotient = std::move(q);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt q;
+  DivMod(*this, other, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt r;
+  DivMod(*this, other, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exponent,
+                      const BigInt& modulus) {
+  DIGFL_CHECK(!modulus.IsZero());
+  if (modulus == BigInt(1)) return BigInt();
+  // Wide odd moduli (the Paillier/primality hot path) go through the
+  // division-free Montgomery kernel; see crypto/montgomery.h.
+  if (modulus.IsOdd() && modulus.BitLength() >= 96 &&
+      exponent.BitLength() >= 8) {
+    auto context = MontgomeryContext::Create(modulus);
+    if (context.ok()) return context->ModExp(base % modulus, exponent);
+  }
+  BigInt result(1);
+  BigInt b = base % modulus;
+  const size_t bits = exponent.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (exponent.Bit(i)) result = (result * b) % modulus;
+    b = (b * b) % modulus;
+  }
+  return result;
+}
+
+Result<BigInt> BigInt::ModInverse(const BigInt& value, const BigInt& modulus) {
+  if (modulus.IsZero()) return Status::InvalidArgument("zero modulus");
+  // Extended Euclid on (a, m) tracking coefficients of a only; negatives are
+  // represented by (sign, magnitude) pairs since BigInt is unsigned.
+  BigInt r0 = modulus, r1 = value % modulus;
+  BigInt t0, t1(1);
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.IsZero()) {
+    BigInt q, r2;
+    DivMod(r0, r1, &q, &r2);
+    // t2 = t0 - q * t1 with explicit sign handling.
+    const BigInt qt1 = q * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // Same sign: t0 - q*t1 may flip sign.
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      // Opposite signs: magnitudes add, sign follows t0.
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (!(r0 == BigInt(1))) {
+    return Status::InvalidArgument("value not invertible (gcd != 1)");
+  }
+  BigInt inverse = t0 % modulus;
+  if (t0_neg && !inverse.IsZero()) inverse = modulus - inverse;
+  return inverse;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  while (!b.IsZero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::Lcm(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  return (a / Gcd(a, b)) * b;
+}
+
+BigInt BigInt::RandomBits(size_t bits, Rng& rng) {
+  BigInt out;
+  if (bits == 0) return out;
+  const size_t limbs = (bits + 31) / 32;
+  out.limbs_.resize(limbs);
+  for (size_t i = 0; i < limbs; ++i) {
+    out.limbs_[i] = static_cast<uint32_t>(rng.NextBits());
+  }
+  const size_t excess = limbs * 32 - bits;
+  if (excess) out.limbs_.back() &= (0xffffffffu >> excess);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::RandomBelow(const BigInt& bound, Rng& rng) {
+  DIGFL_CHECK(!bound.IsZero());
+  const size_t bits = bound.BitLength();
+  // Rejection sampling; expected <= 2 draws.
+  for (;;) {
+    BigInt candidate = RandomBits(bits, rng);
+    if (candidate < bound) return candidate;
+  }
+}
+
+Result<BigInt> BigInt::RandomCoprimeBelow(const BigInt& bound, Rng& rng) {
+  if (bound < BigInt(2)) {
+    return Status::InvalidArgument("bound must be >= 2");
+  }
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    BigInt candidate = RandomBelow(bound, rng);
+    if (candidate.IsZero()) continue;
+    if (Gcd(candidate, bound) == BigInt(1)) return candidate;
+  }
+  return Status::Internal("failed to sample an invertible residue");
+}
+
+bool BigInt::IsProbablePrime(const BigInt& n, int rounds, Rng& rng) {
+  if (n < BigInt(2)) return false;
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                     23ULL, 29ULL, 31ULL, 37ULL}) {
+    const BigInt small(p);
+    if (n == small) return true;
+    if ((n % small).IsZero()) return false;
+  }
+  // Write n-1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (d.IsEven()) {
+    d = d >> 1;
+    ++s;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    // Base in [2, n-2].
+    const BigInt a = BigInt(2) + RandomBelow(n - BigInt(3), rng);
+    BigInt x = ModExp(a, d, n);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t r = 1; r < s; ++r) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+Result<BigInt> BigInt::RandomPrime(size_t bits, Rng& rng) {
+  if (bits < 8) return Status::InvalidArgument("prime size must be >= 8 bits");
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    BigInt candidate = RandomBits(bits, rng);
+    // Force exact bit length and oddness by setting the top and bottom bits.
+    std::vector<uint32_t>& limbs = candidate.limbs_;
+    const size_t limb_count = (bits + 31) / 32;
+    limbs.resize(limb_count, 0);
+    limbs[0] |= 1u;                                   // odd
+    limbs[limb_count - 1] |= 1u << ((bits - 1) % 32); // exact length
+    candidate.Normalize();
+    if (IsProbablePrime(candidate, 24, rng)) return candidate;
+  }
+  return Status::Internal("failed to find a prime");
+}
+
+Result<BigInt> BigInt::FromDecimalString(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty numeral");
+  BigInt out;
+  const BigInt ten(10);
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-digit in numeral");
+    }
+    out = out * ten + BigInt(static_cast<uint64_t>(c - '0'));
+  }
+  return out;
+}
+
+std::string BigInt::ToDecimalString() const {
+  if (IsZero()) return "0";
+  std::string digits;
+  BigInt value = *this;
+  const BigInt ten(10);
+  while (!value.IsZero()) {
+    BigInt q, r;
+    DivMod(value, ten, &q, &r);
+    digits.push_back(static_cast<char>('0' + r.ToUint64()));
+    value = std::move(q);
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+}  // namespace digfl

@@ -1,0 +1,110 @@
+// BigInt: arbitrary-precision unsigned integer arithmetic.
+//
+// The Paillier cryptosystem (paillier.h) is built entirely on this class;
+// nothing else in the library depends on it. Representation: little-endian
+// vector of 32-bit limbs, normalized (no leading zero limbs; zero is the
+// empty vector). Division uses Knuth's Algorithm D, so 512-bit modular
+// exponentiation — the hot operation in the VFL encrypted protocol — runs at
+// interactive speed.
+//
+// BigInt is unsigned by design: the protocol layer maps signed fixed-point
+// values into Z_n (see fixed_point.h), so signedness lives there.
+
+#ifndef DIGFL_CRYPTO_BIGINT_H_
+#define DIGFL_CRYPTO_BIGINT_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace digfl {
+
+class BigInt {
+ public:
+  // Zero.
+  BigInt() = default;
+  // From a machine word.
+  explicit BigInt(uint64_t value);
+
+  static Result<BigInt> FromDecimalString(const std::string& text);
+  std::string ToDecimalString() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  bool IsEven() const { return !IsOdd(); }
+
+  // Number of significant bits (0 for zero).
+  size_t BitLength() const;
+  bool Bit(size_t index) const;
+
+  // Low 64 bits (truncating).
+  uint64_t ToUint64() const;
+  // True iff the value fits in 64 bits.
+  bool FitsUint64() const { return BitLength() <= 64; }
+
+  std::strong_ordering operator<=>(const BigInt& other) const {
+    return Compare(*this, other);
+  }
+  bool operator==(const BigInt& other) const { return limbs_ == other.limbs_; }
+
+  BigInt operator+(const BigInt& other) const;
+  // Requires *this >= other (unsigned subtraction).
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  BigInt operator/(const BigInt& other) const;  // requires other != 0
+  BigInt operator%(const BigInt& other) const;  // requires other != 0
+
+  BigInt operator<<(size_t bits) const;
+  BigInt operator>>(size_t bits) const;
+
+  // Quotient and remainder in one pass (Algorithm D). divisor != 0.
+  static void DivMod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt* quotient, BigInt* remainder);
+
+  // (base ^ exponent) mod modulus; modulus != 0.
+  static BigInt ModExp(const BigInt& base, const BigInt& exponent,
+                       const BigInt& modulus);
+
+  // Multiplicative inverse mod `modulus`; fails when gcd != 1.
+  static Result<BigInt> ModInverse(const BigInt& value, const BigInt& modulus);
+
+  static BigInt Gcd(BigInt a, BigInt b);
+  static BigInt Lcm(const BigInt& a, const BigInt& b);
+
+  // Uniform value with exactly `bits` random bits (top bit may be zero).
+  static BigInt RandomBits(size_t bits, Rng& rng);
+  // Uniform in [0, bound); bound != 0.
+  static BigInt RandomBelow(const BigInt& bound, Rng& rng);
+  // Uniform in [1, bound) coprime with bound — Paillier's r.
+  static Result<BigInt> RandomCoprimeBelow(const BigInt& bound, Rng& rng);
+
+  // Miller-Rabin with `rounds` random bases.
+  static bool IsProbablePrime(const BigInt& n, int rounds, Rng& rng);
+  // Random prime with the top bit set (exactly `bits` bits).
+  static Result<BigInt> RandomPrime(size_t bits, Rng& rng);
+
+  // Serialized size in bytes (ceil(BitLength/8), min 1); used by the
+  // communication meter to price ciphertext transfers.
+  size_t ByteLength() const;
+
+  // Raw little-endian base-2^32 limbs (no leading zeros). Exposed for the
+  // Montgomery kernel (crypto/montgomery.h); everything else should use the
+  // arithmetic operators.
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+  // Builds a value from raw limbs (normalized internally).
+  static BigInt FromLimbs(std::vector<uint32_t> limbs);
+
+ private:
+  static std::strong_ordering Compare(const BigInt& a, const BigInt& b);
+  void Normalize();
+
+  std::vector<uint32_t> limbs_;  // little-endian base-2^32
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_CRYPTO_BIGINT_H_

@@ -1,0 +1,64 @@
+#include "crypto/fixed_point.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace digfl {
+namespace {
+
+// Lossy BigInt -> double (sufficient: decoded magnitudes are bounded by the
+// encoder's overflow check plus a few homomorphic additions).
+double ToDouble(const BigInt& value) {
+  double out = 0.0;
+  // Walk down from the top bits via decimal string would be slow; use
+  // ByteLength-limited reconstruction through shifting.
+  BigInt v = value;
+  double scale = 1.0;
+  while (!v.IsZero()) {
+    out += static_cast<double>(v.ToUint64() & 0xffffffffULL) * scale;
+    v = v >> 32;
+    scale *= 4294967296.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+FixedPointCodec::FixedPointCodec(BigInt modulus, int fraction_bits)
+    : modulus_(std::move(modulus)),
+      half_modulus_(modulus_ >> 1),
+      fraction_bits_(fraction_bits),
+      scale_(std::ldexp(1.0, fraction_bits)) {
+  DIGFL_CHECK(fraction_bits_ > 0 && fraction_bits_ < 62);
+  DIGFL_CHECK(modulus_.BitLength() > static_cast<size_t>(fraction_bits_) + 16)
+      << "modulus too small for the requested precision";
+}
+
+Result<BigInt> FixedPointCodec::Encode(double value) const {
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("cannot encode non-finite value");
+  }
+  const double scaled = std::nearbyint(value * scale_);
+  if (std::abs(scaled) >= std::ldexp(1.0, 62)) {
+    return Status::OutOfRange("fixed-point overflow encoding " +
+                              std::to_string(value));
+  }
+  const uint64_t magnitude = static_cast<uint64_t>(std::abs(scaled));
+  BigInt encoded(magnitude);
+  if (encoded >= half_modulus_) {
+    return Status::OutOfRange("encoded magnitude exceeds plaintext range");
+  }
+  if (scaled < 0 && magnitude != 0) encoded = modulus_ - encoded;
+  return encoded;
+}
+
+double FixedPointCodec::Decode(const BigInt& encoded) const {
+  DIGFL_CHECK(encoded < modulus_) << "ciphertext residue out of range";
+  if (encoded > half_modulus_) {
+    return -ToDouble(modulus_ - encoded) / scale_;
+  }
+  return ToDouble(encoded) / scale_;
+}
+
+}  // namespace digfl

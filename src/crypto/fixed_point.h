@@ -1,0 +1,43 @@
+// Fixed-point encoding of reals into the Paillier plaintext space Z_n.
+//
+// The VFL protocol exchanges encrypted *real-valued* residuals and
+// gradients. Values are scaled by 2^fraction_bits, rounded, and mapped into
+// Z_n with negatives represented as n - |v| (two's-complement style). After
+// homomorphic additions the decoder recovers the sign via the n/2 threshold.
+//
+// The encoder rejects values whose magnitude would collide with the negative
+// half-space (|v| * 2^f must stay below n / 2^headroom_bits).
+
+#ifndef DIGFL_CRYPTO_FIXED_POINT_H_
+#define DIGFL_CRYPTO_FIXED_POINT_H_
+
+#include "common/result.h"
+#include "crypto/bigint.h"
+
+namespace digfl {
+
+class FixedPointCodec {
+ public:
+  // `modulus` is the Paillier n. fraction_bits controls precision
+  // (~fraction_bits * 0.3 decimal digits).
+  FixedPointCodec(BigInt modulus, int fraction_bits = 32);
+
+  // Encodes a finite real; fails when |value| overflows the plaintext range.
+  Result<BigInt> Encode(double value) const;
+
+  // Decodes with sign recovery. Exact inverse of Encode up to quantization.
+  double Decode(const BigInt& encoded) const;
+
+  int fraction_bits() const { return fraction_bits_; }
+  const BigInt& modulus() const { return modulus_; }
+
+ private:
+  BigInt modulus_;
+  BigInt half_modulus_;
+  int fraction_bits_;
+  double scale_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_CRYPTO_FIXED_POINT_H_

@@ -1,0 +1,105 @@
+#include "crypto/montgomery.h"
+
+#include "common/logging.h"
+
+namespace digfl {
+namespace {
+
+// Inverse of odd n0 modulo 2^32 by Newton iteration: five steps double the
+// number of correct bits from 1 to > 32.
+uint32_t InverseMod2To32(uint32_t n0) {
+  uint32_t x = 1;
+  for (int iteration = 0; iteration < 5; ++iteration) {
+    x *= 2u - n0 * x;  // arithmetic mod 2^32 by construction
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
+  if (modulus < BigInt(3) || modulus.IsEven()) {
+    return Status::InvalidArgument("Montgomery needs an odd modulus >= 3");
+  }
+  const uint32_t n0 = modulus.limbs()[0];
+  const uint32_t n_prime = static_cast<uint32_t>(-InverseMod2To32(n0));
+  // R mod n with R = 2^(32k).
+  const size_t k = modulus.limbs().size();
+  const BigInt r_mod_n = (BigInt(1) << (32 * k)) % modulus;
+  return MontgomeryContext(modulus, n_prime, r_mod_n);
+}
+
+BigInt MontgomeryContext::ToMontgomery(const BigInt& x) const {
+  DIGFL_CHECK(x < modulus_) << "ToMontgomery operand out of range";
+  const size_t k = modulus_.limbs().size();
+  return (x << (32 * k)) % modulus_;
+}
+
+BigInt MontgomeryContext::FromMontgomery(const BigInt& x) const {
+  return Multiply(x, BigInt(1));
+}
+
+BigInt MontgomeryContext::Multiply(const BigInt& a, const BigInt& b) const {
+  const std::vector<uint32_t>& n = modulus_.limbs();
+  const size_t k = n.size();
+  const std::vector<uint32_t>& al = a.limbs();
+  const std::vector<uint32_t>& bl = b.limbs();
+  DIGFL_CHECK(al.size() <= k && bl.size() <= k)
+      << "Montgomery operand wider than modulus";
+
+  // CIOS accumulator: k+2 limbs of 32 bits held in uint64 slots.
+  std::vector<uint64_t> t(k + 2, 0);
+  for (size_t i = 0; i < k; ++i) {
+    const uint64_t ai = i < al.size() ? al[i] : 0;
+    // t += a_i * b
+    uint64_t carry = 0;
+    for (size_t j = 0; j < k; ++j) {
+      const uint64_t bj = j < bl.size() ? bl[j] : 0;
+      const uint64_t cur = t[j] + ai * bj + carry;
+      t[j] = cur & 0xffffffffu;
+      carry = cur >> 32;
+    }
+    uint64_t cur = t[k] + carry;
+    t[k] = cur & 0xffffffffu;
+    t[k + 1] += cur >> 32;
+
+    // m = t_0 * n' mod 2^32; t += m * n; t >>= 32.
+    const uint64_t m =
+        (t[0] * static_cast<uint64_t>(n_prime_)) & 0xffffffffu;
+    cur = t[0] + m * n[0];
+    carry = cur >> 32;
+    for (size_t j = 1; j < k; ++j) {
+      cur = t[j] + m * n[j] + carry;
+      t[j - 1] = cur & 0xffffffffu;
+      carry = cur >> 32;
+    }
+    cur = t[k] + carry;
+    t[k - 1] = cur & 0xffffffffu;
+    carry = cur >> 32;
+    t[k] = t[k + 1] + carry;
+    t[k + 1] = 0;
+  }
+
+  std::vector<uint32_t> result_limbs(k + 1);
+  for (size_t j = 0; j <= k; ++j) {
+    result_limbs[j] = static_cast<uint32_t>(t[j]);
+  }
+  BigInt result = BigInt::FromLimbs(std::move(result_limbs));
+  if (result >= modulus_) result = result - modulus_;
+  return result;
+}
+
+BigInt MontgomeryContext::ModExp(const BigInt& base,
+                                 const BigInt& exponent) const {
+  DIGFL_CHECK(base < modulus_) << "ModExp base out of range";
+  BigInt result = r_mod_n_;  // Montgomery form of 1
+  BigInt acc = ToMontgomery(base);
+  const size_t bits = exponent.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (exponent.Bit(i)) result = Multiply(result, acc);
+    acc = Multiply(acc, acc);
+  }
+  return FromMontgomery(result);
+}
+
+}  // namespace digfl

@@ -1,0 +1,76 @@
+#include "crypto/paillier.h"
+
+namespace digfl {
+
+Result<PaillierKeyPair> Paillier::GenerateKeyPair(size_t key_bits, Rng& rng) {
+  if (key_bits < 64) {
+    return Status::InvalidArgument("key_bits must be >= 64");
+  }
+  const size_t prime_bits = key_bits / 2;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    DIGFL_ASSIGN_OR_RETURN(BigInt p, BigInt::RandomPrime(prime_bits, rng));
+    DIGFL_ASSIGN_OR_RETURN(BigInt q, BigInt::RandomPrime(prime_bits, rng));
+    if (p == q) continue;
+    const BigInt n = p * q;
+    const BigInt lambda = BigInt::Lcm(p - BigInt(1), q - BigInt(1));
+    // With g = n+1, μ = λ^{-1} mod n; retry on the (vanishingly rare)
+    // non-invertible case.
+    auto mu = BigInt::ModInverse(lambda, n);
+    if (!mu.ok()) continue;
+    PaillierKeyPair pair;
+    pair.public_key.n = n;
+    pair.public_key.n_squared = n * n;
+    pair.private_key.lambda = lambda;
+    pair.private_key.mu = std::move(mu).value();
+    return pair;
+  }
+  return Status::Internal("Paillier key generation failed");
+}
+
+Result<PaillierCiphertext> Paillier::Encrypt(const PaillierPublicKey& key,
+                                             const BigInt& plaintext,
+                                             Rng& rng) {
+  if (!(plaintext < key.n)) {
+    return Status::InvalidArgument("plaintext outside [0, n)");
+  }
+  // c = (1 + m n) * r^n mod n^2.
+  DIGFL_ASSIGN_OR_RETURN(BigInt r, BigInt::RandomCoprimeBelow(key.n, rng));
+  const BigInt g_to_m = (BigInt(1) + plaintext * key.n) % key.n_squared;
+  const BigInt r_to_n = BigInt::ModExp(r, key.n, key.n_squared);
+  return PaillierCiphertext((g_to_m * r_to_n) % key.n_squared);
+}
+
+Result<BigInt> Paillier::Decrypt(const PaillierPublicKey& public_key,
+                                 const PaillierPrivateKey& private_key,
+                                 const PaillierCiphertext& ciphertext) {
+  if (!(ciphertext.value() < public_key.n_squared)) {
+    return Status::InvalidArgument("ciphertext outside [0, n^2)");
+  }
+  const BigInt u =
+      BigInt::ModExp(ciphertext.value(), private_key.lambda,
+                     public_key.n_squared);
+  if (u.IsZero()) return Status::InvalidArgument("malformed ciphertext");
+  const BigInt l = (u - BigInt(1)) / public_key.n;
+  return (l * private_key.mu) % public_key.n;
+}
+
+PaillierCiphertext Paillier::Add(const PaillierPublicKey& key,
+                                 const PaillierCiphertext& a,
+                                 const PaillierCiphertext& b) {
+  return PaillierCiphertext((a.value() * b.value()) % key.n_squared);
+}
+
+Result<PaillierCiphertext> Paillier::AddPlain(const PaillierPublicKey& key,
+                                              const PaillierCiphertext& a,
+                                              const BigInt& k, Rng& rng) {
+  DIGFL_ASSIGN_OR_RETURN(PaillierCiphertext ek, Encrypt(key, k, rng));
+  return Add(key, a, ek);
+}
+
+PaillierCiphertext Paillier::ScalarMul(const PaillierPublicKey& key,
+                                       const PaillierCiphertext& a,
+                                       const BigInt& k) {
+  return PaillierCiphertext(BigInt::ModExp(a.value(), k, key.n_squared));
+}
+
+}  // namespace digfl

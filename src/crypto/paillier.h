@@ -1,0 +1,89 @@
+// Paillier additively homomorphic cryptosystem.
+//
+// The VFL running example (paper Sec. IV-B, Yang et al. [3]) exchanges
+// additively-homomorphically encrypted residuals and gradients; this is a
+// from-scratch implementation of that cryptosystem over crypto/bigint.h.
+//
+//   KeyGen:   n = p·q (p, q random primes), g = n+1, λ = lcm(p-1, q-1),
+//             μ = λ^{-1} mod n.
+//   Encrypt:  c = (1 + m·n) · r^n  mod n²   (g = n+1 shortcut)
+//   Decrypt:  m = L(c^λ mod n²) · μ mod n,  L(u) = (u-1)/n.
+//   Add:      E(a)·E(b) mod n² = E(a+b).
+//   ScalarMul E(a)^k    mod n² = E(k·a).
+//
+// Key size is configurable; tests use 128-256-bit keys, the encrypted-VFL
+// bench reports 512-bit. The paper's 1024-bit setting works but is slow in
+// pure portable C++.
+
+#ifndef DIGFL_CRYPTO_PAILLIER_H_
+#define DIGFL_CRYPTO_PAILLIER_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/bigint.h"
+
+namespace digfl {
+
+struct PaillierPublicKey {
+  BigInt n;
+  BigInt n_squared;
+
+  // Serialized ciphertext size (bytes): residues mod n².
+  size_t CiphertextBytes() const { return n_squared.ByteLength(); }
+};
+
+struct PaillierPrivateKey {
+  BigInt lambda;
+  BigInt mu;
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey public_key;
+  PaillierPrivateKey private_key;
+};
+
+class PaillierCiphertext {
+ public:
+  PaillierCiphertext() = default;
+  explicit PaillierCiphertext(BigInt value) : value_(std::move(value)) {}
+  const BigInt& value() const { return value_; }
+
+ private:
+  BigInt value_;
+};
+
+class Paillier {
+ public:
+  // Generates a key pair with an n of roughly `key_bits` bits.
+  static Result<PaillierKeyPair> GenerateKeyPair(size_t key_bits, Rng& rng);
+
+  // Encrypts plaintext m in [0, n).
+  static Result<PaillierCiphertext> Encrypt(const PaillierPublicKey& key,
+                                            const BigInt& plaintext, Rng& rng);
+
+  // Decrypts; result in [0, n).
+  static Result<BigInt> Decrypt(const PaillierPublicKey& public_key,
+                                const PaillierPrivateKey& private_key,
+                                const PaillierCiphertext& ciphertext);
+
+  // E(a+b) from E(a), E(b).
+  static PaillierCiphertext Add(const PaillierPublicKey& key,
+                                const PaillierCiphertext& a,
+                                const PaillierCiphertext& b);
+
+  // E(a + k) from E(a) and plaintext k.
+  static Result<PaillierCiphertext> AddPlain(const PaillierPublicKey& key,
+                                             const PaillierCiphertext& a,
+                                             const BigInt& k, Rng& rng);
+
+  // E(k·a) from E(a) and plaintext k.
+  static PaillierCiphertext ScalarMul(const PaillierPublicKey& key,
+                                      const PaillierCiphertext& a,
+                                      const BigInt& k);
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_CRYPTO_PAILLIER_H_

@@ -1,0 +1,43 @@
+#include "data/corruption.h"
+
+namespace digfl {
+
+Result<Dataset> MislabelFraction(const Dataset& data, double fraction,
+                                 Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0, 1]");
+  }
+  if (data.num_classes < 2) {
+    return Status::InvalidArgument("mislabeling needs classification data");
+  }
+  Dataset out = data;
+  const size_t count = static_cast<size_t>(fraction * data.size());
+  std::vector<size_t> perm = rng.Permutation(data.size());
+  for (size_t k = 0; k < count; ++k) {
+    const size_t i = perm[k];
+    const int original = data.Label(i);
+    // Uniform over the other num_classes - 1 labels.
+    int wrong = static_cast<int>(rng.UniformInt(data.num_classes - 1));
+    if (wrong >= original) wrong++;
+    out.y[i] = wrong;
+  }
+  return out;
+}
+
+Result<Dataset> AddFeatureNoise(const Dataset& data, double fraction,
+                                double stddev, Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0, 1]");
+  }
+  if (stddev < 0.0) return Status::InvalidArgument("negative stddev");
+  Dataset out = data;
+  const size_t count = static_cast<size_t>(fraction * data.size());
+  std::vector<size_t> perm = rng.Permutation(data.size());
+  for (size_t k = 0; k < count; ++k) {
+    auto row = out.x.MutableRow(perm[k]);
+    for (double& v : row) v += rng.Gaussian(0.0, stddev);
+  }
+  return out;
+}
+
+}  // namespace digfl

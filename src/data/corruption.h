@@ -1,0 +1,26 @@
+// Data-quality corruptions used to create the paper's "low-contribution"
+// participants: mislabeled shards (labels replaced by random wrong labels)
+// and feature noise.
+
+#ifndef DIGFL_DATA_CORRUPTION_H_
+#define DIGFL_DATA_CORRUPTION_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace digfl {
+
+// Replaces the labels of `fraction` of the samples with uniformly random
+// *incorrect* labels (paper: 50% or 30% mislabeled). Classification only.
+Result<Dataset> MislabelFraction(const Dataset& data, double fraction,
+                                 Rng& rng);
+
+// Adds N(0, stddev^2) noise to every feature of `fraction` of the samples;
+// used to model erroneous sensor data for regression tasks.
+Result<Dataset> AddFeatureNoise(const Dataset& data, double fraction,
+                                double stddev, Rng& rng);
+
+}  // namespace digfl
+
+#endif  // DIGFL_DATA_CORRUPTION_H_

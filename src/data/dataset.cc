@@ -1,0 +1,99 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace digfl {
+
+Status Dataset::Validate() const {
+  if (y.size() != x.rows()) {
+    return Status::InvalidArgument(
+        "target count " + std::to_string(y.size()) + " != sample count " +
+        std::to_string(x.rows()));
+  }
+  if (num_classes < 0) {
+    return Status::InvalidArgument("negative num_classes");
+  }
+  if (num_classes > 0) {
+    for (size_t i = 0; i < y.size(); ++i) {
+      const double label = y[i];
+      if (label != std::floor(label) || label < 0 || label >= num_classes) {
+        return Status::InvalidArgument(
+            "label " + std::to_string(label) + " at sample " +
+            std::to_string(i) + " outside [0, " + std::to_string(num_classes) +
+            ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out;
+  DIGFL_ASSIGN_OR_RETURN(out.x, x.SelectRows(indices));
+  out.y.reserve(indices.size());
+  for (size_t idx : indices) {
+    if (idx >= y.size()) {
+      return Status::OutOfRange("sample index " + std::to_string(idx) +
+                                " >= " + std::to_string(y.size()));
+    }
+    out.y.push_back(y[idx]);
+  }
+  out.num_classes = num_classes;
+  return out;
+}
+
+Result<Dataset> Dataset::SliceFeatures(size_t begin, size_t end) const {
+  Dataset out;
+  DIGFL_ASSIGN_OR_RETURN(out.x, x.SelectColumns(begin, end));
+  out.y = y;
+  out.num_classes = num_classes;
+  return out;
+}
+
+Result<Dataset> Dataset::Concat(const std::vector<Dataset>& parts) {
+  if (parts.empty()) return Status::InvalidArgument("Concat of zero datasets");
+  size_t total = 0;
+  for (const Dataset& part : parts) {
+    if (part.num_features() != parts[0].num_features()) {
+      return Status::InvalidArgument("Concat feature width mismatch");
+    }
+    if (part.num_classes != parts[0].num_classes) {
+      return Status::InvalidArgument("Concat num_classes mismatch");
+    }
+    total += part.size();
+  }
+  Dataset out;
+  out.x = Matrix(total, parts[0].num_features());
+  out.y.reserve(total);
+  out.num_classes = parts[0].num_classes;
+  size_t row = 0;
+  for (const Dataset& part : parts) {
+    for (size_t r = 0; r < part.size(); ++r, ++row) {
+      auto src = part.x.Row(r);
+      std::copy(src.begin(), src.end(), out.x.MutableRow(row).begin());
+      out.y.push_back(part.y[r]);
+    }
+  }
+  return out;
+}
+
+Result<std::pair<Dataset, Dataset>> SplitHoldout(const Dataset& data,
+                                                 double holdout_fraction,
+                                                 Rng& rng) {
+  if (holdout_fraction <= 0.0 || holdout_fraction >= 1.0) {
+    return Status::InvalidArgument("holdout_fraction must be in (0, 1)");
+  }
+  const size_t n = data.size();
+  if (n < 2) return Status::InvalidArgument("need at least 2 samples to split");
+  std::vector<size_t> perm = rng.Permutation(n);
+  size_t holdout_count = static_cast<size_t>(std::round(n * holdout_fraction));
+  holdout_count = std::max<size_t>(1, std::min(holdout_count, n - 1));
+  std::vector<size_t> holdout_idx(perm.begin(), perm.begin() + holdout_count);
+  std::vector<size_t> train_idx(perm.begin() + holdout_count, perm.end());
+  DIGFL_ASSIGN_OR_RETURN(Dataset train, data.Subset(train_idx));
+  DIGFL_ASSIGN_OR_RETURN(Dataset holdout, data.Subset(holdout_idx));
+  return std::make_pair(std::move(train), std::move(holdout));
+}
+
+}  // namespace digfl

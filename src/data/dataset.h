@@ -1,0 +1,61 @@
+// Dataset: a dense feature matrix plus targets.
+//
+// One type serves regression and classification. For regression `y` holds
+// real targets and `num_classes == 0`; for classification `y` holds integer
+// class indices stored as doubles and `num_classes >= 2`. Models interpret
+// the targets according to their loss.
+
+#ifndef DIGFL_DATA_DATASET_H_
+#define DIGFL_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace digfl {
+
+enum class TaskType { kRegression, kClassification };
+
+struct Dataset {
+  Matrix x;         // num_samples x num_features
+  Vec y;            // num_samples targets (class index or real value)
+  int num_classes = 0;  // 0 for regression
+
+  TaskType task() const {
+    return num_classes == 0 ? TaskType::kRegression : TaskType::kClassification;
+  }
+  size_t size() const { return x.rows(); }
+  size_t num_features() const { return x.cols(); }
+
+  // Integer label of sample i (classification only).
+  int Label(size_t i) const { return static_cast<int>(y[i]); }
+
+  // Structural sanity: |y| == rows, labels within range.
+  Status Validate() const;
+
+  // New dataset with the listed samples (duplicates allowed).
+  Result<Dataset> Subset(const std::vector<size_t>& indices) const;
+
+  // New dataset keeping only feature columns [begin, end) — the vertical
+  // partition primitive.
+  Result<Dataset> SliceFeatures(size_t begin, size_t end) const;
+
+  // Row-wise concatenation; parts must agree on width and num_classes.
+  static Result<Dataset> Concat(const std::vector<Dataset>& parts);
+};
+
+// Splits `data` into (train, holdout) with `holdout_fraction` of samples in
+// the holdout, after a deterministic shuffle driven by `rng`. This is how
+// every experiment carves out the server-side validation set D^v.
+Result<std::pair<Dataset, Dataset>> SplitHoldout(const Dataset& data,
+                                                 double holdout_fraction,
+                                                 Rng& rng);
+
+}  // namespace digfl
+
+#endif  // DIGFL_DATA_DATASET_H_

@@ -1,0 +1,184 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace digfl {
+
+Result<std::vector<Dataset>> PartitionIid(const Dataset& data,
+                                          size_t num_parts, Rng& rng) {
+  if (num_parts == 0) return Status::InvalidArgument("num_parts == 0");
+  if (data.size() < num_parts) {
+    return Status::InvalidArgument("fewer samples than parts");
+  }
+  std::vector<size_t> perm = rng.Permutation(data.size());
+  std::vector<Dataset> parts;
+  parts.reserve(num_parts);
+  const size_t base = data.size() / num_parts;
+  const size_t extra = data.size() % num_parts;
+  size_t cursor = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    const size_t count = base + (p < extra ? 1 : 0);
+    std::vector<size_t> indices(perm.begin() + cursor,
+                                perm.begin() + cursor + count);
+    cursor += count;
+    DIGFL_ASSIGN_OR_RETURN(Dataset part, data.Subset(indices));
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+Result<std::vector<Dataset>> PartitionNonIid(
+    const Dataset& data, const NonIidPartitionConfig& config, Rng& rng) {
+  if (config.num_parts == 0) return Status::InvalidArgument("num_parts == 0");
+  if (config.num_iid_parts > config.num_parts) {
+    return Status::InvalidArgument("num_iid_parts > num_parts");
+  }
+  if (data.num_classes < 2) {
+    return Status::InvalidArgument("non-IID partition needs classification data");
+  }
+  const size_t num_classes = static_cast<size_t>(data.num_classes);
+  if (config.classes_per_biased_part == 0 ||
+      config.classes_per_biased_part > num_classes) {
+    return Status::InvalidArgument("classes_per_biased_part out of range");
+  }
+
+  // Class menus of the biased shards, dealt round-robin from a shuffled
+  // class cycle so menus overlap as little as possible (overlap only when
+  // num_biased * classes_per_biased_part > num_classes).
+  const size_t num_biased = config.num_parts - config.num_iid_parts;
+  std::vector<size_t> class_cycle(num_classes);
+  std::iota(class_cycle.begin(), class_cycle.end(), 0);
+  rng.Shuffle(class_cycle);
+  std::vector<std::vector<size_t>> menus(num_biased);
+  for (size_t b = 0; b < num_biased; ++b) {
+    for (size_t k = 0; k < config.classes_per_biased_part; ++k) {
+      menus[b].push_back(
+          class_cycle[(b * config.classes_per_biased_part + k) % num_classes]);
+    }
+  }
+
+  // Target shard sizes (near-equal).
+  std::vector<size_t> capacity(config.num_parts,
+                               data.size() / config.num_parts);
+  for (size_t p = 0; p < data.size() % config.num_parts; ++p) capacity[p]++;
+
+  // Shuffled per-class sample pools.
+  std::vector<std::vector<size_t>> pool(num_classes);
+  {
+    std::vector<size_t> perm = rng.Permutation(data.size());
+    for (size_t idx : perm) {
+      pool[static_cast<size_t>(data.Label(idx))].push_back(idx);
+    }
+  }
+  // Reserve a handful of samples per class so every IID shard can still see
+  // every class after the biased shards draw.
+  std::vector<size_t> reserved(num_classes, 0);
+  if (config.num_iid_parts > 0) {
+    for (size_t c = 0; c < num_classes; ++c) {
+      reserved[c] = std::min(pool[c].size(), config.num_iid_parts);
+    }
+  }
+
+  std::vector<std::vector<size_t>> assigned(config.num_parts);
+  auto take_from_class = [&](size_t c, size_t part) -> bool {
+    if (pool[c].size() <= reserved[c]) return false;
+    assigned[part].push_back(pool[c].back());
+    pool[c].pop_back();
+    return true;
+  };
+
+  // Phase 1: biased shards draw round-robin over their menus until full or
+  // their menus run dry.
+  for (size_t b = 0; b < num_biased; ++b) {
+    const size_t part = config.num_iid_parts + b;
+    size_t menu_cursor = 0, dry = 0;
+    while (assigned[part].size() < capacity[part] && dry < menus[b].size()) {
+      const size_t c = menus[b][menu_cursor % menus[b].size()];
+      ++menu_cursor;
+      if (take_from_class(c, part)) {
+        dry = 0;
+      } else {
+        ++dry;
+      }
+    }
+  }
+
+  // Phase 2: IID shards split every remaining class evenly (reservations
+  // included), keeping them class-balanced.
+  std::fill(reserved.begin(), reserved.end(), 0);
+  if (config.num_iid_parts > 0) {
+    for (size_t c = 0; c < num_classes; ++c) {
+      size_t shard = c % config.num_iid_parts;  // stagger small classes
+      size_t attempts = 0;
+      while (!pool[c].empty() && attempts < config.num_iid_parts) {
+        const size_t part = shard % config.num_iid_parts;
+        ++shard;
+        if (assigned[part].size() < capacity[part]) {
+          take_from_class(c, part);
+          attempts = 0;
+        } else {
+          ++attempts;
+        }
+      }
+    }
+  }
+
+  // Phase 3: whatever is left (menus dry, capacities hit) goes to any shard
+  // with room — biased shards only as a last resort.
+  std::vector<size_t> leftovers;
+  for (auto& samples : pool) {
+    leftovers.insert(leftovers.end(), samples.begin(), samples.end());
+    samples.clear();
+  }
+  for (size_t idx : leftovers) {
+    size_t chosen = config.num_parts;
+    for (size_t p = 0; p < config.num_parts; ++p) {
+      if (assigned[p].size() < capacity[p]) {
+        chosen = p;
+        break;
+      }
+    }
+    if (chosen == config.num_parts) {
+      // All capacities met (rounding): emptiest shard takes it.
+      size_t best = 0;
+      for (size_t p = 1; p < config.num_parts; ++p) {
+        if (assigned[p].size() < assigned[best].size()) best = p;
+      }
+      chosen = best;
+    }
+    assigned[chosen].push_back(idx);
+  }
+
+  std::vector<Dataset> parts;
+  parts.reserve(config.num_parts);
+  for (size_t p = 0; p < config.num_parts; ++p) {
+    if (assigned[p].empty()) {
+      return Status::Internal("partition produced an empty shard");
+    }
+    DIGFL_ASSIGN_OR_RETURN(Dataset part, data.Subset(assigned[p]));
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+Result<std::vector<FeatureBlock>> SplitFeatureBlocks(size_t num_features,
+                                                     size_t num_parts) {
+  if (num_parts == 0) return Status::InvalidArgument("num_parts == 0");
+  if (num_features < num_parts) {
+    return Status::InvalidArgument("fewer features than parts");
+  }
+  std::vector<FeatureBlock> blocks;
+  blocks.reserve(num_parts);
+  const size_t base = num_features / num_parts;
+  const size_t extra = num_features % num_parts;
+  size_t cursor = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    const size_t width = base + (p < extra ? 1 : 0);
+    blocks.push_back(FeatureBlock{cursor, cursor + width});
+    cursor += width;
+  }
+  return blocks;
+}
+
+}  // namespace digfl

@@ -1,0 +1,56 @@
+// Horizontal and vertical partitioners: how the global training set is
+// distributed across federated participants.
+//
+// The HFL experiments in the paper distinguish participants by *how* their
+// shard was drawn: IID shards, non-IID label shards (only a subset of the
+// classes), or corrupted shards (see corruption.h).
+
+#ifndef DIGFL_DATA_PARTITION_H_
+#define DIGFL_DATA_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace digfl {
+
+// Splits `data` into `num_parts` near-equal IID shards (random permutation,
+// contiguous slices).
+Result<std::vector<Dataset>> PartitionIid(const Dataset& data,
+                                          size_t num_parts, Rng& rng);
+
+// Non-IID label partition matching the paper's setup: the first
+// `num_iid_parts` shards receive samples from every class (IID), while each
+// remaining shard only receives samples from a random subset of
+// `classes_per_biased_part` classes. Every sample is assigned to exactly one
+// shard; shards are near-equal in size.
+struct NonIidPartitionConfig {
+  size_t num_parts = 5;
+  size_t num_iid_parts = 4;
+  // Classes available to each non-IID shard (1 <= value < num_classes).
+  size_t classes_per_biased_part = 2;
+};
+
+Result<std::vector<Dataset>> PartitionNonIid(const Dataset& data,
+                                             const NonIidPartitionConfig& config,
+                                             Rng& rng);
+
+// Vertical partition: participant i owns the contiguous feature columns
+// [begin, end). Produced by SplitFeatureBlocks and consumed by the VFL
+// substrate.
+struct FeatureBlock {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t width() const { return end - begin; }
+};
+
+// Splits `num_features` into `num_parts` contiguous near-equal blocks.
+Result<std::vector<FeatureBlock>> SplitFeatureBlocks(size_t num_features,
+                                                     size_t num_parts);
+
+}  // namespace digfl
+
+#endif  // DIGFL_DATA_PARTITION_H_

@@ -1,0 +1,134 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+namespace digfl {
+
+Result<Dataset> MakeGaussianClassification(
+    const GaussianClassificationConfig& config) {
+  if (config.num_samples == 0 || config.num_features == 0) {
+    return Status::InvalidArgument("empty dataset requested");
+  }
+  if (config.num_classes < 2) {
+    return Status::InvalidArgument("num_classes must be >= 2");
+  }
+  if (config.noise_stddev < 0 || config.class_separation < 0) {
+    return Status::InvalidArgument("negative stddev/separation");
+  }
+  Rng rng(config.seed);
+
+  // Class means, fixed per seed.
+  std::vector<Vec> means(config.num_classes, Vec(config.num_features));
+  for (auto& mean : means) {
+    for (double& m : mean) {
+      m = rng.Uniform(-config.class_separation, config.class_separation);
+    }
+  }
+
+  Dataset out;
+  out.x = Matrix(config.num_samples, config.num_features);
+  out.y.resize(config.num_samples);
+  out.num_classes = config.num_classes;
+  for (size_t i = 0; i < config.num_samples; ++i) {
+    const int label = static_cast<int>(rng.UniformInt(config.num_classes));
+    out.y[i] = label;
+    auto row = out.x.MutableRow(i);
+    for (size_t j = 0; j < config.num_features; ++j) {
+      row[j] = means[label][j] + rng.Gaussian(0.0, config.noise_stddev);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Draws the ground-truth weight vector with per-feature scaling.
+Result<Vec> TrueWeights(size_t num_features,
+                        const std::vector<double>& feature_scales, Rng& rng) {
+  if (!feature_scales.empty() && feature_scales.size() != num_features) {
+    return Status::InvalidArgument(
+        "feature_scales size " + std::to_string(feature_scales.size()) +
+        " != num_features " + std::to_string(num_features));
+  }
+  Vec w(num_features);
+  for (size_t j = 0; j < num_features; ++j) {
+    const double scale = feature_scales.empty() ? 1.0 : feature_scales[j];
+    w[j] = scale * rng.Gaussian(0.0, 1.0);
+  }
+  return w;
+}
+
+}  // namespace
+
+Result<Dataset> MakeSyntheticRegression(
+    const SyntheticRegressionConfig& config) {
+  if (config.num_samples == 0 || config.num_features == 0) {
+    return Status::InvalidArgument("empty dataset requested");
+  }
+  if (config.noise_stddev < 0) {
+    return Status::InvalidArgument("negative noise_stddev");
+  }
+  Rng rng(config.seed);
+  DIGFL_ASSIGN_OR_RETURN(
+      Vec w, TrueWeights(config.num_features, config.feature_scales, rng));
+
+  Dataset out;
+  out.x = Matrix(config.num_samples, config.num_features);
+  out.y.resize(config.num_samples);
+  out.num_classes = 0;
+  for (size_t i = 0; i < config.num_samples; ++i) {
+    auto row = out.x.MutableRow(i);
+    double dot = 0.0;
+    for (size_t j = 0; j < config.num_features; ++j) {
+      row[j] = rng.Gaussian(0.0, 1.0);
+      dot += row[j] * w[j];
+    }
+    out.y[i] = dot + rng.Gaussian(0.0, config.noise_stddev);
+  }
+  return out;
+}
+
+Result<Dataset> MakeSyntheticLogistic(const SyntheticLogisticConfig& config) {
+  if (config.num_samples == 0 || config.num_features == 0) {
+    return Status::InvalidArgument("empty dataset requested");
+  }
+  if (config.label_noise < 0 || config.label_noise > 1) {
+    return Status::InvalidArgument("label_noise must be in [0, 1]");
+  }
+  Rng rng(config.seed);
+  DIGFL_ASSIGN_OR_RETURN(
+      Vec w, TrueWeights(config.num_features, config.feature_scales, rng));
+
+  Dataset out;
+  out.x = Matrix(config.num_samples, config.num_features);
+  out.y.resize(config.num_samples);
+  out.num_classes = 2;
+  for (size_t i = 0; i < config.num_samples; ++i) {
+    auto row = out.x.MutableRow(i);
+    double dot = 0.0;
+    for (size_t j = 0; j < config.num_features; ++j) {
+      row[j] = rng.Gaussian(0.0, 1.0);
+      dot += row[j] * w[j];
+    }
+    const double p = 1.0 / (1.0 + std::exp(-dot));
+    int label = rng.Bernoulli(p) ? 1 : 0;
+    if (config.label_noise > 0 && rng.Bernoulli(config.label_noise)) {
+      label = 1 - label;
+    }
+    out.y[i] = label;
+  }
+  return out;
+}
+
+std::vector<double> DecayingFeatureScales(size_t num_features,
+                                          size_t num_blocks, double decay) {
+  std::vector<double> scales(num_features, 1.0);
+  if (num_blocks == 0) return scales;
+  for (size_t j = 0; j < num_features; ++j) {
+    const size_t block = j * num_blocks / num_features;
+    scales[j] = std::pow(decay, static_cast<double>(block));
+  }
+  return scales;
+}
+
+}  // namespace digfl

@@ -1,0 +1,72 @@
+// Synthetic dataset generators.
+//
+// These stand in for the paper's public datasets (see DESIGN.md §3): what
+// DIG-FL and every baseline consume is gradients, so the experiments only
+// need datasets whose participants *genuinely differ in usefulness* — which
+// these generators control explicitly.
+
+#ifndef DIGFL_DATA_SYNTHETIC_H_
+#define DIGFL_DATA_SYNTHETIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace digfl {
+
+// Gaussian-mixture classification: each class has a mean drawn uniformly
+// from [-separation, separation]^d; samples are the mean plus isotropic
+// Gaussian noise. Larger `class_separation / noise_stddev` = easier task.
+struct GaussianClassificationConfig {
+  size_t num_samples = 1000;
+  size_t num_features = 16;
+  int num_classes = 10;
+  double class_separation = 2.0;
+  double noise_stddev = 1.0;
+  uint64_t seed = 1;
+};
+
+Result<Dataset> MakeGaussianClassification(
+    const GaussianClassificationConfig& config);
+
+// Linear-model regression: y = <w*, x> + b* + noise. Feature j's true weight
+// is scaled by `feature_scales[j]` (default all-ones), so a vertical
+// participant owning low-scale columns contributes genuinely less — the
+// lever behind distinguishable VFL Shapley values.
+struct SyntheticRegressionConfig {
+  size_t num_samples = 500;
+  size_t num_features = 10;
+  double noise_stddev = 0.1;
+  // Per-feature signal multiplier; empty = all 1.0. Size must match
+  // num_features when non-empty.
+  std::vector<double> feature_scales;
+  uint64_t seed = 1;
+};
+
+Result<Dataset> MakeSyntheticRegression(const SyntheticRegressionConfig& config);
+
+// Logistic ground truth: P(y=1|x) = sigmoid(<w*, x>), same feature-scale
+// lever as the regression generator. num_classes is fixed at 2.
+struct SyntheticLogisticConfig {
+  size_t num_samples = 500;
+  size_t num_features = 10;
+  std::vector<double> feature_scales;
+  // Flip each label with this probability after sampling (label noise).
+  double label_noise = 0.0;
+  uint64_t seed = 1;
+};
+
+Result<Dataset> MakeSyntheticLogistic(const SyntheticLogisticConfig& config);
+
+// Geometrically decaying per-feature scales: scale_j = decay^(block of j),
+// with `num_features` split into `num_blocks` contiguous blocks. Used to
+// give VFL participants graded informativeness.
+std::vector<double> DecayingFeatureScales(size_t num_features,
+                                          size_t num_blocks, double decay);
+
+}  // namespace digfl
+
+#endif  // DIGFL_DATA_SYNTHETIC_H_

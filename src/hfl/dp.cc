@@ -1,0 +1,26 @@
+#include "hfl/dp.h"
+
+namespace digfl {
+
+Result<Vec> ApplyGaussianMechanism(const Vec& update,
+                                   const GaussianMechanismConfig& config,
+                                   Rng& rng) {
+  if (config.clip_norm <= 0) {
+    return Status::InvalidArgument("clip_norm must be > 0");
+  }
+  if (config.noise_multiplier < 0) {
+    return Status::InvalidArgument("negative noise_multiplier");
+  }
+  Vec out = update;
+  const double norm = vec::Norm2(out);
+  if (norm > config.clip_norm) {
+    vec::Scale(config.clip_norm / norm, out);
+  }
+  const double sigma = config.noise_multiplier * config.clip_norm;
+  if (sigma > 0) {
+    for (double& v : out) v += rng.Gaussian(0.0, sigma);
+  }
+  return out;
+}
+
+}  // namespace digfl

@@ -1,0 +1,33 @@
+// Gaussian-mechanism update perturbation (differential privacy for HFL
+// uploads, per the techniques the paper cites [32]).
+//
+// Each local update is L2-clipped to `clip_norm` and perturbed with
+// isotropic Gaussian noise of scale noise_multiplier · clip_norm — the
+// standard DP-FedSGD recipe. DIG-FL keeps working on noised updates (the
+// validation-gradient inner product is linear, so the noise is zero-mean in
+// φ̂); the tests quantify how estimation accuracy degrades with the noise
+// multiplier.
+
+#ifndef DIGFL_HFL_DP_H_
+#define DIGFL_HFL_DP_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+
+struct GaussianMechanismConfig {
+  double clip_norm = 1.0;         // L2 bound applied before noising
+  double noise_multiplier = 0.0;  // σ = noise_multiplier * clip_norm
+};
+
+// Returns clip(update) + N(0, σ² I). noise_multiplier == 0 is pure
+// clipping.
+Result<Vec> ApplyGaussianMechanism(const Vec& update,
+                                   const GaussianMechanismConfig& config,
+                                   Rng& rng);
+
+}  // namespace digfl
+
+#endif  // DIGFL_HFL_DP_H_

@@ -1,0 +1,95 @@
+#include "hfl/fed_sgd.h"
+
+#include <cmath>
+
+namespace digfl {
+
+Result<HflTrainingLog> RunFedSgd(
+    const Model& model, const std::vector<HflParticipant>& participants,
+    HflServer& server, const Vec& init_params, const FedSgdConfig& config,
+    AggregationPolicy* policy) {
+  if (participants.empty()) {
+    return Status::InvalidArgument("no participants");
+  }
+  if (config.epochs == 0) return Status::InvalidArgument("epochs == 0");
+  if (config.learning_rate <= 0) {
+    return Status::InvalidArgument("learning_rate must be > 0");
+  }
+  if (config.batch_fraction <= 0.0 || config.batch_fraction > 1.0) {
+    return Status::InvalidArgument("batch_fraction must be in (0, 1]");
+  }
+  UniformAggregation uniform;
+  if (policy == nullptr) policy = &uniform;
+
+  HflTrainingLog log;
+  log.final_params = init_params;
+  double lr = config.learning_rate;
+  const size_t p = model.NumParams();
+
+  // Independent minibatch streams per participant (unused when
+  // batch_fraction == 1).
+  Rng batch_root(config.batch_seed);
+  std::vector<Rng> batch_rngs;
+  batch_rngs.reserve(participants.size());
+  for (size_t i = 0; i < participants.size(); ++i) {
+    batch_rngs.push_back(batch_root.Fork(i));
+  }
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Server broadcasts θ_{t-1}.
+    log.comm.RecordDoubles("server->participants:global_model",
+                           p * participants.size());
+
+    std::vector<Vec> deltas;
+    deltas.reserve(participants.size());
+    for (size_t i = 0; i < participants.size(); ++i) {
+      Vec delta;
+      if (config.batch_fraction < 1.0) {
+        DIGFL_ASSIGN_OR_RETURN(
+            delta, participants[i].ComputeStochasticLocalUpdate(
+                       model, log.final_params, lr, config.local_steps,
+                       config.batch_fraction, batch_rngs[i]));
+      } else {
+        DIGFL_ASSIGN_OR_RETURN(
+            delta, participants[i].ComputeLocalUpdate(
+                       model, log.final_params, lr, config.local_steps));
+      }
+      deltas.push_back(std::move(delta));
+    }
+    // Participants upload local models (equivalently δ_{t,i}).
+    log.comm.RecordDoubles("participants->server:local_model",
+                           p * participants.size());
+
+    DIGFL_ASSIGN_OR_RETURN(
+        std::vector<double> weights,
+        policy->Weights(epoch, log.final_params, lr, deltas, server));
+    if (weights.size() != deltas.size()) {
+      return Status::Internal("aggregation policy returned bad weight count");
+    }
+    DIGFL_ASSIGN_OR_RETURN(Vec global_gradient,
+                           HflServer::AggregateWeighted(deltas, weights));
+
+    if (config.record_log) {
+      HflEpochRecord record;
+      record.params_before = log.final_params;
+      record.deltas = deltas;
+      record.learning_rate = lr;
+      record.weights = weights;
+      log.epochs.push_back(std::move(record));
+    }
+
+    vec::Axpy(-1.0, global_gradient, log.final_params);
+
+    DIGFL_ASSIGN_OR_RETURN(double val_loss,
+                           server.ValidationLoss(log.final_params));
+    DIGFL_ASSIGN_OR_RETURN(double val_acc,
+                           server.ValidationAccuracy(log.final_params));
+    log.validation_loss.push_back(val_loss);
+    log.validation_accuracy.push_back(val_acc);
+
+    lr *= config.lr_decay;
+  }
+  return log;
+}
+
+}  // namespace digfl

@@ -1,0 +1,96 @@
+// FedSGD trainer: the HFL protocol of Sec. III-A.
+//
+// Each epoch t:
+//   1. every participant computes δ_{t,i} from θ_{t-1} on its local data,
+//   2. an AggregationPolicy turns {δ_{t,i}} into the global gradient G_t
+//      (uniform average by default; the DIG-FL reweighter plugs in here),
+//   3. θ_t = θ_{t-1} − G_t.
+//
+// The trainer records the full training log — θ_{t-1}, all δ_{t,i}, α_t —
+// which is exactly the input DIG-FL consumes, plus validation metrics and
+// simulated communication traffic.
+
+#ifndef DIGFL_HFL_FED_SGD_H_
+#define DIGFL_HFL_FED_SGD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/comm_meter.h"
+#include "common/result.h"
+#include "hfl/participant.h"
+#include "hfl/server.h"
+
+namespace digfl {
+
+struct HflEpochRecord {
+  Vec params_before;        // θ_{t-1}
+  std::vector<Vec> deltas;  // δ_{t,i} for every participant
+  double learning_rate;     // α_t
+  // Aggregation weights actually applied this epoch (uniform = 1/n each).
+  std::vector<double> weights;
+};
+
+struct HflTrainingLog {
+  std::vector<HflEpochRecord> epochs;
+  Vec final_params;
+  std::vector<double> validation_loss;      // after each epoch
+  std::vector<double> validation_accuracy;  // after each epoch
+  CommMeter comm;
+
+  size_t num_epochs() const { return epochs.size(); }
+  size_t num_participants() const {
+    return epochs.empty() ? 0 : epochs[0].deltas.size();
+  }
+};
+
+// Maps an epoch's updates to aggregation weights. Returning the uniform
+// vector reproduces FedSGD; core/reweight.h implements Eq. 17.
+class AggregationPolicy {
+ public:
+  virtual ~AggregationPolicy() = default;
+  virtual Result<std::vector<double>> Weights(
+      size_t epoch, const Vec& params_before, double learning_rate,
+      const std::vector<Vec>& deltas, const HflServer& server) = 0;
+};
+
+// FedSGD default: ω_i = 1/n.
+class UniformAggregation : public AggregationPolicy {
+ public:
+  Result<std::vector<double>> Weights(size_t, const Vec&, double,
+                                      const std::vector<Vec>& deltas,
+                                      const HflServer&) override {
+    return std::vector<double>(deltas.size(), 1.0 / deltas.size());
+  }
+};
+
+struct FedSgdConfig {
+  size_t epochs = 30;
+  double learning_rate = 0.5;
+  double lr_decay = 1.0;     // α_t = learning_rate * decay^t
+  size_t local_steps = 1;    // 1 = FedSGD
+  // Fraction of each participant's local data sampled per local step;
+  // 1.0 = deterministic full-batch (the default everywhere). Smaller values
+  // add the minibatch stochasticity of real deployments; each participant
+  // draws from an independent stream derived from batch_seed, so runs stay
+  // reproducible.
+  double batch_fraction = 1.0;
+  uint64_t batch_seed = 0xd1651;
+  // When false the per-epoch records (params + deltas) are dropped to save
+  // memory — used by the retraining oracle, which only needs final_params.
+  bool record_log = true;
+};
+
+// Trains from `init_params` over `participants`; `policy` may be null
+// (uniform). The returned log is self-contained: DIG-FL and the baselines
+// need no further access to the participants.
+Result<HflTrainingLog> RunFedSgd(const Model& model,
+                                 const std::vector<HflParticipant>& participants,
+                                 HflServer& server, const Vec& init_params,
+                                 const FedSgdConfig& config,
+                                 AggregationPolicy* policy = nullptr);
+
+}  // namespace digfl
+
+#endif  // DIGFL_HFL_FED_SGD_H_

@@ -1,0 +1,136 @@
+#include "hfl/log_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace digfl {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'I', 'G', 'F', 'L', 'O', 'G', '1'};
+
+void WriteU64(std::ofstream& out, uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+// Vec is std::vector<double>, so this covers every trace in the log.
+void WriteDoubles(std::ofstream& out, const Vec& values) {
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.good();
+}
+
+bool ReadDoubles(std::ifstream& in, size_t count, Vec* values) {
+  values->resize(count);
+  in.read(reinterpret_cast<char*>(values->data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  return in.good() || (in.eof() && in.gcount() ==
+                       static_cast<std::streamsize>(count * sizeof(double)));
+}
+
+}  // namespace
+
+Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path) {
+  const size_t epochs = log.epochs.size();
+  const size_t n = log.num_participants();
+  const size_t p = log.final_params.size();
+  for (const HflEpochRecord& record : log.epochs) {
+    if (record.deltas.size() != n || record.params_before.size() != p ||
+        record.weights.size() != n) {
+      return Status::InvalidArgument("ragged training log");
+    }
+    for (const Vec& delta : record.deltas) {
+      if (delta.size() != p) {
+        return Status::InvalidArgument("ragged training log");
+      }
+    }
+  }
+  if (log.validation_loss.size() != epochs ||
+      log.validation_accuracy.size() != epochs) {
+    // Allow empty validation traces but not mismatched non-empty ones.
+    if (!log.validation_loss.empty() || !log.validation_accuracy.empty()) {
+      return Status::InvalidArgument("validation trace length mismatch");
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  WriteU64(out, epochs);
+  WriteU64(out, n);
+  WriteU64(out, p);
+  WriteU64(out, log.validation_loss.size());
+  for (const HflEpochRecord& record : log.epochs) {
+    WriteDoubles(out, Vec{record.learning_rate});
+    WriteDoubles(out, record.params_before);
+    WriteDoubles(out, record.weights);
+    for (const Vec& delta : record.deltas) WriteDoubles(out, delta);
+  }
+  WriteDoubles(out, log.final_params);
+  WriteDoubles(out, log.validation_loss);
+  WriteDoubles(out, log.validation_accuracy);
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<HflTrainingLog> LoadTrainingLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not a DIG-FL training log");
+  }
+  uint64_t epochs = 0, n = 0, p = 0, trace_len = 0;
+  if (!ReadU64(in, &epochs) || !ReadU64(in, &n) || !ReadU64(in, &p) ||
+      !ReadU64(in, &trace_len)) {
+    return Status::InvalidArgument("truncated log header");
+  }
+  // Basic sanity bounds before allocating.
+  if (epochs > (1u << 24) || n > (1u << 20) || p > (1ull << 32)) {
+    return Status::InvalidArgument("implausible log header");
+  }
+
+  HflTrainingLog log;
+  log.epochs.reserve(epochs);
+  for (uint64_t t = 0; t < epochs; ++t) {
+    HflEpochRecord record;
+    Vec lr;
+    if (!ReadDoubles(in, 1, &lr)) {
+      return Status::InvalidArgument("truncated epoch record");
+    }
+    record.learning_rate = lr[0];
+    if (!ReadDoubles(in, p, &record.params_before)) {
+      return Status::InvalidArgument("truncated epoch record");
+    }
+    Vec weights;
+    if (!ReadDoubles(in, n, &weights)) {
+      return Status::InvalidArgument("truncated epoch record");
+    }
+    record.weights.assign(weights.begin(), weights.end());
+    record.deltas.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!ReadDoubles(in, p, &record.deltas[i])) {
+        return Status::InvalidArgument("truncated epoch record");
+      }
+    }
+    log.epochs.push_back(std::move(record));
+  }
+  if (!ReadDoubles(in, p, &log.final_params)) {
+    return Status::InvalidArgument("truncated final parameters");
+  }
+  Vec losses, accuracies;
+  if (!ReadDoubles(in, trace_len, &losses) ||
+      !ReadDoubles(in, trace_len, &accuracies)) {
+    return Status::InvalidArgument("truncated validation traces");
+  }
+  log.validation_loss.assign(losses.begin(), losses.end());
+  log.validation_accuracy.assign(accuracies.begin(), accuracies.end());
+  return log;
+}
+
+}  // namespace digfl

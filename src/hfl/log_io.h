@@ -1,0 +1,31 @@
+// Persistence for HFL training logs.
+//
+// DIG-FL's whole premise is that contributions are computable from the
+// training log after the fact; these helpers let a deployment write the
+// log during training and re-run any contribution analysis offline
+// (different evaluator modes, reweight what-ifs, audits) without retraining.
+//
+// Format: versioned little-endian binary ("DIGFLOG1"). The CommMeter is
+// transient bookkeeping and is not persisted.
+
+#ifndef DIGFL_HFL_LOG_IO_H_
+#define DIGFL_HFL_LOG_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "hfl/fed_sgd.h"
+
+namespace digfl {
+
+// Writes `log` to `path`, overwriting. Fails on I/O errors or a log with
+// ragged epoch records.
+Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path);
+
+// Reads a log previously written by SaveTrainingLog. Fails on missing
+// file, bad magic/version, or a truncated/corrupt payload.
+Result<HflTrainingLog> LoadTrainingLog(const std::string& path);
+
+}  // namespace digfl
+
+#endif  // DIGFL_HFL_LOG_IO_H_

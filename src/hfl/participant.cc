@@ -1,0 +1,67 @@
+#include "hfl/participant.h"
+
+#include <algorithm>
+
+namespace digfl {
+
+Result<Vec> HflParticipant::ComputeLocalUpdate(const Model& model,
+                                               const Vec& global_params,
+                                               double learning_rate,
+                                               size_t local_steps) const {
+  if (local_steps == 0) return Status::InvalidArgument("local_steps == 0");
+  if (learning_rate <= 0) {
+    return Status::InvalidArgument("learning_rate must be > 0");
+  }
+  Vec local = global_params;
+  for (size_t step = 0; step < local_steps; ++step) {
+    DIGFL_ASSIGN_OR_RETURN(Vec grad, model.Gradient(local, data_));
+    vec::Axpy(-learning_rate, grad, local);
+  }
+  return vec::Sub(global_params, local);
+}
+
+Result<Vec> HflParticipant::ComputeStochasticLocalUpdate(
+    const Model& model, const Vec& global_params, double learning_rate,
+    size_t local_steps, double batch_fraction, Rng& rng) const {
+  if (batch_fraction <= 0.0 || batch_fraction > 1.0) {
+    return Status::InvalidArgument("batch_fraction must be in (0, 1]");
+  }
+  if (batch_fraction == 1.0) {
+    return ComputeLocalUpdate(model, global_params, learning_rate,
+                              local_steps);
+  }
+  if (local_steps == 0) return Status::InvalidArgument("local_steps == 0");
+  if (learning_rate <= 0) {
+    return Status::InvalidArgument("learning_rate must be > 0");
+  }
+  const size_t batch_size = std::max<size_t>(
+      1, static_cast<size_t>(batch_fraction * static_cast<double>(
+                                                  data_.size())));
+  Vec local = global_params;
+  for (size_t step = 0; step < local_steps; ++step) {
+    std::vector<size_t> batch = rng.Permutation(data_.size());
+    batch.resize(batch_size);
+    DIGFL_ASSIGN_OR_RETURN(Dataset minibatch, data_.Subset(batch));
+    DIGFL_ASSIGN_OR_RETURN(Vec grad, model.Gradient(local, minibatch));
+    vec::Axpy(-learning_rate, grad, local);
+  }
+  return vec::Sub(global_params, local);
+}
+
+Result<Vec> HflParticipant::ComputeLocalHvp(const Model& model,
+                                            const Vec& params,
+                                            const Vec& v) const {
+  return model.Hvp(params, data_, v);
+}
+
+Result<double> HflParticipant::LocalLoss(const Model& model,
+                                         const Vec& params) const {
+  return model.Loss(params, data_);
+}
+
+Result<Vec> HflParticipant::LocalGradient(const Model& model,
+                                          const Vec& params) const {
+  return model.Gradient(params, data_);
+}
+
+}  // namespace digfl

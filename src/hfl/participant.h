@@ -1,0 +1,65 @@
+// HflParticipant: one data-holding party in a horizontal FL system.
+//
+// A participant never exposes its local dataset to the server; the trainer
+// only ever pulls local *updates* (δ_{t,i} = θ_{t-1} − θ_{t,i}) and — for
+// DIG-FL Algorithm #1 — local Hessian-vector products, mirroring the
+// paper's privacy levels (Sec. II-A).
+
+#ifndef DIGFL_HFL_PARTICIPANT_H_
+#define DIGFL_HFL_PARTICIPANT_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace digfl {
+
+class HflParticipant {
+ public:
+  HflParticipant(size_t id, Dataset local_data)
+      : id_(id), data_(std::move(local_data)) {}
+
+  size_t id() const { return id_; }
+  size_t num_samples() const { return data_.size(); }
+
+  // Runs `local_steps` full-batch gradient steps from `global_params` on the
+  // local data and returns the local update δ = θ_global − θ_local.
+  // With local_steps == 1 this is FedSGD: δ = α · ∇loss_i(θ_global).
+  Result<Vec> ComputeLocalUpdate(const Model& model, const Vec& global_params,
+                                 double learning_rate,
+                                 size_t local_steps = 1) const;
+
+  // Stochastic variant: every local step computes its gradient on a fresh
+  // uniformly drawn minibatch of ceil(batch_fraction · |D_i|) local samples
+  // (batch_fraction == 1 reduces to ComputeLocalUpdate). Deterministic for
+  // a given `rng` state.
+  Result<Vec> ComputeStochasticLocalUpdate(const Model& model,
+                                           const Vec& global_params,
+                                           double learning_rate,
+                                           size_t local_steps,
+                                           double batch_fraction,
+                                           Rng& rng) const;
+
+  // Local-loss Hessian-vector product H_i(params) · v — the quantity each
+  // participant uploads in Algorithm #1; the server averages them as an
+  // unbiased estimate of the global HVP.
+  Result<Vec> ComputeLocalHvp(const Model& model, const Vec& params,
+                              const Vec& v) const;
+
+  // Local loss/gradient at given parameters (used in tests and by the
+  // retraining oracle through dataset unions, never by the server).
+  Result<double> LocalLoss(const Model& model, const Vec& params) const;
+  Result<Vec> LocalGradient(const Model& model, const Vec& params) const;
+
+  const Dataset& data() const { return data_; }
+
+ private:
+  size_t id_;
+  Dataset data_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_HFL_PARTICIPANT_H_

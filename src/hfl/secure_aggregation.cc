@@ -1,0 +1,55 @@
+#include "hfl/secure_aggregation.h"
+
+namespace digfl {
+
+Result<SecureAggregationSession> SecureAggregationSession::Setup(
+    size_t num_participants, size_t dim, uint64_t session_seed) {
+  if (num_participants < 2) {
+    return Status::InvalidArgument("secure aggregation needs >= 2 parties");
+  }
+  if (dim == 0) return Status::InvalidArgument("zero-dimensional updates");
+  return SecureAggregationSession(num_participants, dim, session_seed);
+}
+
+Vec SecureAggregationSession::PairMask(size_t i, size_t j) const {
+  // One independent stream per ordered pair (i < j).
+  Rng rng = Rng(session_seed_).Fork(i * num_participants_ + j);
+  Vec mask(dim_);
+  for (double& v : mask) v = rng.Gaussian(0.0, 1.0);
+  return mask;
+}
+
+Result<Vec> SecureAggregationSession::MaskUpdate(size_t participant,
+                                                 const Vec& update) const {
+  if (participant >= num_participants_) {
+    return Status::OutOfRange("participant index out of range");
+  }
+  if (update.size() != dim_) {
+    return Status::InvalidArgument("update dimension mismatch");
+  }
+  Vec masked = update;
+  for (size_t j = participant + 1; j < num_participants_; ++j) {
+    vec::Axpy(1.0, PairMask(participant, j), masked);
+  }
+  for (size_t j = 0; j < participant; ++j) {
+    vec::Axpy(-1.0, PairMask(j, participant), masked);
+  }
+  return masked;
+}
+
+Result<Vec> SecureAggregationSession::AggregateMasked(
+    const std::vector<Vec>& masked_updates) const {
+  if (masked_updates.size() != num_participants_) {
+    return Status::InvalidArgument("expected one upload per participant");
+  }
+  Vec sum = vec::Zeros(dim_);
+  for (const Vec& upload : masked_updates) {
+    if (upload.size() != dim_) {
+      return Status::InvalidArgument("upload dimension mismatch");
+    }
+    vec::Axpy(1.0, upload, sum);
+  }
+  return sum;
+}
+
+}  // namespace digfl

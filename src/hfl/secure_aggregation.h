@@ -1,0 +1,65 @@
+// Pairwise-mask secure aggregation (Bonawitz et al. [33], simplified to the
+// honest-but-curious, no-dropout setting).
+//
+// The paper lists secure aggregation as a technique HFL systems layer on
+// top of the update exchange. Each ordered pair (i, j), i < j, shares a
+// PRG seed; participant i adds the pairwise mask, participant j subtracts
+// it, so the server's *sum* of masked updates equals the sum of true
+// updates while every individual upload is computationally masked.
+//
+// Relevant DIG-FL consequence (documented, tested): under secure
+// aggregation the server no longer sees δ_{t,i}, so Algorithm #2's
+// per-participant attribution is impossible by design — contribution
+// evaluation must run before masking (participant-side) or via Algorithm
+// #1's interactive uploads. SecureAggregationSession exists to make that
+// trade-off concrete in code and tests.
+
+#ifndef DIGFL_HFL_SECURE_AGGREGATION_H_
+#define DIGFL_HFL_SECURE_AGGREGATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+
+class SecureAggregationSession {
+ public:
+  // Establishes pairwise seeds for `num_participants` parties exchanging
+  // `dim`-dimensional updates. `session_seed` stands in for the
+  // key-agreement transcript.
+  static Result<SecureAggregationSession> Setup(size_t num_participants,
+                                                size_t dim,
+                                                uint64_t session_seed);
+
+  // The masked upload of `participant`: update + Σ_{j>i} m_ij − Σ_{j<i} m_ji.
+  Result<Vec> MaskUpdate(size_t participant, const Vec& update) const;
+
+  // Server-side aggregation of all masked uploads; pairwise masks cancel,
+  // returning Σ_i update_i (up to floating-point reassociation).
+  Result<Vec> AggregateMasked(const std::vector<Vec>& masked_updates) const;
+
+  size_t num_participants() const { return num_participants_; }
+  size_t dim() const { return dim_; }
+
+ private:
+  SecureAggregationSession(size_t num_participants, size_t dim,
+                           uint64_t session_seed)
+      : num_participants_(num_participants),
+        dim_(dim),
+        session_seed_(session_seed) {}
+
+  // Deterministic pairwise mask m_ij (i < j).
+  Vec PairMask(size_t i, size_t j) const;
+
+  size_t num_participants_;
+  size_t dim_;
+  uint64_t session_seed_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_HFL_SECURE_AGGREGATION_H_

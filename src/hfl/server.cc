@@ -1,0 +1,46 @@
+#include "hfl/server.h"
+
+namespace digfl {
+
+Result<Vec> HflServer::AggregateUniform(const std::vector<Vec>& deltas) {
+  if (deltas.empty()) return Status::InvalidArgument("no updates to aggregate");
+  Vec sum = vec::Zeros(deltas[0].size());
+  for (const Vec& delta : deltas) {
+    if (delta.size() != sum.size()) {
+      return Status::InvalidArgument("update dimension mismatch");
+    }
+    vec::Axpy(1.0, delta, sum);
+  }
+  vec::Scale(1.0 / static_cast<double>(deltas.size()), sum);
+  return sum;
+}
+
+Result<Vec> HflServer::AggregateWeighted(const std::vector<Vec>& deltas,
+                                         const std::vector<double>& weights) {
+  if (deltas.empty()) return Status::InvalidArgument("no updates to aggregate");
+  if (weights.size() != deltas.size()) {
+    return Status::InvalidArgument("weights/updates count mismatch");
+  }
+  Vec sum = vec::Zeros(deltas[0].size());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    if (deltas[i].size() != sum.size()) {
+      return Status::InvalidArgument("update dimension mismatch");
+    }
+    vec::Axpy(weights[i], deltas[i], sum);
+  }
+  return sum;
+}
+
+Result<Vec> HflServer::ValidationGradient(const Vec& params) const {
+  return model_->Gradient(params, validation_);
+}
+
+Result<double> HflServer::ValidationLoss(const Vec& params) const {
+  return model_->Loss(params, validation_);
+}
+
+Result<double> HflServer::ValidationAccuracy(const Vec& params) const {
+  return model_->Accuracy(params, validation_);
+}
+
+}  // namespace digfl

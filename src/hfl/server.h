@@ -1,0 +1,46 @@
+// HflServer: aggregation and validation-side computations.
+//
+// The server owns the (small, high-quality) validation dataset D^v and the
+// global model state. It aggregates participant updates — uniformly
+// (FedSGD) or with per-epoch weights (the DIG-FL reweight mechanism) — and
+// evaluates validation loss/gradients, which is all DIG-FL needs from it.
+
+#ifndef DIGFL_HFL_SERVER_H_
+#define DIGFL_HFL_SERVER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace digfl {
+
+class HflServer {
+ public:
+  HflServer(const Model& model, Dataset validation_data)
+      : model_(model.Clone()), validation_(std::move(validation_data)) {}
+
+  // Uniform FedSGD aggregation: G_t = (1/n) Σ δ_{t,i}.
+  static Result<Vec> AggregateUniform(const std::vector<Vec>& deltas);
+
+  // Weighted aggregation (Eq. 21): G̃_t = Σ ω_{t,i} δ_{t,i}.
+  static Result<Vec> AggregateWeighted(const std::vector<Vec>& deltas,
+                                       const std::vector<double>& weights);
+
+  // ∇loss^v(params) — the validation gradient in Lemma 3 / Eq. 19.
+  Result<Vec> ValidationGradient(const Vec& params) const;
+  Result<double> ValidationLoss(const Vec& params) const;
+  Result<double> ValidationAccuracy(const Vec& params) const;
+
+  const Dataset& validation_data() const { return validation_; }
+  const Model& model() const { return *model_; }
+
+ private:
+  std::unique_ptr<Model> model_;
+  Dataset validation_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_HFL_SERVER_H_

@@ -1,0 +1,105 @@
+#include "metrics/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace digfl {
+namespace {
+
+Status CheckPair(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("vector size mismatch");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("need at least 2 points");
+  }
+  return Status::OK();
+}
+
+// Average ranks with mid-rank tie handling.
+std::vector<double> Ranks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return values[i] < values[j]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double mid = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = mid;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  DIGFL_RETURN_IF_ERROR(CheckPair(a, b));
+  const double n = static_cast<double>(a.size());
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) {
+    return Status::FailedPrecondition("zero variance");
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  DIGFL_RETURN_IF_ERROR(CheckPair(a, b));
+  return PearsonCorrelation(Ranks(a), Ranks(b));
+}
+
+Result<double> RelativeTotalError(const std::vector<double>& reference,
+                                  const std::vector<double>& estimate) {
+  DIGFL_RETURN_IF_ERROR(CheckPair(reference, estimate));
+  double sum_ref = 0.0, sum_est = 0.0;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    sum_ref += reference[i];
+    sum_est += estimate[i];
+  }
+  if (sum_ref == 0.0) {
+    return Status::FailedPrecondition("zero reference total");
+  }
+  return std::abs(sum_ref - sum_est) / std::abs(sum_ref);
+}
+
+Result<double> PairwiseOrderAgreement(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  DIGFL_RETURN_IF_ERROR(CheckPair(a, b));
+  size_t concordant = 0, comparable = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      if (da == 0.0 || db == 0.0) continue;
+      ++comparable;
+      if ((da > 0) == (db > 0)) ++concordant;
+    }
+  }
+  if (comparable == 0) {
+    return Status::FailedPrecondition("no comparable pairs");
+  }
+  return static_cast<double>(concordant) / static_cast<double>(comparable);
+}
+
+}  // namespace digfl

@@ -1,0 +1,32 @@
+// Agreement metrics between estimated and actual Shapley values: Pearson's
+// correlation coefficient (the paper's headline accuracy metric), Spearman
+// rank correlation, and element-wise relative error.
+
+#ifndef DIGFL_METRICS_CORRELATION_H_
+#define DIGFL_METRICS_CORRELATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace digfl {
+
+// Pearson's r; fails on size mismatch, <2 points, or zero variance.
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+// Spearman's ρ (Pearson on average ranks; ties get mid-ranks).
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+// |Σa − Σb| / |Σa| — the paper's Table II error metric on totals.
+Result<double> RelativeTotalError(const std::vector<double>& reference,
+                                  const std::vector<double>& estimate);
+
+// Fraction of concordantly ordered pairs (Kendall-style agreement in [0,1]).
+Result<double> PairwiseOrderAgreement(const std::vector<double>& a,
+                                      const std::vector<double>& b);
+
+}  // namespace digfl
+
+#endif  // DIGFL_METRICS_CORRELATION_H_

@@ -1,0 +1,32 @@
+#include "metrics/cost_report.h"
+
+#include "metrics/correlation.h"
+
+namespace digfl {
+
+Result<MethodCost> ScoreMethod(const std::string& method,
+                               const ContributionReport& report,
+                               const std::vector<double>& actual_shapley) {
+  MethodCost cost;
+  cost.method = method;
+  DIGFL_ASSIGN_OR_RETURN(cost.pcc,
+                         PearsonCorrelation(report.total, actual_shapley));
+  cost.seconds = report.wall_seconds;
+  cost.comm_megabytes = report.extra_comm.TotalMegabytes();
+  cost.retrainings = report.retrainings;
+  return cost;
+}
+
+Result<TableWriter> MethodCostTable(const std::vector<MethodCost>& rows) {
+  TableWriter table({"method", "PCC", "time(s)", "comm(MB)", "retrainings"});
+  for (const MethodCost& row : rows) {
+    DIGFL_RETURN_IF_ERROR(table.AddRow(
+        {row.method, TableWriter::FormatDouble(row.pcc, 3),
+         TableWriter::FormatScientific(row.seconds, 3),
+         TableWriter::FormatDouble(row.comm_megabytes, 3),
+         std::to_string(row.retrainings)}));
+  }
+  return table;
+}
+
+}  // namespace digfl

@@ -1,0 +1,35 @@
+// MethodCost: one row of the paper's accuracy/cost comparisons (Figs. 3-5,
+// Tables III-V): method name, PCC against the actual Shapley value,
+// computation time, simulated communication, retraining count.
+
+#ifndef DIGFL_METRICS_COST_REPORT_H_
+#define DIGFL_METRICS_COST_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/table_writer.h"
+#include "core/contribution.h"
+
+namespace digfl {
+
+struct MethodCost {
+  std::string method;
+  double pcc = 0.0;
+  double seconds = 0.0;
+  double comm_megabytes = 0.0;
+  size_t retrainings = 0;
+};
+
+// Builds a MethodCost row by scoring `report` against the actual values.
+Result<MethodCost> ScoreMethod(const std::string& method,
+                               const ContributionReport& report,
+                               const std::vector<double>& actual_shapley);
+
+// Renders rows into a TableWriter with the standard columns.
+Result<TableWriter> MethodCostTable(const std::vector<MethodCost>& rows);
+
+}  // namespace digfl
+
+#endif  // DIGFL_METRICS_COST_REPORT_H_

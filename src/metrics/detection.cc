@@ -1,0 +1,77 @@
+#include "metrics/detection.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace digfl {
+namespace {
+
+Status CheckInputs(const std::vector<double>& contributions,
+                   const std::vector<bool>& corrupted) {
+  if (contributions.size() != corrupted.size()) {
+    return Status::InvalidArgument("contributions/mask size mismatch");
+  }
+  if (contributions.empty()) {
+    return Status::InvalidArgument("no participants");
+  }
+  return Status::OK();
+}
+
+size_t CountCorrupted(const std::vector<bool>& corrupted) {
+  size_t count = 0;
+  for (bool c : corrupted) count += c;
+  return count;
+}
+
+}  // namespace
+
+Result<double> DetectionPrecisionAtK(const std::vector<double>& contributions,
+                                     const std::vector<bool>& corrupted,
+                                     size_t k) {
+  DIGFL_RETURN_IF_ERROR(CheckInputs(contributions, corrupted));
+  const size_t num_corrupted = CountCorrupted(corrupted);
+  if (k == 0) k = num_corrupted;
+  if (k == 0) {
+    return Status::FailedPrecondition("no corrupted participants to detect");
+  }
+  if (k > contributions.size()) {
+    return Status::InvalidArgument("k exceeds participant count");
+  }
+  std::vector<size_t> order(contributions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return contributions[a] < contributions[b];
+  });
+  size_t hits = 0;
+  for (size_t rank = 0; rank < k; ++rank) {
+    if (corrupted[order[rank]]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+Result<double> DetectionAuc(const std::vector<double>& contributions,
+                            const std::vector<bool>& corrupted) {
+  DIGFL_RETURN_IF_ERROR(CheckInputs(contributions, corrupted));
+  const size_t num_corrupted = CountCorrupted(corrupted);
+  if (num_corrupted == 0 || num_corrupted == corrupted.size()) {
+    return Status::FailedPrecondition(
+        "AUC needs both corrupted and clean participants");
+  }
+  double score = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < contributions.size(); ++i) {
+    if (!corrupted[i]) continue;
+    for (size_t j = 0; j < contributions.size(); ++j) {
+      if (corrupted[j]) continue;
+      ++pairs;
+      if (contributions[i] < contributions[j]) {
+        score += 1.0;
+      } else if (contributions[i] == contributions[j]) {
+        score += 0.5;
+      }
+    }
+  }
+  return score / static_cast<double>(pairs);
+}
+
+}  // namespace digfl

@@ -1,0 +1,30 @@
+// Detection metrics: how well a contribution vector *identifies* the
+// low-quality participants (the paper's motivation #2 — localizing
+// low-quality participants). Ground truth is a boolean corruption mask;
+// lower contribution should mean "more likely corrupted".
+
+#ifndef DIGFL_METRICS_DETECTION_H_
+#define DIGFL_METRICS_DETECTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace digfl {
+
+// Precision@k: of the k participants with the lowest contributions, the
+// fraction that are actually corrupted. k defaults to the number of
+// corrupted participants (so 1.0 = perfect localization).
+Result<double> DetectionPrecisionAtK(const std::vector<double>& contributions,
+                                     const std::vector<bool>& corrupted,
+                                     size_t k = 0);
+
+// AUC of ranking corrupted participants below clean ones: the probability
+// that a random (corrupted, clean) pair is ordered corrupted-first by
+// ascending contribution. Ties count half.
+Result<double> DetectionAuc(const std::vector<double>& contributions,
+                            const std::vector<bool>& corrupted);
+
+}  // namespace digfl
+
+#endif  // DIGFL_METRICS_DETECTION_H_

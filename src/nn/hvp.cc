@@ -1,0 +1,33 @@
+#include "nn/hvp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace digfl {
+
+Result<Vec> FiniteDifferenceHvp(const GradientFn& gradient, const Vec& params,
+                                const Vec& v, double base_epsilon) {
+  if (params.size() != v.size()) {
+    return Status::InvalidArgument("params/v dimension mismatch");
+  }
+  const double v_norm = vec::Norm2(v);
+  if (v_norm == 0.0) return vec::Zeros(params.size());
+
+  // Step relative to parameter scale so the probe neither underflows the
+  // gradient difference nor leaves the local quadratic regime.
+  const double scale = std::max(1.0, vec::Norm2(params));
+  const double eps = base_epsilon * scale / v_norm;
+
+  Vec plus = params;
+  vec::Axpy(eps, v, plus);
+  Vec minus = params;
+  vec::Axpy(-eps, v, minus);
+
+  DIGFL_ASSIGN_OR_RETURN(Vec grad_plus, gradient(plus));
+  DIGFL_ASSIGN_OR_RETURN(Vec grad_minus, gradient(minus));
+  Vec hv = vec::Sub(grad_plus, grad_minus);
+  vec::Scale(1.0 / (2.0 * eps), hv);
+  return hv;
+}
+
+}  // namespace digfl

@@ -1,0 +1,28 @@
+// Finite-difference Hessian-vector products.
+//
+// Central difference of the gradient:
+//   H v  ≈  (∇L(θ + εv) − ∇L(θ − εv)) / (2ε)
+// with ε scaled to the magnitudes of θ and v. Exact-HVP models (linear,
+// logistic, softmax, MLP via the Pearlmutter R-op) don't need this, but it
+// is the verification baseline in tests and the default for user-supplied
+// models.
+
+#ifndef DIGFL_NN_HVP_H_
+#define DIGFL_NN_HVP_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+
+using GradientFn = std::function<Result<Vec>(const Vec& params)>;
+
+// Central-difference HVP around `params` in direction `v`.
+Result<Vec> FiniteDifferenceHvp(const GradientFn& gradient, const Vec& params,
+                                const Vec& v, double base_epsilon = 1e-5);
+
+}  // namespace digfl
+
+#endif  // DIGFL_NN_HVP_H_

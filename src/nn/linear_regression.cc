@@ -1,0 +1,48 @@
+#include "nn/linear_regression.h"
+
+namespace digfl {
+
+Result<double> LinearRegression::Loss(const Vec& params,
+                                      const Dataset& data) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  const Vec predictions = data.x.MatVec(params);
+  double sum = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double r = predictions[i] - data.y[i];
+    sum += r * r;
+  }
+  return sum / static_cast<double>(data.size());
+}
+
+Result<Vec> LinearRegression::Gradient(const Vec& params,
+                                       const Dataset& data) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  Vec residual = data.x.MatVec(params);
+  for (size_t i = 0; i < data.size(); ++i) residual[i] -= data.y[i];
+  Vec grad = data.x.TransposedMatVec(residual);
+  vec::Scale(2.0 / static_cast<double>(data.size()), grad);
+  return grad;
+}
+
+Result<Vec> LinearRegression::Hvp(const Vec& params, const Dataset& data,
+                                  const Vec& v) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  if (v.size() != NumParams()) {
+    return Status::InvalidArgument("HVP direction dimension mismatch");
+  }
+  // H v = (2/m) X^T (X v): parameter-independent, exact.
+  const Vec xv = data.x.MatVec(v);
+  Vec hv = data.x.TransposedMatVec(xv);
+  vec::Scale(2.0 / static_cast<double>(data.size()), hv);
+  return hv;
+}
+
+Result<Vec> LinearRegression::Predict(const Vec& params,
+                                      const Matrix& x) const {
+  if (params.size() != NumParams() || x.cols() != num_features_) {
+    return Status::InvalidArgument("Predict shape mismatch");
+  }
+  return x.MatVec(params);
+}
+
+}  // namespace digfl

@@ -1,0 +1,43 @@
+// Linear regression with squared loss; the model behind VFL-LinReg.
+//
+// Prediction: f(x) = <w, x>  (no intercept — Lemma 2's removal semantics
+// require f(0, x) = 0, so the VFL protocol trains intercept-free models;
+// generators center targets instead).
+//
+// Mean loss: L(w) = (1/m) Σ (<w, x_i> − y_i)^2.
+// Gradient:  (2/m) X^T (Xw − y).   Hessian: (2/m) X^T X  (exact HVP).
+
+#ifndef DIGFL_NN_LINEAR_REGRESSION_H_
+#define DIGFL_NN_LINEAR_REGRESSION_H_
+
+#include "nn/model.h"
+
+namespace digfl {
+
+class LinearRegression : public Model {
+ public:
+  explicit LinearRegression(size_t num_features)
+      : num_features_(num_features) {}
+
+  std::string Name() const override { return "LinearRegression"; }
+  size_t NumParams() const override { return num_features_; }
+
+  Result<double> Loss(const Vec& params, const Dataset& data) const override;
+  Result<Vec> Gradient(const Vec& params, const Dataset& data) const override;
+  Result<Vec> Hvp(const Vec& params, const Dataset& data,
+                  const Vec& v) const override;
+  Result<Vec> Predict(const Vec& params, const Matrix& x) const override;
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<LinearRegression>(*this);
+  }
+
+ protected:
+  size_t NumFeatures() const override { return num_features_; }
+
+ private:
+  size_t num_features_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_NN_LINEAR_REGRESSION_H_

@@ -1,0 +1,82 @@
+#include "nn/logistic_regression.h"
+
+#include <cmath>
+
+namespace digfl {
+
+double LogisticRegression::Sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+Status LogisticRegression::CheckBinaryLabels(const Dataset& data) const {
+  if (data.num_classes != 2) {
+    return Status::InvalidArgument("LogisticRegression needs num_classes == 2");
+  }
+  return Status::OK();
+}
+
+Result<double> LogisticRegression::Loss(const Vec& params,
+                                        const Dataset& data) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  DIGFL_RETURN_IF_ERROR(CheckBinaryLabels(data));
+  const Vec logits = data.x.MatVec(params);
+  double sum = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    // Numerically stable -[y log p + (1-y) log(1-p)]:
+    //   log(1 + exp(z)) - y z   computed via softplus.
+    const double z = logits[i];
+    const double softplus = z > 0 ? z + std::log1p(std::exp(-z))
+                                  : std::log1p(std::exp(z));
+    sum += softplus - data.y[i] * z;
+  }
+  return sum / static_cast<double>(data.size());
+}
+
+Result<Vec> LogisticRegression::Gradient(const Vec& params,
+                                         const Dataset& data) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  DIGFL_RETURN_IF_ERROR(CheckBinaryLabels(data));
+  Vec residual = data.x.MatVec(params);
+  for (size_t i = 0; i < data.size(); ++i) {
+    residual[i] = Sigmoid(residual[i]) - data.y[i];
+  }
+  Vec grad = data.x.TransposedMatVec(residual);
+  vec::Scale(1.0 / static_cast<double>(data.size()), grad);
+  return grad;
+}
+
+Result<Vec> LogisticRegression::Hvp(const Vec& params, const Dataset& data,
+                                    const Vec& v) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  DIGFL_RETURN_IF_ERROR(CheckBinaryLabels(data));
+  if (v.size() != NumParams()) {
+    return Status::InvalidArgument("HVP direction dimension mismatch");
+  }
+  // H v = (1/m) X^T [ p(1-p) ⊙ (X v) ].
+  const Vec logits = data.x.MatVec(params);
+  Vec weighted = data.x.MatVec(v);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double p = Sigmoid(logits[i]);
+    weighted[i] *= p * (1.0 - p);
+  }
+  Vec hv = data.x.TransposedMatVec(weighted);
+  vec::Scale(1.0 / static_cast<double>(data.size()), hv);
+  return hv;
+}
+
+Result<Vec> LogisticRegression::Predict(const Vec& params,
+                                        const Matrix& x) const {
+  if (params.size() != NumParams() || x.cols() != num_features_) {
+    return Status::InvalidArgument("Predict shape mismatch");
+  }
+  Vec out = x.MatVec(params);
+  for (double& z : out) z = Sigmoid(z) >= 0.5 ? 1.0 : 0.0;
+  return out;
+}
+
+}  // namespace digfl

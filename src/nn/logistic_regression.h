@@ -1,0 +1,47 @@
+// Binary logistic regression; the model behind VFL-LogReg.
+//
+// Prediction: P(y=1|x) = σ(<w, x>), intercept-free (see linear_regression.h
+// for why the VFL substrate needs f(0, x) = 0).
+//
+// Mean loss: cross-entropy. Gradient: (1/m) X^T (p − y).
+// Hessian:   (1/m) X^T diag(p(1−p)) X  (exact HVP).
+
+#ifndef DIGFL_NN_LOGISTIC_REGRESSION_H_
+#define DIGFL_NN_LOGISTIC_REGRESSION_H_
+
+#include "nn/model.h"
+
+namespace digfl {
+
+class LogisticRegression : public Model {
+ public:
+  explicit LogisticRegression(size_t num_features)
+      : num_features_(num_features) {}
+
+  std::string Name() const override { return "LogisticRegression"; }
+  size_t NumParams() const override { return num_features_; }
+
+  Result<double> Loss(const Vec& params, const Dataset& data) const override;
+  Result<Vec> Gradient(const Vec& params, const Dataset& data) const override;
+  Result<Vec> Hvp(const Vec& params, const Dataset& data,
+                  const Vec& v) const override;
+  Result<Vec> Predict(const Vec& params, const Matrix& x) const override;
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<LogisticRegression>(*this);
+  }
+
+  // σ(z) with care at extreme logits.
+  static double Sigmoid(double z);
+
+ protected:
+  size_t NumFeatures() const override { return num_features_; }
+
+ private:
+  Status CheckBinaryLabels(const Dataset& data) const;
+
+  size_t num_features_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_NN_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,268 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace digfl {
+namespace {
+
+// In-place numerically stable softmax.
+void SoftmaxInPlace(Vec& z) {
+  const double zmax = *std::max_element(z.begin(), z.end());
+  double denom = 0.0;
+  for (double& v : z) {
+    v = std::exp(v - zmax);
+    denom += v;
+  }
+  for (double& v : z) v /= denom;
+}
+
+}  // namespace
+
+Mlp::Mlp(std::vector<size_t> layer_sizes)
+    : layer_sizes_(std::move(layer_sizes)) {
+  DIGFL_CHECK(layer_sizes_.size() >= 2) << "MLP needs input and output layers";
+  DIGFL_CHECK(layer_sizes_.back() >= 2) << "MLP output layer needs >= 2 units";
+  weight_offsets_.resize(NumLayers());
+  bias_offsets_.resize(NumLayers());
+  size_t offset = 0;
+  for (size_t l = 0; l < NumLayers(); ++l) {
+    weight_offsets_[l] = offset;
+    offset += layer_sizes_[l + 1] * layer_sizes_[l];
+    bias_offsets_[l] = offset;
+    offset += layer_sizes_[l + 1];
+  }
+  num_params_ = offset;
+}
+
+Status Mlp::CheckLabels(const Dataset& data) const {
+  if (data.num_classes != num_classes()) {
+    return Status::InvalidArgument(
+        "dataset num_classes " + std::to_string(data.num_classes) +
+        " != MLP output width " + std::to_string(num_classes()));
+  }
+  return Status::OK();
+}
+
+Mlp::ForwardState Mlp::Forward(const Vec& params,
+                               std::span<const double> x) const {
+  ForwardState state;
+  state.activations.resize(NumLayers() + 1);
+  state.activations[0].assign(x.begin(), x.end());
+  for (size_t l = 0; l < NumLayers(); ++l) {
+    const size_t fan_in = layer_sizes_[l];
+    const size_t fan_out = layer_sizes_[l + 1];
+    const double* w = params.data() + WeightOffset(l);
+    const double* b = params.data() + BiasOffset(l);
+    const Vec& in = state.activations[l];
+    Vec z(fan_out);
+    for (size_t o = 0; o < fan_out; ++o) {
+      const double* wrow = w + o * fan_in;
+      double sum = b[o];
+      for (size_t j = 0; j < fan_in; ++j) sum += wrow[j] * in[j];
+      z[o] = sum;
+    }
+    if (l + 1 < NumLayers() + 1 && l != NumLayers() - 1) {
+      for (double& v : z) v = std::tanh(v);
+    } else {
+      SoftmaxInPlace(z);
+    }
+    state.activations[l + 1] = std::move(z);
+  }
+  return state;
+}
+
+Result<double> Mlp::Loss(const Vec& params, const Dataset& data) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  DIGFL_RETURN_IF_ERROR(CheckLabels(data));
+  double sum = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const ForwardState state = Forward(params, data.x.Row(i));
+    const Vec& probs = state.activations.back();
+    sum -= std::log(std::max(probs[data.Label(i)], 1e-300));
+  }
+  return sum / static_cast<double>(data.size());
+}
+
+Result<Vec> Mlp::Gradient(const Vec& params, const Dataset& data) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  DIGFL_RETURN_IF_ERROR(CheckLabels(data));
+  Vec grad(num_params_, 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const ForwardState state = Forward(params, data.x.Row(i));
+    // delta at the output: p - onehot(y).
+    Vec delta = state.activations.back();
+    delta[data.Label(i)] -= 1.0;
+    for (size_t l = NumLayers(); l-- > 0;) {
+      const size_t fan_in = layer_sizes_[l];
+      const size_t fan_out = layer_sizes_[l + 1];
+      const Vec& in = state.activations[l];
+      double* gw = grad.data() + WeightOffset(l);
+      double* gb = grad.data() + BiasOffset(l);
+      for (size_t o = 0; o < fan_out; ++o) {
+        const double d = delta[o];
+        if (d != 0.0) {
+          double* grow = gw + o * fan_in;
+          for (size_t j = 0; j < fan_in; ++j) grow[j] += d * in[j];
+        }
+        gb[o] += d;
+      }
+      if (l == 0) break;
+      // delta_{l-1} = (W_l^T delta_l) ⊙ tanh'(a_l) with tanh' = 1 - a^2.
+      const double* w = params.data() + WeightOffset(l);
+      Vec next(fan_in, 0.0);
+      for (size_t o = 0; o < fan_out; ++o) {
+        const double d = delta[o];
+        if (d == 0.0) continue;
+        const double* wrow = w + o * fan_in;
+        for (size_t j = 0; j < fan_in; ++j) next[j] += wrow[j] * d;
+      }
+      const Vec& a = state.activations[l];
+      for (size_t j = 0; j < fan_in; ++j) next[j] *= 1.0 - a[j] * a[j];
+      delta = std::move(next);
+    }
+  }
+  vec::Scale(1.0 / static_cast<double>(data.size()), grad);
+  return grad;
+}
+
+Result<Vec> Mlp::Hvp(const Vec& params, const Dataset& data,
+                     const Vec& v) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  DIGFL_RETURN_IF_ERROR(CheckLabels(data));
+  if (v.size() != num_params_) {
+    return Status::InvalidArgument("HVP direction dimension mismatch");
+  }
+  Vec hv(num_params_, 0.0);
+  const size_t L = NumLayers();
+  for (size_t i = 0; i < data.size(); ++i) {
+    // --- R-forward: activations a_l and tangents Ra_l. ---
+    const ForwardState state = Forward(params, data.x.Row(i));
+    std::vector<Vec> r_act(L + 1);
+    std::vector<Vec> rz(L);  // tangent of pre-activations per layer
+    r_act[0] = Vec(layer_sizes_[0], 0.0);
+    for (size_t l = 0; l < L; ++l) {
+      const size_t fan_in = layer_sizes_[l];
+      const size_t fan_out = layer_sizes_[l + 1];
+      const double* w = params.data() + WeightOffset(l);
+      const double* vw = v.data() + WeightOffset(l);
+      const double* vb = v.data() + BiasOffset(l);
+      const Vec& in = state.activations[l];
+      const Vec& rin = r_act[l];
+      Vec r(fan_out, 0.0);
+      for (size_t o = 0; o < fan_out; ++o) {
+        const double* wrow = w + o * fan_in;
+        const double* vrow = vw + o * fan_in;
+        double sum = vb[o];
+        for (size_t j = 0; j < fan_in; ++j) {
+          sum += vrow[j] * in[j] + wrow[j] * rin[j];
+        }
+        r[o] = sum;
+      }
+      rz[l] = r;
+      if (l != L - 1) {
+        // Ra = tanh'(z) ⊙ Rz = (1 - a^2) ⊙ Rz.
+        const Vec& a = state.activations[l + 1];
+        Vec ra(fan_out);
+        for (size_t o = 0; o < fan_out; ++o) {
+          ra[o] = (1.0 - a[o] * a[o]) * r[o];
+        }
+        r_act[l + 1] = std::move(ra);
+      } else {
+        // Softmax tangent: Rp = p ⊙ (Rz - <p, Rz>).
+        const Vec& p = state.activations[L];
+        double p_dot_r = 0.0;
+        for (size_t o = 0; o < fan_out; ++o) p_dot_r += p[o] * r[o];
+        Vec rp(fan_out);
+        for (size_t o = 0; o < fan_out; ++o) {
+          rp[o] = p[o] * (r[o] - p_dot_r);
+        }
+        r_act[L] = std::move(rp);
+      }
+    }
+
+    // --- R-backward: deltas and their tangents. ---
+    Vec delta = state.activations[L];
+    delta[data.Label(i)] -= 1.0;
+    Vec r_delta = r_act[L];  // R(p - onehot) = Rp
+    for (size_t l = L; l-- > 0;) {
+      const size_t fan_in = layer_sizes_[l];
+      const size_t fan_out = layer_sizes_[l + 1];
+      const Vec& in = state.activations[l];
+      const Vec& rin = r_act[l];
+      double* hw = hv.data() + WeightOffset(l);
+      double* hb = hv.data() + BiasOffset(l);
+      for (size_t o = 0; o < fan_out; ++o) {
+        const double d = delta[o];
+        const double rd = r_delta[o];
+        double* hrow = hw + o * fan_in;
+        for (size_t j = 0; j < fan_in; ++j) {
+          hrow[j] += rd * in[j] + d * rin[j];
+        }
+        hb[o] += rd;
+      }
+      if (l == 0) break;
+      const double* w = params.data() + WeightOffset(l);
+      const double* vw = v.data() + WeightOffset(l);
+      // s  = W^T delta,  Rs = V^T delta + W^T Rdelta.
+      Vec s(fan_in, 0.0), rs(fan_in, 0.0);
+      for (size_t o = 0; o < fan_out; ++o) {
+        const double d = delta[o];
+        const double rd = r_delta[o];
+        const double* wrow = w + o * fan_in;
+        const double* vrow = vw + o * fan_in;
+        for (size_t j = 0; j < fan_in; ++j) {
+          s[j] += wrow[j] * d;
+          rs[j] += vrow[j] * d + wrow[j] * rd;
+        }
+      }
+      // delta_{l-1} = s ⊙ (1 - a^2)
+      // Rdelta_{l-1} = Rs ⊙ (1 - a^2) - 2 s ⊙ a ⊙ Ra.
+      const Vec& a = state.activations[l];
+      const Vec& ra = r_act[l];
+      Vec next(fan_in), r_next(fan_in);
+      for (size_t j = 0; j < fan_in; ++j) {
+        const double tprime = 1.0 - a[j] * a[j];
+        next[j] = s[j] * tprime;
+        r_next[j] = rs[j] * tprime - 2.0 * s[j] * a[j] * ra[j];
+      }
+      delta = std::move(next);
+      r_delta = std::move(r_next);
+    }
+  }
+  vec::Scale(1.0 / static_cast<double>(data.size()), hv);
+  return hv;
+}
+
+Result<Vec> Mlp::Predict(const Vec& params, const Matrix& x) const {
+  if (params.size() != num_params_ || x.cols() != layer_sizes_.front()) {
+    return Status::InvalidArgument("Predict shape mismatch");
+  }
+  Vec out(x.rows(), 0.0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const ForwardState state = Forward(params, x.Row(i));
+    const Vec& probs = state.activations.back();
+    out[i] = static_cast<double>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+  }
+  return out;
+}
+
+Result<Vec> Mlp::InitParams(Rng& rng) const {
+  Vec params(num_params_, 0.0);
+  for (size_t l = 0; l < NumLayers(); ++l) {
+    const size_t fan_in = layer_sizes_[l];
+    const size_t fan_out = layer_sizes_[l + 1];
+    const double stddev = 1.0 / std::sqrt(static_cast<double>(fan_in));
+    double* w = params.data() + WeightOffset(l);
+    for (size_t k = 0; k < fan_out * fan_in; ++k) {
+      w[k] = rng.Gaussian(0.0, stddev);
+    }
+    // Biases stay zero.
+  }
+  return params;
+}
+
+}  // namespace digfl

@@ -1,0 +1,72 @@
+// Multi-layer perceptron classifier with tanh hidden units and a softmax
+// cross-entropy head. This is the stand-in for the paper's HFL-CNN-* models
+// (DESIGN.md §3): it exercises exactly the code paths DIG-FL needs from a
+// deep model — loss, backprop gradients, and exact Hessian-vector products
+// via the Pearlmutter (1994) R-operator.
+//
+// tanh is chosen over ReLU because the paper's lemmas assume a
+// twice-differentiable loss; tanh networks satisfy that everywhere.
+//
+// Parameter packing (flat Vec): for each layer l in order,
+// row-major W_l (fan_out x fan_in) followed by b_l (fan_out).
+
+#ifndef DIGFL_NN_MLP_H_
+#define DIGFL_NN_MLP_H_
+
+#include <vector>
+
+#include "nn/model.h"
+
+namespace digfl {
+
+class Mlp : public Model {
+ public:
+  // layer_sizes = {input_dim, hidden..., num_classes}; needs >= 2 entries
+  // and num_classes >= 2.
+  explicit Mlp(std::vector<size_t> layer_sizes);
+
+  std::string Name() const override { return "Mlp"; }
+  size_t NumParams() const override { return num_params_; }
+
+  Result<double> Loss(const Vec& params, const Dataset& data) const override;
+  Result<Vec> Gradient(const Vec& params, const Dataset& data) const override;
+  // Exact HVP (Pearlmutter R-op), same O(m p) cost as a gradient.
+  Result<Vec> Hvp(const Vec& params, const Dataset& data,
+                  const Vec& v) const override;
+  Result<Vec> Predict(const Vec& params, const Matrix& x) const override;
+  // Gaussian init scaled by 1/sqrt(fan_in); biases zero.
+  Result<Vec> InitParams(Rng& rng) const override;
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<Mlp>(*this);
+  }
+
+  const std::vector<size_t>& layer_sizes() const { return layer_sizes_; }
+  int num_classes() const { return static_cast<int>(layer_sizes_.back()); }
+
+ protected:
+  size_t NumFeatures() const override { return layer_sizes_.front(); }
+
+ private:
+  // Offset of W_l / b_l within the flat parameter vector.
+  size_t WeightOffset(size_t layer) const { return weight_offsets_[layer]; }
+  size_t BiasOffset(size_t layer) const { return bias_offsets_[layer]; }
+  size_t NumLayers() const { return layer_sizes_.size() - 1; }
+
+  // Forward pass for one sample: fills activations a[0..L] (a[0] = x,
+  // a[L] = class probabilities) and returns them.
+  struct ForwardState {
+    std::vector<Vec> activations;  // a[0..L]; a[L] = softmax probabilities
+  };
+  ForwardState Forward(const Vec& params, std::span<const double> x) const;
+
+  Status CheckLabels(const Dataset& data) const;
+
+  std::vector<size_t> layer_sizes_;
+  std::vector<size_t> weight_offsets_;
+  std::vector<size_t> bias_offsets_;
+  size_t num_params_ = 0;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_NN_MLP_H_

@@ -1,0 +1,64 @@
+#include "nn/model.h"
+
+#include <cmath>
+
+#include "nn/hvp.h"
+
+namespace digfl {
+
+Result<Vec> Model::Hvp(const Vec& params, const Dataset& data,
+                       const Vec& v) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  GradientFn grad = [this, &data](const Vec& p) -> Result<Vec> {
+    return Gradient(p, data);
+  };
+  return FiniteDifferenceHvp(grad, params, v);
+}
+
+Result<double> Model::Accuracy(const Vec& params, const Dataset& data) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  DIGFL_ASSIGN_OR_RETURN(Vec predictions, Predict(params, data.x));
+  if (data.task() == TaskType::kClassification) {
+    size_t correct = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (static_cast<int>(predictions[i]) == data.Label(i)) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+  }
+  // Regression: R^2 = 1 - SS_res / SS_tot.
+  double mean = 0.0;
+  for (double y : data.y) mean += y;
+  mean /= static_cast<double>(data.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ss_res += (data.y[i] - predictions[i]) * (data.y[i] - predictions[i]);
+    ss_tot += (data.y[i] - mean) * (data.y[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+Result<Vec> Model::InitParams(Rng& rng) const {
+  (void)rng;
+  return vec::Zeros(NumParams());
+}
+
+Status Model::CheckShapes(const Vec& params, const Dataset& data) const {
+  if (params.size() != NumParams()) {
+    return Status::InvalidArgument(
+        "parameter vector has " + std::to_string(params.size()) +
+        " entries, model " + Name() + " needs " + std::to_string(NumParams()));
+  }
+  if (data.num_features() != NumFeatures()) {
+    return Status::InvalidArgument(
+        "dataset has " + std::to_string(data.num_features()) +
+        " features, model " + Name() + " expects " +
+        std::to_string(NumFeatures()));
+  }
+  if (data.size() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  return Status::OK();
+}
+
+}  // namespace digfl

@@ -1,0 +1,75 @@
+// Model: the differentiable-model interface every FL substrate trains.
+//
+// Models are *stateless* with respect to parameters: `params` is always
+// passed in as a flat Vec and never stored. This functional style is what
+// makes the FL simulators, the leave-subset-out retraining oracle, and the
+// Shapley machinery composable — a model evaluation is a pure function of
+// (params, data).
+//
+// Every model exposes:
+//   * Loss      — mean loss over a dataset,
+//   * Gradient  — gradient of that mean loss,
+//   * Hvp       — Hessian-vector product H(params) * v (exact where the
+//                 model implements it; finite-difference fallback otherwise),
+//   * Predict / Accuracy for evaluation,
+//   * InitParams for seeding training.
+
+#ifndef DIGFL_NN_MODEL_H_
+#define DIGFL_NN_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Number of parameters (dimension of the flat parameter vector).
+  virtual size_t NumParams() const = 0;
+
+  // Mean loss over `data` at `params`.
+  virtual Result<double> Loss(const Vec& params, const Dataset& data) const = 0;
+
+  // Gradient of the mean loss.
+  virtual Result<Vec> Gradient(const Vec& params,
+                               const Dataset& data) const = 0;
+
+  // Hessian-vector product H(params; data) * v for the mean loss. The base
+  // implementation uses central finite differences of Gradient; models with
+  // tractable curvature override with an exact product.
+  virtual Result<Vec> Hvp(const Vec& params, const Dataset& data,
+                          const Vec& v) const;
+
+  // Model outputs for each row of x: predicted value (regression) or
+  // predicted class index (classification).
+  virtual Result<Vec> Predict(const Vec& params, const Matrix& x) const = 0;
+
+  // Classification: fraction of correct predictions. Regression: R^2 score.
+  virtual Result<double> Accuracy(const Vec& params, const Dataset& data) const;
+
+  // Fresh parameter vector. Linear models start at zero (required by the
+  // VFL removal semantics of Lemma 2); the MLP draws small random weights.
+  virtual Result<Vec> InitParams(Rng& rng) const;
+
+  virtual std::unique_ptr<Model> Clone() const = 0;
+
+ protected:
+  // Validates that params/data agree with this model's shape.
+  virtual Status CheckShapes(const Vec& params, const Dataset& data) const;
+
+  // Expected feature count; used by the default CheckShapes.
+  virtual size_t NumFeatures() const = 0;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_NN_MODEL_H_

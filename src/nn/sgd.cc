@@ -1,0 +1,27 @@
+#include "nn/sgd.h"
+
+namespace digfl {
+
+Result<TrainTrace> TrainCentralized(const Model& model, const Dataset& data,
+                                    const Vec& init_params,
+                                    const TrainConfig& config) {
+  if (config.epochs == 0) return Status::InvalidArgument("epochs == 0");
+  if (config.learning_rate <= 0) {
+    return Status::InvalidArgument("learning_rate must be > 0");
+  }
+  TrainTrace trace;
+  trace.final_params = init_params;
+  trace.train_loss.reserve(config.epochs);
+  double lr = config.learning_rate;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    DIGFL_ASSIGN_OR_RETURN(Vec grad,
+                           model.Gradient(trace.final_params, data));
+    vec::Axpy(-lr, grad, trace.final_params);
+    DIGFL_ASSIGN_OR_RETURN(double loss, model.Loss(trace.final_params, data));
+    trace.train_loss.push_back(loss);
+    lr *= config.lr_decay;
+  }
+  return trace;
+}
+
+}  // namespace digfl

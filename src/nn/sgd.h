@@ -1,0 +1,37 @@
+// Centralized (full-batch) gradient-descent training.
+//
+// Used by the leave-subset-out retraining oracle and as the reference
+// trainer in tests. Full-batch GD keeps every retraining deterministic,
+// which the exact-Shapley computations rely on.
+
+#ifndef DIGFL_NN_SGD_H_
+#define DIGFL_NN_SGD_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace digfl {
+
+struct TrainConfig {
+  size_t epochs = 30;
+  double learning_rate = 0.1;
+  // Optional per-epoch decay: lr_t = learning_rate * decay^t.
+  double lr_decay = 1.0;
+};
+
+struct TrainTrace {
+  Vec final_params;
+  // Loss on the training data after each epoch (size == epochs).
+  std::vector<double> train_loss;
+};
+
+// Runs `config.epochs` full-batch GD steps from `init_params`.
+Result<TrainTrace> TrainCentralized(const Model& model, const Dataset& data,
+                                    const Vec& init_params,
+                                    const TrainConfig& config);
+
+}  // namespace digfl
+
+#endif  // DIGFL_NN_SGD_H_

@@ -1,0 +1,118 @@
+#include "nn/softmax_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace digfl {
+
+Status SoftmaxRegression::CheckLabels(const Dataset& data) const {
+  if (data.num_classes != num_classes_) {
+    return Status::InvalidArgument(
+        "dataset num_classes " + std::to_string(data.num_classes) +
+        " != model num_classes " + std::to_string(num_classes_));
+  }
+  return Status::OK();
+}
+
+Vec SoftmaxRegression::SampleProbs(const Vec& params,
+                                   std::span<const double> x) const {
+  const size_t k = static_cast<size_t>(num_classes_);
+  Vec logits(k, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    const double* w = params.data() + c * num_features_;
+    double z = 0.0;
+    for (size_t j = 0; j < num_features_; ++j) z += w[j] * x[j];
+    logits[c] = z;
+  }
+  const double zmax = *std::max_element(logits.begin(), logits.end());
+  double denom = 0.0;
+  for (double& z : logits) {
+    z = std::exp(z - zmax);
+    denom += z;
+  }
+  for (double& z : logits) z /= denom;
+  return logits;
+}
+
+Result<double> SoftmaxRegression::Loss(const Vec& params,
+                                       const Dataset& data) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  DIGFL_RETURN_IF_ERROR(CheckLabels(data));
+  double sum = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Vec probs = SampleProbs(params, data.x.Row(i));
+    const double p = std::max(probs[data.Label(i)], 1e-300);
+    sum -= std::log(p);
+  }
+  return sum / static_cast<double>(data.size());
+}
+
+Result<Vec> SoftmaxRegression::Gradient(const Vec& params,
+                                        const Dataset& data) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  DIGFL_RETURN_IF_ERROR(CheckLabels(data));
+  Vec grad(NumParams(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto x = data.x.Row(i);
+    Vec probs = SampleProbs(params, x);
+    probs[data.Label(i)] -= 1.0;  // p - onehot(y)
+    for (int c = 0; c < num_classes_; ++c) {
+      const double coeff = probs[c];
+      if (coeff == 0.0) continue;
+      double* g = grad.data() + static_cast<size_t>(c) * num_features_;
+      for (size_t j = 0; j < num_features_; ++j) g[j] += coeff * x[j];
+    }
+  }
+  vec::Scale(1.0 / static_cast<double>(data.size()), grad);
+  return grad;
+}
+
+Result<Vec> SoftmaxRegression::Hvp(const Vec& params, const Dataset& data,
+                                   const Vec& v) const {
+  DIGFL_RETURN_IF_ERROR(CheckShapes(params, data));
+  DIGFL_RETURN_IF_ERROR(CheckLabels(data));
+  if (v.size() != NumParams()) {
+    return Status::InvalidArgument("HVP direction dimension mismatch");
+  }
+  const size_t k = static_cast<size_t>(num_classes_);
+  Vec hv(NumParams(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto x = data.x.Row(i);
+    const Vec probs = SampleProbs(params, x);
+    // Rz_c = <v_c, x>.
+    Vec rz(k, 0.0);
+    for (size_t c = 0; c < k; ++c) {
+      const double* vc = v.data() + c * num_features_;
+      double z = 0.0;
+      for (size_t j = 0; j < num_features_; ++j) z += vc[j] * x[j];
+      rz[c] = z;
+    }
+    double p_dot_rz = 0.0;
+    for (size_t c = 0; c < k; ++c) p_dot_rz += probs[c] * rz[c];
+    // Rp_c = p_c (Rz_c - <p, Rz>); d(grad)_c = Rp_c * x.
+    for (size_t c = 0; c < k; ++c) {
+      const double rp = probs[c] * (rz[c] - p_dot_rz);
+      if (rp == 0.0) continue;
+      double* h = hv.data() + c * num_features_;
+      for (size_t j = 0; j < num_features_; ++j) h[j] += rp * x[j];
+    }
+  }
+  vec::Scale(1.0 / static_cast<double>(data.size()), hv);
+  return hv;
+}
+
+Result<Vec> SoftmaxRegression::Predict(const Vec& params,
+                                       const Matrix& x) const {
+  if (params.size() != NumParams() || x.cols() != num_features_) {
+    return Status::InvalidArgument("Predict shape mismatch");
+  }
+  Vec out(x.rows(), 0.0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const Vec probs = SampleProbs(params, x.Row(i));
+    out[i] = static_cast<double>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+  }
+  return out;
+}
+
+}  // namespace digfl

@@ -1,0 +1,51 @@
+// Multinomial (softmax) logistic regression for K-class problems.
+//
+// Parameters: row-major K x d weight matrix flattened into a Vec (class k's
+// weights occupy [k*d, (k+1)*d)). Intercept-free. Mean cross-entropy loss.
+// The Hessian-vector product is exact via the softmax R-operator:
+//   Rz = V x,  Rp = p ⊙ (Rz − <p, Rz>),  (Hv)_k = (1/m) Σ_i Rp_k x_i.
+
+#ifndef DIGFL_NN_SOFTMAX_REGRESSION_H_
+#define DIGFL_NN_SOFTMAX_REGRESSION_H_
+
+#include "nn/model.h"
+
+namespace digfl {
+
+class SoftmaxRegression : public Model {
+ public:
+  SoftmaxRegression(size_t num_features, int num_classes)
+      : num_features_(num_features), num_classes_(num_classes) {}
+
+  std::string Name() const override { return "SoftmaxRegression"; }
+  size_t NumParams() const override {
+    return num_features_ * static_cast<size_t>(num_classes_);
+  }
+
+  Result<double> Loss(const Vec& params, const Dataset& data) const override;
+  Result<Vec> Gradient(const Vec& params, const Dataset& data) const override;
+  Result<Vec> Hvp(const Vec& params, const Dataset& data,
+                  const Vec& v) const override;
+  Result<Vec> Predict(const Vec& params, const Matrix& x) const override;
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<SoftmaxRegression>(*this);
+  }
+
+  int num_classes() const { return num_classes_; }
+
+ protected:
+  size_t NumFeatures() const override { return num_features_; }
+
+ private:
+  Status CheckLabels(const Dataset& data) const;
+
+  // Class probabilities for one sample; logits computed from flat params.
+  Vec SampleProbs(const Vec& params, std::span<const double> x) const;
+
+  size_t num_features_;
+  int num_classes_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_NN_SOFTMAX_REGRESSION_H_

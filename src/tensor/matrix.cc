@@ -1,0 +1,109 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace digfl {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    DIGFL_CHECK(row.size() == cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vec Matrix::MatVec(const Vec& x) const {
+  DIGFL_CHECK(x.size() == cols_);
+  Vec y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Vec Matrix::TransposedMatVec(const Vec& x) const {
+  DIGFL_CHECK(x.size() == rows_);
+  Vec y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Result<Matrix> Matrix::MatMul(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument(
+        "MatMul shape mismatch: " + std::to_string(cols_) + " vs " +
+        std::to_string(other.rows_));
+  }
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + r * other.cols_;
+      for (size_t c = 0; c < other.cols_; ++c) orow[c] += a * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Result<Matrix> Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_) {
+      return Status::OutOfRange("row index " + std::to_string(indices[i]) +
+                                " >= " + std::to_string(rows_));
+    }
+    auto src = Row(indices[i]);
+    std::copy(src.begin(), src.end(), out.MutableRow(i).begin());
+  }
+  return out;
+}
+
+Result<Matrix> Matrix::SelectColumns(size_t begin, size_t end) const {
+  if (begin > end || end > cols_) {
+    return Status::OutOfRange("column range [" + std::to_string(begin) + ", " +
+                              std::to_string(end) + ") out of [0, " +
+                              std::to_string(cols_) + ")");
+  }
+  Matrix out(rows_, end - begin);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = data_.data() + r * cols_ + begin;
+    std::copy(src, src + (end - begin), out.MutableRow(r).begin());
+  }
+  return out;
+}
+
+bool Matrix::AllClose(const Matrix& other, double rtol, double atol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  return vec::AllClose(data_, other.data_, rtol, atol);
+}
+
+}  // namespace digfl

@@ -1,0 +1,78 @@
+// Dense row-major matrix with the small set of kernels the models need:
+// matvec, transposed matvec, gemm, and row views. Feature matrices and
+// analytic Hessians use this type.
+
+#ifndef DIGFL_TENSOR_MATRIX_H_
+#define DIGFL_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  // rows x cols, zero-initialised.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  // From nested initializer list; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  // Contiguous view of row r.
+  std::span<const double> Row(size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> MutableRow(size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  const Vec& data() const { return data_; }
+  Vec& mutable_data() { return data_; }
+
+  // y = A x. Requires x.size() == cols().
+  Vec MatVec(const Vec& x) const;
+
+  // y = A^T x. Requires x.size() == rows().
+  Vec TransposedMatVec(const Vec& x) const;
+
+  // C = A * B; shape mismatch returns InvalidArgument.
+  Result<Matrix> MatMul(const Matrix& other) const;
+
+  Matrix Transposed() const;
+
+  // Keeps rows whose indices are listed (in order); indices must be in range.
+  Result<Matrix> SelectRows(const std::vector<size_t>& indices) const;
+
+  // Keeps the half-open column range [begin, end).
+  Result<Matrix> SelectColumns(size_t begin, size_t end) const;
+
+  bool AllClose(const Matrix& other, double rtol = 1e-9,
+                double atol = 1e-12) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  Vec data_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_TENSOR_MATRIX_H_

@@ -1,0 +1,86 @@
+#include "tensor/vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace digfl {
+namespace vec {
+
+Vec Zeros(size_t n) { return Vec(n, 0.0); }
+
+void Axpy(double alpha, const Vec& x, Vec& y) {
+  DIGFL_CHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vec& x) {
+  for (double& v : x) v *= alpha;
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  DIGFL_CHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec Sub(const Vec& a, const Vec& b) {
+  DIGFL_CHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec Scaled(double alpha, const Vec& x) {
+  Vec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = alpha * x[i];
+  return out;
+}
+
+double Dot(const Vec& a, const Vec& b) {
+  DIGFL_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const Vec& x) { return std::sqrt(SquaredNorm2(x)); }
+
+double SquaredNorm2(const Vec& x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return sum;
+}
+
+double NormInf(const Vec& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+bool AllClose(const Vec& a, const Vec& b, double rtol, double atol) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > atol + rtol * std::abs(b[i])) return false;
+  }
+  return true;
+}
+
+Vec MaskedToBlock(const Vec& x, size_t begin, size_t end) {
+  DIGFL_CHECK(begin <= end && end <= x.size());
+  Vec out(x.size(), 0.0);
+  std::copy(x.begin() + begin, x.begin() + end, out.begin() + begin);
+  return out;
+}
+
+Vec MaskedOutBlock(const Vec& x, size_t begin, size_t end) {
+  DIGFL_CHECK(begin <= end && end <= x.size());
+  Vec out = x;
+  std::fill(out.begin() + begin, out.begin() + end, 0.0);
+  return out;
+}
+
+}  // namespace vec
+}  // namespace digfl

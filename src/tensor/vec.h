@@ -1,0 +1,64 @@
+// Flat dense vector operations.
+//
+// Model parameters, gradients, and local updates are represented as flat
+// `Vec`s (std::vector<double>). These free functions are the BLAS-1 style
+// kernels everything else builds on. Size mismatches are internal invariant
+// violations (the shapes are fixed by the model), so they DIGFL_CHECK.
+
+#ifndef DIGFL_TENSOR_VEC_H_
+#define DIGFL_TENSOR_VEC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace digfl {
+
+using Vec = std::vector<double>;
+
+namespace vec {
+
+// Returns a zero vector of dimension n.
+Vec Zeros(size_t n);
+
+// y += alpha * x.
+void Axpy(double alpha, const Vec& x, Vec& y);
+
+// x *= alpha.
+void Scale(double alpha, Vec& x);
+
+// Element-wise sum: returns a + b.
+Vec Add(const Vec& a, const Vec& b);
+
+// Element-wise difference: returns a - b.
+Vec Sub(const Vec& a, const Vec& b);
+
+// Returns alpha * x.
+Vec Scaled(double alpha, const Vec& x);
+
+// Inner product <a, b>.
+double Dot(const Vec& a, const Vec& b);
+
+// Euclidean norm ||x||_2.
+double Norm2(const Vec& x);
+
+// Squared Euclidean norm ||x||_2^2.
+double SquaredNorm2(const Vec& x);
+
+// Max-abs (infinity) norm.
+double NormInf(const Vec& x);
+
+// True if every |a_i - b_i| <= atol + rtol * |b_i|.
+bool AllClose(const Vec& a, const Vec& b, double rtol = 1e-9,
+              double atol = 1e-12);
+
+// Zeroes every entry outside [begin, end); used for VFL block masking
+// ((E - diag(v_z)) and diag(v_z) applications).
+Vec MaskedToBlock(const Vec& x, size_t begin, size_t end);
+
+// Zeroes every entry inside [begin, end).
+Vec MaskedOutBlock(const Vec& x, size_t begin, size_t end);
+
+}  // namespace vec
+}  // namespace digfl
+
+#endif  // DIGFL_TENSOR_VEC_H_

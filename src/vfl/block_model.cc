@@ -1,0 +1,66 @@
+#include "vfl/block_model.h"
+
+#include "common/logging.h"
+
+namespace digfl {
+
+Result<VflBlockModel> VflBlockModel::Create(std::vector<FeatureBlock> blocks,
+                                            size_t num_params) {
+  if (blocks.empty()) return Status::InvalidArgument("no blocks");
+  size_t cursor = 0;
+  for (const FeatureBlock& block : blocks) {
+    if (block.begin != cursor || block.end <= block.begin) {
+      return Status::InvalidArgument("blocks must tile the parameter space");
+    }
+    cursor = block.end;
+  }
+  if (cursor != num_params) {
+    return Status::InvalidArgument(
+        "blocks cover " + std::to_string(cursor) + " of " +
+        std::to_string(num_params) + " parameters");
+  }
+  return VflBlockModel(std::move(blocks), num_params);
+}
+
+Vec VflBlockModel::KeepBlock(size_t participant, const Vec& x) const {
+  DIGFL_CHECK(participant < blocks_.size());
+  return vec::MaskedToBlock(x, blocks_[participant].begin,
+                            blocks_[participant].end);
+}
+
+Vec VflBlockModel::DropBlock(size_t participant, const Vec& x) const {
+  DIGFL_CHECK(participant < blocks_.size());
+  return vec::MaskedOutBlock(x, blocks_[participant].begin,
+                             blocks_[participant].end);
+}
+
+Result<Vec> VflBlockModel::ScaleBlocks(
+    const Vec& x, const std::vector<double>& weights) const {
+  if (weights.size() != blocks_.size()) {
+    return Status::InvalidArgument("weight count != participant count");
+  }
+  if (x.size() != num_params_) {
+    return Status::InvalidArgument("vector dimension mismatch");
+  }
+  Vec out = x;
+  for (size_t p = 0; p < blocks_.size(); ++p) {
+    for (size_t j = blocks_[p].begin; j < blocks_[p].end; ++j) {
+      out[j] *= weights[p];
+    }
+  }
+  return out;
+}
+
+double VflBlockModel::BlockDot(size_t participant, const Vec& a,
+                               const Vec& b) const {
+  DIGFL_CHECK(participant < blocks_.size());
+  DIGFL_CHECK(a.size() == num_params_ && b.size() == num_params_);
+  double sum = 0.0;
+  for (size_t j = blocks_[participant].begin; j < blocks_[participant].end;
+       ++j) {
+    sum += a[j] * b[j];
+  }
+  return sum;
+}
+
+}  // namespace digfl

@@ -1,0 +1,58 @@
+// VflBlockModel: the participant/parameter-block structure of a vertical FL
+// system.
+//
+// In VFL each participant owns a contiguous block of feature columns and
+// the matching block of the global parameter vector (for the linear and
+// logistic models of the paper, parameter index == feature index). This
+// class owns that mapping and the masking operations of Lemma 2:
+// diag(v_z) (zero the removed block) and E − diag(v_z) (keep only it).
+
+#ifndef DIGFL_VFL_BLOCK_MODEL_H_
+#define DIGFL_VFL_BLOCK_MODEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/partition.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+
+class VflBlockModel {
+ public:
+  // `blocks` must tile [0, num_params) contiguously in order.
+  static Result<VflBlockModel> Create(std::vector<FeatureBlock> blocks,
+                                      size_t num_params);
+
+  size_t num_participants() const { return blocks_.size(); }
+  size_t num_params() const { return num_params_; }
+  const FeatureBlock& block(size_t participant) const {
+    return blocks_[participant];
+  }
+  const std::vector<FeatureBlock>& blocks() const { return blocks_; }
+
+  // (E − diag(v_z)) x : keeps only participant z's block.
+  Vec KeepBlock(size_t participant, const Vec& x) const;
+
+  // diag(v_z) x : zeroes participant z's block.
+  Vec DropBlock(size_t participant, const Vec& x) const;
+
+  // Applies per-participant weights to the matching blocks of x (Eq. 31).
+  Result<Vec> ScaleBlocks(const Vec& x,
+                          const std::vector<double>& weights) const;
+
+  // <a, b> restricted to participant z's block — the inner product behind
+  // Eq. 27.
+  double BlockDot(size_t participant, const Vec& a, const Vec& b) const;
+
+ private:
+  VflBlockModel(std::vector<FeatureBlock> blocks, size_t num_params)
+      : blocks_(std::move(blocks)), num_params_(num_params) {}
+
+  std::vector<FeatureBlock> blocks_;
+  size_t num_params_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_VFL_BLOCK_MODEL_H_

@@ -1,0 +1,196 @@
+#include "vfl/encrypted_protocol.h"
+
+#include "crypto/paillier.h"
+#include "vfl/vfl_participant.h"
+
+namespace digfl {
+namespace {
+
+// Loss-specific coefficients of the shared exchange. The encrypted residual
+// is d[j] = Σ_i score_scale·u_i[j] + offset + label_scale·y[j] and the
+// gradient block is gradient_scale(m) · Σ_j d[j]·x_i[j].
+struct LossSpec {
+  double score_scale;
+  double label_scale;
+  double offset;
+  double (*gradient_scale)(size_t m);
+};
+
+// Squared loss: d = Σu − y, ∇ = (2/m) X^T d.
+constexpr LossSpec kSquaredLoss = {
+    1.0, -1.0, 0.0, [](size_t m) { return 2.0 / static_cast<double>(m); }};
+
+// Taylor logistic loss: d = σ̃(Σu) − y with σ̃(z) = 1/2 + z/4,
+// ∇ ≈ (1/m) X^T d.
+constexpr LossSpec kTaylorLogisticLoss = {
+    0.25, -1.0, 0.5, [](size_t m) { return 1.0 / static_cast<double>(m); }};
+
+// One full residual-aggregation + masked-gradient exchange over the given
+// per-participant slices: returns each participant's decrypted gradient
+// block. `labels` belongs to participant 0 and never leaves its local
+// computation.
+Result<std::vector<Vec>> ExchangeGradients(
+    std::vector<EncryptedVflParticipant>& participants,
+    const PaillierPublicKey& public_key, const PaillierPrivateKey& private_key,
+    const std::vector<Matrix>& slices, const Vec& labels, const LossSpec& loss,
+    CommMeter& comm) {
+  const size_t n = participants.size();
+  const size_t m = slices[0].rows();
+  const size_t ct_bytes = public_key.CiphertextBytes();
+
+  // Steps 1-3: label holder seeds [[d]] with its share (score, offset and
+  // label terms); the chain homomorphically adds the other score shares.
+  DIGFL_ASSIGN_OR_RETURN(
+      std::vector<PaillierCiphertext> residual,
+      participants[0].EncryptResidualShare(
+          participants[0].ComputeScores(slices[0]), &labels,
+          loss.score_scale, loss.label_scale, loss.offset));
+  for (size_t i = 1; i < n; ++i) {
+    comm.Record("chain:encrypted_residual", m * ct_bytes);
+    DIGFL_ASSIGN_OR_RETURN(
+        std::vector<PaillierCiphertext> share,
+        participants[i].EncryptResidualShare(
+            participants[i].ComputeScores(slices[i]), nullptr,
+            loss.score_scale, loss.label_scale, loss.offset));
+    for (size_t j = 0; j < m; ++j) {
+      residual[j] = Paillier::Add(public_key, residual[j], share[j]);
+    }
+  }
+  // Broadcast the final [[d]] back to everyone.
+  if (n > 1) {
+    comm.Record("broadcast:encrypted_residual", (n - 1) * m * ct_bytes);
+  }
+
+  // Steps 3-5 per participant: masked encrypted gradient to the third
+  // party, masked plaintext back, local unmasking.
+  std::vector<Vec> gradients(n);
+  for (size_t i = 0; i < n; ++i) {
+    DIGFL_ASSIGN_OR_RETURN(
+        std::vector<PaillierCiphertext> masked,
+        participants[i].ComputeMaskedGradient(residual, slices[i],
+                                              loss.gradient_scale(m)));
+    comm.Record("participant->thirdparty:masked_gradient",
+                masked.size() * ct_bytes);
+    std::vector<BigInt> plaintexts;
+    plaintexts.reserve(masked.size());
+    for (const PaillierCiphertext& c : masked) {
+      DIGFL_ASSIGN_OR_RETURN(BigInt p,
+                             Paillier::Decrypt(public_key, private_key, c));
+      plaintexts.push_back(std::move(p));
+    }
+    comm.Record("thirdparty->participant:masked_plaintext",
+                plaintexts.size() * public_key.n.ByteLength());
+    DIGFL_ASSIGN_OR_RETURN(gradients[i], participants[i].Unmask(plaintexts));
+  }
+  return gradients;
+}
+
+Result<EncryptedVflResult> RunEncryptedVfl(const Dataset& train,
+                                           const Dataset& validation,
+                                           const VflBlockModel& blocks,
+                                           const EncryptedVflConfig& config,
+                                           const LossSpec& loss) {
+  if (blocks.num_params() != train.num_features() ||
+      train.num_features() != validation.num_features()) {
+    return Status::InvalidArgument("block/feature structure mismatch");
+  }
+  if (config.epochs == 0) return Status::InvalidArgument("epochs == 0");
+  const size_t n = blocks.num_participants();
+
+  // Trusted third party: key generation and distribution.
+  Rng tp_rng(config.seed);
+  DIGFL_ASSIGN_OR_RETURN(PaillierKeyPair keys,
+                         Paillier::GenerateKeyPair(config.key_bits, tp_rng));
+
+  EncryptedVflResult result;
+  result.comm.Record("thirdparty->participants:public_key",
+                     n * keys.public_key.n.ByteLength());
+
+  // Participants with private vertical slices. Participant 0 additionally
+  // holds the training and validation labels.
+  std::vector<EncryptedVflParticipant> participants;
+  std::vector<Matrix> train_slices(n), validation_slices(n);
+  participants.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const FeatureBlock& block = blocks.block(i);
+    DIGFL_ASSIGN_OR_RETURN(train_slices[i],
+                           train.x.SelectColumns(block.begin, block.end));
+    DIGFL_ASSIGN_OR_RETURN(validation_slices[i],
+                           validation.x.SelectColumns(block.begin, block.end));
+    participants.emplace_back(i, train_slices[i], config.seed + 1000 + i);
+    participants[i].ReceivePublicKey(keys.public_key, config.fraction_bits);
+  }
+
+  if (config.evaluate_contributions) {
+    result.per_epoch_contributions.reserve(config.epochs);
+    result.total_contributions.assign(n, 0.0);
+  }
+
+  double lr = config.learning_rate;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Training gradient G_t/α_t at θ_{t-1}.
+    DIGFL_ASSIGN_OR_RETURN(
+        std::vector<Vec> train_grads,
+        ExchangeGradients(participants, keys.public_key, keys.private_key,
+                          train_slices, train.y, loss, result.comm));
+
+    if (config.evaluate_contributions) {
+      // Validation gradient at the same θ_{t-1} (Eq. 27 needs both).
+      DIGFL_ASSIGN_OR_RETURN(
+          std::vector<Vec> validation_grads,
+          ExchangeGradients(participants, keys.public_key, keys.private_key,
+                            validation_slices, validation.y, loss,
+                            result.comm));
+      std::vector<double> phi(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        // φ̂_{t,i} = <∇loss^v block, α_t ∇loss block>.
+        phi[i] = lr * EncryptedVflParticipant::BlockContribution(
+                          validation_grads[i], train_grads[i]);
+        // One scalar per participant to the third party.
+        result.comm.Record("participant->thirdparty:contribution",
+                           sizeof(double));
+        result.total_contributions[i] += phi[i];
+      }
+      result.per_epoch_contributions.push_back(std::move(phi));
+    }
+
+    // Step 5: local parameter updates.
+    for (size_t i = 0; i < n; ++i) {
+      participants[i].ApplyGradient(train_grads[i], lr);
+    }
+  }
+
+  // Assemble the logical global parameter vector for verification.
+  result.final_params = vec::Zeros(blocks.num_params());
+  for (size_t i = 0; i < n; ++i) {
+    const FeatureBlock& block = blocks.block(i);
+    const Vec& p = participants[i].params();
+    for (size_t k = 0; k < p.size(); ++k) {
+      result.final_params[block.begin + k] = p[k];
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<EncryptedVflResult> RunEncryptedVflLinReg(
+    const Dataset& train, const Dataset& validation,
+    const VflBlockModel& blocks, const EncryptedVflConfig& config) {
+  if (train.num_classes != 0 || validation.num_classes != 0) {
+    return Status::InvalidArgument("encrypted LinReg expects regression data");
+  }
+  return RunEncryptedVfl(train, validation, blocks, config, kSquaredLoss);
+}
+
+Result<EncryptedVflResult> RunEncryptedVflLogReg(
+    const Dataset& train, const Dataset& validation,
+    const VflBlockModel& blocks, const EncryptedVflConfig& config) {
+  if (train.num_classes != 2 || validation.num_classes != 2) {
+    return Status::InvalidArgument("encrypted LogReg expects binary labels");
+  }
+  return RunEncryptedVfl(train, validation, blocks, config,
+                         kTaylorLogisticLoss);
+}
+
+}  // namespace digfl

@@ -1,0 +1,77 @@
+// The Paillier-encrypted vertical linear regression protocol — the paper's
+// running example (Sec. IV-B / Algorithm 3), generalized from 2 to n
+// participants.
+//
+// Per epoch:
+//   1. every participant computes local scores u_i = X_i θ_i;
+//   2. the label holder encrypts (u_1 − y) and the encrypted residual [[d]]
+//      is accumulated homomorphically along the participant chain, then
+//      broadcast;
+//   3. each participant computes its *encrypted* gradient block
+//      [[g_i]] = [[(2/m) Σ_j d_j x_ij]] and adds a fresh random mask M_i;
+//   4. the trusted third party decrypts the masked blocks (learning nothing:
+//      the mask is uniform in Z_n) and returns them;
+//   5. each participant removes its mask and steps its block parameters.
+//
+// With DIG-FL enabled the same machinery runs once more per epoch on the
+// validation slice to obtain ∇loss^v(θ_{t-1}), and each participant reports
+// the scalar φ̂_{t,i} = α_t · <v_i, g_i> (Eq. 27) to the third party.
+//
+// This path is numerically identical to vfl/plain_trainer.h up to
+// fixed-point quantization — asserted by the integration tests.
+
+#ifndef DIGFL_VFL_ENCRYPTED_PROTOCOL_H_
+#define DIGFL_VFL_ENCRYPTED_PROTOCOL_H_
+
+#include <vector>
+
+#include "common/comm_meter.h"
+#include "common/result.h"
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+#include "vfl/block_model.h"
+
+namespace digfl {
+
+struct EncryptedVflConfig {
+  size_t epochs = 5;
+  double learning_rate = 0.1;
+  size_t key_bits = 256;    // paper: 1024; tests/benches use smaller keys
+  int fraction_bits = 24;   // fixed-point precision
+  uint64_t seed = 11;
+  bool evaluate_contributions = true;  // run DIG-FL (Eq. 27) alongside
+};
+
+struct EncryptedVflResult {
+  // Concatenated final parameters (exists only for verification against the
+  // plaintext trainer; no real party ever assembles this).
+  Vec final_params;
+  // Per-epoch DIG-FL contributions (epochs x participants) held by the
+  // third party; empty when evaluate_contributions is false.
+  std::vector<std::vector<double>> per_epoch_contributions;
+  std::vector<double> total_contributions;
+  CommMeter comm;
+};
+
+// Trains vertical linear regression over `train` (feature columns split per
+// `blocks`; labels held by participant 0) and evaluates contributions
+// against `validation`.
+Result<EncryptedVflResult> RunEncryptedVflLinReg(const Dataset& train,
+                                                 const Dataset& validation,
+                                                 const VflBlockModel& blocks,
+                                                 const EncryptedVflConfig& config);
+
+// Vertical logistic regression under the same encrypted exchange, using the
+// degree-1 Taylor surrogate σ̃(z) = 1/2 + z/4 (Hardy et al. [34]) so the
+// residual stays linear in the per-party scores — the standard trick for
+// Paillier-based VFL-LogReg. Exact at θ = 0 and accurate while |z| is
+// moderate; the tests quantify the gap against the exact-sigmoid plaintext
+// trainer. Labels must be 0/1 (num_classes == 2).
+Result<EncryptedVflResult> RunEncryptedVflLogReg(const Dataset& train,
+                                                 const Dataset& validation,
+                                                 const VflBlockModel& blocks,
+                                                 const EncryptedVflConfig& config);
+
+}  // namespace digfl
+
+#endif  // DIGFL_VFL_ENCRYPTED_PROTOCOL_H_

@@ -1,0 +1,84 @@
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+
+Result<VflTrainingLog> RunVflTraining(const Model& model,
+                                      const VflBlockModel& blocks,
+                                      const Dataset& train,
+                                      const Dataset& validation,
+                                      const VflTrainConfig& config,
+                                      const std::vector<bool>* active,
+                                      VflAggregationPolicy* policy) {
+  if (config.epochs == 0) return Status::InvalidArgument("epochs == 0");
+  if (config.learning_rate <= 0) {
+    return Status::InvalidArgument("learning_rate must be > 0");
+  }
+  if (blocks.num_params() != model.NumParams()) {
+    return Status::InvalidArgument("block structure does not match model");
+  }
+  if (active != nullptr && active->size() != blocks.num_participants()) {
+    return Status::InvalidArgument("active mask size mismatch");
+  }
+  if (active != nullptr) {
+    bool any = false;
+    for (bool a : *active) any = any || a;
+    if (!any) return Status::InvalidArgument("empty coalition");
+  }
+
+  VflTrainingLog log;
+  // Lemma 2 requires θ_0 = 0 so that an absent participant's block stays
+  // exactly at f(0, x) = 0 throughout training.
+  log.final_params = vec::Zeros(model.NumParams());
+  double lr = config.learning_rate;
+  const size_t n = blocks.num_participants();
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    DIGFL_ASSIGN_OR_RETURN(Vec grad, model.Gradient(log.final_params, train));
+    Vec scaled = vec::Scaled(lr, grad);
+
+    // Remove the gradient blocks of absent participants (diag(v_S) G_t).
+    if (active != nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!(*active)[i]) scaled = blocks.DropBlock(i, scaled);
+      }
+    }
+
+    std::vector<double> weights(n, 1.0);
+    if (policy != nullptr) {
+      DIGFL_ASSIGN_OR_RETURN(
+          weights, policy->Weights(epoch, log.final_params, lr, scaled));
+      if (weights.size() != n) {
+        return Status::Internal("VFL policy returned bad weight count");
+      }
+      DIGFL_ASSIGN_OR_RETURN(scaled, blocks.ScaleBlocks(scaled, weights));
+    }
+
+    // Per-epoch traffic of the generic VFL protocol: each participant sends
+    // its local result per sample to the third party and receives its
+    // gradient block back (plaintext accounting; the encrypted path prices
+    // ciphertexts instead).
+    log.comm.RecordDoubles("participants->thirdparty:local_results",
+                           train.size() * n);
+    log.comm.RecordDoubles("thirdparty->participants:gradient_blocks",
+                           model.NumParams());
+
+    if (config.record_log) {
+      VflEpochRecord record;
+      record.params_before = log.final_params;
+      record.scaled_gradient = scaled;
+      record.learning_rate = lr;
+      record.weights = weights;
+      log.epochs.push_back(std::move(record));
+    }
+
+    vec::Axpy(-1.0, scaled, log.final_params);
+
+    DIGFL_ASSIGN_OR_RETURN(double val_loss,
+                           model.Loss(log.final_params, validation));
+    log.validation_loss.push_back(val_loss);
+    lr *= config.lr_decay;
+  }
+  return log;
+}
+
+}  // namespace digfl

@@ -1,0 +1,72 @@
+// Plaintext VFL trainer.
+//
+// Trains the vertically-partitioned model by full-batch gradient descent on
+// the logical global model (paper Sec. II: "we focus on the model training
+// process and ignore the encryption details"). The ciphertext path that
+// produces numerically identical results for the running example lives in
+// encrypted_protocol.h; this fast path powers the large experiment sweeps.
+//
+// Lemma 2 semantics are enforced here: parameters start at 0, and removing
+// a participant set S == keeping their blocks pinned at 0 while zeroing
+// their gradient blocks (`active` mask), which is what the exact-Shapley
+// retraining oracle calls with every coalition.
+
+#ifndef DIGFL_VFL_PLAIN_TRAINER_H_
+#define DIGFL_VFL_PLAIN_TRAINER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/comm_meter.h"
+#include "common/result.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "vfl/block_model.h"
+
+namespace digfl {
+
+struct VflEpochRecord {
+  Vec params_before;    // θ_{t-1}
+  Vec scaled_gradient;  // G_t = α_t ∇loss(θ_{t-1}), after masking/weights
+  double learning_rate; // α_t
+  std::vector<double> weights;  // per-participant block weights applied
+};
+
+struct VflTrainingLog {
+  std::vector<VflEpochRecord> epochs;
+  Vec final_params;
+  std::vector<double> validation_loss;
+  CommMeter comm;
+
+  size_t num_epochs() const { return epochs.size(); }
+};
+
+// Per-epoch block weights; core/reweight.h supplies the DIG-FL policy.
+class VflAggregationPolicy {
+ public:
+  virtual ~VflAggregationPolicy() = default;
+  virtual Result<std::vector<double>> Weights(size_t epoch,
+                                              const Vec& params_before,
+                                              double learning_rate,
+                                              const Vec& scaled_gradient) = 0;
+};
+
+struct VflTrainConfig {
+  size_t epochs = 50;
+  double learning_rate = 0.1;
+  double lr_decay = 1.0;
+  bool record_log = true;
+};
+
+// Trains over `train` with the block structure `blocks`. `active[i]==false`
+// freezes participant i at zero (coalition training; Lemma 2). `policy` may
+// be null (all-ones weights). θ_0 = 0 always.
+Result<VflTrainingLog> RunVflTraining(
+    const Model& model, const VflBlockModel& blocks, const Dataset& train,
+    const Dataset& validation, const VflTrainConfig& config,
+    const std::vector<bool>* active = nullptr,
+    VflAggregationPolicy* policy = nullptr);
+
+}  // namespace digfl
+
+#endif  // DIGFL_VFL_PLAIN_TRAINER_H_

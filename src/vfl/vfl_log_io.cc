@@ -1,0 +1,105 @@
+#include "vfl/vfl_log_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace digfl {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'I', 'G', 'F', 'L', 'O', 'G', '2'};
+
+void WriteU64(std::ofstream& out, uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteDoubles(std::ofstream& out, const Vec& values) {
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.good();
+}
+
+bool ReadDoubles(std::ifstream& in, size_t count, Vec* values) {
+  values->resize(count);
+  in.read(reinterpret_cast<char*>(values->data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  return in.good() || (in.eof() && in.gcount() ==
+                       static_cast<std::streamsize>(count * sizeof(double)));
+}
+
+}  // namespace
+
+Status SaveVflTrainingLog(const VflTrainingLog& log, const std::string& path) {
+  const size_t epochs = log.epochs.size();
+  const size_t p = log.final_params.size();
+  const size_t n = epochs == 0 ? 0 : log.epochs[0].weights.size();
+  for (const VflEpochRecord& record : log.epochs) {
+    if (record.params_before.size() != p ||
+        record.scaled_gradient.size() != p || record.weights.size() != n) {
+      return Status::InvalidArgument("ragged VFL training log");
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  WriteU64(out, epochs);
+  WriteU64(out, n);
+  WriteU64(out, p);
+  WriteU64(out, log.validation_loss.size());
+  for (const VflEpochRecord& record : log.epochs) {
+    WriteDoubles(out, Vec{record.learning_rate});
+    WriteDoubles(out, record.params_before);
+    WriteDoubles(out, record.scaled_gradient);
+    WriteDoubles(out, record.weights);
+  }
+  WriteDoubles(out, log.final_params);
+  WriteDoubles(out, log.validation_loss);
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<VflTrainingLog> LoadVflTrainingLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not a DIG-FL VFL log");
+  }
+  uint64_t epochs = 0, n = 0, p = 0, trace_len = 0;
+  if (!ReadU64(in, &epochs) || !ReadU64(in, &n) || !ReadU64(in, &p) ||
+      !ReadU64(in, &trace_len)) {
+    return Status::InvalidArgument("truncated log header");
+  }
+  if (epochs > (1u << 24) || n > (1u << 20) || p > (1ull << 32)) {
+    return Status::InvalidArgument("implausible log header");
+  }
+  VflTrainingLog log;
+  log.epochs.reserve(epochs);
+  for (uint64_t t = 0; t < epochs; ++t) {
+    VflEpochRecord record;
+    Vec lr, weights;
+    if (!ReadDoubles(in, 1, &lr) ||
+        !ReadDoubles(in, p, &record.params_before) ||
+        !ReadDoubles(in, p, &record.scaled_gradient) ||
+        !ReadDoubles(in, n, &weights)) {
+      return Status::InvalidArgument("truncated epoch record");
+    }
+    record.learning_rate = lr[0];
+    record.weights.assign(weights.begin(), weights.end());
+    log.epochs.push_back(std::move(record));
+  }
+  Vec losses;
+  if (!ReadDoubles(in, p, &log.final_params) ||
+      !ReadDoubles(in, trace_len, &losses)) {
+    return Status::InvalidArgument("truncated trailer");
+  }
+  log.validation_loss.assign(losses.begin(), losses.end());
+  return log;
+}
+
+}  // namespace digfl

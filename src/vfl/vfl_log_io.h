@@ -1,0 +1,26 @@
+// Persistence for VFL training logs ("DIGFLOG2" binary format), the
+// vertical counterpart of hfl/log_io.h: a deployment records
+// (θ_{t-1}, G_t, α_t, weights) during training and settles contributions
+// offline with core/digfl_vfl.h. The CommMeter is transient and not
+// persisted.
+
+#ifndef DIGFL_VFL_VFL_LOG_IO_H_
+#define DIGFL_VFL_VFL_LOG_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+
+// Writes `log` to `path`, overwriting. Fails on I/O errors or ragged
+// records.
+Status SaveVflTrainingLog(const VflTrainingLog& log, const std::string& path);
+
+// Reads a log previously written by SaveVflTrainingLog.
+Result<VflTrainingLog> LoadVflTrainingLog(const std::string& path);
+
+}  // namespace digfl
+
+#endif  // DIGFL_VFL_VFL_LOG_IO_H_

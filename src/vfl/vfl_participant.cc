@@ -1,0 +1,118 @@
+#include "vfl/vfl_participant.h"
+
+#include "common/logging.h"
+
+namespace digfl {
+
+void EncryptedVflParticipant::ReceivePublicKey(const PaillierPublicKey& key,
+                                               int fraction_bits) {
+  public_key_ = key;
+  codec_.emplace(key.n, fraction_bits);
+}
+
+Result<std::vector<PaillierCiphertext>>
+EncryptedVflParticipant::EncryptResidualShare(const Vec& scores,
+                                              const Vec* labels,
+                                              double score_scale,
+                                              double label_scale,
+                                              double offset) {
+  if (!public_key_.has_value()) {
+    return Status::FailedPrecondition("public key not received");
+  }
+  if (labels != nullptr && scores.size() != labels->size()) {
+    return Status::InvalidArgument("scores/labels size mismatch");
+  }
+  std::vector<PaillierCiphertext> out;
+  out.reserve(scores.size());
+  for (size_t j = 0; j < scores.size(); ++j) {
+    double value = score_scale * scores[j];
+    if (labels != nullptr) value += offset + label_scale * (*labels)[j];
+    DIGFL_ASSIGN_OR_RETURN(BigInt encoded, codec_->Encode(value));
+    DIGFL_ASSIGN_OR_RETURN(PaillierCiphertext c,
+                           Paillier::Encrypt(*public_key_, encoded, rng_));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+Result<std::vector<PaillierCiphertext>>
+EncryptedVflParticipant::ComputeMaskedGradient(
+    const std::vector<PaillierCiphertext>& encrypted_residual,
+    const Matrix& rows, double gradient_scale) {
+  if (!public_key_.has_value()) {
+    return Status::FailedPrecondition("public key not received");
+  }
+  if (encrypted_residual.size() != rows.rows()) {
+    return Status::InvalidArgument("residual/sample count mismatch");
+  }
+  if (rows.cols() != num_features()) {
+    return Status::InvalidArgument("feature width mismatch");
+  }
+  const size_t m = rows.rows();
+  last_scale_ = gradient_scale;
+  last_masks_.clear();
+  last_masks_.reserve(num_features());
+
+  std::vector<PaillierCiphertext> out;
+  out.reserve(num_features());
+  for (size_t k = 0; k < num_features(); ++k) {
+    // [[ Σ_j d_j · x_jk ]] at plaintext scale 2^{2f}.
+    bool have_term = false;
+    PaillierCiphertext acc;
+    for (size_t j = 0; j < m; ++j) {
+      DIGFL_ASSIGN_OR_RETURN(BigInt factor, codec_->Encode(rows(j, k)));
+      if (factor.IsZero()) continue;
+      PaillierCiphertext term =
+          Paillier::ScalarMul(*public_key_, encrypted_residual[j], factor);
+      acc = have_term ? Paillier::Add(*public_key_, acc, term) : term;
+      have_term = true;
+    }
+    if (!have_term) {
+      DIGFL_ASSIGN_OR_RETURN(BigInt zero, codec_->Encode(0.0));
+      DIGFL_ASSIGN_OR_RETURN(acc, Paillier::Encrypt(*public_key_, zero, rng_));
+    }
+    // Fresh uniform mask in Z_n, remembered for Unmask().
+    BigInt mask = BigInt::RandomBelow(public_key_->n, rng_);
+    DIGFL_ASSIGN_OR_RETURN(
+        acc, Paillier::AddPlain(*public_key_, acc, mask, rng_));
+    last_masks_.push_back(std::move(mask));
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+Result<Vec> EncryptedVflParticipant::Unmask(
+    const std::vector<BigInt>& masked_plaintexts) const {
+  if (masked_plaintexts.size() != last_masks_.size()) {
+    return Status::InvalidArgument("masked plaintext count mismatch");
+  }
+  if (!codec_.has_value()) {
+    return Status::FailedPrecondition("public key not received");
+  }
+  // The homomorphic product d_j * x_jk carries scale 2^{2f}.
+  const FixedPointCodec product_codec(public_key_->n,
+                                      2 * codec_->fraction_bits());
+  Vec out(masked_plaintexts.size());
+  const BigInt& n = public_key_->n;
+  for (size_t k = 0; k < masked_plaintexts.size(); ++k) {
+    BigInt residue = masked_plaintexts[k] % n;
+    const BigInt mask = last_masks_[k] % n;
+    // (residue - mask) mod n without going negative.
+    residue = residue >= mask ? residue - mask : residue + n - mask;
+    out[k] = last_scale_ * product_codec.Decode(residue);
+  }
+  return out;
+}
+
+void EncryptedVflParticipant::ApplyGradient(const Vec& gradient,
+                                            double learning_rate) {
+  DIGFL_CHECK(gradient.size() == params_.size());
+  vec::Axpy(-learning_rate, gradient, params_);
+}
+
+double EncryptedVflParticipant::BlockContribution(
+    const Vec& validation_grad_block, const Vec& scaled_grad_block) {
+  return vec::Dot(validation_grad_block, scaled_grad_block);
+}
+
+}  // namespace digfl

@@ -1,0 +1,89 @@
+// EncryptedVflParticipant: one party in the Paillier-based vertical linear
+// regression protocol (paper Sec. IV-B, running example of Yang et al. [3]).
+//
+// Each participant holds a private feature slice and its parameter block.
+// All cross-party values it emits are Paillier ciphertexts; gradients come
+// back from the third party masked with a random element of Z_n that only
+// this participant knows (step 4/5 of the protocol).
+
+#ifndef DIGFL_VFL_VFL_PARTICIPANT_H_
+#define DIGFL_VFL_VFL_PARTICIPANT_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/fixed_point.h"
+#include "crypto/paillier.h"
+#include "data/dataset.h"
+
+namespace digfl {
+
+class EncryptedVflParticipant {
+ public:
+  // `features` is this party's private vertical *training* slice
+  // (rows = samples). Validation-slice passes supply rows explicitly.
+  EncryptedVflParticipant(size_t id, Matrix features, uint64_t seed)
+      : id_(id),
+        features_(std::move(features)),
+        params_(features_.cols(), 0.0),
+        rng_(seed) {}
+
+  size_t id() const { return id_; }
+  size_t num_features() const { return features_.cols(); }
+  const Vec& params() const { return params_; }
+
+  void ReceivePublicKey(const PaillierPublicKey& key, int fraction_bits);
+
+  // Local linear scores u_i[j] = <θ_i, x_i[j]> over `rows` (the party's
+  // training or validation slice); plaintext, stays local.
+  Vec ComputeScores(const Matrix& rows) const { return rows.MatVec(params_); }
+
+  // Step 2/3: encrypt this party's per-sample contribution to the residual
+  //   share[j] = score_scale · u_i[j] + offset + label_scale · y[j],
+  // where the label terms apply only to the label holder (`labels` non-null;
+  // other parties pass nullptr and contribute score_scale · u_i[j]).
+  // Linear regression uses (1, −1, 0); the Taylor-approximated logistic
+  // protocol uses (1/4, −1, 1/2) so that Σ_i share = σ̃(z) − y with
+  // σ̃(z) = 1/2 + z/4.
+  Result<std::vector<PaillierCiphertext>> EncryptResidualShare(
+      const Vec& scores, const Vec* labels, double score_scale = 1.0,
+      double label_scale = -1.0, double offset = 0.0);
+
+  // Step 4: from the encrypted residual [[d]] compute this party's encrypted
+  // gradient block [[g_i]] = [[ gradient_scale · Σ_j d[j]·x_i[j] ]] over
+  // `rows` (the training or validation slice), then add a fresh random
+  // mask. Returns the masked ciphertexts; the masks are retained internally
+  // for Unmask(). gradient_scale is 2/m for squared loss, 1/m for logistic.
+  Result<std::vector<PaillierCiphertext>> ComputeMaskedGradient(
+      const std::vector<PaillierCiphertext>& encrypted_residual,
+      const Matrix& rows, double gradient_scale);
+
+  // Step 5 (participant side): remove the stored mask from the decrypted
+  // plaintexts and decode to real gradients.
+  Result<Vec> Unmask(const std::vector<BigInt>& masked_plaintexts) const;
+
+  // Local SGD step on this block.
+  void ApplyGradient(const Vec& gradient, double learning_rate);
+
+  // Eq. 27 restricted to this block: <validation-gradient block, α·g block>.
+  static double BlockContribution(const Vec& validation_grad_block,
+                                  const Vec& scaled_grad_block);
+
+  const Matrix& features() const { return features_; }
+
+ private:
+  size_t id_;
+  Matrix features_;
+  Vec params_;
+  Rng rng_;
+  std::optional<PaillierPublicKey> public_key_;
+  std::optional<FixedPointCodec> codec_;
+  std::vector<BigInt> last_masks_;
+  double last_scale_ = 1.0;  // gradient_scale factor folded into Unmask
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_VFL_VFL_PARTICIPANT_H_

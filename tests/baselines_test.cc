@@ -1,0 +1,447 @@
+// Unit tests for src/baselines: oracle caching/metering, exact Shapley
+// over retraining, TMC and GT estimators (validated on analytic games via a
+// function-backed oracle), MR/OR reconstruction, and IM.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/exact_shapley.h"
+#include "baselines/gt_shapley.h"
+#include "baselines/im_contribution.h"
+#include "baselines/mr_shapley.h"
+#include "baselines/retrain_oracle.h"
+#include "baselines/tmc_shapley.h"
+#include "data/corruption.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "metrics/correlation.h"
+#include "nn/linear_regression.h"
+#include "nn/softmax_regression.h"
+
+namespace digfl {
+namespace {
+
+// Oracle over an analytic utility — lets TMC/GT be validated against the
+// exact Shapley value without any training in the loop.
+class FunctionOracle : public UtilityOracle {
+ public:
+  FunctionOracle(size_t n, std::function<double(const std::vector<bool>&)> fn)
+      : n_(n), fn_(std::move(fn)) {}
+  size_t num_participants() const override { return n_; }
+
+ protected:
+  Result<TrainingOutcome> Retrain(const std::vector<bool>& coalition) override {
+    TrainingOutcome outcome;
+    outcome.utility = fn_(coalition);
+    outcome.comm_bytes = 10;  // nominal per-"retraining" traffic
+    return outcome;
+  }
+
+ private:
+  size_t n_;
+  std::function<double(const std::vector<bool>&)> fn_;
+};
+
+double SubmodularUtility(const std::vector<bool>& c,
+                         const std::vector<double>& values) {
+  double sum = 0.0;
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (c[i]) sum += values[i];
+  }
+  return std::sqrt(std::max(sum, 0.0));  // diminishing returns
+}
+
+// ------------------------------------------------------------- oracle.
+
+TEST(UtilityOracleTest, EmptyCoalitionIsFreeAndZero) {
+  FunctionOracle oracle(3, [](const std::vector<bool>&) { return 99.0; });
+  EXPECT_DOUBLE_EQ(oracle.Utility({false, false, false}).value(), 0.0);
+  EXPECT_EQ(oracle.retrain_count(), 0u);
+}
+
+TEST(UtilityOracleTest, CachesByCoalition) {
+  int calls = 0;
+  FunctionOracle oracle(3, [&](const std::vector<bool>&) {
+    ++calls;
+    return 1.0;
+  });
+  const std::vector<bool> coalition = {true, false, true};
+  EXPECT_DOUBLE_EQ(oracle.Utility(coalition).value(), 1.0);
+  EXPECT_DOUBLE_EQ(oracle.Utility(coalition).value(), 1.0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(oracle.retrain_count(), 1u);
+  EXPECT_EQ(oracle.retrain_comm_bytes(), 10u);
+}
+
+TEST(UtilityOracleTest, RejectsWrongCoalitionSize) {
+  FunctionOracle oracle(3, [](const std::vector<bool>&) { return 1.0; });
+  EXPECT_FALSE(oracle.Utility({true}).ok());
+}
+
+TEST(HflUtilityOracleTest, GrandCoalitionHasPositiveUtility) {
+  GaussianClassificationConfig config;
+  config.num_samples = 200;
+  config.num_features = 6;
+  config.num_classes = 3;
+  config.seed = 71;
+  Dataset pool = MakeGaussianClassification(config).value();
+  Rng rng(72);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  auto shards = PartitionIid(split.first, 3, rng).value();
+  std::vector<HflParticipant> participants;
+  for (size_t i = 0; i < 3; ++i) participants.emplace_back(i, shards[i]);
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, split.second);
+  FedSgdConfig tc;
+  tc.epochs = 15;
+  tc.learning_rate = 0.3;
+  HflUtilityOracle oracle(model, participants, server,
+                          Vec(model.NumParams(), 0.0), tc);
+  const double full = oracle.Utility({true, true, true}).value();
+  EXPECT_GT(full, 0.0);  // training reduces validation loss
+  // Subset utility should not exceed more data by a large margin; sanity:
+  const double single = oracle.Utility({true, false, false}).value();
+  EXPECT_GT(full, single * 0.5);
+  EXPECT_EQ(oracle.retrain_count(), 2u);
+}
+
+TEST(VflUtilityOracleTest, CoalitionUtilityGrowsWithInformativeBlocks) {
+  SyntheticRegressionConfig config;
+  config.num_samples = 200;
+  config.num_features = 6;
+  config.feature_scales = DecayingFeatureScales(6, 3, 0.4);
+  config.seed = 73;
+  Dataset pool = MakeSyntheticRegression(config).value();
+  Rng rng(74);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  const VflBlockModel blocks =
+      VflBlockModel::Create(SplitFeatureBlocks(6, 3).value(), 6).value();
+  LinearRegression model(6);
+  VflTrainConfig tc;
+  tc.epochs = 30;
+  tc.learning_rate = 0.08;
+  VflUtilityOracle oracle(model, blocks, split.first, split.second, tc);
+  const double strongest = oracle.Utility({true, false, false}).value();
+  const double weakest = oracle.Utility({false, false, true}).value();
+  EXPECT_GT(strongest, weakest);
+  const double all = oracle.Utility({true, true, true}).value();
+  EXPECT_GE(all, strongest - 1e-9);
+}
+
+// ------------------------------------------------------- exact Shapley.
+
+TEST(ExactShapleyBaselineTest, MatchesAnalyticGame) {
+  const std::vector<double> values = {4.0, 1.0, 0.25};
+  FunctionOracle oracle(3, [&](const std::vector<bool>& c) {
+    double sum = 0.0;
+    for (size_t i = 0; i < 3; ++i) {
+      if (c[i]) sum += values[i];
+    }
+    return sum;
+  });
+  auto report = ComputeExactShapley(oracle);
+  ASSERT_TRUE(report.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(report->total[i], values[i], 1e-12);
+  }
+  EXPECT_EQ(report->retrainings, 7u);  // 2^3 - 1 non-empty coalitions
+}
+
+TEST(ExactShapleyBaselineTest, ParallelMatchesSerial) {
+  const std::vector<double> values = {4.0, 1.0, 0.25, -0.5, 2.0};
+  auto game = [&](const std::vector<bool>& c) {
+    double sum = 0.0;
+    for (size_t i = 0; i < c.size(); ++i) {
+      if (c[i]) sum += values[i];
+    }
+    return sum * sum;  // non-additive so the test is non-trivial
+  };
+  FunctionOracle serial_oracle(5, game);
+  FunctionOracle parallel_oracle(5, game);
+  auto serial = ComputeExactShapley(serial_oracle);
+  auto parallel = ComputeExactShapleyParallel(parallel_oracle, 4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(parallel->total[i], serial->total[i], 1e-12) << i;
+  }
+  EXPECT_EQ(parallel->retrainings, 31u);
+}
+
+TEST(ExactShapleyBaselineTest, ParallelOnRealHflOracle) {
+  GaussianClassificationConfig config;
+  config.num_samples = 150;
+  config.num_features = 6;
+  config.num_classes = 3;
+  config.seed = 91;
+  Dataset pool = MakeGaussianClassification(config).value();
+  Rng rng(92);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  auto shards = PartitionIid(split.first, 4, rng).value();
+  std::vector<HflParticipant> participants;
+  for (size_t i = 0; i < 4; ++i) participants.emplace_back(i, shards[i]);
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, split.second);
+  FedSgdConfig tc;
+  tc.epochs = 8;
+  tc.learning_rate = 0.3;
+  HflUtilityOracle serial_oracle(model, participants, server,
+                                 Vec(model.NumParams(), 0.0), tc);
+  HflUtilityOracle parallel_oracle(model, participants, server,
+                                   Vec(model.NumParams(), 0.0), tc);
+  auto serial = ComputeExactShapley(serial_oracle);
+  auto parallel = ComputeExactShapleyParallel(parallel_oracle, 4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(parallel->total[i], serial->total[i], 1e-12) << i;
+  }
+}
+
+TEST(ExactShapleyBaselineTest, ParallelPropagatesOracleErrors) {
+  class FailingOracle : public UtilityOracle {
+   public:
+    size_t num_participants() const override { return 3; }
+
+   protected:
+    Result<TrainingOutcome> Retrain(const std::vector<bool>&) override {
+      return Status::Internal("training exploded");
+    }
+  };
+  FailingOracle oracle;
+  auto result = ComputeExactShapleyParallel(oracle, 2);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+// ----------------------------------------------------------------- TMC.
+
+TEST(TmcShapleyTest, ConvergesToExactOnAnalyticGame) {
+  const std::vector<double> values = {5.0, 3.0, 1.0, 0.5};
+  FunctionOracle oracle(
+      4, [&](const std::vector<bool>& c) { return SubmodularUtility(c, values); });
+  auto exact = ComputeExactShapley(oracle);
+  TmcOptions options;
+  options.num_permutations = 3000;
+  options.truncation_tolerance = 0.0;  // no truncation: unbiased
+  options.seed = 5;
+  auto tmc = ComputeTmcShapley(oracle, options);
+  ASSERT_TRUE(tmc.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(tmc->total[i], exact->total[i], 0.05) << i;
+  }
+}
+
+TEST(TmcShapleyTest, EfficiencyHoldsWithoutTruncation) {
+  FunctionOracle oracle(4, [](const std::vector<bool>& c) {
+    int k = 0;
+    for (bool b : c) k += b;
+    return static_cast<double>(k * k);
+  });
+  TmcOptions options;
+  options.num_permutations = 200;
+  options.truncation_tolerance = 0.0;
+  auto tmc = ComputeTmcShapley(oracle, options);
+  ASSERT_TRUE(tmc.ok());
+  double sum = 0.0;
+  for (double v : tmc->total) sum += v;
+  EXPECT_NEAR(sum, 16.0, 1e-9);  // every permutation telescopes to V(N)
+}
+
+TEST(TmcShapleyTest, TruncationReducesOracleCalls) {
+  // A game that saturates quickly: truncation should skip tail members.
+  auto saturating = [](const std::vector<bool>& c) {
+    for (bool b : c) {
+      if (b) return 1.0;
+    }
+    return 0.0;
+  };
+  FunctionOracle with_truncation(6, saturating);
+  TmcOptions options;
+  options.num_permutations = 50;
+  options.truncation_tolerance = 0.01;
+  options.seed = 9;
+  ASSERT_TRUE(ComputeTmcShapley(with_truncation, options).ok());
+  FunctionOracle without_truncation(6, saturating);
+  options.truncation_tolerance = 0.0;
+  ASSERT_TRUE(ComputeTmcShapley(without_truncation, options).ok());
+  EXPECT_LT(with_truncation.retrain_count(),
+            without_truncation.retrain_count());
+}
+
+TEST(TmcShapleyTest, DefaultPermutationCountIsN2LogN) {
+  FunctionOracle oracle(4, [](const std::vector<bool>&) { return 1.0; });
+  auto report = ComputeTmcShapley(oracle);  // should not blow up
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total.size(), 4u);
+}
+
+// ------------------------------------------------------------------ GT.
+
+TEST(GtShapleyTest, ConvergesToExactOnAnalyticGame) {
+  const std::vector<double> values = {5.0, 3.0, 1.0, 0.5};
+  FunctionOracle oracle(
+      4, [&](const std::vector<bool>& c) { return SubmodularUtility(c, values); });
+  auto exact = ComputeExactShapley(oracle);
+  GtOptions options;
+  options.num_samples = 20000;
+  options.seed = 3;
+  auto gt = ComputeGtShapley(oracle, options);
+  ASSERT_TRUE(gt.ok());
+  // GT is noisier than TMC; compare rankings plus loose values.
+  auto pcc = PearsonCorrelation(gt->total, exact->total);
+  EXPECT_GT(*pcc, 0.95);
+  double sum_gt = 0.0, sum_exact = 0.0;
+  for (size_t i = 0; i < 4; ++i) {
+    sum_gt += gt->total[i];
+    sum_exact += exact->total[i];
+  }
+  EXPECT_NEAR(sum_gt, sum_exact, 1e-9);  // efficiency built into estimator
+}
+
+TEST(GtShapleyTest, RequiresTwoParticipants) {
+  FunctionOracle oracle(1, [](const std::vector<bool>&) { return 1.0; });
+  EXPECT_FALSE(ComputeGtShapley(oracle).ok());
+}
+
+// --------------------------------------------------------------- MR/OR.
+
+struct LogSetup {
+  SoftmaxRegression model{6, 3};
+  Dataset validation;
+  std::vector<HflParticipant> participants;
+  HflTrainingLog log;
+  Vec init;
+};
+
+LogSetup MakeLogSetup(size_t n = 3, size_t epochs = 8) {
+  GaussianClassificationConfig config;
+  config.num_samples = 240;
+  config.num_features = 6;
+  config.num_classes = 3;
+  config.seed = 81;
+  Dataset pool = MakeGaussianClassification(config).value();
+  Rng rng(82);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  LogSetup setup;
+  setup.validation = split.second;
+  auto shards = PartitionIid(split.first, n, rng).value();
+  // Corrupt the last shard so contributions differ.
+  shards[n - 1] = MislabelFraction(shards[n - 1], 0.6, rng).value();
+  for (size_t i = 0; i < n; ++i) setup.participants.emplace_back(i, shards[i]);
+  HflServer server(setup.model, setup.validation);
+  FedSgdConfig tc;
+  tc.epochs = epochs;
+  tc.learning_rate = 0.3;
+  setup.init = Vec(setup.model.NumParams(), 0.0);
+  setup.log = RunFedSgd(setup.model, setup.participants, server, setup.init,
+                        tc)
+                  .value();
+  return setup;
+}
+
+TEST(MrShapleyTest, ShapesAndEvaluationCount) {
+  LogSetup setup = MakeLogSetup(3, 8);
+  HflServer server(setup.model, setup.validation);
+  auto report = ComputeMrShapley(server, setup.log);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total.size(), 3u);
+  EXPECT_EQ(report->per_epoch.size(), 8u);
+  EXPECT_EQ(report->retrainings, 7u * 8);  // (2^3-1) evaluations per epoch
+}
+
+TEST(MrShapleyTest, PerEpochEfficiency) {
+  // Per-epoch Shapley values must sum to that epoch's full-coalition
+  // utility (efficiency of the exact per-epoch computation).
+  LogSetup setup = MakeLogSetup(3, 5);
+  HflServer server(setup.model, setup.validation);
+  auto report = ComputeMrShapley(server, setup.log);
+  ASSERT_TRUE(report.ok());
+  for (size_t t = 0; t < 5; ++t) {
+    const HflEpochRecord& record = setup.log.epochs[t];
+    const double base = server.ValidationLoss(record.params_before).value();
+    Vec reconstructed = record.params_before;
+    vec::Axpy(-1.0, HflServer::AggregateUniform(record.deltas).value(),
+              reconstructed);
+    const double full_utility =
+        base - server.ValidationLoss(reconstructed).value();
+    double sum = 0.0;
+    for (double phi : report->per_epoch[t]) sum += phi;
+    EXPECT_NEAR(sum, full_utility, 1e-9) << "epoch " << t;
+  }
+}
+
+TEST(MrShapleyTest, CorruptedParticipantRanksLast) {
+  LogSetup setup = MakeLogSetup(3, 10);
+  HflServer server(setup.model, setup.validation);
+  auto report = ComputeMrShapley(server, setup.log);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->total[2], report->total[0]);
+  EXPECT_LT(report->total[2], report->total[1]);
+}
+
+TEST(OrShapleyTest, TotalsOnlyAndEfficiency) {
+  LogSetup setup = MakeLogSetup(3, 6);
+  HflServer server(setup.model, setup.validation);
+  auto report = ComputeOrShapley(server, setup.log, setup.init);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->per_epoch.empty());
+  EXPECT_EQ(report->retrainings, 7u);
+  // Efficiency: totals sum to the reconstructed grand-coalition utility,
+  // which by construction equals the actual training's utility.
+  const double base = server.ValidationLoss(setup.init).value();
+  const double final_loss =
+      server.ValidationLoss(setup.log.final_params).value();
+  double sum = 0.0;
+  for (double v : report->total) sum += v;
+  EXPECT_NEAR(sum, base - final_loss, 1e-9);
+}
+
+TEST(MrOrShapleyTest, RejectEmptyLog) {
+  LogSetup setup = MakeLogSetup();
+  HflServer server(setup.model, setup.validation);
+  HflTrainingLog empty;
+  EXPECT_FALSE(ComputeMrShapley(server, empty).ok());
+  EXPECT_FALSE(ComputeOrShapley(server, empty, setup.init).ok());
+}
+
+// ------------------------------------------------------------------ IM.
+
+TEST(ImContributionTest, ShapesAndDeterminism) {
+  LogSetup setup = MakeLogSetup(3, 6);
+  auto r1 = ComputeImContribution(setup.log, setup.init);
+  auto r2 = ComputeImContribution(setup.log, setup.init);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->total.size(), 3u);
+  EXPECT_EQ(r1->per_epoch.size(), 6u);
+  EXPECT_EQ(r1->total, r2->total);
+  EXPECT_EQ(r1->retrainings, 0u);
+}
+
+TEST(ImContributionTest, CleanBeatsCorrupted) {
+  LogSetup setup = MakeLogSetup(3, 10);
+  auto report = ComputeImContribution(setup.log, setup.init);
+  ASSERT_TRUE(report.ok());
+  // The mislabeled participant's updates align worse with the model's
+  // travel direction.
+  EXPECT_LT(report->total[2], report->total[0]);
+}
+
+TEST(ImContributionTest, RejectsDegenerateLog) {
+  LogSetup setup = MakeLogSetup();
+  HflTrainingLog empty;
+  EXPECT_FALSE(ComputeImContribution(empty, setup.init).ok());
+  // Stationary log: final == init.
+  HflTrainingLog stationary;
+  stationary.final_params = setup.init;
+  HflEpochRecord record;
+  record.params_before = setup.init;
+  record.deltas = {Vec(setup.init.size(), 0.0)};
+  record.learning_rate = 0.1;
+  stationary.epochs.push_back(record);
+  EXPECT_FALSE(ComputeImContribution(stationary, setup.init).ok());
+}
+
+}  // namespace
+}  // namespace digfl

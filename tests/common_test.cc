@@ -1,0 +1,392 @@
+// Unit tests for src/common: Status, Result, Rng, TableWriter, CommMeter,
+// Timer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/comm_meter.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table_writer.h"
+#include "common/timer.h"
+
+namespace digfl {
+namespace {
+
+// ---------------------------------------------------------------- Status.
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllFactoriesMapToDistinctCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_FALSE(Status::Internal("a") == Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::NotFound("a"));
+}
+
+TEST(StatusTest, CopyIsCheapAndIndependent) {
+  Status original = Status::NotFound("gone");
+  Status copy = original;
+  EXPECT_EQ(copy, original);
+  original = Status::OK();
+  EXPECT_FALSE(copy.ok());
+}
+
+TEST(StatusTest, StreamOperatorPrintsToString) {
+  std::ostringstream os;
+  os << Status::OutOfRange("idx");
+  EXPECT_EQ(os.str(), "OutOfRange: idx");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    DIGFL_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  auto ok = []() -> Status { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    DIGFL_RETURN_IF_ERROR(ok());
+    return Status::NotFound("reached end");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- Result.
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(err.ValueOr(7), 7);
+  Result<int> good(3);
+  EXPECT_EQ(good.ValueOr(7), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("nope");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    DIGFL_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(outer(false).value(), 10);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kOutOfRange);
+}
+
+// ------------------------------------------------------------------- Rng.
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextBits(), b.NextBits());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextBits() != b.NextBits()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(uint64_t{10}), 10u);
+  }
+}
+
+TEST(RngTest, UniformIntClosedRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-3}, int64_t{3});
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(uint64_t{5}));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRealInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, BernoulliDegenerate) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(19);
+  auto perm = rng.Permutation(50);
+  std::set<size_t> values(perm.begin(), perm.end());
+  EXPECT_EQ(values.size(), 50u);
+  EXPECT_EQ(*values.begin(), 0u);
+  EXPECT_EQ(*values.rbegin(), 49u);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(19);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  auto one = rng.Permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng parent(31);
+  Rng f1 = parent.Fork(4);
+  Rng f2 = parent.Fork(4);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(f1.NextBits(), f2.NextBits());
+}
+
+TEST(RngTest, ForkStreamsAreIndependent) {
+  Rng parent(31);
+  Rng f1 = parent.Fork(1);
+  Rng f2 = parent.Fork(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.NextBits() != f2.NextBits()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng a(37), b(37);
+  (void)a.Fork(0);
+  EXPECT_EQ(a.NextBits(), b.NextBits());
+}
+
+// ----------------------------------------------------------- TableWriter.
+
+TEST(TableWriterTest, RejectsRaggedRow) {
+  TableWriter table({"a", "b"});
+  EXPECT_FALSE(table.AddRow({"1"}).ok());
+  EXPECT_TRUE(table.AddRow({"1", "2"}).ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableWriterTest, PrintContainsAllCells) {
+  TableWriter table({"name", "value"});
+  ASSERT_TRUE(table.AddRow({"alpha", "1.5"}).ok());
+  ASSERT_TRUE(table.AddRow({"beta", "2.5"}).ok());
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  for (const char* token : {"name", "value", "alpha", "1.5", "beta", "2.5"}) {
+    EXPECT_NE(out.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(TableWriterTest, FormatHelpers) {
+  EXPECT_EQ(TableWriter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::FormatDouble(-1.0, 3), "-1.000");
+  const std::string sci = TableWriter::FormatScientific(12345.0, 2);
+  EXPECT_NE(sci.find("e+04"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvRoundTrip) {
+  TableWriter table({"k", "v"});
+  ASSERT_TRUE(table.AddRow({"plain", "1"}).ok());
+  ASSERT_TRUE(table.AddRow({"with,comma", "quote\"inside"}).ok());
+  const std::string path = ::testing::TempDir() + "/digfl_table_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"quote\"\"inside\"");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriterTest, CsvFailsOnBadPath) {
+  TableWriter table({"a"});
+  EXPECT_FALSE(table.WriteCsv("/nonexistent-dir-xyz/file.csv").ok());
+}
+
+// ------------------------------------------------------------- CommMeter.
+
+TEST(CommMeterTest, StartsEmpty) {
+  CommMeter meter;
+  EXPECT_EQ(meter.TotalBytes(), 0u);
+  EXPECT_TRUE(meter.ByChannel().empty());
+}
+
+TEST(CommMeterTest, AccumulatesPerChannel) {
+  CommMeter meter;
+  meter.Record("a", 100);
+  meter.Record("b", 50);
+  meter.Record("a", 25);
+  EXPECT_EQ(meter.TotalBytes(), 175u);
+  EXPECT_EQ(meter.ByChannel().at("a"), 125u);
+  EXPECT_EQ(meter.ByChannel().at("b"), 50u);
+}
+
+TEST(CommMeterTest, RecordDoublesCountsBytes) {
+  CommMeter meter;
+  meter.RecordDoubles("grad", 10);
+  EXPECT_EQ(meter.TotalBytes(), 10 * sizeof(double));
+}
+
+TEST(CommMeterTest, MegabyteConversion) {
+  CommMeter meter;
+  meter.Record("x", 3 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(meter.TotalMegabytes(), 3.0);
+}
+
+TEST(CommMeterTest, ResetClears) {
+  CommMeter meter;
+  meter.Record("x", 10);
+  meter.Reset();
+  EXPECT_EQ(meter.TotalBytes(), 0u);
+  EXPECT_TRUE(meter.ByChannel().empty());
+}
+
+// ----------------------------------------------------------------- Timer.
+
+TEST(TimerTest, MeasuresNonNegativeTime) {
+  Timer timer;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), 0.0);
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer timer;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sink, 0.0);  // keep the busy loop observable
+  const double before = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LE(timer.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(CumulativeTimerTest, AccumulatesScopes) {
+  CumulativeTimer cumulative;
+  EXPECT_DOUBLE_EQ(cumulative.TotalSeconds(), 0.0);
+  {
+    auto scope = cumulative.Measure();
+    double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink += i;
+    EXPECT_GT(sink, 0.0);
+  }
+  const double first = cumulative.TotalSeconds();
+  EXPECT_GT(first, 0.0);
+  {
+    auto scope = cumulative.Measure();
+    double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink += i;
+    EXPECT_GT(sink, 0.0);
+  }
+  EXPECT_GT(cumulative.TotalSeconds(), first);
+  cumulative.Reset();
+  EXPECT_DOUBLE_EQ(cumulative.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace digfl

@@ -1,0 +1,468 @@
+// Unit tests for src/core: exact Shapley engine (game-theoretic axioms),
+// DIG-FL evaluators for HFL and VFL, and the reweight mechanism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/digfl_hfl.h"
+#include "core/digfl_vfl.h"
+#include "core/reweight.h"
+#include "core/shapley.h"
+#include "data/corruption.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "nn/linear_regression.h"
+#include "nn/softmax_regression.h"
+
+namespace digfl {
+namespace {
+
+double MaskUtilityAdditive(const std::vector<bool>& coalition,
+                           const std::vector<double>& values) {
+  double sum = 0.0;
+  for (size_t i = 0; i < coalition.size(); ++i) {
+    if (coalition[i]) sum += values[i];
+  }
+  return sum;
+}
+
+// ------------------------------------------------------------ Shapley.
+
+TEST(ShapleyTest, AdditiveGameGivesIndividualValues) {
+  const std::vector<double> values = {3.0, -1.0, 0.5, 2.0};
+  UtilityFn utility = [&](const std::vector<bool>& c) -> Result<double> {
+    return MaskUtilityAdditive(c, values);
+  };
+  const Vec shapley = ExactShapley(4, utility).value();
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(shapley[i], values[i], 1e-12);
+}
+
+TEST(ShapleyTest, EfficiencyAxiom) {
+  // Σ φ_i = V(N) for an arbitrary (non-additive) game.
+  UtilityFn utility = [](const std::vector<bool>& c) -> Result<double> {
+    int count = 0;
+    for (bool b : c) count += b;
+    return static_cast<double>(count * count);  // superadditive
+  };
+  const Vec shapley = ExactShapley(5, utility).value();
+  double sum = 0.0;
+  for (double v : shapley) sum += v;
+  EXPECT_NEAR(sum, 25.0, 1e-9);
+}
+
+TEST(ShapleyTest, SymmetryAxiom) {
+  // Two interchangeable participants get equal value.
+  UtilityFn utility = [](const std::vector<bool>& c) -> Result<double> {
+    // Participants 0 and 1 contribute 1 each; participant 2 contributes 5.
+    return (c[0] ? 1.0 : 0.0) + (c[1] ? 1.0 : 0.0) + (c[2] ? 5.0 : 0.0);
+  };
+  const Vec shapley = ExactShapley(3, utility).value();
+  EXPECT_NEAR(shapley[0], shapley[1], 1e-12);
+  EXPECT_NEAR(shapley[2], 5.0, 1e-12);
+}
+
+TEST(ShapleyTest, NullPlayerAxiom) {
+  UtilityFn utility = [](const std::vector<bool>& c) -> Result<double> {
+    return c[0] ? 10.0 : 0.0;  // participant 1 never matters
+  };
+  const Vec shapley = ExactShapley(2, utility).value();
+  EXPECT_NEAR(shapley[0], 10.0, 1e-12);
+  EXPECT_NEAR(shapley[1], 0.0, 1e-12);
+}
+
+TEST(ShapleyTest, GloveGameKnownSolution) {
+  // Classic 3-player glove game: players 0,1 own left gloves, player 2 a
+  // right glove; V = 1 iff coalition holds both kinds. φ = (1/6, 1/6, 4/6).
+  UtilityFn utility = [](const std::vector<bool>& c) -> Result<double> {
+    return ((c[0] || c[1]) && c[2]) ? 1.0 : 0.0;
+  };
+  const Vec shapley = ExactShapley(3, utility).value();
+  EXPECT_NEAR(shapley[0], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(shapley[1], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(shapley[2], 4.0 / 6.0, 1e-12);
+}
+
+TEST(ShapleyTest, FromUtilitiesMatchesOracle) {
+  const std::vector<double> values = {1.0, 2.0, 4.0};
+  std::vector<double> utilities(8, 0.0);
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    std::vector<bool> c = {bool(mask & 1), bool(mask & 2), bool(mask & 4)};
+    utilities[mask] = MaskUtilityAdditive(c, values);
+  }
+  const Vec shapley = ShapleyFromUtilities(3, utilities).value();
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(shapley[i], values[i], 1e-12);
+}
+
+TEST(ShapleyTest, Validation) {
+  UtilityFn ok = [](const std::vector<bool>&) -> Result<double> {
+    return 0.0;
+  };
+  EXPECT_FALSE(ExactShapley(0, ok).ok());
+  EXPECT_FALSE(ExactShapley(26, ok).ok());
+  EXPECT_FALSE(ShapleyFromUtilities(3, std::vector<double>(7, 0.0)).ok());
+  UtilityFn fails = [](const std::vector<bool>&) -> Result<double> {
+    return Status::Internal("oracle broke");
+  };
+  EXPECT_FALSE(ExactShapley(2, fails).ok());
+}
+
+TEST(ShapleyTest, LeaveOneOutAdditiveGame) {
+  const std::vector<double> values = {2.0, 3.0};
+  UtilityFn utility = [&](const std::vector<bool>& c) -> Result<double> {
+    return MaskUtilityAdditive(c, values);
+  };
+  const Vec loo = LeaveOneOut(2, utility).value();
+  EXPECT_NEAR(loo[0], 2.0, 1e-12);
+  EXPECT_NEAR(loo[1], 3.0, 1e-12);
+}
+
+// --------------------------------------------------------- DIG-FL (HFL).
+
+struct HflSetup {
+  std::vector<HflParticipant> participants;
+  Dataset validation;
+  SoftmaxRegression model{6, 3};
+  HflTrainingLog log;
+  Vec init;
+};
+
+HflSetup MakeHflSetup(size_t n = 3, size_t epochs = 10,
+                      double learning_rate = 0.3) {
+  GaussianClassificationConfig config;
+  config.num_samples = 300;
+  config.num_features = 6;
+  config.num_classes = 3;
+  config.seed = 31;
+  Dataset pool = MakeGaussianClassification(config).value();
+  Rng rng(32);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  HflSetup setup;
+  setup.validation = split.second;
+  auto shards = PartitionIid(split.first, n, rng).value();
+  for (size_t i = 0; i < n; ++i) setup.participants.emplace_back(i, shards[i]);
+  HflServer server(setup.model, setup.validation);
+  FedSgdConfig tc;
+  tc.epochs = epochs;
+  tc.learning_rate = learning_rate;
+  setup.init = Vec(setup.model.NumParams(), 0.0);
+  setup.log = RunFedSgd(setup.model, setup.participants, server, setup.init,
+                        tc)
+                  .value();
+  return setup;
+}
+
+TEST(DigFlHflTest, ReportShapes) {
+  HflSetup setup = MakeHflSetup(3, 10);
+  HflServer server(setup.model, setup.validation);
+  auto report = EvaluateHflContributions(setup.model, setup.participants,
+                                         server, setup.log);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total.size(), 3u);
+  EXPECT_EQ(report->per_epoch.size(), 10u);
+  for (const auto& epoch : report->per_epoch) EXPECT_EQ(epoch.size(), 3u);
+  EXPECT_EQ(report->retrainings, 0u);
+}
+
+TEST(DigFlHflTest, TotalsAreEpochSums) {
+  HflSetup setup = MakeHflSetup();
+  HflServer server(setup.model, setup.validation);
+  auto report = EvaluateHflContributions(setup.model, setup.participants,
+                                         server, setup.log);
+  ASSERT_TRUE(report.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (const auto& epoch : report->per_epoch) sum += epoch[i];
+    EXPECT_NEAR(report->total[i], sum, 1e-12);
+  }
+}
+
+TEST(DigFlHflTest, ResourceSavingAddsNoTraffic) {
+  HflSetup setup = MakeHflSetup();
+  HflServer server(setup.model, setup.validation);
+  auto report = EvaluateHflContributions(setup.model, setup.participants,
+                                         server, setup.log);
+  ASSERT_TRUE(report.ok());
+  // Level-2 privacy: Algorithm #2 sends nothing beyond plain FL.
+  EXPECT_EQ(report->extra_comm.TotalBytes(), 0u);
+}
+
+TEST(DigFlHflTest, InteractiveAddsHvpTraffic) {
+  HflSetup setup = MakeHflSetup(3, 5);
+  HflServer server(setup.model, setup.validation);
+  DigFlHflOptions options;
+  options.mode = HflEvaluatorMode::kInteractive;
+  options.average_hvp_across_participants = false;  // Algorithm 1 literal
+  auto report = EvaluateHflContributions(setup.model, setup.participants,
+                                         server, setup.log, options);
+  ASSERT_TRUE(report.ok());
+  // HVPs flow from epoch 2 onward (the epoch-1 accumulator is zero):
+  // (epochs-1) * n uploads of p doubles.
+  const uint64_t literal =
+      4ull * 3 * setup.model.NumParams() * sizeof(double);
+  EXPECT_EQ(report->extra_comm.TotalBytes(), literal);
+
+  options.average_hvp_across_participants = true;  // unbiased estimator
+  auto averaged = EvaluateHflContributions(setup.model, setup.participants,
+                                           server, setup.log, options);
+  ASSERT_TRUE(averaged.ok());
+  EXPECT_EQ(averaged->extra_comm.TotalBytes(), 3 * literal);
+}
+
+TEST(DigFlHflTest, SecondOrderTermIsSmall) {
+  // Paper Sec. II-E / Table II: |φ − φ̂| / |φ| within a few percent. The
+  // second-order term carries an α_t factor, so the claim holds in the
+  // small-learning-rate regime the paper trains in.
+  HflSetup setup = MakeHflSetup(3, 10, /*learning_rate=*/0.01);
+  HflServer server(setup.model, setup.validation);
+  auto truncated = EvaluateHflContributions(setup.model, setup.participants,
+                                            server, setup.log);
+  DigFlHflOptions options;
+  options.mode = HflEvaluatorMode::kInteractive;
+  auto full = EvaluateHflContributions(setup.model, setup.participants,
+                                       server, setup.log, options);
+  ASSERT_TRUE(truncated.ok());
+  ASSERT_TRUE(full.ok());
+  double sum_full = 0.0, sum_trunc = 0.0;
+  for (size_t i = 0; i < 3; ++i) {
+    sum_full += full->total[i];
+    sum_trunc += truncated->total[i];
+  }
+  ASSERT_NE(sum_full, 0.0);
+  EXPECT_LT(std::abs(sum_full - sum_trunc) / std::abs(sum_full), 0.10);
+}
+
+TEST(DigFlHflTest, FirstEpochMatchesClosedForm) {
+  HflSetup setup = MakeHflSetup(3, 4);
+  HflServer server(setup.model, setup.validation);
+  auto report = EvaluateHflContributions(setup.model, setup.participants,
+                                         server, setup.log);
+  ASSERT_TRUE(report.ok());
+  const Vec v = server.ValidationGradient(setup.init).value();
+  for (size_t i = 0; i < 3; ++i) {
+    const double expected =
+        vec::Dot(v, setup.log.epochs[0].deltas[i]) / 3.0;
+    EXPECT_NEAR(report->per_epoch[0][i], expected, 1e-12);
+  }
+}
+
+TEST(DigFlHflTest, RejectsEmptyLogAndBadParticipants) {
+  HflSetup setup = MakeHflSetup();
+  HflServer server(setup.model, setup.validation);
+  HflTrainingLog empty;
+  EXPECT_FALSE(EvaluateHflContributions(setup.model, setup.participants,
+                                        server, empty)
+                   .ok());
+  DigFlHflOptions options;
+  options.mode = HflEvaluatorMode::kInteractive;
+  std::vector<HflParticipant> wrong = {setup.participants[0]};
+  EXPECT_FALSE(EvaluateHflContributions(setup.model, wrong, server, setup.log,
+                                        options)
+                   .ok());
+}
+
+// --------------------------------------------------------- DIG-FL (VFL).
+
+struct VflSetup {
+  Dataset train, validation;
+  LinearRegression model{6};
+  VflBlockModel blocks =
+      VflBlockModel::Create(SplitFeatureBlocks(6, 3).value(), 6).value();
+  VflTrainingLog log;
+};
+
+VflSetup MakeVflSetup(size_t epochs = 20) {
+  SyntheticRegressionConfig config;
+  config.num_samples = 250;
+  config.num_features = 6;
+  config.feature_scales = DecayingFeatureScales(6, 3, 0.5);
+  config.seed = 41;
+  Dataset pool = MakeSyntheticRegression(config).value();
+  Rng rng(42);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  VflSetup setup;
+  setup.train = split.first;
+  setup.validation = split.second;
+  VflTrainConfig tc;
+  tc.epochs = epochs;
+  tc.learning_rate = 0.08;
+  setup.log = RunVflTraining(setup.model, setup.blocks, setup.train,
+                             setup.validation, tc)
+                  .value();
+  return setup;
+}
+
+TEST(DigFlVflTest, ReportShapes) {
+  VflSetup setup = MakeVflSetup(12);
+  auto report = EvaluateVflContributions(setup.model, setup.blocks,
+                                         setup.train, setup.validation,
+                                         setup.log);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total.size(), 3u);
+  EXPECT_EQ(report->per_epoch.size(), 12u);
+}
+
+TEST(DigFlVflTest, BlockContributionsSumToFullDot) {
+  // Σ_i φ̂_{t,i} = <v_t, G_t>: the blocks tile the parameter space.
+  VflSetup setup = MakeVflSetup(6);
+  auto report = EvaluateVflContributions(setup.model, setup.blocks,
+                                         setup.train, setup.validation,
+                                         setup.log);
+  ASSERT_TRUE(report.ok());
+  for (size_t t = 0; t < setup.log.num_epochs(); ++t) {
+    const Vec v = setup.model
+                      .Gradient(setup.log.epochs[t].params_before,
+                                setup.validation)
+                      .value();
+    const double full = vec::Dot(v, setup.log.epochs[t].scaled_gradient);
+    double sum = 0.0;
+    for (double phi : report->per_epoch[t]) sum += phi;
+    EXPECT_NEAR(sum, full, 1e-10);
+  }
+}
+
+TEST(DigFlVflTest, MoreInformativeBlockScoresHigher) {
+  VflSetup setup = MakeVflSetup();
+  auto report = EvaluateVflContributions(setup.model, setup.blocks,
+                                         setup.train, setup.validation,
+                                         setup.log);
+  ASSERT_TRUE(report.ok());
+  // Feature scales decay by block: participant 0 owns the strongest block.
+  EXPECT_GT(report->total[0], report->total[1]);
+  EXPECT_GT(report->total[0], report->total[2]);
+}
+
+TEST(DigFlVflTest, SecondOrderVariantIsClose) {
+  VflSetup setup = MakeVflSetup();
+  auto truncated = EvaluateVflContributions(setup.model, setup.blocks,
+                                            setup.train, setup.validation,
+                                            setup.log);
+  DigFlVflOptions options;
+  options.include_second_order = true;
+  auto full = EvaluateVflContributions(setup.model, setup.blocks, setup.train,
+                                       setup.validation, setup.log, options);
+  ASSERT_TRUE(truncated.ok());
+  ASSERT_TRUE(full.ok());
+  double sum_full = 0.0, sum_trunc = 0.0;
+  for (size_t i = 0; i < 3; ++i) {
+    sum_full += full->total[i];
+    sum_trunc += truncated->total[i];
+  }
+  ASSERT_NE(sum_full, 0.0);
+  EXPECT_LT(std::abs(sum_full - sum_trunc) / std::abs(sum_full), 0.10);
+}
+
+TEST(DigFlVflTest, RejectsMismatchedBlocks) {
+  VflSetup setup = MakeVflSetup(4);
+  const VflBlockModel wrong =
+      VflBlockModel::Create(SplitFeatureBlocks(8, 2).value(), 8).value();
+  EXPECT_FALSE(EvaluateVflContributions(setup.model, wrong, setup.train,
+                                        setup.validation, setup.log)
+                   .ok());
+}
+
+// ------------------------------------------------------------- reweight.
+
+TEST(ReweightTest, RectifiedWeightsNormalize) {
+  auto weights = RectifiedNormalizedWeights({2.0, 1.0, 1.0}).value();
+  EXPECT_NEAR(weights[0], 0.5, 1e-12);
+  EXPECT_NEAR(weights[1], 0.25, 1e-12);
+  EXPECT_NEAR(weights[2], 0.25, 1e-12);
+}
+
+TEST(ReweightTest, NegativeContributionsGetZeroWeight) {
+  auto weights = RectifiedNormalizedWeights({3.0, -5.0, 1.0}).value();
+  EXPECT_NEAR(weights[0], 0.75, 1e-12);
+  EXPECT_EQ(weights[1], 0.0);
+  EXPECT_NEAR(weights[2], 0.25, 1e-12);
+}
+
+TEST(ReweightTest, AllNegativeFallsBackToUniform) {
+  auto weights = RectifiedNormalizedWeights({-1.0, -2.0}).value();
+  EXPECT_NEAR(weights[0], 0.5, 1e-12);
+  EXPECT_NEAR(weights[1], 0.5, 1e-12);
+}
+
+TEST(ReweightTest, EmptyInputRejected) {
+  EXPECT_FALSE(RectifiedNormalizedWeights({}).ok());
+}
+
+TEST(ReweightTest, WeightsSumToOne) {
+  Rng rng(51);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> phi(5);
+    for (double& p : phi) p = rng.Gaussian();
+    auto weights = RectifiedNormalizedWeights(phi).value();
+    double sum = 0.0;
+    for (double w : weights) {
+      EXPECT_GE(w, 0.0);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(ReweightTest, HflPolicyProducesValidWeights) {
+  HflSetup setup = MakeHflSetup(3, 1);
+  HflServer server(setup.model, setup.validation);
+  DigFlHflReweightPolicy policy;
+  auto weights =
+      policy
+          .Weights(0, setup.init, 0.3, setup.log.epochs[0].deltas, server)
+          .value();
+  double sum = 0.0;
+  for (double w : weights) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ReweightTest, VflPolicyProducesValidWeights) {
+  VflSetup setup = MakeVflSetup(1);
+  DigFlVflReweightPolicy policy(setup.model, setup.blocks, setup.validation);
+  auto weights = policy
+                     .Weights(0, setup.log.epochs[0].params_before, 0.08,
+                              setup.log.epochs[0].scaled_gradient)
+                     .value();
+  double sum = 0.0;
+  for (double w : weights) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);  // Eq. 17 weights are a distribution
+}
+
+TEST(ReweightTest, Lemma4MonotoneValidationLossUnderReweight) {
+  // With a small enough learning rate the reweighted validation loss is
+  // monotonically non-increasing (Lemma 4).
+  GaussianClassificationConfig config;
+  config.num_samples = 300;
+  config.num_features = 6;
+  config.num_classes = 3;
+  config.seed = 61;
+  Dataset pool = MakeGaussianClassification(config).value();
+  Rng rng(62);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  auto shards = PartitionIid(split.first, 4, rng).value();
+  auto corrupted = MislabelFraction(shards[3], 0.6, rng).value();
+  shards[3] = corrupted;
+  std::vector<HflParticipant> participants;
+  for (size_t i = 0; i < 4; ++i) participants.emplace_back(i, shards[i]);
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, split.second);
+  FedSgdConfig tc;
+  tc.epochs = 25;
+  tc.learning_rate = 0.05;  // well inside the 2/(Lδ²) band for this task
+  DigFlHflReweightPolicy policy;
+  auto log = RunFedSgd(model, participants, server,
+                       Vec(model.NumParams(), 0.0), tc, &policy);
+  ASSERT_TRUE(log.ok());
+  for (size_t t = 1; t < log->validation_loss.size(); ++t) {
+    EXPECT_LE(log->validation_loss[t], log->validation_loss[t - 1] + 1e-9)
+        << "epoch " << t;
+  }
+}
+
+}  // namespace
+}  // namespace digfl

@@ -1,0 +1,516 @@
+// Unit tests for src/crypto: BigInt arithmetic (cross-checked against
+// native 64/128-bit integers and algebraic identities), Paillier, and the
+// fixed-point codec.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "crypto/bigint.h"
+#include "crypto/fixed_point.h"
+#include "crypto/montgomery.h"
+#include "crypto/paillier.h"
+
+namespace digfl {
+namespace {
+
+// ---------------------------------------------------------------- BigInt.
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_TRUE(zero.IsEven());
+  EXPECT_EQ(zero.BitLength(), 0u);
+  EXPECT_EQ(zero.ToUint64(), 0u);
+  EXPECT_EQ(zero.ByteLength(), 1u);
+  EXPECT_EQ(zero.ToDecimalString(), "0");
+  EXPECT_EQ(zero, BigInt(0));
+}
+
+TEST(BigIntTest, SmallValueRoundTrip) {
+  for (uint64_t v : {1ULL, 2ULL, 255ULL, 256ULL, 4294967295ULL, 4294967296ULL,
+                     18446744073709551615ULL}) {
+    BigInt b(v);
+    EXPECT_EQ(b.ToUint64(), v);
+    EXPECT_EQ(BigInt::FromDecimalString(b.ToDecimalString()).value(), b);
+  }
+}
+
+TEST(BigIntTest, BitLengthAndBits) {
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  BigInt v(0b1011);
+  EXPECT_TRUE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(1));
+  EXPECT_FALSE(v.Bit(2));
+  EXPECT_TRUE(v.Bit(3));
+  EXPECT_FALSE(v.Bit(100));
+}
+
+TEST(BigIntTest, ComparisonOrdering) {
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_GT(BigInt(1) << 64, BigInt(1) << 63);
+  EXPECT_EQ(BigInt(7) <=> BigInt(7), std::strong_ordering::equal);
+  EXPECT_LT(BigInt(), BigInt(1));
+}
+
+TEST(BigIntTest, AdditionWithCarryChains) {
+  // 2^64 - 1 + 1 = 2^64.
+  BigInt max64(0xffffffffffffffffULL);
+  BigInt sum = max64 + BigInt(1);
+  EXPECT_EQ(sum, BigInt(1) << 64);
+}
+
+TEST(BigIntTest, SubtractionWithBorrow) {
+  BigInt big = BigInt(1) << 96;
+  BigInt result = big - BigInt(1);
+  EXPECT_EQ(result.BitLength(), 96u);
+  EXPECT_EQ(result + BigInt(1), big);
+}
+
+TEST(BigIntTest, SubtractionUnderflowAborts) {
+  EXPECT_DEATH(BigInt(1) - BigInt(2), "underflow");
+}
+
+TEST(BigIntTest, MultiplicationKnownValues) {
+  EXPECT_EQ(BigInt(12345) * BigInt(67890), BigInt(838102050ULL));
+  EXPECT_EQ((BigInt(1) << 40) * (BigInt(1) << 50), BigInt(1) << 90);
+  EXPECT_TRUE((BigInt(123) * BigInt()).IsZero());
+}
+
+TEST(BigIntTest, DecimalStringLargeValue) {
+  // 2^128 = 340282366920938463463374607431768211456.
+  BigInt v = BigInt(1) << 128;
+  EXPECT_EQ(v.ToDecimalString(), "340282366920938463463374607431768211456");
+  EXPECT_EQ(BigInt::FromDecimalString(v.ToDecimalString()).value(), v);
+}
+
+TEST(BigIntTest, FromDecimalRejectsJunk) {
+  EXPECT_FALSE(BigInt::FromDecimalString("").ok());
+  EXPECT_FALSE(BigInt::FromDecimalString("12a4").ok());
+  EXPECT_FALSE(BigInt::FromDecimalString("-5").ok());
+}
+
+TEST(BigIntTest, ShiftsRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    BigInt v = BigInt::RandomBits(200, rng);
+    const size_t shift = rng.UniformInt(uint64_t{130});
+    EXPECT_EQ((v << shift) >> shift, v);
+  }
+  EXPECT_TRUE((BigInt(5) >> 10).IsZero());
+}
+
+TEST(BigIntTest, DivModAgainstNativeIntegers) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t a = rng.NextBits() >> rng.UniformInt(uint64_t{63});
+    const uint64_t b = (rng.NextBits() >> rng.UniformInt(uint64_t{63})) | 1;
+    EXPECT_EQ((BigInt(a) / BigInt(b)).ToUint64(), a / b);
+    EXPECT_EQ((BigInt(a) % BigInt(b)).ToUint64(), a % b);
+  }
+}
+
+TEST(BigIntTest, DivModInvariantLargeRandom) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = BigInt::RandomBits(320, rng);
+    BigInt b = BigInt::RandomBits(17 + rng.UniformInt(uint64_t{150}), rng);
+    if (b.IsZero()) continue;
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BigIntTest, DivisorLargerThanDividend) {
+  BigInt q, r;
+  BigInt::DivMod(BigInt(5), BigInt(100), &q, &r);
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r, BigInt(5));
+}
+
+TEST(BigIntTest, DivisionByZeroAborts) {
+  EXPECT_DEATH(BigInt(5) / BigInt(0), "zero");
+}
+
+TEST(BigIntTest, AlgorithmDAddBackCase) {
+  // A dividend/divisor pair engineered to stress the q_hat correction path:
+  // top limbs equal forces q_hat over-estimation.
+  BigInt u = (BigInt(0x80000000ULL) << 64) + (BigInt(0x7fffffffULL) << 32);
+  BigInt v = (BigInt(0x80000000ULL) << 32) + BigInt(0xffffffffULL);
+  BigInt q, r;
+  BigInt::DivMod(u, v, &q, &r);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_LT(r, v);
+}
+
+TEST(BigIntTest, ModExpMatchesNaive) {
+  Rng rng(4);
+  const BigInt mod(1000003);
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t base = rng.UniformInt(uint64_t{1000});
+    const uint64_t exp = rng.UniformInt(uint64_t{20});
+    uint64_t naive = 1;
+    for (uint64_t k = 0; k < exp; ++k) naive = naive * base % 1000003;
+    EXPECT_EQ(BigInt::ModExp(BigInt(base), BigInt(exp), mod),
+              BigInt(naive));
+  }
+}
+
+TEST(BigIntTest, ModExpEdgeCases) {
+  EXPECT_EQ(BigInt::ModExp(BigInt(5), BigInt(0), BigInt(7)), BigInt(1));
+  EXPECT_TRUE(BigInt::ModExp(BigInt(5), BigInt(3), BigInt(1)).IsZero());
+  EXPECT_TRUE(BigInt::ModExp(BigInt(0), BigInt(5), BigInt(7)).IsZero());
+}
+
+TEST(BigIntTest, FermatLittleTheorem) {
+  Rng rng(5);
+  const BigInt p(1000000007ULL);
+  for (int i = 0; i < 25; ++i) {
+    BigInt a = BigInt::RandomBelow(p, rng);
+    if (a.IsZero()) continue;
+    EXPECT_EQ(BigInt::ModExp(a, p - BigInt(1), p), BigInt(1));
+  }
+}
+
+TEST(BigIntTest, ModInverseRoundTrip) {
+  Rng rng(6);
+  const BigInt p(1000000007ULL);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::RandomBelow(p, rng);
+    if (a.IsZero()) continue;
+    auto inv = BigInt::ModInverse(a, p);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ((a * inv.value()) % p, BigInt(1));
+  }
+}
+
+TEST(BigIntTest, ModInverseFailsWhenNotCoprime) {
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(6), BigInt(9)).ok());
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(0), BigInt(9)).ok());
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(3), BigInt(0)).ok());
+}
+
+TEST(BigIntTest, GcdLcmKnownValues) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)), BigInt(1));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::Lcm(BigInt(4), BigInt(6)), BigInt(12));
+  EXPECT_TRUE(BigInt::Lcm(BigInt(0), BigInt(5)).IsZero());
+}
+
+TEST(BigIntTest, GcdDividesBoth) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::RandomBits(100, rng);
+    BigInt b = BigInt::RandomBits(80, rng);
+    if (a.IsZero() || b.IsZero()) continue;
+    BigInt g = BigInt::Gcd(a, b);
+    EXPECT_TRUE((a % g).IsZero());
+    EXPECT_TRUE((b % g).IsZero());
+  }
+}
+
+TEST(BigIntTest, RandomBitsRespectsWidth) {
+  Rng rng(8);
+  for (size_t bits : {1u, 7u, 32u, 33u, 100u}) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_LE(BigInt::RandomBits(bits, rng).BitLength(), bits);
+    }
+  }
+  EXPECT_TRUE(BigInt::RandomBits(0, rng).IsZero());
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  Rng rng(9);
+  const BigInt bound = BigInt::RandomBits(90, rng) + BigInt(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigInt::RandomBelow(bound, rng), bound);
+  }
+}
+
+TEST(BigIntTest, RandomCoprimeBelowIsCoprime) {
+  Rng rng(10);
+  const BigInt bound(2ULL * 3 * 5 * 7 * 11 * 13);
+  for (int i = 0; i < 30; ++i) {
+    auto r = BigInt::RandomCoprimeBelow(bound, rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(BigInt::Gcd(*r, bound), BigInt(1));
+  }
+  EXPECT_FALSE(BigInt::RandomCoprimeBelow(BigInt(1), rng).ok());
+}
+
+TEST(BigIntTest, PrimalityKnownPrimes) {
+  Rng rng(11);
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 31ULL, 257ULL, 65537ULL,
+                     1000000007ULL, 2305843009213693951ULL /* M61 */}) {
+    EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(p), 20, rng)) << p;
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownComposites) {
+  Rng rng(12);
+  for (uint64_t c : {1ULL, 4ULL, 100ULL, 561ULL /* Carmichael */,
+                     41041ULL /* Carmichael */, 1000000008ULL}) {
+    EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(c), 20, rng)) << c;
+  }
+}
+
+TEST(BigIntTest, RandomPrimeHasExactBitLength) {
+  Rng rng(13);
+  for (size_t bits : {16u, 48u, 96u}) {
+    auto p = BigInt::RandomPrime(bits, rng);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->BitLength(), bits);
+    EXPECT_TRUE(BigInt::IsProbablePrime(*p, 20, rng));
+  }
+  EXPECT_FALSE(BigInt::RandomPrime(4, rng).ok());
+}
+
+TEST(BigIntTest, ArithmeticAgainstUint128) {
+  Rng rng(14);
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t a = rng.NextBits();
+    const uint64_t b = rng.NextBits();
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(a) * b;
+    const BigInt big_product = BigInt(a) * BigInt(b);
+    EXPECT_EQ(big_product.ToUint64(), static_cast<uint64_t>(product));
+    EXPECT_EQ((big_product >> 64).ToUint64(),
+              static_cast<uint64_t>(product >> 64));
+  }
+}
+
+// ------------------------------------------------------------ Montgomery.
+
+TEST(MontgomeryTest, RejectsEvenOrTinyModulus) {
+  EXPECT_FALSE(MontgomeryContext::Create(BigInt(10)).ok());
+  EXPECT_FALSE(MontgomeryContext::Create(BigInt(1)).ok());
+  EXPECT_TRUE(MontgomeryContext::Create(BigInt(3)).ok());
+}
+
+TEST(MontgomeryTest, RoundTripThroughDomain) {
+  Rng rng(301);
+  const BigInt modulus = BigInt::RandomBits(160, rng);
+  // Force odd: add 1 if even.
+  const BigInt odd = modulus.IsEven() ? modulus + BigInt(1) : modulus;
+  auto context = MontgomeryContext::Create(odd);
+  ASSERT_TRUE(context.ok());
+  for (int i = 0; i < 50; ++i) {
+    const BigInt x = BigInt::RandomBelow(odd, rng);
+    EXPECT_EQ(context->FromMontgomery(context->ToMontgomery(x)), x);
+  }
+}
+
+TEST(MontgomeryTest, MultiplyMatchesSchoolbook) {
+  Rng rng(302);
+  for (size_t bits : {96u, 192u, 520u}) {
+    BigInt modulus = BigInt::RandomBits(bits, rng);
+    if (modulus.IsEven()) modulus = modulus + BigInt(1);
+    if (modulus < BigInt(3)) modulus = BigInt(3);
+    auto context = MontgomeryContext::Create(modulus);
+    ASSERT_TRUE(context.ok());
+    for (int i = 0; i < 30; ++i) {
+      const BigInt a = BigInt::RandomBelow(modulus, rng);
+      const BigInt b = BigInt::RandomBelow(modulus, rng);
+      const BigInt via_montgomery = context->FromMontgomery(
+          context->Multiply(context->ToMontgomery(a),
+                            context->ToMontgomery(b)));
+      EXPECT_EQ(via_montgomery, (a * b) % modulus) << bits << " bits";
+    }
+  }
+}
+
+TEST(MontgomeryTest, ModExpMatchesDivisionPath) {
+  Rng rng(303);
+  for (int trial = 0; trial < 10; ++trial) {
+    BigInt modulus = BigInt::RandomBits(256, rng);
+    if (modulus.IsEven()) modulus = modulus + BigInt(1);
+    auto context = MontgomeryContext::Create(modulus);
+    ASSERT_TRUE(context.ok());
+    const BigInt base = BigInt::RandomBelow(modulus, rng);
+    const BigInt exponent = BigInt::RandomBits(80, rng);
+    // Reference: plain square-and-multiply with division reduction.
+    BigInt expected(1);
+    BigInt b = base % modulus;
+    for (size_t i = 0; i < exponent.BitLength(); ++i) {
+      if (exponent.Bit(i)) expected = (expected * b) % modulus;
+      b = (b * b) % modulus;
+    }
+    EXPECT_EQ(context->ModExp(base, exponent), expected);
+  }
+}
+
+TEST(MontgomeryTest, ZeroAndOneEdgeCases) {
+  auto context = MontgomeryContext::Create(BigInt(1000003));
+  ASSERT_TRUE(context.ok());
+  EXPECT_EQ(context->ModExp(BigInt(0), BigInt(5)), BigInt(0));
+  EXPECT_EQ(context->ModExp(BigInt(7), BigInt(0)), BigInt(1));
+  EXPECT_EQ(context->ModExp(BigInt(1), BigInt(12345)), BigInt(1));
+}
+
+// -------------------------------------------------------------- Paillier.
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(99);
+    auto keys = Paillier::GenerateKeyPair(192, rng);
+    ASSERT_TRUE(keys.ok());
+    keys_ = *keys;
+  }
+  PaillierKeyPair keys_;
+};
+
+TEST_F(PaillierTest, KeyGenRejectsTinyKeys) {
+  Rng rng(1);
+  EXPECT_FALSE(Paillier::GenerateKeyPair(32, rng).ok());
+}
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  Rng rng(100);
+  for (int i = 0; i < 20; ++i) {
+    const BigInt m = BigInt::RandomBelow(keys_.public_key.n, rng);
+    auto c = Paillier::Encrypt(keys_.public_key, m, rng);
+    ASSERT_TRUE(c.ok());
+    auto back = Paillier::Decrypt(keys_.public_key, keys_.private_key, *c);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  Rng rng(101);
+  const BigInt m(42);
+  auto c1 = Paillier::Encrypt(keys_.public_key, m, rng);
+  auto c2 = Paillier::Encrypt(keys_.public_key, m, rng);
+  EXPECT_FALSE(c1->value() == c2->value());
+  EXPECT_EQ(*Paillier::Decrypt(keys_.public_key, keys_.private_key, *c1),
+            *Paillier::Decrypt(keys_.public_key, keys_.private_key, *c2));
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  Rng rng(102);
+  const BigInt quarter = keys_.public_key.n >> 2;
+  for (int i = 0; i < 10; ++i) {
+    const BigInt a = BigInt::RandomBelow(quarter, rng);
+    const BigInt b = BigInt::RandomBelow(quarter, rng);
+    auto ca = Paillier::Encrypt(keys_.public_key, a, rng);
+    auto cb = Paillier::Encrypt(keys_.public_key, b, rng);
+    const PaillierCiphertext sum =
+        Paillier::Add(keys_.public_key, *ca, *cb);
+    EXPECT_EQ(*Paillier::Decrypt(keys_.public_key, keys_.private_key, sum),
+              a + b);
+  }
+}
+
+TEST_F(PaillierTest, HomomorphicAdditionWrapsModN) {
+  Rng rng(103);
+  const BigInt& n = keys_.public_key.n;
+  const BigInt a = n - BigInt(1);
+  auto ca = Paillier::Encrypt(keys_.public_key, a, rng);
+  auto c2 = Paillier::Encrypt(keys_.public_key, BigInt(2), rng);
+  const PaillierCiphertext sum = Paillier::Add(keys_.public_key, *ca, *c2);
+  EXPECT_EQ(*Paillier::Decrypt(keys_.public_key, keys_.private_key, sum),
+            BigInt(1));
+}
+
+TEST_F(PaillierTest, ScalarMultiplication) {
+  Rng rng(104);
+  const BigInt m(123456);
+  auto c = Paillier::Encrypt(keys_.public_key, m, rng);
+  const PaillierCiphertext scaled =
+      Paillier::ScalarMul(keys_.public_key, *c, BigInt(1000));
+  EXPECT_EQ(*Paillier::Decrypt(keys_.public_key, keys_.private_key, scaled),
+            BigInt(123456000ULL));
+}
+
+TEST_F(PaillierTest, AddPlain) {
+  Rng rng(105);
+  const BigInt m(77);
+  auto c = Paillier::Encrypt(keys_.public_key, m, rng);
+  auto shifted =
+      Paillier::AddPlain(keys_.public_key, *c, BigInt(23), rng);
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_EQ(
+      *Paillier::Decrypt(keys_.public_key, keys_.private_key, *shifted),
+      BigInt(100));
+}
+
+TEST_F(PaillierTest, RejectsOutOfRangePlaintext) {
+  Rng rng(106);
+  EXPECT_FALSE(
+      Paillier::Encrypt(keys_.public_key, keys_.public_key.n, rng).ok());
+}
+
+TEST_F(PaillierTest, RejectsOutOfRangeCiphertext) {
+  PaillierCiphertext bogus(keys_.public_key.n_squared + BigInt(1));
+  EXPECT_FALSE(
+      Paillier::Decrypt(keys_.public_key, keys_.private_key, bogus).ok());
+}
+
+TEST_F(PaillierTest, CiphertextBytesTracksKeySize) {
+  EXPECT_GE(keys_.public_key.CiphertextBytes() * 8, 2 * 190u);
+}
+
+// ------------------------------------------------------------ FixedPoint.
+
+class FixedPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(200);
+    auto keys = Paillier::GenerateKeyPair(192, rng);
+    ASSERT_TRUE(keys.ok());
+    modulus_ = keys->public_key.n;
+  }
+  BigInt modulus_;
+};
+
+TEST_F(FixedPointTest, RoundTripPositiveNegative) {
+  FixedPointCodec codec(modulus_, 32);
+  for (double v : {0.0, 1.0, -1.0, 3.14159, -2.71828, 1e-7, -1e-7, 12345.678,
+                   -98765.4321}) {
+    auto encoded = codec.Encode(v);
+    ASSERT_TRUE(encoded.ok()) << v;
+    EXPECT_NEAR(codec.Decode(*encoded), v, 1e-6 * (1 + std::abs(v))) << v;
+  }
+}
+
+TEST_F(FixedPointTest, AdditivityUnderModularArithmetic) {
+  FixedPointCodec codec(modulus_, 32);
+  Rng rng(201);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.Gaussian(0, 100);
+    const double b = rng.Gaussian(0, 100);
+    const BigInt ea = codec.Encode(a).value();
+    const BigInt eb = codec.Encode(b).value();
+    const BigInt sum = (ea + eb) % modulus_;
+    EXPECT_NEAR(codec.Decode(sum), a + b, 1e-6 * (1 + std::abs(a + b)));
+  }
+}
+
+TEST_F(FixedPointTest, RejectsNonFinite) {
+  FixedPointCodec codec(modulus_, 32);
+  EXPECT_FALSE(codec.Encode(std::nan("")).ok());
+  EXPECT_FALSE(codec.Encode(INFINITY).ok());
+}
+
+TEST_F(FixedPointTest, RejectsOverflow) {
+  FixedPointCodec codec(modulus_, 48);
+  EXPECT_FALSE(codec.Encode(1e30).ok());
+}
+
+TEST_F(FixedPointTest, QuantizationGranularity) {
+  FixedPointCodec codec(modulus_, 8);  // step = 1/256
+  const double v = 0.001;  // below half-step of 1/512? No: 0.001 < 1/512.
+  auto encoded = codec.Encode(v);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_NEAR(codec.Decode(*encoded), v, 1.0 / 256.0);
+}
+
+}  // namespace
+}  // namespace digfl

@@ -1,0 +1,325 @@
+// Unit tests for src/hfl: participant updates, server aggregation, FedSGD
+// training-loop invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "hfl/fed_sgd.h"
+#include "nn/linear_regression.h"
+#include "nn/mlp.h"
+#include "nn/softmax_regression.h"
+
+namespace digfl {
+namespace {
+
+struct HflFixture {
+  Dataset train;
+  Dataset validation;
+  std::vector<HflParticipant> participants;
+
+  static HflFixture Make(size_t num_participants = 3, uint64_t seed = 1) {
+    GaussianClassificationConfig config;
+    config.num_samples = 240;
+    config.num_features = 6;
+    config.num_classes = 3;
+    config.seed = seed;
+    Dataset pool = MakeGaussianClassification(config).value();
+    Rng rng(seed + 1);
+    auto split = SplitHoldout(pool, 0.2, rng).value();
+    HflFixture fixture;
+    fixture.train = split.first;
+    fixture.validation = split.second;
+    auto shards = PartitionIid(fixture.train, num_participants, rng).value();
+    for (size_t i = 0; i < shards.size(); ++i) {
+      fixture.participants.emplace_back(i, shards[i]);
+    }
+    return fixture;
+  }
+};
+
+// ------------------------------------------------------------ participant.
+
+TEST(HflParticipantTest, SingleStepUpdateIsScaledGradient) {
+  const HflFixture fixture = HflFixture::Make();
+  SoftmaxRegression model(6, 3);
+  Rng rng(5);
+  Vec params(model.NumParams());
+  for (double& p : params) p = rng.Gaussian(0, 0.2);
+
+  const HflParticipant& participant = fixture.participants[0];
+  const Vec delta =
+      participant.ComputeLocalUpdate(model, params, 0.3).value();
+  const Vec grad = participant.LocalGradient(model, params).value();
+  EXPECT_TRUE(vec::AllClose(delta, vec::Scaled(0.3, grad), 1e-12));
+}
+
+TEST(HflParticipantTest, MultiStepUpdateCompounds) {
+  const HflFixture fixture = HflFixture::Make();
+  SoftmaxRegression model(6, 3);
+  const Vec params(model.NumParams(), 0.1);
+  const HflParticipant& participant = fixture.participants[0];
+  const Vec one = participant.ComputeLocalUpdate(model, params, 0.1, 1).value();
+  const Vec two = participant.ComputeLocalUpdate(model, params, 0.1, 2).value();
+  EXPECT_FALSE(vec::AllClose(one, two));
+  // Two steps should move roughly twice as far early in training.
+  EXPECT_GT(vec::Norm2(two), vec::Norm2(one));
+}
+
+TEST(HflParticipantTest, RejectsBadArguments) {
+  const HflFixture fixture = HflFixture::Make();
+  SoftmaxRegression model(6, 3);
+  const Vec params(model.NumParams(), 0.0);
+  const HflParticipant& participant = fixture.participants[0];
+  EXPECT_FALSE(participant.ComputeLocalUpdate(model, params, 0.1, 0).ok());
+  EXPECT_FALSE(participant.ComputeLocalUpdate(model, params, 0.0).ok());
+  EXPECT_FALSE(
+      participant.ComputeLocalUpdate(model, Vec(3, 0.0), 0.1).ok());
+}
+
+TEST(HflParticipantTest, LocalHvpUsesLocalData) {
+  const HflFixture fixture = HflFixture::Make();
+  SoftmaxRegression model(6, 3);
+  Rng rng(41);
+  Vec params(model.NumParams());
+  Vec v(model.NumParams());
+  for (double& p : params) p = rng.Gaussian(0.0, 0.2);
+  for (double& d : v) d = rng.Gaussian();
+  const Vec hvp0 = fixture.participants[0].ComputeLocalHvp(model, params, v)
+                       .value();
+  const Vec hvp1 = fixture.participants[1].ComputeLocalHvp(model, params, v)
+                       .value();
+  EXPECT_FALSE(vec::AllClose(hvp0, hvp1));  // different shards, different H
+}
+
+TEST(HflParticipantTest, IdAndSampleCount) {
+  const HflFixture fixture = HflFixture::Make(3);
+  EXPECT_EQ(fixture.participants[2].id(), 2u);
+  EXPECT_EQ(fixture.participants[0].num_samples(), 64u);
+}
+
+// ----------------------------------------------------------------- server.
+
+TEST(HflServerTest, UniformAggregationIsMean) {
+  const std::vector<Vec> deltas = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Vec mean = HflServer::AggregateUniform(deltas).value();
+  EXPECT_TRUE(vec::AllClose(mean, {3.0, 4.0}, 1e-12));
+}
+
+TEST(HflServerTest, WeightedAggregation) {
+  const std::vector<Vec> deltas = {{1.0, 0.0}, {0.0, 1.0}};
+  const Vec combined =
+      HflServer::AggregateWeighted(deltas, {0.25, 0.75}).value();
+  EXPECT_TRUE(vec::AllClose(combined, {0.25, 0.75}, 1e-12));
+}
+
+TEST(HflServerTest, AggregationValidation) {
+  EXPECT_FALSE(HflServer::AggregateUniform({}).ok());
+  EXPECT_FALSE(HflServer::AggregateUniform({{1.0}, {1.0, 2.0}}).ok());
+  EXPECT_FALSE(HflServer::AggregateWeighted({{1.0}}, {0.5, 0.5}).ok());
+}
+
+TEST(HflServerTest, ValidationQuantities) {
+  const HflFixture fixture = HflFixture::Make();
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, fixture.validation);
+  const Vec zero(model.NumParams(), 0.0);
+  EXPECT_NEAR(server.ValidationLoss(zero).value(), std::log(3.0), 1e-12);
+  const Vec grad = server.ValidationGradient(zero).value();
+  EXPECT_EQ(grad.size(), model.NumParams());
+  EXPECT_GT(vec::Norm2(grad), 0.0);
+  const double acc = server.ValidationAccuracy(zero).value();
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+// ----------------------------------------------------------------- FedSGD.
+
+TEST(FedSgdTest, TrainingReducesValidationLoss) {
+  HflFixture fixture = HflFixture::Make();
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, fixture.validation);
+  FedSgdConfig config;
+  config.epochs = 30;
+  config.learning_rate = 0.4;
+  const Vec init(model.NumParams(), 0.0);
+  auto log = RunFedSgd(model, fixture.participants, server, init, config);
+  ASSERT_TRUE(log.ok());
+  EXPECT_LT(log->validation_loss.back(), log->validation_loss.front());
+  EXPECT_GT(log->validation_accuracy.back(), 0.7);
+}
+
+TEST(FedSgdTest, LogShapesMatchConfig) {
+  HflFixture fixture = HflFixture::Make(4);
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, fixture.validation);
+  FedSgdConfig config;
+  config.epochs = 7;
+  config.learning_rate = 0.2;
+  auto log = RunFedSgd(model, fixture.participants, server,
+                       Vec(model.NumParams(), 0.0), config);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_epochs(), 7u);
+  EXPECT_EQ(log->num_participants(), 4u);
+  EXPECT_EQ(log->validation_loss.size(), 7u);
+  for (const HflEpochRecord& record : log->epochs) {
+    EXPECT_EQ(record.deltas.size(), 4u);
+    EXPECT_EQ(record.params_before.size(), model.NumParams());
+    EXPECT_DOUBLE_EQ(record.learning_rate, 0.2);
+    for (double w : record.weights) EXPECT_DOUBLE_EQ(w, 0.25);
+  }
+}
+
+TEST(FedSgdTest, GlobalUpdateIsMeanOfDeltas) {
+  HflFixture fixture = HflFixture::Make(3);
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, fixture.validation);
+  FedSgdConfig config;
+  config.epochs = 3;
+  config.learning_rate = 0.2;
+  auto log = RunFedSgd(model, fixture.participants, server,
+                       Vec(model.NumParams(), 0.0), config);
+  ASSERT_TRUE(log.ok());
+  // θ_t = θ_{t-1} − mean(δ): verify via consecutive records.
+  for (size_t t = 0; t + 1 < log->epochs.size(); ++t) {
+    const Vec expected = vec::Sub(
+        log->epochs[t].params_before,
+        HflServer::AggregateUniform(log->epochs[t].deltas).value());
+    EXPECT_TRUE(
+        vec::AllClose(log->epochs[t + 1].params_before, expected, 1e-10));
+  }
+}
+
+TEST(FedSgdTest, DeterministicAcrossRuns) {
+  HflFixture fixture = HflFixture::Make();
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, fixture.validation);
+  FedSgdConfig config;
+  config.epochs = 5;
+  config.learning_rate = 0.3;
+  const Vec init(model.NumParams(), 0.0);
+  auto log1 = RunFedSgd(model, fixture.participants, server, init, config);
+  auto log2 = RunFedSgd(model, fixture.participants, server, init, config);
+  EXPECT_EQ(log1->final_params, log2->final_params);
+  EXPECT_EQ(log1->validation_loss, log2->validation_loss);
+}
+
+TEST(FedSgdTest, LrDecayIsRecorded) {
+  HflFixture fixture = HflFixture::Make();
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, fixture.validation);
+  FedSgdConfig config;
+  config.epochs = 3;
+  config.learning_rate = 0.4;
+  config.lr_decay = 0.5;
+  auto log = RunFedSgd(model, fixture.participants, server,
+                       Vec(model.NumParams(), 0.0), config);
+  ASSERT_TRUE(log.ok());
+  EXPECT_DOUBLE_EQ(log->epochs[0].learning_rate, 0.4);
+  EXPECT_DOUBLE_EQ(log->epochs[1].learning_rate, 0.2);
+  EXPECT_DOUBLE_EQ(log->epochs[2].learning_rate, 0.1);
+}
+
+TEST(FedSgdTest, CommAccountingScalesWithEpochsAndParticipants) {
+  HflFixture fixture = HflFixture::Make(3);
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, fixture.validation);
+  FedSgdConfig config;
+  config.epochs = 4;
+  config.learning_rate = 0.2;
+  auto log = RunFedSgd(model, fixture.participants, server,
+                       Vec(model.NumParams(), 0.0), config);
+  ASSERT_TRUE(log.ok());
+  // Down + up: 2 directions * epochs * participants * p doubles.
+  const uint64_t expected =
+      2ull * 4 * 3 * model.NumParams() * sizeof(double);
+  EXPECT_EQ(log->comm.TotalBytes(), expected);
+}
+
+TEST(FedSgdTest, RecordLogOffKeepsFinalParams) {
+  HflFixture fixture = HflFixture::Make();
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, fixture.validation);
+  FedSgdConfig config;
+  config.epochs = 5;
+  config.learning_rate = 0.3;
+  auto with_log = RunFedSgd(model, fixture.participants, server,
+                            Vec(model.NumParams(), 0.0), config);
+  config.record_log = false;
+  auto without_log = RunFedSgd(model, fixture.participants, server,
+                               Vec(model.NumParams(), 0.0), config);
+  EXPECT_TRUE(without_log->epochs.empty());
+  EXPECT_EQ(with_log->final_params, without_log->final_params);
+}
+
+TEST(FedSgdTest, RejectsBadConfig) {
+  HflFixture fixture = HflFixture::Make();
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, fixture.validation);
+  FedSgdConfig config;
+  config.epochs = 0;
+  EXPECT_FALSE(RunFedSgd(model, fixture.participants, server,
+                         Vec(model.NumParams(), 0.0), config)
+                   .ok());
+  config.epochs = 3;
+  config.learning_rate = -0.1;
+  EXPECT_FALSE(RunFedSgd(model, fixture.participants, server,
+                         Vec(model.NumParams(), 0.0), config)
+                   .ok());
+  config.learning_rate = 0.1;
+  EXPECT_FALSE(RunFedSgd(model, {}, server, Vec(model.NumParams(), 0.0),
+                         config)
+                   .ok());
+}
+
+// A policy that zeroes one participant should reproduce training without it.
+class DropFirstPolicy : public AggregationPolicy {
+ public:
+  Result<std::vector<double>> Weights(size_t, const Vec&, double,
+                                      const std::vector<Vec>& deltas,
+                                      const HflServer&) override {
+    std::vector<double> weights(deltas.size(),
+                                1.0 / static_cast<double>(deltas.size() - 1));
+    weights[0] = 0.0;
+    return weights;
+  }
+};
+
+TEST(FedSgdTest, CustomPolicyControlsAggregation) {
+  HflFixture fixture = HflFixture::Make(3);
+  SoftmaxRegression model(6, 3);
+  HflServer server(model, fixture.validation);
+  FedSgdConfig config;
+  config.epochs = 4;
+  config.learning_rate = 0.3;
+  DropFirstPolicy policy;
+  auto with_policy = RunFedSgd(model, fixture.participants, server,
+                               Vec(model.NumParams(), 0.0), config, &policy);
+  ASSERT_TRUE(with_policy.ok());
+  // Reference: train only participants 1..2 with uniform weights.
+  std::vector<HflParticipant> rest = {fixture.participants[1],
+                                      fixture.participants[2]};
+  auto reference = RunFedSgd(model, rest, server, Vec(model.NumParams(), 0.0),
+                             config);
+  EXPECT_TRUE(vec::AllClose(with_policy->final_params,
+                            reference->final_params, 1e-10));
+}
+
+TEST(FedSgdTest, MlpTrainsUnderFederation) {
+  HflFixture fixture = HflFixture::Make(3, 9);
+  Mlp model({6, 8, 3});
+  HflServer server(model, fixture.validation);
+  Rng rng(3);
+  FedSgdConfig config;
+  config.epochs = 60;
+  config.learning_rate = 0.5;
+  auto log = RunFedSgd(model, fixture.participants, server,
+                       model.InitParams(rng).value(), config);
+  ASSERT_TRUE(log.ok());
+  EXPECT_GT(log->validation_accuracy.back(), 0.75);
+}
+
+}  // namespace
+}  // namespace digfl

@@ -1,0 +1,169 @@
+// Unit tests for src/metrics: correlation metrics and the cost-report
+// table builder.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/correlation.h"
+#include "metrics/cost_report.h"
+#include "metrics/detection.h"
+
+namespace digfl {
+namespace {
+
+TEST(PearsonTest, PerfectPositiveAndNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}).value(), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}).value(), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, InvariantToAffineTransforms) {
+  const std::vector<double> a = {0.3, -1.2, 2.2, 0.9, -0.4};
+  std::vector<double> b(a.size());
+  for (size_t i = 0; i < a.size(); ++i) b[i] = 3.0 * a[i] - 7.0;
+  EXPECT_NEAR(PearsonCorrelation(a, b).value(), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, UncorrelatedNearZero) {
+  // Orthogonal patterns.
+  EXPECT_NEAR(
+      PearsonCorrelation({1, -1, 1, -1}, {1, 1, -1, -1}).value(), 0.0, 1e-12);
+}
+
+TEST(PearsonTest, SymmetricInArguments) {
+  const std::vector<double> a = {1, 5, 2, 8};
+  const std::vector<double> b = {2, 3, 9, 1};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b).value(),
+                   PearsonCorrelation(b, a).value());
+}
+
+TEST(PearsonTest, Validation) {
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1}, {1}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).ok());  // no variance
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {1, 8, 27, 64, 125};  // cubic but monotone
+  EXPECT_NEAR(SpearmanCorrelation(a, b).value(), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(a, b).value(), 1.0);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  const std::vector<double> a = {1, 2, 2, 3};
+  const std::vector<double> b = {10, 20, 20, 30};
+  EXPECT_NEAR(SpearmanCorrelation(a, b).value(), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ReversedIsMinusOne) {
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3, 4}, {9, 7, 5, 3}).value(), -1.0,
+              1e-12);
+}
+
+TEST(RelativeTotalErrorTest, KnownValues) {
+  EXPECT_NEAR(RelativeTotalError({1, 1}, {1, 1.1}).value(), 0.05, 1e-12);
+  EXPECT_NEAR(RelativeTotalError({2, 2}, {2, 2}).value(), 0.0, 1e-12);
+  EXPECT_FALSE(RelativeTotalError({1, -1}, {1, 1}).ok());  // zero reference
+}
+
+TEST(PairwiseOrderAgreementTest, PerfectAndInverted) {
+  EXPECT_NEAR(PairwiseOrderAgreement({1, 2, 3}, {4, 5, 6}).value(), 1.0,
+              1e-12);
+  EXPECT_NEAR(PairwiseOrderAgreement({1, 2, 3}, {6, 5, 4}).value(), 0.0,
+              1e-12);
+}
+
+TEST(PairwiseOrderAgreementTest, SkipsTies) {
+  // Only the (0,2) pair is comparable in both vectors... actually (0,1) and
+  // (1,2) are tied in a; (0,2) agrees.
+  EXPECT_NEAR(PairwiseOrderAgreement({1, 1, 2}, {5, 6, 7}).value(), 1.0,
+              1e-12);
+  EXPECT_FALSE(PairwiseOrderAgreement({1, 1}, {2, 3}).ok());
+}
+
+TEST(DetectionTest, PerfectLocalizationScoresOne) {
+  // Corrupted participants (1, 3) have the lowest contributions.
+  const std::vector<double> phi = {0.5, -0.2, 0.4, -0.1};
+  const std::vector<bool> corrupted = {false, true, false, true};
+  EXPECT_DOUBLE_EQ(DetectionPrecisionAtK(phi, corrupted).value(), 1.0);
+  EXPECT_DOUBLE_EQ(DetectionAuc(phi, corrupted).value(), 1.0);
+}
+
+TEST(DetectionTest, InvertedRankingScoresZero) {
+  const std::vector<double> phi = {0.5, -0.2, 0.4, -0.1};
+  const std::vector<bool> corrupted = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(DetectionPrecisionAtK(phi, corrupted).value(), 0.0);
+  EXPECT_DOUBLE_EQ(DetectionAuc(phi, corrupted).value(), 0.0);
+}
+
+TEST(DetectionTest, PartialOverlap) {
+  // Ascending order: p1 (-0.2, corrupted), p2 (0.1, clean), p0 (0.3,
+  // corrupted), p3 (0.5, clean). Precision@2 = 1/2; AUC: pairs (1,2)=1,
+  // (1,3)=1, (0,2)=0, (0,3)=1 → 3/4.
+  const std::vector<double> phi = {0.3, -0.2, 0.1, 0.5};
+  const std::vector<bool> corrupted = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(DetectionPrecisionAtK(phi, corrupted).value(), 0.5);
+  EXPECT_DOUBLE_EQ(DetectionAuc(phi, corrupted).value(), 0.75);
+}
+
+TEST(DetectionTest, ExplicitKOverridesDefault) {
+  const std::vector<double> phi = {0.5, -0.2, 0.4};
+  const std::vector<bool> corrupted = {false, true, false};
+  EXPECT_DOUBLE_EQ(DetectionPrecisionAtK(phi, corrupted, 2).value(), 0.5);
+}
+
+TEST(DetectionTest, TiesCountHalfInAuc) {
+  const std::vector<double> phi = {0.2, 0.2};
+  const std::vector<bool> corrupted = {true, false};
+  EXPECT_DOUBLE_EQ(DetectionAuc(phi, corrupted).value(), 0.5);
+}
+
+TEST(DetectionTest, Validation) {
+  EXPECT_FALSE(DetectionPrecisionAtK({1.0}, {true, false}).ok());
+  EXPECT_FALSE(DetectionPrecisionAtK({}, {}).ok());
+  EXPECT_FALSE(
+      DetectionPrecisionAtK({1.0, 2.0}, {false, false}).ok());  // k=0
+  EXPECT_FALSE(DetectionPrecisionAtK({1.0, 2.0}, {true, false}, 5).ok());
+  EXPECT_FALSE(DetectionAuc({1.0, 2.0}, {true, true}).ok());
+  EXPECT_FALSE(DetectionAuc({1.0, 2.0}, {false, false}).ok());
+}
+
+TEST(ScoreMethodTest, BuildsRowFromReport) {
+  ContributionReport report;
+  report.total = {1.0, 2.0, 3.0};
+  report.wall_seconds = 1.5;
+  report.retrainings = 8;
+  report.extra_comm.Record("x", 2 * 1024 * 1024);
+  auto cost = ScoreMethod("digfl", report, {2.0, 4.0, 6.0});
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost->method, "digfl");
+  EXPECT_NEAR(cost->pcc, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cost->seconds, 1.5);
+  EXPECT_DOUBLE_EQ(cost->comm_megabytes, 2.0);
+  EXPECT_EQ(cost->retrainings, 8u);
+}
+
+TEST(ScoreMethodTest, PropagatesCorrelationFailure) {
+  ContributionReport report;
+  report.total = {1.0};
+  EXPECT_FALSE(ScoreMethod("broken", report, {1.0}).ok());
+}
+
+TEST(MethodCostTableTest, RendersAllRows) {
+  std::vector<MethodCost> rows = {
+      {"DIG-FL", 0.968, 0.002, 0.0, 0},
+      {"TMC", 0.917, 12.5, 3.2, 44},
+  };
+  auto table = MethodCostTable(rows);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  std::ostringstream os;
+  table->Print(os);
+  EXPECT_NE(os.str().find("DIG-FL"), std::string::npos);
+  EXPECT_NE(os.str().find("TMC"), std::string::npos);
+  EXPECT_NE(os.str().find("0.968"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace digfl

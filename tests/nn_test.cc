@@ -1,0 +1,450 @@
+// Unit tests for src/nn: every model's loss/gradient/HVP cross-checked
+// against finite differences, plus interface-level behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "data/synthetic.h"
+#include "nn/hvp.h"
+#include "nn/linear_regression.h"
+#include "nn/logistic_regression.h"
+#include "nn/mlp.h"
+#include "nn/model.h"
+#include "nn/sgd.h"
+#include "nn/softmax_regression.h"
+
+namespace digfl {
+namespace {
+
+// Finite-difference gradient of model.Loss for verification.
+Vec NumericalGradient(const Model& model, const Vec& params,
+                      const Dataset& data, double eps = 1e-6) {
+  Vec grad(params.size());
+  for (size_t j = 0; j < params.size(); ++j) {
+    Vec plus = params, minus = params;
+    plus[j] += eps;
+    minus[j] -= eps;
+    grad[j] =
+        (model.Loss(plus, data).value() - model.Loss(minus, data).value()) /
+        (2 * eps);
+  }
+  return grad;
+}
+
+struct ModelCase {
+  std::string name;
+  std::function<std::unique_ptr<Model>()> make_model;
+  std::function<Dataset()> make_data;
+};
+
+Dataset SmallRegressionData() {
+  SyntheticRegressionConfig config;
+  config.num_samples = 40;
+  config.num_features = 6;
+  config.seed = 5;
+  return MakeSyntheticRegression(config).value();
+}
+
+Dataset SmallBinaryData() {
+  SyntheticLogisticConfig config;
+  config.num_samples = 40;
+  config.num_features = 6;
+  config.seed = 6;
+  return MakeSyntheticLogistic(config).value();
+}
+
+Dataset SmallMulticlassData(int classes = 3, size_t features = 6) {
+  GaussianClassificationConfig config;
+  config.num_samples = 40;
+  config.num_features = features;
+  config.num_classes = classes;
+  config.seed = 8;
+  return MakeGaussianClassification(config).value();
+}
+
+std::vector<ModelCase> AllModelCases() {
+  return {
+      {"LinearRegression",
+       [] { return std::make_unique<LinearRegression>(6); },
+       [] { return SmallRegressionData(); }},
+      {"LogisticRegression",
+       [] { return std::make_unique<LogisticRegression>(6); },
+       [] { return SmallBinaryData(); }},
+      {"SoftmaxRegression",
+       [] { return std::make_unique<SoftmaxRegression>(6, 3); },
+       [] { return SmallMulticlassData(); }},
+      {"Mlp",
+       [] { return std::make_unique<Mlp>(std::vector<size_t>{6, 5, 3}); },
+       [] { return SmallMulticlassData(); }},
+      {"DeepMlp",
+       [] {
+         return std::make_unique<Mlp>(std::vector<size_t>{6, 8, 5, 3});
+       },
+       [] { return SmallMulticlassData(); }},
+  };
+}
+
+class ModelContractTest : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(ModelContractTest, GradientMatchesFiniteDifference) {
+  const ModelCase& c = GetParam();
+  auto model = c.make_model();
+  const Dataset data = c.make_data();
+  Rng rng(11);
+  Vec params = model->InitParams(rng).value();
+  // Perturb away from any symmetric point.
+  for (double& p : params) p += rng.Gaussian(0.0, 0.3);
+
+  const Vec analytic = model->Gradient(params, data).value();
+  const Vec numeric = NumericalGradient(*model, params, data);
+  ASSERT_EQ(analytic.size(), numeric.size());
+  for (size_t j = 0; j < analytic.size(); ++j) {
+    EXPECT_NEAR(analytic[j], numeric[j], 1e-4 * (1 + std::abs(numeric[j])))
+        << c.name << " param " << j;
+  }
+}
+
+TEST_P(ModelContractTest, HvpMatchesFiniteDifferenceOfGradient) {
+  const ModelCase& c = GetParam();
+  auto model = c.make_model();
+  const Dataset data = c.make_data();
+  Rng rng(13);
+  Vec params = model->InitParams(rng).value();
+  for (double& p : params) p += rng.Gaussian(0.0, 0.3);
+  Vec direction(params.size());
+  for (double& v : direction) v = rng.Gaussian();
+
+  const Vec exact = model->Hvp(params, data, direction).value();
+  GradientFn grad_fn = [&](const Vec& p) { return model->Gradient(p, data); };
+  const Vec numeric = FiniteDifferenceHvp(grad_fn, params, direction).value();
+  for (size_t j = 0; j < exact.size(); ++j) {
+    EXPECT_NEAR(exact[j], numeric[j], 5e-3 * (1 + std::abs(numeric[j])))
+        << c.name << " param " << j;
+  }
+}
+
+TEST_P(ModelContractTest, HvpIsLinearInDirection) {
+  const ModelCase& c = GetParam();
+  auto model = c.make_model();
+  const Dataset data = c.make_data();
+  Rng rng(17);
+  Vec params = model->InitParams(rng).value();
+  for (double& p : params) p += rng.Gaussian(0.0, 0.3);
+  Vec v1(params.size()), v2(params.size());
+  for (size_t j = 0; j < params.size(); ++j) {
+    v1[j] = rng.Gaussian();
+    v2[j] = rng.Gaussian();
+  }
+  const Vec h1 = model->Hvp(params, data, v1).value();
+  const Vec h2 = model->Hvp(params, data, v2).value();
+  Vec combo(params.size());
+  for (size_t j = 0; j < params.size(); ++j) combo[j] = 2 * v1[j] - 3 * v2[j];
+  const Vec h_combo = model->Hvp(params, data, combo).value();
+  for (size_t j = 0; j < params.size(); ++j) {
+    EXPECT_NEAR(h_combo[j], 2 * h1[j] - 3 * h2[j],
+                1e-6 * (1 + std::abs(h_combo[j])))
+        << c.name;
+  }
+}
+
+TEST_P(ModelContractTest, HvpIsSymmetricBilinearForm) {
+  // <u, H v> == <v, H u>: Hessians are symmetric.
+  const ModelCase& c = GetParam();
+  auto model = c.make_model();
+  const Dataset data = c.make_data();
+  Rng rng(19);
+  Vec params = model->InitParams(rng).value();
+  for (double& p : params) p += rng.Gaussian(0.0, 0.3);
+  Vec u(params.size()), v(params.size());
+  for (size_t j = 0; j < params.size(); ++j) {
+    u[j] = rng.Gaussian();
+    v[j] = rng.Gaussian();
+  }
+  const double uhv = vec::Dot(u, model->Hvp(params, data, v).value());
+  const double vhu = vec::Dot(v, model->Hvp(params, data, u).value());
+  EXPECT_NEAR(uhv, vhu, 1e-7 * (1 + std::abs(uhv))) << c.name;
+}
+
+TEST_P(ModelContractTest, GradientDescentReducesLoss) {
+  const ModelCase& c = GetParam();
+  auto model = c.make_model();
+  const Dataset data = c.make_data();
+  Rng rng(23);
+  Vec params = model->InitParams(rng).value();
+  const double before = model->Loss(params, data).value();
+  TrainConfig config;
+  config.epochs = 25;
+  config.learning_rate = 0.1;
+  auto trace = TrainCentralized(*model, data, params, config);
+  ASSERT_TRUE(trace.ok()) << c.name;
+  EXPECT_LT(trace->train_loss.back(), before) << c.name;
+}
+
+TEST_P(ModelContractTest, ShapeValidation) {
+  const ModelCase& c = GetParam();
+  auto model = c.make_model();
+  const Dataset data = c.make_data();
+  const Vec bad_params(model->NumParams() + 1, 0.0);
+  EXPECT_FALSE(model->Loss(bad_params, data).ok()) << c.name;
+  EXPECT_FALSE(model->Gradient(bad_params, data).ok()) << c.name;
+  const Vec good_params(model->NumParams(), 0.0);
+  const Vec bad_direction(model->NumParams() + 2, 0.0);
+  EXPECT_FALSE(model->Hvp(good_params, data, bad_direction).ok()) << c.name;
+}
+
+TEST_P(ModelContractTest, CloneIsIndependentEqualBehaviour) {
+  const ModelCase& c = GetParam();
+  auto model = c.make_model();
+  auto clone = model->Clone();
+  const Dataset data = c.make_data();
+  Rng rng(29);
+  const Vec params = model->InitParams(rng).value();
+  EXPECT_EQ(model->NumParams(), clone->NumParams());
+  EXPECT_DOUBLE_EQ(model->Loss(params, data).value(),
+                   clone->Loss(params, data).value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, ModelContractTest, ::testing::ValuesIn(AllModelCases()),
+    [](const ::testing::TestParamInfo<ModelCase>& info) {
+      return info.param.name;
+    });
+
+// ------------------------------------------------- model-specific tests.
+
+TEST(LinearRegressionTest, PerfectFitZeroLoss) {
+  // y = 2 x0 - x1 exactly; loss at the true weights is 0.
+  Dataset data;
+  data.x = {{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {2.0, -1.0}};
+  data.y = {2.0, -1.0, 1.0, 5.0};
+  LinearRegression model(2);
+  EXPECT_NEAR(model.Loss({2.0, -1.0}, data).value(), 0.0, 1e-12);
+  const Vec grad = model.Gradient({2.0, -1.0}, data).value();
+  EXPECT_NEAR(vec::Norm2(grad), 0.0, 1e-12);
+}
+
+TEST(LinearRegressionTest, LossIsMeanSquaredError) {
+  Dataset data;
+  data.x = {{1.0}, {1.0}};
+  data.y = {0.0, 0.0};
+  LinearRegression model(1);
+  EXPECT_DOUBLE_EQ(model.Loss({3.0}, data).value(), 9.0);
+}
+
+TEST(LinearRegressionTest, HvpIsParameterIndependent) {
+  const Dataset data = SmallRegressionData();
+  LinearRegression model(6);
+  Rng rng(3);
+  Vec v(6);
+  for (double& x : v) x = rng.Gaussian();
+  const Vec h_at_zero = model.Hvp(vec::Zeros(6), data, v).value();
+  Vec other(6, 1.5);
+  const Vec h_elsewhere = model.Hvp(other, data, v).value();
+  EXPECT_TRUE(vec::AllClose(h_at_zero, h_elsewhere, 1e-12));
+}
+
+TEST(LinearRegressionTest, RegressionAccuracyIsR2) {
+  Dataset data;
+  data.x = {{1.0}, {2.0}, {3.0}};
+  data.y = {1.0, 2.0, 3.0};
+  LinearRegression model(1);
+  EXPECT_NEAR(model.Accuracy({1.0}, data).value(), 1.0, 1e-12);
+  EXPECT_LT(model.Accuracy({0.0}, data).value(), 1.0);
+}
+
+TEST(LogisticRegressionTest, SigmoidProperties) {
+  EXPECT_DOUBLE_EQ(LogisticRegression::Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(-100.0), 0.0, 1e-12);
+  // Symmetry: σ(-z) = 1 - σ(z).
+  for (double z : {0.3, 1.7, 5.0}) {
+    EXPECT_NEAR(LogisticRegression::Sigmoid(-z),
+                1.0 - LogisticRegression::Sigmoid(z), 1e-12);
+  }
+}
+
+TEST(LogisticRegressionTest, LossAtZeroIsLog2) {
+  const Dataset data = SmallBinaryData();
+  LogisticRegression model(6);
+  EXPECT_NEAR(model.Loss(vec::Zeros(6), data).value(), std::log(2.0), 1e-12);
+}
+
+TEST(LogisticRegressionTest, ExtremeLogitsStayFinite) {
+  Dataset data;
+  data.x = {{1000.0}, {-1000.0}};
+  data.y = {1.0, 0.0};
+  data.num_classes = 2;
+  LogisticRegression model(1);
+  const double loss = model.Loss({1.0}, data).value();
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-9);
+  const double bad_loss = model.Loss({-1.0}, data).value();
+  EXPECT_TRUE(std::isfinite(bad_loss));
+  EXPECT_GT(bad_loss, 100.0);
+}
+
+TEST(LogisticRegressionTest, RejectsNonBinaryData) {
+  const Dataset data = SmallMulticlassData();
+  LogisticRegression model(6);
+  EXPECT_FALSE(model.Loss(vec::Zeros(6), data).ok());
+}
+
+TEST(LogisticRegressionTest, PredictThreshold) {
+  LogisticRegression model(1);
+  Matrix x = {{2.0}, {-2.0}};
+  const Vec pred = model.Predict({1.0}, x).value();
+  EXPECT_EQ(pred[0], 1.0);
+  EXPECT_EQ(pred[1], 0.0);
+}
+
+TEST(SoftmaxRegressionTest, LossAtZeroIsLogK) {
+  const Dataset data = SmallMulticlassData(3);
+  SoftmaxRegression model(6, 3);
+  EXPECT_NEAR(model.Loss(vec::Zeros(model.NumParams()), data).value(),
+              std::log(3.0), 1e-12);
+}
+
+TEST(SoftmaxRegressionTest, RejectsClassCountMismatch) {
+  const Dataset data = SmallMulticlassData(3);
+  SoftmaxRegression model(6, 4);
+  EXPECT_FALSE(model.Loss(vec::Zeros(model.NumParams()), data).ok());
+}
+
+TEST(SoftmaxRegressionTest, PredictPicksArgmaxClass) {
+  SoftmaxRegression model(2, 3);
+  // Class k scores = w_k · x; weights favour class 2 for x = (1, 0).
+  Vec params = {0.0, 0.0, /*class1*/ 1.0, 0.0, /*class2*/ 5.0, 0.0};
+  Matrix x = {{1.0, 0.0}};
+  EXPECT_EQ(model.Predict(params, x).value()[0], 2.0);
+}
+
+TEST(MlpTest, ParameterCountFormula) {
+  Mlp model({4, 7, 3});
+  EXPECT_EQ(model.NumParams(), 4u * 7 + 7 + 7 * 3 + 3);
+  Mlp deep({4, 5, 6, 2});
+  EXPECT_EQ(deep.NumParams(), 4u * 5 + 5 + 5 * 6 + 6 + 6 * 2 + 2);
+}
+
+TEST(MlpTest, LossAtZeroParamsIsLogK) {
+  const Dataset data = SmallMulticlassData(3);
+  Mlp model({6, 5, 3});
+  EXPECT_NEAR(model.Loss(vec::Zeros(model.NumParams()), data).value(),
+              std::log(3.0), 1e-12);
+}
+
+TEST(MlpTest, InitParamsDeterministicPerSeed) {
+  Mlp model({6, 5, 3});
+  Rng a(5), b(5), c(6);
+  const Vec pa = model.InitParams(a).value();
+  const Vec pb = model.InitParams(b).value();
+  const Vec pc = model.InitParams(c).value();
+  EXPECT_EQ(pa, pb);
+  EXPECT_NE(pa, pc);
+}
+
+TEST(MlpTest, InitBiasesAreZero) {
+  Mlp model({3, 4, 2});
+  Rng rng(9);
+  const Vec params = model.InitParams(rng).value();
+  // Layer 0 biases at offset 12..15, layer 1 biases at offset 24..25.
+  for (size_t i = 12; i < 16; ++i) EXPECT_EQ(params[i], 0.0);
+  for (size_t i = 24; i < 26; ++i) EXPECT_EQ(params[i], 0.0);
+}
+
+TEST(MlpTest, TrainsToHighAccuracyOnSeparableData) {
+  GaussianClassificationConfig config;
+  config.num_samples = 300;
+  config.num_features = 8;
+  config.num_classes = 3;
+  config.class_separation = 3.0;
+  config.noise_stddev = 0.5;
+  config.seed = 4;
+  const Dataset data = MakeGaussianClassification(config).value();
+  Mlp model({8, 10, 3});
+  Rng rng(2);
+  TrainConfig tc;
+  tc.epochs = 120;
+  tc.learning_rate = 0.5;
+  auto trace =
+      TrainCentralized(model, data, model.InitParams(rng).value(), tc);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GT(model.Accuracy(trace->final_params, data).value(), 0.95);
+}
+
+TEST(MlpTest, RequiresAtLeastTwoOutputUnits) {
+  EXPECT_DEATH(Mlp({4, 1}), "output layer");
+}
+
+TEST(HvpTest, FiniteDifferenceOnQuadratic) {
+  // f(x) = 0.5 x^T A x with known A: gradient = A x, HVP = A v exactly.
+  Matrix a = {{2.0, 0.5}, {0.5, 1.0}};
+  GradientFn grad = [&](const Vec& x) -> Result<Vec> { return a.MatVec(x); };
+  const Vec v = {1.0, -2.0};
+  const Vec hv = FiniteDifferenceHvp(grad, {0.3, 0.7}, v).value();
+  EXPECT_NEAR(hv[0], 2.0 * 1 + 0.5 * -2, 1e-5);
+  EXPECT_NEAR(hv[1], 0.5 * 1 + 1.0 * -2, 1e-5);
+}
+
+TEST(HvpTest, ZeroDirectionGivesZero) {
+  GradientFn grad = [](const Vec& x) -> Result<Vec> { return x; };
+  const Vec hv = FiniteDifferenceHvp(grad, {1.0, 2.0}, {0.0, 0.0}).value();
+  EXPECT_EQ(hv, vec::Zeros(2));
+}
+
+TEST(HvpTest, DimensionMismatchRejected) {
+  GradientFn grad = [](const Vec& x) -> Result<Vec> { return x; };
+  EXPECT_FALSE(FiniteDifferenceHvp(grad, {1.0, 2.0}, {1.0}).ok());
+}
+
+TEST(SgdTest, RejectsBadConfig) {
+  LinearRegression model(6);
+  const Dataset data = SmallRegressionData();
+  TrainConfig config;
+  config.epochs = 0;
+  EXPECT_FALSE(TrainCentralized(model, data, vec::Zeros(6), config).ok());
+  config.epochs = 5;
+  config.learning_rate = 0.0;
+  EXPECT_FALSE(TrainCentralized(model, data, vec::Zeros(6), config).ok());
+}
+
+TEST(SgdTest, TraceHasOneLossPerEpoch) {
+  LinearRegression model(6);
+  const Dataset data = SmallRegressionData();
+  TrainConfig config;
+  config.epochs = 7;
+  config.learning_rate = 0.05;
+  auto trace = TrainCentralized(model, data, vec::Zeros(6), config);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->train_loss.size(), 7u);
+}
+
+TEST(SgdTest, LrDecayChangesTrajectory) {
+  LinearRegression model(6);
+  const Dataset data = SmallRegressionData();
+  TrainConfig base;
+  base.epochs = 10;
+  base.learning_rate = 0.05;
+  TrainConfig decayed = base;
+  decayed.lr_decay = 0.5;
+  const Vec p1 =
+      TrainCentralized(model, data, vec::Zeros(6), base)->final_params;
+  const Vec p2 =
+      TrainCentralized(model, data, vec::Zeros(6), decayed)->final_params;
+  EXPECT_FALSE(vec::AllClose(p1, p2));
+}
+
+TEST(ModelDefaultsTest, ClassificationAccuracyCountsMatches) {
+  Dataset data;
+  data.x = {{5.0}, {-5.0}, {5.0}};
+  data.y = {1.0, 0.0, 0.0};
+  data.num_classes = 2;
+  LogisticRegression model(1);
+  // w = 1: predicts 1, 0, 1 → 2/3 correct.
+  EXPECT_NEAR(model.Accuracy({1.0}, data).value(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace digfl

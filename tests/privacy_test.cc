@@ -1,0 +1,199 @@
+// Tests for the privacy-layer substrates: pairwise-mask secure aggregation
+// and the Gaussian mechanism, plus their documented interaction with
+// DIG-FL contribution evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/digfl_hfl.h"
+#include "data/corruption.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "hfl/dp.h"
+#include "hfl/fed_sgd.h"
+#include "hfl/secure_aggregation.h"
+#include "metrics/correlation.h"
+#include "nn/softmax_regression.h"
+
+namespace digfl {
+namespace {
+
+// ---------------------------------------------------- secure aggregation.
+
+TEST(SecureAggregationTest, MasksCancelInTheSum) {
+  auto session = SecureAggregationSession::Setup(4, 8, 99);
+  ASSERT_TRUE(session.ok());
+  Rng rng(1);
+  std::vector<Vec> updates(4, Vec(8));
+  Vec expected = vec::Zeros(8);
+  for (Vec& update : updates) {
+    for (double& v : update) v = rng.Gaussian();
+    vec::Axpy(1.0, update, expected);
+  }
+  std::vector<Vec> masked;
+  for (size_t i = 0; i < 4; ++i) {
+    masked.push_back(session->MaskUpdate(i, updates[i]).value());
+  }
+  const Vec sum = session->AggregateMasked(masked).value();
+  EXPECT_TRUE(vec::AllClose(sum, expected, 1e-9, 1e-9));
+}
+
+TEST(SecureAggregationTest, IndividualUploadsAreMasked) {
+  auto session = SecureAggregationSession::Setup(3, 16, 7);
+  ASSERT_TRUE(session.ok());
+  const Vec update(16, 0.001);  // small true update
+  const Vec masked = session->MaskUpdate(0, update).value();
+  // The upload is dominated by the unit-variance masks, not the update.
+  EXPECT_GT(vec::Norm2(masked), 10 * vec::Norm2(update));
+}
+
+TEST(SecureAggregationTest, MaskingIsDeterministicPerSession) {
+  auto s1 = SecureAggregationSession::Setup(3, 4, 42);
+  auto s2 = SecureAggregationSession::Setup(3, 4, 42);
+  const Vec update = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(s1->MaskUpdate(1, update).value(),
+            s2->MaskUpdate(1, update).value());
+  auto s3 = SecureAggregationSession::Setup(3, 4, 43);
+  EXPECT_NE(s1->MaskUpdate(1, update).value(),
+            s3->MaskUpdate(1, update).value());
+}
+
+TEST(SecureAggregationTest, TwoPartyCancellation) {
+  auto session = SecureAggregationSession::Setup(2, 3, 5);
+  const Vec a = {1.0, 0.0, -1.0};
+  const Vec b = {0.5, 0.5, 0.5};
+  const Vec sum = session
+                      ->AggregateMasked({session->MaskUpdate(0, a).value(),
+                                         session->MaskUpdate(1, b).value()})
+                      .value();
+  EXPECT_TRUE(vec::AllClose(sum, vec::Add(a, b), 1e-9, 1e-9));
+}
+
+TEST(SecureAggregationTest, Validation) {
+  EXPECT_FALSE(SecureAggregationSession::Setup(1, 4, 1).ok());
+  EXPECT_FALSE(SecureAggregationSession::Setup(3, 0, 1).ok());
+  auto session = SecureAggregationSession::Setup(3, 4, 1);
+  EXPECT_FALSE(session->MaskUpdate(5, Vec(4, 0.0)).ok());
+  EXPECT_FALSE(session->MaskUpdate(0, Vec(3, 0.0)).ok());
+  EXPECT_FALSE(session->AggregateMasked({Vec(4, 0.0)}).ok());
+}
+
+TEST(SecureAggregationTest, MaskedUploadsDefeatPerParticipantAttribution) {
+  // The documented DIG-FL trade-off: the inner product of the validation
+  // gradient with a *masked* upload is mask-dominated noise, so Algorithm
+  // #2 cannot rank participants from masked uploads.
+  Rng rng(12);
+  Vec good_update(64), validation_gradient(64);
+  for (size_t i = 0; i < 64; ++i) {
+    validation_gradient[i] = rng.Gaussian();
+    good_update[i] = 0.01 * validation_gradient[i];  // perfectly aligned
+  }
+  const double clean_score = vec::Dot(validation_gradient, good_update);
+  // RMS deviation of the masked score across sessions dwarfs the signal.
+  double sum_sq_deviation = 0.0;
+  const int kSessions = 30;
+  for (int s = 0; s < kSessions; ++s) {
+    auto session = SecureAggregationSession::Setup(2, 64, 100 + s);
+    const Vec masked = session->MaskUpdate(0, good_update).value();
+    const double deviation =
+        vec::Dot(validation_gradient, masked) - clean_score;
+    sum_sq_deviation += deviation * deviation;
+  }
+  const double rms = std::sqrt(sum_sq_deviation / kSessions);
+  EXPECT_GT(rms, 5 * clean_score);
+}
+
+// --------------------------------------------------------------- DP.
+
+TEST(GaussianMechanismTest, ClippingBoundsNorm) {
+  Rng rng(1);
+  GaussianMechanismConfig config;
+  config.clip_norm = 1.0;
+  config.noise_multiplier = 0.0;
+  Vec big(10, 5.0);
+  const Vec clipped = ApplyGaussianMechanism(big, config, rng).value();
+  EXPECT_NEAR(vec::Norm2(clipped), 1.0, 1e-12);
+  // Direction preserved.
+  EXPECT_NEAR(clipped[0], clipped[9], 1e-12);
+}
+
+TEST(GaussianMechanismTest, SmallUpdatesPassThroughUnclipped) {
+  Rng rng(2);
+  GaussianMechanismConfig config;
+  config.clip_norm = 10.0;
+  config.noise_multiplier = 0.0;
+  const Vec small = {0.1, -0.2};
+  EXPECT_EQ(ApplyGaussianMechanism(small, config, rng).value(), small);
+}
+
+TEST(GaussianMechanismTest, NoiseHasRequestedScale) {
+  Rng rng(3);
+  GaussianMechanismConfig config;
+  config.clip_norm = 1.0;
+  config.noise_multiplier = 2.0;
+  const Vec zero(2000, 0.0);
+  const Vec noised = ApplyGaussianMechanism(zero, config, rng).value();
+  double sum_sq = 0.0;
+  for (double v : noised) sum_sq += v * v;
+  const double empirical_sigma = std::sqrt(sum_sq / 2000.0);
+  EXPECT_NEAR(empirical_sigma, 2.0, 0.15);
+}
+
+TEST(GaussianMechanismTest, Validation) {
+  Rng rng(4);
+  GaussianMechanismConfig config;
+  config.clip_norm = 0.0;
+  EXPECT_FALSE(ApplyGaussianMechanism({1.0}, config, rng).ok());
+  config.clip_norm = 1.0;
+  config.noise_multiplier = -1.0;
+  EXPECT_FALSE(ApplyGaussianMechanism({1.0}, config, rng).ok());
+}
+
+TEST(GaussianMechanismTest, DigFlSurvivesMildNoise) {
+  // End-to-end: noise the logged updates with a small multiplier and check
+  // DIG-FL's ranking stays close to the clean one.
+  GaussianClassificationConfig config;
+  config.num_samples = 400;
+  config.num_features = 8;
+  config.num_classes = 3;
+  config.seed = 21;
+  Dataset pool = MakeGaussianClassification(config).value();
+  Rng rng(22);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  auto shards = PartitionIid(split.first, 4, rng).value();
+  // Heterogeneous quality so the clean contribution spread dominates the
+  // DP perturbation (IID-equal participants would make PCC noise-bound).
+  shards[2] = MislabelFraction(shards[2], 0.4, rng).value();
+  shards[3] = MislabelFraction(shards[3], 0.8, rng).value();
+  std::vector<HflParticipant> participants;
+  for (size_t i = 0; i < 4; ++i) participants.emplace_back(i, shards[i]);
+  SoftmaxRegression model(8, 3);
+  HflServer server(model, split.second);
+  FedSgdConfig tc;
+  tc.epochs = 10;
+  tc.learning_rate = 0.3;
+  auto log = RunFedSgd(model, participants, server,
+                       Vec(model.NumParams(), 0.0), tc)
+                 .value();
+  auto clean = EvaluateHflContributions(model, participants, server, log);
+  ASSERT_TRUE(clean.ok());
+
+  // Perturb every logged update.
+  GaussianMechanismConfig dp;
+  dp.clip_norm = 10.0;  // loose: no effective clipping
+  dp.noise_multiplier = 0.001;
+  Rng dp_rng(23);
+  HflTrainingLog noised = log;
+  for (HflEpochRecord& record : noised.epochs) {
+    for (Vec& delta : record.deltas) {
+      delta = ApplyGaussianMechanism(delta, dp, dp_rng).value();
+    }
+  }
+  auto noisy = EvaluateHflContributions(model, participants, server, noised);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_GT(PearsonCorrelation(clean->total, noisy->total).value(), 0.95);
+}
+
+}  // namespace
+}  // namespace digfl

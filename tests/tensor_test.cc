@@ -1,0 +1,261 @@
+// Unit tests for src/tensor: Vec kernels and Matrix.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+namespace {
+
+// ------------------------------------------------------------------- Vec.
+
+TEST(VecTest, ZerosAllZero) {
+  Vec z = vec::Zeros(5);
+  ASSERT_EQ(z.size(), 5u);
+  for (double v : z) EXPECT_EQ(v, 0.0);
+}
+
+TEST(VecTest, AxpyAccumulates) {
+  Vec y = {1.0, 2.0, 3.0};
+  vec::Axpy(2.0, {0.5, 0.5, 0.5}, y);
+  EXPECT_EQ(y, (Vec{2.0, 3.0, 4.0}));
+}
+
+TEST(VecTest, ScaleInPlace) {
+  Vec x = {1.0, -2.0, 4.0};
+  vec::Scale(-0.5, x);
+  EXPECT_EQ(x, (Vec{-0.5, 1.0, -2.0}));
+}
+
+TEST(VecTest, AddSubScaled) {
+  const Vec a = {1.0, 2.0};
+  const Vec b = {3.0, -4.0};
+  EXPECT_EQ(vec::Add(a, b), (Vec{4.0, -2.0}));
+  EXPECT_EQ(vec::Sub(a, b), (Vec{-2.0, 6.0}));
+  EXPECT_EQ(vec::Scaled(3.0, a), (Vec{3.0, 6.0}));
+}
+
+TEST(VecTest, DotAndNorms) {
+  const Vec a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(vec::Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(vec::SquaredNorm2(a), 25.0);
+  EXPECT_DOUBLE_EQ(vec::Norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(vec::NormInf({-7.0, 2.0}), 7.0);
+}
+
+TEST(VecTest, DotOrthogonal) {
+  EXPECT_DOUBLE_EQ(vec::Dot({1.0, 0.0}, {0.0, 5.0}), 0.0);
+}
+
+TEST(VecTest, AllCloseTolerances) {
+  EXPECT_TRUE(vec::AllClose({1.0, 2.0}, {1.0, 2.0}));
+  EXPECT_TRUE(vec::AllClose({1.0 + 1e-13, 2.0}, {1.0, 2.0}));
+  EXPECT_FALSE(vec::AllClose({1.1, 2.0}, {1.0, 2.0}));
+  EXPECT_FALSE(vec::AllClose({1.0}, {1.0, 2.0}));
+}
+
+TEST(VecTest, MaskedToBlockKeepsOnlyRange) {
+  const Vec x = {1, 2, 3, 4, 5};
+  EXPECT_EQ(vec::MaskedToBlock(x, 1, 3), (Vec{0, 2, 3, 0, 0}));
+  EXPECT_EQ(vec::MaskedToBlock(x, 0, 5), x);
+  EXPECT_EQ(vec::MaskedToBlock(x, 2, 2), vec::Zeros(5));
+}
+
+TEST(VecTest, MaskedOutBlockZeroesRange) {
+  const Vec x = {1, 2, 3, 4, 5};
+  EXPECT_EQ(vec::MaskedOutBlock(x, 1, 3), (Vec{1, 0, 0, 4, 5}));
+  EXPECT_EQ(vec::MaskedOutBlock(x, 0, 5), vec::Zeros(5));
+}
+
+TEST(VecTest, MaskDecomposition) {
+  // keep(block) + drop(block) == identity, for every split point.
+  const Vec x = {1.5, -2.0, 0.25, 9.0};
+  for (size_t b = 0; b <= 4; ++b) {
+    for (size_t e = b; e <= 4; ++e) {
+      EXPECT_EQ(vec::Add(vec::MaskedToBlock(x, b, e),
+                         vec::MaskedOutBlock(x, b, e)),
+                x);
+    }
+  }
+}
+
+// Property sweep: algebraic identities at multiple dimensions.
+class VecPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VecPropertyTest, CauchySchwarzAndTriangle) {
+  Rng rng(GetParam() * 7 + 1);
+  const size_t n = GetParam();
+  Vec a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  EXPECT_LE(std::abs(vec::Dot(a, b)),
+            vec::Norm2(a) * vec::Norm2(b) + 1e-9);
+  EXPECT_LE(vec::Norm2(vec::Add(a, b)),
+            vec::Norm2(a) + vec::Norm2(b) + 1e-9);
+}
+
+TEST_P(VecPropertyTest, AxpyMatchesAddScaled) {
+  Rng rng(GetParam() * 13 + 2);
+  const size_t n = GetParam();
+  Vec a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  Vec via_axpy = b;
+  vec::Axpy(2.5, a, via_axpy);
+  EXPECT_TRUE(vec::AllClose(via_axpy, vec::Add(b, vec::Scaled(2.5, a))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, VecPropertyTest,
+                         ::testing::Values(1, 2, 3, 8, 33, 128));
+
+// ---------------------------------------------------------------- Matrix.
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m(1, 2) = 7.0;
+  EXPECT_EQ(m(1, 2), 7.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, IdentityMatVec) {
+  Matrix id = Matrix::Identity(4);
+  const Vec x = {1, 2, 3, 4};
+  EXPECT_EQ(id.MatVec(x), x);
+  EXPECT_EQ(id.TransposedMatVec(x), x);
+}
+
+TEST(MatrixTest, MatVecKnownValues) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.MatVec({1.0, 1.0}), (Vec{3.0, 7.0, 11.0}));
+  EXPECT_EQ(m.TransposedMatVec({1.0, 0.0, 1.0}), (Vec{6.0, 8.0}));
+}
+
+TEST(MatrixTest, RowView) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  auto row = m.Row(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], 3.0);
+  m.MutableRow(0)[1] = 9.0;
+  EXPECT_EQ(m(0, 1), 9.0);
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{0.0, 1.0}, {1.0, 0.0}};
+  auto c = a.MatMul(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->AllClose(Matrix{{2.0, 1.0}, {4.0, 3.0}}));
+}
+
+TEST(MatrixTest, MatMulShapeMismatch) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_FALSE(a.MatMul(b).ok());
+}
+
+TEST(MatrixTest, TransposedRoundTrip) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_TRUE(t.Transposed().AllClose(m));
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  auto sub = m.SelectRows({2, 0, 2});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(sub->AllClose(Matrix{{5.0, 6.0}, {1.0, 2.0}, {5.0, 6.0}}));
+}
+
+TEST(MatrixTest, SelectRowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_EQ(m.SelectRows({5}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MatrixTest, SelectColumns) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  auto sub = m.SelectColumns(1, 3);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(sub->AllClose(Matrix{{2.0, 3.0}, {5.0, 6.0}}));
+}
+
+TEST(MatrixTest, SelectColumnsEmptyRangeAllowed) {
+  Matrix m(2, 3);
+  auto sub = m.SelectColumns(1, 1);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->cols(), 0u);
+}
+
+TEST(MatrixTest, SelectColumnsBadRange) {
+  Matrix m(2, 3);
+  EXPECT_FALSE(m.SelectColumns(2, 1).ok());
+  EXPECT_FALSE(m.SelectColumns(0, 4).ok());
+}
+
+TEST(MatrixTest, AllCloseShapeMismatch) {
+  EXPECT_FALSE(Matrix(2, 2).AllClose(Matrix(2, 3)));
+}
+
+class MatrixPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(MatrixPropertyTest, TransposedMatVecMatchesExplicitTranspose) {
+  auto [r, c] = GetParam();
+  Rng rng(r * 31 + c);
+  Matrix m(r, c);
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < c; ++j) m(i, j) = rng.Gaussian();
+  }
+  Vec x(r);
+  for (double& v : x) v = rng.Gaussian();
+  EXPECT_TRUE(
+      vec::AllClose(m.TransposedMatVec(x), m.Transposed().MatVec(x), 1e-9));
+}
+
+TEST_P(MatrixPropertyTest, MatMulAgreesWithMatVecPerColumn) {
+  auto [r, c] = GetParam();
+  Rng rng(r * 17 + c + 3);
+  Matrix a(r, c), b(c, 3);
+  for (auto* m : {&a, &b}) {
+    for (size_t i = 0; i < m->rows(); ++i) {
+      for (size_t j = 0; j < m->cols(); ++j) (*m)(i, j) = rng.Gaussian();
+    }
+  }
+  auto product = a.MatMul(b);
+  ASSERT_TRUE(product.ok());
+  for (size_t col = 0; col < 3; ++col) {
+    Vec bcol(c);
+    for (size_t i = 0; i < c; ++i) bcol[i] = b(i, col);
+    const Vec expected = a.MatVec(bcol);
+    for (size_t i = 0; i < r; ++i) {
+      EXPECT_NEAR((*product)(i, col), expected[i], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatrixPropertyTest,
+    ::testing::Values(std::pair<size_t, size_t>{1, 1},
+                      std::pair<size_t, size_t>{2, 5},
+                      std::pair<size_t, size_t>{7, 3},
+                      std::pair<size_t, size_t>{16, 16}));
+
+}  // namespace
+}  // namespace digfl

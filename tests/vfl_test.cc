@@ -1,0 +1,383 @@
+// Unit tests for src/vfl: block model, plaintext trainer (Lemma 2
+// coalition semantics), and the Paillier-encrypted protocol's equivalence
+// to the plaintext path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "nn/linear_regression.h"
+#include "nn/logistic_regression.h"
+#include "vfl/block_model.h"
+#include "vfl/encrypted_protocol.h"
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+namespace {
+
+VflBlockModel MakeBlocks(size_t features, size_t parts) {
+  return VflBlockModel::Create(SplitFeatureBlocks(features, parts).value(),
+                               features)
+      .value();
+}
+
+Dataset SmallRegression(uint64_t seed = 5, size_t samples = 200,
+                        size_t features = 6) {
+  SyntheticRegressionConfig config;
+  config.num_samples = samples;
+  config.num_features = features;
+  config.feature_scales = DecayingFeatureScales(features, 3, 0.6);
+  config.seed = seed;
+  return MakeSyntheticRegression(config).value();
+}
+
+// --------------------------------------------------------- VflBlockModel.
+
+TEST(VflBlockModelTest, CreateValidatesTiling) {
+  EXPECT_TRUE(VflBlockModel::Create({{0, 2}, {2, 5}}, 5).ok());
+  EXPECT_FALSE(VflBlockModel::Create({{0, 2}, {3, 5}}, 5).ok());  // gap
+  EXPECT_FALSE(VflBlockModel::Create({{0, 2}, {2, 4}}, 5).ok());  // short
+  EXPECT_FALSE(VflBlockModel::Create({{0, 2}, {2, 2}}, 2).ok());  // empty blk
+  EXPECT_FALSE(VflBlockModel::Create({}, 0).ok());
+}
+
+TEST(VflBlockModelTest, KeepAndDropBlock) {
+  const VflBlockModel blocks = MakeBlocks(5, 2);  // [0,3) and [3,5)
+  const Vec x = {1, 2, 3, 4, 5};
+  EXPECT_EQ(blocks.KeepBlock(0, x), (Vec{1, 2, 3, 0, 0}));
+  EXPECT_EQ(blocks.DropBlock(0, x), (Vec{0, 0, 0, 4, 5}));
+  EXPECT_EQ(blocks.KeepBlock(1, x), (Vec{0, 0, 0, 4, 5}));
+  // keep + drop = identity.
+  EXPECT_EQ(vec::Add(blocks.KeepBlock(1, x), blocks.DropBlock(1, x)), x);
+}
+
+TEST(VflBlockModelTest, BlockDotSumsToFullDot) {
+  const VflBlockModel blocks = MakeBlocks(7, 3);
+  Rng rng(3);
+  Vec a(7), b(7);
+  for (size_t i = 0; i < 7; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  double sum = 0.0;
+  for (size_t p = 0; p < 3; ++p) sum += blocks.BlockDot(p, a, b);
+  EXPECT_NEAR(sum, vec::Dot(a, b), 1e-12);
+}
+
+TEST(VflBlockModelTest, ScaleBlocks) {
+  const VflBlockModel blocks = MakeBlocks(4, 2);  // [0,2), [2,4)
+  auto scaled = blocks.ScaleBlocks({1, 1, 1, 1}, {2.0, 0.5});
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(*scaled, (Vec{2.0, 2.0, 0.5, 0.5}));
+  EXPECT_FALSE(blocks.ScaleBlocks({1, 1, 1, 1}, {1.0}).ok());
+  EXPECT_FALSE(blocks.ScaleBlocks({1, 1}, {1.0, 1.0}).ok());
+}
+
+// ----------------------------------------------------------- PlainTrainer.
+
+TEST(VflPlainTrainerTest, LossDecreasesFromZeroInit) {
+  const Dataset pool = SmallRegression();
+  Rng rng(7);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  const VflBlockModel blocks = MakeBlocks(6, 3);
+  LinearRegression model(6);
+  VflTrainConfig config;
+  config.epochs = 40;
+  config.learning_rate = 0.1;
+  auto log = RunVflTraining(model, blocks, split.first, split.second, config);
+  ASSERT_TRUE(log.ok());
+  EXPECT_LT(log->validation_loss.back(), log->validation_loss.front());
+}
+
+TEST(VflPlainTrainerTest, InactiveBlocksStayAtZero) {
+  const Dataset pool = SmallRegression();
+  Rng rng(7);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  const VflBlockModel blocks = MakeBlocks(6, 3);
+  LinearRegression model(6);
+  VflTrainConfig config;
+  config.epochs = 20;
+  config.learning_rate = 0.1;
+  const std::vector<bool> active = {true, false, true};
+  auto log = RunVflTraining(model, blocks, split.first, split.second, config,
+                            &active);
+  ASSERT_TRUE(log.ok());
+  // Participant 1's block [2,4) must be identically zero.
+  for (size_t j = blocks.block(1).begin; j < blocks.block(1).end; ++j) {
+    EXPECT_EQ(log->final_params[j], 0.0);
+  }
+  // The active blocks must have moved.
+  EXPECT_GT(vec::Norm2(blocks.KeepBlock(0, log->final_params)), 0.0);
+}
+
+TEST(VflPlainTrainerTest, CoalitionTrainingEqualsReducedProblem) {
+  // Training with {0} active must equal single-block gradient descent on
+  // the same data restricted to that block.
+  const Dataset pool = SmallRegression(11, 150, 4);
+  Rng rng(8);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  const VflBlockModel blocks = MakeBlocks(4, 2);  // [0,2), [2,4)
+  LinearRegression model(4);
+  VflTrainConfig config;
+  config.epochs = 15;
+  config.learning_rate = 0.05;
+  const std::vector<bool> active = {true, false};
+  auto log = RunVflTraining(model, blocks, split.first, split.second, config,
+                            &active);
+  ASSERT_TRUE(log.ok());
+
+  // Reference: slice features [0,2) and train an ordinary 2-dim model.
+  const Dataset sliced_train = split.first.SliceFeatures(0, 2).value();
+  LinearRegression reduced(2);
+  Vec params(2, 0.0);
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const Vec grad = reduced.Gradient(params, sliced_train).value();
+    vec::Axpy(-config.learning_rate, grad, params);
+  }
+  EXPECT_NEAR(log->final_params[0], params[0], 1e-10);
+  EXPECT_NEAR(log->final_params[1], params[1], 1e-10);
+}
+
+TEST(VflPlainTrainerTest, RejectsEmptyCoalitionAndBadShapes) {
+  const Dataset pool = SmallRegression();
+  Rng rng(9);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  const VflBlockModel blocks = MakeBlocks(6, 3);
+  LinearRegression model(6);
+  VflTrainConfig config;
+  const std::vector<bool> empty = {false, false, false};
+  EXPECT_FALSE(RunVflTraining(model, blocks, split.first, split.second,
+                              config, &empty)
+                   .ok());
+  const std::vector<bool> wrong_size = {true, true};
+  EXPECT_FALSE(RunVflTraining(model, blocks, split.first, split.second,
+                              config, &wrong_size)
+                   .ok());
+  LinearRegression wrong_model(7);
+  EXPECT_FALSE(RunVflTraining(wrong_model, blocks, split.first, split.second,
+                              config)
+                   .ok());
+}
+
+TEST(VflPlainTrainerTest, LogRecordsScaledGradients) {
+  const Dataset pool = SmallRegression();
+  Rng rng(10);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  const VflBlockModel blocks = MakeBlocks(6, 2);
+  LinearRegression model(6);
+  VflTrainConfig config;
+  config.epochs = 5;
+  config.learning_rate = 0.07;
+  auto log = RunVflTraining(model, blocks, split.first, split.second, config);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->num_epochs(), 5u);
+  // Check G_t = α ∇loss(θ_{t-1}) for the first epoch (θ_0 = 0).
+  const Vec grad = model.Gradient(vec::Zeros(6), split.first).value();
+  EXPECT_TRUE(vec::AllClose(log->epochs[0].scaled_gradient,
+                            vec::Scaled(0.07, grad), 1e-12));
+  // And θ advances by the recorded gradient.
+  EXPECT_TRUE(vec::AllClose(
+      log->epochs[1].params_before,
+      vec::Sub(log->epochs[0].params_before, log->epochs[0].scaled_gradient),
+      1e-12));
+}
+
+// A fixed-weights VFL policy for plumbing verification.
+class HalfFirstBlockPolicy : public VflAggregationPolicy {
+ public:
+  Result<std::vector<double>> Weights(size_t, const Vec&, double,
+                                      const Vec&) override {
+    return std::vector<double>{0.5, 1.0};
+  }
+};
+
+TEST(VflPlainTrainerTest, PolicyScalesBlocks) {
+  const Dataset pool = SmallRegression(13, 120, 4);
+  Rng rng(11);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  const VflBlockModel blocks = MakeBlocks(4, 2);
+  LinearRegression model(4);
+  VflTrainConfig config;
+  config.epochs = 1;
+  config.learning_rate = 0.1;
+  HalfFirstBlockPolicy policy;
+  auto log = RunVflTraining(model, blocks, split.first, split.second, config,
+                            nullptr, &policy);
+  ASSERT_TRUE(log.ok());
+  const Vec grad = model.Gradient(vec::Zeros(4), split.first).value();
+  EXPECT_NEAR(log->epochs[0].scaled_gradient[0], 0.5 * 0.1 * grad[0], 1e-12);
+  EXPECT_NEAR(log->epochs[0].scaled_gradient[3], 1.0 * 0.1 * grad[3], 1e-12);
+}
+
+// ------------------------------------------------------ encrypted protocol.
+
+class EncryptedVflTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pool_ = SmallRegression(21, 60, 4);
+    Rng rng(12);
+    auto split = SplitHoldout(pool_, 0.2, rng).value();
+    train_ = split.first;
+    validation_ = split.second;
+  }
+  Dataset pool_, train_, validation_;
+};
+
+TEST_F(EncryptedVflTest, MatchesPlaintextTraining) {
+  const VflBlockModel blocks = MakeBlocks(4, 2);
+  EncryptedVflConfig config;
+  config.epochs = 3;
+  config.learning_rate = 0.05;
+  config.key_bits = 128;
+  config.fraction_bits = 20;
+  auto encrypted = RunEncryptedVflLinReg(train_, validation_, blocks, config);
+  ASSERT_TRUE(encrypted.ok()) << encrypted.status().ToString();
+
+  LinearRegression model(4);
+  VflTrainConfig plain_config;
+  plain_config.epochs = 3;
+  plain_config.learning_rate = 0.05;
+  auto plain =
+      RunVflTraining(model, blocks, train_, validation_, plain_config);
+  ASSERT_TRUE(plain.ok());
+
+  ASSERT_EQ(encrypted->final_params.size(), plain->final_params.size());
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(encrypted->final_params[j], plain->final_params[j], 1e-3)
+        << "param " << j;
+  }
+}
+
+TEST_F(EncryptedVflTest, ContributionsMatchPlaintextDigFl) {
+  const VflBlockModel blocks = MakeBlocks(4, 2);
+  EncryptedVflConfig config;
+  config.epochs = 2;
+  config.learning_rate = 0.05;
+  config.key_bits = 128;
+  config.fraction_bits = 20;
+  auto encrypted = RunEncryptedVflLinReg(train_, validation_, blocks, config);
+  ASSERT_TRUE(encrypted.ok());
+  ASSERT_EQ(encrypted->per_epoch_contributions.size(), 2u);
+
+  // Plaintext reference for epoch 1 (θ_0 = 0): φ̂_{1,i} = <v, G_1>_block_i
+  // with G_1 = α ∇loss(0).
+  LinearRegression model(4);
+  const Vec v = model.Gradient(vec::Zeros(4), validation_).value();
+  const Vec train_grad = model.Gradient(vec::Zeros(4), train_).value();
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(encrypted->per_epoch_contributions[0][i],
+                0.05 * blocks.BlockDot(i, v, train_grad), 1e-3);
+  }
+}
+
+TEST_F(EncryptedVflTest, MetersCiphertextTraffic) {
+  const VflBlockModel blocks = MakeBlocks(4, 2);
+  EncryptedVflConfig config;
+  config.epochs = 1;
+  config.learning_rate = 0.05;
+  config.key_bits = 128;
+  config.evaluate_contributions = false;
+  auto result = RunEncryptedVflLinReg(train_, validation_, blocks, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->comm.TotalBytes(), 0u);
+  // Residual chain traffic must be present.
+  EXPECT_GT(result->comm.ByChannel().count("chain:encrypted_residual"), 0u);
+  EXPECT_GT(
+      result->comm.ByChannel().count("participant->thirdparty:masked_gradient"),
+      0u);
+}
+
+TEST_F(EncryptedVflTest, RejectsClassificationData) {
+  const VflBlockModel blocks = MakeBlocks(4, 2);
+  Dataset classification = train_;
+  classification.num_classes = 2;
+  for (double& y : classification.y) y = y > 0 ? 1.0 : 0.0;
+  EncryptedVflConfig config;
+  EXPECT_FALSE(
+      RunEncryptedVflLinReg(classification, validation_, blocks, config).ok());
+}
+
+TEST_F(EncryptedVflTest, LogRegFirstEpochMatchesExactSigmoid) {
+  // At θ = 0 the Taylor surrogate σ̃(0) = 1/2 equals σ(0), so the first
+  // encrypted LogReg epoch must reproduce the exact-sigmoid gradient.
+  SyntheticLogisticConfig config;
+  config.num_samples = 50;
+  config.num_features = 4;
+  config.seed = 33;
+  Dataset pool = MakeSyntheticLogistic(config).value();
+  Rng rng(34);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  const VflBlockModel blocks = MakeBlocks(4, 2);
+
+  EncryptedVflConfig encrypted_config;
+  encrypted_config.epochs = 1;
+  encrypted_config.learning_rate = 0.2;
+  encrypted_config.key_bits = 128;
+  encrypted_config.fraction_bits = 20;
+  encrypted_config.evaluate_contributions = false;
+  auto encrypted = RunEncryptedVflLogReg(split.first, split.second, blocks,
+                                         encrypted_config);
+  ASSERT_TRUE(encrypted.ok()) << encrypted.status().ToString();
+
+  LogisticRegression model(4);
+  const Vec grad = model.Gradient(vec::Zeros(4), split.first).value();
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(encrypted->final_params[j], -0.2 * grad[j], 1e-3)
+        << "param " << j;
+  }
+}
+
+TEST_F(EncryptedVflTest, LogRegTracksTaylorPlaintextOverEpochs) {
+  // Multi-epoch reference: plaintext gradient descent on the same Taylor
+  // surrogate ∇ = (1/m) X^T (1/2 + z/4 − y).
+  SyntheticLogisticConfig config;
+  config.num_samples = 40;
+  config.num_features = 4;
+  config.seed = 35;
+  Dataset pool = MakeSyntheticLogistic(config).value();
+  Rng rng(36);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  const VflBlockModel blocks = MakeBlocks(4, 2);
+
+  EncryptedVflConfig encrypted_config;
+  encrypted_config.epochs = 3;
+  encrypted_config.learning_rate = 0.3;
+  encrypted_config.key_bits = 128;
+  encrypted_config.fraction_bits = 20;
+  encrypted_config.evaluate_contributions = false;
+  auto encrypted = RunEncryptedVflLogReg(split.first, split.second, blocks,
+                                         encrypted_config);
+  ASSERT_TRUE(encrypted.ok());
+
+  Vec params(4, 0.0);
+  const Dataset& data = split.first;
+  for (size_t epoch = 0; epoch < 3; ++epoch) {
+    Vec residual = data.x.MatVec(params);
+    for (size_t j = 0; j < data.size(); ++j) {
+      residual[j] = 0.5 + residual[j] / 4.0 - data.y[j];
+    }
+    Vec grad = data.x.TransposedMatVec(residual);
+    vec::Scale(1.0 / static_cast<double>(data.size()), grad);
+    vec::Axpy(-0.3, grad, params);
+  }
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(encrypted->final_params[j], params[j], 1e-3) << "param " << j;
+  }
+}
+
+TEST_F(EncryptedVflTest, LogRegRejectsRegressionData) {
+  const VflBlockModel blocks = MakeBlocks(4, 2);
+  EncryptedVflConfig config;
+  EXPECT_FALSE(
+      RunEncryptedVflLogReg(train_, validation_, blocks, config).ok());
+}
+
+TEST_F(EncryptedVflTest, RejectsBlockMismatch) {
+  const VflBlockModel blocks = MakeBlocks(6, 2);  // wrong width
+  EncryptedVflConfig config;
+  EXPECT_FALSE(RunEncryptedVflLinReg(train_, validation_, blocks, config).ok());
+}
+
+}  // namespace
+}  // namespace digfl

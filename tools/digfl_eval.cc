@@ -1,0 +1,363 @@
+// digfl_eval — command-line driver for contribution-evaluation experiments.
+//
+// Composes the library's pieces from flags: pick a paper dataset, an FL
+// topology (participant count, corruption mix), and one or more evaluation
+// methods; get a contribution table and optional CSV.
+//
+// Examples:
+//   digfl_eval --mode=hfl --dataset=MNIST --participants=5 \
+//       --mislabeled=2 --methods=digfl,exact,im --epochs=15
+//   digfl_eval --mode=vfl --dataset=Boston --methods=digfl,exact
+//   digfl_eval --help
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/exact_shapley.h"
+#include "baselines/gt_shapley.h"
+#include "baselines/im_contribution.h"
+#include "baselines/mr_shapley.h"
+#include "baselines/tmc_shapley.h"
+#include "common/table_writer.h"
+#include "core/digfl_hfl.h"
+#include "core/digfl_vfl.h"
+#include "data/corruption.h"
+#include "data/paper_datasets.h"
+#include "data/partition.h"
+#include "metrics/correlation.h"
+#include "nn/linear_regression.h"
+#include "nn/logistic_regression.h"
+#include "nn/mlp.h"
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+namespace {
+
+struct Flags {
+  std::string mode = "hfl";          // hfl | vfl
+  std::string dataset = "MNIST";
+  std::string methods = "digfl";     // comma list: digfl,exact,tmc,gt,mr,im
+  size_t participants = 0;           // 0 = paper default
+  size_t mislabeled = 0;
+  size_t noniid = 0;
+  double mislabel_fraction = 0.5;
+  size_t epochs = 15;
+  double learning_rate = 0.0;        // 0 = mode default
+  double sample_fraction = 0.01;
+  uint64_t seed = 7;
+  std::string csv;                   // optional output path
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(R"(digfl_eval — participant contribution evaluation driver
+
+  --mode=hfl|vfl            federation type (default hfl)
+  --dataset=NAME            MNIST CIFAR10 MOTOR REAL | Boston Diabetes
+                            WineQuality SeoulBike California Iris Wine
+                            BreastCancer CreditCard Adult
+  --methods=a,b,...         digfl, digfl2 (interactive/2nd-order), exact,
+                            tmc, gt, mr, im        (default digfl)
+  --participants=N          0 = paper default
+  --mislabeled=M            HFL: shards with label noise (default 0)
+  --noniid=M                HFL: single-class shards (default 0)
+  --mislabel-fraction=F     label-noise rate (default 0.5)
+  --epochs=T                training epochs (default 15)
+  --lr=A                    learning rate (0 = mode default)
+  --sample-fraction=F       fraction of the Table-I dataset size (default
+                            0.01 for HFL; VFL sets are used in full)
+  --seed=S                  master seed (default 7)
+  --csv=PATH                also write the result table as CSV
+)");
+}
+
+Result<Flags> ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      flags.help = true;
+      return flags;
+    }
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      return Status::InvalidArgument("bad flag: " + arg);
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "mode") flags.mode = value;
+    else if (key == "dataset") flags.dataset = value;
+    else if (key == "methods") flags.methods = value;
+    else if (key == "participants") flags.participants = std::stoul(value);
+    else if (key == "mislabeled") flags.mislabeled = std::stoul(value);
+    else if (key == "noniid") flags.noniid = std::stoul(value);
+    else if (key == "mislabel-fraction")
+      flags.mislabel_fraction = std::stod(value);
+    else if (key == "epochs") flags.epochs = std::stoul(value);
+    else if (key == "lr") flags.learning_rate = std::stod(value);
+    else if (key == "sample-fraction") flags.sample_fraction = std::stod(value);
+    else if (key == "seed") flags.seed = std::stoull(value);
+    else if (key == "csv") flags.csv = value;
+    else return Status::InvalidArgument("unknown flag: --" + key);
+  }
+  return flags;
+}
+
+Result<PaperDatasetId> LookupDataset(const std::string& name) {
+  for (PaperDatasetId id : HflDatasetIds()) {
+    if (PaperDatasetName(id) == name) return id;
+  }
+  for (PaperDatasetId id : VflDatasetIds()) {
+    if (PaperDatasetName(id) == name) return id;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+using MethodReports =
+    std::vector<std::pair<std::string, ContributionReport>>;
+
+Result<MethodReports> RunHfl(const Flags& flags, PaperDatasetId id) {
+  PaperDatasetOptions data_options;
+  data_options.sample_fraction = flags.sample_fraction;
+  data_options.seed = flags.seed;
+  DIGFL_ASSIGN_OR_RETURN(PaperDatasetSpec spec,
+                         MakePaperDataset(id, data_options));
+  if (spec.model != PaperModel::kHflCnn) {
+    return Status::InvalidArgument(spec.name + " is a VFL dataset");
+  }
+  const size_t n = flags.participants > 0 ? flags.participants
+                                          : spec.paper_num_participants;
+  if (flags.mislabeled + flags.noniid >= n) {
+    return Status::InvalidArgument("too many corrupted participants");
+  }
+
+  Rng rng(flags.seed + 1);
+  DIGFL_ASSIGN_OR_RETURN(auto split, SplitHoldout(spec.data, 0.1, rng));
+  NonIidPartitionConfig partition;
+  partition.num_parts = n;
+  partition.num_iid_parts = n - flags.noniid;
+  partition.classes_per_biased_part = 1;
+  DIGFL_ASSIGN_OR_RETURN(auto shards,
+                         PartitionNonIid(split.first, partition, rng));
+  for (size_t k = 0; k < flags.mislabeled; ++k) {
+    DIGFL_ASSIGN_OR_RETURN(
+        shards[1 + k],
+        MislabelFraction(shards[1 + k], flags.mislabel_fraction, rng));
+  }
+  std::vector<HflParticipant> participants;
+  for (size_t i = 0; i < n; ++i) participants.emplace_back(i, shards[i]);
+
+  Mlp model({spec.data.num_features(), 16,
+             static_cast<size_t>(spec.data.num_classes)});
+  HflServer server(model, split.second);
+  Rng init_rng(flags.seed + 2);
+  DIGFL_ASSIGN_OR_RETURN(Vec init, model.InitParams(init_rng));
+  FedSgdConfig config;
+  config.epochs = flags.epochs;
+  config.learning_rate =
+      flags.learning_rate > 0 ? flags.learning_rate : 0.3;
+  DIGFL_ASSIGN_OR_RETURN(HflTrainingLog log,
+                         RunFedSgd(model, participants, server, init, config));
+  std::printf("trained %s: n=%zu epochs=%zu final val acc %.3f\n",
+              spec.name.c_str(), n, flags.epochs,
+              log.validation_accuracy.back());
+
+  MethodReports reports;
+  for (const std::string& method : SplitCommaList(flags.methods)) {
+    if (method == "digfl" || method == "digfl2") {
+      DigFlHflOptions options;
+      if (method == "digfl2") options.mode = HflEvaluatorMode::kInteractive;
+      DIGFL_ASSIGN_OR_RETURN(
+          ContributionReport report,
+          EvaluateHflContributions(model, participants, server, log, options));
+      reports.emplace_back(method, std::move(report));
+    } else if (method == "exact") {
+      HflUtilityOracle oracle(model, participants, server, init, config);
+      DIGFL_ASSIGN_OR_RETURN(ContributionReport report,
+                             ComputeExactShapley(oracle));
+      reports.emplace_back(method, std::move(report));
+    } else if (method == "tmc") {
+      HflUtilityOracle oracle(model, participants, server, init, config);
+      DIGFL_ASSIGN_OR_RETURN(ContributionReport report,
+                             ComputeTmcShapley(oracle));
+      reports.emplace_back(method, std::move(report));
+    } else if (method == "gt") {
+      HflUtilityOracle oracle(model, participants, server, init, config);
+      DIGFL_ASSIGN_OR_RETURN(ContributionReport report,
+                             ComputeGtShapley(oracle));
+      reports.emplace_back(method, std::move(report));
+    } else if (method == "mr") {
+      DIGFL_ASSIGN_OR_RETURN(ContributionReport report,
+                             ComputeMrShapley(server, log));
+      reports.emplace_back(method, std::move(report));
+    } else if (method == "im") {
+      DIGFL_ASSIGN_OR_RETURN(ContributionReport report,
+                             ComputeImContribution(log, init));
+      reports.emplace_back(method, std::move(report));
+    } else {
+      return Status::InvalidArgument("unknown HFL method: " + method);
+    }
+  }
+  return reports;
+}
+
+Result<MethodReports> RunVfl(const Flags& flags, PaperDatasetId id) {
+  PaperDatasetOptions data_options;
+  data_options.sample_fraction = 1.0;
+  data_options.seed = flags.seed;
+  DIGFL_ASSIGN_OR_RETURN(PaperDatasetSpec spec,
+                         MakePaperDataset(id, data_options));
+  if (spec.model == PaperModel::kHflCnn) {
+    return Status::InvalidArgument(spec.name + " is an HFL dataset");
+  }
+  const size_t n = flags.participants > 0 ? flags.participants
+                                          : spec.paper_num_participants;
+
+  Rng rng(flags.seed + 1);
+  DIGFL_ASSIGN_OR_RETURN(auto split, SplitHoldout(spec.data, 0.1, rng));
+  const size_t d = spec.data.num_features();
+  DIGFL_ASSIGN_OR_RETURN(auto feature_blocks, SplitFeatureBlocks(d, n));
+  DIGFL_ASSIGN_OR_RETURN(VflBlockModel blocks,
+                         VflBlockModel::Create(feature_blocks, d));
+
+  std::unique_ptr<Model> model;
+  double lr = flags.learning_rate;
+  if (spec.model == PaperModel::kVflLinReg) {
+    model = std::make_unique<LinearRegression>(d);
+    if (lr == 0.0) lr = 0.05;
+  } else {
+    model = std::make_unique<LogisticRegression>(d);
+    if (lr == 0.0) lr = 0.3;
+  }
+  VflTrainConfig config;
+  config.epochs = flags.epochs;
+  config.learning_rate = lr;
+  DIGFL_ASSIGN_OR_RETURN(
+      VflTrainingLog log,
+      RunVflTraining(*model, blocks, split.first, split.second, config));
+  std::printf("trained %s: n=%zu epochs=%zu final val loss %.4f\n",
+              spec.name.c_str(), n, flags.epochs, log.validation_loss.back());
+
+  MethodReports reports;
+  for (const std::string& method : SplitCommaList(flags.methods)) {
+    if (method == "digfl" || method == "digfl2") {
+      DigFlVflOptions options;
+      options.include_second_order = method == "digfl2";
+      DIGFL_ASSIGN_OR_RETURN(
+          ContributionReport report,
+          EvaluateVflContributions(*model, blocks, split.first, split.second,
+                                   log, options));
+      reports.emplace_back(method, std::move(report));
+    } else if (method == "exact") {
+      VflUtilityOracle oracle(*model, blocks, split.first, split.second,
+                              config);
+      DIGFL_ASSIGN_OR_RETURN(ContributionReport report,
+                             ComputeExactShapley(oracle));
+      reports.emplace_back(method, std::move(report));
+    } else if (method == "tmc") {
+      VflUtilityOracle oracle(*model, blocks, split.first, split.second,
+                              config);
+      DIGFL_ASSIGN_OR_RETURN(ContributionReport report,
+                             ComputeTmcShapley(oracle));
+      reports.emplace_back(method, std::move(report));
+    } else if (method == "gt") {
+      VflUtilityOracle oracle(*model, blocks, split.first, split.second,
+                              config);
+      DIGFL_ASSIGN_OR_RETURN(ContributionReport report,
+                             ComputeGtShapley(oracle));
+      reports.emplace_back(method, std::move(report));
+    } else {
+      return Status::InvalidArgument("unknown VFL method: " + method);
+    }
+  }
+  return reports;
+}
+
+Result<int> Main(int argc, char** argv) {
+  DIGFL_ASSIGN_OR_RETURN(Flags flags, ParseFlags(argc, argv));
+  if (flags.help) {
+    PrintUsage();
+    return 0;
+  }
+  DIGFL_ASSIGN_OR_RETURN(PaperDatasetId id, LookupDataset(flags.dataset));
+
+  MethodReports reports;
+  if (flags.mode == "hfl") {
+    DIGFL_ASSIGN_OR_RETURN(reports, RunHfl(flags, id));
+  } else if (flags.mode == "vfl") {
+    DIGFL_ASSIGN_OR_RETURN(reports, RunVfl(flags, id));
+  } else {
+    return Status::InvalidArgument("mode must be hfl or vfl");
+  }
+  if (reports.empty()) return Status::InvalidArgument("no methods selected");
+
+  const size_t n = reports[0].second.total.size();
+  std::vector<std::string> header = {"participant"};
+  for (const auto& [name, report] : reports) header.push_back(name);
+  TableWriter table(header);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> row = {std::to_string(i)};
+    for (const auto& [name, report] : reports) {
+      row.push_back(TableWriter::FormatDouble(report.total[i], 5));
+    }
+    DIGFL_RETURN_IF_ERROR(table.AddRow(std::move(row)));
+  }
+  std::printf("\ncontributions:\n");
+  table.Print(std::cout);
+
+  std::printf("\ncosts:\n");
+  for (const auto& [name, report] : reports) {
+    std::printf("  %-7s %9.2e s, %zu retrainings, %.2f MB extra comm\n",
+                name.c_str(), report.wall_seconds, report.retrainings,
+                report.extra_comm.TotalMegabytes());
+  }
+
+  // Pairwise PCC when an exact reference is among the methods.
+  for (const auto& [name, report] : reports) {
+    if (name == "exact") {
+      std::printf("\nPCC vs exact:\n");
+      for (const auto& [other, other_report] : reports) {
+        if (other == "exact") continue;
+        auto pcc = PearsonCorrelation(other_report.total, report.total);
+        std::printf("  %-7s %s\n", other.c_str(),
+                    pcc.ok() ? TableWriter::FormatDouble(*pcc, 3).c_str()
+                             : pcc.status().ToString().c_str());
+      }
+    }
+  }
+
+  if (!flags.csv.empty()) {
+    DIGFL_RETURN_IF_ERROR(table.WriteCsv(flags.csv));
+    std::printf("\nwrote %s\n", flags.csv.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace digfl
+
+int main(int argc, char** argv) {
+  auto result = digfl::Main(argc, argv);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n(use --help for usage)\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  return *result;
+}
