@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_encryption.dir/bench_ablation_encryption.cc.o"
+  "CMakeFiles/bench_ablation_encryption.dir/bench_ablation_encryption.cc.o.d"
+  "bench_ablation_encryption"
+  "bench_ablation_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

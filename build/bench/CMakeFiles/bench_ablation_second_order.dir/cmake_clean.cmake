@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_second_order.dir/bench_ablation_second_order.cc.o"
+  "CMakeFiles/bench_ablation_second_order.dir/bench_ablation_second_order.cc.o.d"
+  "bench_ablation_second_order"
+  "bench_ablation_second_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_second_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_second_term.dir/bench_fig2_second_term.cc.o"
+  "CMakeFiles/bench_fig2_second_term.dir/bench_fig2_second_term.cc.o.d"
+  "bench_fig2_second_term"
+  "bench_fig2_second_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_second_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_per_epoch_shapley.dir/bench_fig6_per_epoch_shapley.cc.o"
+  "CMakeFiles/bench_fig6_per_epoch_shapley.dir/bench_fig6_per_epoch_shapley.cc.o.d"
+  "bench_fig6_per_epoch_shapley"
+  "bench_fig6_per_epoch_shapley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_per_epoch_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_reweight.dir/bench_fig7_reweight.cc.o"
+  "CMakeFiles/bench_fig7_reweight.dir/bench_fig7_reweight.cc.o.d"
+  "bench_fig7_reweight"
+  "bench_fig7_reweight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_reweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

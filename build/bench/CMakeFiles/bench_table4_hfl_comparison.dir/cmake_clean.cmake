@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hfl_comparison.dir/bench_table4_hfl_comparison.cc.o"
+  "CMakeFiles/bench_table4_hfl_comparison.dir/bench_table4_hfl_comparison.cc.o.d"
+  "bench_table4_hfl_comparison"
+  "bench_table4_hfl_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hfl_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_marketplace.dir/data_marketplace.cpp.o"
+  "CMakeFiles/data_marketplace.dir/data_marketplace.cpp.o.d"
+  "data_marketplace"
+  "data_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

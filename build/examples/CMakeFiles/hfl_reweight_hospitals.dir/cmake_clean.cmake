@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfl_reweight_hospitals.dir/hfl_reweight_hospitals.cpp.o"
+  "CMakeFiles/hfl_reweight_hospitals.dir/hfl_reweight_hospitals.cpp.o.d"
+  "hfl_reweight_hospitals"
+  "hfl_reweight_hospitals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfl_reweight_hospitals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hfl_reweight_hospitals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hfl_reweight_hospitals.
+# This may be replaced when dependencies are built.

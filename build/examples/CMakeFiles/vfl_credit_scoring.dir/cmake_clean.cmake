@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfl_credit_scoring.dir/vfl_credit_scoring.cpp.o"
+  "CMakeFiles/vfl_credit_scoring.dir/vfl_credit_scoring.cpp.o.d"
+  "vfl_credit_scoring"
+  "vfl_credit_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfl_credit_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

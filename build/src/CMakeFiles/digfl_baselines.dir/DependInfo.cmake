@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/exact_shapley.cc" "src/CMakeFiles/digfl_baselines.dir/baselines/exact_shapley.cc.o" "gcc" "src/CMakeFiles/digfl_baselines.dir/baselines/exact_shapley.cc.o.d"
+  "/root/repo/src/baselines/gt_shapley.cc" "src/CMakeFiles/digfl_baselines.dir/baselines/gt_shapley.cc.o" "gcc" "src/CMakeFiles/digfl_baselines.dir/baselines/gt_shapley.cc.o.d"
+  "/root/repo/src/baselines/im_contribution.cc" "src/CMakeFiles/digfl_baselines.dir/baselines/im_contribution.cc.o" "gcc" "src/CMakeFiles/digfl_baselines.dir/baselines/im_contribution.cc.o.d"
+  "/root/repo/src/baselines/mr_shapley.cc" "src/CMakeFiles/digfl_baselines.dir/baselines/mr_shapley.cc.o" "gcc" "src/CMakeFiles/digfl_baselines.dir/baselines/mr_shapley.cc.o.d"
+  "/root/repo/src/baselines/retrain_oracle.cc" "src/CMakeFiles/digfl_baselines.dir/baselines/retrain_oracle.cc.o" "gcc" "src/CMakeFiles/digfl_baselines.dir/baselines/retrain_oracle.cc.o.d"
+  "/root/repo/src/baselines/tmc_shapley.cc" "src/CMakeFiles/digfl_baselines.dir/baselines/tmc_shapley.cc.o" "gcc" "src/CMakeFiles/digfl_baselines.dir/baselines/tmc_shapley.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/digfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_hfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_vfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

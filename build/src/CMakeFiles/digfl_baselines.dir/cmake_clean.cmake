@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digfl_baselines.dir/baselines/exact_shapley.cc.o"
+  "CMakeFiles/digfl_baselines.dir/baselines/exact_shapley.cc.o.d"
+  "CMakeFiles/digfl_baselines.dir/baselines/gt_shapley.cc.o"
+  "CMakeFiles/digfl_baselines.dir/baselines/gt_shapley.cc.o.d"
+  "CMakeFiles/digfl_baselines.dir/baselines/im_contribution.cc.o"
+  "CMakeFiles/digfl_baselines.dir/baselines/im_contribution.cc.o.d"
+  "CMakeFiles/digfl_baselines.dir/baselines/mr_shapley.cc.o"
+  "CMakeFiles/digfl_baselines.dir/baselines/mr_shapley.cc.o.d"
+  "CMakeFiles/digfl_baselines.dir/baselines/retrain_oracle.cc.o"
+  "CMakeFiles/digfl_baselines.dir/baselines/retrain_oracle.cc.o.d"
+  "CMakeFiles/digfl_baselines.dir/baselines/tmc_shapley.cc.o"
+  "CMakeFiles/digfl_baselines.dir/baselines/tmc_shapley.cc.o.d"
+  "libdigfl_baselines.a"
+  "libdigfl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digfl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

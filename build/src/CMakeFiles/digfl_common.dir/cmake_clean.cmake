@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digfl_common.dir/common/comm_meter.cc.o"
+  "CMakeFiles/digfl_common.dir/common/comm_meter.cc.o.d"
+  "CMakeFiles/digfl_common.dir/common/logging.cc.o"
+  "CMakeFiles/digfl_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/digfl_common.dir/common/rng.cc.o"
+  "CMakeFiles/digfl_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/digfl_common.dir/common/status.cc.o"
+  "CMakeFiles/digfl_common.dir/common/status.cc.o.d"
+  "CMakeFiles/digfl_common.dir/common/table_writer.cc.o"
+  "CMakeFiles/digfl_common.dir/common/table_writer.cc.o.d"
+  "CMakeFiles/digfl_common.dir/common/timer.cc.o"
+  "CMakeFiles/digfl_common.dir/common/timer.cc.o.d"
+  "libdigfl_common.a"
+  "libdigfl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digfl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

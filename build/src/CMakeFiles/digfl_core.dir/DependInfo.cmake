@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/applications.cc" "src/CMakeFiles/digfl_core.dir/core/applications.cc.o" "gcc" "src/CMakeFiles/digfl_core.dir/core/applications.cc.o.d"
+  "/root/repo/src/core/digfl_hfl.cc" "src/CMakeFiles/digfl_core.dir/core/digfl_hfl.cc.o" "gcc" "src/CMakeFiles/digfl_core.dir/core/digfl_hfl.cc.o.d"
+  "/root/repo/src/core/digfl_vfl.cc" "src/CMakeFiles/digfl_core.dir/core/digfl_vfl.cc.o" "gcc" "src/CMakeFiles/digfl_core.dir/core/digfl_vfl.cc.o.d"
+  "/root/repo/src/core/group_contribution.cc" "src/CMakeFiles/digfl_core.dir/core/group_contribution.cc.o" "gcc" "src/CMakeFiles/digfl_core.dir/core/group_contribution.cc.o.d"
+  "/root/repo/src/core/reweight.cc" "src/CMakeFiles/digfl_core.dir/core/reweight.cc.o" "gcc" "src/CMakeFiles/digfl_core.dir/core/reweight.cc.o.d"
+  "/root/repo/src/core/shapley.cc" "src/CMakeFiles/digfl_core.dir/core/shapley.cc.o" "gcc" "src/CMakeFiles/digfl_core.dir/core/shapley.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/digfl_hfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_vfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digfl_core.dir/core/applications.cc.o"
+  "CMakeFiles/digfl_core.dir/core/applications.cc.o.d"
+  "CMakeFiles/digfl_core.dir/core/digfl_hfl.cc.o"
+  "CMakeFiles/digfl_core.dir/core/digfl_hfl.cc.o.d"
+  "CMakeFiles/digfl_core.dir/core/digfl_vfl.cc.o"
+  "CMakeFiles/digfl_core.dir/core/digfl_vfl.cc.o.d"
+  "CMakeFiles/digfl_core.dir/core/group_contribution.cc.o"
+  "CMakeFiles/digfl_core.dir/core/group_contribution.cc.o.d"
+  "CMakeFiles/digfl_core.dir/core/reweight.cc.o"
+  "CMakeFiles/digfl_core.dir/core/reweight.cc.o.d"
+  "CMakeFiles/digfl_core.dir/core/shapley.cc.o"
+  "CMakeFiles/digfl_core.dir/core/shapley.cc.o.d"
+  "libdigfl_core.a"
+  "libdigfl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digfl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bigint.cc" "src/CMakeFiles/digfl_crypto.dir/crypto/bigint.cc.o" "gcc" "src/CMakeFiles/digfl_crypto.dir/crypto/bigint.cc.o.d"
+  "/root/repo/src/crypto/fixed_point.cc" "src/CMakeFiles/digfl_crypto.dir/crypto/fixed_point.cc.o" "gcc" "src/CMakeFiles/digfl_crypto.dir/crypto/fixed_point.cc.o.d"
+  "/root/repo/src/crypto/montgomery.cc" "src/CMakeFiles/digfl_crypto.dir/crypto/montgomery.cc.o" "gcc" "src/CMakeFiles/digfl_crypto.dir/crypto/montgomery.cc.o.d"
+  "/root/repo/src/crypto/paillier.cc" "src/CMakeFiles/digfl_crypto.dir/crypto/paillier.cc.o" "gcc" "src/CMakeFiles/digfl_crypto.dir/crypto/paillier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/digfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

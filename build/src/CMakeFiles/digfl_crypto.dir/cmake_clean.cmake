@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digfl_crypto.dir/crypto/bigint.cc.o"
+  "CMakeFiles/digfl_crypto.dir/crypto/bigint.cc.o.d"
+  "CMakeFiles/digfl_crypto.dir/crypto/fixed_point.cc.o"
+  "CMakeFiles/digfl_crypto.dir/crypto/fixed_point.cc.o.d"
+  "CMakeFiles/digfl_crypto.dir/crypto/montgomery.cc.o"
+  "CMakeFiles/digfl_crypto.dir/crypto/montgomery.cc.o.d"
+  "CMakeFiles/digfl_crypto.dir/crypto/paillier.cc.o"
+  "CMakeFiles/digfl_crypto.dir/crypto/paillier.cc.o.d"
+  "libdigfl_crypto.a"
+  "libdigfl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digfl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdigfl_crypto.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corruption.cc" "src/CMakeFiles/digfl_data.dir/data/corruption.cc.o" "gcc" "src/CMakeFiles/digfl_data.dir/data/corruption.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/digfl_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/digfl_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/paper_datasets.cc" "src/CMakeFiles/digfl_data.dir/data/paper_datasets.cc.o" "gcc" "src/CMakeFiles/digfl_data.dir/data/paper_datasets.cc.o.d"
+  "/root/repo/src/data/partition.cc" "src/CMakeFiles/digfl_data.dir/data/partition.cc.o" "gcc" "src/CMakeFiles/digfl_data.dir/data/partition.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/digfl_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/digfl_data.dir/data/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/digfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

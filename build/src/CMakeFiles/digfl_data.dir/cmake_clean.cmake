@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digfl_data.dir/data/corruption.cc.o"
+  "CMakeFiles/digfl_data.dir/data/corruption.cc.o.d"
+  "CMakeFiles/digfl_data.dir/data/dataset.cc.o"
+  "CMakeFiles/digfl_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/digfl_data.dir/data/paper_datasets.cc.o"
+  "CMakeFiles/digfl_data.dir/data/paper_datasets.cc.o.d"
+  "CMakeFiles/digfl_data.dir/data/partition.cc.o"
+  "CMakeFiles/digfl_data.dir/data/partition.cc.o.d"
+  "CMakeFiles/digfl_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/digfl_data.dir/data/synthetic.cc.o.d"
+  "libdigfl_data.a"
+  "libdigfl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digfl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

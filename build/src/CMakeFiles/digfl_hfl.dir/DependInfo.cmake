@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hfl/dp.cc" "src/CMakeFiles/digfl_hfl.dir/hfl/dp.cc.o" "gcc" "src/CMakeFiles/digfl_hfl.dir/hfl/dp.cc.o.d"
+  "/root/repo/src/hfl/fed_sgd.cc" "src/CMakeFiles/digfl_hfl.dir/hfl/fed_sgd.cc.o" "gcc" "src/CMakeFiles/digfl_hfl.dir/hfl/fed_sgd.cc.o.d"
+  "/root/repo/src/hfl/log_io.cc" "src/CMakeFiles/digfl_hfl.dir/hfl/log_io.cc.o" "gcc" "src/CMakeFiles/digfl_hfl.dir/hfl/log_io.cc.o.d"
+  "/root/repo/src/hfl/participant.cc" "src/CMakeFiles/digfl_hfl.dir/hfl/participant.cc.o" "gcc" "src/CMakeFiles/digfl_hfl.dir/hfl/participant.cc.o.d"
+  "/root/repo/src/hfl/secure_aggregation.cc" "src/CMakeFiles/digfl_hfl.dir/hfl/secure_aggregation.cc.o" "gcc" "src/CMakeFiles/digfl_hfl.dir/hfl/secure_aggregation.cc.o.d"
+  "/root/repo/src/hfl/server.cc" "src/CMakeFiles/digfl_hfl.dir/hfl/server.cc.o" "gcc" "src/CMakeFiles/digfl_hfl.dir/hfl/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/digfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digfl_hfl.dir/hfl/dp.cc.o"
+  "CMakeFiles/digfl_hfl.dir/hfl/dp.cc.o.d"
+  "CMakeFiles/digfl_hfl.dir/hfl/fed_sgd.cc.o"
+  "CMakeFiles/digfl_hfl.dir/hfl/fed_sgd.cc.o.d"
+  "CMakeFiles/digfl_hfl.dir/hfl/log_io.cc.o"
+  "CMakeFiles/digfl_hfl.dir/hfl/log_io.cc.o.d"
+  "CMakeFiles/digfl_hfl.dir/hfl/participant.cc.o"
+  "CMakeFiles/digfl_hfl.dir/hfl/participant.cc.o.d"
+  "CMakeFiles/digfl_hfl.dir/hfl/secure_aggregation.cc.o"
+  "CMakeFiles/digfl_hfl.dir/hfl/secure_aggregation.cc.o.d"
+  "CMakeFiles/digfl_hfl.dir/hfl/server.cc.o"
+  "CMakeFiles/digfl_hfl.dir/hfl/server.cc.o.d"
+  "libdigfl_hfl.a"
+  "libdigfl_hfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digfl_hfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/correlation.cc" "src/CMakeFiles/digfl_metrics.dir/metrics/correlation.cc.o" "gcc" "src/CMakeFiles/digfl_metrics.dir/metrics/correlation.cc.o.d"
+  "/root/repo/src/metrics/cost_report.cc" "src/CMakeFiles/digfl_metrics.dir/metrics/cost_report.cc.o" "gcc" "src/CMakeFiles/digfl_metrics.dir/metrics/cost_report.cc.o.d"
+  "/root/repo/src/metrics/detection.cc" "src/CMakeFiles/digfl_metrics.dir/metrics/detection.cc.o" "gcc" "src/CMakeFiles/digfl_metrics.dir/metrics/detection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/digfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

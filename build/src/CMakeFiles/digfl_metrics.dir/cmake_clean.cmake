@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digfl_metrics.dir/metrics/correlation.cc.o"
+  "CMakeFiles/digfl_metrics.dir/metrics/correlation.cc.o.d"
+  "CMakeFiles/digfl_metrics.dir/metrics/cost_report.cc.o"
+  "CMakeFiles/digfl_metrics.dir/metrics/cost_report.cc.o.d"
+  "CMakeFiles/digfl_metrics.dir/metrics/detection.cc.o"
+  "CMakeFiles/digfl_metrics.dir/metrics/detection.cc.o.d"
+  "libdigfl_metrics.a"
+  "libdigfl_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digfl_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

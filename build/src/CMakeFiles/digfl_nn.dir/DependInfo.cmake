@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/hvp.cc" "src/CMakeFiles/digfl_nn.dir/nn/hvp.cc.o" "gcc" "src/CMakeFiles/digfl_nn.dir/nn/hvp.cc.o.d"
+  "/root/repo/src/nn/linear_regression.cc" "src/CMakeFiles/digfl_nn.dir/nn/linear_regression.cc.o" "gcc" "src/CMakeFiles/digfl_nn.dir/nn/linear_regression.cc.o.d"
+  "/root/repo/src/nn/logistic_regression.cc" "src/CMakeFiles/digfl_nn.dir/nn/logistic_regression.cc.o" "gcc" "src/CMakeFiles/digfl_nn.dir/nn/logistic_regression.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/digfl_nn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/digfl_nn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/CMakeFiles/digfl_nn.dir/nn/model.cc.o" "gcc" "src/CMakeFiles/digfl_nn.dir/nn/model.cc.o.d"
+  "/root/repo/src/nn/sgd.cc" "src/CMakeFiles/digfl_nn.dir/nn/sgd.cc.o" "gcc" "src/CMakeFiles/digfl_nn.dir/nn/sgd.cc.o.d"
+  "/root/repo/src/nn/softmax_regression.cc" "src/CMakeFiles/digfl_nn.dir/nn/softmax_regression.cc.o" "gcc" "src/CMakeFiles/digfl_nn.dir/nn/softmax_regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/digfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digfl_nn.dir/nn/hvp.cc.o"
+  "CMakeFiles/digfl_nn.dir/nn/hvp.cc.o.d"
+  "CMakeFiles/digfl_nn.dir/nn/linear_regression.cc.o"
+  "CMakeFiles/digfl_nn.dir/nn/linear_regression.cc.o.d"
+  "CMakeFiles/digfl_nn.dir/nn/logistic_regression.cc.o"
+  "CMakeFiles/digfl_nn.dir/nn/logistic_regression.cc.o.d"
+  "CMakeFiles/digfl_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/digfl_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/digfl_nn.dir/nn/model.cc.o"
+  "CMakeFiles/digfl_nn.dir/nn/model.cc.o.d"
+  "CMakeFiles/digfl_nn.dir/nn/sgd.cc.o"
+  "CMakeFiles/digfl_nn.dir/nn/sgd.cc.o.d"
+  "CMakeFiles/digfl_nn.dir/nn/softmax_regression.cc.o"
+  "CMakeFiles/digfl_nn.dir/nn/softmax_regression.cc.o.d"
+  "libdigfl_nn.a"
+  "libdigfl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digfl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digfl_tensor.dir/tensor/matrix.cc.o"
+  "CMakeFiles/digfl_tensor.dir/tensor/matrix.cc.o.d"
+  "CMakeFiles/digfl_tensor.dir/tensor/vec.cc.o"
+  "CMakeFiles/digfl_tensor.dir/tensor/vec.cc.o.d"
+  "libdigfl_tensor.a"
+  "libdigfl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digfl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfl/block_model.cc" "src/CMakeFiles/digfl_vfl.dir/vfl/block_model.cc.o" "gcc" "src/CMakeFiles/digfl_vfl.dir/vfl/block_model.cc.o.d"
+  "/root/repo/src/vfl/encrypted_protocol.cc" "src/CMakeFiles/digfl_vfl.dir/vfl/encrypted_protocol.cc.o" "gcc" "src/CMakeFiles/digfl_vfl.dir/vfl/encrypted_protocol.cc.o.d"
+  "/root/repo/src/vfl/plain_trainer.cc" "src/CMakeFiles/digfl_vfl.dir/vfl/plain_trainer.cc.o" "gcc" "src/CMakeFiles/digfl_vfl.dir/vfl/plain_trainer.cc.o.d"
+  "/root/repo/src/vfl/vfl_log_io.cc" "src/CMakeFiles/digfl_vfl.dir/vfl/vfl_log_io.cc.o" "gcc" "src/CMakeFiles/digfl_vfl.dir/vfl/vfl_log_io.cc.o.d"
+  "/root/repo/src/vfl/vfl_participant.cc" "src/CMakeFiles/digfl_vfl.dir/vfl/vfl_participant.cc.o" "gcc" "src/CMakeFiles/digfl_vfl.dir/vfl/vfl_participant.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/digfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

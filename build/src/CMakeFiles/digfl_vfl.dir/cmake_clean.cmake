@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digfl_vfl.dir/vfl/block_model.cc.o"
+  "CMakeFiles/digfl_vfl.dir/vfl/block_model.cc.o.d"
+  "CMakeFiles/digfl_vfl.dir/vfl/encrypted_protocol.cc.o"
+  "CMakeFiles/digfl_vfl.dir/vfl/encrypted_protocol.cc.o.d"
+  "CMakeFiles/digfl_vfl.dir/vfl/plain_trainer.cc.o"
+  "CMakeFiles/digfl_vfl.dir/vfl/plain_trainer.cc.o.d"
+  "CMakeFiles/digfl_vfl.dir/vfl/vfl_log_io.cc.o"
+  "CMakeFiles/digfl_vfl.dir/vfl/vfl_log_io.cc.o.d"
+  "CMakeFiles/digfl_vfl.dir/vfl/vfl_participant.cc.o"
+  "CMakeFiles/digfl_vfl.dir/vfl/vfl_participant.cc.o.d"
+  "libdigfl_vfl.a"
+  "libdigfl_vfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digfl_vfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

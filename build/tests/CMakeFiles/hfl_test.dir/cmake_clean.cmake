@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfl_test.dir/hfl_test.cc.o"
+  "CMakeFiles/hfl_test.dir/hfl_test.cc.o.d"
+  "hfl_test"
+  "hfl_test.pdb"
+  "hfl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_properties_test.dir/paper_properties_test.cc.o"
+  "CMakeFiles/paper_properties_test.dir/paper_properties_test.cc.o.d"
+  "paper_properties_test"
+  "paper_properties_test.pdb"
+  "paper_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

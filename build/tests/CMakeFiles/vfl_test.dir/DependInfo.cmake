@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vfl_test.cc" "tests/CMakeFiles/vfl_test.dir/vfl_test.cc.o" "gcc" "tests/CMakeFiles/vfl_test.dir/vfl_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/digfl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_hfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_vfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/digfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

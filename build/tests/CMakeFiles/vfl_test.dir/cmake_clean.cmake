@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfl_test.dir/vfl_test.cc.o"
+  "CMakeFiles/vfl_test.dir/vfl_test.cc.o.d"
+  "vfl_test"
+  "vfl_test.pdb"
+  "vfl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

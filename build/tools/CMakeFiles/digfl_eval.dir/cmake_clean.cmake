@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digfl_eval.dir/digfl_eval.cc.o"
+  "CMakeFiles/digfl_eval.dir/digfl_eval.cc.o.d"
+  "digfl_eval"
+  "digfl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digfl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
