@@ -62,6 +62,9 @@ struct HflExperiment {
   Vec init;
   FedSgdConfig train_config;
   HflTrainingLog log;
+  // Owns the fault schedule train_config.fault_plan points at (heap
+  // allocation keeps the pointer stable when the experiment is moved).
+  std::unique_ptr<FaultPlan> fault_plan;
 };
 
 struct HflExperimentOptions {
@@ -78,6 +81,11 @@ struct HflExperimentOptions {
   size_t local_steps = 1;
   size_t hidden_units = 16;
   uint64_t seed = 7;
+  // Fault injection (common/fault.h); all-zero rates = fault-free run.
+  double dropout_rate = 0.0;
+  double straggler_rate = 0.0;
+  double corruption_rate = 0.0;
+  uint64_t fault_seed = 0xfa01;
 };
 
 // Builds + federatedly trains one HFL experiment on a paper dataset.
@@ -119,6 +127,19 @@ inline HflExperiment MakeHflExperiment(PaperDatasetId id,
   experiment.train_config.epochs = options.epochs;
   experiment.train_config.learning_rate = options.learning_rate;
   experiment.train_config.local_steps = options.local_steps;
+  if (options.dropout_rate > 0 || options.straggler_rate > 0 ||
+      options.corruption_rate > 0) {
+    FaultPlanConfig fault_config;
+    fault_config.dropout_rate = options.dropout_rate;
+    fault_config.straggler_rate = options.straggler_rate;
+    fault_config.corruption_rate = options.corruption_rate;
+    fault_config.seed = options.fault_seed;
+    experiment.fault_plan = std::make_unique<FaultPlan>(
+        Unwrap(FaultPlan::Generate(options.epochs, options.num_participants,
+                                   fault_config),
+               "fault plan"));
+    experiment.train_config.fault_plan = experiment.fault_plan.get();
+  }
 
   HflServer server(*experiment.model, experiment.validation);
   experiment.log = Unwrap(

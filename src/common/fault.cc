@@ -1,0 +1,178 @@
+#include "common/fault.h"
+
+#include <cmath>
+#include <limits>
+
+namespace digfl {
+
+const char* FaultTypeToString(FaultType type) {
+  switch (type) {
+    case FaultType::kNone:
+      return "None";
+    case FaultType::kDropout:
+      return "Dropout";
+    case FaultType::kStraggler:
+      return "Straggler";
+    case FaultType::kCorruption:
+      return "Corruption";
+  }
+  return "Unknown";
+}
+
+const char* QuarantineReasonToString(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kAccepted:
+      return "Accepted";
+    case QuarantineReason::kNonFinite:
+      return "NonFinite";
+    case QuarantineReason::kNormExploded:
+      return "NormExploded";
+  }
+  return "Unknown";
+}
+
+Result<FaultPlan> FaultPlan::Generate(size_t num_epochs,
+                                      size_t num_participants,
+                                      const FaultPlanConfig& config) {
+  for (double rate : {config.dropout_rate, config.straggler_rate,
+                      config.corruption_rate}) {
+    if (rate < 0.0 || rate > 1.0) {
+      return Status::InvalidArgument("fault rates must be in [0, 1]");
+    }
+  }
+  if (config.dropout_rate + config.straggler_rate + config.corruption_rate >
+      1.0) {
+    return Status::InvalidArgument("fault rates must sum to <= 1");
+  }
+  if (config.explode_factor <= 1.0) {
+    return Status::InvalidArgument("explode_factor must be > 1");
+  }
+
+  FaultPlan plan(num_epochs, num_participants, config);
+  plan.events_.assign(num_epochs * num_participants, FaultEvent{});
+  // One independent stream per grid cell: the plan for epoch t is unchanged
+  // by how many epochs or participants the grid has beyond (t, i).
+  const Rng root(config.seed);
+  size_t corrupt_count = 0;
+  for (size_t t = 0; t < num_epochs; ++t) {
+    for (size_t i = 0; i < num_participants; ++i) {
+      Rng cell = root.Fork(t * num_participants + i);
+      FaultEvent& event = plan.events_[t * num_participants + i];
+      // Disjoint-interval draw: a single uniform decides which (if any)
+      // fault fires, so the rates are exact marginals.
+      const double u = cell.Uniform();
+      if (u < config.dropout_rate) {
+        event.type = FaultType::kDropout;
+      } else if (u < config.dropout_rate + config.straggler_rate) {
+        event.type = FaultType::kStraggler;
+      } else if (u < config.dropout_rate + config.straggler_rate +
+                         config.corruption_rate) {
+        event.type = FaultType::kCorruption;
+        event.corruption = static_cast<CorruptionKind>(corrupt_count++ % 3);
+      }
+    }
+  }
+  return plan;
+}
+
+FaultEvent FaultPlan::At(size_t epoch, size_t participant) const {
+  if (epoch >= num_epochs_ || participant >= num_participants_) {
+    return FaultEvent{};
+  }
+  return events_[epoch * num_participants_ + participant];
+}
+
+size_t FaultPlan::CountType(FaultType type) const {
+  size_t count = 0;
+  for (const FaultEvent& event : events_) {
+    if (event.type == type) ++count;
+  }
+  return count;
+}
+
+Rng FaultPlan::CorruptionRng(size_t epoch, size_t participant) const {
+  // Offset the stream ids so corruption payloads are independent of the
+  // schedule draws above.
+  return Rng(config_.seed)
+      .Fork(num_epochs_ * num_participants_ + epoch * num_participants_ +
+            participant + 1);
+}
+
+std::vector<double> CorruptUpdate(const std::vector<double>& update,
+                                  CorruptionKind kind, double explode_factor,
+                                  Rng& rng) {
+  std::vector<double> corrupted = update;
+  if (corrupted.empty()) return corrupted;
+  switch (kind) {
+    case CorruptionKind::kNaN:
+    case CorruptionKind::kInf: {
+      const double poison = kind == CorruptionKind::kNaN
+                                ? std::numeric_limits<double>::quiet_NaN()
+                                : std::numeric_limits<double>::infinity();
+      // Poison a non-empty random subset (~25% of coordinates, at least 1).
+      size_t poisoned = 0;
+      for (double& v : corrupted) {
+        if (rng.Bernoulli(0.25)) {
+          v = rng.Bernoulli(0.5) ? poison : -poison;
+          ++poisoned;
+        }
+      }
+      if (poisoned == 0) {
+        corrupted[rng.UniformInt(corrupted.size())] = poison;
+      }
+      break;
+    }
+    case CorruptionKind::kExplode:
+      for (double& v : corrupted) v *= explode_factor;
+      break;
+  }
+  return corrupted;
+}
+
+namespace {
+
+// L2 norm of the finite part; sets *all_finite on the way.
+double FiniteNorm(const std::vector<double>& update, bool* all_finite) {
+  double sum_sq = 0.0;
+  *all_finite = true;
+  for (double v : update) {
+    if (!std::isfinite(v)) {
+      *all_finite = false;
+    } else {
+      sum_sq += v * v;
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace
+
+QuarantineReason InspectUpdate(const std::vector<double>& update,
+                               const QuarantineConfig& config,
+                               double epoch_median_norm) {
+  bool all_finite = true;
+  const double norm = FiniteNorm(update, &all_finite);
+  if (!all_finite) return QuarantineReason::kNonFinite;
+  if (config.max_update_norm > 0.0 && norm > config.max_update_norm) {
+    return QuarantineReason::kNormExploded;
+  }
+  if (config.median_factor > 0.0 && epoch_median_norm > 0.0 &&
+      norm > config.median_factor * epoch_median_norm) {
+    return QuarantineReason::kNormExploded;
+  }
+  return QuarantineReason::kAccepted;
+}
+
+void FaultStats::RecordQuarantine(size_t epoch, size_t participant,
+                                  QuarantineReason reason, double norm) {
+  if (reason == QuarantineReason::kNonFinite) {
+    ++quarantined_non_finite;
+  } else if (reason == QuarantineReason::kNormExploded) {
+    ++quarantined_norm;
+  }
+  quarantine_events.push_back(QuarantineEvent{
+      static_cast<uint32_t>(epoch), static_cast<uint32_t>(participant),
+      reason, norm});
+}
+
+}  // namespace digfl

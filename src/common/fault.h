@@ -1,0 +1,170 @@
+// Deterministic fault injection and server-side update quarantine.
+//
+// Real federated fleets are defined by stragglers, dropouts, and malformed
+// updates. This module makes those failure modes first-class and — crucially
+// for a reproduction — *deterministic*: a FaultPlan is a seeded per-epoch,
+// per-participant schedule of faults, so every chaos experiment replays
+// bit-for-bit. The quarantine gate is the server-side defense: it inspects
+// each arriving update before aggregation and rejects non-finite or
+// norm-exploded payloads with a typed reason code (never a silent drop).
+//
+// Fault taxonomy (see DESIGN.md "Fault model & graceful degradation"):
+//   kDropout    — the participant misses the round entirely (no upload).
+//   kStraggler  — the update misses the deadline; the server retries
+//                 `straggler_max_retries` times (traffic is accounted in the
+//                 trainer's CommMeter) and then drops the participant for
+//                 the round.
+//   kCorruption — the update arrives but is malformed: NaN, Inf, or a
+//                 magnitude-exploded delta. The quarantine gate must catch
+//                 these before they poison G_t.
+
+#ifndef DIGFL_COMMON_FAULT_H_
+#define DIGFL_COMMON_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace digfl {
+
+enum class FaultType : uint8_t {
+  kNone = 0,
+  kDropout = 1,
+  kStraggler = 2,
+  kCorruption = 3,
+};
+
+const char* FaultTypeToString(FaultType type);
+
+// How a corrupt update is malformed. Cycled deterministically by the plan.
+enum class CorruptionKind : uint8_t {
+  kNaN = 0,      // a subset of coordinates becomes NaN
+  kInf = 1,      // a subset of coordinates becomes ±Inf
+  kExplode = 2,  // the whole update is scaled by `explode_factor`
+};
+
+struct FaultEvent {
+  FaultType type = FaultType::kNone;
+  // Valid only when type == kCorruption.
+  CorruptionKind corruption = CorruptionKind::kNaN;
+};
+
+struct FaultPlanConfig {
+  // Independent per-(epoch, participant) Bernoulli rates. At most one fault
+  // fires per cell; dropout is sampled first, then straggler, then
+  // corruption, each from the cell's own deterministic stream.
+  double dropout_rate = 0.0;
+  double straggler_rate = 0.0;
+  double corruption_rate = 0.0;
+  // A straggler's update is retried this many times before the server gives
+  // up on the round (each retry is charged to the CommMeter by the trainer).
+  size_t straggler_max_retries = 3;
+  // Magnitude multiplier for CorruptionKind::kExplode.
+  double explode_factor = 1e9;
+  uint64_t seed = 0xfa01;
+};
+
+// A deterministic, replayable schedule of faults over a training run.
+class FaultPlan {
+ public:
+  // Samples the full epoch × participant grid from `config.seed`.
+  static Result<FaultPlan> Generate(size_t num_epochs, size_t num_participants,
+                                    const FaultPlanConfig& config);
+
+  // The fault scheduled for (epoch, participant); kNone outside the grid, so
+  // a plan generated for fewer epochs than the trainer runs degrades to
+  // fault-free tail epochs instead of aborting.
+  FaultEvent At(size_t epoch, size_t participant) const;
+
+  // Total number of cells scheduled with `type`.
+  size_t CountType(FaultType type) const;
+
+  size_t num_epochs() const { return num_epochs_; }
+  size_t num_participants() const { return num_participants_; }
+  const FaultPlanConfig& config() const { return config_; }
+
+  // The deterministic RNG a trainer should use to materialize the
+  // corruption payload for cell (epoch, participant).
+  Rng CorruptionRng(size_t epoch, size_t participant) const;
+
+ private:
+  FaultPlan(size_t num_epochs, size_t num_participants,
+            const FaultPlanConfig& config)
+      : num_epochs_(num_epochs),
+        num_participants_(num_participants),
+        config_(config) {}
+
+  size_t num_epochs_ = 0;
+  size_t num_participants_ = 0;
+  FaultPlanConfig config_;
+  std::vector<FaultEvent> events_;  // epoch-major grid
+};
+
+// Returns a corrupted copy of `update` (which trainers then submit in place
+// of the true update). kNaN/kInf hit a random non-empty coordinate subset;
+// kExplode scales the whole vector by `explode_factor`.
+std::vector<double> CorruptUpdate(const std::vector<double>& update,
+                                  CorruptionKind kind, double explode_factor,
+                                  Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Server-side quarantine gate.
+
+enum class QuarantineReason : uint8_t {
+  kAccepted = 0,
+  kNonFinite = 1,     // NaN or ±Inf anywhere in the payload
+  kNormExploded = 2,  // L2 norm above the configured ceiling
+};
+
+const char* QuarantineReasonToString(QuarantineReason reason);
+
+struct QuarantineConfig {
+  // Absolute L2 ceiling on a single update; <= 0 disables the norm check
+  // (non-finite payloads are always rejected).
+  double max_update_norm = 1e6;
+  // > 0: additionally reject updates whose norm exceeds `median_factor` ×
+  // the median norm of the updates that arrived this epoch. Catches exploded
+  // deltas that stay under the absolute ceiling.
+  double median_factor = 0.0;
+};
+
+// Inspects one update. `epoch_median_norm` is the median L2 norm of the
+// epoch's arrived updates (pass 0 when unknown; the relative check is then
+// skipped).
+QuarantineReason InspectUpdate(const std::vector<double>& update,
+                               const QuarantineConfig& config,
+                               double epoch_median_norm = 0.0);
+
+// One rejected update, with enough context to audit the decision.
+struct QuarantineEvent {
+  uint32_t epoch = 0;
+  uint32_t participant = 0;
+  QuarantineReason reason = QuarantineReason::kAccepted;
+  // L2 norm of the rejected payload (NaN-safe: non-finite payloads record
+  // the norm of their finite part).
+  double norm = 0.0;
+};
+
+// Fault bookkeeping accumulated by a trainer over a run. Rejections are
+// logged (with reason codes), never silently dropped.
+struct FaultStats {
+  size_t dropouts = 0;
+  size_t stragglers_dropped = 0;
+  size_t straggler_retries = 0;
+  size_t quarantined_non_finite = 0;
+  size_t quarantined_norm = 0;
+  std::vector<QuarantineEvent> quarantine_events;
+
+  size_t total_quarantined() const {
+    return quarantined_non_finite + quarantined_norm;
+  }
+  void RecordQuarantine(size_t epoch, size_t participant,
+                        QuarantineReason reason, double norm);
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_COMMON_FAULT_H_

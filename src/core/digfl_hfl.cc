@@ -31,32 +31,60 @@ Result<ContributionReport> EvaluateHflContributions(
   }
 
   for (const HflEpochRecord& record : log.epochs) {
-    if (record.deltas.size() != n) {
+    if (record.deltas.size() != n ||
+        (!record.present.empty() && record.present.size() != n)) {
       return Status::InvalidArgument("ragged training log");
+    }
+    // Partial participation (Lemma 3 under masking): the epoch's aggregate
+    // averaged over the m = |present_t| participants that reported, so the
+    // leave-one-out perturbation of a present participant carries 1/m and
+    // an absent participant contributes φ̂_{t,i} = 0 — its absence cannot
+    // have changed this epoch's aggregate. Contribution sums stay additive
+    // over the rounds each participant actually joined.
+    const size_t m = record.NumPresent();
+    if (m == 0) {
+      // Nobody reported: G_t = 0, the epoch is a no-op for every φ.
+      report.per_epoch.push_back(std::vector<double>(n, 0.0));
+      continue;
     }
     DIGFL_ASSIGN_OR_RETURN(Vec v,
                            server.ValidationGradient(record.params_before));
 
     std::vector<double> phi(n, 0.0);
     for (size_t i = 0; i < n; ++i) {
-      // First-order term of Eq. 19: (1/n) v · δ_{t,i}.
-      phi[i] = vec::Dot(v, record.deltas[i]) / static_cast<double>(n);
+      const bool present = record.IsPresent(i);
+      // First-order term of Eq. 19: (1/m) v · δ_{t,i}; zero when absent
+      // (the delta slot is a zero vector, but skip the dot product anyway).
+      if (present) {
+        phi[i] = vec::Dot(v, record.deltas[i]) / static_cast<double>(m);
+      }
 
       if (options.mode == HflEvaluatorMode::kInteractive) {
         // Second-order term Ω_t^{-i}: Hessian-vector product on the
-        // accumulated gradient change (zero at the first epoch).
+        // accumulated gradient change (zero at the first epoch). The
+        // removal perturbation keeps propagating through the Hessian even
+        // in epochs where participant i itself is absent.
         Vec omega = vec::Zeros(p);
         if (vec::SquaredNorm2(accumulated_change[i]) > 0.0) {
           if (options.average_hvp_across_participants) {
+            // Only participants that reported this epoch can serve HVP
+            // queries; the server averages over the present set.
+            size_t served = 0;
             for (size_t j = 0; j < n; ++j) {
+              if (!record.IsPresent(j)) continue;
               DIGFL_ASSIGN_OR_RETURN(
                   Vec local,
                   participants[j].ComputeLocalHvp(model, record.params_before,
                                                   accumulated_change[i]));
-              vec::Axpy(1.0 / static_cast<double>(n), local, omega);
+              vec::Axpy(1.0, local, omega);
+              ++served;
             }
-            report.extra_comm.RecordDoubles("participant->server:hvp", n * p);
-          } else {
+            if (served > 0) {
+              vec::Scale(1.0 / static_cast<double>(served), omega);
+            }
+            report.extra_comm.RecordDoubles("participant->server:hvp",
+                                            served * p);
+          } else if (present) {
             DIGFL_ASSIGN_OR_RETURN(
                 omega,
                 participants[i].ComputeLocalHvp(model, record.params_before,
@@ -65,13 +93,15 @@ Result<ContributionReport> EvaluateHflContributions(
           }
         }
         // φ_{t,i} = −v·ΔG_t^{-i} with the Algorithm-1 recursion
-        //   ΔG_t^{-i} = −(1/n) δ_{t,i} − α_t Ω_t^{-i}.
+        //   ΔG_t^{-i} = −(1/m) δ_{t,i} − α_t Ω_t^{-i}.
         // (The paper's Lemma 1 prints the Ω sign as "+", contradicting its
         // own Eq. 6 derivation and Algorithm 1 line 8; we follow the
         // derivation, which also matches the VFL Lemma 2 convention.)
         phi[i] += record.learning_rate * vec::Dot(v, omega);
-        vec::Axpy(-1.0 / static_cast<double>(n), record.deltas[i],
-                  accumulated_change[i]);
+        if (present) {
+          vec::Axpy(-1.0 / static_cast<double>(m), record.deltas[i],
+                    accumulated_change[i]);
+        }
         vec::Axpy(-record.learning_rate, omega, accumulated_change[i]);
       }
       report.total[i] += phi[i];

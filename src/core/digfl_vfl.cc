@@ -27,12 +27,20 @@ Result<ContributionReport> EvaluateVflContributions(
   }
 
   for (const VflEpochRecord& record : log.epochs) {
+    if (!record.present.empty() && record.present.size() != n) {
+      return Status::InvalidArgument("ragged participation mask");
+    }
     DIGFL_ASSIGN_OR_RETURN(Vec v,
                            model.Gradient(record.params_before, validation));
     std::vector<double> phi(n, 0.0);
     for (size_t i = 0; i < n; ++i) {
+      // A participant absent this epoch (dropout/quarantine) contributed
+      // nothing to G_t — its block is zero — so φ̂_{t,i} = 0 and the
+      // removal recursion below receives a zero keep-block term, keeping
+      // Lemma 3 additivity over the rounds it actually joined.
+      const bool present = record.IsPresent(i);
       // Eq. 27: block-restricted inner product.
-      phi[i] = blocks.BlockDot(i, v, record.scaled_gradient);
+      phi[i] = present ? blocks.BlockDot(i, v, record.scaled_gradient) : 0.0;
 
       if (options.include_second_order) {
         Vec omega = vec::Zeros(model.NumParams());

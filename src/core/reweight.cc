@@ -26,16 +26,54 @@ Result<std::vector<double>> RectifiedNormalizedWeights(
   return weights;
 }
 
+Result<std::vector<double>> RectifiedNormalizedWeightsMasked(
+    const std::vector<double>& contributions,
+    const std::vector<uint8_t>& present) {
+  if (present.empty()) return RectifiedNormalizedWeights(contributions);
+  if (present.size() != contributions.size()) {
+    return Status::InvalidArgument("participation mask size mismatch");
+  }
+  std::vector<double> weights(contributions.size(), 0.0);
+  size_t num_present = 0;
+  double denom = 0.0;
+  for (size_t i = 0; i < contributions.size(); ++i) {
+    if (!present[i]) continue;
+    ++num_present;
+    weights[i] = std::max(contributions[i], 0.0);
+    denom += weights[i];
+  }
+  if (num_present == 0) return weights;  // nobody reported: all-zero weights
+  if (denom <= 0.0) {
+    // Every present participant looked harmful this epoch; fall back to
+    // FedSGD over the present set rather than freezing the model.
+    for (size_t i = 0; i < weights.size(); ++i) {
+      weights[i] = present[i] ? 1.0 / static_cast<double>(num_present) : 0.0;
+    }
+    return weights;
+  }
+  for (double& w : weights) w /= denom;
+  return weights;
+}
+
 Result<std::vector<double>> DigFlHflReweightPolicy::Weights(
     size_t /*epoch*/, const Vec& params_before, double /*learning_rate*/,
-    const std::vector<Vec>& deltas, const HflServer& server) {
+    const std::vector<Vec>& deltas, const std::vector<uint8_t>& present,
+    const HflServer& server) {
   DIGFL_ASSIGN_OR_RETURN(Vec v, server.ValidationGradient(params_before));
-  std::vector<double> phi(deltas.size());
-  for (size_t i = 0; i < deltas.size(); ++i) {
-    // Algorithm #2 per-epoch contribution: (1/n) v · δ_{t,i}.
-    phi[i] = vec::Dot(v, deltas[i]) / static_cast<double>(deltas.size());
+  size_t num_present = 0;
+  if (present.empty()) {
+    num_present = deltas.size();
+  } else {
+    for (uint8_t in : present) num_present += (in != 0);
   }
-  return RectifiedNormalizedWeights(phi);
+  std::vector<double> phi(deltas.size(), 0.0);
+  if (num_present == 0) return phi;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    if (!present.empty() && !present[i]) continue;
+    // Algorithm #2 per-epoch contribution: (1/|present_t|) v · δ_{t,i}.
+    phi[i] = vec::Dot(v, deltas[i]) / static_cast<double>(num_present);
+  }
+  return RectifiedNormalizedWeightsMasked(phi, present);
 }
 
 Result<std::vector<double>> DigFlVflReweightPolicy::Weights(

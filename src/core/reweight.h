@@ -24,13 +24,21 @@ namespace digfl {
 Result<std::vector<double>> RectifiedNormalizedWeights(
     const std::vector<double>& contributions);
 
+// Eq. 17 restricted to the participants marked in `present` (absent entries
+// get weight 0 and are excluded from the normalization and the uniform
+// fallback). An empty mask means everyone is present.
+Result<std::vector<double>> RectifiedNormalizedWeightsMasked(
+    const std::vector<double>& contributions,
+    const std::vector<uint8_t>& present);
+
 // HFL aggregation policy: per-epoch Algorithm-#2 contributions → Eq. 17
-// weights. Plugs into RunFedSgd.
+// weights over the present participants. Plugs into RunFedSgd.
 class DigFlHflReweightPolicy : public AggregationPolicy {
  public:
   Result<std::vector<double>> Weights(size_t epoch, const Vec& params_before,
                                       double learning_rate,
                                       const std::vector<Vec>& deltas,
+                                      const std::vector<uint8_t>& present,
                                       const HflServer& server) override;
 };
 

@@ -1,8 +1,39 @@
 #include "hfl/fed_sgd.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace digfl {
+namespace {
+
+// Median of the L2 norms of the present updates (0 when none arrived);
+// feeds the quarantine gate's relative-explosion check.
+double MedianPresentNorm(const std::vector<Vec>& deltas,
+                         const std::vector<uint8_t>& present) {
+  std::vector<double> norms;
+  norms.reserve(deltas.size());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    if (!present[i]) continue;
+    double sum_sq = 0.0;
+    bool finite = true;
+    for (double v : deltas[i]) {
+      if (!std::isfinite(v)) {
+        finite = false;
+        break;
+      }
+      sum_sq += v * v;
+    }
+    // Non-finite updates are about to be quarantined anyway; keep them out
+    // of the median so one NaN cannot blind the relative check.
+    if (finite) norms.push_back(std::sqrt(sum_sq));
+  }
+  if (norms.empty()) return 0.0;
+  std::nth_element(norms.begin(), norms.begin() + norms.size() / 2,
+                   norms.end());
+  return norms[norms.size() / 2];
+}
+
+}  // namespace
 
 Result<HflTrainingLog> RunFedSgd(
     const Model& model, const std::vector<HflParticipant>& participants,
@@ -24,25 +55,49 @@ Result<HflTrainingLog> RunFedSgd(
   HflTrainingLog log;
   log.final_params = init_params;
   double lr = config.learning_rate;
+  const size_t n = participants.size();
   const size_t p = model.NumParams();
+  const FaultPlan* plan = config.fault_plan;
 
   // Independent minibatch streams per participant (unused when
   // batch_fraction == 1).
   Rng batch_root(config.batch_seed);
   std::vector<Rng> batch_rngs;
-  batch_rngs.reserve(participants.size());
-  for (size_t i = 0; i < participants.size(); ++i) {
+  batch_rngs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     batch_rngs.push_back(batch_root.Fork(i));
   }
 
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    // Server broadcasts θ_{t-1}.
-    log.comm.RecordDoubles("server->participants:global_model",
-                           p * participants.size());
-
-    std::vector<Vec> deltas;
-    deltas.reserve(participants.size());
-    for (size_t i = 0; i < participants.size(); ++i) {
+    std::vector<uint8_t> present(n, 1);
+    std::vector<Vec> deltas(n);
+    for (size_t i = 0; i < n; ++i) {
+      const FaultEvent event =
+          plan != nullptr ? plan->At(epoch, i) : FaultEvent{};
+      if (event.type == FaultType::kDropout) {
+        // The participant never checked in: no broadcast, no upload.
+        present[i] = 0;
+        deltas[i] = vec::Zeros(p);
+        ++log.faults.dropouts;
+        continue;
+      }
+      // Server broadcasts θ_{t-1} to this participant.
+      log.comm.RecordDoubles("server->participants:global_model", p);
+      if (event.type == FaultType::kStraggler) {
+        // The update misses the deadline; the server re-requests it
+        // straggler_max_retries times (each retry re-sends the model and
+        // re-attempts the upload) before giving up on the round.
+        const size_t retries = plan->config().straggler_max_retries;
+        log.comm.RecordDoubles("server->participants:straggler_retry",
+                               retries * p);
+        log.comm.RecordDoubles("participants->server:straggler_retry",
+                               retries * p);
+        log.faults.straggler_retries += retries;
+        ++log.faults.stragglers_dropped;
+        present[i] = 0;
+        deltas[i] = vec::Zeros(p);
+        continue;
+      }
       Vec delta;
       if (config.batch_fraction < 1.0) {
         DIGFL_ASSIGN_OR_RETURN(
@@ -54,17 +109,44 @@ Result<HflTrainingLog> RunFedSgd(
             delta, participants[i].ComputeLocalUpdate(
                        model, log.final_params, lr, config.local_steps));
       }
-      deltas.push_back(std::move(delta));
+      if (event.type == FaultType::kCorruption) {
+        Rng corruption_rng = plan->CorruptionRng(epoch, i);
+        delta = CorruptUpdate(delta, event.corruption,
+                              plan->config().explode_factor, corruption_rng);
+      }
+      // Participant uploads its local model (equivalently δ_{t,i}).
+      log.comm.RecordDoubles("participants->server:local_model", p);
+      deltas[i] = std::move(delta);
     }
-    // Participants upload local models (equivalently δ_{t,i}).
-    log.comm.RecordDoubles("participants->server:local_model",
-                           p * participants.size());
+
+    // Quarantine gate: inspect every arrived update before it can touch
+    // G_t. Rejections are logged with a reason code, never silently
+    // dropped.
+    const double median_norm = MedianPresentNorm(deltas, present);
+    for (size_t i = 0; i < n; ++i) {
+      if (!present[i]) continue;
+      const QuarantineReason reason =
+          InspectUpdate(deltas[i], config.quarantine, median_norm);
+      if (reason != QuarantineReason::kAccepted) {
+        double sum_sq = 0.0;
+        for (double v : deltas[i]) {
+          if (std::isfinite(v)) sum_sq += v * v;
+        }
+        log.faults.RecordQuarantine(epoch, i, reason, std::sqrt(sum_sq));
+        present[i] = 0;
+        deltas[i] = vec::Zeros(p);
+      }
+    }
 
     DIGFL_ASSIGN_OR_RETURN(
         std::vector<double> weights,
-        policy->Weights(epoch, log.final_params, lr, deltas, server));
+        policy->Weights(epoch, log.final_params, lr, deltas, present, server));
     if (weights.size() != deltas.size()) {
       return Status::Internal("aggregation policy returned bad weight count");
+    }
+    // Defense in depth: a policy must not resurrect an absent participant.
+    for (size_t i = 0; i < n; ++i) {
+      if (!present[i]) weights[i] = 0.0;
     }
     DIGFL_ASSIGN_OR_RETURN(Vec global_gradient,
                            HflServer::AggregateWeighted(deltas, weights));
@@ -75,6 +157,7 @@ Result<HflTrainingLog> RunFedSgd(
       record.deltas = deltas;
       record.learning_rate = lr;
       record.weights = weights;
+      record.present = present;
       log.epochs.push_back(std::move(record));
     }
 

@@ -1,14 +1,19 @@
 // FedSGD trainer: the HFL protocol of Sec. III-A.
 //
 // Each epoch t:
-//   1. every participant computes δ_{t,i} from θ_{t-1} on its local data,
-//   2. an AggregationPolicy turns {δ_{t,i}} into the global gradient G_t
-//      (uniform average by default; the DIG-FL reweighter plugs in here),
-//   3. θ_t = θ_{t-1} − G_t.
+//   1. every participant scheduled to report computes δ_{t,i} from θ_{t-1}
+//      on its local data (a FaultPlan may inject dropouts, stragglers, and
+//      corrupt updates — see common/fault.h),
+//   2. the server's quarantine gate rejects non-finite or norm-exploded
+//      updates with a reason code,
+//   3. an AggregationPolicy turns the surviving {δ_{t,i}} into the global
+//      gradient G_t (uniform average over *present* participants by
+//      default; the DIG-FL reweighter plugs in here),
+//   4. θ_t = θ_{t-1} − G_t.
 //
-// The trainer records the full training log — θ_{t-1}, all δ_{t,i}, α_t —
-// which is exactly the input DIG-FL consumes, plus validation metrics and
-// simulated communication traffic.
+// The trainer records the full training log — θ_{t-1}, all δ_{t,i}, α_t,
+// and the per-epoch participation mask — which is exactly the input DIG-FL
+// consumes, plus validation metrics and simulated communication traffic.
 
 #ifndef DIGFL_HFL_FED_SGD_H_
 #define DIGFL_HFL_FED_SGD_H_
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "common/comm_meter.h"
+#include "common/fault.h"
 #include "common/result.h"
 #include "hfl/participant.h"
 #include "hfl/server.h"
@@ -26,10 +32,27 @@ namespace digfl {
 
 struct HflEpochRecord {
   Vec params_before;        // θ_{t-1}
-  std::vector<Vec> deltas;  // δ_{t,i} for every participant
+  // δ_{t,i} for every participant; absent or quarantined participants hold
+  // a zero vector so the log stays rectangular.
+  std::vector<Vec> deltas;
   double learning_rate;     // α_t
-  // Aggregation weights actually applied this epoch (uniform = 1/n each).
+  // Aggregation weights actually applied this epoch (uniform over present
+  // participants = 1/|present_t| each, 0 for absent).
   std::vector<double> weights;
+  // Participation mask: present[i] == 0 means participant i's update was
+  // missing (dropout/straggler) or quarantined this epoch. Empty means
+  // "everyone present" (the pre-fault-tolerance log layout).
+  std::vector<uint8_t> present;
+
+  bool IsPresent(size_t i) const {
+    return present.empty() || (i < present.size() && present[i] != 0);
+  }
+  size_t NumPresent() const {
+    if (present.empty()) return deltas.size();
+    size_t count = 0;
+    for (uint8_t p : present) count += (p != 0);
+    return count;
+  }
 };
 
 struct HflTrainingLog {
@@ -38,6 +61,9 @@ struct HflTrainingLog {
   std::vector<double> validation_loss;      // after each epoch
   std::vector<double> validation_accuracy;  // after each epoch
   CommMeter comm;
+  // Fault bookkeeping for the run: dropouts, straggler retries, quarantine
+  // events with reason codes. All zero on a fault-free run.
+  FaultStats faults;
 
   size_t num_epochs() const { return epochs.size(); }
   size_t num_participants() const {
@@ -45,23 +71,35 @@ struct HflTrainingLog {
   }
 };
 
-// Maps an epoch's updates to aggregation weights. Returning the uniform
-// vector reproduces FedSGD; core/reweight.h implements Eq. 17.
+// Maps an epoch's updates to aggregation weights. `present[i] == 0` marks a
+// participant whose update is missing this epoch (its delta slot is a zero
+// vector); policies must give those entries zero weight and renormalize
+// over the present set. Returning the uniform-over-present vector
+// reproduces FedSGD; core/reweight.h implements Eq. 17.
 class AggregationPolicy {
  public:
   virtual ~AggregationPolicy() = default;
   virtual Result<std::vector<double>> Weights(
       size_t epoch, const Vec& params_before, double learning_rate,
-      const std::vector<Vec>& deltas, const HflServer& server) = 0;
+      const std::vector<Vec>& deltas, const std::vector<uint8_t>& present,
+      const HflServer& server) = 0;
 };
 
-// FedSGD default: ω_i = 1/n.
+// FedSGD default: ω_i = 1/|present_t| for present participants, 0 otherwise.
 class UniformAggregation : public AggregationPolicy {
  public:
   Result<std::vector<double>> Weights(size_t, const Vec&, double,
                                       const std::vector<Vec>& deltas,
+                                      const std::vector<uint8_t>& present,
                                       const HflServer&) override {
-    return std::vector<double>(deltas.size(), 1.0 / deltas.size());
+    size_t num_present = 0;
+    for (uint8_t p : present) num_present += (p != 0);
+    std::vector<double> weights(deltas.size(), 0.0);
+    if (num_present == 0) return weights;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      if (present[i]) weights[i] = 1.0 / static_cast<double>(num_present);
+    }
+    return weights;
   }
 };
 
@@ -80,6 +118,12 @@ struct FedSgdConfig {
   // When false the per-epoch records (params + deltas) are dropped to save
   // memory — used by the retraining oracle, which only needs final_params.
   bool record_log = true;
+  // Optional seeded fault schedule (dropouts / stragglers / corruption).
+  // Not owned; must outlive the call. nullptr = fault-free run.
+  const FaultPlan* fault_plan = nullptr;
+  // Server-side quarantine gate thresholds. Non-finite updates are always
+  // rejected; the defaults never trip on healthy training runs.
+  QuarantineConfig quarantine;
 };
 
 // Trains from `init_params` over `participants`; `policy` may be null

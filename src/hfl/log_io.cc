@@ -1,5 +1,6 @@
 #include "hfl/log_io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -7,7 +8,8 @@
 namespace digfl {
 namespace {
 
-constexpr char kMagic[8] = {'D', 'I', 'G', 'F', 'L', 'O', 'G', '1'};
+constexpr char kMagicV1[8] = {'D', 'I', 'G', 'F', 'L', 'O', 'G', '1'};
+constexpr char kMagicV2[8] = {'D', 'H', 'F', 'L', 'L', 'O', 'G', '2'};
 
 void WriteU64(std::ofstream& out, uint64_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
@@ -19,17 +21,170 @@ void WriteDoubles(std::ofstream& out, const Vec& values) {
             static_cast<std::streamsize>(values.size() * sizeof(double)));
 }
 
+void WriteBytes(std::ofstream& out, const std::vector<uint8_t>& values) {
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size()));
+}
+
 bool ReadU64(std::ifstream& in, uint64_t* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(*value));
-  return in.good();
+  return in.gcount() == sizeof(*value);
 }
 
 bool ReadDoubles(std::ifstream& in, size_t count, Vec* values) {
   values->resize(count);
   in.read(reinterpret_cast<char*>(values->data()),
           static_cast<std::streamsize>(count * sizeof(double)));
-  return in.good() || (in.eof() && in.gcount() ==
-                       static_cast<std::streamsize>(count * sizeof(double)));
+  return in.gcount() == static_cast<std::streamsize>(count * sizeof(double));
+}
+
+bool ReadBytes(std::ifstream& in, size_t count, std::vector<uint8_t>* values) {
+  values->resize(count);
+  in.read(reinterpret_cast<char*>(values->data()),
+          static_cast<std::streamsize>(count));
+  return in.gcount() == static_cast<std::streamsize>(count);
+}
+
+bool AllFinite(const Vec& values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+struct LogHeader {
+  int version = 0;  // 1 or 2
+  uint64_t epochs = 0;
+  uint64_t n = 0;
+  uint64_t p = 0;
+  uint64_t trace_len = 0;
+};
+
+Status ReadHeader(std::ifstream& in, const std::string& path,
+                  LogHeader* header) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic)) {
+    return Status::InvalidArgument(path + " is not a DIG-FL training log");
+  }
+  if (std::memcmp(magic, kMagicV1, sizeof(magic)) == 0) {
+    header->version = 1;
+  } else if (std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) {
+    header->version = 2;
+  } else {
+    return Status::InvalidArgument(path + " is not a DIG-FL training log");
+  }
+  if (!ReadU64(in, &header->epochs) || !ReadU64(in, &header->n) ||
+      !ReadU64(in, &header->p) || !ReadU64(in, &header->trace_len)) {
+    return Status::InvalidArgument("truncated log header");
+  }
+  // Basic sanity bounds before allocating.
+  if (header->epochs > (1u << 24) || header->n > (1u << 20) ||
+      header->p > (1ull << 32) || header->trace_len > (1u << 24)) {
+    return Status::InvalidArgument("implausible log header");
+  }
+  return Status::OK();
+}
+
+// Reads one epoch record; on success also validates finiteness and (v2)
+// mask consistency: a present participant may carry any finite delta, an
+// absent one is only checked for finiteness (its delta is zero by
+// construction of the trainer).
+Status ReadEpochRecord(std::ifstream& in, const LogHeader& header,
+                       HflEpochRecord* record) {
+  Vec lr;
+  if (!ReadDoubles(in, 1, &lr)) {
+    return Status::InvalidArgument("truncated epoch record");
+  }
+  record->learning_rate = lr[0];
+  if (!std::isfinite(record->learning_rate)) {
+    return Status::InvalidArgument("non-finite learning rate in epoch record");
+  }
+  if (!ReadDoubles(in, header.p, &record->params_before)) {
+    return Status::InvalidArgument("truncated epoch record");
+  }
+  Vec weights;
+  if (!ReadDoubles(in, header.n, &weights)) {
+    return Status::InvalidArgument("truncated epoch record");
+  }
+  record->weights.assign(weights.begin(), weights.end());
+  if (header.version >= 2) {
+    if (!ReadBytes(in, header.n, &record->present)) {
+      return Status::InvalidArgument("truncated epoch record");
+    }
+    for (uint8_t& flag : record->present) {
+      if (flag > 1) {
+        return Status::InvalidArgument("invalid participation mask");
+      }
+    }
+  }
+  record->deltas.resize(header.n);
+  for (uint64_t i = 0; i < header.n; ++i) {
+    if (!ReadDoubles(in, header.p, &record->deltas[i])) {
+      return Status::InvalidArgument("truncated epoch record");
+    }
+    if (!AllFinite(record->deltas[i])) {
+      return Status::InvalidArgument("non-finite delta in epoch record");
+    }
+  }
+  if (!AllFinite(record->params_before) || !AllFinite(weights)) {
+    return Status::InvalidArgument("non-finite payload in epoch record");
+  }
+  return Status::OK();
+}
+
+// Reads the post-epoch trailer: final params, validation traces, and (v2)
+// fault statistics.
+Status ReadTrailer(std::ifstream& in, const LogHeader& header,
+                   HflTrainingLog* log) {
+  if (!ReadDoubles(in, header.p, &log->final_params)) {
+    return Status::InvalidArgument("truncated final parameters");
+  }
+  if (!AllFinite(log->final_params)) {
+    return Status::InvalidArgument("non-finite final parameters");
+  }
+  Vec losses, accuracies;
+  if (!ReadDoubles(in, header.trace_len, &losses) ||
+      !ReadDoubles(in, header.trace_len, &accuracies)) {
+    return Status::InvalidArgument("truncated validation traces");
+  }
+  log->validation_loss.assign(losses.begin(), losses.end());
+  log->validation_accuracy.assign(accuracies.begin(), accuracies.end());
+  if (header.version >= 2) {
+    uint64_t dropouts = 0, stragglers = 0, retries = 0, non_finite = 0,
+             norm = 0, num_events = 0;
+    if (!ReadU64(in, &dropouts) || !ReadU64(in, &stragglers) ||
+        !ReadU64(in, &retries) || !ReadU64(in, &non_finite) ||
+        !ReadU64(in, &norm) || !ReadU64(in, &num_events)) {
+      return Status::InvalidArgument("truncated fault statistics");
+    }
+    if (num_events > header.epochs * header.n) {
+      return Status::InvalidArgument("implausible quarantine event count");
+    }
+    log->faults.dropouts = dropouts;
+    log->faults.stragglers_dropped = stragglers;
+    log->faults.straggler_retries = retries;
+    log->faults.quarantined_non_finite = non_finite;
+    log->faults.quarantined_norm = norm;
+    log->faults.quarantine_events.clear();
+    for (uint64_t e = 0; e < num_events; ++e) {
+      uint64_t epoch = 0, participant = 0, reason = 0;
+      Vec event_norm;
+      if (!ReadU64(in, &epoch) || !ReadU64(in, &participant) ||
+          !ReadU64(in, &reason) || !ReadDoubles(in, 1, &event_norm)) {
+        return Status::InvalidArgument("truncated quarantine events");
+      }
+      if (reason == 0 ||
+          reason > static_cast<uint64_t>(QuarantineReason::kNormExploded) ||
+          epoch >= header.epochs || participant >= header.n) {
+        return Status::InvalidArgument("invalid quarantine event");
+      }
+      log->faults.quarantine_events.push_back(QuarantineEvent{
+          static_cast<uint32_t>(epoch), static_cast<uint32_t>(participant),
+          static_cast<QuarantineReason>(reason), event_norm[0]});
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -40,7 +195,8 @@ Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path) {
   const size_t p = log.final_params.size();
   for (const HflEpochRecord& record : log.epochs) {
     if (record.deltas.size() != n || record.params_before.size() != p ||
-        record.weights.size() != n) {
+        record.weights.size() != n ||
+        (!record.present.empty() && record.present.size() != n)) {
       return Status::InvalidArgument("ragged training log");
     }
     for (const Vec& delta : record.deltas) {
@@ -59,7 +215,7 @@ Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path) {
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::Internal("cannot open " + path + " for writing");
-  out.write(kMagic, sizeof(kMagic));
+  out.write(kMagicV2, sizeof(kMagicV2));
   WriteU64(out, epochs);
   WriteU64(out, n);
   WriteU64(out, p);
@@ -68,11 +224,30 @@ Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path) {
     WriteDoubles(out, Vec{record.learning_rate});
     WriteDoubles(out, record.params_before);
     WriteDoubles(out, record.weights);
+    // Normalize an empty mask to all-present on disk so readers never have
+    // to special-case it.
+    if (record.present.empty()) {
+      WriteBytes(out, std::vector<uint8_t>(n, 1));
+    } else {
+      WriteBytes(out, record.present);
+    }
     for (const Vec& delta : record.deltas) WriteDoubles(out, delta);
   }
   WriteDoubles(out, log.final_params);
   WriteDoubles(out, log.validation_loss);
   WriteDoubles(out, log.validation_accuracy);
+  WriteU64(out, log.faults.dropouts);
+  WriteU64(out, log.faults.stragglers_dropped);
+  WriteU64(out, log.faults.straggler_retries);
+  WriteU64(out, log.faults.quarantined_non_finite);
+  WriteU64(out, log.faults.quarantined_norm);
+  WriteU64(out, log.faults.quarantine_events.size());
+  for (const QuarantineEvent& event : log.faults.quarantine_events) {
+    WriteU64(out, event.epoch);
+    WriteU64(out, event.participant);
+    WriteU64(out, static_cast<uint64_t>(event.reason));
+    WriteDoubles(out, Vec{event.norm});
+  }
   if (!out) return Status::Internal("write to " + path + " failed");
   return Status::OK();
 }
@@ -80,57 +255,51 @@ Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path) {
 Result<HflTrainingLog> LoadTrainingLog(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument(path + " is not a DIG-FL training log");
-  }
-  uint64_t epochs = 0, n = 0, p = 0, trace_len = 0;
-  if (!ReadU64(in, &epochs) || !ReadU64(in, &n) || !ReadU64(in, &p) ||
-      !ReadU64(in, &trace_len)) {
-    return Status::InvalidArgument("truncated log header");
-  }
-  // Basic sanity bounds before allocating.
-  if (epochs > (1u << 24) || n > (1u << 20) || p > (1ull << 32)) {
-    return Status::InvalidArgument("implausible log header");
-  }
+  LogHeader header;
+  DIGFL_RETURN_IF_ERROR(ReadHeader(in, path, &header));
 
   HflTrainingLog log;
-  log.epochs.reserve(epochs);
-  for (uint64_t t = 0; t < epochs; ++t) {
+  log.epochs.reserve(header.epochs);
+  for (uint64_t t = 0; t < header.epochs; ++t) {
     HflEpochRecord record;
-    Vec lr;
-    if (!ReadDoubles(in, 1, &lr)) {
-      return Status::InvalidArgument("truncated epoch record");
-    }
-    record.learning_rate = lr[0];
-    if (!ReadDoubles(in, p, &record.params_before)) {
-      return Status::InvalidArgument("truncated epoch record");
-    }
-    Vec weights;
-    if (!ReadDoubles(in, n, &weights)) {
-      return Status::InvalidArgument("truncated epoch record");
-    }
-    record.weights.assign(weights.begin(), weights.end());
-    record.deltas.resize(n);
-    for (uint64_t i = 0; i < n; ++i) {
-      if (!ReadDoubles(in, p, &record.deltas[i])) {
-        return Status::InvalidArgument("truncated epoch record");
-      }
-    }
+    DIGFL_RETURN_IF_ERROR(ReadEpochRecord(in, header, &record));
     log.epochs.push_back(std::move(record));
   }
-  if (!ReadDoubles(in, p, &log.final_params)) {
-    return Status::InvalidArgument("truncated final parameters");
-  }
-  Vec losses, accuracies;
-  if (!ReadDoubles(in, trace_len, &losses) ||
-      !ReadDoubles(in, trace_len, &accuracies)) {
-    return Status::InvalidArgument("truncated validation traces");
-  }
-  log.validation_loss.assign(losses.begin(), losses.end());
-  log.validation_accuracy.assign(accuracies.begin(), accuracies.end());
+  DIGFL_RETURN_IF_ERROR(ReadTrailer(in, header, &log));
   return log;
+}
+
+Result<LogSalvage> SalvageTrainingLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  LogSalvage salvage;
+  LogHeader header;
+  DIGFL_RETURN_IF_ERROR(ReadHeader(in, path, &header));
+  salvage.epochs_declared = header.epochs;
+
+  for (uint64_t t = 0; t < header.epochs; ++t) {
+    HflEpochRecord record;
+    if (!ReadEpochRecord(in, header, &record).ok()) break;
+    salvage.log.epochs.push_back(std::move(record));
+  }
+  salvage.epochs_recovered = salvage.log.epochs.size();
+  if (salvage.epochs_recovered == 0) {
+    return Status::InvalidArgument("no recoverable epochs in " + path);
+  }
+
+  if (salvage.epochs_recovered == header.epochs &&
+      ReadTrailer(in, header, &salvage.log).ok()) {
+    salvage.trailer_intact = true;
+  } else {
+    // Best effort: the closest recoverable model state is the last clean
+    // θ_{t-1}; the traces and fault stats of a torn trailer are discarded
+    // rather than half-read.
+    salvage.log.final_params = salvage.log.epochs.back().params_before;
+    salvage.log.validation_loss.clear();
+    salvage.log.validation_accuracy.clear();
+    salvage.log.faults = FaultStats{};
+  }
+  return salvage;
 }
 
 }  // namespace digfl

@@ -5,8 +5,16 @@
 // log during training and re-run any contribution analysis offline
 // (different evaluator modes, reweight what-ifs, audits) without retraining.
 //
-// Format: versioned little-endian binary ("DIGFLOG1"). The CommMeter is
-// transient bookkeeping and is not persisted.
+// Format: versioned little-endian binary. v2 ("DHFLLOG2") adds the
+// per-epoch participation mask and the run's fault statistics; v1
+// ("DIGFLOG1") files remain loadable. The CommMeter is transient
+// bookkeeping and is not persisted.
+//
+// Deserialization is defensive: truncated files, bad magic/version,
+// inconsistent dimensions, implausible headers, and non-finite payloads all
+// come back as typed Status errors — never an abort or a garbage log. For a
+// log whose tail was lost (crashed server, torn write), SalvageTrainingLog
+// recovers the longest valid epoch prefix instead of failing outright.
 
 #ifndef DIGFL_HFL_LOG_IO_H_
 #define DIGFL_HFL_LOG_IO_H_
@@ -18,13 +26,30 @@
 
 namespace digfl {
 
-// Writes `log` to `path`, overwriting. Fails on I/O errors or a log with
-// ragged epoch records.
+// Writes `log` to `path` (v2 layout), overwriting. Fails on I/O errors or a
+// log with ragged epoch records.
 Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path);
 
-// Reads a log previously written by SaveTrainingLog. Fails on missing
-// file, bad magic/version, or a truncated/corrupt payload.
+// Reads a log previously written by SaveTrainingLog (v1 or v2). Fails on
+// missing file, bad magic/version, truncated or dimensionally inconsistent
+// payload, or non-finite model data.
 Result<HflTrainingLog> LoadTrainingLog(const std::string& path);
+
+// Best-effort recovery of a damaged log file.
+struct LogSalvage {
+  HflTrainingLog log;
+  size_t epochs_recovered = 0;  // epochs that parsed cleanly
+  size_t epochs_declared = 0;   // epochs the header promised
+  // True when the trailer (final params + traces + fault stats) was intact;
+  // false means final_params was reconstructed as the last recovered
+  // θ_{t-1} and the validation traces were truncated to match.
+  bool trailer_intact = false;
+};
+
+// Recovers the longest valid epoch prefix of `path`. Requires an intact
+// magic/header and at least one clean epoch; epochs are cut at the first
+// truncation or non-finite payload.
+Result<LogSalvage> SalvageTrainingLog(const std::string& path);
 
 }  // namespace digfl
 

@@ -38,12 +38,39 @@ Result<Vec> SecureAggregationSession::MaskUpdate(size_t participant,
 }
 
 Result<Vec> SecureAggregationSession::AggregateMasked(
-    const std::vector<Vec>& masked_updates) const {
+    const std::vector<Vec>& masked_updates,
+    const std::vector<uint8_t>* present) const {
+  // The pairwise masks only cancel over the full roster; an absent
+  // participant would leave every partner's mask un-negated and the "sum"
+  // would be mask noise. Detect every representation of absence and refuse.
   if (masked_updates.size() != num_participants_) {
-    return Status::InvalidArgument("expected one upload per participant");
+    return Status::FailedPrecondition(
+        "secure aggregation requires one upload per participant "
+        "(no-dropout contract): got " +
+        std::to_string(masked_updates.size()) + " of " +
+        std::to_string(num_participants_));
+  }
+  if (present != nullptr) {
+    if (present->size() != num_participants_) {
+      return Status::InvalidArgument("participation mask size mismatch");
+    }
+    for (size_t i = 0; i < present->size(); ++i) {
+      if (!(*present)[i]) {
+        return Status::FailedPrecondition(
+            "participant " + std::to_string(i) +
+            " absent: pairwise masks cannot cancel (no-dropout contract)");
+      }
+    }
   }
   Vec sum = vec::Zeros(dim_);
-  for (const Vec& upload : masked_updates) {
+  for (size_t i = 0; i < masked_updates.size(); ++i) {
+    const Vec& upload = masked_updates[i];
+    if (upload.empty()) {
+      return Status::FailedPrecondition(
+          "participant " + std::to_string(i) +
+          " uploaded nothing: pairwise masks cannot cancel "
+          "(no-dropout contract)");
+    }
     if (upload.size() != dim_) {
       return Status::InvalidArgument("upload dimension mismatch");
     }

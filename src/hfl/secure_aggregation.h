@@ -40,7 +40,17 @@ class SecureAggregationSession {
 
   // Server-side aggregation of all masked uploads; pairwise masks cancel,
   // returning Σ_i update_i (up to floating-point reassociation).
-  Result<Vec> AggregateMasked(const std::vector<Vec>& masked_updates) const;
+  //
+  // No-dropout contract: this simplified protocol has no seed-recovery
+  // round, so the pairwise masks only cancel when *every* participant's
+  // upload arrives. Any detectable absence — a missing upload slot, an
+  // empty (zero-length) upload standing in for a dropped participant, or a
+  // `present` mask with an absent entry — returns
+  // Status::FailedPrecondition instead of silently producing a
+  // mask-polluted garbage sum.
+  Result<Vec> AggregateMasked(
+      const std::vector<Vec>& masked_updates,
+      const std::vector<uint8_t>* present = nullptr) const;
 
   size_t num_participants() const { return num_participants_; }
   size_t dim() const { return dim_; }

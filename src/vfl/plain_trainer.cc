@@ -1,6 +1,45 @@
 #include "vfl/plain_trainer.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace digfl {
+namespace {
+
+// L2 norm of one participant's block of `x`, ignoring non-finite entries.
+double BlockFiniteNorm(const VflBlockModel& blocks, size_t participant,
+                       const Vec& x, bool* all_finite) {
+  const FeatureBlock& block = blocks.block(participant);
+  double sum_sq = 0.0;
+  *all_finite = true;
+  for (size_t k = block.begin; k < block.end; ++k) {
+    if (!std::isfinite(x[k])) {
+      *all_finite = false;
+    } else {
+      sum_sq += x[k] * x[k];
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+// Median finite block norm over present participants (the relative
+// quarantine baseline); 0 when none.
+double MedianPresentBlockNorm(const VflBlockModel& blocks, const Vec& x,
+                              const std::vector<uint8_t>& present) {
+  std::vector<double> norms;
+  for (size_t i = 0; i < blocks.num_participants(); ++i) {
+    if (!present[i]) continue;
+    bool finite = true;
+    const double norm = BlockFiniteNorm(blocks, i, x, &finite);
+    if (finite) norms.push_back(norm);
+  }
+  if (norms.empty()) return 0.0;
+  std::nth_element(norms.begin(), norms.begin() + norms.size() / 2,
+                   norms.end());
+  return norms[norms.size() / 2];
+}
+
+}  // namespace
 
 Result<VflTrainingLog> RunVflTraining(const Model& model,
                                       const VflBlockModel& blocks,
@@ -31,6 +70,7 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
   log.final_params = vec::Zeros(model.NumParams());
   double lr = config.learning_rate;
   const size_t n = blocks.num_participants();
+  const FaultPlan* plan = config.fault_plan;
 
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
     DIGFL_ASSIGN_OR_RETURN(Vec grad, model.Gradient(log.final_params, train));
@@ -43,24 +83,103 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
       }
     }
 
+    // Fault injection: a faulty participant this epoch either never
+    // delivers its block result (dropout/straggler → the block is zeroed,
+    // exactly Lemma 2's removal semantics for one round) or delivers a
+    // corrupted one (caught by the quarantine gate below).
+    std::vector<uint8_t> present(n, 1);
+    if (active != nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!(*active)[i]) present[i] = 0;  // coalition-absent, not a fault
+      }
+    }
+    if (plan != nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!present[i]) continue;
+        const FaultEvent event = plan->At(epoch, i);
+        switch (event.type) {
+          case FaultType::kNone:
+            break;
+          case FaultType::kDropout:
+            present[i] = 0;
+            scaled = blocks.DropBlock(i, scaled);
+            ++log.faults.dropouts;
+            break;
+          case FaultType::kStraggler: {
+            const size_t retries = plan->config().straggler_max_retries;
+            const FeatureBlock& block = blocks.block(i);
+            log.comm.RecordDoubles("thirdparty->participants:straggler_retry",
+                                   retries * block.width());
+            log.faults.straggler_retries += retries;
+            ++log.faults.stragglers_dropped;
+            present[i] = 0;
+            scaled = blocks.DropBlock(i, scaled);
+            break;
+          }
+          case FaultType::kCorruption: {
+            const FeatureBlock& block = blocks.block(i);
+            Rng corruption_rng = plan->CorruptionRng(epoch, i);
+            Vec block_values(scaled.begin() + block.begin,
+                             scaled.begin() + block.end);
+            block_values =
+                CorruptUpdate(block_values, event.corruption,
+                              plan->config().explode_factor, corruption_rng);
+            std::copy(block_values.begin(), block_values.end(),
+                      scaled.begin() + block.begin);
+            break;
+          }
+        }
+      }
+
+      // Third-party quarantine gate over each arrived block.
+      const double median_norm =
+          MedianPresentBlockNorm(blocks, scaled, present);
+      for (size_t i = 0; i < n; ++i) {
+        if (!present[i]) continue;
+        const FeatureBlock& block = blocks.block(i);
+        const Vec block_values(scaled.begin() + block.begin,
+                               scaled.begin() + block.end);
+        const QuarantineReason reason =
+            InspectUpdate(block_values, config.quarantine, median_norm);
+        if (reason != QuarantineReason::kAccepted) {
+          bool finite = true;
+          const double norm = BlockFiniteNorm(blocks, i, scaled, &finite);
+          log.faults.RecordQuarantine(epoch, i, reason, norm);
+          present[i] = 0;
+          scaled = blocks.DropBlock(i, scaled);
+        }
+      }
+    }
+
     std::vector<double> weights(n, 1.0);
+    for (size_t i = 0; i < n; ++i) {
+      if (!present[i]) weights[i] = 0.0;
+    }
     if (policy != nullptr) {
       DIGFL_ASSIGN_OR_RETURN(
           weights, policy->Weights(epoch, log.final_params, lr, scaled));
       if (weights.size() != n) {
         return Status::Internal("VFL policy returned bad weight count");
       }
+      // An absent participant's block is already zero; force its weight to
+      // zero too so the record reflects what was applied.
+      for (size_t i = 0; i < n; ++i) {
+        if (!present[i]) weights[i] = 0.0;
+      }
       DIGFL_ASSIGN_OR_RETURN(scaled, blocks.ScaleBlocks(scaled, weights));
     }
 
-    // Per-epoch traffic of the generic VFL protocol: each participant sends
-    // its local result per sample to the third party and receives its
-    // gradient block back (plaintext accounting; the encrypted path prices
-    // ciphertexts instead).
-    log.comm.RecordDoubles("participants->thirdparty:local_results",
-                           train.size() * n);
-    log.comm.RecordDoubles("thirdparty->participants:gradient_blocks",
-                           model.NumParams());
+    // Per-epoch traffic of the generic VFL protocol: each present
+    // participant sends its local result per sample to the third party and
+    // receives its gradient block back (plaintext accounting; the encrypted
+    // path prices ciphertexts instead).
+    for (size_t i = 0; i < n; ++i) {
+      if (!present[i]) continue;
+      log.comm.RecordDoubles("participants->thirdparty:local_results",
+                             train.size());
+      log.comm.RecordDoubles("thirdparty->participants:gradient_blocks",
+                             blocks.block(i).width());
+    }
 
     if (config.record_log) {
       VflEpochRecord record;
@@ -68,6 +187,7 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
       record.scaled_gradient = scaled;
       record.learning_rate = lr;
       record.weights = weights;
+      record.present = present;
       log.epochs.push_back(std::move(record));
     }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/comm_meter.h"
+#include "common/fault.h"
 #include "common/result.h"
 #include "data/dataset.h"
 #include "nn/model.h"
@@ -30,6 +31,21 @@ struct VflEpochRecord {
   Vec scaled_gradient;  // G_t = α_t ∇loss(θ_{t-1}), after masking/weights
   double learning_rate; // α_t
   std::vector<double> weights;  // per-participant block weights applied
+  // Participation mask: present[i] == 0 means participant i's block result
+  // was missing (dropout/straggler) or quarantined this epoch — its block
+  // of scaled_gradient is zero. Empty means "everyone present" (the
+  // pre-fault-tolerance log layout).
+  std::vector<uint8_t> present;
+
+  bool IsPresent(size_t i) const {
+    return present.empty() || (i < present.size() && present[i] != 0);
+  }
+  size_t NumPresent() const {
+    if (present.empty()) return weights.size();
+    size_t count = 0;
+    for (uint8_t p : present) count += (p != 0);
+    return count;
+  }
 };
 
 struct VflTrainingLog {
@@ -37,6 +53,8 @@ struct VflTrainingLog {
   Vec final_params;
   std::vector<double> validation_loss;
   CommMeter comm;
+  // Fault bookkeeping for the run (see common/fault.h).
+  FaultStats faults;
 
   size_t num_epochs() const { return epochs.size(); }
 };
@@ -56,6 +74,12 @@ struct VflTrainConfig {
   double learning_rate = 0.1;
   double lr_decay = 1.0;
   bool record_log = true;
+  // Optional seeded fault schedule (dropouts / stragglers / corruption of a
+  // participant's block result). Not owned; must outlive the call.
+  const FaultPlan* fault_plan = nullptr;
+  // Third-party-side quarantine gate over each participant's gradient
+  // block. Non-finite blocks are always rejected.
+  QuarantineConfig quarantine;
 };
 
 // Trains over `train` with the block structure `blocks`. `active[i]==false`

@@ -1,8 +1,13 @@
-// Persistence for VFL training logs ("DIGFLOG2" binary format), the
-// vertical counterpart of hfl/log_io.h: a deployment records
-// (θ_{t-1}, G_t, α_t, weights) during training and settles contributions
-// offline with core/digfl_vfl.h. The CommMeter is transient and not
-// persisted.
+// Persistence for VFL training logs, the vertical counterpart of
+// hfl/log_io.h: a deployment records (θ_{t-1}, G_t, α_t, weights, and the
+// participation mask) during training and settles contributions offline
+// with core/digfl_vfl.h. The CommMeter is transient and not persisted.
+//
+// Format: versioned little-endian binary. v2 ("DVFLLOG2") adds the
+// per-epoch participation mask and fault statistics; v1 ("DIGFLOG2") files
+// remain loadable. Deserialization is defensive (typed Status errors for
+// truncation/bad magic/non-finite payloads) and SalvageVflTrainingLog
+// recovers the longest valid epoch prefix of a damaged file.
 
 #ifndef DIGFL_VFL_VFL_LOG_IO_H_
 #define DIGFL_VFL_VFL_LOG_IO_H_
@@ -14,12 +19,27 @@
 
 namespace digfl {
 
-// Writes `log` to `path`, overwriting. Fails on I/O errors or ragged
-// records.
+// Writes `log` to `path` (v2 layout), overwriting. Fails on I/O errors or
+// ragged records.
 Status SaveVflTrainingLog(const VflTrainingLog& log, const std::string& path);
 
-// Reads a log previously written by SaveVflTrainingLog.
+// Reads a log previously written by SaveVflTrainingLog (v1 or v2). Fails on
+// missing file, bad magic/version, truncated or dimensionally inconsistent
+// payload, or non-finite model data.
 Result<VflTrainingLog> LoadVflTrainingLog(const std::string& path);
+
+// Best-effort recovery of a damaged VFL log (see hfl/log_io.h for the
+// semantics of the fields).
+struct VflLogSalvage {
+  VflTrainingLog log;
+  size_t epochs_recovered = 0;
+  size_t epochs_declared = 0;
+  bool trailer_intact = false;
+};
+
+// Recovers the longest valid epoch prefix of `path`. Requires an intact
+// magic/header and at least one clean epoch.
+Result<VflLogSalvage> SalvageVflTrainingLog(const std::string& path);
 
 }  // namespace digfl
 

@@ -406,10 +406,10 @@ TEST(ReweightTest, HflPolicyProducesValidWeights) {
   HflSetup setup = MakeHflSetup(3, 1);
   HflServer server(setup.model, setup.validation);
   DigFlHflReweightPolicy policy;
-  auto weights =
-      policy
-          .Weights(0, setup.init, 0.3, setup.log.epochs[0].deltas, server)
-          .value();
+  auto weights = policy
+                     .Weights(0, setup.init, 0.3, setup.log.epochs[0].deltas,
+                              setup.log.epochs[0].present, server)
+                     .value();
   double sum = 0.0;
   for (double w : weights) {
     EXPECT_GE(w, 0.0);

@@ -279,6 +279,7 @@ class DropFirstPolicy : public AggregationPolicy {
  public:
   Result<std::vector<double>> Weights(size_t, const Vec&, double,
                                       const std::vector<Vec>& deltas,
+                                      const std::vector<uint8_t>&,
                                       const HflServer&) override {
     std::vector<double> weights(deltas.size(),
                                 1.0 / static_cast<double>(deltas.size() - 1));
