@@ -100,5 +100,6 @@ int main() {
   table.Print(std::cout);
   UnwrapStatus(table.WriteCsv("ablation_encryption.csv"), "csv");
   std::printf("\nwrote ablation_encryption.csv\n");
+  EmitRunTelemetry("ablation_encryption");
   return 0;
 }

@@ -109,5 +109,6 @@ int main() {
   table.Print(std::cout);
   UnwrapStatus(table.WriteCsv("ablation_second_order.csv"), "csv");
   std::printf("\nwrote ablation_second_order.csv\n");
+  EmitRunTelemetry("ablation_second_order");
   return 0;
 }

@@ -15,6 +15,8 @@
 
 #include "common/logging.h"
 #include "data/corruption.h"
+#include "telemetry/sink.h"
+#include "telemetry/telemetry.h"
 #include "data/paper_datasets.h"
 #include "data/partition.h"
 #include "hfl/fed_sgd.h"
@@ -50,6 +52,19 @@ inline void UnwrapStatus(const Status& status, const char* what) {
     std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
     std::exit(1);
   }
+}
+
+// If DIGFL_TELEMETRY_OUT names a file, appends this harness's telemetry run
+// report (metrics, span tree, events) to it as JSONL. Call once at the end
+// of main; a no-op otherwise (and when telemetry is compiled out there is
+// simply nothing interesting in the report).
+inline void EmitRunTelemetry(const char* run_id) {
+  const char* path = std::getenv("DIGFL_TELEMETRY_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  telemetry::JsonlFileSink sink(path);
+  UnwrapStatus(sink.Write(telemetry::CollectRunReport(run_id)),
+               "telemetry export");
+  std::fprintf(stderr, "telemetry: appended run %s to %s\n", run_id, path);
 }
 
 // ---------------------------------------------------------------- HFL.

@@ -86,5 +86,6 @@ int main() {
   table.Print(std::cout);
   UnwrapStatus(table.WriteCsv("fault_degradation.csv"), "csv");
   std::printf("\nwrote fault_degradation.csv\n");
+  EmitRunTelemetry("fault_degradation");
   return 0;
 }

@@ -108,5 +108,6 @@ int main() {
   table.Print(std::cout);
   UnwrapStatus(table.WriteCsv("fig2_second_term.csv"), "csv");
   std::printf("\nwrote fig2_second_term.csv\n");
+  EmitRunTelemetry("fig2_second_term");
   return 0;
 }

@@ -103,5 +103,6 @@ int main() {
   table.Print(std::cout);
   UnwrapStatus(table.WriteCsv("fig3_hfl_accuracy_cost.csv"), "csv");
   std::printf("\nwrote fig3_hfl_accuracy_cost.csv\n");
+  EmitRunTelemetry("fig3_hfl_accuracy_cost");
   return 0;
 }

@@ -71,5 +71,6 @@ int main() {
               pcc);
   UnwrapStatus(table.WriteCsv("fig6_per_epoch_shapley.csv"), "csv");
   std::printf("wrote fig6_per_epoch_shapley.csv\n");
+  EmitRunTelemetry("fig6_per_epoch_shapley");
   return 0;
 }

@@ -106,5 +106,6 @@ int main() {
   UnwrapStatus(trace_table.WriteCsv("fig7_reweight_convergence.csv"), "csv");
   std::printf("\nwrote fig7_reweight_accuracy.csv, "
               "fig7_reweight_convergence.csv\n");
+  EmitRunTelemetry("fig7_reweight");
   return 0;
 }

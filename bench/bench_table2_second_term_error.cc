@@ -103,5 +103,6 @@ int main() {
   table.Print(std::cout);
   UnwrapStatus(table.WriteCsv("table2_second_term_error.csv"), "csv");
   std::printf("\nwrote table2_second_term_error.csv\n");
+  EmitRunTelemetry("table2_second_term_error");
   return 0;
 }

@@ -53,5 +53,6 @@ int main() {
   table.Print(std::cout);
   UnwrapStatus(table.WriteCsv("table3_vfl_accuracy_cost.csv"), "csv");
   std::printf("\nwrote table3_vfl_accuracy_cost.csv\n");
+  EmitRunTelemetry("table3_vfl_accuracy_cost");
   return 0;
 }

@@ -99,5 +99,6 @@ int main() {
   }
   UnwrapStatus(table.WriteCsv("table4_hfl_comparison.csv"), "csv");
   std::printf("wrote table4_hfl_comparison.csv\n");
+  EmitRunTelemetry("table4_hfl_comparison");
   return 0;
 }

@@ -85,5 +85,6 @@ int main() {
   }
   UnwrapStatus(table.WriteCsv("table5_vfl_comparison.csv"), "csv");
   std::printf("wrote table5_vfl_comparison.csv\n");
+  EmitRunTelemetry("table5_vfl_comparison");
   return 0;
 }

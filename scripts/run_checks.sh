@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Tier-1 verification matrix for the telemetry configurations.
+#
+# Default: build + ctest with telemetry ON (the shipping config) and with
+# DIGFL_TELEMETRY=OFF (every DIGFL_TRACE_SPAN / DIGFL_COUNTER_* site must
+# compile to a no-op — telemetry_test.cc's constexpr probe proves it).
+#
+#   scripts/run_checks.sh              # ON + OFF configs
+#   scripts/run_checks.sh --asan      # also ASan+UBSan (DIGFL_SANITIZE=ON)
+#   scripts/run_checks.sh --tsan      # also TSan on the telemetry tests
+#                                      # (DIGFL_SANITIZE=thread)
+#   scripts/run_checks.sh --all       # everything
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_asan=0
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) run_asan=1 ;;
+    --tsan) run_tsan=1 ;;
+    --all) run_asan=1; run_tsan=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+check() {
+  local name="$1" dir="$2"; shift 2
+  echo "=== [$name] configure: $* ==="
+  cmake -B "$dir" -S . "$@" > /dev/null
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "${CTEST_EXTRA[@]:-}"
+}
+
+CTEST_EXTRA=()
+check "telemetry-on" build
+check "telemetry-off" build-notelemetry -DDIGFL_TELEMETRY=OFF
+
+if [[ "$run_asan" == 1 ]]; then
+  check "asan" build-asan -DDIGFL_SANITIZE=ON
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  # TSan disagrees with ASan-era object files; separate tree. Only the
+  # telemetry suite (the concurrent-registry tests) needs the TSan pass.
+  CTEST_EXTRA=(-R 'Telemetry|Metrics|Tracer|EventLog|Sink|Json|Runtime')
+  check "tsan" build-tsan -DDIGFL_SANITIZE=thread
+  CTEST_EXTRA=()
+fi
+
+echo "all requested configurations passed"

@@ -2,14 +2,37 @@
 
 namespace digfl {
 
-void CommMeter::Record(const std::string& channel, uint64_t bytes) {
-  total_bytes_ += bytes;
-  by_channel_[channel] += bytes;
+CommMeter::ChannelId CommMeter::Channel(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const ChannelId id = channels_.size();
+  channels_.emplace_back(std::string(name), 0);
+  index_.emplace(std::string(name), id);
+  return id;
+}
+
+std::map<std::string, uint64_t> CommMeter::ByChannel() const {
+  std::map<std::string, uint64_t> view;
+  for (const auto& [name, bytes] : channels_) {
+    if (bytes > 0) view[name] += bytes;
+  }
+  return view;
+}
+
+void CommMeter::ExportTo(telemetry::MetricsRegistry& registry,
+                         std::string_view metric_name,
+                         telemetry::LabelSet base_labels) const {
+  for (const auto& [name, bytes] : channels_) {
+    if (bytes == 0) continue;
+    telemetry::LabelSet labels = base_labels;
+    labels.push_back({"channel", name});
+    registry.GetCounter(metric_name, std::move(labels)).Increment(bytes);
+  }
 }
 
 void CommMeter::Reset() {
   total_bytes_ = 0;
-  by_channel_.clear();
+  for (auto& [name, bytes] : channels_) bytes = 0;
 }
 
 }  // namespace digfl

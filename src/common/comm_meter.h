@@ -4,26 +4,56 @@
 // between the server/third party and the participants. All simulated
 // message sends in the HFL/VFL substrates record their payload size here so
 // the benchmark harnesses can report the same metric.
+//
+// Hot-path discipline: channels are interned once into dense ChannelIds
+// (`Channel()`), and per-message Record(ChannelId, ...) is a plain array
+// add — no string hashing or tree walk per send. The string overloads
+// remain as a compatibility wrapper for call sites that record rarely.
+// For machine-readable reports, `ExportTo()` mirrors the per-channel totals
+// into a telemetry MetricsRegistry as a labeled byte-counter family.
 
 #ifndef DIGFL_COMMON_COMM_METER_H_
 #define DIGFL_COMMON_COMM_METER_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <string>
 #include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
 
 namespace digfl {
 
 class CommMeter {
  public:
-  // Records `bytes` of traffic under a human-readable channel label,
-  // e.g. "participant->server:local_model".
-  void Record(const std::string& channel, uint64_t bytes);
+  using ChannelId = size_t;
+
+  // Interns a human-readable channel label, e.g.
+  // "participant->server:local_model". Idempotent; O(1) amortized. Hoist
+  // out of per-epoch loops.
+  ChannelId Channel(std::string_view name);
+
+  // Records `bytes` of traffic on an interned channel. O(1), no hashing.
+  void Record(ChannelId channel, uint64_t bytes) {
+    total_bytes_ += bytes;
+    channels_[channel].second += bytes;
+  }
 
   // Convenience: payload of `count` doubles.
-  void RecordDoubles(const std::string& channel, uint64_t count) {
+  void RecordDoubles(ChannelId channel, uint64_t count) {
     Record(channel, count * sizeof(double));
+  }
+
+  // Compatibility wrappers: intern-on-record (one hash lookup per call).
+  void Record(const std::string& channel, uint64_t bytes) {
+    Record(Channel(channel), bytes);
+  }
+  void RecordDoubles(const std::string& channel, uint64_t count) {
+    Record(Channel(channel), count * sizeof(double));
   }
 
   uint64_t TotalBytes() const { return total_bytes_; }
@@ -31,16 +61,33 @@ class CommMeter {
     return static_cast<double>(total_bytes_) / (1024.0 * 1024.0);
   }
 
-  // Per-channel breakdown, keyed by label.
-  const std::map<std::string, uint64_t>& ByChannel() const {
-    return by_channel_;
-  }
+  // Per-channel breakdown, keyed by label (materialized view; the meter no
+  // longer stores a std::map internally).
+  std::map<std::string, uint64_t> ByChannel() const;
+
+  // Mirrors every channel into `registry` as counters named `metric_name`
+  // with labels {channel=<label>} ∪ base_labels. Additive: exporting the
+  // same meter twice doubles the counters, so export once per run.
+  void ExportTo(telemetry::MetricsRegistry& registry,
+                std::string_view metric_name,
+                telemetry::LabelSet base_labels = {}) const;
 
   void Reset();
 
  private:
+  // Heterogeneous lookup so the string_view path never allocates.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   uint64_t total_bytes_ = 0;
-  std::map<std::string, uint64_t> by_channel_;
+  // Dense channel table; index == ChannelId.
+  std::vector<std::pair<std::string, uint64_t>> channels_;
+  std::unordered_map<std::string, ChannelId, StringHash, std::equal_to<>>
+      index_;
 };
 
 }  // namespace digfl

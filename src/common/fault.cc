@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
+
+#include "telemetry/telemetry.h"
 
 namespace digfl {
 
@@ -29,6 +32,18 @@ const char* QuarantineReasonToString(QuarantineReason reason) {
       return "NormExploded";
   }
   return "Unknown";
+}
+
+const char* QuarantineReasonCode(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kAccepted:
+      return "accepted";
+    case QuarantineReason::kNonFinite:
+      return "non_finite";
+    case QuarantineReason::kNormExploded:
+      return "norm_exploded";
+  }
+  return "unknown";
 }
 
 Result<FaultPlan> FaultPlan::Generate(size_t num_epochs,
@@ -173,6 +188,14 @@ void FaultStats::RecordQuarantine(size_t epoch, size_t participant,
   quarantine_events.push_back(QuarantineEvent{
       static_cast<uint32_t>(epoch), static_cast<uint32_t>(participant),
       reason, norm});
+  // Every rejection is also a typed telemetry signal: a reason-code counter
+  // for dashboards plus a timeline event carrying the rejected norm.
+  DIGFL_COUNTER_ADD_LABELED("fault.quarantine_total", 1,
+                            {"reason", QuarantineReasonCode(reason)});
+  DIGFL_EMIT_EVENT("fault.quarantine", norm,
+                   {"epoch", std::to_string(epoch)},
+                   {"participant", std::to_string(participant)},
+                   {"reason", QuarantineReasonCode(reason)});
 }
 
 }  // namespace digfl

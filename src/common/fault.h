@@ -121,6 +121,10 @@ enum class QuarantineReason : uint8_t {
 
 const char* QuarantineReasonToString(QuarantineReason reason);
 
+// snake_case code used as the telemetry `reason` label value and in JSONL
+// run reports ("accepted", "non_finite", "norm_exploded").
+const char* QuarantineReasonCode(QuarantineReason reason);
+
 struct QuarantineConfig {
   // Absolute L2 ceiling on a single update; <= 0 disables the norm check
   // (non-finite payloads are always rejected).

@@ -4,6 +4,7 @@
 #ifndef DIGFL_COMMON_TIMER_H_
 #define DIGFL_COMMON_TIMER_H_
 
+#include <cassert>
 #include <chrono>
 #include <cstdint>
 
@@ -28,16 +29,22 @@ class Timer {
   Clock::time_point start_;
 };
 
-// Accumulates elapsed time across multiple timed regions.
+// Accumulates elapsed time across multiple timed regions. Also the
+// accumulator behind telemetry span nodes (telemetry/trace.h), so the repo
+// has exactly one cumulative-timing code path.
 class CumulativeTimer {
  public:
   // RAII guard; adds the guarded region's duration on destruction.
   class Scope {
    public:
-    explicit Scope(CumulativeTimer* owner) : owner_(owner) {}
+    explicit Scope(CumulativeTimer* owner) : owner_(owner) {
+      assert(owner != nullptr && "CumulativeTimer::Scope requires an owner");
+    }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
-    ~Scope() { owner_->total_seconds_ += timer_.ElapsedSeconds(); }
+    ~Scope() { owner_->Add(timer_.ElapsedSeconds()); }
+
+    double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
 
    private:
     CumulativeTimer* owner_;
@@ -45,6 +52,9 @@ class CumulativeTimer {
   };
 
   Scope Measure() { return Scope(this); }
+  // Folds an externally measured duration into the total (the span tree
+  // records through this after measuring with its own Timer).
+  void Add(double seconds) { total_seconds_ += seconds; }
   double TotalSeconds() const { return total_seconds_; }
   void Reset() { total_seconds_ = 0.0; }
 

@@ -1,6 +1,7 @@
 #include "core/digfl_hfl.h"
 
 #include "common/timer.h"
+#include "telemetry/telemetry.h"
 
 namespace digfl {
 
@@ -19,10 +20,14 @@ Result<ContributionReport> EvaluateHflContributions(
         "interactive mode needs the participants that produced the log");
   }
 
+  DIGFL_TRACE_SPAN("digfl.hfl.evaluate");
+
   Timer timer;
   ContributionReport report;
   report.total.assign(n, 0.0);
   report.per_epoch.reserve(log.epochs.size());
+  const CommMeter::ChannelId ch_hvp =
+      report.extra_comm.Channel("participant->server:hvp");
 
   // Σ_{j<=t} ΔG_j^{-i}, maintained per participant (interactive mode only).
   std::vector<Vec> accumulated_change;
@@ -31,6 +36,7 @@ Result<ContributionReport> EvaluateHflContributions(
   }
 
   for (const HflEpochRecord& record : log.epochs) {
+    DIGFL_TRACE_SPAN("digfl.hfl.epoch");
     if (record.deltas.size() != n ||
         (!record.present.empty() && record.present.size() != n)) {
       return Status::InvalidArgument("ragged training log");
@@ -66,6 +72,7 @@ Result<ContributionReport> EvaluateHflContributions(
         // in epochs where participant i itself is absent.
         Vec omega = vec::Zeros(p);
         if (vec::SquaredNorm2(accumulated_change[i]) > 0.0) {
+          DIGFL_TRACE_SPAN("digfl.hfl.hvp");
           if (options.average_hvp_across_participants) {
             // Only participants that reported this epoch can serve HVP
             // queries; the server averages over the present set.
@@ -82,14 +89,15 @@ Result<ContributionReport> EvaluateHflContributions(
             if (served > 0) {
               vec::Scale(1.0 / static_cast<double>(served), omega);
             }
-            report.extra_comm.RecordDoubles("participant->server:hvp",
-                                            served * p);
+            report.extra_comm.RecordDoubles(ch_hvp, served * p);
+            DIGFL_COUNTER_ADD("digfl.hvp_queries_total", served);
           } else if (present) {
             DIGFL_ASSIGN_OR_RETURN(
                 omega,
                 participants[i].ComputeLocalHvp(model, record.params_before,
                                                 accumulated_change[i]));
-            report.extra_comm.RecordDoubles("participant->server:hvp", p);
+            report.extra_comm.RecordDoubles(ch_hvp, p);
+            DIGFL_COUNTER_ADD("digfl.hvp_queries_total", 1);
           }
         }
         // φ_{t,i} = −v·ΔG_t^{-i} with the Algorithm-1 recursion

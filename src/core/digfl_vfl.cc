@@ -1,6 +1,7 @@
 #include "core/digfl_vfl.h"
 
 #include "common/timer.h"
+#include "telemetry/telemetry.h"
 
 namespace digfl {
 
@@ -16,6 +17,8 @@ Result<ContributionReport> EvaluateVflContributions(
   }
   const size_t n = blocks.num_participants();
 
+  DIGFL_TRACE_SPAN("digfl.vfl.evaluate");
+
   Timer timer;
   ContributionReport report;
   report.total.assign(n, 0.0);
@@ -27,6 +30,7 @@ Result<ContributionReport> EvaluateVflContributions(
   }
 
   for (const VflEpochRecord& record : log.epochs) {
+    DIGFL_TRACE_SPAN("digfl.vfl.epoch");
     if (!record.present.empty() && record.present.size() != n) {
       return Status::InvalidArgument("ragged participation mask");
     }
@@ -45,10 +49,12 @@ Result<ContributionReport> EvaluateVflContributions(
       if (options.include_second_order) {
         Vec omega = vec::Zeros(model.NumParams());
         if (vec::SquaredNorm2(accumulated_change[i]) > 0.0) {
+          DIGFL_TRACE_SPAN("digfl.vfl.hvp");
           DIGFL_ASSIGN_OR_RETURN(
               Vec hvp,
               model.Hvp(record.params_before, train, accumulated_change[i]));
           omega = blocks.DropBlock(i, hvp);  // diag(v_i) H (Σ ΔG)
+          DIGFL_COUNTER_ADD("digfl.hvp_queries_total", 1);
         }
         // Eq. 26: φ = v·(keep-block G_t) + α_t v·Ω.
         phi[i] += record.learning_rate * vec::Dot(v, omega);

@@ -1,11 +1,14 @@
 #include "crypto/paillier.h"
 
+#include "telemetry/telemetry.h"
+
 namespace digfl {
 
 Result<PaillierKeyPair> Paillier::GenerateKeyPair(size_t key_bits, Rng& rng) {
   if (key_bits < 64) {
     return Status::InvalidArgument("key_bits must be >= 64");
   }
+  DIGFL_TRACE_SPAN("crypto.paillier.keygen");
   const size_t prime_bits = key_bits / 2;
   for (int attempt = 0; attempt < 64; ++attempt) {
     DIGFL_ASSIGN_OR_RETURN(BigInt p, BigInt::RandomPrime(prime_bits, rng));
@@ -33,6 +36,8 @@ Result<PaillierCiphertext> Paillier::Encrypt(const PaillierPublicKey& key,
   if (!(plaintext < key.n)) {
     return Status::InvalidArgument("plaintext outside [0, n)");
   }
+  DIGFL_TRACE_SPAN("crypto.paillier.encrypt");
+  DIGFL_COUNTER_ADD_LABELED("crypto.paillier_ops_total", 1, {"op", "encrypt"});
   // c = (1 + m n) * r^n mod n^2.
   DIGFL_ASSIGN_OR_RETURN(BigInt r, BigInt::RandomCoprimeBelow(key.n, rng));
   const BigInt g_to_m = (BigInt(1) + plaintext * key.n) % key.n_squared;
@@ -46,6 +51,8 @@ Result<BigInt> Paillier::Decrypt(const PaillierPublicKey& public_key,
   if (!(ciphertext.value() < public_key.n_squared)) {
     return Status::InvalidArgument("ciphertext outside [0, n^2)");
   }
+  DIGFL_TRACE_SPAN("crypto.paillier.decrypt");
+  DIGFL_COUNTER_ADD_LABELED("crypto.paillier_ops_total", 1, {"op", "decrypt"});
   const BigInt u =
       BigInt::ModExp(ciphertext.value(), private_key.lambda,
                      public_key.n_squared);
@@ -57,6 +64,7 @@ Result<BigInt> Paillier::Decrypt(const PaillierPublicKey& public_key,
 PaillierCiphertext Paillier::Add(const PaillierPublicKey& key,
                                  const PaillierCiphertext& a,
                                  const PaillierCiphertext& b) {
+  DIGFL_COUNTER_ADD_LABELED("crypto.paillier_ops_total", 1, {"op", "add"});
   return PaillierCiphertext((a.value() * b.value()) % key.n_squared);
 }
 
@@ -70,6 +78,8 @@ Result<PaillierCiphertext> Paillier::AddPlain(const PaillierPublicKey& key,
 PaillierCiphertext Paillier::ScalarMul(const PaillierPublicKey& key,
                                        const PaillierCiphertext& a,
                                        const BigInt& k) {
+  DIGFL_COUNTER_ADD_LABELED("crypto.paillier_ops_total", 1,
+                            {"op", "scalar_mul"});
   return PaillierCiphertext(BigInt::ModExp(a.value(), k, key.n_squared));
 }
 

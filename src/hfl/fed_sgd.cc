@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "telemetry/telemetry.h"
 
 namespace digfl {
 namespace {
@@ -52,12 +55,36 @@ Result<HflTrainingLog> RunFedSgd(
   UniformAggregation uniform;
   if (policy == nullptr) policy = &uniform;
 
+  DIGFL_TRACE_SPAN("hfl.run");
+
   HflTrainingLog log;
   log.final_params = init_params;
   double lr = config.learning_rate;
   const size_t n = participants.size();
   const size_t p = model.NumParams();
   const FaultPlan* plan = config.fault_plan;
+
+  // Interned comm channels + per-participant telemetry byte counters,
+  // resolved once so the epoch loop records lock-free.
+  const CommMeter::ChannelId ch_broadcast =
+      log.comm.Channel("server->participants:global_model");
+  const CommMeter::ChannelId ch_straggler_down =
+      log.comm.Channel("server->participants:straggler_retry");
+  const CommMeter::ChannelId ch_straggler_up =
+      log.comm.Channel("participants->server:straggler_retry");
+  const CommMeter::ChannelId ch_upload =
+      log.comm.Channel("participants->server:local_model");
+  std::vector<telemetry::Counter*> bytes_up(n, nullptr);
+  std::vector<telemetry::Counter*> bytes_down(n, nullptr);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string id = std::to_string(i);
+    bytes_up[i] = telemetry::CounterHandle(
+        "hfl.participant_bytes_total",
+        {{"participant", id}, {"direction", "up"}});
+    bytes_down[i] = telemetry::CounterHandle(
+        "hfl.participant_bytes_total",
+        {{"participant", id}, {"direction", "down"}});
+  }
 
   // Independent minibatch streams per participant (unused when
   // batch_fraction == 1).
@@ -69,87 +96,112 @@ Result<HflTrainingLog> RunFedSgd(
   }
 
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    DIGFL_TRACE_SPAN("hfl.epoch");
+    Timer epoch_timer;
     std::vector<uint8_t> present(n, 1);
     std::vector<Vec> deltas(n);
-    for (size_t i = 0; i < n; ++i) {
-      const FaultEvent event =
-          plan != nullptr ? plan->At(epoch, i) : FaultEvent{};
-      if (event.type == FaultType::kDropout) {
-        // The participant never checked in: no broadcast, no upload.
-        present[i] = 0;
-        deltas[i] = vec::Zeros(p);
-        ++log.faults.dropouts;
-        continue;
+    {
+      DIGFL_TRACE_SPAN("hfl.local_round");
+      for (size_t i = 0; i < n; ++i) {
+        const FaultEvent event =
+            plan != nullptr ? plan->At(epoch, i) : FaultEvent{};
+        if (event.type == FaultType::kDropout) {
+          // The participant never checked in: no broadcast, no upload.
+          present[i] = 0;
+          deltas[i] = vec::Zeros(p);
+          ++log.faults.dropouts;
+          DIGFL_COUNTER_ADD_LABELED("fault.dropout_total", 1,
+                                    {"protocol", "hfl"});
+          continue;
+        }
+        // Server broadcasts θ_{t-1} to this participant.
+        log.comm.RecordDoubles(ch_broadcast, p);
+        if (bytes_down[i] != nullptr) {
+          bytes_down[i]->Increment(p * sizeof(double));
+        }
+        if (event.type == FaultType::kStraggler) {
+          // The update misses the deadline; the server re-requests it
+          // straggler_max_retries times (each retry re-sends the model and
+          // re-attempts the upload) before giving up on the round.
+          const size_t retries = plan->config().straggler_max_retries;
+          log.comm.RecordDoubles(ch_straggler_down, retries * p);
+          log.comm.RecordDoubles(ch_straggler_up, retries * p);
+          log.faults.straggler_retries += retries;
+          ++log.faults.stragglers_dropped;
+          DIGFL_COUNTER_ADD_LABELED("fault.straggler_dropped_total", 1,
+                                    {"protocol", "hfl"});
+          present[i] = 0;
+          deltas[i] = vec::Zeros(p);
+          continue;
+        }
+        Vec delta;
+        {
+          DIGFL_TRACE_SPAN("hfl.local_update");
+          if (config.batch_fraction < 1.0) {
+            DIGFL_ASSIGN_OR_RETURN(
+                delta, participants[i].ComputeStochasticLocalUpdate(
+                           model, log.final_params, lr, config.local_steps,
+                           config.batch_fraction, batch_rngs[i]));
+          } else {
+            DIGFL_ASSIGN_OR_RETURN(
+                delta, participants[i].ComputeLocalUpdate(
+                           model, log.final_params, lr, config.local_steps));
+          }
+        }
+        if (event.type == FaultType::kCorruption) {
+          Rng corruption_rng = plan->CorruptionRng(epoch, i);
+          delta = CorruptUpdate(delta, event.corruption,
+                                plan->config().explode_factor, corruption_rng);
+        }
+        // Participant uploads its local model (equivalently δ_{t,i}).
+        log.comm.RecordDoubles(ch_upload, p);
+        if (bytes_up[i] != nullptr) {
+          bytes_up[i]->Increment(p * sizeof(double));
+        }
+        deltas[i] = std::move(delta);
       }
-      // Server broadcasts θ_{t-1} to this participant.
-      log.comm.RecordDoubles("server->participants:global_model", p);
-      if (event.type == FaultType::kStraggler) {
-        // The update misses the deadline; the server re-requests it
-        // straggler_max_retries times (each retry re-sends the model and
-        // re-attempts the upload) before giving up on the round.
-        const size_t retries = plan->config().straggler_max_retries;
-        log.comm.RecordDoubles("server->participants:straggler_retry",
-                               retries * p);
-        log.comm.RecordDoubles("participants->server:straggler_retry",
-                               retries * p);
-        log.faults.straggler_retries += retries;
-        ++log.faults.stragglers_dropped;
-        present[i] = 0;
-        deltas[i] = vec::Zeros(p);
-        continue;
-      }
-      Vec delta;
-      if (config.batch_fraction < 1.0) {
-        DIGFL_ASSIGN_OR_RETURN(
-            delta, participants[i].ComputeStochasticLocalUpdate(
-                       model, log.final_params, lr, config.local_steps,
-                       config.batch_fraction, batch_rngs[i]));
-      } else {
-        DIGFL_ASSIGN_OR_RETURN(
-            delta, participants[i].ComputeLocalUpdate(
-                       model, log.final_params, lr, config.local_steps));
-      }
-      if (event.type == FaultType::kCorruption) {
-        Rng corruption_rng = plan->CorruptionRng(epoch, i);
-        delta = CorruptUpdate(delta, event.corruption,
-                              plan->config().explode_factor, corruption_rng);
-      }
-      // Participant uploads its local model (equivalently δ_{t,i}).
-      log.comm.RecordDoubles("participants->server:local_model", p);
-      deltas[i] = std::move(delta);
     }
 
     // Quarantine gate: inspect every arrived update before it can touch
     // G_t. Rejections are logged with a reason code, never silently
     // dropped.
-    const double median_norm = MedianPresentNorm(deltas, present);
-    for (size_t i = 0; i < n; ++i) {
-      if (!present[i]) continue;
-      const QuarantineReason reason =
-          InspectUpdate(deltas[i], config.quarantine, median_norm);
-      if (reason != QuarantineReason::kAccepted) {
-        double sum_sq = 0.0;
-        for (double v : deltas[i]) {
-          if (std::isfinite(v)) sum_sq += v * v;
+    {
+      DIGFL_TRACE_SPAN("hfl.quarantine_gate");
+      const double median_norm = MedianPresentNorm(deltas, present);
+      for (size_t i = 0; i < n; ++i) {
+        if (!present[i]) continue;
+        const QuarantineReason reason =
+            InspectUpdate(deltas[i], config.quarantine, median_norm);
+        if (reason != QuarantineReason::kAccepted) {
+          double sum_sq = 0.0;
+          for (double v : deltas[i]) {
+            if (std::isfinite(v)) sum_sq += v * v;
+          }
+          log.faults.RecordQuarantine(epoch, i, reason, std::sqrt(sum_sq));
+          present[i] = 0;
+          deltas[i] = vec::Zeros(p);
         }
-        log.faults.RecordQuarantine(epoch, i, reason, std::sqrt(sum_sq));
-        present[i] = 0;
-        deltas[i] = vec::Zeros(p);
       }
     }
 
-    DIGFL_ASSIGN_OR_RETURN(
-        std::vector<double> weights,
-        policy->Weights(epoch, log.final_params, lr, deltas, present, server));
-    if (weights.size() != deltas.size()) {
-      return Status::Internal("aggregation policy returned bad weight count");
+    Vec global_gradient;
+    std::vector<double> weights;
+    {
+      DIGFL_TRACE_SPAN("hfl.aggregate");
+      DIGFL_ASSIGN_OR_RETURN(
+          weights,
+          policy->Weights(epoch, log.final_params, lr, deltas, present,
+                          server));
+      if (weights.size() != deltas.size()) {
+        return Status::Internal("aggregation policy returned bad weight count");
+      }
+      // Defense in depth: a policy must not resurrect an absent participant.
+      for (size_t i = 0; i < n; ++i) {
+        if (!present[i]) weights[i] = 0.0;
+      }
+      DIGFL_ASSIGN_OR_RETURN(global_gradient,
+                             HflServer::AggregateWeighted(deltas, weights));
     }
-    // Defense in depth: a policy must not resurrect an absent participant.
-    for (size_t i = 0; i < n; ++i) {
-      if (!present[i]) weights[i] = 0.0;
-    }
-    DIGFL_ASSIGN_OR_RETURN(Vec global_gradient,
-                           HflServer::AggregateWeighted(deltas, weights));
 
     if (config.record_log) {
       HflEpochRecord record;
@@ -163,12 +215,21 @@ Result<HflTrainingLog> RunFedSgd(
 
     vec::Axpy(-1.0, global_gradient, log.final_params);
 
-    DIGFL_ASSIGN_OR_RETURN(double val_loss,
-                           server.ValidationLoss(log.final_params));
-    DIGFL_ASSIGN_OR_RETURN(double val_acc,
-                           server.ValidationAccuracy(log.final_params));
+    double val_loss = 0.0;
+    double val_acc = 0.0;
+    {
+      DIGFL_TRACE_SPAN("hfl.validate");
+      DIGFL_ASSIGN_OR_RETURN(val_loss, server.ValidationLoss(log.final_params));
+      DIGFL_ASSIGN_OR_RETURN(val_acc,
+                             server.ValidationAccuracy(log.final_params));
+    }
     log.validation_loss.push_back(val_loss);
     log.validation_accuracy.push_back(val_acc);
+
+    DIGFL_EMIT_EVENT("hfl.epoch_seconds", epoch_timer.ElapsedSeconds(),
+                     {"epoch", std::to_string(epoch)});
+    DIGFL_EMIT_EVENT("hfl.validation_loss", val_loss,
+                     {"epoch", std::to_string(epoch)});
 
     lr *= config.lr_decay;
   }

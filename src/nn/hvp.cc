@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace digfl {
 
 Result<Vec> FiniteDifferenceHvp(const GradientFn& gradient, const Vec& params,
@@ -12,6 +14,8 @@ Result<Vec> FiniteDifferenceHvp(const GradientFn& gradient, const Vec& params,
   }
   const double v_norm = vec::Norm2(v);
   if (v_norm == 0.0) return vec::Zeros(params.size());
+
+  DIGFL_TRACE_SPAN("nn.finite_difference_hvp");
 
   // Step relative to parameter scale so the probe neither underflows the
   // gradient difference nor leaves the local quadratic regime.

@@ -1,0 +1,50 @@
+#include "telemetry/event_log.h"
+
+namespace digfl {
+namespace telemetry {
+
+EventLog::EventLog(size_t capacity) : capacity_(capacity) {}
+
+void EventLog::Emit(std::string name, LabelSet labels, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  Event event;
+  event.t_seconds = clock_.ElapsedSeconds();
+  event.name = std::move(name);
+  event.labels = std::move(labels);
+  event.value = value;
+  events_.push_back(std::move(event));
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void EventLog::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  clock_.Restart();
+}
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+}  // namespace telemetry
+}  // namespace digfl

@@ -1,0 +1,63 @@
+// EventLog: bounded buffer of discrete, timestamped run events.
+//
+// Where the MetricsRegistry aggregates (totals, distributions) and the
+// Tracer aggregates by call site, the EventLog keeps *individual*
+// occurrences — one record per epoch completion, per quarantine decision —
+// so the JSONL run report can reconstruct a timeline. Capacity is bounded;
+// overflow increments a drop counter instead of growing without limit, and
+// the drop count is part of every run report (no silent truncation).
+
+#ifndef DIGFL_TELEMETRY_EVENT_LOG_H_
+#define DIGFL_TELEMETRY_EVENT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "telemetry/metrics.h"
+
+namespace digfl {
+namespace telemetry {
+
+struct Event {
+  // Seconds since the log's construction or last Reset() (steady clock).
+  double t_seconds = 0.0;
+  std::string name;  // same `subsystem.noun_unit` convention as metrics
+  LabelSet labels;
+  double value = 0.0;
+};
+
+class EventLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit EventLog(size_t capacity = kDefaultCapacity);
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  void Emit(std::string name, LabelSet labels, double value);
+
+  std::vector<Event> Snapshot() const;
+  size_t size() const;
+  // Events discarded because the log was full.
+  uint64_t dropped() const;
+
+  void Reset();
+
+  // Process-wide log used by telemetry::EmitEvent.
+  static EventLog& Global();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  Timer clock_;
+  std::vector<Event> events_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace telemetry
+}  // namespace digfl
+
+#endif  // DIGFL_TELEMETRY_EVENT_LOG_H_

@@ -1,0 +1,307 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace digfl {
+namespace telemetry {
+namespace json {
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string Number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  // %.17g round-trips doubles; shorter forms are produced when exact.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double Value::NumberOr(std::string_view key, double fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value : fallback;
+}
+
+std::string Value::StringOr(std::string_view key, std::string fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_value
+                                          : std::move(fallback);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Run() {
+    DIGFL_ASSIGN_OR_RETURN(Value value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  Result<Value> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        return ParseNull();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject() {
+    DIGFL_RETURN_IF_ERROR(Expect('{'));
+    Value value;
+    value.kind = Value::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    while (true) {
+      SkipWhitespace();
+      DIGFL_ASSIGN_OR_RETURN(Value key, ParseString());
+      SkipWhitespace();
+      DIGFL_RETURN_IF_ERROR(Expect(':'));
+      DIGFL_ASSIGN_OR_RETURN(Value member, ParseValue());
+      value.members.emplace_back(std::move(key.string_value),
+                                 std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      DIGFL_RETURN_IF_ERROR(Expect('}'));
+      return value;
+    }
+  }
+
+  Result<Value> ParseArray() {
+    DIGFL_RETURN_IF_ERROR(Expect('['));
+    Value value;
+    value.kind = Value::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    while (true) {
+      DIGFL_ASSIGN_OR_RETURN(Value item, ParseValue());
+      value.items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      DIGFL_RETURN_IF_ERROR(Expect(']'));
+      return value;
+    }
+  }
+
+  Result<Value> ParseString() {
+    DIGFL_RETURN_IF_ERROR(Expect('"'));
+    Value value;
+    value.kind = Value::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.string_value.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          value.string_value.push_back('"');
+          break;
+        case '\\':
+          value.string_value.push_back('\\');
+          break;
+        case '/':
+          value.string_value.push_back('/');
+          break;
+        case 'b':
+          value.string_value.push_back('\b');
+          break;
+        case 'f':
+          value.string_value.push_back('\f');
+          break;
+        case 'n':
+          value.string_value.push_back('\n');
+          break;
+        case 'r':
+          value.string_value.push_back('\r');
+          break;
+        case 't':
+          value.string_value.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Status::InvalidArgument("bad \\u escape digit");
+          }
+          // Telemetry strings are ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            value.string_value.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            value.string_value.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            value.string_value.push_back(
+                static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            value.string_value.push_back(
+                static_cast<char>(0xE0 | (code >> 12)));
+            value.string_value.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            value.string_value.push_back(
+                static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument("bad escape character");
+      }
+    }
+    return Status::InvalidArgument("unterminated JSON string");
+  }
+
+  Result<Value> ParseBool() {
+    Value value;
+    value.kind = Value::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      value.bool_value = true;
+      return value;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      value.bool_value = false;
+      return value;
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Result<Value> ParseNull() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return Value{};
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Result<Value> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected a JSON value at offset " +
+                                     std::to_string(start));
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad JSON number: " + token);
+    }
+    Value value;
+    value.kind = Value::Kind::kNumber;
+    value.number_value = parsed;
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace json
+}  // namespace telemetry
+}  // namespace digfl

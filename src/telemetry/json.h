@@ -1,0 +1,59 @@
+// Minimal JSON support for the telemetry JSONL sink.
+//
+// Writer side: Escape() for string fields (the sink composes objects by
+// hand — the schema is flat and fixed). Reader side: a small strict parser
+// used by tests to round-trip every emitted line and by tooling that wants
+// to consume run reports without a third-party dependency.
+
+#ifndef DIGFL_TELEMETRY_JSON_H_
+#define DIGFL_TELEMETRY_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace digfl {
+namespace telemetry {
+namespace json {
+
+// Escapes `s` for use inside a double-quoted JSON string (quotes,
+// backslashes, control characters).
+std::string Escape(std::string_view s);
+
+// Formats a double as a JSON number (finite values only; non-finite values
+// are emitted as null, which the schema treats as "unavailable").
+std::string Number(double value);
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<Value> items;                               // kArray
+  std::vector<std::pair<std::string, Value>> members;     // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+  // Convenience accessors that return a fallback on kind mismatch.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string fallback) const;
+};
+
+// Strict parse of a complete JSON document (trailing junk is an error).
+Result<Value> Parse(std::string_view text);
+
+}  // namespace json
+}  // namespace telemetry
+}  // namespace digfl
+
+#endif  // DIGFL_TELEMETRY_JSON_H_

@@ -1,0 +1,260 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace digfl {
+namespace telemetry {
+namespace {
+
+LabelSet Canonicalize(LabelSet labels) {
+  std::sort(labels.begin(), labels.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  return labels;
+}
+
+std::string SeriesKey(std::string_view name, const LabelSet& canonical) {
+  std::string key(name);
+  key.push_back('\x1f');
+  key += EncodeLabels(canonical);
+  return key;
+}
+
+}  // namespace
+
+std::string EncodeLabels(const LabelSet& labels) {
+  LabelSet canonical = Canonicalize(labels);
+  std::string out;
+  for (size_t i = 0; i < canonical.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += canonical[i].key;
+    out.push_back('=');
+    out += canonical[i].value;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Histogram.
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  DIGFL_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  ++total_count_;
+  sum_ += value;
+  if (total_count_ == 1 || value > max_) max_ = value;
+}
+
+uint64_t Histogram::TotalCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_count_;
+}
+
+double Histogram::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the q-th quantile is the smallest value with at least
+  // ceil(q·n) observations at or below it.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total_count_)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += counts_[b];
+    if (cumulative < rank) continue;
+    if (b == bounds_.size()) return max_;  // overflow bucket
+    const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+    const double upper = bounds_[b];
+    const double frac =
+        static_cast<double>(rank - before) / static_cast<double>(counts_[b]);
+    return lower + frac * (upper - lower);
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+// ----------------------------------------------------------------- Registry.
+
+const char* MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name,
+                                          const LabelSet& labels) const {
+  const std::string encoded = EncodeLabels(labels);
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name && EncodeLabels(sample.labels) == encoded) {
+      return &sample;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterTotal(std::string_view name) const {
+  uint64_t total = 0;
+  for (const MetricSample& sample : samples) {
+    if (sample.kind == MetricKind::kCounter && sample.name == name) {
+      total += static_cast<uint64_t>(sample.value);
+    }
+  }
+  return total;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(
+    std::string_view name, LabelSet labels, MetricKind kind,
+    const std::vector<double>* bounds) {
+  LabelSet canonical = Canonicalize(std::move(labels));
+  const std::string key = SeriesKey(name, canonical);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    Entry entry;
+    entry.labels = std::move(canonical);
+    entry.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>(*bounds);
+        break;
+    }
+    it = series_.emplace(key, std::move(entry)).first;
+  }
+  DIGFL_CHECK(it->second.kind == kind)
+      << "metric '" << std::string(name) << "' re-registered as a different kind";
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, LabelSet labels) {
+  return *FindOrCreate(name, std::move(labels), MetricKind::kCounter, nullptr)
+              .counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, LabelSet labels) {
+  return *FindOrCreate(name, std::move(labels), MetricKind::kGauge, nullptr)
+              .gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> upper_bounds,
+                                         LabelSet labels) {
+  return *FindOrCreate(name, std::move(labels), MetricKind::kHistogram,
+                       &upper_bounds)
+              .histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.samples.reserve(series_.size());
+  for (const auto& [key, entry] : series_) {
+    MetricSample sample;
+    sample.name = key.substr(0, key.find('\x1f'));
+    sample.labels = entry.labels;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        sample.value = static_cast<double>(entry.counter->Value());
+        break;
+      case MetricKind::kGauge:
+        sample.value = entry.gauge->Value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        sample.histogram.bounds = h.bounds();
+        sample.histogram.bucket_counts = h.BucketCounts();
+        sample.histogram.count = h.TotalCount();
+        sample.histogram.sum = h.Sum();
+        sample.histogram.max = h.Max();
+        sample.histogram.p50 = h.Quantile(0.5);
+        sample.histogram.p95 = h.Quantile(0.95);
+        sample.value = sample.histogram.sum;
+        break;
+      }
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : series_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+}
+
+size_t MetricsRegistry::NumSeries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace telemetry
+}  // namespace digfl

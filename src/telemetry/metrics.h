@@ -1,0 +1,185 @@
+// MetricsRegistry: the repo's single store for quantitative run telemetry.
+//
+// Every metric is identified by a name (convention: `subsystem.noun_unit`,
+// e.g. "hfl.upload_bytes_total", see DESIGN.md "Telemetry") plus a small
+// label set ({participant, epoch, phase, reason, ...}). Three metric kinds:
+//
+//   Counter   — monotone uint64 (events, bytes, op counts); lock-free adds.
+//   Gauge     — last-written double (config knobs, sizes).
+//   Histogram — fixed upper-bound buckets over doubles (latencies).
+//
+// Handle discipline: `GetCounter()` et al. take the registry mutex once and
+// return a reference that stays valid until `Clear()`; hot paths resolve the
+// handle outside the loop and then increment lock-free. `Reset()` zeroes
+// values in place and keeps handles valid; `Clear()` drops all series and
+// invalidates handles (only safe between runs).
+
+#ifndef DIGFL_TELEMETRY_METRICS_H_
+#define DIGFL_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace digfl {
+namespace telemetry {
+
+struct Label {
+  std::string key;
+  std::string value;
+
+  bool operator==(const Label& other) const = default;
+};
+
+// Order-insensitive at the API boundary: registries canonicalize by sorting
+// on key before building the series identity.
+using LabelSet = std::vector<Label>;
+
+// Canonical "k1=v1,k2=v2" encoding (sorted by key); the series identity.
+std::string EncodeLabels(const LabelSet& labels);
+
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    // CAS loop instead of fetch_add: portable to pre-C++20 atomic<double>.
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: `upper_bounds` are inclusive bucket ceilings in
+// ascending order; an implicit +inf bucket catches the overflow tail.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  uint64_t TotalCount() const;
+  double Sum() const;
+  double Max() const;  // exact observed max (0 when empty)
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Bucket occupancy; size bounds().size() + 1 (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+  // Approximate quantile (q in [0,1]) by linear interpolation inside the
+  // bucket holding the q-th observation; the overflow bucket reports Max().
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  const std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindToString(MetricKind kind);
+
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+// One series at snapshot time.
+struct MetricSample {
+  std::string name;
+  LabelSet labels;  // canonical (key-sorted)
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;       // counter (cast) or gauge
+  HistogramData histogram;  // populated iff kind == kHistogram
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by (name, labels)
+
+  // First sample matching name + exact canonical label set, else nullptr.
+  const MetricSample* Find(std::string_view name,
+                           const LabelSet& labels = {}) const;
+  // Sum of counter values across all label sets of `name`.
+  uint64_t CounterTotal(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name, LabelSet labels = {});
+  Gauge& GetGauge(std::string_view name, LabelSet labels = {});
+  // `upper_bounds` applies on first creation of the series; subsequent
+  // lookups ignore it (same-name series must share a bucket layout).
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<double> upper_bounds,
+                          LabelSet labels = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every series in place; outstanding handles stay valid.
+  void Reset();
+  // Drops every series; invalidates outstanding handles. Only call between
+  // runs, never concurrently with instrumented code.
+  void Clear();
+
+  size_t NumSeries() const;
+
+  // Process-wide registry used by the DIGFL_* telemetry macros.
+  static MetricsRegistry& Global();
+
+ private:
+  struct Entry {
+    LabelSet labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& FindOrCreate(std::string_view name, LabelSet labels,
+                      MetricKind kind, const std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  // Keyed by "name\x1f<canonical labels>"; node-based map keeps Entry (and
+  // the metric objects it owns) address-stable across inserts.
+  std::map<std::string, Entry> series_;
+};
+
+}  // namespace telemetry
+}  // namespace digfl
+
+#endif  // DIGFL_TELEMETRY_METRICS_H_

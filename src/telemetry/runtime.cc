@@ -1,0 +1,20 @@
+#include "telemetry/runtime.h"
+
+#include <atomic>
+
+namespace digfl {
+namespace telemetry {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+}  // namespace telemetry
+}  // namespace digfl

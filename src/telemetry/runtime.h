@@ -1,0 +1,30 @@
+// Process-wide runtime switch for telemetry collection.
+//
+// Compile-time gating is controlled by the CMake option DIGFL_TELEMETRY
+// (macro DIGFL_TELEMETRY_ENABLED, default 1): when 0, the DIGFL_TRACE_SPAN /
+// DIGFL_COUNTER_* macros compile to literal no-ops. This runtime switch is
+// the second, cheaper knob: with telemetry compiled in, SetEnabled(false)
+// stops span recording and macro-driven counter updates at the cost of one
+// relaxed atomic load per site (used by bench_telemetry_overhead to isolate
+// instrumentation cost inside a single binary).
+
+#ifndef DIGFL_TELEMETRY_RUNTIME_H_
+#define DIGFL_TELEMETRY_RUNTIME_H_
+
+#ifndef DIGFL_TELEMETRY_ENABLED
+#define DIGFL_TELEMETRY_ENABLED 1
+#endif
+
+namespace digfl {
+namespace telemetry {
+
+// Defaults to true. Handles resolved while enabled keep working after a
+// SetEnabled(false); the switch gates new handle resolution, span recording,
+// and the convenience macros.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+}  // namespace telemetry
+}  // namespace digfl
+
+#endif  // DIGFL_TELEMETRY_RUNTIME_H_

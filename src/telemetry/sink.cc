@@ -1,0 +1,170 @@
+#include "telemetry/sink.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace digfl {
+namespace telemetry {
+namespace {
+
+void AppendLabels(const LabelSet& labels, std::ostream& os) {
+  os << "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << json::Escape(labels[i].key) << "\":\""
+       << json::Escape(labels[i].value) << "\"";
+  }
+  os << "}";
+}
+
+void WriteMetricLine(const MetricSample& sample, std::ostream& os) {
+  os << "{\"type\":\"metric\",\"name\":\"" << json::Escape(sample.name)
+     << "\",\"labels\":";
+  AppendLabels(sample.labels, os);
+  os << ",\"kind\":\"" << MetricKindToString(sample.kind) << "\"";
+  if (sample.kind == MetricKind::kHistogram) {
+    const HistogramData& h = sample.histogram;
+    os << ",\"count\":" << h.count << ",\"sum\":" << json::Number(h.sum)
+       << ",\"max\":" << json::Number(h.max)
+       << ",\"p50\":" << json::Number(h.p50)
+       << ",\"p95\":" << json::Number(h.p95) << ",\"buckets\":[";
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b > 0) os << ",";
+      os << "{\"le\":";
+      if (b < h.bounds.size()) {
+        os << json::Number(h.bounds[b]);
+      } else {
+        os << "null";  // overflow bucket
+      }
+      os << ",\"count\":" << h.bucket_counts[b] << "}";
+    }
+    os << "]";
+  } else {
+    os << ",\"value\":" << json::Number(sample.value);
+  }
+  os << "}\n";
+}
+
+void WriteSpanLines(const SpanNodeSnapshot& node, std::ostream& os) {
+  os << "{\"type\":\"span\",\"path\":\"" << json::Escape(node.path)
+     << "\",\"name\":\"" << json::Escape(node.name)
+     << "\",\"count\":" << node.count
+     << ",\"total_seconds\":" << json::Number(node.total_seconds)
+     << ",\"p50_seconds\":" << json::Number(node.p50_seconds)
+     << ",\"p95_seconds\":" << json::Number(node.p95_seconds)
+     << ",\"max_seconds\":" << json::Number(node.max_seconds) << "}\n";
+  for (const SpanNodeSnapshot& child : node.children) {
+    WriteSpanLines(child, os);
+  }
+}
+
+void AppendSpanRows(const SpanNodeSnapshot& node, double root_total,
+                    size_t depth, TableWriter& table) {
+  const std::string indent(2 * depth, ' ');
+  const double share =
+      root_total > 0.0 ? 100.0 * node.total_seconds / root_total : 0.0;
+  Status status = table.AddRow(
+      {indent + node.name, std::to_string(node.count),
+       TableWriter::FormatScientific(node.total_seconds, 3),
+       TableWriter::FormatScientific(node.p50_seconds, 2),
+       TableWriter::FormatScientific(node.p95_seconds, 2),
+       TableWriter::FormatScientific(node.max_seconds, 2),
+       TableWriter::FormatDouble(share, 1)});
+  (void)status;  // header width is fixed here; AddRow cannot fail
+  for (const SpanNodeSnapshot& child : node.children) {
+    AppendSpanRows(child, root_total, depth + 1, table);
+  }
+}
+
+}  // namespace
+
+RunReport CollectRunReport(std::string run_id) {
+  RunReport report;
+  report.run_id = std::move(run_id);
+  report.metrics = MetricsRegistry::Global().Snapshot();
+  report.spans = Tracer::Global().Snapshot();
+  report.events = EventLog::Global().Snapshot();
+  report.events_dropped = EventLog::Global().dropped();
+  return report;
+}
+
+Status InMemorySink::Write(const RunReport& report) {
+  reports_.push_back(report);
+  return Status::OK();
+}
+
+Status JsonlFileSink::Write(const RunReport& report) {
+  std::ofstream out(path_, append_ ? std::ios::app : std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open telemetry sink: " + path_);
+  }
+  DIGFL_RETURN_IF_ERROR(WriteJsonl(report, out));
+  out.flush();
+  if (!out) return Status::Internal("short write to " + path_);
+  return Status::OK();
+}
+
+Status WriteJsonl(const RunReport& report, std::ostream& os) {
+  os << "{\"type\":\"run\",\"schema\":\"" << json::Escape(report.schema)
+     << "\",\"run_id\":\"" << json::Escape(report.run_id)
+     << "\",\"events_dropped\":" << report.events_dropped << "}\n";
+  for (const MetricSample& sample : report.metrics.samples) {
+    WriteMetricLine(sample, os);
+  }
+  for (const SpanNodeSnapshot& root : report.spans) {
+    WriteSpanLines(root, os);
+  }
+  for (const Event& event : report.events) {
+    os << "{\"type\":\"event\",\"name\":\"" << json::Escape(event.name)
+       << "\",\"t_seconds\":" << json::Number(event.t_seconds)
+       << ",\"labels\":";
+    std::ostringstream labels;
+    AppendLabels(event.labels, labels);
+    os << labels.str() << ",\"value\":" << json::Number(event.value) << "}\n";
+  }
+  if (!os) return Status::Internal("telemetry stream write failed");
+  return Status::OK();
+}
+
+TableWriter SpanSummaryTable(const std::vector<SpanNodeSnapshot>& roots) {
+  TableWriter table(
+      {"span", "calls", "total_s", "p50_s", "p95_s", "max_s", "%root"});
+  for (const SpanNodeSnapshot& root : roots) {
+    AppendSpanRows(root, root.total_seconds, 0, table);
+  }
+  return table;
+}
+
+TableWriter MetricsSummaryTable(const MetricsSnapshot& snapshot) {
+  TableWriter table({"metric", "labels", "kind", "value"});
+  for (const MetricSample& sample : snapshot.samples) {
+    std::string value;
+    if (sample.kind == MetricKind::kHistogram) {
+      const HistogramData& h = sample.histogram;
+      value = "count=" + std::to_string(h.count) +
+              " p50=" + TableWriter::FormatScientific(h.p50, 2) +
+              " p95=" + TableWriter::FormatScientific(h.p95, 2) +
+              " max=" + TableWriter::FormatScientific(h.max, 2);
+    } else if (sample.kind == MetricKind::kCounter) {
+      value = std::to_string(static_cast<uint64_t>(sample.value));
+    } else {
+      value = TableWriter::FormatDouble(sample.value, 4);
+    }
+    Status status = table.AddRow({sample.name, EncodeLabels(sample.labels),
+                                  MetricKindToString(sample.kind),
+                                  std::move(value)});
+    (void)status;
+  }
+  return table;
+}
+
+double TotalRootSeconds(const std::vector<SpanNodeSnapshot>& roots) {
+  double total = 0.0;
+  for (const SpanNodeSnapshot& root : roots) total += root.total_seconds;
+  return total;
+}
+
+}  // namespace telemetry
+}  // namespace digfl

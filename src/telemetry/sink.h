@@ -1,0 +1,97 @@
+// Telemetry sinks: where a collected RunReport goes.
+//
+// A RunReport is a point-in-time bundle of the three telemetry stores —
+// metrics snapshot, span tree, event log — stamped with a caller-chosen run
+// id. Three consumers:
+//
+//   InMemorySink   — holds reports for assertions (tests).
+//   JsonlFileSink  — appends the machine-readable JSONL encoding to a file
+//                    (digfl_eval --telemetry-out, $DIGFL_TELEMETRY_OUT in
+//                    the bench harnesses).
+//   Summary tables — human-readable TableWriter views of the span tree and
+//                    metrics for console output.
+//
+// JSONL schema (one object per line, "type" discriminates):
+//   {"type":"run","schema":"digfl.telemetry.v1","run_id":...,
+//    "events_dropped":N}
+//   {"type":"metric","name":...,"labels":{...},"kind":"counter","value":N}
+//   {"type":"metric",...,"kind":"histogram","count":N,"sum":S,"max":M,
+//    "p50":...,"p95":...,"buckets":[{"le":B,"count":N},...]}
+//   {"type":"span","path":"a/b","name":"b","count":N,"total_seconds":S,
+//    "p50_seconds":...,"p95_seconds":...,"max_seconds":...}
+//   {"type":"event","name":...,"t_seconds":T,"labels":{...},"value":V}
+
+#ifndef DIGFL_TELEMETRY_SINK_H_
+#define DIGFL_TELEMETRY_SINK_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/table_writer.h"
+#include "telemetry/event_log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace digfl {
+namespace telemetry {
+
+struct RunReport {
+  std::string schema = "digfl.telemetry.v1";
+  std::string run_id;
+  MetricsSnapshot metrics;
+  std::vector<SpanNodeSnapshot> spans;
+  std::vector<Event> events;
+  uint64_t events_dropped = 0;
+};
+
+// Bundles the global registry, tracer, and event log into one report.
+RunReport CollectRunReport(std::string run_id);
+
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual Status Write(const RunReport& report) = 0;
+};
+
+class InMemorySink : public TelemetrySink {
+ public:
+  Status Write(const RunReport& report) override;
+  const std::vector<RunReport>& reports() const { return reports_; }
+  void clear() { reports_.clear(); }
+
+ private:
+  std::vector<RunReport> reports_;
+};
+
+class JsonlFileSink : public TelemetrySink {
+ public:
+  explicit JsonlFileSink(std::string path, bool append = true)
+      : path_(std::move(path)), append_(append) {}
+  Status Write(const RunReport& report) override;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  bool append_;
+};
+
+// The JSONL encoding itself (JsonlFileSink is a thin file wrapper).
+Status WriteJsonl(const RunReport& report, std::ostream& os);
+
+// Aligned console table of the span tree: nested names, call counts,
+// totals, percentiles, and each node's share of its root's total.
+TableWriter SpanSummaryTable(const std::vector<SpanNodeSnapshot>& roots);
+
+// Aligned console table of every metric series (histograms print
+// count/sum/p50/p95/max).
+TableWriter MetricsSummaryTable(const MetricsSnapshot& snapshot);
+
+// Sum of root-span totals — the wall-clock the span tree accounts for.
+double TotalRootSeconds(const std::vector<SpanNodeSnapshot>& roots);
+
+}  // namespace telemetry
+}  // namespace digfl
+
+#endif  // DIGFL_TELEMETRY_SINK_H_

@@ -1,0 +1,13 @@
+#include "telemetry/telemetry.h"
+
+namespace digfl {
+namespace telemetry {
+
+void ResetAllTelemetry() {
+  Metrics().Clear();
+  Spans().Reset();
+  Events().Reset();
+}
+
+}  // namespace telemetry
+}  // namespace digfl

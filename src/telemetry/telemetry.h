@@ -1,0 +1,126 @@
+// Umbrella header + instrumentation macros for the telemetry subsystem.
+//
+// Instrumented code uses three primitives (see DESIGN.md "Telemetry"):
+//
+//   DIGFL_TRACE_SPAN("hfl.aggregate");          // scope-timed span
+//   DIGFL_COUNTER_ADD("hfl.round_total", 1);    // unlabeled counter
+//   DIGFL_COUNTER_ADD_LABELED("fault.quarantine_total", 1,
+//                             {"reason", "non_finite"});
+//
+// plus two function-style helpers for hot paths and events:
+//
+//   telemetry::Counter* c = telemetry::CounterHandle(
+//       "hfl.upload_bytes_total", {{"participant", "3"}});
+//   if (c != nullptr) c->Increment(bytes);      // lock-free per record
+//   telemetry::EmitEvent("hfl.epoch", {{"epoch", "7"}}, seconds);
+//
+// All of them compile to no-ops when the CMake option DIGFL_TELEMETRY is
+// OFF (macro DIGFL_TELEMETRY_ENABLED == 0) and respect the runtime switch
+// telemetry::SetEnabled() when compiled in.
+
+#ifndef DIGFL_TELEMETRY_TELEMETRY_H_
+#define DIGFL_TELEMETRY_TELEMETRY_H_
+
+#include <string_view>
+#include <utility>
+
+#include "telemetry/event_log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/runtime.h"
+#include "telemetry/trace.h"
+
+namespace digfl {
+namespace telemetry {
+
+inline MetricsRegistry& Metrics() { return MetricsRegistry::Global(); }
+inline Tracer& Spans() { return Tracer::Global(); }
+inline EventLog& Events() { return EventLog::Global(); }
+
+// Clears all three global stores (metrics series, span tree, events).
+// Only safe between runs — never while instrumented code is executing.
+void ResetAllTelemetry();
+
+// Stable lock-free counter handle, or nullptr when telemetry is compiled
+// out or runtime disabled; callers hoist this out of hot loops.
+inline Counter* CounterHandle(std::string_view name, LabelSet labels = {}) {
+#if DIGFL_TELEMETRY_ENABLED
+  if (!Enabled()) return nullptr;
+  return &Metrics().GetCounter(name, std::move(labels));
+#else
+  (void)name;
+  (void)labels;
+  return nullptr;
+#endif
+}
+
+inline Histogram* HistogramHandle(std::string_view name,
+                                  std::vector<double> upper_bounds,
+                                  LabelSet labels = {}) {
+#if DIGFL_TELEMETRY_ENABLED
+  if (!Enabled()) return nullptr;
+  return &Metrics().GetHistogram(name, std::move(upper_bounds),
+                                 std::move(labels));
+#else
+  (void)name;
+  (void)upper_bounds;
+  (void)labels;
+  return nullptr;
+#endif
+}
+
+inline void EmitEvent(const char* name, LabelSet labels, double value) {
+#if DIGFL_TELEMETRY_ENABLED
+  if (Enabled()) Events().Emit(name, std::move(labels), value);
+#else
+  (void)name;
+  (void)labels;
+  (void)value;
+#endif
+}
+
+}  // namespace telemetry
+}  // namespace digfl
+
+#define DIGFL_TELEMETRY_CONCAT_IMPL_(a, b) a##b
+#define DIGFL_TELEMETRY_CONCAT_(a, b) DIGFL_TELEMETRY_CONCAT_IMPL_(a, b)
+
+#if DIGFL_TELEMETRY_ENABLED
+
+// Times the enclosing scope into the global span tree. `name` must be a
+// string literal (or otherwise outlive the program).
+#define DIGFL_TRACE_SPAN(name)                \
+  ::digfl::telemetry::ScopedSpan DIGFL_TELEMETRY_CONCAT_( \
+      digfl_trace_span_, __LINE__)(name)
+
+#define DIGFL_COUNTER_ADD(name, delta)                                 \
+  do {                                                                 \
+    if (::digfl::telemetry::Enabled()) {                               \
+      ::digfl::telemetry::Metrics().GetCounter(name).Increment(delta); \
+    }                                                                  \
+  } while (0)
+
+// Trailing args are brace-init Label pairs: {"key", "value"}, ...
+#define DIGFL_COUNTER_ADD_LABELED(name, delta, ...)     \
+  do {                                                  \
+    if (::digfl::telemetry::Enabled()) {                \
+      ::digfl::telemetry::Metrics()                     \
+          .GetCounter(name, {__VA_ARGS__})              \
+          .Increment(delta);                            \
+    }                                                   \
+  } while (0)
+
+// Timeline event; trailing args are Label pairs. Label construction is
+// inside the macro so OFF builds do not even materialize the strings.
+#define DIGFL_EMIT_EVENT(name, value, ...) \
+  ::digfl::telemetry::EmitEvent(name, {__VA_ARGS__}, value)
+
+#else  // !DIGFL_TELEMETRY_ENABLED
+
+#define DIGFL_TRACE_SPAN(name) ((void)0)
+#define DIGFL_COUNTER_ADD(name, delta) ((void)0)
+#define DIGFL_COUNTER_ADD_LABELED(name, delta, ...) ((void)0)
+#define DIGFL_EMIT_EVENT(name, value, ...) ((void)0)
+
+#endif  // DIGFL_TELEMETRY_ENABLED
+
+#endif  // DIGFL_TELEMETRY_TELEMETRY_H_

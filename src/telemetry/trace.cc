@@ -1,0 +1,138 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace digfl {
+namespace telemetry {
+namespace {
+
+struct SpanFrame {
+  Tracer* tracer;
+  const char* name;
+};
+
+// Open-span stack for this thread. Frames from different tracers can
+// interleave (e.g. a test's local tracer inside globally-traced code); a
+// span's path is the subsequence of frames belonging to its own tracer.
+thread_local std::vector<SpanFrame> tls_span_stack;
+
+double SampleQuantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(position);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = position - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+struct Tracer::Node {
+  std::string name;
+  uint64_t count = 0;
+  CumulativeTimer total;  // spans share the CumulativeTimer timing path
+  double max_seconds = 0.0;
+  std::vector<double> samples;
+  std::map<std::string, std::unique_ptr<Node>> children;
+};
+
+Tracer::Tracer() : root_(std::make_unique<Node>()) {}
+
+Tracer::~Tracer() = default;
+
+void Tracer::Record(const std::vector<const char*>& path, double seconds) {
+  if (path.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Node* node = root_.get();
+  for (const char* name : path) {
+    std::unique_ptr<Node>& child = node->children[name];
+    if (child == nullptr) {
+      child = std::make_unique<Node>();
+      child->name = name;
+    }
+    node = child.get();
+  }
+  ++node->count;
+  node->total.Add(seconds);
+  if (seconds > node->max_seconds) node->max_seconds = seconds;
+  if (node->samples.size() < kMaxSamplesPerSpan) {
+    node->samples.push_back(seconds);
+  }
+}
+
+SpanNodeSnapshot Tracer::SnapshotNode(const Node& node,
+                                      const std::string& parent_path) {
+  SpanNodeSnapshot snapshot;
+  snapshot.name = node.name;
+  snapshot.path =
+      parent_path.empty() ? node.name : parent_path + "/" + node.name;
+  snapshot.count = node.count;
+  snapshot.total_seconds = node.total.TotalSeconds();
+  snapshot.max_seconds = node.max_seconds;
+  std::vector<double> sorted = node.samples;
+  std::sort(sorted.begin(), sorted.end());
+  snapshot.p50_seconds = SampleQuantile(sorted, 0.5);
+  snapshot.p95_seconds = SampleQuantile(std::move(sorted), 0.95);
+  for (const auto& [name, child] : node.children) {
+    snapshot.children.push_back(SnapshotNode(*child, snapshot.path));
+  }
+  return snapshot;
+}
+
+std::vector<SpanNodeSnapshot> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanNodeSnapshot> roots;
+  roots.reserve(root_->children.size());
+  for (const auto& [name, child] : root_->children) {
+    roots.push_back(SnapshotNode(*child, ""));
+  }
+  return roots;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  root_ = std::make_unique<Node>();
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+const SpanNodeSnapshot* SpanNodeSnapshot::Find(
+    const std::string& relative_path) const {
+  const size_t slash = relative_path.find('/');
+  const std::string head = relative_path.substr(0, slash);
+  for (const SpanNodeSnapshot& child : children) {
+    if (child.name != head) continue;
+    if (slash == std::string::npos) return &child;
+    return child.Find(relative_path.substr(slash + 1));
+  }
+  return nullptr;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Tracer* tracer) : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  stack_index_ = tls_span_stack.size();
+  tls_span_stack.push_back(SpanFrame{tracer_, name});
+  timer_.Restart();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  const double seconds = timer_.ElapsedSeconds();
+  // Scopes destruct strictly inside-out, so this span's frame is on top.
+  assert(tls_span_stack.size() == stack_index_ + 1);
+  std::vector<const char*> path;
+  path.reserve(stack_index_ + 1);
+  for (const SpanFrame& frame : tls_span_stack) {
+    if (frame.tracer == tracer_) path.push_back(frame.name);
+  }
+  tls_span_stack.pop_back();
+  tracer_->Record(path, seconds);
+}
+
+}  // namespace telemetry
+}  // namespace digfl

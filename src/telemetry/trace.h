@@ -1,0 +1,113 @@
+// Scoped tracing spans: a hierarchical wall-clock breakdown of a run.
+//
+// Usage (always through the macro so DIGFL_TELEMETRY=OFF compiles it out):
+//
+//   Result<...> Aggregate(...) {
+//     DIGFL_TRACE_SPAN("hfl.aggregate");
+//     ...
+//   }
+//
+// A span measures the enclosing scope with common/timer.h and, on exit,
+// folds the duration into a process-wide tree node addressed by the stack
+// of currently-open spans on this thread ("hfl.run" > "hfl.epoch" >
+// "hfl.aggregate"). Each node aggregates call count, cumulative seconds
+// (backed by CumulativeTimer — the repo's one timing code path), exact max,
+// and a bounded sample buffer for p50/p95. Nesting is per-thread: spans
+// opened on different threads form independent roots, which is the honest
+// reading of wall-clock time under concurrency.
+
+#ifndef DIGFL_TELEMETRY_TRACE_H_
+#define DIGFL_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "telemetry/runtime.h"
+
+namespace digfl {
+namespace telemetry {
+
+// Aggregated view of one span-tree node at snapshot time.
+struct SpanNodeSnapshot {
+  std::string name;          // leaf name, e.g. "hfl.aggregate"
+  std::string path;          // '/'-joined from the root, e.g. "hfl.run/..."
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  double p50_seconds = 0.0;  // over at most kMaxSamplesPerSpan durations
+  double p95_seconds = 0.0;
+  double max_seconds = 0.0;
+  std::vector<SpanNodeSnapshot> children;  // sorted by name
+
+  // Depth-first lookup of a '/'-joined path relative to this node's
+  // children ("hfl.epoch/hfl.aggregate"); nullptr when absent.
+  const SpanNodeSnapshot* Find(const std::string& relative_path) const;
+};
+
+class Tracer {
+ public:
+  // Durations beyond this many per node keep count/total/max exact but no
+  // longer refine the percentile estimate.
+  static constexpr size_t kMaxSamplesPerSpan = 4096;
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Folds one finished span into the tree. `path` is the open-span stack at
+  // the time the span was entered, outermost first, including the span
+  // itself as the last element. Exposed for the ScopedSpan implementation
+  // and for tests; instrumented code should use DIGFL_TRACE_SPAN.
+  void Record(const std::vector<const char*>& path, double seconds);
+
+  // Root spans observed so far (children sorted by name).
+  std::vector<SpanNodeSnapshot> Snapshot() const;
+
+  void Reset();
+
+  // Process-wide tracer used by DIGFL_TRACE_SPAN.
+  static Tracer& Global();
+
+ private:
+  struct Node;
+
+  static SpanNodeSnapshot SnapshotNode(const Node& node,
+                                       const std::string& parent_path);
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Node> root_;
+};
+
+// RAII span guard; see the file comment. Prefer the DIGFL_TRACE_SPAN macro,
+// which compiles to nothing under DIGFL_TELEMETRY=OFF.
+class ScopedSpan {
+ public:
+  // Records into the global tracer; a no-op when telemetry is runtime
+  // disabled (SetEnabled(false)).
+  explicit ScopedSpan(const char* name) : ScopedSpan(name, DefaultTracer()) {}
+  // Records into `tracer`; nullptr makes the span a no-op. `name` must
+  // outlive the tracer (string literals in practice).
+  ScopedSpan(const char* name, Tracer* tracer);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  static Tracer* DefaultTracer() {
+    return Enabled() ? &Tracer::Global() : nullptr;
+  }
+
+  Tracer* tracer_ = nullptr;
+  size_t stack_index_ = 0;  // this span's frame in the thread-local stack
+  Timer timer_;
+};
+
+}  // namespace telemetry
+}  // namespace digfl
+
+#endif  // DIGFL_TELEMETRY_TRACE_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "telemetry/telemetry.h"
 
 namespace digfl {
 namespace {
@@ -64,6 +67,8 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
     if (!any) return Status::InvalidArgument("empty coalition");
   }
 
+  DIGFL_TRACE_SPAN("vfl.run");
+
   VflTrainingLog log;
   // Lemma 2 requires θ_0 = 0 so that an absent participant's block stays
   // exactly at f(0, x) = 0 throughout training.
@@ -72,8 +77,22 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
   const size_t n = blocks.num_participants();
   const FaultPlan* plan = config.fault_plan;
 
+  // Interned comm channels so the epoch loop records by dense id.
+  const CommMeter::ChannelId ch_straggler = log.comm.Channel(
+      "thirdparty->participants:straggler_retry");
+  const CommMeter::ChannelId ch_local_results =
+      log.comm.Channel("participants->thirdparty:local_results");
+  const CommMeter::ChannelId ch_grad_blocks =
+      log.comm.Channel("thirdparty->participants:gradient_blocks");
+
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    DIGFL_ASSIGN_OR_RETURN(Vec grad, model.Gradient(log.final_params, train));
+    DIGFL_TRACE_SPAN("vfl.epoch");
+    Timer epoch_timer;
+    Vec grad;
+    {
+      DIGFL_TRACE_SPAN("vfl.gradient");
+      DIGFL_ASSIGN_OR_RETURN(grad, model.Gradient(log.final_params, train));
+    }
     Vec scaled = vec::Scaled(lr, grad);
 
     // Remove the gradient blocks of absent participants (diag(v_S) G_t).
@@ -104,14 +123,17 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
             present[i] = 0;
             scaled = blocks.DropBlock(i, scaled);
             ++log.faults.dropouts;
+            DIGFL_COUNTER_ADD_LABELED("fault.dropout_total", 1,
+                                      {"protocol", "vfl"});
             break;
           case FaultType::kStraggler: {
             const size_t retries = plan->config().straggler_max_retries;
             const FeatureBlock& block = blocks.block(i);
-            log.comm.RecordDoubles("thirdparty->participants:straggler_retry",
-                                   retries * block.width());
+            log.comm.RecordDoubles(ch_straggler, retries * block.width());
             log.faults.straggler_retries += retries;
             ++log.faults.stragglers_dropped;
+            DIGFL_COUNTER_ADD_LABELED("fault.straggler_dropped_total", 1,
+                                      {"protocol", "vfl"});
             present[i] = 0;
             scaled = blocks.DropBlock(i, scaled);
             break;
@@ -132,6 +154,7 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
       }
 
       // Third-party quarantine gate over each arrived block.
+      DIGFL_TRACE_SPAN("vfl.quarantine_gate");
       const double median_norm =
           MedianPresentBlockNorm(blocks, scaled, present);
       for (size_t i = 0; i < n; ++i) {
@@ -175,10 +198,8 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
     // path prices ciphertexts instead).
     for (size_t i = 0; i < n; ++i) {
       if (!present[i]) continue;
-      log.comm.RecordDoubles("participants->thirdparty:local_results",
-                             train.size());
-      log.comm.RecordDoubles("thirdparty->participants:gradient_blocks",
-                             blocks.block(i).width());
+      log.comm.RecordDoubles(ch_local_results, train.size());
+      log.comm.RecordDoubles(ch_grad_blocks, blocks.block(i).width());
     }
 
     if (config.record_log) {
@@ -193,9 +214,16 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
 
     vec::Axpy(-1.0, scaled, log.final_params);
 
-    DIGFL_ASSIGN_OR_RETURN(double val_loss,
-                           model.Loss(log.final_params, validation));
+    double val_loss = 0.0;
+    {
+      DIGFL_TRACE_SPAN("vfl.validate");
+      DIGFL_ASSIGN_OR_RETURN(val_loss, model.Loss(log.final_params, validation));
+    }
     log.validation_loss.push_back(val_loss);
+
+    DIGFL_EMIT_EVENT("vfl.epoch_seconds", epoch_timer.ElapsedSeconds(),
+                     {"epoch", std::to_string(epoch)});
+
     lr *= config.lr_decay;
   }
   return log;

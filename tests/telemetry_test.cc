@@ -1,0 +1,543 @@
+// Telemetry subsystem suite: metrics registry (concurrent counter sums,
+// histogram bucket boundaries, label canonicalization, Reset vs Clear),
+// span-tree nesting, the bounded event log, the JSON parser, JSONL
+// round-trips through that parser, CommMeter registry export, and the
+// end-to-end contract that a faulted HFL run surfaces its quarantine
+// decisions as labeled reason-code counters.
+//
+// When the build compiles telemetry out (DIGFL_TELEMETRY=OFF), the library
+// types still exist — only the instrumentation macros vanish — so most of
+// this file runs in both configurations; macro-dependent assertions are
+// gated on DIGFL_TELEMETRY_ENABLED, and an OFF-only constexpr probe proves
+// the macros expand to constant-evaluable no-ops.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/comm_meter.h"
+#include "common/fault.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "hfl/fed_sgd.h"
+#include "nn/softmax_regression.h"
+#include "telemetry/json.h"
+#include "telemetry/sink.h"
+#include "telemetry/telemetry.h"
+
+namespace digfl {
+namespace {
+
+using telemetry::Counter;
+using telemetry::EventLog;
+using telemetry::Histogram;
+using telemetry::LabelSet;
+using telemetry::MetricKind;
+using telemetry::MetricSample;
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+using telemetry::RunReport;
+using telemetry::ScopedSpan;
+using telemetry::SpanNodeSnapshot;
+using telemetry::Tracer;
+
+// ---------------------------------------------------------------------------
+// Compiled-out macros must be constant-evaluable no-ops.
+
+#if !DIGFL_TELEMETRY_ENABLED
+constexpr int OffModeProbe() {
+  DIGFL_TRACE_SPAN("probe.span");
+  DIGFL_COUNTER_ADD("probe.counter_total", 1);
+  DIGFL_COUNTER_ADD_LABELED("probe.counter_total", 1, {"k", "v"});
+  DIGFL_EMIT_EVENT("probe.event", 1.0, {"k", "v"});
+  return 42;
+}
+static_assert(OffModeProbe() == 42,
+              "telemetry macros must compile to no-ops when DIGFL_TELEMETRY "
+              "is OFF");
+#endif
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry.
+
+TEST(MetricsRegistryTest, CounterGaugeBasics) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("test.ops_total");
+  c.Increment();
+  c.Increment(4);
+  EXPECT_EQ(c.Value(), 5u);
+
+  telemetry::Gauge& g = registry.GetGauge("test.size");
+  g.Set(2.5);
+  g.Add(1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  EXPECT_EQ(registry.NumSeries(), 2u);
+}
+
+TEST(MetricsRegistryTest, LabelsAreOrderInsensitive) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("test.bytes_total",
+                                   {{"participant", "3"}, {"direction", "up"}});
+  Counter& b = registry.GetCounter("test.bytes_total",
+                                   {{"direction", "up"}, {"participant", "3"}});
+  EXPECT_EQ(&a, &b) << "label order must not split the series";
+  Counter& other = registry.GetCounter(
+      "test.bytes_total", {{"direction", "down"}, {"participant", "3"}});
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(registry.NumSeries(), 2u);
+
+  // Snapshot lookup uses the canonical (key-sorted) label set either way.
+  a.Increment(7);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSample* sample = snapshot.Find(
+      "test.bytes_total", {{"participant", "3"}, {"direction", "up"}});
+  ASSERT_NE(sample, nullptr);
+  EXPECT_DOUBLE_EQ(sample->value, 7.0);
+  EXPECT_EQ(snapshot.CounterTotal("test.bytes_total"), 7u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Half the threads resolve the handle once (hot-path discipline);
+      // the other half hammer the registry lookup path concurrently.
+      if (t % 2 == 0) {
+        Counter& c = registry.GetCounter("test.concurrent_total",
+                                         {{"shared", "yes"}});
+        for (int i = 0; i < kIncrementsPerThread; ++i) c.Increment();
+      } else {
+        for (int i = 0; i < kIncrementsPerThread; ++i) {
+          registry.GetCounter("test.concurrent_total", {{"shared", "yes"}})
+              .Increment();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(
+      registry.GetCounter("test.concurrent_total", {{"shared", "yes"}}).Value(),
+      static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(MetricsRegistryTest, ResetKeepsHandlesClearDropsSeries) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("test.ops_total");
+  c.Increment(9);
+  registry.Reset();
+  EXPECT_EQ(c.Value(), 0u) << "Reset must zero in place";
+  EXPECT_EQ(registry.NumSeries(), 1u);
+  c.Increment(2);
+  EXPECT_EQ(c.Value(), 2u) << "handle must stay live across Reset";
+
+  registry.Clear();
+  EXPECT_EQ(registry.NumSeries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket boundaries.
+
+TEST(HistogramTest, InclusiveUpperBoundsAndOverflow) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  // Exactly on a bound lands in that bucket (inclusive ceiling).
+  histogram.Observe(0.5);
+  histogram.Observe(1.0);
+  histogram.Observe(10.0);
+  histogram.Observe(99.0);
+  histogram.Observe(250.0);  // overflow tail
+  const std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);  // 0.5, 1.0
+  EXPECT_EQ(counts[1], 1u);  // 10.0
+  EXPECT_EQ(counts[2], 1u);  // 99.0
+  EXPECT_EQ(counts[3], 1u);  // 250.0
+  EXPECT_EQ(histogram.TotalCount(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 250.0);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.5 + 1.0 + 10.0 + 99.0 + 250.0);
+}
+
+TEST(HistogramTest, QuantilesInterpolateAndOverflowReportsMax) {
+  Histogram histogram({10.0, 20.0});
+  for (int i = 0; i < 10; ++i) histogram.Observe(5.0);   // bucket [0, 10]
+  for (int i = 0; i < 10; ++i) histogram.Observe(15.0);  // bucket (10, 20]
+  const double p50 = histogram.Quantile(0.5);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, 10.0) << "median of 10+10 observations is in bucket 0";
+  const double p95 = histogram.Quantile(0.95);
+  EXPECT_GT(p95, 10.0);
+  EXPECT_LE(p95, 20.0);
+
+  histogram.Observe(1000.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.999), 1000.0)
+      << "overflow bucket reports the exact max";
+
+  histogram.Reset();
+  EXPECT_EQ(histogram.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, RegistryHistogramSeriesShareLayout) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("test.latency_seconds", {0.01, 0.1},
+                                       {{"phase", "agg"}});
+  h.Observe(0.05);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSample* sample =
+      snapshot.Find("test.latency_seconds", {{"phase", "agg"}});
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricKind::kHistogram);
+  EXPECT_EQ(sample->histogram.count, 1u);
+  ASSERT_EQ(sample->histogram.bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(sample->histogram.bounds[1], 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Span-tree nesting.
+
+TEST(TracerTest, NestedScopesBuildAHierarchy) {
+  Tracer tracer;
+  for (int round = 0; round < 3; ++round) {
+    ScopedSpan run("test.run", &tracer);
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      ScopedSpan e("test.epoch", &tracer);
+      { ScopedSpan agg("test.aggregate", &tracer); }
+      { ScopedSpan val("test.validate", &tracer); }
+    }
+  }
+  const std::vector<SpanNodeSnapshot> roots = tracer.Snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  const SpanNodeSnapshot& run = roots[0];
+  EXPECT_EQ(run.name, "test.run");
+  EXPECT_EQ(run.path, "test.run");
+  EXPECT_EQ(run.count, 3u);
+  ASSERT_EQ(run.children.size(), 1u);
+  const SpanNodeSnapshot& epoch = run.children[0];
+  EXPECT_EQ(epoch.name, "test.epoch");
+  EXPECT_EQ(epoch.path, "test.run/test.epoch");
+  EXPECT_EQ(epoch.count, 6u);
+  ASSERT_EQ(epoch.children.size(), 2u);  // sorted by name
+  EXPECT_EQ(epoch.children[0].name, "test.aggregate");
+  EXPECT_EQ(epoch.children[1].name, "test.validate");
+  EXPECT_EQ(epoch.children[0].count, 6u);
+
+  // Children are contained in their parent's wall-clock.
+  EXPECT_LE(epoch.total_seconds, run.total_seconds);
+  EXPECT_GE(run.max_seconds, run.p50_seconds);
+
+  const SpanNodeSnapshot* found = run.Find("test.epoch/test.validate");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count, 6u);
+  EXPECT_EQ(run.Find("test.epoch/no.such"), nullptr);
+
+  tracer.Reset();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(TracerTest, ThreadsFormIndependentRoots) {
+  Tracer tracer;
+  {
+    ScopedSpan outer("test.main", &tracer);
+    std::thread worker([&tracer] {
+      // Not nested under "test.main": the open-span stack is per-thread.
+      ScopedSpan inner("test.worker", &tracer);
+    });
+    worker.join();
+  }
+  const std::vector<SpanNodeSnapshot> roots = tracer.Snapshot();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0].children.size() + roots[1].children.size(), 0u);
+}
+
+TEST(TracerTest, NullTracerSpanIsANoOp) {
+  ScopedSpan span("test.disabled", nullptr);  // must not crash or record
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// EventLog.
+
+TEST(EventLogTest, CapacityBoundCountsDrops) {
+  EventLog log(/*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    log.Emit("test.event", {{"i", std::to_string(i)}},
+             static_cast<double>(i));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 2u);
+  const std::vector<telemetry::Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(events[3].value, 3.0);
+  EXPECT_GE(events[3].t_seconds, events[0].t_seconds);
+
+  log.Reset();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser.
+
+TEST(JsonTest, ParsesScalarsObjectsAndArrays) {
+  auto value = telemetry::json::Parse(
+      R"({"name":"hfl.run","count":3,"ok":true,"none":null,)"
+      R"("items":[1,2.5,-3e2],"nested":{"k":"v \"quoted\""}})");
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_TRUE(value->is_object());
+  EXPECT_EQ(value->StringOr("name", ""), "hfl.run");
+  EXPECT_DOUBLE_EQ(value->NumberOr("count", 0.0), 3.0);
+  const telemetry::json::Value* items = value->Find("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_TRUE(items->is_array());
+  ASSERT_EQ(items->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(items->items[2].number_value, -300.0);
+  const telemetry::json::Value* nested = value->Find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->StringOr("k", ""), "v \"quoted\"");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(telemetry::json::Parse("{").ok());
+  EXPECT_FALSE(telemetry::json::Parse("{}extra").ok());
+  EXPECT_FALSE(telemetry::json::Parse(R"({"a":})").ok());
+  EXPECT_FALSE(telemetry::json::Parse("[1,]").ok());
+  EXPECT_FALSE(telemetry::json::Parse("").ok());
+}
+
+TEST(JsonTest, EscapeRoundTripsThroughParse) {
+  const std::string nasty = "line\nbreak \"quote\" back\\slash \x01";
+  const std::string doc =
+      "{\"s\":\"" + telemetry::json::Escape(nasty) + "\"}";
+  auto value = telemetry::json::Parse(doc);
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_EQ(value->StringOr("s", ""), nasty);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL run report round-trip.
+
+TEST(SinkTest, JsonlRoundTripsThroughTheParser) {
+  telemetry::ResetAllTelemetry();
+  telemetry::Metrics()
+      .GetCounter("test.rt_bytes_total", {{"participant", "1"}})
+      .Increment(128);
+  telemetry::Metrics()
+      .GetHistogram("test.rt_seconds", {0.1, 1.0})
+      .Observe(0.25);
+  {
+    ScopedSpan outer("test.rt_run", &telemetry::Spans());
+    ScopedSpan inner("test.rt_step", &telemetry::Spans());
+  }
+  telemetry::Events().Emit("test.rt_event", {{"epoch", "0"}}, 3.25);
+
+  const RunReport report = telemetry::CollectRunReport("round-trip");
+  std::ostringstream os;
+  ASSERT_TRUE(telemetry::WriteJsonl(report, os).ok());
+
+  std::istringstream is(os.str());
+  std::string line;
+  size_t runs = 0, metrics = 0, spans = 0, events = 0;
+  bool saw_counter = false, saw_histogram = false, saw_nested_span = false;
+  while (std::getline(is, line)) {
+    auto value = telemetry::json::Parse(line);
+    ASSERT_TRUE(value.ok()) << "unparseable line: " << line;
+    const std::string type = value->StringOr("type", "");
+    if (type == "run") {
+      ++runs;
+      EXPECT_EQ(value->StringOr("schema", ""), "digfl.telemetry.v1");
+      EXPECT_EQ(value->StringOr("run_id", ""), "round-trip");
+    } else if (type == "metric") {
+      ++metrics;
+      if (value->StringOr("name", "") == "test.rt_bytes_total") {
+        saw_counter = true;
+        EXPECT_DOUBLE_EQ(value->NumberOr("value", 0.0), 128.0);
+        const telemetry::json::Value* labels = value->Find("labels");
+        ASSERT_NE(labels, nullptr);
+        EXPECT_EQ(labels->StringOr("participant", ""), "1");
+      }
+      if (value->StringOr("name", "") == "test.rt_seconds") {
+        saw_histogram = true;
+        EXPECT_EQ(value->StringOr("kind", ""), "histogram");
+        const telemetry::json::Value* buckets = value->Find("buckets");
+        ASSERT_NE(buckets, nullptr);
+        ASSERT_EQ(buckets->items.size(), 3u);  // 2 bounds + overflow
+        EXPECT_DOUBLE_EQ(buckets->items[1].NumberOr("count", 0.0), 1.0);
+      }
+    } else if (type == "span") {
+      ++spans;
+      if (value->StringOr("path", "") == "test.rt_run/test.rt_step") {
+        saw_nested_span = true;
+        EXPECT_DOUBLE_EQ(value->NumberOr("count", 0.0), 1.0);
+      }
+    } else if (type == "event") {
+      ++events;
+      EXPECT_EQ(value->StringOr("name", ""), "test.rt_event");
+      EXPECT_DOUBLE_EQ(value->NumberOr("value", 0.0), 3.25);
+    } else {
+      FAIL() << "unknown line type: " << line;
+    }
+  }
+  EXPECT_EQ(runs, 1u);
+  EXPECT_EQ(metrics, 2u);
+  EXPECT_EQ(spans, 2u);
+  EXPECT_EQ(events, 1u);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_histogram);
+  EXPECT_TRUE(saw_nested_span);
+  telemetry::ResetAllTelemetry();
+}
+
+TEST(SinkTest, SummaryTablesRenderWithoutError) {
+  telemetry::ResetAllTelemetry();
+  telemetry::Metrics().GetCounter("test.table_total").Increment(5);
+  { ScopedSpan span("test.table_span", &telemetry::Spans()); }
+  const RunReport report = telemetry::CollectRunReport("tables");
+  std::ostringstream spans_os;
+  telemetry::SpanSummaryTable(report.spans).Print(spans_os);
+  EXPECT_NE(spans_os.str().find("test.table_span"), std::string::npos);
+  std::ostringstream metrics_os;
+  telemetry::MetricsSummaryTable(report.metrics).Print(metrics_os);
+  EXPECT_NE(metrics_os.str().find("test.table_total"), std::string::npos);
+  EXPECT_GT(telemetry::TotalRootSeconds(report.spans), 0.0);
+  telemetry::ResetAllTelemetry();
+}
+
+// ---------------------------------------------------------------------------
+// CommMeter → registry export.
+
+TEST(CommMeterTest, ExportMirrorsChannelsAsLabeledCounters) {
+  CommMeter meter;
+  const CommMeter::ChannelId up = meter.Channel("p->s:up");
+  const CommMeter::ChannelId down = meter.Channel("s->p:down");
+  meter.Record(up, 100);
+  meter.RecordDoubles(down, 4);  // 32 bytes
+  meter.Record("p->s:up", 50);   // string compat path joins the same channel
+
+  MetricsRegistry registry;
+  meter.ExportTo(registry, "test.comm_bytes_total", {{"meter", "train"}});
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSample* up_sample = snapshot.Find(
+      "test.comm_bytes_total", {{"channel", "p->s:up"}, {"meter", "train"}});
+  ASSERT_NE(up_sample, nullptr);
+  EXPECT_DOUBLE_EQ(up_sample->value, 150.0);
+  EXPECT_EQ(snapshot.CounterTotal("test.comm_bytes_total"),
+            meter.TotalBytes());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a faulted HFL run surfaces quarantines as labeled counters.
+
+TEST(TelemetryIntegrationTest, FaultedHflRunRecordsQuarantineCounters) {
+  telemetry::ResetAllTelemetry();
+
+  GaussianClassificationConfig data_config;
+  data_config.num_samples = 400;
+  data_config.num_features = 8;
+  data_config.num_classes = 3;
+  data_config.seed = 91;
+  Dataset pool = MakeGaussianClassification(data_config).value();
+  Rng rng(92);
+  auto split = SplitHoldout(pool, 0.15, rng).value();
+  const size_t n = 4;
+  auto shards = PartitionIid(split.first, n, rng).value();
+  SoftmaxRegression model(8, 3);
+  std::vector<HflParticipant> participants;
+  for (size_t i = 0; i < n; ++i) participants.emplace_back(i, shards[i]);
+
+  FaultPlanConfig fault_config;
+  fault_config.corruption_rate = 0.25;
+  fault_config.dropout_rate = 0.1;
+  fault_config.seed = 93;
+  FedSgdConfig config;
+  config.epochs = 10;
+  config.learning_rate = 0.1;
+  auto plan = FaultPlan::Generate(config.epochs, n, fault_config);
+  ASSERT_TRUE(plan.ok());
+  config.fault_plan = &*plan;
+
+  HflServer server(model, split.second);
+  Vec init(model.NumParams(), 0.0);
+  auto log = RunFedSgd(model, participants, server, init, config);
+  ASSERT_TRUE(log.ok());
+  ASSERT_GT(log->faults.total_quarantined(), 0u)
+      << "plan was expected to inject at least one caught corruption";
+
+  const MetricsSnapshot snapshot = telemetry::Metrics().Snapshot();
+#if DIGFL_TELEMETRY_ENABLED
+  // Reason-coded counters must agree exactly with the run's own stats.
+  uint64_t non_finite = 0, norm_exploded = 0;
+  if (const MetricSample* sample = snapshot.Find(
+          "fault.quarantine_total", {{"reason", "non_finite"}})) {
+    non_finite = static_cast<uint64_t>(sample->value);
+  }
+  if (const MetricSample* sample = snapshot.Find(
+          "fault.quarantine_total", {{"reason", "norm_exploded"}})) {
+    norm_exploded = static_cast<uint64_t>(sample->value);
+  }
+  EXPECT_EQ(non_finite, log->faults.quarantined_non_finite);
+  EXPECT_EQ(norm_exploded, log->faults.quarantined_norm);
+  EXPECT_EQ(snapshot.CounterTotal("fault.quarantine_total"),
+            log->faults.total_quarantined());
+  if (log->faults.dropouts > 0) {
+    EXPECT_EQ(snapshot.CounterTotal("fault.dropout_total"),
+              log->faults.dropouts);
+  }
+  // Per-participant byte counters exist for every participant that uploaded.
+  EXPECT_GT(snapshot.CounterTotal("hfl.participant_bytes_total"), 0u);
+  // The span tree recorded the training run and its quarantine gate.
+  const std::vector<SpanNodeSnapshot> roots = telemetry::Spans().Snapshot();
+  const SpanNodeSnapshot* run = nullptr;
+  for (const SpanNodeSnapshot& root : roots) {
+    if (root.name == "hfl.run") run = &root;
+  }
+  ASSERT_NE(run, nullptr);
+  const SpanNodeSnapshot* gate = run->Find("hfl.epoch/hfl.quarantine_gate");
+  ASSERT_NE(gate, nullptr);
+  EXPECT_EQ(gate->count, config.epochs);
+  // Quarantine timeline events carry the reason label.
+  bool saw_quarantine_event = false;
+  for (const telemetry::Event& event : telemetry::Events().Snapshot()) {
+    if (event.name != "fault.quarantine") continue;
+    saw_quarantine_event = true;
+    bool has_reason = false;
+    for (const telemetry::Label& label : event.labels) {
+      has_reason = has_reason || label.key == "reason";
+    }
+    EXPECT_TRUE(has_reason);
+  }
+  EXPECT_TRUE(saw_quarantine_event);
+#else
+  // Compiled out: the run must leave no trace in the global stores.
+  EXPECT_EQ(snapshot.samples.size(), 0u);
+  EXPECT_TRUE(telemetry::Spans().Snapshot().empty());
+  EXPECT_EQ(telemetry::Events().size(), 0u);
+#endif
+  telemetry::ResetAllTelemetry();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime switch.
+
+TEST(RuntimeSwitchTest, DisabledTelemetryRecordsNothing) {
+  telemetry::ResetAllTelemetry();
+  telemetry::SetEnabled(false);
+  EXPECT_EQ(telemetry::CounterHandle("test.disabled_total"), nullptr);
+  DIGFL_COUNTER_ADD("test.disabled_total", 1);
+  DIGFL_TRACE_SPAN("test.disabled_span");
+  DIGFL_EMIT_EVENT("test.disabled_event", 1.0, {"k", "v"});
+  telemetry::SetEnabled(true);
+  const MetricsSnapshot snapshot = telemetry::Metrics().Snapshot();
+  EXPECT_EQ(snapshot.Find("test.disabled_total"), nullptr);
+  EXPECT_EQ(telemetry::Events().size(), 0u);
+  telemetry::ResetAllTelemetry();
+}
+
+}  // namespace
+}  // namespace digfl

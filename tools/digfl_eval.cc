@@ -15,6 +15,7 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "baselines/mr_shapley.h"
 #include "baselines/tmc_shapley.h"
 #include "common/table_writer.h"
+#include "common/timer.h"
 #include "core/digfl_hfl.h"
 #include "core/digfl_vfl.h"
 #include "data/corruption.h"
@@ -34,6 +36,8 @@
 #include "nn/linear_regression.h"
 #include "nn/logistic_regression.h"
 #include "nn/mlp.h"
+#include "telemetry/sink.h"
+#include "telemetry/telemetry.h"
 #include "vfl/plain_trainer.h"
 
 namespace digfl {
@@ -50,8 +54,12 @@ struct Flags {
   size_t epochs = 15;
   double learning_rate = 0.0;        // 0 = mode default
   double sample_fraction = 0.01;
+  double dropout_rate = 0.0;
+  double straggler_rate = 0.0;
+  double corruption_rate = 0.0;
   uint64_t seed = 7;
   std::string csv;                   // optional output path
+  std::string telemetry_out;         // optional JSONL run-report path
   bool help = false;
 };
 
@@ -72,8 +80,14 @@ void PrintUsage() {
   --lr=A                    learning rate (0 = mode default)
   --sample-fraction=F       fraction of the Table-I dataset size (default
                             0.01 for HFL; VFL sets are used in full)
+  --dropout-rate=F          per-(epoch,participant) dropout fault rate
+  --straggler-rate=F        straggler fault rate (update dropped after
+                            retries)
+  --corruption-rate=F       corruption fault rate (caught by quarantine)
   --seed=S                  master seed (default 7)
   --csv=PATH                also write the result table as CSV
+  --telemetry-out=PATH      append the telemetry run report (metrics, span
+                            tree, events) to PATH as JSONL
 )");
 }
 
@@ -102,8 +116,12 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     else if (key == "epochs") flags.epochs = std::stoul(value);
     else if (key == "lr") flags.learning_rate = std::stod(value);
     else if (key == "sample-fraction") flags.sample_fraction = std::stod(value);
+    else if (key == "dropout-rate") flags.dropout_rate = std::stod(value);
+    else if (key == "straggler-rate") flags.straggler_rate = std::stod(value);
+    else if (key == "corruption-rate") flags.corruption_rate = std::stod(value);
     else if (key == "seed") flags.seed = std::stoull(value);
     else if (key == "csv") flags.csv = value;
+    else if (key == "telemetry-out") flags.telemetry_out = value;
     else return Status::InvalidArgument("unknown flag: --" + key);
   }
   return flags;
@@ -127,6 +145,22 @@ std::vector<std::string> SplitCommaList(const std::string& list) {
     if (!item.empty()) out.push_back(item);
   }
   return out;
+}
+
+// Builds the --*-rate fault plan (nullopt when all rates are zero).
+Result<std::optional<FaultPlan>> MakeFaultPlan(const Flags& flags, size_t n) {
+  if (flags.dropout_rate + flags.straggler_rate + flags.corruption_rate <=
+      0.0) {
+    return std::optional<FaultPlan>();
+  }
+  FaultPlanConfig config;
+  config.dropout_rate = flags.dropout_rate;
+  config.straggler_rate = flags.straggler_rate;
+  config.corruption_rate = flags.corruption_rate;
+  config.seed = flags.seed + 3;
+  DIGFL_ASSIGN_OR_RETURN(FaultPlan plan,
+                         FaultPlan::Generate(flags.epochs, n, config));
+  return std::optional<FaultPlan>(std::move(plan));
 }
 
 using MethodReports =
@@ -168,15 +202,28 @@ Result<MethodReports> RunHfl(const Flags& flags, PaperDatasetId id) {
   HflServer server(model, split.second);
   Rng init_rng(flags.seed + 2);
   DIGFL_ASSIGN_OR_RETURN(Vec init, model.InitParams(init_rng));
+  DIGFL_ASSIGN_OR_RETURN(std::optional<FaultPlan> fault_plan,
+                         MakeFaultPlan(flags, n));
   FedSgdConfig config;
   config.epochs = flags.epochs;
   config.learning_rate =
       flags.learning_rate > 0 ? flags.learning_rate : 0.3;
+  if (fault_plan.has_value()) config.fault_plan = &*fault_plan;
   DIGFL_ASSIGN_OR_RETURN(HflTrainingLog log,
                          RunFedSgd(model, participants, server, init, config));
   std::printf("trained %s: n=%zu epochs=%zu final val acc %.3f\n",
               spec.name.c_str(), n, flags.epochs,
               log.validation_accuracy.back());
+  if (fault_plan.has_value()) {
+    std::printf("faults: %zu dropouts, %zu stragglers dropped, "
+                "%zu quarantined\n",
+                log.faults.dropouts, log.faults.stragglers_dropped,
+                log.faults.total_quarantined());
+  }
+  if (telemetry::Enabled()) {
+    log.comm.ExportTo(telemetry::Metrics(), "hfl.comm_bytes_total",
+                      {{"meter", "train"}});
+  }
 
   MethodReports reports;
   for (const std::string& method : SplitCommaList(flags.methods)) {
@@ -245,14 +292,27 @@ Result<MethodReports> RunVfl(const Flags& flags, PaperDatasetId id) {
     model = std::make_unique<LogisticRegression>(d);
     if (lr == 0.0) lr = 0.3;
   }
+  DIGFL_ASSIGN_OR_RETURN(std::optional<FaultPlan> fault_plan,
+                         MakeFaultPlan(flags, n));
   VflTrainConfig config;
   config.epochs = flags.epochs;
   config.learning_rate = lr;
+  if (fault_plan.has_value()) config.fault_plan = &*fault_plan;
   DIGFL_ASSIGN_OR_RETURN(
       VflTrainingLog log,
       RunVflTraining(*model, blocks, split.first, split.second, config));
   std::printf("trained %s: n=%zu epochs=%zu final val loss %.4f\n",
               spec.name.c_str(), n, flags.epochs, log.validation_loss.back());
+  if (fault_plan.has_value()) {
+    std::printf("faults: %zu dropouts, %zu stragglers dropped, "
+                "%zu quarantined\n",
+                log.faults.dropouts, log.faults.stragglers_dropped,
+                log.faults.total_quarantined());
+  }
+  if (telemetry::Enabled()) {
+    log.comm.ExportTo(telemetry::Metrics(), "vfl.comm_bytes_total",
+                      {{"meter", "train"}});
+  }
 
   MethodReports reports;
   for (const std::string& method : SplitCommaList(flags.methods)) {
@@ -297,13 +357,19 @@ Result<int> Main(int argc, char** argv) {
   }
   DIGFL_ASSIGN_OR_RETURN(PaperDatasetId id, LookupDataset(flags.dataset));
 
+  Timer overall;
   MethodReports reports;
-  if (flags.mode == "hfl") {
-    DIGFL_ASSIGN_OR_RETURN(reports, RunHfl(flags, id));
-  } else if (flags.mode == "vfl") {
-    DIGFL_ASSIGN_OR_RETURN(reports, RunVfl(flags, id));
-  } else {
-    return Status::InvalidArgument("mode must be hfl or vfl");
+  {
+    // Root span covering the whole experiment so the phase table accounts
+    // for (nearly) all of the wall-clock below.
+    DIGFL_TRACE_SPAN("eval.run");
+    if (flags.mode == "hfl") {
+      DIGFL_ASSIGN_OR_RETURN(reports, RunHfl(flags, id));
+    } else if (flags.mode == "vfl") {
+      DIGFL_ASSIGN_OR_RETURN(reports, RunVfl(flags, id));
+    } else {
+      return Status::InvalidArgument("mode must be hfl or vfl");
+    }
   }
   if (reports.empty()) return Status::InvalidArgument("no methods selected");
 
@@ -345,6 +411,26 @@ Result<int> Main(int argc, char** argv) {
   if (!flags.csv.empty()) {
     DIGFL_RETURN_IF_ERROR(table.WriteCsv(flags.csv));
     std::printf("\nwrote %s\n", flags.csv.c_str());
+  }
+
+  // Phase breakdown from the span tree: how the wall-clock above splits
+  // across training, estimators, and crypto.
+  const telemetry::RunReport run_report =
+      telemetry::CollectRunReport("digfl_eval:" + flags.mode + ":" +
+                                  flags.dataset);
+  if (!run_report.spans.empty()) {
+    const double wall = overall.ElapsedSeconds();
+    const double covered = telemetry::TotalRootSeconds(run_report.spans);
+    std::printf("\nphase breakdown (spans cover %.1f%% of %.3fs wall):\n",
+                wall > 0.0 ? 100.0 * covered / wall : 0.0, wall);
+    TableWriter phase_table = telemetry::SpanSummaryTable(run_report.spans);
+    phase_table.Print(std::cout);
+  }
+  if (!flags.telemetry_out.empty()) {
+    telemetry::JsonlFileSink sink(flags.telemetry_out);
+    DIGFL_RETURN_IF_ERROR(sink.Write(run_report));
+    std::printf("\nwrote telemetry run report to %s\n",
+                flags.telemetry_out.c_str());
   }
   return 0;
 }
