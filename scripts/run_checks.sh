@@ -9,6 +9,12 @@
 #   scripts/run_checks.sh --asan      # also ASan+UBSan (DIGFL_SANITIZE=ON)
 #   scripts/run_checks.sh --tsan      # also TSan on the telemetry tests
 #                                      # (DIGFL_SANITIZE=thread)
+#   scripts/run_checks.sh --crash     # also the kill/resume crash matrix:
+#                                      # ctest -L crash under ASan, plus a
+#                                      # digfl_eval DIGFL_CRASH_AT loop that
+#                                      # kills + resumes at seeded random
+#                                      # points and cmp's the contribution
+#                                      # CSV against an uninterrupted run
 #   scripts/run_checks.sh --all       # everything
 set -euo pipefail
 
@@ -17,11 +23,13 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 run_asan=0
 run_tsan=0
+run_crash=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --tsan) run_tsan=1 ;;
-    --all) run_asan=1; run_tsan=1 ;;
+    --crash) run_crash=1 ;;
+    --all) run_asan=1; run_tsan=1; run_crash=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -49,6 +57,61 @@ if [[ "$run_tsan" == 1 ]]; then
   CTEST_EXTRA=(-R 'Telemetry|Metrics|Tracer|EventLog|Sink|Json|Runtime')
   check "tsan" build-tsan -DDIGFL_SANITIZE=thread
   CTEST_EXTRA=()
+fi
+
+if [[ "$run_crash" == 1 ]]; then
+  # The fork-based kill/resume harness under ASan: every surviving byte the
+  # injected _exit(42) leaves behind must resume to a bitwise-identical run.
+  echo "=== [crash] ctest -L crash under ASan ==="
+  cmake -B build-asan -S . -DDIGFL_SANITIZE=ON > /dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L crash
+
+  # CLI-level kill/resume loop: kill digfl_eval at seeded random crash
+  # points (DIGFL_CRASH_AT counts MaybeCrash sites: atomic-write stages,
+  # manifest commits, epoch boundaries), resume, and require the final
+  # contribution CSV to be byte-identical to an uninterrupted run's.
+  echo "=== [crash] digfl_eval kill/resume loop ==="
+  BIN=build/tools/digfl_eval
+  cmake --build build -j "$JOBS" > /dev/null
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "$WORK"' EXIT
+  declare -A WORKLOADS=(
+    [hfl]="--mode=hfl --epochs=8 --participants=3 --dropout-rate=0.1"
+    [vfl]="--mode=vfl --dataset=Boston --epochs=8"
+  )
+  TRIALS=10
+  for proto in hfl vfl; do
+    read -r -a args <<< "${WORKLOADS[$proto]}"
+    mkdir -p "$WORK/$proto"
+    "$BIN" "${args[@]}" --checkpoint-dir="$WORK/$proto/ref" \
+      --csv="$WORK/$proto/ref.csv" > /dev/null
+    # Seeded kill ordinals: deterministic across runs, spread over the
+    # crash points one run of this workload exposes.
+    mapfile -t KILLS < <(awk -v seed="$proto" 'BEGIN {
+      srand(20260806 + length(seed)); n = 10
+      for (i = 0; i < n; i++) printf "%d\n", 1 + int(rand() * 60)
+    }')
+    for ((t = 0; t < TRIALS; t++)); do
+      k="${KILLS[$t]}"
+      dir="$WORK/$proto/trial$t"
+      rc=0
+      DIGFL_CRASH_AT="$k" "$BIN" "${args[@]}" --checkpoint-dir="$dir" \
+        > /dev/null 2>&1 || rc=$?
+      if [[ "$rc" != 42 && "$rc" != 0 ]]; then
+        echo "[crash] $proto trial $t (kill at $k): unexpected exit $rc" >&2
+        exit 1
+      fi
+      "$BIN" "${args[@]}" --checkpoint-dir="$dir" --resume \
+        --csv="$dir.csv" > /dev/null
+      if ! cmp -s "$WORK/$proto/ref.csv" "$dir.csv"; then
+        echo "[crash] $proto trial $t (kill at $k): resumed CSV diverges" >&2
+        exit 1
+      fi
+      echo "[crash] $proto trial $t: killed at crash point $k (exit $rc)," \
+        "resumed CSV identical"
+    done
+  done
 fi
 
 echo "all requested configurations passed"

@@ -1,0 +1,104 @@
+#include "ckpt/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault.h"
+#include "telemetry/telemetry.h"
+
+namespace digfl {
+namespace ckpt {
+namespace {
+
+// Directory component of `path` ("." when the path has no slash), for the
+// parent-directory fsync that makes the rename durable.
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("write to " + path + " failed: " +
+                              std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open " + tmp + " for writing: " +
+                            std::strerror(errno));
+  }
+  // Split the write so the mid-write crash site leaves a genuinely torn temp
+  // file (the target is still untouched at that point).
+  const std::string_view first_half = data.substr(0, data.size() / 2);
+  const std::string_view second_half = data.substr(data.size() / 2);
+  Status status = WriteAll(fd, first_half, tmp);
+  MaybeCrash("ckpt.atomic.mid_write");
+  if (status.ok()) status = WriteAll(fd, second_half, tmp);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Internal("fsync " + tmp + " failed: " +
+                              std::strerror(errno));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::Internal("close " + tmp + " failed: " +
+                              std::strerror(errno));
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+
+  MaybeCrash("ckpt.atomic.pre_rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rename_status = Status::Internal(
+        "rename " + tmp + " -> " + path + " failed: " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return rename_status;
+  }
+  MaybeCrash("ckpt.atomic.post_rename");
+
+  // Make the rename itself durable: fsync the parent directory. Failure to
+  // open the directory (exotic filesystems) is not fatal to the write.
+  const std::string dir = ParentDir(path);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+
+  DIGFL_COUNTER_ADD("ckpt.atomic_writes_total", 1);
+  DIGFL_COUNTER_ADD("ckpt.atomic_bytes_total", data.size());
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal("read of " + path + " failed");
+  return std::move(buffer).str();
+}
+
+}  // namespace ckpt
+}  // namespace digfl

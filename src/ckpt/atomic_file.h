@@ -1,0 +1,34 @@
+// Atomic durable file writes.
+//
+// AtomicWriteFile implements the classic crash-safe publication protocol:
+// write the full payload to a temp file in the target's directory, fsync the
+// temp file, rename(2) it over the target (atomic on POSIX), then fsync the
+// parent directory so the rename itself is durable. A crash at any point
+// leaves either the old file intact or the new file fully in place — never
+// a half-written target. Crash-point injection sites (common/fault.h) are
+// threaded through the protocol so the kill/resume harness can die mid
+// write, pre rename, and post rename.
+
+#ifndef DIGFL_CKPT_ATOMIC_FILE_H_
+#define DIGFL_CKPT_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace digfl {
+namespace ckpt {
+
+// Durably replaces `path` with `data` (see file comment for the protocol).
+// The temp file is `path` + ".tmp"; a stale temp from a previous crash is
+// silently overwritten.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+// Reads the whole of `path` into memory. NotFound when the file is missing.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace ckpt
+}  // namespace digfl
+
+#endif  // DIGFL_CKPT_ATOMIC_FILE_H_

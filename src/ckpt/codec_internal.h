@@ -1,0 +1,41 @@
+// Shared record codecs for the HFL/VFL checkpoint serializers. Internal to
+// src/ckpt; include hfl_resume.h / vfl_resume.h instead.
+
+#ifndef DIGFL_CKPT_CODEC_INTERNAL_H_
+#define DIGFL_CKPT_CODEC_INTERNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/comm_meter.h"
+#include "common/result.h"
+
+namespace digfl {
+namespace ckpt {
+namespace internal {
+
+std::string EncodeMeta(uint32_t protocol, uint64_t next_epoch, double lr);
+std::string EncodeComm(const CommMeter& comm);
+std::string EncodePhi(const std::vector<double>& total,
+                      const std::vector<std::vector<double>>& per_epoch);
+
+Status DecodeMeta(std::string_view payload, uint32_t expected_protocol,
+                  uint64_t* next_epoch, double* learning_rate);
+Status DecodeComm(std::string_view payload, CommMeter* comm);
+Status DecodePhi(std::string_view payload, std::vector<double>* total,
+                 std::vector<std::vector<double>>* per_epoch);
+
+// Collects the framed records of a checkpoint by tag, rejecting duplicates.
+Result<std::map<uint32_t, std::string_view>> CollectRecords(
+    const std::string& payload);
+Result<std::string_view> RequireRecord(
+    const std::map<uint32_t, std::string_view>& by_tag, uint32_t tag);
+
+}  // namespace internal
+}  // namespace ckpt
+}  // namespace digfl
+
+#endif  // DIGFL_CKPT_CODEC_INTERNAL_H_

@@ -1,0 +1,23 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Every framed checkpoint record and the manifest carry a CRC32 so torn
+// writes and bit flips are detected at load time and recovery can fall back
+// to the previous good checkpoint instead of consuming garbage.
+
+#ifndef DIGFL_CKPT_CRC32_H_
+#define DIGFL_CKPT_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace digfl {
+namespace ckpt {
+
+// CRC32 of `data`, optionally chaining a previous partial result: passing
+// the crc of a prefix as `seed` yields the crc of the concatenation.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace ckpt
+}  // namespace digfl
+
+#endif  // DIGFL_CKPT_CRC32_H_

@@ -1,0 +1,180 @@
+#include "ckpt/frame.h"
+
+#include <cstring>
+
+#include "ckpt/crc32.h"
+
+namespace digfl {
+namespace ckpt {
+namespace {
+
+// The two allocation caps defend frame parsing against an implausible
+// length field in a corrupted header (same discipline as the log readers).
+constexpr uint64_t kMaxRecordPayload = 1ull << 40;
+constexpr uint64_t kMaxSequenceLength = 1ull << 32;
+
+void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+}  // namespace
+
+void AppendMagic(std::string* out) {
+  out->append(kCheckpointMagic, kCheckpointMagicLen);
+}
+
+void AppendRecord(std::string* out, uint32_t tag, std::string_view payload) {
+  const size_t header_offset = out->size();
+  AppendRaw(out, &tag, sizeof(tag));
+  const uint64_t length = payload.size();
+  AppendRaw(out, &length, sizeof(length));
+  out->append(payload);
+  const uint32_t crc = Crc32(
+      std::string_view(out->data() + header_offset, out->size() - header_offset));
+  AppendRaw(out, &crc, sizeof(crc));
+}
+
+void AppendEndRecord(std::string* out) { AppendRecord(out, kEndTag, {}); }
+
+Result<std::vector<FrameRecord>> ReadFramedFile(std::string_view bytes) {
+  if (bytes.size() < kCheckpointMagicLen ||
+      std::memcmp(bytes.data(), kCheckpointMagic, kCheckpointMagicLen) != 0) {
+    return Status::InvalidArgument("not a DIGFLCKP1 checkpoint file");
+  }
+  std::string_view cursor = bytes.substr(kCheckpointMagicLen);
+
+  std::vector<FrameRecord> records;
+  bool terminated = false;
+  while (!cursor.empty()) {
+    constexpr size_t kHeaderLen = sizeof(uint32_t) + sizeof(uint64_t);
+    if (cursor.size() < kHeaderLen) {
+      return Status::InvalidArgument("truncated checkpoint record header");
+    }
+    uint32_t tag = 0;
+    uint64_t length = 0;
+    std::memcpy(&tag, cursor.data(), sizeof(tag));
+    std::memcpy(&length, cursor.data() + sizeof(tag), sizeof(length));
+    if (length > kMaxRecordPayload ||
+        cursor.size() < kHeaderLen + length + sizeof(uint32_t)) {
+      return Status::InvalidArgument("truncated checkpoint record");
+    }
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, cursor.data() + kHeaderLen + length,
+                sizeof(stored_crc));
+    const uint32_t actual_crc =
+        Crc32(cursor.substr(0, kHeaderLen + length));
+    if (stored_crc != actual_crc) {
+      return Status::InvalidArgument("checkpoint record CRC mismatch");
+    }
+    const std::string_view payload = cursor.substr(kHeaderLen, length);
+    cursor = cursor.substr(kHeaderLen + length + sizeof(uint32_t));
+    if (tag == kEndTag) {
+      if (!cursor.empty()) {
+        return Status::InvalidArgument("data after checkpoint terminator");
+      }
+      terminated = true;
+      break;
+    }
+    records.push_back(FrameRecord{tag, payload});
+  }
+  if (!terminated) {
+    return Status::InvalidArgument("checkpoint file missing terminator");
+  }
+  return records;
+}
+
+// ---------------------------------------------------------------------------
+// ByteSink / ByteSource.
+
+void ByteSink::PutU32(uint32_t value) { AppendRaw(out_, &value, sizeof(value)); }
+
+void ByteSink::PutU64(uint64_t value) { AppendRaw(out_, &value, sizeof(value)); }
+
+void ByteSink::PutDouble(double value) {
+  AppendRaw(out_, &value, sizeof(value));
+}
+
+void ByteSink::PutDoubles(const std::vector<double>& values) {
+  PutU64(values.size());
+  AppendRaw(out_, values.data(), values.size() * sizeof(double));
+}
+
+void ByteSink::PutBytes(const std::vector<uint8_t>& values) {
+  PutU64(values.size());
+  AppendRaw(out_, values.data(), values.size());
+}
+
+void ByteSink::PutString(std::string_view value) {
+  PutU64(value.size());
+  out_->append(value);
+}
+
+Status ByteSource::Take(size_t count, const char** out) {
+  if (data_.size() < count) {
+    return Status::InvalidArgument("truncated checkpoint payload");
+  }
+  *out = data_.data();
+  data_ = data_.substr(count);
+  return Status::OK();
+}
+
+Status ByteSource::GetU32(uint32_t* value) {
+  const char* raw = nullptr;
+  DIGFL_RETURN_IF_ERROR(Take(sizeof(*value), &raw));
+  std::memcpy(value, raw, sizeof(*value));
+  return Status::OK();
+}
+
+Status ByteSource::GetU64(uint64_t* value) {
+  const char* raw = nullptr;
+  DIGFL_RETURN_IF_ERROR(Take(sizeof(*value), &raw));
+  std::memcpy(value, raw, sizeof(*value));
+  return Status::OK();
+}
+
+Status ByteSource::GetDouble(double* value) {
+  const char* raw = nullptr;
+  DIGFL_RETURN_IF_ERROR(Take(sizeof(*value), &raw));
+  std::memcpy(value, raw, sizeof(*value));
+  return Status::OK();
+}
+
+Status ByteSource::GetDoubles(std::vector<double>* values) {
+  uint64_t count = 0;
+  DIGFL_RETURN_IF_ERROR(GetU64(&count));
+  if (count > kMaxSequenceLength) {
+    return Status::InvalidArgument("implausible sequence length");
+  }
+  const char* raw = nullptr;
+  DIGFL_RETURN_IF_ERROR(Take(count * sizeof(double), &raw));
+  values->resize(count);
+  std::memcpy(values->data(), raw, count * sizeof(double));
+  return Status::OK();
+}
+
+Status ByteSource::GetBytes(std::vector<uint8_t>* values) {
+  uint64_t count = 0;
+  DIGFL_RETURN_IF_ERROR(GetU64(&count));
+  if (count > kMaxSequenceLength) {
+    return Status::InvalidArgument("implausible sequence length");
+  }
+  const char* raw = nullptr;
+  DIGFL_RETURN_IF_ERROR(Take(count, &raw));
+  values->assign(raw, raw + count);
+  return Status::OK();
+}
+
+Status ByteSource::GetString(std::string* value) {
+  uint64_t count = 0;
+  DIGFL_RETURN_IF_ERROR(GetU64(&count));
+  if (count > kMaxSequenceLength) {
+    return Status::InvalidArgument("implausible sequence length");
+  }
+  const char* raw = nullptr;
+  DIGFL_RETURN_IF_ERROR(Take(count, &raw));
+  value->assign(raw, count);
+  return Status::OK();
+}
+
+}  // namespace ckpt
+}  // namespace digfl

@@ -1,0 +1,98 @@
+// CRC32-framed, versioned checkpoint container.
+//
+// File layout ("DIGFLCKP1" format):
+//
+//   magic[9] = "DIGFLCKP1"
+//   record*  = u32 tag | u64 payload_len | payload | u32 crc
+//   (the last record must carry kEndTag with an empty payload)
+//
+// The CRC covers tag, length, and payload, so a bit flip anywhere in a
+// record — including its header — is detected. The mandatory end record
+// distinguishes a fully committed file from one whose tail was torn off:
+// a reader only trusts a file whose every record checks out AND that ends
+// with the terminator. Readers return typed Status errors, never garbage.
+//
+// ByteSink/ByteSource are the little-endian primitive codec shared by the
+// checkpoint state serializers (and mirror the layout discipline of
+// hfl/log_io.cc).
+
+#ifndef DIGFL_CKPT_FRAME_H_
+#define DIGFL_CKPT_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace digfl {
+namespace ckpt {
+
+inline constexpr char kCheckpointMagic[] = "DIGFLCKP1";  // 9 bytes, no NUL
+inline constexpr size_t kCheckpointMagicLen = 9;
+
+// Record tags. kEndTag terminates every well-formed file; the rest are
+// assigned by the state serializers (ckpt/hfl_resume.h, ckpt/vfl_resume.h,
+// ckpt/store.cc for the manifest).
+inline constexpr uint32_t kEndTag = 0;
+
+struct FrameRecord {
+  uint32_t tag = 0;
+  std::string_view payload;  // view into the parsed buffer
+};
+
+// Appends the magic (call once, first) and framed records to `out`.
+void AppendMagic(std::string* out);
+void AppendRecord(std::string* out, uint32_t tag, std::string_view payload);
+// Appends the kEndTag terminator; call last.
+void AppendEndRecord(std::string* out);
+
+// Parses a complete framed file: validates the magic, every record's CRC,
+// and the trailing terminator. Returned payload views alias `bytes`, which
+// must outlive them. The terminator is not included in the result.
+Result<std::vector<FrameRecord>> ReadFramedFile(std::string_view bytes);
+
+// ---------------------------------------------------------------------------
+// Little-endian primitive codec for record payloads.
+
+class ByteSink {
+ public:
+  explicit ByteSink(std::string* out) : out_(out) {}
+
+  void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
+  // Doubles are written as raw IEEE-754 bits, so round trips are bitwise.
+  void PutDouble(double value);
+  void PutDoubles(const std::vector<double>& values);  // length-prefixed
+  void PutBytes(const std::vector<uint8_t>& values);   // length-prefixed
+  void PutString(std::string_view value);              // length-prefixed
+
+ private:
+  std::string* out_;
+};
+
+class ByteSource {
+ public:
+  explicit ByteSource(std::string_view data) : data_(data) {}
+
+  Status GetU32(uint32_t* value);
+  Status GetU64(uint64_t* value);
+  Status GetDouble(double* value);
+  Status GetDoubles(std::vector<double>* values);
+  Status GetBytes(std::vector<uint8_t>* values);
+  Status GetString(std::string* value);
+
+  bool Exhausted() const { return data_.empty(); }
+  size_t remaining() const { return data_.size(); }
+
+ private:
+  Status Take(size_t count, const char** out);
+
+  std::string_view data_;
+};
+
+}  // namespace ckpt
+}  // namespace digfl
+
+#endif  // DIGFL_CKPT_FRAME_H_

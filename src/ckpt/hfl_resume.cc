@@ -1,0 +1,347 @@
+#include "ckpt/hfl_resume.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "ckpt/codec_internal.h"
+#include "ckpt/frame.h"
+#include "ckpt/store.h"
+#include "hfl/log_io.h"
+#include "telemetry/telemetry.h"
+
+namespace digfl {
+namespace ckpt {
+namespace internal {
+
+std::string EncodeMeta(uint32_t protocol, uint64_t next_epoch, double lr) {
+  std::string meta;
+  ByteSink sink(&meta);
+  sink.PutU32(kCheckpointVersion);
+  sink.PutU32(protocol);
+  sink.PutU64(next_epoch);
+  sink.PutDouble(lr);
+  return meta;
+}
+
+std::string EncodeComm(const CommMeter& comm) {
+  // ByChannel() is keyed by label, so the encoding is independent of the
+  // channel interning order of the producing process.
+  const std::map<std::string, uint64_t> by_channel = comm.ByChannel();
+  std::string payload;
+  ByteSink sink(&payload);
+  sink.PutU64(by_channel.size());
+  for (const auto& [name, bytes] : by_channel) {
+    sink.PutString(name);
+    sink.PutU64(bytes);
+  }
+  return payload;
+}
+
+std::string EncodePhi(const std::vector<double>& total,
+                      const std::vector<std::vector<double>>& per_epoch) {
+  std::string payload;
+  ByteSink sink(&payload);
+  sink.PutDoubles(total);
+  sink.PutU64(per_epoch.size());
+  for (const std::vector<double>& row : per_epoch) sink.PutDoubles(row);
+  return payload;
+}
+
+Status DecodeMeta(std::string_view payload, uint32_t expected_protocol,
+                  uint64_t* next_epoch, double* learning_rate) {
+  ByteSource source(payload);
+  uint32_t version = 0, protocol = 0;
+  DIGFL_RETURN_IF_ERROR(source.GetU32(&version));
+  DIGFL_RETURN_IF_ERROR(source.GetU32(&protocol));
+  DIGFL_RETURN_IF_ERROR(source.GetU64(next_epoch));
+  DIGFL_RETURN_IF_ERROR(source.GetDouble(learning_rate));
+  if (!source.Exhausted()) {
+    return Status::InvalidArgument("trailing bytes in checkpoint meta record");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (protocol != expected_protocol) {
+    return Status::InvalidArgument("checkpoint protocol mismatch");
+  }
+  if (!std::isfinite(*learning_rate)) {
+    return Status::InvalidArgument("non-finite learning rate in checkpoint");
+  }
+  return Status::OK();
+}
+
+Status DecodeComm(std::string_view payload, CommMeter* comm) {
+  ByteSource source(payload);
+  uint64_t count = 0;
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    uint64_t bytes = 0;
+    DIGFL_RETURN_IF_ERROR(source.GetString(&name));
+    DIGFL_RETURN_IF_ERROR(source.GetU64(&bytes));
+    comm->Record(name, bytes);
+  }
+  if (!source.Exhausted()) {
+    return Status::InvalidArgument("trailing bytes in checkpoint comm record");
+  }
+  return Status::OK();
+}
+
+Status DecodePhi(std::string_view payload, std::vector<double>* total,
+                 std::vector<std::vector<double>>* per_epoch) {
+  ByteSource source(payload);
+  DIGFL_RETURN_IF_ERROR(source.GetDoubles(total));
+  uint64_t rows = 0;
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&rows));
+  per_epoch->clear();
+  for (uint64_t t = 0; t < rows; ++t) {
+    std::vector<double> row;
+    DIGFL_RETURN_IF_ERROR(source.GetDoubles(&row));
+    if (row.size() != total->size()) {
+      return Status::InvalidArgument("ragged phi row in checkpoint");
+    }
+    per_epoch->push_back(std::move(row));
+  }
+  if (!source.Exhausted()) {
+    return Status::InvalidArgument("trailing bytes in checkpoint phi record");
+  }
+  return Status::OK();
+}
+
+// Collects the framed records of a checkpoint by tag, rejecting duplicates.
+Result<std::map<uint32_t, std::string_view>> CollectRecords(
+    const std::string& payload) {
+  DIGFL_ASSIGN_OR_RETURN(std::vector<FrameRecord> records,
+                         ReadFramedFile(payload));
+  std::map<uint32_t, std::string_view> by_tag;
+  for (const FrameRecord& record : records) {
+    if (!by_tag.emplace(record.tag, record.payload).second) {
+      return Status::InvalidArgument("duplicate record tag in checkpoint");
+    }
+  }
+  return by_tag;
+}
+
+Result<std::string_view> RequireRecord(
+    const std::map<uint32_t, std::string_view>& by_tag, uint32_t tag) {
+  const auto it = by_tag.find(tag);
+  if (it == by_tag.end()) {
+    return Status::InvalidArgument("checkpoint record missing (tag " +
+                                   std::to_string(tag) + ")");
+  }
+  return it->second;
+}
+
+}  // namespace internal
+
+namespace {
+
+std::string EncodeRngStates(const std::vector<std::string>& states) {
+  std::string payload;
+  ByteSink sink(&payload);
+  sink.PutU64(states.size());
+  for (const std::string& state : states) sink.PutString(state);
+  return payload;
+}
+
+}  // namespace
+
+Result<std::string> EncodeHflCheckpoint(
+    uint64_t next_epoch, double learning_rate,
+    const std::vector<std::string>& batch_rng_states,
+    const HflTrainingLog& log, const HflPhiAccumulator& phi) {
+  DIGFL_ASSIGN_OR_RETURN(std::string log_blob, SerializeTrainingLog(log));
+  std::string out;
+  AppendMagic(&out);
+  AppendRecord(&out, kMetaTag,
+               internal::EncodeMeta(kProtocolHfl, next_epoch, learning_rate));
+  AppendRecord(&out, kLogTag, log_blob);
+  AppendRecord(&out, kRngTag, EncodeRngStates(batch_rng_states));
+  AppendRecord(&out, kCommTag, internal::EncodeComm(log.comm));
+  AppendRecord(&out, kPhiTag,
+               internal::EncodePhi(phi.total(), phi.per_epoch()));
+  AppendEndRecord(&out);
+  return out;
+}
+
+Result<HflCheckpointState> DecodeHflCheckpoint(const std::string& payload) {
+  DIGFL_ASSIGN_OR_RETURN(auto by_tag, internal::CollectRecords(payload));
+
+  HflCheckpointState state;
+  DIGFL_ASSIGN_OR_RETURN(std::string_view meta,
+                         internal::RequireRecord(by_tag, kMetaTag));
+  DIGFL_RETURN_IF_ERROR(internal::DecodeMeta(meta, kProtocolHfl,
+                                             &state.next_epoch,
+                                             &state.learning_rate));
+
+  DIGFL_ASSIGN_OR_RETURN(std::string_view log_blob,
+                         internal::RequireRecord(by_tag, kLogTag));
+  DIGFL_ASSIGN_OR_RETURN(
+      state.log,
+      ParseTrainingLog(std::string(log_blob), "checkpoint log record"));
+
+  DIGFL_ASSIGN_OR_RETURN(std::string_view rng,
+                         internal::RequireRecord(by_tag, kRngTag));
+  {
+    ByteSource source(rng);
+    uint64_t count = 0;
+    DIGFL_RETURN_IF_ERROR(source.GetU64(&count));
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string rng_state;
+      DIGFL_RETURN_IF_ERROR(source.GetString(&rng_state));
+      state.batch_rng_states.push_back(std::move(rng_state));
+    }
+    if (!source.Exhausted()) {
+      return Status::InvalidArgument(
+          "trailing bytes in checkpoint rng record");
+    }
+  }
+
+  DIGFL_ASSIGN_OR_RETURN(std::string_view comm,
+                         internal::RequireRecord(by_tag, kCommTag));
+  DIGFL_RETURN_IF_ERROR(internal::DecodeComm(comm, &state.log.comm));
+
+  DIGFL_ASSIGN_OR_RETURN(std::string_view phi,
+                         internal::RequireRecord(by_tag, kPhiTag));
+  DIGFL_RETURN_IF_ERROR(
+      internal::DecodePhi(phi, &state.phi_total, &state.phi_per_epoch));
+
+  // Cross-record consistency: the checkpoint must describe one coherent
+  // epoch boundary.
+  if (state.next_epoch != state.log.num_epochs()) {
+    return Status::InvalidArgument(
+        "checkpoint epoch does not match its log prefix");
+  }
+  if (state.phi_per_epoch.size() != state.log.num_epochs()) {
+    return Status::InvalidArgument(
+        "checkpoint phi rows do not match its log prefix");
+  }
+  if (state.log.num_epochs() > 0 &&
+      state.phi_total.size() != state.log.num_participants()) {
+    return Status::InvalidArgument(
+        "checkpoint phi width does not match participant count");
+  }
+  if (!state.batch_rng_states.empty() &&
+      state.log.num_epochs() > 0 &&
+      state.batch_rng_states.size() != state.log.num_participants()) {
+    return Status::InvalidArgument(
+        "checkpoint rng stream count does not match participant count");
+  }
+  return state;
+}
+
+namespace {
+
+// The store-backed checkpoint hook: folds each committed epoch into the φ̂
+// accumulator, then commits a framed checkpoint on the configured cadence.
+class StoreBackedHflHook : public HflCheckpointHook {
+ public:
+  StoreBackedHflHook(CheckpointStore* store, const HflServer* server,
+                     HflPhiAccumulator* accumulator, size_t every,
+                     size_t total_epochs)
+      : store_(store),
+        server_(server),
+        accumulator_(accumulator),
+        every_(every),
+        total_epochs_(total_epochs) {}
+
+  Status OnEpoch(const HflTrainerView& view) override {
+    // Catch the accumulator up to the log (exactly one new epoch per call,
+    // but written as a loop so a resumed accumulator can never desync).
+    while (accumulator_->epochs_consumed() < view.log.num_epochs()) {
+      DIGFL_RETURN_IF_ERROR(accumulator_->Consume(
+          *server_, view.log.epochs[accumulator_->epochs_consumed()]));
+    }
+    const bool final_epoch = view.next_epoch >= total_epochs_;
+    if (!final_epoch && view.next_epoch % every_ != 0) return Status::OK();
+
+    std::vector<std::string> rng_states;
+    rng_states.reserve(view.batch_rngs.size());
+    for (const Rng& rng : view.batch_rngs) {
+      rng_states.push_back(rng.SaveState());
+    }
+    DIGFL_ASSIGN_OR_RETURN(
+        std::string payload,
+        EncodeHflCheckpoint(view.next_epoch, view.learning_rate, rng_states,
+                            view.log, *accumulator_));
+    DIGFL_RETURN_IF_ERROR(store_->Commit(view.next_epoch, payload));
+    ++written_;
+    return Status::OK();
+  }
+
+  size_t written() const { return written_; }
+
+ private:
+  CheckpointStore* store_;
+  const HflServer* server_;
+  HflPhiAccumulator* accumulator_;
+  size_t every_;
+  size_t total_epochs_;
+  size_t written_ = 0;
+};
+
+}  // namespace
+
+Result<HflCheckpointedRun> RunFedSgdWithCheckpoints(
+    const Model& model, const std::vector<HflParticipant>& participants,
+    HflServer& server, const Vec& init_params, FedSgdConfig config,
+    const CheckpointRunOptions& options, AggregationPolicy* policy) {
+  if (!config.record_log) {
+    return Status::InvalidArgument("checkpointed runs require record_log");
+  }
+  if (config.checkpoint_hook != nullptr || config.resume != nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint_hook/resume are managed by RunFedSgdWithCheckpoints");
+  }
+  if (options.every == 0) {
+    return Status::InvalidArgument("checkpoint interval must be >= 1");
+  }
+  DIGFL_TRACE_SPAN("ckpt.hfl.run");
+  DIGFL_ASSIGN_OR_RETURN(CheckpointStore store,
+                         CheckpointStore::Open(options.dir, options.keep));
+
+  HflCheckpointedRun run;
+  HflPhiAccumulator accumulator(participants.size());
+  HflResumePoint resume_point;
+  if (options.resume) {
+    Result<CheckpointStore::Loaded> loaded = store.LoadLatest();
+    if (loaded.ok()) {
+      run.checkpoints_rejected = loaded->rejected;
+      // Any newer-but-rejected checkpoints belong to an abandoned timeline;
+      // drop them so the rerun epochs can commit again.
+      DIGFL_RETURN_IF_ERROR(store.TruncateAfter(loaded->epoch));
+      DIGFL_ASSIGN_OR_RETURN(HflCheckpointState state,
+                             DecodeHflCheckpoint(loaded->payload));
+      DIGFL_RETURN_IF_ERROR(accumulator.Restore(
+          std::move(state.phi_total), std::move(state.phi_per_epoch)));
+      resume_point.start_epoch = state.next_epoch;
+      resume_point.learning_rate = state.learning_rate;
+      resume_point.batch_rng_states = std::move(state.batch_rng_states);
+      resume_point.log = std::move(state.log);
+      config.resume = &resume_point;
+      run.resumed = true;
+      run.resumed_from_epoch = resume_point.start_epoch;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    } else {
+      // NotFound: nothing valid committed — a cold start, not an error. The
+      // manifest may still reference corrupt files; clear them so epoch
+      // numbering can restart from scratch.
+      DIGFL_RETURN_IF_ERROR(store.TruncateAfter(0));
+    }
+  }
+
+  StoreBackedHflHook hook(&store, &server, &accumulator, options.every,
+                          config.epochs);
+  config.checkpoint_hook = &hook;
+  DIGFL_ASSIGN_OR_RETURN(run.log, RunFedSgd(model, participants, server,
+                                            init_params, config, policy));
+  run.contributions.total = accumulator.total();
+  run.contributions.per_epoch = accumulator.per_epoch();
+  run.checkpoints_written = hook.written();
+  return run;
+}
+
+}  // namespace ckpt
+}  // namespace digfl

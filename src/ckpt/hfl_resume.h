@@ -1,0 +1,99 @@
+// Crash-safe checkpointing for HFL training + incremental evaluation.
+//
+// A checkpoint is one DIGFLCKP1 framed file (ckpt/frame.h) whose records
+// capture everything a deterministic resume needs:
+//
+//   kMetaTag  format version, protocol id, next epoch, next learning rate
+//   kLogTag   the training-log prefix as a v2 log blob (hfl/log_io.h) —
+//             θ so far, all per-epoch records, traces, fault bookkeeping
+//   kRngTag   per-participant minibatch RNG stream states (Rng::SaveState)
+//   kCommTag  CommMeter channel totals (not part of the log blob)
+//   kPhiTag   the incremental DIG-FL φ̂ accumulator (totals + per-epoch)
+//
+// RunFedSgdWithCheckpoints drives RunFedSgd with a store-backed hook that
+// (a) folds every committed epoch into an HflPhiAccumulator and (b) commits
+// a checkpoint every `every` epochs (and always at the final epoch) through
+// CheckpointStore. Resuming from the latest valid checkpoint and finishing
+// the run produces bitwise-identical final parameters, training log, and φ̂
+// estimates to the uninterrupted run — see DESIGN.md §9 for the contract.
+
+#ifndef DIGFL_CKPT_HFL_RESUME_H_
+#define DIGFL_CKPT_HFL_RESUME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/contribution.h"
+#include "core/phi_accumulator.h"
+#include "hfl/fed_sgd.h"
+
+namespace digfl {
+namespace ckpt {
+
+// Record tags inside a DIGFLCKP1 payload (shared by the HFL and VFL codecs;
+// kEndTag = 0 lives in frame.h).
+inline constexpr uint32_t kMetaTag = 1;
+inline constexpr uint32_t kLogTag = 2;
+inline constexpr uint32_t kRngTag = 3;
+inline constexpr uint32_t kCommTag = 4;
+inline constexpr uint32_t kPhiTag = 5;
+
+inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kProtocolHfl = 1;
+inline constexpr uint32_t kProtocolVfl = 2;
+
+// Decoded checkpoint state (the exact inverse of EncodeHflCheckpoint).
+struct HflCheckpointState {
+  uint64_t next_epoch = 0;
+  double learning_rate = 0.0;
+  std::vector<std::string> batch_rng_states;
+  HflTrainingLog log;  // comm meter already restored from kCommTag
+  std::vector<double> phi_total;
+  std::vector<std::vector<double>> phi_per_epoch;
+};
+
+// Serializes one checkpoint to a complete framed byte image, ready for
+// CheckpointStore::Commit. Fails on a ragged log.
+Result<std::string> EncodeHflCheckpoint(
+    uint64_t next_epoch, double learning_rate,
+    const std::vector<std::string>& batch_rng_states,
+    const HflTrainingLog& log, const HflPhiAccumulator& phi);
+
+// Parses + validates a framed checkpoint image: frame CRCs, version and
+// protocol id, cross-record consistency (next_epoch == log prefix length ==
+// φ̂ rows). Typed errors, never garbage.
+Result<HflCheckpointState> DecodeHflCheckpoint(const std::string& payload);
+
+// How a checkpointed run uses its store (shared by HFL and VFL).
+struct CheckpointRunOptions {
+  std::string dir;     // checkpoint directory (created if needed)
+  size_t every = 1;    // commit every k epochs; the final epoch always
+  size_t keep = 2;     // retention window (>= 2, see CheckpointStore)
+  bool resume = false; // warm-start from the newest valid checkpoint
+};
+
+struct HflCheckpointedRun {
+  HflTrainingLog log;
+  // Resource-saving (Algorithm #2) φ̂, accumulated epoch-by-epoch alongside
+  // training — bitwise equal to EvaluateHflContributions on the final log.
+  ContributionReport contributions;
+  bool resumed = false;
+  uint64_t resumed_from_epoch = 0;   // meaningful when resumed
+  size_t checkpoints_written = 0;
+  size_t checkpoints_rejected = 0;   // corrupt newer checkpoints skipped
+};
+
+// RunFedSgd + store-backed checkpoint hook + incremental φ̂. `config`'s
+// checkpoint_hook/resume fields are managed by this driver and must be
+// null; record_log is required.
+Result<HflCheckpointedRun> RunFedSgdWithCheckpoints(
+    const Model& model, const std::vector<HflParticipant>& participants,
+    HflServer& server, const Vec& init_params, FedSgdConfig config,
+    const CheckpointRunOptions& options, AggregationPolicy* policy = nullptr);
+
+}  // namespace ckpt
+}  // namespace digfl
+
+#endif  // DIGFL_CKPT_HFL_RESUME_H_

@@ -1,0 +1,204 @@
+#include "ckpt/store.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "ckpt/atomic_file.h"
+#include "ckpt/frame.h"
+#include "common/fault.h"
+#include "telemetry/telemetry.h"
+
+namespace digfl {
+namespace ckpt {
+namespace {
+
+constexpr uint32_t kManifestTag = 100;
+constexpr char kCheckpointPrefix[] = "ckpt-";
+constexpr char kCheckpointSuffix[] = ".digflckp";
+
+std::string CheckpointFilename(uint64_t epoch) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%08llu%s", kCheckpointPrefix,
+                static_cast<unsigned long long>(epoch), kCheckpointSuffix);
+  return name;
+}
+
+// Validates a checkpoint byte image: magic, per-record CRCs, terminator.
+bool CheckpointValidates(const std::string& bytes) {
+  return ReadFramedFile(bytes).ok();
+}
+
+// Parses "ckpt-<epoch>.digflckp"; returns false for any other filename.
+bool ParseCheckpointFilename(const std::string& name, uint64_t* epoch) {
+  const size_t prefix_len = std::strlen(kCheckpointPrefix);
+  const size_t suffix_len = std::strlen(kCheckpointSuffix);
+  if (name.size() <= prefix_len + suffix_len ||
+      name.compare(0, prefix_len, kCheckpointPrefix) != 0 ||
+      name.compare(name.size() - suffix_len, suffix_len, kCheckpointSuffix) !=
+          0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *epoch = value;
+  return true;
+}
+
+}  // namespace
+
+Result<CheckpointStore> CheckpointStore::Open(std::string dir, size_t keep) {
+  if (dir.empty()) return Status::InvalidArgument("empty checkpoint dir");
+  if (keep < 2) {
+    return Status::InvalidArgument(
+        "checkpoint retention must keep >= 2 (a corrupted latest needs a "
+        "fallback)");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create checkpoint dir " + dir + ": " +
+                            std::strerror(errno));
+  }
+
+  CheckpointStore store(std::move(dir), keep);
+  // Recover the committed history from the manifest; a missing manifest is a
+  // fresh store, a corrupt one degrades to a directory scan so the files a
+  // previous process committed are not stranded.
+  Result<std::string> manifest = ReadFileToString(store.ManifestPath());
+  bool manifest_ok = false;
+  if (manifest.ok()) {
+    auto records = ReadFramedFile(*manifest);
+    if (records.ok() && records->size() == 1 &&
+        (*records)[0].tag == kManifestTag) {
+      ByteSource source((*records)[0].payload);
+      uint64_t count = 0;
+      Status status = source.GetU64(&count);
+      std::vector<Entry> entries;
+      for (uint64_t i = 0; status.ok() && i < count; ++i) {
+        Entry entry;
+        status = source.GetU64(&entry.epoch);
+        if (status.ok()) status = source.GetString(&entry.filename);
+        if (status.ok()) entries.push_back(std::move(entry));
+      }
+      if (status.ok() && source.Exhausted()) {
+        store.entries_ = std::move(entries);
+        manifest_ok = true;
+      }
+    }
+  }
+  if (!manifest_ok) {
+    if (manifest.ok()) {
+      // The manifest exists but failed validation (torn or bit-flipped).
+      DIGFL_COUNTER_ADD("ckpt.manifest_rejected_total", 1);
+    }
+    std::error_code ec;
+    std::vector<Entry> scanned;
+    for (const auto& dirent :
+         std::filesystem::directory_iterator(store.dir_, ec)) {
+      uint64_t epoch = 0;
+      const std::string name = dirent.path().filename().string();
+      if (ParseCheckpointFilename(name, &epoch)) {
+        scanned.push_back(Entry{epoch, name});
+      }
+    }
+    std::sort(scanned.begin(), scanned.end(),
+              [](const Entry& a, const Entry& b) { return a.epoch < b.epoch; });
+    store.entries_ = std::move(scanned);
+  }
+  return store;
+}
+
+std::string CheckpointStore::CheckpointPath(uint64_t epoch) const {
+  return dir_ + "/" + CheckpointFilename(epoch);
+}
+
+Status CheckpointStore::WriteManifest() const {
+  std::string payload;
+  ByteSink sink(&payload);
+  sink.PutU64(entries_.size());
+  for (const Entry& entry : entries_) {
+    sink.PutU64(entry.epoch);
+    sink.PutString(entry.filename);
+  }
+  std::string bytes;
+  AppendMagic(&bytes);
+  AppendRecord(&bytes, kManifestTag, payload);
+  AppendEndRecord(&bytes);
+  return AtomicWriteFile(ManifestPath(), bytes);
+}
+
+Status CheckpointStore::Commit(uint64_t epoch, const std::string& payload) {
+  if (!entries_.empty() && epoch <= entries_.back().epoch) {
+    return Status::InvalidArgument("checkpoint epochs must increase");
+  }
+  DIGFL_TRACE_SPAN("ckpt.commit");
+
+  const std::string filename = CheckpointFilename(epoch);
+  DIGFL_RETURN_IF_ERROR(AtomicWriteFile(dir_ + "/" + filename, payload));
+  // Crash here: the file is complete but unreferenced — the previous
+  // manifest still names the last good checkpoint.
+  MaybeCrash("ckpt.store.pre_manifest");
+
+  entries_.push_back(Entry{epoch, filename});
+  std::vector<Entry> pruned;
+  if (entries_.size() > keep_) {
+    pruned.assign(entries_.begin(), entries_.end() - keep_);
+    entries_.erase(entries_.begin(), entries_.end() - keep_);
+  }
+  DIGFL_RETURN_IF_ERROR(WriteManifest());
+  MaybeCrash("ckpt.store.post_manifest");
+
+  // Retention: only after the manifest stopped referencing them.
+  for (const Entry& old : pruned) {
+    ::unlink((dir_ + "/" + old.filename).c_str());
+  }
+
+  DIGFL_COUNTER_ADD("ckpt.commits_total", 1);
+  DIGFL_COUNTER_ADD("ckpt.bytes_total", payload.size());
+  return Status::OK();
+}
+
+Status CheckpointStore::TruncateAfter(uint64_t epoch) {
+  std::vector<Entry> dropped;
+  while (!entries_.empty() && entries_.back().epoch > epoch) {
+    dropped.push_back(std::move(entries_.back()));
+    entries_.pop_back();
+  }
+  if (dropped.empty()) return Status::OK();
+  DIGFL_RETURN_IF_ERROR(WriteManifest());
+  // Unlink only after the manifest stopped referencing them (same ordering
+  // as retention, so a crash mid-truncate never strands the manifest).
+  for (const Entry& old : dropped) {
+    ::unlink((dir_ + "/" + old.filename).c_str());
+  }
+  DIGFL_COUNTER_ADD("ckpt.truncated_total", dropped.size());
+  return Status::OK();
+}
+
+Result<CheckpointStore::Loaded> CheckpointStore::LoadLatest() const {
+  Loaded loaded;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    Result<std::string> bytes = ReadFileToString(dir_ + "/" + it->filename);
+    if (bytes.ok() && CheckpointValidates(*bytes)) {
+      loaded.epoch = it->epoch;
+      loaded.payload = std::move(*bytes);
+      if (loaded.rejected > 0) {
+        DIGFL_COUNTER_ADD("ckpt.recoveries_total", 1);
+      }
+      return loaded;
+    }
+    ++loaded.rejected;
+    DIGFL_COUNTER_ADD("ckpt.crc_rejected_total", 1);
+  }
+  return Status::NotFound("no valid checkpoint in " + dir_);
+}
+
+}  // namespace ckpt
+}  // namespace digfl

@@ -1,0 +1,86 @@
+// CheckpointStore: a directory of committed checkpoints plus a manifest.
+//
+// Commit protocol (every step crash-safe):
+//   1. write ckpt-<epoch>.digflckp via AtomicWriteFile,
+//   2. rewrite MANIFEST (atomic, CRC-framed) appending the new entry,
+//   3. unlink checkpoints that fell out of the retention window.
+// The manifest always points at the last fully committed checkpoint: a crash
+// between (1) and (2) leaves a complete-but-unreferenced file (the previous
+// manifest still names a good checkpoint), and a crash inside either atomic
+// write leaves the old version of that file intact.
+//
+// LoadLatest walks the manifest newest -> oldest and returns the first
+// checkpoint whose framing and CRCs validate, so a torn or bit-flipped
+// latest file degrades to the previous good one (counted in
+// `ckpt.crc_rejected_total` / reported in Loaded::rejected). A missing or
+// corrupt manifest degrades further to a directory scan.
+
+#ifndef DIGFL_CKPT_STORE_H_
+#define DIGFL_CKPT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace digfl {
+namespace ckpt {
+
+class CheckpointStore {
+ public:
+  // Opens (creating if needed) the checkpoint directory. `keep` is the
+  // number of committed checkpoints retained; at least 2 so a corrupted
+  // latest always has a fallback.
+  static Result<CheckpointStore> Open(std::string dir, size_t keep = 2);
+
+  // Durably commits `payload` (a complete DIGFLCKP1 byte image) as the
+  // checkpoint for `epoch`. Epochs must be strictly increasing per store.
+  Status Commit(uint64_t epoch, const std::string& payload);
+
+  struct Loaded {
+    uint64_t epoch = 0;
+    std::string payload;
+    // Newer checkpoints skipped because they failed CRC/frame validation.
+    size_t rejected = 0;
+  };
+
+  // Newest checkpoint that validates; NotFound when the store has none.
+  Result<Loaded> LoadLatest() const;
+
+  // Drops every committed entry with epoch > `epoch` — stale checkpoints
+  // from an abandoned timeline (e.g. a bit-flipped latest that LoadLatest
+  // rejected) — rewrites the manifest, and unlinks their files. A resume
+  // driver calls this with the epoch it actually resumed from so the rerun
+  // epochs can commit again; a no-op when nothing newer exists.
+  Status TruncateAfter(uint64_t epoch);
+
+  // Committed (manifest-listed) checkpoint count.
+  size_t NumCommitted() const { return entries_.size(); }
+
+  const std::string& dir() const { return dir_; }
+
+  // Path of the checkpoint file for `epoch` (for tests and tooling).
+  std::string CheckpointPath(uint64_t epoch) const;
+
+ private:
+  struct Entry {
+    uint64_t epoch = 0;
+    std::string filename;
+  };
+
+  CheckpointStore(std::string dir, size_t keep)
+      : dir_(std::move(dir)), keep_(keep) {}
+
+  Status WriteManifest() const;
+  std::string ManifestPath() const { return dir_ + "/MANIFEST"; }
+
+  std::string dir_;
+  size_t keep_ = 2;
+  std::vector<Entry> entries_;  // oldest first
+};
+
+}  // namespace ckpt
+}  // namespace digfl
+
+#endif  // DIGFL_CKPT_STORE_H_

@@ -1,0 +1,184 @@
+#include "ckpt/vfl_resume.h"
+
+#include <utility>
+
+#include "ckpt/codec_internal.h"
+#include "ckpt/frame.h"
+#include "ckpt/store.h"
+#include "telemetry/telemetry.h"
+#include "vfl/vfl_log_io.h"
+
+namespace digfl {
+namespace ckpt {
+
+Result<std::string> EncodeVflCheckpoint(uint64_t next_epoch,
+                                        double learning_rate,
+                                        const VflTrainingLog& log,
+                                        const VflPhiAccumulator& phi) {
+  DIGFL_ASSIGN_OR_RETURN(std::string log_blob, SerializeVflTrainingLog(log));
+  std::string out;
+  AppendMagic(&out);
+  AppendRecord(&out, kMetaTag,
+               internal::EncodeMeta(kProtocolVfl, next_epoch, learning_rate));
+  AppendRecord(&out, kLogTag, log_blob);
+  AppendRecord(&out, kCommTag, internal::EncodeComm(log.comm));
+  AppendRecord(&out, kPhiTag,
+               internal::EncodePhi(phi.total(), phi.per_epoch()));
+  AppendEndRecord(&out);
+  return out;
+}
+
+Result<VflCheckpointState> DecodeVflCheckpoint(const std::string& payload) {
+  DIGFL_ASSIGN_OR_RETURN(auto by_tag, internal::CollectRecords(payload));
+
+  VflCheckpointState state;
+  DIGFL_ASSIGN_OR_RETURN(std::string_view meta,
+                         internal::RequireRecord(by_tag, kMetaTag));
+  DIGFL_RETURN_IF_ERROR(internal::DecodeMeta(meta, kProtocolVfl,
+                                             &state.next_epoch,
+                                             &state.learning_rate));
+
+  DIGFL_ASSIGN_OR_RETURN(std::string_view log_blob,
+                         internal::RequireRecord(by_tag, kLogTag));
+  DIGFL_ASSIGN_OR_RETURN(
+      state.log,
+      ParseVflTrainingLog(std::string(log_blob), "checkpoint log record"));
+
+  DIGFL_ASSIGN_OR_RETURN(std::string_view comm,
+                         internal::RequireRecord(by_tag, kCommTag));
+  DIGFL_RETURN_IF_ERROR(internal::DecodeComm(comm, &state.log.comm));
+
+  DIGFL_ASSIGN_OR_RETURN(std::string_view phi,
+                         internal::RequireRecord(by_tag, kPhiTag));
+  DIGFL_RETURN_IF_ERROR(
+      internal::DecodePhi(phi, &state.phi_total, &state.phi_per_epoch));
+
+  // Cross-record consistency: one coherent epoch boundary.
+  if (state.next_epoch != state.log.num_epochs()) {
+    return Status::InvalidArgument(
+        "checkpoint epoch does not match its log prefix");
+  }
+  if (state.phi_per_epoch.size() != state.log.num_epochs()) {
+    return Status::InvalidArgument(
+        "checkpoint phi rows do not match its log prefix");
+  }
+  if (state.log.num_epochs() > 0 &&
+      state.phi_total.size() != state.log.epochs[0].weights.size()) {
+    return Status::InvalidArgument(
+        "checkpoint phi width does not match participant count");
+  }
+  return state;
+}
+
+namespace {
+
+class StoreBackedVflHook : public VflCheckpointHook {
+ public:
+  StoreBackedVflHook(CheckpointStore* store, const Model* model,
+                     const VflBlockModel* blocks, const Dataset* validation,
+                     VflPhiAccumulator* accumulator, size_t every,
+                     size_t total_epochs)
+      : store_(store),
+        model_(model),
+        blocks_(blocks),
+        validation_(validation),
+        accumulator_(accumulator),
+        every_(every),
+        total_epochs_(total_epochs) {}
+
+  Status OnEpoch(const VflTrainerView& view) override {
+    while (accumulator_->epochs_consumed() < view.log.num_epochs()) {
+      DIGFL_RETURN_IF_ERROR(accumulator_->Consume(
+          *model_, *blocks_, *validation_,
+          view.log.epochs[accumulator_->epochs_consumed()]));
+    }
+    const bool final_epoch = view.next_epoch >= total_epochs_;
+    if (!final_epoch && view.next_epoch % every_ != 0) return Status::OK();
+
+    DIGFL_ASSIGN_OR_RETURN(
+        std::string payload,
+        EncodeVflCheckpoint(view.next_epoch, view.learning_rate, view.log,
+                            *accumulator_));
+    DIGFL_RETURN_IF_ERROR(store_->Commit(view.next_epoch, payload));
+    ++written_;
+    return Status::OK();
+  }
+
+  size_t written() const { return written_; }
+
+ private:
+  CheckpointStore* store_;
+  const Model* model_;
+  const VflBlockModel* blocks_;
+  const Dataset* validation_;
+  VflPhiAccumulator* accumulator_;
+  size_t every_;
+  size_t total_epochs_;
+  size_t written_ = 0;
+};
+
+}  // namespace
+
+Result<VflCheckpointedRun> RunVflTrainingWithCheckpoints(
+    const Model& model, const VflBlockModel& blocks, const Dataset& train,
+    const Dataset& validation, VflTrainConfig config,
+    const CheckpointRunOptions& options, const std::vector<bool>* active,
+    VflAggregationPolicy* policy) {
+  if (!config.record_log) {
+    return Status::InvalidArgument("checkpointed runs require record_log");
+  }
+  if (config.checkpoint_hook != nullptr || config.resume != nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint_hook/resume are managed by RunVflTrainingWithCheckpoints");
+  }
+  if (options.every == 0) {
+    return Status::InvalidArgument("checkpoint interval must be >= 1");
+  }
+  DIGFL_TRACE_SPAN("ckpt.vfl.run");
+  DIGFL_ASSIGN_OR_RETURN(CheckpointStore store,
+                         CheckpointStore::Open(options.dir, options.keep));
+
+  VflCheckpointedRun run;
+  VflPhiAccumulator accumulator(blocks.num_participants());
+  VflResumePoint resume_point;
+  if (options.resume) {
+    Result<CheckpointStore::Loaded> loaded = store.LoadLatest();
+    if (loaded.ok()) {
+      run.checkpoints_rejected = loaded->rejected;
+      // Any newer-but-rejected checkpoints belong to an abandoned timeline;
+      // drop them so the rerun epochs can commit again.
+      DIGFL_RETURN_IF_ERROR(store.TruncateAfter(loaded->epoch));
+      DIGFL_ASSIGN_OR_RETURN(VflCheckpointState state,
+                             DecodeVflCheckpoint(loaded->payload));
+      DIGFL_RETURN_IF_ERROR(accumulator.Restore(
+          std::move(state.phi_total), std::move(state.phi_per_epoch)));
+      resume_point.start_epoch = state.next_epoch;
+      resume_point.learning_rate = state.learning_rate;
+      resume_point.log = std::move(state.log);
+      config.resume = &resume_point;
+      run.resumed = true;
+      run.resumed_from_epoch = resume_point.start_epoch;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    } else {
+      // NotFound: nothing valid committed — a cold start, not an error. The
+      // manifest may still reference corrupt files; clear them so epoch
+      // numbering can restart from scratch.
+      DIGFL_RETURN_IF_ERROR(store.TruncateAfter(0));
+    }
+  }
+
+  StoreBackedVflHook hook(&store, &model, &blocks, &validation, &accumulator,
+                          options.every, config.epochs);
+  config.checkpoint_hook = &hook;
+  DIGFL_ASSIGN_OR_RETURN(run.log,
+                         RunVflTraining(model, blocks, train, validation,
+                                        config, active, policy));
+  run.contributions.total = accumulator.total();
+  run.contributions.per_epoch = accumulator.per_epoch();
+  run.checkpoints_written = hook.written();
+  return run;
+}
+
+}  // namespace ckpt
+}  // namespace digfl

@@ -1,0 +1,68 @@
+// Crash-safe checkpointing for VFL training + incremental evaluation — the
+// vertical counterpart of ckpt/hfl_resume.h. Same DIGFLCKP1 container and
+// record tags (no kRngTag: the VFL loop holds no RNG state; corruption
+// payload streams are derived per cell from the FaultPlan), same
+// determinism contract: resume + finish is bitwise-identical to the
+// uninterrupted run in final parameters, training log, and φ̂.
+
+#ifndef DIGFL_CKPT_VFL_RESUME_H_
+#define DIGFL_CKPT_VFL_RESUME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/hfl_resume.h"  // tags, version ids, CheckpointRunOptions
+#include "common/result.h"
+#include "core/contribution.h"
+#include "core/phi_accumulator.h"
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+namespace ckpt {
+
+// Decoded checkpoint state (the exact inverse of EncodeVflCheckpoint).
+struct VflCheckpointState {
+  uint64_t next_epoch = 0;
+  double learning_rate = 0.0;
+  VflTrainingLog log;  // comm meter already restored from kCommTag
+  std::vector<double> phi_total;
+  std::vector<std::vector<double>> phi_per_epoch;
+};
+
+// Serializes one checkpoint to a complete framed byte image, ready for
+// CheckpointStore::Commit. Fails on a ragged log.
+Result<std::string> EncodeVflCheckpoint(uint64_t next_epoch,
+                                        double learning_rate,
+                                        const VflTrainingLog& log,
+                                        const VflPhiAccumulator& phi);
+
+// Parses + validates a framed checkpoint image (frame CRCs, version and
+// protocol id, cross-record consistency). Typed errors, never garbage.
+Result<VflCheckpointState> DecodeVflCheckpoint(const std::string& payload);
+
+struct VflCheckpointedRun {
+  VflTrainingLog log;
+  // First-order (Eq. 27) φ̂, accumulated epoch-by-epoch alongside training —
+  // bitwise equal to EvaluateVflContributions (first-order) on the final log.
+  ContributionReport contributions;
+  bool resumed = false;
+  uint64_t resumed_from_epoch = 0;   // meaningful when resumed
+  size_t checkpoints_written = 0;
+  size_t checkpoints_rejected = 0;   // corrupt newer checkpoints skipped
+};
+
+// RunVflTraining + store-backed checkpoint hook + incremental φ̂. `config`'s
+// checkpoint_hook/resume fields are managed by this driver and must be
+// null; record_log is required.
+Result<VflCheckpointedRun> RunVflTrainingWithCheckpoints(
+    const Model& model, const VflBlockModel& blocks, const Dataset& train,
+    const Dataset& validation, VflTrainConfig config,
+    const CheckpointRunOptions& options,
+    const std::vector<bool>* active = nullptr,
+    VflAggregationPolicy* policy = nullptr);
+
+}  // namespace ckpt
+}  // namespace digfl
+
+#endif  // DIGFL_CKPT_VFL_RESUME_H_

@@ -1,7 +1,12 @@
 #include "common/fault.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <mutex>
 #include <string>
 
 #include "telemetry/telemetry.h"
@@ -196,6 +201,95 @@ void FaultStats::RecordQuarantine(size_t epoch, size_t participant,
                    {"epoch", std::to_string(epoch)},
                    {"participant", std::to_string(participant)},
                    {"reason", QuarantineReasonCode(reason)});
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point injection.
+
+namespace {
+
+// The armed plan. Site/exit_code are only mutated under the install mutex
+// and read on the (rare) kill path; the hot path is one relaxed atomic
+// increment plus one relaxed load of the kill ordinal.
+std::mutex g_crash_mutex;
+std::string g_crash_site;            // guarded by g_crash_mutex
+int g_crash_exit_code = 42;          // guarded by g_crash_mutex
+std::atomic<uint64_t> g_crash_kill_ordinal{0};
+std::atomic<uint64_t> g_crash_hits{0};
+
+// SplitMix64 finalizer (same mixer as Rng::Fork) for PickCrashOrdinal.
+uint64_t MixOrdinal(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void InstallCrashPlan(const CrashPlanConfig& config) {
+  std::lock_guard<std::mutex> lock(g_crash_mutex);
+  g_crash_site = config.site;
+  g_crash_exit_code = config.exit_code;
+  g_crash_hits.store(0, std::memory_order_relaxed);
+  g_crash_kill_ordinal.store(config.kill_ordinal, std::memory_order_relaxed);
+}
+
+Status InstallCrashPlanFromEnv() {
+  const char* raw = std::getenv("DIGFL_CRASH_AT");
+  if (raw == nullptr || raw[0] == '\0') {
+    InstallCrashPlan(CrashPlanConfig{});
+    return Status::OK();
+  }
+  const std::string value(raw);
+  CrashPlanConfig config;
+  const size_t colon = value.rfind(':');
+  const std::string ordinal_text =
+      colon == std::string::npos ? value : value.substr(colon + 1);
+  if (colon != std::string::npos) config.site = value.substr(0, colon);
+  if (ordinal_text.empty()) {
+    return Status::InvalidArgument("DIGFL_CRASH_AT: missing kill ordinal in '" +
+                                   value + "'");
+  }
+  uint64_t ordinal = 0;
+  for (char c : ordinal_text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          "DIGFL_CRASH_AT: kill ordinal must be a positive integer, got '" +
+          value + "'");
+    }
+    ordinal = ordinal * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (ordinal == 0) {
+    return Status::InvalidArgument("DIGFL_CRASH_AT: kill ordinal must be >= 1");
+  }
+  config.kill_ordinal = ordinal;
+  InstallCrashPlan(config);
+  return Status::OK();
+}
+
+void MaybeCrash(const char* site) {
+  const uint64_t kill_at = g_crash_kill_ordinal.load(std::memory_order_relaxed);
+  if (kill_at == 0) {
+    g_crash_hits.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_crash_mutex);
+  if (!g_crash_site.empty() && g_crash_site != site) return;
+  const uint64_t hit = g_crash_hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit == kill_at) {
+    // A real crash: no unwinding, no flushing, no atexit handlers.
+    ::_exit(g_crash_exit_code);
+  }
+}
+
+uint64_t CrashPointHits() {
+  return g_crash_hits.load(std::memory_order_relaxed);
+}
+
+uint64_t PickCrashOrdinal(uint64_t seed, uint64_t max_points) {
+  if (max_points == 0) return 1;
+  return 1 + MixOrdinal(seed) % max_points;
 }
 
 }  // namespace digfl

@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -168,6 +169,54 @@ struct FaultStats {
   void RecordQuarantine(size_t epoch, size_t participant,
                         QuarantineReason reason, double norm);
 };
+
+// ---------------------------------------------------------------------------
+// Seeded crash-point injection (process faults).
+//
+// Participant faults above degrade a round; process faults kill the server
+// outright. The checkpoint subsystem (src/ckpt/) threads named crash points
+// through its commit protocol and the trainers mark every epoch boundary, so
+// a seeded CrashPlan can deterministically kill the process at the k-th
+// crash point it reaches — mid checkpoint write, between rename and manifest
+// update, at an epoch boundary, anywhere. The kill is _exit: no stack
+// unwinding, no stream flushing, exactly what a SIGKILL'd server leaves
+// behind. The kill/resume harness (tests/ckpt_crash_test.cc,
+// scripts/run_checks.sh --crash) arms a plan in a child process and verifies
+// that resuming from the surviving checkpoints reproduces the uninterrupted
+// run bit for bit.
+
+struct CrashPlanConfig {
+  // Die at the k-th qualifying crash point; 0 disarms.
+  uint64_t kill_ordinal = 0;
+  // Optional: only crash points with exactly this site name qualify. Empty
+  // means every site qualifies.
+  std::string site;
+  // Process exit code of the injected crash (distinguishes an injected kill
+  // from a real failure in harnesses).
+  int exit_code = 42;
+};
+
+// Installs (or, with a default-constructed config, disarms) the
+// process-global crash plan and resets the qualifying-hit counter, so
+// ordinals always count from the installation point.
+void InstallCrashPlan(const CrashPlanConfig& config);
+
+// Arms the plan from $DIGFL_CRASH_AT: "<k>" or "<site>:<k>". Unset or empty
+// leaves the plan disarmed; a malformed value is a typed error.
+Status InstallCrashPlanFromEnv();
+
+// Declares a crash point. Always counts the hit (so ordinals are stable
+// whether or not a plan is armed); if the armed plan's ordinal is reached,
+// the process dies immediately.
+void MaybeCrash(const char* site);
+
+// Crash-point hits since the last InstallCrashPlan (armed or not). Harnesses
+// use a counting dry run to learn how many kill points a workload exposes.
+uint64_t CrashPointHits();
+
+// Uniform kill ordinal in [1, max_points] derived from `seed`; the harness
+// helper for picking randomized-but-reproducible kill points.
+uint64_t PickCrashOrdinal(uint64_t seed, uint64_t max_points);
 
 }  // namespace digfl
 

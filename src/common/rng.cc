@@ -1,5 +1,8 @@
 #include "common/rng.h"
 
+#include <locale>
+#include <sstream>
+
 namespace digfl {
 namespace {
 
@@ -49,6 +52,27 @@ std::vector<size_t> Rng::Permutation(size_t n) {
 
 Rng Rng::Fork(uint64_t stream_id) const {
   return Rng(Mix(seed_ ^ Mix(stream_id + 1)));
+}
+
+std::string Rng::SaveState() const {
+  // Classic locale so the token stream never picks up digit grouping.
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << seed_ << ' ' << engine_;
+  return out.str();
+}
+
+Status Rng::RestoreState(const std::string& state) {
+  std::istringstream in(state);
+  in.imbue(std::locale::classic());
+  uint64_t seed = 0;
+  std::mt19937_64 engine;
+  if (!(in >> seed >> engine)) {
+    return Status::InvalidArgument("malformed Rng state");
+  }
+  seed_ = seed;
+  engine_ = engine;
+  return Status::OK();
 }
 
 }  // namespace digfl

@@ -10,7 +10,10 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace digfl {
 
@@ -51,6 +54,14 @@ class Rng {
   // Deterministically derives an independent child stream. Forks with
   // different `stream_id`s are independent of each other and of the parent.
   Rng Fork(uint64_t stream_id) const;
+
+  // Serializes the complete stream state (seed + engine position) to a
+  // portable ASCII token string; RestoreState resumes the stream exactly, so
+  // a checkpointed run draws the same tail of values an uninterrupted run
+  // would. RestoreState rejects malformed state with a typed error and
+  // leaves the stream untouched.
+  std::string SaveState() const;
+  Status RestoreState(const std::string& state);
 
   uint64_t seed() const { return seed_; }
 

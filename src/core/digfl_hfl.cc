@@ -1,6 +1,7 @@
 #include "core/digfl_hfl.h"
 
 #include "common/timer.h"
+#include "core/phi_accumulator.h"
 #include "telemetry/telemetry.h"
 
 namespace digfl {
@@ -29,11 +30,23 @@ Result<ContributionReport> EvaluateHflContributions(
   const CommMeter::ChannelId ch_hvp =
       report.extra_comm.Channel("participant->server:hvp");
 
+  if (options.mode == HflEvaluatorMode::kResourceSaving) {
+    // Algorithm #2 is exactly the incremental accumulator replayed over the
+    // whole log — the same code path a checkpointed run folds epoch by
+    // epoch, so batch and resumed evaluations agree bit for bit.
+    HflPhiAccumulator accumulator(n);
+    for (const HflEpochRecord& record : log.epochs) {
+      DIGFL_RETURN_IF_ERROR(accumulator.Consume(server, record));
+    }
+    report.total = accumulator.total();
+    report.per_epoch = accumulator.per_epoch();
+    report.wall_seconds = timer.ElapsedSeconds();
+    return report;
+  }
+
   // Σ_{j<=t} ΔG_j^{-i}, maintained per participant (interactive mode only).
   std::vector<Vec> accumulated_change;
-  if (options.mode == HflEvaluatorMode::kInteractive) {
-    accumulated_change.assign(n, vec::Zeros(p));
-  }
+  accumulated_change.assign(n, vec::Zeros(p));
 
   for (const HflEpochRecord& record : log.epochs) {
     DIGFL_TRACE_SPAN("digfl.hfl.epoch");
@@ -65,53 +78,51 @@ Result<ContributionReport> EvaluateHflContributions(
         phi[i] = vec::Dot(v, record.deltas[i]) / static_cast<double>(m);
       }
 
-      if (options.mode == HflEvaluatorMode::kInteractive) {
-        // Second-order term Ω_t^{-i}: Hessian-vector product on the
-        // accumulated gradient change (zero at the first epoch). The
-        // removal perturbation keeps propagating through the Hessian even
-        // in epochs where participant i itself is absent.
-        Vec omega = vec::Zeros(p);
-        if (vec::SquaredNorm2(accumulated_change[i]) > 0.0) {
-          DIGFL_TRACE_SPAN("digfl.hfl.hvp");
-          if (options.average_hvp_across_participants) {
-            // Only participants that reported this epoch can serve HVP
-            // queries; the server averages over the present set.
-            size_t served = 0;
-            for (size_t j = 0; j < n; ++j) {
-              if (!record.IsPresent(j)) continue;
-              DIGFL_ASSIGN_OR_RETURN(
-                  Vec local,
-                  participants[j].ComputeLocalHvp(model, record.params_before,
-                                                  accumulated_change[i]));
-              vec::Axpy(1.0, local, omega);
-              ++served;
-            }
-            if (served > 0) {
-              vec::Scale(1.0 / static_cast<double>(served), omega);
-            }
-            report.extra_comm.RecordDoubles(ch_hvp, served * p);
-            DIGFL_COUNTER_ADD("digfl.hvp_queries_total", served);
-          } else if (present) {
+      // Second-order term Ω_t^{-i}: Hessian-vector product on the
+      // accumulated gradient change (zero at the first epoch). The
+      // removal perturbation keeps propagating through the Hessian even
+      // in epochs where participant i itself is absent.
+      Vec omega = vec::Zeros(p);
+      if (vec::SquaredNorm2(accumulated_change[i]) > 0.0) {
+        DIGFL_TRACE_SPAN("digfl.hfl.hvp");
+        if (options.average_hvp_across_participants) {
+          // Only participants that reported this epoch can serve HVP
+          // queries; the server averages over the present set.
+          size_t served = 0;
+          for (size_t j = 0; j < n; ++j) {
+            if (!record.IsPresent(j)) continue;
             DIGFL_ASSIGN_OR_RETURN(
-                omega,
-                participants[i].ComputeLocalHvp(model, record.params_before,
+                Vec local,
+                participants[j].ComputeLocalHvp(model, record.params_before,
                                                 accumulated_change[i]));
-            report.extra_comm.RecordDoubles(ch_hvp, p);
-            DIGFL_COUNTER_ADD("digfl.hvp_queries_total", 1);
+            vec::Axpy(1.0, local, omega);
+            ++served;
           }
+          if (served > 0) {
+            vec::Scale(1.0 / static_cast<double>(served), omega);
+          }
+          report.extra_comm.RecordDoubles(ch_hvp, served * p);
+          DIGFL_COUNTER_ADD("digfl.hvp_queries_total", served);
+        } else if (present) {
+          DIGFL_ASSIGN_OR_RETURN(
+              omega,
+              participants[i].ComputeLocalHvp(model, record.params_before,
+                                              accumulated_change[i]));
+          report.extra_comm.RecordDoubles(ch_hvp, p);
+          DIGFL_COUNTER_ADD("digfl.hvp_queries_total", 1);
         }
-        // φ_{t,i} = −v·ΔG_t^{-i} with the Algorithm-1 recursion
-        //   ΔG_t^{-i} = −(1/m) δ_{t,i} − α_t Ω_t^{-i}.
-        // (The paper's Lemma 1 prints the Ω sign as "+", contradicting its
-        // own Eq. 6 derivation and Algorithm 1 line 8; we follow the
-        // derivation, which also matches the VFL Lemma 2 convention.)
-        phi[i] += record.learning_rate * vec::Dot(v, omega);
-        if (present) {
-          vec::Axpy(-1.0 / static_cast<double>(m), record.deltas[i],
-                    accumulated_change[i]);
-        }
-        vec::Axpy(-record.learning_rate, omega, accumulated_change[i]);
       }
+      // φ_{t,i} = −v·ΔG_t^{-i} with the Algorithm-1 recursion
+      //   ΔG_t^{-i} = −(1/m) δ_{t,i} − α_t Ω_t^{-i}.
+      // (The paper's Lemma 1 prints the Ω sign as "+", contradicting its
+      // own Eq. 6 derivation and Algorithm 1 line 8; we follow the
+      // derivation, which also matches the VFL Lemma 2 convention.)
+      phi[i] += record.learning_rate * vec::Dot(v, omega);
+      if (present) {
+        vec::Axpy(-1.0 / static_cast<double>(m), record.deltas[i],
+                  accumulated_change[i]);
+      }
+      vec::Axpy(-record.learning_rate, omega, accumulated_change[i]);
       report.total[i] += phi[i];
     }
     report.per_epoch.push_back(std::move(phi));

@@ -1,6 +1,7 @@
 #include "core/digfl_vfl.h"
 
 #include "common/timer.h"
+#include "core/phi_accumulator.h"
 #include "telemetry/telemetry.h"
 
 namespace digfl {
@@ -24,10 +25,24 @@ Result<ContributionReport> EvaluateVflContributions(
   report.total.assign(n, 0.0);
   report.per_epoch.reserve(log.epochs.size());
 
-  std::vector<Vec> accumulated_change;
-  if (options.include_second_order) {
-    accumulated_change.assign(n, vec::Zeros(model.NumParams()));
+  if (!options.include_second_order) {
+    // Eq. 27 truncated to first order is exactly the incremental accumulator
+    // replayed over the whole log — the same code path a checkpointed run
+    // folds epoch by epoch, so batch and resumed evaluations agree bit for
+    // bit.
+    VflPhiAccumulator accumulator(n);
+    for (const VflEpochRecord& record : log.epochs) {
+      DIGFL_RETURN_IF_ERROR(
+          accumulator.Consume(model, blocks, validation, record));
+    }
+    report.total = accumulator.total();
+    report.per_epoch = accumulator.per_epoch();
+    report.wall_seconds = timer.ElapsedSeconds();
+    return report;
   }
+
+  std::vector<Vec> accumulated_change;
+  accumulated_change.assign(n, vec::Zeros(model.NumParams()));
 
   for (const VflEpochRecord& record : log.epochs) {
     DIGFL_TRACE_SPAN("digfl.vfl.epoch");
@@ -46,23 +61,21 @@ Result<ContributionReport> EvaluateVflContributions(
       // Eq. 27: block-restricted inner product.
       phi[i] = present ? blocks.BlockDot(i, v, record.scaled_gradient) : 0.0;
 
-      if (options.include_second_order) {
-        Vec omega = vec::Zeros(model.NumParams());
-        if (vec::SquaredNorm2(accumulated_change[i]) > 0.0) {
-          DIGFL_TRACE_SPAN("digfl.vfl.hvp");
-          DIGFL_ASSIGN_OR_RETURN(
-              Vec hvp,
-              model.Hvp(record.params_before, train, accumulated_change[i]));
-          omega = blocks.DropBlock(i, hvp);  // diag(v_i) H (Σ ΔG)
-          DIGFL_COUNTER_ADD("digfl.hvp_queries_total", 1);
-        }
-        // Eq. 26: φ = v·(keep-block G_t) + α_t v·Ω.
-        phi[i] += record.learning_rate * vec::Dot(v, omega);
-        // Lemma 2 recursion: ΔG_t^{-i} = −(E−diag(v_i)) G_t − α_t Ω_t^{-i}.
-        vec::Axpy(-1.0, blocks.KeepBlock(i, record.scaled_gradient),
-                  accumulated_change[i]);
-        vec::Axpy(-record.learning_rate, omega, accumulated_change[i]);
+      Vec omega = vec::Zeros(model.NumParams());
+      if (vec::SquaredNorm2(accumulated_change[i]) > 0.0) {
+        DIGFL_TRACE_SPAN("digfl.vfl.hvp");
+        DIGFL_ASSIGN_OR_RETURN(
+            Vec hvp,
+            model.Hvp(record.params_before, train, accumulated_change[i]));
+        omega = blocks.DropBlock(i, hvp);  // diag(v_i) H (Σ ΔG)
+        DIGFL_COUNTER_ADD("digfl.hvp_queries_total", 1);
       }
+      // Eq. 26: φ = v·(keep-block G_t) + α_t v·Ω.
+      phi[i] += record.learning_rate * vec::Dot(v, omega);
+      // Lemma 2 recursion: ΔG_t^{-i} = −(E−diag(v_i)) G_t − α_t Ω_t^{-i}.
+      vec::Axpy(-1.0, blocks.KeepBlock(i, record.scaled_gradient),
+                accumulated_change[i]);
+      vec::Axpy(-record.learning_rate, omega, accumulated_change[i]);
       report.total[i] += phi[i];
     }
     report.per_epoch.push_back(std::move(phi));

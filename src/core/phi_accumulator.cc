@@ -1,0 +1,105 @@
+#include "core/phi_accumulator.h"
+
+#include "telemetry/telemetry.h"
+
+namespace digfl {
+namespace {
+
+Status CheckRestoreShapes(size_t n, const std::vector<double>& total,
+                          const std::vector<std::vector<double>>& per_epoch) {
+  if (total.size() != n) {
+    return Status::InvalidArgument("phi accumulator totals size mismatch");
+  }
+  for (const std::vector<double>& row : per_epoch) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("ragged phi accumulator per-epoch row");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+HflPhiAccumulator::HflPhiAccumulator(size_t num_participants)
+    : total_(num_participants, 0.0) {}
+
+Status HflPhiAccumulator::Consume(const HflServer& server,
+                                  const HflEpochRecord& record) {
+  DIGFL_TRACE_SPAN("digfl.hfl.epoch");
+  const size_t n = total_.size();
+  if (record.deltas.size() != n ||
+      (!record.present.empty() && record.present.size() != n)) {
+    return Status::InvalidArgument("ragged training log");
+  }
+  // Partial participation (Lemma 3 under masking): the epoch's aggregate
+  // averaged over the m = |present_t| participants that reported, so the
+  // leave-one-out perturbation of a present participant carries 1/m and an
+  // absent participant contributes φ̂_{t,i} = 0 — its absence cannot have
+  // changed this epoch's aggregate.
+  const size_t m = record.NumPresent();
+  if (m == 0) {
+    // Nobody reported: G_t = 0, the epoch is a no-op for every φ.
+    per_epoch_.push_back(std::vector<double>(n, 0.0));
+    return Status::OK();
+  }
+  DIGFL_ASSIGN_OR_RETURN(Vec v,
+                         server.ValidationGradient(record.params_before));
+  std::vector<double> phi(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (record.IsPresent(i)) {
+      phi[i] = vec::Dot(v, record.deltas[i]) / static_cast<double>(m);
+    }
+    total_[i] += phi[i];
+  }
+  per_epoch_.push_back(std::move(phi));
+  return Status::OK();
+}
+
+Status HflPhiAccumulator::Restore(
+    std::vector<double> total, std::vector<std::vector<double>> per_epoch) {
+  DIGFL_RETURN_IF_ERROR(CheckRestoreShapes(total_.size(), total, per_epoch));
+  total_ = std::move(total);
+  per_epoch_ = std::move(per_epoch);
+  return Status::OK();
+}
+
+VflPhiAccumulator::VflPhiAccumulator(size_t num_participants)
+    : total_(num_participants, 0.0) {}
+
+Status VflPhiAccumulator::Consume(const Model& model,
+                                  const VflBlockModel& blocks,
+                                  const Dataset& validation,
+                                  const VflEpochRecord& record) {
+  DIGFL_TRACE_SPAN("digfl.vfl.epoch");
+  const size_t n = total_.size();
+  if (blocks.num_participants() != n) {
+    return Status::InvalidArgument("block structure size mismatch");
+  }
+  if (!record.present.empty() && record.present.size() != n) {
+    return Status::InvalidArgument("ragged participation mask");
+  }
+  DIGFL_ASSIGN_OR_RETURN(Vec v,
+                         model.Gradient(record.params_before, validation));
+  std::vector<double> phi(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    // An absent participant (dropout/quarantine) contributed nothing to G_t
+    // — its block is zero — so φ̂_{t,i} = 0 (Lemma 3 additivity over the
+    // rounds it actually joined).
+    phi[i] = record.IsPresent(i)
+                 ? blocks.BlockDot(i, v, record.scaled_gradient)
+                 : 0.0;
+    total_[i] += phi[i];
+  }
+  per_epoch_.push_back(std::move(phi));
+  return Status::OK();
+}
+
+Status VflPhiAccumulator::Restore(
+    std::vector<double> total, std::vector<std::vector<double>> per_epoch) {
+  DIGFL_RETURN_IF_ERROR(CheckRestoreShapes(total_.size(), total, per_epoch));
+  total_ = std::move(total);
+  per_epoch_ = std::move(per_epoch);
+  return Status::OK();
+}
+
+}  // namespace digfl

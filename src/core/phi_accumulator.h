@@ -1,0 +1,82 @@
+// Incremental DIG-FL contribution accumulators.
+//
+// The batch evaluators (core/digfl_hfl.h, core/digfl_vfl.h) replay a whole
+// training log after the fact. These accumulators compute the same
+// first-order estimators one epoch at a time, so a checkpointed run can
+// carry its φ̂ state forward and a crash never forces a full log replay:
+//
+//   HFL (Algorithm #2, resource-saving):
+//     φ̂_{t,i} = (1/|present_t|) ∇loss^v(θ_{t-1}) · δ_{t,i}
+//   VFL (Eq. 27, truncated):
+//     φ̂_{t,i} = <∇loss^v(θ_{t-1}), G_t> restricted to block i
+//
+// Determinism contract: consuming records r_0..r_k one at a time — across
+// any number of checkpoint/restore cycles of the accumulator state — yields
+// bitwise-identical totals to an uninterrupted replay. The batch evaluators
+// are implemented on top of these classes, so the equivalence is by
+// construction, not by parallel maintenance of two code paths.
+
+#ifndef DIGFL_CORE_PHI_ACCUMULATOR_H_
+#define DIGFL_CORE_PHI_ACCUMULATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hfl/fed_sgd.h"
+#include "hfl/server.h"
+#include "vfl/block_model.h"
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+
+class HflPhiAccumulator {
+ public:
+  explicit HflPhiAccumulator(size_t num_participants);
+
+  // Folds in the next epoch record (θ_{t-1}, δ_{t,i}, mask). The validation
+  // gradient is recomputed from the record, so the result is a pure function
+  // of the log prefix.
+  Status Consume(const HflServer& server, const HflEpochRecord& record);
+
+  const std::vector<double>& total() const { return total_; }
+  const std::vector<std::vector<double>>& per_epoch() const {
+    return per_epoch_;
+  }
+  size_t epochs_consumed() const { return per_epoch_.size(); }
+  size_t num_participants() const { return total_.size(); }
+
+  // Checkpoint restore: replaces the accumulated state wholesale. Shapes
+  // must be consistent (every per-epoch row as wide as the totals).
+  Status Restore(std::vector<double> total,
+                 std::vector<std::vector<double>> per_epoch);
+
+ private:
+  std::vector<double> total_;
+  std::vector<std::vector<double>> per_epoch_;
+};
+
+class VflPhiAccumulator {
+ public:
+  explicit VflPhiAccumulator(size_t num_participants);
+
+  Status Consume(const Model& model, const VflBlockModel& blocks,
+                 const Dataset& validation, const VflEpochRecord& record);
+
+  const std::vector<double>& total() const { return total_; }
+  const std::vector<std::vector<double>>& per_epoch() const {
+    return per_epoch_;
+  }
+  size_t epochs_consumed() const { return per_epoch_.size(); }
+  size_t num_participants() const { return total_.size(); }
+
+  Status Restore(std::vector<double> total,
+                 std::vector<std::vector<double>> per_epoch);
+
+ private:
+  std::vector<double> total_;
+  std::vector<std::vector<double>> per_epoch_;
+};
+
+}  // namespace digfl
+
+#endif  // DIGFL_CORE_PHI_ACCUMULATOR_H_

@@ -60,9 +60,37 @@ Result<HflTrainingLog> RunFedSgd(
   HflTrainingLog log;
   log.final_params = init_params;
   double lr = config.learning_rate;
+  size_t start_epoch = 0;
   const size_t n = participants.size();
   const size_t p = model.NumParams();
   const FaultPlan* plan = config.fault_plan;
+
+  if (config.resume != nullptr) {
+    const HflResumePoint& resume = *config.resume;
+    if (!config.record_log) {
+      return Status::InvalidArgument("resume requires record_log");
+    }
+    if (resume.start_epoch != resume.log.num_epochs()) {
+      return Status::InvalidArgument(
+          "resume point epoch does not match its log prefix");
+    }
+    if (resume.start_epoch > 0 && resume.log.num_participants() != n) {
+      return Status::InvalidArgument(
+          "resume point participant count mismatch");
+    }
+    if (resume.log.final_params.size() != p) {
+      return Status::InvalidArgument("resume point parameter size mismatch");
+    }
+    if (!resume.batch_rng_states.empty() &&
+        resume.batch_rng_states.size() != n) {
+      return Status::InvalidArgument("resume point RNG stream count mismatch");
+    }
+    log = resume.log;
+    lr = resume.learning_rate;
+    start_epoch = resume.start_epoch;
+    // Already past the requested horizon: the restored log *is* the result.
+    if (start_epoch >= config.epochs) return log;
+  }
 
   // Interned comm channels + per-participant telemetry byte counters,
   // resolved once so the epoch loop records lock-free.
@@ -94,8 +122,16 @@ Result<HflTrainingLog> RunFedSgd(
   for (size_t i = 0; i < n; ++i) {
     batch_rngs.push_back(batch_root.Fork(i));
   }
+  if (config.resume != nullptr && !config.resume->batch_rng_states.empty()) {
+    // Rewind each stream to its checkpointed position so stochastic
+    // minibatch draws continue exactly where the crashed run left off.
+    for (size_t i = 0; i < n; ++i) {
+      DIGFL_RETURN_IF_ERROR(
+          batch_rngs[i].RestoreState(config.resume->batch_rng_states[i]));
+    }
+  }
 
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     DIGFL_TRACE_SPAN("hfl.epoch");
     Timer epoch_timer;
     std::vector<uint8_t> present(n, 1);
@@ -232,6 +268,15 @@ Result<HflTrainingLog> RunFedSgd(
                      {"epoch", std::to_string(epoch)});
 
     lr *= config.lr_decay;
+
+    // The epoch has fully committed (record, θ, traces, decay) — exactly the
+    // state a resume must reproduce; hand it to the checkpoint hook, then
+    // mark the epoch boundary as a kill point for the crash harness.
+    if (config.checkpoint_hook != nullptr) {
+      const HflTrainerView view{epoch + 1, lr, batch_rngs, log};
+      DIGFL_RETURN_IF_ERROR(config.checkpoint_hook->OnEpoch(view));
+    }
+    MaybeCrash("hfl.epoch.end");
   }
   return log;
 }

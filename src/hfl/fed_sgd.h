@@ -20,11 +20,13 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/comm_meter.h"
 #include "common/fault.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "hfl/participant.h"
 #include "hfl/server.h"
 
@@ -103,6 +105,42 @@ class UniformAggregation : public AggregationPolicy {
   }
 };
 
+// Read-only view of the trainer's resumable state at an epoch boundary,
+// handed to the checkpoint hook. Everything a deterministic resume needs is
+// here: the epochs completed, the learning rate the *next* epoch will use
+// (decay already applied), the per-participant minibatch RNG streams, and
+// the growing log (which carries θ, the traces, the fault bookkeeping, and
+// the comm totals).
+struct HflTrainerView {
+  uint64_t next_epoch = 0;
+  double learning_rate = 0.0;
+  const std::vector<Rng>& batch_rngs;
+  const HflTrainingLog& log;
+};
+
+// Called after every epoch fully commits (record appended, θ updated,
+// validation recorded, decay applied). A non-OK return aborts training —
+// a checkpoint that cannot be written durably must not be papered over.
+// Implemented by the crash-safe store driver in ckpt/hfl_resume.h.
+class HflCheckpointHook {
+ public:
+  virtual ~HflCheckpointHook() = default;
+  virtual Status OnEpoch(const HflTrainerView& view) = 0;
+};
+
+// Warm-start state for RunFedSgd, decoded from a checkpoint. The trainer
+// continues at `start_epoch` exactly as the uninterrupted run would have:
+// same θ, same α_t, same minibatch RNG positions, same log prefix.
+struct HflResumePoint {
+  uint64_t start_epoch = 0;
+  double learning_rate = 0.0;
+  // Serialized Rng states (Rng::SaveState), one per participant. Empty means
+  // "fresh forks from batch_seed" (only valid when batch_fraction == 1, where
+  // the streams are never drawn from).
+  std::vector<std::string> batch_rng_states;
+  HflTrainingLog log;
+};
+
 struct FedSgdConfig {
   size_t epochs = 30;
   double learning_rate = 0.5;
@@ -124,6 +162,12 @@ struct FedSgdConfig {
   // Server-side quarantine gate thresholds. Non-finite updates are always
   // rejected; the defaults never trip on healthy training runs.
   QuarantineConfig quarantine;
+  // Crash-safe checkpointing (see ckpt/hfl_resume.h for the store-backed
+  // driver). `checkpoint_hook` observes every committed epoch; `resume`
+  // warm-starts the loop from a decoded checkpoint. Both optional, neither
+  // owned; resume requires record_log (the log prefix is part of the state).
+  HflCheckpointHook* checkpoint_hook = nullptr;
+  const HflResumePoint* resume = nullptr;
 };
 
 // Trains from `init_params` over `participants`; `policy` may be null

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
-#include <fstream>
+#include <sstream>
+
+#include "ckpt/atomic_file.h"
 
 namespace digfl {
 namespace {
@@ -11,34 +13,34 @@ namespace {
 constexpr char kMagicV1[8] = {'D', 'I', 'G', 'F', 'L', 'O', 'G', '1'};
 constexpr char kMagicV2[8] = {'D', 'H', 'F', 'L', 'L', 'O', 'G', '2'};
 
-void WriteU64(std::ofstream& out, uint64_t value) {
+void WriteU64(std::ostream& out, uint64_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
 // Vec is std::vector<double>, so this covers every trace in the log.
-void WriteDoubles(std::ofstream& out, const Vec& values) {
+void WriteDoubles(std::ostream& out, const Vec& values) {
   out.write(reinterpret_cast<const char*>(values.data()),
             static_cast<std::streamsize>(values.size() * sizeof(double)));
 }
 
-void WriteBytes(std::ofstream& out, const std::vector<uint8_t>& values) {
+void WriteBytes(std::ostream& out, const std::vector<uint8_t>& values) {
   out.write(reinterpret_cast<const char*>(values.data()),
             static_cast<std::streamsize>(values.size()));
 }
 
-bool ReadU64(std::ifstream& in, uint64_t* value) {
+bool ReadU64(std::istream& in, uint64_t* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(*value));
   return in.gcount() == sizeof(*value);
 }
 
-bool ReadDoubles(std::ifstream& in, size_t count, Vec* values) {
+bool ReadDoubles(std::istream& in, size_t count, Vec* values) {
   values->resize(count);
   in.read(reinterpret_cast<char*>(values->data()),
           static_cast<std::streamsize>(count * sizeof(double)));
   return in.gcount() == static_cast<std::streamsize>(count * sizeof(double));
 }
 
-bool ReadBytes(std::ifstream& in, size_t count, std::vector<uint8_t>* values) {
+bool ReadBytes(std::istream& in, size_t count, std::vector<uint8_t>* values) {
   values->resize(count);
   in.read(reinterpret_cast<char*>(values->data()),
           static_cast<std::streamsize>(count));
@@ -60,7 +62,7 @@ struct LogHeader {
   uint64_t trace_len = 0;
 };
 
-Status ReadHeader(std::ifstream& in, const std::string& path,
+Status ReadHeader(std::istream& in, const std::string& path,
                   LogHeader* header) {
   char magic[8];
   in.read(magic, sizeof(magic));
@@ -90,7 +92,7 @@ Status ReadHeader(std::ifstream& in, const std::string& path,
 // mask consistency: a present participant may carry any finite delta, an
 // absent one is only checked for finiteness (its delta is zero by
 // construction of the trainer).
-Status ReadEpochRecord(std::ifstream& in, const LogHeader& header,
+Status ReadEpochRecord(std::istream& in, const LogHeader& header,
                        HflEpochRecord* record) {
   Vec lr;
   if (!ReadDoubles(in, 1, &lr)) {
@@ -135,7 +137,7 @@ Status ReadEpochRecord(std::ifstream& in, const LogHeader& header,
 
 // Reads the post-epoch trailer: final params, validation traces, and (v2)
 // fault statistics.
-Status ReadTrailer(std::ifstream& in, const LogHeader& header,
+Status ReadTrailer(std::istream& in, const LogHeader& header,
                    HflTrainingLog* log) {
   if (!ReadDoubles(in, header.p, &log->final_params)) {
     return Status::InvalidArgument("truncated final parameters");
@@ -189,7 +191,7 @@ Status ReadTrailer(std::ifstream& in, const LogHeader& header,
 
 }  // namespace
 
-Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path) {
+Result<std::string> SerializeTrainingLog(const HflTrainingLog& log) {
   const size_t epochs = log.epochs.size();
   const size_t n = log.num_participants();
   const size_t p = log.final_params.size();
@@ -213,8 +215,7 @@ Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path) {
     }
   }
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  std::ostringstream out(std::ios::binary);
   out.write(kMagicV2, sizeof(kMagicV2));
   WriteU64(out, epochs);
   WriteU64(out, n);
@@ -248,15 +249,15 @@ Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path) {
     WriteU64(out, static_cast<uint64_t>(event.reason));
     WriteDoubles(out, Vec{event.norm});
   }
-  if (!out) return Status::Internal("write to " + path + " failed");
-  return Status::OK();
+  if (!out) return Status::Internal("training log serialization failed");
+  return std::move(out).str();
 }
 
-Result<HflTrainingLog> LoadTrainingLog(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
+Result<HflTrainingLog> ParseTrainingLog(const std::string& data,
+                                        const std::string& name) {
+  std::istringstream in(data, std::ios::binary);
   LogHeader header;
-  DIGFL_RETURN_IF_ERROR(ReadHeader(in, path, &header));
+  DIGFL_RETURN_IF_ERROR(ReadHeader(in, name, &header));
 
   HflTrainingLog log;
   log.epochs.reserve(header.epochs);
@@ -269,9 +270,19 @@ Result<HflTrainingLog> LoadTrainingLog(const std::string& path) {
   return log;
 }
 
+Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path) {
+  DIGFL_ASSIGN_OR_RETURN(std::string blob, SerializeTrainingLog(log));
+  return ckpt::AtomicWriteFile(path, blob);
+}
+
+Result<HflTrainingLog> LoadTrainingLog(const std::string& path) {
+  DIGFL_ASSIGN_OR_RETURN(std::string data, ckpt::ReadFileToString(path));
+  return ParseTrainingLog(data, path);
+}
+
 Result<LogSalvage> SalvageTrainingLog(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
+  DIGFL_ASSIGN_OR_RETURN(std::string data, ckpt::ReadFileToString(path));
+  std::istringstream in(data, std::ios::binary);
   LogSalvage salvage;
   LogHeader header;
   DIGFL_RETURN_IF_ERROR(ReadHeader(in, path, &header));

@@ -26,8 +26,19 @@
 
 namespace digfl {
 
-// Writes `log` to `path` (v2 layout), overwriting. Fails on I/O errors or a
-// log with ragged epoch records.
+// Serializes `log` to the v2 byte layout (the exact bytes SaveTrainingLog
+// writes). Fails on a log with ragged epoch records. Exposed so checkpoints
+// can embed a training log inside a larger framed record.
+Result<std::string> SerializeTrainingLog(const HflTrainingLog& log);
+
+// Parses a v1/v2 byte image previously produced by SerializeTrainingLog /
+// SaveTrainingLog. `name` labels error messages (a path, a record tag, ...).
+Result<HflTrainingLog> ParseTrainingLog(const std::string& data,
+                                        const std::string& name);
+
+// Writes `log` to `path` (v2 layout) via the crash-safe atomic writer
+// (ckpt/atomic_file.h): a crash mid-save leaves the previous file intact,
+// never a torn one. Fails on I/O errors or a log with ragged epoch records.
 Status SaveTrainingLog(const HflTrainingLog& log, const std::string& path);
 
 // Reads a log previously written by SaveTrainingLog (v1 or v2). Fails on

@@ -1,6 +1,10 @@
 #include "telemetry/sink.h"
 
-#include <fstream>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <sstream>
 
 #include "telemetry/json.h"
@@ -96,14 +100,41 @@ Status InMemorySink::Write(const RunReport& report) {
 }
 
 Status JsonlFileSink::Write(const RunReport& report) {
-  std::ofstream out(path_, append_ ? std::ios::app : std::ios::trunc);
-  if (!out) {
-    return Status::InvalidArgument("cannot open telemetry sink: " + path_);
+  // Serialize fully in memory, then write + fsync through the POSIX fd so
+  // the report survives a crash right after the sink returns (a run report
+  // emitted just before a kill is exactly the one the postmortem needs).
+  std::ostringstream buffer;
+  DIGFL_RETURN_IF_ERROR(WriteJsonl(report, buffer));
+  const std::string data = std::move(buffer).str();
+
+  const int flags = O_WRONLY | O_CREAT | (append_ ? O_APPEND : O_TRUNC);
+  const int fd = ::open(path_.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open telemetry sink: " + path_ +
+                                   ": " + std::strerror(errno));
   }
-  DIGFL_RETURN_IF_ERROR(WriteJsonl(report, out));
-  out.flush();
-  if (!out) return Status::Internal("short write to " + path_);
-  return Status::OK();
+  Status status = Status::OK();
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = Status::Internal("short write to " + path_ + ": " +
+                                std::strerror(errno));
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Internal("fsync " + path_ + " failed: " +
+                              std::strerror(errno));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::Internal("close " + path_ + " failed: " +
+                              std::strerror(errno));
+  }
+  return status;
 }
 
 Status WriteJsonl(const RunReport& report, std::ostream& os) {

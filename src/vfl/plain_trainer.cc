@@ -74,8 +74,31 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
   // exactly at f(0, x) = 0 throughout training.
   log.final_params = vec::Zeros(model.NumParams());
   double lr = config.learning_rate;
+  size_t start_epoch = 0;
   const size_t n = blocks.num_participants();
   const FaultPlan* plan = config.fault_plan;
+
+  if (config.resume != nullptr) {
+    const VflResumePoint& resume = *config.resume;
+    if (!config.record_log) {
+      return Status::InvalidArgument("resume requires record_log");
+    }
+    if (resume.start_epoch != resume.log.num_epochs()) {
+      return Status::InvalidArgument(
+          "resume point epoch does not match its log prefix");
+    }
+    if (resume.start_epoch > 0 && resume.log.epochs[0].weights.size() != n) {
+      return Status::InvalidArgument(
+          "resume point participant count mismatch");
+    }
+    if (resume.log.final_params.size() != model.NumParams()) {
+      return Status::InvalidArgument("resume point parameter size mismatch");
+    }
+    log = resume.log;
+    lr = resume.learning_rate;
+    start_epoch = resume.start_epoch;
+    if (start_epoch >= config.epochs) return log;
+  }
 
   // Interned comm channels so the epoch loop records by dense id.
   const CommMeter::ChannelId ch_straggler = log.comm.Channel(
@@ -85,7 +108,7 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
   const CommMeter::ChannelId ch_grad_blocks =
       log.comm.Channel("thirdparty->participants:gradient_blocks");
 
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     DIGFL_TRACE_SPAN("vfl.epoch");
     Timer epoch_timer;
     Vec grad;
@@ -225,6 +248,13 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
                      {"epoch", std::to_string(epoch)});
 
     lr *= config.lr_decay;
+
+    // Epoch committed; see the HFL trainer for the checkpoint contract.
+    if (config.checkpoint_hook != nullptr) {
+      const VflTrainerView view{epoch + 1, lr, log};
+      DIGFL_RETURN_IF_ERROR(config.checkpoint_hook->OnEpoch(view));
+    }
+    MaybeCrash("vfl.epoch.end");
   }
   return log;
 }

@@ -69,6 +69,30 @@ class VflAggregationPolicy {
                                               const Vec& scaled_gradient) = 0;
 };
 
+// Read-only view of the trainer's resumable state at an epoch boundary
+// (the VFL counterpart of HflTrainerView; the VFL loop holds no RNG state —
+// corruption payload streams are derived per cell from the FaultPlan).
+struct VflTrainerView {
+  uint64_t next_epoch = 0;
+  double learning_rate = 0.0;
+  const VflTrainingLog& log;
+};
+
+// Called after every epoch fully commits; non-OK aborts training. See
+// ckpt/vfl_resume.h for the crash-safe store-backed implementation.
+class VflCheckpointHook {
+ public:
+  virtual ~VflCheckpointHook() = default;
+  virtual Status OnEpoch(const VflTrainerView& view) = 0;
+};
+
+// Warm-start state for RunVflTraining, decoded from a checkpoint.
+struct VflResumePoint {
+  uint64_t start_epoch = 0;
+  double learning_rate = 0.0;
+  VflTrainingLog log;
+};
+
 struct VflTrainConfig {
   size_t epochs = 50;
   double learning_rate = 0.1;
@@ -80,6 +104,10 @@ struct VflTrainConfig {
   // Third-party-side quarantine gate over each participant's gradient
   // block. Non-finite blocks are always rejected.
   QuarantineConfig quarantine;
+  // Crash-safe checkpointing (see ckpt/vfl_resume.h). Both optional,
+  // neither owned; resume requires record_log.
+  VflCheckpointHook* checkpoint_hook = nullptr;
+  const VflResumePoint* resume = nullptr;
 };
 
 // Trains over `train` with the block structure `blocks`. `active[i]==false`

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
-#include <fstream>
+#include <sstream>
+
+#include "ckpt/atomic_file.h"
 
 namespace digfl {
 namespace {
@@ -11,33 +13,33 @@ namespace {
 constexpr char kMagicV1[8] = {'D', 'I', 'G', 'F', 'L', 'O', 'G', '2'};
 constexpr char kMagicV2[8] = {'D', 'V', 'F', 'L', 'L', 'O', 'G', '2'};
 
-void WriteU64(std::ofstream& out, uint64_t value) {
+void WriteU64(std::ostream& out, uint64_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
-void WriteDoubles(std::ofstream& out, const Vec& values) {
+void WriteDoubles(std::ostream& out, const Vec& values) {
   out.write(reinterpret_cast<const char*>(values.data()),
             static_cast<std::streamsize>(values.size() * sizeof(double)));
 }
 
-void WriteBytes(std::ofstream& out, const std::vector<uint8_t>& values) {
+void WriteBytes(std::ostream& out, const std::vector<uint8_t>& values) {
   out.write(reinterpret_cast<const char*>(values.data()),
             static_cast<std::streamsize>(values.size()));
 }
 
-bool ReadU64(std::ifstream& in, uint64_t* value) {
+bool ReadU64(std::istream& in, uint64_t* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(*value));
   return in.gcount() == sizeof(*value);
 }
 
-bool ReadDoubles(std::ifstream& in, size_t count, Vec* values) {
+bool ReadDoubles(std::istream& in, size_t count, Vec* values) {
   values->resize(count);
   in.read(reinterpret_cast<char*>(values->data()),
           static_cast<std::streamsize>(count * sizeof(double)));
   return in.gcount() == static_cast<std::streamsize>(count * sizeof(double));
 }
 
-bool ReadBytes(std::ifstream& in, size_t count, std::vector<uint8_t>* values) {
+bool ReadBytes(std::istream& in, size_t count, std::vector<uint8_t>* values) {
   values->resize(count);
   in.read(reinterpret_cast<char*>(values->data()),
           static_cast<std::streamsize>(count));
@@ -59,7 +61,7 @@ struct VflLogHeader {
   uint64_t trace_len = 0;
 };
 
-Status ReadHeader(std::ifstream& in, const std::string& path,
+Status ReadHeader(std::istream& in, const std::string& path,
                   VflLogHeader* header) {
   char magic[8];
   in.read(magic, sizeof(magic));
@@ -84,7 +86,7 @@ Status ReadHeader(std::ifstream& in, const std::string& path,
   return Status::OK();
 }
 
-Status ReadEpochRecord(std::ifstream& in, const VflLogHeader& header,
+Status ReadEpochRecord(std::istream& in, const VflLogHeader& header,
                        VflEpochRecord* record) {
   Vec lr, weights;
   if (!ReadDoubles(in, 1, &lr) ||
@@ -113,7 +115,7 @@ Status ReadEpochRecord(std::ifstream& in, const VflLogHeader& header,
   return Status::OK();
 }
 
-Status ReadTrailer(std::ifstream& in, const VflLogHeader& header,
+Status ReadTrailer(std::istream& in, const VflLogHeader& header,
                    VflTrainingLog* log) {
   Vec losses;
   if (!ReadDoubles(in, header.p, &log->final_params)) {
@@ -165,7 +167,7 @@ Status ReadTrailer(std::ifstream& in, const VflLogHeader& header,
 
 }  // namespace
 
-Status SaveVflTrainingLog(const VflTrainingLog& log, const std::string& path) {
+Result<std::string> SerializeVflTrainingLog(const VflTrainingLog& log) {
   const size_t epochs = log.epochs.size();
   const size_t p = log.final_params.size();
   const size_t n = epochs == 0 ? 0 : log.epochs[0].weights.size();
@@ -176,8 +178,7 @@ Status SaveVflTrainingLog(const VflTrainingLog& log, const std::string& path) {
       return Status::InvalidArgument("ragged VFL training log");
     }
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  std::ostringstream out(std::ios::binary);
   out.write(kMagicV2, sizeof(kMagicV2));
   WriteU64(out, epochs);
   WriteU64(out, n);
@@ -208,15 +209,15 @@ Status SaveVflTrainingLog(const VflTrainingLog& log, const std::string& path) {
     WriteU64(out, static_cast<uint64_t>(event.reason));
     WriteDoubles(out, Vec{event.norm});
   }
-  if (!out) return Status::Internal("write to " + path + " failed");
-  return Status::OK();
+  if (!out) return Status::Internal("VFL log serialization failed");
+  return std::move(out).str();
 }
 
-Result<VflTrainingLog> LoadVflTrainingLog(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
+Result<VflTrainingLog> ParseVflTrainingLog(const std::string& data,
+                                           const std::string& name) {
+  std::istringstream in(data, std::ios::binary);
   VflLogHeader header;
-  DIGFL_RETURN_IF_ERROR(ReadHeader(in, path, &header));
+  DIGFL_RETURN_IF_ERROR(ReadHeader(in, name, &header));
   VflTrainingLog log;
   log.epochs.reserve(header.epochs);
   for (uint64_t t = 0; t < header.epochs; ++t) {
@@ -228,9 +229,19 @@ Result<VflTrainingLog> LoadVflTrainingLog(const std::string& path) {
   return log;
 }
 
+Status SaveVflTrainingLog(const VflTrainingLog& log, const std::string& path) {
+  DIGFL_ASSIGN_OR_RETURN(std::string blob, SerializeVflTrainingLog(log));
+  return ckpt::AtomicWriteFile(path, blob);
+}
+
+Result<VflTrainingLog> LoadVflTrainingLog(const std::string& path) {
+  DIGFL_ASSIGN_OR_RETURN(std::string data, ckpt::ReadFileToString(path));
+  return ParseVflTrainingLog(data, path);
+}
+
 Result<VflLogSalvage> SalvageVflTrainingLog(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
+  DIGFL_ASSIGN_OR_RETURN(std::string data, ckpt::ReadFileToString(path));
+  std::istringstream in(data, std::ios::binary);
   VflLogSalvage salvage;
   VflLogHeader header;
   DIGFL_RETURN_IF_ERROR(ReadHeader(in, path, &header));

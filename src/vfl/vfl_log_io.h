@@ -19,8 +19,19 @@
 
 namespace digfl {
 
-// Writes `log` to `path` (v2 layout), overwriting. Fails on I/O errors or
-// ragged records.
+// Serializes `log` to the v2 byte layout (the exact bytes
+// SaveVflTrainingLog writes). Fails on ragged records. Exposed so
+// checkpoints can embed a training log inside a larger framed record.
+Result<std::string> SerializeVflTrainingLog(const VflTrainingLog& log);
+
+// Parses a v1/v2 byte image previously produced by SerializeVflTrainingLog /
+// SaveVflTrainingLog. `name` labels error messages.
+Result<VflTrainingLog> ParseVflTrainingLog(const std::string& data,
+                                           const std::string& name);
+
+// Writes `log` to `path` (v2 layout) via the crash-safe atomic writer
+// (ckpt/atomic_file.h): a crash mid-save leaves the previous file intact,
+// never a torn one. Fails on I/O errors or ragged records.
 Status SaveVflTrainingLog(const VflTrainingLog& log, const std::string& path);
 
 // Reads a log previously written by SaveVflTrainingLog (v1 or v2). Fails on

@@ -1,0 +1,280 @@
+// Kill/resume crash harness (ctest label: "crash").
+//
+// Each trial forks a child that arms the process-global crash plan at a
+// randomized-but-reproducible ordinal (PickCrashOrdinal) and runs the
+// checkpointed trainer until the injected _exit(42) fires — mid checkpoint
+// write, before or after a rename, between the checkpoint and the manifest,
+// at an epoch boundary, wherever the ordinal lands. The parent then resumes
+// from whatever the dead child left in the store and asserts the finished
+// run is bitwise-identical to the uninterrupted reference: same serialized
+// training log, same final parameters, same φ̂ vectors. 20 kill points per
+// protocol (HFL and VFL), per the acceptance contract.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/hfl_resume.h"
+#include "ckpt/vfl_resume.h"
+#include "common/fault.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "hfl/log_io.h"
+#include "nn/logistic_regression.h"
+#include "nn/softmax_regression.h"
+#include "vfl/plain_trainer.h"
+#include "vfl/vfl_log_io.h"
+
+namespace digfl {
+namespace {
+
+constexpr int kInjectedExitCode = 42;
+constexpr int kTrials = 20;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// The HFL workload: small but exercises every resume-relevant feature —
+// lr decay, minibatch RNG streams, and a seeded fault plan.
+
+struct HflWorld {
+  SoftmaxRegression model{6, 3};
+  Dataset validation;
+  std::vector<HflParticipant> participants;
+  Vec init;
+  FedSgdConfig config;
+  FaultPlan plan;
+};
+
+HflWorld MakeHflWorld() {
+  GaussianClassificationConfig data_config;
+  data_config.num_samples = 210;
+  data_config.num_features = 6;
+  data_config.num_classes = 3;
+  data_config.seed = 4001;
+  Dataset pool = MakeGaussianClassification(data_config).value();
+  Rng rng(4002);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  FaultPlanConfig fc;
+  fc.dropout_rate = 0.15;
+  fc.corruption_rate = 0.1;
+  fc.seed = 4003;
+  HflWorld world{{6, 3},
+                 split.second,
+                 {},
+                 {},
+                 {},
+                 FaultPlan::Generate(8, 3, fc).value()};
+  auto shards = PartitionIid(split.first, 3, rng).value();
+  for (size_t i = 0; i < 3; ++i) world.participants.emplace_back(i, shards[i]);
+  world.init = Vec(world.model.NumParams(), 0.0);
+  world.config.epochs = 8;
+  world.config.learning_rate = 0.2;
+  world.config.lr_decay = 0.95;
+  world.config.batch_fraction = 0.5;
+  return world;
+}
+
+Result<ckpt::HflCheckpointedRun> RunHflWorkload(const std::string& dir,
+                                                bool resume) {
+  HflWorld world = MakeHflWorld();
+  world.config.fault_plan = &world.plan;  // bound here: `world` is settled
+  HflServer server(world.model, world.validation);
+  ckpt::CheckpointRunOptions options;
+  options.dir = dir;
+  options.resume = resume;
+  return ckpt::RunFedSgdWithCheckpoints(world.model, world.participants,
+                                        server, world.init, world.config,
+                                        options);
+}
+
+// ---------------------------------------------------------------------------
+// The VFL workload.
+
+struct VflWorld {
+  LogisticRegression model{6};
+  VflBlockModel blocks;
+  Dataset train;
+  Dataset validation;
+  VflTrainConfig config;
+  FaultPlan plan;
+};
+
+VflWorld MakeVflWorld() {
+  SyntheticLogisticConfig data_config;
+  data_config.num_samples = 220;
+  data_config.num_features = 6;
+  data_config.seed = 4101;
+  Dataset pool = MakeSyntheticLogistic(data_config).value();
+  Rng rng(4102);
+  auto split = SplitHoldout(pool, 0.15, rng).value();
+  FaultPlanConfig fc;
+  fc.dropout_rate = 0.2;
+  fc.seed = 4103;
+  VflWorld world{
+      LogisticRegression{6},
+      VflBlockModel::Create(SplitFeatureBlocks(6, 3).value(), 6).value(),
+      split.first,
+      split.second,
+      {},
+      FaultPlan::Generate(8, 3, fc).value()};
+  world.config.epochs = 8;
+  world.config.learning_rate = 0.2;
+  world.config.lr_decay = 0.96;
+  return world;
+}
+
+Result<ckpt::VflCheckpointedRun> RunVflWorkload(const std::string& dir,
+                                                bool resume) {
+  VflWorld world = MakeVflWorld();
+  world.config.fault_plan = &world.plan;  // bound here: `world` is settled
+  ckpt::CheckpointRunOptions options;
+  options.dir = dir;
+  options.resume = resume;
+  return ckpt::RunVflTrainingWithCheckpoints(world.model, world.blocks,
+                                             world.train, world.validation,
+                                             world.config, options);
+}
+
+// ---------------------------------------------------------------------------
+// The harness: fork, arm, die, resume, compare.
+
+// Runs `workload` in a forked child with the crash plan armed at `ordinal`.
+// Returns the child's exit code (kInjectedExitCode when the injected kill
+// fired; 0 when the ordinal landed after the run finished committing).
+template <typename Workload>
+int RunChildWithCrashAt(uint64_t ordinal, const Workload& workload) {
+  const pid_t pid = fork();
+  EXPECT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    CrashPlanConfig plan;
+    plan.kill_ordinal = ordinal;
+    plan.exit_code = kInjectedExitCode;
+    InstallCrashPlan(plan);
+    const bool ok = workload();
+    // _exit, never exit: an injected crash leaves no flushing behind, and a
+    // surviving child must not run the parent's atexit/gtest teardown.
+    _exit(ok ? 0 : 1);
+  }
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "child died abnormally";
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(CrashResumeTest, HflSurvivesRandomizedKillPoints) {
+  // Uninterrupted reference + crash-point census (MaybeCrash counts hits
+  // even while disarmed; InstallCrashPlan resets the counter).
+  InstallCrashPlan(CrashPlanConfig{});
+  auto ref = RunHflWorkload(FreshDir("crash_hfl_ref"), false);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  const uint64_t max_points = CrashPointHits();
+  ASSERT_GT(max_points, 0u);
+  const std::string ref_blob = SerializeTrainingLog(ref->log).value();
+
+  size_t killed = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t ordinal =
+        PickCrashOrdinal(0xc0ffee00 + static_cast<uint64_t>(trial),
+                         max_points);
+    const std::string dir = FreshDir("crash_hfl_" + std::to_string(trial));
+    const int code = RunChildWithCrashAt(
+        ordinal, [&dir]() { return RunHflWorkload(dir, false).ok(); });
+    ASSERT_TRUE(code == kInjectedExitCode || code == 0)
+        << "trial " << trial << " ordinal " << ordinal << " exit " << code;
+    killed += (code == kInjectedExitCode);
+
+    InstallCrashPlan(CrashPlanConfig{});  // the parent never crashes
+    auto resumed = RunHflWorkload(dir, true);
+    ASSERT_TRUE(resumed.ok())
+        << "trial " << trial << ": " << resumed.status().ToString();
+    EXPECT_EQ(SerializeTrainingLog(resumed->log).value(), ref_blob)
+        << "trial " << trial << " ordinal " << ordinal;
+    EXPECT_EQ(resumed->log.final_params, ref->log.final_params)
+        << "trial " << trial;
+    EXPECT_EQ(resumed->contributions.total, ref->contributions.total)
+        << "trial " << trial;
+    EXPECT_EQ(resumed->contributions.per_epoch, ref->contributions.per_epoch)
+        << "trial " << trial;
+  }
+  // The census guarantees every ordinal lands inside the run, so the
+  // injected kill must actually have fired (the harness is not vacuous).
+  EXPECT_GT(killed, 0u);
+}
+
+TEST(CrashResumeTest, VflSurvivesRandomizedKillPoints) {
+  InstallCrashPlan(CrashPlanConfig{});
+  auto ref = RunVflWorkload(FreshDir("crash_vfl_ref"), false);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  const uint64_t max_points = CrashPointHits();
+  ASSERT_GT(max_points, 0u);
+  const std::string ref_blob = SerializeVflTrainingLog(ref->log).value();
+
+  size_t killed = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t ordinal =
+        PickCrashOrdinal(0xbeef00 + static_cast<uint64_t>(trial), max_points);
+    const std::string dir = FreshDir("crash_vfl_" + std::to_string(trial));
+    const int code = RunChildWithCrashAt(
+        ordinal, [&dir]() { return RunVflWorkload(dir, false).ok(); });
+    ASSERT_TRUE(code == kInjectedExitCode || code == 0)
+        << "trial " << trial << " ordinal " << ordinal << " exit " << code;
+    killed += (code == kInjectedExitCode);
+
+    InstallCrashPlan(CrashPlanConfig{});
+    auto resumed = RunVflWorkload(dir, true);
+    ASSERT_TRUE(resumed.ok())
+        << "trial " << trial << ": " << resumed.status().ToString();
+    EXPECT_EQ(SerializeVflTrainingLog(resumed->log).value(), ref_blob)
+        << "trial " << trial << " ordinal " << ordinal;
+    EXPECT_EQ(resumed->log.final_params, ref->log.final_params)
+        << "trial " << trial;
+    EXPECT_EQ(resumed->contributions.total, ref->contributions.total)
+        << "trial " << trial;
+    EXPECT_EQ(resumed->contributions.per_epoch, ref->contributions.per_epoch)
+        << "trial " << trial;
+  }
+  EXPECT_GT(killed, 0u);
+}
+
+// A double crash: kill the child, then kill a *resuming* child at a fresh
+// ordinal, then finish in-process. Recovery must compose.
+TEST(CrashResumeTest, HflSurvivesACrashDuringRecovery) {
+  InstallCrashPlan(CrashPlanConfig{});
+  auto ref = RunHflWorkload(FreshDir("crash_hfl_ref2"), false);
+  ASSERT_TRUE(ref.ok());
+  const uint64_t max_points = CrashPointHits();
+  const std::string ref_blob = SerializeTrainingLog(ref->log).value();
+
+  const std::string dir = FreshDir("crash_hfl_double");
+  const uint64_t first = PickCrashOrdinal(0xdead01, max_points);
+  const int code1 = RunChildWithCrashAt(
+      first, [&dir]() { return RunHflWorkload(dir, false).ok(); });
+  ASSERT_TRUE(code1 == kInjectedExitCode || code1 == 0);
+
+  // The resuming child exposes fewer crash points than a cold run; aim at
+  // the early ones so the second kill usually lands before completion.
+  const uint64_t second = PickCrashOrdinal(0xdead02, max_points / 2 + 1);
+  const int code2 = RunChildWithCrashAt(
+      second, [&dir]() { return RunHflWorkload(dir, true).ok(); });
+  ASSERT_TRUE(code2 == kInjectedExitCode || code2 == 0) << code2;
+
+  InstallCrashPlan(CrashPlanConfig{});
+  auto resumed = RunHflWorkload(dir, true);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(SerializeTrainingLog(resumed->log).value(), ref_blob);
+  EXPECT_EQ(resumed->contributions.total, ref->contributions.total);
+}
+
+}  // namespace
+}  // namespace digfl

@@ -1,0 +1,881 @@
+// Crash-safe checkpointing suite: CRC32 and frame layer, the atomic file
+// writer, CheckpointStore commit/recovery, Rng state round trips, the
+// HFL/VFL checkpoint codecs, and the headline determinism contract —
+// interrupting a checkpointed run and resuming it reproduces the
+// uninterrupted run bit for bit (final parameters, training log, and φ̂).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/atomic_file.h"
+#include "ckpt/crc32.h"
+#include "ckpt/frame.h"
+#include "ckpt/hfl_resume.h"
+#include "ckpt/store.h"
+#include "ckpt/vfl_resume.h"
+#include "common/fault.h"
+#include "common/rng.h"
+#include "core/digfl_hfl.h"
+#include "core/digfl_vfl.h"
+#include "core/phi_accumulator.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "hfl/log_io.h"
+#include "nn/logistic_regression.h"
+#include "nn/softmax_regression.h"
+#include "vfl/plain_trainer.h"
+#include "vfl/vfl_log_io.h"
+
+namespace digfl {
+namespace {
+
+using ckpt::AppendEndRecord;
+using ckpt::AppendMagic;
+using ckpt::AppendRecord;
+using ckpt::AtomicWriteFile;
+using ckpt::CheckpointStore;
+using ckpt::Crc32;
+using ckpt::ReadFileToString;
+using ckpt::ReadFramedFile;
+
+// A fresh directory under the test temp root (cleared of any previous run's
+// leftovers so retention/epoch assertions are exact).
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void FlipByte(const std::string& path, size_t offset_from_middle = 0) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 32u);
+  bytes[bytes.size() / 2 + offset_from_middle] ^= 0x40;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// CRC32.
+
+TEST(Crc32Test, KnownAnswer) {
+  // The IEEE 802.3 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, SeedChainsPartialResults) {
+  const uint32_t whole = Crc32("123456789");
+  const uint32_t chained = Crc32("456789", Crc32("123"));
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data = "the quick brown fox";
+  const uint32_t clean = Crc32(data);
+  for (size_t bit = 0; bit < 8; ++bit) {
+    std::string flipped = data;
+    flipped[7] ^= static_cast<char>(1 << bit);
+    EXPECT_NE(Crc32(flipped), clean) << "bit " << bit;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame layer.
+
+std::string SmallFramedFile() {
+  std::string out;
+  AppendMagic(&out);
+  AppendRecord(&out, 7, "alpha");
+  AppendRecord(&out, 9, "beta-payload");
+  AppendEndRecord(&out);
+  return out;
+}
+
+TEST(FrameTest, RoundTripPreservesTagsAndPayloads) {
+  const std::string bytes = SmallFramedFile();
+  auto records = ReadFramedFile(bytes);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].tag, 7u);
+  EXPECT_EQ((*records)[0].payload, "alpha");
+  EXPECT_EQ((*records)[1].tag, 9u);
+  EXPECT_EQ((*records)[1].payload, "beta-payload");
+}
+
+TEST(FrameTest, RejectsBadMagic) {
+  std::string bytes = SmallFramedFile();
+  bytes[0] = 'X';
+  auto records = ReadFramedFile(bytes);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ReadFramedFile("DIG").ok());  // shorter than the magic
+}
+
+TEST(FrameTest, RejectsFlippedPayloadBit) {
+  std::string bytes = SmallFramedFile();
+  // Flip one bit inside the first record's payload ("alpha").
+  bytes[ckpt::kCheckpointMagicLen + 12 + 2] ^= 0x01;
+  EXPECT_FALSE(ReadFramedFile(bytes).ok());
+}
+
+TEST(FrameTest, RejectsFlippedHeaderBit) {
+  std::string bytes = SmallFramedFile();
+  // Flip a bit in the first record's tag field: the CRC covers the header.
+  bytes[ckpt::kCheckpointMagicLen] ^= 0x02;
+  EXPECT_FALSE(ReadFramedFile(bytes).ok());
+}
+
+TEST(FrameTest, RejectsTornTail) {
+  const std::string bytes = SmallFramedFile();
+  // Any strict prefix (past the magic) is missing its terminator or has a
+  // torn record; none may parse.
+  for (size_t cut : {bytes.size() - 1, bytes.size() - 8, bytes.size() - 17}) {
+    EXPECT_FALSE(ReadFramedFile(bytes.substr(0, cut)).ok()) << cut;
+  }
+}
+
+TEST(FrameTest, RejectsMissingTerminator) {
+  std::string bytes;
+  AppendMagic(&bytes);
+  AppendRecord(&bytes, 7, "alpha");  // no AppendEndRecord
+  auto records = ReadFramedFile(bytes);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RejectsDataAfterTerminator) {
+  std::string bytes = SmallFramedFile();
+  bytes += "stray";
+  EXPECT_FALSE(ReadFramedFile(bytes).ok());
+}
+
+TEST(FrameTest, ByteCodecRoundTrip) {
+  std::string payload;
+  ckpt::ByteSink sink(&payload);
+  sink.PutU32(0xdeadbeef);
+  sink.PutU64(0x123456789abcdef0ull);
+  sink.PutDouble(-0.1);
+  sink.PutDoubles({1.5, -2.25, 0.0});
+  sink.PutBytes({1, 0, 255});
+  sink.PutString("hello");
+
+  ckpt::ByteSource source(payload);
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  double d = 0.0;
+  std::vector<double> doubles;
+  std::vector<uint8_t> bytes;
+  std::string str;
+  ASSERT_TRUE(source.GetU32(&u32).ok());
+  ASSERT_TRUE(source.GetU64(&u64).ok());
+  ASSERT_TRUE(source.GetDouble(&d).ok());
+  ASSERT_TRUE(source.GetDoubles(&doubles).ok());
+  ASSERT_TRUE(source.GetBytes(&bytes).ok());
+  ASSERT_TRUE(source.GetString(&str).ok());
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x123456789abcdef0ull);
+  EXPECT_EQ(d, -0.1);
+  EXPECT_EQ(doubles, (std::vector<double>{1.5, -2.25, 0.0}));
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{1, 0, 255}));
+  EXPECT_EQ(str, "hello");
+  EXPECT_TRUE(source.Exhausted());
+
+  // Underflow is a typed error, not a read of garbage.
+  uint64_t more = 0;
+  EXPECT_EQ(source.GetU64(&more).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file writer.
+
+TEST(AtomicFileTest, WriteReadRoundTripAndReplace) {
+  const std::string dir = FreshDir("atomic_file");
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  const std::string path = dir + "/payload.bin";
+
+  ASSERT_TRUE(AtomicWriteFile(path, "first version").ok());
+  auto first = ReadFileToString(path);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "first version");
+
+  ASSERT_TRUE(AtomicWriteFile(path, "second version, longer").ok());
+  auto second = ReadFileToString(path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "second version, longer");
+
+  // No temp file survives a successful publication.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(AtomicFileTest, MissingFileIsNotFound) {
+  auto missing = ReadFileToString(FreshDir("atomic_none") + "/nope.bin");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AtomicFileTest, WriteIntoMissingDirectoryFails) {
+  const std::string path = FreshDir("atomic_no_dir") + "/sub/payload.bin";
+  EXPECT_FALSE(AtomicWriteFile(path, "data").ok());
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore.
+
+std::string FramedPayload(const std::string& marker) {
+  std::string out;
+  AppendMagic(&out);
+  AppendRecord(&out, 42, marker);
+  AppendEndRecord(&out);
+  return out;
+}
+
+TEST(CheckpointStoreTest, CommitLoadAndRetention) {
+  const std::string dir = FreshDir("store_basic");
+  auto store = CheckpointStore::Open(dir, 2);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  ASSERT_TRUE(store->Commit(1, FramedPayload("epoch-1")).ok());
+  ASSERT_TRUE(store->Commit(2, FramedPayload("epoch-2")).ok());
+  ASSERT_TRUE(store->Commit(3, FramedPayload("epoch-3")).ok());
+  EXPECT_EQ(store->NumCommitted(), 2u);
+
+  // Retention: the oldest checkpoint is unlinked once out of the window.
+  EXPECT_FALSE(std::filesystem::exists(store->CheckpointPath(1)));
+  EXPECT_TRUE(std::filesystem::exists(store->CheckpointPath(2)));
+  EXPECT_TRUE(std::filesystem::exists(store->CheckpointPath(3)));
+
+  auto loaded = store->LoadLatest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 3u);
+  EXPECT_EQ(loaded->payload, FramedPayload("epoch-3"));
+  EXPECT_EQ(loaded->rejected, 0u);
+
+  // Epochs must strictly increase within a store.
+  EXPECT_EQ(store->Commit(3, FramedPayload("again")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointStoreTest, ReopenRecoversHistoryFromManifest) {
+  const std::string dir = FreshDir("store_reopen");
+  {
+    auto store = CheckpointStore::Open(dir, 3);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Commit(5, FramedPayload("five")).ok());
+    ASSERT_TRUE(store->Commit(8, FramedPayload("eight")).ok());
+  }
+  auto reopened = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->NumCommitted(), 2u);
+  auto loaded = reopened->LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 8u);
+  EXPECT_EQ(loaded->payload, FramedPayload("eight"));
+}
+
+TEST(CheckpointStoreTest, BitFlippedLatestFallsBackToPreviousGood) {
+  const std::string dir = FreshDir("store_bitflip");
+  auto store = CheckpointStore::Open(dir, 2);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Commit(1, FramedPayload("good-old")).ok());
+  ASSERT_TRUE(store->Commit(2, FramedPayload("good-new")).ok());
+  FlipByte(store->CheckpointPath(2));
+
+  auto loaded = store->LoadLatest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 1u);
+  EXPECT_EQ(loaded->payload, FramedPayload("good-old"));
+  EXPECT_EQ(loaded->rejected, 1u);
+}
+
+TEST(CheckpointStoreTest, AllCheckpointsCorruptIsNotFound) {
+  const std::string dir = FreshDir("store_all_corrupt");
+  auto store = CheckpointStore::Open(dir, 2);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Commit(1, FramedPayload("a")).ok());
+  ASSERT_TRUE(store->Commit(2, FramedPayload("b")).ok());
+  FlipByte(store->CheckpointPath(1));
+  FlipByte(store->CheckpointPath(2));
+  auto loaded = store->LoadLatest();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointStoreTest, TruncateAfterDropsStaleEntriesAndFiles) {
+  const std::string dir = FreshDir("store_truncate");
+  auto store = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Commit(1, FramedPayload("one")).ok());
+  ASSERT_TRUE(store->Commit(2, FramedPayload("two")).ok());
+  ASSERT_TRUE(store->Commit(3, FramedPayload("three")).ok());
+
+  ASSERT_TRUE(store->TruncateAfter(1).ok());
+  EXPECT_EQ(store->NumCommitted(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(store->CheckpointPath(2)));
+  EXPECT_FALSE(std::filesystem::exists(store->CheckpointPath(3)));
+
+  // The rerun timeline can now re-commit the truncated epochs...
+  ASSERT_TRUE(store->Commit(2, FramedPayload("two-again")).ok());
+  auto loaded = store->LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 2u);
+  EXPECT_EQ(loaded->payload, FramedPayload("two-again"));
+
+  // ...and the truncation is durable across a reopen.
+  auto reopened = CheckpointStore::Open(dir, 3);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->NumCommitted(), 2u);
+
+  // Truncating past the newest entry is a no-op.
+  ASSERT_TRUE(store->TruncateAfter(99).ok());
+  EXPECT_EQ(store->NumCommitted(), 2u);
+}
+
+TEST(CheckpointStoreTest, CorruptManifestDegradesToDirectoryScan) {
+  const std::string dir = FreshDir("store_bad_manifest");
+  {
+    auto store = CheckpointStore::Open(dir, 2);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Commit(4, FramedPayload("four")).ok());
+    ASSERT_TRUE(store->Commit(6, FramedPayload("six")).ok());
+  }
+  {
+    std::ofstream out(dir + "/MANIFEST", std::ios::binary | std::ios::trunc);
+    out << "not a manifest at all";
+  }
+  auto store = CheckpointStore::Open(dir, 2);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->NumCommitted(), 2u);
+  auto loaded = store->LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 6u);
+  EXPECT_EQ(loaded->payload, FramedPayload("six"));
+}
+
+TEST(CheckpointStoreTest, MissingManifestDegradesToDirectoryScan) {
+  const std::string dir = FreshDir("store_no_manifest");
+  {
+    auto store = CheckpointStore::Open(dir, 2);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Commit(9, FramedPayload("nine")).ok());
+  }
+  std::filesystem::remove(dir + "/MANIFEST");
+  auto store = CheckpointStore::Open(dir, 2);
+  ASSERT_TRUE(store.ok());
+  auto loaded = store->LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 9u);
+}
+
+TEST(CheckpointStoreTest, EmptyStoreIsNotFoundAndKeepIsValidated) {
+  auto store = CheckpointStore::Open(FreshDir("store_empty"), 2);
+  ASSERT_TRUE(store.ok());
+  auto loaded = store->LoadLatest();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+
+  EXPECT_FALSE(CheckpointStore::Open(FreshDir("store_keep1"), 1).ok());
+  EXPECT_FALSE(CheckpointStore::Open("", 2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Rng state round trips (the HFL minibatch streams ride in checkpoints).
+
+TEST(RngStateTest, SaveRestoreResumesTheStreamExactly) {
+  Rng rng(0xabcdef);
+  for (int i = 0; i < 17; ++i) rng.NextBits();  // advance off the seed point
+  const std::string state = rng.SaveState();
+
+  std::vector<uint64_t> tail_a;
+  for (int i = 0; i < 32; ++i) tail_a.push_back(rng.NextBits());
+
+  Rng restored(1);  // different seed: RestoreState must overwrite everything
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(restored.seed(), 0xabcdefu);
+  std::vector<uint64_t> tail_b;
+  for (int i = 0; i < 32; ++i) tail_b.push_back(restored.NextBits());
+  EXPECT_EQ(tail_a, tail_b);
+}
+
+TEST(RngStateTest, RestoreRejectsMalformedStateAndKeepsTheStream) {
+  Rng rng(7);
+  const uint64_t before = Rng(7).NextBits();
+  EXPECT_FALSE(rng.RestoreState("definitely not an rng state").ok());
+  EXPECT_FALSE(rng.RestoreState("").ok());
+  // The stream is untouched by the failed restores.
+  EXPECT_EQ(rng.NextBits(), before);
+}
+
+// ---------------------------------------------------------------------------
+// HFL checkpoint codec + checkpointed training.
+
+struct HflWorld {
+  SoftmaxRegression model{6, 3};
+  Dataset validation;
+  std::vector<HflParticipant> participants;
+  Vec init;
+  FedSgdConfig config;
+};
+
+HflWorld MakeHflWorld(size_t n, size_t epochs, uint64_t seed) {
+  GaussianClassificationConfig data_config;
+  data_config.num_samples = 240;
+  data_config.num_features = 6;
+  data_config.num_classes = 3;
+  data_config.seed = seed;
+  Dataset pool = MakeGaussianClassification(data_config).value();
+  Rng rng(seed + 1);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  HflWorld world;
+  world.validation = split.second;
+  auto shards = PartitionIid(split.first, n, rng).value();
+  for (size_t i = 0; i < n; ++i) world.participants.emplace_back(i, shards[i]);
+  world.init = Vec(world.model.NumParams(), 0.0);
+  world.config.epochs = epochs;
+  world.config.learning_rate = 0.2;
+  return world;
+}
+
+TEST(HflCheckpointCodecTest, EncodeDecodeRoundTripIsBitwise) {
+  HflWorld world = MakeHflWorld(3, 4, 211);
+  HflServer server(world.model, world.validation);
+  auto log = RunFedSgd(world.model, world.participants, server, world.init,
+                       world.config);
+  ASSERT_TRUE(log.ok());
+
+  HflPhiAccumulator accumulator(3);
+  for (const HflEpochRecord& record : log->epochs) {
+    ASSERT_TRUE(accumulator.Consume(server, record).ok());
+  }
+  Rng stream(5);
+  stream.NextBits();
+  const std::vector<std::string> rng_states = {stream.SaveState(),
+                                               Rng(6).SaveState(),
+                                               Rng(7).SaveState()};
+  auto payload = ckpt::EncodeHflCheckpoint(log->num_epochs(), 0.125,
+                                           rng_states, *log, accumulator);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+
+  auto state = ckpt::DecodeHflCheckpoint(*payload);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(state->next_epoch, log->num_epochs());
+  EXPECT_EQ(state->learning_rate, 0.125);
+  EXPECT_EQ(state->batch_rng_states, rng_states);
+  EXPECT_EQ(state->phi_total, accumulator.total());
+  EXPECT_EQ(state->phi_per_epoch, accumulator.per_epoch());
+  // The embedded log round-trips bitwise (compare serialized images).
+  EXPECT_EQ(SerializeTrainingLog(state->log).value(),
+            SerializeTrainingLog(*log).value());
+  // The comm meter is restored from its own record.
+  EXPECT_EQ(state->log.comm.ByChannel(), log->comm.ByChannel());
+}
+
+TEST(HflCheckpointCodecTest, RejectsIncoherentCheckpoints) {
+  HflWorld world = MakeHflWorld(3, 3, 221);
+  HflServer server(world.model, world.validation);
+  auto log = RunFedSgd(world.model, world.participants, server, world.init,
+                       world.config);
+  ASSERT_TRUE(log.ok());
+  HflPhiAccumulator accumulator(3);
+  for (const HflEpochRecord& record : log->epochs) {
+    ASSERT_TRUE(accumulator.Consume(server, record).ok());
+  }
+
+  // next_epoch inconsistent with the embedded log prefix.
+  auto skewed = ckpt::EncodeHflCheckpoint(log->num_epochs() + 1, 0.1, {},
+                                          *log, accumulator);
+  ASSERT_TRUE(skewed.ok());
+  EXPECT_EQ(ckpt::DecodeHflCheckpoint(*skewed).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // φ̂ rows inconsistent with the log prefix (empty accumulator).
+  HflPhiAccumulator empty(3);
+  auto no_phi =
+      ckpt::EncodeHflCheckpoint(log->num_epochs(), 0.1, {}, *log, empty);
+  ASSERT_TRUE(no_phi.ok());
+  EXPECT_FALSE(ckpt::DecodeHflCheckpoint(*no_phi).ok());
+
+  // RNG stream count inconsistent with the participant count.
+  auto bad_rng = ckpt::EncodeHflCheckpoint(log->num_epochs(), 0.1,
+                                           {Rng(1).SaveState()}, *log,
+                                           accumulator);
+  ASSERT_TRUE(bad_rng.ok());
+  EXPECT_FALSE(ckpt::DecodeHflCheckpoint(*bad_rng).ok());
+
+  // Duplicate record tag.
+  auto good = ckpt::EncodeHflCheckpoint(log->num_epochs(), 0.1, {}, *log,
+                                        accumulator);
+  ASSERT_TRUE(good.ok());
+  std::string doubled = good->substr(0, good->size() - 16);  // drop the end
+  AppendRecord(&doubled, ckpt::kPhiTag, "shadow");
+  AppendEndRecord(&doubled);
+  EXPECT_EQ(ckpt::DecodeHflCheckpoint(doubled).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A flipped bit anywhere fails frame validation before decoding.
+  std::string flipped = *good;
+  flipped[flipped.size() / 2] ^= 0x10;
+  EXPECT_FALSE(ckpt::DecodeHflCheckpoint(flipped).ok());
+}
+
+TEST(HflCheckpointRunTest, ValidatesItsConfiguration) {
+  HflWorld world = MakeHflWorld(3, 3, 231);
+  HflServer server(world.model, world.validation);
+  ckpt::CheckpointRunOptions options;
+  options.dir = FreshDir("hfl_cfg");
+
+  FedSgdConfig no_log = world.config;
+  no_log.record_log = false;
+  EXPECT_FALSE(ckpt::RunFedSgdWithCheckpoints(world.model, world.participants,
+                                              server, world.init, no_log,
+                                              options)
+                   .ok());
+
+  ckpt::CheckpointRunOptions zero_every = options;
+  zero_every.every = 0;
+  EXPECT_FALSE(ckpt::RunFedSgdWithCheckpoints(world.model, world.participants,
+                                              server, world.init, world.config,
+                                              zero_every)
+                   .ok());
+}
+
+TEST(HflCheckpointRunTest, CadenceCommitsEveryKAndAlwaysTheFinalEpoch) {
+  HflWorld world = MakeHflWorld(3, 7, 241);
+  HflServer server(world.model, world.validation);
+  ckpt::CheckpointRunOptions options;
+  options.dir = FreshDir("hfl_cadence");
+  options.every = 3;
+  auto run = ckpt::RunFedSgdWithCheckpoints(world.model, world.participants,
+                                            server, world.init, world.config,
+                                            options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // Commits at epochs 3, 6, and the final epoch 7.
+  EXPECT_EQ(run->checkpoints_written, 3u);
+  EXPECT_FALSE(run->resumed);
+
+  auto store = CheckpointStore::Open(options.dir, options.keep);
+  ASSERT_TRUE(store.ok());
+  auto loaded = store->LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 7u);
+}
+
+TEST(HflCheckpointRunTest, ResumeOnEmptyStoreIsAColdStart) {
+  HflWorld world = MakeHflWorld(3, 4, 251);
+  ckpt::CheckpointRunOptions cold;
+  cold.dir = FreshDir("hfl_cold");
+  cold.resume = true;
+  HflServer server(world.model, world.validation);
+  auto run = ckpt::RunFedSgdWithCheckpoints(world.model, world.participants,
+                                            server, world.init, world.config,
+                                            cold);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(run->resumed);
+  EXPECT_EQ(run->log.num_epochs(), 4u);
+}
+
+// The headline contract: interrupt + resume == uninterrupted, bit for bit,
+// including minibatch RNG streams, lr decay, faults, and φ̂.
+TEST(HflCheckpointRunTest, InterruptedResumeIsBitwiseIdentical) {
+  HflWorld world = MakeHflWorld(4, 10, 261);
+  world.config.lr_decay = 0.95;
+  world.config.batch_fraction = 0.5;  // exercises the RNG stream state
+  FaultPlanConfig fc;
+  fc.dropout_rate = 0.15;
+  fc.corruption_rate = 0.1;
+  fc.seed = 262;
+  auto plan = FaultPlan::Generate(world.config.epochs, 4, fc);
+  ASSERT_TRUE(plan.ok());
+  world.config.fault_plan = &*plan;
+
+  // Uninterrupted reference (checkpointed, so φ̂ comes from the same
+  // accumulator path).
+  ckpt::CheckpointRunOptions ref_options;
+  ref_options.dir = FreshDir("hfl_ref");
+  HflServer ref_server(world.model, world.validation);
+  auto ref = ckpt::RunFedSgdWithCheckpoints(world.model, world.participants,
+                                            ref_server, world.init,
+                                            world.config, ref_options);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  const std::string ref_log_blob = SerializeTrainingLog(ref->log).value();
+
+  // The checkpoint hook must not perturb training: a plain run matches.
+  HflServer plain_server(world.model, world.validation);
+  auto plain = RunFedSgd(world.model, world.participants, plain_server,
+                         world.init, world.config);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(SerializeTrainingLog(*plain).value(), ref_log_blob);
+
+  // Interrupted run: stop after 6 of 10 epochs (the final-epoch commit rule
+  // leaves a checkpoint at the stop point), then resume to completion.
+  ckpt::CheckpointRunOptions options;
+  options.dir = FreshDir("hfl_resume");
+  FedSgdConfig partial = world.config;
+  partial.epochs = 6;
+  HflServer server_a(world.model, world.validation);
+  auto interrupted = ckpt::RunFedSgdWithCheckpoints(
+      world.model, world.participants, server_a, world.init, partial, options);
+  ASSERT_TRUE(interrupted.ok()) << interrupted.status().ToString();
+
+  options.resume = true;
+  HflServer server_b(world.model, world.validation);
+  auto resumed = ckpt::RunFedSgdWithCheckpoints(world.model,
+                                                world.participants, server_b,
+                                                world.init, world.config,
+                                                options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->resumed_from_epoch, 6u);
+  EXPECT_EQ(resumed->checkpoints_rejected, 0u);
+
+  EXPECT_EQ(SerializeTrainingLog(resumed->log).value(), ref_log_blob);
+  EXPECT_EQ(resumed->log.final_params, ref->log.final_params);
+  EXPECT_EQ(resumed->contributions.total, ref->contributions.total);
+  EXPECT_EQ(resumed->contributions.per_epoch, ref->contributions.per_epoch);
+
+  // And the accumulator path is bitwise-equal to the batch evaluator.
+  auto batch = EvaluateHflContributions(world.model, world.participants,
+                                        ref_server, ref->log);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->total, ref->contributions.total);
+  EXPECT_EQ(batch->per_epoch, ref->contributions.per_epoch);
+}
+
+// A bit-flipped newest checkpoint is rejected by CRC and resume falls back
+// to the previous good one — and still lands on the bitwise-identical end
+// state.
+TEST(HflCheckpointRunTest, ResumeFallsBackPastABitFlippedCheckpoint) {
+  HflWorld world = MakeHflWorld(3, 8, 271);
+  world.config.lr_decay = 0.97;
+
+  ckpt::CheckpointRunOptions ref_options;
+  ref_options.dir = FreshDir("hfl_flip_ref");
+  HflServer ref_server(world.model, world.validation);
+  auto ref = ckpt::RunFedSgdWithCheckpoints(world.model, world.participants,
+                                            ref_server, world.init,
+                                            world.config, ref_options);
+  ASSERT_TRUE(ref.ok());
+
+  ckpt::CheckpointRunOptions options;
+  options.dir = FreshDir("hfl_flip");
+  FedSgdConfig partial = world.config;
+  partial.epochs = 5;
+  HflServer server_a(world.model, world.validation);
+  auto interrupted = ckpt::RunFedSgdWithCheckpoints(
+      world.model, world.participants, server_a, world.init, partial, options);
+  ASSERT_TRUE(interrupted.ok());
+
+  // Corrupt the newest checkpoint (epoch 5); epoch 4 is still retained.
+  auto store = CheckpointStore::Open(options.dir, options.keep);
+  ASSERT_TRUE(store.ok());
+  FlipByte(store->CheckpointPath(5));
+
+  options.resume = true;
+  HflServer server_b(world.model, world.validation);
+  auto resumed = ckpt::RunFedSgdWithCheckpoints(world.model,
+                                                world.participants, server_b,
+                                                world.init, world.config,
+                                                options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->resumed_from_epoch, 4u);
+  EXPECT_EQ(resumed->checkpoints_rejected, 1u);
+  EXPECT_EQ(SerializeTrainingLog(resumed->log).value(),
+            SerializeTrainingLog(ref->log).value());
+  EXPECT_EQ(resumed->contributions.total, ref->contributions.total);
+}
+
+// Every retained checkpoint corrupt: resume degrades to a cold start (and
+// clears the unusable entries so the rerun can commit from epoch 1 again).
+TEST(HflCheckpointRunTest, ResumeWithEveryCheckpointCorruptColdStarts) {
+  HflWorld world = MakeHflWorld(3, 5, 281);
+  ckpt::CheckpointRunOptions options;
+  options.dir = FreshDir("hfl_all_corrupt");
+  FedSgdConfig partial = world.config;
+  partial.epochs = 3;
+  HflServer server_a(world.model, world.validation);
+  auto interrupted = ckpt::RunFedSgdWithCheckpoints(
+      world.model, world.participants, server_a, world.init, partial, options);
+  ASSERT_TRUE(interrupted.ok());
+
+  auto store = CheckpointStore::Open(options.dir, options.keep);
+  ASSERT_TRUE(store.ok());
+  FlipByte(store->CheckpointPath(2));
+  FlipByte(store->CheckpointPath(3));
+
+  options.resume = true;
+  HflServer server_b(world.model, world.validation);
+  auto resumed = ckpt::RunFedSgdWithCheckpoints(world.model,
+                                                world.participants, server_b,
+                                                world.init, world.config,
+                                                options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed->resumed);
+  EXPECT_EQ(resumed->log.num_epochs(), 5u);
+
+  HflServer plain_server(world.model, world.validation);
+  auto plain = RunFedSgd(world.model, world.participants, plain_server,
+                         world.init, world.config);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(SerializeTrainingLog(resumed->log).value(),
+            SerializeTrainingLog(*plain).value());
+}
+
+// ---------------------------------------------------------------------------
+// VFL checkpoint codec + checkpointed training.
+
+struct VflWorld {
+  LogisticRegression model{6};
+  VflBlockModel blocks;
+  Dataset train;
+  Dataset validation;
+  VflTrainConfig config;
+};
+
+VflWorld MakeVflWorld(size_t epochs, uint64_t seed) {
+  SyntheticLogisticConfig data_config;
+  data_config.num_samples = 260;
+  data_config.num_features = 6;
+  data_config.seed = seed;
+  Dataset pool = MakeSyntheticLogistic(data_config).value();
+  Rng rng(seed + 1);
+  auto split = SplitHoldout(pool, 0.15, rng).value();
+  VflWorld world{
+      LogisticRegression{6},
+      VflBlockModel::Create(SplitFeatureBlocks(6, 3).value(), 6).value(),
+      split.first,
+      split.second,
+      {}};
+  world.config.epochs = epochs;
+  world.config.learning_rate = 0.2;
+  return world;
+}
+
+TEST(VflCheckpointCodecTest, EncodeDecodeRoundTripIsBitwise) {
+  VflWorld world = MakeVflWorld(4, 311);
+  auto log = RunVflTraining(world.model, world.blocks, world.train,
+                            world.validation, world.config);
+  ASSERT_TRUE(log.ok());
+  VflPhiAccumulator accumulator(3);
+  for (const VflEpochRecord& record : log->epochs) {
+    ASSERT_TRUE(
+        accumulator.Consume(world.model, world.blocks, world.validation,
+                            record)
+            .ok());
+  }
+
+  auto payload =
+      ckpt::EncodeVflCheckpoint(log->num_epochs(), 0.2, *log, accumulator);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  auto state = ckpt::DecodeVflCheckpoint(*payload);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(state->next_epoch, log->num_epochs());
+  EXPECT_EQ(state->phi_total, accumulator.total());
+  EXPECT_EQ(state->phi_per_epoch, accumulator.per_epoch());
+  EXPECT_EQ(SerializeVflTrainingLog(state->log).value(),
+            SerializeVflTrainingLog(*log).value());
+  EXPECT_EQ(state->log.comm.ByChannel(), log->comm.ByChannel());
+
+  // The protocols do not cross-load: an HFL decoder rejects a VFL image.
+  EXPECT_EQ(ckpt::DecodeHflCheckpoint(*payload).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(VflCheckpointRunTest, InterruptedResumeIsBitwiseIdentical) {
+  VflWorld world = MakeVflWorld(8, 321);
+  world.config.lr_decay = 0.96;
+  FaultPlanConfig fc;
+  fc.dropout_rate = 0.2;
+  fc.seed = 322;
+  auto plan = FaultPlan::Generate(world.config.epochs, 3, fc);
+  ASSERT_TRUE(plan.ok());
+  world.config.fault_plan = &*plan;
+
+  ckpt::CheckpointRunOptions ref_options;
+  ref_options.dir = FreshDir("vfl_ref");
+  auto ref = ckpt::RunVflTrainingWithCheckpoints(world.model, world.blocks,
+                                                 world.train, world.validation,
+                                                 world.config, ref_options);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  const std::string ref_log_blob = SerializeVflTrainingLog(ref->log).value();
+
+  // Hook-free run matches: checkpointing never perturbs training.
+  auto plain = RunVflTraining(world.model, world.blocks, world.train,
+                              world.validation, world.config);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(SerializeVflTrainingLog(*plain).value(), ref_log_blob);
+
+  ckpt::CheckpointRunOptions options;
+  options.dir = FreshDir("vfl_resume");
+  VflTrainConfig partial = world.config;
+  partial.epochs = 5;
+  auto interrupted = ckpt::RunVflTrainingWithCheckpoints(
+      world.model, world.blocks, world.train, world.validation, partial,
+      options);
+  ASSERT_TRUE(interrupted.ok()) << interrupted.status().ToString();
+
+  options.resume = true;
+  auto resumed = ckpt::RunVflTrainingWithCheckpoints(
+      world.model, world.blocks, world.train, world.validation, world.config,
+      options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->resumed_from_epoch, 5u);
+  EXPECT_EQ(SerializeVflTrainingLog(resumed->log).value(), ref_log_blob);
+  EXPECT_EQ(resumed->log.final_params, ref->log.final_params);
+  EXPECT_EQ(resumed->contributions.total, ref->contributions.total);
+  EXPECT_EQ(resumed->contributions.per_epoch, ref->contributions.per_epoch);
+
+  // Accumulator path == batch first-order evaluator, bitwise.
+  auto batch = EvaluateVflContributions(world.model, world.blocks, world.train,
+                                        world.validation, ref->log);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->total, ref->contributions.total);
+  EXPECT_EQ(batch->per_epoch, ref->contributions.per_epoch);
+}
+
+TEST(VflCheckpointRunTest, ResumeFallsBackPastABitFlippedCheckpoint) {
+  VflWorld world = MakeVflWorld(7, 331);
+
+  ckpt::CheckpointRunOptions ref_options;
+  ref_options.dir = FreshDir("vfl_flip_ref");
+  auto ref = ckpt::RunVflTrainingWithCheckpoints(world.model, world.blocks,
+                                                 world.train, world.validation,
+                                                 world.config, ref_options);
+  ASSERT_TRUE(ref.ok());
+
+  ckpt::CheckpointRunOptions options;
+  options.dir = FreshDir("vfl_flip");
+  VflTrainConfig partial = world.config;
+  partial.epochs = 4;
+  auto interrupted = ckpt::RunVflTrainingWithCheckpoints(
+      world.model, world.blocks, world.train, world.validation, partial,
+      options);
+  ASSERT_TRUE(interrupted.ok());
+
+  auto store = CheckpointStore::Open(options.dir, options.keep);
+  ASSERT_TRUE(store.ok());
+  FlipByte(store->CheckpointPath(4));
+
+  options.resume = true;
+  auto resumed = ckpt::RunVflTrainingWithCheckpoints(
+      world.model, world.blocks, world.train, world.validation, world.config,
+      options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->resumed_from_epoch, 3u);
+  EXPECT_EQ(resumed->checkpoints_rejected, 1u);
+  EXPECT_EQ(SerializeVflTrainingLog(resumed->log).value(),
+            SerializeVflTrainingLog(ref->log).value());
+  EXPECT_EQ(resumed->contributions.total, ref->contributions.total);
+}
+
+}  // namespace
+}  // namespace digfl

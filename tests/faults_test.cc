@@ -784,5 +784,132 @@ TEST(LogSalvageTest, NonFinitePayloadIsRejectedNotPropagated) {
   EXPECT_GE(salvage->epochs_recovered, 3u);
 }
 
+// A cut that lands *inside* the final epoch record (not somewhere random in
+// the file) drops exactly that epoch: salvage keeps every complete record
+// before the tear.
+TEST(LogSalvageTest, CutMidFinalEpochRecordDropsExactlyThatEpoch) {
+  FaultWorld world = MakeFaultWorld(3, 6, 0.1, 151);
+  FaultPlanConfig fc;
+  fc.seed = 152;
+  auto plan = FaultPlan::Generate(world.config.epochs, 3, fc);
+  ASSERT_TRUE(plan.ok());
+  HflTrainingLog log = TrainFaultyLoggedRun(world, *plan);
+  const std::string path = ::testing::TempDir() + "/digfl_midrecord.bin";
+  ASSERT_TRUE(SaveTrainingLog(log, path).ok());
+
+  // Locate the last epoch's θ_{t-1} by its serialized byte pattern and cut a
+  // few bytes past it — squarely inside the final epoch record.
+  const size_t last = log.num_epochs() - 1;
+  const double target = log.epochs[last].params_before[0];
+  ASSERT_NE(target, 0.0);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::string needle(reinterpret_cast<const char*>(&target),
+                           sizeof(target));
+  const size_t offset = bytes.find(needle);
+  ASSERT_NE(offset, std::string::npos);
+  const std::string torn = ::testing::TempDir() + "/digfl_midrecord_cut.bin";
+  {
+    std::ofstream out(torn, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(offset + 11));
+  }
+
+  EXPECT_FALSE(LoadTrainingLog(torn).ok());
+  auto salvage = SalvageTrainingLog(torn);
+  ASSERT_TRUE(salvage.ok()) << salvage.status().ToString();
+  EXPECT_FALSE(salvage->trailer_intact);
+  EXPECT_EQ(salvage->epochs_declared, log.num_epochs());
+  ASSERT_EQ(salvage->epochs_recovered, last);
+  for (size_t t = 0; t < last; ++t) {
+    EXPECT_EQ(salvage->log.epochs[t].params_before,
+              log.epochs[t].params_before);
+    EXPECT_EQ(salvage->log.epochs[t].present, log.epochs[t].present);
+  }
+}
+
+// A file that lost only its trailer (final params + traces + fault stats)
+// still yields every epoch; the salvage just flags the trailer as gone.
+TEST(LogSalvageTest, TornTrailerKeepsEveryEpoch) {
+  FaultWorld world = MakeFaultWorld(3, 5, 0.1, 161);
+  FaultPlanConfig fc;
+  fc.seed = 162;
+  auto plan = FaultPlan::Generate(world.config.epochs, 3, fc);
+  ASSERT_TRUE(plan.ok());
+  HflTrainingLog log = TrainFaultyLoggedRun(world, *plan);
+  const std::string path = ::testing::TempDir() + "/digfl_trailer.bin";
+  ASSERT_TRUE(SaveTrainingLog(log, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  const std::string torn = ::testing::TempDir() + "/digfl_trailer_cut.bin";
+  {
+    std::ofstream out(torn, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+  }
+  EXPECT_FALSE(LoadTrainingLog(torn).ok());
+  auto salvage = SalvageTrainingLog(torn);
+  ASSERT_TRUE(salvage.ok()) << salvage.status().ToString();
+  EXPECT_FALSE(salvage->trailer_intact);
+  EXPECT_EQ(salvage->epochs_recovered, log.num_epochs());
+  // The reconstructed final params fall back to the last recovered θ_{t-1}.
+  EXPECT_EQ(salvage->log.final_params,
+            log.epochs[log.num_epochs() - 1].params_before);
+}
+
+// VFL parity for the poisoned-payload case: a NaN planted mid-file is a
+// typed strict-load error and the salvage cut lands at the damaged epoch.
+TEST(LogSalvageTest, VflNonFinitePayloadIsRejectedNotPropagated) {
+  SyntheticLogisticConfig config;
+  config.num_samples = 260;
+  config.num_features = 6;
+  config.seed = 171;
+  Dataset pool = MakeSyntheticLogistic(config).value();
+  Rng rng(172);
+  auto split = SplitHoldout(pool, 0.15, rng).value();
+  const VflBlockModel blocks =
+      VflBlockModel::Create(SplitFeatureBlocks(6, 3).value(), 6).value();
+  LogisticRegression model(6);
+  VflTrainConfig tc;
+  tc.epochs = 6;
+  tc.learning_rate = 0.2;
+  auto log = RunVflTraining(model, blocks, split.first, split.second, tc);
+  ASSERT_TRUE(log.ok());
+
+  const std::string path = ::testing::TempDir() + "/digfl_vfl_poisoned.bin";
+  ASSERT_TRUE(SaveVflTrainingLog(*log, path).ok());
+  const double target = log->epochs[3].params_before[0];
+  ASSERT_NE(target, 0.0);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::string needle(reinterpret_cast<const char*>(&target),
+                           sizeof(target));
+  const size_t offset = bytes.find(needle);
+  ASSERT_NE(offset, std::string::npos);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  bytes.replace(offset, sizeof(nan),
+                std::string(reinterpret_cast<const char*>(&nan),
+                            sizeof(nan)));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  EXPECT_FALSE(LoadVflTrainingLog(path).ok());
+  auto salvage = SalvageVflTrainingLog(path);
+  ASSERT_TRUE(salvage.ok()) << salvage.status().ToString();
+  EXPECT_LT(salvage->epochs_recovered, log->num_epochs());
+  EXPECT_GE(salvage->epochs_recovered, 3u);
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(salvage->log.epochs[t].scaled_gradient,
+              log->epochs[t].scaled_gradient);
+  }
+}
+
 }  // namespace
 }  // namespace digfl

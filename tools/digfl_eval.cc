@@ -10,6 +10,8 @@
 //   digfl_eval --mode=vfl --dataset=Boston --methods=digfl,exact
 //   digfl_eval --help
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +27,9 @@
 #include "baselines/im_contribution.h"
 #include "baselines/mr_shapley.h"
 #include "baselines/tmc_shapley.h"
+#include "ckpt/hfl_resume.h"
+#include "ckpt/vfl_resume.h"
+#include "common/fault.h"
 #include "common/table_writer.h"
 #include "common/timer.h"
 #include "core/digfl_hfl.h"
@@ -60,6 +65,9 @@ struct Flags {
   uint64_t seed = 7;
   std::string csv;                   // optional output path
   std::string telemetry_out;         // optional JSONL run-report path
+  std::string checkpoint_dir;        // enables crash-safe checkpointing
+  size_t checkpoint_every = 1;       // epochs between checkpoints
+  bool resume = false;               // warm-start from checkpoint_dir
   bool help = false;
 };
 
@@ -88,7 +96,61 @@ void PrintUsage() {
   --csv=PATH                also write the result table as CSV
   --telemetry-out=PATH      append the telemetry run report (metrics, span
                             tree, events) to PATH as JSONL
+  --checkpoint-dir=DIR      crash-safe checkpointing: commit training +
+                            incremental DIG-FL state to DIR every epoch
+  --checkpoint-every=K      epochs between checkpoints (default 1; the
+                            final epoch is always committed)
+  --resume                  continue from the newest valid checkpoint in
+                            --checkpoint-dir; the finished run is bitwise
+                            identical to an uninterrupted one
 )");
+}
+
+// Typed numeric flag parsing: a malformed value is an InvalidArgument (not
+// an uncaught std::invalid_argument abort), a rate outside [0,1] is an
+// OutOfRange.
+Result<uint64_t> ParseU64Flag(const std::string& key,
+                              const std::string& value) {
+  if (value.empty() || value[0] == '-') {
+    return Status::InvalidArgument("--" + key +
+                                   " expects a non-negative integer, got \"" +
+                                   value + "\"");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    return Status::InvalidArgument("--" + key +
+                                   " expects a non-negative integer, got \"" +
+                                   value + "\"");
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+Result<double> ParseDoubleFlag(const std::string& key,
+                               const std::string& value) {
+  if (value.empty()) {
+    return Status::InvalidArgument("--" + key + " expects a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size() ||
+      !std::isfinite(parsed)) {
+    return Status::InvalidArgument("--" + key +
+                                   " expects a finite number, got \"" + value +
+                                   "\"");
+  }
+  return parsed;
+}
+
+Result<double> ParseRateFlag(const std::string& key,
+                             const std::string& value) {
+  DIGFL_ASSIGN_OR_RETURN(double rate, ParseDoubleFlag(key, value));
+  if (rate < 0.0 || rate > 1.0) {
+    return Status::OutOfRange("--" + key + " must be in [0, 1], got " + value);
+  }
+  return rate;
 }
 
 Result<Flags> ParseFlags(int argc, char** argv) {
@@ -99,30 +161,65 @@ Result<Flags> ParseFlags(int argc, char** argv) {
       flags.help = true;
       return flags;
     }
+    if (arg == "--resume") {
+      flags.resume = true;
+      continue;
+    }
     const size_t eq = arg.find('=');
     if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
       return Status::InvalidArgument("bad flag: " + arg);
     }
     const std::string key = arg.substr(2, eq - 2);
     const std::string value = arg.substr(eq + 1);
-    if (key == "mode") flags.mode = value;
-    else if (key == "dataset") flags.dataset = value;
-    else if (key == "methods") flags.methods = value;
-    else if (key == "participants") flags.participants = std::stoul(value);
-    else if (key == "mislabeled") flags.mislabeled = std::stoul(value);
-    else if (key == "noniid") flags.noniid = std::stoul(value);
-    else if (key == "mislabel-fraction")
-      flags.mislabel_fraction = std::stod(value);
-    else if (key == "epochs") flags.epochs = std::stoul(value);
-    else if (key == "lr") flags.learning_rate = std::stod(value);
-    else if (key == "sample-fraction") flags.sample_fraction = std::stod(value);
-    else if (key == "dropout-rate") flags.dropout_rate = std::stod(value);
-    else if (key == "straggler-rate") flags.straggler_rate = std::stod(value);
-    else if (key == "corruption-rate") flags.corruption_rate = std::stod(value);
-    else if (key == "seed") flags.seed = std::stoull(value);
-    else if (key == "csv") flags.csv = value;
-    else if (key == "telemetry-out") flags.telemetry_out = value;
-    else return Status::InvalidArgument("unknown flag: --" + key);
+    if (key == "mode") {
+      flags.mode = value;
+    } else if (key == "dataset") {
+      flags.dataset = value;
+    } else if (key == "methods") {
+      flags.methods = value;
+    } else if (key == "participants") {
+      DIGFL_ASSIGN_OR_RETURN(flags.participants, ParseU64Flag(key, value));
+    } else if (key == "mislabeled") {
+      DIGFL_ASSIGN_OR_RETURN(flags.mislabeled, ParseU64Flag(key, value));
+    } else if (key == "noniid") {
+      DIGFL_ASSIGN_OR_RETURN(flags.noniid, ParseU64Flag(key, value));
+    } else if (key == "mislabel-fraction") {
+      DIGFL_ASSIGN_OR_RETURN(flags.mislabel_fraction,
+                             ParseRateFlag(key, value));
+    } else if (key == "epochs") {
+      DIGFL_ASSIGN_OR_RETURN(flags.epochs, ParseU64Flag(key, value));
+    } else if (key == "lr") {
+      DIGFL_ASSIGN_OR_RETURN(flags.learning_rate,
+                             ParseDoubleFlag(key, value));
+    } else if (key == "sample-fraction") {
+      DIGFL_ASSIGN_OR_RETURN(flags.sample_fraction,
+                             ParseDoubleFlag(key, value));
+    } else if (key == "dropout-rate") {
+      DIGFL_ASSIGN_OR_RETURN(flags.dropout_rate, ParseRateFlag(key, value));
+    } else if (key == "straggler-rate") {
+      DIGFL_ASSIGN_OR_RETURN(flags.straggler_rate, ParseRateFlag(key, value));
+    } else if (key == "corruption-rate") {
+      DIGFL_ASSIGN_OR_RETURN(flags.corruption_rate, ParseRateFlag(key, value));
+    } else if (key == "seed") {
+      DIGFL_ASSIGN_OR_RETURN(flags.seed, ParseU64Flag(key, value));
+    } else if (key == "csv") {
+      flags.csv = value;
+    } else if (key == "telemetry-out") {
+      flags.telemetry_out = value;
+    } else if (key == "checkpoint-dir") {
+      flags.checkpoint_dir = value;
+    } else if (key == "checkpoint-every") {
+      DIGFL_ASSIGN_OR_RETURN(flags.checkpoint_every,
+                             ParseU64Flag(key, value));
+    } else {
+      return Status::InvalidArgument("unknown flag: --" + key);
+    }
+  }
+  if (flags.resume && flags.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
+  if (flags.checkpoint_every == 0) {
+    return Status::OutOfRange("--checkpoint-every must be >= 1");
   }
   return flags;
 }
@@ -209,8 +306,31 @@ Result<MethodReports> RunHfl(const Flags& flags, PaperDatasetId id) {
   config.learning_rate =
       flags.learning_rate > 0 ? flags.learning_rate : 0.3;
   if (fault_plan.has_value()) config.fault_plan = &*fault_plan;
-  DIGFL_ASSIGN_OR_RETURN(HflTrainingLog log,
-                         RunFedSgd(model, participants, server, init, config));
+  HflTrainingLog log;
+  std::optional<ContributionReport> checkpointed_digfl;
+  if (!flags.checkpoint_dir.empty()) {
+    ckpt::CheckpointRunOptions run_options;
+    run_options.dir = flags.checkpoint_dir;
+    run_options.every = flags.checkpoint_every;
+    run_options.resume = flags.resume;
+    DIGFL_ASSIGN_OR_RETURN(
+        ckpt::HflCheckpointedRun run,
+        ckpt::RunFedSgdWithCheckpoints(model, participants, server, init,
+                                       config, run_options));
+    if (run.resumed) {
+      std::printf("resumed from checkpoint at epoch %llu (%zu corrupt "
+                  "checkpoint(s) skipped)\n",
+                  static_cast<unsigned long long>(run.resumed_from_epoch),
+                  run.checkpoints_rejected);
+    }
+    std::printf("wrote %zu checkpoint(s) to %s\n", run.checkpoints_written,
+                flags.checkpoint_dir.c_str());
+    checkpointed_digfl = std::move(run.contributions);
+    log = std::move(run.log);
+  } else {
+    DIGFL_ASSIGN_OR_RETURN(
+        log, RunFedSgd(model, participants, server, init, config));
+  }
   std::printf("trained %s: n=%zu epochs=%zu final val acc %.3f\n",
               spec.name.c_str(), n, flags.epochs,
               log.validation_accuracy.back());
@@ -227,7 +347,11 @@ Result<MethodReports> RunHfl(const Flags& flags, PaperDatasetId id) {
 
   MethodReports reports;
   for (const std::string& method : SplitCommaList(flags.methods)) {
-    if (method == "digfl" || method == "digfl2") {
+    if (method == "digfl" && checkpointed_digfl.has_value()) {
+      // Already accumulated epoch-by-epoch alongside training (bitwise
+      // equal to the batch evaluation below).
+      reports.emplace_back(method, *checkpointed_digfl);
+    } else if (method == "digfl" || method == "digfl2") {
       DigFlHflOptions options;
       if (method == "digfl2") options.mode = HflEvaluatorMode::kInteractive;
       DIGFL_ASSIGN_OR_RETURN(
@@ -298,9 +422,33 @@ Result<MethodReports> RunVfl(const Flags& flags, PaperDatasetId id) {
   config.epochs = flags.epochs;
   config.learning_rate = lr;
   if (fault_plan.has_value()) config.fault_plan = &*fault_plan;
-  DIGFL_ASSIGN_OR_RETURN(
-      VflTrainingLog log,
-      RunVflTraining(*model, blocks, split.first, split.second, config));
+  VflTrainingLog log;
+  std::optional<ContributionReport> checkpointed_digfl;
+  if (!flags.checkpoint_dir.empty()) {
+    ckpt::CheckpointRunOptions run_options;
+    run_options.dir = flags.checkpoint_dir;
+    run_options.every = flags.checkpoint_every;
+    run_options.resume = flags.resume;
+    DIGFL_ASSIGN_OR_RETURN(
+        ckpt::VflCheckpointedRun run,
+        ckpt::RunVflTrainingWithCheckpoints(*model, blocks, split.first,
+                                            split.second, config,
+                                            run_options));
+    if (run.resumed) {
+      std::printf("resumed from checkpoint at epoch %llu (%zu corrupt "
+                  "checkpoint(s) skipped)\n",
+                  static_cast<unsigned long long>(run.resumed_from_epoch),
+                  run.checkpoints_rejected);
+    }
+    std::printf("wrote %zu checkpoint(s) to %s\n", run.checkpoints_written,
+                flags.checkpoint_dir.c_str());
+    checkpointed_digfl = std::move(run.contributions);
+    log = std::move(run.log);
+  } else {
+    DIGFL_ASSIGN_OR_RETURN(
+        log, RunVflTraining(*model, blocks, split.first, split.second,
+                            config));
+  }
   std::printf("trained %s: n=%zu epochs=%zu final val loss %.4f\n",
               spec.name.c_str(), n, flags.epochs, log.validation_loss.back());
   if (fault_plan.has_value()) {
@@ -316,7 +464,11 @@ Result<MethodReports> RunVfl(const Flags& flags, PaperDatasetId id) {
 
   MethodReports reports;
   for (const std::string& method : SplitCommaList(flags.methods)) {
-    if (method == "digfl" || method == "digfl2") {
+    if (method == "digfl" && checkpointed_digfl.has_value()) {
+      // Already accumulated epoch-by-epoch alongside training (bitwise
+      // equal to the first-order batch evaluation below).
+      reports.emplace_back(method, *checkpointed_digfl);
+    } else if (method == "digfl" || method == "digfl2") {
       DigFlVflOptions options;
       options.include_second_order = method == "digfl2";
       DIGFL_ASSIGN_OR_RETURN(
@@ -350,6 +502,9 @@ Result<MethodReports> RunVfl(const Flags& flags, PaperDatasetId id) {
 }
 
 Result<int> Main(int argc, char** argv) {
+  // Seeded crash injection for the kill/resume harness: DIGFL_CRASH_AT
+  // arms a process-global crash point (no-op when unset).
+  DIGFL_RETURN_IF_ERROR(InstallCrashPlanFromEnv());
   DIGFL_ASSIGN_OR_RETURN(Flags flags, ParseFlags(argc, argv));
   if (flags.help) {
     PrintUsage();
