@@ -98,8 +98,7 @@ int main() {
 
   std::printf("=== Ablation: encrypted VFL protocol vs plaintext ===\n");
   table.Print(std::cout);
-  UnwrapStatus(table.WriteCsv("ablation_encryption.csv"), "csv");
-  std::printf("\nwrote ablation_encryption.csv\n");
+  digfl::bench::WriteCsvResult(table, "ablation_encryption.csv");
   EmitRunTelemetry("ablation_encryption");
   return 0;
 }

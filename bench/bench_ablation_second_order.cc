@@ -107,8 +107,7 @@ int main() {
 
   std::printf("=== Ablation: second-order term vs learning rate ===\n");
   table.Print(std::cout);
-  UnwrapStatus(table.WriteCsv("ablation_second_order.csv"), "csv");
-  std::printf("\nwrote ablation_second_order.csv\n");
+  digfl::bench::WriteCsvResult(table, "ablation_second_order.csv");
   EmitRunTelemetry("ablation_second_order");
   return 0;
 }

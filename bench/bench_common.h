@@ -7,6 +7,9 @@
 #ifndef DIGFL_BENCH_BENCH_COMMON_H_
 #define DIGFL_BENCH_BENCH_COMMON_H_
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/table_writer.h"
 #include "data/corruption.h"
 #include "telemetry/sink.h"
 #include "telemetry/telemetry.h"
@@ -35,6 +39,21 @@ inline double BenchScale() {
   return scale > 0 ? scale : 1.0;
 }
 
+// Where generated artifacts (CSVs, bench JSON) land: DIGFL_RESULTS_DIR or
+// ./results, created on first use. Keeps the repo root clean — results/ is
+// git-ignored. Absolute filenames pass through untouched.
+inline std::string ResultsPath(const std::string& filename) {
+  if (!filename.empty() && filename[0] == '/') return filename;
+  const char* env = std::getenv("DIGFL_RESULTS_DIR");
+  const std::string dir =
+      (env != nullptr && env[0] != '\0') ? env : "results";
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create results dir %s\n", dir.c_str());
+    std::exit(1);
+  }
+  return dir + "/" + filename;
+}
+
 // Aborts the harness on unexpected internal errors; benches have no caller
 // to propagate a Status to.
 template <typename T>
@@ -52,6 +71,14 @@ inline void UnwrapStatus(const Status& status, const char* what) {
     std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
     std::exit(1);
   }
+}
+
+// Writes `table` under ResultsPath(filename) and announces where it went.
+inline void WriteCsvResult(const TableWriter& table,
+                           const std::string& filename) {
+  const std::string path = ResultsPath(filename);
+  UnwrapStatus(table.WriteCsv(path), "csv");
+  std::printf("wrote %s\n", path.c_str());
 }
 
 // If DIGFL_TELEMETRY_OUT names a file, appends this harness's telemetry run

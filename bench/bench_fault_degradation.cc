@@ -84,8 +84,7 @@ int main() {
 
   std::printf("=== Fault degradation: DIG-FL ranking vs dropout rate ===\n");
   table.Print(std::cout);
-  UnwrapStatus(table.WriteCsv("fault_degradation.csv"), "csv");
-  std::printf("\nwrote fault_degradation.csv\n");
+  digfl::bench::WriteCsvResult(table, "fault_degradation.csv");
   EmitRunTelemetry("fault_degradation");
   return 0;
 }

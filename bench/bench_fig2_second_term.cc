@@ -106,8 +106,7 @@ int main() {
 
   std::printf("=== Fig. 2: per-epoch contribution, full vs truncated ===\n");
   table.Print(std::cout);
-  UnwrapStatus(table.WriteCsv("fig2_second_term.csv"), "csv");
-  std::printf("\nwrote fig2_second_term.csv\n");
+  digfl::bench::WriteCsvResult(table, "fig2_second_term.csv");
   EmitRunTelemetry("fig2_second_term");
   return 0;
 }

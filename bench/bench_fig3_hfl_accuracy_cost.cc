@@ -101,8 +101,7 @@ int main() {
   std::printf(
       "=== Fig. 3: HFL estimated vs actual Shapley, accuracy and cost ===\n");
   table.Print(std::cout);
-  UnwrapStatus(table.WriteCsv("fig3_hfl_accuracy_cost.csv"), "csv");
-  std::printf("\nwrote fig3_hfl_accuracy_cost.csv\n");
+  digfl::bench::WriteCsvResult(table, "fig3_hfl_accuracy_cost.csv");
   EmitRunTelemetry("fig3_hfl_accuracy_cost");
   return 0;
 }

@@ -69,8 +69,7 @@ int main() {
       Unwrap(PearsonCorrelation(pooled_estimated, pooled_actual), "PCC");
   std::printf("\npooled per-epoch PCC across datasets/participants: %.3f\n",
               pcc);
-  UnwrapStatus(table.WriteCsv("fig6_per_epoch_shapley.csv"), "csv");
-  std::printf("wrote fig6_per_epoch_shapley.csv\n");
+  digfl::bench::WriteCsvResult(table, "fig6_per_epoch_shapley.csv");
   EmitRunTelemetry("fig6_per_epoch_shapley");
   return 0;
 }

@@ -102,10 +102,8 @@ int main() {
   accuracy_table.Print(std::cout);
   std::printf("\n=== Fig. 7 (b)/(d): convergence at m = 4 ===\n");
   trace_table.Print(std::cout);
-  UnwrapStatus(accuracy_table.WriteCsv("fig7_reweight_accuracy.csv"), "csv");
-  UnwrapStatus(trace_table.WriteCsv("fig7_reweight_convergence.csv"), "csv");
-  std::printf("\nwrote fig7_reweight_accuracy.csv, "
-              "fig7_reweight_convergence.csv\n");
+  digfl::bench::WriteCsvResult(accuracy_table, "fig7_reweight_accuracy.csv");
+  digfl::bench::WriteCsvResult(trace_table, "fig7_reweight_convergence.csv");
   EmitRunTelemetry("fig7_reweight");
   return 0;
 }

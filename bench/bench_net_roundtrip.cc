@@ -1,0 +1,172 @@
+// Perf baseline for the distributed runtime's hot path (src/net/).
+//
+// Runs a real localhost federation — one Coordinator plus N
+// ParticipantNode threads, every byte crossing actual TCP sockets — and
+// measures what the paper's communication/cost analysis cares about:
+// bytes per round (measured framed traffic, not simulated), wall-clock per
+// round, and the p50/p99 round latency distribution.
+//
+// Emits machine-readable baselines:
+//   results/BENCH_net_roundtrip.json   latency + throughput of the round loop
+//   results/BENCH_comm.json            measured per-channel byte accounting
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "net/coordinator.h"
+#include "net/participant_node.h"
+#include "telemetry/json.h"
+
+namespace {
+
+using namespace digfl;
+using bench::Unwrap;
+using bench::UnwrapStatus;
+
+// Timestamps every committed epoch; consecutive differences are the
+// per-round wall-clock samples.
+struct EpochTimestampHook : HflCheckpointHook {
+  Timer timer;
+  std::vector<double> elapsed;
+  Status OnEpoch(const HflTrainerView&) override {
+    elapsed.push_back(timer.ElapsedSeconds());
+    return Status::OK();
+  }
+};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+void WriteJson(const std::string& filename, const std::string& body) {
+  const std::string path = bench::ResultsPath(filename);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fputs(body.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const size_t kParticipants = 4;
+  const size_t kEpochs = static_cast<size_t>(30 * bench::BenchScale());
+  const uint64_t kSeed = 7;
+  const double kLearningRate = 0.3;
+
+  // The digfl_eval/digfl_node MNIST experiment at bench scale.
+  bench::HflExperimentOptions options;
+  options.num_participants = kParticipants;
+  options.sample_fraction = 0.005;
+  options.epochs = 1;  // MakeHflExperiment trains; keep its run trivial
+  options.seed = kSeed;
+  bench::HflExperiment experiment =
+      bench::MakeHflExperiment(PaperDatasetId::kMnist, options);
+  const Model& model = *experiment.model;
+  HflServer server(model, experiment.validation);
+
+  const uint64_t digest = net::FederationConfigDigest(
+      model.NumParams(), kEpochs, kLearningRate, 1.0, 1, kSeed);
+
+  net::CoordinatorOptions coordinator_options;
+  coordinator_options.num_participants = kParticipants;
+  coordinator_options.config_digest = digest;
+  std::unique_ptr<net::Coordinator> coordinator =
+      Unwrap(net::Coordinator::Create(coordinator_options), "coordinator");
+
+  std::vector<std::thread> nodes;
+  std::vector<net::ParticipantNode::Stats> node_stats(kParticipants);
+  for (size_t i = 0; i < kParticipants; ++i) {
+    net::ParticipantNodeOptions node_options;
+    node_options.port = coordinator->port();
+    node_options.participant_id = i;
+    node_options.config_digest = digest;
+    nodes.emplace_back([&, i, node_options] {
+      net::ParticipantNode node(model, experiment.participants[i],
+                                node_options);
+      UnwrapStatus(node.Run(), "participant node");
+      node_stats[i] = node.stats();
+    });
+  }
+  UnwrapStatus(coordinator->WaitForParticipants(30000), "assembly");
+
+  FedSgdConfig config;
+  config.epochs = kEpochs;
+  config.learning_rate = kLearningRate;
+  EpochTimestampHook hook;
+  config.checkpoint_hook = &hook;
+
+  Timer total;
+  HflTrainingLog log =
+      Unwrap(coordinator->RunFederatedTraining(server, experiment.init,
+                                               config),
+             "federated training");
+  const double wall_total = total.ElapsedSeconds();
+  coordinator->Shutdown("bench complete");
+  for (std::thread& node : nodes) node.join();
+
+  std::vector<double> latencies;
+  for (size_t t = 0; t < hook.elapsed.size(); ++t) {
+    latencies.push_back(t == 0 ? hook.elapsed[0]
+                               : hook.elapsed[t] - hook.elapsed[t - 1]);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double rounds = static_cast<double>(kEpochs);
+  const double bytes_total = static_cast<double>(log.comm.TotalBytes());
+
+  namespace json = telemetry::json;
+  std::string roundtrip;
+  roundtrip += "{\"bench\":\"net_roundtrip\"";
+  roundtrip += ",\"participants\":" + std::to_string(kParticipants);
+  roundtrip += ",\"rounds\":" + std::to_string(kEpochs);
+  roundtrip += ",\"num_params\":" + std::to_string(model.NumParams());
+  roundtrip += ",\"wall_seconds_total\":" + json::Number(wall_total);
+  roundtrip +=
+      ",\"wall_seconds_per_round\":" + json::Number(wall_total / rounds);
+  roundtrip += ",\"round_latency_p50_seconds\":" +
+               json::Number(Percentile(latencies, 0.50));
+  roundtrip += ",\"round_latency_p99_seconds\":" +
+               json::Number(Percentile(latencies, 0.99));
+  roundtrip += ",\"bytes_per_round\":" + json::Number(bytes_total / rounds);
+  roundtrip += ",\"final_val_acc\":" +
+               json::Number(log.validation_accuracy.back());
+  roundtrip += "}";
+  WriteJson("BENCH_net_roundtrip.json", roundtrip);
+
+  std::string comm;
+  comm += "{\"bench\":\"comm\"";
+  comm += ",\"rounds\":" + std::to_string(kEpochs);
+  comm += ",\"total_bytes\":" + json::Number(bytes_total);
+  comm += ",\"bytes_per_round\":" + json::Number(bytes_total / rounds);
+  comm += ",\"channels\":{";
+  bool first = true;
+  for (const auto& [name, bytes] : log.comm.ByChannel()) {
+    if (!first) comm += ",";
+    first = false;
+    comm += "\"" + json::Escape(name) +
+            "\":" + json::Number(static_cast<double>(bytes));
+  }
+  comm += "}}";
+  WriteJson("BENCH_comm.json", comm);
+
+  std::printf(
+      "net roundtrip: %zu participants, %zu rounds, %.1f KiB/round, "
+      "p50 %.3f ms, p99 %.3f ms\n",
+      kParticipants, kEpochs, bytes_total / rounds / 1024.0,
+      1e3 * Percentile(latencies, 0.50), 1e3 * Percentile(latencies, 0.99));
+  bench::EmitRunTelemetry("bench_net_roundtrip");
+  return 0;
+}

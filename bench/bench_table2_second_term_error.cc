@@ -101,8 +101,7 @@ int main() {
 
   std::printf("=== Table II: error of ignoring the second term ===\n");
   table.Print(std::cout);
-  UnwrapStatus(table.WriteCsv("table2_second_term_error.csv"), "csv");
-  std::printf("\nwrote table2_second_term_error.csv\n");
+  digfl::bench::WriteCsvResult(table, "table2_second_term_error.csv");
   EmitRunTelemetry("table2_second_term_error");
   return 0;
 }

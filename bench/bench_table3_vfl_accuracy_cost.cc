@@ -51,8 +51,7 @@ int main() {
 
   std::printf("=== Table III: VFL DIG-FL vs actual Shapley ===\n");
   table.Print(std::cout);
-  UnwrapStatus(table.WriteCsv("table3_vfl_accuracy_cost.csv"), "csv");
-  std::printf("\nwrote table3_vfl_accuracy_cost.csv\n");
+  digfl::bench::WriteCsvResult(table, "table3_vfl_accuracy_cost.csv");
   EmitRunTelemetry("table3_vfl_accuracy_cost");
   return 0;
 }

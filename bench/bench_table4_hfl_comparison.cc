@@ -97,8 +97,7 @@ int main() {
     }
     std::printf("  %-12s %.3f\n", name, sum / count);
   }
-  UnwrapStatus(table.WriteCsv("table4_hfl_comparison.csv"), "csv");
-  std::printf("wrote table4_hfl_comparison.csv\n");
+  digfl::bench::WriteCsvResult(table, "table4_hfl_comparison.csv");
   EmitRunTelemetry("table4_hfl_comparison");
   return 0;
 }

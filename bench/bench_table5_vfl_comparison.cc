@@ -83,8 +83,7 @@ int main() {
     }
     std::printf("  %-12s %.3f\n", name, sum / count);
   }
-  UnwrapStatus(table.WriteCsv("table5_vfl_comparison.csv"), "csv");
-  std::printf("wrote table5_vfl_comparison.csv\n");
+  digfl::bench::WriteCsvResult(table, "table5_vfl_comparison.csv");
   EmitRunTelemetry("table5_vfl_comparison");
   return 0;
 }

@@ -127,8 +127,7 @@ int main() {
 
   std::printf("=== Telemetry overhead (budget: <2%% end-to-end) ===\n");
   table.Print(std::cout);
-  UnwrapStatus(table.WriteCsv("telemetry_overhead.csv"), "csv");
-  std::printf("\nwrote telemetry_overhead.csv\n");
+  digfl::bench::WriteCsvResult(table, "telemetry_overhead.csv");
   EmitRunTelemetry("telemetry_overhead");
   return 0;
 }

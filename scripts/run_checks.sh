@@ -15,6 +15,10 @@
 #                                      # kills + resumes at seeded random
 #                                      # points and cmp's the contribution
 #                                      # CSV against an uninterrupted run
+#   scripts/run_checks.sh --net       # distributed-runtime suites
+#                                      # (ctest -L net: wire fuzzing, real
+#                                      # socket federations, forked kill-one
+#                                      # drill) under ASan AND TSan
 #   scripts/run_checks.sh --all       # everything
 set -euo pipefail
 
@@ -24,12 +28,14 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 run_asan=0
 run_tsan=0
 run_crash=0
+run_net=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --tsan) run_tsan=1 ;;
     --crash) run_crash=1 ;;
-    --all) run_asan=1; run_tsan=1; run_crash=1 ;;
+    --net) run_net=1 ;;
+    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -112,6 +118,23 @@ if [[ "$run_crash" == 1 ]]; then
         "resumed CSV identical"
     done
   done
+fi
+
+if [[ "$run_net" == 1 ]]; then
+  # The distributed runtime under both data-race and memory-error
+  # sanitizers: the label covers wire-robustness fuzzing, real-socket
+  # federations (coordinator worker threads + node threads), and the
+  # forked kill-one-participant degradation drill. Separate trees — TSan
+  # and ASan instrumentation cannot share object files.
+  echo "=== [net] ctest -L net under ASan ==="
+  cmake -B build-asan -S . -DDIGFL_SANITIZE=ON > /dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L net
+
+  echo "=== [net] ctest -L net under TSan ==="
+  cmake -B build-tsan -S . -DDIGFL_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L net
 fi
 
 echo "all requested configurations passed"

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Launches an n-process localhost HFL federation: one digfl_node
+# coordinator plus one digfl_node participant per shard, all sharing the
+# same flag-derived experiment (the handshake digest enforces it).
+#
+#   scripts/run_federation.sh                      # 4 participants, MNIST
+#   scripts/run_federation.sh -n 6 -e 10           # 6 participants, 10 epochs
+#   scripts/run_federation.sh -- --mislabeled=2    # extra digfl_node flags
+#
+# The coordinator binds an ephemeral port; the script parses it from the
+# coordinator's stdout and passes it to the participants. Output lands in
+# results/federation/ (git-ignored): per-process logs and the φ̂ CSV.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PARTICIPANTS=4
+EPOCHS=15
+DATASET=MNIST
+SAMPLE_FRACTION=0.01
+BUILD_DIR=build
+OUT_DIR=results/federation
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -n) PARTICIPANTS="$2"; shift 2 ;;
+    -e) EPOCHS="$2"; shift 2 ;;
+    -d) DATASET="$2"; shift 2 ;;
+    -f) SAMPLE_FRACTION="$2"; shift 2 ;;
+    -b) BUILD_DIR="$2"; shift 2 ;;
+    -o) OUT_DIR="$2"; shift 2 ;;
+    --) shift; break ;;
+    -h|--help)
+      echo "usage: $0 [-n participants] [-e epochs] [-d dataset]" \
+           "[-f sample_fraction] [-b build_dir] [-o out_dir] [-- extra flags]"
+      exit 0 ;;
+    *) echo "unknown flag: $1 (use -h)" >&2; exit 2 ;;
+  esac
+done
+EXTRA=("$@")
+
+NODE="$BUILD_DIR/tools/digfl_node"
+if [[ ! -x "$NODE" ]]; then
+  echo "error: $NODE not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+COMMON=(--dataset="$DATASET" --participants="$PARTICIPANTS"
+        --epochs="$EPOCHS" --sample-fraction="$SAMPLE_FRACTION"
+        "${EXTRA[@]}")
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+COORD_LOG="$OUT_DIR/coordinator.log"
+"$NODE" --role=coordinator --port=0 --csv="$OUT_DIR/contributions.csv" \
+        "${COMMON[@]}" > "$COORD_LOG" 2>&1 &
+PIDS+=($!)
+COORD_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(grep -oE 'listening on port [0-9]+' "$COORD_LOG" 2>/dev/null \
+         | grep -oE '[0-9]+' || true)
+  [[ -n "$PORT" ]] && break
+  kill -0 "$COORD_PID" 2>/dev/null || { cat "$COORD_LOG" >&2; exit 1; }
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "error: coordinator never reported its port" >&2
+  cat "$COORD_LOG" >&2
+  exit 1
+fi
+echo "coordinator up on port $PORT (pid $COORD_PID)"
+
+for ((i = 0; i < PARTICIPANTS; ++i)); do
+  "$NODE" --role=participant --port="$PORT" --id="$i" "${COMMON[@]}" \
+          > "$OUT_DIR/participant$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+FAIL=0
+wait "$COORD_PID" || FAIL=1
+# Participants exit on the coordinator's Shutdown broadcast.
+for pid in "${PIDS[@]:1}"; do wait "$pid" || FAIL=1; done
+PIDS=()
+
+echo
+tail -n +2 "$COORD_LOG"
+if [[ "$FAIL" -ne 0 ]]; then
+  echo "federation FAILED; logs in $OUT_DIR" >&2
+  exit 1
+fi
+echo
+echo "federation complete; φ̂ table: $OUT_DIR/contributions.csv"

@@ -231,57 +231,60 @@ Result<HflCheckpointState> DecodeHflCheckpoint(const std::string& payload) {
   return state;
 }
 
-namespace {
-
-// The store-backed checkpoint hook: folds each committed epoch into the φ̂
-// accumulator, then commits a framed checkpoint on the configured cadence.
-class StoreBackedHflHook : public HflCheckpointHook {
- public:
-  StoreBackedHflHook(CheckpointStore* store, const HflServer* server,
-                     HflPhiAccumulator* accumulator, size_t every,
-                     size_t total_epochs)
-      : store_(store),
-        server_(server),
-        accumulator_(accumulator),
-        every_(every),
-        total_epochs_(total_epochs) {}
-
-  Status OnEpoch(const HflTrainerView& view) override {
-    // Catch the accumulator up to the log (exactly one new epoch per call,
-    // but written as a loop so a resumed accumulator can never desync).
-    while (accumulator_->epochs_consumed() < view.log.num_epochs()) {
-      DIGFL_RETURN_IF_ERROR(accumulator_->Consume(
-          *server_, view.log.epochs[accumulator_->epochs_consumed()]));
-    }
-    const bool final_epoch = view.next_epoch >= total_epochs_;
-    if (!final_epoch && view.next_epoch % every_ != 0) return Status::OK();
-
-    std::vector<std::string> rng_states;
-    rng_states.reserve(view.batch_rngs.size());
-    for (const Rng& rng : view.batch_rngs) {
-      rng_states.push_back(rng.SaveState());
-    }
-    DIGFL_ASSIGN_OR_RETURN(
-        std::string payload,
-        EncodeHflCheckpoint(view.next_epoch, view.learning_rate, rng_states,
-                            view.log, *accumulator_));
-    DIGFL_RETURN_IF_ERROR(store_->Commit(view.next_epoch, payload));
-    ++written_;
-    return Status::OK();
+Status HflStoreHook::OnEpoch(const HflTrainerView& view) {
+  // Catch the accumulator up to the log (exactly one new epoch per call,
+  // but written as a loop so a resumed accumulator can never desync).
+  while (accumulator_->epochs_consumed() < view.log.num_epochs()) {
+    DIGFL_RETURN_IF_ERROR(accumulator_->Consume(
+        *server_, view.log.epochs[accumulator_->epochs_consumed()]));
   }
+  const bool final_epoch = view.next_epoch >= total_epochs_;
+  if (!final_epoch && view.next_epoch % every_ != 0) return Status::OK();
 
-  size_t written() const { return written_; }
+  std::vector<std::string> rng_states;
+  rng_states.reserve(view.batch_rngs.size());
+  for (const Rng& rng : view.batch_rngs) {
+    rng_states.push_back(rng.SaveState());
+  }
+  DIGFL_ASSIGN_OR_RETURN(
+      std::string payload,
+      EncodeHflCheckpoint(view.next_epoch, view.learning_rate, rng_states,
+                          view.log, *accumulator_));
+  DIGFL_RETURN_IF_ERROR(store_->Commit(view.next_epoch, payload));
+  ++written_;
+  return Status::OK();
+}
 
- private:
-  CheckpointStore* store_;
-  const HflServer* server_;
-  HflPhiAccumulator* accumulator_;
-  size_t every_;
-  size_t total_epochs_;
-  size_t written_ = 0;
-};
-
-}  // namespace
+Result<HflResumeLoad> LoadHflResumePoint(CheckpointStore& store,
+                                         HflPhiAccumulator& accumulator) {
+  HflResumeLoad load;
+  Result<CheckpointStore::Loaded> loaded = store.LoadLatest();
+  if (!loaded.ok()) {
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+    // NotFound: nothing valid committed — a cold start, not an error. The
+    // manifest may still reference corrupt files; clear them so epoch
+    // numbering can restart from scratch.
+    DIGFL_RETURN_IF_ERROR(store.TruncateAfter(0));
+    return load;
+  }
+  load.rejected = loaded->rejected;
+  // Any newer-but-rejected checkpoints belong to an abandoned timeline;
+  // drop them so the rerun epochs can commit again.
+  DIGFL_RETURN_IF_ERROR(store.TruncateAfter(loaded->epoch));
+  DIGFL_ASSIGN_OR_RETURN(HflCheckpointState state,
+                         DecodeHflCheckpoint(loaded->payload));
+  DIGFL_RETURN_IF_ERROR(accumulator.Restore(std::move(state.phi_total),
+                                            std::move(state.phi_per_epoch)));
+  load.point.start_epoch = state.next_epoch;
+  load.point.learning_rate = state.learning_rate;
+  load.point.batch_rng_states = std::move(state.batch_rng_states);
+  load.point.log = std::move(state.log);
+  load.epoch = load.point.start_epoch;
+  load.resumed = true;
+  return load;
+}
 
 Result<HflCheckpointedRun> RunFedSgdWithCheckpoints(
     const Model& model, const std::vector<HflParticipant>& participants,
@@ -303,37 +306,20 @@ Result<HflCheckpointedRun> RunFedSgdWithCheckpoints(
 
   HflCheckpointedRun run;
   HflPhiAccumulator accumulator(participants.size());
-  HflResumePoint resume_point;
+  HflResumeLoad resume_load;
   if (options.resume) {
-    Result<CheckpointStore::Loaded> loaded = store.LoadLatest();
-    if (loaded.ok()) {
-      run.checkpoints_rejected = loaded->rejected;
-      // Any newer-but-rejected checkpoints belong to an abandoned timeline;
-      // drop them so the rerun epochs can commit again.
-      DIGFL_RETURN_IF_ERROR(store.TruncateAfter(loaded->epoch));
-      DIGFL_ASSIGN_OR_RETURN(HflCheckpointState state,
-                             DecodeHflCheckpoint(loaded->payload));
-      DIGFL_RETURN_IF_ERROR(accumulator.Restore(
-          std::move(state.phi_total), std::move(state.phi_per_epoch)));
-      resume_point.start_epoch = state.next_epoch;
-      resume_point.learning_rate = state.learning_rate;
-      resume_point.batch_rng_states = std::move(state.batch_rng_states);
-      resume_point.log = std::move(state.log);
-      config.resume = &resume_point;
+    DIGFL_ASSIGN_OR_RETURN(resume_load,
+                           LoadHflResumePoint(store, accumulator));
+    run.checkpoints_rejected = resume_load.rejected;
+    if (resume_load.resumed) {
+      config.resume = &resume_load.point;
       run.resumed = true;
-      run.resumed_from_epoch = resume_point.start_epoch;
-    } else if (loaded.status().code() != StatusCode::kNotFound) {
-      return loaded.status();
-    } else {
-      // NotFound: nothing valid committed — a cold start, not an error. The
-      // manifest may still reference corrupt files; clear them so epoch
-      // numbering can restart from scratch.
-      DIGFL_RETURN_IF_ERROR(store.TruncateAfter(0));
+      run.resumed_from_epoch = resume_load.epoch;
     }
   }
 
-  StoreBackedHflHook hook(&store, &server, &accumulator, options.every,
-                          config.epochs);
+  HflStoreHook hook(&store, &server, &accumulator, options.every,
+                    config.epochs);
   config.checkpoint_hook = &hook;
   DIGFL_ASSIGN_OR_RETURN(run.log, RunFedSgd(model, participants, server,
                                             init_params, config, policy));

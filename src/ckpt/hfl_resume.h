@@ -66,6 +66,52 @@ Result<std::string> EncodeHflCheckpoint(
 // φ̂ rows). Typed errors, never garbage.
 Result<HflCheckpointState> DecodeHflCheckpoint(const std::string& payload);
 
+class CheckpointStore;
+
+// The store-backed checkpoint hook: folds each committed epoch into the φ̂
+// accumulator, then commits a framed checkpoint on the configured cadence
+// (every `every` epochs, and always at the final epoch). Shared by the
+// in-process driver below and the distributed coordinator (src/net/), so
+// both checkpoint through exactly the same commit path.
+class HflStoreHook : public HflCheckpointHook {
+ public:
+  HflStoreHook(CheckpointStore* store, const HflServer* server,
+               HflPhiAccumulator* accumulator, size_t every,
+               size_t total_epochs)
+      : store_(store),
+        server_(server),
+        accumulator_(accumulator),
+        every_(every),
+        total_epochs_(total_epochs) {}
+
+  Status OnEpoch(const HflTrainerView& view) override;
+
+  size_t written() const { return written_; }
+
+ private:
+  CheckpointStore* store_;
+  const HflServer* server_;
+  HflPhiAccumulator* accumulator_;
+  size_t every_;
+  size_t total_epochs_;
+  size_t written_ = 0;
+};
+
+// Result of probing a store for a warm start (LoadHflResumePoint).
+struct HflResumeLoad {
+  bool resumed = false;           // false = cold start (store had nothing)
+  uint64_t epoch = 0;             // epoch the point resumes at
+  size_t rejected = 0;            // corrupt newer checkpoints skipped
+  HflResumePoint point;
+};
+
+// Loads + decodes the newest valid checkpoint into a resume point and
+// restores `accumulator` to match; prunes any newer abandoned-timeline
+// entries. A store with no valid checkpoint is a cold start (resumed ==
+// false), not an error.
+Result<HflResumeLoad> LoadHflResumePoint(CheckpointStore& store,
+                                         HflPhiAccumulator& accumulator);
+
 // How a checkpointed run uses its store (shared by HFL and VFL).
 struct CheckpointRunOptions {
   std::string dir;     // checkpoint directory (created if needed)

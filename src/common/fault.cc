@@ -95,6 +95,22 @@ Result<FaultPlan> FaultPlan::Generate(size_t num_epochs,
   return plan;
 }
 
+Result<FaultPlan> FaultPlan::FromSchedule(size_t num_epochs,
+                                          size_t num_participants,
+                                          std::vector<FaultEvent> events,
+                                          const FaultPlanConfig& config) {
+  if (events.size() != num_epochs * num_participants) {
+    return Status::InvalidArgument(
+        "fault schedule size does not match the epoch x participant grid");
+  }
+  if (config.explode_factor <= 1.0) {
+    return Status::InvalidArgument("explode_factor must be > 1");
+  }
+  FaultPlan plan(num_epochs, num_participants, config);
+  plan.events_ = std::move(events);
+  return plan;
+}
+
 FaultEvent FaultPlan::At(size_t epoch, size_t participant) const {
   if (epoch >= num_epochs_ || participant >= num_participants_) {
     return FaultEvent{};

@@ -75,6 +75,16 @@ class FaultPlan {
   static Result<FaultPlan> Generate(size_t num_epochs, size_t num_participants,
                                     const FaultPlanConfig& config);
 
+  // Builds a plan from an explicit epoch-major grid (`events.size()` must be
+  // `num_epochs * num_participants`). This is how a harness reproduces an
+  // *observed* failure pattern in-process — e.g. the distributed-runtime
+  // tests replay "participant k died after epoch e" as a deterministic
+  // dropout schedule and compare φ̂ against the real-socket run.
+  static Result<FaultPlan> FromSchedule(size_t num_epochs,
+                                        size_t num_participants,
+                                        std::vector<FaultEvent> events,
+                                        const FaultPlanConfig& config = {});
+
   // The fault scheduled for (epoch, participant); kNone outside the grid, so
   // a plan generated for fewer epochs than the trainer runs degrades to
   // fault-free tail epochs instead of aborting.

@@ -25,6 +25,11 @@ enum class StatusCode {
   kNotFound = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  // Networking (src/net/): a peer or deadline failed, not the request
+  // itself. kDeadlineExceeded = the operation timed out and may be retried;
+  // kUnavailable = the connection is gone (EOF, reset, refused).
+  kDeadlineExceeded = 7,
+  kUnavailable = 8,
 };
 
 // Human-readable name of a status code ("InvalidArgument", ...).
@@ -59,6 +64,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

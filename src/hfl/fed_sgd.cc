@@ -7,12 +7,9 @@
 #include "telemetry/telemetry.h"
 
 namespace digfl {
-namespace {
 
-// Median of the L2 norms of the present updates (0 when none arrived);
-// feeds the quarantine gate's relative-explosion check.
-double MedianPresentNorm(const std::vector<Vec>& deltas,
-                         const std::vector<uint8_t>& present) {
+double MedianPresentUpdateNorm(const std::vector<Vec>& deltas,
+                               const std::vector<uint8_t>& present) {
   std::vector<double> norms;
   norms.reserve(deltas.size());
   for (size_t i = 0; i < deltas.size(); ++i) {
@@ -35,8 +32,6 @@ double MedianPresentNorm(const std::vector<Vec>& deltas,
                    norms.end());
   return norms[norms.size() / 2];
 }
-
-}  // namespace
 
 Result<HflTrainingLog> RunFedSgd(
     const Model& model, const std::vector<HflParticipant>& participants,
@@ -203,7 +198,7 @@ Result<HflTrainingLog> RunFedSgd(
     // dropped.
     {
       DIGFL_TRACE_SPAN("hfl.quarantine_gate");
-      const double median_norm = MedianPresentNorm(deltas, present);
+      const double median_norm = MedianPresentUpdateNorm(deltas, present);
       for (size_t i = 0; i < n; ++i) {
         if (!present[i]) continue;
         const QuarantineReason reason =

@@ -170,6 +170,14 @@ struct FedSgdConfig {
   const HflResumePoint* resume = nullptr;
 };
 
+// Median of the L2 norms of the present (and finite) updates — the
+// reference input of the quarantine gate's relative-explosion check. Shared
+// by the in-process trainer and the distributed coordinator (src/net/) so
+// both paths quarantine identically. Returns 0 when no finite update is
+// present.
+double MedianPresentUpdateNorm(const std::vector<Vec>& deltas,
+                               const std::vector<uint8_t>& present);
+
 // Trains from `init_params` over `participants`; `policy` may be null
 // (uniform). The returned log is self-contained: DIG-FL and the baselines
 // need no further access to the participants.

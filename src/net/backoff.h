@@ -1,0 +1,45 @@
+// Exponential backoff with jitter, shared by the coordinator's round
+// retries and the participant's connect/reconnect loop.
+//
+// The delay before attempt k (0-based) is drawn uniformly from
+// [base/2, base] with base = min(max_ms, initial_ms * multiplier^k) — the
+// "equal jitter" scheme, which keeps a floor under the delay (so a dead
+// coordinator is not hammered) while decorrelating a fleet of participants
+// that all observed the same failure instant. The jitter stream is seeded,
+// so a run's retry timing is reproducible.
+
+#ifndef DIGFL_NET_BACKOFF_H_
+#define DIGFL_NET_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace digfl {
+namespace net {
+
+struct BackoffPolicy {
+  int initial_ms = 50;
+  double multiplier = 2.0;
+  int max_ms = 2000;
+};
+
+inline int BackoffDelayMs(const BackoffPolicy& policy, size_t attempt,
+                          Rng& jitter) {
+  double base = policy.initial_ms;
+  for (size_t k = 0; k < attempt; ++k) {
+    base *= policy.multiplier;
+    if (base >= policy.max_ms) break;
+  }
+  const int capped = static_cast<int>(std::min<double>(base, policy.max_ms));
+  if (capped <= 1) return capped;
+  const int half = capped / 2;
+  return half + static_cast<int>(jitter.UniformInt(
+                    static_cast<uint64_t>(capped - half + 1)));
+}
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_BACKOFF_H_

@@ -1,0 +1,125 @@
+#include "net/channel.h"
+
+#include <chrono>
+
+#include "telemetry/telemetry.h"
+
+namespace digfl {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+}  // namespace
+
+Status MsgChannel::Send(MsgType type, std::string_view payload,
+                        int timeout_ms) {
+  if (payload.size() > limits_.max_payload_bytes) {
+    return Status::InvalidArgument("refusing to send oversized frame");
+  }
+  std::string wire;
+  wire.reserve(FrameWireSize(payload.size()));
+  AppendFrame(&wire, static_cast<uint32_t>(type), payload);
+  DIGFL_RETURN_IF_ERROR(conn_.SendAll(wire, timeout_ms));
+  bytes_sent_ += wire.size();
+  DIGFL_COUNTER_ADD("net.frames_sent_total", 1);
+  return Status::OK();
+}
+
+Result<Frame> MsgChannel::Recv(int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  char buf[16 * 1024];
+  for (;;) {
+    DIGFL_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder_.Next());
+    if (frame.has_value()) {
+      DIGFL_COUNTER_ADD("net.frames_received_total", 1);
+      return std::move(*frame);
+    }
+    DIGFL_ASSIGN_OR_RETURN(
+        size_t n, conn_.RecvSome(buf, sizeof(buf), RemainingMs(deadline)));
+    bytes_received_ += n;
+    DIGFL_RETURN_IF_ERROR(decoder_.Append(std::string_view(buf, n)));
+  }
+}
+
+Status MsgChannel::SendRaw(std::string_view bytes, int timeout_ms) {
+  DIGFL_RETURN_IF_ERROR(conn_.SendAll(bytes, timeout_ms));
+  bytes_sent_ += bytes.size();
+  return Status::OK();
+}
+
+Status MsgChannel::RecvRaw(char* buf, size_t len, int timeout_ms) {
+  DIGFL_RETURN_IF_ERROR(conn_.RecvExact(buf, len, timeout_ms));
+  bytes_received_ += len;
+  return Status::OK();
+}
+
+uint64_t MsgChannel::TakeBytesSent() {
+  const uint64_t bytes = bytes_sent_;
+  bytes_sent_ = 0;
+  return bytes;
+}
+
+uint64_t MsgChannel::TakeBytesReceived() {
+  const uint64_t bytes = bytes_received_;
+  bytes_received_ = 0;
+  return bytes;
+}
+
+Result<HelloAckMsg> ClientHandshake(MsgChannel& channel,
+                                    const HelloMsg& hello, int timeout_ms) {
+  DIGFL_TRACE_SPAN("net.handshake");
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  DIGFL_RETURN_IF_ERROR(
+      channel.SendRaw(EncodePreamble(), RemainingMs(deadline)));
+  char preamble[kPreambleLen];
+  DIGFL_RETURN_IF_ERROR(
+      channel.RecvRaw(preamble, sizeof(preamble), RemainingMs(deadline)));
+  DIGFL_RETURN_IF_ERROR(
+      ValidatePreamble(std::string_view(preamble, sizeof(preamble))));
+  DIGFL_RETURN_IF_ERROR(channel.Send(MsgType::kHello, EncodeHello(hello),
+                                     RemainingMs(deadline)));
+  DIGFL_ASSIGN_OR_RETURN(Frame frame, channel.Recv(RemainingMs(deadline)));
+  if (frame.type != static_cast<uint32_t>(MsgType::kHelloAck)) {
+    return Status::InvalidArgument("expected HelloAck, got frame type " +
+                                   std::to_string(frame.type));
+  }
+  DIGFL_ASSIGN_OR_RETURN(HelloAckMsg ack, DecodeHelloAck(frame.payload));
+  if (!ack.accepted) {
+    return Status::FailedPrecondition("coordinator rejected handshake: " +
+                                      ack.message);
+  }
+  return ack;
+}
+
+Result<HelloMsg> ServerHandshakeBegin(MsgChannel& channel, int timeout_ms) {
+  DIGFL_TRACE_SPAN("net.handshake");
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  char preamble[kPreambleLen];
+  DIGFL_RETURN_IF_ERROR(
+      channel.RecvRaw(preamble, sizeof(preamble), RemainingMs(deadline)));
+  DIGFL_RETURN_IF_ERROR(
+      ValidatePreamble(std::string_view(preamble, sizeof(preamble))));
+  DIGFL_RETURN_IF_ERROR(
+      channel.SendRaw(EncodePreamble(), RemainingMs(deadline)));
+  DIGFL_ASSIGN_OR_RETURN(Frame frame, channel.Recv(RemainingMs(deadline)));
+  if (frame.type != static_cast<uint32_t>(MsgType::kHello)) {
+    return Status::InvalidArgument("expected Hello, got frame type " +
+                                   std::to_string(frame.type));
+  }
+  return DecodeHello(frame.payload);
+}
+
+Status ServerHandshakeFinish(MsgChannel& channel, const HelloAckMsg& ack,
+                             int timeout_ms) {
+  return channel.Send(MsgType::kHelloAck, EncodeHelloAck(ack), timeout_ms);
+}
+
+}  // namespace net
+}  // namespace digfl

@@ -1,0 +1,83 @@
+// MsgChannel: framed, CRC-checked message exchange over one TcpConn,
+// plus the DIGFLNET1 connection handshake.
+//
+// The channel is the single place where bytes actually cross the wire, so
+// it is also where the *real* traffic accounting lives: bytes_sent /
+// bytes_received count every preamble and frame byte (header + payload +
+// CRC), and the coordinator drains them into the training log's CommMeter
+// per round — the paper's communication metric, measured instead of
+// simulated.
+//
+// Threading: a channel is owned by one thread at a time (the coordinator
+// hands a channel from its accept thread to a round worker under a mutex);
+// it is not internally synchronized.
+
+#ifndef DIGFL_NET_CHANNEL_H_
+#define DIGFL_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "net/messages.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace digfl {
+namespace net {
+
+class MsgChannel {
+ public:
+  MsgChannel() = default;
+  explicit MsgChannel(TcpConn conn, WireLimits limits = {})
+      : conn_(std::move(conn)), decoder_(limits), limits_(limits) {}
+
+  bool valid() const { return conn_.valid(); }
+  void Close() { conn_.Close(); }
+
+  // Sends one framed message within the deadline.
+  Status Send(MsgType type, std::string_view payload, int timeout_ms);
+
+  // Receives the next complete frame. kDeadlineExceeded on timeout,
+  // kUnavailable when the peer is gone, kInvalidArgument on a malformed
+  // stream (the channel is then poisoned and must be closed).
+  Result<Frame> Recv(int timeout_ms);
+
+  // Raw byte exchange for the pre-frame preamble; counted like frames.
+  Status SendRaw(std::string_view bytes, int timeout_ms);
+  Status RecvRaw(char* buf, size_t len, int timeout_ms);
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+  // Returns and zeroes a direction's byte count (the coordinator transfers
+  // per-round deltas into the log's CommMeter).
+  uint64_t TakeBytesSent();
+  uint64_t TakeBytesReceived();
+
+ private:
+  TcpConn conn_;
+  FrameDecoder decoder_;
+  WireLimits limits_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+// Client (participant) side: preamble exchange, Hello up, HelloAck down.
+// A rejected handshake surfaces as kFailedPrecondition carrying the
+// coordinator's reject reason.
+Result<HelloAckMsg> ClientHandshake(MsgChannel& channel,
+                                    const HelloMsg& hello, int timeout_ms);
+
+// Server (coordinator) side, split so the caller can validate the Hello
+// before deciding the verdict: Begin exchanges preambles and returns the
+// peer's Hello; Finish sends the verdict.
+Result<HelloMsg> ServerHandshakeBegin(MsgChannel& channel, int timeout_ms);
+Status ServerHandshakeFinish(MsgChannel& channel, const HelloAckMsg& ack,
+                             int timeout_ms);
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_CHANNEL_H_

@@ -1,0 +1,565 @@
+#include "net/coordinator.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "ckpt/store.h"
+#include "common/fault.h"
+#include "common/timer.h"
+#include "telemetry/telemetry.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+namespace net {
+
+namespace {
+
+constexpr int kShutdownSendTimeoutMs = 1000;
+
+}  // namespace
+
+Result<std::unique_ptr<Coordinator>> Coordinator::Create(
+    const CoordinatorOptions& options) {
+  if (options.num_participants == 0) {
+    return Status::InvalidArgument("num_participants must be > 0");
+  }
+  if (options.round_timeout_ms <= 0 || options.handshake_timeout_ms <= 0) {
+    return Status::InvalidArgument("timeouts must be > 0");
+  }
+  std::unique_ptr<Coordinator> coordinator(new Coordinator(options));
+  DIGFL_ASSIGN_OR_RETURN(coordinator->listener_,
+                         TcpListener::Listen(options.port));
+  coordinator->slots_.resize(options.num_participants);
+  coordinator->slot_ever_connected_.assign(options.num_participants, 0);
+  coordinator->accept_thread_ =
+      std::thread(&Coordinator::AcceptLoop, coordinator.get());
+  return coordinator;
+}
+
+Coordinator::~Coordinator() { Shutdown("coordinator destroyed"); }
+
+void Coordinator::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Result<TcpConn> conn = listener_.Accept(options_.accept_poll_ms);
+    if (!conn.ok()) {
+      // Timeouts are the idle heartbeat of the stop-flag poll; anything
+      // else (EMFILE, a reset mid-accept) is transient for a listener —
+      // keep accepting.
+      continue;
+    }
+    HandleConnection(std::move(*conn));
+  }
+}
+
+void Coordinator::HandleConnection(TcpConn conn) {
+  auto channel =
+      std::make_unique<MsgChannel>(std::move(conn), options_.limits);
+  Result<HelloMsg> hello =
+      ServerHandshakeBegin(*channel, options_.handshake_timeout_ms);
+  if (!hello.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.handshakes_rejected;
+    DIGFL_COUNTER_ADD("net.handshake_rejected_total", 1);
+    return;
+  }
+
+  HelloAckMsg ack;
+  ack.next_epoch = next_epoch_hint_.load(std::memory_order_relaxed);
+  const uint64_t id = hello->participant_id;
+  if (id >= options_.num_participants) {
+    ack.message = "participant id out of range";
+  } else if (hello->config_digest != options_.config_digest) {
+    ack.message = "federation config digest mismatch";
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_[id] != nullptr) {
+      ack.message = "participant already connected";
+    } else {
+      ack.accepted = 1;
+    }
+  }
+
+  const Status finish =
+      ServerHandshakeFinish(*channel, ack, options_.handshake_timeout_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ack.accepted == 0 || !finish.ok()) {
+    ++stats_.handshakes_rejected;
+    DIGFL_COUNTER_ADD("net.handshake_rejected_total", 1);
+    return;
+  }
+  // The slot may have been vacated and refilled while Finish was on the
+  // wire (only possible across an epoch boundary); the incumbent wins.
+  if (slots_[id] != nullptr) {
+    ++stats_.handshakes_rejected;
+    return;
+  }
+  slots_[id] = std::move(channel);
+  ++stats_.handshakes_accepted;
+  if (slot_ever_connected_[id]) {
+    ++stats_.reconnects;
+    DIGFL_COUNTER_ADD("net.reconnects_total", 1);
+  }
+  slot_ever_connected_[id] = 1;
+  slot_cv_.notify_all();
+}
+
+Status Coordinator::WaitForParticipants(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool ready = slot_cv_.wait_until(lock, deadline, [this] {
+    for (const auto& slot : slots_) {
+      if (slot == nullptr) return false;
+    }
+    return true;
+  });
+  if (ready) return Status::OK();
+  size_t connected = 0;
+  for (const auto& slot : slots_) connected += (slot != nullptr);
+  return Status::DeadlineExceeded(
+      "only " + std::to_string(connected) + " of " +
+      std::to_string(options_.num_participants) +
+      " participants connected before the deadline");
+}
+
+size_t Coordinator::num_connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t connected = 0;
+  for (const auto& slot : slots_) connected += (slot != nullptr);
+  return connected;
+}
+
+CoordinatorStats Coordinator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Coordinator::RoundWorker(size_t i, MsgChannel* channel, uint64_t epoch,
+                              const std::string& request_payload,
+                              size_t num_params, std::vector<Vec>* deltas,
+                              std::vector<uint8_t>* present,
+                              std::vector<uint64_t>* retries) {
+  DIGFL_TRACE_SPAN("net.round_trip");
+  Rng jitter(options_.jitter_seed ^
+             (epoch * options_.num_participants + i + 1));
+  size_t attempt = 0;
+  for (;;) {
+    Status failure =
+        channel->Send(MsgType::kRoundRequest, request_payload,
+                      options_.round_timeout_ms);
+    while (failure.ok()) {
+      Result<Frame> frame = channel->Recv(options_.round_timeout_ms);
+      if (!frame.ok()) {
+        failure = frame.status();
+        break;
+      }
+      const MsgType type = static_cast<MsgType>(frame->type);
+      if (type != MsgType::kRoundReply) {
+        failure = Status::InvalidArgument("unexpected frame in round");
+        break;
+      }
+      Result<RoundReplyMsg> reply = DecodeRoundReply(frame->payload);
+      if (!reply.ok()) {
+        failure = reply.status();
+        break;
+      }
+      // A reply for an earlier epoch is the late answer to a request we
+      // already retried or gave up on — discard and keep reading.
+      if (reply->epoch < epoch) continue;
+      if (reply->epoch != epoch || reply->participant_id != i ||
+          reply->delta.size() != num_params) {
+        failure = Status::InvalidArgument("round reply shape mismatch");
+        break;
+      }
+      (*deltas)[i] = std::move(reply->delta);
+      (*present)[i] = 1;
+      return;
+    }
+
+    if (failure.code() == StatusCode::kDeadlineExceeded &&
+        attempt < options_.max_round_retries) {
+      (*retries)[i] += 1;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.round_retries;
+      }
+      DIGFL_COUNTER_ADD("net.round_retries_total", 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          BackoffDelayMs(options_.retry_backoff, attempt, jitter)));
+      ++attempt;
+      continue;
+    }
+
+    // Exhausted retries or a broken/byzantine connection: the participant
+    // is absent this epoch (the dropout path) and must reconnect.
+    channel->Close();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failure.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.round_timeouts;
+      DIGFL_COUNTER_ADD("net.round_timeouts_total", 1);
+    } else {
+      ++stats_.conn_errors;
+      DIGFL_COUNTER_ADD("net.conn_errors_total", 1);
+    }
+    return;
+  }
+}
+
+Result<HflTrainingLog> Coordinator::RunFederatedTraining(
+    HflServer& server, const Vec& init_params, const FedSgdConfig& config,
+    AggregationPolicy* policy) {
+  if (config.epochs == 0) return Status::InvalidArgument("epochs == 0");
+  if (config.learning_rate <= 0) {
+    return Status::InvalidArgument("learning_rate must be > 0");
+  }
+  if (config.batch_fraction != 1.0) {
+    return Status::InvalidArgument(
+        "distributed training requires batch_fraction == 1 (participant "
+        "minibatch streams live in other processes)");
+  }
+  if (config.fault_plan != nullptr) {
+    return Status::InvalidArgument(
+        "fault injection is in-process only; distributed faults are real");
+  }
+  UniformAggregation uniform;
+  if (policy == nullptr) policy = &uniform;
+
+  DIGFL_TRACE_SPAN("net.run");
+
+  HflTrainingLog log;
+  log.final_params = init_params;
+  double lr = config.learning_rate;
+  size_t start_epoch = 0;
+  const size_t n = options_.num_participants;
+  const size_t p = init_params.size();
+
+  if (config.resume != nullptr) {
+    const HflResumePoint& resume = *config.resume;
+    if (!config.record_log) {
+      return Status::InvalidArgument("resume requires record_log");
+    }
+    if (resume.start_epoch != resume.log.num_epochs()) {
+      return Status::InvalidArgument(
+          "resume point epoch does not match its log prefix");
+    }
+    if (resume.start_epoch > 0 && resume.log.num_participants() != n) {
+      return Status::InvalidArgument(
+          "resume point participant count mismatch");
+    }
+    if (resume.log.final_params.size() != p) {
+      return Status::InvalidArgument("resume point parameter size mismatch");
+    }
+    if (!resume.batch_rng_states.empty()) {
+      return Status::InvalidArgument(
+          "distributed resume cannot restore minibatch RNG streams");
+    }
+    log = resume.log;
+    lr = resume.learning_rate;
+    start_epoch = resume.start_epoch;
+    if (start_epoch >= config.epochs) return log;
+  }
+
+  // Interned per-participant comm channels; unlike the in-process trainer
+  // these record *measured* framed bytes (preamble + header + payload +
+  // CRC), drained from each MsgChannel after every round.
+  std::vector<CommMeter::ChannelId> ch_down(n), ch_up(n);
+  std::vector<telemetry::Counter*> bytes_down(n, nullptr);
+  std::vector<telemetry::Counter*> bytes_up(n, nullptr);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string id = std::to_string(i);
+    ch_down[i] = log.comm.Channel("coordinator->participant" + id);
+    ch_up[i] = log.comm.Channel("participant" + id + "->coordinator");
+    bytes_down[i] = telemetry::CounterHandle(
+        "net.participant_bytes_total",
+        {{"participant", id}, {"direction", "down"}});
+    bytes_up[i] = telemetry::CounterHandle(
+        "net.participant_bytes_total",
+        {{"participant", id}, {"direction", "up"}});
+  }
+
+  for (size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
+    DIGFL_TRACE_SPAN("net.round");
+    Timer epoch_timer;
+    next_epoch_hint_.store(epoch, std::memory_order_relaxed);
+
+    // Take every connected channel out of its slot: each is owned by
+    // exactly one worker thread for the duration of the round.
+    std::vector<std::unique_ptr<MsgChannel>> channels(n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < n; ++i) channels[i] = std::move(slots_[i]);
+    }
+
+    RoundRequestMsg request;
+    request.epoch = epoch;
+    request.learning_rate = lr;
+    request.local_steps = config.local_steps;
+    request.params = log.final_params;
+    const std::string request_payload = EncodeRoundRequest(request);
+
+    std::vector<uint8_t> present(n, 0);
+    std::vector<Vec> deltas(n);
+    std::vector<uint64_t> retries(n, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (channels[i] == nullptr) continue;
+      workers.emplace_back(&Coordinator::RoundWorker, this, i,
+                           channels[i].get(), epoch,
+                           std::cref(request_payload), p, &deltas, &present,
+                           &retries);
+    }
+    for (std::thread& worker : workers) worker.join();
+
+    // Post-join bookkeeping on the training thread only: drain measured
+    // bytes into the log, convert absences into dropouts, return healthy
+    // channels to their slots.
+    for (size_t i = 0; i < n; ++i) {
+      if (channels[i] != nullptr) {
+        const uint64_t sent = channels[i]->TakeBytesSent();
+        const uint64_t received = channels[i]->TakeBytesReceived();
+        log.comm.Record(ch_down[i], sent);
+        log.comm.Record(ch_up[i], received);
+        if (bytes_down[i] != nullptr) bytes_down[i]->Increment(sent);
+        if (bytes_up[i] != nullptr) bytes_up[i]->Increment(received);
+        log.faults.straggler_retries += retries[i];
+      }
+      if (!present[i]) {
+        deltas[i] = vec::Zeros(p);
+        ++log.faults.dropouts;
+        DIGFL_COUNTER_ADD_LABELED("fault.dropout_total", 1,
+                                  {"protocol", "hfl"});
+      }
+      if (channels[i] != nullptr && channels[i]->valid()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (slots_[i] == nullptr) slots_[i] = std::move(channels[i]);
+      }
+    }
+
+    // From here the epoch is byte-for-byte the RunFedSgd commit sequence:
+    // quarantine gate, policy weights, aggregate, record, θ update,
+    // validation, decay, checkpoint hook.
+    {
+      DIGFL_TRACE_SPAN("hfl.quarantine_gate");
+      const double median_norm = MedianPresentUpdateNorm(deltas, present);
+      for (size_t i = 0; i < n; ++i) {
+        if (!present[i]) continue;
+        const QuarantineReason reason =
+            InspectUpdate(deltas[i], config.quarantine, median_norm);
+        if (reason != QuarantineReason::kAccepted) {
+          double sum_sq = 0.0;
+          for (double v : deltas[i]) {
+            if (std::isfinite(v)) sum_sq += v * v;
+          }
+          log.faults.RecordQuarantine(epoch, i, reason, std::sqrt(sum_sq));
+          present[i] = 0;
+          deltas[i] = vec::Zeros(p);
+        }
+      }
+    }
+
+    Vec global_gradient;
+    std::vector<double> weights;
+    {
+      DIGFL_TRACE_SPAN("hfl.aggregate");
+      DIGFL_ASSIGN_OR_RETURN(
+          weights, policy->Weights(epoch, log.final_params, lr, deltas,
+                                   present, server));
+      if (weights.size() != deltas.size()) {
+        return Status::Internal("aggregation policy returned bad weight count");
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (!present[i]) weights[i] = 0.0;
+      }
+      DIGFL_ASSIGN_OR_RETURN(global_gradient,
+                             HflServer::AggregateWeighted(deltas, weights));
+    }
+
+    if (config.record_log) {
+      HflEpochRecord record;
+      record.params_before = log.final_params;
+      record.deltas = deltas;
+      record.learning_rate = lr;
+      record.weights = weights;
+      record.present = present;
+      log.epochs.push_back(std::move(record));
+    }
+
+    vec::Axpy(-1.0, global_gradient, log.final_params);
+
+    double val_loss = 0.0;
+    double val_acc = 0.0;
+    {
+      DIGFL_TRACE_SPAN("hfl.validate");
+      DIGFL_ASSIGN_OR_RETURN(val_loss,
+                             server.ValidationLoss(log.final_params));
+      DIGFL_ASSIGN_OR_RETURN(val_acc,
+                             server.ValidationAccuracy(log.final_params));
+    }
+    log.validation_loss.push_back(val_loss);
+    log.validation_accuracy.push_back(val_acc);
+
+    DIGFL_EMIT_EVENT("net.round_seconds", epoch_timer.ElapsedSeconds(),
+                     {"epoch", std::to_string(epoch)});
+    DIGFL_EMIT_EVENT("hfl.validation_loss", val_loss,
+                     {"epoch", std::to_string(epoch)});
+
+    lr *= config.lr_decay;
+
+    if (config.checkpoint_hook != nullptr) {
+      // Distributed runs have no coordinator-side minibatch streams; the
+      // hook sees an empty RNG set (valid because batch_fraction == 1).
+      static const std::vector<Rng> kNoBatchRngs;
+      const HflTrainerView view{epoch + 1, lr, kNoBatchRngs, log};
+      DIGFL_RETURN_IF_ERROR(config.checkpoint_hook->OnEpoch(view));
+    }
+    MaybeCrash("net.epoch.end");
+  }
+  next_epoch_hint_.store(config.epochs, std::memory_order_relaxed);
+  return log;
+}
+
+Result<Vec> Coordinator::RequestHvp(size_t participant, const Vec& params,
+                                    const Vec& v, int timeout_ms) {
+  if (participant >= options_.num_participants) {
+    return Status::InvalidArgument("participant id out of range");
+  }
+  if (params.size() != v.size() || params.empty()) {
+    return Status::InvalidArgument("params/v size mismatch");
+  }
+  std::unique_ptr<MsgChannel> channel;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    channel = std::move(slots_[participant]);
+  }
+  if (channel == nullptr) {
+    return Status::Unavailable("participant " + std::to_string(participant) +
+                               " is not connected");
+  }
+
+  DIGFL_TRACE_SPAN("net.hvp");
+  HvpRequestMsg request;
+  request.request_id = hvp_seq_.fetch_add(1, std::memory_order_relaxed);
+  request.params = params;
+  request.v = v;
+
+  Status failure = channel->Send(MsgType::kHvpRequest,
+                                 EncodeHvpRequest(request), timeout_ms);
+  while (failure.ok()) {
+    Result<Frame> frame = channel->Recv(timeout_ms);
+    if (!frame.ok()) {
+      failure = frame.status();
+      break;
+    }
+    const MsgType type = static_cast<MsgType>(frame->type);
+    // Late round replies from an abandoned round may still be queued ahead
+    // of the HVP reply; skip them.
+    if (type == MsgType::kRoundReply) continue;
+    if (type != MsgType::kHvpReply) {
+      failure = Status::InvalidArgument("unexpected frame awaiting hvp");
+      break;
+    }
+    Result<HvpReplyMsg> reply = DecodeHvpReply(frame->payload);
+    if (!reply.ok()) {
+      failure = reply.status();
+      break;
+    }
+    if (reply->request_id < request.request_id) continue;
+    if (reply->request_id != request.request_id ||
+        reply->participant_id != participant ||
+        reply->hvp.size() != params.size()) {
+      failure = Status::InvalidArgument("hvp reply shape mismatch");
+      break;
+    }
+    Vec hvp = std::move(reply->hvp);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_[participant] == nullptr) {
+      slots_[participant] = std::move(channel);
+    }
+    return hvp;
+  }
+
+  channel->Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.conn_errors;
+  DIGFL_COUNTER_ADD("net.conn_errors_total", 1);
+  return failure;
+}
+
+void Coordinator::Shutdown(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  ShutdownMsg message;
+  message.reason = reason;
+  const std::string payload = EncodeShutdown(message);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slot : slots_) {
+    if (slot == nullptr) continue;
+    // Best-effort farewell; the participant also handles a bare close.
+    (void)slot->Send(MsgType::kShutdown, payload, kShutdownSendTimeoutMs);
+    slot->Close();
+    slot.reset();
+  }
+}
+
+Result<ckpt::HflCheckpointedRun> RunDistributedFedSgdWithCheckpoints(
+    Coordinator& coordinator, HflServer& server, const Vec& init_params,
+    FedSgdConfig config, const ckpt::CheckpointRunOptions& options,
+    AggregationPolicy* policy) {
+  if (!config.record_log) {
+    return Status::InvalidArgument("checkpointed runs require record_log");
+  }
+  if (config.checkpoint_hook != nullptr || config.resume != nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint_hook/resume are managed by "
+        "RunDistributedFedSgdWithCheckpoints");
+  }
+  if (options.every == 0) {
+    return Status::InvalidArgument("checkpoint interval must be >= 1");
+  }
+  DIGFL_TRACE_SPAN("net.ckpt.run");
+  DIGFL_ASSIGN_OR_RETURN(ckpt::CheckpointStore store,
+                         ckpt::CheckpointStore::Open(options.dir,
+                                                     options.keep));
+
+  ckpt::HflCheckpointedRun run;
+  HflPhiAccumulator accumulator(coordinator.num_participants());
+  ckpt::HflResumeLoad resume_load;
+  if (options.resume) {
+    DIGFL_ASSIGN_OR_RETURN(resume_load,
+                           ckpt::LoadHflResumePoint(store, accumulator));
+    run.checkpoints_rejected = resume_load.rejected;
+    if (resume_load.resumed) {
+      if (!resume_load.point.batch_rng_states.empty()) {
+        return Status::InvalidArgument(
+            "checkpoint carries minibatch RNG streams; it was written by an "
+            "in-process run, not a distributed one");
+      }
+      config.resume = &resume_load.point;
+      run.resumed = true;
+      run.resumed_from_epoch = resume_load.epoch;
+    }
+  }
+
+  ckpt::HflStoreHook hook(&store, &server, &accumulator, options.every,
+                          config.epochs);
+  config.checkpoint_hook = &hook;
+  DIGFL_ASSIGN_OR_RETURN(
+      run.log,
+      coordinator.RunFederatedTraining(server, init_params, config, policy));
+  run.contributions.total = accumulator.total();
+  run.contributions.per_epoch = accumulator.per_epoch();
+  run.checkpoints_written = hook.written();
+  return run;
+}
+
+}  // namespace net
+}  // namespace digfl

@@ -1,0 +1,167 @@
+// Coordinator: the server role of the distributed HFL runtime.
+//
+// Owns the listening socket, an accept/handshake thread, and one channel
+// slot per participant id. RunFederatedTraining drives the exact epoch
+// structure of RunFedSgd (hfl/fed_sgd.h) over those channels: broadcast
+// θ_{t-1}, collect δ_{t,i} with per-round deadlines and bounded
+// retry/backoff, then quarantine-gate, aggregate, update, validate — the
+// same operations in the same order on the same doubles, so a fault-free
+// distributed run's log and φ̂ are bitwise identical to the in-process run.
+//
+// Failure semantics (DESIGN.md §10): a round timeout is retried up to
+// max_round_retries times with exponential backoff + seeded jitter; a
+// connection error (or exhausted retries) marks the participant absent for
+// the epoch — exactly the dropout path of the fault-tolerance layer, so the
+// masked φ̂ estimators and quarantine bookkeeping keep working unchanged. A
+// participant may reconnect through the accept thread and rejoin at the
+// next epoch boundary.
+//
+// Threading model: the accept thread fills `slots_` under `mu_`; each epoch
+// the training loop moves every connected channel out of its slot, hands it
+// to a dedicated round worker thread (a channel is owned by one thread at a
+// time), joins all workers, and returns the surviving channels. Workers
+// write only to their own index of the per-round result arrays; all byte
+// accounting is drained into the log's CommMeter by the training thread
+// after the join (CommMeter is not thread-safe).
+
+#ifndef DIGFL_NET_COORDINATOR_H_
+#define DIGFL_NET_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/hfl_resume.h"
+#include "common/result.h"
+#include "hfl/fed_sgd.h"
+#include "hfl/server.h"
+#include "net/backoff.h"
+#include "net/channel.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace digfl {
+namespace net {
+
+struct CoordinatorOptions {
+  uint16_t port = 0;  // 0 = ephemeral; read the choice back from port()
+  size_t num_participants = 0;
+  // Rejects Hellos whose digest differs (see FederationConfigDigest).
+  uint64_t config_digest = 0;
+  int handshake_timeout_ms = 5000;
+  // Deadline for one send+recv round trip with one participant; a timeout
+  // triggers a retry, retries_exhausted/connection loss triggers a dropout.
+  int round_timeout_ms = 10000;
+  size_t max_round_retries = 2;
+  BackoffPolicy retry_backoff;
+  uint64_t jitter_seed = 0x9e77;
+  // Granularity of the accept loop's stop-flag polling.
+  int accept_poll_ms = 100;
+  WireLimits limits;
+};
+
+// Per-run connectivity statistics (telemetry counters mirror these).
+struct CoordinatorStats {
+  uint64_t handshakes_accepted = 0;
+  uint64_t handshakes_rejected = 0;
+  uint64_t reconnects = 0;       // accepted handshakes refilling a used slot
+  uint64_t round_retries = 0;    // round-trip resends after a timeout
+  uint64_t round_timeouts = 0;   // participants dropped for the epoch by
+                                 // exhausted retries
+  uint64_t conn_errors = 0;      // connections dropped mid-round
+};
+
+class Coordinator {
+ public:
+  // Binds the listener (loopback) and starts the accept thread.
+  static Result<std::unique_ptr<Coordinator>> Create(
+      const CoordinatorOptions& options);
+
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  uint16_t port() const { return listener_.port(); }
+  size_t num_participants() const { return options_.num_participants; }
+
+  // Blocks until every participant slot is connected (or the deadline
+  // expires — kDeadlineExceeded names the missing count).
+  Status WaitForParticipants(int timeout_ms);
+
+  size_t num_connected() const;
+  CoordinatorStats stats() const;
+
+  // Runs the federated training loop over the connected participants.
+  // Mirrors RunFedSgd's contract, with two distributed-only restrictions:
+  // batch_fraction must be 1 (participant minibatch streams live in other
+  // processes and cannot be checkpointed here) and fault_plan must be null
+  // (faults are real in this runtime, not injected).
+  // config.resume/checkpoint_hook work exactly as in-process.
+  Result<HflTrainingLog> RunFederatedTraining(HflServer& server,
+                                              const Vec& init_params,
+                                              const FedSgdConfig& config,
+                                              AggregationPolicy* policy =
+                                                  nullptr);
+
+  // Algorithm #1 support: one Hessian-vector product RPC against a
+  // connected participant. Serialized (no concurrent rounds); a failure
+  // closes that participant's channel.
+  Result<Vec> RequestHvp(size_t participant, const Vec& params, const Vec& v,
+                         int timeout_ms);
+
+  // Broadcasts Shutdown to every connected participant and closes the
+  // channels. Idempotent; also invoked by the destructor.
+  void Shutdown(const std::string& reason);
+
+ private:
+  explicit Coordinator(const CoordinatorOptions& options)
+      : options_(options) {}
+
+  void AcceptLoop();
+  // Validates a Hello and, if acceptable, parks the channel in its slot.
+  void HandleConnection(TcpConn conn);
+
+  // One worker: round-trips one RoundRequest with retries. Writes only to
+  // index `i` of the output arrays; closes the channel on failure.
+  void RoundWorker(size_t i, MsgChannel* channel, uint64_t epoch,
+                   const std::string& request_payload, size_t num_params,
+                   std::vector<Vec>* deltas, std::vector<uint8_t>* present,
+                   std::vector<uint64_t>* retries);
+
+  CoordinatorOptions options_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+  // Where the federation currently stands; reported to (re)connecting nodes.
+  std::atomic<uint64_t> next_epoch_hint_{0};
+  std::atomic<uint64_t> hvp_seq_{1};
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_cv_;
+  // slots_[i] == nullptr: participant i not currently connected.
+  std::vector<std::unique_ptr<MsgChannel>> slots_;
+  std::vector<uint8_t> slot_ever_connected_;
+  CoordinatorStats stats_;
+  bool shut_down_ = false;
+};
+
+// Options for a crash-safe distributed run (superset pattern of
+// ckpt::RunFedSgdWithCheckpoints): train through `coordinator`, checkpoint
+// through a ckpt::CheckpointStore at `options.dir`, warm-start when
+// options.resume is set. A killed coordinator process relaunched with the
+// same store resumes at the last committed epoch boundary and produces
+// bitwise-identical final parameters, log, and φ̂ to an uninterrupted run.
+Result<ckpt::HflCheckpointedRun> RunDistributedFedSgdWithCheckpoints(
+    Coordinator& coordinator, HflServer& server, const Vec& init_params,
+    FedSgdConfig config, const ckpt::CheckpointRunOptions& options,
+    AggregationPolicy* policy = nullptr);
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_COORDINATOR_H_

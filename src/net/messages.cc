@@ -1,0 +1,228 @@
+#include "net/messages.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "ckpt/frame.h"
+
+namespace digfl {
+namespace net {
+namespace {
+
+using ckpt::ByteSink;
+using ckpt::ByteSource;
+
+// Every payload must be fully consumed; leftover bytes mean the sender and
+// receiver disagree about the schema, which is never ignorable.
+Status RequireExhausted(const ByteSource& source, const char* what) {
+  if (!source.Exhausted()) {
+    return Status::InvalidArgument(std::string("trailing bytes in ") + what +
+                                   " payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* MsgTypeToString(MsgType type) {
+  switch (type) {
+    case MsgType::kHello:
+      return "Hello";
+    case MsgType::kHelloAck:
+      return "HelloAck";
+    case MsgType::kRoundRequest:
+      return "RoundRequest";
+    case MsgType::kRoundReply:
+      return "RoundReply";
+    case MsgType::kHvpRequest:
+      return "HvpRequest";
+    case MsgType::kHvpReply:
+      return "HvpReply";
+    case MsgType::kShutdown:
+      return "Shutdown";
+  }
+  return "Unknown";
+}
+
+std::string EncodeHello(const HelloMsg& msg) {
+  std::string out;
+  ByteSink sink(&out);
+  sink.PutU64(msg.participant_id);
+  sink.PutU64(msg.num_params);
+  sink.PutU64(msg.config_digest);
+  return out;
+}
+
+Result<HelloMsg> DecodeHello(std::string_view payload) {
+  ByteSource source(payload);
+  HelloMsg msg;
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.participant_id));
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.num_params));
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.config_digest));
+  DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "Hello"));
+  return msg;
+}
+
+std::string EncodeHelloAck(const HelloAckMsg& msg) {
+  std::string out;
+  ByteSink sink(&out);
+  sink.PutU32(msg.accepted);
+  sink.PutU64(msg.next_epoch);
+  sink.PutString(msg.message);
+  return out;
+}
+
+Result<HelloAckMsg> DecodeHelloAck(std::string_view payload) {
+  ByteSource source(payload);
+  HelloAckMsg msg;
+  uint32_t accepted = 0;
+  DIGFL_RETURN_IF_ERROR(source.GetU32(&accepted));
+  if (accepted > 1) {
+    return Status::InvalidArgument("HelloAck accepted flag out of range");
+  }
+  msg.accepted = static_cast<uint8_t>(accepted);
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.next_epoch));
+  DIGFL_RETURN_IF_ERROR(source.GetString(&msg.message));
+  DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "HelloAck"));
+  return msg;
+}
+
+std::string EncodeRoundRequest(const RoundRequestMsg& msg) {
+  std::string out;
+  ByteSink sink(&out);
+  sink.PutU64(msg.epoch);
+  sink.PutDouble(msg.learning_rate);
+  sink.PutU64(msg.local_steps);
+  sink.PutDoubles(msg.params);
+  return out;
+}
+
+Result<RoundRequestMsg> DecodeRoundRequest(std::string_view payload) {
+  ByteSource source(payload);
+  RoundRequestMsg msg;
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.epoch));
+  DIGFL_RETURN_IF_ERROR(source.GetDouble(&msg.learning_rate));
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.local_steps));
+  DIGFL_RETURN_IF_ERROR(source.GetDoubles(&msg.params));
+  DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "RoundRequest"));
+  if (!std::isfinite(msg.learning_rate) || msg.learning_rate <= 0.0) {
+    return Status::InvalidArgument("RoundRequest learning rate not positive");
+  }
+  if (msg.local_steps == 0) {
+    return Status::InvalidArgument("RoundRequest local_steps == 0");
+  }
+  if (msg.params.empty()) {
+    return Status::InvalidArgument("RoundRequest has empty parameters");
+  }
+  return msg;
+}
+
+std::string EncodeRoundReply(const RoundReplyMsg& msg) {
+  std::string out;
+  ByteSink sink(&out);
+  sink.PutU64(msg.epoch);
+  sink.PutU64(msg.participant_id);
+  sink.PutDoubles(msg.delta);
+  return out;
+}
+
+Result<RoundReplyMsg> DecodeRoundReply(std::string_view payload) {
+  ByteSource source(payload);
+  RoundReplyMsg msg;
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.epoch));
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.participant_id));
+  DIGFL_RETURN_IF_ERROR(source.GetDoubles(&msg.delta));
+  DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "RoundReply"));
+  if (msg.delta.empty()) {
+    return Status::InvalidArgument("RoundReply has empty delta");
+  }
+  return msg;
+}
+
+std::string EncodeHvpRequest(const HvpRequestMsg& msg) {
+  std::string out;
+  ByteSink sink(&out);
+  sink.PutU64(msg.request_id);
+  sink.PutDoubles(msg.params);
+  sink.PutDoubles(msg.v);
+  return out;
+}
+
+Result<HvpRequestMsg> DecodeHvpRequest(std::string_view payload) {
+  ByteSource source(payload);
+  HvpRequestMsg msg;
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.request_id));
+  DIGFL_RETURN_IF_ERROR(source.GetDoubles(&msg.params));
+  DIGFL_RETURN_IF_ERROR(source.GetDoubles(&msg.v));
+  DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "HvpRequest"));
+  if (msg.params.size() != msg.v.size()) {
+    return Status::InvalidArgument("HvpRequest params/v size mismatch");
+  }
+  if (msg.params.empty()) {
+    return Status::InvalidArgument("HvpRequest has empty parameters");
+  }
+  return msg;
+}
+
+std::string EncodeHvpReply(const HvpReplyMsg& msg) {
+  std::string out;
+  ByteSink sink(&out);
+  sink.PutU64(msg.request_id);
+  sink.PutU64(msg.participant_id);
+  sink.PutDoubles(msg.hvp);
+  return out;
+}
+
+Result<HvpReplyMsg> DecodeHvpReply(std::string_view payload) {
+  ByteSource source(payload);
+  HvpReplyMsg msg;
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.request_id));
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.participant_id));
+  DIGFL_RETURN_IF_ERROR(source.GetDoubles(&msg.hvp));
+  DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "HvpReply"));
+  if (msg.hvp.empty()) {
+    return Status::InvalidArgument("HvpReply has empty vector");
+  }
+  return msg;
+}
+
+std::string EncodeShutdown(const ShutdownMsg& msg) {
+  std::string out;
+  ByteSink sink(&out);
+  sink.PutString(msg.reason);
+  return out;
+}
+
+Result<ShutdownMsg> DecodeShutdown(std::string_view payload) {
+  ByteSource source(payload);
+  ShutdownMsg msg;
+  DIGFL_RETURN_IF_ERROR(source.GetString(&msg.reason));
+  DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "Shutdown"));
+  return msg;
+}
+
+uint64_t FederationConfigDigest(uint64_t num_params, uint64_t epochs,
+                                double learning_rate, double lr_decay,
+                                uint64_t local_steps, uint64_t seed) {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto mix = [&hash](uint64_t value) {
+    for (size_t byte = 0; byte < sizeof(value); ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xff;
+      hash *= 0x100000001b3ull;  // FNV prime
+    }
+  };
+  uint64_t lr_bits = 0;
+  uint64_t decay_bits = 0;
+  std::memcpy(&lr_bits, &learning_rate, sizeof(lr_bits));
+  std::memcpy(&decay_bits, &lr_decay, sizeof(decay_bits));
+  mix(num_params);
+  mix(epochs);
+  mix(lr_bits);
+  mix(decay_bits);
+  mix(local_steps);
+  mix(seed);
+  return hash;
+}
+
+}  // namespace net
+}  // namespace digfl

@@ -1,0 +1,124 @@
+// Typed message codecs for the HFL federation protocol (DESIGN.md §10).
+//
+// Payloads use the same little-endian primitive codec as the checkpoint
+// container (ckpt::ByteSink / ckpt::ByteSource): doubles travel as raw
+// IEEE-754 bits, so a parameter vector round-trips the network bitwise —
+// the property that makes a distributed run's φ̂ exactly equal to the
+// in-process RunFedSgd + Algorithm #2 result. Every decoder is strict:
+// truncated payloads, trailing bytes, and implausible lengths are typed
+// Status errors, never crashes or over-allocations.
+//
+// Message flow:
+//   participant → coordinator   Hello         (after the raw preamble)
+//   coordinator → participant   HelloAck
+//   coordinator → participant   RoundRequest  (θ_{t-1}, α_t down)
+//   participant → coordinator   RoundReply    (δ_{t,i} up)
+//   coordinator → participant   HvpRequest    (Algorithm #1 second-order)
+//   participant → coordinator   HvpReply      (Ĥ_i(θ)·v up)
+//   coordinator → participant   Shutdown
+
+#ifndef DIGFL_NET_MESSAGES_H_
+#define DIGFL_NET_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+namespace net {
+
+// Frame type ids (wire.h Frame::type). Values are part of the wire format;
+// never renumber.
+enum class MsgType : uint32_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kRoundRequest = 3,
+  kRoundReply = 4,
+  kHvpRequest = 5,
+  kHvpReply = 6,
+  kShutdown = 7,
+};
+
+const char* MsgTypeToString(MsgType type);
+
+// Participant → coordinator, immediately after the preamble. The config
+// digest commits both sides to the same federation parameters (model size,
+// epochs, learning-rate schedule, seed), so a node launched with mismatched
+// flags is rejected at handshake instead of silently diverging.
+struct HelloMsg {
+  uint64_t participant_id = 0;
+  uint64_t num_params = 0;
+  uint64_t config_digest = 0;
+};
+
+// Coordinator → participant handshake verdict. `next_epoch` tells a
+// reconnecting node where the federation currently stands (informational).
+struct HelloAckMsg {
+  uint8_t accepted = 0;
+  uint64_t next_epoch = 0;
+  std::string message;  // reject reason when accepted == 0
+};
+
+// Coordinator → participant: compute δ for this round.
+struct RoundRequestMsg {
+  uint64_t epoch = 0;
+  double learning_rate = 0.0;
+  uint64_t local_steps = 1;
+  Vec params;  // θ_{t-1}
+};
+
+// Participant → coordinator: the local update for `epoch`.
+struct RoundReplyMsg {
+  uint64_t epoch = 0;
+  uint64_t participant_id = 0;
+  Vec delta;  // δ_{t,i}
+};
+
+// Coordinator → participant: local Hessian-vector product request
+// (DIG-FL Algorithm #1). `request_id` pairs replies with requests.
+struct HvpRequestMsg {
+  uint64_t request_id = 0;
+  Vec params;
+  Vec v;
+};
+
+struct HvpReplyMsg {
+  uint64_t request_id = 0;
+  uint64_t participant_id = 0;
+  Vec hvp;
+};
+
+struct ShutdownMsg {
+  std::string reason;
+};
+
+std::string EncodeHello(const HelloMsg& msg);
+std::string EncodeHelloAck(const HelloAckMsg& msg);
+std::string EncodeRoundRequest(const RoundRequestMsg& msg);
+std::string EncodeRoundReply(const RoundReplyMsg& msg);
+std::string EncodeHvpRequest(const HvpRequestMsg& msg);
+std::string EncodeHvpReply(const HvpReplyMsg& msg);
+std::string EncodeShutdown(const ShutdownMsg& msg);
+
+Result<HelloMsg> DecodeHello(std::string_view payload);
+Result<HelloAckMsg> DecodeHelloAck(std::string_view payload);
+Result<RoundRequestMsg> DecodeRoundRequest(std::string_view payload);
+Result<RoundReplyMsg> DecodeRoundReply(std::string_view payload);
+Result<HvpRequestMsg> DecodeHvpRequest(std::string_view payload);
+Result<HvpReplyMsg> DecodeHvpReply(std::string_view payload);
+Result<ShutdownMsg> DecodeShutdown(std::string_view payload);
+
+// FNV-1a digest over the round-relevant federation parameters. Both roles
+// compute it from their own flags; the handshake rejects a mismatch.
+// Doubles are hashed by their IEEE-754 bit patterns.
+uint64_t FederationConfigDigest(uint64_t num_params, uint64_t epochs,
+                                double learning_rate, double lr_decay,
+                                uint64_t local_steps, uint64_t seed);
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_MESSAGES_H_

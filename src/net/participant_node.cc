@@ -1,0 +1,150 @@
+#include "net/participant_node.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "telemetry/telemetry.h"
+
+namespace digfl {
+namespace net {
+
+Result<MsgChannel> ParticipantNode::ConnectAndHandshake() {
+  DIGFL_TRACE_SPAN("net.connect");
+  const uint64_t seed = options_.jitter_seed != 0
+                            ? options_.jitter_seed
+                            : 0xc0ffee ^ (options_.participant_id + 1);
+  Rng jitter(seed);
+  Status last = Status::Unavailable("no connect attempt made");
+  for (size_t attempt = 0; attempt < options_.max_connect_attempts;
+       ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          BackoffDelayMs(options_.connect_backoff, attempt - 1, jitter)));
+    }
+    Result<TcpConn> conn = TcpConn::Connect(options_.host, options_.port,
+                                            options_.connect_timeout_ms);
+    if (!conn.ok()) {
+      last = conn.status();
+      continue;
+    }
+    MsgChannel channel(std::move(*conn), options_.limits);
+    HelloMsg hello;
+    hello.participant_id = options_.participant_id;
+    hello.num_params = model_.NumParams();
+    hello.config_digest = options_.config_digest;
+    Result<HelloAckMsg> ack =
+        ClientHandshake(channel, hello, options_.handshake_timeout_ms);
+    if (!ack.ok()) {
+      // A rejection (kFailedPrecondition) is a configuration error and
+      // will not heal by retrying; transient codes get another attempt.
+      if (ack.status().code() == StatusCode::kFailedPrecondition) {
+        return ack.status();
+      }
+      last = ack.status();
+      continue;
+    }
+    return channel;
+  }
+  return last;
+}
+
+Status ParticipantNode::Serve(MsgChannel& channel) {
+  size_t idle_polls = 0;
+  for (;;) {
+    Result<Frame> frame = channel.Recv(options_.io_timeout_ms);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        ++idle_polls;
+        if (options_.max_idle_polls != 0 &&
+            idle_polls >= options_.max_idle_polls) {
+          return Status::DeadlineExceeded(
+              "coordinator silent through max_idle_polls");
+        }
+        continue;
+      }
+      return frame.status();
+    }
+    idle_polls = 0;
+
+    switch (static_cast<MsgType>(frame->type)) {
+      case MsgType::kRoundRequest: {
+        DIGFL_TRACE_SPAN("net.serve_round");
+        DIGFL_ASSIGN_OR_RETURN(RoundRequestMsg request,
+                               DecodeRoundRequest(frame->payload));
+        if (request.params.size() != model_.NumParams()) {
+          return Status::InvalidArgument(
+              "round request parameter size does not match the local model");
+        }
+        RoundReplyMsg reply;
+        reply.epoch = request.epoch;
+        reply.participant_id = options_.participant_id;
+        DIGFL_ASSIGN_OR_RETURN(
+            reply.delta,
+            participant_.ComputeLocalUpdate(model_, request.params,
+                                            request.learning_rate,
+                                            request.local_steps));
+        DIGFL_RETURN_IF_ERROR(channel.Send(MsgType::kRoundReply,
+                                           EncodeRoundReply(reply),
+                                           options_.io_timeout_ms));
+        ++stats_.rounds_served;
+        DIGFL_COUNTER_ADD("net.rounds_served_total", 1);
+        // Kill point for the fault harness: "participant dies after
+        // serving round k" — the reply is already on the wire, so the
+        // coordinator sees this round complete and the *next* round drop.
+        MaybeCrash("net.round.served");
+        break;
+      }
+      case MsgType::kHvpRequest: {
+        DIGFL_TRACE_SPAN("net.serve_hvp");
+        DIGFL_ASSIGN_OR_RETURN(HvpRequestMsg request,
+                               DecodeHvpRequest(frame->payload));
+        if (request.params.size() != model_.NumParams()) {
+          return Status::InvalidArgument(
+              "hvp request parameter size does not match the local model");
+        }
+        HvpReplyMsg reply;
+        reply.request_id = request.request_id;
+        reply.participant_id = options_.participant_id;
+        DIGFL_ASSIGN_OR_RETURN(
+            reply.hvp,
+            participant_.ComputeLocalHvp(model_, request.params, request.v));
+        DIGFL_RETURN_IF_ERROR(channel.Send(MsgType::kHvpReply,
+                                           EncodeHvpReply(reply),
+                                           options_.io_timeout_ms));
+        ++stats_.hvps_served;
+        break;
+      }
+      case MsgType::kShutdown:
+        return Status::OK();
+      default:
+        return Status::InvalidArgument("unexpected frame type " +
+                                       std::to_string(frame->type));
+    }
+  }
+}
+
+Status ParticipantNode::Run() {
+  DIGFL_TRACE_SPAN("net.participant_run");
+  for (;;) {
+    Result<MsgChannel> channel = ConnectAndHandshake();
+    if (!channel.ok()) return channel.status();
+    Status served = Serve(*channel);
+    stats_.bytes_sent += channel->TakeBytesSent();
+    stats_.bytes_received += channel->TakeBytesReceived();
+    if (served.ok()) return Status::OK();
+    if (served.code() == StatusCode::kUnavailable) {
+      // The coordinator vanished mid-stream (restart, crash-resume, or a
+      // round it abandoned); dial again and rejoin at the next epoch.
+      ++stats_.reconnects;
+      DIGFL_COUNTER_ADD("net.reconnects_total", 1);
+      continue;
+    }
+    return served;
+  }
+}
+
+}  // namespace net
+}  // namespace digfl

@@ -1,0 +1,94 @@
+// ParticipantNode: the client role of the distributed HFL runtime.
+//
+// Wraps one HflParticipant in a connect-and-serve event loop: dial the
+// coordinator (bounded retries with backoff + jitter), handshake, then
+// answer RoundRequests with local updates and HvpRequests with local
+// Hessian-vector products until a Shutdown message or a fatal error. A
+// dropped connection triggers a reconnect — the coordinator treats the gap
+// as a dropout and the node rejoins at the next epoch boundary.
+//
+// The node is deliberately stateless across rounds: every RoundRequest
+// carries θ_{t-1} and α_t, so a node that missed ten epochs serves epoch
+// t+10 exactly like one that never left. That statelessness is what makes
+// the coordinator's dropout-and-rejoin semantics (and its crash-resume)
+// correct without any distributed snapshot protocol.
+
+#ifndef DIGFL_NET_PARTICIPANT_NODE_H_
+#define DIGFL_NET_PARTICIPANT_NODE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "hfl/participant.h"
+#include "net/backoff.h"
+#include "net/channel.h"
+#include "net/wire.h"
+#include "nn/model.h"
+
+namespace digfl {
+namespace net {
+
+struct ParticipantNodeOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint64_t participant_id = 0;
+  // Must match the coordinator's digest or the handshake is rejected.
+  uint64_t config_digest = 0;
+  int connect_timeout_ms = 2000;
+  int handshake_timeout_ms = 5000;
+  // One Recv poll while idle between rounds; expiry is not an error, the
+  // node just keeps waiting (see max_idle_polls).
+  int io_timeout_ms = 30000;
+  // Consecutive idle polls before giving up on a silent coordinator;
+  // 0 = wait forever (until Shutdown or connection loss).
+  size_t max_idle_polls = 0;
+  // Dial attempts per (re)connect episode before Run() fails.
+  size_t max_connect_attempts = 20;
+  BackoffPolicy connect_backoff;
+  // 0 = derive the jitter stream from participant_id.
+  uint64_t jitter_seed = 0;
+  WireLimits limits;
+};
+
+class ParticipantNode {
+ public:
+  struct Stats {
+    uint64_t rounds_served = 0;
+    uint64_t hvps_served = 0;
+    uint64_t reconnects = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+  };
+
+  // `model` is not owned and must outlive the node.
+  ParticipantNode(const Model& model, HflParticipant participant,
+                  ParticipantNodeOptions options)
+      : model_(model),
+        participant_(std::move(participant)),
+        options_(std::move(options)) {}
+
+  // Connects and serves until the coordinator says Shutdown (OK), the
+  // coordinator stays unreachable through a full connect episode
+  // (kUnavailable / kDeadlineExceeded), or a protocol error (anything
+  // else).
+  Status Run();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Result<MsgChannel> ConnectAndHandshake();
+  // Serves one connection. OK = clean shutdown; kUnavailable = connection
+  // lost, caller should reconnect; other codes are fatal.
+  Status Serve(MsgChannel& channel);
+
+  const Model& model_;
+  HflParticipant participant_;
+  ParticipantNodeOptions options_;
+  Stats stats_;
+};
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_PARTICIPANT_NODE_H_

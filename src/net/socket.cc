@@ -1,0 +1,281 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace digfl {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Absolute deadline arithmetic so a retried poll/read loop shares one
+// budget instead of restarting the clock on every partial operation.
+Clock::time_point DeadlineFrom(int timeout_ms) {
+  return Clock::now() + std::chrono::milliseconds(timeout_ms);
+}
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+Status ErrnoStatus(const char* op, int err) {
+  const std::string what = std::string(op) + ": " + std::strerror(err);
+  switch (err) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case EPIPE:
+    case ENOTCONN:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+      return Status::Unavailable(what);
+    case ETIMEDOUT:
+      return Status::DeadlineExceeded(what);
+    default:
+      return Status::Internal(what);
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)", errno);
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  // Best-effort: latency tuning, not correctness.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Polls `fd` for `events` until the deadline. OK = ready.
+Status PollFor(int fd, short events, Clock::time_point deadline,
+               const char* op) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int remaining = RemainingMs(deadline);
+    const int rc = ::poll(&pfd, 1, remaining);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus(op, errno);
+    }
+    if (rc == 0) {
+      return Status::DeadlineExceeded(std::string(op) + " timed out");
+    }
+    if (pfd.revents & (POLLERR | POLLNVAL)) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      return ErrnoStatus(op, err != 0 ? err : ECONNRESET);
+    }
+    // POLLHUP with readable data still delivers the data; the read itself
+    // reports EOF once drained.
+    return Status::OK();
+  }
+}
+
+}  // namespace
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpConn> TcpConn::Connect(const std::string& host, uint16_t port,
+                                 int timeout_ms) {
+  const auto deadline = DeadlineFrom(timeout_ms);
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  const int gai = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                                &result);
+  if (gai != 0) {
+    return Status::InvalidArgument("cannot resolve " + host + ": " +
+                                   ::gai_strerror(gai));
+  }
+
+  Status last = Status::Unavailable("no addresses for " + host);
+  for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket", errno);
+      continue;
+    }
+    TcpConn conn(fd);
+    if (Status status = SetNonBlocking(fd); !status.ok()) {
+      last = status;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) < 0 &&
+        errno != EINPROGRESS) {
+      last = ErrnoStatus("connect", errno);
+      continue;
+    }
+    if (Status status = PollFor(fd, POLLOUT, deadline, "connect");
+        !status.ok()) {
+      last = status;
+      continue;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      last = ErrnoStatus("connect", err != 0 ? err : errno);
+      continue;
+    }
+    SetNoDelay(fd);
+    ::freeaddrinfo(result);
+    return conn;
+  }
+  ::freeaddrinfo(result);
+  return last;
+}
+
+Status TcpConn::SendAll(std::string_view data, int timeout_ms) {
+  if (!valid()) return Status::FailedPrecondition("send on closed connection");
+  const auto deadline = DeadlineFrom(timeout_ms);
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      DIGFL_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, deadline, "send"));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return ErrnoStatus("send", errno);
+  }
+  return Status::OK();
+}
+
+Result<size_t> TcpConn::RecvSome(char* buf, size_t len, int timeout_ms) {
+  if (!valid()) return Status::FailedPrecondition("recv on closed connection");
+  const auto deadline = DeadlineFrom(timeout_ms);
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n == 0) return Status::Unavailable("peer closed the connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      DIGFL_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline, "recv"));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("recv", errno);
+  }
+}
+
+Status TcpConn::RecvExact(char* buf, size_t len, int timeout_ms) {
+  const auto deadline = DeadlineFrom(timeout_ms);
+  size_t got = 0;
+  while (got < len) {
+    DIGFL_ASSIGN_OR_RETURN(
+        size_t n, RecvSome(buf + got, len - got, RemainingMs(deadline)));
+    got += n;
+  }
+  return Status::OK();
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::Listen(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  TcpListener listener;
+  listener.fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  DIGFL_RETURN_IF_ERROR(SetNonBlocking(fd));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (::listen(fd, backlog) < 0) return ErrnoStatus("listen", errno);
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<TcpConn> TcpListener::Accept(int timeout_ms) {
+  if (!valid()) {
+    return Status::FailedPrecondition("accept on closed listener");
+  }
+  const auto deadline = DeadlineFrom(timeout_ms);
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      TcpConn conn(fd);
+      DIGFL_RETURN_IF_ERROR(SetNonBlocking(fd));
+      SetNoDelay(fd);
+      return conn;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      DIGFL_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline, "accept"));
+      continue;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+}  // namespace net
+}  // namespace digfl

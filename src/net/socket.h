@@ -1,0 +1,96 @@
+// Thin RAII wrappers over POSIX TCP sockets with poll-based deadlines.
+//
+// No library beyond libc: nonblocking sockets driven by poll(2), typed
+// Status errors in place of errno spelunking. The error taxonomy the rest
+// of src/net/ relies on:
+//
+//   kDeadlineExceeded  the operation timed out (retryable; the federation
+//                      layer turns repeated timeouts into a dropout),
+//   kUnavailable       the peer is gone — EOF, reset, refused — and the
+//                      connection must be replaced,
+//   kInvalidArgument / kInternal   caller or system programming errors.
+//
+// All sockets are nonblocking with TCP_NODELAY (round messages are
+// latency-sensitive) and sends use MSG_NOSIGNAL so a dead peer surfaces as
+// a Status, never SIGPIPE.
+
+#ifndef DIGFL_NET_SOCKET_H_
+#define DIGFL_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace digfl {
+namespace net {
+
+// A connected TCP stream. Move-only; the destructor closes the fd.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn() { Close(); }
+  TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  // Connects to host:port (numeric or resolvable host) within the
+  // deadline. kDeadlineExceeded on timeout, kUnavailable on refusal.
+  static Result<TcpConn> Connect(const std::string& host, uint16_t port,
+                                 int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  // Writes all of `data` within the deadline (shared across the whole
+  // write, not per chunk).
+  Status SendAll(std::string_view data, int timeout_ms);
+
+  // Reads up to `len` bytes into `buf`; returns the count actually read
+  // (>= 1). kUnavailable on EOF/reset, kDeadlineExceeded on timeout.
+  Result<size_t> RecvSome(char* buf, size_t len, int timeout_ms);
+
+  // Reads exactly `len` bytes. The deadline covers the whole read.
+  Status RecvExact(char* buf, size_t len, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+// A listening TCP socket bound to 127.0.0.1 (the runtime is a localhost /
+// trusted-network federation; see DESIGN.md §10).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+  TcpListener(TcpListener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds and listens on `port` (0 = ephemeral; read the choice back from
+  // port()).
+  static Result<TcpListener> Listen(uint16_t port, int backlog = 16);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+  void Close();
+
+  // Accepts one connection; kDeadlineExceeded when none arrives in time.
+  Result<TcpConn> Accept(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_SOCKET_H_

@@ -1,0 +1,103 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "ckpt/crc32.h"
+
+namespace digfl {
+namespace net {
+namespace {
+
+void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+}  // namespace
+
+std::string EncodePreamble() {
+  std::string out;
+  out.append(kPreambleMagic, kPreambleMagicLen);
+  const uint32_t version = kProtocolVersion;
+  AppendRaw(&out, &version, sizeof(version));
+  return out;
+}
+
+Status ValidatePreamble(std::string_view bytes) {
+  if (bytes.size() != kPreambleLen) {
+    return Status::InvalidArgument("preamble has wrong length");
+  }
+  if (std::memcmp(bytes.data(), kPreambleMagic, kPreambleMagicLen) != 0) {
+    return Status::InvalidArgument("peer is not speaking DIGFLNET");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + kPreambleMagicLen, sizeof(version));
+  if (version != kProtocolVersion) {
+    return Status::FailedPrecondition(
+        "protocol version mismatch: peer speaks v" + std::to_string(version) +
+        ", this build speaks v" + std::to_string(kProtocolVersion));
+  }
+  return Status::OK();
+}
+
+void AppendFrame(std::string* out, uint32_t type, std::string_view payload) {
+  const size_t header_offset = out->size();
+  AppendRaw(out, &type, sizeof(type));
+  const uint64_t length = payload.size();
+  AppendRaw(out, &length, sizeof(length));
+  out->append(payload);
+  const uint32_t crc = ckpt::Crc32(std::string_view(
+      out->data() + header_offset, out->size() - header_offset));
+  AppendRaw(out, &crc, sizeof(crc));
+}
+
+Status FrameDecoder::Append(std::string_view bytes) {
+  if (!poison_.ok()) return poison_;
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+  return Status::OK();
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (!poison_.ok()) return poison_;
+  const size_t available = buffer_.size() - pos_;
+  if (available < kFrameHeaderLen) return std::optional<Frame>();
+
+  uint32_t type = 0;
+  uint64_t length = 0;
+  std::memcpy(&type, buffer_.data() + pos_, sizeof(type));
+  std::memcpy(&length, buffer_.data() + pos_ + sizeof(type), sizeof(length));
+  // The bound check happens before any allocation sized by `length`.
+  if (length > limits_.max_payload_bytes) {
+    poison_ = Status::InvalidArgument(
+        "frame payload length " + std::to_string(length) +
+        " exceeds limit " + std::to_string(limits_.max_payload_bytes));
+    return poison_;
+  }
+  const uint64_t wire_size = FrameWireSize(length);
+  if (available < wire_size) return std::optional<Frame>();
+
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc,
+              buffer_.data() + pos_ + kFrameHeaderLen + length,
+              sizeof(stored_crc));
+  const uint32_t actual_crc = ckpt::Crc32(
+      std::string_view(buffer_.data() + pos_, kFrameHeaderLen + length));
+  if (stored_crc != actual_crc) {
+    poison_ = Status::InvalidArgument("frame CRC mismatch");
+    return poison_;
+  }
+
+  Frame frame;
+  frame.type = type;
+  frame.payload.assign(buffer_.data() + pos_ + kFrameHeaderLen, length);
+  pos_ += wire_size;
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace net
+}  // namespace digfl

@@ -1,0 +1,103 @@
+// Wire framing for the distributed runtime (DESIGN.md §10).
+//
+// Every message on a federation connection is one frame:
+//
+//   u32 type | u64 payload_len | payload | u32 crc
+//
+// little-endian, with the CRC32 (ckpt/crc32.h) covering type, length, and
+// payload — the same record discipline as the DIGFLCKP1 checkpoint
+// container, so a bit flip anywhere in a frame (header included) is
+// detected. Before any frame flows, each side sends a fixed 13-byte
+// preamble
+//
+//   "DIGFLNET1" | u32 protocol_version
+//
+// so a non-protocol peer (or a version skew) is rejected before the
+// decoder allocates anything.
+//
+// FrameDecoder is incremental and strictly bounded: bytes are appended as
+// they arrive from the socket, complete frames are popped off the front,
+// and a length prefix above WireLimits::max_payload_bytes is a typed error
+// *before* any allocation happens. A decode error poisons the stream —
+// framing offers no resynchronization, so the connection must be dropped.
+
+#ifndef DIGFL_NET_WIRE_H_
+#define DIGFL_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace digfl {
+namespace net {
+
+inline constexpr char kPreambleMagic[] = "DIGFLNET1";  // 9 bytes, no NUL
+inline constexpr size_t kPreambleMagicLen = 9;
+inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr size_t kPreambleLen = kPreambleMagicLen + sizeof(uint32_t);
+
+// The 13-byte connection preamble for kProtocolVersion.
+std::string EncodePreamble();
+
+// Validates a received preamble: magic then version, typed errors for each
+// failure mode (so a handshake telemetry counter can distinguish them).
+Status ValidatePreamble(std::string_view bytes);
+
+// Frame header = type + payload length; the CRC trails the payload.
+inline constexpr size_t kFrameHeaderLen = sizeof(uint32_t) + sizeof(uint64_t);
+inline constexpr size_t kFrameCrcLen = sizeof(uint32_t);
+
+// Total on-the-wire size of a frame with `payload_len` payload bytes.
+constexpr uint64_t FrameWireSize(uint64_t payload_len) {
+  return kFrameHeaderLen + payload_len + kFrameCrcLen;
+}
+
+struct WireLimits {
+  // Ceiling on a single frame's payload. The decoder rejects a larger
+  // length prefix before allocating; senders refuse to emit one. Generous
+  // for this library's payloads (model parameter vectors).
+  uint64_t max_payload_bytes = 64ull << 20;
+};
+
+struct Frame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+// Appends one framed message to `out` (for sending; the caller enforces
+// its own WireLimits before calling).
+void AppendFrame(std::string* out, uint32_t type, std::string_view payload);
+
+// Incremental frame decoder over a byte stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(WireLimits limits = {}) : limits_(limits) {}
+
+  // Buffers `bytes` received from the stream. Returns the poison status if
+  // a previous Next() already failed (the stream is unrecoverable).
+  Status Append(std::string_view bytes);
+
+  // Pops the next complete frame:
+  //   ok + frame    — a fully CRC-checked frame,
+  //   ok + nullopt  — need more bytes,
+  //   error         — malformed stream (oversized length, CRC mismatch);
+  //                   the decoder is poisoned and the connection is dead.
+  Result<std::optional<Frame>> Next();
+
+  // Bytes buffered but not yet consumed by a complete frame.
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  WireLimits limits_;
+  std::string buffer_;
+  size_t pos_ = 0;  // consumed prefix of buffer_
+  Status poison_;
+};
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_WIRE_H_

@@ -1,0 +1,269 @@
+// Multi-process integration tests for the distributed runtime: real forked
+// participant processes over loopback TCP, including the headline failure
+// drill — one participant killed mid-run degrades the federation into the
+// fault-tolerance dropout path, and the surviving masked φ̂ estimate is
+// bitwise identical to the in-process reference that replays the observed
+// failure as a FaultPlan::FromSchedule dropout schedule.
+//
+// Fork discipline: every child is forked *before* the parent constructs a
+// Coordinator (whose accept thread would make fork-from-a-threaded-process
+// undefined enough to trip TSan). Children block on a pipe until the
+// parent relays the coordinator's ephemeral port.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "core/phi_accumulator.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "hfl/fed_sgd.h"
+#include "net/coordinator.h"
+#include "net/messages.h"
+#include "net/participant_node.h"
+#include "nn/softmax_regression.h"
+
+namespace digfl {
+namespace net {
+namespace {
+
+struct NetWorld {
+  SoftmaxRegression model{6, 3};
+  Dataset validation;
+  std::vector<HflParticipant> participants;
+  Vec init;
+  FedSgdConfig config;
+};
+
+NetWorld MakeNetWorld(size_t n, size_t epochs, uint64_t seed) {
+  GaussianClassificationConfig data_config;
+  data_config.num_samples = 240;
+  data_config.num_features = 6;
+  data_config.num_classes = 3;
+  data_config.seed = seed;
+  Dataset pool = MakeGaussianClassification(data_config).value();
+  Rng rng(seed + 1);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  NetWorld world;
+  world.validation = split.second;
+  auto shards = PartitionIid(split.first, n, rng).value();
+  for (size_t i = 0; i < n; ++i) world.participants.emplace_back(i, shards[i]);
+  world.init = Vec(world.model.NumParams(), 0.0);
+  world.config.epochs = epochs;
+  world.config.learning_rate = 0.2;
+  return world;
+}
+
+uint64_t DigestFor(const NetWorld& world, uint64_t seed) {
+  return FederationConfigDigest(world.model.NumParams(), world.config.epochs,
+                                world.config.learning_rate,
+                                world.config.lr_decay,
+                                world.config.local_steps, seed);
+}
+
+// One forked participant process fed its port over a pipe. The child exits
+// 0 on a clean Shutdown-triggered return, 1 on any other node status, or
+// with the crash plan's injected exit code.
+struct ChildNode {
+  pid_t pid = -1;
+  int port_fd = -1;  // parent's write end
+
+  void SendPort(uint16_t port) const {
+    ASSERT_EQ(write(port_fd, &port, sizeof(port)),
+              static_cast<ssize_t>(sizeof(port)));
+  }
+
+  // Reaps the child and returns its exit code (-1 on abnormal death).
+  int Wait() const {
+    int wstatus = 0;
+    if (waitpid(pid, &wstatus, 0) != pid) return -1;
+    return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+  }
+};
+
+// Forks one participant child. `crash` may arm a kill point inside the
+// child (e.g. "die after serving K rounds"); a default config disarms.
+ChildNode ForkParticipant(const NetWorld& world, size_t id, uint64_t digest,
+                          const CrashPlanConfig& crash = {}) {
+  int fds[2];
+  EXPECT_EQ(pipe(fds), 0);
+  ChildNode child;
+  const pid_t pid = fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    close(fds[1]);
+    uint16_t port = 0;
+    if (read(fds[0], &port, sizeof(port)) !=
+        static_cast<ssize_t>(sizeof(port))) {
+      _exit(3);
+    }
+    close(fds[0]);
+    InstallCrashPlan(crash);
+    ParticipantNodeOptions options;
+    options.port = port;
+    options.participant_id = id;
+    options.config_digest = digest;
+    // When the coordinator dies (or this child is on the losing side of a
+    // test), bounded reconnects keep the child from hanging the suite.
+    options.max_connect_attempts = 5;
+    ParticipantNode node(world.model, world.participants[id], options);
+    const Status status = node.Run();
+    _exit(status.ok() ? 0 : 1);
+  }
+  close(fds[0]);
+  child.pid = pid;
+  child.port_fd = fds[1];
+  return child;
+}
+
+// The ISSUE's acceptance drill: 1 coordinator + 4 real participant
+// processes, one killed mid-run. The kill point fires right after the
+// victim puts its round-2 reply on the wire, so the coordinator sees
+// epochs 0..1 fully attended, then participant 3 gone from epoch 2 on —
+// precisely the dropout schedule the in-process reference replays.
+TEST(NetIntegrationTest, KilledParticipantDegradesToTheDropoutPath) {
+  constexpr size_t kParticipants = 4;
+  constexpr size_t kEpochs = 5;
+  constexpr size_t kVictim = 3;
+  constexpr uint64_t kRoundsBeforeDeath = 2;
+  NetWorld world = MakeNetWorld(kParticipants, kEpochs, 401);
+  const uint64_t digest = DigestFor(world, 401);
+
+  // Fork all children before any Coordinator thread exists.
+  std::vector<ChildNode> children;
+  for (size_t i = 0; i < kParticipants; ++i) {
+    CrashPlanConfig crash;
+    if (i == kVictim) {
+      crash.kill_ordinal = kRoundsBeforeDeath;
+      crash.site = "net.round.served";
+    }
+    children.push_back(ForkParticipant(world, i, digest, crash));
+  }
+
+  CoordinatorOptions options;
+  options.num_participants = kParticipants;
+  options.config_digest = digest;
+  auto coordinator = Coordinator::Create(options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+  for (const ChildNode& child : children) {
+    child.SendPort((*coordinator)->port());
+  }
+  ASSERT_TRUE((*coordinator)->WaitForParticipants(60000).ok());
+
+  HflServer server(world.model, world.validation);
+  auto log = (*coordinator)->RunFederatedTraining(server, world.init,
+                                                  world.config);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  (*coordinator)->Shutdown("drill complete");
+
+  for (size_t i = 0; i < kParticipants; ++i) {
+    const int exit_code = children[i].Wait();
+    if (i == kVictim) {
+      EXPECT_EQ(exit_code, 42) << "victim did not die at the kill point";
+    } else {
+      EXPECT_EQ(exit_code, 0) << "survivor " << i << " exited " << exit_code;
+    }
+  }
+
+  // The observed failure pattern: everyone served epochs 0..1, the victim
+  // is absent from epoch kRoundsBeforeDeath onward.
+  ASSERT_EQ(log->epochs.size(), kEpochs);
+  for (size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    for (size_t i = 0; i < kParticipants; ++i) {
+      const bool expected_present =
+          i != kVictim || epoch < kRoundsBeforeDeath;
+      EXPECT_EQ(log->epochs[epoch].IsPresent(i), expected_present)
+          << "epoch " << epoch << ", participant " << i;
+    }
+  }
+  EXPECT_EQ(log->faults.dropouts, kEpochs - kRoundsBeforeDeath);
+  EXPECT_GE((*coordinator)->stats().conn_errors, 1u);
+
+  // Replay the observed failure in-process as a deterministic dropout
+  // schedule; the masked estimator path must land on the same bits.
+  std::vector<FaultEvent> schedule(kEpochs * kParticipants);
+  for (size_t epoch = kRoundsBeforeDeath; epoch < kEpochs; ++epoch) {
+    schedule[epoch * kParticipants + kVictim].type = FaultType::kDropout;
+  }
+  auto plan = FaultPlan::FromSchedule(kEpochs, kParticipants, schedule);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  FedSgdConfig reference_config = world.config;
+  reference_config.fault_plan = &*plan;
+  HflServer reference_server(world.model, world.validation);
+  auto reference = RunFedSgd(world.model, world.participants,
+                             reference_server, world.init, reference_config);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  EXPECT_EQ(log->final_params, reference->final_params);
+  EXPECT_EQ(log->validation_loss, reference->validation_loss);
+  EXPECT_EQ(log->validation_accuracy, reference->validation_accuracy);
+  ASSERT_EQ(log->epochs.size(), reference->epochs.size());
+  for (size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    EXPECT_EQ(log->epochs[epoch].present, reference->epochs[epoch].present);
+    EXPECT_EQ(log->epochs[epoch].weights, reference->epochs[epoch].weights);
+    EXPECT_EQ(log->epochs[epoch].deltas, reference->epochs[epoch].deltas);
+  }
+
+  HflPhiAccumulator distributed_phi(kParticipants);
+  HflPhiAccumulator reference_phi(kParticipants);
+  for (size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    ASSERT_TRUE(
+        distributed_phi.Consume(server, log->epochs[epoch]).ok());
+    ASSERT_TRUE(
+        reference_phi.Consume(reference_server, reference->epochs[epoch])
+            .ok());
+  }
+  EXPECT_EQ(distributed_phi.total(), reference_phi.total());
+  EXPECT_EQ(distributed_phi.per_epoch(), reference_phi.per_epoch());
+}
+
+// Fault-free multi-process sanity: 4 forked participants, full horizon,
+// every child exits 0 through the Shutdown broadcast and the run matches
+// the in-process trainer bitwise.
+TEST(NetIntegrationTest, MultiProcessRunMatchesInProcessBitwise) {
+  constexpr size_t kParticipants = 4;
+  NetWorld world = MakeNetWorld(kParticipants, 4, 411);
+  const uint64_t digest = DigestFor(world, 411);
+
+  std::vector<ChildNode> children;
+  for (size_t i = 0; i < kParticipants; ++i) {
+    children.push_back(ForkParticipant(world, i, digest));
+  }
+
+  CoordinatorOptions options;
+  options.num_participants = kParticipants;
+  options.config_digest = digest;
+  auto coordinator = Coordinator::Create(options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+  for (const ChildNode& child : children) {
+    child.SendPort((*coordinator)->port());
+  }
+  ASSERT_TRUE((*coordinator)->WaitForParticipants(60000).ok());
+
+  HflServer server(world.model, world.validation);
+  auto log = (*coordinator)->RunFederatedTraining(server, world.init,
+                                                  world.config);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  (*coordinator)->Shutdown("run complete");
+  for (const ChildNode& child : children) EXPECT_EQ(child.Wait(), 0);
+
+  HflServer reference_server(world.model, world.validation);
+  auto reference = RunFedSgd(world.model, world.participants,
+                             reference_server, world.init, world.config);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(log->final_params, reference->final_params);
+  EXPECT_EQ(log->validation_loss, reference->validation_loss);
+  EXPECT_EQ(log->validation_accuracy, reference->validation_accuracy);
+  EXPECT_EQ(log->faults.dropouts, 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace digfl

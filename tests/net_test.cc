@@ -1,0 +1,761 @@
+// Unit + property tests for src/net: wire framing robustness (truncation,
+// bit flips, oversized length prefixes, garbage), message codec strictness,
+// handshake failure modes, and the tentpole contract — a distributed
+// federation over real loopback sockets whose training log and φ̂ are
+// bitwise identical to the in-process RunFedSgd + Algorithm #2 path.
+//
+// Labelled `net` in tests/CMakeLists.txt; scripts/run_checks.sh --net runs
+// the label under ASan and TSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "core/phi_accumulator.h"
+#include "ckpt/hfl_resume.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "hfl/fed_sgd.h"
+#include "net/backoff.h"
+#include "net/channel.h"
+#include "net/coordinator.h"
+#include "net/messages.h"
+#include "net/participant_node.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "nn/softmax_regression.h"
+
+namespace digfl {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------- wire.
+
+std::string EncodeOneFrame(uint32_t type, std::string_view payload) {
+  std::string out;
+  AppendFrame(&out, type, payload);
+  return out;
+}
+
+TEST(WireTest, PreambleRoundTrips) {
+  const std::string preamble = EncodePreamble();
+  ASSERT_EQ(preamble.size(), kPreambleLen);
+  EXPECT_TRUE(ValidatePreamble(preamble).ok());
+}
+
+TEST(WireTest, PreambleRejectsWrongMagic) {
+  std::string preamble = EncodePreamble();
+  preamble[0] = 'X';
+  const Status status = ValidatePreamble(preamble);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, PreambleRejectsVersionSkew) {
+  std::string preamble = EncodePreamble();
+  const uint32_t future = kProtocolVersion + 1;
+  std::memcpy(&preamble[kPreambleMagicLen], &future, sizeof(future));
+  const Status status = ValidatePreamble(preamble);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WireTest, PreambleRejectsWrongLength) {
+  EXPECT_EQ(ValidatePreamble("DIGFL").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, FrameRoundTripsAcrossChunkBoundaries) {
+  const std::string payload = "federated payload \x00\x01\xff bytes";
+  const std::string wire = EncodeOneFrame(42, payload);
+  // Feed one byte at a time: the decoder must pend until the frame is
+  // complete, then pop exactly one frame.
+  FrameDecoder decoder;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_TRUE(decoder.Append(wire.substr(i, 1)).ok());
+    auto frame = decoder.Next();
+    ASSERT_TRUE(frame.ok()) << "byte " << i << ": " << frame.status().ToString();
+    EXPECT_FALSE(frame->has_value()) << "frame surfaced early at byte " << i;
+  }
+  ASSERT_TRUE(decoder.Append(wire.substr(wire.size() - 1)).ok());
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->type, 42u);
+  EXPECT_EQ((*frame)->payload, payload);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireTest, BackToBackFramesDecodeInOrder) {
+  std::string wire;
+  AppendFrame(&wire, 1, "first");
+  AppendFrame(&wire, 2, "second");
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Append(wire).ok());
+  auto a = decoder.Next();
+  ASSERT_TRUE(a.ok() && a->has_value());
+  EXPECT_EQ((*a)->payload, "first");
+  auto b = decoder.Next();
+  ASSERT_TRUE(b.ok() && b->has_value());
+  EXPECT_EQ((*b)->payload, "second");
+}
+
+TEST(WireTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  WireLimits limits;
+  limits.max_payload_bytes = 1024;
+  // Hand-craft a header claiming an absurd payload; never send the payload.
+  std::string header;
+  const uint32_t type = 3;
+  const uint64_t huge = 1ull << 40;
+  header.append(reinterpret_cast<const char*>(&type), sizeof(type));
+  header.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  FrameDecoder decoder(limits);
+  ASSERT_TRUE(decoder.Append(header).ok());
+  auto frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  // The rejection happened off the 12-byte header alone — nothing close to
+  // the claimed terabyte was ever buffered.
+  EXPECT_LE(decoder.buffered_bytes(), kFrameHeaderLen);
+}
+
+TEST(WireTest, DecodeErrorPoisonsTheStream) {
+  std::string wire = EncodeOneFrame(7, "payload");
+  wire.back() ^= 0x01;  // corrupt the CRC
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Append(wire).ok());
+  ASSERT_FALSE(decoder.Next().ok());
+  // Both entry points keep failing: framing has no resync.
+  EXPECT_FALSE(decoder.Append("more").ok());
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(WireTest, EverySingleBitFlipIsDetected) {
+  const std::string payload = "delta bits: \x01\x02\x03\x04\x05\x06\x07\x08";
+  const std::string wire = EncodeOneFrame(4, payload);
+  for (size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    std::string flipped = wire;
+    flipped[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Append(flipped).ok());
+    auto frame = decoder.Next();
+    // A flipped frame must never decode: either the CRC (or length/limit
+    // check) catches it, or a corrupted length field leaves the decoder
+    // waiting for bytes that will never come. Both are safe; silently
+    // yielding a frame is the failure mode.
+    if (frame.ok()) {
+      EXPECT_FALSE(frame->has_value()) << "bit " << bit << " slipped through";
+    }
+  }
+}
+
+TEST(WireTest, RandomGarbageNeverCrashesTheDecoder) {
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t len = static_cast<size_t>(rng.UniformInt(uint64_t{200}));
+    std::string garbage(len, '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.UniformInt(uint64_t{256}));
+    }
+    FrameDecoder decoder;
+    size_t pos = 0;
+    bool dead = false;
+    while (pos < garbage.size() && !dead) {
+      const size_t chunk = 1 + static_cast<size_t>(
+          rng.UniformInt(uint64_t{garbage.size() - pos}));
+      if (!decoder.Append(garbage.substr(pos, chunk)).ok()) break;
+      pos += chunk;
+      // Drain frames until the decoder pends or poisons; it must only ever
+      // return typed statuses (ASan/UBSan guard the rest).
+      while (true) {
+        auto frame = decoder.Next();
+        if (!frame.ok()) { dead = true; break; }
+        if (!frame->has_value()) break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- codecs.
+
+TEST(MessagesTest, RoundMessagesRoundTripBitwise) {
+  RoundRequestMsg request;
+  request.epoch = 12;
+  request.learning_rate = 0.30000000000000004;  // not exactly representable
+  request.local_steps = 3;
+  request.params = {0.0, -0.0, 5e-324, 1.7976931348623157e308, -1.5};
+  auto decoded_request = DecodeRoundRequest(EncodeRoundRequest(request));
+  ASSERT_TRUE(decoded_request.ok());
+  EXPECT_EQ(decoded_request->epoch, request.epoch);
+  EXPECT_EQ(decoded_request->local_steps, request.local_steps);
+  ASSERT_EQ(decoded_request->params.size(), request.params.size());
+  for (size_t i = 0; i < request.params.size(); ++i) {
+    uint64_t sent = 0, got = 0;
+    std::memcpy(&sent, &request.params[i], sizeof(sent));
+    std::memcpy(&got, &decoded_request->params[i], sizeof(got));
+    EXPECT_EQ(sent, got) << "param " << i << " changed bits in transit";
+  }
+  uint64_t lr_sent = 0, lr_got = 0;
+  std::memcpy(&lr_sent, &request.learning_rate, sizeof(lr_sent));
+  std::memcpy(&lr_got, &decoded_request->learning_rate, sizeof(lr_got));
+  EXPECT_EQ(lr_sent, lr_got);
+
+  RoundReplyMsg reply;
+  reply.epoch = 12;
+  reply.participant_id = 3;
+  reply.delta = {1e-17, -2.5, 0.1};
+  auto decoded_reply = DecodeRoundReply(EncodeRoundReply(reply));
+  ASSERT_TRUE(decoded_reply.ok());
+  EXPECT_EQ(decoded_reply->participant_id, 3u);
+  EXPECT_EQ(decoded_reply->delta, reply.delta);
+}
+
+TEST(MessagesTest, HandshakeAndControlMessagesRoundTrip) {
+  HelloMsg hello{5, 1234, 0xdeadbeefcafef00dull};
+  auto decoded_hello = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(decoded_hello.ok());
+  EXPECT_EQ(decoded_hello->participant_id, 5u);
+  EXPECT_EQ(decoded_hello->num_params, 1234u);
+  EXPECT_EQ(decoded_hello->config_digest, hello.config_digest);
+
+  HelloAckMsg ack;
+  ack.accepted = 0;
+  ack.next_epoch = 9;
+  ack.message = "config digest mismatch";
+  auto decoded_ack = DecodeHelloAck(EncodeHelloAck(ack));
+  ASSERT_TRUE(decoded_ack.ok());
+  EXPECT_EQ(decoded_ack->accepted, 0);
+  EXPECT_EQ(decoded_ack->next_epoch, 9u);
+  EXPECT_EQ(decoded_ack->message, ack.message);
+
+  HvpRequestMsg hvp{77, {1.0, 2.0}, {0.5, -0.5}};
+  auto decoded_hvp = DecodeHvpRequest(EncodeHvpRequest(hvp));
+  ASSERT_TRUE(decoded_hvp.ok());
+  EXPECT_EQ(decoded_hvp->request_id, 77u);
+  EXPECT_EQ(decoded_hvp->params, hvp.params);
+  EXPECT_EQ(decoded_hvp->v, hvp.v);
+
+  HvpReplyMsg hvp_reply{77, 2, {3.25}};
+  auto decoded_hvp_reply = DecodeHvpReply(EncodeHvpReply(hvp_reply));
+  ASSERT_TRUE(decoded_hvp_reply.ok());
+  EXPECT_EQ(decoded_hvp_reply->hvp, hvp_reply.hvp);
+
+  ShutdownMsg bye{"run complete"};
+  auto decoded_bye = DecodeShutdown(EncodeShutdown(bye));
+  ASSERT_TRUE(decoded_bye.ok());
+  EXPECT_EQ(decoded_bye->reason, "run complete");
+}
+
+// Each decoder must reject every strict prefix of its own encoding with a
+// typed Status — a truncated payload must never half-parse.
+template <typename Msg, typename Decoder>
+void ExpectAllPrefixesRejected(const std::string& payload, Decoder decode) {
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Result<Msg> decoded = decode(std::string_view(payload.data(), cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(MessagesTest, EveryTruncationIsATypedError) {
+  RoundRequestMsg request;
+  request.epoch = 3;
+  request.learning_rate = 0.25;
+  request.params = {1.0, 2.0, 3.0};
+  ExpectAllPrefixesRejected<HelloMsg>(EncodeHello({1, 2, 3}), DecodeHello);
+  ExpectAllPrefixesRejected<HelloAckMsg>(EncodeHelloAck({1, 4, "ok"}),
+                                         DecodeHelloAck);
+  ExpectAllPrefixesRejected<RoundRequestMsg>(EncodeRoundRequest(request),
+                                             DecodeRoundRequest);
+  ExpectAllPrefixesRejected<RoundReplyMsg>(
+      EncodeRoundReply({3, 1, {0.5, 0.25}}), DecodeRoundReply);
+  ExpectAllPrefixesRejected<HvpRequestMsg>(
+      EncodeHvpRequest({1, {1.0}, {2.0}}), DecodeHvpRequest);
+  ExpectAllPrefixesRejected<HvpReplyMsg>(EncodeHvpReply({1, 0, {1.5}}),
+                                         DecodeHvpReply);
+  ExpectAllPrefixesRejected<ShutdownMsg>(EncodeShutdown({"reason"}),
+                                         DecodeShutdown);
+}
+
+TEST(MessagesTest, TrailingBytesAreRejected) {
+  const std::string hello = EncodeHello({1, 2, 3}) + std::string(1, '\0');
+  EXPECT_FALSE(DecodeHello(hello).ok());
+  const std::string reply =
+      EncodeRoundReply({0, 0, {1.0}}) + std::string("junk");
+  EXPECT_FALSE(DecodeRoundReply(reply).ok());
+  const std::string bye = EncodeShutdown({"x"}) + std::string(1, 'y');
+  EXPECT_FALSE(DecodeShutdown(bye).ok());
+}
+
+TEST(MessagesTest, RandomGarbageNeverCrashesTheCodecs) {
+  Rng rng(0xbead);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t len = static_cast<size_t>(rng.UniformInt(uint64_t{96}));
+    std::string garbage(len, '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.UniformInt(uint64_t{256}));
+    }
+    // Any of these may succeed only by decoding a semantically valid
+    // message; what they must never do is crash or over-allocate.
+    (void)DecodeHello(garbage);
+    (void)DecodeHelloAck(garbage);
+    (void)DecodeRoundRequest(garbage);
+    (void)DecodeRoundReply(garbage);
+    (void)DecodeHvpRequest(garbage);
+    (void)DecodeHvpReply(garbage);
+    (void)DecodeShutdown(garbage);
+  }
+}
+
+TEST(MessagesTest, ConfigDigestSeparatesEveryParameter) {
+  const uint64_t base = FederationConfigDigest(100, 15, 0.3, 1.0, 1, 7);
+  EXPECT_NE(base, FederationConfigDigest(101, 15, 0.3, 1.0, 1, 7));
+  EXPECT_NE(base, FederationConfigDigest(100, 16, 0.3, 1.0, 1, 7));
+  EXPECT_NE(base, FederationConfigDigest(100, 15, 0.31, 1.0, 1, 7));
+  EXPECT_NE(base, FederationConfigDigest(100, 15, 0.3, 0.99, 1, 7));
+  EXPECT_NE(base, FederationConfigDigest(100, 15, 0.3, 1.0, 2, 7));
+  EXPECT_NE(base, FederationConfigDigest(100, 15, 0.3, 1.0, 1, 8));
+  EXPECT_EQ(base, FederationConfigDigest(100, 15, 0.3, 1.0, 1, 7));
+}
+
+// ---------------------------------------------------------------- backoff.
+
+TEST(BackoffTest, DelaysStayWithinTheJitterBand) {
+  BackoffPolicy policy;
+  policy.initial_ms = 50;
+  policy.multiplier = 2.0;
+  policy.max_ms = 400;
+  Rng rng(11);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const int expected_cap =
+        std::min(400, static_cast<int>(50 * std::pow(2.0, attempt)));
+    for (int i = 0; i < 20; ++i) {
+      const int delay = BackoffDelayMs(policy, attempt, rng);
+      EXPECT_GE(delay, expected_cap / 2);
+      EXPECT_LE(delay, expected_cap);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- handshake.
+
+TEST(HandshakeTest, MidHandshakeDisconnectIsATypedError) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  auto client = TcpConn::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto server_conn = listener->Accept(2000);
+  ASSERT_TRUE(server_conn.ok()) << server_conn.status().ToString();
+
+  client->Close();  // vanish before sending a single preamble byte
+  MsgChannel channel(std::move(*server_conn));
+  auto hello = ServerHandshakeBegin(channel, 1000);
+  ASSERT_FALSE(hello.ok());
+  EXPECT_EQ(hello.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(HandshakeTest, PartialPreambleThenDisconnectIsATypedError) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpConn::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+  auto server_conn = listener->Accept(2000);
+  ASSERT_TRUE(server_conn.ok());
+
+  ASSERT_TRUE(client->SendAll(EncodePreamble().substr(0, 5), 1000).ok());
+  client->Close();
+  MsgChannel channel(std::move(*server_conn));
+  auto hello = ServerHandshakeBegin(channel, 1000);
+  ASSERT_FALSE(hello.ok());
+  EXPECT_EQ(hello.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(HandshakeTest, GarbagePreambleIsRejected) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpConn::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+  auto server_conn = listener->Accept(2000);
+  ASSERT_TRUE(server_conn.ok());
+
+  ASSERT_TRUE(client->SendAll(std::string(kPreambleLen, 'Z'), 1000).ok());
+  MsgChannel channel(std::move(*server_conn));
+  auto hello = ServerHandshakeBegin(channel, 1000);
+  ASSERT_FALSE(hello.ok());
+  EXPECT_EQ(hello.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------- federation.
+
+struct NetWorld {
+  SoftmaxRegression model{6, 3};
+  Dataset validation;
+  std::vector<HflParticipant> participants;
+  Vec init;
+  FedSgdConfig config;
+};
+
+NetWorld MakeNetWorld(size_t n, size_t epochs, uint64_t seed) {
+  GaussianClassificationConfig data_config;
+  data_config.num_samples = 240;
+  data_config.num_features = 6;
+  data_config.num_classes = 3;
+  data_config.seed = seed;
+  Dataset pool = MakeGaussianClassification(data_config).value();
+  Rng rng(seed + 1);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  NetWorld world;
+  world.validation = split.second;
+  auto shards = PartitionIid(split.first, n, rng).value();
+  for (size_t i = 0; i < n; ++i) world.participants.emplace_back(i, shards[i]);
+  world.init = Vec(world.model.NumParams(), 0.0);
+  world.config.epochs = epochs;
+  world.config.learning_rate = 0.2;
+  return world;
+}
+
+uint64_t DigestFor(const NetWorld& world, uint64_t seed) {
+  return FederationConfigDigest(world.model.NumParams(), world.config.epochs,
+                                world.config.learning_rate,
+                                world.config.lr_decay,
+                                world.config.local_steps, seed);
+}
+
+// Launches one in-process node thread per listed participant id; Join()
+// also asserts every node exited via the coordinator's Shutdown broadcast.
+class NodeFleet {
+ public:
+  NodeFleet(const NetWorld& world, uint16_t port, uint64_t digest,
+            const std::vector<size_t>& ids)
+      : statuses_(ids.size(), Status::OK()) {
+    for (size_t k = 0; k < ids.size(); ++k) {
+      const size_t id = ids[k];
+      ParticipantNodeOptions options;
+      options.port = port;
+      options.participant_id = id;
+      options.config_digest = digest;
+      threads_.emplace_back([this, k, id, options, &world] {
+        ParticipantNode node(world.model, world.participants[id], options);
+        statuses_[k] = node.Run();
+      });
+    }
+  }
+
+  void Join() {
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+    for (size_t k = 0; k < statuses_.size(); ++k) {
+      EXPECT_TRUE(statuses_[k].ok())
+          << "node " << k << ": " << statuses_[k].ToString();
+    }
+  }
+
+  ~NodeFleet() {
+    for (std::thread& t : threads_) t.join();
+  }
+
+ private:
+  std::vector<std::thread> threads_;
+  std::vector<Status> statuses_;
+};
+
+void ExpectLogsEquivalent(const HflTrainingLog& distributed,
+                          const HflTrainingLog& reference) {
+  ASSERT_EQ(distributed.epochs.size(), reference.epochs.size());
+  for (size_t t = 0; t < reference.epochs.size(); ++t) {
+    const HflEpochRecord& a = distributed.epochs[t];
+    const HflEpochRecord& b = reference.epochs[t];
+    EXPECT_EQ(a.params_before, b.params_before) << "θ diverged at epoch " << t;
+    EXPECT_EQ(a.learning_rate, b.learning_rate) << "epoch " << t;
+    EXPECT_EQ(a.weights, b.weights) << "epoch " << t;
+    EXPECT_EQ(a.present, b.present) << "epoch " << t;
+    ASSERT_EQ(a.deltas.size(), b.deltas.size());
+    for (size_t i = 0; i < a.deltas.size(); ++i) {
+      EXPECT_EQ(a.deltas[i], b.deltas[i])
+          << "δ diverged at epoch " << t << ", participant " << i;
+    }
+  }
+  EXPECT_EQ(distributed.final_params, reference.final_params);
+  EXPECT_EQ(distributed.validation_loss, reference.validation_loss);
+  EXPECT_EQ(distributed.validation_accuracy, reference.validation_accuracy);
+}
+
+std::vector<double> PhiTotals(const HflServer& server,
+                              const HflTrainingLog& log) {
+  HflPhiAccumulator accumulator(log.num_participants());
+  for (const HflEpochRecord& record : log.epochs) {
+    EXPECT_TRUE(accumulator.Consume(server, record).ok());
+  }
+  return accumulator.total();
+}
+
+// The tentpole acceptance contract: a fault-free distributed run over real
+// sockets is bitwise indistinguishable — log, θ, validation traces, φ̂ —
+// from the in-process trainer at the same config.
+TEST(FederationTest, DistributedRunMatchesInProcessBitwise) {
+  NetWorld world = MakeNetWorld(4, 5, 301);
+  world.config.lr_decay = 0.9;
+  world.config.local_steps = 2;
+  const uint64_t digest = DigestFor(world, 301);
+
+  HflServer reference_server(world.model, world.validation);
+  auto reference = RunFedSgd(world.model, world.participants,
+                             reference_server, world.init, world.config);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  CoordinatorOptions options;
+  options.num_participants = 4;
+  options.config_digest = digest;
+  auto coordinator = Coordinator::Create(options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+  NodeFleet fleet(world, (*coordinator)->port(), digest, {0, 1, 2, 3});
+  ASSERT_TRUE((*coordinator)->WaitForParticipants(30000).ok());
+
+  HflServer server(world.model, world.validation);
+  auto log = (*coordinator)->RunFederatedTraining(server, world.init,
+                                                  world.config);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  (*coordinator)->Shutdown("test complete");
+  fleet.Join();
+
+  ExpectLogsEquivalent(*log, *reference);
+  EXPECT_EQ(PhiTotals(server, *log), PhiTotals(reference_server, *reference));
+
+  EXPECT_EQ(log->faults.dropouts, 0u);
+  const CoordinatorStats stats = (*coordinator)->stats();
+  EXPECT_EQ(stats.handshakes_accepted, 4u);
+  EXPECT_EQ(stats.round_timeouts, 0u);
+  // Real measured traffic flowed on every one of the 2 × 4 channels.
+  EXPECT_EQ(log->comm.ByChannel().size(), 8u);
+  EXPECT_GT(log->comm.TotalBytes(), 0u);
+}
+
+// A participant that never shows up is exactly a scheduled all-epochs
+// dropout: the coordinator degrades into the PR-1 partial-participation
+// path and the masked estimators keep working, bit for bit.
+TEST(FederationTest, MissingParticipantDegradesToTheDropoutPath) {
+  NetWorld world = MakeNetWorld(4, 4, 311);
+  const uint64_t digest = DigestFor(world, 311);
+
+  // In-process reference: participant 3 drops out of every epoch.
+  std::vector<FaultEvent> schedule(world.config.epochs * 4);
+  for (size_t epoch = 0; epoch < world.config.epochs; ++epoch) {
+    schedule[epoch * 4 + 3].type = FaultType::kDropout;
+  }
+  auto plan = FaultPlan::FromSchedule(world.config.epochs, 4, schedule);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  FedSgdConfig reference_config = world.config;
+  reference_config.fault_plan = &*plan;
+  HflServer reference_server(world.model, world.validation);
+  auto reference = RunFedSgd(world.model, world.participants,
+                             reference_server, world.init, reference_config);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  CoordinatorOptions options;
+  options.num_participants = 4;
+  options.config_digest = digest;
+  auto coordinator = Coordinator::Create(options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+  NodeFleet fleet(world, (*coordinator)->port(), digest, {0, 1, 2});
+  // Participant 3 never connects; the deadline names the hole and training
+  // proceeds over the three who did.
+  const Status wait = (*coordinator)->WaitForParticipants(300);
+  EXPECT_EQ(wait.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ((*coordinator)->num_connected(), 3u);
+
+  HflServer server(world.model, world.validation);
+  auto log = (*coordinator)->RunFederatedTraining(server, world.init,
+                                                  world.config);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  (*coordinator)->Shutdown("test complete");
+  fleet.Join();
+
+  ExpectLogsEquivalent(*log, *reference);
+  EXPECT_EQ(PhiTotals(server, *log), PhiTotals(reference_server, *reference));
+  EXPECT_EQ(log->faults.dropouts, world.config.epochs);
+}
+
+TEST(FederationTest, HvpRpcMatchesLocalComputeBitwise) {
+  NetWorld world = MakeNetWorld(1, 2, 321);
+  const uint64_t digest = DigestFor(world, 321);
+
+  CoordinatorOptions options;
+  options.num_participants = 1;
+  options.config_digest = digest;
+  auto coordinator = Coordinator::Create(options);
+  ASSERT_TRUE(coordinator.ok());
+  NodeFleet fleet(world, (*coordinator)->port(), digest, {0});
+  ASSERT_TRUE((*coordinator)->WaitForParticipants(30000).ok());
+
+  Rng rng(77);
+  Vec params(world.model.NumParams());
+  Vec v(world.model.NumParams());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i] = rng.Uniform() - 0.5;
+    v[i] = rng.Uniform() - 0.5;
+  }
+  auto remote = (*coordinator)->RequestHvp(0, params, v, 10000);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  auto local =
+      world.participants[0].ComputeLocalHvp(world.model, params, v);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(*remote, *local);
+
+  (*coordinator)->Shutdown("test complete");
+  fleet.Join();
+}
+
+TEST(FederationTest, WrongConfigDigestIsRejectedAtHandshake) {
+  NetWorld world = MakeNetWorld(1, 2, 331);
+  CoordinatorOptions options;
+  options.num_participants = 1;
+  options.config_digest = 0x1111;
+  auto coordinator = Coordinator::Create(options);
+  ASSERT_TRUE(coordinator.ok());
+
+  auto conn = TcpConn::Connect("127.0.0.1", (*coordinator)->port(), 2000);
+  ASSERT_TRUE(conn.ok());
+  MsgChannel channel(std::move(*conn));
+  HelloMsg hello;
+  hello.participant_id = 0;
+  hello.num_params = world.model.NumParams();
+  hello.config_digest = 0x2222;  // launched with different flags
+  auto ack = ClientHandshake(channel, hello, 2000);
+  ASSERT_FALSE(ack.ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*coordinator)->num_connected(), 0u);
+  (*coordinator)->Shutdown("test complete");
+  EXPECT_GE((*coordinator)->stats().handshakes_rejected, 1u);
+}
+
+TEST(FederationTest, OutOfRangeParticipantIdIsRejected) {
+  CoordinatorOptions options;
+  options.num_participants = 2;
+  options.config_digest = 0xabc;
+  auto coordinator = Coordinator::Create(options);
+  ASSERT_TRUE(coordinator.ok());
+
+  auto conn = TcpConn::Connect("127.0.0.1", (*coordinator)->port(), 2000);
+  ASSERT_TRUE(conn.ok());
+  MsgChannel channel(std::move(*conn));
+  HelloMsg hello;
+  hello.participant_id = 7;  // only ids 0 and 1 exist
+  hello.config_digest = 0xabc;
+  auto ack = ClientHandshake(channel, hello, 2000);
+  ASSERT_FALSE(ack.ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kFailedPrecondition);
+  (*coordinator)->Shutdown("test complete");
+}
+
+TEST(FederationTest, DistributedOnlyRestrictionsAreEnforced) {
+  NetWorld world = MakeNetWorld(2, 2, 341);
+  CoordinatorOptions options;
+  options.num_participants = 2;
+  options.config_digest = 1;
+  auto coordinator = Coordinator::Create(options);
+  ASSERT_TRUE(coordinator.ok());
+  HflServer server(world.model, world.validation);
+
+  FedSgdConfig minibatch = world.config;
+  minibatch.batch_fraction = 0.5;
+  EXPECT_EQ((*coordinator)
+                ->RunFederatedTraining(server, world.init, minibatch)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  auto plan = FaultPlan::FromSchedule(2, 2, std::vector<FaultEvent>(4));
+  ASSERT_TRUE(plan.ok());
+  FedSgdConfig injected = world.config;
+  injected.fault_plan = &*plan;
+  EXPECT_EQ((*coordinator)
+                ->RunFederatedTraining(server, world.init, injected)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  (*coordinator)->Shutdown("test complete");
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("digfl_net_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Distributed crash-resume: a run checkpointed through src/ckpt and picked
+// up by a second coordinator instance (fresh sockets, fresh nodes) lands on
+// the same bits as the uninterrupted in-process checkpointed run.
+TEST(FederationTest, DistributedResumeMatchesUninterruptedBitwise) {
+  NetWorld world = MakeNetWorld(3, 6, 351);
+  const uint64_t digest = DigestFor(world, 351);
+
+  // Uninterrupted in-process reference through the same accumulator path.
+  ckpt::CheckpointRunOptions reference_options;
+  reference_options.dir = FreshDir("reference");
+  HflServer reference_server(world.model, world.validation);
+  auto reference = ckpt::RunFedSgdWithCheckpoints(
+      world.model, world.participants, reference_server, world.init,
+      world.config, reference_options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // Stage 1: a distributed run that only gets 3 of the 6 epochs in before
+  // the "interruption" (the final-epoch commit rule leaves a checkpoint at
+  // the stop point, exactly like a kill at the epoch boundary).
+  ckpt::CheckpointRunOptions options;
+  options.dir = FreshDir("resume");
+  FedSgdConfig partial = world.config;
+  partial.epochs = 3;
+  {
+    CoordinatorOptions coordinator_options;
+    coordinator_options.num_participants = 3;
+    coordinator_options.config_digest = digest;
+    auto coordinator = Coordinator::Create(coordinator_options);
+    ASSERT_TRUE(coordinator.ok());
+    NodeFleet fleet(world, (*coordinator)->port(), digest, {0, 1, 2});
+    ASSERT_TRUE((*coordinator)->WaitForParticipants(30000).ok());
+    HflServer server(world.model, world.validation);
+    auto interrupted = RunDistributedFedSgdWithCheckpoints(
+        **coordinator, server, world.init, partial, options);
+    ASSERT_TRUE(interrupted.ok()) << interrupted.status().ToString();
+    EXPECT_FALSE(interrupted->resumed);
+    (*coordinator)->Shutdown("stage 1 complete");
+    fleet.Join();
+  }
+
+  // Stage 2: a brand-new coordinator + node fleet resumes the store and
+  // carries the run to the full horizon.
+  options.resume = true;
+  CoordinatorOptions coordinator_options;
+  coordinator_options.num_participants = 3;
+  coordinator_options.config_digest = digest;
+  auto coordinator = Coordinator::Create(coordinator_options);
+  ASSERT_TRUE(coordinator.ok());
+  NodeFleet fleet(world, (*coordinator)->port(), digest, {0, 1, 2});
+  ASSERT_TRUE((*coordinator)->WaitForParticipants(30000).ok());
+  HflServer server(world.model, world.validation);
+  auto resumed = RunDistributedFedSgdWithCheckpoints(
+      **coordinator, server, world.init, world.config, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  (*coordinator)->Shutdown("stage 2 complete");
+  fleet.Join();
+
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->resumed_from_epoch, 3u);
+  ExpectLogsEquivalent(resumed->log, reference->log);
+  EXPECT_EQ(resumed->contributions.total, reference->contributions.total);
+  EXPECT_EQ(resumed->contributions.per_epoch,
+            reference->contributions.per_epoch);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace digfl

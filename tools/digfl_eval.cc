@@ -10,6 +10,8 @@
 //   digfl_eval --mode=vfl --dataset=Boston --methods=digfl,exact
 //   digfl_eval --help
 
+#include <sys/stat.h>
+
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -65,6 +67,7 @@ struct Flags {
   uint64_t seed = 7;
   std::string csv;                   // optional output path
   std::string telemetry_out;         // optional JSONL run-report path
+  std::string out_dir = "results";   // where relative output paths land
   std::string checkpoint_dir;        // enables crash-safe checkpointing
   size_t checkpoint_every = 1;       // epochs between checkpoints
   bool resume = false;               // warm-start from checkpoint_dir
@@ -96,6 +99,10 @@ void PrintUsage() {
   --csv=PATH                also write the result table as CSV
   --telemetry-out=PATH      append the telemetry run report (metrics, span
                             tree, events) to PATH as JSONL
+  --out-dir=DIR             directory (created on demand) that relative
+                            --csv/--telemetry-out paths land in (default
+                            results/, which is git-ignored; absolute paths
+                            pass through; empty disables)
   --checkpoint-dir=DIR      crash-safe checkpointing: commit training +
                             incremental DIG-FL state to DIR every epoch
   --checkpoint-every=K      epochs between checkpoints (default 1; the
@@ -206,6 +213,8 @@ Result<Flags> ParseFlags(int argc, char** argv) {
       flags.csv = value;
     } else if (key == "telemetry-out") {
       flags.telemetry_out = value;
+    } else if (key == "out-dir") {
+      flags.out_dir = value;
     } else if (key == "checkpoint-dir") {
       flags.checkpoint_dir = value;
     } else if (key == "checkpoint-every") {
@@ -222,6 +231,17 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     return Status::OutOfRange("--checkpoint-every must be >= 1");
   }
   return flags;
+}
+
+// Routes a relative output path into --out-dir (created on demand);
+// absolute paths — e.g. the crash harness's temp files — pass through.
+Result<std::string> ResolveOutput(const std::string& out_dir,
+                                  const std::string& path) {
+  if (path.empty() || path[0] == '/' || out_dir.empty()) return path;
+  if (::mkdir(out_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create output dir " + out_dir);
+  }
+  return out_dir + "/" + path;
 }
 
 Result<PaperDatasetId> LookupDataset(const std::string& name) {
@@ -510,6 +530,10 @@ Result<int> Main(int argc, char** argv) {
     PrintUsage();
     return 0;
   }
+  DIGFL_ASSIGN_OR_RETURN(flags.csv,
+                         ResolveOutput(flags.out_dir, flags.csv));
+  DIGFL_ASSIGN_OR_RETURN(flags.telemetry_out,
+                         ResolveOutput(flags.out_dir, flags.telemetry_out));
   DIGFL_ASSIGN_OR_RETURN(PaperDatasetId id, LookupDataset(flags.dataset));
 
   Timer overall;

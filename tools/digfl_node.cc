@@ -1,0 +1,472 @@
+// digfl_node — one process of the distributed HFL runtime (src/net/).
+//
+// The same binary plays both roles:
+//
+//   # terminal 1: the coordinator (server + validation set + DIG-FL)
+//   digfl_node --role=coordinator --port=7700 --dataset=MNIST \
+//       --participants=4 --epochs=10 --csv=results/contributions.csv
+//
+//   # terminals 2..5: one data-holding participant each
+//   digfl_node --role=participant --port=7700 --id=0 --dataset=MNIST \
+//       --participants=4
+//
+// Every process derives the full experiment deterministically from the
+// shared flags (dataset, partition, seed): the coordinator keeps the model,
+// the holdout validation set, and the initial parameters; participant k
+// keeps shard k. The flag-derived config digest is exchanged at handshake,
+// so mismatched launches are rejected instead of silently diverging. A
+// fault-free distributed run reproduces the in-process RunFedSgd +
+// Algorithm #2 result bitwise — same φ̂, same final parameters.
+//
+// scripts/run_federation.sh launches an n-process localhost federation.
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/table_writer.h"
+#include "core/phi_accumulator.h"
+#include "data/corruption.h"
+#include "data/paper_datasets.h"
+#include "data/partition.h"
+#include "net/coordinator.h"
+#include "net/participant_node.h"
+#include "nn/mlp.h"
+#include "telemetry/sink.h"
+#include "telemetry/telemetry.h"
+
+namespace digfl {
+namespace {
+
+struct Flags {
+  std::string role;                  // coordinator | participant
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;                 // coordinator: 0 = ephemeral
+  uint64_t id = 0;                   // participant id
+  std::string dataset = "MNIST";
+  size_t participants = 4;
+  size_t mislabeled = 0;
+  size_t noniid = 0;
+  double mislabel_fraction = 0.5;
+  double sample_fraction = 0.01;
+  size_t epochs = 15;
+  double learning_rate = 0.0;        // 0 = default (0.3)
+  size_t local_steps = 1;
+  uint64_t seed = 7;
+  std::string csv;                   // coordinator: φ̂ table output
+  std::string telemetry_out;
+  std::string checkpoint_dir;
+  size_t checkpoint_every = 1;
+  bool resume = false;
+  int round_timeout_ms = 10000;
+  size_t max_retries = 2;
+  int wait_timeout_ms = 60000;       // coordinator: participant assembly
+  size_t connect_attempts = 30;      // participant: dial retries
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(R"(digfl_node — one process of the distributed HFL runtime
+
+  --role=coordinator|participant   (required)
+  --port=P                  coordinator listen / participant dial port
+                            (coordinator default 0 = ephemeral, printed)
+  --host=H                  participant: coordinator host (default
+                            127.0.0.1)
+  --id=K                    participant id in [0, participants)
+  --dataset=NAME            MNIST CIFAR10 MOTOR REAL (default MNIST)
+  --participants=N          federation size (default 4)
+  --mislabeled=M            shards with label noise (default 0)
+  --noniid=M                single-class shards (default 0)
+  --mislabel-fraction=F     label-noise rate (default 0.5)
+  --sample-fraction=F       fraction of the Table-I dataset (default 0.01)
+  --epochs=T                training epochs (default 15)
+  --lr=A                    learning rate (0 = default 0.3)
+  --local-steps=S           local steps per round (default 1 = FedSGD)
+  --seed=S                  master seed (default 7); every flag above must
+                            match across all processes (digest-checked)
+  --csv=PATH                coordinator: write the φ̂ table as CSV
+  --telemetry-out=PATH      append the telemetry run report as JSONL
+  --checkpoint-dir=DIR      coordinator: crash-safe checkpointing
+  --checkpoint-every=K      epochs between checkpoints (default 1)
+  --resume                  coordinator: warm-start from --checkpoint-dir
+  --round-timeout-ms=MS     per-round-trip deadline (default 10000)
+  --max-retries=R           round retries after a timeout (default 2)
+  --wait-timeout-ms=MS      coordinator: participant assembly deadline
+                            (default 60000)
+  --connect-attempts=N      participant: dial attempts (default 30)
+)");
+}
+
+Result<uint64_t> ParseU64Flag(const std::string& key,
+                              const std::string& value) {
+  if (value.empty() || value[0] == '-') {
+    return Status::InvalidArgument("--" + key +
+                                   " expects a non-negative integer, got \"" +
+                                   value + "\"");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    return Status::InvalidArgument("--" + key +
+                                   " expects a non-negative integer, got \"" +
+                                   value + "\"");
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+Result<double> ParseDoubleFlag(const std::string& key,
+                               const std::string& value) {
+  if (value.empty()) {
+    return Status::InvalidArgument("--" + key + " expects a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size() ||
+      !std::isfinite(parsed)) {
+    return Status::InvalidArgument("--" + key +
+                                   " expects a finite number, got \"" + value +
+                                   "\"");
+  }
+  return parsed;
+}
+
+Result<double> ParseRateFlag(const std::string& key,
+                             const std::string& value) {
+  DIGFL_ASSIGN_OR_RETURN(double rate, ParseDoubleFlag(key, value));
+  if (rate < 0.0 || rate > 1.0) {
+    return Status::OutOfRange("--" + key + " must be in [0, 1], got " + value);
+  }
+  return rate;
+}
+
+Result<Flags> ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      flags.help = true;
+      return flags;
+    }
+    if (arg == "--resume") {
+      flags.resume = true;
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      return Status::InvalidArgument("bad flag: " + arg);
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "role") {
+      flags.role = value;
+    } else if (key == "host") {
+      flags.host = value;
+    } else if (key == "port") {
+      DIGFL_ASSIGN_OR_RETURN(uint64_t port, ParseU64Flag(key, value));
+      if (port > 65535) return Status::OutOfRange("--port must be <= 65535");
+      flags.port = static_cast<uint16_t>(port);
+    } else if (key == "id") {
+      DIGFL_ASSIGN_OR_RETURN(flags.id, ParseU64Flag(key, value));
+    } else if (key == "dataset") {
+      flags.dataset = value;
+    } else if (key == "participants") {
+      DIGFL_ASSIGN_OR_RETURN(flags.participants, ParseU64Flag(key, value));
+    } else if (key == "mislabeled") {
+      DIGFL_ASSIGN_OR_RETURN(flags.mislabeled, ParseU64Flag(key, value));
+    } else if (key == "noniid") {
+      DIGFL_ASSIGN_OR_RETURN(flags.noniid, ParseU64Flag(key, value));
+    } else if (key == "mislabel-fraction") {
+      DIGFL_ASSIGN_OR_RETURN(flags.mislabel_fraction,
+                             ParseRateFlag(key, value));
+    } else if (key == "sample-fraction") {
+      DIGFL_ASSIGN_OR_RETURN(flags.sample_fraction,
+                             ParseDoubleFlag(key, value));
+    } else if (key == "epochs") {
+      DIGFL_ASSIGN_OR_RETURN(flags.epochs, ParseU64Flag(key, value));
+    } else if (key == "lr") {
+      DIGFL_ASSIGN_OR_RETURN(flags.learning_rate,
+                             ParseDoubleFlag(key, value));
+    } else if (key == "local-steps") {
+      DIGFL_ASSIGN_OR_RETURN(flags.local_steps, ParseU64Flag(key, value));
+    } else if (key == "seed") {
+      DIGFL_ASSIGN_OR_RETURN(flags.seed, ParseU64Flag(key, value));
+    } else if (key == "csv") {
+      flags.csv = value;
+    } else if (key == "telemetry-out") {
+      flags.telemetry_out = value;
+    } else if (key == "checkpoint-dir") {
+      flags.checkpoint_dir = value;
+    } else if (key == "checkpoint-every") {
+      DIGFL_ASSIGN_OR_RETURN(flags.checkpoint_every,
+                             ParseU64Flag(key, value));
+    } else if (key == "round-timeout-ms") {
+      DIGFL_ASSIGN_OR_RETURN(uint64_t ms, ParseU64Flag(key, value));
+      flags.round_timeout_ms = static_cast<int>(ms);
+    } else if (key == "max-retries") {
+      DIGFL_ASSIGN_OR_RETURN(flags.max_retries, ParseU64Flag(key, value));
+    } else if (key == "wait-timeout-ms") {
+      DIGFL_ASSIGN_OR_RETURN(uint64_t ms, ParseU64Flag(key, value));
+      flags.wait_timeout_ms = static_cast<int>(ms);
+    } else if (key == "connect-attempts") {
+      DIGFL_ASSIGN_OR_RETURN(flags.connect_attempts,
+                             ParseU64Flag(key, value));
+    } else {
+      return Status::InvalidArgument("unknown flag: --" + key);
+    }
+  }
+  if (flags.role != "coordinator" && flags.role != "participant") {
+    return Status::InvalidArgument(
+        "--role must be coordinator or participant");
+  }
+  if (flags.participants == 0) {
+    return Status::InvalidArgument("--participants must be > 0");
+  }
+  if (flags.epochs == 0) return Status::InvalidArgument("--epochs must be > 0");
+  if (flags.role == "participant") {
+    if (flags.port == 0) {
+      return Status::InvalidArgument("participant requires --port");
+    }
+    if (flags.id >= flags.participants) {
+      return Status::OutOfRange("--id must be < --participants");
+    }
+  }
+  if (flags.resume && flags.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
+  if (flags.checkpoint_every == 0) {
+    return Status::OutOfRange("--checkpoint-every must be >= 1");
+  }
+  if (flags.mislabeled + flags.noniid >= flags.participants) {
+    return Status::InvalidArgument("too many corrupted participants");
+  }
+  return flags;
+}
+
+double EffectiveLearningRate(const Flags& flags) {
+  return flags.learning_rate > 0 ? flags.learning_rate : 0.3;
+}
+
+// The deterministic experiment both roles rebuild from the shared flags.
+// This mirrors digfl_eval's HFL setup line for line (seed+1 for the
+// split/partition stream, seed+2 for parameter init), so a distributed
+// run is comparable against the in-process driver at identical flags.
+struct HflSetup {
+  std::vector<Dataset> shards;
+  Dataset validation;
+  size_t num_classes = 0;
+  size_t num_features = 0;
+};
+
+Result<HflSetup> BuildHflSetup(const Flags& flags) {
+  PaperDatasetId dataset_id = PaperDatasetId::kMnist;
+  bool found = false;
+  for (PaperDatasetId id : HflDatasetIds()) {
+    if (PaperDatasetName(id) == flags.dataset) {
+      dataset_id = id;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::NotFound("unknown HFL dataset: " + flags.dataset);
+  }
+  PaperDatasetOptions data_options;
+  data_options.sample_fraction = flags.sample_fraction;
+  data_options.seed = flags.seed;
+  DIGFL_ASSIGN_OR_RETURN(PaperDatasetSpec spec,
+                         MakePaperDataset(dataset_id, data_options));
+
+  HflSetup setup;
+  Rng rng(flags.seed + 1);
+  DIGFL_ASSIGN_OR_RETURN(auto split, SplitHoldout(spec.data, 0.1, rng));
+  NonIidPartitionConfig partition;
+  partition.num_parts = flags.participants;
+  partition.num_iid_parts = flags.participants - flags.noniid;
+  partition.classes_per_biased_part = 1;
+  DIGFL_ASSIGN_OR_RETURN(setup.shards,
+                         PartitionNonIid(split.first, partition, rng));
+  for (size_t k = 0; k < flags.mislabeled; ++k) {
+    DIGFL_ASSIGN_OR_RETURN(
+        setup.shards[1 + k],
+        MislabelFraction(setup.shards[1 + k], flags.mislabel_fraction, rng));
+  }
+  setup.validation = std::move(split.second);
+  setup.num_classes = static_cast<size_t>(spec.data.num_classes);
+  setup.num_features = spec.data.num_features();
+  return setup;
+}
+
+Result<int> RunCoordinator(const Flags& flags) {
+  DIGFL_ASSIGN_OR_RETURN(HflSetup setup, BuildHflSetup(flags));
+  Mlp model({setup.num_features, 16, setup.num_classes});
+  HflServer server(model, setup.validation);
+  Rng init_rng(flags.seed + 2);
+  DIGFL_ASSIGN_OR_RETURN(Vec init, model.InitParams(init_rng));
+
+  net::CoordinatorOptions options;
+  options.port = flags.port;
+  options.num_participants = flags.participants;
+  options.config_digest = net::FederationConfigDigest(
+      model.NumParams(), flags.epochs, EffectiveLearningRate(flags),
+      /*lr_decay=*/1.0, flags.local_steps, flags.seed);
+  options.round_timeout_ms = flags.round_timeout_ms;
+  options.max_round_retries = flags.max_retries;
+  DIGFL_ASSIGN_OR_RETURN(std::unique_ptr<net::Coordinator> coordinator,
+                         net::Coordinator::Create(options));
+  // The launch script and the integration test parse this line.
+  std::printf("coordinator listening on port %u\n", coordinator->port());
+  std::fflush(stdout);
+
+  DIGFL_RETURN_IF_ERROR(
+      coordinator->WaitForParticipants(flags.wait_timeout_ms));
+  std::printf("all %zu participants connected\n", flags.participants);
+  std::fflush(stdout);
+
+  FedSgdConfig config;
+  config.epochs = flags.epochs;
+  config.learning_rate = EffectiveLearningRate(flags);
+  config.local_steps = flags.local_steps;
+
+  HflTrainingLog log;
+  ContributionReport contributions;
+  if (!flags.checkpoint_dir.empty()) {
+    ckpt::CheckpointRunOptions run_options;
+    run_options.dir = flags.checkpoint_dir;
+    run_options.every = flags.checkpoint_every;
+    run_options.resume = flags.resume;
+    DIGFL_ASSIGN_OR_RETURN(
+        ckpt::HflCheckpointedRun run,
+        net::RunDistributedFedSgdWithCheckpoints(*coordinator, server, init,
+                                                 config, run_options));
+    if (run.resumed) {
+      std::printf("resumed from checkpoint at epoch %llu (%zu corrupt "
+                  "checkpoint(s) skipped)\n",
+                  static_cast<unsigned long long>(run.resumed_from_epoch),
+                  run.checkpoints_rejected);
+    }
+    std::printf("wrote %zu checkpoint(s) to %s\n", run.checkpoints_written,
+                flags.checkpoint_dir.c_str());
+    log = std::move(run.log);
+    contributions = std::move(run.contributions);
+  } else {
+    DIGFL_ASSIGN_OR_RETURN(
+        log, coordinator->RunFederatedTraining(server, init, config));
+    // DIG-FL Algorithm #2 over the recorded log — the coordinator needs
+    // nothing from the participants beyond the δ's already collected.
+    HflPhiAccumulator accumulator(flags.participants);
+    for (const HflEpochRecord& record : log.epochs) {
+      DIGFL_RETURN_IF_ERROR(accumulator.Consume(server, record));
+    }
+    contributions.total = accumulator.total();
+    contributions.per_epoch = accumulator.per_epoch();
+  }
+  coordinator->Shutdown("training complete");
+
+  std::printf("trained %s: n=%zu epochs=%zu final val acc %.3f\n",
+              flags.dataset.c_str(), flags.participants, flags.epochs,
+              log.validation_accuracy.back());
+  const net::CoordinatorStats stats = coordinator->stats();
+  std::printf("faults: %zu dropouts, %zu quarantined; net: %llu retries, "
+              "%llu timeouts, %llu conn errors, %llu reconnects\n",
+              log.faults.dropouts, log.faults.total_quarantined(),
+              static_cast<unsigned long long>(stats.round_retries),
+              static_cast<unsigned long long>(stats.round_timeouts),
+              static_cast<unsigned long long>(stats.conn_errors),
+              static_cast<unsigned long long>(stats.reconnects));
+  std::printf("measured comm: %.3f MB over %zu channels\n",
+              log.comm.TotalMegabytes(), log.comm.ByChannel().size());
+
+  TableWriter table({"participant", "phi"});
+  for (size_t i = 0; i < contributions.total.size(); ++i) {
+    DIGFL_RETURN_IF_ERROR(table.AddRow(
+        {std::to_string(i),
+         TableWriter::FormatDouble(contributions.total[i], 17)}));
+  }
+  std::printf("\ncontributions (Algorithm #2):\n");
+  table.Print(std::cout);
+  if (!flags.csv.empty()) {
+    DIGFL_RETURN_IF_ERROR(table.WriteCsv(flags.csv));
+    std::printf("wrote %s\n", flags.csv.c_str());
+  }
+  if (!flags.telemetry_out.empty()) {
+    telemetry::JsonlFileSink sink(flags.telemetry_out);
+    DIGFL_RETURN_IF_ERROR(
+        sink.Write(telemetry::CollectRunReport("digfl_node:coordinator")));
+    std::printf("wrote telemetry run report to %s\n",
+                flags.telemetry_out.c_str());
+  }
+  return 0;
+}
+
+Result<int> RunParticipant(const Flags& flags) {
+  DIGFL_ASSIGN_OR_RETURN(HflSetup setup, BuildHflSetup(flags));
+  Mlp model({setup.num_features, 16, setup.num_classes});
+
+  net::ParticipantNodeOptions options;
+  options.host = flags.host;
+  options.port = flags.port;
+  options.participant_id = flags.id;
+  options.config_digest = net::FederationConfigDigest(
+      model.NumParams(), flags.epochs, EffectiveLearningRate(flags),
+      /*lr_decay=*/1.0, flags.local_steps, flags.seed);
+  options.max_connect_attempts = flags.connect_attempts;
+  const size_t shard_samples = setup.shards[flags.id].size();
+  net::ParticipantNode node(
+      model, HflParticipant(flags.id, std::move(setup.shards[flags.id])),
+      options);
+  std::printf("participant %llu serving (shard: %zu samples)\n",
+              static_cast<unsigned long long>(flags.id), shard_samples);
+  std::fflush(stdout);
+  const Status status = node.Run();
+  DIGFL_RETURN_IF_ERROR(status);
+  const net::ParticipantNode::Stats& stats = node.stats();
+  std::printf("participant %llu done: %llu rounds, %llu hvps, %llu "
+              "reconnects, %llu B sent, %llu B received\n",
+              static_cast<unsigned long long>(flags.id),
+              static_cast<unsigned long long>(stats.rounds_served),
+              static_cast<unsigned long long>(stats.hvps_served),
+              static_cast<unsigned long long>(stats.reconnects),
+              static_cast<unsigned long long>(stats.bytes_sent),
+              static_cast<unsigned long long>(stats.bytes_received));
+  if (!flags.telemetry_out.empty()) {
+    telemetry::JsonlFileSink sink(flags.telemetry_out);
+    DIGFL_RETURN_IF_ERROR(
+        sink.Write(telemetry::CollectRunReport("digfl_node:participant")));
+  }
+  return 0;
+}
+
+Result<int> Main(int argc, char** argv) {
+  DIGFL_RETURN_IF_ERROR(InstallCrashPlanFromEnv());
+  DIGFL_ASSIGN_OR_RETURN(Flags flags, ParseFlags(argc, argv));
+  if (flags.help) {
+    PrintUsage();
+    return 0;
+  }
+  DIGFL_TRACE_SPAN("node.run");
+  if (flags.role == "coordinator") return RunCoordinator(flags);
+  return RunParticipant(flags);
+}
+
+}  // namespace
+}  // namespace digfl
+
+int main(int argc, char** argv) {
+  auto result = digfl::Main(argc, argv);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n(use --help for usage)\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  return *result;
+}
