@@ -19,6 +19,11 @@
 #                                      # (ctest -L net: wire fuzzing, real
 #                                      # socket federations, forked kill-one
 #                                      # drill) under ASan AND TSan
+#   scripts/run_checks.sh --sim       # deterministic-simulation swarm
+#                                      # (ctest -L sim: seeded fault
+#                                      # schedules over the in-process
+#                                      # transport) under ASan AND TSan,
+#                                      # with a reduced seed budget
 #   scripts/run_checks.sh --all       # everything
 set -euo pipefail
 
@@ -29,13 +34,15 @@ run_asan=0
 run_tsan=0
 run_crash=0
 run_net=0
+run_sim=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --tsan) run_tsan=1 ;;
     --crash) run_crash=1 ;;
     --net) run_net=1 ;;
-    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1 ;;
+    --sim) run_sim=1 ;;
+    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1; run_sim=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -135,6 +142,26 @@ if [[ "$run_net" == 1 ]]; then
   cmake -B build-tsan -S . -DDIGFL_SANITIZE=thread > /dev/null
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L net
+fi
+
+if [[ "$run_sim" == 1 ]]; then
+  # The simulation swarm under both sanitizers. Instrumented binaries run
+  # ~10-20x slower, so trim the seed budget and widen the virtual clock's
+  # real-time grace window (the quiescence detector must not fire while
+  # TSan is still scheduling threads). Both knobs are env overrides —
+  # replaying a failing seed under a sanitizer is
+  #   DIGFL_SIM_SEED=<n> DIGFL_SIM_GRACE_US=20000 build-asan/tests/sim_test
+  echo "=== [sim] ctest -L sim under ASan ==="
+  cmake -B build-asan -S . -DDIGFL_SANITIZE=ON > /dev/null
+  cmake --build build-asan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L sim
+
+  echo "=== [sim] ctest -L sim under TSan ==="
+  cmake -B build-tsan -S . -DDIGFL_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L sim
 fi
 
 echo "all requested configurations passed"

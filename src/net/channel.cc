@@ -23,16 +23,18 @@ Status MsgChannel::Send(MsgType type, std::string_view payload,
   if (payload.size() > limits_.max_payload_bytes) {
     return Status::InvalidArgument("refusing to send oversized frame");
   }
+  if (conn_ == nullptr) return Status::InvalidArgument("channel has no conn");
   std::string wire;
   wire.reserve(FrameWireSize(payload.size()));
   AppendFrame(&wire, static_cast<uint32_t>(type), payload);
-  DIGFL_RETURN_IF_ERROR(conn_.SendAll(wire, timeout_ms));
+  DIGFL_RETURN_IF_ERROR(conn_->SendAll(wire, timeout_ms));
   bytes_sent_ += wire.size();
   DIGFL_COUNTER_ADD("net.frames_sent_total", 1);
   return Status::OK();
 }
 
 Result<Frame> MsgChannel::Recv(int timeout_ms) {
+  if (conn_ == nullptr) return Status::InvalidArgument("channel has no conn");
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   char buf[16 * 1024];
   for (;;) {
@@ -42,20 +44,22 @@ Result<Frame> MsgChannel::Recv(int timeout_ms) {
       return std::move(*frame);
     }
     DIGFL_ASSIGN_OR_RETURN(
-        size_t n, conn_.RecvSome(buf, sizeof(buf), RemainingMs(deadline)));
+        size_t n, conn_->RecvSome(buf, sizeof(buf), RemainingMs(deadline)));
     bytes_received_ += n;
     DIGFL_RETURN_IF_ERROR(decoder_.Append(std::string_view(buf, n)));
   }
 }
 
 Status MsgChannel::SendRaw(std::string_view bytes, int timeout_ms) {
-  DIGFL_RETURN_IF_ERROR(conn_.SendAll(bytes, timeout_ms));
+  if (conn_ == nullptr) return Status::InvalidArgument("channel has no conn");
+  DIGFL_RETURN_IF_ERROR(conn_->SendAll(bytes, timeout_ms));
   bytes_sent_ += bytes.size();
   return Status::OK();
 }
 
 Status MsgChannel::RecvRaw(char* buf, size_t len, int timeout_ms) {
-  DIGFL_RETURN_IF_ERROR(conn_.RecvExact(buf, len, timeout_ms));
+  if (conn_ == nullptr) return Status::InvalidArgument("channel has no conn");
+  DIGFL_RETURN_IF_ERROR(conn_->RecvExact(buf, len, timeout_ms));
   bytes_received_ += len;
   return Status::OK();
 }

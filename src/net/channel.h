@@ -16,12 +16,15 @@
 #define DIGFL_NET_CHANNEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "common/result.h"
 #include "net/messages.h"
 #include "net/socket.h"
+#include "net/transport.h"
 #include "net/wire.h"
 
 namespace digfl {
@@ -30,11 +33,16 @@ namespace net {
 class MsgChannel {
  public:
   MsgChannel() = default;
-  explicit MsgChannel(TcpConn conn, WireLimits limits = {})
+  explicit MsgChannel(std::unique_ptr<Conn> conn, WireLimits limits = {})
       : conn_(std::move(conn)), decoder_(limits), limits_(limits) {}
+  // Convenience for the real-socket paths and tests.
+  explicit MsgChannel(TcpConn conn, WireLimits limits = {})
+      : MsgChannel(WrapTcpConn(std::move(conn)), limits) {}
 
-  bool valid() const { return conn_.valid(); }
-  void Close() { conn_.Close(); }
+  bool valid() const { return conn_ != nullptr && conn_->valid(); }
+  void Close() {
+    if (conn_ != nullptr) conn_->Close();
+  }
 
   // Sends one framed message within the deadline.
   Status Send(MsgType type, std::string_view payload, int timeout_ms);
@@ -57,7 +65,7 @@ class MsgChannel {
   uint64_t TakeBytesReceived();
 
  private:
-  TcpConn conn_;
+  std::unique_ptr<Conn> conn_;
   FrameDecoder decoder_;
   WireLimits limits_;
   uint64_t bytes_sent_ = 0;

@@ -28,8 +28,10 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
     return Status::InvalidArgument("timeouts must be > 0");
   }
   std::unique_ptr<Coordinator> coordinator(new Coordinator(options));
+  Transport* transport =
+      options.transport != nullptr ? options.transport : TcpTransport();
   DIGFL_ASSIGN_OR_RETURN(coordinator->listener_,
-                         TcpListener::Listen(options.port));
+                         transport->Listen(options.port));
   coordinator->slots_.resize(options.num_participants);
   coordinator->slot_ever_connected_.assign(options.num_participants, 0);
   coordinator->accept_thread_ =
@@ -41,7 +43,8 @@ Coordinator::~Coordinator() { Shutdown("coordinator destroyed"); }
 
 void Coordinator::AcceptLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
-    Result<TcpConn> conn = listener_.Accept(options_.accept_poll_ms);
+    Result<std::unique_ptr<Conn>> conn =
+        listener_->Accept(options_.accept_poll_ms);
     if (!conn.ok()) {
       // Timeouts are the idle heartbeat of the stop-flag poll; anything
       // else (EMFILE, a reset mid-accept) is transient for a listener —
@@ -52,7 +55,7 @@ void Coordinator::AcceptLoop() {
   }
 }
 
-void Coordinator::HandleConnection(TcpConn conn) {
+void Coordinator::HandleConnection(std::unique_ptr<Conn> conn) {
   auto channel =
       std::make_unique<MsgChannel>(std::move(conn), options_.limits);
   Result<HelloMsg> hello =
@@ -495,7 +498,7 @@ void Coordinator::Shutdown(const std::string& reason) {
   }
   stop_.store(true, std::memory_order_relaxed);
   if (accept_thread_.joinable()) accept_thread_.join();
-  listener_.Close();
+  if (listener_ != nullptr) listener_->Close();
 
   ShutdownMsg message;
   message.reason = reason;

@@ -43,12 +43,16 @@
 #include "net/backoff.h"
 #include "net/channel.h"
 #include "net/socket.h"
+#include "net/transport.h"
 #include "net/wire.h"
 
 namespace digfl {
 namespace net {
 
 struct CoordinatorOptions {
+  // Byte-stream layer to listen on. nullptr = TcpTransport(). Not owned;
+  // must outlive the coordinator (the simulator passes its SimNet here).
+  Transport* transport = nullptr;
   uint16_t port = 0;  // 0 = ephemeral; read the choice back from port()
   size_t num_participants = 0;
   // Rejects Hellos whose digest differs (see FederationConfigDigest).
@@ -86,7 +90,7 @@ class Coordinator {
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
 
-  uint16_t port() const { return listener_.port(); }
+  uint16_t port() const { return listener_ != nullptr ? listener_->port() : 0; }
   size_t num_participants() const { return options_.num_participants; }
 
   // Blocks until every participant slot is connected (or the deadline
@@ -124,7 +128,7 @@ class Coordinator {
 
   void AcceptLoop();
   // Validates a Hello and, if acceptable, parks the channel in its slot.
-  void HandleConnection(TcpConn conn);
+  void HandleConnection(std::unique_ptr<Conn> conn);
 
   // One worker: round-trips one RoundRequest with retries. Writes only to
   // index `i` of the output arrays; closes the channel on failure.
@@ -134,7 +138,7 @@ class Coordinator {
                    std::vector<uint64_t>* retries);
 
   CoordinatorOptions options_;
-  TcpListener listener_;
+  std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;
   std::atomic<bool> stop_{false};
   // Where the federation currently stands; reported to (re)connecting nodes.

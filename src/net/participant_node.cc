@@ -17,6 +17,8 @@ Result<MsgChannel> ParticipantNode::ConnectAndHandshake() {
                             ? options_.jitter_seed
                             : 0xc0ffee ^ (options_.participant_id + 1);
   Rng jitter(seed);
+  Transport* transport = options_.transport != nullptr ? options_.transport
+                                                       : TcpTransport();
   Status last = Status::Unavailable("no connect attempt made");
   for (size_t attempt = 0; attempt < options_.max_connect_attempts;
        ++attempt) {
@@ -24,8 +26,8 @@ Result<MsgChannel> ParticipantNode::ConnectAndHandshake() {
       std::this_thread::sleep_for(std::chrono::milliseconds(
           BackoffDelayMs(options_.connect_backoff, attempt - 1, jitter)));
     }
-    Result<TcpConn> conn = TcpConn::Connect(options_.host, options_.port,
-                                            options_.connect_timeout_ms);
+    Result<std::unique_ptr<Conn>> conn = transport->Connect(
+        options_.host, options_.port, options_.connect_timeout_ms);
     if (!conn.ok()) {
       last = conn.status();
       continue;

@@ -23,6 +23,7 @@
 #include "hfl/participant.h"
 #include "net/backoff.h"
 #include "net/channel.h"
+#include "net/transport.h"
 #include "net/wire.h"
 #include "nn/model.h"
 
@@ -30,6 +31,10 @@ namespace digfl {
 namespace net {
 
 struct ParticipantNodeOptions {
+  // Byte-stream layer to dial through. nullptr = TcpTransport(). Not
+  // owned; must outlive the node. Simulated nodes set this to their SimNet
+  // and use `host` as their per-node label in the fault schedule.
+  Transport* transport = nullptr;
   std::string host = "127.0.0.1";
   uint16_t port = 0;
   uint64_t participant_id = 0;

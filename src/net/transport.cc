@@ -1,0 +1,100 @@
+#include "net/transport.h"
+
+#include <chrono>
+#include <utility>
+
+namespace digfl {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+class TcpConnAdapter : public Conn {
+ public:
+  explicit TcpConnAdapter(TcpConn conn) : conn_(std::move(conn)) {}
+
+  bool valid() const override { return conn_.valid(); }
+  void Close() override { conn_.Close(); }
+
+  Status SendAll(std::string_view data, int timeout_ms) override {
+    return conn_.SendAll(data, timeout_ms);
+  }
+
+  Result<size_t> RecvSome(char* buf, size_t len, int timeout_ms) override {
+    return conn_.RecvSome(buf, len, timeout_ms);
+  }
+
+  Status RecvExact(char* buf, size_t len, int timeout_ms) override {
+    return conn_.RecvExact(buf, len, timeout_ms);
+  }
+
+ private:
+  TcpConn conn_;
+};
+
+class TcpListenerAdapter : public Listener {
+ public:
+  explicit TcpListenerAdapter(TcpListener listener)
+      : listener_(std::move(listener)) {}
+
+  bool valid() const override { return listener_.valid(); }
+  uint16_t port() const override { return listener_.port(); }
+  void Close() override { listener_.Close(); }
+
+  Result<std::unique_ptr<Conn>> Accept(int timeout_ms) override {
+    DIGFL_ASSIGN_OR_RETURN(TcpConn conn, listener_.Accept(timeout_ms));
+    return std::unique_ptr<Conn>(new TcpConnAdapter(std::move(conn)));
+  }
+
+ private:
+  TcpListener listener_;
+};
+
+class TcpTransportImpl : public Transport {
+ public:
+  Result<std::unique_ptr<Listener>> Listen(uint16_t port) override {
+    DIGFL_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(port));
+    return std::unique_ptr<Listener>(
+        new TcpListenerAdapter(std::move(listener)));
+  }
+
+  Result<std::unique_ptr<Conn>> Connect(const std::string& host,
+                                        uint16_t port,
+                                        int timeout_ms) override {
+    DIGFL_ASSIGN_OR_RETURN(TcpConn conn,
+                           TcpConn::Connect(host, port, timeout_ms));
+    return std::unique_ptr<Conn>(new TcpConnAdapter(std::move(conn)));
+  }
+};
+
+}  // namespace
+
+Status Conn::RecvExact(char* buf, size_t len, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  size_t done = 0;
+  while (done < len) {
+    DIGFL_ASSIGN_OR_RETURN(
+        size_t n, RecvSome(buf + done, len - done, RemainingMs(deadline)));
+    done += n;
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Conn> WrapTcpConn(TcpConn conn) {
+  return std::unique_ptr<Conn>(new TcpConnAdapter(std::move(conn)));
+}
+
+Transport* TcpTransport() {
+  static TcpTransportImpl* transport = new TcpTransportImpl();
+  return transport;
+}
+
+}  // namespace net
+}  // namespace digfl

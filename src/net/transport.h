@@ -1,0 +1,96 @@
+// Transport abstraction over the byte-stream layer of src/net/.
+//
+// MsgChannel, Coordinator, and ParticipantNode are written against these
+// three interfaces instead of the concrete POSIX sockets, so the same
+// federation state machines run unmodified over:
+//
+//   TcpTransport()  — real loopback TCP (socket.h), the shipping default;
+//   sim::SimNet     — the deterministic in-process simulator (src/sim/),
+//                     which injects delay / drop / duplication / reorder /
+//                     truncation / connection kills from a seeded schedule.
+//
+// The contract is exactly the one socket.h documents: every blocking call
+// takes a deadline in milliseconds and returns the typed taxonomy
+// (kDeadlineExceeded = retryable timeout, kUnavailable = peer gone,
+// kInvalidArgument / kInternal = programming errors). Implementations must
+// preserve that taxonomy — the retry/dropout/reconnect logic upstack
+// dispatches on it.
+
+#ifndef DIGFL_NET_TRANSPORT_H_
+#define DIGFL_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace digfl {
+namespace net {
+
+// One side of an established, ordered byte stream.
+class Conn {
+ public:
+  virtual ~Conn() = default;
+
+  virtual bool valid() const = 0;
+  virtual void Close() = 0;
+
+  // Writes all of `data` within the deadline (shared across the whole
+  // write, not per chunk).
+  virtual Status SendAll(std::string_view data, int timeout_ms) = 0;
+
+  // Reads up to `len` bytes into `buf`; returns the count actually read
+  // (>= 1). kUnavailable on EOF/reset, kDeadlineExceeded on timeout.
+  virtual Result<size_t> RecvSome(char* buf, size_t len, int timeout_ms) = 0;
+
+  // Reads exactly `len` bytes; the deadline covers the whole read. The
+  // default loops RecvSome against a shared deadline; implementations with
+  // a cheaper native path (TcpConn, SimConn) override it.
+  virtual Status RecvExact(char* buf, size_t len, int timeout_ms);
+};
+
+// A bound, listening endpoint.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  virtual bool valid() const = 0;
+  virtual uint16_t port() const = 0;
+  virtual void Close() = 0;
+
+  // Accepts one connection; kDeadlineExceeded when none arrives in time.
+  virtual Result<std::unique_ptr<Conn>> Accept(int timeout_ms) = 0;
+};
+
+// Factory for the two endpoint roles. Stateless for TCP; the simulator's
+// implementation owns the virtual clock and the fault schedule.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Binds and listens on `port` (0 = ephemeral; read the choice back from
+  // the listener's port()).
+  virtual Result<std::unique_ptr<Listener>> Listen(uint16_t port) = 0;
+
+  // Connects to host:port within the deadline. For TCP, `host` is an
+  // address; the simulator routes by port and uses `host` as the dialing
+  // endpoint's label in the fault schedule.
+  virtual Result<std::unique_ptr<Conn>> Connect(const std::string& host,
+                                                uint16_t port,
+                                                int timeout_ms) = 0;
+};
+
+// Wraps an already-connected TcpConn in the Conn interface (the accept path
+// and tests hand concrete sockets to MsgChannel through this).
+std::unique_ptr<Conn> WrapTcpConn(TcpConn conn);
+
+// The process-wide real-socket transport. Stateless; never null.
+Transport* TcpTransport();
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_TRANSPORT_H_

@@ -1,0 +1,109 @@
+#include "sim/fault_schedule.h"
+
+#include "common/rng.h"
+
+namespace digfl {
+namespace sim {
+
+namespace {
+
+// FNV-1a over the fate key; the digest seeds a short mt19937_64 stream so
+// every (message, schedule) pair draws from its own deterministic stream.
+uint64_t FateKey(uint64_t seed, std::string_view label, uint64_t dial_ordinal,
+                 int direction, uint64_t send_seq) {
+  uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  mix(dial_ordinal);
+  mix(static_cast<uint64_t>(direction) + 1);
+  mix(send_seq);
+  return h;
+}
+
+}  // namespace
+
+const char* MessageFateToString(MessageFate fate) {
+  switch (fate) {
+    case MessageFate::kDeliver:   return "deliver";
+    case MessageFate::kDelay:     return "delay";
+    case MessageFate::kDrop:      return "drop";
+    case MessageFate::kDuplicate: return "duplicate";
+    case MessageFate::kReorder:   return "reorder";
+    case MessageFate::kTruncate:  return "truncate";
+    case MessageFate::kKillConn:  return "kill_conn";
+  }
+  return "unknown";
+}
+
+FateDecision DecideFate(uint64_t seed, std::string_view label,
+                        uint64_t dial_ordinal, int direction,
+                        uint64_t send_seq, size_t message_len,
+                        const SimFaultRates& rates) {
+  Rng rng(FateKey(seed, label, dial_ordinal, direction, send_seq));
+  FateDecision decision;
+  const uint32_t span = rates.max_delay_ms > 0 ? rates.max_delay_ms : 1;
+  if (rng.Bernoulli(rates.kill_conn_rate)) {
+    decision.fate = MessageFate::kKillConn;
+  } else if (rng.Bernoulli(rates.truncate_rate)) {
+    if (message_len < 2) {
+      decision.fate = MessageFate::kKillConn;
+    } else {
+      decision.fate = MessageFate::kTruncate;
+      decision.truncate_at =
+          1 + static_cast<size_t>(rng.UniformInt(uint64_t{message_len - 1}));
+    }
+  } else if (rng.Bernoulli(rates.drop_rate)) {
+    decision.fate = MessageFate::kDrop;
+  } else if (rng.Bernoulli(rates.duplicate_rate)) {
+    decision.fate = MessageFate::kDuplicate;
+    decision.delay_ms = 1 + static_cast<uint32_t>(rng.UniformInt(span));
+  } else if (rng.Bernoulli(rates.reorder_rate)) {
+    decision.fate = MessageFate::kReorder;
+    decision.delay_ms = 1 + static_cast<uint32_t>(rng.UniformInt(span));
+  } else if (rng.Bernoulli(rates.delay_rate)) {
+    decision.fate = MessageFate::kDelay;
+    decision.delay_ms = 1 + static_cast<uint32_t>(rng.UniformInt(span));
+  }
+  return decision;
+}
+
+SimFaultRates RatesFromSeed(uint64_t seed) {
+  Rng rng(seed ^ 0x5eedfau);
+  SimFaultRates rates;
+  // Always some latency chaos; lethal classes toggle per seed so the swarm
+  // covers both "noisy but complete" and "actively hostile" schedules.
+  rates.delay_rate = rng.Uniform(0.05, 0.35);
+  rates.max_delay_ms = 1 + static_cast<uint32_t>(rng.UniformInt(uint64_t{20}));
+  if (rng.Bernoulli(0.5)) rates.reorder_rate = rng.Uniform(0.0, 0.15);
+  if (rng.Bernoulli(0.5)) rates.duplicate_rate = rng.Uniform(0.0, 0.15);
+  if (rng.Bernoulli(0.4)) rates.drop_rate = rng.Uniform(0.0, 0.08);
+  if (rng.Bernoulli(0.3)) rates.truncate_rate = rng.Uniform(0.0, 0.05);
+  if (rng.Bernoulli(0.3)) rates.kill_conn_rate = rng.Uniform(0.0, 0.05);
+  if (rng.Bernoulli(0.3)) rates.partition_rate = rng.Uniform(0.2, 0.8);
+  return rates;
+}
+
+PartitionWindow PartitionWindowFor(uint64_t seed, std::string_view label,
+                                   const SimFaultRates& rates) {
+  PartitionWindow window;
+  if (rates.partition_rate <= 0.0) return window;
+  Rng rng(FateKey(seed ^ 0x9a47171710eull, label, 0, 0, 0));
+  if (!rng.Bernoulli(rates.partition_rate)) return window;
+  // Windows land early in the run (rounds are short in virtual time) and
+  // span a few round-trips, so a partitioned participant realizes as a
+  // burst of dropout epochs followed by a reconnect.
+  window.start_ms = rng.UniformInt(uint64_t{400});
+  window.end_ms = window.start_ms + 20 + rng.UniformInt(uint64_t{130});
+  return window;
+}
+
+}  // namespace sim
+}  // namespace digfl

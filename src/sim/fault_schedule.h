@@ -1,0 +1,94 @@
+// Seeded fault schedules for the simulated transport (src/sim/sim_net.h).
+//
+// Every message the simulator carries is assigned a *fate* — deliver,
+// delay, drop, duplicate, reorder, truncate-and-cut, or kill-the-conn — by
+// a pure function of
+//
+//   (schedule seed, dialing endpoint's label, dial ordinal, direction,
+//    per-connection send sequence number)
+//
+// and never of wall-clock time or thread interleaving. Each node dials from
+// a single thread, so its dial ordinals are deterministic, and each
+// connection direction numbers its sends locally — which makes the whole
+// fate assignment replayable from the one uint64 seed even though the
+// federation on top runs real threads.
+//
+// Fates act on whole SendAll payloads (one frame, or the 13-byte
+// preamble). Drop/duplicate/reorder therefore always leave a *parseable*
+// byte stream — they exercise the protocol state machines (retry, stale
+// reply discard, unexpected-type errors) rather than the CRC; deliberate
+// stream corruption is what truncate-and-cut and tests/corpus/wire/ cover.
+
+#ifndef DIGFL_SIM_FAULT_SCHEDULE_H_
+#define DIGFL_SIM_FAULT_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace digfl {
+namespace sim {
+
+// Independent per-message Bernoulli rates, tried in the order listed; the
+// first that fires wins (at most one fate per message).
+struct SimFaultRates {
+  double kill_conn_rate = 0.0;  // cut the connection instead of sending
+  double truncate_rate = 0.0;   // deliver a strict prefix, then cut
+  double drop_rate = 0.0;       // the bytes silently vanish
+  double duplicate_rate = 0.0;  // delivered twice (second copy later)
+  double reorder_rate = 0.0;    // delayed and allowed to be overtaken
+  double delay_rate = 0.0;      // delivered late, FIFO order preserved
+  uint32_t max_delay_ms = 20;   // delays/reorders draw from [1, max]
+  // P(a given label gets one partition window). While a label is
+  // partitioned, its traffic silently vanishes in both directions and its
+  // dials are refused.
+  double partition_rate = 0.0;
+};
+
+enum class MessageFate : uint8_t {
+  kDeliver = 0,
+  kDelay = 1,
+  kDrop = 2,
+  kDuplicate = 3,
+  kReorder = 4,
+  kTruncate = 5,
+  kKillConn = 6,
+};
+
+const char* MessageFateToString(MessageFate fate);
+
+struct FateDecision {
+  MessageFate fate = MessageFate::kDeliver;
+  uint32_t delay_ms = 0;    // kDelay / kDuplicate (second copy) / kReorder
+  size_t truncate_at = 0;   // kTruncate: bytes delivered before the cut
+};
+
+// The pure fate function. `message_len` bounds truncate_at (a truncation
+// of a 1-byte message degrades to kKillConn with nothing delivered).
+FateDecision DecideFate(uint64_t seed, std::string_view label,
+                        uint64_t dial_ordinal, int direction,
+                        uint64_t send_seq, size_t message_len,
+                        const SimFaultRates& rates);
+
+// Derives a random *schedule profile* from a swarm seed: which fault
+// classes are active this run and at what rates. Lethal classes (kill /
+// truncate / drop) stay <= ~8% per message so handshakes converge within a
+// node's bounded dial attempts; delay/reorder/duplicate can be heavier.
+SimFaultRates RatesFromSeed(uint64_t seed);
+
+// The label's partition window in virtual ms, as [start, end); start ==
+// end means "no window". A pure function of (seed, label, rates).
+struct PartitionWindow {
+  uint64_t start_ms = 0;
+  uint64_t end_ms = 0;
+  bool Contains(uint64_t t) const { return t >= start_ms && t < end_ms; }
+};
+
+PartitionWindow PartitionWindowFor(uint64_t seed, std::string_view label,
+                                   const SimFaultRates& rates);
+
+}  // namespace sim
+}  // namespace digfl
+
+#endif  // DIGFL_SIM_FAULT_SCHEDULE_H_

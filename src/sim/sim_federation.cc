@@ -1,0 +1,440 @@
+#include "sim/sim_federation.h"
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "ckpt/hfl_resume.h"
+#include "ckpt/store.h"
+#include "common/fault.h"
+#include "core/digfl_hfl.h"
+#include "core/digfl_vfl.h"
+#include "core/group_contribution.h"
+#include "core/phi_accumulator.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "net/messages.h"
+#include "net/participant_node.h"
+#include "nn/linear_regression.h"
+#include "vfl/block_model.h"
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+namespace sim {
+
+namespace {
+
+// Bitwise double comparison: distinguishes ±0 and compares NaNs by
+// representation, which is what "the same arithmetic happened" means.
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool BitEqual(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (!BitEqual(a[k], b[k])) return false;
+  }
+  return true;
+}
+
+// Near-equality for identities whose two sides are computed by different
+// (mathematically equal) operation orders.
+bool Near(double a, double b) {
+  const double scale = 1.0 + std::abs(a) + std::abs(b);
+  return std::abs(a - b) <= 1e-9 * scale;
+}
+
+}  // namespace
+
+SimScenario SimScenario::FromSeed(uint64_t seed) {
+  SimScenario scenario;
+  scenario.seed = seed;
+  scenario.rates = RatesFromSeed(seed);
+  return scenario;
+}
+
+SimWorld MakeSimWorld(const SimScenario& scenario) {
+  GaussianClassificationConfig data_config;
+  data_config.num_samples = 120;
+  data_config.num_features = 6;
+  data_config.num_classes = 3;
+  data_config.seed = scenario.seed;
+  Dataset pool = MakeGaussianClassification(data_config).value();
+  Rng rng(scenario.seed + 1);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  SimWorld world;
+  world.validation = split.second;
+  auto shards =
+      PartitionIid(split.first, scenario.num_participants, rng).value();
+  for (size_t i = 0; i < scenario.num_participants; ++i) {
+    world.participants.emplace_back(i, shards[i]);
+  }
+  world.init = Vec(world.model.NumParams(), 0.0);
+  world.config.epochs = scenario.epochs;
+  world.config.learning_rate = 0.2;
+  world.digest = net::FederationConfigDigest(
+      world.model.NumParams(), world.config.epochs,
+      world.config.learning_rate, world.config.lr_decay,
+      world.config.local_steps, world.config.batch_seed);
+  return world;
+}
+
+SimFederationResult RunSimFederation(const SimScenario& scenario) {
+  const size_t n = scenario.num_participants;
+  SimWorld world = MakeSimWorld(scenario);
+
+  SimNetOptions net_options;
+  net_options.seed = scenario.seed;
+  net_options.rates = scenario.rates;
+  net_options.grace_us = scenario.grace_us;
+  SimNet net(net_options);
+
+  SimFederationResult result;
+  result.node_statuses.assign(n, Status::OK());
+
+  net::CoordinatorOptions coordinator_options;
+  coordinator_options.transport = &net;
+  coordinator_options.num_participants = n;
+  coordinator_options.config_digest = world.digest;
+  coordinator_options.handshake_timeout_ms = 200;  // virtual ms from here on
+  coordinator_options.round_timeout_ms = 150;
+  coordinator_options.max_round_retries = 2;
+  // Retry/connect backoff sleeps are *real* time; in simulation they would
+  // only slow the swarm down, so both roles retry immediately.
+  coordinator_options.retry_backoff.initial_ms = 0;
+  coordinator_options.accept_poll_ms = 10000;
+  auto coordinator = net::Coordinator::Create(coordinator_options);
+  if (!coordinator.ok()) {
+    result.status = coordinator.status();
+    return result;
+  }
+
+  std::vector<std::unique_ptr<net::ParticipantNode>> nodes(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    net::ParticipantNodeOptions node_options;
+    node_options.transport = &net;
+    node_options.host = "node" + std::to_string(i);  // fate-schedule label
+    node_options.port = (*coordinator)->port();
+    node_options.participant_id = i;
+    node_options.config_digest = world.digest;
+    node_options.connect_timeout_ms = 50;
+    node_options.handshake_timeout_ms = 200;
+    node_options.io_timeout_ms = 500;
+    node_options.max_idle_polls = 100;
+    node_options.max_connect_attempts = 30;
+    node_options.connect_backoff.initial_ms = 0;
+    nodes[i] = std::make_unique<net::ParticipantNode>(
+        world.model, world.participants[i], node_options);
+    threads.emplace_back(
+        [i, &nodes, &result] { result.node_statuses[i] = nodes[i]->Run(); });
+  }
+
+  // Real-time bound; a node the schedule already killed (e.g. partitioned
+  // from t=0) just realizes as an all-epochs dropout, so proceed either way.
+  (void)(*coordinator)->WaitForParticipants(500);
+
+  FedSgdConfig run_config = world.config;
+  if (scenario.run_epochs != 0) run_config.epochs = scenario.run_epochs;
+  HflServer server(world.model, world.validation);
+
+  if (scenario.with_checkpoints) {
+    ckpt::CheckpointRunOptions checkpoint_options;
+    checkpoint_options.dir = scenario.checkpoint_dir;
+    checkpoint_options.every = 1;
+    checkpoint_options.resume = scenario.resume;
+    auto run = net::RunDistributedFedSgdWithCheckpoints(
+        **coordinator, server, world.init, run_config, checkpoint_options);
+    if (run.ok()) {
+      result.log = std::move(run->log);
+      result.phi_total = std::move(run->contributions.total);
+      result.phi_per_epoch = std::move(run->contributions.per_epoch);
+      result.checkpoints_written = run->checkpoints_written;
+      result.resumed = run->resumed;
+      result.resumed_from_epoch = run->resumed_from_epoch;
+    } else {
+      result.status = run.status();
+    }
+  } else {
+    auto log =
+        (*coordinator)->RunFederatedTraining(server, world.init, run_config);
+    if (log.ok()) {
+      result.log = std::move(*log);
+    } else {
+      result.status = log.status();
+    }
+  }
+
+  (*coordinator)->Shutdown("sim run finished");
+  for (std::thread& thread : threads) thread.join();
+  result.coordinator_stats = (*coordinator)->stats();
+  result.net_stats = net.stats();
+
+  if (result.status.ok() && !scenario.with_checkpoints) {
+    HflPhiAccumulator accumulator(n);
+    for (const HflEpochRecord& record : result.log.epochs) {
+      Status consumed = accumulator.Consume(server, record);
+      if (!consumed.ok()) {
+        result.status = consumed;
+        break;
+      }
+    }
+    result.phi_total = accumulator.total();
+    result.phi_per_epoch = accumulator.per_epoch();
+  }
+
+  if (scenario.with_checkpoints) {
+    // Whatever the schedule did, the store must reopen and decode cleanly.
+    auto store = ckpt::CheckpointStore::Open(scenario.checkpoint_dir);
+    if (!store.ok()) {
+      result.store_health = store.status();
+    } else {
+      HflPhiAccumulator probe(n);
+      auto load = ckpt::LoadHflResumePoint(*store, probe);
+      if (!load.ok()) result.store_health = load.status();
+    }
+  }
+  return result;
+}
+
+Result<HflTrainingLog> RealizedReference(const SimWorld& world,
+                                         const HflTrainingLog& log) {
+  const size_t n = world.participants.size();
+  const size_t epochs = log.num_epochs();
+  std::vector<FaultEvent> events(epochs * n);
+  bool any_absent = false;
+  for (size_t t = 0; t < epochs; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!log.epochs[t].IsPresent(i)) {
+        events[t * n + i].type = FaultType::kDropout;
+        any_absent = true;
+      }
+    }
+  }
+  FedSgdConfig config = world.config;
+  config.epochs = epochs;
+  Result<FaultPlan> plan =
+      FaultPlan::FromSchedule(epochs, n, std::move(events));
+  if (!plan.ok()) return plan.status();
+  if (any_absent) config.fault_plan = &*plan;
+  HflServer server(world.model, world.validation);
+  return RunFedSgd(world.model, world.participants, server, world.init,
+                   config);
+}
+
+std::string DiffLogs(const HflTrainingLog& a, const HflTrainingLog& b) {
+  std::ostringstream out;
+  if (a.num_epochs() != b.num_epochs()) {
+    out << "epoch count " << a.num_epochs() << " vs " << b.num_epochs();
+    return out.str();
+  }
+  for (size_t t = 0; t < a.num_epochs(); ++t) {
+    const HflEpochRecord& ra = a.epochs[t];
+    const HflEpochRecord& rb = b.epochs[t];
+    if (!BitEqual(ra.params_before, rb.params_before)) {
+      out << "epoch " << t << ": params_before differ";
+      return out.str();
+    }
+    if (!BitEqual(ra.learning_rate, rb.learning_rate)) {
+      out << "epoch " << t << ": learning_rate differs";
+      return out.str();
+    }
+    if (ra.deltas.size() != rb.deltas.size()) {
+      out << "epoch " << t << ": participant count differs";
+      return out.str();
+    }
+    for (size_t i = 0; i < ra.deltas.size(); ++i) {
+      // The mask is compared through IsPresent so an all-present epoch
+      // matches whether `present` is explicit or the legacy empty layout.
+      if (ra.IsPresent(i) != rb.IsPresent(i)) {
+        out << "epoch " << t << ": presence of participant " << i
+            << " differs";
+        return out.str();
+      }
+      if (!BitEqual(ra.deltas[i], rb.deltas[i])) {
+        out << "epoch " << t << ": delta of participant " << i << " differs";
+        return out.str();
+      }
+      const double wa = i < ra.weights.size() ? ra.weights[i] : 0.0;
+      const double wb = i < rb.weights.size() ? rb.weights[i] : 0.0;
+      if (!BitEqual(wa, wb)) {
+        out << "epoch " << t << ": weight of participant " << i << " differs";
+        return out.str();
+      }
+    }
+  }
+  if (!BitEqual(a.final_params, b.final_params)) return "final_params differ";
+  if (a.validation_loss.size() != b.validation_loss.size()) {
+    return "validation_loss length differs";
+  }
+  for (size_t t = 0; t < a.validation_loss.size(); ++t) {
+    if (!BitEqual(a.validation_loss[t], b.validation_loss[t])) {
+      out << "validation_loss[" << t << "] differs";
+      return out.str();
+    }
+  }
+  if (a.validation_accuracy.size() != b.validation_accuracy.size()) {
+    return "validation_accuracy length differs";
+  }
+  for (size_t t = 0; t < a.validation_accuracy.size(); ++t) {
+    if (!BitEqual(a.validation_accuracy[t], b.validation_accuracy[t])) {
+      out << "validation_accuracy[" << t << "] differs";
+      return out.str();
+    }
+  }
+  return "";
+}
+
+std::string CheckHflInvariants(
+    const SimWorld& world, const HflTrainingLog& log,
+    const std::vector<double>& phi_total,
+    const std::vector<std::vector<double>>& phi_per_epoch) {
+  const size_t n = world.participants.size();
+  std::ostringstream out;
+  if (phi_total.size() != n || phi_per_epoch.size() != log.num_epochs()) {
+    return "phi estimate has the wrong shape";
+  }
+
+  HflServer server(world.model, world.validation);
+
+  // Incremental accumulation == batch evaluation (Algorithm #2), bitwise.
+  auto batch =
+      EvaluateHflContributions(world.model, world.participants, server, log);
+  if (!batch.ok()) return "batch evaluator failed: " + batch.status().ToString();
+  for (size_t i = 0; i < n; ++i) {
+    if (!BitEqual(batch->total[i], phi_total[i])) {
+      out << "incremental phi_total[" << i << "] != batch evaluation";
+      return out.str();
+    }
+  }
+  for (size_t t = 0; t < log.num_epochs(); ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!BitEqual(batch->per_epoch[t][i], phi_per_epoch[t][i])) {
+        out << "incremental phi[" << t << "][" << i << "] != batch";
+        return out.str();
+      }
+    }
+  }
+
+  // Masked-estimator consistency: absent => exactly zero contribution and a
+  // zeroed delta slot; present => the 1/|present_t| divisor identity.
+  for (size_t t = 0; t < log.num_epochs(); ++t) {
+    const HflEpochRecord& record = log.epochs[t];
+    const size_t num_present = record.NumPresent();
+    auto gradient = server.ValidationGradient(record.params_before);
+    if (!gradient.ok()) return "validation gradient failed";
+    for (size_t i = 0; i < n; ++i) {
+      if (!record.IsPresent(i)) {
+        if (phi_per_epoch[t][i] != 0.0) {
+          out << "absent participant " << i << " has phi != 0 at epoch " << t;
+          return out.str();
+        }
+        for (double d : record.deltas[i]) {
+          if (d != 0.0) {
+            out << "absent participant " << i << " has nonzero delta at epoch "
+                << t;
+            return out.str();
+          }
+        }
+        continue;
+      }
+      double dot = 0.0;
+      for (size_t k = 0; k < gradient->size(); ++k) {
+        dot += (*gradient)[k] * record.deltas[i][k];
+      }
+      const double expected =
+          dot / static_cast<double>(num_present == 0 ? 1 : num_present);
+      if (!Near(phi_per_epoch[t][i], expected)) {
+        out << "epoch " << t << " participant " << i
+            << ": phi != (1/|present|) <v, delta>";
+        return out.str();
+      }
+    }
+  }
+
+  // Lemma 3 additivity: the group estimate is the sum of its singletons,
+  // per epoch and in total, for every prefix group.
+  ContributionReport report;
+  report.total = phi_total;
+  report.per_epoch = phi_per_epoch;
+  for (size_t cut = 1; cut <= n; ++cut) {
+    std::vector<size_t> group;
+    double singleton_sum = 0.0;
+    for (size_t i = 0; i < cut; ++i) {
+      group.push_back(i);
+      singleton_sum += phi_total[i];
+    }
+    auto grouped = GroupContribution(report, group);
+    if (!grouped.ok()) return "GroupContribution failed";
+    if (!Near(*grouped, singleton_sum)) {
+      out << "Lemma 3 additivity fails for group prefix of size " << cut;
+      return out.str();
+    }
+    auto per_epoch = GroupPerEpochContribution(report, group);
+    if (!per_epoch.ok()) return "GroupPerEpochContribution failed";
+    for (size_t t = 0; t < log.num_epochs(); ++t) {
+      double epoch_sum = 0.0;
+      for (size_t i = 0; i < cut; ++i) epoch_sum += phi_per_epoch[t][i];
+      if (!Near((*per_epoch)[t], epoch_sum)) {
+        out << "Lemma 3 per-epoch additivity fails at epoch " << t;
+        return out.str();
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckVflBlockOrthogonality(uint64_t seed) {
+  SyntheticRegressionConfig data_config;
+  data_config.num_samples = 120;
+  data_config.num_features = 9;
+  data_config.seed = seed;
+  Dataset pool = MakeSyntheticRegression(data_config).value();
+  Rng rng(seed + 1);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  const VflBlockModel blocks =
+      VflBlockModel::Create(SplitFeatureBlocks(9, 3).value(), 9).value();
+  LinearRegression model(9);
+  VflTrainConfig train_config;
+  train_config.epochs = 4;
+  train_config.learning_rate = 0.05;
+  auto log = RunVflTraining(model, blocks, split.first, split.second,
+                            train_config);
+  if (!log.ok()) return "VFL training failed: " + log.status().ToString();
+  auto full = EvaluateVflContributions(model, blocks, split.first,
+                                       split.second, *log);
+  if (!full.ok()) return "VFL evaluation failed: " + full.status().ToString();
+
+  std::ostringstream out;
+  for (size_t i = 0; i < 3; ++i) {
+    // Zero every *other* participant's block of the logged gradients; Eq. 27
+    // restricts phi_i to block i, so its estimate must not move a bit.
+    VflTrainingLog masked = *log;
+    for (VflEpochRecord& record : masked.epochs) {
+      record.scaled_gradient = blocks.KeepBlock(i, record.scaled_gradient);
+    }
+    auto restricted = EvaluateVflContributions(model, blocks, split.first,
+                                               split.second, masked);
+    if (!restricted.ok()) return "masked VFL evaluation failed";
+    if (!BitEqual(restricted->total[i], full->total[i])) {
+      out << "Eq. 27 block-orthogonality: total[" << i
+          << "] changed when other blocks were zeroed";
+      return out.str();
+    }
+    for (size_t t = 0; t < log->num_epochs(); ++t) {
+      if (!BitEqual(restricted->per_epoch[t][i], full->per_epoch[t][i])) {
+        out << "Eq. 27 block-orthogonality: per_epoch[" << t << "][" << i
+            << "] changed when other blocks were zeroed";
+        return out.str();
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace sim
+}  // namespace digfl

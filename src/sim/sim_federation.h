@@ -1,0 +1,141 @@
+// Swarm-test harness over SimNet: builds a seeded federation world, runs
+// the real Coordinator/ParticipantNode stack on the simulated transport,
+// and checks the outcome against the paper's invariants.
+//
+// The contract a simulated run must satisfy (tests/sim_test.cc asserts it
+// for every seed):
+//
+//   1. Typed-or-complete: RunSimFederation never hangs. It either returns a
+//      completed training log or a typed Status (and always shuts the
+//      coordinator down and joins every node thread before returning).
+//   2. Realized-plan equivalence: a completed run's log is bitwise equal to
+//      the in-process RunFedSgd run under the dropout schedule the
+//      simulation *realized* (derived from the log's present masks via
+//      FaultPlan::FromSchedule). Faults may change *which* participants
+//      report each epoch, never the arithmetic applied to the survivors.
+//   3. Paper invariants on φ̂: Algorithm #2 masked-estimator consistency
+//      (absent ⇒ φ̂_{t,i} = 0, live divisor 1/|present_t|), incremental ≡
+//      batch evaluation, and Lemma 3 additivity of group contributions.
+//
+// Thread interleaving can shift which virtual instant a send lands on, so
+// the harness never predicts the fault schedule — it derives the realized
+// plan from the log and checks equivalence against that (sim/sim_net.h,
+// "Determinism").
+
+#ifndef DIGFL_SIM_SIM_FEDERATION_H_
+#define DIGFL_SIM_SIM_FEDERATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hfl/fed_sgd.h"
+#include "hfl/participant.h"
+#include "net/coordinator.h"
+#include "nn/softmax_regression.h"
+#include "sim/fault_schedule.h"
+#include "sim/sim_net.h"
+
+namespace digfl {
+namespace sim {
+
+// One swarm run: the seed fixes the dataset, the shards, and the fault
+// schedule. Worlds are deliberately tiny (3 participants x 3 epochs by
+// default) so a thousand seeds fit in a test budget.
+struct SimScenario {
+  uint64_t seed = 1;
+  size_t num_participants = 3;
+  size_t epochs = 3;
+  SimFaultRates rates;
+
+  // Checkpointed variant: run through RunDistributedFedSgdWithCheckpoints
+  // against a ckpt::CheckpointStore at `checkpoint_dir`. `run_epochs`
+  // truncates *this run* to fewer epochs than the config digest advertises
+  // (0 = config.epochs) — the two-stage resume test trains a prefix, then
+  // resumes the same store to the full horizon.
+  bool with_checkpoints = false;
+  std::string checkpoint_dir;
+  bool resume = false;
+  size_t run_epochs = 0;
+
+  // 0 = $DIGFL_SIM_GRACE_US (default 800); raise under sanitizers.
+  int grace_us = 0;
+
+  // The standard swarm scenario: world + fault profile from one seed.
+  static SimScenario FromSeed(uint64_t seed);
+};
+
+// The world both the simulated federation and its in-process reference
+// train on — same construction as tests/net_test.cc's MakeNetWorld, sized
+// down for swarm budgets.
+struct SimWorld {
+  SoftmaxRegression model{6, 3};
+  Dataset validation;
+  std::vector<HflParticipant> participants;
+  Vec init;
+  FedSgdConfig config;
+  uint64_t digest = 0;  // FederationConfigDigest both roles handshake with
+};
+
+SimWorld MakeSimWorld(const SimScenario& scenario);
+
+struct SimFederationResult {
+  // OK iff training completed; otherwise the typed failure. Never default-
+  // constructed-ok with an empty log: completed() implies log.num_epochs()
+  // == the requested horizon.
+  Status status = Status::OK();
+  HflTrainingLog log;
+
+  // Algorithm #2 φ̂ over the completed log (incremental accumulator path).
+  std::vector<double> phi_total;
+  std::vector<std::vector<double>> phi_per_epoch;
+
+  net::CoordinatorStats coordinator_stats;
+  SimNetStats net_stats;
+  std::vector<Status> node_statuses;  // one per participant thread
+
+  // Checkpointed runs only.
+  size_t checkpoints_written = 0;
+  bool resumed = false;
+  uint64_t resumed_from_epoch = 0;
+  // After the run (success or failure) the store must reopen and decode
+  // cleanly — a fault schedule must never leave a corrupt store behind.
+  Status store_health = Status::OK();
+
+  bool completed() const { return status.ok(); }
+};
+
+// Runs one simulated federation to completion or typed failure. Always
+// shuts down the coordinator and joins every node thread before returning.
+SimFederationResult RunSimFederation(const SimScenario& scenario);
+
+// The in-process RunFedSgd reference under the dropout grid `log` realized
+// (one kDropout event per absent (epoch, participant) cell).
+Result<HflTrainingLog> RealizedReference(const SimWorld& world,
+                                         const HflTrainingLog& log);
+
+// Bitwise log comparison (params, learning rates, weights, presence,
+// deltas, final params, validation traces). Returns "" when equal, else a
+// description of the first mismatch.
+std::string DiffLogs(const HflTrainingLog& a, const HflTrainingLog& b);
+
+// Algorithm #2 / Lemma 3 invariants on a completed run (see file comment).
+// `phi_total`/`phi_per_epoch` are the run's incremental estimates. Returns
+// "" when every invariant holds.
+std::string CheckHflInvariants(const SimWorld& world,
+                               const HflTrainingLog& log,
+                               const std::vector<double>& phi_total,
+                               const std::vector<std::vector<double>>&
+                                   phi_per_epoch);
+
+// VFL Eq. 27 block-orthogonality on a seeded in-process toy run:
+// participant i's φ̂ (total and every epoch) is bitwise unchanged when every
+// *other* block of the logged global gradient is zeroed — the estimator
+// reads only block i. Returns "" when the property holds.
+std::string CheckVflBlockOrthogonality(uint64_t seed);
+
+}  // namespace sim
+}  // namespace digfl
+
+#endif  // DIGFL_SIM_SIM_FEDERATION_H_

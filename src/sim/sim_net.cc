@@ -1,0 +1,531 @@
+#include "sim/sim_net.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace digfl {
+namespace sim {
+
+namespace {
+
+constexpr int kDefaultGraceUs = 800;
+
+int GraceFromEnv() {
+  const char* env = std::getenv("DIGFL_SIM_GRACE_US");
+  if (env == nullptr || *env == '\0') return kDefaultGraceUs;
+  const int value = std::atoi(env);
+  return value > 0 ? value : kDefaultGraceUs;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Internal state. One global mutex serializes every simulator transition;
+// the protected state is tiny and the protected sections are short, so the
+// single lock is not a bottleneck at test scale and makes the event
+// ordering trivially sound.
+
+namespace {
+
+// One direction-endpoint of a simulated connection: the bytes delivered to
+// it, its liveness, and the identity that keys its *outgoing* fates.
+struct Endpoint {
+  std::string inbox;       // delivered, unread bytes
+  bool open = true;        // this side has not closed/been killed
+  bool eof = false;        // peer closed and all in-flight bytes flushed
+  // FIFO watermark: no later normal delivery may be scheduled before this
+  // virtual instant (reorder/duplicate fates deliberately bypass it).
+  uint64_t last_sched_due = 0;
+  std::string label;       // dialing node's label (shared by both ends)
+  uint64_t dial_ordinal = 0;
+  int direction = 0;       // 0 = dialer-to-acceptor, 1 = reverse
+  uint64_t send_seq = 0;
+  std::weak_ptr<Endpoint> peer;
+};
+
+struct ListenerState {
+  uint16_t port = 0;
+  bool open = true;
+  std::deque<std::shared_ptr<Endpoint>> pending;
+};
+
+struct Event {
+  uint64_t due = 0;
+  uint64_t seq = 0;  // global tiebreak: FIFO among same-instant events
+  enum class Kind : uint8_t { kDeliver, kEof } kind = Kind::kDeliver;
+  std::shared_ptr<Endpoint> target;
+  std::string bytes;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.due != b.due) return a.due > b.due;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+struct SimNet::State {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+
+  SimNetOptions options;
+  int grace_us = kDefaultGraceUs;
+
+  uint64_t virtual_now = 0;
+  bool exploded = false;
+  uint64_t event_seq = 0;
+  // Bumped on every state transition; blocked threads use it to detect
+  // quiescence (no transition for a full grace window).
+  uint64_t activity = 0;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+  std::map<uint16_t, std::shared_ptr<ListenerState>> listeners;
+  uint16_t next_ephemeral_port = 40000;
+  std::map<std::string, uint64_t> dial_counts;
+  std::map<std::string, PartitionWindow> partitions;
+  // Virtual deadlines of currently blocked operations: the clock-advance
+  // target always includes the earliest one, which is what makes every
+  // blocking call provably terminate.
+  std::multiset<uint64_t> waiter_deadlines;
+
+  SimNetStats stats;
+
+  // --- everything below requires mu to be held. ---
+
+  void Bump() {
+    ++activity;
+    cv.notify_all();
+  }
+
+  bool InPartition(const std::string& label) {
+    auto it = partitions.find(label);
+    if (it == partitions.end()) {
+      it = partitions
+               .emplace(label, PartitionWindowFor(options.seed, label,
+                                                  options.rates))
+               .first;
+    }
+    return it->second.Contains(virtual_now);
+  }
+
+  void ApplyEvent(const Event& event) {
+    if (event.kind == Event::Kind::kEof) {
+      event.target->eof = true;
+    } else if (event.target->open && !event.target->eof) {
+      event.target->inbox += event.bytes;
+      ++stats.deliveries;
+    }
+  }
+
+  void RunDueEvents() {
+    while (!events.empty() && events.top().due <= virtual_now) {
+      const Event event = events.top();
+      events.pop();
+      ApplyEvent(event);
+    }
+  }
+
+  // Schedules `bytes` (or, with empty bytes and kEof, the end-of-stream
+  // marker) for delivery to `target`. Normal traffic respects the FIFO
+  // watermark; reorder/duplicate copies pass advance_watermark = false so
+  // later sends may overtake them.
+  void Schedule(const std::shared_ptr<Endpoint>& target, Event::Kind kind,
+                std::string bytes, uint32_t delay_ms, bool advance_watermark) {
+    uint64_t due = std::max(virtual_now + delay_ms, target->last_sched_due);
+    if (advance_watermark) target->last_sched_due = due;
+    Event event;
+    event.due = due;
+    event.seq = ++event_seq;
+    event.kind = kind;
+    event.target = target;
+    event.bytes = std::move(bytes);
+    if (due <= virtual_now) {
+      ApplyEvent(event);
+    } else {
+      events.push(std::move(event));
+    }
+    Bump();
+  }
+
+  // Cuts a connection: the closing side goes dead immediately; the peer
+  // sees every already-scheduled byte, then EOF.
+  void CloseSide(const std::shared_ptr<Endpoint>& mine) {
+    if (!mine->open) return;
+    mine->open = false;
+    if (auto peer = mine->peer.lock()) {
+      Schedule(peer, Event::Kind::kEof, "", 0, /*advance_watermark=*/true);
+    }
+    Bump();
+  }
+
+  void Explode() {
+    exploded = true;
+    Bump();
+  }
+
+  // Advances the virtual clock to the next interesting instant. Called by a
+  // blocked thread that has observed a full grace window of quiescence.
+  void AdvanceClock() {
+    uint64_t target = virtual_now;
+    bool have_target = false;
+    if (!events.empty()) {
+      target = events.top().due;
+      have_target = true;
+    }
+    if (!waiter_deadlines.empty()) {
+      const uint64_t earliest = *waiter_deadlines.begin();
+      target = have_target ? std::min(target, earliest) : earliest;
+      have_target = true;
+    }
+    if (!have_target || target <= virtual_now) {
+      RunDueEvents();
+      return;
+    }
+    if (target > options.horizon_ms) {
+      Explode();
+      return;
+    }
+    virtual_now = target;
+    ++stats.clock_advances;
+    RunDueEvents();
+    Bump();
+  }
+
+  // Blocks until `pred` holds, the virtual deadline passes, or the net
+  // explodes. Returns true iff `pred` held. The caller owns the lock.
+  template <typename Pred>
+  bool WaitUntil(std::unique_lock<std::mutex>& lock, uint64_t deadline,
+                 Pred pred) {
+    const auto it = waiter_deadlines.insert(deadline);
+    bool satisfied = false;
+    for (;;) {
+      if (pred()) {
+        satisfied = true;
+        break;
+      }
+      if (exploded || virtual_now >= deadline) break;
+      const uint64_t seen = activity;
+      const bool woken = cv.wait_for(
+          lock, std::chrono::microseconds(grace_us),
+          [&] { return activity != seen || exploded || pred(); });
+      if (woken) continue;
+      // A full grace window with no simulator transition while we (and
+      // possibly others) block on virtual deadlines: the simulation is
+      // quiescent, so virtual time may move.
+      AdvanceClock();
+    }
+    waiter_deadlines.erase(it);
+    return satisfied;
+  }
+
+  uint64_t DeadlineFor(int timeout_ms) const {
+    return virtual_now + static_cast<uint64_t>(std::max(timeout_ms, 0));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Conn / Listener implementations.
+
+namespace {
+
+Status HorizonError() {
+  return Status::DeadlineExceeded(
+      "simulated network horizon exceeded (virtual clock wedged past "
+      "horizon_ms)");
+}
+
+class SimConn : public net::Conn {
+ public:
+  SimConn(std::shared_ptr<SimNet::State> state, std::shared_ptr<Endpoint> end)
+      : state_(std::move(state)), end_(std::move(end)) {}
+
+  ~SimConn() override { Close(); }
+
+  bool valid() const override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return end_->open;
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->CloseSide(end_);
+  }
+
+  Status SendAll(std::string_view data, int timeout_ms) override {
+    (void)timeout_ms;  // sim buffers are unbounded; sends never block
+    std::lock_guard<std::mutex> lock(state_->mu);
+    SimNet::State& s = *state_;
+    if (s.exploded) return HorizonError();
+    if (!end_->open) return Status::Unavailable("connection closed");
+    auto peer = end_->peer.lock();
+    if (peer == nullptr || !peer->open) {
+      return Status::Unavailable("peer closed the connection");
+    }
+    ++s.stats.messages_sent;
+    if (s.InPartition(end_->label)) {
+      ++s.stats.partition_drops;
+      return Status::OK();  // the bytes vanish into the partition
+    }
+    const uint64_t send_seq = end_->send_seq++;
+    FateDecision fate = DecideFate(s.options.seed, end_->label,
+                                   end_->dial_ordinal, end_->direction,
+                                   send_seq, data.size(), s.options.rates);
+    // The first send on each side is the raw handshake preamble — the one
+    // payload that is not a self-delimiting frame, so it must arrive exactly
+    // once and first or the stream is garbage no real byte stream would
+    // produce. Duplicating degrades to a plain delivery and reordering to a
+    // FIFO delay; losing it (drop/truncate/kill) stays fair game.
+    if (send_seq == 0) {
+      if (fate.fate == MessageFate::kDuplicate) {
+        fate.fate = MessageFate::kDeliver;
+      } else if (fate.fate == MessageFate::kReorder) {
+        fate.fate = MessageFate::kDelay;
+      }
+    }
+    switch (fate.fate) {
+      case MessageFate::kKillConn:
+        ++s.stats.conns_killed;
+        s.CloseSide(end_);
+        return Status::Unavailable("connection reset by simulated fault");
+      case MessageFate::kTruncate:
+        ++s.stats.truncated;
+        s.Schedule(peer, Event::Kind::kDeliver,
+                   std::string(data.substr(0, fate.truncate_at)), 0,
+                   /*advance_watermark=*/true);
+        s.CloseSide(end_);  // schedules the EOF after the prefix
+        return Status::OK();
+      case MessageFate::kDrop:
+        ++s.stats.dropped;
+        return Status::OK();
+      case MessageFate::kDuplicate:
+        ++s.stats.duplicated;
+        s.Schedule(peer, Event::Kind::kDeliver, std::string(data), 0,
+                   /*advance_watermark=*/true);
+        s.Schedule(peer, Event::Kind::kDeliver, std::string(data),
+                   fate.delay_ms, /*advance_watermark=*/false);
+        return Status::OK();
+      case MessageFate::kReorder:
+        ++s.stats.reordered;
+        s.Schedule(peer, Event::Kind::kDeliver, std::string(data),
+                   fate.delay_ms, /*advance_watermark=*/false);
+        return Status::OK();
+      case MessageFate::kDelay:
+        ++s.stats.delayed;
+        s.Schedule(peer, Event::Kind::kDeliver, std::string(data),
+                   fate.delay_ms, /*advance_watermark=*/true);
+        return Status::OK();
+      case MessageFate::kDeliver:
+        s.Schedule(peer, Event::Kind::kDeliver, std::string(data), 0,
+                   /*advance_watermark=*/true);
+        return Status::OK();
+    }
+    return Status::Internal("unhandled message fate");
+  }
+
+  Result<size_t> RecvSome(char* buf, size_t len, int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    SimNet::State& s = *state_;
+    const uint64_t deadline = s.DeadlineFor(timeout_ms);
+    s.WaitUntil(lock, deadline, [this] {
+      return !end_->inbox.empty() || end_->eof || !end_->open;
+    });
+    if (!end_->inbox.empty()) {
+      const size_t n = std::min(len, end_->inbox.size());
+      end_->inbox.copy(buf, n);
+      end_->inbox.erase(0, n);
+      s.Bump();
+      return n;
+    }
+    if (!end_->open) return Status::Unavailable("connection closed");
+    if (end_->eof) return Status::Unavailable("peer closed the connection");
+    if (s.exploded) return HorizonError();
+    return Status::DeadlineExceeded("simulated recv timed out");
+  }
+
+  Status RecvExact(char* buf, size_t len, int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    SimNet::State& s = *state_;
+    const uint64_t deadline = s.DeadlineFor(timeout_ms);
+    size_t done = 0;
+    while (done < len) {
+      s.WaitUntil(lock, deadline, [this] {
+        return !end_->inbox.empty() || end_->eof || !end_->open;
+      });
+      if (!end_->inbox.empty()) {
+        const size_t n = std::min(len - done, end_->inbox.size());
+        end_->inbox.copy(buf + done, n);
+        end_->inbox.erase(0, n);
+        done += n;
+        s.Bump();
+        continue;
+      }
+      if (!end_->open) return Status::Unavailable("connection closed");
+      if (end_->eof) return Status::Unavailable("peer closed the connection");
+      if (s.exploded) return HorizonError();
+      return Status::DeadlineExceeded("simulated recv timed out");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<SimNet::State> state_;
+  std::shared_ptr<Endpoint> end_;
+};
+
+class SimListener : public net::Listener {
+ public:
+  SimListener(std::shared_ptr<SimNet::State> state,
+              std::shared_ptr<ListenerState> listener)
+      : state_(std::move(state)), listener_(std::move(listener)) {}
+
+  ~SimListener() override { Close(); }
+
+  bool valid() const override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return listener_->open;
+  }
+
+  uint16_t port() const override { return listener_->port; }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!listener_->open) return;
+    listener_->open = false;
+    state_->listeners.erase(listener_->port);
+    // Dialers parked in the backlog get a reset, not silence.
+    for (const auto& pending : listener_->pending) {
+      state_->CloseSide(pending);
+    }
+    listener_->pending.clear();
+    state_->Bump();
+  }
+
+  Result<std::unique_ptr<net::Conn>> Accept(int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    SimNet::State& s = *state_;
+    const uint64_t deadline = s.DeadlineFor(timeout_ms);
+    s.WaitUntil(lock, deadline, [this] {
+      return !listener_->pending.empty() || !listener_->open;
+    });
+    if (!listener_->pending.empty()) {
+      std::shared_ptr<Endpoint> end = listener_->pending.front();
+      listener_->pending.pop_front();
+      s.Bump();
+      return std::unique_ptr<net::Conn>(new SimConn(state_, std::move(end)));
+    }
+    if (!listener_->open) return Status::Unavailable("listener closed");
+    if (s.exploded) {
+      // The accept loop polls in a tight cycle once poisoned; yield a
+      // little real time so it cannot starve the threads that are
+      // unwinding the run.
+      s.cv.wait_for(lock, std::chrono::microseconds(200));
+      return HorizonError();
+    }
+    return Status::DeadlineExceeded("simulated accept timed out");
+  }
+
+ private:
+  std::shared_ptr<SimNet::State> state_;
+  std::shared_ptr<ListenerState> listener_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimNet.
+
+SimNet::SimNet(const SimNetOptions& options) : state_(new State()) {
+  state_->options = options;
+  state_->grace_us =
+      options.grace_us > 0 ? options.grace_us : GraceFromEnv();
+}
+
+SimNet::~SimNet() {
+  // Poison any straggling operation (a node thread joined late by a
+  // harness) instead of leaving it blocked on a dead event queue.
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->Explode();
+}
+
+Result<std::unique_ptr<net::Listener>> SimNet::Listen(uint16_t port) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->exploded) return HorizonError();
+  if (port == 0) {
+    while (state_->listeners.count(state_->next_ephemeral_port) > 0) {
+      ++state_->next_ephemeral_port;
+    }
+    port = state_->next_ephemeral_port++;
+  } else if (state_->listeners.count(port) > 0) {
+    return Status::InvalidArgument("simulated port already in use");
+  }
+  auto listener = std::make_shared<ListenerState>();
+  listener->port = port;
+  state_->listeners[port] = listener;
+  state_->Bump();
+  return std::unique_ptr<net::Listener>(
+      new SimListener(state_, std::move(listener)));
+}
+
+Result<std::unique_ptr<net::Conn>> SimNet::Connect(const std::string& host,
+                                                   uint16_t port,
+                                                   int timeout_ms) {
+  (void)timeout_ms;  // establishment is instantaneous in virtual time
+  std::lock_guard<std::mutex> lock(state_->mu);
+  State& s = *state_;
+  if (s.exploded) return HorizonError();
+  ++s.stats.dials;
+  if (s.InPartition(host)) {
+    ++s.stats.dials_refused;
+    return Status::Unavailable("dialer is partitioned");
+  }
+  auto it = s.listeners.find(port);
+  if (it == s.listeners.end() || !it->second->open) {
+    ++s.stats.dials_refused;
+    return Status::Unavailable("simulated connection refused");
+  }
+  const uint64_t dial_ordinal = s.dial_counts[host]++;
+  auto client = std::make_shared<Endpoint>();
+  auto server = std::make_shared<Endpoint>();
+  client->label = host;
+  client->dial_ordinal = dial_ordinal;
+  client->direction = 0;
+  server->label = host;
+  server->dial_ordinal = dial_ordinal;
+  server->direction = 1;
+  client->peer = server;
+  server->peer = client;
+  it->second->pending.push_back(std::move(server));
+  s.Bump();
+  return std::unique_ptr<net::Conn>(new SimConn(state_, std::move(client)));
+}
+
+uint64_t SimNet::VirtualNowMs() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->virtual_now;
+}
+
+bool SimNet::exploded() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->exploded;
+}
+
+SimNetStats SimNet::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  SimNetStats stats = state_->stats;
+  stats.virtual_now_ms = state_->virtual_now;
+  return stats;
+}
+
+}  // namespace sim
+}  // namespace digfl

@@ -1,0 +1,115 @@
+// SimNet: a deterministic in-process implementation of net::Transport.
+//
+// The whole distributed runtime — Coordinator, ParticipantNode, MsgChannel,
+// wire framing — runs on SimNet unmodified, but every byte crosses an
+// in-memory event queue governed by a *virtual clock* and the seeded fault
+// schedule of sim/fault_schedule.h. A federation that takes wall-clock
+// seconds over real sockets simulates in milliseconds, and any failing
+// schedule replays from a single uint64 seed.
+//
+// Virtual time. All deadlines passed to SimConn/SimListener operations are
+// virtual milliseconds. The clock never ticks on its own: it advances only
+// when the simulation is *quiescent* — no send, delivery, connect, or close
+// has happened for a real-time grace window while at least one thread
+// blocks on a virtual deadline. At that point the clock jumps to the next
+// interesting instant: min(earliest queued event, earliest blocked
+// deadline). Timeouts therefore fire only when the awaited bytes genuinely
+// are not coming, no matter how slow the host machine is — and an idle
+// simulation costs grace-windows, not timeout-waits.
+//
+// Determinism. Message fates are a pure function of (seed, dialing label,
+// dial ordinal, direction, send sequence) — see fault_schedule.h — so the
+// *schedule* is exactly reproducible even though the federation runs real
+// threads. Thread interleaving can still influence which virtual instant a
+// send lands on (and hence e.g. whether a retry beats a timeout), which is
+// why the swarm harness asserts run outcomes against the realized
+// fault plan recorded in the training log rather than against a predicted
+// schedule (sim/sim_federation.h).
+//
+// Liveness. Every blocking operation carries a virtual deadline, and the
+// clock provably reaches the earliest one (the advance target includes
+// every blocked waiter), so no operation blocks forever. As a backstop, a
+// run whose virtual clock crosses `horizon_ms` "explodes" the net: every
+// operation, present and future, returns kDeadlineExceeded immediately.
+//
+// Fault model mapping: delay / reorder / duplication / drop act on whole
+// SendAll payloads; `truncate` delivers a strict prefix and cuts the
+// connection (the mid-frame cut); `kill_conn` cuts it cold; a partition
+// window makes one label's traffic and dials vanish for a span of virtual
+// time; a participant *crash/restart* is a kill_conn followed by the
+// node's own reconnect loop (the node is stateless across rounds, so the
+// restart needs no extra machinery).
+
+#ifndef DIGFL_SIM_SIM_NET_H_
+#define DIGFL_SIM_SIM_NET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "net/transport.h"
+#include "sim/fault_schedule.h"
+
+namespace digfl {
+namespace sim {
+
+struct SimNetOptions {
+  uint64_t seed = 1;
+  SimFaultRates rates;
+  // Virtual horizon: crossing it poisons the net with typed errors. Large
+  // enough that only a genuinely wedged schedule reaches it.
+  uint64_t horizon_ms = 1000 * 1000;
+  // Real-time quiescence window in microseconds before the virtual clock
+  // may advance. Must exceed the longest compute burst between two sim
+  // calls or timeouts can fire spuriously (harmless for correctness — it
+  // becomes a realized dropout — but noisy). 0 = $DIGFL_SIM_GRACE_US,
+  // falling back to 800.
+  int grace_us = 0;
+};
+
+struct SimNetStats {
+  uint64_t messages_sent = 0;
+  uint64_t deliveries = 0;
+  uint64_t delayed = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t truncated = 0;
+  uint64_t conns_killed = 0;
+  uint64_t partition_drops = 0;
+  uint64_t dials = 0;
+  uint64_t dials_refused = 0;
+  uint64_t clock_advances = 0;
+  uint64_t virtual_now_ms = 0;
+};
+
+class SimNet : public net::Transport {
+ public:
+  explicit SimNet(const SimNetOptions& options);
+  ~SimNet() override;
+
+  SimNet(const SimNet&) = delete;
+  SimNet& operator=(const SimNet&) = delete;
+
+  Result<std::unique_ptr<net::Listener>> Listen(uint16_t port) override;
+  Result<std::unique_ptr<net::Conn>> Connect(const std::string& host,
+                                             uint16_t port,
+                                             int timeout_ms) override;
+
+  uint64_t VirtualNowMs() const;
+  bool exploded() const;
+  SimNetStats stats() const;
+
+  // Implementation detail, public only so the Conn/Listener classes in
+  // sim_net.cc can share it; not part of the API.
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sim
+}  // namespace digfl
+
+#endif  // DIGFL_SIM_SIM_NET_H_

@@ -1,0 +1,204 @@
+// End-to-end golden-file regression tests for the CLI tools.
+//
+// The digfl_eval driver is seeded and timing-free in its CSV output (the
+// contribution table is a pure function of the flags), so we check in
+// reference CSVs under tests/golden/ and require the binary to reproduce
+// them bitwise. A diff here means the numeric pipeline changed — either an
+// intentional algorithm change (regenerate the golden with the command in
+// the test) or an accidental regression (fix it).
+//
+// Also hosts the digfl_node CLI-contract tests: --help exits 0 and prints
+// a usage text that stays in sync with the flags the parser accepts;
+// unknown flags exit 1 and point at --help.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef DIGFL_EVAL_BIN
+#error "DIGFL_EVAL_BIN must be defined to the digfl_eval binary path"
+#endif
+#ifndef DIGFL_NODE_BIN
+#error "DIGFL_NODE_BIN must be defined to the digfl_node binary path"
+#endif
+#ifndef DIGFL_GOLDEN_DIR
+#error "DIGFL_GOLDEN_DIR must be defined to the tests/golden directory"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+fs::path FreshDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("digfl_golden_" + name + "_" +
+                  std::to_string(static_cast<unsigned>(::getpid())));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Runs `command` with stdout/stderr captured to files; returns the exit
+// status (or -1 when the shell itself failed).
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+RunResult RunCommand(const std::string& command, const fs::path& dir) {
+  fs::path out = dir / "stdout.txt";
+  fs::path err = dir / "stderr.txt";
+  std::string full =
+      command + " > " + out.string() + " 2> " + err.string();
+  int raw = std::system(full.c_str());
+  RunResult result;
+  if (raw != -1 && WIFEXITED(raw)) result.exit_code = WEXITSTATUS(raw);
+  result.out = ReadFileOrDie(out);
+  result.err = ReadFileOrDie(err);
+  return result;
+}
+
+std::string Quote(const std::string& s) { return "'" + s + "'"; }
+
+// --- digfl_eval golden CSVs -----------------------------------------------
+
+struct GoldenCase {
+  const char* name;    // golden file stem under tests/golden/
+  const char* flags;   // everything except --csv/--out-dir
+};
+
+// To regenerate after an intentional numeric change:
+//   build/tools/digfl_eval <flags> --out-dir= --csv=$PWD/tests/golden/<name>.csv
+constexpr GoldenCase kGoldenCases[] = {
+    {"hfl_mnist_digfl",
+     "--mode=hfl --dataset=MNIST --participants=4 --mislabeled=1 "
+     "--methods=digfl --epochs=6 --seed=33"},
+    {"vfl_boston_digfl",
+     "--mode=vfl --dataset=Boston --methods=digfl --epochs=10 --seed=33"},
+};
+
+class GoldenCsvTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenCsvTest, CliReproducesCheckedInCsvBitwise) {
+  const GoldenCase& c = GetParam();
+  fs::path dir = FreshDir(c.name);
+  fs::path csv = dir / "out.csv";
+  std::string command = std::string(DIGFL_EVAL_BIN) + " " + c.flags +
+                        " --out-dir= --csv=" + Quote(csv.string());
+  RunResult run = RunCommand(command, dir);
+  ASSERT_EQ(run.exit_code, 0) << "digfl_eval failed\nstderr: " << run.err;
+
+  std::string got = ReadFileOrDie(csv);
+  std::string want =
+      ReadFileOrDie(fs::path(DIGFL_GOLDEN_DIR) / (std::string(c.name) + ".csv"));
+  EXPECT_FALSE(want.empty());
+  EXPECT_EQ(got, want)
+      << "CSV drifted from tests/golden/" << c.name << ".csv — if the "
+      << "numeric change is intentional, regenerate with:\n  "
+      << DIGFL_EVAL_BIN << " " << c.flags
+      << " --out-dir= --csv=$PWD/tests/golden/" << c.name << ".csv";
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Golden, GoldenCsvTest, ::testing::ValuesIn(kGoldenCases),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// A second invocation with identical flags must be byte-identical to the
+// first — the golden contract only makes sense if the tool is
+// deterministic on this machine in the first place.
+TEST(GoldenCsvTest, RepeatedRunsAreByteIdentical) {
+  fs::path dir = FreshDir("repeat");
+  fs::path a = dir / "a.csv";
+  fs::path b = dir / "b.csv";
+  std::string flags =
+      " --mode=hfl --dataset=MNIST --participants=3 --methods=digfl "
+      "--epochs=4 --seed=5 --out-dir= --csv=";
+  ASSERT_EQ(
+      RunCommand(std::string(DIGFL_EVAL_BIN) + flags + Quote(a.string()), dir)
+          .exit_code,
+      0);
+  ASSERT_EQ(
+      RunCommand(std::string(DIGFL_EVAL_BIN) + flags + Quote(b.string()), dir)
+          .exit_code,
+      0);
+  EXPECT_EQ(ReadFileOrDie(a), ReadFileOrDie(b));
+  fs::remove_all(dir);
+}
+
+// --- digfl_node CLI contract ----------------------------------------------
+
+TEST(NodeCliTest, HelpExitsZeroAndPrintsUsage) {
+  fs::path dir = FreshDir("node_help");
+  for (const char* flag : {"--help", "-h"}) {
+    RunResult run =
+        RunCommand(std::string(DIGFL_NODE_BIN) + " " + flag, dir);
+    EXPECT_EQ(run.exit_code, 0) << flag;
+    EXPECT_NE(run.out.find("digfl_node"), std::string::npos) << flag;
+    EXPECT_NE(run.out.find("--role"), std::string::npos) << flag;
+    EXPECT_TRUE(run.err.empty()) << flag << " stderr: " << run.err;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(NodeCliTest, UnknownFlagExitsOneAndPointsAtHelp) {
+  fs::path dir = FreshDir("node_bad");
+  RunResult run =
+      RunCommand(std::string(DIGFL_NODE_BIN) + " --no-such-flag", dir);
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--help"), std::string::npos)
+      << "stderr: " << run.err;
+}
+
+TEST(NodeCliTest, MissingRoleExitsOne) {
+  fs::path dir = FreshDir("node_norole");
+  RunResult run = RunCommand(std::string(DIGFL_NODE_BIN), dir);
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_FALSE(run.err.empty());
+}
+
+// The usage text must document every flag the parser accepts — this is the
+// sync check that keeps --help honest when flags are added.
+TEST(NodeCliTest, UsageTextDocumentsEveryAcceptedFlag) {
+  fs::path dir = FreshDir("node_sync");
+  RunResult run = RunCommand(std::string(DIGFL_NODE_BIN) + " --help", dir);
+  ASSERT_EQ(run.exit_code, 0);
+  const std::vector<std::string> flags = {
+      "--role",          "--port",
+      "--host",          "--id",
+      "--dataset",       "--participants",
+      "--mislabeled",    "--noniid",
+      "--mislabel-fraction", "--sample-fraction",
+      "--epochs",        "--lr",
+      "--local-steps",   "--seed",
+      "--csv",           "--telemetry-out",
+      "--checkpoint-dir", "--checkpoint-every",
+      "--resume",        "--round-timeout-ms",
+      "--max-retries",   "--wait-timeout-ms",
+      "--connect-attempts", "--help",
+  };
+  for (const std::string& flag : flags) {
+    EXPECT_NE(run.out.find(flag), std::string::npos)
+        << flag << " missing from --help output";
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,292 @@
+// Deterministic-simulation swarm tests (ISSUE: src/sim tentpole).
+//
+// Each seed fully determines a federation world and a fault schedule
+// (delays, reorders, duplicates, drops, truncations, connection kills,
+// partitions). The real Coordinator/ParticipantNode stack runs over the
+// simulated transport, and every run must satisfy the contract of
+// sim/sim_federation.h: complete with a log bitwise-equal to the in-process
+// RunFedSgd reference under the *realized* dropout schedule, or fail with a
+// typed Status — never hang, never corrupt a checkpoint store.
+//
+// Reproducing a failing seed: the swarm prints the seed in its failure
+// trace; rerun just that schedule with
+//
+//   DIGFL_SIM_SEED=<n> ./tests/sim_test
+//
+// Seed count: 1000 by default, overridden by DIGFL_SIM_SEEDS (sanitizer
+// runs use a smaller budget — see scripts/run_checks.sh --sim).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/hfl_resume.h"
+#include "common/status.h"
+#include "sim/fault_schedule.h"
+#include "sim/sim_federation.h"
+#include "sim/sim_net.h"
+
+namespace digfl {
+namespace sim {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+// The swarm's seed list: 1..N, or the single DIGFL_SIM_SEED replay.
+std::vector<uint64_t> SwarmSeeds() {
+  if (const char* replay = std::getenv("DIGFL_SIM_SEED");
+      replay != nullptr && *replay != '\0') {
+    return {std::strtoull(replay, nullptr, 10)};
+  }
+  const uint64_t count = EnvU64("DIGFL_SIM_SEEDS", 1000);
+  std::vector<uint64_t> seeds;
+  seeds.reserve(count);
+  for (uint64_t seed = 1; seed <= count; ++seed) seeds.push_back(seed);
+  return seeds;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("digfl_sim_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// The tentpole swarm: every seeded schedule either completes bitwise-equal
+// to the realized-plan in-process reference (with all Algorithm #2 / Lemma
+// 3 invariants holding on φ̂) or returns a typed error.
+TEST(SimSwarmTest, EverySeedCompletesBitwiseOrFailsTyped) {
+  const std::vector<uint64_t> seeds = SwarmSeeds();
+  size_t completed = 0;
+  SimNetStats aggregate;
+  for (uint64_t seed : seeds) {
+    SCOPED_TRACE("replay: DIGFL_SIM_SEED=" + std::to_string(seed));
+    SimScenario scenario = SimScenario::FromSeed(seed);
+    SimFederationResult result = RunSimFederation(scenario);
+    aggregate.deliveries += result.net_stats.deliveries;
+    aggregate.delayed += result.net_stats.delayed;
+    aggregate.dropped += result.net_stats.dropped;
+    aggregate.duplicated += result.net_stats.duplicated;
+    aggregate.reordered += result.net_stats.reordered;
+    aggregate.truncated += result.net_stats.truncated;
+    aggregate.conns_killed += result.net_stats.conns_killed;
+    aggregate.partition_drops += result.net_stats.partition_drops;
+    if (!result.completed()) {
+      // A failure must be a typed Status with a message — the no-hang /
+      // no-silent-garbage half of the contract (RunSimFederation returning
+      // at all is the other half).
+      EXPECT_NE(result.status.code(), StatusCode::kOk);
+      EXPECT_FALSE(result.status.message().empty());
+      continue;
+    }
+    ++completed;
+    ASSERT_EQ(result.log.num_epochs(), scenario.epochs);
+
+    SimWorld world = MakeSimWorld(scenario);
+    auto reference = RealizedReference(world, result.log);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    EXPECT_EQ(DiffLogs(result.log, *reference), "");
+    EXPECT_EQ(CheckHflInvariants(world, result.log, result.phi_total,
+                                 result.phi_per_epoch),
+              "");
+    if (::testing::Test::HasFailure()) break;  // one seed is enough to debug
+  }
+  // The schedule generator must neither kill every run nor be inert.
+  EXPECT_GE(completed, seeds.size() / 2)
+      << "most seeded schedules should still complete";
+  if (seeds.size() >= 100) {
+    EXPECT_GT(aggregate.delayed, 0u);
+    EXPECT_GT(aggregate.dropped, 0u);
+    EXPECT_GT(aggregate.duplicated, 0u);
+    EXPECT_GT(aggregate.reordered, 0u);
+    EXPECT_GT(aggregate.truncated + aggregate.conns_killed, 0u);
+    EXPECT_GT(aggregate.partition_drops, 0u);
+  }
+}
+
+// VFL Eq. 27 block-orthogonality, per seed: zeroing every other block of
+// the logged global gradient leaves participant i's φ̂ bitwise unchanged.
+TEST(SimSwarmTest, VflBlockOrthogonalityHoldsAcrossSeeds) {
+  const std::vector<uint64_t> seeds = SwarmSeeds();
+  const size_t count = std::min<size_t>(seeds.size(), 50);
+  for (size_t k = 0; k < count; ++k) {
+    SCOPED_TRACE("replay: DIGFL_SIM_SEED=" + std::to_string(seeds[k]));
+    EXPECT_EQ(CheckVflBlockOrthogonality(seeds[k]), "");
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// Same seed, same schedule, same bits: a delay-only schedule (FIFO
+// preserved, nothing lost, no protocol-violating duplicates) must replay to
+// a bitwise-identical log and φ̂ across runs, and match the fault-free
+// in-process reference. Duplicate/reorder schedules are deliberately
+// excluded here: a duplicated frame is a protocol violation the coordinator
+// answers by closing the connection, i.e. a legitimate realized dropout —
+// covered by the swarm test above, not a determinism fixture.
+TEST(SimDeterminismTest, QuietScheduleReplaysBitwise) {
+  SimScenario scenario;
+  scenario.seed = 77;
+  scenario.rates.delay_rate = 0.45;
+  scenario.rates.max_delay_ms = 15;
+
+  SimFederationResult first = RunSimFederation(scenario);
+  ASSERT_TRUE(first.completed()) << first.status.ToString();
+  SimFederationResult second = RunSimFederation(scenario);
+  ASSERT_TRUE(second.completed()) << second.status.ToString();
+
+  EXPECT_EQ(DiffLogs(first.log, second.log), "");
+  EXPECT_EQ(first.phi_total, second.phi_total);
+  EXPECT_EQ(first.phi_per_epoch, second.phi_per_epoch);
+
+  // Nothing was lossy, so nobody should have realized as absent and the
+  // run must equal the fault-free in-process run.
+  for (size_t t = 0; t < first.log.num_epochs(); ++t) {
+    EXPECT_EQ(first.log.epochs[t].NumPresent(), scenario.num_participants);
+  }
+  SimWorld world = MakeSimWorld(scenario);
+  auto reference = RealizedReference(world, first.log);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(DiffLogs(first.log, *reference), "");
+}
+
+// Hostile schedules against the checkpointed driver: whatever the network
+// does, the store must reopen and decode cleanly afterwards, and completed
+// runs still match the realized reference bitwise.
+TEST(SimCheckpointTest, FaultScheduleNeverCorruptsTheStore) {
+  const size_t count = std::min<uint64_t>(EnvU64("DIGFL_SIM_SEEDS", 1000),
+                                          25);
+  for (uint64_t seed = 1; seed <= count; ++seed) {
+    SCOPED_TRACE("replay: DIGFL_SIM_SEED=" + std::to_string(seed));
+    SimScenario scenario = SimScenario::FromSeed(seed);
+    scenario.with_checkpoints = true;
+    scenario.checkpoint_dir = FreshDir("swarm_" + std::to_string(seed));
+    SimFederationResult result = RunSimFederation(scenario);
+    EXPECT_TRUE(result.store_health.ok())
+        << "store corrupted: " << result.store_health.ToString();
+    if (!result.completed()) continue;
+    EXPECT_GT(result.checkpoints_written, 0u);
+    SimWorld world = MakeSimWorld(scenario);
+    auto reference = RealizedReference(world, result.log);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(DiffLogs(result.log, *reference), "");
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// Crash/resume determinism through the simulator: stage 1 trains a prefix
+// of the horizon and "dies" at the epoch boundary; a brand-new simulated
+// federation resumes the same store and must land bitwise on the
+// uninterrupted in-process run (same contract net_test.cc proves over real
+// sockets, here under a latency-chaos schedule).
+TEST(SimCheckpointTest, CrashResumeMatchesUninterruptedBitwise) {
+  SimFaultRates chaos;  // lossless: delays only, so every epoch commits
+  chaos.delay_rate = 0.30;
+  chaos.max_delay_ms = 10;
+
+  SimScenario scenario;
+  scenario.seed = 4242;
+  scenario.epochs = 4;
+  scenario.rates = chaos;
+  scenario.with_checkpoints = true;
+  scenario.checkpoint_dir = FreshDir("resume");
+
+  // Uninterrupted in-process reference through the same accumulator path.
+  SimWorld world = MakeSimWorld(scenario);
+  ckpt::CheckpointRunOptions reference_options;
+  reference_options.dir = FreshDir("resume_reference");
+  HflServer reference_server(world.model, world.validation);
+  auto reference = ckpt::RunFedSgdWithCheckpoints(
+      world.model, world.participants, reference_server, world.init,
+      world.config, reference_options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // Stage 1: two of the four epochs, then the federation goes away.
+  scenario.run_epochs = 2;
+  SimFederationResult interrupted = RunSimFederation(scenario);
+  ASSERT_TRUE(interrupted.completed()) << interrupted.status.ToString();
+  ASSERT_TRUE(interrupted.store_health.ok());
+  EXPECT_FALSE(interrupted.resumed);
+
+  // Stage 2: a fresh coordinator + fleet resumes the store to the horizon.
+  scenario.run_epochs = 0;
+  scenario.resume = true;
+  SimFederationResult resumed = RunSimFederation(scenario);
+  ASSERT_TRUE(resumed.completed()) << resumed.status.ToString();
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.resumed_from_epoch, 2u);
+
+  EXPECT_EQ(DiffLogs(resumed.log, reference->log), "");
+  EXPECT_EQ(resumed.phi_total, reference->contributions.total);
+  EXPECT_EQ(resumed.phi_per_epoch, reference->contributions.per_epoch);
+}
+
+// Direct transport-level checks: loopback round trip, typed timeout, typed
+// refusal, and the horizon backstop poisoning every operation.
+TEST(SimNetUnitTest, LoopbackRoundTripAndTypedErrors) {
+  SimNetOptions options;
+  options.seed = 9;
+  SimNet net(options);
+
+  auto listener = net.Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = net.Connect("unit", (*listener)->port(), 50);
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->Accept(50);
+  ASSERT_TRUE(server.ok());
+
+  ASSERT_TRUE((*client)->SendAll("ping", 50).ok());
+  char buf[16];
+  auto got = (*server)->RecvSome(buf, sizeof(buf), 50);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(buf, *got), "ping");
+
+  // Nothing in flight: the recv must time out typed, via a virtual-clock
+  // advance (no real 200 ms elapse).
+  auto idle = (*server)->RecvSome(buf, sizeof(buf), 200);
+  ASSERT_FALSE(idle.ok());
+  EXPECT_EQ(idle.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Dialing a port nobody listens on is a typed refusal.
+  auto refused = net.Connect("unit", 1, 50);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+
+  EXPECT_GT(net.stats().clock_advances, 0u);
+}
+
+TEST(SimNetUnitTest, HorizonExplosionPoisonsEveryOperation) {
+  SimNetOptions options;
+  options.seed = 10;
+  options.horizon_ms = 100;  // one long recv pushes the clock past it
+  SimNet net(options);
+
+  auto listener = net.Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = net.Connect("unit", (*listener)->port(), 50);
+  ASSERT_TRUE(client.ok());
+
+  char buf[8];
+  auto wedged = (*client)->RecvSome(buf, sizeof(buf), 1000 * 1000);
+  ASSERT_FALSE(wedged.ok());
+  EXPECT_EQ(wedged.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(net.exploded());
+
+  // Every subsequent operation fails fast and typed.
+  auto send = (*client)->SendAll("x", 50);
+  EXPECT_EQ(send.code(), StatusCode::kDeadlineExceeded);
+  auto dial = net.Connect("unit", (*listener)->port(), 50);
+  EXPECT_EQ(dial.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace digfl

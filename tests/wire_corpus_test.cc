@@ -1,0 +1,484 @@
+// Data-driven wire-format robustness suite. The hostile inputs live as
+// *.case files under tests/corpus/wire/ (grammar in that directory's
+// README.md); this file is the loader and the execution engine. Adding a
+// new mutation case is a data change, not a C++ change.
+//
+// Seeded random-garbage fuzzing (decoder + codecs) takes its trial budget
+// from --fuzz-seeds N or DIGFL_FUZZ_SEEDS (default 300). Labelled `net` in
+// tests/CMakeLists.txt so scripts/run_checks.sh --net covers it under
+// ASan and TSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/messages.h"
+#include "net/wire.h"
+
+#ifndef DIGFL_WIRE_CORPUS_DIR
+#error "DIGFL_WIRE_CORPUS_DIR must be defined to tests/corpus/wire"
+#endif
+
+namespace digfl {
+namespace net {
+namespace {
+
+size_t g_fuzz_seeds = 300;  // set by main() from --fuzz-seeds / env
+
+// ------------------------------------------------------------- corpus IR.
+
+enum class BaseKind { kFrame, kRaw, kCodec };
+enum class MutateOp {
+  kNone,
+  kXorLastByte,
+  kFlipEachBit,
+  kTruncatePrefixes,
+  kAppendHex,
+};
+enum class Expect { kFrame, kPoisoned, kRejectHeader, kNoFrame, kReject };
+
+struct WireCase {
+  std::string file;   // corpus file the case came from
+  std::string name;
+  BaseKind base_kind = BaseKind::kFrame;
+  uint32_t frame_type = 0;
+  std::string payload;      // kFrame: payload; kRaw: raw wire bytes
+  std::string codec;        // kCodec: codec name
+  MutateOp mutate = MutateOp::kNone;
+  std::string mutate_arg;   // decoded bytes for xor/append args
+  Expect expect = Expect::kFrame;
+};
+
+// ------------------------------------------------------------- parsing.
+
+bool HexToBytes(std::string_view hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  out->clear();
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+// Unescapes the quoted payload form: \xNN, \\, \".
+bool UnquotePayload(std::string_view quoted, std::string* out) {
+  if (quoted.size() < 2 || quoted.front() != '"' || quoted.back() != '"') {
+    return false;
+  }
+  std::string_view body = quoted.substr(1, quoted.size() - 2);
+  out->clear();
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (body[i] != '\\') {
+      out->push_back(body[i]);
+      continue;
+    }
+    if (i + 1 >= body.size()) return false;
+    const char kind = body[++i];
+    if (kind == '\\' || kind == '"') {
+      out->push_back(kind);
+    } else if (kind == 'x') {
+      if (i + 2 >= body.size()) return false;
+      std::string byte;
+      if (!HexToBytes(body.substr(i + 1, 2), &byte)) return false;
+      out->push_back(byte[0]);
+      i += 2;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size() || line[i] == '#') break;
+    size_t start = i;
+    if (line[i] == '"') {  // quoted token runs to the closing quote
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') ++i;
+        ++i;
+      }
+      if (i < line.size()) ++i;
+    } else {
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    }
+    tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+// Parses one corpus file, appending cases to *cases. Returns "" on
+// success, else a description of the first syntax error.
+std::string ParseCorpusFile(const std::filesystem::path& path,
+                            std::vector<WireCase>* cases) {
+  std::ifstream in(path);
+  if (!in.good()) return "cannot open " + path.string();
+  std::string line;
+  size_t lineno = 0;
+  WireCase* current = nullptr;
+  auto err = [&](const std::string& what) {
+    return path.filename().string() + ":" + std::to_string(lineno) + ": " +
+           what;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+    if (key == "case") {
+      if (tokens.size() != 2) return err("case wants exactly one name");
+      cases->push_back({});
+      current = &cases->back();
+      current->file = path.filename().string();
+      current->name = tokens[1];
+      continue;
+    }
+    if (current == nullptr) return err("field before the first case");
+    if (key == "frame") {
+      if (tokens.size() != 3) return err("frame wants <type> <payload>");
+      current->base_kind = BaseKind::kFrame;
+      current->frame_type =
+          static_cast<uint32_t>(std::stoul(tokens[1]));
+      if (!UnquotePayload(tokens[2], &current->payload)) {
+        return err("bad payload literal");
+      }
+    } else if (key == "raw") {
+      if (tokens.size() != 2 || !HexToBytes(tokens[1], &current->payload)) {
+        return err("raw wants one hex string");
+      }
+      current->base_kind = BaseKind::kRaw;
+    } else if (key == "codec") {
+      if (tokens.size() != 2) return err("codec wants one name");
+      current->base_kind = BaseKind::kCodec;
+      current->codec = tokens[1];
+    } else if (key == "mutate") {
+      if (tokens[1] == "none" && tokens.size() == 2) {
+        current->mutate = MutateOp::kNone;
+      } else if (tokens[1] == "xor-last-byte" && tokens.size() == 3) {
+        current->mutate = MutateOp::kXorLastByte;
+        if (!HexToBytes(tokens[2], &current->mutate_arg) ||
+            current->mutate_arg.size() != 1) {
+          return err("xor-last-byte wants one hex byte");
+        }
+      } else if (tokens[1] == "flip-each-bit" && tokens.size() == 2) {
+        current->mutate = MutateOp::kFlipEachBit;
+      } else if (tokens[1] == "truncate-prefixes" && tokens.size() == 2) {
+        current->mutate = MutateOp::kTruncatePrefixes;
+      } else if (tokens[1] == "append-hex" && tokens.size() == 3) {
+        current->mutate = MutateOp::kAppendHex;
+        if (!HexToBytes(tokens[2], &current->mutate_arg)) {
+          return err("append-hex wants a hex string");
+        }
+      } else {
+        return err("unknown mutate op");
+      }
+    } else if (key == "expect") {
+      if (tokens.size() != 2) return err("expect wants one outcome");
+      if (tokens[1] == "frame") current->expect = Expect::kFrame;
+      else if (tokens[1] == "poisoned") current->expect = Expect::kPoisoned;
+      else if (tokens[1] == "reject-header")
+        current->expect = Expect::kRejectHeader;
+      else if (tokens[1] == "no-frame") current->expect = Expect::kNoFrame;
+      else if (tokens[1] == "reject") current->expect = Expect::kReject;
+      else return err("unknown expect outcome");
+    } else {
+      return err("unknown field " + key);
+    }
+  }
+  return "";
+}
+
+std::vector<WireCase> LoadCorpusOrDie() {
+  std::vector<WireCase> cases;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DIGFL_WIRE_CORPUS_DIR)) {
+    if (entry.path().extension() == ".case") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  EXPECT_FALSE(files.empty()) << "no *.case files in "
+                              << DIGFL_WIRE_CORPUS_DIR;
+  for (const auto& file : files) {
+    const std::string error = ParseCorpusFile(file, &cases);
+    EXPECT_EQ(error, "");
+  }
+  return cases;
+}
+
+// ------------------------------------------------------------- codecs.
+
+struct CodecEntry {
+  const char* name;
+  std::string (*encode)();
+  bool (*decodes)(std::string_view);
+};
+
+const CodecEntry kCodecs[] = {
+    {"hello", [] { return EncodeHello({1, 2, 3}); },
+     [](std::string_view s) { return DecodeHello(s).ok(); }},
+    {"hello_ack", [] { return EncodeHelloAck({1, 4, "ok"}); },
+     [](std::string_view s) { return DecodeHelloAck(s).ok(); }},
+    {"round_request",
+     [] {
+       RoundRequestMsg request;
+       request.epoch = 3;
+       request.learning_rate = 0.25;
+       request.local_steps = 1;
+       request.params = {1.0, 2.0, 3.0};
+       return EncodeRoundRequest(request);
+     },
+     [](std::string_view s) { return DecodeRoundRequest(s).ok(); }},
+    {"round_reply", [] { return EncodeRoundReply({3, 1, {0.5, 0.25}}); },
+     [](std::string_view s) { return DecodeRoundReply(s).ok(); }},
+    {"hvp_request", [] { return EncodeHvpRequest({1, {1.0}, {2.0}}); },
+     [](std::string_view s) { return DecodeHvpRequest(s).ok(); }},
+    {"hvp_reply", [] { return EncodeHvpReply({1, 0, {1.5}}); },
+     [](std::string_view s) { return DecodeHvpReply(s).ok(); }},
+    {"shutdown", [] { return EncodeShutdown({"reason"}); },
+     [](std::string_view s) { return DecodeShutdown(s).ok(); }},
+};
+
+const CodecEntry* FindCodec(const std::string& name) {
+  for (const CodecEntry& codec : kCodecs) {
+    if (name == codec.name) return &codec;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------- engine.
+
+std::string BaseBytes(const WireCase& c) {
+  switch (c.base_kind) {
+    case BaseKind::kFrame: {
+      std::string wire;
+      AppendFrame(&wire, c.frame_type, c.payload);
+      return wire;
+    }
+    case BaseKind::kRaw:
+      return c.payload;
+    case BaseKind::kCodec: {
+      const CodecEntry* codec = FindCodec(c.codec);
+      EXPECT_NE(codec, nullptr) << "unknown codec " << c.codec;
+      return codec == nullptr ? std::string() : codec->encode();
+    }
+  }
+  return {};
+}
+
+// The mutated variants a case expands to (kFlipEachBit → one per bit,
+// kTruncatePrefixes → one per strict prefix, else exactly one).
+std::vector<std::string> Variants(const WireCase& c,
+                                  const std::string& base) {
+  switch (c.mutate) {
+    case MutateOp::kNone:
+      return {base};
+    case MutateOp::kXorLastByte: {
+      std::string out = base;
+      EXPECT_FALSE(out.empty());
+      if (!out.empty()) out.back() ^= c.mutate_arg[0];
+      return {out};
+    }
+    case MutateOp::kFlipEachBit: {
+      std::vector<std::string> out;
+      out.reserve(base.size() * 8);
+      for (size_t bit = 0; bit < base.size() * 8; ++bit) {
+        std::string flipped = base;
+        flipped[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+        out.push_back(std::move(flipped));
+      }
+      return out;
+    }
+    case MutateOp::kTruncatePrefixes: {
+      std::vector<std::string> out;
+      out.reserve(base.size());
+      for (size_t cut = 0; cut < base.size(); ++cut) {
+        out.push_back(base.substr(0, cut));
+      }
+      return out;
+    }
+    case MutateOp::kAppendHex:
+      return {base + c.mutate_arg};
+  }
+  return {};
+}
+
+void RunFrameExpectation(const WireCase& c, const std::string& base) {
+  const std::vector<std::string> variants = Variants(c, base);
+  switch (c.expect) {
+    case Expect::kFrame: {
+      // Byte-at-a-time delivery: nothing surfaces early, then exactly one
+      // frame pops, bitwise equal to the base encoding.
+      ASSERT_EQ(variants.size(), 1u);
+      const std::string& wire = variants[0];
+      FrameDecoder decoder;
+      for (size_t i = 0; i + 1 < wire.size(); ++i) {
+        ASSERT_TRUE(decoder.Append(wire.substr(i, 1)).ok());
+        auto frame = decoder.Next();
+        ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+        EXPECT_FALSE(frame->has_value()) << "frame surfaced at byte " << i;
+      }
+      ASSERT_TRUE(decoder.Append(wire.substr(wire.size() - 1)).ok());
+      auto frame = decoder.Next();
+      ASSERT_TRUE(frame.ok());
+      ASSERT_TRUE(frame->has_value());
+      EXPECT_EQ((*frame)->type, c.frame_type);
+      EXPECT_EQ((*frame)->payload, c.payload);
+      EXPECT_EQ(decoder.buffered_bytes(), 0u);
+      break;
+    }
+    case Expect::kPoisoned: {
+      ASSERT_EQ(variants.size(), 1u);
+      FrameDecoder decoder;
+      ASSERT_TRUE(decoder.Append(variants[0]).ok());
+      ASSERT_FALSE(decoder.Next().ok());
+      // Framing has no resync: both entry points keep failing.
+      EXPECT_FALSE(decoder.Append("more").ok());
+      EXPECT_FALSE(decoder.Next().ok());
+      break;
+    }
+    case Expect::kRejectHeader: {
+      ASSERT_EQ(variants.size(), 1u);
+      WireLimits limits;
+      limits.max_payload_bytes = 1024;
+      FrameDecoder decoder(limits);
+      ASSERT_TRUE(decoder.Append(variants[0]).ok());
+      auto frame = decoder.Next();
+      ASSERT_FALSE(frame.ok());
+      EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_LE(decoder.buffered_bytes(), kFrameHeaderLen);
+      break;
+    }
+    case Expect::kNoFrame: {
+      for (size_t v = 0; v < variants.size(); ++v) {
+        FrameDecoder decoder;
+        ASSERT_TRUE(decoder.Append(variants[v]).ok());
+        auto frame = decoder.Next();
+        // Either a typed error or an indefinite pend — never a frame.
+        if (frame.ok()) {
+          EXPECT_FALSE(frame->has_value())
+              << "variant " << v << " slipped through";
+        }
+      }
+      break;
+    }
+    case Expect::kReject:
+      FAIL() << "expect reject is only valid for codec cases";
+  }
+}
+
+void RunCodecExpectation(const WireCase& c, const std::string& base) {
+  ASSERT_EQ(c.expect, Expect::kReject)
+      << "codec cases support only expect reject";
+  const CodecEntry* codec = FindCodec(c.codec);
+  ASSERT_NE(codec, nullptr);
+  ASSERT_TRUE(codec->decodes(base)) << "positive control failed";
+  for (const std::string& variant : Variants(c, base)) {
+    EXPECT_FALSE(codec->decodes(variant))
+        << "mutated variant of " << variant.size() << " bytes parsed";
+  }
+}
+
+TEST(WireCorpusTest, EveryCaseHoldsItsExpectation) {
+  const std::vector<WireCase> cases = LoadCorpusOrDie();
+  ASSERT_FALSE(cases.empty());
+  for (const WireCase& c : cases) {
+    SCOPED_TRACE(c.file + ": case " + c.name);
+    const std::string base = BaseBytes(c);
+    if (c.base_kind == BaseKind::kCodec) {
+      RunCodecExpectation(c, base);
+    } else {
+      RunFrameExpectation(c, base);
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ------------------------------------------------------------- fuzzing.
+
+TEST(WireFuzzTest, RandomGarbageNeverCrashesTheDecoder) {
+  for (size_t trial = 0; trial < g_fuzz_seeds; ++trial) {
+    Rng rng(0xfeed0000 + trial);
+    const size_t len = static_cast<size_t>(rng.UniformInt(uint64_t{200}));
+    std::string garbage(len, '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.UniformInt(uint64_t{256}));
+    }
+    FrameDecoder decoder;
+    size_t pos = 0;
+    bool dead = false;
+    while (pos < garbage.size() && !dead) {
+      const size_t chunk = 1 + static_cast<size_t>(
+          rng.UniformInt(uint64_t{garbage.size() - pos}));
+      if (!decoder.Append(garbage.substr(pos, chunk)).ok()) break;
+      pos += chunk;
+      // Drain frames until the decoder pends or poisons; it must only
+      // ever return typed statuses (ASan/UBSan guard the rest).
+      while (true) {
+        auto frame = decoder.Next();
+        if (!frame.ok()) { dead = true; break; }
+        if (!frame->has_value()) break;
+      }
+    }
+  }
+}
+
+TEST(WireFuzzTest, RandomGarbageNeverCrashesTheCodecs) {
+  for (size_t trial = 0; trial < g_fuzz_seeds; ++trial) {
+    Rng rng(0xbead0000 + trial);
+    const size_t len = static_cast<size_t>(rng.UniformInt(uint64_t{96}));
+    std::string garbage(len, '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.UniformInt(uint64_t{256}));
+    }
+    // Any of these may succeed only by decoding a semantically valid
+    // message; what they must never do is crash or over-allocate.
+    for (const CodecEntry& codec : kCodecs) {
+      (void)codec.decodes(garbage);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace digfl
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (const char* env = std::getenv("DIGFL_FUZZ_SEEDS")) {
+    digfl::net::g_fuzz_seeds =
+        static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--fuzz-seeds=", 0) == 0) {
+      digfl::net::g_fuzz_seeds = static_cast<size_t>(
+          std::strtoull(arg.data() + 13, nullptr, 10));
+    } else if (arg == "--fuzz-seeds" && i + 1 < argc) {
+      digfl::net::g_fuzz_seeds = static_cast<size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
+    }
+  }
+  return RUN_ALL_TESTS();
+}

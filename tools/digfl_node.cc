@@ -3,11 +3,11 @@
 // The same binary plays both roles:
 //
 //   # terminal 1: the coordinator (server + validation set + DIG-FL)
-//   digfl_node --role=coordinator --port=7700 --dataset=MNIST \
+//   digfl_node --role=coordinator --port=7700 --dataset=MNIST
 //       --participants=4 --epochs=10 --csv=results/contributions.csv
 //
 //   # terminals 2..5: one data-holding participant each
-//   digfl_node --role=participant --port=7700 --id=0 --dataset=MNIST \
+//   digfl_node --role=participant --port=7700 --id=0 --dataset=MNIST
 //       --participants=4
 //
 // Every process derives the full experiment deterministically from the
@@ -97,11 +97,14 @@ void PrintUsage() {
   --checkpoint-dir=DIR      coordinator: crash-safe checkpointing
   --checkpoint-every=K      epochs between checkpoints (default 1)
   --resume                  coordinator: warm-start from --checkpoint-dir
-  --round-timeout-ms=MS     per-round-trip deadline (default 10000)
-  --max-retries=R           round retries after a timeout (default 2)
+  --round-timeout-ms=MS     coordinator: per-round-trip deadline
+                            (default 10000)
+  --max-retries=R           coordinator: round retries after a timeout
+                            (default 2)
   --wait-timeout-ms=MS      coordinator: participant assembly deadline
                             (default 60000)
   --connect-attempts=N      participant: dial attempts (default 30)
+  --help, -h                print this usage text and exit 0
 )");
 }
 
