@@ -1,0 +1,213 @@
+// Byzantine-robustness sweep — accuracy degradation and attacker-detection
+// quality versus attack fraction (DESIGN.md §12 "Byzantine robustness").
+//
+// A fixed 10-participant softmax federation is attacked by a colluding
+// sign-flip minority at fractions {0%, 10%, 20%, 30%}. Each cell trains
+// twice: undefended (plain mean, no quarantine escalation) and defended
+// (trimmed-mean aggregation + φ̂-driven quarantine). For every run the φ̂
+// EWMA monitor is recomputed from the training log and scored against the
+// ground-truth attacker mask with precision@k and AUC — including on the
+// undefended runs, where the monitor watches but cannot act.
+//
+// Emits results/BENCH_byzantine.json plus a CSV of the sweep table.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/adversary.h"
+#include "common/table_writer.h"
+#include "data/synthetic.h"
+#include "hfl/aggregator.h"
+#include "metrics/detection.h"
+#include "nn/softmax_regression.h"
+#include "telemetry/json.h"
+
+namespace {
+
+using namespace digfl;
+using bench::Unwrap;
+using bench::UnwrapStatus;
+
+constexpr size_t kParticipants = 10;
+constexpr size_t kEpochs = 10;
+constexpr double kLearningRate = 0.1;
+constexpr uint64_t kSeed = 42;
+
+struct World {
+  SoftmaxRegression model{6, 3};
+  Dataset validation;
+  std::vector<HflParticipant> participants;
+  Vec init;
+};
+
+World MakeWorld() {
+  GaussianClassificationConfig data_config;
+  data_config.num_samples =
+      static_cast<size_t>(600 * bench::BenchScale());
+  data_config.num_features = 6;
+  data_config.num_classes = 3;
+  data_config.seed = kSeed;
+  Dataset pool = Unwrap(MakeGaussianClassification(data_config), "dataset");
+  Rng rng(kSeed + 1);
+  auto split = Unwrap(SplitHoldout(pool, 0.2, rng), "holdout split");
+  World world;
+  world.validation = split.second;
+  auto shards =
+      Unwrap(PartitionIid(split.first, kParticipants, rng), "partition");
+  for (size_t i = 0; i < kParticipants; ++i) {
+    world.participants.emplace_back(i, shards[i]);
+  }
+  world.init = Vec(world.model.NumParams(), 0.0);
+  return world;
+}
+
+struct Cell {
+  double fraction = 0.0;
+  std::string defense;
+  size_t num_attackers = 0;
+  double final_acc = 0.0;
+  double final_loss = 0.0;
+  double acc_drop = 0.0;  // vs the fault-free undefended baseline
+  size_t quarantined = 0;
+  double precision_at_k = -1.0;  // -1 = undefined (no attackers)
+  double auc = -1.0;
+};
+
+Cell RunCell(const World& world, double fraction, bool defended,
+             double baseline_acc) {
+  Cell cell;
+  cell.fraction = fraction;
+  cell.defense = defended ? "trimmed+phi_quarantine" : "mean";
+
+  FedSgdConfig config;
+  config.epochs = kEpochs;
+  config.learning_rate = kLearningRate;
+
+  std::unique_ptr<AdversaryPlan> plan;
+  if (fraction > 0.0) {
+    AdversaryPlanConfig adversary;
+    adversary.attacker_fraction = fraction;
+    adversary.palette = {AttackType::kSignFlip};
+    adversary.collusion_probability = 1.0;
+    adversary.seed = 77;
+    plan = std::make_unique<AdversaryPlan>(Unwrap(
+        AdversaryPlan::Generate(kParticipants, adversary), "adversary plan"));
+    config.adversary = plan.get();
+    cell.num_attackers = plan->num_attackers();
+  }
+
+  std::unique_ptr<Aggregator> aggregator;
+  if (defended) {
+    aggregator = Unwrap(MakeTrimmedMeanAggregator(0.3), "trimmed mean");
+    config.aggregator = aggregator.get();
+    config.escalation.enabled = true;
+  }
+
+  HflServer server(world.model, world.validation);
+  HflTrainingLog log =
+      Unwrap(RunFedSgd(world.model, world.participants, server, world.init,
+                       config),
+             "training");
+  cell.final_acc = log.validation_accuracy.back();
+  cell.final_loss = log.validation_loss.back();
+  cell.acc_drop = baseline_acc - cell.final_acc;
+  cell.quarantined = log.faults.total_quarantined();
+
+  if (plan != nullptr) {
+    // Recompute the monitor's φ̂ EWMA from the log (even on undefended runs,
+    // where the monitor observes but cannot quarantine) and score it
+    // against the ground-truth attacker mask.
+    const std::vector<double> ewma =
+        Unwrap(PhiEwmaFromLog(log, server, config.escalation), "phi ewma");
+    std::vector<bool> mask(kParticipants, false);
+    for (size_t i = 0; i < kParticipants; ++i) mask[i] = plan->IsAttacker(i);
+    cell.precision_at_k =
+        Unwrap(DetectionPrecisionAtK(ewma, mask), "precision@k");
+    cell.auc = Unwrap(DetectionAuc(ewma, mask), "auc");
+  }
+  return cell;
+}
+
+std::string Metric(double value) {
+  return value < 0.0 ? "-" : TableWriter::FormatDouble(value, 3);
+}
+
+}  // namespace
+
+int main() {
+  const World world = MakeWorld();
+
+  // Fault-free undefended run anchors the degradation column.
+  const double baseline_acc =
+      RunCell(world, 0.0, /*defended=*/false, 0.0).final_acc;
+
+  TableWriter table({"attack_fraction", "defense", "attackers", "final_acc",
+                     "acc_drop", "final_loss", "quarantined", "precision@k",
+                     "auc"});
+  std::vector<Cell> cells;
+  for (double fraction : {0.0, 0.1, 0.2, 0.3}) {
+    for (bool defended : {false, true}) {
+      const Cell cell = RunCell(world, fraction, defended, baseline_acc);
+      cells.push_back(cell);
+      UnwrapStatus(
+          table.AddRow({TableWriter::FormatDouble(fraction * 100, 0) + "%",
+                        cell.defense, std::to_string(cell.num_attackers),
+                        TableWriter::FormatDouble(cell.final_acc, 3),
+                        TableWriter::FormatDouble(cell.acc_drop, 3),
+                        TableWriter::FormatDouble(cell.final_loss, 4),
+                        std::to_string(cell.quarantined),
+                        Metric(cell.precision_at_k), Metric(cell.auc)}),
+          "row");
+    }
+  }
+
+  std::printf(
+      "=== Byzantine robustness: sign-flip collusion vs trimmed mean + "
+      "phi-quarantine ===\n");
+  table.Print(std::cout);
+  bench::WriteCsvResult(table, "byzantine_sweep.csv");
+
+  namespace json = telemetry::json;
+  std::string body;
+  body += "{\"bench\":\"byzantine\"";
+  body += ",\"participants\":" + std::to_string(kParticipants);
+  body += ",\"epochs\":" + std::to_string(kEpochs);
+  body += ",\"attack\":\"sign_flip_colluding\"";
+  body += ",\"baseline_acc\":" + json::Number(baseline_acc);
+  body += ",\"cells\":[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    if (i > 0) body += ",";
+    body += "{\"attack_fraction\":" + json::Number(cell.fraction);
+    body += ",\"defense\":\"" + json::Escape(cell.defense) + "\"";
+    body += ",\"num_attackers\":" + std::to_string(cell.num_attackers);
+    body += ",\"final_acc\":" + json::Number(cell.final_acc);
+    body += ",\"acc_drop\":" + json::Number(cell.acc_drop);
+    body += ",\"final_loss\":" + json::Number(cell.final_loss);
+    body += ",\"quarantined\":" + std::to_string(cell.quarantined);
+    if (cell.precision_at_k >= 0.0) {
+      body += ",\"precision_at_k\":" + json::Number(cell.precision_at_k);
+      body += ",\"auc\":" + json::Number(cell.auc);
+    }
+    body += "}";
+  }
+  body += "]}";
+  const std::string path = bench::ResultsPath("BENCH_byzantine.json");
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs(body.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+
+  bench::EmitRunTelemetry("byzantine");
+  return 0;
+}

@@ -24,6 +24,11 @@
 #                                      # schedules over the in-process
 #                                      # transport) under ASan AND TSan,
 #                                      # with a reduced seed budget
+#   scripts/run_checks.sh --adv       # Byzantine-hardening suites
+#                                      # (ctest -L adv: attack semantics,
+#                                      # robust aggregation, escalator units,
+#                                      # adversarial sim swarm) under ASan
+#                                      # AND TSan, reduced seed budget
 #   scripts/run_checks.sh --all       # everything
 set -euo pipefail
 
@@ -35,6 +40,7 @@ run_tsan=0
 run_crash=0
 run_net=0
 run_sim=0
+run_adv=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
@@ -42,7 +48,8 @@ for arg in "$@"; do
     --crash) run_crash=1 ;;
     --net) run_net=1 ;;
     --sim) run_sim=1 ;;
-    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1; run_sim=1 ;;
+    --adv) run_adv=1 ;;
+    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1; run_sim=1; run_adv=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -162,6 +169,26 @@ if [[ "$run_sim" == 1 ]]; then
   cmake --build build-tsan -j "$JOBS"
   DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L sim
+fi
+
+if [[ "$run_adv" == 1 ]]; then
+  # Byzantine-hardening label under both sanitizers: attack-model and
+  # robust-aggregation units plus the adversarial sim swarm (up to 30%
+  # sign-flip / scale / free-rider attackers, trimmed-mean + φ̂-quarantine
+  # defenses). Same instrumented-binary seed/grace trims as --sim; replay a
+  # failing swarm seed with
+  #   DIGFL_SIM_SEED=<n> DIGFL_SIM_GRACE_US=20000 build-asan/tests/byzantine_sim_test
+  echo "=== [adv] ctest -L adv under ASan ==="
+  cmake -B build-asan -S . -DDIGFL_SANITIZE=ON > /dev/null
+  cmake --build build-asan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L adv
+
+  echo "=== [adv] ctest -L adv under TSan ==="
+  cmake -B build-tsan -S . -DDIGFL_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L adv
 fi
 
 echo "all requested configurations passed"

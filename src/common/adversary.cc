@@ -1,0 +1,174 @@
+#include "common/adversary.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "telemetry/telemetry.h"
+
+namespace digfl {
+
+namespace {
+
+const AttackSpec kHonestSpec{};
+
+const AttackType kAllAttacks[] = {
+    AttackType::kSignFlip, AttackType::kScale, AttackType::kNoise,
+    AttackType::kFreeRiderZero, AttackType::kFreeRiderReplay,
+};
+
+}  // namespace
+
+const char* AttackTypeToString(AttackType type) {
+  switch (type) {
+    case AttackType::kNone:
+      return "None";
+    case AttackType::kSignFlip:
+      return "SignFlip";
+    case AttackType::kScale:
+      return "Scale";
+    case AttackType::kNoise:
+      return "Noise";
+    case AttackType::kFreeRiderZero:
+      return "FreeRiderZero";
+    case AttackType::kFreeRiderReplay:
+      return "FreeRiderReplay";
+  }
+  return "Unknown";
+}
+
+const char* AttackTypeCode(AttackType type) {
+  switch (type) {
+    case AttackType::kNone:
+      return "none";
+    case AttackType::kSignFlip:
+      return "sign_flip";
+    case AttackType::kScale:
+      return "scale";
+    case AttackType::kNoise:
+      return "noise";
+    case AttackType::kFreeRiderZero:
+      return "free_rider_zero";
+    case AttackType::kFreeRiderReplay:
+      return "free_rider_replay";
+  }
+  return "unknown";
+}
+
+Result<AdversaryPlan> AdversaryPlan::Generate(
+    size_t num_participants, const AdversaryPlanConfig& config) {
+  if (config.attacker_fraction < 0.0 || config.attacker_fraction > 1.0) {
+    return Status::InvalidArgument("attacker_fraction must be in [0, 1]");
+  }
+  if (config.collusion_probability < 0.0 ||
+      config.collusion_probability > 1.0) {
+    return Status::InvalidArgument("collusion_probability must be in [0, 1]");
+  }
+  if (config.scale <= 0.0) {
+    return Status::InvalidArgument("attack scale must be > 0");
+  }
+  if (config.noise_stddev <= 0.0) {
+    return Status::InvalidArgument("noise_stddev must be > 0");
+  }
+  for (AttackType type : config.palette) {
+    if (type == AttackType::kNone) {
+      return Status::InvalidArgument("palette may not contain kNone");
+    }
+  }
+
+  AdversaryPlan plan;
+  plan.config_ = config;
+  plan.specs_.assign(num_participants, kHonestSpec);
+  const size_t num_attackers = static_cast<size_t>(
+      config.attacker_fraction * static_cast<double>(num_participants));
+  if (num_attackers == 0) return plan;
+
+  std::vector<AttackType> palette = config.palette;
+  if (palette.empty()) {
+    palette.assign(std::begin(kAllAttacks), std::end(kAllAttacks));
+  }
+
+  // Fixed fork ids keep every decision its own stream: adding participants
+  // or palette entries never reshuffles unrelated draws.
+  const Rng root(config.seed);
+  Rng member_rng = root.Fork(0);
+  Rng collusion_rng = root.Fork(1);
+  Rng type_rng = root.Fork(2);
+
+  const std::vector<size_t> order = member_rng.Permutation(num_participants);
+  std::vector<size_t> attackers(order.begin(),
+                                order.begin() + num_attackers);
+  std::sort(attackers.begin(), attackers.end());
+
+  plan.colluding_ = num_attackers > 1 &&
+                    collusion_rng.Bernoulli(config.collusion_probability);
+  auto draw_spec = [&]() {
+    AttackSpec spec;
+    spec.type = palette[type_rng.UniformInt(palette.size())];
+    spec.scale = config.scale;
+    spec.noise_stddev = config.noise_stddev;
+    return spec;
+  };
+  if (plan.colluding_) {
+    AttackSpec shared = draw_spec();
+    shared.collusion_group = 1;
+    for (size_t i : attackers) plan.specs_[i] = shared;
+  } else {
+    for (size_t i : attackers) plan.specs_[i] = draw_spec();
+  }
+  return plan;
+}
+
+const AttackSpec& AdversaryPlan::SpecFor(size_t participant) const {
+  if (participant >= specs_.size()) return kHonestSpec;
+  return specs_[participant];
+}
+
+size_t AdversaryPlan::num_attackers() const {
+  size_t count = 0;
+  for (const AttackSpec& spec : specs_) {
+    if (spec.type != AttackType::kNone) ++count;
+  }
+  return count;
+}
+
+Rng AdversaryPlan::AttackRng(size_t epoch, size_t participant) const {
+  // Fork ids 0..2 are burned by Generate; offset past them and lay the
+  // (epoch, participant) grid out disjointly.
+  return Rng(config_.seed)
+      .Fork(3 + epoch * specs_.size() + participant);
+}
+
+std::vector<double> ApplyAttack(const std::vector<double>& update,
+                                const AttackSpec& spec, Rng& rng,
+                                const std::vector<double>* last_update) {
+  if (spec.type == AttackType::kNone) return update;
+  DIGFL_COUNTER_ADD_LABELED("adv.attack_total", 1,
+                            {"attack", AttackTypeCode(spec.type)});
+  std::vector<double> attacked = update;
+  switch (spec.type) {
+    case AttackType::kNone:
+      break;
+    case AttackType::kSignFlip:
+      for (double& v : attacked) v = -v;
+      break;
+    case AttackType::kScale:
+      for (double& v : attacked) v *= spec.scale;
+      break;
+    case AttackType::kNoise:
+      for (double& v : attacked) v += rng.Gaussian(0.0, spec.noise_stddev);
+      break;
+    case AttackType::kFreeRiderZero:
+      std::fill(attacked.begin(), attacked.end(), 0.0);
+      break;
+    case AttackType::kFreeRiderReplay:
+      if (last_update != nullptr && last_update->size() == update.size()) {
+        attacked = *last_update;
+      } else {
+        std::fill(attacked.begin(), attacked.end(), 0.0);
+      }
+      break;
+  }
+  return attacked;
+}
+
+}  // namespace digfl

@@ -1,0 +1,111 @@
+// Deterministic adversarial (Byzantine) participant behavior.
+//
+// The fault machinery in common/fault.h models *honest* failures: crashes,
+// dropouts, corrupted-in-transit payloads. This module models participants
+// that misbehave on purpose — they compute the honest local update and then
+// submit something else. Like FaultPlan, everything here is a pure function
+// of the run seed, so the simulation swarm (src/sim/) replays every attack
+// bit-for-bit.
+//
+// Attack taxonomy:
+//   kSignFlip       — submit -δ (model poisoning; drives training backward).
+//   kScale          — submit k·δ (amplifies the attacker's influence; the
+//                     admission gate's norm checks are the intended defense).
+//   kNoise          — submit δ + N(0, σ²) per coordinate (disruptive noise).
+//   kFreeRiderZero  — submit 0 (takes the model, contributes nothing).
+//   kFreeRiderReplay— resubmit the previous epoch's honest δ (stale update;
+//                     degenerates to kFreeRiderZero on the first epoch).
+//
+// Colluding groups: a plan may assign all its attackers one shared spec and
+// a common collusion_group id, modeling coordinated attacks (e.g. every
+// attacker sign-flips) rather than independent misbehavior.
+
+#ifndef DIGFL_COMMON_ADVERSARY_H_
+#define DIGFL_COMMON_ADVERSARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace digfl {
+
+enum class AttackType : uint8_t {
+  kNone = 0,
+  kSignFlip = 1,
+  kScale = 2,
+  kNoise = 3,
+  kFreeRiderZero = 4,
+  kFreeRiderReplay = 5,
+};
+
+const char* AttackTypeToString(AttackType type);
+// snake_case code used as the telemetry `attack` label value.
+const char* AttackTypeCode(AttackType type);
+
+// How one attacker misbehaves, every epoch, for the whole run.
+struct AttackSpec {
+  AttackType type = AttackType::kNone;
+  double scale = 10.0;         // multiplier for kScale
+  double noise_stddev = 1.0;   // per-coordinate σ for kNoise
+  uint32_t collusion_group = 0;  // 0 = acting alone; >0 = coordinated group
+};
+
+struct AdversaryPlanConfig {
+  // floor(attacker_fraction × n) participants become attackers.
+  double attacker_fraction = 0.0;
+  // Attack types drawn for independent attackers (and for the shared spec
+  // of a colluding group). Empty = all five types.
+  std::vector<AttackType> palette;
+  // Probability that the attackers collude: one shared spec + group id 1
+  // for all of them instead of independent per-attacker draws.
+  double collusion_probability = 0.0;
+  double scale = 10.0;
+  double noise_stddev = 1.0;
+  uint64_t seed = 0xadf1;
+};
+
+// A deterministic, replayable assignment of attack behaviors to
+// participants. Which participants attack, and how, depends only on
+// (num_participants, config) — never on wall-clock or call order.
+class AdversaryPlan {
+ public:
+  static Result<AdversaryPlan> Generate(size_t num_participants,
+                                        const AdversaryPlanConfig& config);
+
+  // The behavior of `participant`; type == kNone for honest participants
+  // and out-of-range indices.
+  const AttackSpec& SpecFor(size_t participant) const;
+  bool IsAttacker(size_t participant) const {
+    return SpecFor(participant).type != AttackType::kNone;
+  }
+  size_t num_attackers() const;
+  size_t num_participants() const { return specs_.size(); }
+  // true when the plan's attackers share one colluding group.
+  bool colluding() const { return colluding_; }
+  const AdversaryPlanConfig& config() const { return config_; }
+
+  // The deterministic RNG stream backing participant `participant`'s attack
+  // payload at `epoch` (kNoise draws). Independent across cells.
+  Rng AttackRng(size_t epoch, size_t participant) const;
+
+ private:
+  AdversaryPlanConfig config_;
+  std::vector<AttackSpec> specs_;
+  bool colluding_ = false;
+};
+
+// Returns the update the attacker submits in place of the honest `update`.
+// `rng` must come from AdversaryPlan::AttackRng for replayability.
+// `last_update` backs kFreeRiderReplay (the previous epoch's submitted
+// honest update); nullptr or a size mismatch degrades to the zero update.
+std::vector<double> ApplyAttack(const std::vector<double>& update,
+                                const AttackSpec& spec, Rng& rng,
+                                const std::vector<double>* last_update =
+                                    nullptr);
+
+}  // namespace digfl
+
+#endif  // DIGFL_COMMON_ADVERSARY_H_

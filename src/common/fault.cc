@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
@@ -35,6 +36,8 @@ const char* QuarantineReasonToString(QuarantineReason reason) {
       return "NonFinite";
     case QuarantineReason::kNormExploded:
       return "NormExploded";
+    case QuarantineReason::kPhiScore:
+      return "PhiScore";
   }
   return "Unknown";
 }
@@ -47,6 +50,8 @@ const char* QuarantineReasonCode(QuarantineReason reason) {
       return "non_finite";
     case QuarantineReason::kNormExploded:
       return "norm_exploded";
+    case QuarantineReason::kPhiScore:
+      return "phi_score";
   }
   return "unknown";
 }
@@ -205,6 +210,8 @@ void FaultStats::RecordQuarantine(size_t epoch, size_t participant,
     ++quarantined_non_finite;
   } else if (reason == QuarantineReason::kNormExploded) {
     ++quarantined_norm;
+  } else if (reason == QuarantineReason::kPhiScore) {
+    ++quarantined_phi;
   }
   quarantine_events.push_back(QuarantineEvent{
       static_cast<uint32_t>(epoch), static_cast<uint32_t>(participant),
@@ -217,6 +224,135 @@ void FaultStats::RecordQuarantine(size_t epoch, size_t participant,
                    {"epoch", std::to_string(epoch)},
                    {"participant", std::to_string(participant)},
                    {"reason", QuarantineReasonCode(reason)});
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine quarantine escalation.
+
+bool QuarantineLedger::Mark(size_t participant, size_t epoch,
+                            QuarantineReason reason) {
+  if (participant >= entries_.size() ||
+      reason == QuarantineReason::kAccepted) {
+    return false;
+  }
+  Entry& entry = entries_[participant];
+  if (entry.quarantined) return false;  // first reason wins
+  entry.quarantined = true;
+  entry.reason = reason;
+  entry.epoch = static_cast<uint32_t>(epoch);
+  DIGFL_COUNTER_ADD_LABELED("adv.quarantine_total", 1,
+                            {"reason", QuarantineReasonCode(reason)});
+  DIGFL_EMIT_EVENT("adv.quarantine", static_cast<double>(epoch),
+                   {"participant", std::to_string(participant)},
+                   {"reason", QuarantineReasonCode(reason)});
+  return true;
+}
+
+size_t QuarantineLedger::num_quarantined() const {
+  size_t count = 0;
+  for (const Entry& entry : entries_) {
+    if (entry.quarantined) ++count;
+  }
+  return count;
+}
+
+QuarantineEscalator::QuarantineEscalator(size_t num_participants,
+                                         const EscalationConfig& config)
+    : config_(config),
+      ledger_(num_participants),
+      ewma_(num_participants, 0.0),
+      present_epochs_(num_participants, 0),
+      flag_streak_(num_participants, 0),
+      gate_rejections_(num_participants, 0) {
+  // min_active == 0 means "strict majority of the federation".
+  if (config_.min_active == 0) {
+    config_.min_active = num_participants / 2 + 1;
+  }
+}
+
+bool QuarantineEscalator::RecordGateRejection(size_t participant, size_t epoch,
+                                              QuarantineReason reason) {
+  if (participant >= gate_rejections_.size() ||
+      reason == QuarantineReason::kAccepted) {
+    return false;
+  }
+  DIGFL_COUNTER_ADD_LABELED("adv.gate_rejection_total", 1,
+                            {"reason", QuarantineReasonCode(reason)});
+  const size_t count = ++gate_rejections_[participant];
+  if (config_.max_gate_rejections == 0 ||
+      count < config_.max_gate_rejections ||
+      ledger_.IsQuarantined(participant)) {
+    return false;
+  }
+  // Respect the active floor: keep letting the per-epoch gate reject the
+  // updates round by round rather than shrinking the federation too far.
+  const size_t active = ledger_.size() - ledger_.num_quarantined();
+  if (active <= config_.min_active) return false;
+  return ledger_.Mark(participant, epoch, reason);
+}
+
+std::vector<size_t> QuarantineEscalator::ObservePhi(
+    size_t epoch, const std::vector<double>& phi,
+    const std::vector<uint8_t>& present) {
+  const size_t n = ewma_.size();
+  std::vector<size_t> quarantined;
+  if (phi.size() != n || present.size() != n) return quarantined;
+
+  // EWMA update on present epochs only; absence freezes the score, so a
+  // dropout never launders a bad history (and a quarantined participant's
+  // score stays where escalation left it).
+  for (size_t i = 0; i < n; ++i) {
+    if (!present[i] || ledger_.IsQuarantined(i)) continue;
+    if (present_epochs_[i] == 0) {
+      ewma_[i] = phi[i];
+    } else {
+      ewma_[i] = (1.0 - config_.ewma_alpha) * ewma_[i] +
+                 config_.ewma_alpha * phi[i];
+    }
+    ++present_epochs_[i];
+  }
+
+  // Median EWMA over the active (non-quarantined, observed) participants.
+  std::vector<double> active_scores;
+  for (size_t i = 0; i < n; ++i) {
+    if (!ledger_.IsQuarantined(i) && present_epochs_[i] > 0) {
+      active_scores.push_back(ewma_[i]);
+    }
+  }
+  if (active_scores.empty()) return quarantined;
+  const size_t mid = active_scores.size() / 2;
+  std::nth_element(active_scores.begin(), active_scores.begin() + mid,
+                   active_scores.end());
+  const double median = active_scores[mid];
+  const double floor = config_.relative_floor * std::max(median, 0.0);
+
+  // Hysteresis: a participant must sit below the floor for `hysteresis`
+  // consecutive present epochs past warmup before it escalates.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < n; ++i) {
+    if (!present[i] || ledger_.IsQuarantined(i)) continue;
+    if (present_epochs_[i] >= config_.warmup_epochs && ewma_[i] < floor) {
+      ++flag_streak_[i];
+      DIGFL_COUNTER_ADD("adv.phi_flag_total", 1);
+      if (flag_streak_[i] >= config_.hysteresis) candidates.push_back(i);
+    } else {
+      flag_streak_[i] = 0;
+    }
+  }
+  if (candidates.empty()) return quarantined;
+
+  // Worst score first, and never below the active floor.
+  std::sort(candidates.begin(), candidates.end(),
+            [&](size_t a, size_t b) { return ewma_[a] < ewma_[b]; });
+  size_t active = ledger_.size() - ledger_.num_quarantined();
+  for (size_t i : candidates) {
+    if (active <= config_.min_active) break;
+    if (ledger_.Mark(i, epoch, QuarantineReason::kPhiScore)) {
+      quarantined.push_back(i);
+      --active;
+    }
+  }
+  return quarantined;
 }
 
 // ---------------------------------------------------------------------------

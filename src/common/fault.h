@@ -128,12 +128,13 @@ enum class QuarantineReason : uint8_t {
   kAccepted = 0,
   kNonFinite = 1,     // NaN or ±Inf anywhere in the payload
   kNormExploded = 2,  // L2 norm above the configured ceiling
+  kPhiScore = 3,      // EWMA-smoothed DIG-FL score below the floor
 };
 
 const char* QuarantineReasonToString(QuarantineReason reason);
 
 // snake_case code used as the telemetry `reason` label value and in JSONL
-// run reports ("accepted", "non_finite", "norm_exploded").
+// run reports ("accepted", "non_finite", "norm_exploded", "phi_score").
 const char* QuarantineReasonCode(QuarantineReason reason);
 
 struct QuarantineConfig {
@@ -171,13 +172,127 @@ struct FaultStats {
   size_t straggler_retries = 0;
   size_t quarantined_non_finite = 0;
   size_t quarantined_norm = 0;
+  size_t quarantined_phi = 0;
   std::vector<QuarantineEvent> quarantine_events;
 
   size_t total_quarantined() const {
-    return quarantined_non_finite + quarantined_norm;
+    return quarantined_non_finite + quarantined_norm + quarantined_phi;
   }
   void RecordQuarantine(size_t epoch, size_t participant,
                         QuarantineReason reason, double norm);
+};
+
+// ---------------------------------------------------------------------------
+// Byzantine quarantine escalation.
+//
+// The per-epoch gate above is stateless: a rejected update is dropped for
+// the round and the participant retries next epoch. Against *adversarial*
+// participants (see common/adversary.h) that is not enough — a sign-flipper
+// submits perfectly finite, norm-respecting poison forever. The escalation
+// layer adds per-run memory: a QuarantineLedger of permanently excluded
+// participants (first recorded reason wins, so later crashes never
+// overwrite the original verdict), fed by two signals:
+//
+//   1. Repeated admission-gate rejections (a participant whose updates keep
+//      failing the finite/norm checks is excluded with its original gate
+//      reason), and
+//   2. An EWMA-smoothed per-participant DIG-FL score φ̂ with a relative
+//      floor and hysteresis — arXiv 2405.08044 shows raw per-round
+//      contribution scores are too volatile to threshold directly, so the
+//      monitor only escalates after `hysteresis` consecutive flagged
+//      *present* epochs past a warmup, and never shrinks the active set
+//      below a majority floor.
+
+struct EscalationConfig {
+  bool enabled = false;
+  // φ̂-EWMA monitor: s_i ← (1-α)·s_i + α·φ̂_{t,i}, updated only on epochs
+  // where participant i is present (absence freezes the score).
+  double ewma_alpha = 0.3;
+  // Flag participant i when s_i < relative_floor × max(median_active_s, 0).
+  // With a non-positive median only negative scores can be flagged.
+  double relative_floor = 0.25;
+  // Minimum number of *present* epochs observed before i may be flagged.
+  size_t warmup_epochs = 3;
+  // Consecutive flagged present-epochs required before escalation fires.
+  size_t hysteresis = 2;
+  // Never quarantine below this many active participants; 0 = majority
+  // floor (n/2 + 1), the safe default for n known only at run time.
+  size_t min_active = 0;
+  // Admission-gate escalation: permanently quarantine after this many gate
+  // rejections (with the first rejection's reason); 0 disables.
+  size_t max_gate_rejections = 2;
+};
+
+// Per-run record of permanently excluded participants. First reason wins:
+// once marked, every later Mark is a no-op, so an already-quarantined
+// participant that subsequently crashes or corrupts keeps its original
+// reason code in reports.
+class QuarantineLedger {
+ public:
+  struct Entry {
+    bool quarantined = false;
+    QuarantineReason reason = QuarantineReason::kAccepted;
+    uint32_t epoch = 0;  // epoch of the *first* (winning) mark
+  };
+
+  explicit QuarantineLedger(size_t num_participants)
+      : entries_(num_participants) {}
+
+  // Returns true if this call quarantined `participant` (false when out of
+  // range, reason == kAccepted, or already quarantined — first wins).
+  bool Mark(size_t participant, size_t epoch, QuarantineReason reason);
+
+  bool IsQuarantined(size_t participant) const {
+    return participant < entries_.size() && entries_[participant].quarantined;
+  }
+  // kAccepted when not quarantined.
+  QuarantineReason ReasonFor(size_t participant) const {
+    return participant < entries_.size() ? entries_[participant].reason
+                                         : QuarantineReason::kAccepted;
+  }
+  size_t num_quarantined() const;
+  size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+// The shared escalation engine used by the in-process trainer and the
+// distributed coordinator. Not thread-safe; drive it from the training
+// thread only.
+class QuarantineEscalator {
+ public:
+  QuarantineEscalator(size_t num_participants, const EscalationConfig& config);
+
+  // Reports one admission-gate rejection for `participant`. Returns true
+  // when the rejection count reaches the ceiling and the participant is now
+  // permanently quarantined (ledger marked with this first gate `reason` if
+  // it is the first mark).
+  bool RecordGateRejection(size_t participant, size_t epoch,
+                           QuarantineReason reason);
+
+  // Feeds one epoch of masked per-participant DIG-FL estimates (phi[i] is
+  // meaningful only where present[i] != 0). Updates the EWMA scores, applies
+  // floor + warmup + hysteresis + min-active, marks escalated participants
+  // in the ledger with kPhiScore, and returns the newly quarantined indices
+  // (worst score first).
+  std::vector<size_t> ObservePhi(size_t epoch, const std::vector<double>& phi,
+                                 const std::vector<uint8_t>& present);
+
+  const QuarantineLedger& ledger() const { return ledger_; }
+  QuarantineLedger& ledger() { return ledger_; }
+  // Current EWMA score per participant (0 until first present epoch).
+  const std::vector<double>& phi_ewma() const { return ewma_; }
+  const EscalationConfig& config() const { return config_; }
+
+ private:
+  EscalationConfig config_;
+  QuarantineLedger ledger_;
+  std::vector<double> ewma_;
+  std::vector<size_t> present_epochs_;   // #present epochs observed per i
+  std::vector<size_t> flag_streak_;      // consecutive flagged present epochs
+  std::vector<size_t> gate_rejections_;  // admission-gate rejection count
 };
 
 // ---------------------------------------------------------------------------

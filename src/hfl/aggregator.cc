@@ -1,0 +1,232 @@
+#include "hfl/aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace digfl {
+
+namespace {
+
+Status ValidateShapes(const std::vector<Vec>& deltas,
+                      const std::vector<double>& weights,
+                      const std::vector<uint8_t>& present) {
+  if (deltas.empty()) return Status::InvalidArgument("no updates to aggregate");
+  if (weights.size() != deltas.size() || present.size() != deltas.size()) {
+    return Status::InvalidArgument("weights/present/updates count mismatch");
+  }
+  for (const Vec& delta : deltas) {
+    if (delta.size() != deltas[0].size()) {
+      return Status::InvalidArgument("update dimension mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+class MeanAggregator : public Aggregator {
+ public:
+  const char* name() const override { return "mean"; }
+  Result<Vec> Aggregate(const std::vector<Vec>& deltas,
+                        const std::vector<double>& weights,
+                        const std::vector<uint8_t>& present) override {
+    (void)present;  // absent weights are already zero
+    return HflServer::AggregateWeighted(deltas, weights);
+  }
+};
+
+class ClippedMeanAggregator : public Aggregator {
+ public:
+  explicit ClippedMeanAggregator(double clip_norm) : clip_norm_(clip_norm) {}
+  const char* name() const override { return "clip"; }
+  Result<Vec> Aggregate(const std::vector<Vec>& deltas,
+                        const std::vector<double>& weights,
+                        const std::vector<uint8_t>& present) override {
+    DIGFL_RETURN_IF_ERROR(ValidateShapes(deltas, weights, present));
+    const double clip = clip_norm_ > 0.0
+                            ? clip_norm_
+                            : MedianPresentUpdateNorm(deltas, present);
+    std::vector<Vec> clipped = deltas;
+    if (clip > 0.0) {
+      for (size_t i = 0; i < clipped.size(); ++i) {
+        if (!present[i]) continue;
+        const double norm = vec::Norm2(clipped[i]);
+        if (norm > clip) vec::Scale(clip / norm, clipped[i]);
+      }
+    }
+    return HflServer::AggregateWeighted(clipped, weights);
+  }
+
+ private:
+  double clip_norm_;
+};
+
+// Shared scaffolding of the per-coordinate order-statistic rules.
+class CoordinatewiseAggregator : public Aggregator {
+ public:
+  Result<Vec> Aggregate(const std::vector<Vec>& deltas,
+                        const std::vector<double>& weights,
+                        const std::vector<uint8_t>& present) override {
+    DIGFL_RETURN_IF_ERROR(ValidateShapes(deltas, weights, present));
+    const size_t p = deltas[0].size();
+    std::vector<const Vec*> admitted;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      if (present[i]) admitted.push_back(&deltas[i]);
+    }
+    // Nobody present: the mean path would sum zero weights to G = 0.
+    if (admitted.empty()) return vec::Zeros(p);
+    Vec result(p, 0.0);
+    std::vector<double> column(admitted.size());
+    for (size_t j = 0; j < p; ++j) {
+      for (size_t i = 0; i < admitted.size(); ++i) {
+        column[i] = (*admitted[i])[j];
+      }
+      result[j] = Combine(column);
+    }
+    return result;
+  }
+
+ protected:
+  // Reduces one coordinate's present values; may reorder `column`.
+  virtual double Combine(std::vector<double>& column) = 0;
+};
+
+double MedianOf(std::vector<double>& column) {
+  const size_t m = column.size();
+  std::nth_element(column.begin(), column.begin() + m / 2, column.end());
+  const double upper = column[m / 2];
+  if (m % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(column.begin(), column.begin() + m / 2);
+  return (lower + upper) / 2.0;
+}
+
+class MedianAggregator : public CoordinatewiseAggregator {
+ public:
+  const char* name() const override { return "median"; }
+
+ protected:
+  double Combine(std::vector<double>& column) override {
+    return MedianOf(column);
+  }
+};
+
+class TrimmedMeanAggregator : public CoordinatewiseAggregator {
+ public:
+  explicit TrimmedMeanAggregator(double trim_fraction)
+      : trim_fraction_(trim_fraction) {}
+  const char* name() const override { return "trimmed"; }
+
+ protected:
+  double Combine(std::vector<double>& column) override {
+    const size_t m = column.size();
+    const size_t trim =
+        static_cast<size_t>(trim_fraction_ * static_cast<double>(m));
+    if (2 * trim >= m) return MedianOf(column);
+    std::sort(column.begin(), column.end());
+    double sum = 0.0;
+    for (size_t i = trim; i < m - trim; ++i) sum += column[i];
+    return sum / static_cast<double>(m - 2 * trim);
+  }
+
+ private:
+  double trim_fraction_;
+};
+
+}  // namespace
+
+std::unique_ptr<Aggregator> MakeMeanAggregator() {
+  return std::make_unique<MeanAggregator>();
+}
+
+std::unique_ptr<Aggregator> MakeClippedMeanAggregator(double clip_norm) {
+  return std::make_unique<ClippedMeanAggregator>(clip_norm);
+}
+
+std::unique_ptr<Aggregator> MakeMedianAggregator() {
+  return std::make_unique<MedianAggregator>();
+}
+
+Result<std::unique_ptr<Aggregator>> MakeTrimmedMeanAggregator(
+    double trim_fraction) {
+  if (!(trim_fraction >= 0.0 && trim_fraction < 0.5)) {
+    return Status::InvalidArgument("trim_fraction must be in [0, 0.5)");
+  }
+  return std::unique_ptr<Aggregator>(
+      std::make_unique<TrimmedMeanAggregator>(trim_fraction));
+}
+
+Result<std::unique_ptr<Aggregator>> MakeAggregator(std::string_view spec) {
+  std::string_view rule = spec;
+  std::string_view param;
+  const size_t colon = spec.find(':');
+  if (colon != std::string_view::npos) {
+    rule = spec.substr(0, colon);
+    param = spec.substr(colon + 1);
+    if (param.empty()) {
+      return Status::InvalidArgument("missing parameter after ':' in '" +
+                                     std::string(spec) + "'");
+    }
+  }
+  auto parse_param = [&](double fallback) -> Result<double> {
+    if (param.empty()) return fallback;
+    const std::string text(param);
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !std::isfinite(value)) {
+      return Status::InvalidArgument("bad aggregator parameter '" + text +
+                                     "' in '" + std::string(spec) + "'");
+    }
+    return value;
+  };
+  if (rule == "mean") {
+    if (!param.empty()) {
+      return Status::InvalidArgument("mean takes no parameter");
+    }
+    return MakeMeanAggregator();
+  }
+  if (rule == "clip") {
+    DIGFL_ASSIGN_OR_RETURN(const double clip, parse_param(0.0));
+    if (clip < 0.0) {
+      return Status::InvalidArgument("clip norm must be >= 0");
+    }
+    return MakeClippedMeanAggregator(clip);
+  }
+  if (rule == "median") {
+    if (!param.empty()) {
+      return Status::InvalidArgument("median takes no parameter");
+    }
+    return MakeMedianAggregator();
+  }
+  if (rule == "trimmed") {
+    DIGFL_ASSIGN_OR_RETURN(const double fraction, parse_param(0.2));
+    return MakeTrimmedMeanAggregator(fraction);
+  }
+  return Status::InvalidArgument(
+      "unknown aggregator '" + std::string(spec) +
+      "' (want mean | clip[:NORM] | median | trimmed[:FRACTION])");
+}
+
+Result<std::vector<double>> PhiEwmaFromLog(const HflTrainingLog& log,
+                                           const HflServer& server,
+                                           const EscalationConfig& config) {
+  const size_t n = log.num_participants();
+  QuarantineEscalator escalator(n, config);
+  for (size_t t = 0; t < log.epochs.size(); ++t) {
+    const HflEpochRecord& record = log.epochs[t];
+    const size_t m = record.NumPresent();
+    if (m == 0) continue;
+    DIGFL_ASSIGN_OR_RETURN(const Vec v,
+                           server.ValidationGradient(record.params_before));
+    std::vector<double> phi(n, 0.0);
+    std::vector<uint8_t> present(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (!record.IsPresent(i)) continue;
+      present[i] = 1;
+      phi[i] = vec::Dot(v, record.deltas[i]) / static_cast<double>(m);
+    }
+    escalator.ObservePhi(t, phi, present);
+  }
+  return escalator.phi_ewma();
+}
+
+}  // namespace digfl

@@ -1,0 +1,84 @@
+// Pluggable robust aggregation rules for the HFL epoch loop.
+//
+// Both trainers — the in-process RunFedSgd (hfl/fed_sgd.cc) and the
+// distributed Coordinator (net/coordinator.cc) — combine the epoch's
+// admitted updates {δ_{t,i}} into one global step G_t through this seam.
+// The default (FedSgdConfig::aggregator == nullptr) is the weighted mean,
+// delegating to HflServer::AggregateWeighted so fault-free runs stay
+// bitwise-identical to the pre-seam trainer; the robust rules trade that
+// golden path for resistance to Byzantine updates that slip past the
+// admission gate (see common/adversary.h for the attack taxonomy):
+//
+//   mean     — G = Σ ω_i δ_i (the legacy weighted mean; zero robustness).
+//   clip     — per-update L2 norm clipping to `clip_norm` (0 = self-tune to
+//              the median present norm each epoch), then the weighted mean.
+//              Bounds any single attacker's influence.
+//   median   — coordinate-wise median over the present updates. Weights are
+//              ignored (robust rules treat present participants uniformly).
+//   trimmed  — coordinate-wise trimmed mean: drop the ⌊f·m⌋ smallest and
+//              largest values per coordinate, average the rest; falls back
+//              to the median when trimming would consume everything.
+//
+// The output of median/trimmed lives on the scale of one participant's
+// update, matching the uniform-weight mean 1/m·Σδ_i.
+
+#ifndef DIGFL_HFL_AGGREGATOR_H_
+#define DIGFL_HFL_AGGREGATOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/result.h"
+#include "hfl/fed_sgd.h"
+#include "hfl/server.h"
+
+namespace digfl {
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual const char* name() const = 0;
+  // Combines the epoch's updates. `weights` are the AggregationPolicy
+  // weights with absent entries already zeroed; `present[i] == 0` marks a
+  // missing/quarantined update whose delta slot is a zero vector. All three
+  // arrays are indexed by participant and equally sized.
+  virtual Result<Vec> Aggregate(const std::vector<Vec>& deltas,
+                                const std::vector<double>& weights,
+                                const std::vector<uint8_t>& present) = 0;
+};
+
+// The golden reference: delegates to HflServer::AggregateWeighted, so an
+// explicit mean aggregator is bitwise-identical to the nullptr default.
+std::unique_ptr<Aggregator> MakeMeanAggregator();
+// clip_norm <= 0 self-tunes to the median present-update norm per epoch.
+std::unique_ptr<Aggregator> MakeClippedMeanAggregator(double clip_norm = 0.0);
+std::unique_ptr<Aggregator> MakeMedianAggregator();
+// trim_fraction in [0, 0.5): per-coordinate trim share on each side.
+Result<std::unique_ptr<Aggregator>> MakeTrimmedMeanAggregator(
+    double trim_fraction = 0.2);
+
+// Parses "mean" | "clip[:NORM]" | "median" | "trimmed[:FRACTION]" (the
+// digfl_eval --aggregator grammar). Unknown rules and bad parameters are
+// typed kInvalidArgument errors.
+Result<std::unique_ptr<Aggregator>> MakeAggregator(std::string_view spec);
+
+// ---------------------------------------------------------------------------
+// φ̂-EWMA recomputation.
+//
+// The quarantine escalator's per-participant EWMA score (see
+// common/fault.h) is transient trainer state. This helper rebuilds it from
+// a recorded training log using the exact per-epoch masked DIG-FL estimate
+// the trainer fed the monitor — φ̂_{t,i} = ⟨∇loss^v(θ_{t-1}), δ_{t,i}⟩ / m_t
+// for present i — so harnesses can rank participants (e.g. "every
+// attacker's EWMA sits in the bottom k") without the trainer exporting
+// monitor internals. Same doubles, same operations, bitwise-reproducible.
+Result<std::vector<double>> PhiEwmaFromLog(const HflTrainingLog& log,
+                                           const HflServer& server,
+                                           const EscalationConfig& config);
+
+}  // namespace digfl
+
+#endif  // DIGFL_HFL_AGGREGATOR_H_

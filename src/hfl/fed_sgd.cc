@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <string>
 
+#include "common/adversary.h"
+#include "hfl/aggregator.h"
 #include "telemetry/telemetry.h"
 
 namespace digfl {
@@ -49,6 +52,19 @@ Result<HflTrainingLog> RunFedSgd(
   }
   UniformAggregation uniform;
   if (policy == nullptr) policy = &uniform;
+  if (config.resume != nullptr &&
+      (config.escalation.enabled || config.adversary != nullptr)) {
+    // Escalator ledgers/EWMAs and replay-attack state are transient, so a
+    // resumed run could not reproduce the uninterrupted one.
+    return Status::InvalidArgument(
+        "resume is not supported with quarantine escalation or an adversary "
+        "plan");
+  }
+  if (config.adversary != nullptr &&
+      config.adversary->num_participants() != participants.size()) {
+    return Status::InvalidArgument(
+        "adversary plan participant count mismatch");
+  }
 
   DIGFL_TRACE_SPAN("hfl.run");
 
@@ -126,6 +142,14 @@ Result<HflTrainingLog> RunFedSgd(
     }
   }
 
+  // Byzantine escalation state (nullptr when disabled keeps the golden
+  // path untouched). last_honest backs the free-rider replay attack.
+  std::unique_ptr<QuarantineEscalator> escalator;
+  if (config.escalation.enabled) {
+    escalator = std::make_unique<QuarantineEscalator>(n, config.escalation);
+  }
+  std::vector<Vec> last_honest(config.adversary != nullptr ? n : 0);
+
   for (size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     DIGFL_TRACE_SPAN("hfl.epoch");
     Timer epoch_timer;
@@ -134,6 +158,13 @@ Result<HflTrainingLog> RunFedSgd(
     {
       DIGFL_TRACE_SPAN("hfl.local_round");
       for (size_t i = 0; i < n; ++i) {
+        if (escalator != nullptr && escalator->ledger().IsQuarantined(i)) {
+          // Permanently excluded: no broadcast, no compute, no upload, and
+          // no dropout accounting — the absence is the server's decision.
+          present[i] = 0;
+          deltas[i] = vec::Zeros(p);
+          continue;
+        }
         const FaultEvent event =
             plan != nullptr ? plan->At(epoch, i) : FaultEvent{};
         if (event.type == FaultType::kDropout) {
@@ -179,6 +210,15 @@ Result<HflTrainingLog> RunFedSgd(
                            model, log.final_params, lr, config.local_steps));
           }
         }
+        if (config.adversary != nullptr && config.adversary->IsAttacker(i)) {
+          // The attacker computes the honest δ and submits something else;
+          // the honest update is what a replay attacker resubmits later.
+          Rng attack_rng = config.adversary->AttackRng(epoch, i);
+          Vec honest = delta;
+          delta = ApplyAttack(delta, config.adversary->SpecFor(i), attack_rng,
+                              &last_honest[i]);
+          last_honest[i] = std::move(honest);
+        }
         if (event.type == FaultType::kCorruption) {
           Rng corruption_rng = plan->CorruptionRng(epoch, i);
           delta = CorruptUpdate(delta, event.corruption,
@@ -211,6 +251,11 @@ Result<HflTrainingLog> RunFedSgd(
           log.faults.RecordQuarantine(epoch, i, reason, std::sqrt(sum_sq));
           present[i] = 0;
           deltas[i] = vec::Zeros(p);
+          if (escalator != nullptr) {
+            // Repeated gate failures escalate to permanent quarantine,
+            // keeping this first-family reason in the ledger.
+            escalator->RecordGateRejection(i, epoch, reason);
+          }
         }
       }
     }
@@ -230,8 +275,38 @@ Result<HflTrainingLog> RunFedSgd(
       for (size_t i = 0; i < n; ++i) {
         if (!present[i]) weights[i] = 0.0;
       }
-      DIGFL_ASSIGN_OR_RETURN(global_gradient,
-                             HflServer::AggregateWeighted(deltas, weights));
+      if (config.aggregator != nullptr) {
+        DIGFL_ASSIGN_OR_RETURN(
+            global_gradient,
+            config.aggregator->Aggregate(deltas, weights, present));
+      } else {
+        DIGFL_ASSIGN_OR_RETURN(global_gradient,
+                               HflServer::AggregateWeighted(deltas, weights));
+      }
+    }
+
+    // φ̂-driven quarantine escalation: feed this epoch's masked DIG-FL
+    // estimates (the HflPhiAccumulator formula, on θ_{t-1}) into the EWMA
+    // monitor. A participant escalated here was still aggregated this
+    // epoch; exclusion starts next epoch.
+    if (escalator != nullptr) {
+      size_t num_present = 0;
+      for (uint8_t pr : present) num_present += (pr != 0);
+      if (num_present > 0) {
+        DIGFL_TRACE_SPAN("hfl.phi_escalation");
+        Vec v;
+        DIGFL_ASSIGN_OR_RETURN(v,
+                               server.ValidationGradient(log.final_params));
+        std::vector<double> phi(n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+          if (!present[i]) continue;
+          phi[i] = vec::Dot(v, deltas[i]) / static_cast<double>(num_present);
+        }
+        for (size_t i : escalator->ObservePhi(epoch, phi, present)) {
+          log.faults.RecordQuarantine(epoch, i, QuarantineReason::kPhiScore,
+                                      escalator->phi_ewma()[i]);
+        }
+      }
     }
 
     if (config.record_log) {

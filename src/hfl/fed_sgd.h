@@ -32,6 +32,9 @@
 
 namespace digfl {
 
+class AdversaryPlan;  // common/adversary.h
+class Aggregator;     // hfl/aggregator.h
+
 struct HflEpochRecord {
   Vec params_before;        // θ_{t-1}
   // δ_{t,i} for every participant; absent or quarantined participants hold
@@ -162,6 +165,20 @@ struct FedSgdConfig {
   // Server-side quarantine gate thresholds. Non-finite updates are always
   // rejected; the defaults never trip on healthy training runs.
   QuarantineConfig quarantine;
+  // Pluggable aggregation rule (hfl/aggregator.h). Not owned; must outlive
+  // the call. nullptr = the legacy weighted mean (bitwise-identical golden
+  // path through HflServer::AggregateWeighted).
+  Aggregator* aggregator = nullptr;
+  // Optional seeded Byzantine behavior plan (common/adversary.h): attackers
+  // compute the honest δ and submit ApplyAttack(δ) instead. Not owned;
+  // nullptr = everyone honest. In-process only — the distributed
+  // coordinator rejects it (attacks live on the participant nodes there).
+  const AdversaryPlan* adversary = nullptr;
+  // φ̂-driven quarantine escalation (common/fault.h): permanently exclude
+  // participants whose EWMA-smoothed DIG-FL score sits below the floor, or
+  // whose updates keep failing the admission gate. Disabled by default.
+  // Escalation state is transient, so escalation.enabled excludes resume.
+  EscalationConfig escalation;
   // Crash-safe checkpointing (see ckpt/hfl_resume.h for the store-backed
   // driver). `checkpoint_hook` observes every committed epoch; `resume`
   // warm-starts the loop from a decoded checkpoint. Both optional, neither

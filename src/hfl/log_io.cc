@@ -177,13 +177,21 @@ Status ReadTrailer(std::istream& in, const LogHeader& header,
         return Status::InvalidArgument("truncated quarantine events");
       }
       if (reason == 0 ||
-          reason > static_cast<uint64_t>(QuarantineReason::kNormExploded) ||
+          reason > static_cast<uint64_t>(QuarantineReason::kPhiScore) ||
           epoch >= header.epochs || participant >= header.n) {
         return Status::InvalidArgument("invalid quarantine event");
       }
       log->faults.quarantine_events.push_back(QuarantineEvent{
           static_cast<uint32_t>(epoch), static_cast<uint32_t>(participant),
           static_cast<QuarantineReason>(reason), event_norm[0]});
+    }
+    // The phi counter is not part of the v2 trailer; every phi quarantine
+    // records an event, so the counter is recoverable exactly.
+    log->faults.quarantined_phi = 0;
+    for (const QuarantineEvent& event : log->faults.quarantine_events) {
+      if (event.reason == QuarantineReason::kPhiScore) {
+        ++log->faults.quarantined_phi;
+      }
     }
   }
   return Status::OK();

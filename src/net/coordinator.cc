@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "ckpt/store.h"
 #include "common/fault.h"
+#include "hfl/aggregator.h"
 #include "common/timer.h"
 #include "telemetry/telemetry.h"
 #include "tensor/vec.h"
@@ -225,6 +227,15 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
     return Status::InvalidArgument(
         "fault injection is in-process only; distributed faults are real");
   }
+  if (config.adversary != nullptr) {
+    return Status::InvalidArgument(
+        "adversary plans are in-process only; distributed attacks live on "
+        "the participant nodes");
+  }
+  if (config.resume != nullptr && config.escalation.enabled) {
+    return Status::InvalidArgument(
+        "resume is not supported with quarantine escalation");
+  }
   UniformAggregation uniform;
   if (policy == nullptr) policy = &uniform;
 
@@ -281,17 +292,31 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
         {{"participant", id}, {"direction", "up"}});
   }
 
+  // Byzantine escalation state (see hfl/fed_sgd.cc for the in-process
+  // twin); nullptr when disabled keeps the golden path untouched.
+  std::unique_ptr<QuarantineEscalator> escalator;
+  if (config.escalation.enabled) {
+    escalator = std::make_unique<QuarantineEscalator>(n, config.escalation);
+  }
+
   for (size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     DIGFL_TRACE_SPAN("net.round");
     Timer epoch_timer;
     next_epoch_hint_.store(epoch, std::memory_order_relaxed);
 
     // Take every connected channel out of its slot: each is owned by
-    // exactly one worker thread for the duration of the round.
+    // exactly one worker thread for the duration of the round. A
+    // permanently quarantined participant's channel stays parked — it gets
+    // no broadcast and no round trip.
     std::vector<std::unique_ptr<MsgChannel>> channels(n);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (size_t i = 0; i < n; ++i) channels[i] = std::move(slots_[i]);
+      for (size_t i = 0; i < n; ++i) {
+        if (escalator != nullptr && escalator->ledger().IsQuarantined(i)) {
+          continue;
+        }
+        channels[i] = std::move(slots_[i]);
+      }
     }
 
     RoundRequestMsg request;
@@ -330,9 +355,13 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
       }
       if (!present[i]) {
         deltas[i] = vec::Zeros(p);
-        ++log.faults.dropouts;
-        DIGFL_COUNTER_ADD_LABELED("fault.dropout_total", 1,
-                                  {"protocol", "hfl"});
+        // An escalated participant's absence is the server's decision, not
+        // a dropout.
+        if (escalator == nullptr || !escalator->ledger().IsQuarantined(i)) {
+          ++log.faults.dropouts;
+          DIGFL_COUNTER_ADD_LABELED("fault.dropout_total", 1,
+                                    {"protocol", "hfl"});
+        }
       }
       if (channels[i] != nullptr && channels[i]->valid()) {
         std::lock_guard<std::mutex> lock(mu_);
@@ -358,6 +387,9 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
           log.faults.RecordQuarantine(epoch, i, reason, std::sqrt(sum_sq));
           present[i] = 0;
           deltas[i] = vec::Zeros(p);
+          if (escalator != nullptr) {
+            escalator->RecordGateRejection(i, epoch, reason);
+          }
         }
       }
     }
@@ -375,8 +407,36 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
       for (size_t i = 0; i < n; ++i) {
         if (!present[i]) weights[i] = 0.0;
       }
-      DIGFL_ASSIGN_OR_RETURN(global_gradient,
-                             HflServer::AggregateWeighted(deltas, weights));
+      if (config.aggregator != nullptr) {
+        DIGFL_ASSIGN_OR_RETURN(
+            global_gradient,
+            config.aggregator->Aggregate(deltas, weights, present));
+      } else {
+        DIGFL_ASSIGN_OR_RETURN(global_gradient,
+                               HflServer::AggregateWeighted(deltas, weights));
+      }
+    }
+
+    // φ̂-driven escalation on this epoch's masked DIG-FL estimates; the
+    // same doubles in the same order as the in-process trainer.
+    if (escalator != nullptr) {
+      size_t num_present = 0;
+      for (uint8_t pr : present) num_present += (pr != 0);
+      if (num_present > 0) {
+        DIGFL_TRACE_SPAN("hfl.phi_escalation");
+        Vec v;
+        DIGFL_ASSIGN_OR_RETURN(v,
+                               server.ValidationGradient(log.final_params));
+        std::vector<double> phi(n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+          if (!present[i]) continue;
+          phi[i] = vec::Dot(v, deltas[i]) / static_cast<double>(num_present);
+        }
+        for (size_t i : escalator->ObservePhi(epoch, phi, present)) {
+          log.faults.RecordQuarantine(epoch, i, QuarantineReason::kPhiScore,
+                                      escalator->phi_ewma()[i]);
+        }
+      }
     }
 
     if (config.record_log) {

@@ -22,6 +22,19 @@ Status RequireExhausted(const ByteSource& source, const char* what) {
   return Status::OK();
 }
 
+// NaN/Inf never appear in honest traffic, so a non-finite vector is either
+// corruption that survived the CRC or a hostile peer; reject it at the
+// trust boundary instead of letting it reach the aggregation path.
+Status RequireFinite(const std::vector<double>& values, const char* what) {
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(std::string("non-finite value in ") +
+                                     what);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 const char* MsgTypeToString(MsgType type) {
@@ -114,6 +127,7 @@ Result<RoundRequestMsg> DecodeRoundRequest(std::string_view payload) {
   if (msg.params.empty()) {
     return Status::InvalidArgument("RoundRequest has empty parameters");
   }
+  DIGFL_RETURN_IF_ERROR(RequireFinite(msg.params, "RoundRequest params"));
   return msg;
 }
 
@@ -136,6 +150,7 @@ Result<RoundReplyMsg> DecodeRoundReply(std::string_view payload) {
   if (msg.delta.empty()) {
     return Status::InvalidArgument("RoundReply has empty delta");
   }
+  DIGFL_RETURN_IF_ERROR(RequireFinite(msg.delta, "RoundReply delta"));
   return msg;
 }
 
@@ -161,6 +176,8 @@ Result<HvpRequestMsg> DecodeHvpRequest(std::string_view payload) {
   if (msg.params.empty()) {
     return Status::InvalidArgument("HvpRequest has empty parameters");
   }
+  DIGFL_RETURN_IF_ERROR(RequireFinite(msg.params, "HvpRequest params"));
+  DIGFL_RETURN_IF_ERROR(RequireFinite(msg.v, "HvpRequest v"));
   return msg;
 }
 
@@ -183,6 +200,7 @@ Result<HvpReplyMsg> DecodeHvpReply(std::string_view payload) {
   if (msg.hvp.empty()) {
     return Status::InvalidArgument("HvpReply has empty vector");
   }
+  DIGFL_RETURN_IF_ERROR(RequireFinite(msg.hvp, "HvpReply hvp"));
   return msg;
 }
 

@@ -88,6 +88,18 @@ Status ParticipantNode::Serve(MsgChannel& channel) {
             participant_.ComputeLocalUpdate(model_, request.params,
                                             request.learning_rate,
                                             request.local_steps));
+        if (options_.adversary != nullptr &&
+            options_.adversary->IsAttacker(options_.participant_id)) {
+          // Byzantine behavior: upload the attacked update, remember the
+          // honest one (free-rider replay resubmits it next round).
+          Rng attack_rng = options_.adversary->AttackRng(
+              request.epoch, options_.participant_id);
+          Vec honest = reply.delta;
+          reply.delta = ApplyAttack(
+              reply.delta, options_.adversary->SpecFor(options_.participant_id),
+              attack_rng, &last_honest_);
+          last_honest_ = std::move(honest);
+        }
         DIGFL_RETURN_IF_ERROR(channel.Send(MsgType::kRoundReply,
                                            EncodeRoundReply(reply),
                                            options_.io_timeout_ms));

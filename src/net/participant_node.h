@@ -18,7 +18,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/adversary.h"
 #include "common/result.h"
 #include "hfl/participant.h"
 #include "net/backoff.h"
@@ -54,6 +56,12 @@ struct ParticipantNodeOptions {
   // 0 = derive the jitter stream from participant_id.
   uint64_t jitter_seed = 0;
   WireLimits limits;
+  // Optional seeded Byzantine behavior (common/adversary.h): when set and
+  // this node's participant_id is an attacker in the plan, every served
+  // round computes the honest δ and uploads ApplyAttack(δ) instead. Not
+  // owned; must outlive the node. This is where distributed attacks live —
+  // the coordinator never injects them.
+  const AdversaryPlan* adversary = nullptr;
 };
 
 class ParticipantNode {
@@ -91,6 +99,9 @@ class ParticipantNode {
   HflParticipant participant_;
   ParticipantNodeOptions options_;
   Stats stats_;
+  // Previous round's honest update (free-rider replay attack state);
+  // survives reconnects like any other attacker memory would.
+  std::vector<double> last_honest_;
 };
 
 }  // namespace net

@@ -15,6 +15,7 @@
 #include "core/phi_accumulator.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "hfl/aggregator.h"
 #include "net/messages.h"
 #include "net/participant_node.h"
 #include "nn/linear_regression.h"
@@ -53,6 +54,48 @@ SimScenario SimScenario::FromSeed(uint64_t seed) {
   SimScenario scenario;
   scenario.seed = seed;
   scenario.rates = RatesFromSeed(seed);
+  return scenario;
+}
+
+SimScenario SimScenario::AdversarialFromSeed(uint64_t seed) {
+  SimScenario scenario;
+  scenario.seed = seed;
+  Rng rng(seed ^ 0xadf1u);
+  scenario.num_participants =
+      static_cast<size_t>(rng.UniformInt(int64_t{4}, int64_t{7}));
+  scenario.epochs = 8;
+
+  // Benign-leaning network: only fates that preserve every payload, so any
+  // divergence from the honest reference is the adversary's doing.
+  scenario.rates = SimFaultRates{};
+  scenario.rates.delay_rate = rng.Uniform(0.0, 0.10);
+  scenario.rates.duplicate_rate = rng.Uniform(0.0, 0.05);
+  scenario.rates.reorder_rate = rng.Uniform(0.0, 0.05);
+
+  const size_t n = scenario.num_participants;
+  const size_t max_attackers = (n * 3) / 10;  // floor(0.3 n): the ISSUE cap
+  const size_t attackers = rng.UniformInt(max_attackers + 1);
+  if (attackers == 0) {
+    // Honest run, defenses off: the swarm checks this case bitwise against
+    // the plain in-process reference (mean aggregation preserved).
+    return scenario;
+  }
+
+  scenario.adversary.seed = seed ^ 0xb12a7u;
+  // floor guard: (k + 0.5)/n floors back to exactly k attackers.
+  scenario.adversary.attacker_fraction =
+      (static_cast<double>(attackers) + 0.5) / static_cast<double>(n);
+  // φ̂-separable palette: sign-flip and free-riders depress the score,
+  // scale attacks trip the relative admission gate. Gaussian noise has a
+  // mean-zero φ̂ and is covered by unit tests instead.
+  scenario.adversary.palette = {AttackType::kSignFlip, AttackType::kScale,
+                                AttackType::kFreeRiderZero};
+  scenario.adversary.collusion_probability = rng.Uniform(0.0, 0.5);
+  scenario.adversary.scale = 20.0;
+
+  scenario.aggregator_spec = "trimmed:0.3";
+  scenario.escalation.enabled = true;
+  scenario.quarantine_median_factor = 5.0;
   return scenario;
 }
 
@@ -95,6 +138,26 @@ SimFederationResult RunSimFederation(const SimScenario& scenario) {
   SimFederationResult result;
   result.node_statuses.assign(n, Status::OK());
 
+  // Adversarial extras; both stay null on honest scenarios.
+  std::unique_ptr<AdversaryPlan> adversary;
+  if (scenario.adversary.attacker_fraction > 0.0) {
+    auto plan = AdversaryPlan::Generate(n, scenario.adversary);
+    if (!plan.ok()) {
+      result.status = plan.status();
+      return result;
+    }
+    adversary = std::make_unique<AdversaryPlan>(std::move(*plan));
+  }
+  std::unique_ptr<Aggregator> aggregator;
+  if (!scenario.aggregator_spec.empty()) {
+    auto made = MakeAggregator(scenario.aggregator_spec);
+    if (!made.ok()) {
+      result.status = made.status();
+      return result;
+    }
+    aggregator = std::move(*made);
+  }
+
   net::CoordinatorOptions coordinator_options;
   coordinator_options.transport = &net;
   coordinator_options.num_participants = n;
@@ -128,6 +191,7 @@ SimFederationResult RunSimFederation(const SimScenario& scenario) {
     node_options.max_idle_polls = 100;
     node_options.max_connect_attempts = 30;
     node_options.connect_backoff.initial_ms = 0;
+    node_options.adversary = adversary.get();
     nodes[i] = std::make_unique<net::ParticipantNode>(
         world.model, world.participants[i], node_options);
     threads.emplace_back(
@@ -140,6 +204,11 @@ SimFederationResult RunSimFederation(const SimScenario& scenario) {
 
   FedSgdConfig run_config = world.config;
   if (scenario.run_epochs != 0) run_config.epochs = scenario.run_epochs;
+  run_config.aggregator = aggregator.get();
+  run_config.escalation = scenario.escalation;
+  if (scenario.quarantine_median_factor > 0.0) {
+    run_config.quarantine.median_factor = scenario.quarantine_median_factor;
+  }
   HflServer server(world.model, world.validation);
 
   if (scenario.with_checkpoints) {

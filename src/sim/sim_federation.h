@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/adversary.h"
 #include "common/result.h"
 #include "hfl/fed_sgd.h"
 #include "hfl/participant.h"
@@ -62,8 +63,26 @@ struct SimScenario {
   // 0 = $DIGFL_SIM_GRACE_US (default 800); raise under sanitizers.
   int grace_us = 0;
 
+  // Adversarial variant: a seed-pure Byzantine plan mounted on the
+  // participant nodes (common/adversary.h), with robust aggregation and
+  // quarantine escalation on the coordinator. attacker_fraction == 0 keeps
+  // everyone honest, and AdversarialFromSeed then leaves the defenses off
+  // too, so the run must stay bitwise-identical to the plain path.
+  AdversaryPlanConfig adversary;
+  std::string aggregator_spec;  // MakeAggregator grammar; "" = legacy mean
+  EscalationConfig escalation;
+  double quarantine_median_factor = 0.0;  // > 0 overrides the gate default
+
   // The standard swarm scenario: world + fault profile from one seed.
   static SimScenario FromSeed(uint64_t seed);
+
+  // The adversarial swarm scenario: a small world (4–7 participants, 8
+  // epochs), up to 30% attackers drawn from the φ̂-separable palette
+  // {sign_flip, scale, free_rider_zero}, trimmed-mean aggregation + φ̂
+  // escalation + a relative admission gate whenever there is at least one
+  // attacker, and a benign-leaning network (delays/duplicates/reorders
+  // only) so every divergence from the reference is the adversary's doing.
+  static SimScenario AdversarialFromSeed(uint64_t seed);
 };
 
 // The world both the simulated federation and its in-process reference

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <string>
 
 #include "telemetry/telemetry.h"
@@ -78,6 +79,11 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
   const size_t n = blocks.num_participants();
   const FaultPlan* plan = config.fault_plan;
 
+  if (config.resume != nullptr && config.escalation.enabled) {
+    return Status::InvalidArgument(
+        "resume is not supported with quarantine escalation");
+  }
+
   if (config.resume != nullptr) {
     const VflResumePoint& resume = *config.resume;
     if (!config.record_log) {
@@ -98,6 +104,14 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
     lr = resume.learning_rate;
     start_epoch = resume.start_epoch;
     if (start_epoch >= config.epochs) return log;
+  }
+
+  // Gate-rejection escalation: a block that keeps tripping the admission
+  // gate gets quarantined for the rest of the run (first reason wins in the
+  // ledger). The φ̂ monitor half of the escalator is HFL-only.
+  std::unique_ptr<QuarantineEscalator> escalator;
+  if (config.escalation.enabled) {
+    escalator = std::make_unique<QuarantineEscalator>(n, config.escalation);
   }
 
   // Interned comm channels so the epoch loop records by dense id.
@@ -133,6 +147,17 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
     if (active != nullptr) {
       for (size_t i = 0; i < n; ++i) {
         if (!(*active)[i]) present[i] = 0;  // coalition-absent, not a fault
+      }
+    }
+    // Quarantined participants stay excluded for the rest of the run: their
+    // block is dropped up front and their absence is not counted as a
+    // dropout (they are banned, not faulty-this-epoch).
+    if (escalator != nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        if (present[i] && escalator->ledger().IsQuarantined(i)) {
+          present[i] = 0;
+          scaled = blocks.DropBlock(i, scaled);
+        }
       }
     }
     if (plan != nullptr) {
@@ -193,6 +218,9 @@ Result<VflTrainingLog> RunVflTraining(const Model& model,
           log.faults.RecordQuarantine(epoch, i, reason, norm);
           present[i] = 0;
           scaled = blocks.DropBlock(i, scaled);
+          if (escalator != nullptr) {
+            escalator->RecordGateRejection(i, epoch, reason);
+          }
         }
       }
     }

@@ -104,6 +104,14 @@ struct VflTrainConfig {
   // Third-party-side quarantine gate over each participant's gradient
   // block. Non-finite blocks are always rejected.
   QuarantineConfig quarantine;
+  // Admission-gate escalation (common/fault.h): a block that keeps failing
+  // the gate is permanently dropped, keeping its first rejection reason in
+  // the ledger (a later crash or different corruption never overwrites it).
+  // The φ̂-EWMA monitor half of EscalationConfig is HFL-only — the VFL
+  // estimator has no per-epoch masked score to feed it — so only the
+  // max_gate_rejections/min_active fields apply here. Disabled by default;
+  // escalation.enabled excludes resume (the ledger is transient state).
+  EscalationConfig escalation;
   // Crash-safe checkpointing (see ckpt/vfl_resume.h). Both optional,
   // neither owned; resume requires record_log.
   VflCheckpointHook* checkpoint_hook = nullptr;

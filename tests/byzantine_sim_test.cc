@@ -1,0 +1,143 @@
+// Adversarial deterministic-simulation swarm (label: adv).
+//
+// Every seed derives a small federation with up to 30% Byzantine
+// participants mounted on the *participant nodes* (sign-flip / scale /
+// free-rider-zero, optionally colluding), defended by trimmed-mean
+// aggregation, a relative admission gate, and φ̂-driven quarantine
+// escalation on the coordinator. The contract, per seed:
+//
+//   1. Typed-or-complete: the run never hangs or crashes — it completes
+//      the full horizon or returns a typed Status.
+//   2. Detection: on a completed run, every attacker is either permanently
+//      quarantined (any reason code) or ranked in the bottom
+//      attacker-count slots of the recomputed φ̂ EWMA — poison never hides.
+//   3. Honest baseline: a seed that draws zero attackers leaves every
+//      defense off, and the run must stay bitwise-identical to the
+//      in-process reference under the realized dropout schedule.
+//
+// Reproduce one seed with DIGFL_SIM_SEED=<n>; budget defaults to 200 seeds
+// (DIGFL_SIM_SEEDS overrides; scripts/run_checks.sh --adv shrinks it under
+// sanitizers).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/adversary.h"
+#include "common/status.h"
+#include "hfl/aggregator.h"
+#include "sim/sim_federation.h"
+
+namespace digfl {
+namespace sim {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+std::vector<uint64_t> SwarmSeeds() {
+  if (const char* replay = std::getenv("DIGFL_SIM_SEED");
+      replay != nullptr && *replay != '\0') {
+    return {std::strtoull(replay, nullptr, 10)};
+  }
+  const uint64_t count = EnvU64("DIGFL_SIM_SEEDS", 200);
+  std::vector<uint64_t> seeds;
+  seeds.reserve(count);
+  for (uint64_t seed = 1; seed <= count; ++seed) seeds.push_back(seed);
+  return seeds;
+}
+
+TEST(ByzantineSwarmTest, EverySeedDetectsItsAttackersOrFailsTyped) {
+  const std::vector<uint64_t> seeds = SwarmSeeds();
+  size_t completed = 0, adversarial = 0, honest_bitwise = 0;
+  size_t quarantined_attackers = 0, ranked_attackers = 0;
+  for (uint64_t seed : seeds) {
+    SCOPED_TRACE("replay: DIGFL_SIM_SEED=" + std::to_string(seed));
+    const SimScenario scenario = SimScenario::AdversarialFromSeed(seed);
+    const SimFederationResult result = RunSimFederation(scenario);
+    if (!result.completed()) {
+      // Typed failure is an allowed outcome; silent success-with-no-log
+      // is not (completed() implies the full horizon, checked below).
+      EXPECT_NE(result.status.code(), StatusCode::kOk);
+      continue;
+    }
+    ++completed;
+    ASSERT_EQ(result.log.num_epochs(), scenario.epochs);
+
+    const SimWorld world = MakeSimWorld(scenario);
+    if (scenario.adversary.attacker_fraction == 0.0) {
+      // Honest seed: defenses off, bitwise equivalence must survive.
+      auto reference = RealizedReference(world, result.log);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      EXPECT_EQ(DiffLogs(result.log, *reference), "");
+      ++honest_bitwise;
+      if (HasFailure()) break;
+      continue;
+    }
+
+    ++adversarial;
+    auto plan =
+        AdversaryPlan::Generate(scenario.num_participants, scenario.adversary);
+    ASSERT_TRUE(plan.ok());
+    ASSERT_GE(plan->num_attackers(), 1u);
+
+    // Recompute the monitor's EWMA from the log (bitwise-reproducible) and
+    // rank participants, worst score first.
+    HflServer server(world.model, world.validation);
+    auto ewma = PhiEwmaFromLog(result.log, server, scenario.escalation);
+    ASSERT_TRUE(ewma.ok()) << ewma.status().ToString();
+    std::vector<size_t> order(scenario.num_participants);
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return (*ewma)[a] < (*ewma)[b];
+    });
+
+    for (size_t i = 0; i < scenario.num_participants; ++i) {
+      if (!plan->IsAttacker(i)) continue;
+      bool caught = false;
+      for (const QuarantineEvent& event :
+           result.log.faults.quarantine_events) {
+        if (event.participant == i) {
+          caught = true;
+          break;
+        }
+      }
+      if (caught) {
+        ++quarantined_attackers;
+        continue;
+      }
+      // Not quarantined (e.g. the active floor held the line): the monitor
+      // must still rank it in the bottom attacker-count slots.
+      const auto rank = std::find(order.begin(), order.end(), i);
+      ASSERT_NE(rank, order.end());
+      const size_t position = static_cast<size_t>(rank - order.begin());
+      EXPECT_LT(position, plan->num_attackers())
+          << "attacker " << i << " (type "
+          << AttackTypeToString(plan->SpecFor(i).type)
+          << ") escaped: rank " << position << ", ewma " << (*ewma)[i];
+      ++ranked_attackers;
+    }
+    if (HasFailure()) break;
+  }
+  std::printf(
+      "byzantine swarm: %zu/%zu completed (%zu adversarial, %zu honest "
+      "bitwise; attackers: %zu quarantined, %zu bottom-ranked)\n",
+      completed, seeds.size(), adversarial, honest_bitwise,
+      quarantined_attackers, ranked_attackers);
+  // The swarm must not silently degenerate into all-typed-failures.
+  EXPECT_GT(completed, seeds.size() / 2);
+  if (seeds.size() > 10) {
+    EXPECT_GT(adversarial, 0u);
+    EXPECT_GT(honest_bitwise, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace digfl

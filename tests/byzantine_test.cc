@@ -1,0 +1,698 @@
+// Byzantine-participant hardening tests (label: adv).
+//
+// Covers the adversarial fault models (common/adversary.h), the pluggable
+// robust aggregation rules (hfl/aggregator.h), the quarantine escalation
+// engine (common/fault.h), and the headline end-to-end claim: with ≤30%
+// sign-flip attackers, trimmed-mean + φ̂-driven quarantine keeps training
+// near the fault-free baseline while the plain mean degrades.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/adversary.h"
+#include "common/fault.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "hfl/aggregator.h"
+#include "hfl/fed_sgd.h"
+#include "hfl/participant.h"
+#include "hfl/server.h"
+#include "nn/linear_regression.h"
+#include "nn/softmax_regression.h"
+#include "vfl/block_model.h"
+#include "vfl/plain_trainer.h"
+
+namespace digfl {
+namespace {
+
+Vec V(std::initializer_list<double> values) { return Vec(values); }
+
+std::vector<uint8_t> AllPresent(size_t n) {
+  return std::vector<uint8_t>(n, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator rules.
+
+TEST(AggregatorTest, MeanIsBitwiseIdenticalToLegacyWeightedMean) {
+  Rng rng(11);
+  std::vector<Vec> deltas;
+  std::vector<double> weights;
+  for (size_t i = 0; i < 5; ++i) {
+    Vec delta(7);
+    for (double& x : delta) x = rng.Uniform(-2.0, 2.0);
+    deltas.push_back(std::move(delta));
+    weights.push_back(rng.Uniform(0.0, 1.0));
+  }
+  auto legacy = HflServer::AggregateWeighted(deltas, weights);
+  ASSERT_TRUE(legacy.ok());
+  auto mean = MakeMeanAggregator();
+  auto got = mean->Aggregate(deltas, weights, AllPresent(5));
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), legacy->size());
+  for (size_t k = 0; k < got->size(); ++k) {
+    // Bitwise, not approximate: the mean rule is the golden path.
+    EXPECT_EQ((*got)[k], (*legacy)[k]) << "coordinate " << k;
+  }
+}
+
+TEST(AggregatorTest, MedianHandComputedOddAndEven) {
+  auto median = MakeMedianAggregator();
+  // Odd count: per-coordinate medians of {1,2,9}, {5,-1,0}, {-3,4,4}.
+  std::vector<Vec> odd = {V({1, 5, -3}), V({2, -1, 4}), V({9, 0, 4})};
+  auto got = median->Aggregate(odd, {1, 1, 1}, AllPresent(3));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, V({2, 0, 4}));
+
+  // Even count: the mean of the two middle values per coordinate.
+  std::vector<Vec> even = {V({1}), V({2}), V({9}), V({100})};
+  got = median->Aggregate(even, {1, 1, 1, 1}, AllPresent(4));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, V({5.5}));
+}
+
+TEST(AggregatorTest, MedianIgnoresAbsentParticipants) {
+  auto median = MakeMedianAggregator();
+  // Participant 2's slot is a zero vector and must not enter the median.
+  std::vector<Vec> deltas = {V({1, 10}), V({3, 30}), V({0, 0})};
+  auto got = median->Aggregate(deltas, {0.5, 0.5, 0.0}, {1, 1, 0});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, V({2, 20}));
+}
+
+TEST(AggregatorTest, TrimmedMeanHandComputed) {
+  auto trimmed = MakeTrimmedMeanAggregator(0.2);
+  ASSERT_TRUE(trimmed.ok());
+  // m = 5, trim = floor(0.2·5) = 1 per side: drop min and max, average the
+  // middle three per coordinate. Column 0: {−100,1,2,3,100} → (1+2+3)/3.
+  std::vector<Vec> deltas = {V({-100}), V({1}), V({2}), V({3}), V({100})};
+  auto got = (*trimmed)->Aggregate(deltas, std::vector<double>(5, 0.2),
+                                   AllPresent(5));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, V({2}));
+
+  // m = 4, trim = 0: plain per-coordinate average.
+  std::vector<Vec> small = {V({1}), V({2}), V({3}), V({6})};
+  got = (*trimmed)->Aggregate(small, std::vector<double>(4, 0.25),
+                              AllPresent(4));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, V({3}));
+}
+
+TEST(AggregatorTest, TrimmedMeanOutvotesAMinorityOfSignFlippers) {
+  auto trimmed = MakeTrimmedMeanAggregator(0.3);
+  ASSERT_TRUE(trimmed.ok());
+  // 7 honest updates near +1, 3 sign-flipped near −1: with trim =
+  // floor(0.3·10) = 3 per side every attacker value is discarded.
+  std::vector<Vec> deltas;
+  for (size_t i = 0; i < 7; ++i) deltas.push_back(V({1.0 + 0.01 * i}));
+  for (size_t i = 0; i < 3; ++i) deltas.push_back(V({-1.0 - 0.01 * i}));
+  auto got = (*trimmed)->Aggregate(deltas, std::vector<double>(10, 0.1),
+                                   AllPresent(10));
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT((*got)[0], 0.9);
+  auto mean = MakeMeanAggregator();
+  auto averaged = mean->Aggregate(deltas, std::vector<double>(10, 0.1),
+                                  AllPresent(10));
+  ASSERT_TRUE(averaged.ok());
+  EXPECT_LT((*averaged)[0], 0.5);  // the mean is dragged toward the poison
+}
+
+TEST(AggregatorTest, ClippedMeanBoundsASingleLargeUpdate) {
+  auto clip = MakeClippedMeanAggregator(1.0);
+  std::vector<Vec> deltas = {V({3, 4}), V({0.6, 0.8})};  // norms 5 and 1
+  auto got = clip->Aggregate(deltas, {0.5, 0.5}, AllPresent(2));
+  ASSERT_TRUE(got.ok());
+  // The first update is scaled by 1/5; both then have norm 1.
+  EXPECT_NEAR((*got)[0], 0.5 * (3.0 / 5.0) + 0.5 * 0.6, 1e-12);
+  EXPECT_NEAR((*got)[1], 0.5 * (4.0 / 5.0) + 0.5 * 0.8, 1e-12);
+}
+
+TEST(AggregatorTest, SelfTuningClipUsesTheMedianPresentNorm) {
+  auto clip = MakeClippedMeanAggregator(0.0);
+  // Median present norm = 1 (norms 1, 1, 10): the outlier is clipped to 1.
+  std::vector<Vec> deltas = {V({1, 0}), V({0, 1}), V({10, 0})};
+  auto got = clip->Aggregate(deltas, {1.0 / 3, 1.0 / 3, 1.0 / 3},
+                             AllPresent(3));
+  ASSERT_TRUE(got.ok());
+  EXPECT_NEAR((*got)[0], (1.0 + 0.0 + 1.0) / 3.0, 1e-12);
+  EXPECT_NEAR((*got)[1], (0.0 + 1.0 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(AggregatorTest, RobustRulesReturnZerosWhenNobodyIsPresent) {
+  std::vector<Vec> deltas = {V({0, 0, 0}), V({0, 0, 0})};
+  const std::vector<uint8_t> absent = {0, 0};
+  for (auto& rule : {MakeMedianAggregator(), MakeClippedMeanAggregator(2.0)}) {
+    auto got = rule->Aggregate(deltas, {0, 0}, absent);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, V({0, 0, 0}));
+  }
+}
+
+TEST(AggregatorTest, FactoryParsesTheDocumentedGrammar) {
+  for (const char* spec : {"mean", "clip", "clip:2.5", "median", "trimmed",
+                           "trimmed:0.1"}) {
+    auto made = MakeAggregator(spec);
+    EXPECT_TRUE(made.ok()) << spec << ": " << made.status().ToString();
+  }
+  for (const char* spec :
+       {"", "bogus", "krum", "trimmed:0.5", "trimmed:-0.1", "trimmed:abc",
+        "clip:nan", "clip:", "mean:1"}) {
+    auto made = MakeAggregator(spec);
+    EXPECT_FALSE(made.ok()) << spec << " should not parse";
+    if (!made.ok()) {
+      EXPECT_EQ(made.status().code(), StatusCode::kInvalidArgument) << spec;
+    }
+  }
+}
+
+TEST(AggregatorTest, ShapeMismatchesAreTypedErrors) {
+  auto median = MakeMedianAggregator();
+  std::vector<Vec> ragged = {V({1, 2}), V({3})};
+  EXPECT_FALSE(median->Aggregate(ragged, {1, 1}, AllPresent(2)).ok());
+  std::vector<Vec> fine = {V({1}), V({2})};
+  EXPECT_FALSE(median->Aggregate(fine, {1.0}, AllPresent(2)).ok());
+  EXPECT_FALSE(median->Aggregate(fine, {1, 1}, {1}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Adversary plans.
+
+TEST(AdversaryPlanTest, GenerationIsAPureFunctionOfTheConfig) {
+  AdversaryPlanConfig config;
+  config.attacker_fraction = 0.4;
+  config.collusion_probability = 0.5;
+  config.seed = 99;
+  auto a = AdversaryPlan::Generate(10, config);
+  auto b = AdversaryPlan::Generate(10, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_attackers(), 4u);
+  EXPECT_EQ(a->colluding(), b->colluding());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a->IsAttacker(i), b->IsAttacker(i)) << i;
+    EXPECT_EQ(a->SpecFor(i).type, b->SpecFor(i).type) << i;
+    // The per-cell attack streams replay bit-for-bit too.
+    Rng ra = a->AttackRng(3, i);
+    Rng rb = b->AttackRng(3, i);
+    for (int draw = 0; draw < 4; ++draw) {
+      EXPECT_EQ(ra.UniformInt(uint64_t{1} << 31),
+                rb.UniformInt(uint64_t{1} << 31));
+    }
+  }
+}
+
+TEST(AdversaryPlanTest, FractionZeroMeansEveryoneIsHonest) {
+  auto plan = AdversaryPlan::Generate(6, AdversaryPlanConfig{});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_attackers(), 0u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_FALSE(plan->IsAttacker(i));
+    EXPECT_EQ(plan->SpecFor(i).type, AttackType::kNone);
+  }
+}
+
+TEST(AdversaryPlanTest, PaletteRestrictsTheDrawnAttackTypes) {
+  AdversaryPlanConfig config;
+  config.attacker_fraction = 0.99;  // floor(0.99·8) = 7 attackers
+  config.palette = {AttackType::kSignFlip, AttackType::kFreeRiderZero};
+  config.seed = 5;
+  auto plan = AdversaryPlan::Generate(8, config);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_attackers(), 7u);
+  for (size_t i = 0; i < 8; ++i) {
+    if (!plan->IsAttacker(i)) continue;
+    const AttackType type = plan->SpecFor(i).type;
+    EXPECT_TRUE(type == AttackType::kSignFlip ||
+                type == AttackType::kFreeRiderZero)
+        << AttackTypeToString(type);
+  }
+  // kNone in the palette is rejected: honest is not an attack.
+  config.palette = {AttackType::kNone};
+  EXPECT_FALSE(AdversaryPlan::Generate(8, config).ok());
+}
+
+TEST(AdversaryPlanTest, CollusionSharesOneSpecAcrossAllAttackers) {
+  AdversaryPlanConfig config;
+  config.attacker_fraction = 0.5;
+  config.collusion_probability = 1.0;
+  config.seed = 17;
+  auto plan = AdversaryPlan::Generate(8, config);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->num_attackers(), 4u);
+  EXPECT_TRUE(plan->colluding());
+  AttackType shared = AttackType::kNone;
+  for (size_t i = 0; i < 8; ++i) {
+    if (!plan->IsAttacker(i)) continue;
+    EXPECT_EQ(plan->SpecFor(i).collusion_group, 1u);
+    if (shared == AttackType::kNone) shared = plan->SpecFor(i).type;
+    EXPECT_EQ(plan->SpecFor(i).type, shared);
+  }
+
+  config.collusion_probability = 0.0;
+  auto independent = AdversaryPlan::Generate(8, config);
+  ASSERT_TRUE(independent.ok());
+  EXPECT_FALSE(independent->colluding());
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(independent->SpecFor(i).collusion_group, 0u);
+  }
+  // A lone attacker cannot collude no matter the probability.
+  config.attacker_fraction = 0.2;  // floor(0.2·8) = 1
+  config.collusion_probability = 1.0;
+  auto lone = AdversaryPlan::Generate(8, config);
+  ASSERT_TRUE(lone.ok());
+  EXPECT_EQ(lone->num_attackers(), 1u);
+  EXPECT_FALSE(lone->colluding());
+}
+
+TEST(AdversaryPlanTest, InvalidConfigsAreTypedErrors) {
+  AdversaryPlanConfig bad;
+  bad.attacker_fraction = 1.5;
+  EXPECT_FALSE(AdversaryPlan::Generate(4, bad).ok());
+  bad = AdversaryPlanConfig{};
+  bad.collusion_probability = -0.1;
+  EXPECT_FALSE(AdversaryPlan::Generate(4, bad).ok());
+  bad = AdversaryPlanConfig{};
+  bad.noise_stddev = -1.0;
+  EXPECT_FALSE(AdversaryPlan::Generate(4, bad).ok());
+}
+
+TEST(ApplyAttackTest, EachAttackTypeHasItsDocumentedEffect) {
+  const Vec update = V({1.0, -2.0, 3.0});
+  const Vec last = V({0.5, 0.5, 0.5});
+  Rng rng(7);
+
+  AttackSpec spec;
+  spec.type = AttackType::kSignFlip;
+  EXPECT_EQ(ApplyAttack(update, spec, rng), V({-1.0, 2.0, -3.0}));
+
+  spec.type = AttackType::kScale;
+  spec.scale = 10.0;
+  EXPECT_EQ(ApplyAttack(update, spec, rng), V({10.0, -20.0, 30.0}));
+
+  spec.type = AttackType::kFreeRiderZero;
+  EXPECT_EQ(ApplyAttack(update, spec, rng), V({0.0, 0.0, 0.0}));
+
+  spec.type = AttackType::kFreeRiderReplay;
+  EXPECT_EQ(ApplyAttack(update, spec, rng, &last), last);
+  // No previous epoch (or a stale shape) degrades to the zero update.
+  EXPECT_EQ(ApplyAttack(update, spec, rng, nullptr), V({0.0, 0.0, 0.0}));
+  const Vec stale = V({1.0});
+  EXPECT_EQ(ApplyAttack(update, spec, rng, &stale), V({0.0, 0.0, 0.0}));
+
+  spec.type = AttackType::kNoise;
+  spec.noise_stddev = 0.5;
+  Rng noise_a(21);
+  Rng noise_b(21);
+  const Vec noisy = ApplyAttack(update, spec, noise_a);
+  EXPECT_EQ(ApplyAttack(update, spec, noise_b), noisy);  // seed-pure
+  EXPECT_NE(noisy, update);
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine ledger + escalation engine.
+
+TEST(QuarantineLedgerTest, FirstReasonWinsAndLaterMarksAreNoops) {
+  QuarantineLedger ledger(3);
+  EXPECT_TRUE(ledger.Mark(1, 4, QuarantineReason::kPhiScore));
+  EXPECT_TRUE(ledger.IsQuarantined(1));
+  EXPECT_EQ(ledger.ReasonFor(1), QuarantineReason::kPhiScore);
+  EXPECT_EQ(ledger.entries()[1].epoch, 4u);
+
+  // The regression this guards: a quarantined participant that later
+  // crashes (→ a kNonFinite or kNormExploded mark) keeps its original
+  // reason in every report.
+  EXPECT_FALSE(ledger.Mark(1, 7, QuarantineReason::kNonFinite));
+  EXPECT_EQ(ledger.ReasonFor(1), QuarantineReason::kPhiScore);
+  EXPECT_EQ(ledger.entries()[1].epoch, 4u);
+
+  EXPECT_FALSE(ledger.Mark(9, 0, QuarantineReason::kPhiScore));  // range
+  EXPECT_FALSE(ledger.Mark(0, 0, QuarantineReason::kAccepted));  // not a mark
+  EXPECT_EQ(ledger.num_quarantined(), 1u);
+}
+
+TEST(EscalatorTest, PhiEscalationRespectsWarmupAndHysteresis) {
+  EscalationConfig config;
+  config.enabled = true;
+  config.warmup_epochs = 2;
+  config.hysteresis = 2;
+  config.min_active = 1;
+  QuarantineEscalator escalator(4, config);
+  const std::vector<uint8_t> present = AllPresent(4);
+  // Participant 3 scores far below everyone; floor = 0.25 × median(1.0).
+  const std::vector<double> phi = {1.0, 1.0, 1.0, -1.0};
+
+  // Epoch 0: 1 present epoch < warmup → not even flagged.
+  EXPECT_TRUE(escalator.ObservePhi(0, phi, present).empty());
+  // Epoch 1: warmup satisfied, first flag (streak 1 < hysteresis 2).
+  EXPECT_TRUE(escalator.ObservePhi(1, phi, present).empty());
+  // Epoch 2: second consecutive flag → escalates now.
+  const std::vector<size_t> quarantined = escalator.ObservePhi(2, phi, present);
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0], 3u);
+  EXPECT_EQ(escalator.ledger().ReasonFor(3), QuarantineReason::kPhiScore);
+}
+
+TEST(EscalatorTest, ARecoveredScoreResetsTheHysteresisStreak) {
+  EscalationConfig config;
+  config.enabled = true;
+  config.warmup_epochs = 1;
+  config.hysteresis = 2;
+  config.relative_floor = 0.5;
+  config.min_active = 1;
+  QuarantineEscalator escalator(3, config);
+  const std::vector<uint8_t> present = AllPresent(3);
+  const std::vector<double> bad = {1.0, 1.0, -1.0};
+  // α = 0.3: one strong good epoch lifts the EWMA of participant 2 to
+  // 0.7·(−1) + 0.3·5 = 0.8, above the 0.5·median(1.0) floor.
+  const std::vector<double> good = {1.0, 1.0, 5.0};
+
+  EXPECT_TRUE(escalator.ObservePhi(0, bad, present).empty());   // streak 1
+  EXPECT_TRUE(escalator.ObservePhi(1, good, present).empty());  // reset
+  // Had the streak survived the good epoch, this would escalate (streak 2);
+  // the reset means it is only streak 1 again (EWMA 0.7·0.8 − 0.3 = 0.26).
+  EXPECT_TRUE(escalator.ObservePhi(2, bad, present).empty());
+  EXPECT_FALSE(escalator.ObservePhi(3, bad, present).empty());  // streak 2
+}
+
+TEST(EscalatorTest, AbsenceFreezesTheScoreAndTheStreak) {
+  EscalationConfig config;
+  config.enabled = true;
+  config.warmup_epochs = 1;
+  config.hysteresis = 3;
+  config.min_active = 1;
+  QuarantineEscalator escalator(2, config);
+  const std::vector<double> phi = {1.0, -1.0};
+  EXPECT_TRUE(escalator.ObservePhi(0, phi, {1, 1}).empty());
+  const double frozen = escalator.phi_ewma()[1];
+  // Absent epochs neither move the EWMA nor advance the flag streak.
+  EXPECT_TRUE(escalator.ObservePhi(1, {1.0, 999.0}, {1, 0}).empty());
+  EXPECT_EQ(escalator.phi_ewma()[1], frozen);
+}
+
+TEST(EscalatorTest, NeverShrinksTheActiveSetBelowTheFloor) {
+  EscalationConfig config;
+  config.enabled = true;
+  config.warmup_epochs = 1;
+  config.hysteresis = 1;
+  // min_active = 0 → majority floor: 5/2 + 1 = 3 of 5 stay active.
+  QuarantineEscalator escalator(5, config);
+  const std::vector<uint8_t> present = AllPresent(5);
+  // Three participants tank at once; only two may be quarantined.
+  const std::vector<double> phi = {1.0, 1.0, -3.0, -2.0, -1.0};
+  std::vector<size_t> quarantined;
+  for (size_t epoch = 0; epoch < 4; ++epoch) {
+    for (size_t i : escalator.ObservePhi(epoch, phi, present)) {
+      quarantined.push_back(i);
+    }
+  }
+  ASSERT_EQ(quarantined.size(), 2u);
+  // Worst score first.
+  EXPECT_EQ(quarantined[0], 2u);
+  EXPECT_EQ(quarantined[1], 3u);
+  EXPECT_FALSE(escalator.ledger().IsQuarantined(4));
+}
+
+TEST(EscalatorTest, RepeatedGateRejectionsEscalateWithTheFirstReason) {
+  EscalationConfig config;
+  config.enabled = true;
+  config.max_gate_rejections = 2;
+  config.min_active = 1;
+  QuarantineEscalator escalator(3, config);
+  EXPECT_FALSE(escalator.RecordGateRejection(
+      0, 1, QuarantineReason::kNormExploded));
+  EXPECT_FALSE(escalator.ledger().IsQuarantined(0));
+  // Second strike quarantines; the mark carries this call's reason, and a
+  // third strike with a different reason cannot overwrite it.
+  EXPECT_TRUE(escalator.RecordGateRejection(
+      0, 2, QuarantineReason::kNormExploded));
+  EXPECT_TRUE(escalator.ledger().IsQuarantined(0));
+  EXPECT_FALSE(escalator.RecordGateRejection(
+      0, 3, QuarantineReason::kNonFinite));
+  EXPECT_EQ(escalator.ledger().ReasonFor(0),
+            QuarantineReason::kNormExploded);
+  EXPECT_EQ(escalator.ledger().entries()[0].epoch, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Trainer integration.
+
+struct HflWorld {
+  SoftmaxRegression model{6, 3};
+  Dataset validation;
+  std::vector<HflParticipant> participants;
+  Vec init;
+};
+
+HflWorld MakeHflWorld(uint64_t seed, size_t n) {
+  GaussianClassificationConfig data_config;
+  data_config.num_samples = 60 * n;
+  data_config.num_features = 6;
+  data_config.num_classes = 3;
+  data_config.seed = seed;
+  Dataset pool = MakeGaussianClassification(data_config).value();
+  Rng rng(seed + 1);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  HflWorld world;
+  world.validation = split.second;
+  auto shards = PartitionIid(split.first, n, rng).value();
+  for (size_t i = 0; i < n; ++i) world.participants.emplace_back(i, shards[i]);
+  world.init = Vec(world.model.NumParams(), 0.0);
+  return world;
+}
+
+TEST(ByzantineTrainingTest, ResumeIsRejectedWithEscalationOrAdversary) {
+  HflWorld world = MakeHflWorld(3, 4);
+  HflServer server(world.model, world.validation);
+  HflResumePoint resume;
+  FedSgdConfig config;
+  config.epochs = 2;
+  config.resume = &resume;
+  config.escalation.enabled = true;
+  auto run = RunFedSgd(world.model, world.participants, server, world.init,
+                       config);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+
+  config.escalation.enabled = false;
+  auto plan = AdversaryPlan::Generate(4, [] {
+    AdversaryPlanConfig c;
+    c.attacker_fraction = 0.3;
+    return c;
+  }());
+  ASSERT_TRUE(plan.ok());
+  config.adversary = &*plan;
+  run = RunFedSgd(world.model, world.participants, server, world.init, config);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The satellite regression, HFL side: a participant quarantined by the φ̂
+// monitor keeps reason "phi_score" even when its updates later trip the
+// admission gate (here: the attacker keeps sign-flipping after escalation —
+// its slot is simply excluded, and no later event rewrites the verdict).
+TEST(ByzantineTrainingTest, HflQuarantineReasonSurvivesLaterFaults) {
+  const size_t n = 6;
+  HflWorld world = MakeHflWorld(11, n);
+  HflServer server(world.model, world.validation);
+
+  AdversaryPlanConfig adversary_config;
+  adversary_config.attacker_fraction = (1.0 + 0.5) / n;  // exactly one
+  adversary_config.palette = {AttackType::kSignFlip};
+  adversary_config.seed = 23;
+  auto plan = AdversaryPlan::Generate(n, adversary_config);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->num_attackers(), 1u);
+  size_t attacker = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (plan->IsAttacker(i)) attacker = i;
+  }
+  ASSERT_LT(attacker, n);
+
+  FedSgdConfig config;
+  config.epochs = 12;
+  config.learning_rate = 0.2;
+  config.adversary = &*plan;
+  config.escalation.enabled = true;
+  auto log = RunFedSgd(world.model, world.participants, server, world.init,
+                       config);
+  ASSERT_TRUE(log.ok());
+
+  // Exactly one phi_score quarantine event, for the attacker, and every
+  // event for that participant carries the same reason.
+  size_t phi_events = 0;
+  for (const QuarantineEvent& event : log->faults.quarantine_events) {
+    if (event.participant == attacker) {
+      EXPECT_EQ(event.reason, QuarantineReason::kPhiScore);
+      ++phi_events;
+    } else {
+      EXPECT_NE(event.reason, QuarantineReason::kPhiScore);
+    }
+  }
+  EXPECT_EQ(phi_events, 1u);
+  EXPECT_EQ(log->faults.quarantined_phi, 1u);
+
+  // After the quarantine epoch the attacker never reappears in the mask.
+  const uint32_t marked_epoch = log->faults.quarantine_events.front().epoch;
+  for (size_t t = marked_epoch + 1; t < log->num_epochs(); ++t) {
+    EXPECT_FALSE(log->epochs[t].IsPresent(attacker)) << "epoch " << t;
+  }
+}
+
+// The satellite regression, VFL side: a block that keeps failing the gate
+// is permanently dropped with its *first* gate reason, and later corrupt
+// epochs for the same block add no further quarantine events.
+TEST(ByzantineTrainingTest, VflGateEscalationKeepsTheFirstReason) {
+  SyntheticRegressionConfig data_config;
+  data_config.num_samples = 90;
+  data_config.num_features = 6;
+  data_config.seed = 31;
+  Dataset pool = MakeSyntheticRegression(data_config).value();
+  Rng rng(32);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  const size_t n = 3;
+  const VflBlockModel blocks =
+      VflBlockModel::Create(SplitFeatureBlocks(6, n).value(), 6).value();
+  LinearRegression model(6);
+
+  // Block 0 delivers an exploded block every epoch.
+  const size_t epochs = 6;
+  std::vector<FaultEvent> events(epochs * n);
+  for (size_t t = 0; t < epochs; ++t) {
+    events[t * n].type = FaultType::kCorruption;
+    events[t * n].corruption = CorruptionKind::kExplode;
+  }
+  auto fault_plan = FaultPlan::FromSchedule(epochs, n, std::move(events));
+  ASSERT_TRUE(fault_plan.ok());
+
+  VflTrainConfig config;
+  config.epochs = epochs;
+  config.learning_rate = 0.05;
+  config.fault_plan = &*fault_plan;
+  config.quarantine.median_factor = 4.0;
+  config.escalation.enabled = true;
+  config.escalation.max_gate_rejections = 2;
+  config.escalation.min_active = 1;
+  auto log = RunVflTraining(model, blocks, split.first, split.second, config);
+  ASSERT_TRUE(log.ok());
+
+  // Two gate rejections, then permanent exclusion: exactly two quarantine
+  // events for block 0, both kNormExploded, and nothing after epoch 1.
+  size_t block0_events = 0;
+  for (const QuarantineEvent& event : log->faults.quarantine_events) {
+    ASSERT_EQ(event.participant, 0u);
+    EXPECT_EQ(event.reason, QuarantineReason::kNormExploded);
+    EXPECT_LE(event.epoch, 1u);
+    ++block0_events;
+  }
+  EXPECT_EQ(block0_events, 2u);
+  for (size_t t = 2; t < epochs; ++t) {
+    EXPECT_FALSE(log->epochs[t].IsPresent(0)) << "epoch " << t;
+  }
+
+  // Resume is incompatible with the transient escalation state.
+  VflResumePoint resume;
+  config.resume = &resume;
+  EXPECT_FALSE(
+      RunVflTraining(model, blocks, split.first, split.second, config).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The headline end-to-end claim.
+
+TEST(ByzantineTrainingTest, TrimmedMeanPlusPhiQuarantineSurvivesSignFlips) {
+  const size_t n = 10;
+  HflWorld world = MakeHflWorld(42, n);
+
+  FedSgdConfig base_config;
+  // Mid-training regime: a colluding sign-flip minority leaves the plain
+  // mean with a 0.4× effective step, which this budget turns into a ~1.5×
+  // validation-loss gap. Accuracy on this synthetic world saturates early
+  // and can tie exactly, so the strict damage comparison is on loss and
+  // accuracy only has to hold a near-baseline floor.
+  base_config.epochs = 10;
+  base_config.learning_rate = 0.1;
+
+  // Fault-free baseline: plain mean, no defenses.
+  HflServer baseline_server(world.model, world.validation);
+  auto baseline = RunFedSgd(world.model, world.participants, baseline_server,
+                            world.init, base_config);
+  ASSERT_TRUE(baseline.ok());
+  const double baseline_acc = baseline->validation_accuracy.back();
+
+  // 3 of 10 participants collude on sign-flips.
+  AdversaryPlanConfig adversary_config;
+  adversary_config.attacker_fraction = 0.3;
+  adversary_config.palette = {AttackType::kSignFlip};
+  adversary_config.collusion_probability = 1.0;
+  adversary_config.seed = 77;
+  auto plan = AdversaryPlan::Generate(n, adversary_config);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->num_attackers(), 3u);
+
+  // Undefended mean under attack.
+  FedSgdConfig attacked_config = base_config;
+  attacked_config.adversary = &*plan;
+  HflServer attacked_server(world.model, world.validation);
+  auto attacked = RunFedSgd(world.model, world.participants, attacked_server,
+                            world.init, attacked_config);
+  ASSERT_TRUE(attacked.ok());
+  const double attacked_loss = attacked->validation_loss.back();
+  const double attacked_acc = attacked->validation_accuracy.back();
+
+  // Trimmed mean + φ̂ escalation under the same attack.
+  auto trimmed = MakeTrimmedMeanAggregator(0.3);
+  ASSERT_TRUE(trimmed.ok());
+  FedSgdConfig defended_config = attacked_config;
+  defended_config.aggregator = trimmed->get();
+  defended_config.escalation.enabled = true;
+  HflServer defended_server(world.model, world.validation);
+  auto defended = RunFedSgd(world.model, world.participants, defended_server,
+                            world.init, defended_config);
+  ASSERT_TRUE(defended.ok());
+  const double defended_loss = defended->validation_loss.back();
+  const double defended_acc = defended->validation_accuracy.back();
+  const double baseline_loss = baseline->validation_loss.back();
+
+  // The defense holds near the fault-free baseline; the plain mean does
+  // not. (All runs are fully deterministic, so these are exact replays.)
+  EXPECT_GE(defended_acc, baseline_acc - 0.05)
+      << "defended " << defended_acc << " vs baseline " << baseline_acc;
+  EXPECT_GE(defended_acc, attacked_acc)
+      << "defended " << defended_acc << " vs undefended " << attacked_acc;
+  EXPECT_LE(defended_loss, baseline_loss * 1.10)
+      << "defended " << defended_loss << " vs baseline " << baseline_loss;
+  EXPECT_GT(attacked_loss, defended_loss * 1.25)
+      << "undefended " << attacked_loss << " vs defended " << defended_loss;
+
+  // Every attacker was caught by the φ̂ monitor…
+  size_t attackers_quarantined = 0;
+  for (const QuarantineEvent& event : defended->faults.quarantine_events) {
+    if (event.reason == QuarantineReason::kPhiScore) {
+      EXPECT_TRUE(plan->IsAttacker(event.participant))
+          << "false positive: " << event.participant;
+      ++attackers_quarantined;
+    }
+  }
+  EXPECT_EQ(attackers_quarantined, 3u);
+
+  // …and the recomputed EWMA ranks them in the bottom 3.
+  auto ewma = PhiEwmaFromLog(*defended, defended_server,
+                             defended_config.escalation);
+  ASSERT_TRUE(ewma.ok());
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return (*ewma)[a] < (*ewma)[b]; });
+  for (size_t rank = 0; rank < 3; ++rank) {
+    EXPECT_TRUE(plan->IsAttacker(order[rank]))
+        << "rank " << rank << " is honest participant " << order[rank];
+  }
+}
+
+}  // namespace
+}  // namespace digfl

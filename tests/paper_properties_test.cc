@@ -6,9 +6,11 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 
 #include "baselines/exact_shapley.h"
 #include "baselines/retrain_oracle.h"
+#include "hfl/aggregator.h"
 #include "core/digfl_hfl.h"
 #include "core/digfl_vfl.h"
 #include "core/group_contribution.h"
@@ -369,6 +371,142 @@ TEST(ShapleyAxiomTest, DigflRanksMatchExactShapleyOnToyFederation) {
   };
   EXPECT_EQ(argmin(exact->total), 3u);
   EXPECT_EQ(argmin(estimate->total), 3u);
+}
+
+// --------------------------------------- Robust aggregation (§ Byzantine).
+//
+// The robust rules slot into the same V(S)-from-retraining game, so the
+// Shapley machinery must keep its axioms under every rule, and the rules
+// themselves must match hand arithmetic. (byzantine_test.cc covers the
+// adversarial behavior; here we re-check the paper-level identities.)
+
+// Swapping the explicit mean aggregator for the legacy in-line weighted
+// mean is a pure refactor: the entire training log must stay bitwise
+// identical, epoch by epoch.
+TEST(RobustAggregationTest, ExplicitMeanIsBitwiseIdenticalToLegacyTraining) {
+  HflWorld world = MakeHflWorld(4, 10, 0.2, 47);
+  HflServer server(world.model, world.validation);
+  FedSgdConfig config = world.config;
+  auto mean = MakeMeanAggregator();
+  config.aggregator = mean.get();
+  auto log = RunFedSgd(world.model, world.participants, server, world.init,
+                       config);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->num_epochs(), world.log.num_epochs());
+  for (size_t t = 0; t < log->num_epochs(); ++t) {
+    EXPECT_EQ(log->epochs[t].params_before, world.log.epochs[t].params_before)
+        << "epoch " << t;
+    EXPECT_EQ(log->validation_loss[t], world.log.validation_loss[t]);
+  }
+  EXPECT_EQ(log->final_params, world.log.final_params);
+}
+
+// Hand-computed order-statistic fixtures: median (odd and even column
+// heights) and trimmed mean reproduce pencil-and-paper arithmetic.
+TEST(RobustAggregationTest, OrderStatisticRulesMatchHandArithmetic) {
+  const std::vector<Vec> deltas = {
+      {1.0, -8.0}, {2.0, 0.0}, {3.0, 2.0}, {100.0, 4.0}};
+  const std::vector<double> weights(4, 0.25);
+  const std::vector<uint8_t> all(4, 1);
+
+  auto median = MakeMedianAggregator();
+  auto even = median->Aggregate(deltas, weights, all);
+  ASSERT_TRUE(even.ok());
+  EXPECT_EQ(*even, Vec({2.5, 1.0}));  // (2+3)/2, (0+2)/2
+
+  const std::vector<uint8_t> first_three = {1, 1, 1, 0};
+  auto odd = median->Aggregate(deltas, weights, first_three);
+  ASSERT_TRUE(odd.ok());
+  EXPECT_EQ(*odd, Vec({2.0, 0.0}));
+
+  auto trimmed = MakeTrimmedMeanAggregator(0.25);  // drops 1 of 4 per side
+  ASSERT_TRUE(trimmed.ok());
+  auto mid = (*trimmed)->Aggregate(deltas, weights, all);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(*mid, Vec({2.5, 1.0}));  // mean of the surviving middle two
+}
+
+// Efficiency under every robust rule: exact Shapley over the retraining
+// game V(S) = loss(θ_0) − loss(θ_τ(S)) still sums to V(N) when the
+// coalition trains with clip / median / trimmed-mean aggregation, and the
+// mislabeled participant still ranks last — robust aggregation changes the
+// game, not the valuation axioms.
+TEST(RobustAggregationTest, ExactShapleyEfficiencyHoldsUnderEveryRobustRule) {
+  HflWorld world = MakeHflWorld(4, 8, 0.2, 53);
+  HflServer server(world.model, world.validation);
+  for (const char* spec : {"clip:1.0", "median", "trimmed:0.25"}) {
+    SCOPED_TRACE(spec);
+    auto rule = MakeAggregator(spec);
+    ASSERT_TRUE(rule.ok());
+    FedSgdConfig config = world.config;
+    config.aggregator = rule->get();
+    HflUtilityOracle oracle(world.model, world.participants, server,
+                            world.init, config);
+    auto report = ComputeExactShapley(oracle);
+    ASSERT_TRUE(report.ok());
+    double sum = 0.0;
+    for (double phi : report->total) sum += phi;
+    const double grand = oracle.Utility(std::vector<bool>(4, true)).value();
+    EXPECT_NEAR(sum, grand, 1e-9 * (1.0 + std::abs(grand)));
+    // Participant 3 holds the 60%-mislabeled shard.
+    size_t worst = 0;
+    for (size_t i = 1; i < 4; ++i) {
+      if (report->total[i] < report->total[worst]) worst = i;
+    }
+    EXPECT_EQ(worst, 3u);
+  }
+}
+
+// Null player under every robust rule: a participant whose shard is
+// poisoned with non-finite features emits inadmissible updates, so the
+// admission gate zeroes it out of every epoch. Because the participant sits
+// at the highest index, its removal never shifts anyone else's minibatch
+// RNG stream, so for every coalition S the trajectory of S ∪ {null} is
+// bitwise identical to S — V never moves and the exact Shapley value is
+// zero to the last bit, under the legacy mean and every robust rule alike.
+TEST(RobustAggregationTest, GateRejectedParticipantIsExactNullPlayer) {
+  GaussianClassificationConfig data_config;
+  data_config.num_samples = 400;
+  data_config.num_features = 8;
+  data_config.num_classes = 3;
+  data_config.seed = 59;
+  Dataset pool = MakeGaussianClassification(data_config).value();
+  Rng rng(60);
+  auto split = SplitHoldout(pool, 0.15, rng).value();
+  auto shards = PartitionIid(split.first, 4, rng).value();
+  // Every sample of the last shard carries a NaN feature: its local
+  // gradient (hence its update) is never finite.
+  for (size_t r = 0; r < shards[3].x.rows(); ++r) {
+    shards[3].x(r, 0) = std::numeric_limits<double>::quiet_NaN();
+  }
+  std::vector<HflParticipant> participants;
+  for (size_t i = 0; i < 4; ++i) participants.emplace_back(i, shards[i]);
+
+  SoftmaxRegression model(8, 3);
+  HflServer server(model, split.second);
+  FedSgdConfig config;
+  config.epochs = 6;
+  config.learning_rate = 0.2;
+
+  for (const char* spec : {"mean", "clip:1.0", "median", "trimmed:0.25"}) {
+    SCOPED_TRACE(spec);
+    auto rule = MakeAggregator(spec);
+    ASSERT_TRUE(rule.ok());
+    FedSgdConfig ruled = config;
+    ruled.aggregator = rule->get();
+    HflUtilityOracle oracle(model, participants, server,
+                            Vec(model.NumParams(), 0.0), ruled);
+    auto report = ComputeExactShapley(oracle);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->total[3], 0.0);
+    // The honest participants still carry the run: efficiency with a
+    // strictly positive grand-coalition value, so φ = 0 is not vacuous.
+    const double grand = oracle.Utility(std::vector<bool>(4, true)).value();
+    EXPECT_GT(grand, 0.0);
+    double sum = 0.0;
+    for (double phi : report->total) sum += phi;
+    EXPECT_NEAR(sum, grand, 1e-9 * (1.0 + std::abs(grand)));
+  }
 }
 
 }  // namespace

@@ -44,6 +44,7 @@ enum class MutateOp {
   kFlipEachBit,
   kTruncatePrefixes,
   kAppendHex,
+  kOverwriteTail,
 };
 enum class Expect { kFrame, kPoisoned, kRejectHeader, kNoFrame, kReject };
 
@@ -191,6 +192,12 @@ std::string ParseCorpusFile(const std::filesystem::path& path,
         if (!HexToBytes(tokens[2], &current->mutate_arg)) {
           return err("append-hex wants a hex string");
         }
+      } else if (tokens[1] == "overwrite-tail" && tokens.size() == 3) {
+        current->mutate = MutateOp::kOverwriteTail;
+        if (!HexToBytes(tokens[2], &current->mutate_arg) ||
+            current->mutate_arg.empty()) {
+          return err("overwrite-tail wants a non-empty hex string");
+        }
       } else {
         return err("unknown mutate op");
       }
@@ -320,6 +327,18 @@ std::vector<std::string> Variants(const WireCase& c,
     }
     case MutateOp::kAppendHex:
       return {base + c.mutate_arg};
+    case MutateOp::kOverwriteTail: {
+      // Replaces the last N bytes in place — how the corpus plants a
+      // structurally valid but semantically hostile value (e.g. the raw
+      // little-endian bits of NaN/Inf over the final encoded double).
+      std::string out = base;
+      EXPECT_GE(out.size(), c.mutate_arg.size())
+          << "overwrite-tail argument longer than the base bytes";
+      if (out.size() < c.mutate_arg.size()) return {out};
+      out.replace(out.size() - c.mutate_arg.size(), c.mutate_arg.size(),
+                  c.mutate_arg);
+      return {out};
+    }
   }
   return {};
 }

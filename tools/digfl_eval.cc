@@ -39,6 +39,7 @@
 #include "data/corruption.h"
 #include "data/paper_datasets.h"
 #include "data/partition.h"
+#include "hfl/aggregator.h"
 #include "metrics/correlation.h"
 #include "nn/linear_regression.h"
 #include "nn/logistic_regression.h"
@@ -64,6 +65,7 @@ struct Flags {
   double dropout_rate = 0.0;
   double straggler_rate = 0.0;
   double corruption_rate = 0.0;
+  std::string aggregator;            // HFL robust aggregation rule; "" = mean
   uint64_t seed = 7;
   std::string csv;                   // optional output path
   std::string telemetry_out;         // optional JSONL run-report path
@@ -95,6 +97,8 @@ void PrintUsage() {
   --straggler-rate=F        straggler fault rate (update dropped after
                             retries)
   --corruption-rate=F       corruption fault rate (caught by quarantine)
+  --aggregator=RULE         HFL robust aggregation rule: mean (default),
+                            clip[:NORM], median, trimmed[:FRACTION]
   --seed=S                  master seed (default 7)
   --csv=PATH                also write the result table as CSV
   --telemetry-out=PATH      append the telemetry run report (metrics, span
@@ -207,6 +211,8 @@ Result<Flags> ParseFlags(int argc, char** argv) {
       DIGFL_ASSIGN_OR_RETURN(flags.straggler_rate, ParseRateFlag(key, value));
     } else if (key == "corruption-rate") {
       DIGFL_ASSIGN_OR_RETURN(flags.corruption_rate, ParseRateFlag(key, value));
+    } else if (key == "aggregator") {
+      flags.aggregator = value;
     } else if (key == "seed") {
       DIGFL_ASSIGN_OR_RETURN(flags.seed, ParseU64Flag(key, value));
     } else if (key == "csv") {
@@ -326,6 +332,12 @@ Result<MethodReports> RunHfl(const Flags& flags, PaperDatasetId id) {
   config.learning_rate =
       flags.learning_rate > 0 ? flags.learning_rate : 0.3;
   if (fault_plan.has_value()) config.fault_plan = &*fault_plan;
+  std::unique_ptr<Aggregator> aggregator;
+  if (!flags.aggregator.empty()) {
+    DIGFL_ASSIGN_OR_RETURN(aggregator, MakeAggregator(flags.aggregator));
+    config.aggregator = aggregator.get();
+    std::printf("aggregation rule: %s\n", aggregator->name());
+  }
   HflTrainingLog log;
   std::optional<ContributionReport> checkpointed_digfl;
   if (!flags.checkpoint_dir.empty()) {
@@ -416,6 +428,11 @@ Result<MethodReports> RunVfl(const Flags& flags, PaperDatasetId id) {
                          MakePaperDataset(id, data_options));
   if (spec.model == PaperModel::kHflCnn) {
     return Status::InvalidArgument(spec.name + " is an HFL dataset");
+  }
+  if (!flags.aggregator.empty()) {
+    return Status::InvalidArgument(
+        "--aggregator applies to --mode=hfl (the VFL third party sums "
+        "feature blocks, it does not average updates)");
   }
   const size_t n = flags.participants > 0 ? flags.participants
                                           : spec.paper_num_participants;
