@@ -29,6 +29,12 @@
 #                                      # robust aggregation, escalator units,
 #                                      # adversarial sim swarm) under ASan
 #                                      # AND TSan, reduced seed budget
+#   scripts/run_checks.sh --obs       # federation-wide observability
+#                                      # (ctest -L obs: optional wire blocks,
+#                                      # merger/clock units, Prometheus golden,
+#                                      # HTTP metrics endpoint, SimNet merged
+#                                      # report, digfl_trace CLI) under ASan
+#                                      # AND TSan
 #   scripts/run_checks.sh --all       # everything
 set -euo pipefail
 
@@ -41,6 +47,7 @@ run_crash=0
 run_net=0
 run_sim=0
 run_adv=0
+run_obs=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
@@ -49,7 +56,8 @@ for arg in "$@"; do
     --net) run_net=1 ;;
     --sim) run_sim=1 ;;
     --adv) run_adv=1 ;;
-    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1; run_sim=1; run_adv=1 ;;
+    --obs) run_obs=1 ;;
+    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1; run_sim=1; run_adv=1; run_obs=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -189,6 +197,25 @@ if [[ "$run_adv" == 1 ]]; then
   cmake --build build-tsan -j "$JOBS"
   DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L adv
+fi
+
+if [[ "$run_obs" == 1 ]]; then
+  # Federation-wide observability under both sanitizers: the merger is the
+  # coordinator's only cross-thread telemetry structure (round workers
+  # absorb deltas concurrently), the metrics HTTP server runs an accept
+  # thread, and the SimNet acceptance tests drive the whole stack with the
+  # virtual clock installed. Same instrumented-binary grace trim as --sim.
+  echo "=== [obs] ctest -L obs under ASan ==="
+  cmake -B build-asan -S . -DDIGFL_SANITIZE=ON > /dev/null
+  cmake --build build-asan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L obs
+
+  echo "=== [obs] ctest -L obs under TSan ==="
+  cmake -B build-tsan -S . -DDIGFL_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L obs
 fi
 
 echo "all requested configurations passed"

@@ -9,6 +9,7 @@
 #include "common/fault.h"
 #include "hfl/aggregator.h"
 #include "common/timer.h"
+#include "telemetry/federation.h"
 #include "telemetry/telemetry.h"
 #include "tensor/vec.h"
 
@@ -69,6 +70,11 @@ void Coordinator::HandleConnection(std::unique_ptr<Conn> conn) {
     return;
   }
 
+  // The coordinator-side receive instant of the Hello — together with the
+  // clock the node stamped on it, the first (one-way) clock sample.
+  const bool obs = telemetry::ObservabilityEnabled();
+  const double hello_recv_seconds = obs ? telemetry::ObsNow() : 0.0;
+
   HelloAckMsg ack;
   ack.next_epoch = next_epoch_hint_.load(std::memory_order_relaxed);
   const uint64_t id = hello->participant_id;
@@ -82,6 +88,13 @@ void Coordinator::HandleConnection(std::unique_ptr<Conn> conn) {
       ack.message = "participant already connected";
     } else {
       ack.accepted = 1;
+    }
+  }
+  if (obs && ack.accepted == 1) {
+    ack.obs = HelloAckObs{merger_.run_id(), telemetry::ObsNow()};
+    if (hello->obs_clock_seconds.has_value()) {
+      merger_.RecordHandshake(id, *hello->obs_clock_seconds,
+                              hello_recv_seconds);
     }
   }
 
@@ -146,10 +159,13 @@ void Coordinator::RoundWorker(size_t i, MsgChannel* channel, uint64_t epoch,
                               std::vector<uint8_t>* present,
                               std::vector<uint64_t>* retries) {
   DIGFL_TRACE_SPAN("net.round_trip");
+  const bool obs = telemetry::ObservabilityEnabled();
   Rng jitter(options_.jitter_seed ^
              (epoch * options_.num_participants + i + 1));
   size_t attempt = 0;
+  double t0 = 0.0;  // coordinator send instant of the attempt in flight
   for (;;) {
+    if (obs) t0 = telemetry::ObsNow();
     Status failure =
         channel->Send(MsgType::kRoundRequest, request_payload,
                       options_.round_timeout_ms);
@@ -177,6 +193,14 @@ void Coordinator::RoundWorker(size_t i, MsgChannel* channel, uint64_t epoch,
         failure = Status::InvalidArgument("round reply shape mismatch");
         break;
       }
+      if (obs) {
+        const double t1 = telemetry::ObsNow();
+        if (reply->telemetry.has_value()) {
+          merger_.Absorb(i, *reply->telemetry, t0, t1);
+        }
+        merger_.RecordRoundTrip(epoch, i, t0, t1, (*retries)[i],
+                                /*present=*/true);
+      }
       (*deltas)[i] = std::move(reply->delta);
       (*present)[i] = 1;
       return;
@@ -198,6 +222,10 @@ void Coordinator::RoundWorker(size_t i, MsgChannel* channel, uint64_t epoch,
 
     // Exhausted retries or a broken/byzantine connection: the participant
     // is absent this epoch (the dropout path) and must reconnect.
+    if (obs) {
+      merger_.RecordRoundTrip(epoch, i, t0, telemetry::ObsNow(),
+                              (*retries)[i], /*present=*/false);
+    }
     channel->Close();
     std::lock_guard<std::mutex> lock(mu_);
     if (failure.code() == StatusCode::kDeadlineExceeded) {
@@ -299,9 +327,14 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
     escalator = std::make_unique<QuarantineEscalator>(n, config.escalation);
   }
 
+  const bool obs = telemetry::ObservabilityEnabled();
+
   for (size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     DIGFL_TRACE_SPAN("net.round");
     Timer epoch_timer;
+    const double round_start = obs ? telemetry::ObsNow() : 0.0;
+    double aggregate_seconds = 0.0;
+    double validate_seconds = 0.0;
     next_epoch_hint_.store(epoch, std::memory_order_relaxed);
 
     // Take every connected channel out of its slot: each is owned by
@@ -324,6 +357,11 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
     request.learning_rate = lr;
     request.local_steps = config.local_steps;
     request.params = log.final_params;
+    if (obs) {
+      request.trace = telemetry::TraceContext{
+          merger_.run_id(), epoch,
+          telemetry::RoundSpanId(merger_.run_id(), epoch)};
+    }
     const std::string request_payload = EncodeRoundRequest(request);
 
     std::vector<uint8_t> present(n, 0);
@@ -398,6 +436,7 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
     std::vector<double> weights;
     {
       DIGFL_TRACE_SPAN("hfl.aggregate");
+      const double agg_start = obs ? telemetry::ObsNow() : 0.0;
       DIGFL_ASSIGN_OR_RETURN(
           weights, policy->Weights(epoch, log.final_params, lr, deltas,
                                    present, server));
@@ -415,6 +454,7 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
         DIGFL_ASSIGN_OR_RETURN(global_gradient,
                                HflServer::AggregateWeighted(deltas, weights));
       }
+      if (obs) aggregate_seconds = telemetry::ObsNow() - agg_start;
     }
 
     // φ̂-driven escalation on this epoch's masked DIG-FL estimates; the
@@ -455,13 +495,21 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
     double val_acc = 0.0;
     {
       DIGFL_TRACE_SPAN("hfl.validate");
+      const double val_start = obs ? telemetry::ObsNow() : 0.0;
       DIGFL_ASSIGN_OR_RETURN(val_loss,
                              server.ValidationLoss(log.final_params));
       DIGFL_ASSIGN_OR_RETURN(val_acc,
                              server.ValidationAccuracy(log.final_params));
+      if (obs) validate_seconds = telemetry::ObsNow() - val_start;
     }
     log.validation_loss.push_back(val_loss);
     log.validation_accuracy.push_back(val_acc);
+
+    if (obs) {
+      merger_.RecordRoundSpan(epoch, round_start,
+                              telemetry::ObsNow() - round_start,
+                              aggregate_seconds, validate_seconds);
+    }
 
     DIGFL_EMIT_EVENT("net.round_seconds", epoch_timer.ElapsedSeconds(),
                      {"epoch", std::to_string(epoch)});
@@ -548,6 +596,11 @@ Result<Vec> Coordinator::RequestHvp(size_t participant, const Vec& params,
   ++stats_.conn_errors;
   DIGFL_COUNTER_ADD("net.conn_errors_total", 1);
   return failure;
+}
+
+telemetry::FederationReport Coordinator::CollectFederationReport(
+    std::string run_id) const {
+  return merger_.Build(telemetry::CollectRunReport(std::move(run_id)));
 }
 
 void Coordinator::Shutdown(const std::string& reason) {

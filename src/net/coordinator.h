@@ -45,6 +45,7 @@
 #include "net/socket.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "telemetry/federation.h"
 
 namespace digfl {
 namespace net {
@@ -122,9 +123,17 @@ class Coordinator {
   // channels. Idempotent; also invoked by the destructor.
   void Shutdown(const std::string& reason);
 
+  // Federation-wide observability snapshot (DESIGN.md §13): the merger's
+  // round spans, round trips, clock models, and everything participants
+  // shipped, plus this process's local RunReport under `run_id`. Valid any
+  // time; meaningful after RunFederatedTraining with telemetry enabled.
+  telemetry::FederationReport CollectFederationReport(
+      std::string run_id) const;
+
  private:
   explicit Coordinator(const CoordinatorOptions& options)
-      : options_(options) {}
+      : options_(options),
+        merger_(options.config_digest, options.num_participants) {}
 
   void AcceptLoop();
   // Validates a Hello and, if acceptable, parks the channel in its slot.
@@ -138,6 +147,8 @@ class Coordinator {
                    std::vector<uint64_t>* retries);
 
   CoordinatorOptions options_;
+  // Thread-safe; round workers absorb shipped deltas concurrently.
+  telemetry::FederationMerger merger_;
   std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;
   std::atomic<bool> stop_{false};

@@ -35,6 +35,196 @@ Status RequireFinite(const std::vector<double>& values, const char* what) {
   return Status::OK();
 }
 
+// --------------------------------------------------------------------------
+// Optional observability blocks (DESIGN.md §13).
+//
+// An optional block is a u32 magic tag followed by its fields, appended
+// after a message's mandatory fields. Absent blocks add zero bytes, so a
+// sender with telemetry off produces payloads bitwise identical to the
+// pre-observability format; a decoder that finds leftover bytes which do
+// not start with the expected magic still rejects them as trailing junk.
+
+constexpr uint32_t kClockBlockMagic = 0x314b4c43u;      // "CLK1" (LE)
+constexpr uint32_t kRunBlockMagic = 0x314e5552u;        // "RUN1"
+constexpr uint32_t kTraceBlockMagic = 0x31435254u;      // "TRC1"
+constexpr uint32_t kTelemetryBlockMagic = 0x3153424fu;  // "OBS1"
+
+// Hostile-peer bounds for the shipped telemetry delta: a delta covers one
+// epoch of one participant, so honest traffic is far below these.
+constexpr uint64_t kMaxDeltaSpans = 4096;
+constexpr uint64_t kMaxDeltaMetrics = 1024;
+constexpr uint64_t kMaxMetricLabels = 32;
+constexpr uint64_t kMaxHistogramBuckets = 256;
+constexpr uint64_t kMaxTelemetryName = 4096;
+
+// True when a trailing block tagged `magic` starts here; false at clean
+// end-of-payload; a typed error on any other leftover bytes.
+Result<bool> ConsumeBlockMagic(ByteSource* source, uint32_t magic,
+                               const char* what) {
+  if (source->Exhausted()) return false;
+  uint32_t found = 0;
+  DIGFL_RETURN_IF_ERROR(source->GetU32(&found));
+  if (found != magic) {
+    return Status::InvalidArgument(
+        std::string("unrecognized trailing bytes in ") + what + " payload");
+  }
+  return true;
+}
+
+Status RequireFiniteScalar(double value, const char* what) {
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument(std::string("non-finite value in ") + what);
+  }
+  return Status::OK();
+}
+
+Result<std::string> GetBoundedString(ByteSource* source, const char* what) {
+  std::string out;
+  DIGFL_RETURN_IF_ERROR(source->GetString(&out));
+  if (out.size() > kMaxTelemetryName) {
+    return Status::InvalidArgument(std::string("oversized string in ") + what);
+  }
+  return out;
+}
+
+void EncodeMetricDelta(const telemetry::MetricDelta& metric, ByteSink* sink) {
+  sink->PutString(metric.name);
+  sink->PutU32(static_cast<uint32_t>(metric.kind));
+  sink->PutU32(static_cast<uint32_t>(metric.labels.size()));
+  for (const telemetry::Label& label : metric.labels) {
+    sink->PutString(label.key);
+    sink->PutString(label.value);
+  }
+  if (metric.kind == telemetry::MetricKind::kHistogram) {
+    sink->PutDoubles(metric.bounds);
+    sink->PutU32(static_cast<uint32_t>(metric.bucket_deltas.size()));
+    for (uint64_t count : metric.bucket_deltas) sink->PutU64(count);
+    sink->PutDouble(metric.sum_delta);
+    sink->PutDouble(metric.max_value);
+    sink->PutU64(metric.count_delta);
+  } else {
+    sink->PutU64(metric.counter_delta);
+  }
+}
+
+Result<telemetry::MetricDelta> DecodeMetricDelta(ByteSource* source) {
+  telemetry::MetricDelta metric;
+  DIGFL_ASSIGN_OR_RETURN(metric.name,
+                         GetBoundedString(source, "telemetry metric name"));
+  uint32_t kind = 0;
+  DIGFL_RETURN_IF_ERROR(source->GetU32(&kind));
+  if (kind != static_cast<uint32_t>(telemetry::MetricKind::kCounter) &&
+      kind != static_cast<uint32_t>(telemetry::MetricKind::kHistogram)) {
+    return Status::InvalidArgument("telemetry metric kind out of range");
+  }
+  metric.kind = static_cast<telemetry::MetricKind>(kind);
+  uint32_t num_labels = 0;
+  DIGFL_RETURN_IF_ERROR(source->GetU32(&num_labels));
+  if (num_labels > kMaxMetricLabels) {
+    return Status::InvalidArgument("telemetry metric has too many labels");
+  }
+  metric.labels.reserve(num_labels);
+  for (uint32_t i = 0; i < num_labels; ++i) {
+    telemetry::Label label;
+    DIGFL_ASSIGN_OR_RETURN(label.key,
+                           GetBoundedString(source, "telemetry label key"));
+    DIGFL_ASSIGN_OR_RETURN(label.value,
+                           GetBoundedString(source, "telemetry label value"));
+    metric.labels.push_back(std::move(label));
+  }
+  if (metric.kind == telemetry::MetricKind::kHistogram) {
+    DIGFL_RETURN_IF_ERROR(source->GetDoubles(&metric.bounds));
+    DIGFL_RETURN_IF_ERROR(
+        RequireFinite(metric.bounds, "telemetry histogram bounds"));
+    uint32_t num_buckets = 0;
+    DIGFL_RETURN_IF_ERROR(source->GetU32(&num_buckets));
+    if (num_buckets > kMaxHistogramBuckets ||
+        num_buckets != metric.bounds.size() + 1) {
+      return Status::InvalidArgument(
+          "telemetry histogram bucket count mismatch");
+    }
+    metric.bucket_deltas.resize(num_buckets);
+    for (uint32_t b = 0; b < num_buckets; ++b) {
+      DIGFL_RETURN_IF_ERROR(source->GetU64(&metric.bucket_deltas[b]));
+    }
+    DIGFL_RETURN_IF_ERROR(source->GetDouble(&metric.sum_delta));
+    DIGFL_RETURN_IF_ERROR(source->GetDouble(&metric.max_value));
+    DIGFL_RETURN_IF_ERROR(source->GetU64(&metric.count_delta));
+    DIGFL_RETURN_IF_ERROR(
+        RequireFiniteScalar(metric.sum_delta, "telemetry histogram sum"));
+    DIGFL_RETURN_IF_ERROR(
+        RequireFiniteScalar(metric.max_value, "telemetry histogram max"));
+  } else {
+    DIGFL_RETURN_IF_ERROR(source->GetU64(&metric.counter_delta));
+  }
+  return metric;
+}
+
+void EncodeTelemetryDelta(const telemetry::TelemetryDelta& delta,
+                          ByteSink* sink) {
+  sink->PutU32(kTelemetryBlockMagic);
+  sink->PutU64(delta.participant_id);
+  sink->PutU64(delta.round);
+  sink->PutDouble(delta.request_recv_seconds);
+  sink->PutDouble(delta.reply_send_seconds);
+  sink->PutU32(static_cast<uint32_t>(delta.spans.size()));
+  for (const telemetry::RemoteSpan& span : delta.spans) {
+    sink->PutString(span.name);
+    sink->PutU64(span.round);
+    sink->PutU64(span.parent_span_id);
+    sink->PutDouble(span.start_seconds);
+    sink->PutDouble(span.duration_seconds);
+  }
+  sink->PutU32(static_cast<uint32_t>(delta.metrics.size()));
+  for (const telemetry::MetricDelta& metric : delta.metrics) {
+    EncodeMetricDelta(metric, sink);
+  }
+}
+
+Result<telemetry::TelemetryDelta> DecodeTelemetryDelta(ByteSource* source) {
+  telemetry::TelemetryDelta delta;
+  DIGFL_RETURN_IF_ERROR(source->GetU64(&delta.participant_id));
+  DIGFL_RETURN_IF_ERROR(source->GetU64(&delta.round));
+  DIGFL_RETURN_IF_ERROR(source->GetDouble(&delta.request_recv_seconds));
+  DIGFL_RETURN_IF_ERROR(source->GetDouble(&delta.reply_send_seconds));
+  DIGFL_RETURN_IF_ERROR(RequireFiniteScalar(delta.request_recv_seconds,
+                                            "telemetry delta p0"));
+  DIGFL_RETURN_IF_ERROR(
+      RequireFiniteScalar(delta.reply_send_seconds, "telemetry delta p1"));
+  uint32_t num_spans = 0;
+  DIGFL_RETURN_IF_ERROR(source->GetU32(&num_spans));
+  if (num_spans > kMaxDeltaSpans) {
+    return Status::InvalidArgument("telemetry delta has too many spans");
+  }
+  delta.spans.reserve(num_spans);
+  for (uint32_t i = 0; i < num_spans; ++i) {
+    telemetry::RemoteSpan span;
+    DIGFL_ASSIGN_OR_RETURN(span.name,
+                           GetBoundedString(source, "telemetry span name"));
+    DIGFL_RETURN_IF_ERROR(source->GetU64(&span.round));
+    DIGFL_RETURN_IF_ERROR(source->GetU64(&span.parent_span_id));
+    DIGFL_RETURN_IF_ERROR(source->GetDouble(&span.start_seconds));
+    DIGFL_RETURN_IF_ERROR(source->GetDouble(&span.duration_seconds));
+    DIGFL_RETURN_IF_ERROR(
+        RequireFiniteScalar(span.start_seconds, "telemetry span start"));
+    DIGFL_RETURN_IF_ERROR(
+        RequireFiniteScalar(span.duration_seconds, "telemetry span duration"));
+    delta.spans.push_back(std::move(span));
+  }
+  uint32_t num_metrics = 0;
+  DIGFL_RETURN_IF_ERROR(source->GetU32(&num_metrics));
+  if (num_metrics > kMaxDeltaMetrics) {
+    return Status::InvalidArgument("telemetry delta has too many metrics");
+  }
+  delta.metrics.reserve(num_metrics);
+  for (uint32_t i = 0; i < num_metrics; ++i) {
+    DIGFL_ASSIGN_OR_RETURN(telemetry::MetricDelta metric,
+                           DecodeMetricDelta(source));
+    delta.metrics.push_back(std::move(metric));
+  }
+  return delta;
+}
+
 }  // namespace
 
 const char* MsgTypeToString(MsgType type) {
@@ -63,6 +253,10 @@ std::string EncodeHello(const HelloMsg& msg) {
   sink.PutU64(msg.participant_id);
   sink.PutU64(msg.num_params);
   sink.PutU64(msg.config_digest);
+  if (msg.obs_clock_seconds.has_value()) {
+    sink.PutU32(kClockBlockMagic);
+    sink.PutDouble(*msg.obs_clock_seconds);
+  }
   return out;
 }
 
@@ -72,6 +266,14 @@ Result<HelloMsg> DecodeHello(std::string_view payload) {
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.participant_id));
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.num_params));
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.config_digest));
+  DIGFL_ASSIGN_OR_RETURN(const bool has_clock,
+                         ConsumeBlockMagic(&source, kClockBlockMagic, "Hello"));
+  if (has_clock) {
+    double seconds = 0.0;
+    DIGFL_RETURN_IF_ERROR(source.GetDouble(&seconds));
+    DIGFL_RETURN_IF_ERROR(RequireFiniteScalar(seconds, "Hello clock"));
+    msg.obs_clock_seconds = seconds;
+  }
   DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "Hello"));
   return msg;
 }
@@ -82,6 +284,11 @@ std::string EncodeHelloAck(const HelloAckMsg& msg) {
   sink.PutU32(msg.accepted);
   sink.PutU64(msg.next_epoch);
   sink.PutString(msg.message);
+  if (msg.obs.has_value()) {
+    sink.PutU32(kRunBlockMagic);
+    sink.PutU64(msg.obs->run_id);
+    sink.PutDouble(msg.obs->coordinator_seconds);
+  }
   return out;
 }
 
@@ -96,6 +303,17 @@ Result<HelloAckMsg> DecodeHelloAck(std::string_view payload) {
   msg.accepted = static_cast<uint8_t>(accepted);
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.next_epoch));
   DIGFL_RETURN_IF_ERROR(source.GetString(&msg.message));
+  DIGFL_ASSIGN_OR_RETURN(const bool has_obs,
+                         ConsumeBlockMagic(&source, kRunBlockMagic,
+                                           "HelloAck"));
+  if (has_obs) {
+    HelloAckObs obs;
+    DIGFL_RETURN_IF_ERROR(source.GetU64(&obs.run_id));
+    DIGFL_RETURN_IF_ERROR(source.GetDouble(&obs.coordinator_seconds));
+    DIGFL_RETURN_IF_ERROR(
+        RequireFiniteScalar(obs.coordinator_seconds, "HelloAck clock"));
+    msg.obs = obs;
+  }
   DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "HelloAck"));
   return msg;
 }
@@ -107,6 +325,12 @@ std::string EncodeRoundRequest(const RoundRequestMsg& msg) {
   sink.PutDouble(msg.learning_rate);
   sink.PutU64(msg.local_steps);
   sink.PutDoubles(msg.params);
+  if (msg.trace.has_value()) {
+    sink.PutU32(kTraceBlockMagic);
+    sink.PutU64(msg.trace->run_id);
+    sink.PutU64(msg.trace->round);
+    sink.PutU64(msg.trace->parent_span_id);
+  }
   return out;
 }
 
@@ -117,6 +341,16 @@ Result<RoundRequestMsg> DecodeRoundRequest(std::string_view payload) {
   DIGFL_RETURN_IF_ERROR(source.GetDouble(&msg.learning_rate));
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.local_steps));
   DIGFL_RETURN_IF_ERROR(source.GetDoubles(&msg.params));
+  DIGFL_ASSIGN_OR_RETURN(
+      const bool has_trace,
+      ConsumeBlockMagic(&source, kTraceBlockMagic, "RoundRequest"));
+  if (has_trace) {
+    telemetry::TraceContext trace;
+    DIGFL_RETURN_IF_ERROR(source.GetU64(&trace.run_id));
+    DIGFL_RETURN_IF_ERROR(source.GetU64(&trace.round));
+    DIGFL_RETURN_IF_ERROR(source.GetU64(&trace.parent_span_id));
+    msg.trace = trace;
+  }
   DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "RoundRequest"));
   if (!std::isfinite(msg.learning_rate) || msg.learning_rate <= 0.0) {
     return Status::InvalidArgument("RoundRequest learning rate not positive");
@@ -137,6 +371,9 @@ std::string EncodeRoundReply(const RoundReplyMsg& msg) {
   sink.PutU64(msg.epoch);
   sink.PutU64(msg.participant_id);
   sink.PutDoubles(msg.delta);
+  if (msg.telemetry.has_value()) {
+    EncodeTelemetryDelta(*msg.telemetry, &sink);
+  }
   return out;
 }
 
@@ -146,6 +383,14 @@ Result<RoundReplyMsg> DecodeRoundReply(std::string_view payload) {
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.epoch));
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.participant_id));
   DIGFL_RETURN_IF_ERROR(source.GetDoubles(&msg.delta));
+  DIGFL_ASSIGN_OR_RETURN(
+      const bool has_telemetry,
+      ConsumeBlockMagic(&source, kTelemetryBlockMagic, "RoundReply"));
+  if (has_telemetry) {
+    DIGFL_ASSIGN_OR_RETURN(telemetry::TelemetryDelta delta,
+                           DecodeTelemetryDelta(&source));
+    msg.telemetry = std::move(delta);
+  }
   DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "RoundReply"));
   if (msg.delta.empty()) {
     return Status::InvalidArgument("RoundReply has empty delta");

@@ -21,10 +21,12 @@
 #define DIGFL_NET_MESSAGES_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "common/result.h"
+#include "telemetry/federation.h"
 #include "tensor/vec.h"
 
 namespace digfl {
@@ -52,6 +54,20 @@ struct HelloMsg {
   uint64_t participant_id = 0;
   uint64_t num_params = 0;
   uint64_t config_digest = 0;
+  // Observability (DESIGN.md §13): the node's ObsNow() at Hello send time,
+  // the coordinator's first (one-way) clock sample for this participant.
+  // Optional fields encode as magic-tagged trailing blocks — absent fields
+  // leave the payload bitwise identical to the pre-observability format.
+  std::optional<double> obs_clock_seconds;
+};
+
+// Observability block on an accepting HelloAck: the run id every trace
+// context of this federation will carry, plus the coordinator clock at
+// accept time (informational; the symmetric per-round samples do the real
+// alignment).
+struct HelloAckObs {
+  uint64_t run_id = 0;
+  double coordinator_seconds = 0.0;
 };
 
 // Coordinator → participant handshake verdict. `next_epoch` tells a
@@ -60,6 +76,7 @@ struct HelloAckMsg {
   uint8_t accepted = 0;
   uint64_t next_epoch = 0;
   std::string message;  // reject reason when accepted == 0
+  std::optional<HelloAckObs> obs;
 };
 
 // Coordinator → participant: compute δ for this round.
@@ -68,6 +85,8 @@ struct RoundRequestMsg {
   double learning_rate = 0.0;
   uint64_t local_steps = 1;
   Vec params;  // θ_{t-1}
+  // Trace propagation: set iff the coordinator runs with telemetry on.
+  std::optional<telemetry::TraceContext> trace;
 };
 
 // Participant → coordinator: the local update for `epoch`.
@@ -75,6 +94,9 @@ struct RoundReplyMsg {
   uint64_t epoch = 0;
   uint64_t participant_id = 0;
   Vec delta;  // δ_{t,i}
+  // Telemetry shipping: the node's spans/counters/histograms since its
+  // previous reply, piggybacked on the epoch-end message.
+  std::optional<telemetry::TelemetryDelta> telemetry;
 };
 
 // Coordinator → participant: local Hessian-vector product request

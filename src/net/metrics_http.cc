@@ -1,0 +1,77 @@
+#include "net/metrics_http.h"
+
+#include <string>
+#include <utility>
+
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
+
+namespace digfl {
+namespace net {
+namespace {
+
+// Accept poll interval; bounds how long Stop() can block.
+constexpr int kAcceptTimeoutMs = 100;
+// Per-request I/O deadline — a scraper that stalls longer loses the
+// connection rather than wedging the accept thread.
+constexpr int kIoTimeoutMs = 2000;
+// A GET request line plus a few headers; anything bigger is not a scrape.
+constexpr size_t kMaxRequestBytes = 8192;
+
+}  // namespace
+
+Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::Start(
+    uint16_t port, Transport* transport) {
+  if (transport == nullptr) transport = TcpTransport();
+  auto server = std::unique_ptr<MetricsHttpServer>(new MetricsHttpServer());
+  DIGFL_ASSIGN_OR_RETURN(server->listener_, transport->Listen(port));
+  server->port_ = server->listener_->port();
+  server->thread_ = std::thread([raw = server.get()] { raw->ServeLoop(); });
+  return server;
+}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::Stop() {
+  if (stop_.exchange(true)) {
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listener_) listener_->Close();
+}
+
+void MetricsHttpServer::ServeLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Result<std::unique_ptr<Conn>> accepted = listener_->Accept(kAcceptTimeoutMs);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kDeadlineExceeded) continue;
+      return;  // listener closed or broken; nothing to serve anymore
+    }
+    ServeOne(accepted.value().get());
+  }
+}
+
+void MetricsHttpServer::ServeOne(Conn* conn) {
+  std::string head;
+  char buf[1024];
+  // Read until the header terminator. A client that closes after a bare
+  // request line (no blank line) still gets served: the router only looks
+  // at the request line.
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.size() < kMaxRequestBytes) {
+    Result<size_t> n = conn->RecvSome(buf, sizeof(buf), kIoTimeoutMs);
+    if (!n.ok()) break;
+    head.append(buf, n.value());
+  }
+  if (head.empty()) {
+    conn->Close();
+    return;
+  }
+  const std::string response = telemetry::HandleMetricsHttpRequest(
+      head, telemetry::MetricsRegistry::Global().Snapshot());
+  (void)conn->SendAll(response, kIoTimeoutMs);
+  conn->Close();
+}
+
+}  // namespace net
+}  // namespace digfl

@@ -1,0 +1,57 @@
+// Minimal HTTP/1.0 exposition endpoint for the live metrics registry
+// (DESIGN.md §13). Off by default; `digfl_node --metrics-port=P` starts one.
+//
+// The server owns a single accept thread: it polls Accept with a short
+// deadline (so Stop() is prompt), reads one request head, answers from a
+// fresh MetricsRegistry snapshot via telemetry::HandleMetricsHttpRequest,
+// and closes the connection — one request per connection, no keep-alive.
+// A scrape endpoint needs nothing more, and the single thread keeps the
+// server trivially free of connection-state races.
+
+#ifndef DIGFL_NET_METRICS_HTTP_H_
+#define DIGFL_NET_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "common/result.h"
+#include "net/transport.h"
+
+namespace digfl {
+namespace net {
+
+class MetricsHttpServer {
+ public:
+  // Binds and starts serving (port 0 = ephemeral; read port() back).
+  // `transport` defaults to real TCP.
+  static Result<std::unique_ptr<MetricsHttpServer>> Start(
+      uint16_t port, Transport* transport = nullptr);
+
+  ~MetricsHttpServer();  // calls Stop()
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  // Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  MetricsHttpServer() = default;
+
+  void ServeLoop();
+  void ServeOne(Conn* conn);
+
+  std::unique_ptr<Listener> listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_METRICS_HTTP_H_

@@ -37,6 +37,9 @@ Result<MsgChannel> ParticipantNode::ConnectAndHandshake() {
     hello.participant_id = options_.participant_id;
     hello.num_params = model_.NumParams();
     hello.config_digest = options_.config_digest;
+    if (telemetry::ObservabilityEnabled()) {
+      hello.obs_clock_seconds = telemetry::ObsNow();
+    }
     Result<HelloAckMsg> ack =
         ClientHandshake(channel, hello, options_.handshake_timeout_ms);
     if (!ack.ok()) {
@@ -74,20 +77,37 @@ Status ParticipantNode::Serve(MsgChannel& channel) {
     switch (static_cast<MsgType>(frame->type)) {
       case MsgType::kRoundRequest: {
         DIGFL_TRACE_SPAN("net.serve_round");
+        // p0 of the NTP sample: the instant the request was received.
+        const bool obs = telemetry::ObservabilityEnabled();
+        const double p0 = obs ? telemetry::ObsNow() : 0.0;
         DIGFL_ASSIGN_OR_RETURN(RoundRequestMsg request,
                                DecodeRoundRequest(frame->payload));
         if (request.params.size() != model_.NumParams()) {
           return Status::InvalidArgument(
               "round request parameter size does not match the local model");
         }
+        if (obs) {
+          node_telemetry_.OnRequest(
+              request.trace.value_or(telemetry::TraceContext{}), p0);
+        }
         RoundReplyMsg reply;
         reply.epoch = request.epoch;
         reply.participant_id = options_.participant_id;
+        const double compute_start = obs ? telemetry::ObsNow() : 0.0;
         DIGFL_ASSIGN_OR_RETURN(
             reply.delta,
             participant_.ComputeLocalUpdate(model_, request.params,
                                             request.learning_rate,
                                             request.local_steps));
+        if (obs) {
+          const double compute_seconds =
+              telemetry::ObsNow() - compute_start;
+          node_telemetry_.RecordSpan("participant.compute", compute_start,
+                                     compute_seconds);
+          node_telemetry_.Observe(
+              "node.compute_seconds", compute_seconds,
+              {0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0});
+        }
         if (options_.adversary != nullptr &&
             options_.adversary->IsAttacker(options_.participant_id)) {
           // Byzantine behavior: upload the attacked update, remember the
@@ -99,6 +119,15 @@ Status ParticipantNode::Serve(MsgChannel& channel) {
               reply.delta, options_.adversary->SpecFor(options_.participant_id),
               attack_rng, &last_honest_);
           last_honest_ = std::move(honest);
+        }
+        if (obs) {
+          node_telemetry_.AddCounter("node.rounds_served_total", 1);
+          // p1 of the NTP sample: as close to the send as possible, and
+          // also the end of this round's participant-side span.
+          const double p1 = telemetry::ObsNow();
+          node_telemetry_.RecordSpan("participant.round", p0, p1 - p0);
+          reply.telemetry =
+              node_telemetry_.TakeDelta(options_.participant_id, p1);
         }
         DIGFL_RETURN_IF_ERROR(channel.Send(MsgType::kRoundReply,
                                            EncodeRoundReply(reply),
@@ -122,9 +151,18 @@ Status ParticipantNode::Serve(MsgChannel& channel) {
         HvpReplyMsg reply;
         reply.request_id = request.request_id;
         reply.participant_id = options_.participant_id;
+        const bool obs = telemetry::ObservabilityEnabled();
+        const double hvp_start = obs ? telemetry::ObsNow() : 0.0;
         DIGFL_ASSIGN_OR_RETURN(
             reply.hvp,
             participant_.ComputeLocalHvp(model_, request.params, request.v));
+        if (obs) {
+          // HVP replies carry no delta block; the span and counter ride
+          // along with the next round's shipment.
+          node_telemetry_.RecordSpan("participant.hvp", hvp_start,
+                                     telemetry::ObsNow() - hvp_start);
+          node_telemetry_.AddCounter("node.hvps_served_total", 1);
+        }
         DIGFL_RETURN_IF_ERROR(channel.Send(MsgType::kHvpReply,
                                            EncodeHvpReply(reply),
                                            options_.io_timeout_ms));

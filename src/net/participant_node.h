@@ -28,6 +28,7 @@
 #include "net/transport.h"
 #include "net/wire.h"
 #include "nn/model.h"
+#include "telemetry/federation.h"
 
 namespace digfl {
 namespace net {
@@ -99,6 +100,9 @@ class ParticipantNode {
   HflParticipant participant_;
   ParticipantNodeOptions options_;
   Stats stats_;
+  // Span/metric buffer shipped piggyback on epoch-end replies when
+  // telemetry is on (DESIGN.md §13). Owned by the serve loop's thread.
+  telemetry::NodeTelemetry node_telemetry_;
   // Previous round's honest update (free-rider replay attack state);
   // survives reconnects like any other attacker memory would.
   std::vector<double> last_honest_;

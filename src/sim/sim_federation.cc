@@ -48,6 +48,23 @@ bool Near(double a, double b) {
   return std::abs(a - b) <= 1e-9 * scale;
 }
 
+// ObsNow() source backed by the run's SimNet: every role reads the same
+// virtual clock, so merged clock offsets are exactly zero.
+double SimObsClock(void* ctx) {
+  return static_cast<double>(
+             static_cast<const SimNet*>(ctx)->VirtualNowMs()) /
+         1000.0;
+}
+
+// Restores the default steady clock on every exit path; node threads must
+// be joined before this runs (they call ObsNow() from the serve loop).
+struct ObsClockGuard {
+  bool installed = false;
+  ~ObsClockGuard() {
+    if (installed) telemetry::SetObservabilityClock(nullptr, nullptr);
+  }
+};
+
 }  // namespace
 
 SimScenario SimScenario::FromSeed(uint64_t seed) {
@@ -134,6 +151,12 @@ SimFederationResult RunSimFederation(const SimScenario& scenario) {
   net_options.rates = scenario.rates;
   net_options.grace_us = scenario.grace_us;
   SimNet net(net_options);
+
+  ObsClockGuard obs_guard;
+  if (scenario.collect_observability) {
+    telemetry::SetObservabilityClock(&SimObsClock, &net);
+    obs_guard.installed = true;
+  }
 
   SimFederationResult result;
   result.node_statuses.assign(n, Status::OK());
@@ -242,6 +265,13 @@ SimFederationResult RunSimFederation(const SimScenario& scenario) {
   for (std::thread& thread : threads) thread.join();
   result.coordinator_stats = (*coordinator)->stats();
   result.net_stats = net.stats();
+
+  if (scenario.collect_observability) {
+    result.federation_report = (*coordinator)->CollectFederationReport(
+        telemetry::HexId(world.digest));
+    result.federation_jsonl =
+        telemetry::FederationSectionsJsonl(result.federation_report);
+  }
 
   if (result.status.ok() && !scenario.with_checkpoints) {
     HflPhiAccumulator accumulator(n);

@@ -63,6 +63,14 @@ struct SimScenario {
   // 0 = $DIGFL_SIM_GRACE_US (default 800); raise under sanitizers.
   int grace_us = 0;
 
+  // Observability variant (DESIGN.md §13): install SimNet's virtual clock
+  // as the process's ObsNow() source for the duration of the run and
+  // collect the coordinator's merged federation report. Because every role
+  // reads the same virtual clock, clock offsets are exactly 0 and — on a
+  // fault-free schedule whose clock never advances mid-round — the merged
+  // timeline is a pure function of the seed.
+  bool collect_observability = false;
+
   // Adversarial variant: a seed-pure Byzantine plan mounted on the
   // participant nodes (common/adversary.h), with robust aggregation and
   // quarantine escalation on the coordinator. attacker_fraction == 0 keeps
@@ -113,6 +121,12 @@ struct SimFederationResult {
   net::CoordinatorStats coordinator_stats;
   SimNetStats net_stats;
   std::vector<Status> node_statuses;  // one per participant thread
+
+  // collect_observability runs only: the merged federation sections
+  // (telemetry::FederationSectionsJsonl) — what the reproducibility test
+  // compares bitwise across two runs of one seed — and the report itself.
+  std::string federation_jsonl;
+  telemetry::FederationReport federation_report;
 
   // Checkpointed runs only.
   size_t checkpoints_written = 0;

@@ -1,9 +1,22 @@
 #include "telemetry/event_log.h"
 
+#include <chrono>
+
 namespace digfl {
 namespace telemetry {
 
-EventLog::EventLog(size_t capacity) : capacity_(capacity) {}
+namespace {
+
+double UnixNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(capacity), anchor_unix_seconds_(UnixNowSeconds()) {}
 
 void EventLog::Emit(std::string name, LabelSet labels, double value) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -34,11 +47,17 @@ uint64_t EventLog::dropped() const {
   return dropped_;
 }
 
+double EventLog::anchor_unix_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return anchor_unix_seconds_;
+}
+
 void EventLog::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   dropped_ = 0;
   clock_.Restart();
+  anchor_unix_seconds_ = UnixNowSeconds();
 }
 
 EventLog& EventLog::Global() {

@@ -44,6 +44,12 @@ class EventLog {
   // Events discarded because the log was full.
   uint64_t dropped() const;
 
+  // Wall-clock (Unix epoch) instant of the steady-clock zero the events'
+  // t_seconds count from — captured at construction and on every Reset().
+  // The run report records it so timelines from different processes are
+  // comparable on an absolute axis.
+  double anchor_unix_seconds() const;
+
   void Reset();
 
   // Process-wide log used by telemetry::EmitEvent.
@@ -53,6 +59,7 @@ class EventLog {
   const size_t capacity_;
   mutable std::mutex mu_;
   Timer clock_;
+  double anchor_unix_seconds_ = 0.0;
   std::vector<Event> events_;
   uint64_t dropped_ = 0;
 };

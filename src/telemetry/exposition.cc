@@ -1,0 +1,229 @@
+#include "telemetry/exposition.h"
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace digfl {
+namespace telemetry {
+
+namespace {
+
+const char* PrometheusType(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void AppendLabelPairs(const LabelSet& labels, std::string* out) {
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    *out += PrometheusName(labels[i].key);
+    *out += "=\"";
+    *out += PrometheusLabelValue(labels[i].value);
+    *out += '"';
+  }
+}
+
+// {labels} block, or "" when the set is empty.
+std::string LabelBlock(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  AppendLabelPairs(labels, &out);
+  out.push_back('}');
+  return out;
+}
+
+// Label block with an extra le="..." pair appended (histogram buckets).
+std::string BucketLabelBlock(const LabelSet& labels, const std::string& le) {
+  std::string out = "{";
+  AppendLabelPairs(labels, &out);
+  if (!labels.empty()) out.push_back(',');
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+std::string FormatSampleValue(double value) {
+  // Prometheus accepts Go-style floats; reuse the JSON shortest-round-trip
+  // formatting (non-finite never reaches here — counters/gauges are stored
+  // finite and histogram fields are sums of finite observations).
+  return json::Number(value);
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  if (std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string PrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_typed;  // one # TYPE line per metric name
+  for (const MetricSample& sample : snapshot.samples) {
+    const std::string name = PrometheusName(sample.name);
+    if (name != last_typed) {
+      out += "# TYPE " + name + " " + PrometheusType(sample.kind) + "\n";
+      last_typed = name;
+    }
+    if (sample.kind == MetricKind::kHistogram) {
+      const HistogramData& h = sample.histogram;
+      // The text format wants cumulative bucket counts.
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+        cumulative += h.bucket_counts[b];
+        const std::string le = b < h.bounds.size()
+                                   ? FormatSampleValue(h.bounds[b])
+                                   : std::string("+Inf");
+        out += name + "_bucket" + BucketLabelBlock(sample.labels, le) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += name + "_sum" + LabelBlock(sample.labels) + " " +
+             FormatSampleValue(h.sum) + "\n";
+      out += name + "_count" + LabelBlock(sample.labels) + " " +
+             std::to_string(h.count) + "\n";
+    } else if (sample.kind == MetricKind::kCounter) {
+      out += name + LabelBlock(sample.labels) + " " +
+             std::to_string(static_cast<uint64_t>(sample.value)) + "\n";
+    } else {
+      out += name + LabelBlock(sample.labels) + " " +
+             FormatSampleValue(sample.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  for (size_t i = 0; i < snapshot.samples.size(); ++i) {
+    const MetricSample& sample = snapshot.samples[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << json::Escape(sample.name) << "\",\"labels\":{";
+    for (size_t l = 0; l < sample.labels.size(); ++l) {
+      if (l > 0) os << ",";
+      os << "\"" << json::Escape(sample.labels[l].key) << "\":\""
+         << json::Escape(sample.labels[l].value) << "\"";
+    }
+    os << "},\"kind\":\"" << MetricKindToString(sample.kind) << "\"";
+    if (sample.kind == MetricKind::kHistogram) {
+      const HistogramData& h = sample.histogram;
+      os << ",\"count\":" << h.count << ",\"sum\":" << json::Number(h.sum)
+         << ",\"max\":" << json::Number(h.max)
+         << ",\"p50\":" << json::Number(h.p50)
+         << ",\"p95\":" << json::Number(h.p95) << ",\"buckets\":[";
+      for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+        if (b > 0) os << ",";
+        os << "{\"le\":";
+        if (b < h.bounds.size()) {
+          os << json::Number(h.bounds[b]);
+        } else {
+          os << "null";
+        }
+        os << ",\"count\":" << h.bucket_counts[b] << "}";
+      }
+      os << "]";
+    } else {
+      os << ",\"value\":" << json::Number(sample.value);
+    }
+    os << "}";
+  }
+  os << "]}";
+  return std::move(os).str();
+}
+
+namespace {
+
+std::string HttpResponse(const std::string& status_line,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 " + status_line + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+std::string HandleMetricsHttpRequest(std::string_view request_head,
+                                     const MetricsSnapshot& snapshot) {
+  // Parse only the request line: METHOD SP TARGET SP HTTP/x.y
+  const size_t eol = request_head.find("\r\n");
+  std::string_view line =
+      eol == std::string_view::npos ? request_head : request_head.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos ||
+      line.substr(sp2 + 1).rfind("HTTP/", 0) != 0 || sp1 == 0 ||
+      sp2 == sp1 + 1) {
+    return HttpResponse("400 Bad Request", "text/plain",
+                        "malformed request line\n");
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    return HttpResponse("405 Method Not Allowed", "text/plain",
+                        "only GET is supported\n");
+  }
+  const size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+  if (target == "/metrics") {
+    return HttpResponse("200 OK",
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        RenderPrometheusText(snapshot));
+  }
+  if (target == "/metrics.json") {
+    return HttpResponse("200 OK", "application/json",
+                        RenderMetricsJson(snapshot));
+  }
+  return HttpResponse("404 Not Found", "text/plain",
+                      "try /metrics or /metrics.json\n");
+}
+
+}  // namespace telemetry
+}  // namespace digfl

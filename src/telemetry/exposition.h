@@ -1,0 +1,51 @@
+// Live-registry exposition: render a MetricsSnapshot as Prometheus text
+// (version 0.0.4) or JSON, and answer HTTP/1.0 requests for either.
+//
+// Everything here is pure (bytes in, bytes out) so the formats are testable
+// without sockets; the socket accept loop lives in net/metrics_http.h.
+//
+// Prometheus mapping:
+//   - metric names are sanitized to [a-zA-Z0-9_:] (dots become underscores;
+//     a leading digit gets a '_' prefix),
+//   - label values are escaped per the text format (backslash, quote,
+//     newline),
+//   - labels render in the registry's canonical key-sorted order,
+//   - counters/gauges are single samples; histograms expand to cumulative
+//     `_bucket{le="..."}` samples plus `+Inf`, `_sum`, and `_count`.
+
+#ifndef DIGFL_TELEMETRY_EXPOSITION_H_
+#define DIGFL_TELEMETRY_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+
+namespace digfl {
+namespace telemetry {
+
+// Prometheus text exposition of the snapshot (one # TYPE line per metric
+// name, samples in the snapshot's sorted order).
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+// JSON object {"metrics":[...]} with one entry per series, mirroring the
+// sink's metric-line fields.
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot);
+
+// Routes one HTTP request head (everything up to the blank line) and
+// returns complete HTTP/1.0 response bytes:
+//   GET /metrics       -> 200 text/plain; version=0.0.4 (Prometheus text)
+//   GET /metrics.json  -> 200 application/json
+//   GET elsewhere      -> 404, non-GET -> 405, unparsable -> 400.
+std::string HandleMetricsHttpRequest(std::string_view request_head,
+                                     const MetricsSnapshot& snapshot);
+
+// Exposed for the golden test: Prometheus-sanitized metric name and
+// escaped label value.
+std::string PrometheusName(std::string_view name);
+std::string PrometheusLabelValue(std::string_view value);
+
+}  // namespace telemetry
+}  // namespace digfl
+
+#endif  // DIGFL_TELEMETRY_EXPOSITION_H_

@@ -1,0 +1,409 @@
+#include "telemetry/federation.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "telemetry/json.h"
+
+namespace digfl {
+namespace telemetry {
+
+namespace {
+
+struct ObsClockSource {
+  ObsClockFn fn = nullptr;
+  void* ctx = nullptr;
+};
+
+// One immutable source object per SetObservabilityClock call; readers load
+// the pointer with acquire so both fields are seen consistently. Sources
+// are intentionally leaked (a handful per process at most) so a racing
+// ObsNow() can never touch freed memory.
+std::atomic<const ObsClockSource*> g_clock_source{nullptr};
+
+double SteadyNow() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       anchor)
+      .count();
+}
+
+std::string MetricKey(const std::string& name, const LabelSet& labels) {
+  return name + '\x1f' + EncodeLabels(labels);
+}
+
+}  // namespace
+
+double ObsNow() {
+  const ObsClockSource* source =
+      g_clock_source.load(std::memory_order_acquire);
+  if (source != nullptr && source->fn != nullptr) {
+    return source->fn(source->ctx);
+  }
+  return SteadyNow();
+}
+
+void SetObservabilityClock(ObsClockFn fn, void* ctx) {
+  if (fn == nullptr) {
+    g_clock_source.store(nullptr, std::memory_order_release);
+    return;
+  }
+  auto* source = new ObsClockSource{fn, ctx};  // leaked by design, see above
+  g_clock_source.store(source, std::memory_order_release);
+}
+
+uint64_t RoundSpanId(uint64_t run_id, uint64_t round) {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto mix = [&hash](uint64_t value) {
+    for (size_t byte = 0; byte < sizeof(value); ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xff;
+      hash *= 0x100000001b3ull;  // FNV prime
+    }
+  };
+  mix(run_id);
+  mix(round);
+  // Never 0: 0 is the "no parent" sentinel in RemoteSpan.
+  return hash != 0 ? hash : 1;
+}
+
+// ---------------------------------------------------------------------------
+// NodeTelemetry
+
+void NodeTelemetry::OnRequest(const TraceContext& context,
+                              double recv_seconds) {
+  context_ = context;
+  request_recv_seconds_ = recv_seconds;
+}
+
+void NodeTelemetry::RecordSpan(std::string name, double start_seconds,
+                               double duration_seconds) {
+  RemoteSpan span;
+  span.round = context_.round;
+  span.parent_span_id = context_.parent_span_id;
+  span.name = std::move(name);
+  span.start_seconds = start_seconds;
+  span.duration_seconds = duration_seconds;
+  spans_.push_back(std::move(span));
+}
+
+void NodeTelemetry::AddCounter(std::string name, uint64_t delta,
+                               LabelSet labels) {
+  MetricDelta& metric = metrics_[MetricKey(name, labels)];
+  if (metric.name.empty()) {
+    metric.name = std::move(name);
+    metric.labels = std::move(labels);
+    metric.kind = MetricKind::kCounter;
+  }
+  metric.counter_delta += delta;
+}
+
+void NodeTelemetry::Observe(std::string name, double value,
+                            std::vector<double> bounds, LabelSet labels) {
+  MetricDelta& metric = metrics_[MetricKey(name, labels)];
+  if (metric.name.empty()) {
+    metric.name = std::move(name);
+    metric.labels = std::move(labels);
+    metric.kind = MetricKind::kHistogram;
+    metric.bounds = std::move(bounds);
+    metric.bucket_deltas.assign(metric.bounds.size() + 1, 0);
+  }
+  size_t bucket = metric.bounds.size();  // overflow unless a bound catches it
+  for (size_t b = 0; b < metric.bounds.size(); ++b) {
+    if (value <= metric.bounds[b]) {
+      bucket = b;
+      break;
+    }
+  }
+  metric.bucket_deltas[bucket] += 1;
+  metric.sum_delta += value;
+  metric.max_value = std::max(metric.max_value, value);
+  metric.count_delta += 1;
+}
+
+TelemetryDelta NodeTelemetry::TakeDelta(uint64_t participant_id,
+                                        double send_seconds) {
+  TelemetryDelta delta;
+  delta.participant_id = participant_id;
+  delta.round = context_.round;
+  delta.request_recv_seconds = request_recv_seconds_;
+  delta.reply_send_seconds = send_seconds;
+  delta.spans = std::move(spans_);
+  spans_.clear();
+  delta.metrics.reserve(metrics_.size());
+  for (auto& [key, metric] : metrics_) {
+    delta.metrics.push_back(std::move(metric));
+  }
+  metrics_.clear();
+  return delta;
+}
+
+// ---------------------------------------------------------------------------
+// FederationMerger
+
+FederationMerger::FederationMerger(uint64_t run_id, size_t num_participants)
+    : run_id_(run_id), num_participants_(num_participants) {
+  clocks_.resize(num_participants);
+}
+
+void FederationMerger::RecordHandshake(uint64_t participant,
+                                       double node_send_seconds,
+                                       double coord_seconds) {
+  if (participant >= num_participants_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ClockModel& model = clocks_[participant];
+  if (model.samples > 0) return;  // a symmetric sample already exists
+  model.offset_seconds = node_send_seconds - coord_seconds;
+  model.rtt_seconds = 0.0;
+  // samples stays 0: the first round trip must replace this one-way guess.
+}
+
+void FederationMerger::Absorb(uint64_t participant,
+                              const TelemetryDelta& delta, double t0,
+                              double t1) {
+  if (participant >= num_participants_) return;
+  const double p0 = delta.request_recv_seconds;
+  const double p1 = delta.reply_send_seconds;
+  const double offset = ((p0 - t0) + (p1 - t1)) / 2.0;
+  const double rtt = (t1 - t0) - (p1 - p0);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ClockModel& model = clocks_[participant];
+  // NTP minimum-RTT filter: the tightest round trip bounds the offset
+  // error by rtt/2, so it wins over any looser sample.
+  if (model.samples == 0 || rtt <= model.rtt_seconds) {
+    model.offset_seconds = offset;
+    model.rtt_seconds = rtt;
+  }
+  model.samples += 1;
+
+  for (size_t s = 0; s < delta.spans.size(); ++s) {
+    StoredRemoteSpan stored;
+    stored.participant = participant;
+    stored.seq = s;
+    stored.span = delta.spans[s];
+    // Rebase with this round's own offset — the freshest estimate of where
+    // the participant clock stood while these spans ran.
+    stored.span.start_seconds -= offset;
+    remote_spans_.push_back(std::move(stored));
+  }
+
+  for (const MetricDelta& incoming : delta.metrics) {
+    const std::string key = std::to_string(participant) + '\x1f' +
+                            MetricKey(incoming.name, incoming.labels);
+    RemoteMetricRecord& record = remote_metrics_[key];
+    MetricDelta& merged = record.metric;
+    if (merged.name.empty()) {
+      record.participant = participant;
+      merged = incoming;
+      continue;
+    }
+    if (merged.kind != incoming.kind) continue;  // hostile/confused peer
+    if (merged.kind == MetricKind::kCounter) {
+      merged.counter_delta += incoming.counter_delta;
+    } else {
+      if (merged.bucket_deltas.size() != incoming.bucket_deltas.size()) {
+        continue;
+      }
+      for (size_t b = 0; b < merged.bucket_deltas.size(); ++b) {
+        merged.bucket_deltas[b] += incoming.bucket_deltas[b];
+      }
+      merged.sum_delta += incoming.sum_delta;
+      merged.max_value = std::max(merged.max_value, incoming.max_value);
+      merged.count_delta += incoming.count_delta;
+    }
+  }
+}
+
+void FederationMerger::RecordRoundTrip(uint64_t round, uint64_t participant,
+                                       double t0, double t1,
+                                       uint64_t retries, bool present) {
+  if (participant >= num_participants_) return;
+  RoundTripRecord record;
+  record.round = round;
+  record.participant = participant;
+  record.send_seconds = t0;
+  record.recv_seconds = t1;
+  record.retries = retries;
+  record.present = present;
+  std::lock_guard<std::mutex> lock(mu_);
+  round_trips_.push_back(record);
+}
+
+void FederationMerger::RecordRoundSpan(uint64_t round, double start_seconds,
+                                       double duration_seconds,
+                                       double aggregate_seconds,
+                                       double validate_seconds) {
+  RoundSpanRecord record;
+  record.round = round;
+  record.span_id = RoundSpanId(run_id_, round);
+  record.start_seconds = start_seconds;
+  record.duration_seconds = duration_seconds;
+  record.aggregate_seconds = aggregate_seconds;
+  record.validate_seconds = validate_seconds;
+  std::lock_guard<std::mutex> lock(mu_);
+  round_spans_.push_back(record);
+}
+
+FederationReport FederationMerger::Build(RunReport local) const {
+  FederationReport report;
+  report.run_id = run_id_;
+  report.num_participants = num_participants_;
+  report.local = std::move(local);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  report.round_spans = round_spans_;
+  std::sort(report.round_spans.begin(), report.round_spans.end(),
+            [](const RoundSpanRecord& a, const RoundSpanRecord& b) {
+              return a.round < b.round;
+            });
+
+  report.round_trips = round_trips_;
+  std::sort(report.round_trips.begin(), report.round_trips.end(),
+            [](const RoundTripRecord& a, const RoundTripRecord& b) {
+              return std::tie(a.round, a.participant) <
+                     std::tie(b.round, b.participant);
+            });
+
+  for (size_t i = 0; i < clocks_.size(); ++i) {
+    ClockSample sample;
+    sample.participant = i;
+    sample.offset_seconds = clocks_[i].offset_seconds;
+    sample.rtt_seconds = clocks_[i].rtt_seconds;
+    sample.samples = clocks_[i].samples;
+    report.clocks.push_back(sample);
+  }
+
+  std::vector<StoredRemoteSpan> spans = remote_spans_;
+  std::sort(spans.begin(), spans.end(),
+            [](const StoredRemoteSpan& a, const StoredRemoteSpan& b) {
+              return std::tie(a.span.round, a.participant, a.seq) <
+                     std::tie(b.span.round, b.participant, b.seq);
+            });
+  report.remote_spans.reserve(spans.size());
+  for (StoredRemoteSpan& stored : spans) {
+    report.remote_spans.push_back(
+        RemoteSpanRecord{stored.participant, std::move(stored.span)});
+  }
+
+  for (const auto& [key, record] : remote_metrics_) {
+    report.remote_metrics.push_back(record);
+  }
+  std::sort(report.remote_metrics.begin(), report.remote_metrics.end(),
+            [](const RemoteMetricRecord& a, const RemoteMetricRecord& b) {
+              const std::string la = EncodeLabels(a.metric.labels);
+              const std::string lb = EncodeLabels(b.metric.labels);
+              return std::tie(a.participant, a.metric.name, la) <
+                     std::tie(b.participant, b.metric.name, lb);
+            });
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// JSONL
+
+std::string HexId(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIx64, id);
+  return buf;
+}
+
+namespace {
+
+void AppendLabelsJson(const LabelSet& labels, std::ostream& os) {
+  os << "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << json::Escape(labels[i].key) << "\":\""
+       << json::Escape(labels[i].value) << "\"";
+  }
+  os << "}";
+}
+
+void WriteRemoteMetricLine(const RemoteMetricRecord& record,
+                           std::ostream& os) {
+  const MetricDelta& m = record.metric;
+  os << "{\"type\":\"remote_metric\",\"participant\":" << record.participant
+     << ",\"name\":\"" << json::Escape(m.name) << "\",\"labels\":";
+  AppendLabelsJson(m.labels, os);
+  os << ",\"kind\":\"" << MetricKindToString(m.kind) << "\"";
+  if (m.kind == MetricKind::kHistogram) {
+    os << ",\"count\":" << m.count_delta
+       << ",\"sum\":" << json::Number(m.sum_delta)
+       << ",\"max\":" << json::Number(m.max_value) << ",\"buckets\":[";
+    for (size_t b = 0; b < m.bucket_deltas.size(); ++b) {
+      if (b > 0) os << ",";
+      os << "{\"le\":";
+      if (b < m.bounds.size()) {
+        os << json::Number(m.bounds[b]);
+      } else {
+        os << "null";  // overflow bucket
+      }
+      os << ",\"count\":" << m.bucket_deltas[b] << "}";
+    }
+    os << "]";
+  } else {
+    os << ",\"value\":" << m.counter_delta;
+  }
+  os << "}\n";
+}
+
+}  // namespace
+
+Status WriteFederationJsonl(const FederationReport& report,
+                            std::ostream& os) {
+  os << "{\"type\":\"federation\",\"schema\":\"digfl.federation.v1\","
+     << "\"run_id\":\"" << HexId(report.run_id)
+     << "\",\"participants\":" << report.num_participants << "}\n";
+  for (const RoundSpanRecord& span : report.round_spans) {
+    os << "{\"type\":\"round_span\",\"round\":" << span.round
+       << ",\"span_id\":\"" << HexId(span.span_id)
+       << "\",\"start_seconds\":" << json::Number(span.start_seconds)
+       << ",\"duration_seconds\":" << json::Number(span.duration_seconds)
+       << ",\"aggregate_seconds\":" << json::Number(span.aggregate_seconds)
+       << ",\"validate_seconds\":" << json::Number(span.validate_seconds)
+       << "}\n";
+  }
+  for (const RoundTripRecord& trip : report.round_trips) {
+    os << "{\"type\":\"round_trip\",\"round\":" << trip.round
+       << ",\"participant\":" << trip.participant
+       << ",\"send_seconds\":" << json::Number(trip.send_seconds)
+       << ",\"recv_seconds\":" << json::Number(trip.recv_seconds)
+       << ",\"retries\":" << trip.retries
+       << ",\"present\":" << (trip.present ? 1 : 0) << "}\n";
+  }
+  for (const ClockSample& clock : report.clocks) {
+    os << "{\"type\":\"clock\",\"participant\":" << clock.participant
+       << ",\"offset_seconds\":" << json::Number(clock.offset_seconds)
+       << ",\"rtt_seconds\":" << json::Number(clock.rtt_seconds)
+       << ",\"samples\":" << clock.samples << "}\n";
+  }
+  for (const RemoteSpanRecord& record : report.remote_spans) {
+    os << "{\"type\":\"remote_span\",\"participant\":" << record.participant
+       << ",\"round\":" << record.span.round << ",\"parent_span_id\":\""
+       << HexId(record.span.parent_span_id) << "\",\"name\":\""
+       << json::Escape(record.span.name)
+       << "\",\"start_seconds\":" << json::Number(record.span.start_seconds)
+       << ",\"duration_seconds\":"
+       << json::Number(record.span.duration_seconds) << "}\n";
+  }
+  for (const RemoteMetricRecord& record : report.remote_metrics) {
+    WriteRemoteMetricLine(record, os);
+  }
+  if (!os) return Status::Internal("federation report stream write failed");
+  return Status::OK();
+}
+
+std::string FederationSectionsJsonl(const FederationReport& report) {
+  std::ostringstream os;
+  (void)WriteFederationJsonl(report, os);
+  return std::move(os).str();
+}
+
+}  // namespace telemetry
+}  // namespace digfl

@@ -1,0 +1,320 @@
+// Federation-wide observability: the structs and merge logic that turn N
+// per-process telemetry stores into ONE coordinator-anchored run report
+// (DESIGN.md §13).
+//
+// Three moving parts:
+//
+//   TraceContext    — (run id, round, parent span id) stamped by the
+//                     coordinator on every RoundRequest so participant-side
+//                     spans attach to the coordinator's round spans. The
+//                     run id is the federation config digest (both roles
+//                     already agree on it at handshake), and the parent
+//                     span id is a pure function RoundSpanId(run_id, round)
+//                     — reproducible without any coordination.
+//   NodeTelemetry   — a participant-local buffer of spans / counter deltas /
+//                     histogram deltas, drained into a TelemetryDelta that
+//                     piggybacks on the epoch-end RoundReply (wire codec in
+//                     net/messages.cc; this layer is byte-format agnostic).
+//   FederationMerger— coordinator-side, thread-safe (round workers absorb
+//                     deltas concurrently). Estimates each participant's
+//                     clock offset with the classic NTP formula from the
+//                     four round-trip timestamps, rebases remote spans onto
+//                     the coordinator clock, and accumulates everything
+//                     into a FederationReport.
+//
+// Clock model: for coordinator send/recv instants t0/t1 and participant
+// recv/send instants p0/p1 (all from ObsNow() on their own process),
+//
+//   offset = ((p0 - t0) + (p1 - t1)) / 2      // participant − coordinator
+//   rtt    = (t1 - t0) − (p1 - p0)            // wire time both ways
+//
+// A remote instant p rebases to coordinator time as p − offset. The merger
+// keeps the minimum-RTT sample per participant (the standard NTP filter;
+// the offset error is bounded by rtt/2) and refreshes it every round.
+// Under SimNet both processes share one virtual clock, so offset and rtt
+// are exactly 0 and merged timelines are bitwise-reproducible from the
+// seed (tests/observability_test.cc asserts this).
+
+#ifndef DIGFL_TELEMETRY_FEDERATION_H_
+#define DIGFL_TELEMETRY_FEDERATION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/metrics.h"
+#include "telemetry/runtime.h"
+#include "telemetry/sink.h"
+
+namespace digfl {
+namespace telemetry {
+
+// ---------------------------------------------------------------------------
+// The observability clock.
+
+// Seconds on this process's observability timeline. Default: steady-clock
+// seconds since the first call (monotonic, never wall-adjusted). The sim
+// harness installs SimNet's virtual clock so merged timelines are a pure
+// function of the seed.
+double ObsNow();
+
+// Overrides the ObsNow() source (nullptr restores the steady-clock
+// default). `fn(ctx)` must be callable from any thread; install before the
+// federation starts and restore after every node thread has joined.
+using ObsClockFn = double (*)(void* ctx);
+void SetObservabilityClock(ObsClockFn fn, void* ctx);
+
+// True when telemetry is both compiled in and runtime-enabled — the single
+// gate for trace propagation and telemetry shipping. When false, no
+// optional wire block is ever attached, so the byte stream is identical to
+// the pre-observability format.
+inline bool ObservabilityEnabled() {
+#if DIGFL_TELEMETRY_ENABLED
+  return Enabled();
+#else
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Wire-visible structs (codecs live in net/messages.cc).
+
+// Stamped on every RoundRequest; echoed back inside the reply's delta.
+struct TraceContext {
+  uint64_t run_id = 0;          // FederationConfigDigest of the run
+  uint64_t round = 0;           // epoch index
+  uint64_t parent_span_id = 0;  // RoundSpanId(run_id, round)
+
+  bool operator==(const TraceContext&) const = default;
+};
+
+// Deterministic id of the coordinator's span for `round` (FNV-1a mix of
+// run_id and round). Every process can compute it, which is what makes
+// participant spans resolvable without shipping ids downstream.
+uint64_t RoundSpanId(uint64_t run_id, uint64_t round);
+
+// One participant-side span, timestamped on the participant clock until
+// the merger rebases it.
+struct RemoteSpan {
+  uint64_t round = 0;
+  uint64_t parent_span_id = 0;
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+
+  bool operator==(const RemoteSpan&) const = default;
+};
+
+// One shipped metric increment since the previous delta.
+struct MetricDelta {
+  std::string name;
+  LabelSet labels;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t counter_delta = 0;  // kCounter
+  // kHistogram: per-bucket increments (size bounds.size() + 1, the last is
+  // the overflow bucket) plus sum/max/count increments.
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_deltas;
+  double sum_delta = 0.0;
+  double max_value = 0.0;
+  uint64_t count_delta = 0;
+};
+
+// What a participant piggybacks on an epoch-end RoundReply. The two
+// timestamps are the NTP p0/p1 instants (request receive, reply send).
+struct TelemetryDelta {
+  uint64_t participant_id = 0;
+  uint64_t round = 0;
+  double request_recv_seconds = 0.0;  // p0
+  double reply_send_seconds = 0.0;    // p1
+  std::vector<RemoteSpan> spans;
+  std::vector<MetricDelta> metrics;
+};
+
+// ---------------------------------------------------------------------------
+// Participant side: the delta buffer.
+
+// Not thread-safe; owned by the node's serve loop (one thread).
+class NodeTelemetry {
+ public:
+  // Latches the round context carried by the incoming request and the p0
+  // receive instant. Spans recorded until the next OnRequest inherit this
+  // context.
+  void OnRequest(const TraceContext& context, double recv_seconds);
+
+  // Buffers one span (participant clock); parent = the latched context.
+  void RecordSpan(std::string name, double start_seconds,
+                  double duration_seconds);
+
+  // Accumulates a counter increment into the pending delta.
+  void AddCounter(std::string name, uint64_t delta, LabelSet labels = {});
+
+  // Accumulates one observation into a pending histogram delta. `bounds`
+  // applies on first use of the series within the pending delta.
+  void Observe(std::string name, double value, std::vector<double> bounds,
+               LabelSet labels = {});
+
+  // Drains the buffer into a shippable delta stamped with the latched
+  // context and the p1 send instant.
+  TelemetryDelta TakeDelta(uint64_t participant_id, double send_seconds);
+
+  const TraceContext& context() const { return context_; }
+
+ private:
+  TraceContext context_;
+  double request_recv_seconds_ = 0.0;
+  std::vector<RemoteSpan> spans_;
+  // Key "name\x1f<canonical labels>" for deterministic emission order.
+  std::map<std::string, MetricDelta> metrics_;
+};
+
+// ---------------------------------------------------------------------------
+// Coordinator side: the merger and the merged report.
+
+struct ClockSample {
+  uint64_t participant = 0;
+  double offset_seconds = 0.0;  // participant clock − coordinator clock
+  double rtt_seconds = 0.0;     // of the minimum-RTT sample kept
+  uint64_t samples = 0;         // round trips that contributed
+};
+
+struct RoundSpanRecord {
+  uint64_t round = 0;
+  uint64_t span_id = 0;  // RoundSpanId(run_id, round)
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  double aggregate_seconds = 0.0;
+  double validate_seconds = 0.0;
+};
+
+struct RoundTripRecord {
+  uint64_t round = 0;
+  uint64_t participant = 0;
+  double send_seconds = 0.0;  // t0, coordinator clock
+  double recv_seconds = 0.0;  // t1 (or the failure instant)
+  uint64_t retries = 0;
+  bool present = false;  // reply accepted this epoch
+};
+
+struct RemoteSpanRecord {
+  uint64_t participant = 0;
+  RemoteSpan span;  // start_seconds rebased to the coordinator clock
+};
+
+struct RemoteMetricRecord {
+  uint64_t participant = 0;
+  MetricDelta metric;  // merged across all of that participant's deltas
+};
+
+// The federation-wide run report: the coordinator's local RunReport plus
+// everything merged from the participants, all on the coordinator clock.
+struct FederationReport {
+  uint64_t run_id = 0;
+  uint64_t num_participants = 0;
+  RunReport local;
+  std::vector<RoundSpanRecord> round_spans;
+  std::vector<RoundTripRecord> round_trips;
+  std::vector<ClockSample> clocks;
+  std::vector<RemoteSpanRecord> remote_spans;
+  std::vector<RemoteMetricRecord> remote_metrics;
+};
+
+// Thread-safe accumulator living on the coordinator. Round workers call
+// Absorb/RecordRoundTrip concurrently; the training thread records round
+// spans; Build() snapshots a deterministic report (stable sort orders).
+class FederationMerger {
+ public:
+  FederationMerger(uint64_t run_id, size_t num_participants);
+
+  // Handshake-time first clock sample: the participant's Hello carried its
+  // local send instant; `coord_seconds` is the coordinator receive instant.
+  // The one-way estimate (offset ≈ recv − send) seeds the model until the
+  // first symmetric round trip replaces it.
+  void RecordHandshake(uint64_t participant, double node_send_seconds,
+                       double coord_seconds);
+
+  // Merges one shipped delta. t0/t1 are the coordinator-side send/recv
+  // instants of the round trip that carried it; together with the delta's
+  // p0/p1 they refresh the clock model, and every span in the delta is
+  // rebased with this round's own offset before storage.
+  void Absorb(uint64_t participant, const TelemetryDelta& delta, double t0,
+              double t1);
+
+  void RecordRoundTrip(uint64_t round, uint64_t participant, double t0,
+                       double t1, uint64_t retries, bool present);
+
+  void RecordRoundSpan(uint64_t round, double start_seconds,
+                       double duration_seconds, double aggregate_seconds,
+                       double validate_seconds);
+
+  uint64_t run_id() const { return run_id_; }
+
+  // Deterministic snapshot: round trips and remote spans are sorted by
+  // (round, participant, arrival order within a delta), remote metrics by
+  // (participant, series key).
+  FederationReport Build(RunReport local) const;
+
+ private:
+  struct ClockModel {
+    double offset_seconds = 0.0;
+    double rtt_seconds = 0.0;
+    uint64_t samples = 0;
+  };
+
+  const uint64_t run_id_;
+  const size_t num_participants_;
+  mutable std::mutex mu_;
+  std::vector<ClockModel> clocks_;
+  std::vector<RoundSpanRecord> round_spans_;
+  std::vector<RoundTripRecord> round_trips_;
+  // (round, participant, seq-within-delta) attached for the Build() sort.
+  struct StoredRemoteSpan {
+    uint64_t participant = 0;
+    uint64_t seq = 0;
+    RemoteSpan span;
+  };
+  std::vector<StoredRemoteSpan> remote_spans_;
+  // Keyed "participant\x1fname\x1f<canonical labels>".
+  std::map<std::string, RemoteMetricRecord> remote_metrics_;
+};
+
+// ---------------------------------------------------------------------------
+// Serialization: the merged JSONL report.
+//
+// Line types, in order ("digfl.federation.v1"):
+//   {"type":"federation","schema":"digfl.federation.v1","run_id":"<hex>",
+//    "participants":N}
+//   {"type":"round_span","round":R,"span_id":"<hex>","start_seconds":...,
+//    "duration_seconds":...,"aggregate_seconds":...,"validate_seconds":...}
+//   {"type":"round_trip","round":R,"participant":P,"send_seconds":...,
+//    "recv_seconds":...,"retries":K,"present":0|1}
+//   {"type":"clock","participant":P,"offset_seconds":...,"rtt_seconds":...,
+//    "samples":N}
+//   {"type":"remote_span","participant":P,"round":R,
+//    "parent_span_id":"<hex>","name":...,"start_seconds":...,
+//    "duration_seconds":...}
+//   {"type":"remote_metric","participant":P,"name":...,"labels":{...},
+//    "kind":...,...}   // value fields as in the sink's metric lines
+//
+// 64-bit ids travel as hex strings ("0x..."): JSON numbers are doubles and
+// cannot hold a full uint64. WriteFederationJsonl emits only the
+// federation sections; callers that also want the coordinator's local
+// report (metrics/spans/events lines) append WriteJsonl(report.local, os).
+Status WriteFederationJsonl(const FederationReport& report, std::ostream& os);
+
+// The federation sections as a string — what the sim reproducibility test
+// compares bitwise across two runs of the same seed.
+std::string FederationSectionsJsonl(const FederationReport& report);
+
+// Hex encoding used for 64-bit ids in the JSONL ("0x" + lowercase digits,
+// no leading zeros beyond "0x0").
+std::string HexId(uint64_t id);
+
+}  // namespace telemetry
+}  // namespace digfl
+
+#endif  // DIGFL_TELEMETRY_FEDERATION_H_

@@ -132,12 +132,28 @@ class Parser {
     }
   }
 
+  // Guards the recursive containers: each open '{' / '[' costs one level
+  // of both logical nesting and real call stack.
+  Status EnterContainer() {
+    if (depth_ >= kMaxParseDepth) {
+      return Status::InvalidArgument(
+          "JSON nesting exceeds the depth cap (" +
+          std::to_string(kMaxParseDepth) + ")");
+    }
+    ++depth_;
+    return Status::OK();
+  }
+
   Result<Value> ParseObject() {
+    DIGFL_RETURN_IF_ERROR(EnterContainer());
     DIGFL_RETURN_IF_ERROR(Expect('{'));
     Value value;
     value.kind = Value::Kind::kObject;
     SkipWhitespace();
-    if (Consume('}')) return value;
+    if (Consume('}')) {
+      --depth_;
+      return value;
+    }
     while (true) {
       SkipWhitespace();
       DIGFL_ASSIGN_OR_RETURN(Value key, ParseString());
@@ -149,22 +165,28 @@ class Parser {
       SkipWhitespace();
       if (Consume(',')) continue;
       DIGFL_RETURN_IF_ERROR(Expect('}'));
+      --depth_;
       return value;
     }
   }
 
   Result<Value> ParseArray() {
+    DIGFL_RETURN_IF_ERROR(EnterContainer());
     DIGFL_RETURN_IF_ERROR(Expect('['));
     Value value;
     value.kind = Value::Kind::kArray;
     SkipWhitespace();
-    if (Consume(']')) return value;
+    if (Consume(']')) {
+      --depth_;
+      return value;
+    }
     while (true) {
       DIGFL_ASSIGN_OR_RETURN(Value item, ParseValue());
       value.items.push_back(std::move(item));
       SkipWhitespace();
       if (Consume(',')) continue;
       DIGFL_RETURN_IF_ERROR(Expect(']'));
+      --depth_;
       return value;
     }
   }
@@ -296,6 +318,7 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace

@@ -49,7 +49,14 @@ class Value {
   std::string StringOr(std::string_view key, std::string fallback) const;
 };
 
-// Strict parse of a complete JSON document (trailing junk is an error).
+// Maximum object/array nesting Parse accepts. The parser recurses per
+// nesting level, so without a cap a line of '[' characters converts input
+// length into stack depth; anything legitimately emitted by the sink is a
+// handful of levels deep.
+inline constexpr size_t kMaxParseDepth = 64;
+
+// Strict parse of a complete JSON document (trailing junk is an error;
+// nesting beyond kMaxParseDepth is a typed kInvalidArgument).
 Result<Value> Parse(std::string_view text);
 
 }  // namespace json

@@ -87,6 +87,7 @@ void AppendSpanRows(const SpanNodeSnapshot& node, double root_total,
 RunReport CollectRunReport(std::string run_id) {
   RunReport report;
   report.run_id = std::move(run_id);
+  report.anchor_unix_seconds = EventLog::Global().anchor_unix_seconds();
   report.metrics = MetricsRegistry::Global().Snapshot();
   report.spans = Tracer::Global().Snapshot();
   report.events = EventLog::Global().Snapshot();
@@ -140,7 +141,9 @@ Status JsonlFileSink::Write(const RunReport& report) {
 Status WriteJsonl(const RunReport& report, std::ostream& os) {
   os << "{\"type\":\"run\",\"schema\":\"" << json::Escape(report.schema)
      << "\",\"run_id\":\"" << json::Escape(report.run_id)
-     << "\",\"events_dropped\":" << report.events_dropped << "}\n";
+     << "\",\"anchor_unix_seconds\":"
+     << json::Number(report.anchor_unix_seconds)
+     << ",\"events_dropped\":" << report.events_dropped << "}\n";
   for (const MetricSample& sample : report.metrics.samples) {
     WriteMetricLine(sample, os);
   }

@@ -13,7 +13,10 @@
 //
 // JSONL schema (one object per line, "type" discriminates):
 //   {"type":"run","schema":"digfl.telemetry.v1","run_id":...,
-//    "events_dropped":N}
+//    "anchor_unix_seconds":T,"events_dropped":N}
+// where anchor_unix_seconds is the wall-clock instant of the event log's
+// steady-clock zero — the capture-time anchor that lets merged timelines
+// from different processes share an absolute axis.
 //   {"type":"metric","name":...,"labels":{...},"kind":"counter","value":N}
 //   {"type":"metric",...,"kind":"histogram","count":N,"sum":S,"max":M,
 //    "p50":...,"p95":...,"buckets":[{"le":B,"count":N},...]}
@@ -40,6 +43,8 @@ namespace telemetry {
 struct RunReport {
   std::string schema = "digfl.telemetry.v1";
   std::string run_id;
+  // Wall-clock (Unix epoch) instant the events' t_seconds are relative to.
+  double anchor_unix_seconds = 0.0;
   MetricsSnapshot metrics;
   std::vector<SpanNodeSnapshot> spans;
   std::vector<Event> events;

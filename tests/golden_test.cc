@@ -189,6 +189,7 @@ TEST(NodeCliTest, UsageTextDocumentsEveryAcceptedFlag) {
       "--epochs",        "--lr",
       "--local-steps",   "--seed",
       "--csv",           "--telemetry-out",
+      "--metrics-port",
       "--checkpoint-dir", "--checkpoint-every",
       "--resume",        "--round-timeout-ms",
       "--max-retries",   "--wait-timeout-ms",

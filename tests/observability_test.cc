@@ -1,0 +1,670 @@
+// Federation-wide observability suite (DESIGN.md §13), labelled "obs" so
+// scripts/run_checks.sh --obs can run it under ASan and TSan.
+//
+// Covers, bottom-up:
+//   - the optional wire blocks: absent fields leave every payload bitwise
+//     identical to the pre-observability format, trailing junk is a typed
+//     reject, and hostile deltas hit the decode bounds;
+//   - NodeTelemetry (participant delta buffer) and FederationMerger (NTP
+//     clock model, rebasing, deterministic Build);
+//   - Prometheus/JSON exposition, pinned by a golden file under
+//     tests/golden/metrics.prom, and the HTTP endpoint over real loopback
+//     sockets including malformed-request rejection;
+//   - the SimNet acceptance contract: a fault-free simulated federation
+//     with the virtual clock installed produces one merged report where
+//     every participant span resolves to a coordinator round span, clock
+//     offsets are exactly 0, and the merged JSONL is bitwise-reproducible
+//     from the seed;
+//   - the digfl_trace CLI end-to-end on a real merged report.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/messages.h"
+#include "net/metrics_http.h"
+#include "net/transport.h"
+#include "sim/sim_federation.h"
+#include "telemetry/exposition.h"
+#include "telemetry/federation.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/runtime.h"
+
+#ifndef DIGFL_TRACE_BIN
+#error "DIGFL_TRACE_BIN must be defined to the digfl_trace binary path"
+#endif
+#ifndef DIGFL_GOLDEN_DIR
+#error "DIGFL_GOLDEN_DIR must be defined to the tests/golden directory"
+#endif
+
+namespace digfl {
+namespace {
+
+namespace fs = std::filesystem;
+using telemetry::FederationMerger;
+using telemetry::MetricDelta;
+using telemetry::MetricKind;
+using telemetry::NodeTelemetry;
+using telemetry::RemoteSpan;
+using telemetry::RoundSpanId;
+using telemetry::TelemetryDelta;
+using telemetry::TraceContext;
+
+// With telemetry compiled out (-DDIGFL_TELEMETRY=OFF) the observability path
+// ships nothing by design: the merged report is structurally empty, which
+// RuntimeDisableShipsNothing and the bitwise-reproducibility test still pin.
+// Tests that assert a *populated* report skip themselves in that config.
+bool TelemetryCompiledOut() { return DIGFL_TELEMETRY_ENABLED == 0; }
+
+fs::path FreshDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("digfl_obs_" + name + "_" +
+                  std::to_string(static_cast<unsigned>(::getpid())));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ------------------------------------------------------- wire compat.
+
+net::RoundRequestMsg BaseRequest() {
+  net::RoundRequestMsg msg;
+  msg.epoch = 4;
+  msg.learning_rate = 0.125;
+  msg.local_steps = 2;
+  msg.params = Vec{0.5, -1.25, 3.0};
+  return msg;
+}
+
+net::RoundReplyMsg BaseReply() {
+  net::RoundReplyMsg msg;
+  msg.epoch = 4;
+  msg.participant_id = 2;
+  msg.delta = Vec{0.25, 0.0, -0.75};
+  return msg;
+}
+
+TelemetryDelta SampleDelta() {
+  TelemetryDelta delta;
+  delta.participant_id = 2;
+  delta.round = 4;
+  delta.request_recv_seconds = 1.5;
+  delta.reply_send_seconds = 1.75;
+  RemoteSpan span;
+  span.round = 4;
+  span.parent_span_id = RoundSpanId(99, 4);
+  span.name = "participant.compute";
+  span.start_seconds = 1.55;
+  span.duration_seconds = 0.1;
+  delta.spans.push_back(span);
+  MetricDelta counter;
+  counter.name = "node.rounds_served_total";
+  counter.labels = {{"phase", "train"}};
+  counter.kind = MetricKind::kCounter;
+  counter.counter_delta = 3;
+  delta.metrics.push_back(counter);
+  MetricDelta histogram;
+  histogram.name = "node.compute_seconds";
+  histogram.kind = MetricKind::kHistogram;
+  histogram.bounds = {0.01, 0.1, 1.0};
+  histogram.bucket_deltas = {1, 2, 0, 1};
+  histogram.sum_delta = 2.34;
+  histogram.max_value = 1.9;
+  histogram.count_delta = 4;
+  delta.metrics.push_back(histogram);
+  return delta;
+}
+
+// Absent optional fields must leave the payload bitwise identical to the
+// pre-observability encoding — i.e. the with-block encoding is a strict
+// extension, and the without-block bytes decode to nullopt.
+TEST(ObsWireTest, AbsentBlocksLeavePayloadsBitwiseUnchanged) {
+  net::HelloMsg hello;
+  hello.participant_id = 1;
+  hello.num_params = 3;
+  hello.config_digest = 99;
+  const std::string bare_hello = net::EncodeHello(hello);
+  hello.obs_clock_seconds = 12.5;
+  const std::string obs_hello = net::EncodeHello(hello);
+  ASSERT_GT(obs_hello.size(), bare_hello.size());
+  EXPECT_EQ(obs_hello.substr(0, bare_hello.size()), bare_hello);
+  auto bare_decoded = net::DecodeHello(bare_hello);
+  ASSERT_TRUE(bare_decoded.ok());
+  EXPECT_FALSE(bare_decoded->obs_clock_seconds.has_value());
+  auto obs_decoded = net::DecodeHello(obs_hello);
+  ASSERT_TRUE(obs_decoded.ok());
+  ASSERT_TRUE(obs_decoded->obs_clock_seconds.has_value());
+  EXPECT_EQ(*obs_decoded->obs_clock_seconds, 12.5);
+
+  net::HelloAckMsg ack;
+  ack.accepted = 1;
+  ack.next_epoch = 2;
+  const std::string bare_ack = net::EncodeHelloAck(ack);
+  ack.obs = net::HelloAckObs{99, 34.25};
+  const std::string obs_ack = net::EncodeHelloAck(ack);
+  ASSERT_GT(obs_ack.size(), bare_ack.size());
+  EXPECT_EQ(obs_ack.substr(0, bare_ack.size()), bare_ack);
+  auto ack_decoded = net::DecodeHelloAck(obs_ack);
+  ASSERT_TRUE(ack_decoded.ok());
+  ASSERT_TRUE(ack_decoded->obs.has_value());
+  EXPECT_EQ(ack_decoded->obs->run_id, 99u);
+  EXPECT_EQ(ack_decoded->obs->coordinator_seconds, 34.25);
+  EXPECT_FALSE(net::DecodeHelloAck(bare_ack)->obs.has_value());
+
+  net::RoundRequestMsg request = BaseRequest();
+  const std::string bare_request = net::EncodeRoundRequest(request);
+  request.trace = TraceContext{99, 4, RoundSpanId(99, 4)};
+  const std::string traced_request = net::EncodeRoundRequest(request);
+  ASSERT_GT(traced_request.size(), bare_request.size());
+  EXPECT_EQ(traced_request.substr(0, bare_request.size()), bare_request);
+  auto request_decoded = net::DecodeRoundRequest(traced_request);
+  ASSERT_TRUE(request_decoded.ok());
+  ASSERT_TRUE(request_decoded->trace.has_value());
+  EXPECT_EQ(*request_decoded->trace, (TraceContext{99, 4, RoundSpanId(99, 4)}));
+  EXPECT_FALSE(net::DecodeRoundRequest(bare_request)->trace.has_value());
+
+  net::RoundReplyMsg reply = BaseReply();
+  const std::string bare_reply = net::EncodeRoundReply(reply);
+  reply.telemetry = SampleDelta();
+  const std::string obs_reply = net::EncodeRoundReply(reply);
+  ASSERT_GT(obs_reply.size(), bare_reply.size());
+  EXPECT_EQ(obs_reply.substr(0, bare_reply.size()), bare_reply);
+  EXPECT_FALSE(net::DecodeRoundReply(bare_reply)->telemetry.has_value());
+}
+
+TEST(ObsWireTest, TrailingJunkStaysATypedReject) {
+  const std::string junk = "ZZZZ";  // wrong magic, nonzero length
+  net::HelloMsg hello;
+  hello.participant_id = 1;
+  hello.num_params = 3;
+  hello.config_digest = 99;
+  EXPECT_EQ(net::DecodeHello(net::EncodeHello(hello) + junk).status().code(),
+            StatusCode::kInvalidArgument);
+  net::HelloAckMsg ack;
+  ack.accepted = 1;
+  EXPECT_EQ(
+      net::DecodeHelloAck(net::EncodeHelloAck(ack) + junk).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(net::DecodeRoundRequest(net::EncodeRoundRequest(BaseRequest()) +
+                                    junk)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      net::DecodeRoundReply(net::EncodeRoundReply(BaseReply()) + junk)
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(ObsWireTest, TelemetryDeltaRoundTripsThroughTheReplyCodec) {
+  net::RoundReplyMsg reply = BaseReply();
+  reply.telemetry = SampleDelta();
+  auto decoded = net::DecodeRoundReply(net::EncodeRoundReply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(decoded->telemetry.has_value());
+  const TelemetryDelta& got = *decoded->telemetry;
+  const TelemetryDelta want = SampleDelta();
+  EXPECT_EQ(got.participant_id, want.participant_id);
+  EXPECT_EQ(got.round, want.round);
+  EXPECT_EQ(got.request_recv_seconds, want.request_recv_seconds);
+  EXPECT_EQ(got.reply_send_seconds, want.reply_send_seconds);
+  ASSERT_EQ(got.spans.size(), 1u);
+  EXPECT_EQ(got.spans[0], want.spans[0]);
+  ASSERT_EQ(got.metrics.size(), 2u);
+  EXPECT_EQ(got.metrics[0].name, "node.rounds_served_total");
+  EXPECT_EQ(got.metrics[0].counter_delta, 3u);
+  ASSERT_EQ(got.metrics[0].labels.size(), 1u);
+  EXPECT_EQ(got.metrics[0].labels[0].key, "phase");
+  EXPECT_EQ(got.metrics[0].labels[0].value, "train");
+  EXPECT_EQ(got.metrics[1].name, "node.compute_seconds");
+  EXPECT_EQ(got.metrics[1].bounds, want.metrics[1].bounds);
+  EXPECT_EQ(got.metrics[1].bucket_deltas, want.metrics[1].bucket_deltas);
+  EXPECT_EQ(got.metrics[1].sum_delta, want.metrics[1].sum_delta);
+  EXPECT_EQ(got.metrics[1].max_value, want.metrics[1].max_value);
+  EXPECT_EQ(got.metrics[1].count_delta, want.metrics[1].count_delta);
+}
+
+// The decoder treats the delta as hostile input: span/metric counts, label
+// counts, and bucket-layout consistency are all bounded before allocation.
+TEST(ObsWireTest, HostileDeltasHitTheDecodeBounds) {
+  net::RoundReplyMsg reply = BaseReply();
+  reply.telemetry = SampleDelta();
+  reply.telemetry->spans.resize(4097, reply.telemetry->spans[0]);
+  EXPECT_EQ(net::DecodeRoundReply(net::EncodeRoundReply(reply))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  reply.telemetry = SampleDelta();
+  reply.telemetry->metrics[1].bucket_deltas.push_back(7);  // != bounds+1
+  EXPECT_EQ(net::DecodeRoundReply(net::EncodeRoundReply(reply))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  reply.telemetry = SampleDelta();
+  reply.telemetry->spans[0].duration_seconds =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(net::DecodeRoundReply(net::EncodeRoundReply(reply))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------- participant side.
+
+TEST(NodeTelemetryTest, BuffersSpansAndMetricsUntilDrained) {
+  NodeTelemetry buffer;
+  const TraceContext context{99, 4, RoundSpanId(99, 4)};
+  buffer.OnRequest(context, 10.0);
+  buffer.RecordSpan("participant.compute", 10.1, 0.5);
+  buffer.AddCounter("node.rounds_served_total", 1);
+  buffer.AddCounter("node.rounds_served_total", 1);
+  buffer.Observe("node.compute_seconds", 0.5, {0.1, 1.0});
+  buffer.Observe("node.compute_seconds", 5.0, {0.1, 1.0});
+
+  TelemetryDelta delta = buffer.TakeDelta(2, 10.7);
+  EXPECT_EQ(delta.participant_id, 2u);
+  EXPECT_EQ(delta.round, 4u);
+  EXPECT_EQ(delta.request_recv_seconds, 10.0);
+  EXPECT_EQ(delta.reply_send_seconds, 10.7);
+  ASSERT_EQ(delta.spans.size(), 1u);
+  EXPECT_EQ(delta.spans[0].parent_span_id, context.parent_span_id);
+  EXPECT_EQ(delta.spans[0].round, 4u);
+  ASSERT_EQ(delta.metrics.size(), 2u);
+  EXPECT_EQ(delta.metrics[1].counter_delta, 2u);  // map order: histogram first
+  const MetricDelta& histogram =
+      delta.metrics[0].kind == MetricKind::kHistogram ? delta.metrics[0]
+                                                      : delta.metrics[1];
+  EXPECT_EQ(histogram.count_delta, 2u);
+  EXPECT_EQ(histogram.sum_delta, 5.5);
+  EXPECT_EQ(histogram.max_value, 5.0);
+  ASSERT_EQ(histogram.bucket_deltas.size(), 3u);
+  EXPECT_EQ(histogram.bucket_deltas[1], 1u);  // 0.5 <= 1.0
+  EXPECT_EQ(histogram.bucket_deltas[2], 1u);  // 5.0 overflows
+
+  // Drained: the next delta is empty but keeps the latched context.
+  TelemetryDelta again = buffer.TakeDelta(2, 11.0);
+  EXPECT_TRUE(again.spans.empty());
+  EXPECT_TRUE(again.metrics.empty());
+  EXPECT_EQ(again.round, 4u);
+}
+
+// ------------------------------------------------------- merger.
+
+TEST(TracerObsTest, RoundSpanIdsAreStableNonzeroAndDistinct) {
+  const uint64_t a = RoundSpanId(99, 0);
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(a, RoundSpanId(99, 0));
+  EXPECT_NE(a, RoundSpanId(99, 1));
+  EXPECT_NE(a, RoundSpanId(100, 0));
+}
+
+TEST(FederationMergerObsTest, NtpFormulaAndRebasingFromOneRoundTrip) {
+  FederationMerger merger(99, 3);
+  // Coordinator sends at t0=10, receives at t1=11; the participant clock
+  // runs 100s ahead and observes p0=110.4, p1=110.6 → offset 100, rtt 0.8.
+  TelemetryDelta delta = SampleDelta();
+  delta.request_recv_seconds = 110.4;
+  delta.reply_send_seconds = 110.6;
+  delta.spans[0].start_seconds = 110.45;
+  merger.Absorb(2, delta, 10.0, 11.0);
+  merger.RecordRoundTrip(4, 2, 10.0, 11.0, 0, true);
+  merger.RecordRoundSpan(4, 10.0, 1.2, 0.1, 0.05);
+
+  telemetry::FederationReport report =
+      merger.Build(telemetry::CollectRunReport("test"));
+  ASSERT_EQ(report.clocks.size(), 3u);
+  EXPECT_EQ(report.clocks[2].participant, 2u);
+  EXPECT_NEAR(report.clocks[2].offset_seconds, 100.0, 1e-9);
+  EXPECT_NEAR(report.clocks[2].rtt_seconds, 0.8, 1e-9);
+  ASSERT_EQ(report.remote_spans.size(), 1u);
+  // 110.45 on the participant clock rebases to 10.45 on the coordinator's.
+  EXPECT_NEAR(report.remote_spans[0].span.start_seconds, 10.45, 1e-9);
+  ASSERT_EQ(report.round_spans.size(), 1u);
+  EXPECT_EQ(report.round_spans[0].span_id, RoundSpanId(99, 4));
+}
+
+TEST(FederationMergerObsTest, MinimumRttSampleWinsTheClockModel) {
+  FederationMerger merger(99, 1);
+  TelemetryDelta tight = SampleDelta();
+  tight.participant_id = 0;
+  tight.request_recv_seconds = 55.1;
+  tight.reply_send_seconds = 55.1;
+  tight.spans.clear();
+  tight.metrics.clear();
+  merger.Absorb(0, tight, 5.0, 5.2);  // rtt 0.2, offset 50.0
+  TelemetryDelta loose = tight;
+  loose.request_recv_seconds = 62.0;
+  loose.reply_send_seconds = 62.0;
+  merger.Absorb(0, loose, 6.0, 10.0);  // rtt 4.0: filtered out
+  telemetry::FederationReport report =
+      merger.Build(telemetry::CollectRunReport("test"));
+  ASSERT_EQ(report.clocks.size(), 1u);
+  EXPECT_NEAR(report.clocks[0].offset_seconds, 50.0, 1e-9);
+  EXPECT_NEAR(report.clocks[0].rtt_seconds, 0.2, 1e-9);
+  EXPECT_EQ(report.clocks[0].samples, 2u);
+}
+
+TEST(FederationMergerObsTest, BuildIsDeterministicAcrossCalls) {
+  FederationMerger merger(99, 3);
+  for (uint64_t round = 0; round < 3; ++round) {
+    for (uint64_t p = 0; p < 3; ++p) {
+      TelemetryDelta delta = SampleDelta();
+      delta.participant_id = p;
+      delta.round = round;
+      merger.Absorb(p, delta, 1.0 * round, 1.0 * round + 0.5);
+      merger.RecordRoundTrip(round, p, 1.0 * round, 1.0 * round + 0.5, 0,
+                             true);
+    }
+    merger.RecordRoundSpan(round, 1.0 * round, 0.9, 0.1, 0.1);
+  }
+  const std::string first = telemetry::FederationSectionsJsonl(
+      merger.Build(telemetry::CollectRunReport("test")));
+  const std::string second = telemetry::FederationSectionsJsonl(
+      merger.Build(telemetry::CollectRunReport("test")));
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// ------------------------------------------------------- exposition.
+
+telemetry::MetricsSnapshot GoldenSnapshot() {
+  telemetry::MetricsRegistry registry;
+  registry.GetCounter("digfl.rounds_total", {{"phase", "train"}})
+      .Increment(7);
+  registry
+      .GetCounter("digfl.rounds_total", {{"phase", "va\"l\\id\nate"}})
+      .Increment(2);
+  registry.GetGauge("0weird.gauge-name").Set(1.5);
+  telemetry::Histogram& histogram = registry.GetHistogram(
+      "node.compute_seconds", {0.01, 0.1, 1.0}, {{"participant", "2"}});
+  histogram.Observe(0.05);
+  histogram.Observe(0.05);
+  histogram.Observe(2.5);
+  return registry.Snapshot();
+}
+
+// The rendered text is pinned bitwise by tests/golden/metrics.prom: name
+// sanitization, label-value escaping, canonical label order, cumulative
+// buckets with +Inf/_sum/_count. Regenerate by copying the "got" dump the
+// failure message points at.
+TEST(MetricsExpositionTest, PrometheusTextMatchesGoldenFile) {
+  const std::string got =
+      telemetry::RenderPrometheusText(GoldenSnapshot());
+  const fs::path golden = fs::path(DIGFL_GOLDEN_DIR) / "metrics.prom";
+  const std::string want = ReadFileOrDie(golden);
+  if (got != want) {
+    fs::path dump = FreshDir("prom_golden") / "metrics.prom.got";
+    std::ofstream(dump, std::ios::binary) << got;
+    FAIL() << "Prometheus text drifted from " << golden
+           << " — if intentional, replace the golden with " << dump;
+  }
+}
+
+TEST(MetricsExpositionTest, JsonRenderingParsesAndKeepsSeries) {
+  const std::string body = telemetry::RenderMetricsJson(GoldenSnapshot());
+  auto parsed = telemetry::json::Parse(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const telemetry::json::Value* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->items.size(), 4u);
+}
+
+TEST(MetricsExpositionTest, HttpRouterStatusCodes) {
+  const telemetry::MetricsSnapshot snapshot = GoldenSnapshot();
+  EXPECT_EQ(telemetry::HandleMetricsHttpRequest("GET /metrics HTTP/1.0",
+                                                snapshot)
+                .substr(0, 17),
+            "HTTP/1.0 200 OK\r\n");
+  const std::string json_response = telemetry::HandleMetricsHttpRequest(
+      "GET /metrics.json HTTP/1.1\r\nHost: x", snapshot);
+  EXPECT_NE(json_response.find("application/json"), std::string::npos);
+  EXPECT_EQ(telemetry::HandleMetricsHttpRequest("GET /nope HTTP/1.0",
+                                                snapshot)
+                .substr(0, 12),
+            "HTTP/1.0 404");
+  EXPECT_EQ(telemetry::HandleMetricsHttpRequest("POST /metrics HTTP/1.0",
+                                                snapshot)
+                .substr(0, 12),
+            "HTTP/1.0 405");
+  EXPECT_EQ(telemetry::HandleMetricsHttpRequest("complete garbage", snapshot)
+                .substr(0, 12),
+            "HTTP/1.0 400");
+}
+
+std::string HttpExchange(uint16_t port, const std::string& request) {
+  auto conn = net::TcpTransport()->Connect("127.0.0.1", port, 2000);
+  EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+  if (!conn.ok()) return "";
+  EXPECT_TRUE((*conn)->SendAll(request, 2000).ok());
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    auto n = (*conn)->RecvSome(buf, sizeof(buf), 2000);
+    if (!n.ok() || *n == 0) break;
+    response.append(buf, *n);
+  }
+  return response;
+}
+
+TEST(MetricsHttpObsTest, ServesLiveRegistryOverLoopback) {
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("obs_http_test.hits_total")
+      .Increment(5);
+  auto server = net::MetricsHttpServer::Start(0);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_NE((*server)->port(), 0);
+  const std::string response = HttpExchange(
+      (*server)->port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(response.substr(0, 17), "HTTP/1.0 200 OK\r\n");
+  EXPECT_NE(response.find("obs_http_test_hits_total 5"), std::string::npos)
+      << response;
+  const std::string json_response = HttpExchange(
+      (*server)->port(), "GET /metrics.json HTTP/1.0\r\n\r\n");
+  EXPECT_NE(json_response.find("application/json"), std::string::npos);
+  (*server)->Stop();
+}
+
+TEST(MetricsHttpObsTest, MalformedRequestsGetA400NotAHang) {
+  auto server = net::MetricsHttpServer::Start(0);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_EQ(HttpExchange((*server)->port(), "\x01\x02 garbage\r\n\r\n")
+                .substr(0, 12),
+            "HTTP/1.0 400");
+  EXPECT_EQ(HttpExchange((*server)->port(),
+                         "DELETE /metrics HTTP/1.0\r\n\r\n")
+                .substr(0, 12),
+            "HTTP/1.0 405");
+  // The next request still works: one bad client doesn't kill the loop.
+  EXPECT_EQ(HttpExchange((*server)->port(), "GET /metrics HTTP/1.0\r\n\r\n")
+                .substr(0, 12),
+            "HTTP/1.0 200");
+}
+
+// ------------------------------------------------------- sim acceptance.
+
+sim::SimScenario ObservabilityScenario(uint64_t seed) {
+  sim::SimScenario scenario;  // default rates: fault-free
+  scenario.seed = seed;
+  scenario.num_participants = 3;
+  scenario.epochs = 3;
+  scenario.collect_observability = true;
+  // Generous quiescence grace so compute bursts never advance the virtual
+  // clock: every ObsNow() reads 0 and the merged timeline is a pure
+  // function of the seed (sim/sim_net.h "Determinism").
+  scenario.grace_us = 20000;
+  return scenario;
+}
+
+TEST(SimObservabilityTest, EveryParticipantSpanResolvesToARoundSpan) {
+  if (TelemetryCompiledOut()) GTEST_SKIP() << "telemetry compiled out";
+  sim::SimFederationResult result =
+      sim::RunSimFederation(ObservabilityScenario(7));
+  ASSERT_TRUE(result.completed()) << result.status.ToString();
+  const telemetry::FederationReport& report = result.federation_report;
+  ASSERT_EQ(report.round_spans.size(), 3u);
+  std::set<uint64_t> round_ids;
+  for (const auto& span : report.round_spans) round_ids.insert(span.span_id);
+
+  size_t epoch_spans = 0;
+  for (const auto& record : report.remote_spans) {
+    EXPECT_NE(record.span.parent_span_id, 0u) << record.span.name;
+    EXPECT_EQ(round_ids.count(record.span.parent_span_id), 1u)
+        << record.span.name << " round " << record.span.round;
+    EXPECT_EQ(record.span.parent_span_id,
+              RoundSpanId(report.run_id, record.span.round));
+    if (record.span.name == "participant.round") ++epoch_spans;
+  }
+  // One epoch span per (participant, epoch) cell on a fault-free run.
+  EXPECT_EQ(epoch_spans, 3u * 3u);
+  // Every participant shipped its counters.
+  uint64_t rounds_served = 0;
+  for (const auto& record : report.remote_metrics) {
+    if (record.metric.name == "node.rounds_served_total") {
+      rounds_served += record.metric.counter_delta;
+    }
+  }
+  EXPECT_EQ(rounds_served, 3u * 3u);
+}
+
+TEST(SimObservabilityTest, SharedVirtualClockAlignsExactly) {
+  if (TelemetryCompiledOut()) GTEST_SKIP() << "telemetry compiled out";
+  sim::SimFederationResult result =
+      sim::RunSimFederation(ObservabilityScenario(11));
+  ASSERT_TRUE(result.completed()) << result.status.ToString();
+  ASSERT_EQ(result.federation_report.clocks.size(), 3u);
+  for (const auto& clock : result.federation_report.clocks) {
+    EXPECT_EQ(clock.offset_seconds, 0.0) << "participant "
+                                         << clock.participant;
+    EXPECT_EQ(clock.rtt_seconds, 0.0) << "participant " << clock.participant;
+    EXPECT_GE(clock.samples, 1u);
+  }
+}
+
+TEST(SimObservabilityTest, MergedTimelineIsBitwiseReproducibleFromTheSeed) {
+  const sim::SimScenario scenario = ObservabilityScenario(13);
+  sim::SimFederationResult first = sim::RunSimFederation(scenario);
+  ASSERT_TRUE(first.completed()) << first.status.ToString();
+  sim::SimFederationResult second = sim::RunSimFederation(scenario);
+  ASSERT_TRUE(second.completed()) << second.status.ToString();
+  ASSERT_FALSE(first.federation_jsonl.empty());
+  EXPECT_EQ(first.federation_jsonl, second.federation_jsonl);
+}
+
+TEST(SimObservabilityTest, MergedJsonlParsesLineByLine) {
+  if (TelemetryCompiledOut()) GTEST_SKIP() << "telemetry compiled out";
+  sim::SimFederationResult result =
+      sim::RunSimFederation(ObservabilityScenario(17));
+  ASSERT_TRUE(result.completed()) << result.status.ToString();
+  std::istringstream lines(result.federation_jsonl);
+  std::string line;
+  size_t count = 0;
+  bool saw_header = false;
+  while (std::getline(lines, line)) {
+    auto parsed = telemetry::json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line << ": " << parsed.status().ToString();
+    if (parsed->StringOr("type", "") == "federation") {
+      saw_header = true;
+      EXPECT_EQ(parsed->StringOr("schema", ""), "digfl.federation.v1");
+      EXPECT_EQ(parsed->NumberOr("participants", 0.0), 3.0);
+    }
+    ++count;
+  }
+  EXPECT_TRUE(saw_header);
+  EXPECT_GT(count, 10u);
+}
+
+TEST(SimObservabilityTest, RuntimeDisableShipsNothing) {
+  telemetry::SetEnabled(false);
+  sim::SimFederationResult result =
+      sim::RunSimFederation(ObservabilityScenario(19));
+  telemetry::SetEnabled(true);
+  ASSERT_TRUE(result.completed()) << result.status.ToString();
+  EXPECT_TRUE(result.federation_report.round_spans.empty());
+  EXPECT_TRUE(result.federation_report.remote_spans.empty());
+  EXPECT_TRUE(result.federation_report.remote_metrics.empty());
+}
+
+// ------------------------------------------------------- digfl_trace CLI.
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+RunResult RunCommand(const std::string& command, const fs::path& dir) {
+  fs::path out = dir / "stdout.txt";
+  fs::path err = dir / "stderr.txt";
+  std::string full = command + " > " + out.string() + " 2> " + err.string();
+  int raw = std::system(full.c_str());
+  RunResult result;
+  if (raw != -1 && WIFEXITED(raw)) result.exit_code = WEXITSTATUS(raw);
+  result.out = ReadFileOrDie(out);
+  result.err = ReadFileOrDie(err);
+  return result;
+}
+
+TEST(TraceCliTest, AnalyzesAMergedReportEndToEnd) {
+  if (TelemetryCompiledOut()) GTEST_SKIP() << "telemetry compiled out";
+  sim::SimFederationResult run =
+      sim::RunSimFederation(ObservabilityScenario(23));
+  ASSERT_TRUE(run.completed()) << run.status.ToString();
+  fs::path dir = FreshDir("trace_cli");
+  fs::path report = dir / "federation.jsonl";
+  std::ofstream(report, std::ios::binary) << run.federation_jsonl;
+  fs::path chrome = dir / "trace.json";
+
+  RunResult result = RunCommand(std::string(DIGFL_TRACE_BIN) +
+                                    " --report=" + report.string() +
+                                    " --top=2 --trace-out=" + chrome.string(),
+                                dir);
+  ASSERT_EQ(result.exit_code, 0) << "stderr: " << result.err;
+  EXPECT_NE(result.out.find("critical path per round"), std::string::npos);
+  EXPECT_NE(result.out.find("straggler top-2"), std::string::npos);
+  EXPECT_NE(result.out.find("unresolved participant span parents: 0"),
+            std::string::npos)
+      << result.out;
+
+  auto trace = telemetry::json::Parse(ReadFileOrDie(chrome));
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  const telemetry::json::Value* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->items.size(), 9u);
+  fs::remove_all(dir);
+}
+
+TEST(TraceCliTest, HelpExitsZeroAndMissingReportExitsOne) {
+  fs::path dir = FreshDir("trace_flags");
+  RunResult help =
+      RunCommand(std::string(DIGFL_TRACE_BIN) + " --help", dir);
+  EXPECT_EQ(help.exit_code, 0);
+  EXPECT_NE(help.out.find("--report"), std::string::npos);
+  RunResult bare = RunCommand(std::string(DIGFL_TRACE_BIN), dir);
+  EXPECT_EQ(bare.exit_code, 1);
+  EXPECT_NE(bare.err.find("--report"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace digfl

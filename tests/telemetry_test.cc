@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -319,6 +321,52 @@ TEST(JsonTest, EscapeRoundTripsThroughParse) {
   ASSERT_TRUE(value.ok()) << value.status().ToString();
   EXPECT_EQ(value->StringOr("s", ""), nasty);
 }
+
+TEST(JsonTest, DepthCapIsATypedErrorNotAStackOverflow) {
+  const std::string at_cap(telemetry::json::kMaxParseDepth, '[');
+  EXPECT_TRUE(telemetry::json::Parse(
+                  at_cap + std::string(telemetry::json::kMaxParseDepth, ']'))
+                  .ok());
+  const std::string over_cap(telemetry::json::kMaxParseDepth + 1, '[');
+  auto deep = telemetry::json::Parse(
+      over_cap + std::string(telemetry::json::kMaxParseDepth + 1, ']'));
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.status().code(), StatusCode::kInvalidArgument);
+  // A wall of open brackets (no closers) must also die at the cap, not at
+  // end-of-input after recursing input-length deep.
+  EXPECT_FALSE(telemetry::json::Parse(std::string(100000, '[')).ok());
+}
+
+#ifdef DIGFL_JSON_CORPUS_DIR
+// Data-driven parser corpus (tests/corpus/json/): ok_*.json must parse,
+// bad_*.json must fail with a typed kInvalidArgument. Adding a hostile
+// input is a data change, not a C++ change.
+TEST(JsonTest, CorpusCasesParseOrRejectByFilename) {
+  namespace fs = std::filesystem;
+  size_t cases = 0;
+  for (const auto& entry : fs::directory_iterator(DIGFL_JSON_CORPUS_DIR)) {
+    const std::string stem = entry.path().filename().string();
+    if (entry.path().extension() != ".json") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = telemetry::json::Parse(buf.str());
+    if (stem.rfind("ok_", 0) == 0) {
+      EXPECT_TRUE(parsed.ok())
+          << stem << ": " << parsed.status().ToString();
+    } else if (stem.rfind("bad_", 0) == 0) {
+      ASSERT_FALSE(parsed.ok()) << stem << " parsed but must be rejected";
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << stem;
+    } else {
+      FAIL() << stem << ": corpus files must start with ok_ or bad_";
+    }
+    ++cases;
+  }
+  EXPECT_GE(cases, 10u) << "corpus went missing from " << DIGFL_JSON_CORPUS_DIR;
+}
+#endif  // DIGFL_JSON_CORPUS_DIR
 
 // ---------------------------------------------------------------------------
 // JSONL run report round-trip.

@@ -25,7 +25,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,8 +39,10 @@
 #include "data/paper_datasets.h"
 #include "data/partition.h"
 #include "net/coordinator.h"
+#include "net/metrics_http.h"
 #include "net/participant_node.h"
 #include "nn/mlp.h"
+#include "telemetry/federation.h"
 #include "telemetry/sink.h"
 #include "telemetry/telemetry.h"
 
@@ -62,6 +66,7 @@ struct Flags {
   uint64_t seed = 7;
   std::string csv;                   // coordinator: φ̂ table output
   std::string telemetry_out;
+  int metrics_port = -1;             // -1 = endpoint off (the default)
   std::string checkpoint_dir;
   size_t checkpoint_every = 1;
   bool resume = false;
@@ -94,6 +99,9 @@ void PrintUsage() {
                             match across all processes (digest-checked)
   --csv=PATH                coordinator: write the φ̂ table as CSV
   --telemetry-out=PATH      append the telemetry run report as JSONL
+                            (coordinator: the merged federation report)
+  --metrics-port=P          serve live metrics over HTTP on port P
+                            (0 = ephemeral, printed; default: off)
   --checkpoint-dir=DIR      coordinator: crash-safe checkpointing
   --checkpoint-every=K      epochs between checkpoints (default 1)
   --resume                  coordinator: warm-start from --checkpoint-dir
@@ -207,6 +215,12 @@ Result<Flags> ParseFlags(int argc, char** argv) {
       flags.csv = value;
     } else if (key == "telemetry-out") {
       flags.telemetry_out = value;
+    } else if (key == "metrics-port") {
+      DIGFL_ASSIGN_OR_RETURN(uint64_t port, ParseU64Flag(key, value));
+      if (port > 65535) {
+        return Status::OutOfRange("--metrics-port must be <= 65535");
+      }
+      flags.metrics_port = static_cast<int>(port);
     } else if (key == "checkpoint-dir") {
       flags.checkpoint_dir = value;
     } else if (key == "checkpoint-every") {
@@ -257,6 +271,23 @@ Result<Flags> ParseFlags(int argc, char** argv) {
 
 double EffectiveLearningRate(const Flags& flags) {
   return flags.learning_rate > 0 ? flags.learning_rate : 0.3;
+}
+
+// Starts the live exposition endpoint when --metrics-port was given;
+// returns nullptr (endpoint off) otherwise.
+Result<std::unique_ptr<net::MetricsHttpServer>> MaybeStartMetricsServer(
+    const Flags& flags) {
+  if (flags.metrics_port < 0) {
+    return std::unique_ptr<net::MetricsHttpServer>();
+  }
+  DIGFL_ASSIGN_OR_RETURN(
+      std::unique_ptr<net::MetricsHttpServer> server,
+      net::MetricsHttpServer::Start(
+          static_cast<uint16_t>(flags.metrics_port)));
+  std::printf("metrics endpoint on port %u (/metrics, /metrics.json)\n",
+              server->port());
+  std::fflush(stdout);
+  return server;
 }
 
 // The deterministic experiment both roles rebuild from the shared flags.
@@ -326,6 +357,8 @@ Result<int> RunCoordinator(const Flags& flags) {
   options.max_round_retries = flags.max_retries;
   DIGFL_ASSIGN_OR_RETURN(std::unique_ptr<net::Coordinator> coordinator,
                          net::Coordinator::Create(options));
+  DIGFL_ASSIGN_OR_RETURN(std::unique_ptr<net::MetricsHttpServer> metrics,
+                         MaybeStartMetricsServer(flags));
   // The launch script and the integration test parse this line.
   std::printf("coordinator listening on port %u\n", coordinator->port());
   std::fflush(stdout);
@@ -402,10 +435,19 @@ Result<int> RunCoordinator(const Flags& flags) {
     std::printf("wrote %s\n", flags.csv.c_str());
   }
   if (!flags.telemetry_out.empty()) {
-    telemetry::JsonlFileSink sink(flags.telemetry_out);
-    DIGFL_RETURN_IF_ERROR(
-        sink.Write(telemetry::CollectRunReport("digfl_node:coordinator")));
-    std::printf("wrote telemetry run report to %s\n",
+    // The coordinator writes the *merged* federation report: its own run
+    // report plus every participant's shipped spans/metrics, all rebased
+    // onto the coordinator clock (DESIGN.md §13).
+    const telemetry::FederationReport report =
+        coordinator->CollectFederationReport("digfl_node:coordinator");
+    std::ofstream os(flags.telemetry_out, std::ios::app);
+    if (!os) {
+      return Status::InvalidArgument("cannot open telemetry sink: " +
+                                     flags.telemetry_out);
+    }
+    DIGFL_RETURN_IF_ERROR(telemetry::WriteFederationJsonl(report, os));
+    DIGFL_RETURN_IF_ERROR(telemetry::WriteJsonl(report.local, os));
+    std::printf("wrote merged federation report to %s\n",
                 flags.telemetry_out.c_str());
   }
   return 0;
@@ -415,6 +457,8 @@ Result<int> RunParticipant(const Flags& flags) {
   DIGFL_ASSIGN_OR_RETURN(HflSetup setup, BuildHflSetup(flags));
   Mlp model({setup.num_features, 16, setup.num_classes});
 
+  DIGFL_ASSIGN_OR_RETURN(std::unique_ptr<net::MetricsHttpServer> metrics,
+                         MaybeStartMetricsServer(flags));
   net::ParticipantNodeOptions options;
   options.host = flags.host;
   options.port = flags.port;

@@ -1,0 +1,449 @@
+// digfl_trace — critical-path analyzer for merged federation run reports
+// (DESIGN.md §13).
+//
+//   digfl_trace --report=results/federation.jsonl [--top=K]
+//       [--trace-out=trace.json]
+//
+// Reads the JSONL a coordinator wrote with --telemetry-out (the
+// digfl.federation.v1 sections; local-report lines are ignored) and prints:
+//
+//   - a per-round table decomposing each round's critical path into
+//     broadcast → compute → upload → aggregate → validate, where the wire
+//     phases come from subtracting the participant-side round span (already
+//     rebased onto the coordinator clock by the merger) from the
+//     coordinator-side round-trip instants;
+//   - the straggler top-K: participants ranked by total round-trip time,
+//     i.e. who the coordinator actually waited for;
+//   - federation-wide phase totals;
+//   - the count of participant spans whose parent does not resolve to a
+//     coordinator round span (0 on a healthy report).
+//
+// --trace-out exports the same timeline as Chrome trace_event JSON
+// (chrome://tracing, Perfetto): the coordinator is pid 0, participant P is
+// pid P+1, all complete ("X") events in microseconds.
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/table_writer.h"
+#include "telemetry/json.h"
+
+namespace digfl {
+namespace {
+
+using telemetry::json::Parse;
+using telemetry::json::Value;
+
+struct Flags {
+  std::string report;
+  size_t top = 3;
+  std::string trace_out;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(R"(digfl_trace — critical-path analyzer for federation reports
+
+  --report=PATH        merged federation JSONL (digfl_node --telemetry-out)
+  --top=K              stragglers to list (default 3)
+  --trace-out=PATH     also export a Chrome trace_event JSON timeline
+  --help, -h           print this usage text and exit 0
+)");
+}
+
+Result<Flags> ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      flags.help = true;
+      return flags;
+    }
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      return Status::InvalidArgument("bad flag: " + arg);
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "report") {
+      flags.report = value;
+    } else if (key == "top") {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      if (errno != 0 || end != value.c_str() + value.size() || parsed == 0) {
+        return Status::InvalidArgument("--top expects a positive integer");
+      }
+      flags.top = static_cast<size_t>(parsed);
+    } else if (key == "trace-out") {
+      flags.trace_out = value;
+    } else {
+      return Status::InvalidArgument("unknown flag: --" + key);
+    }
+  }
+  if (flags.report.empty()) {
+    return Status::InvalidArgument("--report is required");
+  }
+  return flags;
+}
+
+// "0x..." hex id (the JSONL encoding of 64-bit ids) to the integer.
+Result<uint64_t> ParseHexId(const std::string& text) {
+  if (text.rfind("0x", 0) != 0 || text.size() <= 2) {
+    return Status::InvalidArgument("bad hex id: " + text);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str() + 2, &end, 16);
+  if (errno != 0 || end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("bad hex id: " + text);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+struct RoundSpanLine {
+  uint64_t round = 0;
+  uint64_t span_id = 0;
+  double start = 0.0;
+  double duration = 0.0;
+  double aggregate = 0.0;
+  double validate = 0.0;
+};
+
+struct RoundTripLine {
+  uint64_t round = 0;
+  uint64_t participant = 0;
+  double send = 0.0;
+  double recv = 0.0;
+  uint64_t retries = 0;
+  bool present = false;
+};
+
+struct RemoteSpanLine {
+  uint64_t participant = 0;
+  uint64_t round = 0;
+  uint64_t parent_span_id = 0;
+  std::string name;
+  double start = 0.0;
+  double duration = 0.0;
+};
+
+struct ClockLine {
+  uint64_t participant = 0;
+  double offset = 0.0;
+  double rtt = 0.0;
+  uint64_t samples = 0;
+};
+
+struct TraceData {
+  std::string run_id;
+  uint64_t participants = 0;
+  std::vector<RoundSpanLine> rounds;
+  std::vector<RoundTripLine> trips;
+  std::vector<RemoteSpanLine> spans;
+  std::vector<ClockLine> clocks;
+  size_t lines_skipped = 0;  // local-report / unknown line types
+};
+
+Result<TraceData> LoadReport(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::InvalidArgument("cannot open report: " + path);
+  TraceData data;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Result<Value> parsed = Parse(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     parsed.status().message());
+    }
+    const std::string type = parsed->StringOr("type", "");
+    if (type == "federation") {
+      data.run_id = parsed->StringOr("run_id", "");
+      data.participants =
+          static_cast<uint64_t>(parsed->NumberOr("participants", 0.0));
+    } else if (type == "round_span") {
+      RoundSpanLine span;
+      span.round = static_cast<uint64_t>(parsed->NumberOr("round", 0.0));
+      DIGFL_ASSIGN_OR_RETURN(span.span_id,
+                             ParseHexId(parsed->StringOr("span_id", "")));
+      span.start = parsed->NumberOr("start_seconds", 0.0);
+      span.duration = parsed->NumberOr("duration_seconds", 0.0);
+      span.aggregate = parsed->NumberOr("aggregate_seconds", 0.0);
+      span.validate = parsed->NumberOr("validate_seconds", 0.0);
+      data.rounds.push_back(span);
+    } else if (type == "round_trip") {
+      RoundTripLine trip;
+      trip.round = static_cast<uint64_t>(parsed->NumberOr("round", 0.0));
+      trip.participant =
+          static_cast<uint64_t>(parsed->NumberOr("participant", 0.0));
+      trip.send = parsed->NumberOr("send_seconds", 0.0);
+      trip.recv = parsed->NumberOr("recv_seconds", 0.0);
+      trip.retries = static_cast<uint64_t>(parsed->NumberOr("retries", 0.0));
+      trip.present = parsed->NumberOr("present", 0.0) != 0.0;
+      data.trips.push_back(trip);
+    } else if (type == "remote_span") {
+      RemoteSpanLine span;
+      span.participant =
+          static_cast<uint64_t>(parsed->NumberOr("participant", 0.0));
+      span.round = static_cast<uint64_t>(parsed->NumberOr("round", 0.0));
+      DIGFL_ASSIGN_OR_RETURN(
+          span.parent_span_id,
+          ParseHexId(parsed->StringOr("parent_span_id", "0x0")));
+      span.name = parsed->StringOr("name", "");
+      span.start = parsed->NumberOr("start_seconds", 0.0);
+      span.duration = parsed->NumberOr("duration_seconds", 0.0);
+      data.spans.push_back(span);
+    } else if (type == "clock") {
+      ClockLine clock;
+      clock.participant =
+          static_cast<uint64_t>(parsed->NumberOr("participant", 0.0));
+      clock.offset = parsed->NumberOr("offset_seconds", 0.0);
+      clock.rtt = parsed->NumberOr("rtt_seconds", 0.0);
+      clock.samples = static_cast<uint64_t>(parsed->NumberOr("samples", 0.0));
+      data.clocks.push_back(clock);
+    } else {
+      ++data.lines_skipped;  // remote_metric + local report lines
+    }
+  }
+  if (data.rounds.empty()) {
+    return Status::InvalidArgument(
+        "no round_span lines: not a merged federation report (was the "
+        "coordinator run with telemetry on?)");
+  }
+  return data;
+}
+
+std::string Ms(double seconds) {
+  return TableWriter::FormatDouble(seconds * 1e3, 3);
+}
+
+// Per-round critical path: the coordinator waits for its slowest round
+// trip, then aggregates and validates. The wire phases of the slowest
+// participant come from its rebased "participant.round" span.
+void PrintCriticalPath(const TraceData& data) {
+  // (round, participant) -> the participant.round remote span.
+  std::map<std::pair<uint64_t, uint64_t>, const RemoteSpanLine*> round_spans;
+  for (const RemoteSpanLine& span : data.spans) {
+    if (span.name == "participant.round") {
+      round_spans[{span.round, span.participant}] = &span;
+    }
+  }
+  std::map<std::pair<uint64_t, uint64_t>, const RemoteSpanLine*> computes;
+  for (const RemoteSpanLine& span : data.spans) {
+    if (span.name == "participant.compute") {
+      computes[{span.round, span.participant}] = &span;
+    }
+  }
+
+  TableWriter table({"round", "critical", "slowest", "broadcast_ms",
+                     "compute_ms", "upload_ms", "aggregate_ms",
+                     "validate_ms", "round_ms"});
+  double total_broadcast = 0.0, total_compute = 0.0, total_upload = 0.0;
+  double total_aggregate = 0.0, total_validate = 0.0;
+  for (const RoundSpanLine& round : data.rounds) {
+    // The slowest *accepted* trip is what the join waited for.
+    const RoundTripLine* slowest = nullptr;
+    for (const RoundTripLine& trip : data.trips) {
+      if (trip.round != round.round || !trip.present) continue;
+      if (slowest == nullptr ||
+          trip.recv - trip.send > slowest->recv - slowest->send) {
+        slowest = &trip;
+      }
+    }
+    double broadcast = 0.0, compute = 0.0, upload = 0.0;
+    std::string who = "-";
+    if (slowest != nullptr) {
+      who = std::to_string(slowest->participant);
+      auto it = round_spans.find({round.round, slowest->participant});
+      if (it != round_spans.end()) {
+        // p0/p1 rebased onto the coordinator clock by the merger.
+        const double p0 = it->second->start;
+        const double p1 = it->second->start + it->second->duration;
+        broadcast = std::max(0.0, p0 - slowest->send);
+        upload = std::max(0.0, slowest->recv - p1);
+        auto c = computes.find({round.round, slowest->participant});
+        compute = c != computes.end() ? c->second->duration
+                                      : it->second->duration;
+      } else {
+        compute = slowest->recv - slowest->send;  // no shipped span: lump it
+      }
+    }
+    const double wait =
+        slowest != nullptr ? slowest->recv - slowest->send : 0.0;
+    const double critical = wait + round.aggregate + round.validate;
+    total_broadcast += broadcast;
+    total_compute += compute;
+    total_upload += upload;
+    total_aggregate += round.aggregate;
+    total_validate += round.validate;
+    (void)table.AddRow({std::to_string(round.round), Ms(critical), who,
+                        Ms(broadcast), Ms(compute), Ms(upload),
+                        Ms(round.aggregate), Ms(round.validate),
+                        Ms(round.duration)});
+  }
+  std::printf("critical path per round (coordinator clock):\n");
+  table.Print(std::cout);
+
+  TableWriter totals({"phase", "total_ms"});
+  (void)totals.AddRow({"broadcast", Ms(total_broadcast)});
+  (void)totals.AddRow({"compute", Ms(total_compute)});
+  (void)totals.AddRow({"upload", Ms(total_upload)});
+  (void)totals.AddRow({"aggregate", Ms(total_aggregate)});
+  (void)totals.AddRow({"validate", Ms(total_validate)});
+  std::printf("\ncritical-path phase totals:\n");
+  totals.Print(std::cout);
+}
+
+void PrintStragglers(const TraceData& data, size_t top) {
+  struct Straggler {
+    uint64_t participant = 0;
+    double total_wait = 0.0;
+    uint64_t rounds = 0;
+    uint64_t retries = 0;
+    uint64_t absences = 0;
+  };
+  std::map<uint64_t, Straggler> by_participant;
+  for (const RoundTripLine& trip : data.trips) {
+    Straggler& s = by_participant[trip.participant];
+    s.participant = trip.participant;
+    if (trip.present) {
+      s.total_wait += trip.recv - trip.send;
+      ++s.rounds;
+    } else {
+      ++s.absences;
+    }
+    s.retries += trip.retries;
+  }
+  std::vector<Straggler> ranked;
+  for (const auto& [id, s] : by_participant) ranked.push_back(s);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Straggler& a, const Straggler& b) {
+              return a.total_wait > b.total_wait;
+            });
+  if (ranked.size() > top) ranked.resize(top);
+
+  TableWriter table({"participant", "total_wait_ms", "mean_wait_ms", "rounds",
+                     "retries", "absences"});
+  for (const Straggler& s : ranked) {
+    const double mean =
+        s.rounds > 0 ? s.total_wait / static_cast<double>(s.rounds) : 0.0;
+    (void)table.AddRow({std::to_string(s.participant), Ms(s.total_wait),
+                        Ms(mean), std::to_string(s.rounds),
+                        std::to_string(s.retries),
+                        std::to_string(s.absences)});
+  }
+  std::printf("\nstraggler top-%zu (by coordinator wait time):\n", top);
+  table.Print(std::cout);
+}
+
+void PrintClocks(const TraceData& data) {
+  if (data.clocks.empty()) return;
+  TableWriter table({"participant", "offset_ms", "rtt_ms", "samples"});
+  for (const ClockLine& clock : data.clocks) {
+    (void)table.AddRow({std::to_string(clock.participant), Ms(clock.offset),
+                        Ms(clock.rtt), std::to_string(clock.samples)});
+  }
+  std::printf("\nclock alignment (participant - coordinator, min-RTT):\n");
+  table.Print(std::cout);
+}
+
+size_t CountUnresolvedParents(const TraceData& data) {
+  std::set<uint64_t> round_ids;
+  for (const RoundSpanLine& round : data.rounds) {
+    round_ids.insert(round.span_id);
+  }
+  size_t unresolved = 0;
+  for (const RemoteSpanLine& span : data.spans) {
+    // parent 0 = the span predates its first round context (e.g. a
+    // handshake-time measurement); anything else must resolve.
+    if (span.parent_span_id != 0 &&
+        round_ids.count(span.parent_span_id) == 0) {
+      ++unresolved;
+    }
+  }
+  return unresolved;
+}
+
+// Chrome trace_event JSON ("X" complete events, microsecond timestamps):
+// pid 0 = coordinator, pid P+1 = participant P.
+Status WriteChromeTrace(const TraceData& data, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::InvalidArgument("cannot open " + path);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](uint64_t pid, const std::string& name, double start,
+                        double duration, uint64_t round) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":0,\"name\":\""
+       << telemetry::json::Escape(name) << "\",\"ts\":"
+       << telemetry::json::Number(start * 1e6) << ",\"dur\":"
+       << telemetry::json::Number(duration * 1e6)
+       << ",\"args\":{\"round\":" << round << "}}";
+  };
+  for (const RoundSpanLine& round : data.rounds) {
+    emit(0, "round " + std::to_string(round.round), round.start,
+         round.duration, round.round);
+  }
+  for (const RoundTripLine& trip : data.trips) {
+    emit(0, (trip.present ? "trip p" : "lost trip p") +
+                std::to_string(trip.participant),
+         trip.send, std::max(0.0, trip.recv - trip.send), trip.round);
+  }
+  for (const RemoteSpanLine& span : data.spans) {
+    emit(span.participant + 1, span.name, span.start, span.duration,
+         span.round);
+  }
+  os << "]}\n";
+  if (!os) return Status::Internal("trace write failed");
+  return Status::OK();
+}
+
+Result<int> Main(int argc, char** argv) {
+  DIGFL_ASSIGN_OR_RETURN(Flags flags, ParseFlags(argc, argv));
+  if (flags.help) {
+    PrintUsage();
+    return 0;
+  }
+  DIGFL_ASSIGN_OR_RETURN(TraceData data, LoadReport(flags.report));
+  std::printf("federation run %s: %" PRIu64 " participants, %zu rounds\n\n",
+              data.run_id.c_str(), data.participants, data.rounds.size());
+  PrintCriticalPath(data);
+  PrintStragglers(data, flags.top);
+  PrintClocks(data);
+  const size_t unresolved = CountUnresolvedParents(data);
+  std::printf("\nunresolved participant span parents: %zu\n", unresolved);
+  if (!flags.trace_out.empty()) {
+    DIGFL_RETURN_IF_ERROR(WriteChromeTrace(data, flags.trace_out));
+    std::printf("wrote Chrome trace to %s\n", flags.trace_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace digfl
+
+int main(int argc, char** argv) {
+  auto result = digfl::Main(argc, argv);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n(use --help for usage)\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  return *result;
+}
