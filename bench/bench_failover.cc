@@ -1,0 +1,370 @@
+// Coordinator-failure recovery baseline (DESIGN.md §14).
+//
+// Kills the primary coordinator at a fixed epoch of a real localhost
+// federation and measures how long each recovery strategy takes to get the
+// run moving again, and how many committed rounds it has to redo:
+//
+//   checkpoint_restart   the pre-HA strategy: a supervisor restarts the
+//                        coordinator process, which reopens the checkpoint
+//                        store, reloads the newest valid checkpoint, and
+//                        resumes (ckpt::RunDistributedFedSgdWithCheckpoints)
+//   ha_promotion         hot-standby promotion: the standby's lease expires,
+//                        it promotes with a fenced generation, and
+//                        warm-starts diskless from the replicated epoch log
+//   ha_promotion_blackout  same, but the replication link goes dark two
+//                        epochs before the kill, so the promoted leader must
+//                        recompute the partition window
+//
+// Every arm must land bitwise on the uninterrupted reference φ̂ — failover
+// re-runs epochs, it never changes arithmetic — and the JSON records that
+// check alongside the timings.
+//
+// Emits results/BENCH_failover.json.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "net/coordinator.h"
+#include "net/participant_node.h"
+#include "net/socket.h"
+#include "net/standby.h"
+#include "nn/softmax_regression.h"
+#include "telemetry/json.h"
+
+namespace {
+
+using namespace digfl;
+using bench::Unwrap;
+using bench::UnwrapStatus;
+
+constexpr size_t kParticipants = 3;
+constexpr size_t kEpochs = 24;
+constexpr size_t kHaltEpoch = 16;  // primary dies at this epoch's end
+constexpr int kLeaseTimeoutMs = 300;
+constexpr uint64_t kSeed = 4242;
+
+struct World {
+  SoftmaxRegression model{6, 3};
+  Dataset validation;
+  std::vector<HflParticipant> participants;
+  Vec init;
+  FedSgdConfig config;
+};
+
+World MakeWorld() {
+  GaussianClassificationConfig data_config;
+  data_config.num_samples = 240;
+  data_config.num_features = 6;
+  data_config.num_classes = 3;
+  data_config.seed = kSeed;
+  Dataset pool = Unwrap(MakeGaussianClassification(data_config), "dataset");
+  Rng rng(kSeed + 1);
+  auto split = Unwrap(SplitHoldout(pool, 0.2, rng), "holdout split");
+  World world;
+  world.validation = split.second;
+  auto shards =
+      Unwrap(PartitionIid(split.first, kParticipants, rng), "partition");
+  for (size_t i = 0; i < kParticipants; ++i) {
+    world.participants.emplace_back(i, shards[i]);
+  }
+  world.init = Vec(world.model.NumParams(), 0.0);
+  world.config.epochs = kEpochs;
+  world.config.learning_rate = 0.2;
+  return world;
+}
+
+uint64_t DigestFor(const World& world) {
+  return net::FederationConfigDigest(
+      world.model.NumParams(), world.config.epochs,
+      world.config.learning_rate, world.config.lr_decay,
+      world.config.local_steps, kSeed);
+}
+
+std::vector<double> PhiTotals(const HflServer& server,
+                              const HflTrainingLog& log) {
+  HflPhiAccumulator accumulator(log.num_participants());
+  for (const HflEpochRecord& record : log.epochs) {
+    UnwrapStatus(accumulator.Consume(server, record), "phi consume");
+  }
+  return accumulator.total();
+}
+
+// Reserves a loopback port for the successor coordinator so participants
+// can carry it in their failover endpoint list before the successor
+// exists. (Bind-then-release; the tiny reuse race is acceptable here.)
+uint16_t ReservePort() {
+  return Unwrap(net::TcpListener::Listen(0), "port reservation").port();
+}
+
+// One node thread per participant, dialing through the failover endpoint
+// list. Generous dial budget: the nodes must outlast the kill, the lease
+// wait, and the successor's assembly.
+struct Fleet {
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses;
+
+  Fleet(const World& world, uint64_t digest,
+        const std::vector<net::ParticipantEndpoint>& endpoints)
+      : statuses(kParticipants, Status::OK()) {
+    for (size_t i = 0; i < kParticipants; ++i) {
+      net::ParticipantNodeOptions options;
+      options.endpoints = endpoints;
+      options.participant_id = i;
+      options.config_digest = digest;
+      options.max_connect_attempts = 200;
+      options.connect_backoff.initial_ms = 10;
+      options.connect_backoff.max_ms = 200;
+      threads.emplace_back([this, i, options, &world] {
+        net::ParticipantNode node(world.model, world.participants[i],
+                                  options);
+        statuses[i] = node.Run();
+      });
+    }
+  }
+
+  void Join() {
+    for (std::thread& t : threads) t.join();
+    for (size_t i = 0; i < statuses.size(); ++i) {
+      UnwrapStatus(statuses[i],
+                   ("node " + std::to_string(i)).c_str());
+    }
+  }
+};
+
+struct ArmResult {
+  std::string name;
+  uint64_t resumed_from_epoch = 0;
+  size_t rounds_recomputed = 0;
+  double detect_promote_seconds = 0;  // kill -> successor may act
+  double reassembly_seconds = 0;      // successor up + fleet + state loaded
+  double resume_run_seconds = 0;      // remaining epochs retrained
+  bool phi_bitwise_equal = false;
+};
+
+// The pre-HA strategy: restart the coordinator and resume from the newest
+// valid on-disk checkpoint.
+ArmResult RunCheckpointRestart(const World& world,
+                               const std::vector<double>& phi_reference) {
+  ArmResult result;
+  result.name = "checkpoint_restart";
+  const uint64_t digest = DigestFor(world);
+  const uint16_t successor_port = ReservePort();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "digfl_bench_failover_ckpt")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  net::CoordinatorOptions primary_options;
+  primary_options.num_participants = kParticipants;
+  primary_options.config_digest = digest;
+  primary_options.halt = {net::HaltSite::kEpochEnd, kHaltEpoch};
+  auto primary = Unwrap(net::Coordinator::Create(primary_options), "primary");
+  Fleet fleet(world, digest,
+              {{"127.0.0.1", primary->port()}, {"127.0.0.1", successor_port}});
+  UnwrapStatus(primary->WaitForParticipants(30000), "assembly");
+
+  HflServer server(world.model, world.validation);
+  ckpt::CheckpointRunOptions ckpt_options;
+  ckpt_options.dir = dir;
+  auto halted = net::RunDistributedFedSgdWithCheckpoints(
+      *primary, server, world.init, world.config, ckpt_options);
+  if (halted.ok()) {
+    std::fprintf(stderr, "primary was supposed to halt\n");
+    std::exit(1);
+  }
+  Timer since_kill;
+  primary->Kill();  // no farewell broadcast: the process "dies"
+  primary.reset();
+
+  // Supervisor restart is modelled as immediate; detection is free.
+  result.detect_promote_seconds = since_kill.ElapsedSeconds();
+  net::CoordinatorOptions successor_options = primary_options;
+  successor_options.port = successor_port;
+  successor_options.halt = {};
+  auto successor =
+      Unwrap(net::Coordinator::Create(successor_options), "successor");
+  UnwrapStatus(successor->WaitForParticipants(30000), "reassembly");
+  result.reassembly_seconds =
+      since_kill.ElapsedSeconds() - result.detect_promote_seconds;
+
+  ckpt_options.resume = true;
+  Timer resume_timer;
+  auto resumed = Unwrap(
+      net::RunDistributedFedSgdWithCheckpoints(
+          *successor, server, world.init, world.config, ckpt_options),
+      "resumed run");
+  result.resume_run_seconds = resume_timer.ElapsedSeconds();
+  successor->Shutdown("bench complete");
+  fleet.Join();
+
+  result.resumed_from_epoch = resumed.resumed_from_epoch;
+  result.rounds_recomputed =
+      kHaltEpoch + 1 - static_cast<size_t>(resumed.resumed_from_epoch);
+  result.phi_bitwise_equal =
+      PhiTotals(server, resumed.log) == phi_reference;
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+// Hot-standby promotion, optionally with a replication blackout window
+// before the kill (the partition the promoted leader must recompute).
+ArmResult RunHaPromotion(const World& world,
+                         const std::vector<double>& phi_reference,
+                         bool with_blackout) {
+  ArmResult result;
+  result.name = with_blackout ? "ha_promotion_blackout" : "ha_promotion";
+  const uint64_t digest = DigestFor(world);
+  const uint16_t successor_port = ReservePort();
+
+  net::StandbyOptions standby_options;
+  standby_options.config_digest = digest;
+  standby_options.primary_generation = 1;
+  standby_options.lease_timeout_ms = kLeaseTimeoutMs;
+  auto standby =
+      Unwrap(net::StandbyCoordinator::Create(standby_options), "standby");
+  Result<net::StandbyOutcome> outcome = net::StandbyOutcome{};
+  std::thread watcher([&] { outcome = standby->Run(); });
+
+  net::CoordinatorOptions primary_options;
+  primary_options.num_participants = kParticipants;
+  primary_options.config_digest = digest;
+  primary_options.leader_generation = 1;
+  primary_options.standby_host = "127.0.0.1";
+  primary_options.standby_port = standby->port();
+  primary_options.halt = {net::HaltSite::kEpochEnd, kHaltEpoch};
+  if (with_blackout) {
+    primary_options.replication_blackout_epoch = kHaltEpoch - 2;
+  }
+  auto primary = Unwrap(net::Coordinator::Create(primary_options), "primary");
+  Fleet fleet(world, digest,
+              {{"127.0.0.1", primary->port()}, {"127.0.0.1", successor_port}});
+  UnwrapStatus(primary->WaitForParticipants(30000), "assembly");
+
+  HflServer server(world.model, world.validation);
+  auto halted =
+      primary->RunFederatedTraining(server, world.init, world.config);
+  if (halted.ok()) {
+    std::fprintf(stderr, "primary was supposed to halt\n");
+    std::exit(1);
+  }
+  Timer since_kill;
+  primary->Kill();  // no farewell broadcast, no lease renewals
+  primary.reset();
+
+  watcher.join();  // blocks until the lease expires and the standby promotes
+  net::StandbyOutcome promoted = Unwrap(std::move(outcome), "standby watch");
+  if (!promoted.promoted() || !promoted.has_state) {
+    std::fprintf(stderr, "standby did not promote with state\n");
+    std::exit(1);
+  }
+  result.detect_promote_seconds = since_kill.ElapsedSeconds();
+
+  net::CoordinatorOptions successor_options;
+  successor_options.port = successor_port;
+  successor_options.num_participants = kParticipants;
+  successor_options.config_digest = digest;
+  successor_options.leader_generation = promoted.generation;
+  auto successor =
+      Unwrap(net::Coordinator::Create(successor_options), "successor");
+  UnwrapStatus(successor->WaitForParticipants(30000), "reassembly");
+  HflPhiAccumulator scratch(kParticipants);
+  ckpt::HflResumeLoad load = Unwrap(
+      ckpt::ResumeFromState(std::move(promoted.state), scratch), "warm start");
+  result.reassembly_seconds =
+      since_kill.ElapsedSeconds() - result.detect_promote_seconds;
+
+  FedSgdConfig config = world.config;
+  config.resume = &load.point;
+  Timer resume_timer;
+  HflTrainingLog log = Unwrap(
+      successor->RunFederatedTraining(server, world.init, config),
+      "promoted run");
+  result.resume_run_seconds = resume_timer.ElapsedSeconds();
+  successor->Shutdown("bench complete");
+  fleet.Join();
+
+  result.resumed_from_epoch = load.epoch;
+  result.rounds_recomputed =
+      kHaltEpoch + 1 - static_cast<size_t>(load.epoch);
+  result.phi_bitwise_equal = PhiTotals(server, log) == phi_reference;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  World world = MakeWorld();
+
+  // The uninterrupted in-process reference: the φ̂ every recovery strategy
+  // must reproduce bitwise.
+  HflServer reference_server(world.model, world.validation);
+  HflTrainingLog reference = Unwrap(
+      RunFedSgd(world.model, world.participants, reference_server,
+                world.init, world.config),
+      "reference run");
+  const std::vector<double> phi_reference =
+      PhiTotals(reference_server, reference);
+
+  std::vector<ArmResult> arms;
+  arms.push_back(RunCheckpointRestart(world, phi_reference));
+  arms.push_back(RunHaPromotion(world, phi_reference, /*with_blackout=*/false));
+  arms.push_back(RunHaPromotion(world, phi_reference, /*with_blackout=*/true));
+
+  namespace json = telemetry::json;
+  std::string body;
+  body += "{\"bench\":\"failover\"";
+  body += ",\"participants\":" + std::to_string(kParticipants);
+  body += ",\"epochs\":" + std::to_string(kEpochs);
+  body += ",\"halt_epoch\":" + std::to_string(kHaltEpoch);
+  body += ",\"lease_timeout_ms\":" + std::to_string(kLeaseTimeoutMs);
+  body += ",\"arms\":[";
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult& arm = arms[i];
+    if (i > 0) body += ",";
+    body += "{\"name\":\"" + json::Escape(arm.name) + "\"";
+    body += ",\"resumed_from_epoch\":" + std::to_string(arm.resumed_from_epoch);
+    body += ",\"rounds_recomputed\":" + std::to_string(arm.rounds_recomputed);
+    body += ",\"detect_promote_seconds\":" +
+            json::Number(arm.detect_promote_seconds);
+    body += ",\"reassembly_seconds\":" + json::Number(arm.reassembly_seconds);
+    body += ",\"time_to_recover_seconds\":" +
+            json::Number(arm.detect_promote_seconds + arm.reassembly_seconds);
+    body += ",\"resume_run_seconds\":" + json::Number(arm.resume_run_seconds);
+    body += arm.phi_bitwise_equal ? ",\"phi_bitwise_equal\":true}"
+                                  : ",\"phi_bitwise_equal\":false}";
+  }
+  body += "]}";
+  const std::string path = bench::ResultsPath("BENCH_failover.json");
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs(body.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+
+  for (const ArmResult& arm : arms) {
+    std::printf(
+        "%-24s recover %.3f s (detect+promote %.3f, reassemble %.3f), "
+        "resumed from epoch %llu, %zu round(s) recomputed, phi %s\n",
+        arm.name.c_str(),
+        arm.detect_promote_seconds + arm.reassembly_seconds,
+        arm.detect_promote_seconds, arm.reassembly_seconds,
+        static_cast<unsigned long long>(arm.resumed_from_epoch),
+        arm.rounds_recomputed,
+        arm.phi_bitwise_equal ? "bitwise equal" : "DIVERGED");
+    if (!arm.phi_bitwise_equal) return 1;
+  }
+  bench::EmitRunTelemetry("bench_failover");
+  return 0;
+}

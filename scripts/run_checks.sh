@@ -35,6 +35,12 @@
 #                                      # HTTP metrics endpoint, SimNet merged
 #                                      # report, digfl_trace CLI) under ASan
 #                                      # AND TSan
+#   scripts/run_checks.sh --ha        # coordinator high availability
+#                                      # (ctest -L ha: kill-the-primary
+#                                      # swarm, replication/promotion
+#                                      # fixtures, stale-leader fencing)
+#                                      # under ASan AND TSan, reduced seed
+#                                      # budget
 #   scripts/run_checks.sh --all       # everything
 set -euo pipefail
 
@@ -48,6 +54,7 @@ run_net=0
 run_sim=0
 run_adv=0
 run_obs=0
+run_ha=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
@@ -57,7 +64,8 @@ for arg in "$@"; do
     --sim) run_sim=1 ;;
     --adv) run_adv=1 ;;
     --obs) run_obs=1 ;;
-    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1; run_sim=1; run_adv=1; run_obs=1 ;;
+    --ha) run_ha=1 ;;
+    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1; run_sim=1; run_adv=1; run_obs=1; run_ha=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -216,6 +224,26 @@ if [[ "$run_obs" == 1 ]]; then
   cmake --build build-tsan -j "$JOBS"
   DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L obs
+fi
+
+if [[ "$run_ha" == 1 ]]; then
+  # Coordinator high availability under both sanitizers: the kill-the-
+  # primary swarm (seeded halts + replication blackouts, promotion must
+  # land bitwise on the no-failure reference), the deterministic
+  # replication/promotion fixtures, and the stale-leader fencing drills.
+  # Same instrumented-binary seed/grace trims as --sim; replay with
+  #   DIGFL_SIM_SEED=<n> DIGFL_SIM_GRACE_US=20000 build-asan/tests/ha_sim_test
+  echo "=== [ha] ctest -L ha under ASan ==="
+  cmake -B build-asan -S . -DDIGFL_SANITIZE=ON > /dev/null
+  cmake --build build-asan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L ha
+
+  echo "=== [ha] ctest -L ha under TSan ==="
+  cmake -B build-tsan -S . -DDIGFL_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L ha
 fi
 
 echo "all requested configurations passed"

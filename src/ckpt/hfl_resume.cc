@@ -275,6 +275,15 @@ Result<HflResumeLoad> LoadHflResumePoint(CheckpointStore& store,
   DIGFL_RETURN_IF_ERROR(store.TruncateAfter(loaded->epoch));
   DIGFL_ASSIGN_OR_RETURN(HflCheckpointState state,
                          DecodeHflCheckpoint(loaded->payload));
+  DIGFL_ASSIGN_OR_RETURN(HflResumeLoad resumed,
+                         ResumeFromState(std::move(state), accumulator));
+  resumed.rejected = load.rejected;
+  return resumed;
+}
+
+Result<HflResumeLoad> ResumeFromState(HflCheckpointState state,
+                                      HflPhiAccumulator& accumulator) {
+  HflResumeLoad load;
   DIGFL_RETURN_IF_ERROR(accumulator.Restore(std::move(state.phi_total),
                                             std::move(state.phi_per_epoch)));
   load.point.start_epoch = state.next_epoch;

@@ -105,6 +105,14 @@ struct HflResumeLoad {
   HflResumePoint point;
 };
 
+// Converts an already-decoded checkpoint state into a warm-start resume
+// point and restores `accumulator` to match. Shared by LoadHflResumePoint
+// (the disk path) and by a promoted standby warm-starting from its
+// replicated in-memory state (net/standby.h), so both resume flavors go
+// through exactly the same code.
+Result<HflResumeLoad> ResumeFromState(HflCheckpointState state,
+                                      HflPhiAccumulator& accumulator);
+
 // Loads + decodes the newest valid checkpoint into a resume point and
 // restores `accumulator` to match; prunes any newer abandoned-timeline
 // entries. A store with no valid checkpoint is a cold start (resumed ==

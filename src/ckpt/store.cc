@@ -34,6 +34,35 @@ bool CheckpointValidates(const std::string& bytes) {
   return ReadFramedFile(bytes).ok();
 }
 
+// Parses the single-record manifest image: entry list plus the optional
+// trailing leader-generation claim (absent on pre-HA manifests => 0).
+bool ParseManifest(const std::string& bytes,
+                   std::vector<CheckpointStore::Entry>* entries,
+                   uint64_t* generation) {
+  auto records = ReadFramedFile(bytes);
+  if (!records.ok() || records->size() != 1 ||
+      (*records)[0].tag != kManifestTag) {
+    return false;
+  }
+  ByteSource source((*records)[0].payload);
+  uint64_t count = 0;
+  Status status = source.GetU64(&count);
+  std::vector<CheckpointStore::Entry> parsed;
+  for (uint64_t i = 0; status.ok() && i < count; ++i) {
+    CheckpointStore::Entry entry;
+    status = source.GetU64(&entry.epoch);
+    if (status.ok()) status = source.GetString(&entry.filename);
+    if (status.ok()) parsed.push_back(std::move(entry));
+  }
+  if (!status.ok()) return false;
+  uint64_t claimed = 0;
+  if (!source.Exhausted() && !source.GetU64(&claimed).ok()) return false;
+  if (!source.Exhausted()) return false;
+  *entries = std::move(parsed);
+  *generation = claimed;
+  return true;
+}
+
 // Parses "ckpt-<epoch>.digflckp"; returns false for any other filename.
 bool ParseCheckpointFilename(const std::string& name, uint64_t* epoch) {
   const size_t prefix_len = std::strlen(kCheckpointPrefix);
@@ -55,7 +84,8 @@ bool ParseCheckpointFilename(const std::string& name, uint64_t* epoch) {
 
 }  // namespace
 
-Result<CheckpointStore> CheckpointStore::Open(std::string dir, size_t keep) {
+Result<CheckpointStore> CheckpointStore::Open(std::string dir, size_t keep,
+                                              uint64_t generation) {
   if (dir.empty()) return Status::InvalidArgument("empty checkpoint dir");
   if (keep < 2) {
     return Status::InvalidArgument(
@@ -68,29 +98,28 @@ Result<CheckpointStore> CheckpointStore::Open(std::string dir, size_t keep) {
   }
 
   CheckpointStore store(std::move(dir), keep);
+  store.generation_ = generation;
   // Recover the committed history from the manifest; a missing manifest is a
   // fresh store, a corrupt one degrades to a directory scan so the files a
   // previous process committed are not stranded.
   Result<std::string> manifest = ReadFileToString(store.ManifestPath());
   bool manifest_ok = false;
-  if (manifest.ok()) {
-    auto records = ReadFramedFile(*manifest);
-    if (records.ok() && records->size() == 1 &&
-        (*records)[0].tag == kManifestTag) {
-      ByteSource source((*records)[0].payload);
-      uint64_t count = 0;
-      Status status = source.GetU64(&count);
-      std::vector<Entry> entries;
-      for (uint64_t i = 0; status.ok() && i < count; ++i) {
-        Entry entry;
-        status = source.GetU64(&entry.epoch);
-        if (status.ok()) status = source.GetString(&entry.filename);
-        if (status.ok()) entries.push_back(std::move(entry));
-      }
-      if (status.ok() && source.Exhausted()) {
-        store.entries_ = std::move(entries);
-        manifest_ok = true;
-      }
+  uint64_t disk_generation = 0;
+  if (manifest.ok() &&
+      ParseManifest(*manifest, &store.entries_, &disk_generation)) {
+    manifest_ok = true;
+  }
+  if (manifest_ok && generation > 0) {
+    if (disk_generation > generation) {
+      return Status::FailedPrecondition(
+          "checkpoint store " + store.dir_ + " is fenced: manifest claimed "
+          "by leader generation " + std::to_string(disk_generation) +
+          " > " + std::to_string(generation));
+    }
+    if (disk_generation < generation) {
+      // Durably claim the store before serving, so a partitioned ex-primary
+      // that re-reads the manifest at its next Commit sees the new owner.
+      DIGFL_RETURN_IF_ERROR(store.WriteManifest());
     }
   }
   if (!manifest_ok) {
@@ -111,6 +140,10 @@ Result<CheckpointStore> CheckpointStore::Open(std::string dir, size_t keep) {
     std::sort(scanned.begin(), scanned.end(),
               [](const Entry& a, const Entry& b) { return a.epoch < b.epoch; });
     store.entries_ = std::move(scanned);
+    if (generation > 0) {
+      // Fresh or unreadable manifest: durably claim the store here too.
+      DIGFL_RETURN_IF_ERROR(store.WriteManifest());
+    }
   }
   return store;
 }
@@ -127,6 +160,11 @@ Status CheckpointStore::WriteManifest() const {
     sink.PutU64(entry.epoch);
     sink.PutString(entry.filename);
   }
+  if (generation_ > 0) {
+    // Trailing claim; pre-HA stores omit it so their manifests stay
+    // bitwise identical to what older binaries wrote.
+    sink.PutU64(generation_);
+  }
   std::string bytes;
   AppendMagic(&bytes);
   AppendRecord(&bytes, kManifestTag, payload);
@@ -134,10 +172,30 @@ Status CheckpointStore::WriteManifest() const {
   return AtomicWriteFile(ManifestPath(), bytes);
 }
 
+Status CheckpointStore::CheckFence() const {
+  if (generation_ == 0) return Status::OK();
+  Result<std::string> manifest = ReadFileToString(ManifestPath());
+  if (!manifest.ok()) return Status::OK();  // missing/unreadable: no claim
+  std::vector<Entry> entries;
+  uint64_t disk_generation = 0;
+  if (!ParseManifest(*manifest, &entries, &disk_generation)) {
+    return Status::OK();  // corrupt manifest carries no trustworthy claim
+  }
+  if (disk_generation > generation_) {
+    DIGFL_COUNTER_ADD("ckpt.fenced_writes_total", 1);
+    return Status::FailedPrecondition(
+        "checkpoint store " + dir_ + " is fenced: manifest claimed by "
+        "leader generation " + std::to_string(disk_generation) + " > " +
+        std::to_string(generation_));
+  }
+  return Status::OK();
+}
+
 Status CheckpointStore::Commit(uint64_t epoch, const std::string& payload) {
   if (!entries_.empty() && epoch <= entries_.back().epoch) {
     return Status::InvalidArgument("checkpoint epochs must increase");
   }
+  DIGFL_RETURN_IF_ERROR(CheckFence());
   DIGFL_TRACE_SPAN("ckpt.commit");
 
   const std::string filename = CheckpointFilename(epoch);
@@ -166,6 +224,7 @@ Status CheckpointStore::Commit(uint64_t epoch, const std::string& payload) {
 }
 
 Status CheckpointStore::TruncateAfter(uint64_t epoch) {
+  DIGFL_RETURN_IF_ERROR(CheckFence());
   std::vector<Entry> dropped;
   while (!entries_.empty() && entries_.back().epoch > epoch) {
     dropped.push_back(std::move(entries_.back()));

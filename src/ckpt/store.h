@@ -32,10 +32,20 @@ class CheckpointStore {
   // Opens (creating if needed) the checkpoint directory. `keep` is the
   // number of committed checkpoints retained; at least 2 so a corrupted
   // latest always has a fallback.
-  static Result<CheckpointStore> Open(std::string dir, size_t keep = 2);
+  //
+  // `generation` is the opener's leader generation (DESIGN.md §14); 0 means
+  // fencing is off (the pre-HA behavior, bitwise-identical manifest). With a
+  // positive generation, Open refuses a manifest claimed by a newer
+  // generation (kFailedPrecondition) and otherwise durably records its own
+  // claim, so a partitioned ex-primary sharing the directory is fenced at
+  // its next Commit.
+  static Result<CheckpointStore> Open(std::string dir, size_t keep = 2,
+                                      uint64_t generation = 0);
 
   // Durably commits `payload` (a complete DIGFLCKP1 byte image) as the
   // checkpoint for `epoch`. Epochs must be strictly increasing per store.
+  // When fencing is on, the on-disk manifest's generation is re-read first;
+  // a newer claim yields kFailedPrecondition and writes nothing.
   Status Commit(uint64_t epoch, const std::string& payload);
 
   struct Loaded {
@@ -58,25 +68,32 @@ class CheckpointStore {
   // Committed (manifest-listed) checkpoint count.
   size_t NumCommitted() const { return entries_.size(); }
 
+  // Leader generation this store was opened with (0 = fencing off).
+  uint64_t generation() const { return generation_; }
+
   const std::string& dir() const { return dir_; }
 
   // Path of the checkpoint file for `epoch` (for tests and tooling).
   std::string CheckpointPath(uint64_t epoch) const;
 
- private:
   struct Entry {
     uint64_t epoch = 0;
     std::string filename;
   };
 
+ private:
   CheckpointStore(std::string dir, size_t keep)
       : dir_(std::move(dir)), keep_(keep) {}
 
   Status WriteManifest() const;
+  // Re-reads the on-disk manifest's generation claim; kFailedPrecondition
+  // when a newer generation owns the store. No-op with fencing off.
+  Status CheckFence() const;
   std::string ManifestPath() const { return dir_ + "/MANIFEST"; }
 
   std::string dir_;
   size_t keep_ = 2;
+  uint64_t generation_ = 0;
   std::vector<Entry> entries_;  // oldest first
 };
 

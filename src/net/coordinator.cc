@@ -30,6 +30,16 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
   if (options.round_timeout_ms <= 0 || options.handshake_timeout_ms <= 0) {
     return Status::InvalidArgument("timeouts must be > 0");
   }
+  if (options.standby_port != 0) {
+    if (options.leader_generation == 0) {
+      return Status::InvalidArgument(
+          "standby replication requires a positive leader_generation "
+          "(generation 0 is reserved for HA off)");
+    }
+    if (options.replication_timeout_ms <= 0) {
+      return Status::InvalidArgument("replication_timeout_ms must be > 0");
+    }
+  }
   std::unique_ptr<Coordinator> coordinator(new Coordinator(options));
   Transport* transport =
       options.transport != nullptr ? options.transport : TcpTransport();
@@ -77,14 +87,30 @@ void Coordinator::HandleConnection(std::unique_ptr<Conn> conn) {
 
   HelloAckMsg ack;
   ack.next_epoch = next_epoch_hint_.load(std::memory_order_relaxed);
+  if (options_.leader_generation > 0) {
+    ack.generation = options_.leader_generation;
+  }
   const uint64_t id = hello->participant_id;
-  if (id >= options_.num_participants) {
+  const uint64_t peer_generation = hello->generation.value_or(0);
+  if (options_.leader_generation > 0 &&
+      peer_generation > options_.leader_generation) {
+    // The node has already accepted a newer leader: this coordinator is a
+    // stale ex-primary. Fence it — the training loop refuses to start
+    // another epoch — and reject the Hello (DESIGN.md §14).
+    fenced_.store(true, std::memory_order_relaxed);
+    ack.message = "coordinator generation " +
+                  std::to_string(options_.leader_generation) +
+                  " superseded by " + std::to_string(peer_generation);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.fenced_hellos;
+  } else if (id >= options_.num_participants) {
     ack.message = "participant id out of range";
   } else if (hello->config_digest != options_.config_digest) {
     ack.message = "federation config digest mismatch";
   } else {
     std::lock_guard<std::mutex> lock(mu_);
-    if (slots_[id] != nullptr) {
+    if (slots_[id] != nullptr ||
+        (live_round_.active && (*live_round_.channels)[id] != nullptr)) {
       ack.message = "participant already connected";
     } else {
       ack.accepted = 1;
@@ -112,13 +138,27 @@ void Coordinator::HandleConnection(std::unique_ptr<Conn> conn) {
     ++stats_.handshakes_rejected;
     return;
   }
-  slots_[id] = std::move(channel);
   ++stats_.handshakes_accepted;
   if (slot_ever_connected_[id]) {
     ++stats_.reconnects;
     DIGFL_COUNTER_ADD("net.reconnects_total", 1);
   }
   slot_ever_connected_[id] = 1;
+  if (live_round_.active && (*live_round_.channels)[id] == nullptr) {
+    // Mid-round rejoin: hand the fresh channel straight to a late round
+    // worker so the participant is served the in-flight broadcast instead
+    // of idling until the next epoch boundary.
+    (*live_round_.channels)[id] = std::move(channel);
+    ++stats_.midround_rejoins;
+    DIGFL_COUNTER_ADD("net.midround_rejoins_total", 1);
+    live_round_.late_workers.emplace_back(
+        &Coordinator::RoundWorker, this, id, live_round_.channels,
+        live_round_.epoch, std::cref(*live_round_.request_payload),
+        live_round_.num_params, live_round_.deltas, live_round_.present,
+        live_round_.retries, live_round_.bytes_out, live_round_.bytes_in);
+  } else {
+    slots_[id] = std::move(channel);
+  }
   slot_cv_.notify_all();
 }
 
@@ -153,12 +193,19 @@ CoordinatorStats Coordinator::stats() const {
   return stats_;
 }
 
-void Coordinator::RoundWorker(size_t i, MsgChannel* channel, uint64_t epoch,
+void Coordinator::RoundWorker(size_t i,
+                              std::vector<std::unique_ptr<MsgChannel>>* channels,
+                              uint64_t epoch,
                               const std::string& request_payload,
                               size_t num_params, std::vector<Vec>* deltas,
                               std::vector<uint8_t>* present,
-                              std::vector<uint64_t>* retries) {
+                              std::vector<uint64_t>* retries,
+                              std::vector<uint64_t>* bytes_out,
+                              std::vector<uint64_t>* bytes_in) {
   DIGFL_TRACE_SPAN("net.round_trip");
+  // Entry i is owned by this worker until it returns (success) or clears it
+  // under mu_ (failure); nobody else touches it in between.
+  MsgChannel* channel = (*channels)[i].get();
   const bool obs = telemetry::ObservabilityEnabled();
   Rng jitter(options_.jitter_seed ^
              (epoch * options_.num_participants + i + 1));
@@ -203,6 +250,8 @@ void Coordinator::RoundWorker(size_t i, MsgChannel* channel, uint64_t epoch,
       }
       (*deltas)[i] = std::move(reply->delta);
       (*present)[i] = 1;
+      (*bytes_out)[i] += channel->TakeBytesSent();
+      (*bytes_in)[i] += channel->TakeBytesReceived();
       return;
     }
 
@@ -221,7 +270,10 @@ void Coordinator::RoundWorker(size_t i, MsgChannel* channel, uint64_t epoch,
     }
 
     // Exhausted retries or a broken/byzantine connection: the participant
-    // is absent this epoch (the dropout path) and must reconnect.
+    // is absent this epoch (the dropout path) and must reconnect. Byte
+    // accounting for the failed attempt is drained before the channel is
+    // surrendered (the entry may be re-filled by a mid-round rejoin, whose
+    // own bytes must not mix with ours).
     if (obs) {
       merger_.RecordRoundTrip(epoch, i, t0, telemetry::ObsNow(),
                               (*retries)[i], /*present=*/false);
@@ -235,6 +287,11 @@ void Coordinator::RoundWorker(size_t i, MsgChannel* channel, uint64_t epoch,
       ++stats_.conn_errors;
       DIGFL_COUNTER_ADD("net.conn_errors_total", 1);
     }
+    (*bytes_out)[i] += channel->TakeBytesSent();
+    (*bytes_in)[i] += channel->TakeBytesReceived();
+    // Last act: free the index for a rejoin. After this store the worker
+    // must not touch entry i again.
+    (*channels)[i].reset();
     return;
   }
 }
@@ -263,6 +320,11 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
   if (config.resume != nullptr && config.escalation.enabled) {
     return Status::InvalidArgument(
         "resume is not supported with quarantine escalation");
+  }
+  if (options_.standby_port != 0 && !config.record_log) {
+    return Status::InvalidArgument(
+        "standby replication requires record_log (the epoch log IS the "
+        "replicated state)");
   }
   UniformAggregation uniform;
   if (policy == nullptr) policy = &uniform;
@@ -329,8 +391,29 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
 
   const bool obs = telemetry::ObservabilityEnabled();
 
+  // Replication state (DESIGN.md §14). The primary keeps a private φ̂
+  // accumulator fed from the same log the checkpoint hook sees, so every
+  // shipped record carries the exact accumulator row of its boundary; the
+  // catch-up loop below covers resume prefixes. The channel lives on this
+  // thread only — no locking against Shutdown/Kill is needed because both
+  // only touch listener/slots.
+  const bool replicate = options_.standby_port != 0;
+  std::unique_ptr<HflPhiAccumulator> repl_phi;
+  std::unique_ptr<MsgChannel> repl_channel;
+  if (replicate) repl_phi = std::make_unique<HflPhiAccumulator>(n);
+
+  const auto halt_hit = [this](HaltSite site, size_t epoch) {
+    return options_.halt.site == site && options_.halt.epoch == epoch;
+  };
+
   for (size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     DIGFL_TRACE_SPAN("net.round");
+    if (fenced_.load(std::memory_order_relaxed)) {
+      return Status::FailedPrecondition(
+          "coordinator generation " +
+          std::to_string(options_.leader_generation) +
+          " is fenced: a participant reported a newer leader");
+    }
     Timer epoch_timer;
     const double round_start = obs ? telemetry::ObsNow() : 0.0;
     double aggregate_seconds = 0.0;
@@ -357,6 +440,9 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
     request.learning_rate = lr;
     request.local_steps = config.local_steps;
     request.params = log.final_params;
+    if (options_.leader_generation > 0) {
+      request.generation = options_.leader_generation;
+    }
     if (obs) {
       request.trace = telemetry::TraceContext{
           merger_.run_id(), epoch,
@@ -364,33 +450,70 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
     }
     const std::string request_payload = EncodeRoundRequest(request);
 
+    if (halt_hit(HaltSite::kBeforeBroadcast, epoch)) {
+      return Status::FailedPrecondition(
+          "primary halted before broadcast of epoch " +
+          std::to_string(epoch) + " (halt plan)");
+    }
+
     std::vector<uint8_t> present(n, 0);
     std::vector<Vec> deltas(n);
     std::vector<uint64_t> retries(n, 0);
+    std::vector<uint64_t> round_bytes_out(n, 0);
+    std::vector<uint64_t> round_bytes_in(n, 0);
+    // Publish the round to the accept thread (mid-round rejoin, satellite
+    // of DESIGN.md §14): from here until `active` clears, a reconnecting
+    // participant whose index has no live channel is handed this round's
+    // broadcast by a late worker. The primary spawn set is decided inside
+    // the same critical section — once the window is open the accept
+    // thread may refill null entries, so the training thread must not
+    // read `channels` again until every worker is joined.
+    std::vector<size_t> primary;
+    primary.reserve(n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < n; ++i) {
+        if (channels[i] != nullptr) primary.push_back(i);
+      }
+      live_round_.active = true;
+      live_round_.epoch = epoch;
+      live_round_.request_payload = &request_payload;
+      live_round_.num_params = p;
+      live_round_.channels = &channels;
+      live_round_.deltas = &deltas;
+      live_round_.present = &present;
+      live_round_.retries = &retries;
+      live_round_.bytes_out = &round_bytes_out;
+      live_round_.bytes_in = &round_bytes_in;
+    }
     std::vector<std::thread> workers;
-    workers.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      if (channels[i] == nullptr) continue;
-      workers.emplace_back(&Coordinator::RoundWorker, this, i,
-                           channels[i].get(), epoch,
-                           std::cref(request_payload), p, &deltas, &present,
-                           &retries);
+    workers.reserve(primary.size());
+    for (size_t i : primary) {
+      workers.emplace_back(&Coordinator::RoundWorker, this, i, &channels,
+                           epoch, std::cref(request_payload), p, &deltas,
+                           &present, &retries, &round_bytes_out,
+                           &round_bytes_in);
     }
     for (std::thread& worker : workers) worker.join();
+    // Close the rejoin window, then wait out any late workers it admitted.
+    std::vector<std::thread> late_workers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      live_round_.active = false;
+      late_workers = std::move(live_round_.late_workers);
+      live_round_.late_workers.clear();
+    }
+    for (std::thread& worker : late_workers) worker.join();
 
-    // Post-join bookkeeping on the training thread only: drain measured
+    // Post-join bookkeeping on the training thread only: fold measured
     // bytes into the log, convert absences into dropouts, return healthy
     // channels to their slots.
     for (size_t i = 0; i < n; ++i) {
-      if (channels[i] != nullptr) {
-        const uint64_t sent = channels[i]->TakeBytesSent();
-        const uint64_t received = channels[i]->TakeBytesReceived();
-        log.comm.Record(ch_down[i], sent);
-        log.comm.Record(ch_up[i], received);
-        if (bytes_down[i] != nullptr) bytes_down[i]->Increment(sent);
-        if (bytes_up[i] != nullptr) bytes_up[i]->Increment(received);
-        log.faults.straggler_retries += retries[i];
-      }
+      log.comm.Record(ch_down[i], round_bytes_out[i]);
+      log.comm.Record(ch_up[i], round_bytes_in[i]);
+      if (bytes_down[i] != nullptr) bytes_down[i]->Increment(round_bytes_out[i]);
+      if (bytes_up[i] != nullptr) bytes_up[i]->Increment(round_bytes_in[i]);
+      log.faults.straggler_retries += retries[i];
       if (!present[i]) {
         deltas[i] = vec::Zeros(p);
         // An escalated participant's absence is the server's decision, not
@@ -405,6 +528,12 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
         std::lock_guard<std::mutex> lock(mu_);
         if (slots_[i] == nullptr) slots_[i] = std::move(channels[i]);
       }
+    }
+
+    if (halt_hit(HaltSite::kAfterCollect, epoch)) {
+      return Status::FailedPrecondition(
+          "primary halted after collecting epoch " + std::to_string(epoch) +
+          " (halt plan)");
     }
 
     // From here the epoch is byte-for-byte the RunFedSgd commit sequence:
@@ -525,9 +654,79 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
       const HflTrainerView view{epoch + 1, lr, kNoBatchRngs, log};
       DIGFL_RETURN_IF_ERROR(config.checkpoint_hook->OnEpoch(view));
     }
+
+    if (halt_hit(HaltSite::kAfterCheckpoint, epoch)) {
+      return Status::FailedPrecondition(
+          "primary halted after the checkpoint of epoch " +
+          std::to_string(epoch) + " (halt plan)");
+    }
+
+    if (replicate) {
+      // Ship the write-ahead record for this boundary. Catch-up first: on a
+      // resumed run the accumulator replays the restored log prefix, the
+      // same loop HflStoreHook runs (determinism contract of
+      // core/phi_accumulator.h keeps both bitwise identical).
+      Status shipped =
+          epoch >= options_.replication_blackout_epoch
+              ? Status::Unavailable(
+                    "replication link blacked out (partition drill)")
+              : Status::OK();
+      while (shipped.ok() &&
+             repl_phi->epochs_consumed() < log.num_epochs()) {
+        shipped =
+            repl_phi->Consume(server, log.epochs[repl_phi->epochs_consumed()]);
+      }
+      EpochLogAppendMsg record;
+      if (shipped.ok()) {
+        record.generation = options_.leader_generation;
+        record.config_digest = options_.config_digest;
+        record.epoch = epoch + 1;
+        Result<std::string> image = ckpt::EncodeHflCheckpoint(
+            epoch + 1, lr, /*batch_rng_states=*/{}, log, *repl_phi);
+        shipped = image.status();
+        if (shipped.ok()) {
+          record.image = std::move(*image);
+          record.phi_epoch = repl_phi->per_epoch().back();
+          shipped = ShipEpochRecord(&repl_channel, record);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shipped.ok()) {
+        ++stats_.replication_records;
+      } else {
+        // Replication is best-effort from the primary's perspective: the
+        // standby promotes from its last applied boundary and recomputes
+        // the missing epochs deterministically, so training never stalls
+        // on a slow or partitioned standby.
+        ++stats_.replication_failures;
+      }
+    }
+
+    if (halt_hit(HaltSite::kEpochEnd, epoch)) {
+      return Status::FailedPrecondition(
+          "primary halted at the end of epoch " + std::to_string(epoch) +
+          " (halt plan)");
+    }
     MaybeCrash("net.epoch.end");
   }
   next_epoch_hint_.store(config.epochs, std::memory_order_relaxed);
+
+  if (replicate && config.epochs <= options_.replication_blackout_epoch) {
+    // Clean completion: tell the standby not to promote. Best effort — a
+    // lost farewell just means the standby promotes into an empty
+    // federation and its run times out typed. A blacked-out link swallows
+    // the farewell like everything else.
+    ShutdownMsg farewell;
+    farewell.reason = "primary completed";
+    if (repl_channel == nullptr || !repl_channel->valid()) {
+      repl_channel.reset();
+      (void)DialStandby(&repl_channel);
+    }
+    if (repl_channel != nullptr && repl_channel->valid()) {
+      (void)repl_channel->Send(MsgType::kShutdown, EncodeShutdown(farewell),
+                               options_.replication_timeout_ms);
+    }
+  }
   return log;
 }
 
@@ -603,6 +802,79 @@ telemetry::FederationReport Coordinator::CollectFederationReport(
   return merger_.Build(telemetry::CollectRunReport(std::move(run_id)));
 }
 
+Status Coordinator::DialStandby(std::unique_ptr<MsgChannel>* channel) {
+  Transport* transport =
+      options_.transport != nullptr ? options_.transport : TcpTransport();
+  DIGFL_ASSIGN_OR_RETURN(
+      std::unique_ptr<Conn> conn,
+      transport->Connect(options_.standby_host, options_.standby_port,
+                         options_.replication_timeout_ms));
+  auto fresh = std::make_unique<MsgChannel>(std::move(conn), options_.limits);
+  // Client half of the DIGFLNET1 preamble exchange (channel.cc's
+  // ClientHandshake, minus Hello — records authenticate themselves).
+  DIGFL_RETURN_IF_ERROR(
+      fresh->SendRaw(EncodePreamble(), options_.replication_timeout_ms));
+  char preamble[kPreambleLen];
+  DIGFL_RETURN_IF_ERROR(fresh->RecvRaw(preamble, kPreambleLen,
+                                       options_.replication_timeout_ms));
+  DIGFL_RETURN_IF_ERROR(
+      ValidatePreamble(std::string_view(preamble, kPreambleLen)));
+  *channel = std::move(fresh);
+  return Status::OK();
+}
+
+Status Coordinator::ShipEpochRecord(std::unique_ptr<MsgChannel>* channel,
+                                    const EpochLogAppendMsg& record) {
+  const std::string payload = EncodeEpochLogAppend(record);
+  const auto ship_once = [&]() -> Status {
+    if (*channel == nullptr || !(*channel)->valid()) {
+      channel->reset();
+      DIGFL_RETURN_IF_ERROR(DialStandby(channel));
+    }
+    DIGFL_RETURN_IF_ERROR((*channel)->Send(MsgType::kEpochLogAppend, payload,
+                                           options_.replication_timeout_ms));
+    DIGFL_ASSIGN_OR_RETURN(
+        Frame frame, (*channel)->Recv(options_.replication_timeout_ms));
+    if (static_cast<MsgType>(frame.type) != MsgType::kEpochLogAck) {
+      return Status::InvalidArgument(
+          "unexpected frame on the replication channel");
+    }
+    DIGFL_ASSIGN_OR_RETURN(EpochLogAckMsg ack,
+                           DecodeEpochLogAck(frame.payload));
+    if (ack.epoch != record.epoch) {
+      return Status::InvalidArgument("replication ack names epoch " +
+                                     std::to_string(ack.epoch) +
+                                     ", record carried " +
+                                     std::to_string(record.epoch));
+    }
+    return Status::OK();
+  };
+  Status shipped = ship_once();
+  if (shipped.ok()) return shipped;
+  // One redial retry: a standby that cut the connection (or a replication
+  // link that dropped mid-record) gets a second chance within the epoch.
+  if (*channel != nullptr) (*channel)->Close();
+  channel->reset();
+  return ship_once();
+}
+
+void Coordinator::Kill() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  if (listener_ != nullptr) listener_->Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slot : slots_) {
+    if (slot == nullptr) continue;
+    slot->Close();  // no farewell: participants see a bare connection loss
+    slot.reset();
+  }
+}
+
 void Coordinator::Shutdown(const std::string& reason) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -642,9 +914,12 @@ Result<ckpt::HflCheckpointedRun> RunDistributedFedSgdWithCheckpoints(
     return Status::InvalidArgument("checkpoint interval must be >= 1");
   }
   DIGFL_TRACE_SPAN("net.ckpt.run");
-  DIGFL_ASSIGN_OR_RETURN(ckpt::CheckpointStore store,
-                         ckpt::CheckpointStore::Open(options.dir,
-                                                     options.keep));
+  // A positive leader generation claims the store, fencing any stale
+  // ex-primary sharing the directory (ckpt/store.h).
+  DIGFL_ASSIGN_OR_RETURN(
+      ckpt::CheckpointStore store,
+      ckpt::CheckpointStore::Open(options.dir, options.keep,
+                                  coordinator.leader_generation()));
 
   ckpt::HflCheckpointedRun run;
   HflPhiAccumulator accumulator(coordinator.num_participants());

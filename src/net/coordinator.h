@@ -42,6 +42,7 @@
 #include "hfl/server.h"
 #include "net/backoff.h"
 #include "net/channel.h"
+#include "net/epoch_log.h"
 #include "net/socket.h"
 #include "net/transport.h"
 #include "net/wire.h"
@@ -49,6 +50,23 @@
 
 namespace digfl {
 namespace net {
+
+// Deterministic kill points for the HA failover swarm (DESIGN.md §14): the
+// training loop returns kFailedPrecondition at the named site of the named
+// epoch, after which the harness Kill()s the coordinator — the sim-world
+// equivalent of the primary process dying there.
+enum class HaltSite {
+  kNone = 0,
+  kBeforeBroadcast,   // channels taken, θ_{t-1} never sent
+  kAfterCollect,      // δ collected, aggregation never runs
+  kAfterCheckpoint,   // checkpoint committed, replication record never sent
+  kEpochEnd,          // everything committed and replicated for the epoch
+};
+
+struct HaltPlan {
+  HaltSite site = HaltSite::kNone;
+  size_t epoch = 0;  // epoch index the halt fires in
+};
 
 struct CoordinatorOptions {
   // Byte-stream layer to listen on. nullptr = TcpTransport(). Not owned;
@@ -68,6 +86,25 @@ struct CoordinatorOptions {
   // Granularity of the accept loop's stop-flag polling.
   int accept_poll_ms = 100;
   WireLimits limits;
+
+  // --- High availability (DESIGN.md §14). ---
+  // This coordinator's leader generation. 0 = HA off: no GEN1 block on any
+  // message, no fencing, the pre-HA wire format bit for bit. A promoted
+  // standby leads with a strictly larger generation than its predecessor.
+  uint64_t leader_generation = 0;
+  // Hot standby to stream the replicated epoch log to; port 0 = no standby.
+  // Requires leader_generation > 0 and config.record_log.
+  std::string standby_host = "standby";
+  uint16_t standby_port = 0;
+  // Per-operation deadline on the replication channel (dial, send, ack).
+  int replication_timeout_ms = 1000;
+  // Deterministic kill point for failover drills; kNone in production.
+  HaltPlan halt;
+  // Partition-window drill: from this epoch on, every replication ship
+  // (and the completion farewell) fails as if the link were partitioned —
+  // the standby hears silence and promotes while the primary still leads.
+  // SIZE_MAX (the default) = link healthy for the whole run.
+  size_t replication_blackout_epoch = static_cast<size_t>(-1);
 };
 
 // Per-run connectivity statistics (telemetry counters mirror these).
@@ -79,6 +116,10 @@ struct CoordinatorStats {
   uint64_t round_timeouts = 0;   // participants dropped for the epoch by
                                  // exhausted retries
   uint64_t conn_errors = 0;      // connections dropped mid-round
+  uint64_t midround_rejoins = 0;    // reconnects served the in-flight round
+  uint64_t replication_records = 0; // epoch-log records acked by the standby
+  uint64_t replication_failures = 0;  // epochs whose record never got acked
+  uint64_t fenced_hellos = 0;    // Hellos naming a newer leader generation
 };
 
 class Coordinator {
@@ -123,6 +164,17 @@ class Coordinator {
   // channels. Idempotent; also invoked by the destructor.
   void Shutdown(const std::string& reason);
 
+  // Dies silently: closes the listener and every channel without the
+  // farewell broadcast — what a participant observes when the coordinator
+  // process is killed. Idempotent with Shutdown; for failover drills.
+  void Kill();
+
+  // True once a Hello named a leader generation newer than ours; the
+  // training loop refuses to start another epoch (DESIGN.md §14).
+  bool fenced() const { return fenced_.load(std::memory_order_relaxed); }
+
+  uint64_t leader_generation() const { return options_.leader_generation; }
+
   // Federation-wide observability snapshot (DESIGN.md §13): the merger's
   // round spans, round trips, clock models, and everything participants
   // shipped, plus this process's local RunReport under `run_id`. Valid any
@@ -140,11 +192,22 @@ class Coordinator {
   void HandleConnection(std::unique_ptr<Conn> conn);
 
   // One worker: round-trips one RoundRequest with retries. Writes only to
-  // index `i` of the output arrays; closes the channel on failure.
-  void RoundWorker(size_t i, MsgChannel* channel, uint64_t epoch,
-                   const std::string& request_payload, size_t num_params,
-                   std::vector<Vec>* deltas, std::vector<uint8_t>* present,
-                   std::vector<uint64_t>* retries);
+  // index `i` of the output arrays; on failure closes the channel and (under
+  // mu_) clears `(*channels)[i]` so a mid-round rejoin can take the index.
+  void RoundWorker(size_t i, std::vector<std::unique_ptr<MsgChannel>>* channels,
+                   uint64_t epoch, const std::string& request_payload,
+                   size_t num_params, std::vector<Vec>* deltas,
+                   std::vector<uint8_t>* present, std::vector<uint64_t>* retries,
+                   std::vector<uint64_t>* bytes_out,
+                   std::vector<uint64_t>* bytes_in);
+
+  // Dials the standby and runs the client-side preamble exchange.
+  Status DialStandby(std::unique_ptr<MsgChannel>* channel);
+  // Ships one epoch record over `channel` (dialing it first if needed) and
+  // waits for the ack; one redial retry on failure. `channel` is owned by
+  // the training thread across epochs.
+  Status ShipEpochRecord(std::unique_ptr<MsgChannel>* channel,
+                         const EpochLogAppendMsg& record);
 
   CoordinatorOptions options_;
   // Thread-safe; round workers absorb shipped deltas concurrently.
@@ -152,9 +215,30 @@ class Coordinator {
   std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> fenced_{false};
   // Where the federation currently stands; reported to (re)connecting nodes.
   std::atomic<uint64_t> next_epoch_hint_{0};
   std::atomic<uint64_t> hvp_seq_{1};
+
+  // The round currently being collected, exposed (under mu_) to the accept
+  // thread so a reconnecting participant can be served the in-flight
+  // broadcast instead of stalling to the next epoch boundary. The pointers
+  // alias the training loop's per-round arrays and are valid exactly while
+  // `active` is set; `late_workers` is joined by the training thread after
+  // it clears `active`.
+  struct LiveRound {
+    bool active = false;
+    uint64_t epoch = 0;
+    const std::string* request_payload = nullptr;
+    size_t num_params = 0;
+    std::vector<std::unique_ptr<MsgChannel>>* channels = nullptr;
+    std::vector<Vec>* deltas = nullptr;
+    std::vector<uint8_t>* present = nullptr;
+    std::vector<uint64_t>* retries = nullptr;
+    std::vector<uint64_t>* bytes_out = nullptr;
+    std::vector<uint64_t>* bytes_in = nullptr;
+    std::vector<std::thread> late_workers;
+  };
 
   mutable std::mutex mu_;
   std::condition_variable slot_cv_;
@@ -162,6 +246,7 @@ class Coordinator {
   std::vector<std::unique_ptr<MsgChannel>> slots_;
   std::vector<uint8_t> slot_ever_connected_;
   CoordinatorStats stats_;
+  LiveRound live_round_;
   bool shut_down_ = false;
 };
 

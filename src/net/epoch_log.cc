@@ -1,0 +1,127 @@
+#include "net/epoch_log.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "ckpt/frame.h"
+
+namespace digfl {
+namespace net {
+namespace {
+
+using ckpt::ByteSink;
+using ckpt::ByteSource;
+
+Status RequireExhausted(const ByteSource& source, const char* what) {
+  if (!source.Exhausted()) {
+    return Status::InvalidArgument(std::string("trailing bytes in ") + what +
+                                   " payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeEpochLogAppend(const EpochLogAppendMsg& msg) {
+  std::string out;
+  ByteSink sink(&out);
+  sink.PutU64(msg.generation);
+  sink.PutU64(msg.config_digest);
+  sink.PutU64(msg.epoch);
+  sink.PutString(msg.image);
+  sink.PutDoubles(msg.phi_epoch);
+  return out;
+}
+
+Result<EpochLogAppendMsg> DecodeEpochLogAppend(std::string_view payload) {
+  ByteSource source(payload);
+  EpochLogAppendMsg msg;
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.generation));
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.config_digest));
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.epoch));
+  DIGFL_RETURN_IF_ERROR(source.GetString(&msg.image));
+  DIGFL_RETURN_IF_ERROR(source.GetDoubles(&msg.phi_epoch));
+  DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "EpochLogAppend"));
+  if (msg.generation == 0) {
+    return Status::InvalidArgument(
+        "EpochLogAppend carries reserved leader generation 0");
+  }
+  if (msg.epoch == 0) {
+    return Status::InvalidArgument(
+        "EpochLogAppend describes an empty round boundary");
+  }
+  // The image reuses the DIGFLCKP1 container; its framing (magic, record
+  // CRCs, terminator) must check out before the record is worth keeping.
+  DIGFL_RETURN_IF_ERROR(ckpt::ReadFramedFile(msg.image).status());
+  for (double v : msg.phi_epoch) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "non-finite value in EpochLogAppend phi delta");
+    }
+  }
+  return msg;
+}
+
+std::string EncodeEpochLogAck(const EpochLogAckMsg& msg) {
+  std::string out;
+  ByteSink sink(&out);
+  sink.PutU64(msg.epoch);
+  return out;
+}
+
+Result<EpochLogAckMsg> DecodeEpochLogAck(std::string_view payload) {
+  ByteSource source(payload);
+  EpochLogAckMsg msg;
+  DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.epoch));
+  DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "EpochLogAck"));
+  return msg;
+}
+
+Status EpochLogBuffer::Apply(const EpochLogAppendMsg& msg) {
+  ++records_rejected_;  // un-counted below on success
+  if (msg.generation < generation_) {
+    return Status::FailedPrecondition(
+        "epoch-log record from stale leader generation " +
+        std::to_string(msg.generation) + " (highest seen " +
+        std::to_string(generation_) + ")");
+  }
+  if (msg.config_digest != config_digest_) {
+    return Status::FailedPrecondition(
+        "epoch-log record for a different federation config");
+  }
+  if (msg.epoch <= epoch_) {
+    return Status::FailedPrecondition(
+        "epoch-log record does not advance the durable boundary (epoch " +
+        std::to_string(msg.epoch) + " <= " + std::to_string(epoch_) + ")");
+  }
+  DIGFL_ASSIGN_OR_RETURN(ckpt::HflCheckpointState state,
+                         ckpt::DecodeHflCheckpoint(msg.image));
+  if (state.next_epoch != msg.epoch) {
+    return Status::InvalidArgument(
+        "epoch-log record epoch disagrees with its checkpoint image");
+  }
+  // Cross-check the explicit accumulator delta against the image's newest
+  // φ̂ row, bitwise (both travelled as raw IEEE-754 bits).
+  if (state.phi_per_epoch.empty()) {
+    return Status::InvalidArgument("epoch-log checkpoint image has no phi rows");
+  }
+  const std::vector<double>& image_row = state.phi_per_epoch.back();
+  if (image_row.size() != msg.phi_epoch.size() ||
+      (!image_row.empty() &&
+       std::memcmp(image_row.data(), msg.phi_epoch.data(),
+                   image_row.size() * sizeof(double)) != 0)) {
+    return Status::InvalidArgument(
+        "epoch-log phi delta disagrees with its checkpoint image");
+  }
+  state_ = std::move(state);
+  has_state_ = true;
+  generation_ = msg.generation;
+  epoch_ = msg.epoch;
+  ++records_applied_;
+  --records_rejected_;
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace digfl

@@ -1,0 +1,94 @@
+// Replicated epoch log for coordinator high availability (DESIGN.md §14).
+//
+// After every committed epoch the primary coordinator ships one
+// EpochLogAppend record to the hot standby: the full DIGFLCKP1 checkpoint
+// image for that round boundary (θ, the per-epoch δ/present/weights log,
+// RNG cursors, comm-ledger totals, φ̂ accumulator) plus this epoch's φ̂
+// row as an explicit accumulator delta. The standby applies records into
+// an in-memory EpochLogBuffer — a CheckpointStore-equivalent — so
+// promotion needs no disk replay: the newest applied record IS the last
+// durable round boundary.
+//
+// Every record carries the primary's leader generation; the buffer rejects
+// records from a generation lower than the highest it has seen, so a
+// fenced ex-primary that keeps streaming can never roll the standby back.
+
+#ifndef DIGFL_NET_EPOCH_LOG_H_
+#define DIGFL_NET_EPOCH_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ckpt/hfl_resume.h"
+#include "common/result.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+namespace net {
+
+// Primary → standby: one write-ahead record per committed epoch.
+struct EpochLogAppendMsg {
+  uint64_t generation = 0;     // sender's leader generation (never 0)
+  uint64_t config_digest = 0;  // same digest the handshake pins
+  uint64_t epoch = 0;          // epochs completed after this record
+  // Complete DIGFLCKP1 checkpoint image at this round boundary — the same
+  // bytes ckpt::EncodeHflCheckpoint produces, CRC framing included, so the
+  // record reuses the checkpoint container's corruption detection.
+  std::string image;
+  // This epoch's masked φ̂ row (the accumulator delta). Redundant with the
+  // image's phi record by construction; the receiver cross-checks them
+  // bitwise, so corruption that slips past one encoding trips the other.
+  Vec phi_epoch;
+};
+
+// Standby → primary: record durably applied through `epoch`.
+struct EpochLogAckMsg {
+  uint64_t epoch = 0;
+};
+
+std::string EncodeEpochLogAppend(const EpochLogAppendMsg& msg);
+std::string EncodeEpochLogAck(const EpochLogAckMsg& msg);
+
+// Strict decoders. DecodeEpochLogAppend validates the embedded image's
+// container framing (magic, per-record CRCs, terminator), so a truncated
+// or bit-flipped log record is rejected at the trust boundary.
+Result<EpochLogAppendMsg> DecodeEpochLogAppend(std::string_view payload);
+Result<EpochLogAckMsg> DecodeEpochLogAck(std::string_view payload);
+
+// In-memory replica of the primary's durable state. Single-threaded (the
+// standby applies records from one replication connection at a time).
+class EpochLogBuffer {
+ public:
+  explicit EpochLogBuffer(uint64_t config_digest)
+      : config_digest_(config_digest) {}
+
+  // Validates and applies one record: the generation must not regress, the
+  // digest must match, the epoch must advance, the image must decode to a
+  // coherent checkpoint whose boundary and φ̂ row agree with the record's
+  // own fields. On success the buffer holds the decoded state.
+  Status Apply(const EpochLogAppendMsg& msg);
+
+  bool has_state() const { return has_state_; }
+  const ckpt::HflCheckpointState& state() const { return state_; }
+  // Highest generation observed across applied records (0 = none yet).
+  uint64_t generation() const { return generation_; }
+  // Epochs completed at the newest applied record (0 = none yet).
+  uint64_t epoch() const { return epoch_; }
+  uint64_t records_applied() const { return records_applied_; }
+  uint64_t records_rejected() const { return records_rejected_; }
+
+ private:
+  uint64_t config_digest_ = 0;
+  uint64_t generation_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t records_applied_ = 0;
+  uint64_t records_rejected_ = 0;
+  bool has_state_ = false;
+  ckpt::HflCheckpointState state_;
+};
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_EPOCH_LOG_H_

@@ -48,6 +48,7 @@ constexpr uint32_t kClockBlockMagic = 0x314b4c43u;      // "CLK1" (LE)
 constexpr uint32_t kRunBlockMagic = 0x314e5552u;        // "RUN1"
 constexpr uint32_t kTraceBlockMagic = 0x31435254u;      // "TRC1"
 constexpr uint32_t kTelemetryBlockMagic = 0x3153424fu;  // "OBS1"
+constexpr uint32_t kGenerationBlockMagic = 0x314e4547u; // "GEN1"
 
 // Hostile-peer bounds for the shipped telemetry delta: a delta covers one
 // epoch of one participant, so honest traffic is far below these.
@@ -69,6 +70,29 @@ Result<bool> ConsumeBlockMagic(ByteSource* source, uint32_t magic,
         std::string("unrecognized trailing bytes in ") + what + " payload");
   }
   return true;
+}
+
+// Reads the next trailing-block magic, or 0 at clean end-of-payload (no
+// block magic is 0 — every tag spells four ASCII characters). Lets a
+// decoder dispatch across several optional blocks in their fixed order.
+Result<uint32_t> NextBlockMagic(ByteSource* source) {
+  if (source->Exhausted()) return static_cast<uint32_t>(0);
+  uint32_t magic = 0;
+  DIGFL_RETURN_IF_ERROR(source->GetU32(&magic));
+  return magic;
+}
+
+// Body of a GEN1 block (magic already consumed). Generation 0 is reserved
+// for "HA off" and is never put on the wire; decoding it means rollback or
+// corruption, both fatal.
+Result<uint64_t> GetGeneration(ByteSource* source, const char* what) {
+  uint64_t generation = 0;
+  DIGFL_RETURN_IF_ERROR(source->GetU64(&generation));
+  if (generation == 0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " carries reserved leader generation 0");
+  }
+  return generation;
 }
 
 Status RequireFiniteScalar(double value, const char* what) {
@@ -243,6 +267,10 @@ const char* MsgTypeToString(MsgType type) {
       return "HvpReply";
     case MsgType::kShutdown:
       return "Shutdown";
+    case MsgType::kEpochLogAppend:
+      return "EpochLogAppend";
+    case MsgType::kEpochLogAck:
+      return "EpochLogAck";
   }
   return "Unknown";
 }
@@ -253,6 +281,10 @@ std::string EncodeHello(const HelloMsg& msg) {
   sink.PutU64(msg.participant_id);
   sink.PutU64(msg.num_params);
   sink.PutU64(msg.config_digest);
+  if (msg.generation.has_value()) {
+    sink.PutU32(kGenerationBlockMagic);
+    sink.PutU64(*msg.generation);
+  }
   if (msg.obs_clock_seconds.has_value()) {
     sink.PutU32(kClockBlockMagic);
     sink.PutDouble(*msg.obs_clock_seconds);
@@ -266,13 +298,21 @@ Result<HelloMsg> DecodeHello(std::string_view payload) {
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.participant_id));
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.num_params));
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.config_digest));
-  DIGFL_ASSIGN_OR_RETURN(const bool has_clock,
-                         ConsumeBlockMagic(&source, kClockBlockMagic, "Hello"));
-  if (has_clock) {
+  DIGFL_ASSIGN_OR_RETURN(uint32_t magic, NextBlockMagic(&source));
+  if (magic == kGenerationBlockMagic) {
+    DIGFL_ASSIGN_OR_RETURN(uint64_t generation,
+                           GetGeneration(&source, "Hello"));
+    msg.generation = generation;
+    DIGFL_ASSIGN_OR_RETURN(magic, NextBlockMagic(&source));
+  }
+  if (magic == kClockBlockMagic) {
     double seconds = 0.0;
     DIGFL_RETURN_IF_ERROR(source.GetDouble(&seconds));
     DIGFL_RETURN_IF_ERROR(RequireFiniteScalar(seconds, "Hello clock"));
     msg.obs_clock_seconds = seconds;
+  } else if (magic != 0) {
+    return Status::InvalidArgument(
+        "unrecognized trailing bytes in Hello payload");
   }
   DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "Hello"));
   return msg;
@@ -284,6 +324,10 @@ std::string EncodeHelloAck(const HelloAckMsg& msg) {
   sink.PutU32(msg.accepted);
   sink.PutU64(msg.next_epoch);
   sink.PutString(msg.message);
+  if (msg.generation.has_value()) {
+    sink.PutU32(kGenerationBlockMagic);
+    sink.PutU64(*msg.generation);
+  }
   if (msg.obs.has_value()) {
     sink.PutU32(kRunBlockMagic);
     sink.PutU64(msg.obs->run_id);
@@ -303,16 +347,23 @@ Result<HelloAckMsg> DecodeHelloAck(std::string_view payload) {
   msg.accepted = static_cast<uint8_t>(accepted);
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.next_epoch));
   DIGFL_RETURN_IF_ERROR(source.GetString(&msg.message));
-  DIGFL_ASSIGN_OR_RETURN(const bool has_obs,
-                         ConsumeBlockMagic(&source, kRunBlockMagic,
-                                           "HelloAck"));
-  if (has_obs) {
+  DIGFL_ASSIGN_OR_RETURN(uint32_t magic, NextBlockMagic(&source));
+  if (magic == kGenerationBlockMagic) {
+    DIGFL_ASSIGN_OR_RETURN(uint64_t generation,
+                           GetGeneration(&source, "HelloAck"));
+    msg.generation = generation;
+    DIGFL_ASSIGN_OR_RETURN(magic, NextBlockMagic(&source));
+  }
+  if (magic == kRunBlockMagic) {
     HelloAckObs obs;
     DIGFL_RETURN_IF_ERROR(source.GetU64(&obs.run_id));
     DIGFL_RETURN_IF_ERROR(source.GetDouble(&obs.coordinator_seconds));
     DIGFL_RETURN_IF_ERROR(
         RequireFiniteScalar(obs.coordinator_seconds, "HelloAck clock"));
     msg.obs = obs;
+  } else if (magic != 0) {
+    return Status::InvalidArgument(
+        "unrecognized trailing bytes in HelloAck payload");
   }
   DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "HelloAck"));
   return msg;
@@ -325,6 +376,10 @@ std::string EncodeRoundRequest(const RoundRequestMsg& msg) {
   sink.PutDouble(msg.learning_rate);
   sink.PutU64(msg.local_steps);
   sink.PutDoubles(msg.params);
+  if (msg.generation.has_value()) {
+    sink.PutU32(kGenerationBlockMagic);
+    sink.PutU64(*msg.generation);
+  }
   if (msg.trace.has_value()) {
     sink.PutU32(kTraceBlockMagic);
     sink.PutU64(msg.trace->run_id);
@@ -341,15 +396,22 @@ Result<RoundRequestMsg> DecodeRoundRequest(std::string_view payload) {
   DIGFL_RETURN_IF_ERROR(source.GetDouble(&msg.learning_rate));
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.local_steps));
   DIGFL_RETURN_IF_ERROR(source.GetDoubles(&msg.params));
-  DIGFL_ASSIGN_OR_RETURN(
-      const bool has_trace,
-      ConsumeBlockMagic(&source, kTraceBlockMagic, "RoundRequest"));
-  if (has_trace) {
+  DIGFL_ASSIGN_OR_RETURN(uint32_t magic, NextBlockMagic(&source));
+  if (magic == kGenerationBlockMagic) {
+    DIGFL_ASSIGN_OR_RETURN(uint64_t generation,
+                           GetGeneration(&source, "RoundRequest"));
+    msg.generation = generation;
+    DIGFL_ASSIGN_OR_RETURN(magic, NextBlockMagic(&source));
+  }
+  if (magic == kTraceBlockMagic) {
     telemetry::TraceContext trace;
     DIGFL_RETURN_IF_ERROR(source.GetU64(&trace.run_id));
     DIGFL_RETURN_IF_ERROR(source.GetU64(&trace.round));
     DIGFL_RETURN_IF_ERROR(source.GetU64(&trace.parent_span_id));
     msg.trace = trace;
+  } else if (magic != 0) {
+    return Status::InvalidArgument(
+        "unrecognized trailing bytes in RoundRequest payload");
   }
   DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "RoundRequest"));
   if (!std::isfinite(msg.learning_rate) || msg.learning_rate <= 0.0) {

@@ -42,6 +42,9 @@ enum class MsgType : uint32_t {
   kHvpRequest = 5,
   kHvpReply = 6,
   kShutdown = 7,
+  // Primary → standby replication stream (DESIGN.md §14).
+  kEpochLogAppend = 8,
+  kEpochLogAck = 9,
 };
 
 const char* MsgTypeToString(MsgType type);
@@ -54,6 +57,13 @@ struct HelloMsg {
   uint64_t participant_id = 0;
   uint64_t num_params = 0;
   uint64_t config_digest = 0;
+  // Leader fencing (DESIGN.md §14): the highest leader generation this node
+  // has observed. A coordinator receiving a Hello that names a newer
+  // generation than its own knows it has been superseded and must fence
+  // itself. Absent on pre-HA nodes and when HA is off (generation 0 is
+  // reserved and never encoded). Encodes as the first magic-tagged trailing
+  // block, before the observability blocks.
+  std::optional<uint64_t> generation;
   // Observability (DESIGN.md §13): the node's ObsNow() at Hello send time,
   // the coordinator's first (one-way) clock sample for this participant.
   // Optional fields encode as magic-tagged trailing blocks — absent fields
@@ -76,6 +86,9 @@ struct HelloAckMsg {
   uint8_t accepted = 0;
   uint64_t next_epoch = 0;
   std::string message;  // reject reason when accepted == 0
+  // The coordinator's leader generation. Participants remember the highest
+  // accepted generation and refuse to serve any leader below it.
+  std::optional<uint64_t> generation;
   std::optional<HelloAckObs> obs;
 };
 
@@ -85,6 +98,9 @@ struct RoundRequestMsg {
   double learning_rate = 0.0;
   uint64_t local_steps = 1;
   Vec params;  // θ_{t-1}
+  // Leader generation of the sending coordinator: a participant that has
+  // already accepted a newer leader must not compute for a stale one.
+  std::optional<uint64_t> generation;
   // Trace propagation: set iff the coordinator runs with telemetry on.
   std::optional<telemetry::TraceContext> trace;
 };

@@ -19,6 +19,12 @@ Result<MsgChannel> ParticipantNode::ConnectAndHandshake() {
   Rng jitter(seed);
   Transport* transport = options_.transport != nullptr ? options_.transport
                                                        : TcpTransport();
+  // Round-robin over the failover list; a single implicit endpoint when no
+  // list was given (the pre-HA behavior, including fatal rejections).
+  std::vector<ParticipantEndpoint> endpoints = options_.endpoints;
+  if (endpoints.empty()) {
+    endpoints.push_back(ParticipantEndpoint{options_.host, options_.port});
+  }
   Status last = Status::Unavailable("no connect attempt made");
   for (size_t attempt = 0; attempt < options_.max_connect_attempts;
        ++attempt) {
@@ -26,8 +32,10 @@ Result<MsgChannel> ParticipantNode::ConnectAndHandshake() {
       std::this_thread::sleep_for(std::chrono::milliseconds(
           BackoffDelayMs(options_.connect_backoff, attempt - 1, jitter)));
     }
+    const size_t endpoint_index = attempt % endpoints.size();
+    const ParticipantEndpoint& endpoint = endpoints[endpoint_index];
     Result<std::unique_ptr<Conn>> conn = transport->Connect(
-        options_.host, options_.port, options_.connect_timeout_ms);
+        endpoint.host, endpoint.port, options_.connect_timeout_ms);
     if (!conn.ok()) {
       last = conn.status();
       continue;
@@ -37,20 +45,48 @@ Result<MsgChannel> ParticipantNode::ConnectAndHandshake() {
     hello.participant_id = options_.participant_id;
     hello.num_params = model_.NumParams();
     hello.config_digest = options_.config_digest;
+    if (max_seen_generation_ > 0) hello.generation = max_seen_generation_;
     if (telemetry::ObservabilityEnabled()) {
       hello.obs_clock_seconds = telemetry::ObsNow();
     }
     Result<HelloAckMsg> ack =
         ClientHandshake(channel, hello, options_.handshake_timeout_ms);
     if (!ack.ok()) {
-      // A rejection (kFailedPrecondition) is a configuration error and
-      // will not heal by retrying; transient codes get another attempt.
-      if (ack.status().code() == StatusCode::kFailedPrecondition) {
+      // With a single endpoint a rejection (kFailedPrecondition) is a
+      // configuration error and will not heal by retrying. With a failover
+      // list it may just be the wrong coordinator for this moment (a fenced
+      // ex-primary, a standby that has not promoted), so keep rotating.
+      if (ack.status().code() == StatusCode::kFailedPrecondition &&
+          endpoints.size() <= 1) {
         return ack.status();
       }
       last = ack.status();
       continue;
     }
+    const uint64_t ack_generation = ack->generation.value_or(0);
+    if (max_seen_generation_ > 0 && ack_generation < max_seen_generation_) {
+      // A stale leader (or one that stopped carrying a generation at all):
+      // refuse to serve it — fencing is only as strong as the participants'
+      // memory of the highest generation they accepted.
+      ++stats_.stale_leaders_rejected;
+      DIGFL_COUNTER_ADD("net.stale_leaders_rejected_total", 1);
+      channel.Close();
+      last = Status::FailedPrecondition(
+          "coordinator at " + endpoint.host + ":" +
+          std::to_string(endpoint.port) + " leads generation " +
+          std::to_string(ack_generation) + " below highest accepted " +
+          std::to_string(max_seen_generation_));
+      continue;
+    }
+    if (ack_generation > max_seen_generation_) {
+      max_seen_generation_ = ack_generation;
+    }
+    if (ever_connected_ && endpoint_index != last_endpoint_) {
+      ++stats_.failovers;
+      DIGFL_COUNTER_ADD("net.failovers_total", 1);
+    }
+    ever_connected_ = true;
+    last_endpoint_ = endpoint_index;
     return channel;
   }
   return last;
@@ -82,6 +118,22 @@ Status ParticipantNode::Serve(MsgChannel& channel) {
         const double p0 = obs ? telemetry::ObsNow() : 0.0;
         DIGFL_ASSIGN_OR_RETURN(RoundRequestMsg request,
                                DecodeRoundRequest(frame->payload));
+        const uint64_t request_generation = request.generation.value_or(0);
+        if (max_seen_generation_ > 0 &&
+            request_generation < max_seen_generation_) {
+          // A round from a leader below the highest accepted generation:
+          // never compute for it. kUnavailable sends Run() back through
+          // the failover list toward the real leader.
+          ++stats_.stale_rounds_rejected;
+          DIGFL_COUNTER_ADD("net.stale_rounds_rejected_total", 1);
+          return Status::Unavailable(
+              "round request from stale leader generation " +
+              std::to_string(request_generation) + " (highest accepted " +
+              std::to_string(max_seen_generation_) + ")");
+        }
+        if (request_generation > max_seen_generation_) {
+          max_seen_generation_ = request_generation;
+        }
         if (request.params.size() != model_.NumParams()) {
           return Status::InvalidArgument(
               "round request parameter size does not match the local model");
@@ -187,9 +239,14 @@ Status ParticipantNode::Run() {
     stats_.bytes_sent += channel->TakeBytesSent();
     stats_.bytes_received += channel->TakeBytesReceived();
     if (served.ok()) return Status::OK();
-    if (served.code() == StatusCode::kUnavailable) {
+    if (served.code() == StatusCode::kUnavailable ||
+        (served.code() == StatusCode::kDeadlineExceeded &&
+         options_.endpoints.size() > 1)) {
       // The coordinator vanished mid-stream (restart, crash-resume, or a
-      // round it abandoned); dial again and rejoin at the next epoch.
+      // round it abandoned); dial again and rejoin at the next epoch. With
+      // a failover list, a coordinator silent through max_idle_polls gets
+      // the same treatment — a partitioned primary dies quietly, and the
+      // promoted standby is one rotation away.
       ++stats_.reconnects;
       DIGFL_COUNTER_ADD("net.reconnects_total", 1);
       continue;

@@ -33,6 +33,14 @@
 namespace digfl {
 namespace net {
 
+// One coordinator address a node may serve (DESIGN.md §14). Under SimNet
+// the host is the *dialer's* fault-schedule label, so a simulated node's
+// endpoints share its own label and differ only in port.
+struct ParticipantEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
 struct ParticipantNodeOptions {
   // Byte-stream layer to dial through. nullptr = TcpTransport(). Not
   // owned; must outlive the node. Simulated nodes set this to their SimNet
@@ -40,6 +48,12 @@ struct ParticipantNodeOptions {
   Transport* transport = nullptr;
   std::string host = "127.0.0.1";
   uint16_t port = 0;
+  // Failover endpoint list in priority order: primary first, then each
+  // standby. Empty = the single {host, port} above (the pre-HA behavior).
+  // Connect attempts rotate round-robin through the list, so a dead primary
+  // costs one refused dial before the node tries the standby; a handshake
+  // rejection is only fatal when there is no other endpoint to try.
+  std::vector<ParticipantEndpoint> endpoints;
   uint64_t participant_id = 0;
   // Must match the coordinator's digest or the handshake is rejected.
   uint64_t config_digest = 0;
@@ -73,6 +87,14 @@ class ParticipantNode {
     uint64_t reconnects = 0;
     uint64_t bytes_sent = 0;
     uint64_t bytes_received = 0;
+    // Leader fencing (DESIGN.md §14): handshakes refused because the
+    // coordinator led a generation below the highest this node accepted,
+    // and round requests refused mid-connection for the same reason.
+    uint64_t stale_leaders_rejected = 0;
+    uint64_t stale_rounds_rejected = 0;
+    // Successful handshakes that landed on a different endpoint than the
+    // previous one (primary -> standby moves and back).
+    uint64_t failovers = 0;
   };
 
   // `model` is not owned and must outlive the node.
@@ -100,6 +122,12 @@ class ParticipantNode {
   HflParticipant participant_;
   ParticipantNodeOptions options_;
   Stats stats_;
+  // Highest leader generation accepted in a handshake; anything lower is a
+  // stale ex-primary and gets refused (0 until a generation is seen).
+  uint64_t max_seen_generation_ = 0;
+  // Endpoint bookkeeping for Stats::failovers.
+  size_t last_endpoint_ = 0;
+  bool ever_connected_ = false;
   // Span/metric buffer shipped piggyback on epoch-end replies when
   // telemetry is on (DESIGN.md §13). Owned by the serve loop's thread.
   telemetry::NodeTelemetry node_telemetry_;

@@ -1,0 +1,176 @@
+#include "net/standby.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/channel.h"
+#include "net/messages.h"
+
+namespace digfl {
+namespace net {
+
+Result<std::unique_ptr<StandbyCoordinator>> StandbyCoordinator::Create(
+    const StandbyOptions& options) {
+  if (options.primary_generation == 0) {
+    return Status::InvalidArgument(
+        "StandbyOptions.primary_generation must be positive (generation 0 "
+        "is reserved)");
+  }
+  if (options.lease_timeout_ms <= 0) {
+    return Status::InvalidArgument(
+        "StandbyOptions.lease_timeout_ms must be positive");
+  }
+  StandbyOptions resolved = options;
+  // nullptr = the process-wide TCP transport, as in Coordinator::Create.
+  if (resolved.transport == nullptr) resolved.transport = TcpTransport();
+  std::unique_ptr<StandbyCoordinator> standby(
+      new StandbyCoordinator(resolved));
+  DIGFL_ASSIGN_OR_RETURN(standby->listener_,
+                         resolved.transport->Listen(resolved.port));
+  return standby;
+}
+
+StandbyOutcome StandbyCoordinator::Promoted() {
+  StandbyOutcome outcome;
+  outcome.generation =
+      std::max(buffer_.generation(), options_.primary_generation) + 1;
+  outcome.has_state = buffer_.has_state();
+  if (outcome.has_state) outcome.state = buffer_.state();
+  outcome.records_applied = buffer_.records_applied();
+  outcome.records_rejected = buffer_.records_rejected();
+  return outcome;
+}
+
+Result<StandbyOutcome> StandbyCoordinator::Run() {
+  const Transport& transport = *options_.transport;
+  const uint64_t lease = static_cast<uint64_t>(options_.lease_timeout_ms);
+  // Absolute lease deadline on the transport's clock, reset only by
+  // replication evidence. Relative per-call timeouts would let a burst of
+  // failing-over participants (whose Hellos we reject below) keep the
+  // timer from ever expiring.
+  uint64_t lease_deadline = transport.NowMs() + lease;
+  // Milliseconds of lease left, clamped to [0, lease].
+  const auto remaining = [&]() -> int {
+    const uint64_t now = transport.NowMs();
+    if (now >= lease_deadline) return 0;
+    return static_cast<int>(std::min(lease_deadline - now, lease));
+  };
+  StandbyOutcome outcome;
+  for (;;) {
+    if (stop_.load()) {
+      outcome.stopped = true;
+      break;
+    }
+    const int accept_ms = remaining();
+    if (accept_ms == 0) return Promoted();  // lease expired in silence
+    Result<std::unique_ptr<Conn>> accepted = listener_->Accept(accept_ms);
+    if (!accepted.ok()) {
+      if (stop_.load()) {
+        outcome.stopped = true;
+        break;
+      }
+      if (accepted.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // the top of the loop turns an expired lease into a verdict
+      }
+      return accepted.status();
+    }
+    MsgChannel channel(std::move(accepted).value(), options_.limits);
+    // Raw preamble exchange, mirroring ServerHandshakeBegin's first step:
+    // the replication stream speaks DIGFLNET1 like every other connection,
+    // but skips Hello/HelloAck — the primary authenticates each record with
+    // the config digest and its leader generation instead.
+    char preamble[kPreambleLen];
+    if (!channel.RecvRaw(preamble, kPreambleLen, options_.lease_timeout_ms)
+             .ok() ||
+        !ValidatePreamble(std::string_view(preamble, kPreambleLen)).ok() ||
+        !channel.SendRaw(EncodePreamble(), options_.lease_timeout_ms).ok()) {
+      channel.Close();
+      continue;  // garbage dialer; the lease keeps counting
+    }
+    bool done = false;
+    while (!done) {
+      const int recv_ms = remaining();
+      if (recv_ms == 0) return Promoted();  // lease expired mid-connection
+      Result<Frame> frame = channel.Recv(recv_ms);
+      if (!frame.ok()) {
+        if (stop_.load()) {
+          outcome.stopped = true;
+          done = true;
+          break;
+        }
+        if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+          continue;  // loop top re-checks the absolute deadline
+        }
+        channel.Close();  // connection lost; wait for the primary's redial
+        break;
+      }
+      switch (static_cast<MsgType>(frame->type)) {
+        case MsgType::kShutdown:
+          outcome.primary_completed = true;
+          done = true;
+          break;
+        case MsgType::kEpochLogAppend: {
+          Result<EpochLogAppendMsg> record =
+              DecodeEpochLogAppend(frame->payload);
+          Status applied = record.ok() ? buffer_.Apply(*record)
+                                       : record.status();
+          if (!applied.ok()) {
+            // A corrupt, stale, or incoherent record poisons the stream:
+            // cut the connection so a fenced ex-primary sees kUnavailable
+            // instead of an ack. A live primary redials and resumes.
+            channel.Close();
+            done = false;
+            break;
+          }
+          // Replication evidence: the primary is alive; extend the lease.
+          lease_deadline = transport.NowMs() + lease;
+          EpochLogAckMsg ack;
+          ack.epoch = record->epoch;
+          if (!channel
+                   .Send(MsgType::kEpochLogAck, EncodeEpochLogAck(ack),
+                         options_.lease_timeout_ms)
+                   .ok()) {
+            channel.Close();
+          }
+          break;
+        }
+        case MsgType::kHello: {
+          // A participant probing the failover endpoint before promotion.
+          // Reject with a typed verdict so it keeps rotating — and do NOT
+          // extend the lease: a node that cannot reach its leader is
+          // evidence for promotion, never against it.
+          HelloAckMsg ack;
+          ack.accepted = false;
+          ack.message = "standby has not been promoted";
+          (void)channel.Send(MsgType::kHelloAck, EncodeHelloAck(ack),
+                             options_.lease_timeout_ms);
+          channel.Close();
+          break;
+        }
+        default:
+          channel.Close();  // protocol violation on the replication port
+          break;
+      }
+      if (!channel.valid()) break;
+    }
+    if (done) break;
+  }
+  outcome.records_applied = buffer_.records_applied();
+  outcome.records_rejected = buffer_.records_rejected();
+  if (outcome.primary_completed && buffer_.has_state()) {
+    // Informational on a completed run, but lets the harness cross-check
+    // the replica against the primary's own final state.
+    outcome.has_state = true;
+    outcome.state = buffer_.state();
+    outcome.generation = buffer_.generation();
+  }
+  return outcome;
+}
+
+void StandbyCoordinator::Stop() {
+  stop_.store(true);
+  if (listener_ != nullptr) listener_->Close();
+}
+
+}  // namespace net
+}  // namespace digfl

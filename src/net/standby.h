@@ -1,0 +1,99 @@
+// Hot-standby coordinator: lease-driven promotion (DESIGN.md §14).
+//
+// The standby listens on the replication port and applies the primary's
+// EpochLogAppend stream into an in-memory EpochLogBuffer. The leader lease
+// is implicit in the stream itself: an absolute deadline on the
+// transport's clock (virtual milliseconds under SimNet, wall-clock over
+// TCP), reset only by replication evidence — an applied record or the
+// primary's farewell. `lease_timeout_ms` without such evidence means the
+// primary is dead or partitioned and the standby promotes; connections
+// that carry no evidence (a failing-over participant's Hello gets a typed
+// rejection ack) spend the lease, they do not extend it. Because a record
+// can land just before the silence starts, the worst-case promotion delay
+// is twice the lease.
+//
+// Promotion returns (it does not start serving): the caller re-creates a
+// Coordinator on the failover port with `outcome.generation` — one more
+// than the highest generation the standby has ever seen, so fencing holds
+// even if the ex-primary is still alive — and warm-starts it from
+// `outcome.state` via ckpt::ResumeFromState.
+
+#ifndef DIGFL_NET_STANDBY_H_
+#define DIGFL_NET_STANDBY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "ckpt/hfl_resume.h"
+#include "common/result.h"
+#include "net/epoch_log.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace digfl {
+namespace net {
+
+struct StandbyOptions {
+  // nullptr = TcpTransport(). Not owned; must outlive the standby.
+  Transport* transport = nullptr;
+  uint16_t port = 0;               // replication listen port
+  uint64_t config_digest = 0;      // same digest the handshake pins
+  // Generation the current primary leads with; promotion picks
+  // max(primary_generation, highest generation seen on the stream) + 1.
+  uint64_t primary_generation = 1;
+  // Silence threshold: no replication traffic for this long ⇒ promote.
+  int lease_timeout_ms = 1000;
+  WireLimits limits;
+};
+
+// How a standby's watch ended.
+struct StandbyOutcome {
+  bool stopped = false;            // Stop() ended the watch; no verdict
+  bool primary_completed = false;  // primary sent its farewell; run is done
+  // Promotion verdict (when neither flag is set): the generation the
+  // promoted coordinator must lead with, and the last durable round
+  // boundary to resume from (has_state == false ⇒ cold start at epoch 0).
+  uint64_t generation = 0;
+  bool has_state = false;
+  ckpt::HflCheckpointState state;
+  uint64_t records_applied = 0;
+  uint64_t records_rejected = 0;
+
+  bool promoted() const { return !stopped && !primary_completed; }
+};
+
+class StandbyCoordinator {
+ public:
+  static Result<std::unique_ptr<StandbyCoordinator>> Create(
+      const StandbyOptions& options);
+
+  // The replication port actually bound (reads back an ephemeral choice);
+  // participants put this in their failover endpoint list.
+  uint16_t port() const { return listener_ != nullptr ? listener_->port() : 0; }
+
+  // Blocks until the primary completes, the lease expires (promotion), or
+  // Stop() is called. Statuses are reserved for environment failures (e.g.
+  // the simulated horizon); every protocol-level outcome is typed in the
+  // returned StandbyOutcome.
+  Result<StandbyOutcome> Run();
+
+  // Thread-safe; wakes Run() by closing the replication listener.
+  void Stop();
+
+ private:
+  explicit StandbyCoordinator(const StandbyOptions& options)
+      : options_(options), buffer_(options.config_digest) {}
+
+  StandbyOutcome Promoted();
+
+  StandbyOptions options_;
+  EpochLogBuffer buffer_;
+  std::unique_ptr<Listener> listener_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_STANDBY_H_

@@ -91,6 +91,13 @@ std::unique_ptr<Conn> WrapTcpConn(TcpConn conn) {
   return std::unique_ptr<Conn>(new TcpConnAdapter(std::move(conn)));
 }
 
+uint64_t Transport::NowMs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
 Transport* TcpTransport() {
   static TcpTransportImpl* transport = new TcpTransportImpl();
   return transport;

@@ -81,6 +81,13 @@ class Transport {
   virtual Result<std::unique_ptr<Conn>> Connect(const std::string& host,
                                                 uint16_t port,
                                                 int timeout_ms) = 0;
+
+  // Monotonic milliseconds on the clock this transport's deadlines run
+  // against: steady_clock for TCP, the virtual clock for the simulator.
+  // Lease logic (net/standby.h) anchors absolute deadlines to this so a
+  // burst of unrelated connections cannot keep resetting a relative
+  // timeout — and so the lease is deterministic under simulation.
+  virtual uint64_t NowMs() const;
 };
 
 // Wraps an already-connected TcpConn in the Conn interface (the accept path

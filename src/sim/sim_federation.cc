@@ -487,6 +487,325 @@ std::string CheckHflInvariants(
   return "";
 }
 
+HaSimScenario HaSimScenario::FromSeed(uint64_t seed) {
+  HaSimScenario scenario;
+  scenario.seed = seed;
+  Rng rng(seed ^ 0x4af17u);
+  scenario.epochs = static_cast<size_t>(rng.UniformInt(int64_t{4}, int64_t{6}));
+  const uint64_t variant = rng.UniformInt(uint64_t{10});
+  if (variant == 0) {
+    // No failure: the HA machinery runs (replication, lease) but the
+    // primary completes — the overhead-only path.
+    scenario.with_checkpoints = rng.UniformInt(uint64_t{2}) == 1;
+    return scenario;
+  }
+  if (variant <= 2) {
+    // Partition window: the replication link goes dark at blackout_epoch,
+    // the standby promotes mid-run, and the primary dies later — the
+    // epochs it served inside the window are recomputed by the promoted
+    // coordinator.
+    scenario.blackout_epoch =
+        static_cast<size_t>(rng.UniformInt(uint64_t{scenario.epochs - 1}));
+    scenario.halt_epoch =
+        scenario.blackout_epoch +
+        static_cast<size_t>(rng.UniformInt(
+            uint64_t{scenario.epochs - scenario.blackout_epoch}));
+    scenario.halt_site = net::HaltSite::kEpochEnd;
+    scenario.with_checkpoints = rng.UniformInt(uint64_t{2}) == 1;
+    return scenario;
+  }
+  // Kill: the primary dies at a seeded site of a seeded epoch.
+  constexpr net::HaltSite kSites[] = {
+      net::HaltSite::kBeforeBroadcast, net::HaltSite::kAfterCollect,
+      net::HaltSite::kAfterCheckpoint, net::HaltSite::kEpochEnd};
+  scenario.halt_site = kSites[rng.UniformInt(uint64_t{4})];
+  scenario.halt_epoch =
+      static_cast<size_t>(rng.UniformInt(uint64_t{scenario.epochs}));
+  scenario.with_checkpoints = rng.UniformInt(uint64_t{2}) == 1;
+  return scenario;
+}
+
+HaSimResult RunHaSimFederation(const HaSimScenario& scenario) {
+  const size_t n = scenario.num_participants;
+  const bool blackout = scenario.blackout_epoch < scenario.epochs;
+
+  SimScenario base;
+  base.seed = scenario.seed;
+  base.num_participants = n;
+  base.epochs = scenario.epochs;
+  base.rates = SimFaultRates{};  // benign: completed runs compare bitwise
+  base.grace_us = scenario.grace_us;
+  SimWorld world = MakeSimWorld(base);
+
+  SimNetOptions net_options;
+  net_options.seed = scenario.seed;
+  net_options.rates = SimFaultRates{};
+  net_options.grace_us = scenario.grace_us;
+  SimNet net(net_options);
+
+  HaSimResult result;
+  result.node_statuses.assign(n, Status::OK());
+
+  // Standby first so the failover port exists before any node dials it.
+  net::StandbyOptions standby_options;
+  standby_options.transport = &net;
+  standby_options.port = 0;
+  standby_options.config_digest = world.digest;
+  standby_options.primary_generation = 1;
+  standby_options.lease_timeout_ms = scenario.lease_timeout_ms;
+  auto standby = net::StandbyCoordinator::Create(standby_options);
+  if (!standby.ok()) {
+    result.status = standby.status();
+    return result;
+  }
+  const uint16_t failover_port = (*standby)->port();
+
+  net::CoordinatorOptions primary_options;
+  primary_options.transport = &net;
+  primary_options.num_participants = n;
+  primary_options.config_digest = world.digest;
+  primary_options.handshake_timeout_ms = 200;  // virtual ms from here on
+  primary_options.round_timeout_ms = 150;
+  primary_options.max_round_retries = 2;
+  primary_options.retry_backoff.initial_ms = 0;
+  primary_options.accept_poll_ms = 10000;
+  primary_options.leader_generation = 1;
+  primary_options.standby_host = "standby";  // the dial-side fault label
+  primary_options.standby_port = failover_port;
+  primary_options.replication_timeout_ms = 100;
+  primary_options.halt.site = scenario.halt_site;
+  primary_options.halt.epoch = scenario.halt_epoch;
+  primary_options.replication_blackout_epoch = scenario.blackout_epoch;
+  auto primary = net::Coordinator::Create(primary_options);
+  if (!primary.ok()) {
+    result.status = primary.status();
+    return result;
+  }
+
+  Status standby_status = Status::OK();
+  std::thread standby_thread([&] {
+    auto run = (*standby)->Run();
+    if (run.ok()) {
+      result.standby_outcome = std::move(*run);
+    } else {
+      standby_status = run.status();
+    }
+  });
+
+  std::vector<std::unique_ptr<net::ParticipantNode>> nodes(n);
+  std::vector<std::thread> node_threads;
+  node_threads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    net::ParticipantNodeOptions node_options;
+    node_options.transport = &net;
+    node_options.host = "node" + std::to_string(i);  // fate-schedule label
+    node_options.endpoints = {{node_options.host, (*primary)->port()},
+                              {node_options.host, failover_port}};
+    node_options.participant_id = i;
+    node_options.config_digest = world.digest;
+    node_options.connect_timeout_ms = 50;
+    node_options.handshake_timeout_ms = 200;
+    node_options.io_timeout_ms = 500;
+    node_options.max_idle_polls = 100;
+    // A failover episode burns attempts on the dead primary (a full
+    // connect timeout each, by SYN-retry) and on pre-promotion standby
+    // rejections, all while the lease runs out — budget generously.
+    node_options.max_connect_attempts = 80;
+    node_options.connect_backoff.initial_ms = 0;
+    nodes[i] = std::make_unique<net::ParticipantNode>(
+        world.model, world.participants[i], node_options);
+    node_threads.emplace_back(
+        [i, &nodes, &result] { result.node_statuses[i] = nodes[i]->Run(); });
+  }
+
+  // The primary trains on its own thread so the harness can observe the
+  // standby promoting *while the primary still leads* (partition window).
+  Status primary_status = Status::Unavailable("primary run never finished");
+  HflTrainingLog primary_log;
+  std::thread primary_thread([&] {
+    (void)(*primary)->WaitForParticipants(500);
+    HflServer server(world.model, world.validation);
+    if (scenario.with_checkpoints) {
+      ckpt::CheckpointRunOptions checkpoint_options;
+      checkpoint_options.dir = scenario.checkpoint_dir;
+      checkpoint_options.every = 1;
+      checkpoint_options.resume = false;
+      auto run = net::RunDistributedFedSgdWithCheckpoints(
+          **primary, server, world.init, world.config, checkpoint_options);
+      primary_status = run.status();
+      if (run.ok()) primary_log = std::move(run->log);
+    } else {
+      auto log =
+          (*primary)->RunFederatedTraining(server, world.init, world.config);
+      primary_status = log.status();
+      if (log.ok()) primary_log = std::move(*log);
+    }
+  });
+
+  // In a partition window the standby promotes during the primary's run;
+  // join it first so the split-brain interval (two bound coordinators, one
+  // stale) is actually exercised. Otherwise the primary's fate decides.
+  if (blackout) standby_thread.join();
+  primary_thread.join();
+  result.primary_status = primary_status;
+  result.primary_stats = (*primary)->stats();
+
+  const auto join_nodes = [&] {
+    for (std::thread& thread : node_threads) thread.join();
+    result.net_stats = net.stats();
+  };
+
+  if (primary_status.ok()) {
+    // Completed on the primary; the standby heard the farewell (or is
+    // stopped here if it never did).
+    if (standby_thread.joinable()) {
+      (*standby)->Stop();
+      standby_thread.join();
+    }
+    (*primary)->Shutdown("ha sim run finished");
+    join_nodes();
+    result.log = std::move(primary_log);
+  } else {
+    // The primary died (halt plan or fencing): kill it silently — no
+    // farewell, exactly what its death looks like from the outside.
+    (*primary)->Kill();
+    if (standby_thread.joinable()) standby_thread.join();
+    if (!standby_status.ok()) {
+      result.status = standby_status;
+      join_nodes();
+      return result;
+    }
+    if (!result.standby_outcome.promoted()) {
+      result.status = Status::FailedPrecondition(
+          "primary died but the standby did not promote");
+      join_nodes();
+      return result;
+    }
+    result.failover = true;
+    result.promoted_generation = result.standby_outcome.generation;
+
+    // Free the failover port, then lead it with the promoted generation.
+    standby->reset();
+    net::CoordinatorOptions promoted_options = primary_options;
+    promoted_options.port = failover_port;
+    promoted_options.leader_generation = result.standby_outcome.generation;
+    promoted_options.standby_port = 0;  // no further standby to replicate to
+    promoted_options.halt = net::HaltPlan{};
+    promoted_options.replication_blackout_epoch = static_cast<size_t>(-1);
+    auto promoted = net::Coordinator::Create(promoted_options);
+    if (!promoted.ok()) {
+      result.status = promoted.status();
+      join_nodes();
+      return result;
+    }
+
+    // The dead primary's store handle, opened before the promoted
+    // generation claims the manifest — the fencing drill below proves its
+    // writes are refused afterward.
+    std::unique_ptr<ckpt::CheckpointStore> stale_store;
+    if (scenario.with_checkpoints) {
+      auto stale = ckpt::CheckpointStore::Open(scenario.checkpoint_dir, 2, 1);
+      if (stale.ok()) {
+        stale_store =
+            std::make_unique<ckpt::CheckpointStore>(std::move(*stale));
+      }
+    }
+
+    // Real-time bound: the nodes detect the primary's death (closed
+    // connections / refused dials) and rotate here within a few virtual ms.
+    Status waited = (*promoted)->WaitForParticipants(10000);
+    HflServer server(world.model, world.validation);
+    if (scenario.with_checkpoints) {
+      // Durable-boundary resume: the shared store is the promoted
+      // coordinator's warm start, and Open() with the promoted generation
+      // claims the manifest.
+      ckpt::CheckpointRunOptions checkpoint_options;
+      checkpoint_options.dir = scenario.checkpoint_dir;
+      checkpoint_options.every = 1;
+      checkpoint_options.resume = true;
+      auto run = net::RunDistributedFedSgdWithCheckpoints(
+          **promoted, server, world.init, world.config, checkpoint_options);
+      if (run.ok()) {
+        result.log = std::move(run->log);
+        result.resumed_from_epoch = run->resumed_from_epoch;
+      } else {
+        result.status = run.status();
+      }
+    } else {
+      // In-memory resume: the replicated epoch log IS the promoted
+      // coordinator's warm start — no disk replay.
+      HflPhiAccumulator accumulator(n);
+      ckpt::HflResumeLoad load;
+      FedSgdConfig promoted_config = world.config;
+      if (result.standby_outcome.has_state) {
+        auto loaded = ckpt::ResumeFromState(result.standby_outcome.state,
+                                            accumulator);
+        if (!loaded.ok()) {
+          result.status = loaded.status();
+          (*promoted)->Shutdown("ha sim run failed");
+          join_nodes();
+          return result;
+        }
+        load = std::move(*loaded);
+        if (load.resumed) {
+          promoted_config.resume = &load.point;
+          result.resumed_from_epoch = load.epoch;
+        }
+      }
+      auto log = (*promoted)->RunFederatedTraining(server, world.init,
+                                                   promoted_config);
+      if (log.ok()) {
+        result.log = std::move(*log);
+      } else {
+        result.status = log.status();
+      }
+    }
+    if (result.status.ok() && !waited.ok()) {
+      // Training "completed" without the full federation — surface the
+      // wait failure instead of a log full of absences.
+      result.status = waited;
+    }
+
+    // Fencing drill: the stale generation-1 handle must be refused now
+    // that the manifest is claimed by the promoted generation.
+    if (stale_store != nullptr) {
+      result.stale_commit_attempted = true;
+      result.stale_commit_status =
+          stale_store->Commit(scenario.epochs + 1000, "stale leader write");
+    }
+
+    (*promoted)->Shutdown("ha sim run finished");
+    join_nodes();
+    result.promoted_stats = (*promoted)->stats();
+  }
+
+  if (result.status.ok()) {
+    HflServer server(world.model, world.validation);
+    HflPhiAccumulator accumulator(n);
+    for (const HflEpochRecord& record : result.log.epochs) {
+      Status consumed = accumulator.Consume(server, record);
+      if (!consumed.ok()) {
+        result.status = consumed;
+        break;
+      }
+    }
+    result.phi_total = accumulator.total();
+    result.phi_per_epoch = accumulator.per_epoch();
+  }
+
+  if (scenario.with_checkpoints) {
+    auto store = ckpt::CheckpointStore::Open(scenario.checkpoint_dir);
+    if (!store.ok()) {
+      result.store_health = store.status();
+    } else {
+      HflPhiAccumulator probe(n);
+      auto load = ckpt::LoadHflResumePoint(*store, probe);
+      if (!load.ok()) result.store_health = load.status();
+    }
+  }
+  return result;
+}
+
 std::string CheckVflBlockOrthogonality(uint64_t seed) {
   SyntheticRegressionConfig data_config;
   data_config.num_samples = 120;

@@ -34,6 +34,7 @@
 #include "hfl/fed_sgd.h"
 #include "hfl/participant.h"
 #include "net/coordinator.h"
+#include "net/standby.h"
 #include "nn/softmax_regression.h"
 #include "sim/fault_schedule.h"
 #include "sim/sim_net.h"
@@ -161,6 +162,84 @@ std::string CheckHflInvariants(const SimWorld& world,
                                const std::vector<double>& phi_total,
                                const std::vector<std::vector<double>>&
                                    phi_per_epoch);
+
+// --- Coordinator high availability (DESIGN.md §14). ---
+
+// One failover swarm run: primary + hot standby + participants carrying a
+// failover endpoint list, with the primary killed at a seeded point. The
+// network is benign (no injected faults), so a run that completes — on the
+// primary or on the promoted standby — must be bitwise equal to the
+// no-failure reference; the seed varies only *where* the primary dies.
+struct HaSimScenario {
+  uint64_t seed = 1;
+  size_t num_participants = 3;
+  size_t epochs = 5;
+
+  // Where and when the primary dies. kNone = no failure: the run completes
+  // on the primary and the standby hears the completion farewell.
+  net::HaltSite halt_site = net::HaltSite::kNone;
+  size_t halt_epoch = 0;
+
+  // Checkpointed variant: primary and promoted standby share the store at
+  // `checkpoint_dir` (the test supplies a temp dir); promotion claims the
+  // manifest with its generation and the harness drills that a stale
+  // generation-1 handle can no longer Commit.
+  bool with_checkpoints = false;
+  std::string checkpoint_dir;
+
+  // Partition-window variant: replication ships fail from this epoch on,
+  // so the standby promotes while the primary still leads (a split-brain
+  // window with two bound coordinators); the primary keeps serving its
+  // loyal participants until the halt fires, and the promoted state is
+  // stale-but-valid — recomputation closes the gap bitwise. SIZE_MAX = the
+  // replication link stays healthy.
+  size_t blackout_epoch = static_cast<size_t>(-1);
+
+  int lease_timeout_ms = 300;
+  int grace_us = 0;  // 0 = $DIGFL_SIM_GRACE_US (default 800)
+
+  // The standard failover swarm: halt site/epoch, checkpoint flag, and
+  // partition window all drawn from the seed. `checkpoint_dir` is left
+  // empty — the caller fills it when with_checkpoints is set.
+  static HaSimScenario FromSeed(uint64_t seed);
+};
+
+struct HaSimResult {
+  // OK iff training completed on SOME coordinator (primary or promoted
+  // standby); otherwise the typed failure. The log/φ̂ fields are only
+  // meaningful when completed().
+  Status status = Status::OK();
+  HflTrainingLog log;
+  std::vector<double> phi_total;
+  std::vector<std::vector<double>> phi_per_epoch;
+
+  bool failover = false;  // the promoted standby finished the run
+  uint64_t promoted_generation = 0;
+  uint64_t resumed_from_epoch = 0;  // promoted warm-start boundary
+  // What the primary's training returned (the halt's typed error on kill
+  // runs, OK on no-failure runs).
+  Status primary_status = Status::OK();
+  net::StandbyOutcome standby_outcome;
+  net::CoordinatorStats primary_stats;
+  net::CoordinatorStats promoted_stats;  // zero when !failover
+  std::vector<Status> node_statuses;
+  SimNetStats net_stats;
+
+  // Checkpointed failover runs: the verdict of a stale generation-1 store
+  // handle (the dead primary's) trying to Commit after the promoted
+  // generation claimed the manifest. Must be kFailedPrecondition — a
+  // fenced leader's write is never accepted.
+  bool stale_commit_attempted = false;
+  Status stale_commit_status = Status::OK();
+  // Checkpointed runs: the store must reopen and decode cleanly afterward.
+  Status store_health = Status::OK();
+
+  bool completed() const { return status.ok(); }
+};
+
+// Runs one failover scenario to completion or typed failure. Always shuts
+// down every coordinator and joins every thread before returning.
+HaSimResult RunHaSimFederation(const HaSimScenario& scenario);
 
 // VFL Eq. 27 block-orthogonality on a seeded in-process toy run:
 // participant i's φ̂ (total and every epoch) is bitwise unchanged when every

@@ -480,8 +480,7 @@ Result<std::unique_ptr<net::Listener>> SimNet::Listen(uint16_t port) {
 Result<std::unique_ptr<net::Conn>> SimNet::Connect(const std::string& host,
                                                    uint16_t port,
                                                    int timeout_ms) {
-  (void)timeout_ms;  // establishment is instantaneous in virtual time
-  std::lock_guard<std::mutex> lock(state_->mu);
+  std::unique_lock<std::mutex> lock(state_->mu);
   State& s = *state_;
   if (s.exploded) return HorizonError();
   ++s.stats.dials;
@@ -489,11 +488,25 @@ Result<std::unique_ptr<net::Conn>> SimNet::Connect(const std::string& host,
     ++s.stats.dials_refused;
     return Status::Unavailable("dialer is partitioned");
   }
-  auto it = s.listeners.find(port);
-  if (it == s.listeners.end() || !it->second->open) {
-    ++s.stats.dials_refused;
-    return Status::Unavailable("simulated connection refused");
+  const auto bound = [&s, port] {
+    auto it = s.listeners.find(port);
+    return it != s.listeners.end() && it->second->open;
+  };
+  if (!bound()) {
+    // TCP-style SYN retry: wait out the connect timeout in virtual time for
+    // the port to be bound before refusing. A failover dial against a
+    // standby that has not promoted yet therefore consumes virtual time —
+    // letting the standby's lease deadline fire — instead of busy-spinning
+    // through the dialer's whole attempt budget in zero virtual time.
+    s.WaitUntil(lock, s.DeadlineFor(timeout_ms),
+                [&] { return bound() || s.exploded; });
+    if (s.exploded) return HorizonError();
+    if (!bound()) {
+      ++s.stats.dials_refused;
+      return Status::Unavailable("simulated connection refused");
+    }
   }
+  auto it = s.listeners.find(port);
   const uint64_t dial_ordinal = s.dial_counts[host]++;
   auto client = std::make_shared<Endpoint>();
   auto server = std::make_shared<Endpoint>();

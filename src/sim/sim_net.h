@@ -97,6 +97,10 @@ class SimNet : public net::Transport {
                                              uint16_t port,
                                              int timeout_ms) override;
 
+  // The virtual clock, so transport-anchored deadlines (the standby lease)
+  // are deterministic in simulation.
+  uint64_t NowMs() const override { return VirtualNowMs(); }
+
   uint64_t VirtualNowMs() const;
   bool exploded() const;
   SimNetStats stats() const;

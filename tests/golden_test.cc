@@ -183,6 +183,9 @@ TEST(NodeCliTest, UsageTextDocumentsEveryAcceptedFlag) {
   const std::vector<std::string> flags = {
       "--role",          "--port",
       "--host",          "--id",
+      "--endpoints",     "--standby-host",
+      "--standby-port",  "--replication-timeout-ms",
+      "--generation",    "--lease-timeout-ms",
       "--dataset",       "--participants",
       "--mislabeled",    "--noniid",
       "--mislabel-fraction", "--sample-fraction",

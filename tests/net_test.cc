@@ -15,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -34,6 +36,7 @@
 #include "net/backoff.h"
 #include "net/channel.h"
 #include "net/coordinator.h"
+#include "net/epoch_log.h"
 #include "net/messages.h"
 #include "net/participant_node.h"
 #include "net/socket.h"
@@ -596,6 +599,438 @@ TEST(FederationTest, DistributedResumeMatchesUninterruptedBitwise) {
   EXPECT_EQ(resumed->contributions.total, reference->contributions.total);
   EXPECT_EQ(resumed->contributions.per_epoch,
             reference->contributions.per_epoch);
+}
+
+// ------------------------------------------------- backoff edge cases.
+
+TEST(BackoffTest, CapSaturationIsStableAtHugeAttemptCounts) {
+  BackoffPolicy policy;
+  policy.initial_ms = 50;
+  policy.multiplier = 2.0;
+  policy.max_ms = 400;
+  Rng rng(3);
+  // Once the cap saturates, every later attempt draws from the same
+  // [max/2, max] band — no overflow, no wrap, however long the outage.
+  for (size_t attempt : std::vector<size_t>{3, 10, 63, 1000, 100000}) {
+    for (int i = 0; i < 10; ++i) {
+      const int delay = BackoffDelayMs(policy, attempt, rng);
+      EXPECT_GE(delay, 200) << "attempt " << attempt;
+      EXPECT_LE(delay, 400) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(BackoffTest, ZeroInitialDelayNeverSleeps) {
+  BackoffPolicy policy;
+  policy.initial_ms = 0;
+  Rng rng(5);
+  for (size_t attempt = 0; attempt < 20; ++attempt) {
+    EXPECT_EQ(BackoffDelayMs(policy, attempt, rng), 0);
+  }
+}
+
+TEST(BackoffTest, JitterStreamIsSeedDeterministic) {
+  const BackoffPolicy policy;
+  Rng a(42), b(42), c(43);
+  bool seeds_diverged = false;
+  for (size_t attempt = 0; attempt < 16; ++attempt) {
+    const int from_a = BackoffDelayMs(policy, attempt, a);
+    const int from_b = BackoffDelayMs(policy, attempt, b);
+    EXPECT_EQ(from_a, from_b) << "same seed, attempt " << attempt;
+    if (BackoffDelayMs(policy, attempt, c) != from_a) seeds_diverged = true;
+  }
+  EXPECT_TRUE(seeds_diverged) << "seed 43 replayed seed 42's delays exactly";
+}
+
+// --------------------------------- leader generation blocks (GEN1, §14).
+
+TEST(MessagesTest, GenerationBlocksRoundTripAndStayAbsentBitwise) {
+  // Absent generation (HA off) leaves every payload identical to the
+  // pre-HA encoding — the decoder reports nullopt, not 0.
+  HelloMsg hello;
+  hello.participant_id = 5;
+  hello.num_params = 1234;
+  hello.config_digest = 0xfeed;
+  const std::string legacy_hello = EncodeHello(hello);
+  hello.generation = 3;
+  const std::string gen_hello = EncodeHello(hello);
+  EXPECT_GT(gen_hello.size(), legacy_hello.size());
+  auto decoded_hello = DecodeHello(gen_hello);
+  ASSERT_TRUE(decoded_hello.ok());
+  EXPECT_EQ(decoded_hello->generation.value_or(0), 3u);
+  auto legacy_decoded_hello = DecodeHello(legacy_hello);
+  ASSERT_TRUE(legacy_decoded_hello.ok());
+  EXPECT_FALSE(legacy_decoded_hello->generation.has_value());
+
+  HelloAckMsg ack;
+  ack.accepted = 1;
+  ack.next_epoch = 4;
+  const std::string legacy_ack = EncodeHelloAck(ack);
+  ack.generation = 7;
+  auto decoded_ack = DecodeHelloAck(EncodeHelloAck(ack));
+  ASSERT_TRUE(decoded_ack.ok());
+  EXPECT_EQ(decoded_ack->generation.value_or(0), 7u);
+  auto legacy_decoded_ack = DecodeHelloAck(legacy_ack);
+  ASSERT_TRUE(legacy_decoded_ack.ok());
+  EXPECT_FALSE(legacy_decoded_ack->generation.has_value());
+
+  RoundRequestMsg request;
+  request.epoch = 2;
+  request.learning_rate = 0.25;
+  request.params = {1.0, -2.0};
+  const std::string legacy_request = EncodeRoundRequest(request);
+  request.generation = 9;
+  auto decoded_request = DecodeRoundRequest(EncodeRoundRequest(request));
+  ASSERT_TRUE(decoded_request.ok());
+  EXPECT_EQ(decoded_request->generation.value_or(0), 9u);
+  EXPECT_EQ(decoded_request->params, request.params);
+  auto legacy_decoded_request = DecodeRoundRequest(legacy_request);
+  ASSERT_TRUE(legacy_decoded_request.ok());
+  EXPECT_FALSE(legacy_decoded_request->generation.has_value());
+}
+
+// ------------------------------------- replicated epoch log (§14).
+
+// A coherent write-ahead record at epoch `next_epoch`, built from a real
+// in-process run so the embedded checkpoint image passes every
+// cross-consistency check the buffer applies.
+EpochLogAppendMsg MakeEpochRecord(const NetWorld& world, HflServer& server,
+                                  uint64_t digest, size_t next_epoch,
+                                  uint64_t generation) {
+  FedSgdConfig config = world.config;
+  config.epochs = next_epoch;
+  auto log = RunFedSgd(world.model, world.participants, server, world.init,
+                       config);
+  EXPECT_TRUE(log.ok()) << log.status().ToString();
+  HflPhiAccumulator phi(world.participants.size());
+  for (const HflEpochRecord& epoch : log->epochs) {
+    EXPECT_TRUE(phi.Consume(server, epoch).ok());
+  }
+  EpochLogAppendMsg record;
+  record.generation = generation;
+  record.config_digest = digest;
+  record.epoch = next_epoch;
+  auto image = ckpt::EncodeHflCheckpoint(next_epoch,
+                                         world.config.learning_rate,
+                                         /*batch_rng_states=*/{}, *log, phi);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  record.image = std::move(*image);
+  record.phi_epoch = phi.per_epoch().back();
+  return record;
+}
+
+TEST(EpochLogTest, AppendRecordRoundTripsBitwiseAndApplies) {
+  NetWorld world = MakeNetWorld(2, 2, 901);
+  const uint64_t digest = DigestFor(world, 901);
+  HflServer server(world.model, world.validation);
+  const EpochLogAppendMsg first = MakeEpochRecord(world, server, digest, 1, 1);
+  const EpochLogAppendMsg second = MakeEpochRecord(world, server, digest, 2, 1);
+
+  auto decoded = DecodeEpochLogAppend(EncodeEpochLogAppend(second));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->generation, second.generation);
+  EXPECT_EQ(decoded->config_digest, second.config_digest);
+  EXPECT_EQ(decoded->epoch, second.epoch);
+  EXPECT_EQ(decoded->image, second.image);  // byte-exact, CRC frames included
+  ASSERT_EQ(decoded->phi_epoch.size(), second.phi_epoch.size());
+  for (size_t i = 0; i < second.phi_epoch.size(); ++i) {
+    uint64_t sent = 0, got = 0;
+    std::memcpy(&sent, &second.phi_epoch[i], sizeof(sent));
+    std::memcpy(&got, &decoded->phi_epoch[i], sizeof(got));
+    EXPECT_EQ(sent, got) << "phi " << i << " changed bits in transit";
+  }
+
+  auto decoded_ack = DecodeEpochLogAck(EncodeEpochLogAck({42}));
+  ASSERT_TRUE(decoded_ack.ok());
+  EXPECT_EQ(decoded_ack->epoch, 42u);
+
+  EpochLogBuffer buffer(digest);
+  ASSERT_TRUE(buffer.Apply(first).ok());
+  ASSERT_TRUE(buffer.Apply(second).ok());
+  EXPECT_EQ(buffer.records_applied(), 2u);
+  EXPECT_EQ(buffer.records_rejected(), 0u);
+  EXPECT_EQ(buffer.epoch(), 2u);
+  EXPECT_EQ(buffer.generation(), 1u);
+  ASSERT_TRUE(buffer.has_state());
+  EXPECT_EQ(buffer.state().next_epoch, 2u);
+  EXPECT_EQ(buffer.state().log.num_epochs(), 2u);
+}
+
+TEST(EpochLogTest, BufferRejectsStaleGenerationRollbackAndCorruption) {
+  NetWorld world = MakeNetWorld(2, 2, 907);
+  const uint64_t digest = DigestFor(world, 907);
+  HflServer server(world.model, world.validation);
+  const EpochLogAppendMsg first = MakeEpochRecord(world, server, digest, 1, 2);
+  const EpochLogAppendMsg second = MakeEpochRecord(world, server, digest, 2, 2);
+
+  EpochLogBuffer buffer(digest);
+  ASSERT_TRUE(buffer.Apply(first).ok());
+
+  // A fenced ex-primary streaming a lower generation can never roll the
+  // replica back, even with a newer epoch number.
+  EpochLogAppendMsg stale = second;
+  stale.generation = 1;
+  EXPECT_EQ(buffer.Apply(stale).code(), StatusCode::kFailedPrecondition);
+
+  // The epoch must strictly advance: a replay of the applied boundary (or
+  // anything older) is refused.
+  EXPECT_EQ(buffer.Apply(first).code(), StatusCode::kFailedPrecondition);
+
+  // Records from a different federation never apply.
+  EpochLogBuffer other_federation(digest + 1);
+  EXPECT_EQ(other_federation.Apply(first).code(),
+            StatusCode::kFailedPrecondition);
+
+  // The explicit φ̂ row is cross-checked bitwise against the image's own
+  // accumulator record: a single flipped mantissa bit is caught.
+  EpochLogAppendMsg tampered = second;
+  uint64_t bits = 0;
+  std::memcpy(&bits, &tampered.phi_epoch[0], sizeof(bits));
+  bits ^= 1;
+  std::memcpy(&tampered.phi_epoch[0], &bits, sizeof(bits));
+  EXPECT_FALSE(buffer.Apply(tampered).ok());
+
+  // A truncated record dies in the decoder, before Apply ever sees it.
+  const std::string wire = EncodeEpochLogAppend(second);
+  EXPECT_FALSE(DecodeEpochLogAppend(
+                   std::string_view(wire).substr(0, wire.size() - 7))
+                   .ok());
+  // So does a record whose embedded checkpoint image lost its tail.
+  EpochLogAppendMsg clipped = second;
+  clipped.image.resize(clipped.image.size() - 1);
+  EXPECT_FALSE(
+      DecodeEpochLogAppend(EncodeEpochLogAppend(clipped)).ok());
+
+  EXPECT_EQ(buffer.records_applied(), 1u);
+  EXPECT_GE(buffer.records_rejected(), 3u);
+  EXPECT_EQ(buffer.epoch(), 1u);  // the replica never moved
+}
+
+// ------------------------------------------ leader fencing drills (§14).
+
+TEST(HaWireTest, CoordinatorFencesOnNewerGenerationHello) {
+  NetWorld world = MakeNetWorld(1, 2, 911);
+  const uint64_t digest = DigestFor(world, 911);
+  CoordinatorOptions options;
+  options.num_participants = 1;
+  options.config_digest = digest;
+  options.leader_generation = 1;
+  auto coordinator = Coordinator::Create(options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+  // A participant that has already accepted generation 5 dials in: this
+  // coordinator is a stale ex-leader and must fence itself.
+  auto conn = TcpConn::Connect("127.0.0.1", (*coordinator)->port(), 2000);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  MsgChannel channel(std::move(*conn));
+  HelloMsg hello;
+  hello.participant_id = 0;
+  hello.num_params = world.model.NumParams();
+  hello.config_digest = digest;
+  hello.generation = 5;
+  auto ack = ClientHandshake(channel, hello, 2000);
+  ASSERT_FALSE(ack.ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kFailedPrecondition);
+
+  EXPECT_TRUE((*coordinator)->fenced());
+  EXPECT_EQ((*coordinator)->stats().fenced_hellos, 1u);
+
+  // A fenced leader must refuse to run another epoch.
+  HflServer server(world.model, world.validation);
+  auto log = (*coordinator)->RunFederatedTraining(server, world.init,
+                                                  world.config);
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HaWireTest, NodeRefusesStaleLeaderRoundsAndHandshakes) {
+  NetWorld world = MakeNetWorld(1, 2, 919);
+  const uint64_t digest = DigestFor(world, 919);
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  ParticipantNodeOptions options;
+  options.endpoints = {{"127.0.0.1", listener->port()}};
+  options.participant_id = 0;
+  options.config_digest = digest;
+  options.connect_timeout_ms = 2000;
+  options.handshake_timeout_ms = 2000;
+  options.io_timeout_ms = 2000;
+  options.max_connect_attempts = 50;
+  options.connect_backoff.initial_ms = 1;
+  options.connect_backoff.max_ms = 4;
+  Status node_status = Status::OK();
+  ParticipantNode node(world.model, world.participants[0], options);
+  std::thread node_thread([&] { node_status = node.Run(); });
+
+  const auto serve_handshake =
+      [&](uint64_t generation) -> Result<std::pair<MsgChannel, HelloMsg>> {
+    DIGFL_ASSIGN_OR_RETURN(TcpConn conn, listener->Accept(5000));
+    MsgChannel channel(std::move(conn));
+    DIGFL_ASSIGN_OR_RETURN(HelloMsg hello,
+                           ServerHandshakeBegin(channel, 2000));
+    HelloAckMsg ack;
+    ack.accepted = 1;
+    ack.generation = generation;
+    DIGFL_RETURN_IF_ERROR(ServerHandshakeFinish(channel, ack, 2000));
+    return std::make_pair(std::move(channel), hello);
+  };
+
+  // Connection 1: the node accepts a generation-2 leader, then gets a
+  // round stamped with generation 1 — it must refuse to compute and drop
+  // the connection.
+  {
+    auto served = serve_handshake(2);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_FALSE(served->second.generation.has_value());
+    RoundRequestMsg stale_round;
+    stale_round.epoch = 0;
+    stale_round.learning_rate = world.config.learning_rate;
+    stale_round.params = Vec(world.model.NumParams(), 0.0);
+    stale_round.generation = 1;
+    ASSERT_TRUE(served->first
+                    .Send(MsgType::kRoundRequest,
+                          EncodeRoundRequest(stale_round), 2000)
+                    .ok());
+    // The node closes without replying; the next Recv sees the hangup.
+    auto reply = served->first.Recv(5000);
+    EXPECT_FALSE(reply.ok());
+  }
+
+  // Connection 2: the node's Hello now carries its generation-2 memory,
+  // and an ack from a generation-1 leader is refused at handshake.
+  {
+    auto served = serve_handshake(1);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(served->second.generation.value_or(0), 2u);
+    auto reply = served->first.Recv(5000);
+    EXPECT_FALSE(reply.ok()) << "node served a stale leader";
+  }
+
+  // Connection 3: a legitimate successor (generation 3) is accepted and
+  // can end the run cleanly.
+  {
+    auto served = serve_handshake(3);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    ASSERT_TRUE(served->first
+                    .Send(MsgType::kShutdown,
+                          EncodeShutdown({"drill complete"}), 2000)
+                    .ok());
+  }
+  node_thread.join();
+
+  EXPECT_TRUE(node_status.ok()) << node_status.ToString();
+  EXPECT_EQ(node.stats().stale_rounds_rejected, 1u);
+  EXPECT_EQ(node.stats().stale_leaders_rejected, 1u);
+}
+
+// ------------------------------------------- mid-epoch reconnect (§14).
+
+// A participant that dies between receiving the broadcast and uploading
+// its δ, then reconnects, is served the in-flight round instead of
+// stalling to the next epoch boundary — the epoch completes with nobody
+// absent and the run stays bitwise equal to the fault-free reference.
+TEST(FederationTest, MidRoundRejoinServesTheInFlightBroadcast) {
+  NetWorld world = MakeNetWorld(2, 3, 929);
+  const uint64_t digest = DigestFor(world, 929);
+
+  HflServer reference_server(world.model, world.validation);
+  auto reference = RunFedSgd(world.model, world.participants,
+                             reference_server, world.init, world.config);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  CoordinatorOptions options;
+  options.num_participants = 2;
+  options.config_digest = digest;
+  auto coordinator = Coordinator::Create(options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+  // Both participants by hand. Participant 0 receives epoch 0's broadcast,
+  // vanishes, and rejoins. Participant 1 holds its epoch-0 upload until 0
+  // has rejoined and replied — the round's rejoin window stays open while
+  // any worker is still collecting, which makes the drill deterministic
+  // instead of racing the window close.
+  std::atomic<bool> rejoined_reply_sent{false};
+  const auto connect = [&](uint64_t id) -> Result<MsgChannel> {
+    // A reconnect can race the round worker noticing the dead socket
+    // ("participant already connected") — retry until the slot frees.
+    Status last = Status::OK();
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      DIGFL_ASSIGN_OR_RETURN(
+          TcpConn conn,
+          TcpConn::Connect("127.0.0.1", (*coordinator)->port(), 2000));
+      MsgChannel channel(std::move(conn));
+      HelloMsg hello;
+      hello.participant_id = id;
+      hello.num_params = world.model.NumParams();
+      hello.config_digest = digest;
+      auto ack = ClientHandshake(channel, hello, 2000);
+      if (ack.ok()) return channel;
+      last = ack.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return last;
+  };
+  const auto run = [&](uint64_t id) -> Status {
+    HflParticipant participant = world.participants[id];
+    DIGFL_ASSIGN_OR_RETURN(MsgChannel channel, connect(id));
+    bool vanished_once = false;
+    for (;;) {
+      DIGFL_ASSIGN_OR_RETURN(Frame frame, channel.Recv(20000));
+      const MsgType type = static_cast<MsgType>(frame.type);
+      if (type == MsgType::kShutdown) return Status::OK();
+      if (type != MsgType::kRoundRequest) {
+        return Status::InvalidArgument("unexpected frame");
+      }
+      DIGFL_ASSIGN_OR_RETURN(RoundRequestMsg request,
+                             DecodeRoundRequest(frame.payload));
+      if (id == 0 && !vanished_once) {
+        // Die with the broadcast in hand and the upload never sent, then
+        // rejoin the same round through the accept thread.
+        vanished_once = true;
+        channel.Close();
+        DIGFL_ASSIGN_OR_RETURN(channel, connect(id));
+        continue;
+      }
+      if (id == 1 && request.epoch == 0) {
+        for (int i = 0; i < 4000 && !rejoined_reply_sent.load(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+      RoundReplyMsg reply;
+      reply.epoch = request.epoch;
+      reply.participant_id = id;
+      DIGFL_ASSIGN_OR_RETURN(
+          reply.delta,
+          participant.ComputeLocalUpdate(world.model, request.params,
+                                         request.learning_rate,
+                                         request.local_steps));
+      DIGFL_RETURN_IF_ERROR(channel.Send(MsgType::kRoundReply,
+                                         EncodeRoundReply(reply), 20000));
+      if (id == 0) rejoined_reply_sent.store(true);
+    }
+  };
+  Status status0 = Status::OK();
+  Status status1 = Status::OK();
+  std::thread node0([&] { status0 = run(0); });
+  std::thread node1([&] { status1 = run(1); });
+
+  ASSERT_TRUE((*coordinator)->WaitForParticipants(30000).ok());
+  HflServer server(world.model, world.validation);
+  auto log = (*coordinator)->RunFederatedTraining(server, world.init,
+                                                  world.config);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  (*coordinator)->Shutdown("test complete");
+  node0.join();
+  node1.join();
+
+  EXPECT_TRUE(status0.ok()) << status0.ToString();
+  EXPECT_TRUE(status1.ok()) << status1.ToString();
+  EXPECT_GE((*coordinator)->stats().midround_rejoins, 1u);
+  // The vanish-and-rejoin left no hole: every epoch has both present.
+  EXPECT_EQ(log->faults.dropouts, 0u);
+  ExpectLogsEquivalent(*log, *reference);
+  EXPECT_EQ(PhiTotals(server, *log), PhiTotals(reference_server, *reference));
 }
 
 }  // namespace

@@ -21,7 +21,9 @@
 #include <string_view>
 #include <vector>
 
+#include "ckpt/frame.h"
 #include "common/rng.h"
+#include "net/epoch_log.h"
 #include "net/messages.h"
 #include "net/wire.h"
 
@@ -45,6 +47,7 @@ enum class MutateOp {
   kTruncatePrefixes,
   kAppendHex,
   kOverwriteTail,
+  kOverwriteHead,
 };
 enum class Expect { kFrame, kPoisoned, kRejectHeader, kNoFrame, kReject };
 
@@ -198,6 +201,12 @@ std::string ParseCorpusFile(const std::filesystem::path& path,
             current->mutate_arg.empty()) {
           return err("overwrite-tail wants a non-empty hex string");
         }
+      } else if (tokens[1] == "overwrite-head" && tokens.size() == 3) {
+        current->mutate = MutateOp::kOverwriteHead;
+        if (!HexToBytes(tokens[2], &current->mutate_arg) ||
+            current->mutate_arg.empty()) {
+          return err("overwrite-head wants a non-empty hex string");
+        }
       } else {
         return err("unknown mutate op");
       }
@@ -265,6 +274,58 @@ const CodecEntry kCodecs[] = {
      [](std::string_view s) { return DecodeHvpReply(s).ok(); }},
     {"shutdown", [] { return EncodeShutdown({"reason"}); },
      [](std::string_view s) { return DecodeShutdown(s).ok(); }},
+    // Generation-bearing (GEN1) variants: the leader-generation block is
+    // the trailing block when telemetry is off, so overwrite-tail can
+    // target the generation word itself.
+    {"hello_gen",
+     [] {
+       HelloMsg msg;
+       msg.participant_id = 1;
+       msg.num_params = 2;
+       msg.config_digest = 3;
+       msg.generation = 4;
+       return EncodeHello(msg);
+     },
+     [](std::string_view s) { return DecodeHello(s).ok(); }},
+    {"hello_ack_gen",
+     [] {
+       HelloAckMsg msg;
+       msg.accepted = 1;
+       msg.next_epoch = 4;
+       msg.message = "ok";
+       msg.generation = 2;
+       return EncodeHelloAck(msg);
+     },
+     [](std::string_view s) { return DecodeHelloAck(s).ok(); }},
+    {"round_request_gen",
+     [] {
+       RoundRequestMsg msg;
+       msg.epoch = 3;
+       msg.learning_rate = 0.25;
+       msg.local_steps = 1;
+       msg.params = {1.0, 2.0, 3.0};
+       msg.generation = 5;
+       return EncodeRoundRequest(msg);
+     },
+     [](std::string_view s) { return DecodeRoundRequest(s).ok(); }},
+    // Replicated epoch-log records (DESIGN.md §14). The embedded image
+    // only needs valid DIGFLCKP1 container framing at decode time (state
+    // coherence is EpochLogBuffer::Apply's job), so the sample carries the
+    // smallest committed container: magic + terminator record.
+    {"epoch_log_append",
+     [] {
+       EpochLogAppendMsg msg;
+       msg.generation = 2;
+       msg.config_digest = 0x5eed;
+       msg.epoch = 1;
+       msg.image.assign(ckpt::kCheckpointMagic, ckpt::kCheckpointMagicLen);
+       ckpt::AppendRecord(&msg.image, ckpt::kEndTag, "");
+       msg.phi_epoch = {0.5, 0.25};
+       return EncodeEpochLogAppend(msg);
+     },
+     [](std::string_view s) { return DecodeEpochLogAppend(s).ok(); }},
+    {"epoch_log_ack", [] { return EncodeEpochLogAck({7}); },
+     [](std::string_view s) { return DecodeEpochLogAck(s).ok(); }},
 };
 
 const CodecEntry* FindCodec(const std::string& name) {
@@ -337,6 +398,17 @@ std::vector<std::string> Variants(const WireCase& c,
       if (out.size() < c.mutate_arg.size()) return {out};
       out.replace(out.size() - c.mutate_arg.size(), c.mutate_arg.size(),
                   c.mutate_arg);
+      return {out};
+    }
+    case MutateOp::kOverwriteHead: {
+      // Replaces the first N bytes in place — the head is where fixed
+      // header fields live (e.g. planting the reserved leader generation 0
+      // over an epoch-log record's generation word).
+      std::string out = base;
+      EXPECT_GE(out.size(), c.mutate_arg.size())
+          << "overwrite-head argument longer than the base bytes";
+      if (out.size() < c.mutate_arg.size()) return {out};
+      out.replace(0, c.mutate_arg.size(), c.mutate_arg);
       return {out};
     }
   }

@@ -1,6 +1,6 @@
 // digfl_node — one process of the distributed HFL runtime (src/net/).
 //
-// The same binary plays both roles:
+// The same binary plays every role:
 //
 //   # terminal 1: the coordinator (server + validation set + DIG-FL)
 //   digfl_node --role=coordinator --port=7700 --dataset=MNIST
@@ -9,6 +9,17 @@
 //   # terminals 2..5: one data-holding participant each
 //   digfl_node --role=participant --port=7700 --id=0 --dataset=MNIST
 //       --participants=4
+//
+// High availability (DESIGN.md §14): a hot standby watches the primary's
+// replication stream and, on lease expiry, promotes itself into a fenced
+// coordinator on the same port, resuming at the last replicated round
+// boundary — participants carry the full endpoint list and fail over:
+//
+//   digfl_node --role=standby --port=7701 --dataset=MNIST
+//       --participants=4 --epochs=10
+//   digfl_node --role=coordinator --port=7700 --standby-port=7701 ...
+//   digfl_node --role=participant --endpoints=127.0.0.1:7700,127.0.0.1:7701
+//       --id=0 ...
 //
 // Every process derives the full experiment deterministically from the
 // shared flags (dataset, partition, seed): the coordinator keeps the model,
@@ -38,9 +49,11 @@
 #include "data/corruption.h"
 #include "data/paper_datasets.h"
 #include "data/partition.h"
+#include "ckpt/hfl_resume.h"
 #include "net/coordinator.h"
 #include "net/metrics_http.h"
 #include "net/participant_node.h"
+#include "net/standby.h"
 #include "nn/mlp.h"
 #include "telemetry/federation.h"
 #include "telemetry/sink.h"
@@ -50,10 +63,21 @@ namespace digfl {
 namespace {
 
 struct Flags {
-  std::string role;                  // coordinator | participant
+  std::string role;                  // coordinator | participant | standby
   std::string host = "127.0.0.1";
   uint16_t port = 0;                 // coordinator: 0 = ephemeral
   uint64_t id = 0;                   // participant id
+  // Participant failover list in priority order (overrides --host/--port).
+  std::vector<net::ParticipantEndpoint> endpoints;
+  // Coordinator HA: where the hot standby listens (0 = no standby), the
+  // replication channel's per-operation deadline, and the leader
+  // generation to fence with (0 = legacy wire unless --standby-port).
+  std::string standby_host = "127.0.0.1";
+  uint16_t standby_port = 0;
+  int replication_timeout_ms = 1000;
+  uint64_t generation = 0;
+  // Standby: promote after this much replication silence.
+  int lease_timeout_ms = 15000;
   std::string dataset = "MNIST";
   size_t participants = 4;
   size_t mislabeled = 0;
@@ -80,12 +104,26 @@ struct Flags {
 void PrintUsage() {
   std::printf(R"(digfl_node — one process of the distributed HFL runtime
 
-  --role=coordinator|participant   (required)
-  --port=P                  coordinator listen / participant dial port
-                            (coordinator default 0 = ephemeral, printed)
+  --role=coordinator|participant|standby   (required)
+  --port=P                  coordinator/standby listen / participant dial
+                            port (coordinator default 0 = ephemeral,
+                            printed)
   --host=H                  participant: coordinator host (default
                             127.0.0.1)
   --id=K                    participant id in [0, participants)
+  --endpoints=H:P,H:P       participant: failover endpoint list in
+                            priority order, primary first (overrides
+                            --host/--port)
+  --standby-host=H          coordinator: hot standby host (default
+                            127.0.0.1)
+  --standby-port=P          coordinator: stream the replicated epoch log
+                            to this standby port (default 0 = no standby)
+  --replication-timeout-ms=MS  coordinator: per-operation deadline on the
+                            replication channel (default 1000)
+  --generation=G            leader generation to fence with (default:
+                            1 when --standby-port is set, else HA off)
+  --lease-timeout-ms=MS     standby: promote after this much replication
+                            silence (default 15000)
   --dataset=NAME            MNIST CIFAR10 MOTOR REAL (default MNIST)
   --participants=N          federation size (default 4)
   --mislabeled=M            shards with label noise (default 0)
@@ -160,6 +198,35 @@ Result<double> ParseRateFlag(const std::string& key,
   return rate;
 }
 
+// "host:port[,host:port...]" — the participant's failover list in
+// priority order (primary first, then each standby).
+Result<std::vector<net::ParticipantEndpoint>> ParseEndpoints(
+    const std::string& value) {
+  std::vector<net::ParticipantEndpoint> endpoints;
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t comma = value.find(',', start);
+    const std::string item =
+        comma == std::string::npos ? value.substr(start)
+                                   : value.substr(start, comma - start);
+    const size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == item.size()) {
+      return Status::InvalidArgument(
+          "--endpoints expects host:port[,host:port...], got \"" + value +
+          "\"");
+    }
+    DIGFL_ASSIGN_OR_RETURN(uint64_t port,
+                           ParseU64Flag("endpoints", item.substr(colon + 1)));
+    if (port == 0 || port > 65535) {
+      return Status::OutOfRange("--endpoints port must be in [1, 65535]");
+    }
+    endpoints.push_back({item.substr(0, colon), static_cast<uint16_t>(port)});
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return endpoints;
+}
+
 Result<Flags> ParseFlags(int argc, char** argv) {
   Flags flags;
   for (int i = 1; i < argc; ++i) {
@@ -188,6 +255,27 @@ Result<Flags> ParseFlags(int argc, char** argv) {
       flags.port = static_cast<uint16_t>(port);
     } else if (key == "id") {
       DIGFL_ASSIGN_OR_RETURN(flags.id, ParseU64Flag(key, value));
+    } else if (key == "endpoints") {
+      DIGFL_ASSIGN_OR_RETURN(flags.endpoints, ParseEndpoints(value));
+    } else if (key == "standby-host") {
+      flags.standby_host = value;
+    } else if (key == "standby-port") {
+      DIGFL_ASSIGN_OR_RETURN(uint64_t port, ParseU64Flag(key, value));
+      if (port > 65535) {
+        return Status::OutOfRange("--standby-port must be <= 65535");
+      }
+      flags.standby_port = static_cast<uint16_t>(port);
+    } else if (key == "replication-timeout-ms") {
+      DIGFL_ASSIGN_OR_RETURN(uint64_t ms, ParseU64Flag(key, value));
+      flags.replication_timeout_ms = static_cast<int>(ms);
+    } else if (key == "generation") {
+      DIGFL_ASSIGN_OR_RETURN(flags.generation, ParseU64Flag(key, value));
+    } else if (key == "lease-timeout-ms") {
+      DIGFL_ASSIGN_OR_RETURN(uint64_t ms, ParseU64Flag(key, value));
+      if (ms == 0) {
+        return Status::OutOfRange("--lease-timeout-ms must be >= 1");
+      }
+      flags.lease_timeout_ms = static_cast<int>(ms);
     } else if (key == "dataset") {
       flags.dataset = value;
     } else if (key == "participants") {
@@ -241,17 +329,19 @@ Result<Flags> ParseFlags(int argc, char** argv) {
       return Status::InvalidArgument("unknown flag: --" + key);
     }
   }
-  if (flags.role != "coordinator" && flags.role != "participant") {
+  if (flags.role != "coordinator" && flags.role != "participant" &&
+      flags.role != "standby") {
     return Status::InvalidArgument(
-        "--role must be coordinator or participant");
+        "--role must be coordinator, participant, or standby");
   }
   if (flags.participants == 0) {
     return Status::InvalidArgument("--participants must be > 0");
   }
   if (flags.epochs == 0) return Status::InvalidArgument("--epochs must be > 0");
   if (flags.role == "participant") {
-    if (flags.port == 0) {
-      return Status::InvalidArgument("participant requires --port");
+    if (flags.port == 0 && flags.endpoints.empty()) {
+      return Status::InvalidArgument(
+          "participant requires --port or --endpoints");
     }
     if (flags.id >= flags.participants) {
       return Status::OutOfRange("--id must be < --participants");
@@ -340,6 +430,58 @@ Result<HflSetup> BuildHflSetup(const Flags& flags) {
   return setup;
 }
 
+// Shared tail of a completed training run — the primary coordinator and a
+// promoted standby report identically: headline numbers, the φ̂ table, and
+// the optional CSV/telemetry sinks.
+Status ReportCompletedRun(const Flags& flags,
+                          const net::Coordinator& coordinator,
+                          const HflTrainingLog& log,
+                          const ContributionReport& contributions) {
+  std::printf("trained %s: n=%zu epochs=%zu final val acc %.3f\n",
+              flags.dataset.c_str(), flags.participants, flags.epochs,
+              log.validation_accuracy.back());
+  const net::CoordinatorStats stats = coordinator.stats();
+  std::printf("faults: %zu dropouts, %zu quarantined; net: %llu retries, "
+              "%llu timeouts, %llu conn errors, %llu reconnects\n",
+              log.faults.dropouts, log.faults.total_quarantined(),
+              static_cast<unsigned long long>(stats.round_retries),
+              static_cast<unsigned long long>(stats.round_timeouts),
+              static_cast<unsigned long long>(stats.conn_errors),
+              static_cast<unsigned long long>(stats.reconnects));
+  std::printf("measured comm: %.3f MB over %zu channels\n",
+              log.comm.TotalMegabytes(), log.comm.ByChannel().size());
+
+  TableWriter table({"participant", "phi"});
+  for (size_t i = 0; i < contributions.total.size(); ++i) {
+    DIGFL_RETURN_IF_ERROR(table.AddRow(
+        {std::to_string(i),
+         TableWriter::FormatDouble(contributions.total[i], 17)}));
+  }
+  std::printf("\ncontributions (Algorithm #2):\n");
+  table.Print(std::cout);
+  if (!flags.csv.empty()) {
+    DIGFL_RETURN_IF_ERROR(table.WriteCsv(flags.csv));
+    std::printf("wrote %s\n", flags.csv.c_str());
+  }
+  if (!flags.telemetry_out.empty()) {
+    // The coordinator writes the *merged* federation report: its own run
+    // report plus every participant's shipped spans/metrics, all rebased
+    // onto the coordinator clock (DESIGN.md §13).
+    const telemetry::FederationReport report =
+        coordinator.CollectFederationReport("digfl_node:coordinator");
+    std::ofstream os(flags.telemetry_out, std::ios::app);
+    if (!os) {
+      return Status::InvalidArgument("cannot open telemetry sink: " +
+                                     flags.telemetry_out);
+    }
+    DIGFL_RETURN_IF_ERROR(telemetry::WriteFederationJsonl(report, os));
+    DIGFL_RETURN_IF_ERROR(telemetry::WriteJsonl(report.local, os));
+    std::printf("wrote merged federation report to %s\n",
+                flags.telemetry_out.c_str());
+  }
+  return Status::OK();
+}
+
 Result<int> RunCoordinator(const Flags& flags) {
   DIGFL_ASSIGN_OR_RETURN(HflSetup setup, BuildHflSetup(flags));
   Mlp model({setup.num_features, 16, setup.num_classes});
@@ -355,6 +497,14 @@ Result<int> RunCoordinator(const Flags& flags) {
       /*lr_decay=*/1.0, flags.local_steps, flags.seed);
   options.round_timeout_ms = flags.round_timeout_ms;
   options.max_round_retries = flags.max_retries;
+  // HA (DESIGN.md §14): stream the epoch log to the hot standby and lead
+  // with a nonzero generation; both default off, keeping the legacy wire.
+  options.leader_generation =
+      flags.generation != 0 ? flags.generation
+                            : (flags.standby_port != 0 ? 1 : 0);
+  options.standby_host = flags.standby_host;
+  options.standby_port = flags.standby_port;
+  options.replication_timeout_ms = flags.replication_timeout_ms;
   DIGFL_ASSIGN_OR_RETURN(std::unique_ptr<net::Coordinator> coordinator,
                          net::Coordinator::Create(options));
   DIGFL_ASSIGN_OR_RETURN(std::unique_ptr<net::MetricsHttpServer> metrics,
@@ -407,49 +557,121 @@ Result<int> RunCoordinator(const Flags& flags) {
     contributions.per_epoch = accumulator.per_epoch();
   }
   coordinator->Shutdown("training complete");
+  DIGFL_RETURN_IF_ERROR(
+      ReportCompletedRun(flags, *coordinator, log, contributions));
+  return 0;
+}
 
-  std::printf("trained %s: n=%zu epochs=%zu final val acc %.3f\n",
-              flags.dataset.c_str(), flags.participants, flags.epochs,
-              log.validation_accuracy.back());
-  const net::CoordinatorStats stats = coordinator->stats();
-  std::printf("faults: %zu dropouts, %zu quarantined; net: %llu retries, "
-              "%llu timeouts, %llu conn errors, %llu reconnects\n",
-              log.faults.dropouts, log.faults.total_quarantined(),
-              static_cast<unsigned long long>(stats.round_retries),
-              static_cast<unsigned long long>(stats.round_timeouts),
-              static_cast<unsigned long long>(stats.conn_errors),
-              static_cast<unsigned long long>(stats.reconnects));
-  std::printf("measured comm: %.3f MB over %zu channels\n",
-              log.comm.TotalMegabytes(), log.comm.ByChannel().size());
+// --role=standby: watch the primary's replication stream and, on lease
+// expiry, promote in place — rebind the failover port as a coordinator
+// leading a fenced generation and finish the run from the last replicated
+// round boundary (DESIGN.md §14).
+Result<int> RunStandby(const Flags& flags) {
+  DIGFL_ASSIGN_OR_RETURN(HflSetup setup, BuildHflSetup(flags));
+  Mlp model({setup.num_features, 16, setup.num_classes});
+  HflServer server(model, setup.validation);
+  Rng init_rng(flags.seed + 2);
+  DIGFL_ASSIGN_OR_RETURN(Vec init, model.InitParams(init_rng));
+  const uint64_t digest = net::FederationConfigDigest(
+      model.NumParams(), flags.epochs, EffectiveLearningRate(flags),
+      /*lr_decay=*/1.0, flags.local_steps, flags.seed);
 
-  TableWriter table({"participant", "phi"});
-  for (size_t i = 0; i < contributions.total.size(); ++i) {
-    DIGFL_RETURN_IF_ERROR(table.AddRow(
-        {std::to_string(i),
-         TableWriter::FormatDouble(contributions.total[i], 17)}));
+  net::StandbyOptions standby_options;
+  standby_options.port = flags.port;
+  standby_options.config_digest = digest;
+  standby_options.primary_generation =
+      flags.generation != 0 ? flags.generation : 1;
+  standby_options.lease_timeout_ms = flags.lease_timeout_ms;
+  DIGFL_ASSIGN_OR_RETURN(std::unique_ptr<net::StandbyCoordinator> standby,
+                         net::StandbyCoordinator::Create(standby_options));
+  const uint16_t failover_port = standby->port();
+  // The launch script parses this line (the participants' second endpoint
+  // and the coordinator's --standby-port).
+  std::printf("standby watching on port %u (lease %d ms)\n", failover_port,
+              flags.lease_timeout_ms);
+  std::fflush(stdout);
+
+  DIGFL_ASSIGN_OR_RETURN(net::StandbyOutcome outcome, standby->Run());
+  if (outcome.stopped) return 0;
+  if (outcome.primary_completed) {
+    std::printf("primary completed after %llu replicated epoch(s); standby "
+                "exiting\n",
+                static_cast<unsigned long long>(outcome.records_applied));
+    return 0;
   }
-  std::printf("\ncontributions (Algorithm #2):\n");
-  table.Print(std::cout);
-  if (!flags.csv.empty()) {
-    DIGFL_RETURN_IF_ERROR(table.WriteCsv(flags.csv));
-    std::printf("wrote %s\n", flags.csv.c_str());
-  }
-  if (!flags.telemetry_out.empty()) {
-    // The coordinator writes the *merged* federation report: its own run
-    // report plus every participant's shipped spans/metrics, all rebased
-    // onto the coordinator clock (DESIGN.md §13).
-    const telemetry::FederationReport report =
-        coordinator->CollectFederationReport("digfl_node:coordinator");
-    std::ofstream os(flags.telemetry_out, std::ios::app);
-    if (!os) {
-      return Status::InvalidArgument("cannot open telemetry sink: " +
-                                     flags.telemetry_out);
+  std::printf("lease expired after %llu replicated epoch(s): promoting "
+              "with generation %llu\n",
+              static_cast<unsigned long long>(outcome.records_applied),
+              static_cast<unsigned long long>(outcome.generation));
+  std::fflush(stdout);
+  standby.reset();  // frees the failover port for the promoted coordinator
+
+  net::CoordinatorOptions options;
+  options.port = failover_port;
+  options.num_participants = flags.participants;
+  options.config_digest = digest;
+  options.round_timeout_ms = flags.round_timeout_ms;
+  options.max_round_retries = flags.max_retries;
+  options.leader_generation = outcome.generation;
+  DIGFL_ASSIGN_OR_RETURN(std::unique_ptr<net::Coordinator> coordinator,
+                         net::Coordinator::Create(options));
+  std::printf("coordinator listening on port %u\n", coordinator->port());
+  std::fflush(stdout);
+  DIGFL_RETURN_IF_ERROR(
+      coordinator->WaitForParticipants(flags.wait_timeout_ms));
+
+  FedSgdConfig config;
+  config.epochs = flags.epochs;
+  config.learning_rate = EffectiveLearningRate(flags);
+  config.local_steps = flags.local_steps;
+
+  HflTrainingLog log;
+  ContributionReport contributions;
+  if (!flags.checkpoint_dir.empty()) {
+    // Disk path: the shared store outlives the dead primary. Open claims
+    // the manifest with the promoted generation — fencing any surviving
+    // ex-primary handle — and resume warm-starts from the newest commit.
+    ckpt::CheckpointRunOptions run_options;
+    run_options.dir = flags.checkpoint_dir;
+    run_options.every = flags.checkpoint_every;
+    run_options.resume = true;
+    DIGFL_ASSIGN_OR_RETURN(
+        ckpt::HflCheckpointedRun run,
+        net::RunDistributedFedSgdWithCheckpoints(*coordinator, server, init,
+                                                 config, run_options));
+    if (run.resumed) {
+      std::printf("resumed from checkpoint at epoch %llu\n",
+                  static_cast<unsigned long long>(run.resumed_from_epoch));
     }
-    DIGFL_RETURN_IF_ERROR(telemetry::WriteFederationJsonl(report, os));
-    DIGFL_RETURN_IF_ERROR(telemetry::WriteJsonl(report.local, os));
-    std::printf("wrote merged federation report to %s\n",
-                flags.telemetry_out.c_str());
+    log = std::move(run.log);
+    contributions = std::move(run.contributions);
+  } else {
+    // Diskless path: warm-start straight from the replicated in-memory
+    // state — promotion needs no disk replay.
+    HflResumePoint resume_point;
+    if (outcome.has_state) {
+      HflPhiAccumulator scratch(flags.participants);
+      DIGFL_ASSIGN_OR_RETURN(
+          ckpt::HflResumeLoad load,
+          ckpt::ResumeFromState(std::move(outcome.state), scratch));
+      resume_point = std::move(load.point);
+      config.resume = &resume_point;
+      std::printf("warm-starting from replicated epoch %llu\n",
+                  static_cast<unsigned long long>(load.epoch));
+      std::fflush(stdout);
+    }
+    DIGFL_ASSIGN_OR_RETURN(
+        log, coordinator->RunFederatedTraining(server, init, config));
+    HflPhiAccumulator accumulator(flags.participants);
+    for (const HflEpochRecord& record : log.epochs) {
+      DIGFL_RETURN_IF_ERROR(accumulator.Consume(server, record));
+    }
+    contributions.total = accumulator.total();
+    contributions.per_epoch = accumulator.per_epoch();
   }
+  coordinator->Shutdown("training complete");
+  DIGFL_RETURN_IF_ERROR(
+      ReportCompletedRun(flags, *coordinator, log, contributions));
   return 0;
 }
 
@@ -462,6 +684,7 @@ Result<int> RunParticipant(const Flags& flags) {
   net::ParticipantNodeOptions options;
   options.host = flags.host;
   options.port = flags.port;
+  options.endpoints = flags.endpoints;
   options.participant_id = flags.id;
   options.config_digest = net::FederationConfigDigest(
       model.NumParams(), flags.epochs, EffectiveLearningRate(flags),
@@ -502,6 +725,7 @@ Result<int> Main(int argc, char** argv) {
   }
   DIGFL_TRACE_SPAN("node.run");
   if (flags.role == "coordinator") return RunCoordinator(flags);
+  if (flags.role == "standby") return RunStandby(flags);
   return RunParticipant(flags);
 }
 
