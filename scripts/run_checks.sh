@@ -41,6 +41,13 @@
 #                                      # fixtures, stale-leader fencing)
 #                                      # under ASan AND TSan, reduced seed
 #                                      # budget
+#   scripts/run_checks.sh --scale     # hierarchical aggregation tree
+#                                      # (ctest -L tree: topology/fold units,
+#                                      # tree swarm, thousand-node drill at a
+#                                      # sanitizer-sized DIGFL_TREE_BIG_N)
+#                                      # under ASan AND TSan, plus the
+#                                      # bench_federation_scale latency-curve
+#                                      # gate over real TCP
 #   scripts/run_checks.sh --all       # everything
 set -euo pipefail
 
@@ -55,6 +62,7 @@ run_sim=0
 run_adv=0
 run_obs=0
 run_ha=0
+run_scale=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
@@ -65,7 +73,8 @@ for arg in "$@"; do
     --adv) run_adv=1 ;;
     --obs) run_obs=1 ;;
     --ha) run_ha=1 ;;
-    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1; run_sim=1; run_adv=1; run_obs=1; run_ha=1 ;;
+    --scale) run_scale=1 ;;
+    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1; run_sim=1; run_adv=1; run_obs=1; run_ha=1; run_scale=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -244,6 +253,34 @@ if [[ "$run_ha" == 1 ]]; then
   cmake --build build-tsan -j "$JOBS"
   DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L ha
+fi
+
+if [[ "$run_scale" == 1 ]]; then
+  # The hierarchical aggregation tree under both sanitizers: topology/fold
+  # units, the tree swarm, and the thousand-node drill scaled down to a
+  # sanitizer-survivable size (DIGFL_TREE_BIG_N must still exceed the
+  # {5,25} leaf width). Same instrumented-binary seed/grace trims as --sim;
+  # replay a failing swarm seed with
+  #   DIGFL_SIM_SEED=<n> DIGFL_SIM_GRACE_US=20000 build-asan/tests/tree_sim_test
+  echo "=== [scale] ctest -L tree under ASan ==="
+  cmake -B build-asan -S . -DDIGFL_SANITIZE=ON > /dev/null
+  cmake --build build-asan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 DIGFL_TREE_BIG_N=125 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L tree
+
+  echo "=== [scale] ctest -L tree under TSan ==="
+  cmake -B build-tsan -S . -DDIGFL_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 DIGFL_TREE_BIG_N=125 \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tree
+
+  # The participants-vs-round-latency curve over real TCP (uninstrumented
+  # build: 1000 threads under a sanitizer measure nothing useful). Fails
+  # the lane if tree-mode φ̂ diverges from the reference or the root-cost
+  # gate trips (bench/bench_federation_scale.cc).
+  echo "=== [scale] bench_federation_scale ==="
+  cmake --build build -j "$JOBS" --target bench_federation_scale
+  build/bench/bench_federation_scale
 fi
 
 echo "all requested configurations passed"

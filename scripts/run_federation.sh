@@ -5,10 +5,16 @@
 #
 #   scripts/run_federation.sh                      # 4 participants, MNIST
 #   scripts/run_federation.sh -n 6 -e 10           # 6 participants, 10 epochs
+#   scripts/run_federation.sh -n 8 -t 2            # 2-level aggregation tree
 #   scripts/run_federation.sh -- --mislabeled=2    # extra digfl_node flags
 #
-# The coordinator binds an ephemeral port; the script parses it from the
-# coordinator's stdout and passes it to the participants. Output lands in
+# With -t K the federation runs as a 2-level aggregation tree
+# (DESIGN.md §15): the coordinator becomes the tree root, K extra
+# digfl_node processes run --role=aggregator under it, and participant i
+# connects to the aggregator covering shard [j*n/K, (j+1)*n/K).
+#
+# Every listener binds an ephemeral port; the script parses each from the
+# process's stdout and passes it down the tree. Output lands in
 # results/federation/ (git-ignored): per-process logs and the φ̂ CSV.
 set -euo pipefail
 
@@ -20,6 +26,7 @@ DATASET=MNIST
 SAMPLE_FRACTION=0.01
 BUILD_DIR=build
 OUT_DIR=results/federation
+TREE=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     -n) PARTICIPANTS="$2"; shift 2 ;;
@@ -28,10 +35,12 @@ while [[ $# -gt 0 ]]; do
     -f) SAMPLE_FRACTION="$2"; shift 2 ;;
     -b) BUILD_DIR="$2"; shift 2 ;;
     -o) OUT_DIR="$2"; shift 2 ;;
+    -t) TREE="$2"; shift 2 ;;
     --) shift; break ;;
     -h|--help)
       echo "usage: $0 [-n participants] [-e epochs] [-d dataset]" \
-           "[-f sample_fraction] [-b build_dir] [-o out_dir] [-- extra flags]"
+           "[-f sample_fraction] [-b build_dir] [-o out_dir]" \
+           "[-t aggregators] [-- extra flags]"
       exit 0 ;;
     *) echo "unknown flag: $1 (use -h)" >&2; exit 2 ;;
   esac
@@ -42,6 +51,10 @@ NODE="$BUILD_DIR/tools/digfl_node"
 if [[ ! -x "$NODE" ]]; then
   echo "error: $NODE not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
   exit 1
+fi
+if [[ "$TREE" -gt "$PARTICIPANTS" ]]; then
+  echo "error: -t $TREE aggregators need at least as many participants" >&2
+  exit 2
 fi
 mkdir -p "$OUT_DIR"
 
@@ -55,36 +68,66 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Polls `log` until its process reports "listening on port P"; prints P.
+# Fails (dumping the log) if the process dies or never reports.
+parse_port() {
+  local log="$1" pid="$2" port=""
+  for _ in $(seq 1 100); do
+    port=$(grep -oE 'listening on port [0-9]+' "$log" 2>/dev/null \
+           | grep -oE '[0-9]+' | head -1 || true)
+    [[ -n "$port" ]] && { echo "$port"; return 0; }
+    kill -0 "$pid" 2>/dev/null || { cat "$log" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "error: $log never reported its port" >&2
+  cat "$log" >&2
+  return 1
+}
+
 COORD_LOG="$OUT_DIR/coordinator.log"
-"$NODE" --role=coordinator --port=0 --csv="$OUT_DIR/contributions.csv" \
-        "${COMMON[@]}" > "$COORD_LOG" 2>&1 &
+COORD_ARGS=(--role=coordinator --port=0 --csv="$OUT_DIR/contributions.csv")
+[[ "$TREE" -gt 0 ]] && COORD_ARGS+=(--tree="$TREE")
+"$NODE" "${COORD_ARGS[@]}" "${COMMON[@]}" > "$COORD_LOG" 2>&1 &
 PIDS+=($!)
 COORD_PID=$!
 
-PORT=""
-for _ in $(seq 1 100); do
-  PORT=$(grep -oE 'listening on port [0-9]+' "$COORD_LOG" 2>/dev/null \
-         | grep -oE '[0-9]+' || true)
-  [[ -n "$PORT" ]] && break
-  kill -0 "$COORD_PID" 2>/dev/null || { cat "$COORD_LOG" >&2; exit 1; }
-  sleep 0.1
-done
-if [[ -z "$PORT" ]]; then
-  echo "error: coordinator never reported its port" >&2
-  cat "$COORD_LOG" >&2
-  exit 1
-fi
+PORT=$(parse_port "$COORD_LOG" "$COORD_PID") || exit 1
 echo "coordinator up on port $PORT (pid $COORD_PID)"
 
-for ((i = 0; i < PARTICIPANTS; ++i)); do
-  "$NODE" --role=participant --port="$PORT" --id="$i" "${COMMON[@]}" \
-          > "$OUT_DIR/participant$i.log" 2>&1 &
-  PIDS+=($!)
-done
+if [[ "$TREE" -gt 0 ]]; then
+  # 2-level tree: K aggregators under the root, each listening on its own
+  # ephemeral port; participant i dials the aggregator covering its shard.
+  AGG_PORTS=()
+  for ((j = 0; j < TREE; ++j)); do
+    AGG_LOG="$OUT_DIR/aggregator$j.log"
+    "$NODE" --role=aggregator --port=0 --tree="$TREE" --level=0 \
+            --index="$j" --parent-port="$PORT" "${COMMON[@]}" \
+            > "$AGG_LOG" 2>&1 &
+    PIDS+=($!)
+    AGG_PORTS[j]=$(parse_port "$AGG_LOG" "$!") || exit 1
+    echo "aggregator $j up on port ${AGG_PORTS[j]} (pid $!)"
+  done
+  for ((i = 0; i < PARTICIPANTS; ++i)); do
+    # The leaf covering i: Covered(0, j) = [j*n/K, (j+1)*n/K).
+    j=$((i * TREE / PARTICIPANTS))
+    while ((j * PARTICIPANTS / TREE > i)); do j=$((j - 1)); done
+    while (((j + 1) * PARTICIPANTS / TREE <= i)); do j=$((j + 1)); done
+    "$NODE" --role=participant --port="${AGG_PORTS[j]}" --id="$i" \
+            "${COMMON[@]}" > "$OUT_DIR/participant$i.log" 2>&1 &
+    PIDS+=($!)
+  done
+else
+  for ((i = 0; i < PARTICIPANTS; ++i)); do
+    "$NODE" --role=participant --port="$PORT" --id="$i" "${COMMON[@]}" \
+            > "$OUT_DIR/participant$i.log" 2>&1 &
+    PIDS+=($!)
+  done
+fi
 
 FAIL=0
 wait "$COORD_PID" || FAIL=1
-# Participants exit on the coordinator's Shutdown broadcast.
+# Aggregators exit on the root's farewell; participants on the shutdown
+# broadcast relayed through their leaf.
 for pid in "${PIDS[@]:1}"; do wait "$pid" || FAIL=1; done
 PIDS=()
 

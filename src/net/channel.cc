@@ -1,6 +1,6 @@
 #include "net/channel.h"
 
-#include <chrono>
+#include <cstdint>
 
 #include "telemetry/telemetry.h"
 
@@ -8,12 +8,17 @@ namespace digfl {
 namespace net {
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Deadline arithmetic on the channel's own clock (MsgChannel::NowMs):
+// steady for TCP, virtual for SimNet. Splitting a budget with
+// steady_clock here would let a loaded host drain it to zero and hand a
+// simulated recv an instant timeout with no virtual time elapsed.
+uint64_t DeadlineOn(const MsgChannel& channel, int timeout_ms) {
+  return channel.NowMs() + static_cast<uint64_t>(timeout_ms > 0 ? timeout_ms : 0);
+}
 
-int RemainingMs(Clock::time_point deadline) {
-  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-      deadline - Clock::now());
-  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+int RemainingMs(const MsgChannel& channel, uint64_t deadline) {
+  const uint64_t now = channel.NowMs();
+  return deadline > now ? static_cast<int>(deadline - now) : 0;
 }
 
 }  // namespace
@@ -35,7 +40,7 @@ Status MsgChannel::Send(MsgType type, std::string_view payload,
 
 Result<Frame> MsgChannel::Recv(int timeout_ms) {
   if (conn_ == nullptr) return Status::InvalidArgument("channel has no conn");
-  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  const uint64_t deadline = DeadlineOn(*this, timeout_ms);
   char buf[16 * 1024];
   for (;;) {
     DIGFL_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder_.Next());
@@ -44,7 +49,8 @@ Result<Frame> MsgChannel::Recv(int timeout_ms) {
       return std::move(*frame);
     }
     DIGFL_ASSIGN_OR_RETURN(
-        size_t n, conn_->RecvSome(buf, sizeof(buf), RemainingMs(deadline)));
+        size_t n,
+        conn_->RecvSome(buf, sizeof(buf), RemainingMs(*this, deadline)));
     bytes_received_ += n;
     DIGFL_RETURN_IF_ERROR(decoder_.Append(std::string_view(buf, n)));
   }
@@ -79,17 +85,18 @@ uint64_t MsgChannel::TakeBytesReceived() {
 Result<HelloAckMsg> ClientHandshake(MsgChannel& channel,
                                     const HelloMsg& hello, int timeout_ms) {
   DIGFL_TRACE_SPAN("net.handshake");
-  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  const uint64_t deadline = DeadlineOn(channel, timeout_ms);
   DIGFL_RETURN_IF_ERROR(
-      channel.SendRaw(EncodePreamble(), RemainingMs(deadline)));
+      channel.SendRaw(EncodePreamble(), RemainingMs(channel, deadline)));
   char preamble[kPreambleLen];
-  DIGFL_RETURN_IF_ERROR(
-      channel.RecvRaw(preamble, sizeof(preamble), RemainingMs(deadline)));
+  DIGFL_RETURN_IF_ERROR(channel.RecvRaw(preamble, sizeof(preamble),
+                                        RemainingMs(channel, deadline)));
   DIGFL_RETURN_IF_ERROR(
       ValidatePreamble(std::string_view(preamble, sizeof(preamble))));
   DIGFL_RETURN_IF_ERROR(channel.Send(MsgType::kHello, EncodeHello(hello),
-                                     RemainingMs(deadline)));
-  DIGFL_ASSIGN_OR_RETURN(Frame frame, channel.Recv(RemainingMs(deadline)));
+                                     RemainingMs(channel, deadline)));
+  DIGFL_ASSIGN_OR_RETURN(Frame frame,
+                         channel.Recv(RemainingMs(channel, deadline)));
   if (frame.type != static_cast<uint32_t>(MsgType::kHelloAck)) {
     return Status::InvalidArgument("expected HelloAck, got frame type " +
                                    std::to_string(frame.type));
@@ -104,15 +111,16 @@ Result<HelloAckMsg> ClientHandshake(MsgChannel& channel,
 
 Result<HelloMsg> ServerHandshakeBegin(MsgChannel& channel, int timeout_ms) {
   DIGFL_TRACE_SPAN("net.handshake");
-  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  const uint64_t deadline = DeadlineOn(channel, timeout_ms);
   char preamble[kPreambleLen];
-  DIGFL_RETURN_IF_ERROR(
-      channel.RecvRaw(preamble, sizeof(preamble), RemainingMs(deadline)));
+  DIGFL_RETURN_IF_ERROR(channel.RecvRaw(preamble, sizeof(preamble),
+                                        RemainingMs(channel, deadline)));
   DIGFL_RETURN_IF_ERROR(
       ValidatePreamble(std::string_view(preamble, sizeof(preamble))));
   DIGFL_RETURN_IF_ERROR(
-      channel.SendRaw(EncodePreamble(), RemainingMs(deadline)));
-  DIGFL_ASSIGN_OR_RETURN(Frame frame, channel.Recv(RemainingMs(deadline)));
+      channel.SendRaw(EncodePreamble(), RemainingMs(channel, deadline)));
+  DIGFL_ASSIGN_OR_RETURN(Frame frame,
+                         channel.Recv(RemainingMs(channel, deadline)));
   if (frame.type != static_cast<uint32_t>(MsgType::kHello)) {
     return Status::InvalidArgument("expected Hello, got frame type " +
                                    std::to_string(frame.type));

@@ -44,6 +44,20 @@ class MsgChannel {
     if (conn_ != nullptr) conn_->Close();
   }
 
+  // Native fd of the underlying byte stream, -1 when the transport has none
+  // (SimNet). The reactor seam (net/reactor.h): callers that see -1 must
+  // fall back to blocking Send/Recv.
+  int NativeHandle() const {
+    return conn_ != nullptr ? conn_->NativeHandle() : -1;
+  }
+
+  // Monotonic milliseconds on the underlying connection's clock
+  // (Conn::NowMs): steady for TCP, virtual for SimNet. Budget loops above
+  // the channel (handshakes, round collection) must split multi-recv
+  // deadlines with this so a simulated step never inherits a real-time
+  // shortfall from host scheduling delays.
+  uint64_t NowMs() const { return conn_ != nullptr ? conn_->NowMs() : 0; }
+
   // Sends one framed message within the deadline.
   Status Send(MsgType type, std::string_view payload, int timeout_ms);
 

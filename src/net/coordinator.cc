@@ -43,6 +43,14 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
   std::unique_ptr<Coordinator> coordinator(new Coordinator(options));
   Transport* transport =
       options.transport != nullptr ? options.transport : TcpTransport();
+  if (options.transport == nullptr) {
+    // Real sockets: make sure the fd table can seat every participant (plus
+    // a margin for the listener, stdio, checkpoint files, and replication)
+    // up front, so a 10k-node federation fails with a typed error here
+    // instead of an accept storm of EMFILEs later.
+    DIGFL_RETURN_IF_ERROR(
+        EnsureFdCapacity(options.num_participants + 64));
+  }
   DIGFL_ASSIGN_OR_RETURN(coordinator->listener_,
                          transport->Listen(options.port));
   coordinator->slots_.resize(options.num_participants);
@@ -59,9 +67,17 @@ void Coordinator::AcceptLoop() {
     Result<std::unique_ptr<Conn>> conn =
         listener_->Accept(options_.accept_poll_ms);
     if (!conn.ok()) {
-      // Timeouts are the idle heartbeat of the stop-flag poll; anything
-      // else (EMFILE, a reset mid-accept) is transient for a listener —
-      // keep accepting.
+      // Timeouts are the idle heartbeat of the stop-flag poll; a reset
+      // mid-accept is transient — keep accepting. fd-table exhaustion
+      // (EMFILE/ENFILE, typed kFailedPrecondition by the socket layer) also
+      // keeps the loop alive, but is counted so a 10k-participant deploy
+      // that forgot to raise RLIMIT_NOFILE sees dropped joins in stats()
+      // instead of a silent half-empty federation.
+      if (conn.status().code() == StatusCode::kFailedPrecondition) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.accept_fd_exhausted;
+        DIGFL_COUNTER_ADD("net.accept_fd_exhausted_total", 1);
+      }
       continue;
     }
     HandleConnection(std::move(*conn));

@@ -120,6 +120,8 @@ struct CoordinatorStats {
   uint64_t replication_records = 0; // epoch-log records acked by the standby
   uint64_t replication_failures = 0;  // epochs whose record never got acked
   uint64_t fenced_hellos = 0;    // Hellos naming a newer leader generation
+  uint64_t accept_fd_exhausted = 0;  // accepts refused by a full fd table
+                                     // (RLIMIT_NOFILE); see EnsureFdCapacity
 };
 
 class Coordinator {

@@ -49,6 +49,7 @@ constexpr uint32_t kRunBlockMagic = 0x314e5552u;        // "RUN1"
 constexpr uint32_t kTraceBlockMagic = 0x31435254u;      // "TRC1"
 constexpr uint32_t kTelemetryBlockMagic = 0x3153424fu;  // "OBS1"
 constexpr uint32_t kGenerationBlockMagic = 0x314e4547u; // "GEN1"
+constexpr uint32_t kTreeBlockMagic = 0x31455254u;       // "TRE1"
 
 // Hostile-peer bounds for the shipped telemetry delta: a delta covers one
 // epoch of one participant, so honest traffic is far below these.
@@ -58,18 +59,24 @@ constexpr uint64_t kMaxMetricLabels = 32;
 constexpr uint64_t kMaxHistogramBuckets = 256;
 constexpr uint64_t kMaxTelemetryName = 4096;
 
-// True when a trailing block tagged `magic` starts here; false at clean
-// end-of-payload; a typed error on any other leftover bytes.
-Result<bool> ConsumeBlockMagic(ByteSource* source, uint32_t magic,
-                               const char* what) {
-  if (source->Exhausted()) return false;
-  uint32_t found = 0;
-  DIGFL_RETURN_IF_ERROR(source->GetU32(&found));
-  if (found != magic) {
-    return Status::InvalidArgument(
-        std::string("unrecognized trailing bytes in ") + what + " payload");
+// Hostile-peer bounds for TREE1 blocks: a subtree covers at most this many
+// participants and the tree is at most this deep. Both sit far above any
+// deployable topology while keeping a forged range from driving a huge
+// allocation.
+constexpr uint64_t kMaxTreeSpan = 1u << 20;
+constexpr uint32_t kMaxTreeLevel = 16;
+
+// Shared range validation for TreeHello / TreeRoundReply.
+Status RequireTreeRange(uint64_t begin, uint64_t end, const char* what) {
+  if (end <= begin) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " covers an empty participant range");
   }
-  return true;
+  if (end - begin > kMaxTreeSpan) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " participant range is implausibly large");
+  }
+  return Status::OK();
 }
 
 // Reads the next trailing-block magic, or 0 at clean end-of-payload (no
@@ -285,6 +292,12 @@ std::string EncodeHello(const HelloMsg& msg) {
     sink.PutU32(kGenerationBlockMagic);
     sink.PutU64(*msg.generation);
   }
+  if (msg.tree.has_value()) {
+    sink.PutU32(kTreeBlockMagic);
+    sink.PutU32(msg.tree->level);
+    sink.PutU64(msg.tree->child_begin);
+    sink.PutU64(msg.tree->child_end);
+  }
   if (msg.obs_clock_seconds.has_value()) {
     sink.PutU32(kClockBlockMagic);
     sink.PutDouble(*msg.obs_clock_seconds);
@@ -303,6 +316,19 @@ Result<HelloMsg> DecodeHello(std::string_view payload) {
     DIGFL_ASSIGN_OR_RETURN(uint64_t generation,
                            GetGeneration(&source, "Hello"));
     msg.generation = generation;
+    DIGFL_ASSIGN_OR_RETURN(magic, NextBlockMagic(&source));
+  }
+  if (magic == kTreeBlockMagic) {
+    TreeHello tree;
+    DIGFL_RETURN_IF_ERROR(source.GetU32(&tree.level));
+    DIGFL_RETURN_IF_ERROR(source.GetU64(&tree.child_begin));
+    DIGFL_RETURN_IF_ERROR(source.GetU64(&tree.child_end));
+    if (tree.level > kMaxTreeLevel) {
+      return Status::InvalidArgument("Hello tree level out of range");
+    }
+    DIGFL_RETURN_IF_ERROR(
+        RequireTreeRange(tree.child_begin, tree.child_end, "Hello tree"));
+    msg.tree = tree;
     DIGFL_ASSIGN_OR_RETURN(magic, NextBlockMagic(&source));
   }
   if (magic == kClockBlockMagic) {
@@ -380,6 +406,10 @@ std::string EncodeRoundRequest(const RoundRequestMsg& msg) {
     sink.PutU32(kGenerationBlockMagic);
     sink.PutU64(*msg.generation);
   }
+  if (msg.tree.has_value()) {
+    sink.PutU32(kTreeBlockMagic);
+    sink.PutDoubles(msg.tree->validation_gradient);
+  }
   if (msg.trace.has_value()) {
     sink.PutU32(kTraceBlockMagic);
     sink.PutU64(msg.trace->run_id);
@@ -401,6 +431,18 @@ Result<RoundRequestMsg> DecodeRoundRequest(std::string_view payload) {
     DIGFL_ASSIGN_OR_RETURN(uint64_t generation,
                            GetGeneration(&source, "RoundRequest"));
     msg.generation = generation;
+    DIGFL_ASSIGN_OR_RETURN(magic, NextBlockMagic(&source));
+  }
+  if (magic == kTreeBlockMagic) {
+    TreeRoundRequest tree;
+    DIGFL_RETURN_IF_ERROR(source.GetDoubles(&tree.validation_gradient));
+    if (tree.validation_gradient.empty()) {
+      return Status::InvalidArgument(
+          "RoundRequest tree block has empty validation gradient");
+    }
+    DIGFL_RETURN_IF_ERROR(RequireFinite(tree.validation_gradient,
+                                        "RoundRequest validation gradient"));
+    msg.tree = std::move(tree);
     DIGFL_ASSIGN_OR_RETURN(magic, NextBlockMagic(&source));
   }
   if (magic == kTraceBlockMagic) {
@@ -433,6 +475,13 @@ std::string EncodeRoundReply(const RoundReplyMsg& msg) {
   sink.PutU64(msg.epoch);
   sink.PutU64(msg.participant_id);
   sink.PutDoubles(msg.delta);
+  if (msg.tree.has_value()) {
+    sink.PutU32(kTreeBlockMagic);
+    sink.PutU64(msg.tree->child_begin);
+    sink.PutU64(msg.tree->child_end);
+    sink.PutBytes(msg.tree->present);
+    sink.PutDoubles(msg.tree->dots);
+  }
   if (msg.telemetry.has_value()) {
     EncodeTelemetryDelta(*msg.telemetry, &sink);
   }
@@ -445,13 +494,37 @@ Result<RoundReplyMsg> DecodeRoundReply(std::string_view payload) {
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.epoch));
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.participant_id));
   DIGFL_RETURN_IF_ERROR(source.GetDoubles(&msg.delta));
-  DIGFL_ASSIGN_OR_RETURN(
-      const bool has_telemetry,
-      ConsumeBlockMagic(&source, kTelemetryBlockMagic, "RoundReply"));
-  if (has_telemetry) {
+  DIGFL_ASSIGN_OR_RETURN(uint32_t magic, NextBlockMagic(&source));
+  if (magic == kTreeBlockMagic) {
+    TreeRoundReply tree;
+    DIGFL_RETURN_IF_ERROR(source.GetU64(&tree.child_begin));
+    DIGFL_RETURN_IF_ERROR(source.GetU64(&tree.child_end));
+    DIGFL_RETURN_IF_ERROR(
+        RequireTreeRange(tree.child_begin, tree.child_end, "RoundReply tree"));
+    DIGFL_RETURN_IF_ERROR(source.GetBytes(&tree.present));
+    DIGFL_RETURN_IF_ERROR(source.GetDoubles(&tree.dots));
+    const uint64_t span = tree.child_end - tree.child_begin;
+    if (tree.present.size() != span || tree.dots.size() != span) {
+      return Status::InvalidArgument(
+          "RoundReply tree mask/dots do not match the covered range");
+    }
+    for (uint8_t flag : tree.present) {
+      if (flag > 1) {
+        return Status::InvalidArgument(
+            "RoundReply tree present flag out of range");
+      }
+    }
+    DIGFL_RETURN_IF_ERROR(RequireFinite(tree.dots, "RoundReply tree dots"));
+    msg.tree = std::move(tree);
+    DIGFL_ASSIGN_OR_RETURN(magic, NextBlockMagic(&source));
+  }
+  if (magic == kTelemetryBlockMagic) {
     DIGFL_ASSIGN_OR_RETURN(telemetry::TelemetryDelta delta,
                            DecodeTelemetryDelta(&source));
     msg.telemetry = std::move(delta);
+  } else if (magic != 0) {
+    return Status::InvalidArgument(
+        "unrecognized trailing bytes in RoundReply payload");
   }
   DIGFL_RETURN_IF_ERROR(RequireExhausted(source, "RoundReply"));
   if (msg.delta.empty()) {

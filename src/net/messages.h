@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "telemetry/federation.h"
@@ -49,6 +50,43 @@ enum class MsgType : uint32_t {
 
 const char* MsgTypeToString(MsgType type);
 
+// Hierarchical aggregation (DESIGN.md §15): optional TREE1 trailing blocks
+// carried by Hello / RoundRequest / RoundReply between tree roles. Absent
+// blocks add zero bytes, so leaf→participant traffic stays bitwise
+// identical to the flat wire format — participants never see TREE1.
+
+// Hello + TREE1: an aggregator introducing itself to its parent. `level`
+// counts down from the root's children (0 = directly under the root);
+// [child_begin, child_end) is the contiguous global participant range this
+// subtree covers — the parent validates it against its topology before
+// seating the child.
+struct TreeHello {
+  uint32_t level = 0;
+  uint64_t child_begin = 0;
+  uint64_t child_end = 0;
+};
+
+// RoundRequest + TREE1: the root's validation gradient v_t = ∇L_V(θ_{t-1}),
+// shipped down the aggregator levels so leaf aggregators can fold each
+// present child's ⟨v_t, δ_{t,i}⟩ locally (Lemma 1 additivity). Leaf
+// aggregators strip this block before forwarding the request to
+// participants.
+struct TreeRoundRequest {
+  Vec validation_gradient;
+};
+
+// RoundReply + TREE1: an aggregator's combined upload. The reply's `delta`
+// field carries the *unweighted* partial sum Σ δ_{t,i} over present
+// descendants (zeros when none are present); this block carries the covered
+// range, the per-participant present mask, and the per-participant dot
+// products the root needs for the φ̂ rows.
+struct TreeRoundReply {
+  uint64_t child_begin = 0;
+  uint64_t child_end = 0;
+  std::vector<uint8_t> present;  // one flag per covered participant
+  std::vector<double> dots;      // ⟨v_t, δ_{t,i}⟩; 0.0 where absent
+};
+
 // Participant → coordinator, immediately after the preamble. The config
 // digest commits both sides to the same federation parameters (model size,
 // epochs, learning-rate schedule, seed), so a node launched with mismatched
@@ -64,6 +102,8 @@ struct HelloMsg {
   // reserved and never encoded). Encodes as the first magic-tagged trailing
   // block, before the observability blocks.
   std::optional<uint64_t> generation;
+  // Set iff the sender is a tree aggregator (never a participant).
+  std::optional<TreeHello> tree;
   // Observability (DESIGN.md §13): the node's ObsNow() at Hello send time,
   // the coordinator's first (one-way) clock sample for this participant.
   // Optional fields encode as magic-tagged trailing blocks — absent fields
@@ -101,6 +141,9 @@ struct RoundRequestMsg {
   // Leader generation of the sending coordinator: a participant that has
   // already accepted a newer leader must not compute for a stale one.
   std::optional<uint64_t> generation;
+  // Set on aggregator-level links only; stripped before the leaf →
+  // participant hop.
+  std::optional<TreeRoundRequest> tree;
   // Trace propagation: set iff the coordinator runs with telemetry on.
   std::optional<telemetry::TraceContext> trace;
 };
@@ -109,7 +152,9 @@ struct RoundRequestMsg {
 struct RoundReplyMsg {
   uint64_t epoch = 0;
   uint64_t participant_id = 0;
-  Vec delta;  // δ_{t,i}
+  Vec delta;  // δ_{t,i}; for an aggregator reply, the shard's Σ δ_{t,i}
+  // Set iff the sender is a tree aggregator.
+  std::optional<TreeRoundReply> tree;
   // Telemetry shipping: the node's spans/counters/histograms since its
   // previous reply, piggybacked on the epoch-end message.
   std::optional<telemetry::TelemetryDelta> telemetry;

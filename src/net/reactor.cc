@@ -1,0 +1,263 @@
+#include "net/reactor.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "net/socket.h"
+
+namespace digfl {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+bool ForcePollBackend() {
+  const char* env = std::getenv("DIGFL_NET_FORCE_POLL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+Status ErrnoInternal(const char* op, int err) {
+  return Status::Internal(std::string(op) + ": " + std::strerror(err));
+}
+
+#ifdef __linux__
+uint32_t EpollEventsFor(ReactorInterest interest) {
+  switch (interest) {
+    case ReactorInterest::kRead:
+      return EPOLLIN;
+    case ReactorInterest::kWrite:
+      return EPOLLOUT;
+    case ReactorInterest::kReadWrite:
+      return EPOLLIN | EPOLLOUT;
+  }
+  return EPOLLIN;
+}
+#endif
+
+short PollEventsFor(ReactorInterest interest) {
+  switch (interest) {
+    case ReactorInterest::kRead:
+      return POLLIN;
+    case ReactorInterest::kWrite:
+      return POLLOUT;
+    case ReactorInterest::kReadWrite:
+      return POLLIN | POLLOUT;
+  }
+  return POLLIN;
+}
+
+}  // namespace
+
+Result<Reactor> Reactor::Create(size_t expected_connections) {
+  Reactor reactor;
+  if (expected_connections > 0) {
+    // Margin for the listener, the parent link, stdio, and checkpoint fds.
+    DIGFL_RETURN_IF_ERROR(EnsureFdCapacity(expected_connections + 64));
+    reactor.entries_.reserve(expected_connections);
+  }
+#ifdef __linux__
+  if (!ForcePollBackend()) {
+    reactor.epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (reactor.epoll_fd_ < 0) {
+      return ErrnoInternal("epoll_create1", errno);
+    }
+  }
+#endif
+  return reactor;
+}
+
+Reactor::Reactor(Reactor&& other) noexcept
+    : epoll_fd_(other.epoll_fd_), entries_(std::move(other.entries_)) {
+  other.epoll_fd_ = -1;
+  other.entries_.clear();
+}
+
+Reactor& Reactor::operator=(Reactor&& other) noexcept {
+  if (this != &other) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    epoll_fd_ = other.epoll_fd_;
+    entries_ = std::move(other.entries_);
+    other.epoll_fd_ = -1;
+    other.entries_.clear();
+  }
+  return *this;
+}
+
+Reactor::~Reactor() {
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
+
+Status Reactor::Add(int fd, uint64_t tag, ReactorInterest interest) {
+  if (fd < 0) return Status::InvalidArgument("reactor add: negative fd");
+  if (entries_.count(fd) > 0) {
+    return Status::InvalidArgument("reactor add: fd already registered");
+  }
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    struct epoll_event event;
+    std::memset(&event, 0, sizeof(event));
+    event.events = EpollEventsFor(interest);
+    event.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      return ErrnoInternal("epoll_ctl(ADD)", errno);
+    }
+  }
+#endif
+  entries_[fd] = Entry{tag, interest};
+  return Status::OK();
+}
+
+Status Reactor::Modify(int fd, uint64_t tag, ReactorInterest interest) {
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) {
+    return Status::InvalidArgument("reactor modify: fd not registered");
+  }
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    struct epoll_event event;
+    std::memset(&event, 0, sizeof(event));
+    event.events = EpollEventsFor(interest);
+    event.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+      return ErrnoInternal("epoll_ctl(MOD)", errno);
+    }
+  }
+#endif
+  it->second = Entry{tag, interest};
+  return Status::OK();
+}
+
+Status Reactor::Remove(int fd) {
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) return Status::OK();
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    // The fd may already be closed (the kernel then removed it for us);
+    // only a live-but-unremovable fd is a real error.
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0 &&
+        errno != EBADF && errno != ENOENT) {
+      return ErrnoInternal("epoll_ctl(DEL)", errno);
+    }
+  }
+#endif
+  entries_.erase(it);
+  return Status::OK();
+}
+
+Result<size_t> Reactor::Wait(int timeout_ms, std::vector<ReactorEvent>* out) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    std::vector<struct epoll_event> events(
+        entries_.empty() ? 16 : entries_.size());
+    for (;;) {
+      const int rc = ::epoll_wait(epoll_fd_, events.data(),
+                                  static_cast<int>(events.size()),
+                                  RemainingMs(deadline));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoInternal("epoll_wait", errno);
+      }
+      size_t appended = 0;
+      for (int i = 0; i < rc; ++i) {
+        const auto it = entries_.find(events[i].data.fd);
+        if (it == entries_.end()) continue;  // removed since registration
+        ReactorEvent event;
+        event.tag = it->second.tag;
+        event.readable = (events[i].events & EPOLLIN) != 0;
+        event.writable = (events[i].events & EPOLLOUT) != 0;
+        event.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+        out->push_back(event);
+        ++appended;
+      }
+      return appended;
+    }
+  }
+#endif
+  // poll(2) fallback: O(table) per wakeup, same semantics.
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(entries_.size());
+  for (const auto& [fd, entry] : entries_) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = PollEventsFor(entry.interest);
+    pfd.revents = 0;
+    pfds.push_back(pfd);
+  }
+  for (;;) {
+    const int rc = ::poll(pfds.data(), pfds.size(), RemainingMs(deadline));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoInternal("poll", errno);
+    }
+    size_t appended = 0;
+    for (const struct pollfd& pfd : pfds) {
+      if (pfd.revents == 0) continue;
+      const auto it = entries_.find(pfd.fd);
+      if (it == entries_.end()) continue;
+      ReactorEvent event;
+      event.tag = it->second.tag;
+      event.readable = (pfd.revents & POLLIN) != 0;
+      event.writable = (pfd.revents & POLLOUT) != 0;
+      event.error = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out->push_back(event);
+      ++appended;
+    }
+    return appended;
+  }
+}
+
+void WriteQueue::Push(std::string data) {
+  pending_bytes_ += data.size();
+  queue_.push_back(std::move(data));
+}
+
+Result<bool> WriteQueue::Flush(int fd) {
+  while (!queue_.empty()) {
+    const std::string& front = queue_.front();
+    const ssize_t n = ::send(fd, front.data() + offset_,
+                             front.size() - offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      offset_ += static_cast<size_t>(n);
+      pending_bytes_ -= static_cast<size_t>(n);
+      if (offset_ == front.size()) {
+        queue_.pop_front();
+        offset_ = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+    if (n < 0 && errno == EINTR) continue;
+    const int err = errno;
+    const std::string what =
+        std::string("write-queue send: ") + std::strerror(err);
+    if (err == ECONNRESET || err == EPIPE || err == ENOTCONN) {
+      return Status::Unavailable(what);
+    }
+    return Status::Internal(what);
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace digfl

@@ -1,0 +1,127 @@
+// Readiness multiplexer for fan-out roles (DESIGN.md §15).
+//
+// The flat Coordinator dedicates one thread + poll(2) deadline loop to each
+// participant channel, which tops out around a few hundred sockets. The
+// tree runtime's collectors instead register every child connection with
+// one Reactor and drain whichever sockets are ready: epoll(7) on Linux
+// (O(ready) per wakeup, connection table sized for 10k+ fds), with a
+// poll(2) fallback for other platforms and for builds that set
+// DIGFL_NET_FORCE_POLL=1 (the fallback is also what the fallback-parity
+// test pins against epoll).
+//
+// The reactor multiplexes *readiness only*; actual I/O stays in the caller
+// so the typed Status taxonomy of socket.h is preserved. Connections that
+// cannot expose an fd (SimNet's in-process streams, Conn::NativeHandle() ==
+// -1) never reach a reactor — callers fall back to the blocking
+// per-connection path, which is exactly the deterministic path the
+// simulator wants anyway.
+//
+// WriteQueue is the companion piece: a per-connection outbound buffer that
+// lets a broadcast be *enqueued* on every child at once and drained as each
+// socket becomes writable, so the epoch-t+1 broadcast overlaps the last
+// stragglers of epoch-t uploads instead of serializing behind them.
+
+#ifndef DIGFL_NET_REACTOR_H_
+#define DIGFL_NET_REACTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace digfl {
+namespace net {
+
+enum class ReactorInterest : uint8_t {
+  kRead,
+  kWrite,
+  kReadWrite,
+};
+
+struct ReactorEvent {
+  uint64_t tag = 0;        // the caller's tag from Add/Modify
+  bool readable = false;
+  bool writable = false;
+  // POLLERR/POLLHUP (or their epoll twins): the caller should attempt the
+  // read — a hangup with buffered data still delivers the data — and let
+  // the resulting typed Status decide the connection's fate.
+  bool error = false;
+};
+
+class Reactor {
+ public:
+  // `expected_connections` pre-sizes the table and, when > 0, raises
+  // RLIMIT_NOFILE (EnsureFdCapacity) so an accept storm of that size cannot
+  // hit EMFILE mid-assembly. The backend is epoll on Linux unless the
+  // DIGFL_NET_FORCE_POLL environment variable is set to a nonzero value.
+  static Result<Reactor> Create(size_t expected_connections = 0);
+
+  Reactor(Reactor&& other) noexcept;
+  Reactor& operator=(Reactor&& other) noexcept;
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+  ~Reactor();
+
+  // Registers `fd` with the given interest; events for it carry `tag`.
+  Status Add(int fd, uint64_t tag, ReactorInterest interest);
+  // Updates interest and/or tag for an already-registered fd.
+  Status Modify(int fd, uint64_t tag, ReactorInterest interest);
+  // Deregisters; OK even if the fd was never added (idempotent teardown).
+  Status Remove(int fd);
+
+  // Blocks up to `timeout_ms` for readiness, appends one ReactorEvent per
+  // ready fd to `out`, and returns how many were appended (0 = timeout, a
+  // normal outcome — not kDeadlineExceeded, because collectors poll in a
+  // loop against their own round deadline). EINTR is retried against a
+  // shared deadline.
+  Result<size_t> Wait(int timeout_ms, std::vector<ReactorEvent>* out);
+
+  size_t size() const { return entries_.size(); }
+  const char* backend() const { return epoll_fd_ >= 0 ? "epoll" : "poll"; }
+
+ private:
+  Reactor() = default;
+
+  struct Entry {
+    uint64_t tag = 0;
+    ReactorInterest interest = ReactorInterest::kRead;
+  };
+
+  int epoll_fd_ = -1;  // -1 = poll fallback
+  std::unordered_map<int, Entry> entries_;
+};
+
+// Outbound byte buffer for one nonblocking connection. Push never blocks;
+// Flush writes as much as the socket accepts right now and reports whether
+// the queue drained. Not thread-safe — each connection is owned by the one
+// collector loop that flushes it.
+class WriteQueue {
+ public:
+  // Queues `data` (moved) for transmission.
+  void Push(std::string data);
+
+  // Attempts to write queued bytes to `fd` without blocking. Returns true
+  // when the queue is empty afterwards, false when the socket went
+  // write-blocked (EAGAIN) with bytes still pending — re-Flush when the
+  // reactor reports the fd writable. Any other socket error surfaces as
+  // the typed Status (kUnavailable for a dead peer, kFailedPrecondition
+  // for fd-table exhaustion upstream, …).
+  Result<bool> Flush(int fd);
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending_bytes() const { return pending_bytes_; }
+
+ private:
+  std::deque<std::string> queue_;
+  size_t offset_ = 0;  // bytes of queue_.front() already written
+  size_t pending_bytes_ = 0;
+};
+
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_REACTOR_H_

@@ -6,6 +6,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -43,6 +44,12 @@ Status ErrnoStatus(const char* op, int err) {
       return Status::Unavailable(what);
     case ETIMEDOUT:
       return Status::DeadlineExceeded(what);
+    case EMFILE:
+    case ENFILE:
+      // Typed so callers can tell "fd table full" from a programming error:
+      // retrying without raising RLIMIT_NOFILE (EnsureFdCapacity) cannot
+      // succeed.
+      return Status::FailedPrecondition("fd table full: " + what);
     default:
       return Status::Internal(what);
   }
@@ -137,8 +144,11 @@ Result<TcpConn> TcpConn::Connect(const std::string& host, uint16_t port,
       last = status;
       continue;
     }
+    // EINPROGRESS is the normal nonblocking path; EINTR means the connect
+    // was interrupted but proceeds in the background — both complete (or
+    // fail) via the POLLOUT wait below.
     if (::connect(fd, ai->ai_addr, ai->ai_addrlen) < 0 &&
-        errno != EINPROGRESS) {
+        errno != EINPROGRESS && errno != EINTR) {
       last = ErrnoStatus("connect", errno);
       continue;
     }
@@ -275,6 +285,36 @@ Result<TcpConn> TcpListener::Accept(int timeout_ms) {
     if (errno == EINTR || errno == ECONNABORTED) continue;
     return ErrnoStatus("accept", errno);
   }
+}
+
+size_t FdSoftLimit() {
+  struct rlimit limit;
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 0;
+  if (limit.rlim_cur == RLIM_INFINITY) return SIZE_MAX;
+  return static_cast<size_t>(limit.rlim_cur);
+}
+
+Status EnsureFdCapacity(size_t needed) {
+  struct rlimit limit;
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) {
+    return ErrnoStatus("getrlimit(RLIMIT_NOFILE)", errno);
+  }
+  if (limit.rlim_cur == RLIM_INFINITY ||
+      static_cast<size_t>(limit.rlim_cur) >= needed) {
+    return Status::OK();
+  }
+  if (limit.rlim_max != RLIM_INFINITY &&
+      static_cast<size_t>(limit.rlim_max) < needed) {
+    return Status::FailedPrecondition(
+        "RLIMIT_NOFILE hard limit " + std::to_string(limit.rlim_max) +
+        " is below the " + std::to_string(needed) +
+        " descriptors this topology needs; raise it (ulimit -Hn) and rerun");
+  }
+  limit.rlim_cur = static_cast<rlim_t>(needed);
+  if (::setrlimit(RLIMIT_NOFILE, &limit) != 0) {
+    return ErrnoStatus("setrlimit(RLIMIT_NOFILE)", errno);
+  }
+  return Status::OK();
 }
 
 }  // namespace net

@@ -8,6 +8,9 @@
 //                      layer turns repeated timeouts into a dropout),
 //   kUnavailable       the peer is gone — EOF, reset, refused — and the
 //                      connection must be replaced,
+//   kFailedPrecondition  the process fd table is full (EMFILE/ENFILE) —
+//                      not retryable until capacity is raised; see
+//                      EnsureFdCapacity below,
 //   kInvalidArgument / kInternal   caller or system programming errors.
 //
 // All sockets are nonblocking with TCP_NODELAY (round messages are
@@ -75,8 +78,10 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
 
   // Binds and listens on `port` (0 = ephemeral; read the choice back from
-  // port()).
-  static Result<TcpListener> Listen(uint16_t port, int backlog = 16);
+  // port()). The default backlog absorbs the accept storm a whole shard
+  // dialing at once produces; pass a smaller value only in tests that want
+  // to provoke refusals.
+  static Result<TcpListener> Listen(uint16_t port, int backlog = 128);
 
   bool valid() const { return fd_ >= 0; }
   uint16_t port() const { return port_; }
@@ -89,6 +94,16 @@ class TcpListener {
   int fd_ = -1;
   uint16_t port_ = 0;
 };
+
+// The process's current RLIMIT_NOFILE soft limit (0 if it cannot be read).
+size_t FdSoftLimit();
+
+// Ensures the process may hold at least `needed` file descriptors, raising
+// the RLIMIT_NOFILE soft limit toward the hard limit if necessary. Call at
+// startup from any role that fans out to many sockets (coordinator roots,
+// tree aggregators); a typed kFailedPrecondition here beats an accept loop
+// silently failing with EMFILE mid-round.
+Status EnsureFdCapacity(size_t needed);
 
 }  // namespace net
 }  // namespace digfl

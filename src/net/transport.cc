@@ -10,12 +10,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-int RemainingMs(Clock::time_point deadline) {
-  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-      deadline - Clock::now());
-  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
-}
-
 class TcpConnAdapter : public Conn {
  public:
   explicit TcpConnAdapter(TcpConn conn) : conn_(std::move(conn)) {}
@@ -34,6 +28,8 @@ class TcpConnAdapter : public Conn {
   Status RecvExact(char* buf, size_t len, int timeout_ms) override {
     return conn_.RecvExact(buf, len, timeout_ms);
   }
+
+  int NativeHandle() const override { return conn_.fd(); }
 
  private:
   TcpConn conn_;
@@ -77,14 +73,27 @@ class TcpTransportImpl : public Transport {
 }  // namespace
 
 Status Conn::RecvExact(char* buf, size_t len, int timeout_ms) {
-  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  // Budget on the connection's own clock, not steady_clock: for a simulated
+  // conn the remaining budget must shrink with virtual time only.
+  const uint64_t deadline =
+      NowMs() + static_cast<uint64_t>(timeout_ms > 0 ? timeout_ms : 0);
   size_t done = 0;
   while (done < len) {
-    DIGFL_ASSIGN_OR_RETURN(
-        size_t n, RecvSome(buf + done, len - done, RemainingMs(deadline)));
+    const uint64_t now = NowMs();
+    const int remaining =
+        deadline > now ? static_cast<int>(deadline - now) : 0;
+    DIGFL_ASSIGN_OR_RETURN(size_t n,
+                           RecvSome(buf + done, len - done, remaining));
     done += n;
   }
   return Status::OK();
+}
+
+uint64_t Conn::NowMs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now().time_since_epoch())
+          .count());
 }
 
 std::unique_ptr<Conn> WrapTcpConn(TcpConn conn) {

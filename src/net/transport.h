@@ -50,6 +50,22 @@ class Conn {
   // default loops RecvSome against a shared deadline; implementations with
   // a cheaper native path (TcpConn, SimConn) override it.
   virtual Status RecvExact(char* buf, size_t len, int timeout_ms);
+
+  // The OS file descriptor behind this stream, or -1 when there is none
+  // (simulated connections). The EpollReactor (net/reactor.h) multiplexes
+  // connections that expose a handle; callers must fall back to the
+  // blocking per-connection path when it returns -1.
+  virtual int NativeHandle() const { return -1; }
+
+  // Monotonic milliseconds on the clock this connection's deadlines run
+  // against: steady_clock for TCP, the virtual clock for the simulator
+  // (the Conn-side mirror of Transport::NowMs). Multi-step budget loops
+  // (RecvExact, MsgChannel::Recv, the handshake, round collection) must
+  // split their deadline with this rather than steady_clock directly —
+  // otherwise a loaded host drains a real-time budget to zero and the
+  // next simulated step times out instantly even though no virtual time
+  // has passed.
+  virtual uint64_t NowMs() const;
 };
 
 // A bound, listening endpoint.

@@ -1,0 +1,500 @@
+#include "net/tree/aggregator_node.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "net/tree/collect.h"
+#include "telemetry/telemetry.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+namespace net {
+namespace tree {
+
+namespace {
+constexpr int kShutdownSendTimeoutMs = 1000;
+}  // namespace
+
+AggregatorNode::AggregatorNode(TreeTopology topology,
+                               const AggregatorNodeOptions& options)
+    : topology_(std::move(topology)), options_(options) {}
+
+Result<std::unique_ptr<AggregatorNode>> AggregatorNode::Create(
+    TreeTopology topology, const AggregatorNodeOptions& options) {
+  if (options.level >= topology.num_levels()) {
+    return Status::InvalidArgument("aggregator level out of range");
+  }
+  if (options.index >= topology.WidthAt(options.level)) {
+    return Status::InvalidArgument("aggregator index out of range");
+  }
+  if (options.num_params == 0) {
+    return Status::InvalidArgument("num_params must be > 0");
+  }
+  if (options.round_timeout_ms <= 0 || options.handshake_timeout_ms <= 0 ||
+      options.io_timeout_ms <= 0) {
+    return Status::InvalidArgument("timeouts must be > 0");
+  }
+  std::unique_ptr<AggregatorNode> node(
+      new AggregatorNode(std::move(topology), options));
+  node->covered_ = node->topology_.Covered(options.level, options.index);
+  node->leaf_ = node->topology_.IsLeafLevel(options.level);
+  node->child_ids_ =
+      node->leaf_ ? node->covered_
+                  : node->topology_.ChildAggregators(options.level,
+                                                     options.index);
+  node->num_children_ = node->child_ids_.size();
+  node->max_seen_generation_.store(options.leader_generation,
+                                   std::memory_order_relaxed);
+  Transport* transport =
+      options.transport != nullptr ? options.transport : TcpTransport();
+  if (options.transport == nullptr) {
+    DIGFL_RETURN_IF_ERROR(EnsureFdCapacity(node->num_children_ + 64));
+  }
+  DIGFL_ASSIGN_OR_RETURN(node->listener_,
+                         transport->Listen(options.listen_port));
+  node->slots_.resize(node->num_children_);
+  node->accept_thread_ =
+      std::thread(&AggregatorNode::AcceptLoop, node.get());
+  return node;
+}
+
+AggregatorNode::~AggregatorNode() { Shutdown("aggregator destroyed"); }
+
+void AggregatorNode::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Result<std::unique_ptr<Conn>> conn =
+        listener_->Accept(options_.accept_poll_ms);
+    if (!conn.ok()) continue;  // timeout = stop-flag heartbeat
+    HandleChild(std::move(*conn));
+  }
+}
+
+void AggregatorNode::HandleChild(std::unique_ptr<Conn> conn) {
+  auto channel =
+      std::make_unique<MsgChannel>(std::move(conn), options_.limits);
+  Result<HelloMsg> hello =
+      ServerHandshakeBegin(*channel, options_.handshake_timeout_ms);
+  if (!hello.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.handshakes_rejected;
+    return;
+  }
+
+  HelloAckMsg ack;
+  ack.next_epoch = next_epoch_hint_.load(std::memory_order_relaxed);
+  const uint64_t generation =
+      max_seen_generation_.load(std::memory_order_relaxed);
+  if (generation > 0) ack.generation = generation;
+
+  const uint64_t id = hello->participant_id;
+  size_t slot = 0;
+  if (hello->config_digest != options_.config_digest) {
+    ack.message = "federation config digest mismatch";
+  } else if (leaf_ && hello->tree.has_value()) {
+    ack.message = "participant hello carries a tree block";
+  } else if (!leaf_ && !hello->tree.has_value()) {
+    ack.message = "aggregator hello missing its tree block";
+  } else if (id < child_ids_.begin || id >= child_ids_.end) {
+    ack.message = leaf_ ? "participant id outside this shard"
+                        : "child aggregator index outside this subtree";
+  } else {
+    slot = static_cast<size_t>(id) - child_ids_.begin;
+    if (!leaf_) {
+      // A child aggregator must cover exactly the shard the topology
+      // assigns to its index, one level down.
+      const TreeTopology::Range expected =
+          topology_.Covered(options_.level + 1, static_cast<size_t>(id));
+      const TreeHello& tree = *hello->tree;
+      if (tree.level != options_.level + 1 ||
+          tree.child_begin != expected.begin ||
+          tree.child_end != expected.end) {
+        ack.message = "child aggregator range does not match the topology";
+      }
+    }
+    if (ack.message.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (slots_[slot] != nullptr) {
+        ack.message = "child already connected";
+      } else {
+        ack.accepted = 1;
+      }
+    }
+  }
+
+  const Status finish =
+      ServerHandshakeFinish(*channel, ack, options_.handshake_timeout_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ack.accepted == 0 || !finish.ok()) {
+    ++stats_.handshakes_rejected;
+    return;
+  }
+  if (slots_[slot] != nullptr) {
+    // Refilled while Finish was on the wire; the incumbent wins.
+    ++stats_.handshakes_rejected;
+    return;
+  }
+  slots_[slot] = std::move(channel);
+  ++stats_.handshakes_accepted;
+  slot_cv_.notify_all();
+}
+
+size_t AggregatorNode::num_children_connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (const auto& slot : slots_) count += (slot != nullptr);
+  return count;
+}
+
+Status AggregatorNode::WaitForChildren(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool all = slot_cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [this] {
+        for (const auto& slot : slots_) {
+          if (slot == nullptr) return false;
+        }
+        return true;
+      });
+  if (all) return Status::OK();
+  size_t missing = 0;
+  for (const auto& slot : slots_) missing += (slot == nullptr);
+  return Status::DeadlineExceeded(std::to_string(missing) +
+                                  " children not connected");
+}
+
+Result<MsgChannel> AggregatorNode::ConnectParent() {
+  DIGFL_TRACE_SPAN("tree.connect_parent");
+  const uint64_t seed =
+      options_.jitter_seed != 0
+          ? options_.jitter_seed
+          : 0xa66ul ^ ((options_.level << 20) + options_.index + 1);
+  Rng jitter(seed);
+  Transport* transport =
+      options_.transport != nullptr ? options_.transport : TcpTransport();
+  Status last = Status::Unavailable("no connect attempt made");
+  for (size_t attempt = 0; attempt < options_.max_connect_attempts;
+       ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          BackoffDelayMs(options_.connect_backoff, attempt - 1, jitter)));
+    }
+    Result<std::unique_ptr<Conn>> conn =
+        transport->Connect(options_.parent_host, options_.parent_port,
+                           options_.connect_timeout_ms);
+    if (!conn.ok()) {
+      last = conn.status();
+      continue;
+    }
+    MsgChannel channel(std::move(*conn), options_.limits);
+    HelloMsg hello;
+    hello.participant_id = options_.index;
+    hello.num_params = options_.num_params;
+    hello.config_digest = options_.config_digest;
+    const uint64_t generation =
+        max_seen_generation_.load(std::memory_order_relaxed);
+    if (generation > 0) hello.generation = generation;
+    hello.tree = TreeHello{static_cast<uint32_t>(options_.level),
+                           covered_.begin, covered_.end};
+    Result<HelloAckMsg> ack =
+        ClientHandshake(channel, hello, options_.handshake_timeout_ms);
+    if (!ack.ok()) {
+      // A rejection is a configuration error with a single parent; it will
+      // not heal by retrying.
+      if (ack.status().code() == StatusCode::kFailedPrecondition) {
+        return ack.status();
+      }
+      last = ack.status();
+      continue;
+    }
+    const uint64_t ack_generation = ack->generation.value_or(0);
+    if (ack_generation > generation) {
+      max_seen_generation_.store(ack_generation, std::memory_order_relaxed);
+    }
+    return channel;
+  }
+  return last;
+}
+
+Status AggregatorNode::ServeRound(MsgChannel& parent,
+                                  const RoundRequestMsg& request) {
+  DIGFL_TRACE_SPAN(leaf_ ? "tree.leaf_round" : "tree.inner_round");
+  if (!request.tree.has_value()) {
+    return Status::InvalidArgument(
+        "aggregator round request missing its TREE1 block");
+  }
+  const Vec& v = request.tree->validation_gradient;
+  if (request.params.size() != options_.num_params ||
+      v.size() != options_.num_params) {
+    return Status::InvalidArgument(
+        "round request vector sizes do not match the model");
+  }
+
+  // Take the child channels out of their slots for the duration of the
+  // round (a channel is owned by one thread at a time).
+  std::vector<std::unique_ptr<MsgChannel>> channels;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    channels.swap(slots_);
+    slots_.resize(channels.size());
+  }
+
+  // Forward the request downstream. The leaf → participant hop strips the
+  // TREE1 block so participants see the flat wire format bit for bit;
+  // aggregator-level hops forward the request unchanged (same θ, same v,
+  // same generation).
+  RoundRequestMsg down = request;
+  if (leaf_) down.tree.reset();
+  const std::string payload = EncodeRoundRequest(down);
+
+  CollectOptions collect_options;
+  collect_options.epoch = request.epoch;
+  collect_options.round_timeout_ms = options_.round_timeout_ms;
+  collect_options.max_retries = options_.max_round_retries;
+  collect_options.num_params = options_.num_params;
+  std::vector<std::optional<RoundReplyMsg>> replies;
+  CollectStats collect_stats;
+  CollectRound(&channels, payload, collect_options, &replies,
+               &collect_stats);
+
+  // Fold the replies in ascending child order, each into this node's own
+  // zero-initialized partial — the reference arithmetic of
+  // MakeTreeAggregator, performed on the same doubles.
+  RoundReplyMsg up;
+  up.epoch = request.epoch;
+  up.participant_id = options_.index;
+  up.delta = vec::Zeros(options_.num_params);
+  TreeRoundReply tree;
+  tree.child_begin = covered_.begin;
+  tree.child_end = covered_.end;
+  tree.present.assign(covered_.size(), 0);
+  tree.dots.assign(covered_.size(), 0.0);
+
+  for (size_t s = 0; s < replies.size(); ++s) {
+    if (!replies[s].has_value()) continue;
+    const RoundReplyMsg& reply = *replies[s];
+    const uint64_t expected_id = child_ids_.begin + s;
+    bool valid = reply.participant_id == expected_id;
+    if (leaf_) {
+      valid = valid && !reply.tree.has_value();
+      if (valid) {
+        const size_t offset = (child_ids_.begin + s) - covered_.begin;
+        tree.present[offset] = 1;
+        tree.dots[offset] = vec::Dot(v, reply.delta);
+        vec::Axpy(1.0, reply.delta, up.delta);
+      }
+    } else {
+      const TreeTopology::Range expected = topology_.Covered(
+          options_.level + 1, static_cast<size_t>(expected_id));
+      valid = valid && reply.tree.has_value() &&
+              reply.tree->child_begin == expected.begin &&
+              reply.tree->child_end == expected.end &&
+              reply.tree->present.size() == expected.size() &&
+              reply.tree->dots.size() == expected.size();
+      if (valid) {
+        size_t shard_present = 0;
+        for (size_t k = 0; k < expected.size(); ++k) {
+          const size_t offset = (expected.begin + k) - covered_.begin;
+          tree.present[offset] = reply.tree->present[k];
+          tree.dots[offset] = reply.tree->dots[k];
+          shard_present += (reply.tree->present[k] != 0);
+        }
+        // Empty subtrees contribute nothing — skipping them (instead of
+        // adding their zero vector) preserves -0.0 exactly like the
+        // reference does.
+        if (shard_present > 0) vec::Axpy(1.0, reply.delta, up.delta);
+      }
+    }
+    if (!valid) {
+      // Protocol violation: drop the child and treat it absent.
+      if (channels[s] != nullptr) {
+        channels[s]->Close();
+        channels[s].reset();
+      }
+      ++collect_stats.dropouts;
+      const size_t base = leaf_ ? (child_ids_.begin + s) - covered_.begin
+                                : topology_.Covered(options_.level + 1,
+                                                    child_ids_.begin + s)
+                                          .begin -
+                                      covered_.begin;
+      const size_t span =
+          leaf_ ? 1
+                : topology_.Covered(options_.level + 1, child_ids_.begin + s)
+                      .size();
+      for (size_t k = 0; k < span; ++k) {
+        tree.present[base + k] = 0;
+        tree.dots[base + k] = 0.0;
+      }
+    }
+  }
+  up.tree = std::move(tree);
+
+  // Return the surviving channels to their slots; a child that reconnected
+  // mid-round owns the slot already (prefer the fresh connection).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t s = 0; s < channels.size(); ++s) {
+      if (channels[s] == nullptr) continue;
+      if (slots_[s] == nullptr) {
+        slots_[s] = std::move(channels[s]);
+      } else {
+        channels[s]->Close();
+      }
+    }
+    stats_.child_dropouts += collect_stats.dropouts;
+    stats_.child_retries += collect_stats.retries;
+    stats_.stale_replies += collect_stats.stale_replies;
+    stats_.bytes_sent += collect_stats.bytes_sent;
+    stats_.bytes_received += collect_stats.bytes_received;
+  }
+
+  DIGFL_RETURN_IF_ERROR(parent.Send(MsgType::kRoundReply,
+                                    EncodeRoundReply(up),
+                                    options_.io_timeout_ms));
+  next_epoch_hint_.store(request.epoch + 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rounds_served;
+  }
+  DIGFL_COUNTER_ADD("tree.rounds_served_total", 1);
+  return Status::OK();
+}
+
+Status AggregatorNode::Serve(MsgChannel& parent) {
+  size_t idle_polls = 0;
+  for (;;) {
+    Result<Frame> frame = parent.Recv(options_.io_timeout_ms);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        ++idle_polls;
+        if (options_.max_idle_polls != 0 &&
+            idle_polls >= options_.max_idle_polls) {
+          return Status::DeadlineExceeded(
+              "parent silent through max_idle_polls");
+        }
+        continue;
+      }
+      return frame.status();
+    }
+    idle_polls = 0;
+
+    switch (static_cast<MsgType>(frame->type)) {
+      case MsgType::kRoundRequest: {
+        DIGFL_ASSIGN_OR_RETURN(RoundRequestMsg request,
+                               DecodeRoundRequest(frame->payload));
+        const uint64_t request_generation = request.generation.value_or(0);
+        const uint64_t seen =
+            max_seen_generation_.load(std::memory_order_relaxed);
+        if (seen > 0 && request_generation < seen) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.stale_rounds_rejected;
+          return Status::Unavailable(
+              "round request from stale leader generation " +
+              std::to_string(request_generation) + " (highest accepted " +
+              std::to_string(seen) + ")");
+        }
+        if (request_generation > seen) {
+          max_seen_generation_.store(request_generation,
+                                     std::memory_order_relaxed);
+        }
+        if (request.epoch >= options_.halt_epoch) {
+          // Kill drill: die silently mid-federation. The parent sees the
+          // whole shard drop; the children see a bare connection loss.
+          Kill();
+          return Status::FailedPrecondition(
+              "aggregator halted for kill drill at epoch " +
+              std::to_string(request.epoch));
+        }
+        DIGFL_RETURN_IF_ERROR(ServeRound(parent, request));
+        break;
+      }
+      case MsgType::kShutdown:
+        CloseChildren(/*send_farewell=*/true, "federation shutdown");
+        return Status::OK();
+      case MsgType::kHvpRequest:
+        return Status::Unimplemented(
+            "hierarchical HVP fan-out is not supported; dial participants "
+            "directly for Algorithm #1");
+      default:
+        return Status::InvalidArgument("unexpected frame type " +
+                                       std::to_string(frame->type));
+    }
+  }
+}
+
+Status AggregatorNode::Run() {
+  DIGFL_TRACE_SPAN("tree.aggregator_run");
+  if (options_.child_wait_timeout_ms > 0) {
+    // Best effort: a child that never shows up is a dropout, not an error.
+    (void)WaitForChildren(options_.child_wait_timeout_ms);
+  }
+  for (;;) {
+    Result<MsgChannel> parent = ConnectParent();
+    if (!parent.ok()) return parent.status();
+    Status served = Serve(*parent);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.bytes_sent += parent->TakeBytesSent();
+      stats_.bytes_received += parent->TakeBytesReceived();
+    }
+    if (served.ok()) return Status::OK();
+    if (served.code() == StatusCode::kUnavailable) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.parent_reconnects;
+      continue;
+    }
+    return served;
+  }
+}
+
+void AggregatorNode::CloseChildren(bool send_farewell,
+                                   const std::string& reason) {
+  ShutdownMsg message;
+  message.reason = reason;
+  const std::string payload = EncodeShutdown(message);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slot : slots_) {
+    if (slot == nullptr) continue;
+    if (send_farewell) {
+      // Best-effort cascade; children also handle a bare close.
+      (void)slot->Send(MsgType::kShutdown, payload, kShutdownSendTimeoutMs);
+    }
+    slot->Close();
+    slot.reset();
+  }
+}
+
+void AggregatorNode::Shutdown(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  // Close before joining: the accept thread may be blocked in Accept with
+  // no dial coming, and the close is what wakes it.
+  if (listener_ != nullptr) listener_->Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseChildren(/*send_farewell=*/true, reason);
+}
+
+void AggregatorNode::Kill() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  if (listener_ != nullptr) listener_->Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseChildren(/*send_farewell=*/false, "");
+}
+
+AggregatorNode::Stats AggregatorNode::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tree
+}  // namespace net
+}  // namespace digfl

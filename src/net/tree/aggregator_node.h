@@ -1,0 +1,183 @@
+// AggregatorNode: the mid-tier role of the hierarchical aggregation tree
+// (DESIGN.md §15). One process per aggregator; child-facing it is a small
+// coordinator (listener + accept thread + one channel slot per child),
+// parent-facing it is a participant (dial, handshake, serve rounds).
+//
+// A leaf aggregator's children are the participants with global ids in
+// Covered(level, index); an inner aggregator's children are the
+// aggregators one level down whose shards tile its own. Per round it:
+//
+//   1. receives RoundRequest + TREE1 (θ_{t-1}, α_t, and the root's
+//      validation gradient v_t) from its parent,
+//   2. forwards the request to its children — stripping the TREE1 block on
+//      the leaf → participant hop, so participants see the flat wire
+//      format bit for bit,
+//   3. folds the replies exactly as MakeTreeAggregator's reference
+//      arithmetic: its own zero-initialized partial Σ δ, children added in
+//      ascending order, absent/empty subtrees skipped; a leaf also folds
+//      ⟨v_t, δ_{t,i}⟩ per present child,
+//   4. replies upward with the partial sum plus a TREE1 block carrying the
+//      covered range, the realized present mask, and the dot products.
+//
+// A child that misses the round deadline is a dropout for that epoch
+// (mask bit 0, nothing folded) and may rejoin through the accept thread at
+// the next epoch boundary — the same semantics as the flat coordinator, so
+// a whole-subtree failure degrades to a whole-shard dropout at the root.
+//
+// Leader generations (DESIGN.md §14) propagate down: the generation on the
+// parent's RoundRequest is forwarded verbatim, a request from a stale
+// generation is refused, and HelloAcks to children carry the highest
+// generation seen so the fence reaches the leaves.
+
+#ifndef DIGFL_NET_TREE_AGGREGATOR_NODE_H_
+#define DIGFL_NET_TREE_AGGREGATOR_NODE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "net/backoff.h"
+#include "net/channel.h"
+#include "net/transport.h"
+#include "net/tree/topology.h"
+#include "net/wire.h"
+
+namespace digfl {
+namespace net {
+namespace tree {
+
+struct AggregatorNodeOptions {
+  // Byte-stream layer for both the child listener and the parent dial.
+  // nullptr = TcpTransport(). Not owned; must outlive the node.
+  Transport* transport = nullptr;
+  // Child-facing listener port; 0 = ephemeral (read back from port()).
+  uint16_t listen_port = 0;
+  // Parent endpoint (the root or the aggregator one level up). Under
+  // SimNet `parent_host` is this node's own fault-schedule label.
+  std::string parent_host = "127.0.0.1";
+  uint16_t parent_port = 0;
+  size_t level = 0;  // 0 = directly under the root
+  size_t index = 0;  // index within the level
+  uint64_t num_params = 0;
+  uint64_t config_digest = 0;
+  int connect_timeout_ms = 2000;
+  int handshake_timeout_ms = 5000;
+  // One parent Recv poll while idle; expiry just polls again (see
+  // max_idle_polls).
+  int io_timeout_ms = 30000;
+  size_t max_idle_polls = 0;
+  size_t max_connect_attempts = 20;
+  BackoffPolicy connect_backoff;
+  // Budget for one child round trip (per child on the serial path, overall
+  // on the reactor path), and resends after a child timeout.
+  int round_timeout_ms = 10000;
+  size_t max_round_retries = 2;
+  // Granularity of the accept loop's stop-flag polling.
+  int accept_poll_ms = 100;
+  // How long Run() waits for the full child set before dialing the parent.
+  // Expiry is not an error — missing children are dropouts — but waiting
+  // first means a connected root implies a connected tree on the happy
+  // path. 0 = do not wait.
+  int child_wait_timeout_ms = 10000;
+  uint64_t jitter_seed = 0;
+  WireLimits limits;
+  // Initial leader generation (0 = HA off); newer generations learned from
+  // the parent's requests supersede it and flow into child HelloAcks.
+  uint64_t leader_generation = 0;
+  // Kill drill: on receiving a RoundRequest for this epoch, die silently
+  // (close everything, no farewell) and return kFailedPrecondition — the
+  // swarm's "aggregator process dies at epoch k" fate. SIZE_MAX = off.
+  size_t halt_epoch = static_cast<size_t>(-1);
+};
+
+class AggregatorNode {
+ public:
+  struct Stats {
+    uint64_t rounds_served = 0;
+    uint64_t handshakes_accepted = 0;
+    uint64_t handshakes_rejected = 0;
+    uint64_t child_dropouts = 0;
+    uint64_t child_retries = 0;
+    uint64_t stale_replies = 0;        // prior-epoch child uploads drained
+    uint64_t stale_rounds_rejected = 0;  // parent requests from stale leaders
+    uint64_t parent_reconnects = 0;
+    uint64_t bytes_sent = 0;      // child-facing + parent-facing
+    uint64_t bytes_received = 0;
+  };
+
+  // Binds the child-facing listener and starts the accept thread; the
+  // parent is not dialed until Run().
+  static Result<std::unique_ptr<AggregatorNode>> Create(
+      TreeTopology topology, const AggregatorNodeOptions& options);
+
+  ~AggregatorNode();
+  AggregatorNode(const AggregatorNode&) = delete;
+  AggregatorNode& operator=(const AggregatorNode&) = delete;
+
+  uint16_t port() const { return listener_ != nullptr ? listener_->port() : 0; }
+  size_t num_children() const { return num_children_; }
+  size_t num_children_connected() const;
+
+  // Blocks until every child slot is connected or the deadline expires
+  // (kDeadlineExceeded names the missing count).
+  Status WaitForChildren(int timeout_ms);
+
+  // Waits for children (child_wait_timeout_ms), dials the parent, and
+  // serves rounds until the parent says Shutdown (OK; the shutdown is
+  // cascaded to the children), the parent stays unreachable through a full
+  // connect episode, or a protocol error / kill drill (typed non-OK).
+  Status Run();
+
+  // Broadcasts Shutdown to the children and closes everything. Idempotent;
+  // also invoked by the destructor.
+  void Shutdown(const std::string& reason);
+
+  // Dies silently — no farewell to children or parent (kill drills).
+  void Kill();
+
+  Stats stats() const;
+
+ private:
+  AggregatorNode(TreeTopology topology, const AggregatorNodeOptions& options);
+
+  void AcceptLoop();
+  void HandleChild(std::unique_ptr<Conn> conn);
+  Result<MsgChannel> ConnectParent();
+  Status Serve(MsgChannel& parent);
+  // One round: forward to children, collect, fold, reply upward.
+  Status ServeRound(MsgChannel& parent, const RoundRequestMsg& request);
+  void CloseChildren(bool send_farewell, const std::string& reason);
+
+  const TreeTopology topology_;
+  const AggregatorNodeOptions options_;
+  TreeTopology::Range covered_;      // global participant range
+  TreeTopology::Range child_ids_;    // child index range (participant ids at
+                                     // a leaf, child aggregator indices else)
+  size_t num_children_ = 0;
+  bool leaf_ = false;
+
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_epoch_hint_{0};
+  std::atomic<uint64_t> max_seen_generation_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_cv_;
+  // slots_[s] holds the channel of child `child_ids_.begin + s`.
+  std::vector<std::unique_ptr<MsgChannel>> slots_;
+  Stats stats_;
+  bool shut_down_ = false;
+};
+
+}  // namespace tree
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_TREE_AGGREGATOR_NODE_H_

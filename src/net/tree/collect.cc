@@ -1,0 +1,261 @@
+#include "net/tree/collect.h"
+
+#include <chrono>
+#include <utility>
+
+#include "net/reactor.h"
+#include "net/wire.h"
+#include "telemetry/telemetry.h"
+
+namespace digfl {
+namespace net {
+namespace tree {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+// Closes and clears a child's channel, draining its byte accounting.
+void DropChild(std::vector<std::unique_ptr<MsgChannel>>* channels, size_t i,
+               CollectStats* stats) {
+  MsgChannel* channel = (*channels)[i].get();
+  if (channel != nullptr) {
+    channel->Close();
+    stats->bytes_sent += channel->TakeBytesSent();
+    stats->bytes_received += channel->TakeBytesReceived();
+    (*channels)[i].reset();
+  }
+  ++stats->dropouts;
+  DIGFL_COUNTER_ADD("tree.child_dropouts_total", 1);
+}
+
+// Reads frames off `channel` until a RoundReply for `epoch` arrives (stale
+// replies from prior rounds are discarded), the deadline expires, or the
+// stream errors.
+Result<RoundReplyMsg> AwaitReply(MsgChannel& channel,
+                                 const CollectOptions& options,
+                                 int timeout_ms, CollectStats* stats) {
+  // The await budget lives on the channel's clock (steady for TCP, virtual
+  // for SimNet), so a loaded host cannot burn a simulated child's budget in
+  // real time while the virtual clock stands still. The stale-reply drain
+  // loop still consumes budget: each discarded frame costs whatever clock
+  // time its recv took.
+  const uint64_t deadline =
+      channel.NowMs() + static_cast<uint64_t>(timeout_ms > 0 ? timeout_ms : 0);
+  for (;;) {
+    const uint64_t now = channel.NowMs();
+    const int remaining =
+        deadline > now ? static_cast<int>(deadline - now) : 0;
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded("round reply timed out");
+    }
+    DIGFL_ASSIGN_OR_RETURN(Frame frame, channel.Recv(remaining));
+    if (static_cast<MsgType>(frame.type) != MsgType::kRoundReply) {
+      return Status::InvalidArgument("unexpected frame type " +
+                                     std::to_string(frame.type) +
+                                     " while awaiting a round reply");
+    }
+    DIGFL_ASSIGN_OR_RETURN(RoundReplyMsg reply,
+                           DecodeRoundReply(frame.payload));
+    if (reply.epoch < options.epoch) {
+      // A straggler's upload for a round we already closed; drain and keep
+      // waiting for the current epoch's reply.
+      ++stats->stale_replies;
+      continue;
+    }
+    if (reply.epoch != options.epoch) {
+      return Status::InvalidArgument("round reply from future epoch " +
+                                     std::to_string(reply.epoch));
+    }
+    if (reply.delta.size() != options.num_params) {
+      return Status::InvalidArgument(
+          "round reply delta size does not match the model");
+    }
+    return reply;
+  }
+}
+
+// Blocking one-child-at-a-time path (SimNet, or a transport without native
+// fds). Each child gets its own full round budget so one dead child cannot
+// starve the ones after it.
+void CollectSerial(std::vector<std::unique_ptr<MsgChannel>>* channels,
+                   const std::string& request_payload,
+                   const CollectOptions& options,
+                   std::vector<std::optional<RoundReplyMsg>>* replies,
+                   CollectStats* stats) {
+  for (size_t i = 0; i < channels->size(); ++i) {
+    MsgChannel* channel = (*channels)[i].get();
+    if (channel == nullptr || !channel->valid()) continue;
+    if (!channel
+             ->Send(MsgType::kRoundRequest, request_payload,
+                    options.round_timeout_ms)
+             .ok()) {
+      DropChild(channels, i, stats);
+    }
+  }
+  for (size_t i = 0; i < channels->size(); ++i) {
+    MsgChannel* channel = (*channels)[i].get();
+    if (channel == nullptr || !channel->valid()) continue;
+    size_t attempts = 0;
+    for (;;) {
+      Result<RoundReplyMsg> reply =
+          AwaitReply(*channel, options, options.round_timeout_ms, stats);
+      if (reply.ok()) {
+        (*replies)[i] = std::move(*reply);
+        break;
+      }
+      if (reply.status().code() == StatusCode::kDeadlineExceeded &&
+          attempts < options.max_retries) {
+        ++attempts;
+        ++stats->retries;
+        if (channel
+                ->Send(MsgType::kRoundRequest, request_payload,
+                       options.round_timeout_ms)
+                .ok()) {
+          continue;
+        }
+      }
+      DropChild(channels, i, stats);
+      break;
+    }
+  }
+}
+
+// Event-driven path over native fds: WriteQueues push the broadcast,
+// Reactor readiness drives the reads.
+void CollectReactor(Reactor& reactor,
+                    std::vector<std::unique_ptr<MsgChannel>>* channels,
+                    const std::string& request_payload,
+                    const CollectOptions& options,
+                    std::vector<std::optional<RoundReplyMsg>>* replies,
+                    CollectStats* stats) {
+  const size_t n = channels->size();
+  std::string framed;
+  AppendFrame(&framed, static_cast<uint32_t>(MsgType::kRoundRequest),
+              request_payload);
+
+  std::vector<WriteQueue> queues(n);
+  std::vector<int> fds(n, -1);
+  size_t awaiting = 0;
+  for (size_t i = 0; i < n; ++i) {
+    MsgChannel* channel = (*channels)[i].get();
+    if (channel == nullptr || !channel->valid()) continue;
+    const int fd = channel->NativeHandle();
+    queues[i].Push(framed);
+    if (!reactor.Add(fd, i, ReactorInterest::kReadWrite).ok()) {
+      DropChild(channels, i, stats);
+      continue;
+    }
+    // The queue bypasses MsgChannel's send accounting; count here.
+    stats->bytes_sent += framed.size();
+    fds[i] = fd;
+    ++awaiting;
+  }
+
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options.round_timeout_ms);
+  std::vector<ReactorEvent> events;
+  while (awaiting > 0) {
+    const int remaining = RemainingMs(deadline);
+    if (remaining <= 0) break;
+    events.clear();
+    Result<size_t> got = reactor.Wait(remaining, &events);
+    if (!got.ok() || *got == 0) break;  // reactor error or deadline
+    for (const ReactorEvent& event : events) {
+      const size_t i = static_cast<size_t>(event.tag);
+      MsgChannel* channel = (*channels)[i].get();
+      if (channel == nullptr || (*replies)[i].has_value()) continue;
+      if (event.error) {
+        (void)reactor.Remove(fds[i]);
+        DropChild(channels, i, stats);
+        --awaiting;
+        continue;
+      }
+      if (event.writable && !queues[i].empty()) {
+        Result<bool> drained = queues[i].Flush(fds[i]);
+        if (!drained.ok()) {
+          (void)reactor.Remove(fds[i]);
+          DropChild(channels, i, stats);
+          --awaiting;
+          continue;
+        }
+        if (*drained) {
+          (void)reactor.Modify(fds[i], i, ReactorInterest::kRead);
+        }
+      }
+      if (event.readable) {
+        Result<RoundReplyMsg> reply =
+            AwaitReply(*channel, options, RemainingMs(deadline) + 1, stats);
+        if (reply.ok()) {
+          (*replies)[i] = std::move(*reply);
+          (void)reactor.Remove(fds[i]);
+          --awaiting;
+        } else if (reply.status().code() != StatusCode::kDeadlineExceeded) {
+          (void)reactor.Remove(fds[i]);
+          DropChild(channels, i, stats);
+          --awaiting;
+        }
+        // A deadline inside AwaitReply (partial frame, budget gone) falls
+        // through; the outer loop expires naturally.
+      }
+    }
+  }
+  // Whatever never replied inside the budget is a dropout for this epoch.
+  for (size_t i = 0; i < n; ++i) {
+    if ((*channels)[i] != nullptr && !(*replies)[i].has_value()) {
+      (void)reactor.Remove(fds[i]);
+      DropChild(channels, i, stats);
+    } else if ((*channels)[i] != nullptr) {
+      (void)reactor.Remove(fds[i]);
+      stats->bytes_sent += (*channels)[i]->TakeBytesSent();
+      stats->bytes_received += (*channels)[i]->TakeBytesReceived();
+    }
+  }
+}
+
+}  // namespace
+
+void CollectRound(std::vector<std::unique_ptr<MsgChannel>>* channels,
+                  const std::string& request_payload,
+                  const CollectOptions& options,
+                  std::vector<std::optional<RoundReplyMsg>>* replies,
+                  CollectStats* stats) {
+  replies->assign(channels->size(), std::nullopt);
+
+  bool all_native = true;
+  size_t num_valid = 0;
+  for (const auto& channel : *channels) {
+    if (channel == nullptr || !channel->valid()) continue;
+    ++num_valid;
+    if (channel->NativeHandle() < 0) all_native = false;
+  }
+  if (num_valid == 0) return;
+
+  if (all_native) {
+    Result<Reactor> reactor = Reactor::Create(num_valid);
+    if (reactor.ok()) {
+      CollectReactor(*reactor, channels, request_payload, options, replies,
+                     stats);
+      return;
+    }
+    // A reactor that cannot be built (fd pressure) still leaves the
+    // blocking path available.
+  }
+  CollectSerial(channels, request_payload, options, replies, stats);
+
+  // Serial path: drain the surviving channels' byte accounting too.
+  for (const auto& channel : *channels) {
+    if (channel == nullptr) continue;
+    stats->bytes_sent += channel->TakeBytesSent();
+    stats->bytes_received += channel->TakeBytesReceived();
+  }
+}
+
+}  // namespace tree
+}  // namespace net
+}  // namespace digfl

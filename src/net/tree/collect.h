@@ -1,0 +1,79 @@
+// Round fan-out/fan-in shared by the tree root and the aggregator nodes
+// (DESIGN.md §15): broadcast one encoded RoundRequest to every connected
+// child channel and collect their RoundReplies within the round deadline.
+//
+// Two execution paths behind one contract:
+//
+//   reactor — when every child channel exposes a native fd (real sockets),
+//     the broadcast is pushed through per-connection WriteQueues and the
+//     replies are drained by readiness events from an epoll/poll Reactor
+//     (net/reactor.h). One thread handles thousands of children; a slow
+//     child never blocks a fast one, and because the broadcast itself is
+//     queued per connection, epoch t+1's downstream bytes interleave with
+//     epoch t stragglers' upstream bytes instead of waiting behind them.
+//
+//   serial — when any channel lacks a native fd (SimNet), children are
+//     served one at a time with blocking Send/Recv and a per-child budget.
+//     Deterministic by construction; this is the path the simulator swarm
+//     exercises. Only this path retries on a round-trip timeout (the
+//     reactor path treats deadline expiry as a dropout).
+//
+// Replies tagged with an older epoch are discarded and the channel keeps
+// being read — that is how a straggler's late upload from the previous
+// round drains without poisoning the current one. A child that fails
+// (connection error, malformed frame, exhausted deadline) has its channel
+// closed and reset to nullptr; the caller treats the slot as a dropout and
+// the accept thread may refill it at the next epoch boundary.
+
+#ifndef DIGFL_NET_TREE_COLLECT_H_
+#define DIGFL_NET_TREE_COLLECT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/channel.h"
+
+namespace digfl {
+namespace net {
+namespace tree {
+
+struct CollectOptions {
+  uint64_t epoch = 0;
+  // Overall reactor-path deadline, and the per-child round-trip budget on
+  // the serial path.
+  int round_timeout_ms = 10000;
+  // Serial path only: resends after a kDeadlineExceeded round trip.
+  size_t max_retries = 0;
+  // Expected delta length; replies with a different size are protocol
+  // errors and drop the child.
+  uint64_t num_params = 0;
+};
+
+struct CollectStats {
+  uint64_t dropouts = 0;       // children that failed or timed out
+  uint64_t retries = 0;        // serial-path resends after a timeout
+  uint64_t stale_replies = 0;  // prior-epoch replies discarded
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+// Runs one round over `channels`. On return `replies` has one entry per
+// slot: the decoded reply, or nullopt for a slot that was empty or whose
+// child dropped (its channel is closed and reset). Counters accumulate
+// into `stats`. Never fails as a whole — child failures are dropouts, not
+// errors.
+void CollectRound(std::vector<std::unique_ptr<MsgChannel>>* channels,
+                  const std::string& request_payload,
+                  const CollectOptions& options,
+                  std::vector<std::optional<RoundReplyMsg>>* replies,
+                  CollectStats* stats);
+
+}  // namespace tree
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_TREE_COLLECT_H_

@@ -1,0 +1,194 @@
+#include "net/tree/topology.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "tensor/vec.h"
+
+namespace digfl {
+namespace net {
+namespace tree {
+
+Result<TreeTopology> TreeTopology::Create(size_t num_participants,
+                                          std::vector<size_t> level_widths) {
+  if (num_participants == 0) {
+    return Status::InvalidArgument("tree topology needs participants");
+  }
+  if (level_widths.empty()) {
+    return Status::InvalidArgument(
+        "tree topology needs at least one aggregator level");
+  }
+  for (size_t level = 0; level < level_widths.size(); ++level) {
+    if (level_widths[level] == 0) {
+      return Status::InvalidArgument("tree level width must be >= 1");
+    }
+    if (level > 0 && level_widths[level] % level_widths[level - 1] != 0) {
+      return Status::InvalidArgument(
+          "each tree level width must be a multiple of the level above "
+          "(shards must nest exactly)");
+    }
+  }
+  if (level_widths.back() > num_participants) {
+    return Status::InvalidArgument(
+        "more leaf aggregators than participants");
+  }
+  TreeTopology topology;
+  topology.num_participants = num_participants;
+  topology.level_widths = std::move(level_widths);
+  return topology;
+}
+
+size_t TreeTopology::NumAggregators() const {
+  size_t total = 0;
+  for (size_t width : level_widths) total += width;
+  return total;
+}
+
+TreeTopology::Range TreeTopology::Covered(size_t level, size_t index) const {
+  const uint64_t n = num_participants;
+  const uint64_t width = level_widths[level];
+  Range range;
+  range.begin = static_cast<size_t>(index * n / width);
+  range.end = static_cast<size_t>((index + 1) * n / width);
+  return range;
+}
+
+TreeTopology::Range TreeTopology::ChildAggregators(size_t level,
+                                                   size_t index) const {
+  const size_t fan = level_widths[level + 1] / level_widths[level];
+  return Range{index * fan, (index + 1) * fan};
+}
+
+Result<std::vector<size_t>> ParseLevelWidths(const std::string& spec) {
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty tree width list");
+  }
+  std::vector<size_t> widths;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const std::string token =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (token.empty()) {
+      return Status::InvalidArgument("empty entry in tree width list: " +
+                                     spec);
+    }
+    uint64_t value = 0;
+    for (char c : token) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("tree width is not a number: " + token);
+      }
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+      if (value > (1u << 20)) {
+        return Status::InvalidArgument("tree width too large: " + token);
+      }
+    }
+    widths.push_back(static_cast<size_t>(value));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return widths;
+}
+
+namespace {
+
+class TreeAggregator : public Aggregator {
+ public:
+  explicit TreeAggregator(TreeTopology topology)
+      : topology_(std::move(topology)) {}
+
+  const char* name() const override { return "tree"; }
+
+  Result<Vec> Aggregate(const std::vector<Vec>& deltas,
+                        const std::vector<double>& weights,
+                        const std::vector<uint8_t>& present) override {
+    if (deltas.size() != topology_.num_participants ||
+        weights.size() != deltas.size() || present.size() != deltas.size()) {
+      return Status::InvalidArgument(
+          "tree aggregation arity does not match the topology");
+    }
+    const size_t dim = deltas.empty() ? 0 : deltas[0].size();
+    // The common present weight; w·Σδ is only exactly Σw_iδ_i when every
+    // present weight is the same double.
+    double common_weight = 0.0;
+    bool have_weight = false;
+    size_t num_present = 0;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      if (present[i] == 0) continue;
+      ++num_present;
+      if (!have_weight) {
+        common_weight = weights[i];
+        have_weight = true;
+      } else if (weights[i] != common_weight) {
+        return Status::InvalidArgument(
+            "tree aggregation requires uniform present weights");
+      }
+    }
+    if (num_present == 0) return vec::Zeros(dim);
+
+    // The root's own fold: one zero-initialized accumulator, each level-0
+    // aggregator's partial added in ascending child index, empty subtrees
+    // skipped — exactly the arithmetic the distributed root performs over
+    // the uploads it receives.
+    Vec sum = vec::Zeros(dim);
+    for (size_t index = 0; index < topology_.WidthAt(0); ++index) {
+      if (!AnyPresent(present, topology_.Covered(0, index))) continue;
+      const Vec partial = AggregatorSum(deltas, present, dim, 0, index);
+      vec::Axpy(1.0, partial, sum);
+    }
+    return vec::Scaled(common_weight, sum);
+  }
+
+ private:
+  // The partial sum aggregator (level, index) uploads: its own
+  // zero-initialized accumulator, children folded in ascending order (id
+  // order at a leaf, child index order at an inner node), subtrees with no
+  // present participants skipped. Every aggregator starting from its own
+  // zeros — rather than one flat accumulator per level — is what the
+  // distributed runtime does, and under floating point the two differ, so
+  // the reference must nest the same way.
+  Vec AggregatorSum(const std::vector<Vec>& deltas,
+                    const std::vector<uint8_t>& present, size_t dim,
+                    size_t level, size_t index) const {
+    Vec sum = vec::Zeros(dim);
+    if (topology_.IsLeafLevel(level)) {
+      const TreeTopology::Range covered = topology_.Covered(level, index);
+      for (size_t i = covered.begin; i < covered.end; ++i) {
+        if (present[i] != 0) vec::Axpy(1.0, deltas[i], sum);
+      }
+    } else {
+      const TreeTopology::Range children =
+          topology_.ChildAggregators(level, index);
+      for (size_t child = children.begin; child < children.end; ++child) {
+        if (!AnyPresent(present, topology_.Covered(level + 1, child))) {
+          continue;
+        }
+        const Vec partial =
+            AggregatorSum(deltas, present, dim, level + 1, child);
+        vec::Axpy(1.0, partial, sum);
+      }
+    }
+    return sum;
+  }
+
+  static bool AnyPresent(const std::vector<uint8_t>& present,
+                         TreeTopology::Range range) {
+    for (size_t i = range.begin; i < range.end; ++i) {
+      if (present[i] != 0) return true;
+    }
+    return false;
+  }
+
+  TreeTopology topology_;
+};
+
+}  // namespace
+
+std::unique_ptr<Aggregator> MakeTreeAggregator(TreeTopology topology) {
+  return std::make_unique<TreeAggregator>(std::move(topology));
+}
+
+}  // namespace tree
+}  // namespace net
+}  // namespace digfl

@@ -1,0 +1,90 @@
+// Hierarchical aggregation topology (DESIGN.md §15).
+//
+// A tree run partitions the flat participant index space [0, n) into
+// contiguous shards, one per leaf aggregator, with inner aggregator levels
+// regrouping whole shards. Lemma 1/3 additivity makes the per-epoch DIG-FL
+// sums Σ δ_{t,i} (and the per-participant dot products ⟨v_t, δ_{t,i}⟩)
+// exactly decomposable along any such partition — no approximation — so the
+// only thing standing between a tree run and bitwise φ̂-equality with a flat
+// run is floating-point summation *order*. TreeTopology pins that order:
+//
+//   leaf j   sums its present children's δ in ascending participant id;
+//   inner k  sums its children's partial sums in ascending child index,
+//            skipping subtrees with zero present participants (they send
+//            nothing, and x + 0.0 is not an identity for x = -0.0);
+//   root     scales the final sum once by the common present weight.
+//
+// MakeTreeAggregator packages exactly that order as an hfl::Aggregator, so
+// the in-process RunFedSgd and the flat Coordinator can run *tree
+// arithmetic* without any sockets — that is the reference every distributed
+// tree run is bitwise-tested against.
+//
+// Widths are listed root-down and each level's width must be a multiple of
+// the one above; with the shard formula [j·n/K, (j+1)·n/K) this guarantees
+// every child range nests exactly inside its parent's.
+
+#ifndef DIGFL_NET_TREE_TOPOLOGY_H_
+#define DIGFL_NET_TREE_TOPOLOGY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hfl/aggregator.h"
+
+namespace digfl {
+namespace net {
+namespace tree {
+
+struct TreeTopology {
+  size_t num_participants = 0;
+  // Aggregators per level, root-down: {4} is a 2-level tree (root + 4 leaf
+  // aggregators), {5, 25} is 3-level (root + 5 inner + 25 leaves).
+  std::vector<size_t> level_widths;
+
+  // Validates the shape: at least one level, every width >= 1, each width a
+  // multiple of the level above, and the leaf width <= num_participants so
+  // every leaf owns at least one participant.
+  static Result<TreeTopology> Create(size_t num_participants,
+                                     std::vector<size_t> level_widths);
+
+  size_t num_levels() const { return level_widths.size(); }
+  bool IsLeafLevel(size_t level) const {
+    return level + 1 == level_widths.size();
+  }
+  size_t WidthAt(size_t level) const { return level_widths[level]; }
+  // Total aggregator count across all levels.
+  size_t NumAggregators() const;
+
+  struct Range {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t size() const { return end - begin; }
+  };
+
+  // Global participant range [begin, end) covered by aggregator `index` at
+  // `level` (0 = directly under the root).
+  Range Covered(size_t level, size_t index) const;
+
+  // Child aggregator indices at level+1 feeding aggregator (level, index).
+  // Only valid for non-leaf levels.
+  Range ChildAggregators(size_t level, size_t index) const;
+};
+
+// Parses the --tree flag grammar: comma-separated widths root-down, e.g.
+// "4" or "5,25". Typed kInvalidArgument on junk, zeros, or empty input.
+Result<std::vector<size_t>> ParseLevelWidths(const std::string& spec);
+
+// The tree-order aggregation rule (see the file comment). Requires the
+// present entries of `weights` to share one bitwise-identical value (true
+// for UniformAggregation's 1/m); anything else is kInvalidArgument because
+// w·Σδ only equals Σw_iδ_i exactly when the weights are uniform.
+std::unique_ptr<Aggregator> MakeTreeAggregator(TreeTopology topology);
+
+}  // namespace tree
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_TREE_TOPOLOGY_H_

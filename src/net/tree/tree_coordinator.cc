@@ -1,0 +1,343 @@
+#include "net/tree/tree_coordinator.h"
+
+#include <chrono>
+#include <utility>
+
+#include "net/tree/collect.h"
+#include "telemetry/telemetry.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+namespace net {
+namespace tree {
+
+namespace {
+constexpr int kShutdownSendTimeoutMs = 1000;
+}  // namespace
+
+TreeCoordinator::TreeCoordinator(TreeTopology topology,
+                                 const TreeCoordinatorOptions& options)
+    : topology_(std::move(topology)), options_(options) {}
+
+Result<std::unique_ptr<TreeCoordinator>> TreeCoordinator::Create(
+    TreeTopology topology, const TreeCoordinatorOptions& options) {
+  if (options.num_params == 0) {
+    return Status::InvalidArgument("num_params must be > 0");
+  }
+  if (options.round_timeout_ms <= 0 || options.handshake_timeout_ms <= 0) {
+    return Status::InvalidArgument("timeouts must be > 0");
+  }
+  std::unique_ptr<TreeCoordinator> coordinator(
+      new TreeCoordinator(std::move(topology), options));
+  Transport* transport =
+      options.transport != nullptr ? options.transport : TcpTransport();
+  if (options.transport == nullptr) {
+    DIGFL_RETURN_IF_ERROR(
+        EnsureFdCapacity(coordinator->topology_.WidthAt(0) + 64));
+  }
+  DIGFL_ASSIGN_OR_RETURN(coordinator->listener_,
+                         transport->Listen(options.port));
+  coordinator->slots_.resize(coordinator->topology_.WidthAt(0));
+  coordinator->accept_thread_ =
+      std::thread(&TreeCoordinator::AcceptLoop, coordinator.get());
+  return coordinator;
+}
+
+TreeCoordinator::~TreeCoordinator() { Shutdown("tree coordinator destroyed"); }
+
+void TreeCoordinator::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Result<std::unique_ptr<Conn>> conn =
+        listener_->Accept(options_.accept_poll_ms);
+    if (!conn.ok()) continue;  // timeout = stop-flag heartbeat
+    HandleConnection(std::move(*conn));
+  }
+}
+
+void TreeCoordinator::HandleConnection(std::unique_ptr<Conn> conn) {
+  auto channel =
+      std::make_unique<MsgChannel>(std::move(conn), options_.limits);
+  Result<HelloMsg> hello =
+      ServerHandshakeBegin(*channel, options_.handshake_timeout_ms);
+  if (!hello.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.handshakes_rejected;
+    return;
+  }
+
+  HelloAckMsg ack;
+  ack.next_epoch = next_epoch_hint_.load(std::memory_order_relaxed);
+  if (options_.leader_generation > 0) {
+    ack.generation = options_.leader_generation;
+  }
+  const uint64_t id = hello->participant_id;
+  if (hello->config_digest != options_.config_digest) {
+    ack.message = "federation config digest mismatch";
+  } else if (!hello->tree.has_value()) {
+    ack.message = "tree root only accepts aggregator hellos";
+  } else if (id >= topology_.WidthAt(0)) {
+    ack.message = "aggregator index out of range";
+  } else {
+    const TreeTopology::Range expected =
+        topology_.Covered(0, static_cast<size_t>(id));
+    const TreeHello& tree = *hello->tree;
+    if (tree.level != 0 || tree.child_begin != expected.begin ||
+        tree.child_end != expected.end) {
+      ack.message = "aggregator range does not match the topology";
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (slots_[id] != nullptr) {
+        ack.message = "aggregator already connected";
+      } else {
+        ack.accepted = 1;
+      }
+    }
+  }
+
+  const Status finish =
+      ServerHandshakeFinish(*channel, ack, options_.handshake_timeout_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ack.accepted == 0 || !finish.ok()) {
+    ++stats_.handshakes_rejected;
+    return;
+  }
+  if (slots_[id] != nullptr) {
+    ++stats_.handshakes_rejected;
+    return;
+  }
+  slots_[id] = std::move(channel);
+  ++stats_.handshakes_accepted;
+  slot_cv_.notify_all();
+}
+
+size_t TreeCoordinator::num_connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (const auto& slot : slots_) count += (slot != nullptr);
+  return count;
+}
+
+Status TreeCoordinator::WaitForAggregators(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool all = slot_cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [this] {
+        for (const auto& slot : slots_) {
+          if (slot == nullptr) return false;
+        }
+        return true;
+      });
+  if (all) return Status::OK();
+  size_t missing = 0;
+  for (const auto& slot : slots_) missing += (slot == nullptr);
+  return Status::DeadlineExceeded(std::to_string(missing) +
+                                  " aggregators not connected");
+}
+
+Result<TreeTrainingResult> TreeCoordinator::RunTreeTraining(
+    HflServer& server, const Vec& init_params, const FedSgdConfig& config) {
+  DIGFL_TRACE_SPAN("tree.train");
+  if (config.epochs == 0) {
+    return Status::InvalidArgument("epochs must be > 0");
+  }
+  if (!(config.learning_rate > 0.0)) {
+    return Status::InvalidArgument("learning_rate must be > 0");
+  }
+  if (config.batch_fraction != 1.0) {
+    return Status::InvalidArgument(
+        "tree runs require batch_fraction == 1 (participant minibatch "
+        "streams live in other processes)");
+  }
+  if (config.fault_plan != nullptr || config.adversary != nullptr) {
+    return Status::InvalidArgument(
+        "tree runs take faults from the real network, not an injected plan");
+  }
+  if (config.aggregator != nullptr) {
+    return Status::InvalidArgument(
+        "the tree is the aggregator; a custom one cannot be plugged in");
+  }
+  if (config.escalation.enabled || config.checkpoint_hook != nullptr ||
+      config.resume != nullptr) {
+    return Status::InvalidArgument(
+        "escalation/checkpointing are flat-coordinator features");
+  }
+  if (init_params.size() != options_.num_params) {
+    return Status::InvalidArgument(
+        "init_params size does not match num_params");
+  }
+
+  const size_t n = topology_.num_participants;
+  const size_t num_shards = topology_.WidthAt(0);
+  const uint64_t p = options_.num_params;
+
+  TreeTrainingResult result;
+  result.final_params = init_params;
+  result.phi_total.assign(n, 0.0);
+
+  double learning_rate = config.learning_rate;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    DIGFL_TRACE_SPAN("tree.root_round");
+    next_epoch_hint_.store(epoch, std::memory_order_relaxed);
+
+    // v_t = ∇L_V(θ_{t-1}) — computed here once and shipped down so the
+    // leaves can fold the φ̂ dot products (the same doubles
+    // HflPhiAccumulator::Consume would compute from the log).
+    DIGFL_ASSIGN_OR_RETURN(Vec validation_gradient,
+                           server.ValidationGradient(result.final_params));
+
+    RoundRequestMsg request;
+    request.epoch = epoch;
+    request.learning_rate = learning_rate;
+    request.local_steps = config.local_steps;
+    request.params = result.final_params;
+    if (options_.leader_generation > 0) {
+      request.generation = options_.leader_generation;
+    }
+    request.tree = TreeRoundRequest{validation_gradient};
+    const std::string payload = EncodeRoundRequest(request);
+
+    std::vector<std::unique_ptr<MsgChannel>> channels;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      channels.swap(slots_);
+      slots_.resize(channels.size());
+    }
+
+    CollectOptions collect_options;
+    collect_options.epoch = epoch;
+    collect_options.round_timeout_ms = options_.round_timeout_ms;
+    collect_options.max_retries = options_.max_round_retries;
+    collect_options.num_params = p;
+    std::vector<std::optional<RoundReplyMsg>> replies;
+    CollectStats collect_stats;
+    CollectRound(&channels, payload, collect_options, &replies,
+                 &collect_stats);
+
+    // Validate the replies and build the global participation mask; a dead
+    // or malformed child degrades to its whole shard absent.
+    std::vector<uint8_t> present(n, 0);
+    std::vector<double> dots(n, 0.0);
+    for (size_t j = 0; j < num_shards; ++j) {
+      if (!replies[j].has_value()) continue;
+      const RoundReplyMsg& reply = *replies[j];
+      const TreeTopology::Range expected = topology_.Covered(0, j);
+      const bool valid = reply.participant_id == j &&
+                         reply.tree.has_value() &&
+                         reply.tree->child_begin == expected.begin &&
+                         reply.tree->child_end == expected.end &&
+                         reply.tree->present.size() == expected.size() &&
+                         reply.tree->dots.size() == expected.size();
+      if (!valid) {
+        if (channels[j] != nullptr) {
+          channels[j]->Close();
+          channels[j].reset();
+        }
+        replies[j].reset();
+        ++collect_stats.dropouts;
+        continue;
+      }
+      for (size_t k = 0; k < expected.size(); ++k) {
+        present[expected.begin + k] = reply.tree->present[k];
+        dots[expected.begin + k] = reply.tree->dots[k];
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t j = 0; j < channels.size(); ++j) {
+        if (channels[j] == nullptr) continue;
+        if (slots_[j] == nullptr) {
+          slots_[j] = std::move(channels[j]);
+        } else {
+          channels[j]->Close();
+        }
+      }
+      stats_.shard_dropouts += collect_stats.dropouts;
+      stats_.child_retries += collect_stats.retries;
+      stats_.stale_replies += collect_stats.stale_replies;
+      stats_.bytes_sent += collect_stats.bytes_sent;
+      stats_.bytes_received += collect_stats.bytes_received;
+    }
+
+    size_t num_present = 0;
+    for (uint8_t flag : present) num_present += (flag != 0);
+
+    // The root's fold: its own zero accumulator, shard partials added in
+    // ascending child order, empty shards skipped — then one scale by the
+    // uniform weight. Identical doubles to MakeTreeAggregator under
+    // UniformAggregation.
+    Vec global_gradient = vec::Zeros(p);
+    std::vector<double> phi_row(n, 0.0);
+    if (num_present > 0) {
+      for (size_t j = 0; j < num_shards; ++j) {
+        if (!replies[j].has_value()) continue;
+        size_t shard_present = 0;
+        for (uint8_t flag : replies[j]->tree->present) {
+          shard_present += (flag != 0);
+        }
+        if (shard_present == 0) continue;
+        vec::Axpy(1.0, replies[j]->delta, global_gradient);
+      }
+      const double weight = 1.0 / static_cast<double>(num_present);
+      global_gradient = vec::Scaled(weight, global_gradient);
+      // The φ̂ row, exactly as HflPhiAccumulator::Consume computes it:
+      // dots[i]/m for present i, 0.0 otherwise, totals += row.
+      for (size_t i = 0; i < n; ++i) {
+        phi_row[i] = present[i] != 0
+                         ? dots[i] / static_cast<double>(num_present)
+                         : 0.0;
+        result.phi_total[i] += phi_row[i];
+      }
+    }
+    // An epoch with nobody present: zero gradient, all-zero φ̂ row, totals
+    // untouched — Consume's m == 0 early-out.
+    result.phi_per_epoch.push_back(std::move(phi_row));
+    result.present.push_back(std::move(present));
+
+    vec::Axpy(-1.0, global_gradient, result.final_params);
+    DIGFL_ASSIGN_OR_RETURN(const double loss,
+                           server.ValidationLoss(result.final_params));
+    result.validation_loss.push_back(loss);
+    DIGFL_ASSIGN_OR_RETURN(const double accuracy,
+                           server.ValidationAccuracy(result.final_params));
+    result.validation_accuracy.push_back(accuracy);
+    learning_rate *= config.lr_decay;
+    next_epoch_hint_.store(epoch + 1, std::memory_order_relaxed);
+  }
+
+  Shutdown("training complete");
+  return result;
+}
+
+void TreeCoordinator::Shutdown(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  // Close before joining: the accept thread may be blocked in Accept with
+  // no dial coming, and the close is what wakes it.
+  if (listener_ != nullptr) listener_->Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  ShutdownMsg message;
+  message.reason = reason;
+  const std::string payload = EncodeShutdown(message);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slot : slots_) {
+    if (slot == nullptr) continue;
+    // Best-effort farewell; each aggregator cascades it to its children.
+    (void)slot->Send(MsgType::kShutdown, payload, kShutdownSendTimeoutMs);
+    slot->Close();
+    slot.reset();
+  }
+}
+
+TreeCoordinatorStats TreeCoordinator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tree
+}  // namespace net
+}  // namespace digfl

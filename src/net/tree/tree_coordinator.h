@@ -1,0 +1,146 @@
+// TreeCoordinator: the root of the hierarchical aggregation tree
+// (DESIGN.md §15). Listens for the level-0 aggregators, then drives the
+// same epoch arithmetic as the flat Coordinator / in-process RunFedSgd —
+// broadcast θ_{t-1} (plus the validation gradient v_t in the TREE1 block),
+// collect the per-shard partial sums, fold them in ascending child order,
+// θ_t = θ_{t-1} − (1/m_t)·Σ δ — and computes the DIG-FL φ̂ rows on the fly
+// from the dot products the leaves fold (Lemma 1/3 additivity): exactly
+// HflPhiAccumulator::Consume's doubles, so a tree run's φ̂ is bitwise
+// identical to the flat run's on the same realized participation masks.
+//
+// What the root does NOT do, by design: no quarantine escalation, no
+// checkpoint/resume, no standby replication, no custom aggregation policy
+// — a tree run is the scale path; those features stay on the flat
+// coordinator. Uniform-over-present weighting is structural (the shard
+// partials are unweighted sums, scaled once at the root), which is also
+// the only weighting whose tree evaluation is exact.
+
+#ifndef DIGFL_NET_TREE_TREE_COORDINATOR_H_
+#define DIGFL_NET_TREE_TREE_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "hfl/fed_sgd.h"
+#include "hfl/server.h"
+#include "net/channel.h"
+#include "net/transport.h"
+#include "net/tree/topology.h"
+#include "net/wire.h"
+
+namespace digfl {
+namespace net {
+namespace tree {
+
+struct TreeCoordinatorOptions {
+  // nullptr = TcpTransport(). Not owned; must outlive the coordinator.
+  Transport* transport = nullptr;
+  uint16_t port = 0;  // 0 = ephemeral; read back from port()
+  uint64_t num_params = 0;
+  uint64_t config_digest = 0;
+  int handshake_timeout_ms = 5000;
+  // Budget for one child round trip (per child on the serial path, overall
+  // on the reactor path).
+  int round_timeout_ms = 10000;
+  size_t max_round_retries = 2;
+  int accept_poll_ms = 100;
+  WireLimits limits;
+  // Leader generation stamped on every request (0 = HA off); propagates
+  // down the levels to the participants.
+  uint64_t leader_generation = 0;
+};
+
+struct TreeCoordinatorStats {
+  uint64_t handshakes_accepted = 0;
+  uint64_t handshakes_rejected = 0;
+  uint64_t shard_dropouts = 0;  // child subtrees absent for an epoch
+  uint64_t child_retries = 0;
+  uint64_t stale_replies = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+// Everything a tree run produces. `phi_total` / `phi_per_epoch` follow
+// HflPhiAccumulator's contract exactly: per-epoch rows are 0.0 for absent
+// participants, an epoch with nobody present contributes an all-zero row
+// and leaves the totals untouched.
+struct TreeTrainingResult {
+  Vec final_params;
+  std::vector<double> validation_loss;
+  std::vector<double> validation_accuracy;
+  // Realized participation mask per epoch (one flag per participant); a
+  // dead subtree shows up as its whole shard absent.
+  std::vector<std::vector<uint8_t>> present;
+  std::vector<double> phi_total;
+  std::vector<std::vector<double>> phi_per_epoch;
+};
+
+class TreeCoordinator {
+ public:
+  // Binds the listener and starts the accept thread for the level-0
+  // aggregators.
+  static Result<std::unique_ptr<TreeCoordinator>> Create(
+      TreeTopology topology, const TreeCoordinatorOptions& options);
+
+  ~TreeCoordinator();
+  TreeCoordinator(const TreeCoordinator&) = delete;
+  TreeCoordinator& operator=(const TreeCoordinator&) = delete;
+
+  uint16_t port() const { return listener_ != nullptr ? listener_->port() : 0; }
+  const TreeTopology& topology() const { return topology_; }
+
+  size_t num_connected() const;
+  // Blocks until every level-0 aggregator is connected (kDeadlineExceeded
+  // names the missing count). Aggregators dial upward only after their own
+  // children connected, so on the happy path this implies the whole tree.
+  Status WaitForAggregators(int timeout_ms);
+
+  // Runs federated training over the tree. Accepts the FedSgdConfig subset
+  // a tree run supports and rejects the rest with kInvalidArgument:
+  // batch_fraction must be 1, and fault_plan / adversary / aggregator /
+  // escalation / checkpoint_hook / resume must be unset.
+  Result<TreeTrainingResult> RunTreeTraining(HflServer& server,
+                                             const Vec& init_params,
+                                             const FedSgdConfig& config);
+
+  // Broadcasts Shutdown to the level-0 aggregators (each cascades it down)
+  // and closes everything. Idempotent; also invoked by the destructor.
+  void Shutdown(const std::string& reason);
+
+  TreeCoordinatorStats stats() const;
+
+ private:
+  TreeCoordinator(TreeTopology topology,
+                  const TreeCoordinatorOptions& options);
+
+  void AcceptLoop();
+  void HandleConnection(std::unique_ptr<Conn> conn);
+
+  const TreeTopology topology_;
+  const TreeCoordinatorOptions options_;
+
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_epoch_hint_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_cv_;
+  // slots_[j] holds level-0 aggregator j's channel.
+  std::vector<std::unique_ptr<MsgChannel>> slots_;
+  TreeCoordinatorStats stats_;
+  bool shut_down_ = false;
+};
+
+}  // namespace tree
+}  // namespace net
+}  // namespace digfl
+
+#endif  // DIGFL_NET_TREE_TREE_COORDINATOR_H_

@@ -84,6 +84,8 @@ struct SimNet::State {
 
   uint64_t virtual_now = 0;
   bool exploded = false;
+  // While positive, AdvanceClock is disabled (see SimNet::HoldClock).
+  int clock_holds = 0;
   uint64_t event_seq = 0;
   // Bumped on every state transition; blocked threads use it to detect
   // quiescence (no transition for a full grace window).
@@ -220,6 +222,10 @@ struct SimNet::State {
           lock, std::chrono::microseconds(grace_us),
           [&] { return activity != seen || exploded || pred(); });
       if (woken) continue;
+      // A harness holding the clock means real-time silence is expected
+      // (threads are still being spawned or scheduled); keep blocking and
+      // rely on activity bumps for progress.
+      if (clock_holds > 0) continue;
       // A full grace window with no simulator transition while we (and
       // possibly others) block on virtual deadlines: the simulation is
       // quiescent, so virtual time may move.
@@ -376,6 +382,15 @@ class SimConn : public net::Conn {
       return Status::DeadlineExceeded("simulated recv timed out");
     }
     return Status::OK();
+  }
+
+  // Budget loops above the conn (Conn::RecvExact, MsgChannel::Recv, the
+  // handshake, round collection) split their deadlines on this clock, so a
+  // loaded host cannot drain a budget in real time while the virtual clock
+  // stands still.
+  uint64_t NowMs() const override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->virtual_now;
   }
 
  private:
@@ -538,6 +553,19 @@ SimNetStats SimNet::stats() const {
   SimNetStats stats = state_->stats;
   stats.virtual_now_ms = state_->virtual_now;
   return stats;
+}
+
+void SimNet::HoldClock() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  ++state_->clock_holds;
+}
+
+void SimNet::ReleaseClock() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->clock_holds > 0) --state_->clock_holds;
+  // Wake blocked waiters so their grace windows restart under the new
+  // regime (otherwise the first advance waits out a stale window).
+  state_->Bump();
 }
 
 }  // namespace sim

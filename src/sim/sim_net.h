@@ -105,6 +105,18 @@ class SimNet : public net::Transport {
   bool exploded() const;
   SimNetStats stats() const;
 
+  // Suspends / resumes virtual-clock advances. While at least one hold is
+  // outstanding, quiescence detection never moves the clock, so virtual
+  // deadlines cannot expire no matter how starved the host machine is.
+  // Harnesses hold the clock across real-time-dependent startup (spawning
+  // thousands of node threads, the handshake storm) where "no simulator
+  // transition for a grace window" does not mean the federation is idle —
+  // it may just mean the scheduler has not run the next thread yet.
+  // Blocked operations keep waking on activity and make event-driven
+  // progress; only timeout expiry is paused. Holds nest.
+  void HoldClock();
+  void ReleaseClock();
+
   // Implementation detail, public only so the Conn/Listener classes in
   // sim_net.cc can share it; not part of the API.
   struct State;

@@ -1,0 +1,466 @@
+#include "sim/tree_sim.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/fault.h"
+#include "core/phi_accumulator.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "hfl/server.h"
+#include "net/messages.h"
+#include "net/participant_node.h"
+#include "net/tree/aggregator_node.h"
+
+namespace digfl {
+namespace sim {
+
+namespace {
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool BitEqual(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (!BitEqual(a[k], b[k])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TreeSimScenario TreeSimScenario::FromSeed(uint64_t seed) {
+  TreeSimScenario scenario;
+  scenario.seed = seed;
+  scenario.rates = RatesFromSeed(seed);
+  Rng rng(seed ^ 0x73ee1u);
+  scenario.num_participants =
+      static_cast<size_t>(rng.UniformInt(int64_t{6}, int64_t{24}));
+  scenario.epochs = 3;
+  const size_t n = scenario.num_participants;
+  if (rng.UniformInt(int64_t{0}, int64_t{1}) == 1) {
+    // 3-level: {top, top·fan}; shrink until the leaf width fits (top=fan=2
+    // always does, since n >= 6).
+    size_t top = static_cast<size_t>(rng.UniformInt(int64_t{2}, int64_t{3}));
+    size_t fan = static_cast<size_t>(rng.UniformInt(int64_t{2}, int64_t{3}));
+    while (top * fan > n) {
+      if (fan > 2) {
+        --fan;
+      } else {
+        --top;
+      }
+    }
+    scenario.level_widths = {top, top * fan};
+  } else {
+    const size_t max_width = n / 2 < 6 ? n / 2 : 6;
+    scenario.level_widths = {static_cast<size_t>(
+        rng.UniformInt(int64_t{2}, static_cast<int64_t>(max_width)))};
+  }
+  // ~25% of seeds run the kill drill: one aggregator dies silently mid-run
+  // and its whole shard must degrade to a dropout at the root.
+  if (rng.UniformInt(int64_t{0}, int64_t{3}) == 0) {
+    scenario.kill_aggregator = true;
+    const size_t num_levels = scenario.level_widths.size();
+    scenario.kill_level = static_cast<size_t>(
+        rng.UniformInt(int64_t{0}, static_cast<int64_t>(num_levels - 1)));
+    scenario.kill_index = static_cast<size_t>(rng.UniformInt(
+        int64_t{0},
+        static_cast<int64_t>(scenario.level_widths[scenario.kill_level] - 1)));
+    scenario.kill_epoch = static_cast<size_t>(rng.UniformInt(
+        int64_t{1}, static_cast<int64_t>(scenario.epochs - 1)));
+  }
+  return scenario;
+}
+
+SimWorld MakeTreeWorld(const TreeSimScenario& scenario) {
+  const size_t n = scenario.num_participants;
+  GaussianClassificationConfig data_config;
+  // Scale the pool with the federation so every leaf shard holds data even
+  // in thousand-node trees.
+  data_config.num_samples = n * 2 < 120 ? 120 : n * 2;
+  data_config.num_features = 6;
+  data_config.num_classes = 3;
+  data_config.seed = scenario.seed;
+  Dataset pool = MakeGaussianClassification(data_config).value();
+  Rng rng(scenario.seed + 1);
+  auto split = SplitHoldout(pool, 0.2, rng).value();
+  SimWorld world;
+  world.validation = split.second;
+  auto shards = PartitionIid(split.first, n, rng).value();
+  for (size_t i = 0; i < n; ++i) {
+    world.participants.emplace_back(i, shards[i]);
+  }
+  world.init = Vec(world.model.NumParams(), 0.0);
+  world.config.epochs = scenario.epochs;
+  world.config.learning_rate = 0.2;
+  world.digest = net::FederationConfigDigest(
+      world.model.NumParams(), world.config.epochs,
+      world.config.learning_rate, world.config.lr_decay,
+      world.config.local_steps, world.config.batch_seed);
+  return world;
+}
+
+TreeSimResult RunTreeSimFederation(const TreeSimScenario& scenario) {
+  TreeSimResult result;
+  const size_t n = scenario.num_participants;
+
+  auto topology_or =
+      net::tree::TreeTopology::Create(n, scenario.level_widths);
+  if (!topology_or.ok()) {
+    result.status = topology_or.status();
+    return result;
+  }
+  const net::tree::TreeTopology topology = *topology_or;
+  const size_t num_levels = topology.num_levels();
+
+  SimWorld world = MakeTreeWorld(scenario);
+
+  SimNetOptions net_options;
+  net_options.seed = scenario.seed;
+  net_options.rates = scenario.rates;
+  net_options.grace_us = scenario.grace_us;
+  SimNet net(net_options);
+  // Freeze the virtual clock while the federation wires up: spawning
+  // n + aggregator threads and draining the handshake storm is pure
+  // real-time work, and on a starved machine the quiescence heuristic
+  // would otherwise read a scheduling gap as "idle" and expire the
+  // in-flight handshakes' virtual deadlines. Released after the
+  // connectivity gate below — and only for schedules that actually need
+  // virtual time (fault rates or a kill drill).
+  net.HoldClock();
+
+  // Round budgets, leaf up (virtual ms, so generosity is free): an
+  // aggregator's per-child budget must cover that child's own worst-case
+  // round — all of *its* children timing out serially, each with one
+  // retry — plus slack for compute.
+  std::vector<int> per_child(num_levels, 0);
+  int budget = 400;  // leaf -> participant round trip
+  for (size_t level = num_levels; level-- > 0;) {
+    per_child[level] = budget;
+    const size_t fan =
+        topology.IsLeafLevel(level)
+            ? (n + topology.WidthAt(level) - 1) / topology.WidthAt(level)
+            : topology.WidthAt(level + 1) / topology.WidthAt(level);
+    budget = static_cast<int>(fan) * 2 * budget + 200;
+  }
+  const int root_budget = budget;
+
+  net::tree::TreeCoordinatorOptions root_options;
+  root_options.transport = &net;
+  root_options.num_params = world.model.NumParams();
+  root_options.config_digest = world.digest;
+  root_options.handshake_timeout_ms = 200;  // virtual ms from here on
+  root_options.round_timeout_ms = root_budget;
+  root_options.max_round_retries = 1;
+  root_options.accept_poll_ms = 10000;
+  auto root = net::tree::TreeCoordinator::Create(topology, root_options);
+  if (!root.ok()) {
+    result.status = root.status();
+    return result;
+  }
+
+  // Aggregators level-major, root-down: a node's parent port is known by
+  // the time its level is built.
+  std::vector<std::unique_ptr<net::tree::AggregatorNode>> aggregators;
+  aggregators.reserve(topology.NumAggregators());
+  std::vector<std::vector<uint16_t>> ports(num_levels);
+  for (size_t level = 0; level < num_levels; ++level) {
+    ports[level].resize(topology.WidthAt(level), 0);
+    for (size_t index = 0; index < topology.WidthAt(level); ++index) {
+      net::tree::AggregatorNodeOptions agg_options;
+      agg_options.transport = &net;
+      // Fate-schedule label for this node's dials.
+      agg_options.parent_host =
+          "agg" + std::to_string(level) + "_" + std::to_string(index);
+      if (level == 0) {
+        agg_options.parent_port = (*root)->port();
+      } else {
+        const size_t fan =
+            topology.WidthAt(level) / topology.WidthAt(level - 1);
+        agg_options.parent_port = ports[level - 1][index / fan];
+      }
+      agg_options.level = level;
+      agg_options.index = index;
+      agg_options.num_params = world.model.NumParams();
+      agg_options.config_digest = world.digest;
+      agg_options.connect_timeout_ms = 50;
+      agg_options.handshake_timeout_ms = 200;
+      agg_options.io_timeout_ms = 500;
+      agg_options.max_idle_polls = 100;
+      agg_options.max_connect_attempts = 10;
+      agg_options.connect_backoff.initial_ms = 0;
+      agg_options.round_timeout_ms = per_child[level];
+      agg_options.max_round_retries = 1;
+      agg_options.accept_poll_ms = 10000;
+      // Real ms (cv wait): returns as soon as the children connect, so
+      // generosity only costs time on schedules that already lost someone.
+      // Scaled hard with n — a thousand-participant handshake storm on a
+      // loaded machine (CI runs tests in parallel) can take seconds of
+      // wall-clock before every thread has even been scheduled once.
+      agg_options.child_wait_timeout_ms = 500 + 20 * static_cast<int>(n);
+      agg_options.jitter_seed = scenario.seed;
+      if (scenario.kill_aggregator && level == scenario.kill_level &&
+          index == scenario.kill_index) {
+        agg_options.halt_epoch = scenario.kill_epoch;
+      }
+      auto node = net::tree::AggregatorNode::Create(topology, agg_options);
+      if (!node.ok()) {
+        result.status = node.status();
+        (*root)->Shutdown("tree sim setup failed");
+        return result;
+      }
+      ports[level][index] = (*node)->port();
+      aggregators.push_back(std::move(*node));
+    }
+  }
+
+  result.aggregator_statuses.assign(aggregators.size(), Status::OK());
+  result.node_statuses.assign(n, Status::OK());
+
+  std::vector<std::thread> agg_threads;
+  agg_threads.reserve(aggregators.size());
+  for (size_t a = 0; a < aggregators.size(); ++a) {
+    agg_threads.emplace_back([a, &aggregators, &result] {
+      result.aggregator_statuses[a] = aggregators[a]->Run();
+    });
+  }
+
+  // Participants, leaf shard by leaf shard.
+  const size_t leaf_level = num_levels - 1;
+  std::vector<std::unique_ptr<net::ParticipantNode>> nodes(n);
+  std::vector<std::thread> node_threads;
+  node_threads.reserve(n);
+  for (size_t leaf = 0; leaf < topology.WidthAt(leaf_level); ++leaf) {
+    const net::tree::TreeTopology::Range covered =
+        topology.Covered(leaf_level, leaf);
+    for (size_t i = covered.begin; i < covered.end; ++i) {
+      net::ParticipantNodeOptions node_options;
+      node_options.transport = &net;
+      node_options.host = "node" + std::to_string(i);  // fate-schedule label
+      node_options.port = ports[leaf_level][leaf];
+      node_options.participant_id = i;
+      node_options.config_digest = world.digest;
+      node_options.connect_timeout_ms = 50;
+      node_options.handshake_timeout_ms = 200;
+      node_options.io_timeout_ms = 500;
+      node_options.max_idle_polls = 100;
+      node_options.max_connect_attempts = 30;
+      node_options.connect_backoff.initial_ms = 0;
+      nodes[i] = std::make_unique<net::ParticipantNode>(
+          world.model, world.participants[i], node_options);
+      node_threads.emplace_back([i, &nodes, &result] {
+        result.node_statuses[i] = nodes[i]->Run();
+      });
+    }
+  }
+
+  // Reliable-network scenarios (no fault rates, no kill drill) never need
+  // virtual time to make progress — every blocking call is resolved by an
+  // actual event — so the clock stays held for the whole run and no
+  // spurious deadline can fire regardless of host load. Faulty schedules
+  // must release BEFORE the wiring waits below: a delay fate on a
+  // handshake frame schedules its delivery at a future virtual instant,
+  // and under a held clock that instant never arrives — the gate would
+  // ride out its whole real-time cap and the run would start with the
+  // subtree missing rather than merely late.
+  const SimFaultRates& rates = scenario.rates;
+  const bool needs_virtual_time =
+      scenario.kill_aggregator || rates.kill_conn_rate > 0 ||
+      rates.truncate_rate > 0 || rates.drop_rate > 0 ||
+      rates.duplicate_rate > 0 || rates.reorder_rate > 0 ||
+      rates.delay_rate > 0 || rates.partition_rate > 0;
+  if (needs_virtual_time) net.ReleaseClock();
+
+  // Real-time bound, scaled like the child waits; a subtree the schedule
+  // already killed just realizes as a whole-shard dropout, so proceed
+  // either way.
+  (void)(*root)->WaitForAggregators(1000 + 40 * static_cast<int>(n));
+
+  // Connectivity gate: with the clock still held, wait (bounded, real
+  // time) until every leaf has its whole shard, so round 0 presence
+  // reflects the fault schedule rather than host scheduling latency. A
+  // shard the schedule genuinely prevents from connecting (partition at
+  // t=0, repeated dial kills) just rides out the cap and realizes as a
+  // dropout.
+  {
+    const int cap_ms = scenario.connect_wait_ms > 0
+                           ? scenario.connect_wait_ms
+                           : 1000 + 20 * static_cast<int>(n);
+    const auto gate_deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(cap_ms);
+    const size_t leaf_base =
+        aggregators.size() - topology.WidthAt(leaf_level);
+    for (;;) {
+      bool all_connected = true;
+      for (size_t leaf = 0; leaf < topology.WidthAt(leaf_level); ++leaf) {
+        const net::tree::TreeTopology::Range covered =
+            topology.Covered(leaf_level, leaf);
+        if (aggregators[leaf_base + leaf]->num_children_connected() <
+            covered.end - covered.begin) {
+          all_connected = false;
+          break;
+        }
+      }
+      if (all_connected || std::chrono::steady_clock::now() >= gate_deadline)
+        break;
+      if (std::getenv("DIGFL_TREE_DEBUG") != nullptr) {
+        static int polls = 0;
+        if (++polls % 5000 == 0) {
+          size_t connected = 0;
+          for (size_t leaf = 0; leaf < topology.WidthAt(leaf_level); ++leaf) {
+            connected +=
+                aggregators[leaf_base + leaf]->num_children_connected();
+          }
+          std::fprintf(stderr, "[tree-sim] gate: %zu/%zu connected\n",
+                       connected, n);
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  HflServer server(world.model, world.validation);
+  auto training =
+      (*root)->RunTreeTraining(server, world.init, world.config);
+  if (training.ok()) {
+    result.training = std::move(*training);
+  } else {
+    result.status = training.status();
+  }
+
+  (*root)->Shutdown("tree sim run finished");
+  for (std::thread& thread : agg_threads) thread.join();
+  // Error-path aggregators (orphaned subtrees) exit without a farewell;
+  // shutting them down here releases any participants still polling them.
+  for (auto& aggregator : aggregators) {
+    aggregator->Shutdown("tree sim run finished");
+  }
+  for (std::thread& thread : node_threads) thread.join();
+
+  result.root_stats = (*root)->stats();
+  result.net_stats = net.stats();
+  return result;
+}
+
+Result<TreeReference> TreeRealizedReference(
+    const SimWorld& world, const net::tree::TreeTopology& topology,
+    const std::vector<std::vector<uint8_t>>& present) {
+  const size_t n = world.participants.size();
+  const size_t epochs = present.size();
+  std::vector<FaultEvent> events(epochs * n);
+  bool any_absent = false;
+  for (size_t t = 0; t < epochs; ++t) {
+    if (present[t].size() != n) {
+      return Status::InvalidArgument("present mask has the wrong width");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (present[t][i] == 0) {
+        events[t * n + i].type = FaultType::kDropout;
+        any_absent = true;
+      }
+    }
+  }
+  FedSgdConfig config = world.config;
+  config.epochs = epochs;
+  Result<FaultPlan> plan =
+      FaultPlan::FromSchedule(epochs, n, std::move(events));
+  if (!plan.ok()) return plan.status();
+  if (any_absent) config.fault_plan = &*plan;
+  std::unique_ptr<Aggregator> aggregator =
+      net::tree::MakeTreeAggregator(topology);
+  config.aggregator = aggregator.get();
+  HflServer server(world.model, world.validation);
+  DIGFL_ASSIGN_OR_RETURN(
+      HflTrainingLog log,
+      RunFedSgd(world.model, world.participants, server, world.init, config));
+  TreeReference reference;
+  HflPhiAccumulator accumulator(n);
+  for (const HflEpochRecord& record : log.epochs) {
+    DIGFL_RETURN_IF_ERROR(accumulator.Consume(server, record));
+  }
+  reference.phi_total = accumulator.total();
+  reference.phi_per_epoch = accumulator.per_epoch();
+  reference.log = std::move(log);
+  return reference;
+}
+
+std::string DiffTreeRun(const net::tree::TreeTrainingResult& run,
+                        const TreeReference& reference) {
+  std::ostringstream out;
+  const size_t epochs = reference.log.num_epochs();
+  if (run.present.size() != epochs) {
+    out << "epoch count " << run.present.size() << " vs " << epochs;
+    return out.str();
+  }
+  for (size_t t = 0; t < epochs; ++t) {
+    const HflEpochRecord& record = reference.log.epochs[t];
+    for (size_t i = 0; i < run.present[t].size(); ++i) {
+      if ((run.present[t][i] != 0) != record.IsPresent(i)) {
+        out << "epoch " << t << ": presence of participant " << i
+            << " differs";
+        return out.str();
+      }
+    }
+  }
+  if (!BitEqual(run.final_params, reference.log.final_params)) {
+    return "final_params differ";
+  }
+  if (run.validation_loss.size() != reference.log.validation_loss.size()) {
+    return "validation_loss length differs";
+  }
+  for (size_t t = 0; t < run.validation_loss.size(); ++t) {
+    if (!BitEqual(run.validation_loss[t],
+                  reference.log.validation_loss[t])) {
+      out << "validation_loss[" << t << "] differs";
+      return out.str();
+    }
+  }
+  if (run.validation_accuracy.size() !=
+      reference.log.validation_accuracy.size()) {
+    return "validation_accuracy length differs";
+  }
+  for (size_t t = 0; t < run.validation_accuracy.size(); ++t) {
+    if (!BitEqual(run.validation_accuracy[t],
+                  reference.log.validation_accuracy[t])) {
+      out << "validation_accuracy[" << t << "] differs";
+      return out.str();
+    }
+  }
+  if (run.phi_per_epoch.size() != reference.phi_per_epoch.size()) {
+    return "phi epoch count differs";
+  }
+  for (size_t t = 0; t < run.phi_per_epoch.size(); ++t) {
+    const std::vector<double>& row = run.phi_per_epoch[t];
+    const std::vector<double>& ref_row = reference.phi_per_epoch[t];
+    if (row.size() != ref_row.size()) {
+      out << "phi row " << t << " width differs";
+      return out.str();
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (!BitEqual(row[i], ref_row[i])) {
+        out << "phi[" << t << "][" << i << "] differs";
+        return out.str();
+      }
+    }
+  }
+  if (run.phi_total.size() != reference.phi_total.size()) {
+    return "phi total width differs";
+  }
+  for (size_t i = 0; i < run.phi_total.size(); ++i) {
+    if (!BitEqual(run.phi_total[i], reference.phi_total[i])) {
+      out << "phi_total[" << i << "] differs";
+      return out.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace sim
+}  // namespace digfl

@@ -1,0 +1,127 @@
+// Swarm-test harness for the hierarchical aggregation tree (DESIGN.md §15):
+// builds a seeded world, runs the real TreeCoordinator / AggregatorNode /
+// ParticipantNode stack on SimNet, and checks the outcome bitwise against
+// the in-process tree-order reference.
+//
+// The contract a simulated tree run must satisfy (tests/tree_sim_test.cc
+// asserts it for every seed):
+//
+//   1. Typed-or-complete: RunTreeSimFederation never hangs. It either
+//      returns a completed TreeTrainingResult or a typed Status, and always
+//      shuts every role down and joins every thread before returning.
+//   2. Realized-plan equivalence: a completed run's final parameters,
+//      validation trace, and φ̂ rows/totals are bitwise equal to RunFedSgd
+//      with MakeTreeAggregator(topology) under the dropout schedule the
+//      simulation *realized* (FaultPlan::FromSchedule over the run's own
+//      present masks). Faults — including killing a whole aggregator — may
+//      change *which* participants report each epoch, never the arithmetic
+//      applied to the survivors.
+//   3. Fault-fate degradation: an aggregator killed at epoch k realizes as
+//      its whole covered shard absent from epoch k onward.
+//
+// As with the flat harness, thread interleaving can shift which virtual
+// instant a send lands on, so the reference is derived from the realized
+// masks, never predicted (sim/sim_net.h, "Determinism").
+
+#ifndef DIGFL_SIM_TREE_SIM_H_
+#define DIGFL_SIM_TREE_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hfl/fed_sgd.h"
+#include "net/tree/topology.h"
+#include "net/tree/tree_coordinator.h"
+#include "sim/fault_schedule.h"
+#include "sim/sim_federation.h"
+#include "sim/sim_net.h"
+
+namespace digfl {
+namespace sim {
+
+// One tree swarm run: the seed fixes the dataset, the shards, the topology,
+// the fault schedule, and (for ~a quarter of seeds) which aggregator dies
+// mid-run.
+struct TreeSimScenario {
+  uint64_t seed = 1;
+  size_t num_participants = 6;
+  // Aggregators per level, root-down (TreeTopology::Create grammar).
+  std::vector<size_t> level_widths = {2};
+  size_t epochs = 3;
+  SimFaultRates rates;
+
+  // 0 = $DIGFL_SIM_GRACE_US (default 800); raise under sanitizers.
+  int grace_us = 0;
+
+  // Real-time cap on the pre-training connectivity gate (the harness holds
+  // the virtual clock and waits for every leaf to see its full shard
+  // before the first round, so a starved machine cannot turn slow thread
+  // startup into spurious round-0 dropouts). 0 = 1000 + 20 * n ms. The
+  // thousand-node drill raises it: on loaded CI hardware, just spawning
+  // and scheduling 1000 participant threads can take tens of seconds.
+  int connect_wait_ms = 0;
+
+  // Kill drill: aggregator (kill_level, kill_index) dies silently on the
+  // round request for kill_epoch — the "aggregator process dies" fate. Its
+  // whole covered shard must degrade to a dropout at the root.
+  bool kill_aggregator = false;
+  size_t kill_level = 0;
+  size_t kill_index = 0;
+  size_t kill_epoch = 1;
+
+  // The standard tree swarm scenario: 6–24 participants, a 2- or 3-level
+  // topology, RatesFromSeed faults, and a ~25% chance of a kill drill.
+  static TreeSimScenario FromSeed(uint64_t seed);
+};
+
+// Same construction as MakeSimWorld, but the sample pool scales with the
+// participant count so thousand-node trees still give every shard data.
+SimWorld MakeTreeWorld(const TreeSimScenario& scenario);
+
+struct TreeSimResult {
+  // OK iff RunTreeTraining completed the full horizon; otherwise the typed
+  // failure.
+  Status status = Status::OK();
+  net::tree::TreeTrainingResult training;
+
+  net::tree::TreeCoordinatorStats root_stats;
+  SimNetStats net_stats;
+  // Exit status of every role thread, for the typed-or-complete check.
+  // Aggregators are level-major (level 0 first, ascending index).
+  std::vector<Status> aggregator_statuses;
+  std::vector<Status> node_statuses;
+
+  bool completed() const { return status.ok(); }
+};
+
+// Runs the full tree federation on SimNet: root, every aggregator level,
+// and one ParticipantNode per participant, wired leaf-shard by leaf-shard.
+TreeSimResult RunTreeSimFederation(const TreeSimScenario& scenario);
+
+// The in-process reference for a realized run: RunFedSgd with the
+// tree-order aggregator under the dropout schedule given by `present`
+// (epoch-major masks, exactly TreeTrainingResult::present), plus the
+// incremental φ̂ accumulator over the resulting log.
+struct TreeReference {
+  HflTrainingLog log;
+  std::vector<double> phi_total;
+  std::vector<std::vector<double>> phi_per_epoch;
+};
+
+Result<TreeReference> TreeRealizedReference(
+    const SimWorld& world, const net::tree::TreeTopology& topology,
+    const std::vector<std::vector<uint8_t>>& present);
+
+// Bitwise comparison of a completed tree run against its reference: final
+// parameters, validation traces, per-epoch present masks, and φ̂ rows and
+// totals. Returns "" on equality, else a description of the first
+// divergence.
+std::string DiffTreeRun(const net::tree::TreeTrainingResult& run,
+                        const TreeReference& reference);
+
+}  // namespace sim
+}  // namespace digfl
+
+#endif  // DIGFL_SIM_TREE_SIM_H_

@@ -186,6 +186,9 @@ TEST(NodeCliTest, UsageTextDocumentsEveryAcceptedFlag) {
       "--endpoints",     "--standby-host",
       "--standby-port",  "--replication-timeout-ms",
       "--generation",    "--lease-timeout-ms",
+      "--tree",          "--level",
+      "--index",         "--parent-host",
+      "--parent-port",
       "--dataset",       "--participants",
       "--mislabeled",    "--noniid",
       "--mislabel-fraction", "--sample-fraction",

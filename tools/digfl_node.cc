@@ -54,6 +54,9 @@
 #include "net/metrics_http.h"
 #include "net/participant_node.h"
 #include "net/standby.h"
+#include "net/tree/aggregator_node.h"
+#include "net/tree/topology.h"
+#include "net/tree/tree_coordinator.h"
 #include "nn/mlp.h"
 #include "telemetry/federation.h"
 #include "telemetry/sink.h"
@@ -63,7 +66,7 @@ namespace digfl {
 namespace {
 
 struct Flags {
-  std::string role;                  // coordinator | participant | standby
+  std::string role;  // coordinator | participant | standby | aggregator
   std::string host = "127.0.0.1";
   uint16_t port = 0;                 // coordinator: 0 = ephemeral
   uint64_t id = 0;                   // participant id
@@ -78,6 +81,14 @@ struct Flags {
   uint64_t generation = 0;
   // Standby: promote after this much replication silence.
   int lease_timeout_ms = 15000;
+  // Hierarchical aggregation (DESIGN.md §15): widths root-down, e.g.
+  // "5,25". Coordinator: non-empty switches it to the tree root.
+  // Aggregator: required, with this node's coordinates and parent.
+  std::string tree;
+  size_t level = 0;
+  size_t index = 0;
+  std::string parent_host = "127.0.0.1";
+  uint16_t parent_port = 0;
   std::string dataset = "MNIST";
   size_t participants = 4;
   size_t mislabeled = 0;
@@ -104,10 +115,10 @@ struct Flags {
 void PrintUsage() {
   std::printf(R"(digfl_node — one process of the distributed HFL runtime
 
-  --role=coordinator|participant|standby   (required)
-  --port=P                  coordinator/standby listen / participant dial
-                            port (coordinator default 0 = ephemeral,
-                            printed)
+  --role=coordinator|participant|standby|aggregator   (required)
+  --port=P                  coordinator/standby/aggregator listen /
+                            participant dial port (listen default 0 =
+                            ephemeral, printed)
   --host=H                  participant: coordinator host (default
                             127.0.0.1)
   --id=K                    participant id in [0, participants)
@@ -124,6 +135,13 @@ void PrintUsage() {
                             1 when --standby-port is set, else HA off)
   --lease-timeout-ms=MS     standby: promote after this much replication
                             silence (default 15000)
+  --tree=W,W,...            aggregator widths root-down, e.g. 5,25
+                            (coordinator: switches to the tree root;
+                            aggregator: required)
+  --level=L                 aggregator: tree level, 0 = under the root
+  --index=J                 aggregator: index within the level
+  --parent-host=H           aggregator: parent host (default 127.0.0.1)
+  --parent-port=P           aggregator: parent port (required)
   --dataset=NAME            MNIST CIFAR10 MOTOR REAL (default MNIST)
   --participants=N          federation size (default 4)
   --mislabeled=M            shards with label noise (default 0)
@@ -276,6 +294,20 @@ Result<Flags> ParseFlags(int argc, char** argv) {
         return Status::OutOfRange("--lease-timeout-ms must be >= 1");
       }
       flags.lease_timeout_ms = static_cast<int>(ms);
+    } else if (key == "tree") {
+      flags.tree = value;
+    } else if (key == "level") {
+      DIGFL_ASSIGN_OR_RETURN(flags.level, ParseU64Flag(key, value));
+    } else if (key == "index") {
+      DIGFL_ASSIGN_OR_RETURN(flags.index, ParseU64Flag(key, value));
+    } else if (key == "parent-host") {
+      flags.parent_host = value;
+    } else if (key == "parent-port") {
+      DIGFL_ASSIGN_OR_RETURN(uint64_t port, ParseU64Flag(key, value));
+      if (port > 65535) {
+        return Status::OutOfRange("--parent-port must be <= 65535");
+      }
+      flags.parent_port = static_cast<uint16_t>(port);
     } else if (key == "dataset") {
       flags.dataset = value;
     } else if (key == "participants") {
@@ -330,9 +362,23 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     }
   }
   if (flags.role != "coordinator" && flags.role != "participant" &&
-      flags.role != "standby") {
+      flags.role != "standby" && flags.role != "aggregator") {
     return Status::InvalidArgument(
-        "--role must be coordinator, participant, or standby");
+        "--role must be coordinator, participant, standby, or aggregator");
+  }
+  if (flags.role == "aggregator") {
+    if (flags.tree.empty()) {
+      return Status::InvalidArgument("aggregator requires --tree");
+    }
+    if (flags.parent_port == 0) {
+      return Status::InvalidArgument("aggregator requires --parent-port");
+    }
+  }
+  if (flags.role == "coordinator" && !flags.tree.empty() &&
+      (!flags.checkpoint_dir.empty() || flags.standby_port != 0)) {
+    return Status::InvalidArgument(
+        "tree mode does not support checkpointing or a hot standby; "
+        "those stay on the flat coordinator");
   }
   if (flags.participants == 0) {
     return Status::InvalidArgument("--participants must be > 0");
@@ -482,7 +528,136 @@ Status ReportCompletedRun(const Flags& flags,
   return Status::OK();
 }
 
+// --role=coordinator --tree=...: the root of the hierarchical aggregation
+// tree (DESIGN.md §15). Same experiment derivation as the flat coordinator,
+// but the children are the level-0 aggregators and training runs through
+// TreeCoordinator::RunTreeTraining, which folds the shard partial sums and
+// computes φ̂ from the dot products the leaves report.
+Result<int> RunTreeCoordinator(const Flags& flags) {
+  DIGFL_ASSIGN_OR_RETURN(HflSetup setup, BuildHflSetup(flags));
+  Mlp model({setup.num_features, 16, setup.num_classes});
+  HflServer server(model, setup.validation);
+  Rng init_rng(flags.seed + 2);
+  DIGFL_ASSIGN_OR_RETURN(Vec init, model.InitParams(init_rng));
+
+  DIGFL_ASSIGN_OR_RETURN(std::vector<size_t> widths,
+                         net::tree::ParseLevelWidths(flags.tree));
+  DIGFL_ASSIGN_OR_RETURN(
+      net::tree::TreeTopology topology,
+      net::tree::TreeTopology::Create(flags.participants, widths));
+
+  net::tree::TreeCoordinatorOptions options;
+  options.port = flags.port;
+  options.num_params = model.NumParams();
+  options.config_digest = net::FederationConfigDigest(
+      model.NumParams(), flags.epochs, EffectiveLearningRate(flags),
+      /*lr_decay=*/1.0, flags.local_steps, flags.seed);
+  options.round_timeout_ms = flags.round_timeout_ms;
+  options.max_round_retries = flags.max_retries;
+  options.leader_generation = flags.generation;
+  DIGFL_ASSIGN_OR_RETURN(
+      std::unique_ptr<net::tree::TreeCoordinator> coordinator,
+      net::tree::TreeCoordinator::Create(topology, options));
+  DIGFL_ASSIGN_OR_RETURN(std::unique_ptr<net::MetricsHttpServer> metrics,
+                         MaybeStartMetricsServer(flags));
+  // The launch script parses this line.
+  std::printf("coordinator listening on port %u\n", coordinator->port());
+  std::fflush(stdout);
+
+  DIGFL_RETURN_IF_ERROR(
+      coordinator->WaitForAggregators(flags.wait_timeout_ms));
+  std::printf("all %zu level-0 aggregators connected\n", topology.WidthAt(0));
+  std::fflush(stdout);
+
+  FedSgdConfig config;
+  config.epochs = flags.epochs;
+  config.learning_rate = EffectiveLearningRate(flags);
+  config.local_steps = flags.local_steps;
+  DIGFL_ASSIGN_OR_RETURN(net::tree::TreeTrainingResult training,
+                         coordinator->RunTreeTraining(server, init, config));
+  coordinator->Shutdown("training complete");
+
+  std::printf("trained %s over a %zu-level tree: n=%zu epochs=%zu final "
+              "val acc %.3f\n",
+              flags.dataset.c_str(), topology.num_levels() + 1,
+              flags.participants, flags.epochs,
+              training.validation_accuracy.back());
+  const net::tree::TreeCoordinatorStats stats = coordinator->stats();
+  std::printf("net: %llu shard dropouts, %llu retries, %llu stale replies, "
+              "%llu B sent, %llu B received\n",
+              static_cast<unsigned long long>(stats.shard_dropouts),
+              static_cast<unsigned long long>(stats.child_retries),
+              static_cast<unsigned long long>(stats.stale_replies),
+              static_cast<unsigned long long>(stats.bytes_sent),
+              static_cast<unsigned long long>(stats.bytes_received));
+
+  TableWriter table({"participant", "phi"});
+  for (size_t i = 0; i < training.phi_total.size(); ++i) {
+    DIGFL_RETURN_IF_ERROR(table.AddRow(
+        {std::to_string(i),
+         TableWriter::FormatDouble(training.phi_total[i], 17)}));
+  }
+  std::printf("\ncontributions (Algorithm #2, tree-folded):\n");
+  table.Print(std::cout);
+  if (!flags.csv.empty()) {
+    DIGFL_RETURN_IF_ERROR(table.WriteCsv(flags.csv));
+    std::printf("wrote %s\n", flags.csv.c_str());
+  }
+  return 0;
+}
+
+// --role=aggregator: one mid-tier node of the aggregation tree. Holds no
+// data — it only needs the flag-derived model shape and config digest so
+// handshakes up and down the tree stay digest-checked.
+Result<int> RunAggregator(const Flags& flags) {
+  DIGFL_ASSIGN_OR_RETURN(HflSetup setup, BuildHflSetup(flags));
+  Mlp model({setup.num_features, 16, setup.num_classes});
+
+  DIGFL_ASSIGN_OR_RETURN(std::vector<size_t> widths,
+                         net::tree::ParseLevelWidths(flags.tree));
+  DIGFL_ASSIGN_OR_RETURN(
+      net::tree::TreeTopology topology,
+      net::tree::TreeTopology::Create(flags.participants, widths));
+
+  net::tree::AggregatorNodeOptions options;
+  options.listen_port = flags.port;
+  options.parent_host = flags.parent_host;
+  options.parent_port = flags.parent_port;
+  options.level = flags.level;
+  options.index = flags.index;
+  options.num_params = model.NumParams();
+  options.config_digest = net::FederationConfigDigest(
+      model.NumParams(), flags.epochs, EffectiveLearningRate(flags),
+      /*lr_decay=*/1.0, flags.local_steps, flags.seed);
+  options.round_timeout_ms = flags.round_timeout_ms;
+  options.max_round_retries = flags.max_retries;
+  options.child_wait_timeout_ms = flags.wait_timeout_ms;
+  options.max_connect_attempts = flags.connect_attempts;
+  options.leader_generation = flags.generation;
+  DIGFL_ASSIGN_OR_RETURN(
+      std::unique_ptr<net::tree::AggregatorNode> node,
+      net::tree::AggregatorNode::Create(topology, options));
+  // The launch script parses this line.
+  std::printf("aggregator %zu/%zu listening on port %u (%zu children)\n",
+              flags.level, flags.index, node->port(), node->num_children());
+  std::fflush(stdout);
+
+  const Status status = node->Run();
+  DIGFL_RETURN_IF_ERROR(status);
+  const net::tree::AggregatorNode::Stats stats = node->stats();
+  std::printf("aggregator %zu/%zu done: %llu rounds, %llu child dropouts, "
+              "%llu retries, %llu B sent, %llu B received\n",
+              flags.level, flags.index,
+              static_cast<unsigned long long>(stats.rounds_served),
+              static_cast<unsigned long long>(stats.child_dropouts),
+              static_cast<unsigned long long>(stats.child_retries),
+              static_cast<unsigned long long>(stats.bytes_sent),
+              static_cast<unsigned long long>(stats.bytes_received));
+  return 0;
+}
+
 Result<int> RunCoordinator(const Flags& flags) {
+  if (!flags.tree.empty()) return RunTreeCoordinator(flags);
   DIGFL_ASSIGN_OR_RETURN(HflSetup setup, BuildHflSetup(flags));
   Mlp model({setup.num_features, 16, setup.num_classes});
   HflServer server(model, setup.validation);
@@ -726,6 +901,7 @@ Result<int> Main(int argc, char** argv) {
   DIGFL_TRACE_SPAN("node.run");
   if (flags.role == "coordinator") return RunCoordinator(flags);
   if (flags.role == "standby") return RunStandby(flags);
+  if (flags.role == "aggregator") return RunAggregator(flags);
   return RunParticipant(flags);
 }
 
