@@ -4,7 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
 #include "common/rng.h"
+#include "common/timer.h"
+#include "compress/quantize.h"
+#include "tensor/simd/simd.h"
 #include "core/shapley.h"
 #include "crypto/montgomery.h"
 #include "crypto/paillier.h"
@@ -197,7 +207,206 @@ void BM_DivisionModExp(benchmark::State& state) {
 }
 BENCHMARK(BM_DivisionModExp)->Arg(256)->Arg(512)->Arg(1024);
 
+// ----------------------------------------- SIMD kernel tier sweep.
+//
+// Times every compiled-and-usable dispatch tier against the scalar
+// baseline for the five hot kernels (dot, axpy, scale, and the
+// quantized-domain qdot8/qdot4), writes the table to
+// results/BENCH_kernels.json, and FAILS the harness (exit 1) if the
+// dispatched tier is slower than scalar at n ≥ 4096 — the one regression
+// runtime dispatch must never cause. Best-of-R timing with a 10%
+// tolerance keeps the gate stable on a loaded single-core machine.
+
+struct SweepRow {
+  const char* kernel;
+  std::string tier;  // "scalar" / "avx2" / "avx512" / "dispatch"
+  size_t n;
+  double ns_per_element;
+};
+
+// Best-of-`reps` wall time of `reps`-independent runs of fn().
+template <typename Fn>
+double BestOfSeconds(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    const double elapsed = timer.ElapsedSeconds();
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+int RunKernelSweep() {
+  const size_t kSizes[] = {256, 1024, 4096, 65536};
+  const int kReps = 7;
+  std::vector<simd::Tier> tiers = {simd::Tier::kScalar};
+  if (simd::TierUsable(simd::Tier::kAvx2)) tiers.push_back(simd::Tier::kAvx2);
+  if (simd::TierUsable(simd::Tier::kAvx512)) {
+    tiers.push_back(simd::Tier::kAvx512);
+  }
+
+  std::vector<SweepRow> rows;
+  // ns/element for the gate: [kernel][is_dispatch] at each gated size.
+  bool gate_passed = true;
+  std::string gate_detail;
+
+  for (size_t n : kSizes) {
+    const Vec a = RandomVec(n, 101), b = RandomVec(n, 102);
+    Vec scratch = RandomVec(n, 103);
+    const auto q8 = compress::Quantize(a, compress::Mode::kQ8).value();
+    const auto q4 = compress::Quantize(a, compress::Mode::kQ4).value();
+    const uint32_t block = q8.block_size;
+    // Enough inner iterations that one measurement is far above timer
+    // granularity even at n = 256.
+    const size_t iters = std::max<size_t>(1, (size_t{1} << 22) / n);
+
+    struct KernelSpec {
+      const char* name;
+      std::function<void(simd::Tier)> tiered;
+      std::function<void()> dispatched;
+    };
+    double sink = 0.0;
+    const KernelSpec kernels[] = {
+        {"dot",
+         [&](simd::Tier t) {
+           for (size_t i = 0; i < iters; ++i) {
+             sink += simd::DotTier(t, a.data(), b.data(), n);
+           }
+         },
+         [&] {
+           for (size_t i = 0; i < iters; ++i) {
+             sink += simd::Dot(a.data(), b.data(), n);
+           }
+         }},
+        {"axpy",
+         [&](simd::Tier t) {
+           for (size_t i = 0; i < iters; ++i) {
+             simd::AxpyTier(t, 1e-9, a.data(), scratch.data(), n);
+           }
+         },
+         [&] {
+           for (size_t i = 0; i < iters; ++i) {
+             simd::Axpy(1e-9, a.data(), scratch.data(), n);
+           }
+         }},
+        {"scale",
+         [&](simd::Tier t) {
+           for (size_t i = 0; i < iters; ++i) {
+             simd::ScaleTier(t, scratch.data(), 1.0000000001, n);
+           }
+         },
+         [&] {
+           for (size_t i = 0; i < iters; ++i) {
+             simd::Scale(scratch.data(), 1.0000000001, n);
+           }
+         }},
+        {"qdot8",
+         [&](simd::Tier t) {
+           for (size_t i = 0; i < iters; ++i) {
+             sink += simd::QDot8Tier(t, q8.scales.data(), q8.codes.data(),
+                                     block, b.data(), n);
+           }
+         },
+         [&] {
+           for (size_t i = 0; i < iters; ++i) {
+             sink += simd::QDot8(q8.scales.data(), q8.codes.data(), block,
+                                 b.data(), n);
+           }
+         }},
+        {"qdot4",
+         [&](simd::Tier t) {
+           for (size_t i = 0; i < iters; ++i) {
+             sink += simd::QDot4Tier(t, q4.scales.data(), q4.codes.data(),
+                                     block, b.data(), n);
+           }
+         },
+         [&] {
+           for (size_t i = 0; i < iters; ++i) {
+             sink += simd::QDot4(q4.scales.data(), q4.codes.data(), block,
+                                 b.data(), n);
+           }
+         }},
+    };
+
+    for (const KernelSpec& kernel : kernels) {
+      double scalar_ns = 0.0;
+      for (simd::Tier tier : tiers) {
+        const double secs = BestOfSeconds(kReps, [&] { kernel.tiered(tier); });
+        const double ns = secs * 1e9 / static_cast<double>(iters * n);
+        if (tier == simd::Tier::kScalar) scalar_ns = ns;
+        rows.push_back({kernel.name, simd::TierName(tier), n, ns});
+      }
+      const double secs = BestOfSeconds(kReps, [&] { kernel.dispatched(); });
+      const double ns = secs * 1e9 / static_cast<double>(iters * n);
+      rows.push_back({kernel.name, "dispatch", n, ns});
+      if (n >= 4096 && ns > scalar_ns * 1.10) {
+        gate_passed = false;
+        gate_detail += std::string(gate_detail.empty() ? "" : "; ") +
+                       kernel.name + " n=" + std::to_string(n) +
+                       " dispatch " + std::to_string(ns) + " ns/elem vs scalar " +
+                       std::to_string(scalar_ns);
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+
+  const std::string path = bench::ResultsPath("BENCH_kernels.json");
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"active_tier\": \"%s\",\n",
+               simd::TierName(simd::ActiveTier()));
+  std::fprintf(out, "  \"forced_scalar\": %s,\n",
+               simd::ForcedScalar() ? "true" : "false");
+  std::fprintf(out, "  \"gate\": {\"tolerance\": 1.10, \"passed\": %s},\n",
+               gate_passed ? "true" : "false");
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"tier\": \"%s\", \"n\": %zu, "
+                 "\"ns_per_element\": %.4f}%s\n",
+                 rows[i].kernel, rows[i].tier.c_str(), rows[i].n,
+                 rows[i].ns_per_element, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s (active tier: %s)\n", path.c_str(),
+              simd::TierName(simd::ActiveTier()));
+
+  if (!gate_passed) {
+    std::fprintf(stderr,
+                 "FAIL: dispatched kernel slower than scalar beyond 10%% "
+                 "tolerance: %s\n",
+                 gate_detail.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace digfl
 
-BENCHMARK_MAIN();
+// The tier sweep always runs (and gates); pass --kernels-only to skip the
+// google-benchmark suite afterwards, e.g. in CI.
+int main(int argc, char** argv) {
+  bool kernels_only = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--kernels-only") {
+      kernels_only = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  const int sweep = digfl::RunKernelSweep();
+  if (sweep != 0 || kernels_only) return sweep;
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -48,6 +48,13 @@
 #                                      # under ASan AND TSan, plus the
 #                                      # bench_federation_scale latency-curve
 #                                      # gate over real TCP
+#   scripts/run_checks.sh --simd      # SIMD kernel parity + quantizer
+#                                      # property suite (ctest -L simd,
+#                                      # including the forced-scalar rerun)
+#                                      # under ASan AND TSan, plus the
+#                                      # full 100-seed q8 SimNet swarm and
+#                                      # the bench_micro_kernels perf gate
+#                                      # on the uninstrumented build
 #   scripts/run_checks.sh --all       # everything
 set -euo pipefail
 
@@ -63,6 +70,7 @@ run_adv=0
 run_obs=0
 run_ha=0
 run_scale=0
+run_simd=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
@@ -74,7 +82,8 @@ for arg in "$@"; do
     --obs) run_obs=1 ;;
     --ha) run_ha=1 ;;
     --scale) run_scale=1 ;;
-    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1; run_sim=1; run_adv=1; run_obs=1; run_ha=1; run_scale=1 ;;
+    --simd) run_simd=1 ;;
+    --all) run_asan=1; run_tsan=1; run_crash=1; run_net=1; run_sim=1; run_adv=1; run_obs=1; run_ha=1; run_scale=1; run_simd=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -281,6 +290,36 @@ if [[ "$run_scale" == 1 ]]; then
   echo "=== [scale] bench_federation_scale ==="
   cmake --build build -j "$JOBS" --target bench_federation_scale
   build/bench/bench_federation_scale
+fi
+
+if [[ "$run_simd" == 1 ]]; then
+  # The SIMD dispatch layer and quantizer under both sanitizers: every
+  # tier bitwise equal to scalar (the label registers the whole binary a
+  # second time with DIGFL_FORCE_SCALAR=1), the quantizer reject matrix,
+  # and the quantized sim swarm at a sanitizer-sized seed budget. Replay a
+  # failing swarm seed with
+  #   DIGFL_SIM_SEED=<n> DIGFL_SIM_GRACE_US=20000 build-asan/tests/simd_test
+  echo "=== [simd] ctest -L simd under ASan ==="
+  cmake -B build-asan -S . -DDIGFL_SANITIZE=ON > /dev/null
+  cmake --build build-asan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L simd
+
+  echo "=== [simd] ctest -L simd under TSan ==="
+  cmake -B build-tsan -S . -DDIGFL_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS"
+  DIGFL_SIM_SEEDS=50 DIGFL_SIM_GRACE_US=20000 \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L simd
+
+  # Full-budget q8 swarm (100 seeds) and the kernel perf gate on the
+  # uninstrumented build: every seeded fault schedule with compressed
+  # uploads must complete or fail typed with the masked-estimator
+  # invariants intact, and the dispatched kernels must not be slower than
+  # scalar at n >= 4096 (results/BENCH_kernels.json records the sweep).
+  echo "=== [simd] 100-seed q8 swarm + kernel perf gate ==="
+  cmake --build build -j "$JOBS"
+  build/tests/simd_test --gtest_filter='QuantizedSwarmTest.*'
+  build/bench/bench_micro_kernels --kernels-only
 fi
 
 echo "all requested configurations passed"

@@ -1,0 +1,254 @@
+#include "compress/quantize.h"
+
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+
+namespace digfl {
+namespace compress {
+namespace {
+
+// Block sizes are bounded the same way the wire bounds every other length
+// field: far above anything sensible, far below an allocation attack.
+constexpr uint32_t kMaxBlockSize = 65536;
+
+Status ValidateBlockSize(uint32_t block_size) {
+  if (block_size == 0 || block_size % 8 != 0 || block_size > kMaxBlockSize) {
+    return Status::InvalidArgument(
+        "quantizer block size must be a positive multiple of 8, at most " +
+        std::to_string(kMaxBlockSize));
+  }
+  return Status::OK();
+}
+
+int QMax(Mode mode) { return mode == Mode::kQ4 ? kQ4Max : kQ8Max; }
+
+// One block's scale: max|v| / qmax, floored at DBL_MIN so a denormal
+// maximum never produces a zero (division-by-zero) or denormal scale.
+// A zero block keeps scale 0 and all-zero codes.
+double BlockScale(const double* v, size_t n, int qmax) {
+  double m = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double a = std::abs(v[i]);
+    if (a > m) m = a;
+  }
+  if (m == 0.0) return 0.0;
+  const double scale = m / static_cast<double>(qmax);
+  return scale < DBL_MIN ? DBL_MIN : scale;
+}
+
+// round(v / scale) clamped to [-qmax, qmax]; the clamp only fires when the
+// quotient rounds to qmax + 1 at the block maximum, where the clamped code
+// still satisfies |v − scale · code| ≤ scale / 2.
+int QuantizeOne(double v, double scale, int qmax) {
+  const long code = std::lrint(v / scale);
+  if (code > qmax) return qmax;
+  if (code < -qmax) return -qmax;
+  return static_cast<int>(code);
+}
+
+}  // namespace
+
+Result<Mode> ParseMode(const std::string& name) {
+  if (name == "lossless" || name == "off" || name == "none") {
+    return Mode::kLossless;
+  }
+  if (name == "q8") return Mode::kQ8;
+  if (name == "q4") return Mode::kQ4;
+  return Status::InvalidArgument(
+      "unknown compression mode \"" + name + "\" (lossless, q8, q4)");
+}
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kLossless:
+      return "lossless";
+    case Mode::kQ8:
+      return "q8";
+    case Mode::kQ4:
+      return "q4";
+  }
+  return "unknown";
+}
+
+Result<QuantizedVec> Quantize(const Vec& v, Mode mode, uint32_t block_size) {
+  DIGFL_RETURN_IF_ERROR(ValidateBlockSize(block_size));
+  for (double x : v) {
+    if (!std::isfinite(x)) {
+      return Status::InvalidArgument("non-finite value in quantizer input");
+    }
+  }
+  QuantizedVec q;
+  q.mode = mode;
+  q.num_values = v.size();
+  q.block_size = block_size;
+  if (mode == Mode::kLossless) {
+    q.raw = v;
+    return q;
+  }
+  const int qmax = QMax(mode);
+  const size_t blocks = q.num_blocks();
+  q.scales.resize(blocks);
+  if (mode == Mode::kQ8) {
+    q.codes.resize(v.size());
+  } else {
+    q.codes.assign((v.size() + 1) / 2, 0);
+  }
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t lo = b * block_size;
+    const size_t hi = std::min(v.size(), lo + block_size);
+    const double scale = BlockScale(v.data() + lo, hi - lo, qmax);
+    q.scales[b] = scale;
+    for (size_t i = lo; i < hi; ++i) {
+      const int code = scale == 0.0 ? 0 : QuantizeOne(v[i], scale, qmax);
+      if (mode == Mode::kQ8) {
+        q.codes[i] = static_cast<uint8_t>(static_cast<int8_t>(code));
+      } else {
+        // Offset binary: nibble = code + 8 ∈ [1, 15]; values at even
+        // indices take the low nibble, odd indices the high nibble.
+        const uint8_t nibble = static_cast<uint8_t>(code + 8);
+        q.codes[i / 2] |= (i % 2 == 0) ? nibble : (nibble << 4);
+      }
+    }
+  }
+  return q;
+}
+
+Vec Dequantize(const QuantizedVec& q) {
+  if (q.mode == Mode::kLossless) return q.raw;
+  Vec out(q.num_values);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const double scale = q.scales[i / q.block_size];
+    int code = 0;
+    if (q.mode == Mode::kQ8) {
+      code = static_cast<int8_t>(q.codes[i]);
+    } else {
+      const uint8_t byte = q.codes[i / 2];
+      code = static_cast<int>((i % 2 == 0) ? (byte & 0x0f) : (byte >> 4)) - 8;
+    }
+    out[i] = scale * static_cast<double>(code);
+  }
+  return out;
+}
+
+size_t EncodedSize(const QuantizedVec& q) {
+  // mode + num_values + block_size headers.
+  size_t bytes = 4 + 8 + 4;
+  if (q.mode == Mode::kLossless) {
+    return bytes + 8 + q.raw.size() * sizeof(double);
+  }
+  return bytes + 8 + q.scales.size() * sizeof(double) + 8 + q.codes.size();
+}
+
+void EncodeQuantized(const QuantizedVec& q, ckpt::ByteSink* sink) {
+  sink->PutU32(static_cast<uint32_t>(q.mode));
+  sink->PutU64(q.num_values);
+  sink->PutU32(q.block_size);
+  if (q.mode == Mode::kLossless) {
+    sink->PutDoubles(q.raw);
+    return;
+  }
+  sink->PutDoubles(q.scales);
+  sink->PutBytes(q.codes);
+}
+
+Result<QuantizedVec> DecodeQuantized(ckpt::ByteSource* source,
+                                     uint64_t max_values) {
+  QuantizedVec q;
+  uint32_t mode = 0;
+  DIGFL_RETURN_IF_ERROR(source->GetU32(&mode));
+  if (mode > static_cast<uint32_t>(Mode::kQ4)) {
+    return Status::InvalidArgument("unknown quantization mode on the wire");
+  }
+  q.mode = static_cast<Mode>(mode);
+  DIGFL_RETURN_IF_ERROR(source->GetU64(&q.num_values));
+  if (q.num_values == 0) {
+    return Status::InvalidArgument("quantized block covers zero values");
+  }
+  if (q.num_values > max_values) {
+    return Status::InvalidArgument(
+        "quantized block length is implausibly large");
+  }
+  DIGFL_RETURN_IF_ERROR(source->GetU32(&q.block_size));
+  DIGFL_RETURN_IF_ERROR(ValidateBlockSize(q.block_size));
+  if (q.mode == Mode::kLossless) {
+    DIGFL_RETURN_IF_ERROR(source->GetDoubles(&q.raw));
+    if (q.raw.size() != q.num_values) {
+      return Status::InvalidArgument(
+          "lossless quantized block length mismatch");
+    }
+    for (double x : q.raw) {
+      if (!std::isfinite(x)) {
+        return Status::InvalidArgument(
+            "non-finite value in lossless quantized block");
+      }
+    }
+    return q;
+  }
+
+  DIGFL_RETURN_IF_ERROR(source->GetDoubles(&q.scales));
+  if (q.scales.size() != q.num_blocks()) {
+    return Status::InvalidArgument(
+        "quantized block table does not match the value count");
+  }
+  for (double scale : q.scales) {
+    if (!std::isfinite(scale) || scale < 0.0) {
+      return Status::InvalidArgument("bad scale in quantized block table");
+    }
+  }
+  DIGFL_RETURN_IF_ERROR(source->GetBytes(&q.codes));
+  const size_t expected_bytes = q.mode == Mode::kQ8
+                                    ? static_cast<size_t>(q.num_values)
+                                    : static_cast<size_t>((q.num_values + 1) / 2);
+  if (q.codes.size() != expected_bytes) {
+    return Status::InvalidArgument("quantized code array length mismatch");
+  }
+  for (uint64_t i = 0; i < q.num_values; ++i) {
+    const double scale = q.scales[i / q.block_size];
+    int code = 0;
+    if (q.mode == Mode::kQ8) {
+      code = static_cast<int8_t>(q.codes[i]);
+      if (code == -128) {
+        return Status::InvalidArgument("quantized code overflow (q8 -128)");
+      }
+    } else {
+      const uint8_t byte = q.codes[i / 2];
+      const uint8_t nibble = (i % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
+      if (nibble == 0) {
+        return Status::InvalidArgument("quantized code overflow (q4 nibble 0)");
+      }
+      code = static_cast<int>(nibble) - 8;
+    }
+    if (scale == 0.0 && code != 0) {
+      return Status::InvalidArgument(
+          "nonzero quantized code under a zero scale");
+    }
+  }
+  if (q.mode == Mode::kQ4 && q.num_values % 2 == 1 &&
+      (q.codes.back() >> 4) != 0) {
+    return Status::InvalidArgument("nonzero pad nibble in quantized block");
+  }
+  return q;
+}
+
+Result<QuantizedVec> ErrorFeedback::Encode(const Vec& v) {
+  if (residual_.empty()) residual_.assign(v.size(), 0.0);
+  if (residual_.size() != v.size()) {
+    return Status::InvalidArgument(
+        "error-feedback dimension changed mid-stream");
+  }
+  if (mode_ == Mode::kLossless) {
+    // Passthrough is exact: the residual stays identically zero and the
+    // round trip is bitwise idempotent (no +0.0 fold that would flip -0.0).
+    return Quantize(v, mode_, block_size_);
+  }
+  Vec folded(v.size());
+  for (size_t i = 0; i < v.size(); ++i) folded[i] = v[i] + residual_[i];
+  DIGFL_ASSIGN_OR_RETURN(QuantizedVec q, Quantize(folded, mode_, block_size_));
+  const Vec back = Dequantize(q);
+  for (size_t i = 0; i < v.size(); ++i) residual_[i] = folded[i] - back[i];
+  return q;
+}
+
+}  // namespace compress
+}  // namespace digfl

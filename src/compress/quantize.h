@@ -1,0 +1,134 @@
+// Per-block quantization of parameter/update vectors (DESIGN.md §16).
+//
+// The wire path ships δ_{t,i} as raw IEEE-754 doubles (8 bytes/coordinate).
+// This module compresses such vectors SAQ-style: split the vector into
+// fixed-size blocks, store one double scale per block (max|v| / qmax), and
+// one signed 8-bit (q8) or packed 4-bit (q4) code per coordinate, with
+// dequantization v̂_i = scale_b · code_i and per-element error ≤ scale_b/2.
+// A lossless passthrough mode carries the untouched doubles through the
+// same container and is the golden reference for the framing layer.
+//
+// Error feedback: a participant that quantizes every upload accumulates the
+// per-round quantization error in a residual and folds it into the next
+// round's vector (q_t = Quantize(v_t + r_{t-1}), r_t = (v_t + r_{t-1}) −
+// Dequantize(q_t), elementwise in exactly that order), so the error
+// telescopes instead of compounding. The residual is transient participant
+// state — it is never checkpointed, which is why resume + compression is a
+// typed reject in the trainers.
+//
+// Wire container ("QNT1" block body, little-endian via ckpt::ByteSink):
+//
+//   u32 mode | u64 num_values | u32 block_size
+//   lossless: length-prefixed doubles (the raw vector)
+//   q8/q4:    length-prefixed doubles (per-block scales)
+//             length-prefixed bytes   (codes: q8 one per value, int8;
+//                                      q4 two per byte, offset-binary
+//                                      nibble = code + 8 ∈ [1, 15])
+//
+// Decoding is strict (same discipline as net/messages.cc): unknown modes,
+// block-table size mismatches, non-finite/negative scales, q8 code −128,
+// q4 nibble 0, nonzero codes under a zero scale, and nonzero pad nibbles
+// are all typed errors, never garbage vectors.
+
+#ifndef DIGFL_COMPRESS_QUANTIZE_H_
+#define DIGFL_COMPRESS_QUANTIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/frame.h"
+#include "common/result.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+namespace compress {
+
+enum class Mode : uint32_t {
+  kLossless = 0,  // passthrough: raw doubles in the QNT1 container
+  kQ8 = 1,        // int8 codes, qmax = 127
+  kQ4 = 2,        // packed 4-bit codes, qmax = 7
+};
+
+// "lossless" | "q8" | "q4" (also accepts "off" and "none" for lossless).
+Result<Mode> ParseMode(const std::string& name);
+const char* ModeName(Mode mode);
+
+// Default block size. Must be a multiple of 8 so a block never splits one
+// of the SIMD kernels' 8-lane groups (tensor/simd/simd.h QDot contract).
+inline constexpr uint32_t kQuantBlock = 64;
+
+// Largest code magnitude per mode; code −(qmax+1) never appears on the wire
+// (q8 rejects −128, q4's offset-binary nibble 0 is invalid).
+inline constexpr int kQ8Max = 127;
+inline constexpr int kQ4Max = 7;
+
+struct QuantizedVec {
+  Mode mode = Mode::kLossless;
+  uint64_t num_values = 0;
+  uint32_t block_size = kQuantBlock;
+  Vec raw;                      // lossless only
+  Vec scales;                   // q8/q4: one per block, finite, ≥ 0
+  std::vector<uint8_t> codes;   // q8: int8 per value; q4: two nibbles/byte
+
+  size_t num_blocks() const {
+    return block_size == 0
+               ? 0
+               : static_cast<size_t>((num_values + block_size - 1) /
+                                     block_size);
+  }
+};
+
+// Quantizes `v` (rejects non-finite input — the same trust boundary as the
+// wire decoders). Lossless mode copies the vector through unchanged.
+// `block_size` must be a positive multiple of 8.
+Result<QuantizedVec> Quantize(const Vec& v, Mode mode,
+                              uint32_t block_size = kQuantBlock);
+
+// Reconstructs v̂ (v̂_i = scale_b · code_i; the raw vector for lossless).
+// Assumes a validated QuantizedVec (the decoder's or Quantize's output).
+Vec Dequantize(const QuantizedVec& q);
+
+// Exact number of bytes EncodeQuantized appends — what a CommMeter should
+// record for a quantized upload in place of num_values * sizeof(double).
+size_t EncodedSize(const QuantizedVec& q);
+
+// Appends the QNT1 block body (no magic tag — the message codec owns that).
+void EncodeQuantized(const QuantizedVec& q, ckpt::ByteSink* sink);
+
+// Strict decode of a QNT1 block body. `max_values` bounds num_values
+// against hostile lengths (callers pass the expected parameter-vector size
+// or a generous cap). Every violation listed in the header comment is a
+// typed kInvalidArgument.
+Result<QuantizedVec> DecodeQuantized(ckpt::ByteSource* source,
+                                     uint64_t max_values);
+
+// Per-participant error-feedback encoder (see file comment). The residual
+// starts at zero, is updated by every Encode, and telescopes bitwise:
+// after every call, residual == (v + residual_before) − Dequantize(q)
+// computed elementwise in exactly that order.
+class ErrorFeedback {
+ public:
+  explicit ErrorFeedback(Mode mode, uint32_t block_size = kQuantBlock)
+      : mode_(mode), block_size_(block_size) {}
+
+  // Quantizes v + residual and folds the new quantization error back into
+  // the residual. The first call fixes the dimension; later calls reject a
+  // mismatch. Lossless mode is idempotent: the residual stays all-zero.
+  Result<QuantizedVec> Encode(const Vec& v);
+
+  const Vec& residual() const { return residual_; }
+  Mode mode() const { return mode_; }
+  void Reset() { residual_.clear(); }
+
+ private:
+  Mode mode_;
+  uint32_t block_size_;
+  Vec residual_;
+};
+
+}  // namespace compress
+}  // namespace digfl
+
+#endif  // DIGFL_COMPRESS_QUANTIZE_H_

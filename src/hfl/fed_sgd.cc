@@ -60,6 +60,12 @@ Result<HflTrainingLog> RunFedSgd(
         "resume is not supported with quarantine escalation or an adversary "
         "plan");
   }
+  if (config.resume != nullptr &&
+      config.compress != compress::Mode::kLossless) {
+    // The error-feedback residuals are transient for the same reason.
+    return Status::InvalidArgument(
+        "resume is not supported with lossy update compression");
+  }
   if (config.adversary != nullptr &&
       config.adversary->num_participants() != participants.size()) {
     return Status::InvalidArgument(
@@ -150,6 +156,13 @@ Result<HflTrainingLog> RunFedSgd(
   }
   std::vector<Vec> last_honest(config.adversary != nullptr ? n : 0);
 
+  // Per-participant error-feedback encoders for lossy compression. The
+  // vector stays empty in lossless mode, so the golden path allocates and
+  // touches nothing new.
+  const bool lossy = config.compress != compress::Mode::kLossless;
+  std::vector<compress::ErrorFeedback> error_feedback;
+  if (lossy) error_feedback.assign(n, compress::ErrorFeedback(config.compress));
+
   for (size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     DIGFL_TRACE_SPAN("hfl.epoch");
     Timer epoch_timer;
@@ -224,12 +237,39 @@ Result<HflTrainingLog> RunFedSgd(
           delta = CorruptUpdate(delta, event.corruption,
                                 plan->config().explode_factor, corruption_rng);
         }
-        // Participant uploads its local model (equivalently δ_{t,i}).
-        log.comm.RecordDoubles(ch_upload, p);
-        if (bytes_up[i] != nullptr) {
-          bytes_up[i]->Increment(p * sizeof(double));
+        // Participant uploads its local model (equivalently δ_{t,i}). With
+        // lossy compression the finite uploads travel quantized: the meter
+        // records the QNT1 container bytes, the server sees the dequantized
+        // vector, and the quantization error rolls into this participant's
+        // error-feedback residual. A non-finite update (corruption/attack)
+        // cannot be quantized — it goes up raw for the quarantine gate to
+        // reject, exactly as on the uncompressed path.
+        bool quantized = false;
+        if (lossy) {
+          bool finite = true;
+          for (double v : delta) {
+            if (!std::isfinite(v)) {
+              finite = false;
+              break;
+            }
+          }
+          if (finite) {
+            DIGFL_ASSIGN_OR_RETURN(compress::QuantizedVec q,
+                                   error_feedback[i].Encode(delta));
+            const size_t bytes = compress::EncodedSize(q);
+            log.comm.Record(ch_upload, bytes);
+            if (bytes_up[i] != nullptr) bytes_up[i]->Increment(bytes);
+            deltas[i] = compress::Dequantize(q);
+            quantized = true;
+          }
         }
-        deltas[i] = std::move(delta);
+        if (!quantized) {
+          log.comm.RecordDoubles(ch_upload, p);
+          if (bytes_up[i] != nullptr) {
+            bytes_up[i]->Increment(p * sizeof(double));
+          }
+          deltas[i] = std::move(delta);
+        }
       }
     }
 

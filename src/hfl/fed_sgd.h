@@ -27,6 +27,7 @@
 #include "common/fault.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "compress/quantize.h"
 #include "hfl/participant.h"
 #include "hfl/server.h"
 
@@ -185,6 +186,15 @@ struct FedSgdConfig {
   // owned; resume requires record_log (the log prefix is part of the state).
   HflCheckpointHook* checkpoint_hook = nullptr;
   const HflResumePoint* resume = nullptr;
+  // Update compression (DESIGN.md §16). kLossless leaves the run bitwise
+  // identical to an uncompressed one. A lossy mode quantizes every upload
+  // at the participant↔server boundary (after faults/attacks, before the
+  // quarantine gate) with per-participant error feedback; the log records
+  // the dequantized deltas and the CommMeter records the quantized upload
+  // bytes. The error-feedback residual is transient state, so a lossy mode
+  // excludes resume. The distributed coordinator negotiates compression via
+  // CoordinatorOptions instead and rejects this field.
+  compress::Mode compress = compress::Mode::kLossless;
 };
 
 // Median of the L2 norms of the present (and finite) updates — the

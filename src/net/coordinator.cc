@@ -132,6 +132,9 @@ void Coordinator::HandleConnection(std::unique_ptr<Conn> conn) {
       ack.accepted = 1;
     }
   }
+  if (ack.accepted == 1 && options_.compress != compress::Mode::kLossless) {
+    ack.quant = HelloAckQuant{options_.compress, compress::kQuantBlock};
+  }
   if (obs && ack.accepted == 1) {
     ack.obs = HelloAckObs{merger_.run_id(), telemetry::ObsNow()};
     if (hello->obs_clock_seconds.has_value()) {
@@ -256,6 +259,16 @@ void Coordinator::RoundWorker(size_t i,
         failure = Status::InvalidArgument("round reply shape mismatch");
         break;
       }
+      // Compression is negotiated at handshake; a reply in any other form
+      // (raw when quantized was announced, quantized when it was not, or
+      // the wrong mode) is a protocol violation, not a fallback.
+      const bool want_quant = options_.compress != compress::Mode::kLossless;
+      if (reply->quantized.has_value() != want_quant ||
+          (want_quant && reply->quantized->mode != options_.compress)) {
+        failure = Status::InvalidArgument(
+            "round reply compression does not match the negotiated mode");
+        break;
+      }
       if (obs) {
         const double t1 = telemetry::ObsNow();
         if (reply->telemetry.has_value()) {
@@ -336,6 +349,18 @@ Result<HflTrainingLog> Coordinator::RunFederatedTraining(
   if (config.resume != nullptr && config.escalation.enabled) {
     return Status::InvalidArgument(
         "resume is not supported with quarantine escalation");
+  }
+  if (config.compress != compress::Mode::kLossless) {
+    return Status::InvalidArgument(
+        "distributed compression is negotiated via CoordinatorOptions, not "
+        "the trainer config");
+  }
+  if (config.resume != nullptr &&
+      options_.compress != compress::Mode::kLossless) {
+    // The participants' error-feedback residuals are transient state that a
+    // checkpoint cannot capture; resuming would silently drop them.
+    return Status::InvalidArgument(
+        "resume is not supported with lossy update compression");
   }
   if (options_.standby_port != 0 && !config.record_log) {
     return Status::InvalidArgument(

@@ -38,6 +38,7 @@
 
 #include "ckpt/hfl_resume.h"
 #include "common/result.h"
+#include "compress/quantize.h"
 #include "hfl/fed_sgd.h"
 #include "hfl/server.h"
 #include "net/backoff.h"
@@ -86,6 +87,12 @@ struct CoordinatorOptions {
   // Granularity of the accept loop's stop-flag polling.
   int accept_poll_ms = 100;
   WireLimits limits;
+
+  // Update compression (DESIGN.md §16). kLossless = no QNT1 blocks anywhere
+  // — handshake and round bytes are bit for bit the uncompressed format. A
+  // lossy mode is announced to every participant on its accepting HelloAck;
+  // replies must then carry QNT1 uploads in exactly that mode.
+  compress::Mode compress = compress::Mode::kLossless;
 
   // --- High availability (DESIGN.md §14). ---
   // This coordinator's leader generation. 0 = HA off: no GEN1 block on any

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "ckpt/frame.h"
+#include "compress/quantize.h"
 
 namespace digfl {
 namespace net {
@@ -50,6 +51,11 @@ constexpr uint32_t kTraceBlockMagic = 0x31435254u;      // "TRC1"
 constexpr uint32_t kTelemetryBlockMagic = 0x3153424fu;  // "OBS1"
 constexpr uint32_t kGenerationBlockMagic = 0x314e4547u; // "GEN1"
 constexpr uint32_t kTreeBlockMagic = 0x31455254u;       // "TRE1"
+constexpr uint32_t kQuantBlockMagic = 0x31544e51u;      // "QNT1"
+
+// Hostile-peer bound for a QNT1 block's value count — the same generous
+// ceiling the primitive codec puts on any length-prefixed sequence.
+constexpr uint64_t kMaxQuantValues = 1ull << 32;
 
 // Hostile-peer bounds for the shipped telemetry delta: a delta covers one
 // epoch of one participant, so honest traffic is far below these.
@@ -354,6 +360,11 @@ std::string EncodeHelloAck(const HelloAckMsg& msg) {
     sink.PutU32(kGenerationBlockMagic);
     sink.PutU64(*msg.generation);
   }
+  if (msg.quant.has_value()) {
+    sink.PutU32(kQuantBlockMagic);
+    sink.PutU32(static_cast<uint32_t>(msg.quant->mode));
+    sink.PutU32(msg.quant->block_size);
+  }
   if (msg.obs.has_value()) {
     sink.PutU32(kRunBlockMagic);
     sink.PutU64(msg.obs->run_id);
@@ -378,6 +389,30 @@ Result<HelloAckMsg> DecodeHelloAck(std::string_view payload) {
     DIGFL_ASSIGN_OR_RETURN(uint64_t generation,
                            GetGeneration(&source, "HelloAck"));
     msg.generation = generation;
+    DIGFL_ASSIGN_OR_RETURN(magic, NextBlockMagic(&source));
+  }
+  if (magic == kQuantBlockMagic) {
+    HelloAckQuant quant;
+    uint32_t mode = 0;
+    DIGFL_RETURN_IF_ERROR(source.GetU32(&mode));
+    if (mode > static_cast<uint32_t>(compress::Mode::kQ4)) {
+      return Status::InvalidArgument(
+          "HelloAck announces an unknown compression mode");
+    }
+    // Lossless is the absent-block default; spelling it out would give the
+    // same federation two distinct handshake encodings.
+    if (mode == static_cast<uint32_t>(compress::Mode::kLossless)) {
+      return Status::InvalidArgument(
+          "HelloAck announces lossless compression explicitly");
+    }
+    quant.mode = static_cast<compress::Mode>(mode);
+    DIGFL_RETURN_IF_ERROR(source.GetU32(&quant.block_size));
+    if (quant.block_size == 0 || quant.block_size % 8 != 0 ||
+        quant.block_size > 65536) {
+      return Status::InvalidArgument(
+          "HelloAck announces a bad quantizer block size");
+    }
+    msg.quant = quant;
     DIGFL_ASSIGN_OR_RETURN(magic, NextBlockMagic(&source));
   }
   if (magic == kRunBlockMagic) {
@@ -474,7 +509,15 @@ std::string EncodeRoundReply(const RoundReplyMsg& msg) {
   ByteSink sink(&out);
   sink.PutU64(msg.epoch);
   sink.PutU64(msg.participant_id);
-  sink.PutDoubles(msg.delta);
+  if (msg.quantized.has_value()) {
+    // Quantized upload: the mandatory delta field encodes empty and the
+    // update travels in the QNT1 block (first in the trailing-block order).
+    sink.PutDoubles(Vec{});
+    sink.PutU32(kQuantBlockMagic);
+    compress::EncodeQuantized(*msg.quantized, &sink);
+  } else {
+    sink.PutDoubles(msg.delta);
+  }
   if (msg.tree.has_value()) {
     sink.PutU32(kTreeBlockMagic);
     sink.PutU64(msg.tree->child_begin);
@@ -495,6 +538,19 @@ Result<RoundReplyMsg> DecodeRoundReply(std::string_view payload) {
   DIGFL_RETURN_IF_ERROR(source.GetU64(&msg.participant_id));
   DIGFL_RETURN_IF_ERROR(source.GetDoubles(&msg.delta));
   DIGFL_ASSIGN_OR_RETURN(uint32_t magic, NextBlockMagic(&source));
+  if (magic == kQuantBlockMagic) {
+    if (!msg.delta.empty()) {
+      return Status::InvalidArgument(
+          "RoundReply carries both raw and quantized delta");
+    }
+    DIGFL_ASSIGN_OR_RETURN(compress::QuantizedVec quantized,
+                           compress::DecodeQuantized(&source, kMaxQuantValues));
+    // Receivers always see a dense delta; the wire form is kept alongside
+    // for byte metering and diagnostics.
+    msg.delta = compress::Dequantize(quantized);
+    msg.quantized = std::move(quantized);
+    DIGFL_ASSIGN_OR_RETURN(magic, NextBlockMagic(&source));
+  }
   if (magic == kTreeBlockMagic) {
     TreeRoundReply tree;
     DIGFL_RETURN_IF_ERROR(source.GetU64(&tree.child_begin));

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "compress/quantize.h"
 #include "telemetry/federation.h"
 #include "tensor/vec.h"
 
@@ -120,6 +121,16 @@ struct HelloAckObs {
   double coordinator_seconds = 0.0;
 };
 
+// Update-compression announcement on an accepting HelloAck (DESIGN.md §16):
+// the coordinator instructs the participant to quantize its RoundReply
+// deltas with this mode and block size. The block is only sent for lossy
+// modes — lossless is the absent-block default, so an uncompressed
+// federation's handshake bytes are unchanged.
+struct HelloAckQuant {
+  compress::Mode mode = compress::Mode::kLossless;
+  uint32_t block_size = compress::kQuantBlock;
+};
+
 // Coordinator → participant handshake verdict. `next_epoch` tells a
 // reconnecting node where the federation currently stands (informational).
 struct HelloAckMsg {
@@ -129,6 +140,7 @@ struct HelloAckMsg {
   // The coordinator's leader generation. Participants remember the highest
   // accepted generation and refuse to serve any leader below it.
   std::optional<uint64_t> generation;
+  std::optional<HelloAckQuant> quant;
   std::optional<HelloAckObs> obs;
 };
 
@@ -153,6 +165,12 @@ struct RoundReplyMsg {
   uint64_t epoch = 0;
   uint64_t participant_id = 0;
   Vec delta;  // δ_{t,i}; for an aggregator reply, the shard's Σ δ_{t,i}
+  // Quantized upload (DESIGN.md §16): when set, the mandatory delta field
+  // encodes as an empty vector and the update travels in a QNT1 trailing
+  // block instead. The decoder reconstructs `delta` via Dequantize, so
+  // receivers see a normal dense delta either way; `quantized` additionally
+  // exposes the wire form for metering and diagnostics.
+  std::optional<compress::QuantizedVec> quantized;
   // Set iff the sender is a tree aggregator.
   std::optional<TreeRoundReply> tree;
   // Telemetry shipping: the node's spans/counters/histograms since its

@@ -81,6 +81,23 @@ Result<MsgChannel> ParticipantNode::ConnectAndHandshake() {
     if (ack_generation > max_seen_generation_) {
       max_seen_generation_ = ack_generation;
     }
+    // Adopt the announced compression (absent block = lossless). A change —
+    // e.g. a failover to a coordinator configured differently — invalidates
+    // the error-feedback residual and the retry cache.
+    const compress::Mode ack_mode =
+        ack->quant.has_value() ? ack->quant->mode : compress::Mode::kLossless;
+    const uint32_t ack_block =
+        ack->quant.has_value() ? ack->quant->block_size : compress::kQuantBlock;
+    if (ack_mode != quant_mode_ || ack_block != quant_block_) {
+      quant_mode_ = ack_mode;
+      quant_block_ = ack_block;
+      has_cached_quant_ = false;
+      quant_ef_ =
+          quant_mode_ == compress::Mode::kLossless
+              ? nullptr
+              : std::make_unique<compress::ErrorFeedback>(quant_mode_,
+                                                          quant_block_);
+    }
     if (ever_connected_ && endpoint_index != last_endpoint_) {
       ++stats_.failovers;
       DIGFL_COUNTER_ADD("net.failovers_total", 1);
@@ -171,6 +188,23 @@ Status ParticipantNode::Serve(MsgChannel& channel) {
               reply.delta, options_.adversary->SpecFor(options_.participant_id),
               attack_rng, &last_honest_);
           last_honest_ = std::move(honest);
+        }
+        if (quant_ef_ != nullptr) {
+          // Quantize the upload (the coordinator announced a lossy mode at
+          // handshake). A resent request for the same epoch reuses the
+          // cached quantized update — re-encoding would fold the residual
+          // twice and break the error-feedback telescoping.
+          if (has_cached_quant_ && cached_quant_epoch_ == request.epoch) {
+            reply.quantized = cached_quant_;
+          } else {
+            DIGFL_ASSIGN_OR_RETURN(compress::QuantizedVec q,
+                                   quant_ef_->Encode(reply.delta));
+            cached_quant_ = q;
+            cached_quant_epoch_ = request.epoch;
+            has_cached_quant_ = true;
+            reply.quantized = std::move(q);
+          }
+          reply.delta.clear();
         }
         if (obs) {
           node_telemetry_.AddCounter("node.rounds_served_total", 1);

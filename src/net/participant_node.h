@@ -17,11 +17,13 @@
 #define DIGFL_NET_PARTICIPANT_NODE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/adversary.h"
 #include "common/result.h"
+#include "compress/quantize.h"
 #include "hfl/participant.h"
 #include "net/backoff.h"
 #include "net/channel.h"
@@ -134,6 +136,18 @@ class ParticipantNode {
   // Previous round's honest update (free-rider replay attack state);
   // survives reconnects like any other attacker memory would.
   std::vector<double> last_honest_;
+  // Update compression negotiated at handshake (DESIGN.md §16). The
+  // error-feedback residual survives reconnects — the stream of uploads is
+  // what telescopes, not the connection — but is reset if a new leader
+  // announces a different mode or block size. The per-epoch cache makes
+  // round retries idempotent: a resent RoundRequest gets the cached
+  // quantized upload instead of advancing the residual twice.
+  compress::Mode quant_mode_ = compress::Mode::kLossless;
+  uint32_t quant_block_ = compress::kQuantBlock;
+  std::unique_ptr<compress::ErrorFeedback> quant_ef_;
+  bool has_cached_quant_ = false;
+  uint64_t cached_quant_epoch_ = 0;
+  compress::QuantizedVec cached_quant_;
 };
 
 }  // namespace net

@@ -192,6 +192,7 @@ SimFederationResult RunSimFederation(const SimScenario& scenario) {
   // only slow the swarm down, so both roles retry immediately.
   coordinator_options.retry_backoff.initial_ms = 0;
   coordinator_options.accept_poll_ms = 10000;
+  coordinator_options.compress = scenario.compress;
   auto coordinator = net::Coordinator::Create(coordinator_options);
   if (!coordinator.ok()) {
     result.status = coordinator.status();

@@ -82,6 +82,12 @@ struct SimScenario {
   EscalationConfig escalation;
   double quarantine_median_factor = 0.0;  // > 0 overrides the gate default
 
+  // Update compression (DESIGN.md §16), negotiated by the coordinator at
+  // handshake. kLossless keeps the run bitwise identical to the reference;
+  // a lossy mode trades that equivalence for smaller uploads, so such runs
+  // are checked against CheckHflInvariants instead of RealizedReference.
+  compress::Mode compress = compress::Mode::kLossless;
+
   // The standard swarm scenario: world + fault profile from one seed.
   static SimScenario FromSeed(uint64_t seed);
 

@@ -1,0 +1,208 @@
+// Tier selection and dispatch (see simd.h for the bit-exact contract).
+// The active tier is decided once per process: the highest tier that is
+// both compiled in and supported by this CPU, unless DIGFL_FORCE_SCALAR
+// pins everything to the scalar reference.
+
+#include "tensor/simd/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "tensor/simd/kernels.h"
+
+namespace digfl {
+namespace simd {
+
+namespace {
+
+bool ReadForcedScalar() {
+  const char* value = std::getenv("DIGFL_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+Tier PickActiveTier() {
+  if (ForcedScalar()) return Tier::kScalar;
+  if (TierUsable(Tier::kAvx512)) return Tier::kAvx512;
+  if (TierUsable(Tier::kAvx2)) return Tier::kAvx2;
+  return Tier::kScalar;
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool TierCompiled(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+#if defined(DIGFL_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Tier::kAvx512:
+#if defined(DIGFL_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool TierUsable(Tier tier) {
+  if (!TierCompiled(tier)) return false;
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+#if defined(DIGFL_HAVE_AVX2)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Tier::kAvx512:
+#if defined(DIGFL_HAVE_AVX512)
+      return __builtin_cpu_supports("avx512f");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool ForcedScalar() {
+  static const bool forced = ReadForcedScalar();
+  return forced;
+}
+
+Tier ActiveTier() {
+  static const Tier active = PickActiveTier();
+  return active;
+}
+
+double Dot(const double* a, const double* b, size_t n) {
+  return DotTier(ActiveTier(), a, b, n);
+}
+
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  AxpyTier(ActiveTier(), alpha, x, y, n);
+}
+
+void Scale(double* x, double alpha, size_t n) {
+  ScaleTier(ActiveTier(), x, alpha, n);
+}
+
+double QDot8(const double* scales, const uint8_t* codes, uint32_t block,
+             const double* v, size_t n) {
+  return QDot8Tier(ActiveTier(), scales, codes, block, v, n);
+}
+
+double QDot4(const double* scales, const uint8_t* packed, uint32_t block,
+             const double* v, size_t n) {
+  return QDot4Tier(ActiveTier(), scales, packed, block, v, n);
+}
+
+double DotTier(Tier tier, const double* a, const double* b, size_t n) {
+  DIGFL_CHECK(TierUsable(tier));
+  switch (tier) {
+#if defined(DIGFL_HAVE_AVX512)
+    case Tier::kAvx512:
+      return internal::DotAvx512(a, b, n);
+#endif
+#if defined(DIGFL_HAVE_AVX2)
+    case Tier::kAvx2:
+      return internal::DotAvx2(a, b, n);
+#endif
+    default:
+      return internal::DotScalar(a, b, n);
+  }
+}
+
+void AxpyTier(Tier tier, double alpha, const double* x, double* y, size_t n) {
+  DIGFL_CHECK(TierUsable(tier));
+  switch (tier) {
+#if defined(DIGFL_HAVE_AVX512)
+    case Tier::kAvx512:
+      internal::AxpyAvx512(alpha, x, y, n);
+      return;
+#endif
+#if defined(DIGFL_HAVE_AVX2)
+    case Tier::kAvx2:
+      internal::AxpyAvx2(alpha, x, y, n);
+      return;
+#endif
+    default:
+      internal::AxpyScalar(alpha, x, y, n);
+      return;
+  }
+}
+
+void ScaleTier(Tier tier, double* x, double alpha, size_t n) {
+  DIGFL_CHECK(TierUsable(tier));
+  switch (tier) {
+#if defined(DIGFL_HAVE_AVX512)
+    case Tier::kAvx512:
+      internal::ScaleAvx512(x, alpha, n);
+      return;
+#endif
+#if defined(DIGFL_HAVE_AVX2)
+    case Tier::kAvx2:
+      internal::ScaleAvx2(x, alpha, n);
+      return;
+#endif
+    default:
+      internal::ScaleScalar(x, alpha, n);
+      return;
+  }
+}
+
+double QDot8Tier(Tier tier, const double* scales, const uint8_t* codes,
+                 uint32_t block, const double* v, size_t n) {
+  DIGFL_CHECK(TierUsable(tier));
+  switch (tier) {
+#if defined(DIGFL_HAVE_AVX512)
+    case Tier::kAvx512:
+      return internal::QDot8Avx512(scales, codes, block, v, n);
+#endif
+#if defined(DIGFL_HAVE_AVX2)
+    case Tier::kAvx2:
+      return internal::QDot8Avx2(scales, codes, block, v, n);
+#endif
+    default:
+      return internal::QDot8Scalar(scales, codes, block, v, n);
+  }
+}
+
+double QDot4Tier(Tier tier, const double* scales, const uint8_t* packed,
+                 uint32_t block, const double* v, size_t n) {
+  DIGFL_CHECK(TierUsable(tier));
+  switch (tier) {
+#if defined(DIGFL_HAVE_AVX512)
+    case Tier::kAvx512:
+      return internal::QDot4Avx512(scales, packed, block, v, n);
+#endif
+#if defined(DIGFL_HAVE_AVX2)
+    case Tier::kAvx2:
+      return internal::QDot4Avx2(scales, packed, block, v, n);
+#endif
+    default:
+      return internal::QDot4Scalar(scales, packed, block, v, n);
+  }
+}
+
+}  // namespace simd
+}  // namespace digfl

@@ -1,0 +1,47 @@
+// Internal per-tier kernel entry points (see simd.h for the bit-exact
+// contract). Each tier lives in its own translation unit so it can carry
+// its own -m flags; dispatch.cc is the only includer.
+
+#ifndef DIGFL_TENSOR_SIMD_KERNELS_H_
+#define DIGFL_TENSOR_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace digfl {
+namespace simd {
+namespace internal {
+
+double DotScalar(const double* a, const double* b, size_t n);
+void AxpyScalar(double alpha, const double* x, double* y, size_t n);
+void ScaleScalar(double* x, double alpha, size_t n);
+double QDot8Scalar(const double* scales, const uint8_t* codes, uint32_t block,
+                   const double* v, size_t n);
+double QDot4Scalar(const double* scales, const uint8_t* packed, uint32_t block,
+                   const double* v, size_t n);
+
+#if defined(DIGFL_HAVE_AVX2)
+double DotAvx2(const double* a, const double* b, size_t n);
+void AxpyAvx2(double alpha, const double* x, double* y, size_t n);
+void ScaleAvx2(double* x, double alpha, size_t n);
+double QDot8Avx2(const double* scales, const uint8_t* codes, uint32_t block,
+                 const double* v, size_t n);
+double QDot4Avx2(const double* scales, const uint8_t* packed, uint32_t block,
+                 const double* v, size_t n);
+#endif
+
+#if defined(DIGFL_HAVE_AVX512)
+double DotAvx512(const double* a, const double* b, size_t n);
+void AxpyAvx512(double alpha, const double* x, double* y, size_t n);
+void ScaleAvx512(double* x, double alpha, size_t n);
+double QDot8Avx512(const double* scales, const uint8_t* codes, uint32_t block,
+                   const double* v, size_t n);
+double QDot4Avx512(const double* scales, const uint8_t* packed, uint32_t block,
+                   const double* v, size_t n);
+#endif
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace digfl
+
+#endif  // DIGFL_TENSOR_SIMD_KERNELS_H_

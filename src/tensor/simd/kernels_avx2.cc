@@ -1,0 +1,155 @@
+// AVX2 tier. Compiled with -mavx2 -ffp-contract=off (never -mfma): every
+// multiply and add is a separately rounded instruction, and the reduction
+// lanes map exactly onto the scalar tier's 8 accumulators — lanes 0–3 of
+// the low register are accumulators 0–3, lanes 0–3 of the high register
+// are accumulators 4–7 — so the results are bitwise equal to
+// kernels_scalar.cc on every input.
+
+#include "tensor/simd/kernels.h"
+
+#if defined(DIGFL_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace digfl {
+namespace simd {
+namespace internal {
+
+namespace {
+
+// Pinned left-to-right fold of the 8 lane accumulators.
+double Combine8(__m256d acc_lo, __m256d acc_hi) {
+  double lanes[8];
+  _mm256_storeu_pd(lanes, acc_lo);
+  _mm256_storeu_pd(lanes + 4, acc_hi);
+  double s = lanes[0];
+  for (size_t j = 1; j < 8; ++j) s += lanes[j];
+  return s;
+}
+
+inline int CodeQ8(const uint8_t* codes, size_t i) {
+  return static_cast<int8_t>(codes[i]);
+}
+
+inline int CodeQ4(const uint8_t* packed, size_t i) {
+  const uint8_t byte = packed[i / 2];
+  return static_cast<int>((i % 2 == 0) ? (byte & 0x0f) : (byte >> 4)) - 8;
+}
+
+// 8 consecutive q8 codes (int8) → two 4-lane double vectors.
+inline void LoadCodesQ8(const uint8_t* codes, __m256d* lo, __m256d* hi) {
+  const __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes));
+  *lo = _mm256_cvtepi32_pd(_mm_cvtepi8_epi32(bytes));
+  *hi = _mm256_cvtepi32_pd(_mm_cvtepi8_epi32(_mm_srli_si128(bytes, 4)));
+}
+
+// 8 consecutive q4 codes (4 packed bytes) → two 4-lane double vectors.
+inline void LoadCodesQ4(const uint8_t* packed, __m256d* lo, __m256d* hi) {
+  uint32_t word = 0;
+  std::memcpy(&word, packed, sizeof(word));
+  alignas(16) int32_t c[8];
+  for (size_t k = 0; k < 4; ++k) {
+    const uint32_t byte = (word >> (8 * k)) & 0xffu;
+    c[2 * k] = static_cast<int32_t>(byte & 0x0fu) - 8;
+    c[2 * k + 1] = static_cast<int32_t>(byte >> 4) - 8;
+  }
+  *lo = _mm256_cvtepi32_pd(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(c)));
+  *hi = _mm256_cvtepi32_pd(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(c + 4)));
+}
+
+}  // namespace
+
+double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const size_t main = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < main; i += 8) {
+    acc_lo = _mm256_add_pd(
+        acc_lo, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+    acc_hi = _mm256_add_pd(
+        acc_hi,
+        _mm256_mul_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4)));
+  }
+  double s = Combine8(acc_lo, acc_hi);
+  for (size_t i = main; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void AxpyAvx2(double alpha, const double* x, double* y, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const size_t main = n & ~static_cast<size_t>(3);
+  for (size_t i = 0; i < main; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (size_t i = main; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleAvx2(double* x, double alpha, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const size_t main = n & ~static_cast<size_t>(3);
+  for (size_t i = 0; i < main; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), va));
+  }
+  for (size_t i = main; i < n; ++i) x[i] *= alpha;
+}
+
+double QDot8Avx2(const double* scales, const uint8_t* codes, uint32_t block,
+                 const double* v, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const size_t main = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < main; i += 8) {
+    const __m256d vs = _mm256_set1_pd(scales[i / block]);
+    __m256d c_lo, c_hi;
+    LoadCodesQ8(codes + i, &c_lo, &c_hi);
+    const __m256d dq_lo = _mm256_mul_pd(vs, c_lo);
+    const __m256d dq_hi = _mm256_mul_pd(vs, c_hi);
+    acc_lo = _mm256_add_pd(acc_lo,
+                           _mm256_mul_pd(dq_lo, _mm256_loadu_pd(v + i)));
+    acc_hi = _mm256_add_pd(acc_hi,
+                           _mm256_mul_pd(dq_hi, _mm256_loadu_pd(v + i + 4)));
+  }
+  double s = Combine8(acc_lo, acc_hi);
+  for (size_t i = main; i < n; ++i) {
+    const double dq = scales[i / block] * static_cast<double>(CodeQ8(codes, i));
+    s += dq * v[i];
+  }
+  return s;
+}
+
+double QDot4Avx2(const double* scales, const uint8_t* packed, uint32_t block,
+                 const double* v, size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const size_t main = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < main; i += 8) {
+    const __m256d vs = _mm256_set1_pd(scales[i / block]);
+    __m256d c_lo, c_hi;
+    LoadCodesQ4(packed + i / 2, &c_lo, &c_hi);
+    const __m256d dq_lo = _mm256_mul_pd(vs, c_lo);
+    const __m256d dq_hi = _mm256_mul_pd(vs, c_hi);
+    acc_lo = _mm256_add_pd(acc_lo,
+                           _mm256_mul_pd(dq_lo, _mm256_loadu_pd(v + i)));
+    acc_hi = _mm256_add_pd(acc_hi,
+                           _mm256_mul_pd(dq_hi, _mm256_loadu_pd(v + i + 4)));
+  }
+  double s = Combine8(acc_lo, acc_hi);
+  for (size_t i = main; i < n; ++i) {
+    const double dq =
+        scales[i / block] * static_cast<double>(CodeQ4(packed, i));
+    s += dq * v[i];
+  }
+  return s;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace digfl
+
+#endif  // DIGFL_HAVE_AVX2

@@ -1,0 +1,143 @@
+// AVX-512 tier. Compiled with -mavx512f -ffp-contract=off (never FMA):
+// one 8-lane register holds the 8 pinned accumulators directly, so the
+// reduction order — and therefore every bit — matches kernels_scalar.cc.
+
+#include "tensor/simd/kernels.h"
+
+#if defined(DIGFL_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace digfl {
+namespace simd {
+namespace internal {
+
+namespace {
+
+// Pinned left-to-right fold of the 8 lane accumulators.
+double Combine8(__m512d acc) {
+  double lanes[8];
+  _mm512_storeu_pd(lanes, acc);
+  double s = lanes[0];
+  for (size_t j = 1; j < 8; ++j) s += lanes[j];
+  return s;
+}
+
+inline int CodeQ8(const uint8_t* codes, size_t i) {
+  return static_cast<int8_t>(codes[i]);
+}
+
+inline int CodeQ4(const uint8_t* packed, size_t i) {
+  const uint8_t byte = packed[i / 2];
+  return static_cast<int>((i % 2 == 0) ? (byte & 0x0f) : (byte >> 4)) - 8;
+}
+
+// 8 consecutive q8 codes (int8) → one 8-lane double vector.
+inline __m512d LoadCodesQ8(const uint8_t* codes) {
+  const __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes));
+  return _mm512_cvtepi32_pd(_mm256_cvtepi8_epi32(bytes));
+}
+
+// Spreads the 4 bytes in the low half of `x` to every other byte of a
+// 64-bit word (byte k → byte 2k).
+inline uint64_t SpreadBytes(uint64_t x) {
+  x = (x | (x << 16)) & 0x0000ffff0000ffffull;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffull;
+  return x;
+}
+
+// 8 consecutive q4 codes (4 packed bytes) → one 8-lane double vector.
+// Branch-free shift-and-mask nibble spread: the scalar unpack loop the
+// other tiers use compiles to a store-forwarding stall in this TU, which
+// made the AVX-512 qdot4 slower than scalar (caught by the
+// bench_micro_kernels perf gate). Same integer codes either way, so the
+// bitwise parity contract is untouched.
+inline __m512d LoadCodesQ4(const uint8_t* packed) {
+  uint32_t word = 0;
+  std::memcpy(&word, packed, sizeof(word));
+  const uint64_t even = SpreadBytes(word & 0x0f0f0f0fu);         // 0,2,4,6
+  const uint64_t odd = SpreadBytes((word >> 4) & 0x0f0f0f0fu);   // 1,3,5,7
+  const uint64_t nibbles = even | (odd << 8);  // byte i = offset code i
+  const __m128i bytes =
+      _mm_cvtsi64_si128(static_cast<long long>(nibbles));
+  const __m256i codes = _mm256_sub_epi32(_mm256_cvtepu8_epi32(bytes),
+                                         _mm256_set1_epi32(8));
+  return _mm512_cvtepi32_pd(codes);
+}
+
+}  // namespace
+
+double DotAvx512(const double* a, const double* b, size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  const size_t main = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < main; i += 8) {
+    acc = _mm512_add_pd(
+        acc, _mm512_mul_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i)));
+  }
+  double s = Combine8(acc);
+  for (size_t i = main; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void AxpyAvx512(double alpha, const double* x, double* y, size_t n) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  const size_t main = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < main; i += 8) {
+    const __m512d prod = _mm512_mul_pd(va, _mm512_loadu_pd(x + i));
+    _mm512_storeu_pd(y + i, _mm512_add_pd(_mm512_loadu_pd(y + i), prod));
+  }
+  for (size_t i = main; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleAvx512(double* x, double alpha, size_t n) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  const size_t main = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < main; i += 8) {
+    _mm512_storeu_pd(x + i, _mm512_mul_pd(_mm512_loadu_pd(x + i), va));
+  }
+  for (size_t i = main; i < n; ++i) x[i] *= alpha;
+}
+
+double QDot8Avx512(const double* scales, const uint8_t* codes, uint32_t block,
+                   const double* v, size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  const size_t main = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < main; i += 8) {
+    const __m512d vs = _mm512_set1_pd(scales[i / block]);
+    const __m512d dq = _mm512_mul_pd(vs, LoadCodesQ8(codes + i));
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(dq, _mm512_loadu_pd(v + i)));
+  }
+  double s = Combine8(acc);
+  for (size_t i = main; i < n; ++i) {
+    const double dq = scales[i / block] * static_cast<double>(CodeQ8(codes, i));
+    s += dq * v[i];
+  }
+  return s;
+}
+
+double QDot4Avx512(const double* scales, const uint8_t* packed, uint32_t block,
+                   const double* v, size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  const size_t main = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < main; i += 8) {
+    const __m512d vs = _mm512_set1_pd(scales[i / block]);
+    const __m512d dq = _mm512_mul_pd(vs, LoadCodesQ4(packed + i / 2));
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(dq, _mm512_loadu_pd(v + i)));
+  }
+  double s = Combine8(acc);
+  for (size_t i = main; i < n; ++i) {
+    const double dq =
+        scales[i / block] * static_cast<double>(CodeQ4(packed, i));
+    s += dq * v[i];
+  }
+  return s;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace digfl
+
+#endif  // DIGFL_HAVE_AVX512

@@ -1,0 +1,97 @@
+// Scalar reference tier. This TU is compiled with -ffp-contract=off and
+// -fno-tree-vectorize (see src/CMakeLists.txt): no fused multiply-add and
+// no compiler vectorization, so these loops are the portable definition of
+// every kernel's bit pattern — the parity tests hold the other tiers to
+// exactly these bits, and the kernel bench measures honest speedups
+// against them.
+
+#include "tensor/simd/kernels.h"
+
+namespace digfl {
+namespace simd {
+namespace internal {
+
+namespace {
+
+// Left-to-right fold of the 8 partial accumulators — the pinned combine
+// every tier replicates.
+double Combine8(const double* acc) {
+  double s = acc[0];
+  for (size_t j = 1; j < 8; ++j) s += acc[j];
+  return s;
+}
+
+// One q8 code: int8 bit pattern → int.
+inline int CodeQ8(const uint8_t* codes, size_t i) {
+  return static_cast<int8_t>(codes[i]);
+}
+
+// One q4 code: offset-binary nibble (low nibble first) → int in [-8, 7].
+inline int CodeQ4(const uint8_t* packed, size_t i) {
+  const uint8_t byte = packed[i / 2];
+  return static_cast<int>((i % 2 == 0) ? (byte & 0x0f) : (byte >> 4)) - 8;
+}
+
+}  // namespace
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double acc[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  const size_t main = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < main; i += 8) {
+    for (size_t j = 0; j < 8; ++j) acc[j] += a[i + j] * b[i + j];
+  }
+  double s = Combine8(acc);
+  for (size_t i = main; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void AxpyScalar(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleScalar(double* x, double alpha, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double QDot8Scalar(const double* scales, const uint8_t* codes, uint32_t block,
+                   const double* v, size_t n) {
+  double acc[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  const size_t main = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < main; i += 8) {
+    // block % 8 == 0, so the whole 8-group shares one scale.
+    const double scale = scales[i / block];
+    for (size_t j = 0; j < 8; ++j) {
+      const double dq = scale * static_cast<double>(CodeQ8(codes, i + j));
+      acc[j] += dq * v[i + j];
+    }
+  }
+  double s = Combine8(acc);
+  for (size_t i = main; i < n; ++i) {
+    const double dq = scales[i / block] * static_cast<double>(CodeQ8(codes, i));
+    s += dq * v[i];
+  }
+  return s;
+}
+
+double QDot4Scalar(const double* scales, const uint8_t* packed, uint32_t block,
+                   const double* v, size_t n) {
+  double acc[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  const size_t main = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < main; i += 8) {
+    const double scale = scales[i / block];
+    for (size_t j = 0; j < 8; ++j) {
+      const double dq = scale * static_cast<double>(CodeQ4(packed, i + j));
+      acc[j] += dq * v[i + j];
+    }
+  }
+  double s = Combine8(acc);
+  for (size_t i = main; i < n; ++i) {
+    const double dq = scales[i / block] * static_cast<double>(CodeQ4(packed, i));
+    s += dq * v[i];
+  }
+  return s;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace digfl

@@ -1,0 +1,80 @@
+// Runtime-dispatched SIMD kernels for the Vec hot paths (DESIGN.md §16).
+//
+// Three tiers — scalar, AVX2, AVX-512 (when the toolchain can build it) —
+// share one bit-exact contract: every kernel produces the SAME doubles on
+// every tier, so runtime dispatch can never change a training log, a φ̂
+// estimate, or a golden file. The rules that make that possible:
+//
+//   * Elementwise kernels (Axpy, Scale) round every element independently
+//     (separate multiply and add, never FMA), exactly like the scalar
+//     loops vec.cc has always run — so vec::Axpy/vec::Scale dispatch here
+//     with bitwise-identical results.
+//   * Reductions are order-sensitive, so Dot/QDot define a PINNED
+//     accumulation order: 8 independent accumulators, accumulator j sums
+//     the terms at indices ≡ j (mod 8) in ascending order; the 8 partials
+//     are then folded left-to-right and the non-multiple-of-8 tail is
+//     added sequentially. Scalar implements that order directly; AVX2 uses
+//     two 4-lane registers (lanes = accumulators 0–3 and 4–7); AVX-512
+//     uses one 8-lane register. Same order ⇒ same bits.
+//   * vec::Dot does NOT dispatch here: its simple sequential order is the
+//     φ̂ wire/golden contract (see vec.h). simd::Dot is a different, also
+//     pinned, order for callers that choose it (benches, quantized paths).
+//
+// DIGFL_FORCE_SCALAR=1 (any value but "0") in the environment pins
+// ActiveTier() to scalar for the whole process — the one-switch test mode.
+// The per-tier entry points (*Tier) bypass dispatch for parity tests.
+//
+// QDot8/QDot4 are the quantized-domain inner products: ⟨Dequantize(q), v⟩
+// computed without materializing the dequantized vector, term by term as
+// (scale_b · code_i) · v_i with both products rounded — bitwise equal to
+// simd::Dot(Dequantize(q), v). `block` must be a positive multiple of 8
+// (compress::Quantize enforces this) so a block never splits an 8-group.
+
+#ifndef DIGFL_TENSOR_SIMD_SIMD_H_
+#define DIGFL_TENSOR_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace digfl {
+namespace simd {
+
+enum class Tier { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* TierName(Tier tier);
+
+// True when the tier was compiled into this binary (toolchain support).
+bool TierCompiled(Tier tier);
+// True when the tier is compiled in AND this CPU can run it.
+bool TierUsable(Tier tier);
+
+// The tier every dispatched kernel below uses: the highest usable tier,
+// or kScalar when DIGFL_FORCE_SCALAR is set. Decided once per process.
+Tier ActiveTier();
+bool ForcedScalar();
+
+// Dispatched kernels.
+double Dot(const double* a, const double* b, size_t n);
+void Axpy(double alpha, const double* x, double* y, size_t n);
+void Scale(double* x, double alpha, size_t n);
+// q8: codes are int8 bit patterns, one per value. q4: offset-binary
+// nibbles (code + 8), two values per byte, low nibble first.
+double QDot8(const double* scales, const uint8_t* codes, uint32_t block,
+             const double* v, size_t n);
+double QDot4(const double* scales, const uint8_t* packed, uint32_t block,
+             const double* v, size_t n);
+
+// Per-tier entry points for parity tests and the kernel bench. Calling a
+// tier that is not usable on this machine is a checked error.
+double DotTier(Tier tier, const double* a, const double* b, size_t n);
+void AxpyTier(Tier tier, double alpha, const double* x, double* y, size_t n);
+void ScaleTier(Tier tier, double* x, double alpha, size_t n);
+double QDot8Tier(Tier tier, const double* scales, const uint8_t* codes,
+                 uint32_t block, const double* v, size_t n);
+double QDot4Tier(Tier tier, const double* scales, const uint8_t* packed,
+                 uint32_t block, const double* v, size_t n);
+
+}  // namespace simd
+}  // namespace digfl
+
+#endif  // DIGFL_TENSOR_SIMD_SIMD_H_

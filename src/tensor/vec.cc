@@ -4,19 +4,24 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/simd/simd.h"
 
 namespace digfl {
 namespace vec {
 
 Vec Zeros(size_t n) { return Vec(n, 0.0); }
 
+// Axpy and Scale dispatch to the SIMD tiers: both are elementwise with one
+// rounding per element, so every tier produces the same bits as the plain
+// loops these used to be. Dot must NOT dispatch — its sequential
+// accumulation order is part of the φ̂/golden bitwise contract.
 void Axpy(double alpha, const Vec& x, Vec& y) {
   DIGFL_CHECK(x.size() == y.size());
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::Axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void Scale(double alpha, Vec& x) {
-  for (double& v : x) v *= alpha;
+  simd::Scale(x.data(), alpha, x.size());
 }
 
 Vec Add(const Vec& a, const Vec& b) {

@@ -199,7 +199,8 @@ TEST(NodeCliTest, UsageTextDocumentsEveryAcceptedFlag) {
       "--checkpoint-dir", "--checkpoint-every",
       "--resume",        "--round-timeout-ms",
       "--max-retries",   "--wait-timeout-ms",
-      "--connect-attempts", "--help",
+      "--connect-attempts", "--compress",
+      "--help",
   };
   for (const std::string& flag : flags) {
     EXPECT_NE(run.out.find(flag), std::string::npos)

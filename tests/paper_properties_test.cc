@@ -8,7 +8,11 @@
 #include <functional>
 #include <limits>
 
+#include <cstdint>
+#include <cstring>
+
 #include "baselines/exact_shapley.h"
+#include "compress/quantize.h"
 #include "baselines/retrain_oracle.h"
 #include "hfl/aggregator.h"
 #include "core/digfl_hfl.h"
@@ -506,6 +510,161 @@ TEST(RobustAggregationTest, GateRejectedParticipantIsExactNullPlayer) {
     double sum = 0.0;
     for (double phi : report->total) sum += phi;
     EXPECT_NEAR(sum, grand, 1e-9 * (1.0 + std::abs(grand)));
+  }
+}
+
+// ----------------------------- Update compression (DESIGN.md §16).
+//
+// The quantizer's paper-level contract: per-block round-trip error stays
+// inside the scale/2 bound Lemma 5's perturbation argument needs, the
+// error-feedback residual telescopes bitwise (so quantization error never
+// accumulates across rounds), lossless mode is a bitwise no-op, and a q8
+// federation still ranks participants the way the exact Shapley oracle
+// does — the headline claim must survive the compressed wire.
+
+uint64_t BitsOf(double x) {
+  uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+Vec MixedMagnitudeVec(Rng& rng, size_t n) {
+  Vec v(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (i % 7) {
+      case 0:
+        v[i] = 0.0;
+        break;
+      case 1:
+        v[i] = 5e-324;  // denormal
+        break;
+      case 2:
+        v[i] = -rng.Uniform(1e-300, 1e-290);  // denormal-scale blocks
+        break;
+      default:
+        v[i] = rng.Gaussian(0.0, std::pow(10.0, rng.Uniform(-3.0, 3.0)));
+        break;
+    }
+  }
+  return v;
+}
+
+// Round-trip error per element is bounded by half the block scale: the
+// code is the nearest integer to v/scale and never clamps below max|v|.
+TEST(QuantizerPropertyTest, RoundTripErrorWithinHalfScalePerBlock) {
+  for (compress::Mode mode : {compress::Mode::kQ8, compress::Mode::kQ4}) {
+    for (uint64_t trial = 0; trial < 8; ++trial) {
+      Rng rng(0xbead + trial * 977);
+      const size_t n = 1 + static_cast<size_t>(rng.UniformInt(uint64_t{300}));
+      const Vec v = MixedMagnitudeVec(rng, n);
+      auto q = compress::Quantize(v, mode, 64);
+      ASSERT_TRUE(q.ok()) << q.status().ToString();
+      const Vec dq = compress::Dequantize(*q);
+      ASSERT_EQ(dq.size(), n);
+      for (size_t i = 0; i < n; ++i) {
+        const double scale = q->scales[i / 64];
+        // (0.5 + tiny) absorbs the one-ulp slop of the v/scale division.
+        EXPECT_LE(std::abs(v[i] - dq[i]), scale * (0.5 + 1e-9))
+            << compress::ModeName(mode) << " i=" << i << " v=" << v[i];
+        if (scale == 0.0) {
+          EXPECT_EQ(v[i], 0.0);
+        }
+      }
+    }
+  }
+}
+
+// The residual telescopes bitwise: replaying the documented recurrence
+// (fold, quantize, subtract — elementwise, in exactly that order) outside
+// the class reproduces both the emitted codes and the internal residual
+// bit for bit, round after round.
+TEST(QuantizerPropertyTest, ErrorFeedbackResidualTelescopesBitwise) {
+  for (compress::Mode mode : {compress::Mode::kQ8, compress::Mode::kQ4}) {
+    Rng rng(0xef00 + static_cast<uint64_t>(mode));
+    const size_t n = 200;
+    compress::ErrorFeedback ef(mode, 64);
+    Vec residual(n, 0.0);  // external replay of the documented recurrence
+    for (int round = 0; round < 12; ++round) {
+      const Vec v = MixedMagnitudeVec(rng, n);
+      Vec folded(n);
+      for (size_t i = 0; i < n; ++i) folded[i] = v[i] + residual[i];
+      auto expect = compress::Quantize(folded, mode, 64);
+      ASSERT_TRUE(expect.ok());
+      auto got = ef.Encode(v);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(got->codes, expect->codes) << "round " << round;
+      ASSERT_EQ(got->scales.size(), expect->scales.size());
+      for (size_t b = 0; b < got->scales.size(); ++b) {
+        ASSERT_EQ(BitsOf(got->scales[b]), BitsOf(expect->scales[b]));
+      }
+      const Vec dq = compress::Dequantize(*got);
+      for (size_t i = 0; i < n; ++i) residual[i] = folded[i] - dq[i];
+      ASSERT_EQ(ef.residual().size(), n);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(BitsOf(ef.residual()[i]), BitsOf(residual[i]))
+            << compress::ModeName(mode) << " round=" << round << " i=" << i;
+      }
+    }
+  }
+}
+
+// Lossless mode is bitwise idempotent — including -0.0, whose bit pattern
+// a naive "x + 0.0" fold would destroy — and its residual stays all-zero.
+TEST(QuantizerPropertyTest, LosslessModeIsBitwiseIdempotent) {
+  compress::ErrorFeedback ef(compress::Mode::kLossless);
+  const Vec v = {1.5, -0.0, 0.0, 5e-324, -2.75e10, 3.141592653589793};
+  for (int round = 0; round < 3; ++round) {
+    auto q = ef.Encode(v);
+    ASSERT_TRUE(q.ok());
+    const Vec dq = compress::Dequantize(*q);
+    ASSERT_EQ(dq.size(), v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      EXPECT_EQ(BitsOf(dq[i]), BitsOf(v[i])) << "i=" << i;
+    }
+    for (double r : ef.residual()) EXPECT_EQ(BitsOf(r), BitsOf(0.0));
+  }
+}
+
+// The rank-agreement gate: quantizing the uploads must not change how φ̂
+// ranks participants relative to the exact (uncompressed) estimate — the
+// oracle here is the lossless run's φ̂, which Lemma 3 ties to the exact
+// inner products. Spearman ρ ≥ 0.97 at n = 5 means zero transpositions
+// (one adjacent swap already costs ρ = 0.95); q4, at a quarter of the
+// bits, gets the one-swap ≥ 0.9 gate. Both runs must still bottom-rank
+// the mislabeled shard.
+TEST(QuantizerPropertyTest, QuantizedTrainingKeepsExactEstimatorRanking) {
+  HflWorld world = MakeHflWorld(5, 10, 0.2, 43);
+  HflServer server(world.model, world.validation);
+  auto exact = EvaluateHflContributions(world.model, world.participants,
+                                        server, world.log);
+  ASSERT_TRUE(exact.ok());
+  const auto argmin = [](const std::vector<double>& v) {
+    size_t best = 0;
+    for (size_t i = 1; i < v.size(); ++i) {
+      if (v[i] < v[best]) best = i;
+    }
+    return best;
+  };
+  ASSERT_EQ(argmin(exact->total), 4u);  // the mislabeled shard
+
+  const struct {
+    compress::Mode mode;
+    double min_rho;
+  } kGates[] = {{compress::Mode::kQ8, 0.97}, {compress::Mode::kQ4, 0.9}};
+  for (const auto& gate : kGates) {
+    SCOPED_TRACE(compress::ModeName(gate.mode));
+    FedSgdConfig config = world.config;
+    config.compress = gate.mode;
+    auto log = RunFedSgd(world.model, world.participants, server, world.init,
+                         config);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    auto estimate = EvaluateHflContributions(world.model, world.participants,
+                                             server, *log);
+    ASSERT_TRUE(estimate.ok());
+    auto rho = SpearmanCorrelation(exact->total, estimate->total);
+    ASSERT_TRUE(rho.ok());
+    EXPECT_GE(*rho, gate.min_rho);
+    EXPECT_EQ(argmin(estimate->total), 4u);
   }
 }
 

@@ -1,0 +1,298 @@
+// Kernel-parity property suite for tensor/simd/ (DESIGN.md §16).
+//
+// The contract under test: every dispatch tier (scalar, AVX2, AVX-512)
+// produces bitwise-identical doubles for Dot/Axpy/Scale and the
+// quantized-domain inner products QDot8/QDot4, over hostile lengths
+// (0, 1, odd, SIMD-width ± 1, large), denormals, and mixed magnitudes.
+// "Bitwise" means the raw IEEE-754 bit pattern — EXPECT_EQ on doubles
+// would let -0.0 == 0.0 slip through.
+//
+// tests/CMakeLists.txt registers this binary twice: once plain and once
+// with DIGFL_FORCE_SCALAR=1 in the environment (ctest label `simd`), so
+// the one-switch forced-scalar mode is itself exercised as its own test.
+// The 100-seed quantized SimNet swarm at the bottom drives the whole
+// distributed stack with --compress=q8 semantics (DIGFL_SIM_SEEDS
+// overrides the budget; DIGFL_SIM_SEED replays one schedule).
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/quantize.h"
+#include "sim/sim_federation.h"
+#include "tensor/simd/simd.h"
+#include "tensor/vec.h"
+
+namespace digfl {
+namespace {
+
+using simd::Tier;
+
+uint64_t Bits(double x) {
+  uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+// Every tier this machine can actually run (scalar is always first).
+std::vector<Tier> UsableTiers() {
+  std::vector<Tier> tiers = {Tier::kScalar};
+  if (simd::TierUsable(Tier::kAvx2)) tiers.push_back(Tier::kAvx2);
+  if (simd::TierUsable(Tier::kAvx512)) tiers.push_back(Tier::kAvx512);
+  return tiers;
+}
+
+// Hostile lengths: empty, scalar tail only, every boundary around the
+// 4-lane and 8-lane widths, a block boundary, and large-enough-to-matter.
+const size_t kLengths[] = {0,  1,  2,  3,  4,  5,  7,   8,   9,    15,  16,
+                           17, 31, 32, 33, 63, 64, 65,  127, 128,  129, 200,
+                           1000, 4096, 4097};
+
+// Mixed-magnitude values with injected zeros (both signs) and denormals —
+// the inputs most likely to expose an FMA, a reassociated sum, or a
+// flush-to-zero difference between tiers.
+Vec SpicyVec(Rng& rng, size_t n) {
+  Vec v(n);
+  for (double& x : v) {
+    switch (rng.UniformInt(uint64_t{10})) {
+      case 0:
+        x = 0.0;
+        break;
+      case 1:
+        x = -0.0;
+        break;
+      case 2:
+        x = 5e-324;  // smallest positive denormal
+        break;
+      case 3:
+        x = -DBL_MIN / 512.0;  // mid-range denormal
+        break;
+      case 4:
+        x = rng.Gaussian(0.0, 1e-8);
+        break;
+      case 5:
+        x = rng.Gaussian(0.0, 1e8);
+        break;
+      default:
+        x = rng.Gaussian(0.0, 1.0);
+        break;
+    }
+  }
+  return v;
+}
+
+TEST(SimdDispatchTest, ScalarTierIsAlwaysUsable) {
+  EXPECT_TRUE(simd::TierCompiled(Tier::kScalar));
+  EXPECT_TRUE(simd::TierUsable(Tier::kScalar));
+  // Usable implies compiled for the vector tiers.
+  for (Tier tier : {Tier::kAvx2, Tier::kAvx512}) {
+    if (simd::TierUsable(tier)) {
+      EXPECT_TRUE(simd::TierCompiled(tier));
+    }
+  }
+}
+
+// The active tier is scalar exactly when DIGFL_FORCE_SCALAR is set (to
+// anything but "0"), else the highest usable tier. The forced-scalar ctest
+// registration runs this same assertion with the switch thrown.
+TEST(SimdDispatchTest, ActiveTierHonorsForceScalar) {
+  const char* env = std::getenv("DIGFL_FORCE_SCALAR");
+  const bool forced =
+      env != nullptr && *env != '\0' && std::string(env) != "0";
+  EXPECT_EQ(simd::ForcedScalar(), forced);
+  if (forced) {
+    EXPECT_EQ(simd::ActiveTier(), Tier::kScalar);
+  } else {
+    Tier highest = Tier::kScalar;
+    if (simd::TierUsable(Tier::kAvx2)) highest = Tier::kAvx2;
+    if (simd::TierUsable(Tier::kAvx512)) highest = Tier::kAvx512;
+    EXPECT_EQ(simd::ActiveTier(), highest);
+  }
+}
+
+TEST(SimdParityTest, DotMatchesScalarBitwiseOnEveryTier) {
+  for (size_t n : kLengths) {
+    for (uint64_t trial = 0; trial < 4; ++trial) {
+      Rng rng(0x513d0001 + trial * 1315423911ull + n);
+      const Vec a = SpicyVec(rng, n);
+      const Vec b = SpicyVec(rng, n);
+      const double ref = simd::DotTier(Tier::kScalar, a.data(), b.data(), n);
+      EXPECT_EQ(Bits(simd::Dot(a.data(), b.data(), n)), Bits(ref))
+          << "dispatched Dot diverged at n=" << n;
+      for (Tier tier : UsableTiers()) {
+        EXPECT_EQ(Bits(simd::DotTier(tier, a.data(), b.data(), n)), Bits(ref))
+            << simd::TierName(tier) << " n=" << n << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, AxpyMatchesScalarBitwiseOnEveryTier) {
+  for (size_t n : kLengths) {
+    for (uint64_t trial = 0; trial < 4; ++trial) {
+      Rng rng(0xa1b90001 + trial * 2654435761ull + n);
+      const Vec x = SpicyVec(rng, n);
+      const Vec y0 = SpicyVec(rng, n);
+      const double alpha = rng.Gaussian(0.0, 2.0);
+      Vec ref = y0;
+      simd::AxpyTier(Tier::kScalar, alpha, x.data(), ref.data(), n);
+      for (Tier tier : UsableTiers()) {
+        Vec y = y0;
+        simd::AxpyTier(tier, alpha, x.data(), y.data(), n);
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(Bits(y[i]), Bits(ref[i]))
+              << simd::TierName(tier) << " n=" << n << " i=" << i;
+        }
+      }
+      // vec::Axpy dispatches to these kernels; its result is the same bits.
+      Vec y = y0;
+      vec::Axpy(alpha, x, y);
+      for (size_t i = 0; i < n; ++i) ASSERT_EQ(Bits(y[i]), Bits(ref[i]));
+    }
+  }
+}
+
+TEST(SimdParityTest, ScaleMatchesScalarBitwiseOnEveryTier) {
+  for (size_t n : kLengths) {
+    for (uint64_t trial = 0; trial < 4; ++trial) {
+      Rng rng(0x5ca1e001 + trial * 40503ull + n);
+      const Vec x0 = SpicyVec(rng, n);
+      const double alpha = rng.Gaussian(0.0, 2.0);
+      Vec ref = x0;
+      simd::ScaleTier(Tier::kScalar, ref.data(), alpha, n);
+      for (Tier tier : UsableTiers()) {
+        Vec x = x0;
+        simd::ScaleTier(tier, x.data(), alpha, n);
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(Bits(x[i]), Bits(ref[i]))
+              << simd::TierName(tier) << " n=" << n << " i=" << i;
+        }
+      }
+      Vec x = x0;
+      vec::Scale(alpha, x);
+      for (size_t i = 0; i < n; ++i) ASSERT_EQ(Bits(x[i]), Bits(ref[i]));
+    }
+  }
+}
+
+// QDot contract: QDot8/QDot4(q, v) is bitwise equal to
+// simd::Dot(Dequantize(q), v) — the quantized-domain product must be a
+// pure fusion, never a reassociation — and every tier agrees.
+TEST(SimdParityTest, QuantizedDotsMatchDequantizedDotBitwise) {
+  for (compress::Mode mode : {compress::Mode::kQ8, compress::Mode::kQ4}) {
+    for (uint32_t block : {uint32_t{8}, uint32_t{64}}) {
+      for (size_t n : kLengths) {
+        Rng rng(0x9d070001 + n * 31 + block +
+                (mode == compress::Mode::kQ4 ? 7u : 0u));
+        Vec v(n);
+        for (double& x : v) x = rng.Gaussian(0.0, 1.0);
+        if (n >= 8) {
+          // A whole zero block exercises the scale == 0 path.
+          for (size_t i = 0; i < std::min<size_t>(block, n); ++i) v[i] = 0.0;
+        }
+        auto q = compress::Quantize(v, mode, block);
+        ASSERT_TRUE(q.ok()) << q.status().ToString();
+        const Vec dq = compress::Dequantize(*q);
+        const Vec probe = SpicyVec(rng, n);
+        const double ref = simd::Dot(dq.data(), probe.data(), n);
+        for (Tier tier : UsableTiers()) {
+          const double got =
+              mode == compress::Mode::kQ8
+                  ? simd::QDot8Tier(tier, q->scales.data(), q->codes.data(),
+                                    block, probe.data(), n)
+                  : simd::QDot4Tier(tier, q->scales.data(), q->codes.data(),
+                                    block, probe.data(), n);
+          ASSERT_EQ(Bits(got), Bits(ref))
+              << compress::ModeName(mode) << " " << simd::TierName(tier)
+              << " block=" << block << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+// ±Inf / NaN never enter the quantizer: the reject is typed, not a poisoned
+// scale or a crash — the same contract the wire decoder enforces.
+TEST(QuantizerRejectionTest, NonFiniteInputIsATypedReject) {
+  const double kBad[] = {std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity()};
+  for (double bad : kBad) {
+    for (compress::Mode mode : {compress::Mode::kLossless,
+                                compress::Mode::kQ8, compress::Mode::kQ4}) {
+      auto q = compress::Quantize({1.0, bad, -2.0}, mode, 64);
+      ASSERT_FALSE(q.ok());
+      EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(QuantizerRejectionTest, BadBlockSizesAreTypedRejects) {
+  for (uint32_t block : {uint32_t{0}, uint32_t{4}, uint32_t{12},
+                         uint32_t{65544}, uint32_t{1} << 20}) {
+    auto q = compress::Quantize({1.0}, compress::Mode::kQ8, block);
+    ASSERT_FALSE(q.ok()) << "block=" << block;
+    EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ------------------------------------------------ quantized SimNet swarm.
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+std::vector<uint64_t> SwarmSeeds() {
+  if (const char* replay = std::getenv("DIGFL_SIM_SEED");
+      replay != nullptr && *replay != '\0') {
+    return {std::strtoull(replay, nullptr, 10)};
+  }
+  const uint64_t count = EnvU64("DIGFL_SIM_SEEDS", 100);
+  std::vector<uint64_t> seeds;
+  seeds.reserve(count);
+  for (uint64_t seed = 1; seed <= count; ++seed) seeds.push_back(seed);
+  return seeds;
+}
+
+// 100 seeded fault schedules with q8 compression negotiated at handshake.
+// Lossy runs trade the bitwise realized-reference equality for smaller
+// uploads, so the contract here is: complete or fail typed (never hang),
+// and a completed run's φ̂ still satisfies every masked-estimator invariant
+// (absent ⇒ φ̂ = 0, incremental ≡ batch, Lemma 3 additivity).
+TEST(QuantizedSwarmTest, Q8SeedsCompleteOrFailTypedWithInvariantsIntact) {
+  const std::vector<uint64_t> seeds = SwarmSeeds();
+  size_t completed = 0;
+  for (uint64_t seed : seeds) {
+    SCOPED_TRACE("replay: DIGFL_SIM_SEED=" + std::to_string(seed));
+    sim::SimScenario scenario = sim::SimScenario::FromSeed(seed);
+    scenario.compress = compress::Mode::kQ8;
+    sim::SimFederationResult result = sim::RunSimFederation(scenario);
+    if (!result.completed()) {
+      EXPECT_NE(result.status.code(), StatusCode::kOk);
+      EXPECT_FALSE(result.status.message().empty());
+      continue;
+    }
+    ++completed;
+    ASSERT_EQ(result.log.num_epochs(), scenario.epochs);
+    sim::SimWorld world = sim::MakeSimWorld(scenario);
+    EXPECT_EQ(sim::CheckHflInvariants(world, result.log, result.phi_total,
+                                      result.phi_per_epoch),
+              "");
+    if (::testing::Test::HasFailure()) break;  // one seed suffices to debug
+  }
+  EXPECT_GE(completed, seeds.size() / 2)
+      << "most seeded schedules should still complete under q8";
+}
+
+}  // namespace
+}  // namespace digfl

@@ -23,6 +23,7 @@
 
 #include "ckpt/frame.h"
 #include "common/rng.h"
+#include "compress/quantize.h"
 #include "net/epoch_log.h"
 #include "net/messages.h"
 #include "net/wire.h"
@@ -326,6 +327,42 @@ const CodecEntry kCodecs[] = {
      [](std::string_view s) { return DecodeEpochLogAppend(s).ok(); }},
     {"epoch_log_ack", [] { return EncodeEpochLogAck({7}); },
      [](std::string_view s) { return DecodeEpochLogAck(s).ok(); }},
+    // Quantized-update wire blocks (DESIGN.md §16). The samples are built
+    // through the real quantizer so the corpus offsets track the QNT1
+    // layout: epoch u64 | pid u64 | empty delta u64 | magic u32 | mode u32
+    // | num_values u64 | block u32 | scales (u64 + doubles) | codes
+    // (u64 + bytes). tests/corpus/wire/qnt.case plants hostile values at
+    // those offsets.
+    {"round_reply_q8",
+     [] {
+       RoundReplyMsg msg;
+       msg.epoch = 3;
+       msg.participant_id = 1;
+       msg.quantized =
+           *compress::Quantize({1.0, -0.5}, compress::Mode::kQ8, 64);
+       return EncodeRoundReply(msg);
+     },
+     [](std::string_view s) { return DecodeRoundReply(s).ok(); }},
+    {"round_reply_q4",
+     [] {
+       RoundReplyMsg msg;
+       msg.epoch = 3;
+       msg.participant_id = 1;
+       msg.quantized =
+           *compress::Quantize({1.0, -0.5, 0.25}, compress::Mode::kQ4, 64);
+       return EncodeRoundReply(msg);
+     },
+     [](std::string_view s) { return DecodeRoundReply(s).ok(); }},
+    {"hello_ack_qnt",
+     [] {
+       HelloAckMsg msg;
+       msg.accepted = 1;
+       msg.next_epoch = 4;
+       msg.message = "ok";
+       msg.quant = HelloAckQuant{compress::Mode::kQ8, 64};
+       return EncodeHelloAck(msg);
+     },
+     [](std::string_view s) { return DecodeHelloAck(s).ok(); }},
 };
 
 const CodecEntry* FindCodec(const std::string& name) {

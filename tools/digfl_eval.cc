@@ -34,6 +34,7 @@
 #include "common/fault.h"
 #include "common/table_writer.h"
 #include "common/timer.h"
+#include "compress/quantize.h"
 #include "core/digfl_hfl.h"
 #include "core/digfl_vfl.h"
 #include "data/corruption.h"
@@ -66,6 +67,9 @@ struct Flags {
   double straggler_rate = 0.0;
   double corruption_rate = 0.0;
   std::string aggregator;            // HFL robust aggregation rule; "" = mean
+  // HFL update compression (DESIGN.md §16): quantize uploads at the
+  // participant boundary. Lossless keeps the run bitwise identical.
+  compress::Mode compress = compress::Mode::kLossless;
   uint64_t seed = 7;
   std::string csv;                   // optional output path
   std::string telemetry_out;         // optional JSONL run-report path
@@ -99,6 +103,9 @@ void PrintUsage() {
   --corruption-rate=F       corruption fault rate (caught by quarantine)
   --aggregator=RULE         HFL robust aggregation rule: mean (default),
                             clip[:NORM], median, trimmed[:FRACTION]
+  --compress=MODE           HFL: quantize participant uploads with
+                            error feedback; lossless q8 q4 (default
+                            lossless, which is bitwise identical)
   --seed=S                  master seed (default 7)
   --csv=PATH                also write the result table as CSV
   --telemetry-out=PATH      append the telemetry run report (metrics, span
@@ -213,6 +220,8 @@ Result<Flags> ParseFlags(int argc, char** argv) {
       DIGFL_ASSIGN_OR_RETURN(flags.corruption_rate, ParseRateFlag(key, value));
     } else if (key == "aggregator") {
       flags.aggregator = value;
+    } else if (key == "compress") {
+      DIGFL_ASSIGN_OR_RETURN(flags.compress, compress::ParseMode(value));
     } else if (key == "seed") {
       DIGFL_ASSIGN_OR_RETURN(flags.seed, ParseU64Flag(key, value));
     } else if (key == "csv") {
@@ -235,6 +244,12 @@ Result<Flags> ParseFlags(int argc, char** argv) {
   }
   if (flags.checkpoint_every == 0) {
     return Status::OutOfRange("--checkpoint-every must be >= 1");
+  }
+  if (flags.compress != compress::Mode::kLossless &&
+      !flags.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "lossy update compression cannot be combined with checkpointing; "
+        "the error-feedback residual does not survive a restart");
   }
   return flags;
 }
@@ -332,6 +347,11 @@ Result<MethodReports> RunHfl(const Flags& flags, PaperDatasetId id) {
   config.learning_rate =
       flags.learning_rate > 0 ? flags.learning_rate : 0.3;
   if (fault_plan.has_value()) config.fault_plan = &*fault_plan;
+  config.compress = flags.compress;
+  if (flags.compress != compress::Mode::kLossless) {
+    std::printf("update compression: %s\n",
+                compress::ModeName(flags.compress));
+  }
   std::unique_ptr<Aggregator> aggregator;
   if (!flags.aggregator.empty()) {
     DIGFL_ASSIGN_OR_RETURN(aggregator, MakeAggregator(flags.aggregator));
@@ -433,6 +453,11 @@ Result<MethodReports> RunVfl(const Flags& flags, PaperDatasetId id) {
     return Status::InvalidArgument(
         "--aggregator applies to --mode=hfl (the VFL third party sums "
         "feature blocks, it does not average updates)");
+  }
+  if (flags.compress != compress::Mode::kLossless) {
+    return Status::InvalidArgument(
+        "--compress applies to --mode=hfl (VFL participants upload "
+        "predictions, not model updates)");
   }
   const size_t n = flags.participants > 0 ? flags.participants
                                           : spec.paper_num_participants;

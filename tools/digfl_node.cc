@@ -45,6 +45,7 @@
 
 #include "common/fault.h"
 #include "common/table_writer.h"
+#include "compress/quantize.h"
 #include "core/phi_accumulator.h"
 #include "data/corruption.h"
 #include "data/paper_datasets.h"
@@ -109,6 +110,10 @@ struct Flags {
   size_t max_retries = 2;
   int wait_timeout_ms = 60000;       // coordinator: participant assembly
   size_t connect_attempts = 30;      // participant: dial retries
+  // Coordinator: quantize participant uploads (DESIGN.md §16). Announced
+  // at handshake, so participants need no flag; not part of the config
+  // digest. Lossless keeps the wire bitwise identical to the legacy run.
+  compress::Mode compress = compress::Mode::kLossless;
   bool help = false;
 };
 
@@ -168,6 +173,11 @@ void PrintUsage() {
   --wait-timeout-ms=MS      coordinator: participant assembly deadline
                             (default 60000)
   --connect-attempts=N      participant: dial attempts (default 30)
+  --compress=MODE           coordinator: quantize participant uploads;
+                            lossless q8 q4 (default lossless). Announced
+                            at handshake — participants need no flag.
+                            Flat coordinator only (no tree, standby, or
+                            checkpointing)
   --help, -h                print this usage text and exit 0
 )");
 }
@@ -357,6 +367,8 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     } else if (key == "connect-attempts") {
       DIGFL_ASSIGN_OR_RETURN(flags.connect_attempts,
                              ParseU64Flag(key, value));
+    } else if (key == "compress") {
+      DIGFL_ASSIGN_OR_RETURN(flags.compress, compress::ParseMode(value));
     } else {
       return Status::InvalidArgument("unknown flag: --" + key);
     }
@@ -395,6 +407,23 @@ Result<Flags> ParseFlags(int argc, char** argv) {
   }
   if (flags.resume && flags.checkpoint_dir.empty()) {
     return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
+  if (flags.compress != compress::Mode::kLossless) {
+    if (flags.role != "coordinator") {
+      return Status::InvalidArgument(
+          "--compress is a coordinator flag; participants adopt the mode "
+          "announced at handshake");
+    }
+    if (!flags.tree.empty()) {
+      return Status::InvalidArgument(
+          "tree mode does not support update compression");
+    }
+    if (!flags.checkpoint_dir.empty() || flags.standby_port != 0) {
+      return Status::InvalidArgument(
+          "lossy update compression cannot be combined with checkpointing "
+          "or a hot standby; the error-feedback residual does not survive "
+          "a coordinator restart");
+    }
   }
   if (flags.checkpoint_every == 0) {
     return Status::OutOfRange("--checkpoint-every must be >= 1");
@@ -680,6 +709,7 @@ Result<int> RunCoordinator(const Flags& flags) {
   options.standby_host = flags.standby_host;
   options.standby_port = flags.standby_port;
   options.replication_timeout_ms = flags.replication_timeout_ms;
+  options.compress = flags.compress;
   DIGFL_ASSIGN_OR_RETURN(std::unique_ptr<net::Coordinator> coordinator,
                          net::Coordinator::Create(options));
   DIGFL_ASSIGN_OR_RETURN(std::unique_ptr<net::MetricsHttpServer> metrics,
